@@ -1,0 +1,261 @@
+//! The Agrawal–Kiernan watermarking scheme (VLDB 2002), reimplemented.
+//!
+//! The scheme marks a relation by deterministically selecting, per tuple,
+//! whether to mark it (keyed pseudo-random decision on the primary key),
+//! which least-significant bit of which numerical attribute to overwrite,
+//! and the bit value. Detection re-derives the same selections and counts
+//! matches; ownership is claimed when the match count is improbably high
+//! under the null hypothesis.
+//!
+//! This reproduction keeps the essential mechanics: a keyed PRF over
+//! primary keys (an xorshift-based mix — cryptographic strength is not
+//! the point of the experiments), a `1/gamma` marking rate, `xi`
+//! candidate LSBs, and threshold detection. Mean and variance move only
+//! slightly — but *parametric query results* shift unboundedly in the
+//! worst case, which is exactly the gap the PODS'03 paper closes.
+
+use qpwm_structures::{Element, WeightKey, Weights};
+
+/// Configuration of the Agrawal–Kiernan marker.
+#[derive(Debug, Clone)]
+pub struct AkConfig {
+    /// Secret key.
+    pub key: u64,
+    /// Mark roughly one in `gamma` tuples.
+    pub gamma: u64,
+    /// Number of candidate least-significant bits (`ξ`).
+    pub xi: u32,
+    /// Detection threshold `τ ∈ (0.5, 1]`: claim ownership when the
+    /// fraction of matching marked bits reaches it.
+    pub tau: f64,
+}
+
+impl Default for AkConfig {
+    fn default() -> Self {
+        AkConfig { key: 0xA5A5_5A5A, gamma: 4, xi: 2, tau: 0.8 }
+    }
+}
+
+/// Keyed PRF: mixes the key and the primary key into 64 pseudo-random
+/// bits (splitmix64 finalizer — deterministic across platforms).
+fn prf(key: u64, tuple_key: &[Element], salt: u64) -> u64 {
+    let mut h = key ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for &e in tuple_key {
+        h ^= u64::from(e).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+    }
+    h
+}
+
+/// The Agrawal–Kiernan scheme over a single weighted attribute keyed by
+/// the tuple identity.
+#[derive(Debug, Clone)]
+pub struct AkScheme {
+    config: AkConfig,
+}
+
+/// Detection outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AkDetection {
+    /// Tuples the detector expected to be marked.
+    pub total_marked: usize,
+    /// Of those, bits that matched the expected mark.
+    pub matches: usize,
+    /// `matches / total_marked` (1.0 when nothing was expected).
+    pub match_rate: f64,
+    /// Did the match rate reach the threshold τ?
+    pub suspicious: bool,
+}
+
+impl AkScheme {
+    /// Creates the scheme.
+    pub fn new(config: AkConfig) -> Self {
+        AkScheme { config }
+    }
+
+    /// Is this tuple selected for marking, and if so which bit/value?
+    fn selection(&self, key: &[Element]) -> Option<(u32, bool)> {
+        let h = prf(self.config.key, key, 0);
+        if !h.is_multiple_of(self.config.gamma) {
+            return None;
+        }
+        let bit = (prf(self.config.key, key, 1) % u64::from(self.config.xi)) as u32;
+        let value = prf(self.config.key, key, 2) & 1 == 1;
+        Some((bit, value))
+    }
+
+    /// Marks every selected tuple's chosen LSB.
+    pub fn mark(&self, weights: &Weights, universe: &[WeightKey]) -> Weights {
+        let mut out = weights.clone();
+        for key in universe {
+            if let Some((bit, value)) = self.selection(key) {
+                let w = out.get(key);
+                let mask = 1i64 << bit;
+                let marked = if value { w | mask } else { w & !mask };
+                out.set(key, marked);
+            }
+        }
+        out
+    }
+
+    /// Detects the mark in suspect weights.
+    pub fn detect(&self, suspect: &Weights, universe: &[WeightKey]) -> AkDetection {
+        let mut total = 0usize;
+        let mut matches = 0usize;
+        for key in universe {
+            if let Some((bit, value)) = self.selection(key) {
+                total += 1;
+                let observed = suspect.get(key) >> bit & 1 == 1;
+                if observed == value {
+                    matches += 1;
+                }
+            }
+        }
+        let match_rate = if total == 0 { 1.0 } else { matches as f64 / total as f64 };
+        AkDetection {
+            total_marked: total,
+            matches,
+            match_rate,
+            suspicious: match_rate >= self.config.tau && total > 0,
+        }
+    }
+
+    /// Maximum per-tuple distortion the marking can cause (`2^ξ − 1`).
+    pub fn max_local_distortion(&self) -> i64 {
+        (1i64 << self.config.xi) - 1
+    }
+}
+
+/// Mean and variance of a weight assignment over a universe — the
+/// statistics Agrawal–Kiernan verify experimentally.
+pub fn mean_variance(weights: &Weights, universe: &[WeightKey]) -> (f64, f64) {
+    if universe.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = universe.len() as f64;
+    let mean = universe.iter().map(|k| weights.get(k) as f64).sum::<f64>() / n;
+    let var = universe
+        .iter()
+        .map(|k| {
+            let d = weights.get(k) as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    (mean, var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn universe(n: u32) -> Vec<WeightKey> {
+        (0..n).map(|e| vec![e]).collect()
+    }
+
+    fn weights(n: u32) -> Weights {
+        let mut w = Weights::new(1);
+        for e in 0..n {
+            w.set(&[e], 1000 + (e as i64 * 37) % 200);
+        }
+        w
+    }
+
+    #[test]
+    fn marking_is_deterministic() {
+        let s = AkScheme::new(AkConfig::default());
+        let u = universe(100);
+        let w = weights(100);
+        assert_eq!(s.mark(&w, &u), s.mark(&w, &u));
+    }
+
+    #[test]
+    fn marks_about_one_in_gamma() {
+        let s = AkScheme::new(AkConfig { gamma: 4, ..AkConfig::default() });
+        let u = universe(2000);
+        let marked = u.iter().filter(|k| s.selection(k).is_some()).count();
+        let expected = 2000 / 4;
+        assert!(
+            (marked as i64 - expected as i64).abs() < 120,
+            "marked {marked}, expected ≈{expected}"
+        );
+    }
+
+    #[test]
+    fn detects_own_mark_perfectly() {
+        let s = AkScheme::new(AkConfig::default());
+        let u = universe(500);
+        let w = weights(500);
+        let marked = s.mark(&w, &u);
+        let det = s.detect(&marked, &u);
+        assert_eq!(det.matches, det.total_marked);
+        assert!(det.suspicious);
+    }
+
+    #[test]
+    fn unmarked_data_is_not_suspicious() {
+        let s = AkScheme::new(AkConfig::default());
+        let u = universe(500);
+        let w = weights(500);
+        let det = s.detect(&w, &u);
+        // unmarked LSBs match by chance ≈ 50%, below τ = 0.8
+        assert!(!det.suspicious, "match rate {}", det.match_rate);
+    }
+
+    #[test]
+    fn wrong_key_detects_nothing() {
+        let s = AkScheme::new(AkConfig::default());
+        let u = universe(500);
+        let w = weights(500);
+        let marked = s.mark(&w, &u);
+        let other = AkScheme::new(AkConfig { key: 123, ..AkConfig::default() });
+        let det = other.detect(&marked, &u);
+        assert!(!det.suspicious, "match rate {}", det.match_rate);
+    }
+
+    #[test]
+    fn mean_and_variance_move_little() {
+        let s = AkScheme::new(AkConfig::default());
+        let u = universe(2000);
+        let w = weights(2000);
+        let marked = s.mark(&w, &u);
+        let (m0, v0) = mean_variance(&w, &u);
+        let (m1, v1) = mean_variance(&marked, &u);
+        assert!((m0 - m1).abs() < 1.0, "mean moved {}", (m0 - m1).abs());
+        assert!((v0 - v1).abs() / v0 < 0.05, "variance moved {}", (v0 - v1).abs());
+    }
+
+    #[test]
+    fn local_distortion_bounded_by_xi() {
+        let config = AkConfig { xi: 2, ..AkConfig::default() };
+        let bound = AkScheme::new(config.clone()).max_local_distortion();
+        assert_eq!(bound, 3);
+        let s = AkScheme::new(config);
+        let u = universe(1000);
+        let w = weights(1000);
+        let marked = s.mark(&w, &u);
+        assert!(w.max_pointwise_diff(&marked) <= bound);
+    }
+
+    #[test]
+    fn parametric_queries_are_unprotected() {
+        // The paper's point: a small answer set can absorb several marked
+        // tuples, so a parametric query's aggregate can move by more than
+        // any fixed d even though mean/variance barely move. Find a small
+        // subset of marked tuples whose aggregate moved a lot.
+        let s = AkScheme::new(AkConfig { gamma: 1, xi: 3, ..AkConfig::default() });
+        let u = universe(300);
+        let w = weights(300);
+        let marked = s.mark(&w, &u);
+        // adversarial parameter: the 5 tuples with the largest shift
+        let mut shifts: Vec<(i64, &WeightKey)> = u
+            .iter()
+            .map(|k| ((marked.get(k) - w.get(k)).abs(), k))
+            .collect();
+        shifts.sort_unstable_by_key(|s| std::cmp::Reverse(s.0));
+        let worst5: i64 = shifts[..5].iter().map(|(d, _)| d).sum();
+        assert!(worst5 >= 5, "worst-5 aggregate shift {worst5}");
+    }
+}

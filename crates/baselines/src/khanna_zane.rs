@@ -1,0 +1,258 @@
+//! The Khanna–Zane scheme (SODA 2000): watermarking weighted graphs while
+//! provably preserving shortest-path queries.
+//!
+//! The original paper hides information in ±1 edge-weight perturbations
+//! chosen so that *every* pairwise shortest-path distance moves by at
+//! most `d`. This reproduction keeps that contract:
+//!
+//! * a Dijkstra substrate for all-pairs distances;
+//! * a greedy marker that admits an edge into the mark set only if both
+//!   extreme orientations (all `+1`, all `−1`) keep every distance within
+//!   `d` — by monotonicity of shortest paths in edge weights, this bounds
+//!   every mixed message too;
+//! * a differential detector reading edge weights back from the suspect
+//!   graph.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BinaryHeap;
+
+/// An undirected weighted graph for shortest-path watermarking.
+#[derive(Debug, Clone)]
+pub struct KzGraph {
+    n: usize,
+    /// `(u, v, weight)`; undirected.
+    edges: Vec<(u32, u32, i64)>,
+}
+
+impl KzGraph {
+    /// Creates a graph on `n` vertices.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints or non-positive weights.
+    pub fn new(n: usize, edges: Vec<(u32, u32, i64)>) -> Self {
+        for &(u, v, w) in &edges {
+            assert!((u as usize) < n && (v as usize) < n, "endpoint out of range");
+            assert!(w > 0, "weights must be positive");
+        }
+        KzGraph { n, edges }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// The edges.
+    pub fn edges(&self) -> &[(u32, u32, i64)] {
+        &self.edges
+    }
+
+    /// Replaces edge weights (same topology).
+    pub fn with_weights(&self, weights: &[i64]) -> KzGraph {
+        assert_eq!(weights.len(), self.edges.len());
+        let edges = self
+            .edges
+            .iter()
+            .zip(weights)
+            .map(|(&(u, v, _), &w)| (u, v, w))
+            .collect();
+        KzGraph { n: self.n, edges }
+    }
+
+    fn adjacency(&self) -> Vec<Vec<(u32, i64)>> {
+        let mut adj: Vec<Vec<(u32, i64)>> = vec![Vec::new(); self.n];
+        for &(u, v, w) in &self.edges {
+            adj[u as usize].push((v, w));
+            adj[v as usize].push((u, w));
+        }
+        adj
+    }
+
+    /// Dijkstra from `source`; `i64::MAX` marks unreachable vertices.
+    pub fn distances_from(&self, source: u32) -> Vec<i64> {
+        let adj = self.adjacency();
+        let mut dist = vec![i64::MAX; self.n];
+        dist[source as usize] = 0;
+        let mut heap: BinaryHeap<std::cmp::Reverse<(i64, u32)>> = BinaryHeap::new();
+        heap.push(std::cmp::Reverse((0, source)));
+        while let Some(std::cmp::Reverse((d, v))) = heap.pop() {
+            if d > dist[v as usize] {
+                continue;
+            }
+            for &(w, len) in &adj[v as usize] {
+                let nd = d + len;
+                if nd < dist[w as usize] {
+                    dist[w as usize] = nd;
+                    heap.push(std::cmp::Reverse((nd, w)));
+                }
+            }
+        }
+        dist
+    }
+
+    /// All-pairs distances (n Dijkstras).
+    pub fn all_pairs(&self) -> Vec<Vec<i64>> {
+        (0..self.n as u32).map(|s| self.distances_from(s)).collect()
+    }
+
+    /// Maximum absolute distance change versus another weighting of the
+    /// same topology (ignoring pairs unreachable in either).
+    pub fn max_distance_change(&self, other: &KzGraph) -> i64 {
+        let a = self.all_pairs();
+        let b = other.all_pairs();
+        let mut max = 0;
+        for (ra, rb) in a.iter().zip(&b) {
+            for (&da, &db) in ra.iter().zip(rb) {
+                if da != i64::MAX && db != i64::MAX {
+                    max = max.max((da - db).abs());
+                }
+            }
+        }
+        max
+    }
+}
+
+/// A constructed Khanna–Zane scheme: the secret mark-edge set.
+#[derive(Debug, Clone)]
+pub struct KzScheme {
+    /// Indices into the graph's edge list.
+    mark_edges: Vec<usize>,
+    d: i64,
+}
+
+impl KzScheme {
+    /// Greedily selects a maximal mark-edge set keeping all shortest
+    /// paths within `d` under both extreme orientations.
+    pub fn build(graph: &KzGraph, d: i64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut order: Vec<usize> = (0..graph.edges.len()).collect();
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let base: Vec<i64> = graph.edges.iter().map(|&(_, _, w)| w).collect();
+        let mut selected: Vec<usize> = Vec::new();
+        for cand in order {
+            if base[cand] <= 1 {
+                continue; // a −1 would zero the weight
+            }
+            let mut trial = selected.clone();
+            trial.push(cand);
+            let ok = [1i64, -1].iter().all(|&sign| {
+                let mut w = base.clone();
+                for &e in &trial {
+                    w[e] += sign;
+                }
+                graph.max_distance_change(&graph.with_weights(&w)) <= d
+            });
+            if ok {
+                selected = trial;
+            }
+        }
+        selected.sort_unstable();
+        KzScheme { mark_edges: selected, d }
+    }
+
+    /// Message capacity in bits.
+    pub fn capacity(&self) -> usize {
+        self.mark_edges.len()
+    }
+
+    /// The distortion budget.
+    pub fn d(&self) -> i64 {
+        self.d
+    }
+
+    /// Marks the graph with `message` (bit per selected edge).
+    ///
+    /// # Panics
+    /// Panics if the message is longer than the capacity.
+    pub fn mark(&self, graph: &KzGraph, message: &[bool]) -> KzGraph {
+        assert!(message.len() <= self.mark_edges.len());
+        let mut weights: Vec<i64> = graph.edges.iter().map(|&(_, _, w)| w).collect();
+        for (&e, &bit) in self.mark_edges.iter().zip(message) {
+            weights[e] += if bit { 1 } else { -1 };
+        }
+        graph.with_weights(&weights)
+    }
+
+    /// Reads the message back from a suspect graph's edge weights.
+    pub fn detect(&self, original: &KzGraph, suspect: &KzGraph) -> Vec<bool> {
+        self.mark_edges
+            .iter()
+            .map(|&e| suspect.edges[e].2 > original.edges[e].2)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A ring with chords: plenty of alternative paths.
+    fn ring(n: u32) -> KzGraph {
+        let mut edges = Vec::new();
+        for i in 0..n {
+            edges.push((i, (i + 1) % n, 10));
+        }
+        for i in 0..n / 2 {
+            edges.push((i, i + n / 2, 25));
+        }
+        KzGraph::new(n as usize, edges)
+    }
+
+    #[test]
+    fn dijkstra_on_a_path() {
+        let g = KzGraph::new(4, vec![(0, 1, 3), (1, 2, 4), (2, 3, 5)]);
+        let d = g.distances_from(0);
+        assert_eq!(d, vec![0, 3, 7, 12]);
+    }
+
+    #[test]
+    fn unreachable_is_max() {
+        let g = KzGraph::new(3, vec![(0, 1, 1)]);
+        let d = g.distances_from(0);
+        assert_eq!(d[2], i64::MAX);
+        // max_distance_change ignores the unreachable pair
+        assert_eq!(g.max_distance_change(&g), 0);
+    }
+
+    #[test]
+    fn scheme_respects_distance_budget() {
+        let g = ring(12);
+        let scheme = KzScheme::build(&g, 2, 11);
+        assert!(scheme.capacity() >= 2, "capacity {}", scheme.capacity());
+        for message in [vec![true; scheme.capacity()], vec![false; scheme.capacity()]] {
+            let marked = scheme.mark(&g, &message);
+            let change = g.max_distance_change(&marked);
+            assert!(change <= 2, "distance change {change}");
+        }
+    }
+
+    #[test]
+    fn mixed_messages_stay_within_budget() {
+        let g = ring(12);
+        let scheme = KzScheme::build(&g, 2, 3);
+        let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 2 == 0).collect();
+        let marked = scheme.mark(&g, &message);
+        assert!(g.max_distance_change(&marked) <= 2);
+    }
+
+    #[test]
+    fn roundtrip_detection() {
+        let g = ring(10);
+        let scheme = KzScheme::build(&g, 3, 5);
+        let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 3 != 0).collect();
+        let marked = scheme.mark(&g, &message);
+        assert_eq!(scheme.detect(&g, &marked), message);
+    }
+
+    #[test]
+    fn weight_one_edges_never_selected() {
+        let g = KzGraph::new(3, vec![(0, 1, 1), (1, 2, 50), (0, 2, 50)]);
+        let scheme = KzScheme::build(&g, 10, 1);
+        let marked = scheme.mark(&g, &vec![false; scheme.capacity()]);
+        assert!(marked.edges().iter().all(|&(_, _, w)| w > 0));
+    }
+}

@@ -1,0 +1,19 @@
+//! Baseline watermarking schemes the paper positions itself against.
+//!
+//! * [`agrawal_kiernan`] — the VLDB 2002 bit-flipping scheme for
+//!   relational data. The paper frames it as "a watermarking that only
+//!   preserves (the mean of) a projection query on each numerical
+//!   attribute, without parameters": it controls aggregate statistics
+//!   experimentally but gives no guarantee on parametric query results.
+//! * [`khanna_zane`] — the SODA 2000 scheme preserving shortest-path
+//!   queries on weighted graphs, the paper's other anchor (and the source
+//!   of its adversarial framework).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agrawal_kiernan;
+pub mod khanna_zane;
+
+pub use agrawal_kiernan::{AkConfig, AkScheme};
+pub use khanna_zane::{KzGraph, KzScheme};

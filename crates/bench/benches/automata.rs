@@ -1,0 +1,80 @@
+//! Criterion: tree-automaton machinery — runs, pebbled answer sets, the
+//! overlay trick, pattern compilation and the Theorem 5 scheme build.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qpwm_core::TreeScheme;
+use qpwm_trees::automaton::{TreeAutomaton, STAR};
+use qpwm_trees::pattern::PatternQuery;
+use qpwm_trees::pebble::{pebbled_symbol, PebbledQuery};
+use qpwm_workloads::xml_gen::{random_binary_tree, random_school};
+use std::hint::black_box;
+
+fn label_one_query() -> PebbledQuery {
+    let mut a = TreeAutomaton::new(2, 0);
+    for base in [0u32, 1] {
+        for bits in 0..4u32 {
+            let sym = pebbled_symbol(base, bits, 2);
+            let hit = base == 1 && bits & 0b10 != 0;
+            for ql in [STAR, 0, 1] {
+                for qr in [STAR, 0, 1] {
+                    let seen = hit || ql == 1 || qr == 1;
+                    a.add_transition(ql, qr, sym, u32::from(seen));
+                }
+            }
+        }
+    }
+    a.set_accepting(1, true);
+    PebbledQuery::new(a, 1)
+}
+
+fn bench_answer_set(c: &mut Criterion) {
+    let q = label_one_query();
+    let mut group = c.benchmark_group("pebbled_answer_set");
+    for n in [500u32, 2_000, 8_000] {
+        let tree = random_binary_tree(n, 2, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(q.answer_set(&tree, &[0])))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tree_scheme_build(c: &mut Criterion) {
+    let q = label_one_query();
+    let mut group = c.benchmark_group("tree_scheme_build");
+    group.sample_size(10);
+    for n in [500u32, 2_000] {
+        let tree = random_binary_tree(n, 2, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(TreeScheme::build(&tree, &q, 2)).capacity())
+        });
+    }
+    group.finish();
+}
+
+fn bench_pattern_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pattern_compile_and_eval");
+    group.sample_size(10);
+    let query = PatternQuery::parse("school/student[firstname=$a]/exam").expect("parses");
+    for students in [100u32, 400] {
+        let doc = random_school(students, &["A", "B", "C"], 1);
+        group.bench_with_input(BenchmarkId::new("compile", students), &students, |b, _| {
+            b.iter(|| black_box(query.compile(&doc)))
+        });
+        let compiled = query.compile(&doc);
+        let binary = doc.tree.to_binary();
+        // a canonical parameter: the first firstname text node
+        let a = doc
+            .nodes_with_tag("firstname")
+            .first()
+            .and_then(|&f| doc.tree.children(f).first().copied())
+            .expect("firstname text");
+        group.bench_with_input(BenchmarkId::new("answer_set", students), &students, |b, _| {
+            b.iter(|| black_box(compiled.answer_set(&binary, &[a])))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_answer_set, bench_tree_scheme_build, bench_pattern_compile);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion: baseline schemes — Agrawal–Kiernan marking/detection and
+//! Khanna–Zane construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qpwm_baselines::agrawal_kiernan::{AkConfig, AkScheme};
+use qpwm_baselines::khanna_zane::{KzGraph, KzScheme};
+use qpwm_structures::Weights;
+use std::hint::black_box;
+
+fn bench_ak(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agrawal_kiernan");
+    for n in [1_000u32, 10_000] {
+        let universe: Vec<Vec<u32>> = (0..n).map(|e| vec![e]).collect();
+        let mut w = Weights::new(1);
+        for e in 0..n {
+            w.set(&[e], 1_000 + e as i64 % 500);
+        }
+        let s = AkScheme::new(AkConfig::default());
+        group.bench_with_input(BenchmarkId::new("mark", n), &n, |b, _| {
+            b.iter(|| black_box(s.mark(&w, &universe)))
+        });
+        let marked = s.mark(&w, &universe);
+        group.bench_with_input(BenchmarkId::new("detect", n), &n, |b, _| {
+            b.iter(|| black_box(s.detect(&marked, &universe)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_kz(c: &mut Criterion) {
+    let mut group = c.benchmark_group("khanna_zane_build");
+    group.sample_size(10);
+    for n in [12u32, 24] {
+        let mut edges = Vec::new();
+        for i in 0..n {
+            edges.push((i, (i + 1) % n, 10));
+        }
+        for i in 0..n / 2 {
+            edges.push((i, i + n / 2, 25));
+        }
+        let g = KzGraph::new(n as usize, edges);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(KzScheme::build(&g, 2, 3)).capacity())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ak, bench_kz);
+criterion_main!(benches);

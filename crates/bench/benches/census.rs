@@ -1,0 +1,38 @@
+//! Criterion: Gaifman graph construction and ρ-neighborhood type
+//! censuses — the combinatorial heart of the Theorem 3 marker.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qpwm_structures::{types::classify_elements, GaifmanGraph};
+use qpwm_workloads::graphs::random_bounded_degree;
+use std::hint::black_box;
+
+fn bench_gaifman(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gaifman_graph");
+    for n in [500u32, 2_000, 8_000] {
+        let s = random_bounded_degree(n, 4, n * 3 / 2, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(GaifmanGraph::of(&s)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_census(c: &mut Criterion) {
+    let mut group = c.benchmark_group("type_census");
+    group.sample_size(10);
+    for n in [500u32, 2_000] {
+        let s = random_bounded_degree(n, 4, n * 3 / 2, 3);
+        let g = GaifmanGraph::of(&s);
+        for rho in [1u32, 2] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("rho{rho}"), n),
+                &n,
+                |b, _| b.iter(|| black_box(classify_elements(&s, &g, rho)).num_types()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gaifman, bench_census);
+criterion_main!(benches);

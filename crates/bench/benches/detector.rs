@@ -1,0 +1,35 @@
+//! Criterion: detector throughput — collecting answers from a server and
+//! extracting the mark.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qpwm_core::detect::HonestServer;
+use qpwm_core::local_scheme::{LocalScheme, LocalSchemeConfig, SelectionStrategy};
+use qpwm_logic::{Formula, ParametricQuery};
+use qpwm_workloads::graphs::{cycle_union, unary_domain, with_random_weights};
+use std::hint::black_box;
+
+fn bench_detect(c: &mut Criterion) {
+    let query = ParametricQuery::new(Formula::atom(0, &[0, 1]), vec![0], vec![1]);
+    let mut group = c.benchmark_group("local_scheme_detect");
+    for cycles in [16u32, 64, 256] {
+        let instance = with_random_weights(cycle_union(cycles, 6, 0), 100, 1_000, 1);
+        let domain = unary_domain(instance.structure());
+        let scheme = LocalScheme::build_over(
+            &instance,
+            &query,
+            domain,
+            &LocalSchemeConfig { rho: 1, d: 1, strategy: SelectionStrategy::Greedy, seed: 7 },
+        )
+        .expect("builds");
+        let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 2 == 0).collect();
+        let marked = scheme.mark(instance.weights(), &message);
+        let server = HonestServer::new(scheme.answers().active_sets().to_vec(), marked);
+        group.bench_with_input(BenchmarkId::from_parameter(cycles * 6), &cycles, |b, _| {
+            b.iter(|| black_box(scheme.detect(instance.weights(), &server)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detect);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion: marker throughput (Theorem 3 scheme construction and
+//! marking) versus instance size and strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qpwm_core::local_scheme::{LocalScheme, LocalSchemeConfig, SelectionStrategy};
+use qpwm_logic::{Formula, ParametricQuery};
+use qpwm_workloads::graphs::{cycle_union, unary_domain, with_random_weights};
+use std::hint::black_box;
+
+fn edge_query() -> ParametricQuery {
+    ParametricQuery::new(Formula::atom(0, &[0, 1]), vec![0], vec![1])
+}
+
+fn bench_scheme_build(c: &mut Criterion) {
+    let query = edge_query();
+    let mut group = c.benchmark_group("local_scheme_build");
+    group.sample_size(10);
+    for cycles in [8u32, 32, 128] {
+        let instance = with_random_weights(cycle_union(cycles, 6, 0), 100, 1_000, 1);
+        let domain = unary_domain(instance.structure());
+        group.bench_with_input(BenchmarkId::new("greedy", cycles * 6), &cycles, |b, _| {
+            b.iter(|| {
+                let config = LocalSchemeConfig {
+                    rho: 1,
+                    d: 1,
+                    strategy: SelectionStrategy::Greedy,
+                    seed: 7,
+                };
+                black_box(
+                    LocalScheme::build_over(&instance, &query, domain.clone(), &config)
+                        .expect("builds"),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sampling", cycles * 6), &cycles, |b, _| {
+            b.iter(|| {
+                let config = LocalSchemeConfig {
+                    rho: 1,
+                    d: 2,
+                    strategy: SelectionStrategy::Sampling { max_retries: 100 },
+                    seed: 7,
+                };
+                black_box(LocalScheme::build_over(&instance, &query, domain.clone(), &config).ok())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_marking(c: &mut Criterion) {
+    let query = edge_query();
+    let instance = with_random_weights(cycle_union(128, 6, 0), 100, 1_000, 1);
+    let domain = unary_domain(instance.structure());
+    let scheme = LocalScheme::build_over(
+        &instance,
+        &query,
+        domain,
+        &LocalSchemeConfig { rho: 1, d: 1, strategy: SelectionStrategy::Greedy, seed: 7 },
+    )
+    .expect("builds");
+    let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 2 == 0).collect();
+    c.bench_function("local_scheme_mark_768_elements", |b| {
+        b.iter(|| black_box(scheme.mark(instance.weights(), &message)))
+    });
+}
+
+criterion_group!(benches, bench_scheme_build, bench_marking);
+criterion_main!(benches);

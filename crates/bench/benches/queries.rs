@@ -1,0 +1,47 @@
+//! Criterion: query evaluation — the conjunctive-query join planner
+//! versus the generic enumerate-and-check evaluator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qpwm_logic::{Formula, ParametricQuery};
+use qpwm_workloads::graphs::random_bounded_degree;
+use std::hint::black_box;
+
+fn edge_formula() -> Formula {
+    Formula::atom(0, &[0, 1])
+}
+
+fn two_hop_formula() -> Formula {
+    Formula::exists(2, Formula::atom(0, &[0, 2]).and(Formula::atom(0, &[2, 1])))
+}
+
+fn bench_answer_sets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("answer_set");
+    for n in [200u32, 1_000, 4_000] {
+        let s = random_bounded_degree(n, 4, n * 3 / 2, 3);
+        for (name, formula) in [("edge", edge_formula()), ("two_hop", two_hop_formula())] {
+            // the planner path (ParametricQuery compiles CQs automatically)
+            let fast = ParametricQuery::new(formula.clone(), vec![0], vec![1]);
+            assert!(fast.has_cq_plan());
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}_join"), n),
+                &n,
+                |b, _| b.iter(|| black_box(fast.answer_set(&s, &[0]))),
+            );
+            // the generic path (wrap in a redundant Or to disable the plan)
+            if n <= 1_000 {
+                let slow =
+                    ParametricQuery::new(formula.clone().or(formula.clone()), vec![0], vec![1]);
+                assert!(!slow.has_cq_plan());
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{name}_generic"), n),
+                    &n,
+                    |b, _| b.iter(|| black_box(slow.answer_set(&s, &[0]))),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_answer_sets);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion: VC-dimension search and exact capacity counting (both
+//! intentionally exponential — Theorem 1 — measured at tractable sizes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qpwm_core::capacity::{Bipartite, CapacityProblem};
+use qpwm_core::impossibility::powerset_active_sets;
+use qpwm_logic::{vc_dimension, SetSystem};
+use qpwm_workloads::graphs::random_bipartite;
+use std::hint::black_box;
+
+fn bench_vc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vc_dimension");
+    for n in [4u32, 6, 8] {
+        let sets = powerset_active_sets(n);
+        let system = SetSystem::from_family(&sets);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(vc_dimension(&system)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_capacity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("count_markings");
+    group.sample_size(10);
+    for n in [4u32, 6] {
+        let sets = powerset_active_sets(n);
+        let p = CapacityProblem::new(&sets);
+        group.bench_with_input(BenchmarkId::new("at_most_1", n), &n, |b, _| {
+            b.iter(|| black_box(p.count_at_most(1)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_permanent(c: &mut Criterion) {
+    let mut group = c.benchmark_group("permanent");
+    group.sample_size(10);
+    for n in [5usize, 7] {
+        let g = Bipartite::new(random_bipartite(n, 0.6, 2));
+        group.bench_with_input(BenchmarkId::new("ryser", n), &n, |b, _| {
+            b.iter(|| black_box(g.permanent()))
+        });
+        group.bench_with_input(BenchmarkId::new("via_marking", n), &n, |b, _| {
+            b.iter(|| black_box(g.matchings_via_marking()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vc, bench_capacity, bench_permanent);
+criterion_main!(benches);

@@ -1,0 +1,147 @@
+//! Experiment X-A1: the adversarial model (Fact 1).
+//!
+//! Sweeps attacker strength against repetition factor: bit-error rate of
+//! the robust detector, the attacker's own realized global distortion d'
+//! (Assumption 1 bounds it), and the false-positive behaviour on an
+//! innocent server (Assumption 2).
+//!
+//! Run with `cargo run --release -p qpwm-bench --bin attacks`.
+
+use qpwm_bench::Table;
+use qpwm_core::adversary::{false_positive_matches, simulate_attack, Attack, RobustScheme};
+use qpwm_core::local_scheme::{LocalScheme, LocalSchemeConfig, SelectionStrategy};
+use qpwm_logic::{Formula, ParametricQuery};
+use qpwm_workloads::graphs::{cycle_union, unary_domain, with_random_weights};
+
+fn main() {
+    let instance = with_random_weights(cycle_union(120, 6, 0), 1_000, 5_000, 5);
+    let query = ParametricQuery::new(Formula::atom(0, &[0, 1]), vec![0], vec![1]);
+    let base = LocalScheme::build_over(
+        &instance,
+        &query,
+        unary_domain(instance.structure()),
+        &LocalSchemeConfig { rho: 1, d: 4, strategy: SelectionStrategy::Greedy, seed: 1 },
+    )
+    .expect("builds");
+    println!(
+        "base scheme: {} pairs over |W| = {}",
+        base.capacity(),
+        base.stats().active_elements
+    );
+    let active_sets = base.answers().active_sets().to_vec();
+
+    // ---- bit errors vs attack strength and repetition -----------------------
+    let mut table = Table::new(vec!["attack", "R=1 err", "R=3 err", "R=7 err", "attacker d'"]);
+    for (name, amp, frac) in [
+        ("noise ±1 @ 10%", 1i64, 0.10),
+        ("noise ±1 @ 30%", 1, 0.30),
+        ("noise ±2 @ 30%", 2, 0.30),
+        ("noise ±2 @ 60%", 2, 0.60),
+        ("noise ±4 @ 80%", 4, 0.80),
+    ] {
+        let mut row: Vec<String> = vec![name.to_owned()];
+        let mut dprime = 0i64;
+        for rep in [1usize, 3, 7] {
+            let scheme = RobustScheme::new(base.marking().clone(), rep);
+            let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 2 == 0).collect();
+            let attack = Attack::UniformNoise { amplitude: amp, fraction: frac };
+            // average over 5 seeds
+            let mut errs = 0usize;
+            for seed in 0..5 {
+                let out = simulate_attack(
+                    &scheme,
+                    instance.weights(),
+                    &active_sets,
+                    &message,
+                    &attack,
+                    seed,
+                );
+                errs += out.bit_errors;
+                dprime = dprime.max(out.attacker_distortion);
+            }
+            row.push(format!("{:.1}/{}", errs as f64 / 5.0, message.len()));
+        }
+        row.push(dprime.to_string());
+        table.row(row);
+    }
+    table.print("X-A1a — bit errors vs attack strength and repetition R");
+
+    // ---- false positives ------------------------------------------------------
+    let mut fp = Table::new(vec!["innocent source", "claimed-bit matches", "of"]);
+    let scheme = RobustScheme::new(base.marking().clone(), 1);
+    let claimed: Vec<bool> = (0..scheme.capacity()).map(|i| i % 2 == 0).collect();
+    for seed in [11u64, 22, 33] {
+        let innocent = with_random_weights(cycle_union(120, 6, 0), 1_000, 5_000, seed);
+        let matches = false_positive_matches(
+            &scheme,
+            instance.weights(),
+            &active_sets,
+            innocent.weights(),
+            &claimed,
+        );
+        fp.row(vec![
+            format!("random weights (seed {seed})"),
+            matches.to_string(),
+            claimed.len().to_string(),
+        ]);
+    }
+    fp.print("X-A1b — false positives: innocent servers match ≈ half the claimed bits");
+
+    // ---- auto-collusion (section 5 motivation) ---------------------------------
+    let mut coll = Table::new(vec!["copies averaged", "bit errors", "of"]);
+    for copies in [1usize, 2, 4] {
+        let scheme = RobustScheme::new(base.marking().clone(), 1);
+        let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 2 == 0).collect();
+        let others: Vec<_> = (0..copies)
+            .map(|c| {
+                let other_msg: Vec<bool> =
+                    (0..scheme.capacity()).map(|i| (i + c) % 3 == 0).collect();
+                scheme.mark(instance.weights(), &other_msg)
+            })
+            .collect();
+        let attack = Attack::Averaging { copies: others };
+        let out = simulate_attack(
+            &scheme,
+            instance.weights(),
+            &active_sets,
+            &message,
+            &attack,
+            3,
+        );
+        coll.row(vec![
+            copies.to_string(),
+            out.bit_errors.to_string(),
+            out.message_bits.to_string(),
+        ]);
+    }
+    coll.print("X-A1c — averaging collusion degrades single-copy marks (section 5)");
+
+    // ---- partial access: detect from a sample of the parameter domain ------
+    use qpwm_core::detect::ObservedWeights;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut partial = Table::new(vec!["queried params", "bits read cleanly", "of", "significance"]);
+    let scheme = RobustScheme::new(base.marking().clone(), 1);
+    let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 2 == 0).collect();
+    let marked = scheme.mark(instance.weights(), &message);
+    let server = qpwm_core::detect::HonestServer::new(active_sets.clone(), marked);
+    let total = active_sets.len();
+    for fraction in [0.05f64, 0.15, 0.4, 1.0] {
+        let sample_size = ((total as f64 * fraction) as usize).max(1);
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut indices: Vec<usize> = (0..total).collect();
+        indices.shuffle(&mut rng);
+        indices.truncate(sample_size);
+        let observed = ObservedWeights::collect_sample(&server, &indices);
+        let report = base.marking().extract(instance.weights(), &observed);
+        let clean = report.scores.iter().filter(|s| s.abs() >= 2).count();
+        partial.row(vec![
+            format!("{sample_size}/{total}"),
+            clean.to_string(),
+            report.bits.len().to_string(),
+            format!("{:.1e}", report.match_significance(&message)),
+        ]);
+    }
+    partial.print("X-A1d — partial access: detection vs number of replayed parameters");
+}

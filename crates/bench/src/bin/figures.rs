@@ -1,0 +1,101 @@
+//! Regenerates the paper's Figures 1–4 as tables (experiments X-F1–X-F4).
+//!
+//! Figure 1: the instance and its radius-1 neighborhood types.
+//! Figure 2: isomorphism types and active weighted elements `W_u`.
+//! Figure 3: the mark `(d:+1, e:−1)` and the distortion it induces.
+//! Figure 4: canonical parameters, classes and the pair marking.
+//!
+//! Run with `cargo run -p qpwm-bench --bin figures`.
+
+use qpwm_bench::Table;
+use qpwm_core::pairing::{classes, s_partition, PairMarking};
+use qpwm_logic::{Formula, ParametricQuery};
+use qpwm_structures::{figure1_instance, GaifmanGraph, NeighborhoodTypes, Weights};
+
+fn main() {
+    let s = figure1_instance();
+    let q = ParametricQuery::new(Formula::atom(0, &[0, 1]), vec![0], vec![1]);
+    let answers = q.answers(&s);
+    let gaifman = GaifmanGraph::of(&s);
+    let census = NeighborhoodTypes::classify(&s, &gaifman, 1, s.universe().map(|e| vec![e]));
+    let name = |e: u32| s.display_element(e);
+
+    // ---- Figure 1: types -------------------------------------------------
+    let mut f1 = Table::new(vec!["u", "degree", "type(u)"]);
+    for e in s.universe() {
+        f1.row(vec![
+            name(e),
+            gaifman.degree(e).to_string(),
+            (census.type_of(&[e]).expect("classified") + 1).to_string(),
+        ]);
+    }
+    f1.print("Figure 1 — instance and neighborhood types (paper: 3 types)");
+
+    // ---- Figure 2: types and active weighted elements --------------------
+    let mut f2 = Table::new(vec!["u", "type(u)", "W_u"]);
+    for e in s.universe() {
+        let set = answers
+            .active_set_of(&[e])
+            .expect("in domain")
+            .iter()
+            .map(|b| name(b[0]))
+            .collect::<Vec<_>>()
+            .join(",");
+        f2.row(vec![
+            name(e),
+            (census.type_of(&[e]).expect("classified") + 1).to_string(),
+            format!("{{{set}}}"),
+        ]);
+    }
+    f2.print("Figure 2 — types and active weighted elements");
+
+    // ---- Figure 3: the (d:+1, e:−1) mark and its distortion ---------------
+    let before = Weights::new(1);
+    let mut after = Weights::new(1);
+    after.set(&[3], 1); // d: +1
+    after.set(&[4], -1); // e: −1
+    let mut f3 = Table::new(vec!["u", "type(u)", "distortion on f(u)"]);
+    for (i, e) in s.universe().enumerate() {
+        let delta = answers.f(&after, i) - answers.f(&before, i);
+        let rendered = match delta.cmp(&0) {
+            std::cmp::Ordering::Greater => format!("+{delta}"),
+            _ => delta.to_string(),
+        };
+        f3.row(vec![
+            name(e),
+            (census.type_of(&[e]).expect("classified") + 1).to_string(),
+            rendered,
+        ]);
+    }
+    f3.print("Figure 3 — mark d:+1 e:-1 (paper: 0 0 +1 0 0 -1)");
+
+    // ---- Figure 4: canonical parameters, classes, pair marking -----------
+    let canonical_sets: Vec<Vec<Vec<u32>>> = (0..census.num_types())
+        .map(|t| answers.active_set_of(census.representative(t)).expect("domain").to_vec())
+        .collect();
+    let active = answers.active_universe();
+    let cls = classes(&active, &canonical_sets);
+    let mut f4a = Table::new(vec!["w", "cl(w)"]);
+    for w in &active {
+        let c = cls[w]
+            .iter()
+            .map(|t| (t + 1).to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        f4a.row(vec![name(w[0]), format!("{{{c}}}")]);
+    }
+    f4a.print("Figure 4a — canonical parameters and classes");
+
+    let pairs = s_partition(&active, &cls);
+    let marking = PairMarking::new(pairs);
+    let mut f4b = Table::new(vec!["pair", "+1", "-1", "max separation"]);
+    for (i, p) in marking.pairs().iter().enumerate() {
+        f4b.row(vec![
+            (i + 1).to_string(),
+            name(p.plus[0]),
+            name(p.minus[0]),
+            marking.max_separation(answers.active_sets()).to_string(),
+        ]);
+    }
+    f4b.print("Figure 4b — S-partition pair marking (paper: pair (a,b), distortion 0)");
+}

@@ -1,0 +1,137 @@
+//! Experiment X-T3: Theorem 3 parameter sweeps.
+//!
+//! Measures, on random bounded-degree instances and regular cycle
+//! unions: hidden bits vs `|W|`, vs the distortion budget `d = 1/ε`, and
+//! vs the Gaifman degree bound `k`; marker wall-clock; and the empirical
+//! success rate of Proposition 2's sampling marker (Definition 2 asks
+//! ≥ 3/4).
+//!
+//! Run with `cargo run --release -p qpwm-bench --bin local_sweep`.
+
+use qpwm_bench::Table;
+use qpwm_core::local_scheme::{LocalScheme, LocalSchemeConfig, SelectionStrategy};
+use qpwm_logic::{Formula, ParametricQuery};
+use qpwm_structures::GaifmanGraph;
+use qpwm_workloads::graphs::{
+    cycle_union, random_bounded_degree, unary_domain, with_random_weights,
+};
+use std::time::Instant;
+
+fn edge_query() -> ParametricQuery {
+    ParametricQuery::new(Formula::atom(0, &[0, 1]), vec![0], vec![1])
+}
+
+fn main() {
+    let query = edge_query();
+
+    // ---- bits vs |W| (regular instances, d = 1) --------------------------
+    let mut size = Table::new(vec!["|W|", "candidates", "bits", "bits/|W|", "marker ms"]);
+    for cycles in [8u32, 32, 128, 512, 2048] {
+        let instance = with_random_weights(cycle_union(cycles, 6, 0), 100, 1_000, 1);
+        let domain = unary_domain(instance.structure());
+        let start = Instant::now();
+        let scheme = LocalScheme::build_over(
+            &instance,
+            &query,
+            domain,
+            &LocalSchemeConfig { rho: 1, d: 1, strategy: SelectionStrategy::Greedy, seed: 7 },
+        )
+        .expect("regular instances pair");
+        let ms = start.elapsed().as_millis();
+        let w = scheme.stats().active_elements;
+        size.row(vec![
+            w.to_string(),
+            scheme.stats().candidate_pairs.to_string(),
+            scheme.capacity().to_string(),
+            format!("{:.2}", scheme.capacity() as f64 / w as f64),
+            ms.to_string(),
+        ]);
+    }
+    size.print("X-T3a — capacity vs |W| (6-cycles, d = 1, greedy)");
+
+    // ---- bits vs d (fixed instance) ---------------------------------------
+    let instance = with_random_weights(random_bounded_degree(600, 4, 900, 3), 100, 1_000, 3);
+    let domain = unary_domain(instance.structure());
+    let mut vs_d = Table::new(vec!["d = 1/eps", "bits", "max separation"]);
+    for d in [1u64, 2, 3, 4, 6, 8] {
+        match LocalScheme::build_over(
+            &instance,
+            &query,
+            domain.clone(),
+            &LocalSchemeConfig { rho: 1, d, strategy: SelectionStrategy::Greedy, seed: 5 },
+        ) {
+            Ok(scheme) => {
+                vs_d.row(vec![
+                    d.to_string(),
+                    scheme.capacity().to_string(),
+                    scheme.stats().max_separation.to_string(),
+                ]);
+            }
+            Err(e) => {
+                vs_d.row(vec![d.to_string(), format!("({e})"), "-".to_string()]);
+            }
+        }
+    }
+    vs_d.print("X-T3b — capacity vs distortion budget (random degree ≤ 4, n = 600)");
+
+    // ---- bits vs degree bound k -------------------------------------------
+    let mut vs_k = Table::new(vec!["k", "realized k", "ntp(1)", "bits", "eta = k^3"]);
+    for k in [2u32, 3, 4, 6, 8] {
+        let structure = random_bounded_degree(400, k, 400 * k / 2, 9);
+        let realized = GaifmanGraph::of(&structure).max_degree();
+        let instance = with_random_weights(structure, 100, 1_000, 9);
+        let domain = unary_domain(instance.structure());
+        match LocalScheme::build_over(
+            &instance,
+            &query,
+            domain,
+            &LocalSchemeConfig { rho: 1, d: 2, strategy: SelectionStrategy::Greedy, seed: 2 },
+        ) {
+            Ok(scheme) => {
+                vs_k.row(vec![
+                    k.to_string(),
+                    realized.to_string(),
+                    scheme.stats().num_types.to_string(),
+                    scheme.capacity().to_string(),
+                    (realized as u64).pow(3).to_string(),
+                ]);
+            }
+            Err(e) => {
+                vs_k.row(vec![k.to_string(), realized.to_string(), "-".into(), format!("({e})"), "-".into()]);
+            }
+        }
+    }
+    vs_k.print("X-T3c — capacity vs Gaifman degree bound (n = 400, d = 2)");
+
+    // ---- Proposition 2: sampling success rate -------------------------------
+    let instance = with_random_weights(cycle_union(40, 6, 0), 100, 1_000, 4);
+    let domain = unary_domain(instance.structure());
+    let mut succ = Table::new(vec!["d", "attempts (100 seeds)", "success rate", "mean bits"]);
+    for d in [1u64, 2, 4] {
+        let mut ok = 0u32;
+        let mut bits = 0usize;
+        let mut attempts = 0u64;
+        for seed in 0..100 {
+            let config = LocalSchemeConfig {
+                rho: 1,
+                d,
+                strategy: SelectionStrategy::Sampling { max_retries: 1 },
+                seed,
+            };
+            if let Ok(s) = LocalScheme::build_over(&instance, &query, domain.clone(), &config) {
+                ok += 1;
+                bits += s.capacity();
+                attempts += u64::from(s.stats().attempts);
+            } else {
+                attempts += 1;
+            }
+        }
+        succ.row(vec![
+            d.to_string(),
+            attempts.to_string(),
+            format!("{:.2}", ok as f64 / 100.0),
+            format!("{:.1}", if ok > 0 { bits as f64 / ok as f64 } else { 0.0 }),
+        ]);
+    }
+    succ.print("X-T3d — Prop. 2 single-shot sampling success (Definition 2 needs ≥ 0.75)");
+}

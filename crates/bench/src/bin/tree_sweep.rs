@@ -1,0 +1,181 @@
+//! Experiment X-T5: Theorem 5 parameter sweeps on trees/XML.
+//!
+//! Measures capacity vs `|W|` (Lemma 3 predicts ≈ `|W|/4m` pairs), vs the
+//! automaton's state count `m`, and the per-query distortion bound
+//! (Theorem 5: ≤ 1); plus the end-to-end school pipeline (pattern
+//! compile → scheme → mark → detect) at growing document sizes.
+//!
+//! Run with `cargo run --release -p qpwm-bench --bin tree_sweep`.
+
+use qpwm_bench::Table;
+use qpwm_core::detect::HonestServer;
+use qpwm_core::TreeScheme;
+use qpwm_trees::automaton::{BottomUpAutomaton, TreeAutomaton, STAR};
+use qpwm_trees::pattern::PatternQuery;
+use qpwm_trees::pebble::{pebbled_symbol, PebbledQuery};
+use qpwm_trees::xml::XmlDocument;
+use qpwm_workloads::xml_gen::{random_binary_tree, random_node_weights, random_school, school_weights};
+use std::time::Instant;
+
+/// A counting-mod-m automaton: state = (#marked-label nodes below) mod m,
+/// accepting when the output pebble sits on label 1 — gives tunable m
+/// while every node stays active.
+fn mod_m_query(m: u32) -> PebbledQuery {
+    let mut a = TreeAutomaton::new(m + 1, 0);
+    let hit_state = m; // sticky "pebble seen on label 1"
+    for base in [0u32, 1] {
+        for bits in 0..4u32 {
+            let sym = pebbled_symbol(base, bits, 2);
+            let b_here = bits & 0b10 != 0 && base == 1;
+            for ql in 0..=m {
+                for qr in 0..=m {
+                    for (l, r) in [(ql, qr), (ql, STAR), (STAR, qr), (STAR, STAR)] {
+                        let seen = l == hit_state || r == hit_state || b_here;
+                        let count = |q: u32| if q == STAR || q == hit_state { 0 } else { q };
+                        let next = if seen {
+                            hit_state
+                        } else {
+                            (count(l) + count(r) + base) % m
+                        };
+                        a.add_transition(l, r, sym, next);
+                    }
+                }
+            }
+        }
+    }
+    a.set_accepting(hit_state, true);
+    PebbledQuery::new(a, 1)
+}
+
+fn canonical_parameters(doc: &XmlDocument) -> Vec<Vec<u32>> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for f in doc.nodes_with_tag("firstname") {
+        if let Some(&t) = doc.tree.children(f).first() {
+            if seen.insert(doc.tree.label(t)) {
+                out.push(vec![t]);
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    // ---- capacity vs |W| at fixed m ---------------------------------------
+    let mut vs_w = Table::new(vec!["nodes", "|W|", "m", "blocks", "bits", "|W|/4m"]);
+    for n in [200u32, 400, 800, 1_600, 3_200] {
+        let tree = random_binary_tree(n, 2, 5);
+        let q = mod_m_query(3);
+        let scheme = TreeScheme::build(&tree, &q, 2);
+        let s = scheme.stats();
+        vs_w.row(vec![
+            n.to_string(),
+            s.active_nodes.to_string(),
+            s.num_states.to_string(),
+            s.blocks.to_string(),
+            scheme.capacity().to_string(),
+            (s.active_nodes / (4 * s.num_states as usize)).to_string(),
+        ]);
+    }
+    vs_w.print("X-T5a — capacity vs |W| (random binary trees, m = 4)");
+
+    // ---- capacity vs m at fixed size ---------------------------------------
+    let tree = random_binary_tree(2_000, 2, 6);
+    let mut vs_m = Table::new(vec!["m", "blocks", "bits", "|W|/4m", "max transforms"]);
+    for m in [2u32, 3, 5, 8, 12] {
+        let q = mod_m_query(m);
+        let scheme = TreeScheme::build(&tree, &q, 2);
+        let s = scheme.stats();
+        vs_m.row(vec![
+            s.num_states.to_string(),
+            s.blocks.to_string(),
+            scheme.capacity().to_string(),
+            (s.active_nodes / (4 * s.num_states as usize)).to_string(),
+            s.max_transformations.to_string(),
+        ]);
+    }
+    vs_m.print("X-T5b — capacity vs automaton states m (2000-node tree)");
+
+    // ---- distortion audit: Theorem 5's ≤ 1 bound ----------------------------
+    let mut audit = Table::new(vec!["nodes", "bits", "max local", "max global (<=1)"]);
+    for n in [300u32, 900] {
+        let tree = random_binary_tree(n, 2, 8);
+        let q = mod_m_query(3);
+        let scheme = TreeScheme::build(&tree, &q, 2);
+        let w = random_node_weights(&tree, 100, 1_000, 8);
+        let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 2 == 0).collect();
+        let marked = scheme.mark(&w, &message);
+        let report = scheme.audit(&w, &marked);
+        audit.row(vec![
+            n.to_string(),
+            scheme.capacity().to_string(),
+            report.max_local.to_string(),
+            report.max_global.to_string(),
+        ]);
+    }
+    audit.print("X-T5c — Theorem 5 distortion bound");
+
+    // ---- end-to-end XML pipeline --------------------------------------------
+    let names = ["Robert", "John", "Ana", "Wei"];
+    let mut xml = Table::new(vec![
+        "students",
+        "m",
+        "|W|",
+        "bits",
+        "build ms",
+        "detect ok",
+    ]);
+    for students in [250u32, 1_000, 4_000, 16_000] {
+        let doc = random_school(students, &names, 7);
+        let query = PatternQuery::parse("school/student[firstname=$a]/exam").expect("parses");
+        let compiled = query.compile(&doc);
+        let binary = doc.tree.to_binary();
+        let weights = school_weights(&doc);
+        let start = Instant::now();
+        let scheme = TreeScheme::build_over(&binary, &compiled, 2, canonical_parameters(&doc));
+        let ms = start.elapsed().as_millis();
+        let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 3 == 0).collect();
+        let marked = scheme.mark(&weights, &message);
+        let server = HonestServer::new(scheme.active_sets(), marked);
+        let ok = scheme.detect(&weights, &server).bits == message;
+        xml.row(vec![
+            students.to_string(),
+            compiled.automaton().num_states().to_string(),
+            scheme.stats().active_nodes.to_string(),
+            scheme.capacity().to_string(),
+            ms.to_string(),
+            ok.to_string(),
+        ]);
+    }
+    xml.print("X-T5d — XML school pipeline (pattern -> automaton -> scheme)");
+
+    // ---- ablation: block threshold vs capacity -------------------------------
+    // The paper's 2m threshold is the pigeonhole guarantee; real automata
+    // collide much sooner. Smaller blocks multiply capacity at zero
+    // soundness cost (audited).
+    let doc = random_school(2_000, &names, 7);
+    let query = PatternQuery::parse("school/student[firstname=$a]/exam").expect("parses");
+    let compiled = query.compile(&doc);
+    let binary = doc.tree.to_binary();
+    let weights = school_weights(&doc);
+    let m = compiled.automaton().num_states() as usize;
+    let mut ab = Table::new(vec!["threshold", "blocks", "bits", "max global (<=1)"]);
+    for threshold in [2 * m, m, 64, 16, 4] {
+        let scheme = TreeScheme::build_with_threshold(
+            &binary,
+            &compiled,
+            threshold,
+            canonical_parameters(&doc),
+        );
+        let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 2 == 0).collect();
+        let marked = scheme.mark(&weights, &message);
+        let audit = scheme.audit(&weights, &marked);
+        ab.row(vec![
+            threshold.to_string(),
+            scheme.stats().blocks.to_string(),
+            scheme.capacity().to_string(),
+            audit.max_global.to_string(),
+        ]);
+    }
+    ab.print("X-T5e — ablation: block threshold vs capacity (2000 students, 2m = paper)");
+}

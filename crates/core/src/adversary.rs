@@ -1,0 +1,459 @@
+//! The adversarial model: attacks and the Khanna–Zane robustness
+//! transform (Fact 1).
+//!
+//! Under *bounded distortion* (the attacker must keep the data useful:
+//! global distortion ≤ d') and *limited knowledge* (the attacker does not
+//! know which weights carry the mark), a non-adversarial scheme becomes
+//! adversarial by redundancy: [`RobustScheme`] spreads each message bit
+//! over `R` pairs and decodes by majority. An attacker flipping random
+//! weights within a d'-budget corrupts each pair with probability
+//! shrinking in `|W|`, so the majority survives — exactly the paper's
+//! "robustness by lack of knowledge, not computational hardness".
+//!
+//! [`Attack`] implements the attacker strategies the experiments measure:
+//! uniform noise, rounding, biased shifts, and the averaging
+//! auto-collusion of Section 5.
+
+use crate::detect::{AnswerServer, DetectionReport, HonestServer, ObservedWeights};
+use crate::pairing::PairMarking;
+use qpwm_structures::{Element, Weights};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Attacker strategies (all operate on the weights the server will
+/// serve; the attacker never learns the original weights or the pair
+/// positions — the *limited knowledge* assumption).
+#[derive(Debug, Clone)]
+pub enum Attack {
+    /// Add an independent uniform integer in `[-amplitude, amplitude]`
+    /// to each active weight with probability `fraction`.
+    UniformNoise {
+        /// Maximum per-weight shift.
+        amplitude: i64,
+        /// Fraction of weights touched.
+        fraction: f64,
+    },
+    /// Round every weight to the nearest multiple of `granularity` —
+    /// a natural "cleanup" a malicious server might run.
+    Rounding {
+        /// Rounding step (≥ 1).
+        granularity: i64,
+    },
+    /// Add the same `delta` to every weight (defeated by differential
+    /// detection; included as a baseline attack).
+    ConstantShift {
+        /// The shift.
+        delta: i64,
+    },
+    /// Average several differently-marked copies (auto-collusion,
+    /// Section 5): the attacker obtained `copies` versions and serves
+    /// the rounded mean.
+    Averaging {
+        /// The other copies' weights.
+        copies: Vec<Weights>,
+    },
+}
+
+impl Attack {
+    /// Applies the attack to `weights` over the given active tuples.
+    pub fn apply(&self, weights: &Weights, active: &[Vec<Element>], seed: u64) -> Weights {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = weights.clone();
+        match self {
+            Attack::UniformNoise { amplitude, fraction } => {
+                for key in active {
+                    if rng.gen::<f64>() < *fraction {
+                        let delta = rng.gen_range(-*amplitude..=*amplitude);
+                        out.add(key, delta);
+                    }
+                }
+            }
+            Attack::Rounding { granularity } => {
+                let g = (*granularity).max(1);
+                for key in active {
+                    let w = out.get(key);
+                    let rounded = ((w + g / 2).div_euclid(g)) * g;
+                    out.set(key, rounded);
+                }
+            }
+            Attack::ConstantShift { delta } => {
+                for key in active {
+                    out.add(key, *delta);
+                }
+            }
+            Attack::Averaging { copies } => {
+                for key in active {
+                    let mut sum = out.get(key);
+                    for c in copies {
+                        sum += c.get(key);
+                    }
+                    let n = copies.len() as i64 + 1;
+                    out.set(key, (sum + n / 2).div_euclid(n));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A server that *censors*: answers every query but drops a fraction of
+/// each answer set (hoping to starve the detector of mark carriers).
+/// Dropped tuples are chosen pseudo-randomly per tuple, so the same
+/// tuple is consistently present or absent across queries.
+pub struct CensoringServer<S> {
+    inner: S,
+    /// Keep a tuple iff `hash(tuple, seed) mod 100 >= drop_percent`.
+    drop_percent: u32,
+    seed: u64,
+}
+
+impl<S: AnswerServer> CensoringServer<S> {
+    /// Wraps a server, dropping ≈`drop_percent`% of answer tuples.
+    pub fn new(inner: S, drop_percent: u32, seed: u64) -> Self {
+        CensoringServer { inner, drop_percent: drop_percent.min(100), seed }
+    }
+
+    fn keeps(&self, tuple: &[Element]) -> bool {
+        let mut h = self.seed;
+        for &e in tuple {
+            h ^= u64::from(e).wrapping_add(0x9E37_79B9_7F4A_7C15);
+            h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            h ^= h >> 31;
+        }
+        (h % 100) as u32 >= self.drop_percent
+    }
+}
+
+impl<S: AnswerServer> AnswerServer for CensoringServer<S> {
+    fn num_parameters(&self) -> usize {
+        self.inner.num_parameters()
+    }
+
+    fn answer(&self, i: usize) -> Vec<(Vec<Element>, i64)> {
+        self.inner
+            .answer(i)
+            .into_iter()
+            .filter(|(tuple, _)| self.keeps(tuple))
+            .collect()
+    }
+}
+
+/// A server that *lies inconsistently*: it perturbs each answer's weight
+/// depending on the query parameter, so the same tuple gets different
+/// weights in different answers. `ObservedWeights` flags exactly this.
+pub struct LyingServer<S> {
+    inner: S,
+}
+
+impl<S: AnswerServer> LyingServer<S> {
+    /// Wraps a server with per-parameter lies.
+    pub fn new(inner: S) -> Self {
+        LyingServer { inner }
+    }
+}
+
+impl<S: AnswerServer> AnswerServer for LyingServer<S> {
+    fn num_parameters(&self) -> usize {
+        self.inner.num_parameters()
+    }
+
+    fn answer(&self, i: usize) -> Vec<(Vec<Element>, i64)> {
+        self.inner
+            .answer(i)
+            .into_iter()
+            .map(|(tuple, w)| (tuple, w + (i as i64 % 3) - 1))
+            .collect()
+    }
+}
+
+/// A robust (adversarial-model) scheme: `R`-fold repetition over a base
+/// pair marking with majority decoding.
+#[derive(Debug, Clone)]
+pub struct RobustScheme {
+    marking: PairMarking,
+    repetition: usize,
+}
+
+impl RobustScheme {
+    /// Wraps a base marking; capacity drops to
+    /// `⌊pairs / repetition⌋` bits.
+    ///
+    /// # Panics
+    /// Panics if `repetition` is zero.
+    pub fn new(marking: PairMarking, repetition: usize) -> Self {
+        assert!(repetition > 0, "repetition factor must be positive");
+        RobustScheme { marking, repetition }
+    }
+
+    /// Message capacity in bits.
+    pub fn capacity(&self) -> usize {
+        self.marking.capacity() / self.repetition
+    }
+
+    /// The repetition factor `R`.
+    pub fn repetition(&self) -> usize {
+        self.repetition
+    }
+
+    /// Expands `message` to the repeated pair-level bit vector.
+    fn expand(&self, message: &[bool]) -> Vec<bool> {
+        let mut bits = Vec::with_capacity(message.len() * self.repetition);
+        for &b in message {
+            bits.extend(std::iter::repeat_n(b, self.repetition));
+        }
+        bits
+    }
+
+    /// Marker: embeds `message` with repetition.
+    ///
+    /// # Panics
+    /// Panics if the message exceeds [`RobustScheme::capacity`].
+    pub fn mark(&self, weights: &Weights, message: &[bool]) -> Weights {
+        assert!(message.len() <= self.capacity(), "message exceeds capacity");
+        self.marking.apply(weights, &self.expand(message))
+    }
+
+    /// Detector: majority-decodes each message bit from its `R` pairs.
+    /// `scores[i]` is the summed pair score (≥ 0 leans 1); the decision
+    /// threshold is 0.
+    pub fn detect(&self, original: &Weights, server: &dyn AnswerServer) -> DetectionReport {
+        let observed = ObservedWeights::collect(server);
+        let raw = self.marking.extract(original, &observed);
+        let capacity = self.capacity();
+        let mut bits = Vec::with_capacity(capacity);
+        let mut scores = Vec::with_capacity(capacity);
+        for chunk in raw.scores.chunks(self.repetition).take(capacity) {
+            let total: i64 = chunk.iter().sum();
+            scores.push(total);
+            bits.push(total > 0);
+        }
+        DetectionReport { bits, scores, missing_pairs: raw.missing_pairs }
+    }
+}
+
+/// Outcome of simulating one attack against a robust scheme.
+#[derive(Debug, Clone)]
+pub struct AttackOutcome {
+    /// Bit errors after majority decoding.
+    pub bit_errors: usize,
+    /// Message length.
+    pub message_bits: usize,
+    /// The global distortion the attack actually inflicted on query
+    /// results (the attacker's d' — Assumption 1 bounds it).
+    pub attacker_distortion: i64,
+}
+
+/// Runs a full mark → attack → detect experiment.
+pub fn simulate_attack(
+    scheme: &RobustScheme,
+    original: &Weights,
+    active_sets: &[Vec<Vec<Element>>],
+    message: &[bool],
+    attack: &Attack,
+    seed: u64,
+) -> AttackOutcome {
+    let marked = scheme.mark(original, message);
+    let active: Vec<Vec<Element>> = {
+        let mut set: std::collections::BTreeSet<Vec<Element>> = std::collections::BTreeSet::new();
+        for s in active_sets {
+            set.extend(s.iter().cloned());
+        }
+        set.into_iter().collect()
+    };
+    let attacked = attack.apply(&marked, &active, seed);
+    let attacker_distortion =
+        qpwm_structures::global_distortion(&marked, &attacked, active_sets).max_global;
+    let server = HonestServer::new(active_sets.to_vec(), attacked);
+    let report = scheme.detect(original, &server);
+    AttackOutcome {
+        bit_errors: report.errors_against(message),
+        message_bits: message.len(),
+        attacker_distortion,
+    }
+}
+
+/// False-positive check: run the detector against an *innocent* server
+/// whose data was never marked; returns how many bits happened to match
+/// `claimed` (≈ half for honest randomness — the paper's Assumption 2
+/// scenario of a server using similar data from another source).
+pub fn false_positive_matches(
+    scheme: &RobustScheme,
+    original: &Weights,
+    active_sets: &[Vec<Vec<Element>>],
+    innocent: &Weights,
+    claimed: &[bool],
+) -> usize {
+    let server = HonestServer::new(active_sets.to_vec(), innocent.clone());
+    let report = scheme.detect(original, &server);
+    claimed.len() - report.errors_against(claimed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairing::Pair;
+
+    fn key(e: u32) -> Vec<Element> {
+        vec![e]
+    }
+
+    /// 24 pairs over 48 weights, one big active set exposing everything,
+    /// plus singleton sets (so noise shows up as global distortion).
+    fn setup() -> (PairMarking, Weights, Vec<Vec<Vec<Element>>>) {
+        let pairs: Vec<Pair> = (0..24)
+            .map(|i| Pair { plus: key(2 * i), minus: key(2 * i + 1) })
+            .collect();
+        let mut w = Weights::new(1);
+        for e in 0..48u32 {
+            w.set(&[e], 1_000 + e as i64);
+        }
+        let mut sets: Vec<Vec<Vec<Element>>> = vec![(0..48).map(key).collect()];
+        for e in 0..48 {
+            sets.push(vec![key(e)]);
+        }
+        (PairMarking::new(pairs), w, sets)
+    }
+
+    #[test]
+    fn robust_scheme_capacity() {
+        let (marking, _, _) = setup();
+        let scheme = RobustScheme::new(marking, 3);
+        assert_eq!(scheme.capacity(), 8);
+        assert_eq!(scheme.repetition(), 3);
+    }
+
+    #[test]
+    fn clean_roundtrip_with_repetition() {
+        let (marking, w, sets) = setup();
+        let scheme = RobustScheme::new(marking, 3);
+        let message: Vec<bool> = (0..8).map(|i| i % 2 == 1).collect();
+        let marked = scheme.mark(&w, &message);
+        let server = HonestServer::new(sets, marked);
+        let report = scheme.detect(&w, &server);
+        assert_eq!(report.bits, message);
+        // scores are ±2 per pair, 3 pairs per bit
+        assert!(report.scores.iter().all(|s| s.abs() == 6));
+    }
+
+    #[test]
+    fn survives_sparse_noise() {
+        let (marking, w, sets) = setup();
+        let scheme = RobustScheme::new(marking, 3);
+        let message: Vec<bool> = (0..8).map(|i| i % 3 == 0).collect();
+        let attack = Attack::UniformNoise { amplitude: 1, fraction: 0.2 };
+        let outcome = simulate_attack(&scheme, &w, &sets, &message, &attack, 99);
+        assert!(
+            outcome.bit_errors <= 1,
+            "errors {} with distortion {}",
+            outcome.bit_errors,
+            outcome.attacker_distortion
+        );
+    }
+
+    #[test]
+    fn constant_shift_is_harmless() {
+        // Differential detection cancels constant shifts entirely.
+        let (marking, w, sets) = setup();
+        let scheme = RobustScheme::new(marking, 1);
+        let message: Vec<bool> = (0..24).map(|i| i % 2 == 0).collect();
+        let attack = Attack::ConstantShift { delta: 7 };
+        let outcome = simulate_attack(&scheme, &w, &sets, &message, &attack, 1);
+        assert_eq!(outcome.bit_errors, 0);
+    }
+
+    #[test]
+    fn heavy_rounding_erases_the_mark() {
+        // Rounding to multiples of 100 wipes ±1 marks: detection fails,
+        // but the attacker's own distortion blows through any sane d' —
+        // Assumption 1 is what rules this out.
+        let (marking, w, sets) = setup();
+        let scheme = RobustScheme::new(marking, 1);
+        // Alternating message: rounding collapses pair members into the
+        // same bucket, so every bit decodes from the members' *original*
+        // offset instead of the mark — the false bits all flip.
+        let message: Vec<bool> = (0..24).map(|i| i % 2 == 0).collect();
+        let attack = Attack::Rounding { granularity: 100 };
+        let outcome = simulate_attack(&scheme, &w, &sets, &message, &attack, 1);
+        assert!(outcome.bit_errors >= 6, "errors {}", outcome.bit_errors);
+        assert!(outcome.attacker_distortion > 10);
+    }
+
+    #[test]
+    fn averaging_collusion_degrades_detection() {
+        let (marking, w, sets) = setup();
+        let scheme = RobustScheme::new(marking.clone(), 1);
+        let message: Vec<bool> = (0..24).map(|i| i % 2 == 0).collect();
+        let inverse: Vec<bool> = message.iter().map(|b| !b).collect();
+        let other_copy = scheme.mark(&w, &inverse);
+        let attack = Attack::Averaging { copies: vec![other_copy] };
+        let outcome = simulate_attack(&scheme, &w, &sets, &message, &attack, 1);
+        // Averaging a copy with the inverse message canels every pair
+        // delta; with rounding ties the detector is near chance.
+        assert!(outcome.bit_errors >= 8, "errors {}", outcome.bit_errors);
+    }
+
+    #[test]
+    fn false_positives_sit_near_half() {
+        let (marking, w, sets) = setup();
+        let scheme = RobustScheme::new(marking, 1);
+        // innocent server: same structure, weights from another "source"
+        let mut innocent = Weights::new(1);
+        for e in 0..48u32 {
+            innocent.set(&[e], 1_000 + e as i64 + ((e * 7919) % 5) as i64 - 2);
+        }
+        let claimed = vec![true; 24];
+        let matches = false_positive_matches(&scheme, &w, &sets, &innocent, &claimed);
+        // not a perfect match — an innocent server does not "contain" the
+        // full mark
+        assert!(matches < 24, "matches {matches}");
+    }
+
+    #[test]
+    fn censoring_server_starves_pairs_but_detection_survives_partially() {
+        let (marking, w, sets) = setup();
+        let scheme = RobustScheme::new(marking, 1);
+        let message: Vec<bool> = (0..24).map(|i| i % 2 == 0).collect();
+        let marked = scheme.mark(&w, &message);
+        let honest = HonestServer::new(sets, marked);
+        let censoring = CensoringServer::new(honest, 40, 7);
+        let report = scheme.detect(&w, &censoring);
+        // some pairs disappear entirely, but the surviving clean reads
+        // still decode their bits correctly
+        assert!(report.missing_pairs > 0, "censoring had no effect");
+        let mut correct_clean = 0;
+        for ((score, bit), expected) in
+            report.scores.iter().zip(&report.bits).zip(&message)
+        {
+            if score.abs() >= 2 {
+                assert_eq!(bit, expected);
+                correct_clean += 1;
+            }
+        }
+        assert!(correct_clean >= 4, "clean reads {correct_clean}");
+    }
+
+    #[test]
+    fn lying_servers_are_flagged() {
+        use crate::detect::ObservedWeights;
+        let (marking, w, sets) = setup();
+        let scheme = RobustScheme::new(marking, 1);
+        let message: Vec<bool> = (0..24).map(|i| i % 2 == 1).collect();
+        let marked = scheme.mark(&w, &message);
+        // the big set plus singletons means every tuple appears in ≥ 2
+        // answers with different parameter indices -> lies conflict
+        let liar = LyingServer::new(HonestServer::new(sets, marked));
+        let observed = ObservedWeights::collect(&liar);
+        assert!(
+            !observed.inconsistencies.is_empty(),
+            "inconsistent answers must be flagged"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "message exceeds capacity")]
+    fn overlong_messages_rejected() {
+        let (marking, w, _) = setup();
+        let scheme = RobustScheme::new(marking, 24);
+        let _ = scheme.mark(&w, &[true, false]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Aggregate functions beyond sum.
+//!
+//! After Definition 1 the paper notes that "the sum function can be
+//! replaced by mean, min or max without modifying the positive results".
+//! This module makes that claim checkable: it audits a marking under
+//! each aggregate and exposes the (easy) theory behind it —
+//!
+//! * **sum**: a separated pair contributes ±1, so distortion ≤ the
+//!   separation count (the quantity the markers bound by `d`);
+//! * **mean**: `|Δmean| = |Δsum| / |W_ā| ≤ Δsum` (answer sets keep their
+//!   size: marking never adds or removes tuples);
+//! * **min / max**: every weight moves by at most the local bound `c`,
+//!   and an extremum of values each moving ≤ c moves ≤ c — so 1-local
+//!   markings distort min/max by ≤ 1 *regardless* of the pair structure.
+
+use qpwm_structures::distortion::Aggregate;
+use qpwm_structures::{Element, Weights};
+
+/// Distortion of one aggregate over a family of active sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggregateAudit {
+    /// The aggregate audited.
+    pub aggregate: &'static str,
+    /// `max |agg(before) − agg(after)|` over the family.
+    pub max_distortion: i64,
+}
+
+/// Audits a marking under sum, mean, min and max at once.
+pub fn audit_all(
+    before: &Weights,
+    after: &Weights,
+    active_sets: &[Vec<Vec<Element>>],
+) -> Vec<AggregateAudit> {
+    [
+        ("sum", Aggregate::Sum),
+        ("mean", Aggregate::Mean),
+        ("min", Aggregate::Min),
+        ("max", Aggregate::Max),
+    ]
+    .into_iter()
+    .map(|(name, agg)| {
+        let max_distortion = active_sets
+            .iter()
+            .map(|set| (agg.apply(before, set) - agg.apply(after, set)).abs())
+            .max()
+            .unwrap_or(0);
+        AggregateAudit { aggregate: name, max_distortion }
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local_scheme::{LocalScheme, LocalSchemeConfig, SelectionStrategy};
+    use qpwm_logic::{Formula, ParametricQuery};
+    use qpwm_structures::{Schema, StructureBuilder, WeightedStructure};
+    use std::sync::Arc;
+
+    fn cycles_instance() -> WeightedStructure {
+        let schema = Arc::new(Schema::graph());
+        let mut b = StructureBuilder::new(schema, 36);
+        for c in 0..6u32 {
+            let base = c * 6;
+            for i in 0..6 {
+                let u = base + i;
+                let v = base + (i + 1) % 6;
+                b.add(0, &[u, v]);
+                b.add(0, &[v, u]);
+            }
+        }
+        let s = b.build();
+        let mut w = Weights::new(1);
+        for e in s.universe() {
+            w.set(&[e], 100 + (e as i64 * 13) % 40);
+        }
+        WeightedStructure::new(s, w)
+    }
+
+    #[test]
+    fn all_aggregates_bounded_for_scheme_markings() {
+        let instance = cycles_instance();
+        let query = ParametricQuery::new(Formula::atom(0, &[0, 1]), vec![0], vec![1]);
+        let scheme = LocalScheme::build(
+            &instance,
+            &query,
+            &LocalSchemeConfig { rho: 1, d: 1, strategy: SelectionStrategy::Greedy, seed: 3 },
+        )
+        .expect("builds");
+        let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 2 == 0).collect();
+        let marked = scheme.mark(instance.weights(), &message);
+        let audits = audit_all(instance.weights(), &marked, scheme.answers().active_sets());
+        for audit in &audits {
+            // sum bounded by d = 1; mean ≤ sum; min/max ≤ local bound 1.
+            assert!(audit.max_distortion <= 1, "{}: {}", audit.aggregate, audit.max_distortion);
+        }
+    }
+
+    #[test]
+    fn min_max_bounded_even_when_sum_is_not() {
+        // A deliberately bad (non-scheme) marking: +1 on three weights of
+        // one set. Sum moves by 3; min and max still move ≤ 1.
+        let mut before = Weights::new(1);
+        for e in 0..3u32 {
+            before.set(&[e], 10 + e as i64);
+        }
+        let mut after = before.clone();
+        for e in 0..3u32 {
+            after.add(&[e], 1);
+        }
+        let sets = vec![vec![vec![0u32], vec![1], vec![2]]];
+        let audits = audit_all(&before, &after, &sets);
+        let get = |name: &str| {
+            audits
+                .iter()
+                .find(|a| a.aggregate == name)
+                .expect("audited")
+                .max_distortion
+        };
+        assert_eq!(get("sum"), 3);
+        assert_eq!(get("mean"), 1);
+        assert_eq!(get("min"), 1);
+        assert_eq!(get("max"), 1);
+    }
+
+    #[test]
+    fn mean_distortion_divides_by_set_size() {
+        // one pair separated by a 4-element set: sum moves 1, mean (integer
+        // division) moves 0.
+        let mut before = Weights::new(1);
+        for e in 0..4u32 {
+            before.set(&[e], 100);
+        }
+        let mut after = before.clone();
+        after.add(&[0], 1);
+        let sets = vec![(0..4u32).map(|e| vec![e]).collect::<Vec<_>>()];
+        let audits = audit_all(&before, &after, &sets);
+        assert_eq!(audits[0].max_distortion, 1); // sum
+        assert_eq!(audits[1].max_distortion, 0); // mean (401/4 = 100)
+    }
+
+    #[test]
+    fn empty_family_audits_to_zero() {
+        let w = Weights::new(1);
+        for audit in audit_all(&w, &w, &[]) {
+            assert_eq!(audit.max_distortion, 0);
+        }
+    }
+}

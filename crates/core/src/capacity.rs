@@ -1,0 +1,331 @@
+//! Exact watermarking-capacity counting and the #P-hardness witness
+//! (Theorem 1).
+//!
+//! `#Mark(≤ d)` counts the assignments `m : W → {−1, 0, +1}` whose global
+//! distortion is at most `d` on every active set; `#Mark(= d)` those whose
+//! *worst-case* distortion is exactly `d`. Counting is exponential in
+//! `|W|` (it must be — Theorem 1 shows `#Mark(= d)` is #P-complete), but
+//! branch-and-bound pruning keeps it practical at experiment scale.
+//!
+//! The hardness reduction maps a bipartite graph's PERMANENT (number of
+//! perfect matchings) to a constrained marking count; we verify it
+//! against Ryser's inclusion-exclusion permanent.
+
+use qpwm_structures::{Element, WeightKey};
+use std::collections::HashMap;
+
+/// A marking-capacity counting problem: the active elements and, for each
+/// parameter, the indices (into `elements`) of its active set.
+#[derive(Debug, Clone)]
+pub struct CapacityProblem {
+    elements: Vec<WeightKey>,
+    /// Per-constraint element index lists.
+    sets: Vec<Vec<usize>>,
+    /// For each element, the constraints containing it.
+    containing: Vec<Vec<usize>>,
+}
+
+impl CapacityProblem {
+    /// Builds a problem from active sets over weight keys.
+    pub fn new(active_sets: &[Vec<Vec<Element>>]) -> Self {
+        let mut index: HashMap<&WeightKey, usize> = HashMap::new();
+        let mut elements: Vec<WeightKey> = Vec::new();
+        for set in active_sets {
+            for w in set {
+                if !index.contains_key(w) {
+                    index.insert(w, elements.len());
+                    elements.push(w.clone());
+                }
+            }
+        }
+        let sets: Vec<Vec<usize>> = active_sets
+            .iter()
+            .map(|set| {
+                let mut v: Vec<usize> = set.iter().map(|w| index[w]).collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            })
+            .collect();
+        let mut containing: Vec<Vec<usize>> = vec![Vec::new(); elements.len()];
+        for (ci, set) in sets.iter().enumerate() {
+            for &e in set {
+                containing[e].push(ci);
+            }
+        }
+        CapacityProblem { elements, sets, containing }
+    }
+
+    /// Number of active elements `|W|`.
+    pub fn num_elements(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Counts assignments from `marks` (per-element allowed values) with
+    /// every constraint sum in `[lo, hi]`.
+    ///
+    /// Branch and bound: elements are assigned in index order; a partial
+    /// assignment is pruned when some constraint can no longer land in
+    /// `[lo, hi]` even with extreme values on its unassigned elements.
+    pub fn count_constrained(&self, marks: &[i64], lo: i64, hi: i64) -> u128 {
+        assert!(!marks.is_empty(), "need at least one allowed mark value");
+        let min_mark = *marks.iter().min().expect("non-empty");
+        let max_mark = *marks.iter().max().expect("non-empty");
+        // remaining[c] = number of unassigned elements in constraint c.
+        let mut remaining: Vec<i64> = self.sets.iter().map(|s| s.len() as i64).collect();
+        let mut sums: Vec<i64> = vec![0; self.sets.len()];
+        self.count_rec(0, marks, lo, hi, min_mark, max_mark, &mut sums, &mut remaining)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn count_rec(
+        &self,
+        idx: usize,
+        marks: &[i64],
+        lo: i64,
+        hi: i64,
+        min_mark: i64,
+        max_mark: i64,
+        sums: &mut Vec<i64>,
+        remaining: &mut Vec<i64>,
+    ) -> u128 {
+        if idx == self.elements.len() {
+            return u128::from(sums.iter().zip(self.sets.iter()).all(|(s, set)| {
+                let _ = set;
+                *s >= lo && *s <= hi
+            }));
+        }
+        let mut total = 0u128;
+        for &cs in &self.containing[idx] {
+            remaining[cs] -= 1;
+        }
+        for &m in marks {
+            let mut feasible = true;
+            for &cs in &self.containing[idx] {
+                sums[cs] += m;
+                let s = sums[cs];
+                let r = remaining[cs];
+                if s + r * max_mark < lo || s + r * min_mark > hi {
+                    feasible = false;
+                }
+            }
+            if feasible {
+                // also check constraints untouched by this element lazily:
+                // they were feasible before and unchanged, so still feasible.
+                total += self.count_rec(idx + 1, marks, lo, hi, min_mark, max_mark, sums, remaining);
+            }
+            for &cs in &self.containing[idx] {
+                sums[cs] -= m;
+            }
+        }
+        for &cs in &self.containing[idx] {
+            remaining[cs] += 1;
+        }
+        total
+    }
+
+    /// `#Mark(≤ d)`: 1-local markings with global distortion at most `d`
+    /// on every constraint. Includes the all-zero marking.
+    pub fn count_at_most(&self, d: i64) -> u128 {
+        self.count_constrained(&[-1, 0, 1], -d, d)
+    }
+
+    /// `#Mark(= d)`: markings whose worst constraint distortion is
+    /// exactly `d` (computed as `count(≤d) − count(≤d−1)`).
+    pub fn count_exactly(&self, d: i64) -> u128 {
+        if d == 0 {
+            return self.count_at_most(0);
+        }
+        self.count_at_most(d) - self.count_at_most(d - 1)
+    }
+
+    /// Capacity in bits at distortion budget `d`: `log2 #Mark(≤ d)`.
+    pub fn bits_at(&self, d: i64) -> f64 {
+        let count = self.count_at_most(d);
+        if count == 0 {
+            return 0.0;
+        }
+        (count as f64).log2()
+    }
+}
+
+/// A bipartite graph for the PERMANENT reduction.
+#[derive(Debug, Clone)]
+pub struct Bipartite {
+    /// Number of left/right vertices (square by construction).
+    pub n: usize,
+    /// Adjacency: `adj[i][j]` = edge between left i and right j.
+    pub adj: Vec<Vec<bool>>,
+}
+
+impl Bipartite {
+    /// Builds from an adjacency matrix.
+    pub fn new(adj: Vec<Vec<bool>>) -> Self {
+        let n = adj.len();
+        for row in &adj {
+            assert_eq!(row.len(), n, "adjacency must be square");
+        }
+        Bipartite { n, adj }
+    }
+
+    /// Ryser's formula: the permanent of the adjacency matrix = the
+    /// number of perfect matchings. `O(2^n · n²)`.
+    pub fn permanent(&self) -> u128 {
+        let n = self.n;
+        if n == 0 {
+            return 1;
+        }
+        assert!(n <= 30, "Ryser beyond n=30 is unreasonable");
+        let mut total: i128 = 0;
+        for mask in 1u32..(1 << n) {
+            let ones = mask.count_ones() as i128;
+            let sign = if (n as i128 - ones) % 2 == 0 { 1 } else { -1 };
+            let mut prod: i128 = 1;
+            for i in 0..n {
+                let mut row = 0i128;
+                for j in 0..n {
+                    if mask >> j & 1 == 1 && self.adj[i][j] {
+                        row += 1;
+                    }
+                }
+                prod *= row;
+                if prod == 0 {
+                    break;
+                }
+            }
+            total += sign * prod;
+        }
+        total.max(0) as u128
+    }
+
+    /// Theorem 1's reduction: a marking problem whose `{0,1}`-markings
+    /// with every constraint sum exactly 1 are the perfect matchings.
+    /// Weighted elements are edges; each vertex contributes the
+    /// constraint "the marks on my incident edges sum to 1".
+    pub fn to_marking_problem(&self) -> CapacityProblem {
+        let mut active_sets: Vec<Vec<Vec<Element>>> = Vec::new();
+        let edge_key = |i: usize, j: usize| vec![i as Element, (self.n + j) as Element];
+        for i in 0..self.n {
+            let set: Vec<Vec<Element>> = (0..self.n)
+                .filter(|&j| self.adj[i][j])
+                .map(|j| edge_key(i, j))
+                .collect();
+            active_sets.push(set);
+        }
+        for j in 0..self.n {
+            let set: Vec<Vec<Element>> = (0..self.n)
+                .filter(|&i| self.adj[i][j])
+                .map(|i| edge_key(i, j))
+                .collect();
+            active_sets.push(set);
+        }
+        CapacityProblem::new(&active_sets)
+    }
+
+    /// Counts perfect matchings through the marking-capacity counter
+    /// (must equal [`Bipartite::permanent`]).
+    pub fn matchings_via_marking(&self) -> u128 {
+        self.to_marking_problem().count_constrained(&[0, 1], 1, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(e: u32) -> WeightKey {
+        vec![e]
+    }
+
+    #[test]
+    fn zero_distortion_single_set() {
+        // One constraint over two elements: markings with sum 0 are
+        // (0,0), (+1,−1), (−1,+1) = 3.
+        let p = CapacityProblem::new(&[vec![key(0), key(1)]]);
+        assert_eq!(p.count_at_most(0), 3);
+        assert_eq!(p.count_exactly(0), 3);
+    }
+
+    #[test]
+    fn unconstrained_elements_multiply() {
+        // Two disjoint singleton sets, d = 1: each element free in
+        // {−1,0,1} -> 9 markings; d = 0 -> only zeros.
+        let p = CapacityProblem::new(&[vec![key(0)], vec![key(1)]]);
+        assert_eq!(p.count_at_most(1), 9);
+        assert_eq!(p.count_at_most(0), 1);
+        assert_eq!(p.count_exactly(1), 8);
+    }
+
+    #[test]
+    fn bits_at_grows_with_budget() {
+        let sets: Vec<Vec<WeightKey>> = (0..4).map(|i| vec![key(i)]).collect();
+        let p = CapacityProblem::new(&sets);
+        assert!(p.bits_at(0) < p.bits_at(1));
+        // 3^4 = 81 markings at d=1.
+        assert!((p.bits_at(1) - 81f64.log2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shattering_collapses_capacity() {
+        // All 2^3 subsets of {0,1,2} as constraints: at d = 0, any nonzero
+        // marking breaks the constraint of its positive (or negative)
+        // support -> only the zero marking survives.
+        let mut sets = Vec::new();
+        for mask in 0u32..8 {
+            sets.push(
+                (0..3)
+                    .filter(|b| mask >> b & 1 == 1)
+                    .map(key)
+                    .collect::<Vec<_>>(),
+            );
+        }
+        let p = CapacityProblem::new(&sets);
+        assert_eq!(p.count_at_most(0), 1);
+    }
+
+    #[test]
+    fn permanent_of_complete_bipartite() {
+        // K_{3,3}: permanent = 3! = 6.
+        let g = Bipartite::new(vec![vec![true; 3]; 3]);
+        assert_eq!(g.permanent(), 6);
+        assert_eq!(g.matchings_via_marking(), 6);
+    }
+
+    #[test]
+    fn permanent_of_identity_and_cycle() {
+        let id = Bipartite::new(vec![
+            vec![true, false, false],
+            vec![false, true, false],
+            vec![false, false, true],
+        ]);
+        assert_eq!(id.permanent(), 1);
+        assert_eq!(id.matchings_via_marking(), 1);
+        // 4-cycle as bipartite 2x2 all-ones: 2 matchings.
+        let c4 = Bipartite::new(vec![vec![true, true], vec![true, true]]);
+        assert_eq!(c4.permanent(), 2);
+        assert_eq!(c4.matchings_via_marking(), 2);
+    }
+
+    #[test]
+    fn reduction_matches_on_random_graphs() {
+        // Deterministic pseudo-random adjacency (LCG) for reproducibility.
+        let mut state = 0x12345678u64;
+        let mut rand_bool = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) & 1 == 1
+        };
+        for n in 2..=5 {
+            let adj: Vec<Vec<bool>> =
+                (0..n).map(|_| (0..n).map(|_| rand_bool()).collect()).collect();
+            let g = Bipartite::new(adj);
+            assert_eq!(g.permanent(), g.matchings_via_marking(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn graph_with_no_matching() {
+        let g = Bipartite::new(vec![vec![true, true], vec![false, false]]);
+        assert_eq!(g.permanent(), 0);
+        assert_eq!(g.matchings_via_marking(), 0);
+    }
+}

@@ -1,0 +1,303 @@
+//! The detector's view of a suspect server.
+//!
+//! Per Definition 2, the detector receives only `A^{G*, ψ}` — the answers
+//! a suspect server gives to every parameter value. The owner replays the
+//! parameter domain, reads the weights attached to answer tuples, and
+//! compares them against the original (secret) weights. [`AnswerServer`]
+//! abstracts the server; [`HonestServer`] replays a structure verbatim
+//! (the non-adversarial model), and the attack simulations in
+//! [`crate::adversary`] wrap it.
+
+use qpwm_structures::{Element, Weights};
+use std::collections::HashMap;
+
+/// A data server answering the registered parametric query.
+///
+/// `answer(i)` returns `A_ā` for the i-th parameter of the (publicly
+/// known) parameter domain: the output tuples with their weights.
+pub trait AnswerServer {
+    /// Number of parameters the server accepts (the domain size).
+    fn num_parameters(&self) -> usize;
+
+    /// The answer set for parameter `i`: `(b̄, W(b̄))` pairs.
+    fn answer(&self, i: usize) -> Vec<(Vec<Element>, i64)>;
+}
+
+/// A server that faithfully replays a weighted instance.
+#[derive(Debug, Clone)]
+pub struct HonestServer {
+    active_sets: Vec<Vec<Vec<Element>>>,
+    weights: Weights,
+}
+
+impl HonestServer {
+    /// Creates a server over materialized active sets and weights.
+    pub fn new(active_sets: Vec<Vec<Vec<Element>>>, weights: Weights) -> Self {
+        HonestServer { active_sets, weights }
+    }
+
+    /// The weights the server is serving (for tests).
+    pub fn weights(&self) -> &Weights {
+        &self.weights
+    }
+}
+
+impl AnswerServer for HonestServer {
+    fn num_parameters(&self) -> usize {
+        self.active_sets.len()
+    }
+
+    fn answer(&self, i: usize) -> Vec<(Vec<Element>, i64)> {
+        self.active_sets[i]
+            .iter()
+            .map(|b| (b.clone(), self.weights.get(b)))
+            .collect()
+    }
+}
+
+/// Weights reconstructed from a server's answers.
+#[derive(Debug, Clone)]
+pub struct ObservedWeights {
+    observed: HashMap<Vec<Element>, i64>,
+    /// Tuples answered with inconsistent weights across parameters — a
+    /// sign of a cheating server.
+    pub inconsistencies: Vec<Vec<Element>>,
+}
+
+impl ObservedWeights {
+    /// Queries every parameter and collects each active tuple's weight.
+    pub fn collect(server: &dyn AnswerServer) -> Self {
+        let mut observed: HashMap<Vec<Element>, i64> = HashMap::new();
+        let mut inconsistencies = Vec::new();
+        for i in 0..server.num_parameters() {
+            for (tuple, w) in server.answer(i) {
+                match observed.get(&tuple) {
+                    None => {
+                        observed.insert(tuple, w);
+                    }
+                    Some(&prev) if prev != w => inconsistencies.push(tuple),
+                    Some(_) => {}
+                }
+            }
+        }
+        inconsistencies.sort_unstable();
+        inconsistencies.dedup();
+        ObservedWeights { observed, inconsistencies }
+    }
+
+    /// Queries only the given parameter indices — the *partial access*
+    /// scenario where replaying the whole domain is too expensive or too
+    /// conspicuous. Pairs whose members never appear in the sampled
+    /// answers read as missing; detection degrades gracefully with the
+    /// sample size (measured in the `attacks` experiment).
+    pub fn collect_sample(server: &dyn AnswerServer, indices: &[usize]) -> Self {
+        let mut observed: HashMap<Vec<Element>, i64> = HashMap::new();
+        let mut inconsistencies = Vec::new();
+        for &i in indices {
+            debug_assert!(i < server.num_parameters());
+            for (tuple, w) in server.answer(i) {
+                match observed.get(&tuple) {
+                    None => {
+                        observed.insert(tuple, w);
+                    }
+                    Some(&prev) if prev != w => inconsistencies.push(tuple),
+                    Some(_) => {}
+                }
+            }
+        }
+        inconsistencies.sort_unstable();
+        inconsistencies.dedup();
+        ObservedWeights { observed, inconsistencies }
+    }
+
+    /// The observed weight of a tuple, if the server ever returned it.
+    pub fn get(&self, tuple: &[Element]) -> Option<i64> {
+        self.observed.get(tuple).copied()
+    }
+
+    /// Merges another observation set (e.g. from a second registered
+    /// query); conflicting weights are recorded as inconsistencies.
+    pub fn merge(&mut self, other: ObservedWeights) {
+        for (tuple, w) in other.observed {
+            match self.observed.get(&tuple) {
+                None => {
+                    self.observed.insert(tuple, w);
+                }
+                Some(&prev) if prev != w => self.inconsistencies.push(tuple),
+                Some(_) => {}
+            }
+        }
+        self.inconsistencies.extend(other.inconsistencies);
+        self.inconsistencies.sort_unstable();
+        self.inconsistencies.dedup();
+    }
+
+    /// Number of distinct tuples observed.
+    pub fn len(&self) -> usize {
+        self.observed.len()
+    }
+
+    /// True when nothing was observed.
+    pub fn is_empty(&self) -> bool {
+        self.observed.is_empty()
+    }
+}
+
+/// Result of running a detector against a server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectionReport {
+    /// The extracted message bits.
+    pub bits: Vec<bool>,
+    /// Per-bit raw score: positive means the pair leaned toward `1`.
+    /// Magnitude 2 is a clean non-adversarial read (both members agree);
+    /// 0 means the evidence was erased or contradictory.
+    pub scores: Vec<i64>,
+    /// Pairs whose members were missing from the server's answers.
+    pub missing_pairs: usize,
+}
+
+impl DetectionReport {
+    /// Fraction of bits read with full confidence (|score| = 2).
+    pub fn clean_fraction(&self) -> f64 {
+        if self.scores.is_empty() {
+            return 1.0;
+        }
+        let clean = self.scores.iter().filter(|s| s.abs() >= 2).count();
+        clean as f64 / self.scores.len() as f64
+    }
+
+    /// Hamming distance to an expected message.
+    pub fn errors_against(&self, expected: &[bool]) -> usize {
+        self.bits
+            .iter()
+            .zip(expected)
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+
+    /// The probability that an *innocent* server (each bit a fair coin,
+    /// the paper's limited-knowledge null hypothesis) matches `expected`
+    /// in at least as many positions as this report did — the detector's
+    /// false-positive significance. Ownership claims should require this
+    /// to be far below the acceptable δ.
+    pub fn match_significance(&self, expected: &[bool]) -> f64 {
+        let n = self.bits.len().min(expected.len());
+        if n == 0 {
+            return 1.0;
+        }
+        let matches = n - self.errors_against(expected);
+        binomial_tail(n, matches)
+    }
+}
+
+/// `P[Bin(n, 1/2) ≥ k]`, computed in log-space for stability.
+pub fn binomial_tail(n: usize, k: usize) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    if k > n {
+        return 0.0;
+    }
+    // ln C(n, i) incrementally; sum exp(ln C(n,i) - n ln 2).
+    let ln2n = n as f64 * std::f64::consts::LN_2;
+    let mut ln_c = 0.0f64; // ln C(n, 0)
+    let mut total = 0.0f64;
+    for i in 0..=n {
+        if i >= k {
+            total += (ln_c - ln2n).exp();
+        }
+        if i < n {
+            ln_c += ((n - i) as f64).ln() - ((i + 1) as f64).ln();
+        }
+    }
+    total.min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(pairs: &[(u32, i64)]) -> Weights {
+        let mut out = Weights::new(1);
+        for &(k, v) in pairs {
+            out.set(&[k], v);
+        }
+        out
+    }
+
+    #[test]
+    fn honest_server_replays_weights() {
+        let sets = vec![vec![vec![0u32], vec![1]], vec![vec![1u32]]];
+        let server = HonestServer::new(sets, w(&[(0, 5), (1, 7)]));
+        assert_eq!(server.num_parameters(), 2);
+        assert_eq!(server.answer(0), vec![(vec![0], 5), (vec![1], 7)]);
+        assert_eq!(server.answer(1), vec![(vec![1], 7)]);
+    }
+
+    #[test]
+    fn observed_weights_union_all_answers() {
+        let sets = vec![vec![vec![0u32], vec![1]], vec![vec![1u32], vec![2]]];
+        let server = HonestServer::new(sets, w(&[(0, 5), (1, 7), (2, -1)]));
+        let obs = ObservedWeights::collect(&server);
+        assert_eq!(obs.len(), 3);
+        assert_eq!(obs.get(&[0]), Some(5));
+        assert_eq!(obs.get(&[2]), Some(-1));
+        assert_eq!(obs.get(&[9]), None);
+        assert!(obs.inconsistencies.is_empty());
+    }
+
+    #[test]
+    fn inconsistent_servers_are_flagged() {
+        struct Liar;
+        impl AnswerServer for Liar {
+            fn num_parameters(&self) -> usize {
+                2
+            }
+            fn answer(&self, i: usize) -> Vec<(Vec<Element>, i64)> {
+                vec![(vec![0], i as i64)] // weight depends on the parameter
+            }
+        }
+        let obs = ObservedWeights::collect(&Liar);
+        assert_eq!(obs.inconsistencies, vec![vec![0]]);
+    }
+
+    #[test]
+    fn report_statistics() {
+        let r = DetectionReport {
+            bits: vec![true, false, true],
+            scores: vec![2, -2, 0],
+            missing_pairs: 0,
+        };
+        assert!((r.clean_fraction() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(r.errors_against(&[true, true, true]), 1);
+    }
+
+    #[test]
+    fn binomial_tail_basics() {
+        assert!((binomial_tail(10, 0) - 1.0).abs() < 1e-12);
+        assert_eq!(binomial_tail(10, 11), 0.0);
+        // P[Bin(2, 1/2) >= 1] = 3/4; P[Bin(2, 1/2) >= 2] = 1/4.
+        assert!((binomial_tail(2, 1) - 0.75).abs() < 1e-12);
+        assert!((binomial_tail(2, 2) - 0.25).abs() < 1e-12);
+        // monotone in k
+        assert!(binomial_tail(100, 80) < binomial_tail(100, 60));
+        // a perfect 100-bit match is overwhelming evidence
+        assert!(binomial_tail(100, 100) < 1e-29);
+    }
+
+    #[test]
+    fn significance_of_reports() {
+        let perfect = DetectionReport {
+            bits: vec![true; 40],
+            scores: vec![2; 40],
+            missing_pairs: 0,
+        };
+        assert!(perfect.match_significance(&[true; 40]) < 1e-11);
+        let coin_flips = DetectionReport {
+            bits: (0..40).map(|i| i % 2 == 0).collect(),
+            scores: vec![0; 40],
+            missing_pairs: 0,
+        };
+        assert!(coin_flips.match_significance(&[true; 40]) > 0.4);
+    }
+}

@@ -1,0 +1,291 @@
+//! Impossibility constructions (Theorem 2, Remark 1, Theorem 6).
+//!
+//! * [`powerset_structure`] — the paper's witness after Theorem 2: a
+//!   class `G_n` with `2^n + n` vertices where `E` links the i-th of the
+//!   first `2^n` vertices to the i-th subset of the last `n`. The trivial
+//!   query `ψ(u,v) ≡ E(u,v)` shatters all of `W`, so `VC(ψ, G_n) = |W|`
+//!   and no watermarking scheme exists; capacity counting shows the
+//!   collapse quantitatively.
+//! * [`half_shattered_structure`] — Remark 1: only half the active
+//!   weights are shattered, and the other half supports a
+//!   `(|W|/4, 0, δ)`-scheme with zero distortion
+//!   ([`half_shattered_scheme`]).
+//! * [`grid_shattered_system`] — Theorem 6's consequence on grids: an
+//!   MSO-definable family on the `n×n` grid that shatters its active
+//!   set. Full MSO evaluation on grids is out of scope (the paper cites
+//!   Grohe–Turán's Example 19 for the formula); we instantiate the
+//!   shattered set system combinatorially, which is all Theorem 2's
+//!   argument consumes. See DESIGN.md, substitutions.
+
+use crate::capacity::CapacityProblem;
+use crate::pairing::{Pair, PairMarking};
+use qpwm_structures::{Element, Schema, Structure, StructureBuilder, WeightKey};
+use std::sync::Arc;
+
+/// The fully-shattered structure `G_n`: `2^n + n` vertices, `E(i, w_j)`
+/// iff bit `j` of `i` is set. Weights live on the last `n` vertices.
+///
+/// # Panics
+/// Panics for `n > 20` (the structure has `2^n` parameter vertices).
+pub fn powerset_structure(n: u32) -> Structure {
+    assert!(n <= 20, "2^n parameter vertices; keep n small");
+    let params = 1u32 << n;
+    let schema = Arc::new(Schema::graph());
+    let mut b = StructureBuilder::new(schema, params + n);
+    for i in 0..params {
+        for j in 0..n {
+            if i >> j & 1 == 1 {
+                b.add(0, &[i, params + j]);
+            }
+        }
+    }
+    b.build()
+}
+
+/// The active sets of `ψ(u,v) ≡ E(u,v)` on [`powerset_structure`],
+/// materialized directly (equivalent to evaluating the formula, but
+/// avoids `2^n` FO evaluations).
+pub fn powerset_active_sets(n: u32) -> Vec<Vec<WeightKey>> {
+    let params = 1u32 << n;
+    (0..params)
+        .map(|i| {
+            (0..n)
+                .filter(|j| i >> j & 1 == 1)
+                .map(|j| vec![params + j])
+                .collect()
+        })
+        .collect()
+}
+
+/// Remark 1's half-shattered structure: `2^(n/2) + 1 + n` vertices.
+/// The first `2^(n/2)` vertices each link to a subset of the *last*
+/// `n/2` weight vertices; the extra vertex `a` links to **all** `n`
+/// weight vertices. `n` must be even.
+pub fn half_shattered_structure(n: u32) -> Structure {
+    assert!(n.is_multiple_of(2), "n must be even");
+    assert!(n / 2 <= 20, "2^(n/2) parameter vertices; keep n small");
+    let half = n / 2;
+    let params = 1u32 << half;
+    let a = params; // the extra vertex
+    let weights_base = params + 1;
+    let schema = Arc::new(Schema::graph());
+    let mut b = StructureBuilder::new(schema, params + 1 + n);
+    // subsets shatter the last n/2 weight vertices
+    for i in 0..params {
+        for j in 0..half {
+            if i >> j & 1 == 1 {
+                b.add(0, &[i, weights_base + half + j]);
+            }
+        }
+    }
+    // vertex a sees all n weights
+    for j in 0..n {
+        b.add(0, &[a, weights_base + j]);
+    }
+    b.build()
+}
+
+/// Active sets of the edge query on [`half_shattered_structure`].
+pub fn half_shattered_active_sets(n: u32) -> Vec<Vec<WeightKey>> {
+    let half = n / 2;
+    let params = 1u32 << half;
+    let weights_base = params + 1;
+    let mut sets: Vec<Vec<WeightKey>> = (0..params)
+        .map(|i| {
+            (0..half)
+                .filter(|j| i >> j & 1 == 1)
+                .map(|j| vec![weights_base + half + j])
+                .collect()
+        })
+        .collect();
+    sets.push((0..n).map(|j| vec![weights_base + j]).collect());
+    sets
+}
+
+/// Remark 1's explicit zero-distortion scheme: balanced `(+1, −1)` pairs
+/// on the first `n/2` weight vertices (the ones only `W_a` contains).
+/// Capacity `n/4` bits, global distortion 0.
+pub fn half_shattered_scheme(n: u32) -> PairMarking {
+    let half = n / 2;
+    let params = 1u32 << half;
+    let weights_base = params + 1;
+    let pairs: Vec<Pair> = (0..half / 2)
+        .map(|p| Pair {
+            plus: vec![weights_base + 2 * p],
+            minus: vec![weights_base + 2 * p + 1],
+        })
+        .collect();
+    PairMarking::new(pairs)
+}
+
+/// The `n×n` grid as a structure (horizontal+vertical edges, symmetric).
+pub fn grid_structure(n: u32) -> Structure {
+    let schema = Arc::new(Schema::graph());
+    let mut b = StructureBuilder::new(schema, n * n);
+    let id = |x: u32, y: u32| y * n + x;
+    for y in 0..n {
+        for x in 0..n {
+            if x + 1 < n {
+                b.add(0, &[id(x, y), id(x + 1, y)]);
+                b.add(0, &[id(x + 1, y), id(x, y)]);
+            }
+            if y + 1 < n {
+                b.add(0, &[id(x, y), id(x, y + 1)]);
+                b.add(0, &[id(x, y + 1), id(x, y)]);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Theorem 6's consequence on the `n×n` grid: a set system over the
+/// first row (the active weights) whose members shatter it — standing in
+/// for `{ψ(ā, G)}` of Grohe–Turán's MSO formula, which selects row
+/// subsets via MSO-definable "column patterns" encoded by `ā`. We expose
+/// every subset of the first row, the shattering the formula achieves.
+pub fn grid_shattered_system(n: u32) -> Vec<Vec<WeightKey>> {
+    assert!(n <= 20, "2^n subsets");
+    let row: Vec<Element> = (0..n).collect();
+    (0..(1u32 << n))
+        .map(|mask| {
+            row.iter()
+                .filter(|&&x| mask >> x & 1 == 1)
+                .map(|&x| vec![x])
+                .collect()
+        })
+        .collect()
+}
+
+/// Theorem 2, made quantitative: at distortion budget `d`, the number of
+/// encodable bits on a fully shattered family of `w` weights. Every
+/// assignment must keep *every subset sum* within `d`, which caps any
+/// single weight's distortion contribution globally.
+pub fn shattered_capacity_bits(active_sets: &[Vec<WeightKey>], d: i64) -> f64 {
+    CapacityProblem::new(active_sets).bits_at(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpwm_logic::{vc_of_answers, Formula, ParametricQuery};
+
+    #[test]
+    fn powerset_structure_matches_fo_evaluation() {
+        let n = 4;
+        let s = powerset_structure(n);
+        let q = ParametricQuery::new(Formula::atom(0, &[0, 1]), vec![0], vec![1]);
+        let answers = q.answers(&s);
+        let direct = powerset_active_sets(n);
+        // every directly-constructed set appears among the evaluated ones
+        for (i, set) in direct.iter().enumerate() {
+            assert_eq!(answers.active_set_of(&[i as u32]).expect("in domain"), set.as_slice());
+        }
+    }
+
+    #[test]
+    fn powerset_vc_dimension_is_full() {
+        // Theorem 2's hypothesis: VC(ψ, G_n) = |W|.
+        let n = 4;
+        let s = powerset_structure(n);
+        let q = ParametricQuery::new(Formula::atom(0, &[0, 1]), vec![0], vec![1]);
+        let answers = q.answers(&s);
+        assert_eq!(answers.active_universe().len(), n as usize);
+        assert_eq!(vc_of_answers(&answers), n as usize);
+    }
+
+    #[test]
+    fn powerset_capacity_collapses() {
+        // Full shattering: at d = 0 only the zero marking; capacity in
+        // bits stays far below |W| even at d = 1.
+        let n = 4;
+        let sets = powerset_active_sets(n);
+        let p = CapacityProblem::new(&sets);
+        assert_eq!(p.count_at_most(0), 1);
+        // At d = 1 a marking may carry at most one +1 and at most one −1
+        // (any two like signs form a violating subset): 1 + 4 + 4 + 12 =
+        // 21 markings ≈ 4.4 bits, versus log2(3^4) ≈ 6.3 unconstrained —
+        // capacity is O(d·log|W|) instead of Ω(|W|).
+        let bits1 = p.bits_at(1);
+        assert!((bits1 - 21f64.log2()).abs() < 1e-9, "bits at d=1: {bits1}");
+        assert!(bits1 < (n as f64) * 3f64.log2());
+    }
+
+    #[test]
+    fn half_shattered_sets_match_fo_evaluation() {
+        let n = 8;
+        let s = half_shattered_structure(n);
+        let q = ParametricQuery::new(Formula::atom(0, &[0, 1]), vec![0], vec![1]);
+        let answers = q.answers(&s);
+        let direct = half_shattered_active_sets(n);
+        // the direct sets are those of parameters 0..2^(n/2) plus vertex a
+        let params = 1u32 << (n / 2);
+        for (i, set) in direct.iter().enumerate().take(params as usize) {
+            assert_eq!(
+                answers.active_set_of(&[i as u32]).expect("in domain"),
+                set.as_slice(),
+                "subset parameter {i}"
+            );
+        }
+        assert_eq!(
+            answers.active_set_of(&[params]).expect("vertex a"),
+            direct.last().expect("a-set").as_slice()
+        );
+    }
+
+    #[test]
+    fn half_shattered_scheme_has_zero_distortion() {
+        let n = 8;
+        let marking = half_shattered_scheme(n);
+        assert_eq!(marking.capacity() as u32, n / 4);
+        let sets = half_shattered_active_sets(n);
+        // zero separation anywhere: W_a contains both members of every
+        // pair; the subset-parameters contain neither.
+        assert_eq!(marking.max_separation(&sets), 0);
+    }
+
+    #[test]
+    fn half_shattered_roundtrip() {
+        use crate::detect::{HonestServer, ObservedWeights};
+        use qpwm_structures::Weights;
+        let n = 8;
+        let marking = half_shattered_scheme(n);
+        let mut w = Weights::new(1);
+        let structure = half_shattered_structure(n);
+        for e in 0..structure.universe_size() {
+            w.set(&[e], 1000);
+        }
+        let message = vec![true, false];
+        let marked = marking.apply(&w, &message);
+        let server = HonestServer::new(half_shattered_active_sets(n), marked);
+        let report = marking.extract(&w, &ObservedWeights::collect(&server));
+        assert_eq!(report.bits, message);
+    }
+
+    #[test]
+    fn grid_has_high_degree_interior() {
+        let g = grid_structure(4);
+        let gaifman = qpwm_structures::GaifmanGraph::of(&g);
+        assert_eq!(gaifman.max_degree(), 4);
+        assert_eq!(g.universe_size(), 16);
+    }
+
+    #[test]
+    fn grid_system_shatters_and_collapses() {
+        let n = 4;
+        let sets = grid_shattered_system(n);
+        let system = qpwm_logic::SetSystem::from_family(&sets);
+        assert_eq!(qpwm_logic::vc_dimension(&system), n as usize);
+        assert_eq!(shattered_capacity_bits(&sets, 0), 0.0);
+    }
+
+    #[test]
+    fn capacity_contrast_half_vs_full() {
+        // The half-shattered family keeps Ω(n) zero-distortion bits while
+        // the fully shattered family keeps none.
+        let n = 8;
+        let half_bits = CapacityProblem::new(&half_shattered_active_sets(n)).bits_at(0);
+        let full_bits = CapacityProblem::new(&powerset_active_sets(n / 2)).bits_at(0);
+        assert_eq!(full_bits, 0.0);
+        assert!(half_bits >= (n / 4) as f64, "half: {half_bits}");
+    }
+}

@@ -1,0 +1,283 @@
+//! Incremental watermarking (paper, section 5).
+//!
+//! * **Weights-only updates** (Theorem 7): when the owner republishes new
+//!   weights over the same structure, re-applying the stored mark deltas
+//!   preserves both the distortion bound and detectability, because the
+//!   detector is differential (it only sees `W'(w̄) − W(w̄)`).
+//! * **Type-preserving updates** (Theorem 8): when the structure itself
+//!   changes but no neighborhood type appears or disappears, the original
+//!   pair marking remains a `(|W|, η, 0, 0)`-procedure; we provide the
+//!   type-census comparison that classifies an update, and the audit that
+//!   measures the post-update distortion.
+//! * **Auto-collusion**: re-marking from scratch after every update lets
+//!   a server average successive versions to erase the mark — simulated
+//!   in [`crate::adversary::Attack::Averaging`] and demonstrated in the
+//!   experiments.
+
+use crate::pairing::PairMarking;
+use qpwm_structures::{
+    are_isomorphic, GaifmanGraph, NeighborhoodTypes, Structure, WeightKey, Weights,
+};
+
+/// The stored mark: per-weight deltas (the difference the marker applied)
+/// that can be re-applied to any future weight assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MarkDeltas {
+    deltas: Vec<(WeightKey, i64)>,
+}
+
+impl MarkDeltas {
+    /// Extracts the deltas of a marked instance.
+    pub fn from_marked(original: &Weights, marked: &Weights) -> Self {
+        let mut deltas = Vec::new();
+        for key in marked.keys_sorted() {
+            let d = marked.get(&key) - original.get(&key);
+            if d != 0 {
+                deltas.push((key, d));
+            }
+        }
+        MarkDeltas { deltas }
+    }
+
+    /// The deltas, sorted by key.
+    pub fn deltas(&self) -> &[(WeightKey, i64)] {
+        &self.deltas
+    }
+
+    /// Theorem 7: re-applies the same deltas to an updated weight
+    /// assignment (`W₁' = W₁ + M`).
+    pub fn reapply(&self, new_weights: &Weights) -> Weights {
+        let mut out = new_weights.clone();
+        for (key, d) in &self.deltas {
+            out.add(key, *d);
+        }
+        out
+    }
+}
+
+/// Classification of a structure update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateClass {
+    /// Only weights changed (the structure is untouched) — Theorem 7
+    /// applies with zero extra distortion.
+    WeightsOnly,
+    /// The structure changed but the set of neighborhood types is the
+    /// same — Theorem 8: the old mark survives with distortion ≤ η.
+    TypePreserving,
+    /// Types were created or destroyed — re-marking (the "brute-force
+    /// method") is required; beware auto-collusion.
+    TypeChanging,
+}
+
+/// Compares two structures' unary ρ-type censuses (up to isomorphism of
+/// representatives) and classifies the update.
+pub fn classify_update(old: &Structure, new: &Structure, rho: u32) -> UpdateClass {
+    if structures_equal(old, new) {
+        return UpdateClass::WeightsOnly;
+    }
+    let old_census = census(old, rho);
+    let new_census = census(new, rho);
+    if same_type_sets(&old_census, &new_census) {
+        UpdateClass::TypePreserving
+    } else {
+        UpdateClass::TypeChanging
+    }
+}
+
+fn structures_equal(a: &Structure, b: &Structure) -> bool {
+    if a.universe_size() != b.universe_size()
+        || a.schema().num_relations() != b.schema().num_relations()
+    {
+        return false;
+    }
+    (0..a.schema().num_relations()).all(|rel| a.tuples(rel) == b.tuples(rel))
+}
+
+fn census(s: &Structure, rho: u32) -> NeighborhoodTypes {
+    let g = GaifmanGraph::of(s);
+    qpwm_structures::types::classify_elements(s, &g, rho)
+}
+
+/// Do two censuses exhibit the same multiset-free *set* of types?
+/// (Theorem 8 cares about creation/suppression of types, not counts.)
+fn same_type_sets(a: &NeighborhoodTypes, b: &NeighborhoodTypes) -> bool {
+    if a.num_types() != b.num_types() {
+        return false;
+    }
+    // match each type of `a` to some isomorphic type of `b`, injectively
+    let mut used = vec![false; b.num_types()];
+    'outer: for ta in 0..a.num_types() {
+        let na = a.representative_neighborhood(ta);
+        for (tb, slot) in used.iter_mut().enumerate() {
+            if !*slot && are_isomorphic(na, b.representative_neighborhood(tb)) {
+                *slot = true;
+                continue 'outer;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Result of maintaining a mark across a structure update.
+#[derive(Debug, Clone)]
+pub struct MaintenanceReport {
+    /// How the update was classified.
+    pub class: UpdateClass,
+    /// Pairs of the original marking whose members are both still active
+    /// in the updated instance (detectable pairs).
+    pub surviving_pairs: usize,
+    /// Total pairs.
+    pub total_pairs: usize,
+    /// Global distortion of the maintained mark on the *new* instance's
+    /// query answers (Theorem 8 bounds this by η for type-preserving
+    /// updates).
+    pub new_distortion: i64,
+}
+
+/// Checks how a pair marking fares after a structure update: how many
+/// pairs remain detectable and what distortion the kept mark now causes.
+pub fn maintain_marking(
+    marking: &PairMarking,
+    class: UpdateClass,
+    new_weights: &Weights,
+    new_active_sets: &[Vec<WeightKey>],
+    message: &[bool],
+) -> MaintenanceReport {
+    let active: std::collections::HashSet<&WeightKey> =
+        new_active_sets.iter().flatten().collect();
+    let surviving = marking
+        .pairs()
+        .iter()
+        .filter(|p| active.contains(&p.plus) && active.contains(&p.minus))
+        .count();
+    let marked = marking.apply(new_weights, message);
+    let new_distortion =
+        qpwm_structures::global_distortion(new_weights, &marked, new_active_sets).max_global;
+    MaintenanceReport {
+        class,
+        surviving_pairs: surviving,
+        total_pairs: marking.capacity(),
+        new_distortion,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::{HonestServer, ObservedWeights};
+    use crate::pairing::Pair;
+    use qpwm_structures::{figure1_instance, Schema, StructureBuilder};
+    use std::sync::Arc;
+
+    fn key(e: u32) -> WeightKey {
+        vec![e]
+    }
+
+    #[test]
+    fn theorem7_weights_only_update_roundtrip() {
+        let marking = PairMarking::new(vec![
+            Pair { plus: key(0), minus: key(1) },
+            Pair { plus: key(2), minus: key(3) },
+        ]);
+        let mut w0 = Weights::new(1);
+        for e in 0..4u32 {
+            w0.set(&[e], 100);
+        }
+        let message = vec![true, false];
+        let marked0 = marking.apply(&w0, &message);
+        let deltas = MarkDeltas::from_marked(&w0, &marked0);
+
+        // owner updates the weights
+        let mut w1 = Weights::new(1);
+        for e in 0..4u32 {
+            w1.set(&[e], 500 + e as i64 * 3);
+        }
+        let marked1 = deltas.reapply(&w1);
+        // same local distortion profile
+        assert_eq!(w1.max_pointwise_diff(&marked1), 1);
+        // detector (differential) still reads the message
+        let sets = vec![(0..4).map(key).collect::<Vec<_>>()];
+        let server = HonestServer::new(sets, marked1);
+        let report = marking.extract(&w1, &ObservedWeights::collect(&server));
+        assert_eq!(report.bits, message);
+    }
+
+    #[test]
+    fn deltas_capture_only_changes() {
+        let mut w = Weights::new(1);
+        w.set(&[0], 10);
+        w.set(&[1], 20);
+        let mut marked = w.clone();
+        marked.add(&[0], 1);
+        let d = MarkDeltas::from_marked(&w, &marked);
+        assert_eq!(d.deltas(), &[(key(0), 1)]);
+    }
+
+    #[test]
+    fn classify_weights_only() {
+        let s = figure1_instance();
+        assert_eq!(classify_update(&s, &s.clone(), 1), UpdateClass::WeightsOnly);
+    }
+
+    #[test]
+    fn classify_type_preserving() {
+        // Two disjoint symmetric edges; removing one edge and adding it
+        // back elsewhere keeps the same type set {endpoint-of-edge}.
+        let schema = Arc::new(Schema::graph());
+        let mut b1 = StructureBuilder::new(Arc::clone(&schema), 6);
+        for &(x, y) in &[(0u32, 1u32), (2, 3), (4, 5)] {
+            b1.add(0, &[x, y]);
+            b1.add(0, &[y, x]);
+        }
+        let old = b1.build();
+        let mut b2 = StructureBuilder::new(schema, 6);
+        for &(x, y) in &[(0u32, 1u32), (2, 5), (4, 3)] {
+            b2.add(0, &[x, y]);
+            b2.add(0, &[y, x]);
+        }
+        let new = b2.build();
+        assert_eq!(classify_update(&old, &new, 1), UpdateClass::TypePreserving);
+    }
+
+    #[test]
+    fn classify_type_changing() {
+        // Removing c's only edge in figure 1 creates an isolated-vertex
+        // type that did not exist.
+        let old = figure1_instance();
+        let schema = old.schema_arc();
+        let mut b = StructureBuilder::new(schema, 6);
+        for &(x, y) in &[(0u32, 3u32), (0, 4), (1, 3), (1, 4), (5, 4)] {
+            b.add(0, &[x, y]);
+            b.add(0, &[y, x]);
+        }
+        let new = b.build();
+        assert_eq!(classify_update(&old, &new, 1), UpdateClass::TypeChanging);
+    }
+
+    #[test]
+    fn maintenance_counts_survivors_and_distortion() {
+        let marking = PairMarking::new(vec![
+            Pair { plus: key(0), minus: key(1) },
+            Pair { plus: key(2), minus: key(3) },
+        ]);
+        let mut w = Weights::new(1);
+        for e in 0..4u32 {
+            w.set(&[e], 10);
+        }
+        // Updated instance: element 3 became inactive; a set separates
+        // pair 1.
+        let new_sets: Vec<Vec<WeightKey>> = vec![vec![key(0), key(1)], vec![key(0), key(2)]];
+        let report = maintain_marking(
+            &marking,
+            UpdateClass::TypePreserving,
+            &w,
+            &new_sets,
+            &[true, true],
+        );
+        assert_eq!(report.total_pairs, 2);
+        assert_eq!(report.surviving_pairs, 1); // pair (2,3) lost member 3
+        // distortion: set {0,2} contains + of both pairs: 1 + 1 = 2
+        assert_eq!(report.new_distortion, 2);
+    }
+}

@@ -1,0 +1,196 @@
+//! Persisting the owner's watermarking secrets.
+//!
+//! A real deployment spans years: the owner marks copies today and must
+//! detect them long after the process that built the scheme has exited.
+//! The secret is small — the ordered pair list (and, for incremental
+//! maintenance, the per-copy mark deltas) — and is serialized in a
+//! line-oriented text format chosen for auditability: an owner can
+//! *read* their key, diff two keys, and keep them in version control.
+//!
+//! ```text
+//! qpwm-key v1
+//! d 2
+//! pairs 3
+//! + 4 - 5
+//! + 10 - 11
+//! + 12 2 - 13 2        # multi-component weight keys
+//! end
+//! ```
+
+use crate::pairing::{Pair, PairMarking};
+use qpwm_structures::WeightKey;
+use std::fmt;
+
+/// Key-file parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyError {
+    /// Wrong or missing header line.
+    BadHeader,
+    /// A malformed line, with its 1-based number.
+    BadLine(usize),
+    /// Pair count mismatch or missing terminator.
+    Truncated,
+}
+
+impl fmt::Display for KeyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeyError::BadHeader => write!(f, "not a qpwm-key v1 file"),
+            KeyError::BadLine(n) => write!(f, "malformed key file at line {n}"),
+            KeyError::Truncated => write!(f, "key file is truncated"),
+        }
+    }
+}
+
+impl std::error::Error for KeyError {}
+
+/// A serializable scheme secret: the pair marking plus its distortion
+/// budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemeKey {
+    /// The ordered secret pairs.
+    pub marking: PairMarking,
+    /// The distortion budget `d` the scheme was certified for.
+    pub d: u64,
+}
+
+impl SchemeKey {
+    /// Serializes to the text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("qpwm-key v1\n");
+        out.push_str(&format!("d {}\n", self.d));
+        out.push_str(&format!("pairs {}\n", self.marking.capacity()));
+        for pair in self.marking.pairs() {
+            out.push('+');
+            for e in &pair.plus {
+                out.push_str(&format!(" {e}"));
+            }
+            out.push_str(" -");
+            for e in &pair.minus {
+                out.push_str(&format!(" {e}"));
+            }
+            out.push('\n');
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses the text format.
+    pub fn from_text(input: &str) -> Result<Self, KeyError> {
+        let mut lines = input.lines().enumerate();
+        let header = lines.next().map(|(_, l)| l.trim());
+        if header != Some("qpwm-key v1") {
+            return Err(KeyError::BadHeader);
+        }
+        let (dn, dline) = lines.next().ok_or(KeyError::Truncated)?;
+        let d: u64 = dline
+            .trim()
+            .strip_prefix("d ")
+            .and_then(|v| v.parse().ok())
+            .ok_or(KeyError::BadLine(dn + 1))?;
+        let (pn, pline) = lines.next().ok_or(KeyError::Truncated)?;
+        let count: usize = pline
+            .trim()
+            .strip_prefix("pairs ")
+            .and_then(|v| v.parse().ok())
+            .ok_or(KeyError::BadLine(pn + 1))?;
+        let mut pairs = Vec::with_capacity(count);
+        for _ in 0..count {
+            let (n, line) = lines.next().ok_or(KeyError::Truncated)?;
+            let line = line.trim();
+            let rest = line.strip_prefix('+').ok_or(KeyError::BadLine(n + 1))?;
+            let (plus_part, minus_part) =
+                rest.split_once('-').ok_or(KeyError::BadLine(n + 1))?;
+            let parse_key = |part: &str| -> Result<WeightKey, KeyError> {
+                let key: Result<WeightKey, _> =
+                    part.split_whitespace().map(str::parse).collect();
+                match key {
+                    Ok(k) if !k.is_empty() => Ok(k),
+                    _ => Err(KeyError::BadLine(n + 1)),
+                }
+            };
+            pairs.push(Pair { plus: parse_key(plus_part)?, minus: parse_key(minus_part)? });
+        }
+        let (_, terminator) = lines.next().ok_or(KeyError::Truncated)?;
+        if terminator.trim() != "end" {
+            return Err(KeyError::Truncated);
+        }
+        Ok(SchemeKey { marking: PairMarking::new(pairs), d })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SchemeKey {
+        SchemeKey {
+            marking: PairMarking::new(vec![
+                Pair { plus: vec![4], minus: vec![5] },
+                Pair { plus: vec![10], minus: vec![11] },
+                Pair { plus: vec![12, 2], minus: vec![13, 2] },
+            ]),
+            d: 2,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let key = sample();
+        let text = key.to_text();
+        let back = SchemeKey::from_text(&text).expect("parses");
+        assert_eq!(back, key);
+    }
+
+    #[test]
+    fn format_is_stable_and_readable() {
+        let text = sample().to_text();
+        assert_eq!(
+            text,
+            "qpwm-key v1\nd 2\npairs 3\n+ 4 - 5\n+ 10 - 11\n+ 12 2 - 13 2\nend\n"
+        );
+    }
+
+    #[test]
+    fn empty_marking_roundtrips() {
+        let key = SchemeKey { marking: PairMarking::new(Vec::new()), d: 1 };
+        assert_eq!(SchemeKey::from_text(&key.to_text()).expect("parses"), key);
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let text = sample().to_text();
+        assert_eq!(SchemeKey::from_text("nope"), Err(KeyError::BadHeader));
+        // truncate before the end marker
+        let cut = text.rsplit_once("end").expect("has end").0;
+        assert_eq!(SchemeKey::from_text(cut), Err(KeyError::Truncated));
+        // corrupt a pair line
+        let bad = text.replace("+ 4 - 5", "+ x - 5");
+        assert!(matches!(SchemeKey::from_text(&bad), Err(KeyError::BadLine(_))));
+        // corrupt the count
+        let bad = text.replace("pairs 3", "pairs many");
+        assert!(matches!(SchemeKey::from_text(&bad), Err(KeyError::BadLine(_))));
+    }
+
+    #[test]
+    fn detector_works_from_reloaded_key() {
+        use crate::detect::{HonestServer, ObservedWeights};
+        use qpwm_structures::Weights;
+        let key = sample();
+        let mut w = Weights::new(1);
+        for e in [4u32, 5, 10, 11] {
+            w.set(&[e], 100);
+        }
+        // mark only the unary pairs (the binary pair stays untouched and
+        // shows up as a missing read)
+        let message = vec![true, false];
+        let marked = key.marking.apply(&w, &message);
+        let reloaded = SchemeKey::from_text(&key.to_text()).expect("parses");
+        let sets = vec![vec![vec![4u32], vec![5], vec![10], vec![11]]];
+        let server = HonestServer::new(sets, marked);
+        let report = reloaded
+            .marking
+            .extract(&w, &ObservedWeights::collect(&server));
+        assert_eq!(&report.bits[..2], &message[..2]);
+    }
+}

@@ -1,0 +1,54 @@
+//! Query-preserving watermarking schemes — the contribution of
+//! Gross-Amblard, PODS 2003.
+//!
+//! * [`local_scheme`] — Theorem 3: watermarking bounded-degree structures
+//!   while preserving local (e.g. first-order) parametric queries, via
+//!   canonical parameters and balanced `(+1, −1)` pair markings.
+//! * [`tree_scheme`] — Theorem 5: watermarking trees while preserving
+//!   queries defined by `m`-state bottom-up tree automata (hence, via
+//!   Lemma 2, MSO / XML pattern queries), hiding `≈ |W|/4m` bits with
+//!   global distortion 1.
+//! * [`capacity`] — Theorem 1: exact `#Mark` counting and its
+//!   #P-hardness witness (the PERMANENT reduction).
+//! * [`impossibility`] — Theorem 2, Remark 1, Theorem 6: shattered
+//!   structures where no scheme exists, and the half-shattered family
+//!   that still carries `|W|/4` bits.
+//! * [`adversary`] — Fact 1 (Khanna–Zane): turning the non-adversarial
+//!   schemes into adversarial ones by redundancy, plus attack simulations.
+//! * [`incremental`] — Theorems 7–8: maintaining marks under weights-only
+//!   and type-preserving updates.
+//! * [`detect`] — the detector side: reconstructing weights from query
+//!   answers of a (possibly malicious) server, with binomial
+//!   false-positive significance.
+//! * [`cliquewidth`] — Theorem 4 executed: k-expressions, parse trees,
+//!   the edge-query automaton, tree → 3-expression conversion.
+//! * [`multi_query`] — several registered queries preserved at once.
+//! * [`owner`] — the 3-tier console: issue per-server copies, refresh
+//!   them across weight updates, attribute leaks.
+//! * [`keyfile`] — persistence of the scheme secret.
+//! * [`aggregates`] / [`relative`] — the paper's notes on alternative
+//!   aggregates and relative error, made checkable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod aggregates;
+pub mod capacity;
+pub mod cliquewidth;
+pub mod detect;
+pub mod impossibility;
+pub mod incremental;
+pub mod keyfile;
+pub mod local_scheme;
+pub mod multi_query;
+pub mod owner;
+pub mod pairing;
+pub mod relative;
+pub mod tree_scheme;
+
+pub use detect::{AnswerServer, DetectionReport, HonestServer};
+pub use local_scheme::{LocalScheme, LocalSchemeConfig, SchemeError};
+pub use pairing::{Pair, PairMarking};
+pub use multi_query::MultiQueryScheme;
+pub use tree_scheme::TreeScheme;

@@ -1,0 +1,429 @@
+//! The Theorem 3 watermarking scheme: local queries on bounded-degree
+//! structures.
+//!
+//! Pipeline (paper, section 3):
+//!
+//! 1. materialize the answers `W_ā` for every parameter;
+//! 2. classify parameters into `≈_ρ` neighborhood types; pick canonical
+//!    parameters `S` (one per type);
+//! 3. compute each active element's class `cl(w̄)` and the S-partition
+//!    into balanced pairs (Proposition 1 ⇒ zero distortion on canonical
+//!    parameters);
+//! 4. select pairs so that no parameter separates more than `d = ⌈1/ε⌉`
+//!    of them — Proposition 2 does this by independent sampling with
+//!    `p = 1/(η(2N)^ε)`; we also provide a greedy mode that packs more
+//!    pairs while maintaining the same invariant (an engineering
+//!    extension benchmarked as an ablation);
+//! 5. the marker encodes each message bit as the orientation of one pair;
+//!    the detector reads orientations back from query answers.
+//!
+//! Encoding every bit in an orientation (rather than marking a subset of
+//! pairs) makes the `d`-global guarantee hold for **all** `2^l` messages
+//! deterministically once step 4 succeeds, which is slightly stronger
+//! than Definition 2's probability-¾ requirement.
+
+use crate::detect::{AnswerServer, DetectionReport, ObservedWeights};
+use crate::pairing::{classes, s_partition, Pair, PairMarking};
+use qpwm_logic::{ParametricQuery, QueryAnswers};
+use qpwm_structures::{GaifmanGraph, NeighborhoodTypes, WeightedStructure, Weights};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// How the scheme selects pairs subject to the separation bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionStrategy {
+    /// Proposition 2: include each pair independently with probability
+    /// `p = 1/(η(2N)^ε)`, retry on failure (the paper's marker).
+    Sampling {
+        /// Maximum attempts before giving up.
+        max_retries: u32,
+    },
+    /// Greedy packing: shuffle pairs, add one if the worst-case
+    /// separation stays within `d`. Deterministically succeeds and packs
+    /// at least as many pairs in practice; not part of the paper.
+    Greedy,
+}
+
+/// Configuration of the Theorem 3 marker.
+#[derive(Debug, Clone)]
+pub struct LocalSchemeConfig {
+    /// Locality radius ρ of the query (from Gaifman's bound or a tighter
+    /// per-query argument).
+    pub rho: u32,
+    /// Distortion budget `d = ⌈1/ε⌉`: no parameter may see more than
+    /// this much global distortion.
+    pub d: u64,
+    /// Pair selection strategy.
+    pub strategy: SelectionStrategy,
+    /// RNG seed (schemes are deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for LocalSchemeConfig {
+    fn default() -> Self {
+        LocalSchemeConfig {
+            rho: 1,
+            d: 2,
+            strategy: SelectionStrategy::Sampling { max_retries: 64 },
+            seed: 0,
+        }
+    }
+}
+
+/// Failure modes of scheme construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemeError {
+    /// No balanced pairs exist (every class group is a singleton).
+    NoPairs,
+    /// Sampling never produced an ε-good selection within the retry
+    /// budget.
+    SamplingFailed {
+        /// Attempts made.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for SchemeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemeError::NoPairs => write!(f, "no balanced pairs available"),
+            SchemeError::SamplingFailed { attempts } => {
+                write!(f, "no ε-good marking found in {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemeError {}
+
+/// Construction diagnostics (reported by experiments).
+#[derive(Debug, Clone)]
+pub struct SchemeStats {
+    /// `|W|`: number of active weighted elements.
+    pub active_elements: usize,
+    /// `N`: number of distinct queries (distinct active sets).
+    pub distinct_queries: usize,
+    /// `ntp(ρ, G)`: number of parameter neighborhood types.
+    pub num_types: usize,
+    /// Pairs available in the S-partition before selection.
+    pub candidate_pairs: usize,
+    /// The sampling probability `p` used (1.0 for greedy).
+    pub sampling_p: f64,
+    /// Sampling attempts consumed.
+    pub attempts: u32,
+    /// Worst-case separation of the selected pairs (≤ d by construction).
+    pub max_separation: usize,
+}
+
+/// A constructed Theorem 3 scheme: marker + detector sharing the secret
+/// pair list.
+#[derive(Debug, Clone)]
+pub struct LocalScheme {
+    marking: PairMarking,
+    answers: QueryAnswers,
+    stats: SchemeStats,
+    d: u64,
+}
+
+impl LocalScheme {
+    /// Builds a scheme for `query` on `(G, W)`.
+    ///
+    /// The parameter domain defaults to all of `U^r`; use
+    /// [`LocalScheme::build_over`] to restrict it.
+    pub fn build(
+        instance: &WeightedStructure,
+        query: &ParametricQuery,
+        config: &LocalSchemeConfig,
+    ) -> Result<Self, SchemeError> {
+        let answers = query.answers(instance.structure());
+        Self::build_with_answers(instance, query, answers, config)
+    }
+
+    /// Builds a scheme over an explicit parameter domain.
+    pub fn build_over(
+        instance: &WeightedStructure,
+        query: &ParametricQuery,
+        domain: Vec<Vec<qpwm_structures::Element>>,
+        config: &LocalSchemeConfig,
+    ) -> Result<Self, SchemeError> {
+        let answers = query.answers_over(instance.structure(), domain);
+        Self::build_with_answers(instance, query, answers, config)
+    }
+
+    fn build_with_answers(
+        instance: &WeightedStructure,
+        query: &ParametricQuery,
+        answers: QueryAnswers,
+        config: &LocalSchemeConfig,
+    ) -> Result<Self, SchemeError> {
+        let structure = instance.structure();
+        let gaifman = GaifmanGraph::of(structure);
+        // Classify the parameter tuples that actually occur.
+        let census = NeighborhoodTypes::classify(
+            structure,
+            &gaifman,
+            config.rho,
+            answers.parameters().iter().cloned(),
+        );
+        // Canonical active sets: the representative parameter of each type.
+        let canonical_sets: Vec<Vec<Vec<qpwm_structures::Element>>> = (0..census.num_types())
+            .map(|t| {
+                answers
+                    .active_set_of(census.representative(t))
+                    .expect("representative parameter is in the domain")
+                    .to_vec()
+            })
+            .collect();
+        let active = answers.active_universe();
+        let cls = classes(&active, &canonical_sets);
+        let all_pairs = s_partition(&active, &cls);
+        if all_pairs.is_empty() {
+            return Err(SchemeError::NoPairs);
+        }
+
+        // Lemma 1's deviation bound η = r·k^(2ρ+1) (s = 1), used for the
+        // sampling probability. Saturating: huge η just means tiny p.
+        let r = query.r() as u64;
+        let k = gaifman.max_degree() as u64;
+        let eta = r.saturating_mul(k.saturating_pow(2 * config.rho + 1)).max(1);
+        let n_queries = answers.distinct_queries().max(1) as f64;
+        let epsilon = 1.0 / config.d as f64;
+        let p = (1.0 / (eta as f64 * (2.0 * n_queries).powf(epsilon))).min(1.0);
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let (selected, attempts) = match config.strategy {
+            SelectionStrategy::Sampling { max_retries } => {
+                let mut attempt = 0;
+                loop {
+                    attempt += 1;
+                    let chosen: Vec<Pair> = all_pairs
+                        .iter()
+                        .filter(|_| rng.gen::<f64>() < p)
+                        .cloned()
+                        .collect();
+                    if chosen.is_empty() {
+                        if attempt >= max_retries {
+                            return Err(SchemeError::SamplingFailed { attempts: attempt });
+                        }
+                        continue;
+                    }
+                    let trial = PairMarking::new(chosen);
+                    if trial.max_separation(answers.active_sets()) <= config.d as usize {
+                        break (trial, attempt);
+                    }
+                    if attempt >= max_retries {
+                        return Err(SchemeError::SamplingFailed { attempts: attempt });
+                    }
+                }
+            }
+            SelectionStrategy::Greedy => {
+                let mut order: Vec<usize> = (0..all_pairs.len()).collect();
+                // Fisher-Yates with the seeded RNG for determinism.
+                for i in (1..order.len()).rev() {
+                    let j = rng.gen_range(0..=i);
+                    order.swap(i, j);
+                }
+                // Track per-parameter separation counts incrementally.
+                let sets: Vec<std::collections::HashSet<&Vec<u32>>> = answers
+                    .active_sets()
+                    .iter()
+                    .map(|s| s.iter().collect())
+                    .collect();
+                let mut counts = vec![0u64; sets.len()];
+                let mut chosen = Vec::new();
+                for idx in order {
+                    let pair = &all_pairs[idx];
+                    let separating: Vec<usize> = sets
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| s.contains(&pair.plus) != s.contains(&pair.minus))
+                        .map(|(i, _)| i)
+                        .collect();
+                    if separating.iter().all(|&i| counts[i] < config.d) {
+                        for &i in &separating {
+                            counts[i] += 1;
+                        }
+                        chosen.push(pair.clone());
+                    }
+                }
+                if chosen.is_empty() {
+                    return Err(SchemeError::NoPairs);
+                }
+                (PairMarking::new(chosen), 1)
+            }
+        };
+
+        let max_separation = selected.max_separation(answers.active_sets());
+        debug_assert!(max_separation <= config.d as usize);
+        let stats = SchemeStats {
+            active_elements: active.len(),
+            distinct_queries: answers.distinct_queries(),
+            num_types: census.num_types(),
+            candidate_pairs: all_pairs.len(),
+            sampling_p: if matches!(config.strategy, SelectionStrategy::Greedy) {
+                1.0
+            } else {
+                p
+            },
+            attempts,
+            max_separation,
+        };
+        Ok(LocalScheme { marking: selected, answers, stats, d: config.d })
+    }
+
+    /// Number of message bits the scheme hides (`l`).
+    pub fn capacity(&self) -> usize {
+        self.marking.capacity()
+    }
+
+    /// The distortion budget `d`.
+    pub fn d(&self) -> u64 {
+        self.d
+    }
+
+    /// Construction diagnostics.
+    pub fn stats(&self) -> &SchemeStats {
+        &self.stats
+    }
+
+    /// The secret pair marking (exposed for adversarial wrappers and
+    /// incremental maintenance).
+    pub fn marking(&self) -> &PairMarking {
+        &self.marking
+    }
+
+    /// The materialized answers (active sets per parameter).
+    pub fn answers(&self) -> &QueryAnswers {
+        &self.answers
+    }
+
+    /// The marker `M`: embeds `message` into the weights.
+    ///
+    /// # Panics
+    /// Panics if `message` exceeds [`LocalScheme::capacity`].
+    pub fn mark(&self, weights: &Weights, message: &[bool]) -> Weights {
+        self.marking.apply(weights, message)
+    }
+
+    /// The detector `D`: recovers the message from a suspect server's
+    /// answers, given the original (secret) weights.
+    pub fn detect(&self, original: &Weights, server: &dyn AnswerServer) -> DetectionReport {
+        let observed = ObservedWeights::collect(server);
+        self.marking.extract(original, &observed)
+    }
+
+    /// Audits a marked instance against Definition 2: 1-local and
+    /// d-global over the full parameter domain.
+    pub fn audit(&self, original: &Weights, marked: &Weights) -> qpwm_structures::DistortionReport {
+        qpwm_structures::global_distortion(original, marked, self.answers.active_sets())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::HonestServer;
+    use qpwm_logic::Formula;
+    use qpwm_structures::{figure1_instance, Weights};
+
+    fn edge_query() -> ParametricQuery {
+        ParametricQuery::new(Formula::atom(0, &[0, 1]), vec![0], vec![1])
+    }
+
+    fn figure1_weighted() -> WeightedStructure {
+        let s = figure1_instance();
+        let mut w = Weights::new(1);
+        for e in 0..6u32 {
+            w.set(&[e], 100 + e as i64);
+        }
+        WeightedStructure::new(s, w)
+    }
+
+    fn greedy_config() -> LocalSchemeConfig {
+        LocalSchemeConfig {
+            rho: 1,
+            d: 1,
+            strategy: SelectionStrategy::Greedy,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn figure1_scheme_statistics() {
+        let ws = figure1_weighted();
+        let q = edge_query();
+        let scheme = LocalScheme::build(&ws, &q, &greedy_config()).expect("builds");
+        let stats = scheme.stats();
+        assert_eq!(stats.active_elements, 6);
+        assert_eq!(stats.num_types, 3);
+        assert_eq!(stats.distinct_queries, 5);
+        // Figure 4: the only equal-class pair is (a, b).
+        assert_eq!(stats.candidate_pairs, 1);
+        assert!(scheme.capacity() >= 1);
+        assert!(stats.max_separation <= 1);
+    }
+
+    #[test]
+    fn definition2_audit_holds_for_all_messages() {
+        let ws = figure1_weighted();
+        let q = edge_query();
+        let scheme = LocalScheme::build(&ws, &q, &greedy_config()).expect("builds");
+        let l = scheme.capacity();
+        for mask in 0..(1u32 << l.min(8)) {
+            let message: Vec<bool> = (0..l).map(|i| mask >> i & 1 == 1).collect();
+            let marked = scheme.mark(ws.weights(), &message);
+            let report = scheme.audit(ws.weights(), &marked);
+            assert!(report.is_c_local(1), "mask {mask}: local {}", report.max_local);
+            assert!(report.is_d_global(1), "mask {mask}: global {}", report.max_global);
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_honest_server() {
+        let ws = figure1_weighted();
+        let q = edge_query();
+        let scheme = LocalScheme::build(&ws, &q, &greedy_config()).expect("builds");
+        let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 2 == 0).collect();
+        let marked = scheme.mark(ws.weights(), &message);
+        let server = HonestServer::new(scheme.answers().active_sets().to_vec(), marked);
+        let report = scheme.detect(ws.weights(), &server);
+        assert_eq!(report.bits, message);
+        assert_eq!(report.missing_pairs, 0);
+    }
+
+    #[test]
+    fn sampling_strategy_also_builds() {
+        let ws = figure1_weighted();
+        let q = edge_query();
+        let config = LocalSchemeConfig {
+            rho: 1,
+            d: 2,
+            strategy: SelectionStrategy::Sampling { max_retries: 200 },
+            seed: 42,
+        };
+        let scheme = LocalScheme::build(&ws, &q, &config).expect("builds");
+        assert!(scheme.capacity() >= 1);
+        assert!(scheme.stats().sampling_p <= 1.0);
+        let marked = scheme.mark(ws.weights(), &vec![true; scheme.capacity()]);
+        assert!(scheme.audit(ws.weights(), &marked).is_d_global(2));
+    }
+
+    #[test]
+    fn no_pairs_is_reported() {
+        // A 2-element instance with asymmetric elements: no equal-class
+        // pair exists.
+        use qpwm_structures::{Schema, StructureBuilder};
+        use std::sync::Arc;
+        let schema = Arc::new(Schema::graph());
+        let mut b = StructureBuilder::new(schema, 2);
+        b.add(0, &[0, 1]);
+        let s = b.build();
+        let ws = WeightedStructure::new(s, Weights::new(1));
+        let q = edge_query();
+        match LocalScheme::build(&ws, &q, &greedy_config()) {
+            Err(SchemeError::NoPairs) => {}
+            other => panic!("expected NoPairs, got {other:?}"),
+        }
+    }
+}

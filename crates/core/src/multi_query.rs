@@ -1,0 +1,360 @@
+//! Preserving several registered queries at once.
+//!
+//! The paper treats a single query `ψ` "without loss of generality,
+//! but extension to several queries ψ₁, ..., ψ_k is straightforward by
+//! simple projection techniques". Concretely: classes are computed
+//! against the union of every query's canonical active sets (tagging
+//! each canonical set with its query), the S-partition pairs elements
+//! whose membership agrees across *all* queries' canonical parameters,
+//! and the ε-goodness check runs over the union of all answer families.
+//! Each query then individually satisfies the d-global bound.
+
+use crate::detect::{AnswerServer, DetectionReport, ObservedWeights};
+use crate::local_scheme::{LocalSchemeConfig, SchemeError, SelectionStrategy};
+use crate::pairing::{classes, s_partition, Pair, PairMarking};
+use qpwm_logic::{ParametricQuery, QueryAnswers};
+use qpwm_structures::{Element, GaifmanGraph, NeighborhoodTypes, WeightedStructure, Weights};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// A scheme preserving a set of registered parametric queries.
+#[derive(Debug)]
+pub struct MultiQueryScheme {
+    marking: PairMarking,
+    /// Per-query materialized answers, in registration order.
+    answers: Vec<QueryAnswers>,
+    /// Worst-case separation across all queries.
+    max_separation: usize,
+    d: u64,
+}
+
+impl MultiQueryScheme {
+    /// The distortion budget `d` the scheme was built with.
+    pub fn d(&self) -> u64 {
+        self.d
+    }
+}
+
+impl MultiQueryScheme {
+    /// Builds a scheme preserving every `(query, domain)` pair.
+    ///
+    /// # Errors
+    /// [`SchemeError::NoPairs`] when no two active elements share classes
+    /// across all queries; [`SchemeError::SamplingFailed`] as in the
+    /// single-query scheme.
+    pub fn build(
+        instance: &WeightedStructure,
+        queries: &[(&ParametricQuery, Vec<Vec<Element>>)],
+        config: &LocalSchemeConfig,
+    ) -> Result<Self, SchemeError> {
+        assert!(!queries.is_empty(), "need at least one query");
+        let structure = instance.structure();
+        let gaifman = GaifmanGraph::of(structure);
+
+        // Materialize all answers; build canonical sets per query.
+        let mut all_answers = Vec::with_capacity(queries.len());
+        let mut canonical_sets: Vec<Vec<Vec<Element>>> = Vec::new();
+        for (query, domain) in queries {
+            let answers = query.answers_over(structure, domain.clone());
+            let census = NeighborhoodTypes::classify(
+                structure,
+                &gaifman,
+                config.rho,
+                answers.parameters().iter().cloned(),
+            );
+            for t in 0..census.num_types() {
+                canonical_sets.push(
+                    answers
+                        .active_set_of(census.representative(t))
+                        .expect("representative in domain")
+                        .to_vec(),
+                );
+            }
+            all_answers.push(answers);
+        }
+
+        // Active universe: union over all queries.
+        let active: Vec<Vec<Element>> = {
+            let mut set: BTreeSet<Vec<Element>> = BTreeSet::new();
+            for answers in &all_answers {
+                set.extend(answers.active_universe());
+            }
+            set.into_iter().collect()
+        };
+        let cls = classes(&active, &canonical_sets);
+        let all_pairs = s_partition(&active, &cls);
+        if all_pairs.is_empty() {
+            return Err(SchemeError::NoPairs);
+        }
+
+        // Combined family for the separation check.
+        let combined: Vec<Vec<Vec<Element>>> = all_answers
+            .iter()
+            .flat_map(|a| a.active_sets().iter().cloned())
+            .collect();
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let marking = match config.strategy {
+            SelectionStrategy::Greedy => {
+                let mut order: Vec<usize> = (0..all_pairs.len()).collect();
+                for i in (1..order.len()).rev() {
+                    let j = rng.gen_range(0..=i);
+                    order.swap(i, j);
+                }
+                let sets: Vec<std::collections::HashSet<&Vec<u32>>> =
+                    combined.iter().map(|s| s.iter().collect()).collect();
+                let mut counts = vec![0u64; sets.len()];
+                let mut chosen: Vec<Pair> = Vec::new();
+                for idx in order {
+                    let pair = &all_pairs[idx];
+                    let separating: Vec<usize> = sets
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| s.contains(&pair.plus) != s.contains(&pair.minus))
+                        .map(|(i, _)| i)
+                        .collect();
+                    if separating.iter().all(|&i| counts[i] < config.d) {
+                        for &i in &separating {
+                            counts[i] += 1;
+                        }
+                        chosen.push(pair.clone());
+                    }
+                }
+                if chosen.is_empty() {
+                    return Err(SchemeError::NoPairs);
+                }
+                PairMarking::new(chosen)
+            }
+            SelectionStrategy::Sampling { max_retries } => {
+                // the paper's p with N = total distinct queries across all
+                // registered formulas
+                let n_queries: usize = all_answers.iter().map(QueryAnswers::distinct_queries).sum();
+                let r = queries.iter().map(|(q, _)| q.r()).max().unwrap_or(1) as u64;
+                let k = gaifman.max_degree() as u64;
+                let eta = r.saturating_mul(k.saturating_pow(2 * config.rho + 1)).max(1);
+                let epsilon = 1.0 / config.d as f64;
+                let p = (1.0
+                    / (eta as f64 * (2.0 * n_queries.max(1) as f64).powf(epsilon)))
+                .min(1.0);
+                let mut attempt = 0;
+                loop {
+                    attempt += 1;
+                    let chosen: Vec<Pair> = all_pairs
+                        .iter()
+                        .filter(|_| rng.gen::<f64>() < p)
+                        .cloned()
+                        .collect();
+                    if !chosen.is_empty() {
+                        let trial = PairMarking::new(chosen);
+                        if trial.max_separation(&combined) <= config.d as usize {
+                            break trial;
+                        }
+                    }
+                    if attempt >= max_retries {
+                        return Err(SchemeError::SamplingFailed { attempts: attempt });
+                    }
+                }
+            }
+        };
+        let max_separation = marking.max_separation(&combined);
+        Ok(MultiQueryScheme { marking, answers: all_answers, max_separation, d: config.d })
+    }
+
+    /// Message capacity.
+    pub fn capacity(&self) -> usize {
+        self.marking.capacity()
+    }
+
+    /// Worst separation across every registered query (≤ d).
+    pub fn max_separation(&self) -> usize {
+        self.max_separation
+    }
+
+    /// The secret marking.
+    pub fn marking(&self) -> &PairMarking {
+        &self.marking
+    }
+
+    /// Answers of the i-th registered query.
+    pub fn answers(&self, i: usize) -> &QueryAnswers {
+        &self.answers[i]
+    }
+
+    /// Number of registered queries.
+    pub fn num_queries(&self) -> usize {
+        self.answers.len()
+    }
+
+    /// Marker.
+    pub fn mark(&self, weights: &Weights, message: &[bool]) -> Weights {
+        self.marking.apply(weights, message)
+    }
+
+    /// Detector reading answers of the i-th query's server. Any single
+    /// registered query suffices if its answers expose all pairs; use
+    /// [`MultiQueryScheme::detect_combined`] otherwise.
+    pub fn detect(&self, original: &Weights, server: &dyn AnswerServer) -> DetectionReport {
+        let observed = ObservedWeights::collect(server);
+        self.marking.extract(original, &observed)
+    }
+
+    /// Detector combining several servers' observations (one per query).
+    pub fn detect_combined(
+        &self,
+        original: &Weights,
+        servers: &[&dyn AnswerServer],
+    ) -> DetectionReport {
+        let mut merged = ObservedWeights::collect(servers[0]);
+        for server in &servers[1..] {
+            let obs = ObservedWeights::collect(*server);
+            merged.merge(obs);
+        }
+        self.marking.extract(original, &merged)
+    }
+
+    /// Audits the d-global bound per query; returns the max distortion of
+    /// each registered query.
+    pub fn audit(&self, original: &Weights, marked: &Weights) -> Vec<i64> {
+        self.answers
+            .iter()
+            .map(|a| a.max_global_distortion(original, marked))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::HonestServer;
+    use qpwm_logic::Formula;
+    use qpwm_structures::{Schema, StructureBuilder};
+    use std::sync::Arc;
+
+    /// Disjoint 6-cycles with both the edge query and the two-hop query.
+    fn setup() -> (WeightedStructure, ParametricQuery, ParametricQuery) {
+        let schema = Arc::new(Schema::graph());
+        let mut b = StructureBuilder::new(schema, 60);
+        for c in 0..10u32 {
+            let base = c * 6;
+            for i in 0..6 {
+                let u = base + i;
+                let v = base + (i + 1) % 6;
+                b.add(0, &[u, v]);
+                b.add(0, &[v, u]);
+            }
+        }
+        let s = b.build();
+        let mut w = Weights::new(1);
+        for e in s.universe() {
+            w.set(&[e], 100 + e as i64);
+        }
+        let edge = ParametricQuery::new(Formula::atom(0, &[0, 1]), vec![0], vec![1]);
+        let two_hop = ParametricQuery::new(
+            Formula::exists(2, Formula::atom(0, &[0, 2]).and(Formula::atom(0, &[2, 1]))),
+            vec![0],
+            vec![1],
+        );
+        (WeightedStructure::new(s, w), edge, two_hop)
+    }
+
+    fn domain(n: u32) -> Vec<Vec<Element>> {
+        (0..n).map(|e| vec![e]).collect()
+    }
+
+    #[test]
+    fn builds_and_bounds_both_queries() {
+        let (instance, edge, two_hop) = setup();
+        let config = LocalSchemeConfig {
+            rho: 2,
+            d: 2,
+            strategy: SelectionStrategy::Greedy,
+            seed: 1,
+        };
+        let scheme = MultiQueryScheme::build(
+            &instance,
+            &[(&edge, domain(60)), (&two_hop, domain(60))],
+            &config,
+        )
+        .expect("builds");
+        assert!(scheme.capacity() >= 2, "capacity {}", scheme.capacity());
+        assert!(scheme.max_separation() <= 2);
+        let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 2 == 0).collect();
+        let marked = scheme.mark(instance.weights(), &message);
+        let audits = scheme.audit(instance.weights(), &marked);
+        assert_eq!(audits.len(), 2);
+        for (i, d) in audits.iter().enumerate() {
+            assert!(*d <= 2, "query {i}: distortion {d}");
+        }
+    }
+
+    #[test]
+    fn detection_through_either_query() {
+        let (instance, edge, two_hop) = setup();
+        let config = LocalSchemeConfig {
+            rho: 2,
+            d: 2,
+            strategy: SelectionStrategy::Greedy,
+            seed: 5,
+        };
+        let scheme = MultiQueryScheme::build(
+            &instance,
+            &[(&edge, domain(60)), (&two_hop, domain(60))],
+            &config,
+        )
+        .expect("builds");
+        let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 3 == 0).collect();
+        let marked = scheme.mark(instance.weights(), &message);
+        // the edge query alone exposes every element's weight on cycles
+        let server = HonestServer::new(scheme.answers(0).active_sets().to_vec(), marked);
+        let report = scheme.detect(instance.weights(), &server);
+        assert_eq!(report.bits, message);
+    }
+
+    #[test]
+    fn combined_detection_merges_servers() {
+        let (instance, edge, two_hop) = setup();
+        let config = LocalSchemeConfig {
+            rho: 2,
+            d: 2,
+            strategy: SelectionStrategy::Greedy,
+            seed: 2,
+        };
+        let scheme = MultiQueryScheme::build(
+            &instance,
+            &[(&edge, domain(60)), (&two_hop, domain(60))],
+            &config,
+        )
+        .expect("builds");
+        let message: Vec<bool> = (0..scheme.capacity()).map(|_| true).collect();
+        let marked = scheme.mark(instance.weights(), &message);
+        let s0 = HonestServer::new(scheme.answers(0).active_sets().to_vec(), marked.clone());
+        let s1 = HonestServer::new(scheme.answers(1).active_sets().to_vec(), marked);
+        let report =
+            scheme.detect_combined(instance.weights(), &[&s0 as &dyn AnswerServer, &s1]);
+        assert_eq!(report.bits, message);
+    }
+
+    #[test]
+    fn single_query_multi_matches_local_scheme_family() {
+        // with one registered query, the multi-scheme behaves like the
+        // single-query scheme (same family, same bound)
+        let (instance, edge, _) = setup();
+        let config = LocalSchemeConfig {
+            rho: 1,
+            d: 1,
+            strategy: SelectionStrategy::Greedy,
+            seed: 9,
+        };
+        let multi = MultiQueryScheme::build(&instance, &[(&edge, domain(60))], &config)
+            .expect("builds");
+        let single = crate::local_scheme::LocalScheme::build_over(
+            &instance,
+            &edge,
+            domain(60),
+            &config,
+        )
+        .expect("builds");
+        assert_eq!(multi.capacity(), single.capacity());
+    }
+}

@@ -1,0 +1,229 @@
+//! The data owner's console: issuing per-server copies and tracing
+//! leaks.
+//!
+//! The paper's 3-tier story: an owner distributes `2^l` differently
+//! marked copies to data servers; discovering a suspect database (or
+//! just a queryable interface to one), the owner recovers the embedded
+//! message and identifies the leaking server. This module packages that
+//! workflow:
+//!
+//! * each registered server gets a **codeword** — a pseudo-random
+//!   message derived from the owner's secret key and the server's name,
+//!   so codewords are spread out in Hamming space without bookkeeping;
+//! * [`Owner::identify`] decodes a suspect's answers and attributes the
+//!   leak to the nearest codeword, with a binomial significance for the
+//!   attribution (nearest-vs-chance);
+//! * weight updates are propagated per Theorem 7 without re-marking
+//!   (dodging the auto-collusion trap of re-issuing fresh marks).
+
+use crate::detect::{binomial_tail, AnswerServer, ObservedWeights};
+use crate::incremental::MarkDeltas;
+use crate::pairing::PairMarking;
+use qpwm_structures::Weights;
+use std::collections::HashMap;
+
+/// Derives server `name`'s codeword of `bits` bits from the owner key.
+fn codeword(key: u64, name: &str, bits: usize) -> Vec<bool> {
+    let mut h = key;
+    for b in name.bytes() {
+        h ^= u64::from(b).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+    }
+    let mut out = Vec::with_capacity(bits);
+    let mut state = h;
+    for _ in 0..bits {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        out.push(state >> 63 == 1);
+    }
+    out
+}
+
+/// Attribution of a suspect to an issued copy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribution {
+    /// The best-matching server.
+    pub server: String,
+    /// Bits matching that server's codeword.
+    pub matches: usize,
+    /// Total message bits.
+    pub bits: usize,
+    /// `P[an unrelated database matches this well by chance]`.
+    pub significance: f64,
+    /// Runner-up server and its match count (a close runner-up weakens
+    /// the attribution).
+    pub runner_up: Option<(String, usize)>,
+}
+
+/// The owner's state: the scheme secret, base weights, and issued copies.
+#[derive(Debug)]
+pub struct Owner {
+    marking: PairMarking,
+    key: u64,
+    base_weights: Weights,
+    issued: HashMap<String, Vec<bool>>,
+}
+
+impl Owner {
+    /// Creates a console from a constructed scheme's marking, the secret
+    /// key used to derive codewords, and the original weights.
+    pub fn new(marking: PairMarking, key: u64, base_weights: Weights) -> Self {
+        Owner { marking, key, base_weights, issued: HashMap::new() }
+    }
+
+    /// Message length per copy (the scheme capacity).
+    pub fn message_bits(&self) -> usize {
+        self.marking.capacity()
+    }
+
+    /// Registered servers.
+    pub fn servers(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.issued.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Issues a marked copy for `server`, recording its codeword.
+    pub fn issue(&mut self, server: &str) -> Weights {
+        let message = codeword(self.key, server, self.marking.capacity());
+        let marked = self.marking.apply(&self.base_weights, &message);
+        self.issued.insert(server.to_owned(), message);
+        marked
+    }
+
+    /// Theorem 7: the owner updated the base weights; produce the
+    /// refreshed copy for `server` carrying the *same* mark (no
+    /// re-marking, no auto-collusion exposure).
+    ///
+    /// # Panics
+    /// Panics if `server` was never issued a copy.
+    pub fn refresh(&mut self, server: &str, new_weights: Weights) -> Weights {
+        let message = self
+            .issued
+            .get(server)
+            .unwrap_or_else(|| panic!("unknown server {server}"))
+            .clone();
+        let old_marked = self.marking.apply(&self.base_weights, &message);
+        let deltas = MarkDeltas::from_marked(&self.base_weights, &old_marked);
+        self.base_weights = new_weights;
+        deltas.reapply(&self.base_weights)
+    }
+
+    /// Queries a suspect server and attributes the leak.
+    ///
+    /// Returns `None` when no copy was ever issued.
+    pub fn identify(&self, suspect: &dyn AnswerServer) -> Option<Attribution> {
+        if self.issued.is_empty() {
+            return None;
+        }
+        let observed = ObservedWeights::collect(suspect);
+        let report = self.marking.extract(&self.base_weights, &observed);
+        let mut scored: Vec<(&String, usize)> = self
+            .issued
+            .iter()
+            .map(|(name, code)| (name, code.len() - report.errors_against(code)))
+            .collect();
+        scored.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        let (best, matches) = scored[0];
+        let runner_up = scored.get(1).map(|(n, m)| ((*n).clone(), *m));
+        Some(Attribution {
+            server: best.clone(),
+            matches,
+            bits: self.marking.capacity(),
+            significance: binomial_tail(self.marking.capacity(), matches),
+            runner_up,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::HonestServer;
+    use crate::pairing::Pair;
+
+    fn setup(pairs: usize) -> (Owner, Vec<Vec<Vec<u32>>>) {
+        let marking = PairMarking::new(
+            (0..pairs)
+                .map(|i| Pair { plus: vec![2 * i as u32], minus: vec![2 * i as u32 + 1] })
+                .collect(),
+        );
+        let mut w = Weights::new(1);
+        for e in 0..2 * pairs as u32 {
+            w.set(&[e], 700 + e as i64);
+        }
+        let sets = vec![(0..2 * pairs as u32).map(|e| vec![e]).collect::<Vec<_>>()];
+        (Owner::new(marking, 0xDEAD_BEEF, w), sets)
+    }
+
+    #[test]
+    fn codewords_are_deterministic_and_distinct() {
+        let a = codeword(1, "alpha", 64);
+        assert_eq!(a, codeword(1, "alpha", 64));
+        let b = codeword(1, "beta", 64);
+        let distance = a.iter().zip(&b).filter(|(x, y)| x != y).count();
+        assert!(distance >= 16, "distance {distance}");
+        // different keys give different codewords
+        assert_ne!(a, codeword(2, "alpha", 64));
+    }
+
+    #[test]
+    fn identifies_the_leaking_server() {
+        let (mut owner, sets) = setup(48);
+        let copies: Vec<(String, Weights)> = ["air-travel.example", "hotels.example", "meteo.example"]
+            .iter()
+            .map(|s| (s.to_string(), owner.issue(s)))
+            .collect();
+        for (name, weights) in &copies {
+            let server = HonestServer::new(sets.clone(), weights.clone());
+            let attribution = owner.identify(&server).expect("copies issued");
+            assert_eq!(&attribution.server, name);
+            assert_eq!(attribution.matches, 48);
+            assert!(attribution.significance < 1e-12);
+            let (_, runner_matches) = attribution.runner_up.expect("three servers");
+            assert!(runner_matches < 40, "runner-up at {runner_matches}");
+        }
+    }
+
+    #[test]
+    fn refresh_preserves_attribution_across_weight_updates() {
+        let (mut owner, sets) = setup(40);
+        owner.issue("alpha");
+        owner.issue("beta");
+        let mut new_w = Weights::new(1);
+        for e in 0..80u32 {
+            new_w.set(&[e], 12_345 + 3 * e as i64);
+        }
+        let refreshed_alpha = owner.refresh("alpha", new_w);
+        let server = HonestServer::new(sets, refreshed_alpha);
+        let attribution = owner.identify(&server).expect("issued");
+        assert_eq!(attribution.server, "alpha");
+        assert_eq!(attribution.matches, 40);
+    }
+
+    #[test]
+    fn unissued_owner_identifies_nothing() {
+        let (owner, sets) = setup(8);
+        let server = HonestServer::new(sets, Weights::new(1));
+        assert!(owner.identify(&server).is_none());
+    }
+
+    #[test]
+    fn innocent_data_attributes_weakly() {
+        let (mut owner, sets) = setup(48);
+        owner.issue("alpha");
+        owner.issue("beta");
+        // a server with wholly different weights
+        let mut other = Weights::new(1);
+        for e in 0..96u32 {
+            other.set(&[e], 1_000_000 + ((e as i64 * 37) % 11));
+        }
+        let server = HonestServer::new(sets, other);
+        let attribution = owner.identify(&server).expect("issued");
+        // significance nowhere near an ownership claim
+        assert!(attribution.significance > 1e-6, "sig {}", attribution.significance);
+    }
+}

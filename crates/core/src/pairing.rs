@@ -1,0 +1,306 @@
+//! Classes, S-partitions and balanced pair markings (paper, section 3).
+//!
+//! The class `cl(w̄)` of a weighted element is the set of canonical-
+//! parameter types whose answer sets contain it. An *S-partition* pairs
+//! elements with equal classes; a pair marking adds `+1` to one member
+//! and `−1` to the other, so every canonical parameter sees zero net
+//! distortion (Proposition 1), and by Lemma 1 any other parameter sees at
+//! most the few weights where its answer set deviates from its canonical
+//! representative's.
+
+use qpwm_structures::{Element, WeightKey, Weights};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// A balanced pair of weighted elements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pair {
+    /// Member receiving `+1` when the bit is `1` (and `−1` when `0`).
+    pub plus: WeightKey,
+    /// Member receiving the opposite distortion.
+    pub minus: WeightKey,
+}
+
+impl Pair {
+    /// The signed distortion this pair induces on an active set under
+    /// message bit `bit`: `+1`/`−1` if the set separates the pair, `0`
+    /// otherwise.
+    pub fn distortion_on(&self, set: &HashSet<WeightKey>, bit: bool) -> i64 {
+        let sign: i64 = if bit { 1 } else { -1 };
+        let p = i64::from(set.contains(&self.plus));
+        let m = i64::from(set.contains(&self.minus));
+        sign * (p - m)
+    }
+}
+
+/// Computes the class of every active element: `cl(w̄) = {i : w̄ ∈
+/// W_{ā_i}}` over the canonical active sets (one per neighborhood type).
+pub fn classes(
+    active_universe: &[WeightKey],
+    canonical_sets: &[Vec<WeightKey>],
+) -> HashMap<WeightKey, BTreeSet<usize>> {
+    let mut canon: Vec<HashSet<&WeightKey>> = canonical_sets
+        .iter()
+        .map(|s| s.iter().collect())
+        .collect();
+    let mut out = HashMap::with_capacity(active_universe.len());
+    for w in active_universe {
+        let cls: BTreeSet<usize> = canon
+            .iter_mut()
+            .enumerate()
+            .filter(|(_, set)| set.contains(w))
+            .map(|(i, _)| i)
+            .collect();
+        out.insert(w.clone(), cls);
+    }
+    out
+}
+
+/// Builds an S-partition: pairs of active elements with equal classes.
+/// Elements in odd-sized class groups leave one element unpaired.
+/// Deterministic: elements are paired in sorted order within each group.
+pub fn s_partition(
+    active_universe: &[WeightKey],
+    classes: &HashMap<WeightKey, BTreeSet<usize>>,
+) -> Vec<Pair> {
+    let mut groups: HashMap<&BTreeSet<usize>, Vec<&WeightKey>> = HashMap::new();
+    for w in active_universe {
+        groups.entry(&classes[w]).or_default().push(w);
+    }
+    let mut keys: Vec<&BTreeSet<usize>> = groups.keys().copied().collect();
+    keys.sort_unstable();
+    let mut pairs = Vec::new();
+    for k in keys {
+        let group = groups.get_mut(k).expect("key from map");
+        group.sort_unstable();
+        for chunk in group.chunks(2) {
+            if let [a, b] = chunk {
+                pairs.push(Pair { plus: (*a).clone(), minus: (*b).clone() });
+            }
+        }
+    }
+    pairs
+}
+
+/// A pair marking: an ordered list of pairs carrying one message bit
+/// each.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairMarking {
+    pairs: Vec<Pair>,
+}
+
+impl PairMarking {
+    /// Wraps a pair list.
+    pub fn new(pairs: Vec<Pair>) -> Self {
+        PairMarking { pairs }
+    }
+
+    /// Number of bits the marking can carry.
+    pub fn capacity(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// The pairs.
+    pub fn pairs(&self) -> &[Pair] {
+        &self.pairs
+    }
+
+    /// Applies message `bits` to `weights`: bit `1` ⇒ `(+1, −1)` on the
+    /// pair, bit `0` ⇒ `(−1, +1)`. Always a 1-local distortion.
+    ///
+    /// # Panics
+    /// Panics if `bits` is longer than the capacity (shorter is fine:
+    /// remaining pairs stay unmarked).
+    pub fn apply(&self, weights: &Weights, bits: &[bool]) -> Weights {
+        assert!(bits.len() <= self.pairs.len(), "message longer than capacity");
+        let mut out = weights.clone();
+        for (pair, &bit) in self.pairs.iter().zip(bits) {
+            let sign = if bit { 1 } else { -1 };
+            out.add(&pair.plus, sign);
+            out.add(&pair.minus, -sign);
+        }
+        out
+    }
+
+    /// For each active set, how many pairs does it separate (contain
+    /// exactly one member of)? The worst case over all sets bounds the
+    /// global distortion of *any* message.
+    pub fn separation_counts(&self, active_sets: &[Vec<Vec<Element>>]) -> Vec<usize> {
+        active_sets
+            .iter()
+            .map(|set| {
+                let set: HashSet<&WeightKey> = set.iter().collect();
+                self.pairs
+                    .iter()
+                    .filter(|p| set.contains(&p.plus) != set.contains(&p.minus))
+                    .count()
+            })
+            .collect()
+    }
+
+    /// The worst-case separation over a family of active sets — an upper
+    /// bound on the global distortion of every possible message, and the
+    /// quantity the marker's ε-goodness check constrains.
+    pub fn max_separation(&self, active_sets: &[Vec<Vec<Element>>]) -> usize {
+        self.separation_counts(active_sets).into_iter().max().unwrap_or(0)
+    }
+
+    /// Reads the message back by comparing observed weights against the
+    /// original: bit = sign of the pair's observed delta.
+    pub fn extract(
+        &self,
+        original: &Weights,
+        observed: &crate::detect::ObservedWeights,
+    ) -> crate::detect::DetectionReport {
+        let mut bits = Vec::with_capacity(self.pairs.len());
+        let mut scores = Vec::with_capacity(self.pairs.len());
+        let mut missing = 0usize;
+        for pair in &self.pairs {
+            let dp = observed
+                .get(&pair.plus)
+                .map(|w| w - original.get(&pair.plus));
+            let dm = observed
+                .get(&pair.minus)
+                .map(|w| w - original.get(&pair.minus));
+            if dp.is_none() && dm.is_none() {
+                missing += 1;
+            }
+            let score = dp.unwrap_or(0) - dm.unwrap_or(0);
+            scores.push(score);
+            bits.push(score > 0);
+        }
+        crate::detect::DetectionReport { bits, scores, missing_pairs: missing }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::{HonestServer, ObservedWeights};
+
+    fn key(e: u32) -> WeightKey {
+        vec![e]
+    }
+
+    #[test]
+    fn figure4_classes_and_partition() {
+        // Figure 1 instance, edge query: canonical parameters a (type 1),
+        // c (type 3), d (type 2) with W_a = {d,e}, W_c = {d}, W_d = {a,b,c}.
+        // Classes over canonical sets [W_a, W_c, W_d]:
+        //   a -> {2}, b -> {2}, c -> {2}, d -> {0,1}, e -> {0}, f -> {}.
+        let active: Vec<WeightKey> = (0..6).map(key).collect();
+        let canonical = vec![
+            vec![key(3), key(4)],         // W_a
+            vec![key(3)],                 // W_c
+            vec![key(0), key(1), key(2)], // W_d
+        ];
+        let cls = classes(&active, &canonical);
+        assert_eq!(cls[&key(0)], BTreeSet::from([2]));
+        assert_eq!(cls[&key(3)], BTreeSet::from([0, 1]));
+        assert_eq!(cls[&key(4)], BTreeSet::from([0]));
+        assert!(cls[&key(5)].is_empty());
+        let pairs = s_partition(&active, &cls);
+        // group {a,b,c} -> 1 pair (a,b); singleton groups d, e, f -> none.
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0], Pair { plus: key(0), minus: key(1) });
+    }
+
+    #[test]
+    fn proposition1_zero_distortion_on_canonical_parameters() {
+        // Pairs with equal classes never get separated by canonical sets.
+        let active: Vec<WeightKey> = (0..4).map(key).collect();
+        let canonical = vec![vec![key(0), key(1)], vec![key(2), key(3)]];
+        let cls = classes(&active, &canonical);
+        let pairs = s_partition(&active, &cls);
+        assert_eq!(pairs.len(), 2);
+        let marking = PairMarking::new(pairs);
+        assert_eq!(marking.max_separation(&canonical), 0);
+        // And the realized distortion of any message on those sets is 0.
+        let mut w = Weights::new(1);
+        for e in 0..4u32 {
+            w.set(&[e], 10);
+        }
+        for message in [[true, true], [true, false], [false, false]] {
+            let marked = marking.apply(&w, &message);
+            for set in &canonical {
+                let before: i64 = set.iter().map(|k| w.get(k)).sum();
+                let after: i64 = set.iter().map(|k| marked.get(k)).sum();
+                assert_eq!(before, after, "message {message:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn apply_is_one_local() {
+        let marking = PairMarking::new(vec![Pair { plus: key(0), minus: key(1) }]);
+        let mut w = Weights::new(1);
+        w.set(&[0], 100);
+        w.set(&[1], 50);
+        let marked = marking.apply(&w, &[true]);
+        assert_eq!(marked.get(&[0]), 101);
+        assert_eq!(marked.get(&[1]), 49);
+        assert_eq!(w.max_pointwise_diff(&marked), 1);
+        let marked0 = marking.apply(&w, &[false]);
+        assert_eq!(marked0.get(&[0]), 99);
+        assert_eq!(marked0.get(&[1]), 51);
+    }
+
+    #[test]
+    fn separation_counts_see_split_pairs() {
+        let marking = PairMarking::new(vec![
+            Pair { plus: key(0), minus: key(1) },
+            Pair { plus: key(2), minus: key(3) },
+        ]);
+        let sets = vec![
+            vec![key(0), key(1), key(2)], // separates pair 2 only
+            vec![key(0), key(2)],         // separates both
+            vec![key(1), key(0)],         // separates none
+        ];
+        assert_eq!(marking.separation_counts(&sets), vec![1, 2, 0]);
+        assert_eq!(marking.max_separation(&sets), 2);
+    }
+
+    #[test]
+    fn roundtrip_mark_detect() {
+        let marking = PairMarking::new(vec![
+            Pair { plus: key(0), minus: key(1) },
+            Pair { plus: key(2), minus: key(3) },
+            Pair { plus: key(4), minus: key(5) },
+        ]);
+        let mut w = Weights::new(1);
+        for e in 0..6u32 {
+            w.set(&[e], 10 * e as i64);
+        }
+        let message = [true, false, true];
+        let marked = marking.apply(&w, &message);
+        // server exposes every weight through one big active set
+        let sets = vec![(0..6).map(key).collect::<Vec<_>>()];
+        let server = HonestServer::new(sets, marked);
+        let obs = ObservedWeights::collect(&server);
+        let report = marking.extract(&w, &obs);
+        assert_eq!(report.bits, message.to_vec());
+        assert_eq!(report.scores, vec![2, -2, 2]);
+        assert_eq!(report.missing_pairs, 0);
+        assert!((report.clean_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extract_reports_missing_pairs() {
+        let marking = PairMarking::new(vec![Pair { plus: key(8), minus: key(9) }]);
+        let w = Weights::new(1);
+        let server = HonestServer::new(vec![vec![key(0)]], Weights::new(1));
+        let obs = ObservedWeights::collect(&server);
+        let report = marking.extract(&w, &obs);
+        assert_eq!(report.missing_pairs, 1);
+        assert_eq!(report.scores, vec![0]);
+    }
+
+    #[test]
+    fn pair_distortion_signs() {
+        let pair = Pair { plus: key(0), minus: key(1) };
+        let set: HashSet<WeightKey> = [key(0)].into_iter().collect();
+        assert_eq!(pair.distortion_on(&set, true), 1);
+        assert_eq!(pair.distortion_on(&set, false), -1);
+        let both: HashSet<WeightKey> = [key(0), key(1)].into_iter().collect();
+        assert_eq!(pair.distortion_on(&both, true), 0);
+    }
+}

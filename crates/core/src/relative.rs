@@ -1,0 +1,144 @@
+//! The paper's "note on relative error".
+//!
+//! A relative perturbation `1 ± ε` of every weight trivially keeps every
+//! aggregate within a `1 ± ε` factor — under *relative* error the
+//! watermarking problem disappears. The paper keeps absolute error
+//! because (1) small weights get fragile sub-unit marks under relative
+//! scaling, and (2) relative error mismodels data where tolerance shrinks
+//! as values grow. This module implements the trivial relative scheme so
+//! the experiments can demonstrate both failure modes quantitatively.
+
+use qpwm_structures::{Element, WeightKey, Weights};
+
+/// The trivial relative-error marking: each bit scales one weight by
+/// `(1 + ε)` (bit 1) or `(1 − ε)` (bit 0), with integer rounding.
+#[derive(Debug, Clone)]
+pub struct RelativeScheme {
+    carriers: Vec<WeightKey>,
+    /// ε as a rational `num/den` (e.g. 1/100 for 1%).
+    num: i64,
+    den: i64,
+}
+
+impl RelativeScheme {
+    /// Creates a scheme marking the given carrier weights with relative
+    /// amplitude `num/den`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < num < den`.
+    pub fn new(carriers: Vec<WeightKey>, num: i64, den: i64) -> Self {
+        assert!(num > 0 && num < den, "need 0 < eps < 1");
+        RelativeScheme { carriers, num, den }
+    }
+
+    /// Capacity: one bit per carrier.
+    pub fn capacity(&self) -> usize {
+        self.carriers.len()
+    }
+
+    /// Applies the relative marks.
+    pub fn mark(&self, weights: &Weights, message: &[bool]) -> Weights {
+        assert!(message.len() <= self.carriers.len());
+        let mut out = weights.clone();
+        for (key, &bit) in self.carriers.iter().zip(message) {
+            let w = out.get(key);
+            let delta = w * self.num / self.den;
+            out.set(key, if bit { w + delta } else { w - delta });
+        }
+        out
+    }
+
+    /// Reads the message back; `None` marks carriers whose perturbation
+    /// rounded to zero (the paper's "small and fragile" failure: the bit
+    /// was never written).
+    pub fn extract(&self, original: &Weights, observed: &Weights) -> Vec<Option<bool>> {
+        self.carriers
+            .iter()
+            .map(|key| {
+                let delta = observed.get(key) - original.get(key);
+                match delta.cmp(&0) {
+                    std::cmp::Ordering::Greater => Some(true),
+                    std::cmp::Ordering::Less => Some(false),
+                    std::cmp::Ordering::Equal => None,
+                }
+            })
+            .collect()
+    }
+
+    /// Worst relative aggregate error over a family of active sets:
+    /// `max |f'(ā) − f(ā)| / f(ā)` (sets with `f = 0` skipped).
+    pub fn relative_distortion(
+        original: &Weights,
+        marked: &Weights,
+        active_sets: &[Vec<Vec<Element>>],
+    ) -> f64 {
+        let mut worst = 0.0f64;
+        for set in active_sets {
+            let before: i64 = set.iter().map(|k| original.get(k)).sum();
+            if before == 0 {
+                continue;
+            }
+            let after: i64 = set.iter().map(|k| marked.get(k)).sum();
+            worst = worst.max(((after - before).abs() as f64) / before.abs() as f64);
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(e: u32) -> WeightKey {
+        vec![e]
+    }
+
+    #[test]
+    fn relative_bound_holds_trivially() {
+        // 1% relative marks keep every aggregate within 1%.
+        let carriers: Vec<WeightKey> = (0..10).map(key).collect();
+        let scheme = RelativeScheme::new(carriers.clone(), 1, 100);
+        let mut w = Weights::new(1);
+        for e in 0..10u32 {
+            w.set(&[e], 10_000 + e as i64 * 137);
+        }
+        let message: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
+        let marked = scheme.mark(&w, &message);
+        let sets: Vec<Vec<WeightKey>> = vec![carriers.clone(), carriers[..3].to_vec()];
+        let rel = RelativeScheme::relative_distortion(&w, &marked, &sets);
+        assert!(rel <= 0.011, "relative distortion {rel}");
+        // and detection works on large weights
+        let bits = scheme.extract(&w, &marked);
+        assert!(bits.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn small_weights_lose_the_mark() {
+        // the paper's objection 1: for weights < 1/ε the perturbation
+        // rounds to zero and the bit is unrecoverable.
+        let carriers: Vec<WeightKey> = (0..5).map(key).collect();
+        let scheme = RelativeScheme::new(carriers, 1, 100);
+        let mut w = Weights::new(1);
+        for e in 0..5u32 {
+            w.set(&[e], 50); // 1% of 50 rounds to 0
+        }
+        let marked = scheme.mark(&w, &[true, false, true, false, true]);
+        let bits = scheme.extract(&w, &marked);
+        assert!(bits.iter().all(Option::is_none), "bits {bits:?}");
+    }
+
+    #[test]
+    fn absolute_error_grows_with_weights() {
+        // the paper's objection 2: the induced *absolute* error grows
+        // linearly in the weight — intolerable when precision matters
+        // more for large values.
+        let carriers: Vec<WeightKey> = (0..2).map(key).collect();
+        let scheme = RelativeScheme::new(carriers, 1, 100);
+        let mut w = Weights::new(1);
+        w.set(&[0], 100);
+        w.set(&[1], 1_000_000);
+        let marked = scheme.mark(&w, &[true, true]);
+        assert_eq!(marked.get(&[0]) - w.get(&[0]), 1);
+        assert_eq!(marked.get(&[1]) - w.get(&[1]), 10_000);
+    }
+}

@@ -1,0 +1,662 @@
+//! The Theorem 5 watermarking scheme: automaton-definable queries on
+//! trees.
+//!
+//! Lemma 3's construction, implemented bottom-up:
+//!
+//! 1. carve the tree into disjoint blocks `U_i` — minimal subtrees
+//!    holding at least `2m` unclaimed *active* nodes (at most `≈4m` by
+//!    minimality on a binary tree);
+//! 2. build the forest `F` of block roots by nearest-ancestor; keep the
+//!    blocks with at most one `F`-child (at least half of them);
+//! 3. for a childless block, two active nodes `b, b'` are equivalent when
+//!    the automaton reaches the same state at the block root with the
+//!    output pebble on `b` vs `b'`; for a one-child block, they must
+//!    induce the same *state transformation* from every possible entering
+//!    state at the child block's root. Pigeonhole over the `m` states
+//!    guarantees a pair per childless block; transformation collisions
+//!    are found empirically per block (transformation count is tiny for
+//!    real automata, though `m^m` in the worst case — reported in stats);
+//! 4. each pair carries one message bit by orientation, exactly as in the
+//!    local scheme. Every parameter lies in at most one region `V_i`, so
+//!    the global distortion of any message is at most 1.
+
+use crate::detect::{AnswerServer, DetectionReport, ObservedWeights};
+use crate::pairing::{Pair, PairMarking};
+use qpwm_structures::Weights;
+use qpwm_trees::automaton::BottomUpAutomaton;
+use qpwm_trees::pebble::{Overlay, PebbledQuery};
+use qpwm_trees::tree::{BinaryTree, NodeId};
+use std::collections::HashMap;
+
+/// Diagnostics of the Lemma 3 construction.
+#[derive(Debug, Clone)]
+pub struct TreeSchemeStats {
+    /// `|W|`: active nodes.
+    pub active_nodes: usize,
+    /// Automaton states `m`.
+    pub num_states: u32,
+    /// Blocks carved (`U_i`).
+    pub blocks: usize,
+    /// Blocks kept (≤ 1 child in the lca forest).
+    pub usable_blocks: usize,
+    /// Largest number of distinct state transformations observed in any
+    /// one-child block (1 is ideal; `m^m` the theoretical worst case).
+    pub max_transformations: usize,
+}
+
+/// A constructed Theorem 5 scheme.
+#[derive(Debug)]
+pub struct TreeScheme {
+    marking: PairMarking,
+    /// Region root of each pair (for maintenance/debugging).
+    regions: Vec<NodeId>,
+    stats: TreeSchemeStats,
+    answers: Vec<(Vec<NodeId>, Vec<NodeId>)>,
+}
+
+impl TreeScheme {
+    /// Builds the scheme for `query` on `tree`.
+    ///
+    /// `block_factor` scales the block threshold (`threshold = block_factor
+    /// · m`, the paper's choice being 2); raise it when one-child blocks
+    /// show many distinct transformations.
+    pub fn build<A: BottomUpAutomaton>(
+        tree: &BinaryTree,
+        query: &PebbledQuery<A>,
+        block_factor: u32,
+    ) -> Self {
+        let domain: Vec<Vec<NodeId>> = if query.k() == 0 {
+            vec![Vec::new()]
+        } else {
+            // full unary domain (k = 1); larger k uses build_over
+            (0..tree.len() as NodeId).map(|a| vec![a]).collect()
+        };
+        Self::build_over(tree, query, block_factor, domain)
+    }
+
+    /// Builds the scheme over an explicit parameter domain.
+    ///
+    /// Restricting the domain is sound: the Lemma 3 pairs cancel for
+    /// *every* parameter outside their region `V_i` — whether or not it
+    /// is in the domain — so the distortion bound is global, while the
+    /// active universe (hence the capacity and the detector's reads) is
+    /// computed from the supplied domain only. Use this when most
+    /// parameters provably yield empty or duplicate answers (e.g. pattern
+    /// queries, where only one text node per distinct value matters);
+    /// `all_answer_sets` over the full domain is `O(n² · depth)`.
+    pub fn build_over<A: BottomUpAutomaton>(
+        tree: &BinaryTree,
+        query: &PebbledQuery<A>,
+        block_factor: u32,
+        domain: Vec<Vec<NodeId>>,
+    ) -> Self {
+        let m = query.automaton().num_states();
+        Self::build_with_threshold(tree, query, (block_factor.max(1) * m).max(2) as usize, domain)
+    }
+
+    /// Builds with an explicit block threshold (engineering knob).
+    ///
+    /// The paper's `2m` threshold guarantees a collision pair per
+    /// childless block by pigeonhole over the `m` states; real automata
+    /// reach far fewer distinct states/transformations, so much smaller
+    /// blocks usually still collide — and a block without a collision
+    /// simply contributes no pair (capacity loss, never a soundness
+    /// loss: the ≤ 1 distortion bound is per-region and independent of
+    /// the threshold). The `tree_sweep` bench ablates this.
+    pub fn build_with_threshold<A: BottomUpAutomaton>(
+        tree: &BinaryTree,
+        query: &PebbledQuery<A>,
+        threshold: usize,
+        domain: Vec<Vec<NodeId>>,
+    ) -> Self {
+        let m = query.automaton().num_states();
+        let threshold = threshold.max(2);
+        let answers: Vec<(Vec<NodeId>, Vec<NodeId>)> = domain
+            .into_iter()
+            .map(|p| {
+                let set = query.answer_set(tree, &p);
+                (p, set)
+            })
+            .collect();
+        let mut active = vec![false; tree.len()];
+        for (_, set) in &answers {
+            for &b in set {
+                active[b as usize] = true;
+            }
+        }
+        let active_count = active.iter().filter(|&&a| a).count();
+
+        // 1. Carve blocks bottom-up: postorder accumulation of unclaimed
+        // active counts; claim a subtree the moment it holds `threshold`.
+        let mut unclaimed = vec![0usize; tree.len()];
+        let mut claimed_by: Vec<Option<usize>> = vec![None; tree.len()];
+        let mut block_roots: Vec<NodeId> = Vec::new();
+        let mut block_members: Vec<Vec<NodeId>> = Vec::new();
+        for node in tree.postorder() {
+            let mut count = usize::from(active[node as usize]);
+            for child in [tree.left(node), tree.right(node)].into_iter().flatten() {
+                count += unclaimed[child as usize];
+            }
+            if count >= threshold {
+                // claim all unclaimed active nodes under `node`
+                let id = block_roots.len();
+                let mut members = Vec::with_capacity(count);
+                collect_unclaimed(tree, node, &active, &claimed_by, &unclaimed, &mut members);
+                for &b in &members {
+                    claimed_by[b as usize] = Some(id);
+                }
+                block_roots.push(node);
+                block_members.push(members);
+                unclaimed[node as usize] = 0;
+            } else {
+                unclaimed[node as usize] = count;
+            }
+        }
+
+        // 2. lca forest: parent of block i = nearest proper ancestor block
+        // root. Count children; keep blocks with ≤ 1.
+        let mut block_of_root: HashMap<NodeId, usize> = HashMap::new();
+        for (i, &r) in block_roots.iter().enumerate() {
+            block_of_root.insert(r, i);
+        }
+        let mut f_children: Vec<Vec<usize>> = vec![Vec::new(); block_roots.len()];
+        for (i, &r) in block_roots.iter().enumerate() {
+            let mut cur = tree.parent(r);
+            while let Some(p) = cur {
+                if let Some(&j) = block_of_root.get(&p) {
+                    f_children[j].push(i);
+                    break;
+                }
+                cur = tree.parent(p);
+            }
+        }
+
+        // 3. Pair selection per usable block.
+        let base_states = query.base_run_free(tree);
+        let label_of = |n: NodeId| query.free_label(tree, n);
+        let mut pairs: Vec<Pair> = Vec::new();
+        let mut regions: Vec<NodeId> = Vec::new();
+        let mut usable_blocks = 0usize;
+        let mut max_transformations = 0usize;
+        for (i, members) in block_members.iter().enumerate() {
+            match f_children[i].len() {
+                0 => {
+                    usable_blocks += 1;
+                    // Signature: state at the block root with pebble b.
+                    // One pair per block — the paper's construction; more
+                    // pairs per block would multiply the distortion bound.
+                    let mut buckets: HashMap<u32, NodeId> = HashMap::new();
+                    for &b in members {
+                        let mut ov = Overlay::new(query.automaton(), tree, &base_states, &label_of);
+                        ov.set_label(b, query.output_label(tree, b));
+                        let sig = ov.state_at(block_roots[i]);
+                        if let Some(&partner) = buckets.get(&sig) {
+                            pairs.push(Pair { plus: vec![partner], minus: vec![b] });
+                            regions.push(block_roots[i]);
+                            break;
+                        }
+                        buckets.insert(sig, b);
+                    }
+                    max_transformations = max_transformations.max(1);
+                }
+                1 => {
+                    usable_blocks += 1;
+                    let child_root = block_roots[f_children[i][0]];
+                    // Signature: the vector of states reached at the block
+                    // root for every entering state at the child root,
+                    // computed via path decomposition (see
+                    // `one_child_signature`) in O(m·|path|) preprocessing
+                    // plus O(m + branch depth) per member.
+                    let ctx = PathContext::new(tree, query, &base_states, child_root, block_roots[i], m);
+                    let mut buckets: HashMap<Vec<u32>, NodeId> = HashMap::new();
+                    let mut distinct = std::collections::HashSet::new();
+                    let mut found = false;
+                    for &b in members {
+                        // b must lie in V_i = subtree(root_i) \ subtree(child);
+                        // members inside the child's subtree were claimed by
+                        // deeper blocks already, but guard anyway.
+                        if tree.is_ancestor(child_root, b) {
+                            continue;
+                        }
+                        let sig = ctx.signature(tree, query, &base_states, &label_of, b);
+                        distinct.insert(sig.clone());
+                        if !found {
+                            if let Some(&partner) = buckets.get(&sig) {
+                                pairs.push(Pair { plus: vec![partner], minus: vec![b] });
+                                regions.push(block_roots[i]);
+                                found = true;
+                            } else {
+                                buckets.insert(sig, b);
+                            }
+                        }
+                    }
+                    max_transformations = max_transformations.max(distinct.len());
+                }
+                _ => {}
+            }
+        }
+
+        let stats = TreeSchemeStats {
+            active_nodes: active_count,
+            num_states: m,
+            blocks: block_roots.len(),
+            usable_blocks,
+            max_transformations,
+        };
+        TreeScheme { marking: PairMarking::new(pairs), regions, stats, answers }
+    }
+
+    /// Number of message bits.
+    pub fn capacity(&self) -> usize {
+        self.marking.capacity()
+    }
+
+    /// Construction diagnostics.
+    pub fn stats(&self) -> &TreeSchemeStats {
+        &self.stats
+    }
+
+    /// The secret pair marking.
+    pub fn marking(&self) -> &PairMarking {
+        &self.marking
+    }
+
+    /// Region root of each pair.
+    pub fn regions(&self) -> &[NodeId] {
+        &self.regions
+    }
+
+    /// Materialized answer sets `(ā, W_ā)` over all parameters.
+    pub fn answers(&self) -> &[(Vec<NodeId>, Vec<NodeId>)] {
+        &self.answers
+    }
+
+    /// Active sets as weight-key families (for audits and servers).
+    pub fn active_sets(&self) -> Vec<Vec<Vec<u32>>> {
+        self.answers
+            .iter()
+            .map(|(_, set)| set.iter().map(|&b| vec![b]).collect())
+            .collect()
+    }
+
+    /// Marker: embeds `message` into node weights.
+    pub fn mark(&self, weights: &Weights, message: &[bool]) -> Weights {
+        self.marking.apply(weights, message)
+    }
+
+    /// Detector: recovers the message from a server's answers.
+    pub fn detect(&self, original: &Weights, server: &dyn AnswerServer) -> DetectionReport {
+        let observed = ObservedWeights::collect(server);
+        self.marking.extract(original, &observed)
+    }
+
+    /// Audits Definition 2 bounds (Theorem 5 guarantees global ≤ 1).
+    pub fn audit(&self, original: &Weights, marked: &Weights) -> qpwm_structures::DistortionReport {
+        qpwm_structures::global_distortion(original, marked, &self.active_sets())
+    }
+}
+
+/// Path decomposition for one-child blocks: precomputes, along the path
+/// `child_root = path[0], ..., path[last] = block_root`,
+///
+/// * `prefix[j][q]` — the state at `path[j]` when the child block's root
+///   is forced to state `q` and no pebble sits in the region, and
+/// * `suffix[j][q]` — the state at the block root when `path[j]` is in
+///   state `q`,
+///
+/// so a member's signature costs `O(m + branch depth)` instead of
+/// rerunning the overlay `m` times.
+struct PathContext {
+    path: Vec<NodeId>,
+    on_path: HashMap<NodeId, usize>,
+    prefix: Vec<Vec<u32>>,
+    suffix: Vec<Vec<u32>>,
+}
+
+impl PathContext {
+    fn new<A: BottomUpAutomaton>(
+        tree: &BinaryTree,
+        query: &PebbledQuery<A>,
+        base_states: &[u32],
+        child_root: NodeId,
+        block_root: NodeId,
+        m: u32,
+    ) -> Self {
+        let mut path = vec![child_root];
+        let mut cur = child_root;
+        while cur != block_root {
+            cur = tree.parent(cur).expect("block root is an ancestor");
+            path.push(cur);
+        }
+        let on_path: HashMap<NodeId, usize> =
+            path.iter().enumerate().map(|(idx, &n)| (n, idx)).collect();
+        // trans[j][q]: state at path[j] given state q at path[j-1].
+        let mut trans: Vec<Vec<u32>> = vec![Vec::new()];
+        for j in 1..path.len() {
+            let node = path[j];
+            let prev = path[j - 1];
+            let row: Vec<u32> = (0..m)
+                .map(|q| {
+                    let ql = tree.left(node).map_or(qpwm_trees::automaton::STAR, |l| {
+                        if l == prev {
+                            q
+                        } else {
+                            base_states[l as usize]
+                        }
+                    });
+                    let qr = tree.right(node).map_or(qpwm_trees::automaton::STAR, |r| {
+                        if r == prev {
+                            q
+                        } else {
+                            base_states[r as usize]
+                        }
+                    });
+                    query.automaton().step(ql, qr, query.free_label(tree, node))
+                })
+                .collect();
+            trans.push(row);
+        }
+        let mut prefix: Vec<Vec<u32>> = Vec::with_capacity(path.len());
+        prefix.push((0..m).collect());
+        for j in 1..path.len() {
+            let row = (0..m as usize).map(|q| trans[j][prefix[j - 1][q] as usize]).collect();
+            prefix.push(row);
+        }
+        let mut suffix: Vec<Vec<u32>> = vec![Vec::new(); path.len()];
+        suffix[path.len() - 1] = (0..m).collect();
+        for j in (0..path.len().saturating_sub(1)).rev() {
+            suffix[j] = (0..m as usize)
+                .map(|q| suffix[j + 1][trans[j + 1][q] as usize])
+                .collect();
+        }
+        PathContext { path, on_path, prefix, suffix }
+    }
+
+    /// The signature of member `b`: for each entering state `q` at the
+    /// child root, the state reached at the block root with the output
+    /// pebble on `b`.
+    fn signature<A: BottomUpAutomaton>(
+        &self,
+        tree: &BinaryTree,
+        query: &PebbledQuery<A>,
+        base_states: &[u32],
+        label_of: &dyn Fn(NodeId) -> u32,
+        b: NodeId,
+    ) -> Vec<u32> {
+        let m = self.prefix[0].len() as u32;
+        if let Some(&j) = self.on_path.get(&b) {
+            debug_assert!(j >= 1, "member inside the child block");
+            // b sits on the path: recompute path[j]'s step with the
+            // pebbled label and the q-dependent on-path child state.
+            let prev = self.path[j - 1];
+            return (0..m as usize)
+                .map(|q| {
+                    let entering = self.prefix[j - 1][q];
+                    let ql = tree.left(b).map_or(qpwm_trees::automaton::STAR, |l| {
+                        if l == prev {
+                            entering
+                        } else {
+                            base_states[l as usize]
+                        }
+                    });
+                    let qr = tree.right(b).map_or(qpwm_trees::automaton::STAR, |r| {
+                        if r == prev {
+                            entering
+                        } else {
+                            base_states[r as usize]
+                        }
+                    });
+                    let here = query.automaton().step(ql, qr, query.output_label(tree, b));
+                    self.suffix[j][here as usize]
+                })
+                .collect();
+        }
+        // b hangs off the path: find the attachment point path[j] and the
+        // branch child carrying b.
+        let mut branch_top = b;
+        let mut cur = tree.parent(b).expect("b is below the block root");
+        while !self.on_path.contains_key(&cur) {
+            branch_top = cur;
+            cur = tree.parent(cur).expect("block root is an ancestor");
+        }
+        let j = self.on_path[&cur];
+        debug_assert!(j >= 1, "branch attached at the child root is inside it");
+        // branch state with the pebble (independent of the entering state)
+        let mut ov = Overlay::new(query.automaton(), tree, base_states, label_of);
+        ov.set_label(b, query.output_label(tree, b));
+        let branch_state = ov.state_at(branch_top);
+        let node = self.path[j];
+        let prev = self.path[j - 1];
+        (0..m as usize)
+            .map(|q| {
+                let entering = self.prefix[j - 1][q];
+                let pick = |child: NodeId| -> u32 {
+                    if child == prev {
+                        entering
+                    } else if child == branch_top {
+                        branch_state
+                    } else {
+                        base_states[child as usize]
+                    }
+                };
+                let ql = tree.left(node).map_or(qpwm_trees::automaton::STAR, &pick);
+                let qr = tree.right(node).map_or(qpwm_trees::automaton::STAR, pick);
+                let here = query.automaton().step(ql, qr, query.free_label(tree, node));
+                self.suffix[j][here as usize]
+            })
+            .collect()
+    }
+}
+
+fn collect_unclaimed(
+    tree: &BinaryTree,
+    root: NodeId,
+    active: &[bool],
+    claimed_by: &[Option<usize>],
+    unclaimed: &[usize],
+    out: &mut Vec<NodeId>,
+) {
+    // `unclaimed[child]` is, at claim time (postorder), the exact count of
+    // unclaimed active nodes in that child's subtree: pruning zero-count
+    // branches keeps block collection linear in block size overall.
+    let mut stack = vec![root];
+    while let Some(n) = stack.pop() {
+        if active[n as usize] && claimed_by[n as usize].is_none() {
+            out.push(n);
+        }
+        for child in [tree.left(n), tree.right(n)].into_iter().flatten() {
+            if unclaimed[child as usize] > 0 {
+                stack.push(child);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::HonestServer;
+    use qpwm_trees::automaton::{TreeAutomaton, STAR};
+    use qpwm_trees::pebble::pebbled_symbol;
+    use qpwm_trees::tree::BinaryTree;
+
+    /// Query: "b is on a node with base label 1" (ignores the parameter).
+    /// 2 states.
+    fn label_one_query() -> PebbledQuery {
+        let mut a = TreeAutomaton::new(2, 0);
+        for base in [0u32, 1] {
+            for bits in 0..4u32 {
+                let sym = pebbled_symbol(base, bits, 2);
+                let hit = base == 1 && bits & 0b10 != 0;
+                for ql in [STAR, 0, 1] {
+                    for qr in [STAR, 0, 1] {
+                        let seen = hit || ql == 1 || qr == 1;
+                        a.add_transition(ql, qr, sym, u32::from(seen));
+                    }
+                }
+            }
+        }
+        a.set_accepting(1, true);
+        PebbledQuery::new(a, 1)
+    }
+
+    /// A left-spine chain of `n` nodes, all labeled 1 (all active).
+    fn chain_of_ones(n: u32) -> BinaryTree {
+        let triples: Vec<(u32, Option<u32>, Option<u32>)> = (0..n)
+            .map(|i| (1, if i + 1 < n { Some(i + 1) } else { None }, None))
+            .collect();
+        BinaryTree::from_triples(&triples, 0)
+    }
+
+    fn uniform_weights(n: u32) -> Weights {
+        let mut w = Weights::new(1);
+        for i in 0..n {
+            w.set(&[i], 50 + i as i64);
+        }
+        w
+    }
+
+    #[test]
+    fn builds_blocks_and_pairs_on_chain() {
+        let tree = chain_of_ones(40);
+        let q = label_one_query();
+        let scheme = TreeScheme::build(&tree, &q, 2);
+        let stats = scheme.stats();
+        assert_eq!(stats.active_nodes, 40);
+        assert_eq!(stats.num_states, 2);
+        // threshold = 4: ten blocks on a 40-chain.
+        assert_eq!(stats.blocks, 10);
+        assert!(scheme.capacity() >= 1, "stats: {stats:?}");
+    }
+
+    #[test]
+    fn theorem5_distortion_bound_holds() {
+        let tree = chain_of_ones(40);
+        let q = label_one_query();
+        let scheme = TreeScheme::build(&tree, &q, 2);
+        let w = uniform_weights(40);
+        for mask in 0..(1u32 << scheme.capacity().min(6)) {
+            let message: Vec<bool> =
+                (0..scheme.capacity()).map(|i| mask >> (i % 6) & 1 == 1).collect();
+            let marked = scheme.mark(&w, &message);
+            let report = scheme.audit(&w, &marked);
+            assert!(report.is_c_local(1));
+            assert!(report.is_d_global(1), "mask {mask}: global {}", report.max_global);
+        }
+    }
+
+    #[test]
+    fn roundtrip_detection() {
+        let tree = chain_of_ones(40);
+        let q = label_one_query();
+        let scheme = TreeScheme::build(&tree, &q, 2);
+        let w = uniform_weights(40);
+        let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 3 == 0).collect();
+        let marked = scheme.mark(&w, &message);
+        let server = HonestServer::new(scheme.active_sets(), marked);
+        let report = scheme.detect(&w, &server);
+        assert_eq!(report.bits, message);
+        assert_eq!(report.missing_pairs, 0);
+    }
+
+    #[test]
+    fn capacity_scales_with_tree_size() {
+        let q = label_one_query();
+        let small = TreeScheme::build(&chain_of_ones(16), &q, 2).capacity();
+        let large = TreeScheme::build(&chain_of_ones(128), &q, 2).capacity();
+        assert!(large > small, "small={small} large={large}");
+        // Lemma 3 predicts ≈ |W|/4m = 128/8 = 16 blocks' worth of pairs.
+        assert!(large >= 8, "large={large}");
+    }
+
+    #[test]
+    fn inactive_trees_give_empty_schemes() {
+        // all labels 0: nothing active.
+        let triples: Vec<(u32, Option<u32>, Option<u32>)> =
+            (0..10).map(|i| (0, if i + 1 < 10 { Some(i + 1) } else { None }, None)).collect();
+        let tree = BinaryTree::from_triples(&triples, 0);
+        let q = label_one_query();
+        let scheme = TreeScheme::build(&tree, &q, 2);
+        assert_eq!(scheme.capacity(), 0);
+        assert_eq!(scheme.stats().active_nodes, 0);
+    }
+
+    #[test]
+    fn branching_tree_pairs_are_valid() {
+        // complete-ish binary tree of 1-labeled nodes
+        let n = 63u32;
+        let triples: Vec<(u32, Option<u32>, Option<u32>)> = (0..n)
+            .map(|i| {
+                let l = 2 * i + 1;
+                let r = 2 * i + 2;
+                (
+                    1,
+                    (l < n).then_some(l),
+                    (r < n).then_some(r),
+                )
+            })
+            .collect();
+        let tree = BinaryTree::from_triples(&triples, 0);
+        let q = label_one_query();
+        let scheme = TreeScheme::build(&tree, &q, 2);
+        assert!(scheme.capacity() >= 4, "capacity {}", scheme.capacity());
+        let w = uniform_weights(n);
+        let message = vec![true; scheme.capacity()];
+        let marked = scheme.mark(&w, &message);
+        assert!(scheme.audit(&w, &marked).is_d_global(1));
+    }
+
+    /// The path-decomposition signature must agree with the naive
+    /// "override the child state, rerun the overlay" computation.
+    #[test]
+    fn path_context_matches_naive_overlay() {
+        // a 3-state automaton with nontrivial state mixing
+        let mut a = TreeAutomaton::new(3, 0);
+        for base in [0u32, 1, 2] {
+            for bits in 0..4u32 {
+                let sym = pebbled_symbol(base, bits, 2);
+                for ql in [STAR, 0, 1, 2] {
+                    for qr in [STAR, 0, 1, 2] {
+                        let v = |q: u32| if q == STAR { 0 } else { q };
+                        let bump = if bits & 0b10 != 0 { 2 } else { 0 };
+                        let target = (v(ql) * 2 + v(qr) + base + bump) % 3;
+                        a.add_transition(ql, qr, sym, target);
+                    }
+                }
+            }
+        }
+        a.set_accepting(2, true);
+        let q = PebbledQuery::new(a, 1);
+        // a mixed tree: spine with branches
+        let tree = BinaryTree::from_triples(
+            &[
+                (1, Some(1), Some(2)),   // 0 root
+                (0, Some(3), Some(4)),   // 1
+                (2, None, None),         // 2
+                (1, Some(5), None),      // 3
+                (2, None, Some(6)),      // 4
+                (0, None, None),         // 5
+                (1, Some(7), Some(8)),   // 6
+                (2, None, None),         // 7
+                (0, None, None),         // 8
+            ],
+            0,
+        );
+        let base_states = q.base_run_free(&tree);
+        let label_of = |n: qpwm_trees::tree::NodeId| q.free_label(&tree, n);
+        // child_root = 6, block_root = 0: the path is 6 -> 4 -> 1 -> 0.
+        let ctx = PathContext::new(&tree, &q, &base_states, 6, 0, 3);
+        for b in [2u32, 3, 4, 5, 1] {
+            let fast = ctx.signature(&tree, &q, &base_states, &label_of, b);
+            let naive: Vec<u32> = (0..3)
+                .map(|entering| {
+                    let mut ov = Overlay::new(q.automaton(), &tree, &base_states, &label_of);
+                    ov.set_state(6, entering);
+                    ov.set_label(b, q.output_label(&tree, b));
+                    ov.state_at(0)
+                })
+                .collect();
+            assert_eq!(fast, naive, "member {b}");
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! Property-based tests for the watermarking core: pair markings,
+//! detection, capacity counting and the adversarial wrapper.
+
+use proptest::prelude::*;
+use qpwm_core::capacity::CapacityProblem;
+use qpwm_core::detect::{HonestServer, ObservedWeights};
+use qpwm_core::pairing::{Pair, PairMarking};
+use qpwm_structures::{WeightKey, Weights};
+use std::collections::HashSet;
+
+fn key(e: u32) -> WeightKey {
+    vec![e]
+}
+
+/// Strategy: `p` disjoint pairs over elements 0..2p, plus base weights.
+fn marking_strategy() -> impl Strategy<Value = (PairMarking, Weights)> {
+    (1usize..12).prop_flat_map(|p| {
+        proptest::collection::vec(-500i64..500, 2 * p).prop_map(move |vals| {
+            let pairs: Vec<Pair> = (0..p)
+                .map(|i| Pair { plus: key(2 * i as u32), minus: key(2 * i as u32 + 1) })
+                .collect();
+            let mut w = Weights::new(1);
+            for (e, v) in vals.into_iter().enumerate() {
+                w.set(&[e as u32], v);
+            }
+            (PairMarking::new(pairs), w)
+        })
+    })
+}
+
+fn message_strategy(max: usize) -> impl Strategy<Value = Vec<bool>> {
+    proptest::collection::vec(any::<bool>(), max)
+}
+
+proptest! {
+    #[test]
+    fn marking_is_always_one_local((marking, w) in marking_strategy(), bits in message_strategy(12)) {
+        let message = &bits[..marking.capacity().min(bits.len())];
+        let marked = marking.apply(&w, message);
+        prop_assert!(w.max_pointwise_diff(&marked) <= 1);
+    }
+
+    #[test]
+    fn pair_sums_are_invariant((marking, w) in marking_strategy(), bits in message_strategy(12)) {
+        // the (+1, −1) trick: each pair's summed weight never changes
+        let message = &bits[..marking.capacity().min(bits.len())];
+        let marked = marking.apply(&w, message);
+        for pair in marking.pairs() {
+            let before = w.get(&pair.plus) + w.get(&pair.minus);
+            let after = marked.get(&pair.plus) + marked.get(&pair.minus);
+            prop_assert_eq!(before, after);
+        }
+    }
+
+    #[test]
+    fn roundtrip_any_message((marking, w) in marking_strategy(), bits in message_strategy(12)) {
+        prop_assume!(bits.len() >= marking.capacity());
+        let message = &bits[..marking.capacity()];
+        let marked = marking.apply(&w, message);
+        let all: Vec<WeightKey> = (0..2 * marking.capacity() as u32).map(key).collect();
+        let server = HonestServer::new(vec![all], marked);
+        let report = marking.extract(&w, &ObservedWeights::collect(&server));
+        prop_assert_eq!(report.bits.as_slice(), message);
+        prop_assert_eq!(report.missing_pairs, 0);
+    }
+
+    #[test]
+    fn global_distortion_bounded_by_separation(
+        (marking, w) in marking_strategy(),
+        bits in message_strategy(12),
+        masks in proptest::collection::vec(0u32..(1 << 16), 1..6),
+    ) {
+        prop_assume!(bits.len() >= marking.capacity());
+        let message = &bits[..marking.capacity()];
+        let sets: Vec<Vec<WeightKey>> = masks
+            .iter()
+            .map(|m| (0..16u32).filter(|i| m >> i & 1 == 1).map(key).collect())
+            .collect();
+        let marked = marking.apply(&w, message);
+        let seps = marking.separation_counts(&sets);
+        for (set, sep) in sets.iter().zip(seps) {
+            let before: i64 = set.iter().map(|k| w.get(k)).sum();
+            let after: i64 = set.iter().map(|k| marked.get(k)).sum();
+            prop_assert!((before - after).unsigned_abs() as usize <= sep);
+        }
+    }
+
+    #[test]
+    fn distortion_zero_on_sets_containing_whole_pairs(
+        (marking, w) in marking_strategy(),
+        bits in message_strategy(12),
+    ) {
+        prop_assume!(bits.len() >= marking.capacity());
+        let message = &bits[..marking.capacity()];
+        let marked = marking.apply(&w, message);
+        // a set made of complete pairs sees zero distortion
+        let set: Vec<WeightKey> = marking
+            .pairs()
+            .iter()
+            .flat_map(|p| [p.plus.clone(), p.minus.clone()])
+            .collect();
+        let before: i64 = set.iter().map(|k| w.get(k)).sum();
+        let after: i64 = set.iter().map(|k| marked.get(k)).sum();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn capacity_counts_are_monotone_in_d(
+        masks in proptest::collection::vec(0u32..256, 1..6),
+    ) {
+        let sets: Vec<Vec<WeightKey>> = masks
+            .iter()
+            .map(|m| (0..8u32).filter(|i| m >> i & 1 == 1).map(key).collect())
+            .collect();
+        let p = CapacityProblem::new(&sets);
+        prop_assume!(p.num_elements() <= 8);
+        let mut prev = 0u128;
+        for d in 0..3i64 {
+            let count = p.count_at_most(d);
+            prop_assert!(count >= prev);
+            prev = count;
+        }
+        // exact counts partition the at-most counts
+        prop_assert_eq!(p.count_at_most(2), p.count_exactly(0) + p.count_exactly(1) + p.count_exactly(2));
+    }
+
+    #[test]
+    fn brute_force_capacity_agrees(masks in proptest::collection::vec(0u32..64, 1..5)) {
+        // compare the pruned counter against exhaustive enumeration on ≤ 6
+        // elements
+        let sets: Vec<Vec<WeightKey>> = masks
+            .iter()
+            .map(|m| (0..6u32).filter(|i| m >> i & 1 == 1).map(key).collect())
+            .collect();
+        let p = CapacityProblem::new(&sets);
+        let n = p.num_elements();
+        prop_assume!(n <= 6);
+        // enumerate all 3^n assignments over the *union* elements
+        let union: Vec<WeightKey> = {
+            let mut u: Vec<WeightKey> = sets.iter().flatten().cloned().collect::<HashSet<_>>().into_iter().collect();
+            u.sort_unstable();
+            u
+        };
+        for d in 0..2i64 {
+            let mut brute = 0u128;
+            let mut assignment = vec![-1i64; union.len()];
+            loop {
+                let ok = sets.iter().all(|set| {
+                    let sum: i64 = set
+                        .iter()
+                        .map(|k| {
+                            let idx = union.binary_search(k).expect("union member");
+                            assignment[idx]
+                        })
+                        .sum();
+                    sum.abs() <= d
+                });
+                if ok {
+                    brute += 1;
+                }
+                // odometer over {-1,0,1}^n
+                let mut i = 0;
+                loop {
+                    if i == assignment.len() {
+                        break;
+                    }
+                    assignment[i] += 1;
+                    if assignment[i] <= 1 {
+                        break;
+                    }
+                    assignment[i] = -1;
+                    i += 1;
+                }
+                if i == assignment.len() {
+                    break;
+                }
+            }
+            prop_assert_eq!(p.count_at_most(d), brute, "d = {}", d);
+        }
+    }
+}
+
+/// End-to-end property: on random bounded-degree instances, the Theorem 3
+/// scheme's Definition-2 contract holds for random messages.
+mod scheme_properties {
+    use super::*;
+    
+    use qpwm_core::detect::HonestServer;
+    use qpwm_core::local_scheme::{LocalScheme, LocalSchemeConfig, SelectionStrategy};
+    use qpwm_core::TreeScheme;
+    use qpwm_logic::{Formula, ParametricQuery};
+    use qpwm_structures::{Schema, StructureBuilder, WeightedStructure};
+    use qpwm_trees::automaton::{TreeAutomaton, STAR};
+    use qpwm_trees::pebble::{pebbled_symbol, PebbledQuery};
+    use qpwm_trees::tree::BinaryTree;
+    use std::sync::Arc;
+
+    fn bounded_degree_instance(
+        n: u32,
+        edges: &[(u32, u32)],
+        weights: &[i64],
+    ) -> WeightedStructure {
+        let schema = Arc::new(Schema::graph());
+        let mut b = StructureBuilder::new(schema, n);
+        let mut degree = vec![0u32; n as usize];
+        for &(u, v) in edges {
+            let (u, v) = (u % n, v % n);
+            if u != v && degree[u as usize] < 4 && degree[v as usize] < 4 {
+                degree[u as usize] += 1;
+                degree[v as usize] += 1;
+                b.add(0, &[u, v]);
+                b.add(0, &[v, u]);
+            }
+        }
+        let s = b.build();
+        let mut w = Weights::new(1);
+        for (e, &val) in s.universe().zip(weights.iter().cycle()) {
+            w.set(&[e], val.rem_euclid(10_000));
+        }
+        WeightedStructure::new(s, w)
+    }
+
+    proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+        #[test]
+        fn local_scheme_contract_on_random_instances(
+            n in 12u32..40,
+            edges in proptest::collection::vec((0u32..40, 0u32..40), 10..60),
+            weights in proptest::collection::vec(0i64..10_000, 8),
+            bits in proptest::collection::vec(any::<bool>(), 64),
+            d in 1u64..4,
+        ) {
+            let instance = bounded_degree_instance(n, &edges, &weights);
+            let query = ParametricQuery::new(Formula::atom(0, &[0, 1]), vec![0], vec![1]);
+            let config = LocalSchemeConfig {
+                rho: 1,
+                d,
+                strategy: SelectionStrategy::Greedy,
+                seed: 5,
+            };
+            let Ok(scheme) = LocalScheme::build(&instance, &query, &config) else {
+                return Ok(()); // sparse instances may have no pairs: fine
+            };
+            let message: Vec<bool> = bits.iter().copied().take(scheme.capacity()).collect();
+            let marked = scheme.mark(instance.weights(), &message);
+            let audit = scheme.audit(instance.weights(), &marked);
+            prop_assert!(audit.is_c_local(1));
+            prop_assert!(audit.is_d_global(d as i64), "global {}", audit.max_global);
+            let server = HonestServer::new(scheme.answers().active_sets().to_vec(), marked);
+            let report = scheme.detect(instance.weights(), &server);
+            prop_assert_eq!(&report.bits[..message.len()], message.as_slice());
+        }
+
+        #[test]
+        fn tree_scheme_contract_on_random_trees(
+            nodes in proptest::collection::vec((0u32..2, any::<u32>()), 24..120),
+            bits in proptest::collection::vec(any::<bool>(), 64),
+            weights in proptest::collection::vec(0i64..10_000, 8),
+        ) {
+            // random binary tree via slot insertion
+            let mut builder = qpwm_trees::tree::TreeBuilder::new();
+            let root = builder.add_node(nodes[0].0);
+            let mut slots = vec![(root, true), (root, false)];
+            for &(label, pick) in &nodes[1..] {
+                let idx = (pick as usize) % slots.len();
+                let (parent, left) = slots.swap_remove(idx);
+                let node = builder.add_node(label);
+                if left {
+                    builder.set_left(parent, node);
+                } else {
+                    builder.set_right(parent, node);
+                }
+                slots.push((node, true));
+                slots.push((node, false));
+            }
+            let tree: BinaryTree = builder.build(root);
+            // query: pebble on a label-1 node (2 states)
+            let mut a = TreeAutomaton::new(2, 0);
+            for base in [0u32, 1] {
+                for pbits in 0..4u32 {
+                    let sym = pebbled_symbol(base, pbits, 2);
+                    let hit = base == 1 && pbits & 0b10 != 0;
+                    for ql in [STAR, 0, 1] {
+                        for qr in [STAR, 0, 1] {
+                            let seen = hit || ql == 1 || qr == 1;
+                            a.add_transition(ql, qr, sym, u32::from(seen));
+                        }
+                    }
+                }
+            }
+            a.set_accepting(1, true);
+            let query = PebbledQuery::new(a, 1);
+            let scheme = TreeScheme::build(&tree, &query, 2);
+            let mut w = Weights::new(1);
+            for (node, &val) in (0..tree.len() as u32).zip(weights.iter().cycle()) {
+                w.set(&[node], val);
+            }
+            let message: Vec<bool> = bits.iter().copied().take(scheme.capacity()).collect();
+            let marked = scheme.mark(&w, &message);
+            let audit = scheme.audit(&w, &marked);
+            prop_assert!(audit.is_c_local(1));
+            prop_assert!(audit.is_d_global(1), "global {}", audit.max_global);
+            let server = HonestServer::new(scheme.active_sets(), marked);
+            let report = scheme.detect(&w, &server);
+            prop_assert_eq!(&report.bits[..message.len()], message.as_slice());
+        }
+    }
+}
+
+proptest! {
+    /// Key files round-trip arbitrary pair lists.
+    #[test]
+    fn keyfile_roundtrip(
+        raw_pairs in proptest::collection::vec(
+            (proptest::collection::vec(0u32..1000, 1..3),
+             proptest::collection::vec(0u32..1000, 1..3)),
+            0..24,
+        ),
+        d in 0u64..10,
+    ) {
+        use qpwm_core::keyfile::SchemeKey;
+        use qpwm_core::pairing::Pair;
+        let pairs: Vec<Pair> = raw_pairs
+            .into_iter()
+            .map(|(plus, minus)| Pair { plus, minus })
+            .collect();
+        let key = SchemeKey { marking: PairMarking::new(pairs), d };
+        let text = key.to_text();
+        let back = SchemeKey::from_text(&text).expect("round-trips");
+        prop_assert_eq!(back, key);
+    }
+}
+
+proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+    /// `tree_to_kexpr` reproduces exactly the tree's edges on random
+    /// rooted trees, within 3 labels.
+    #[test]
+    fn tree_to_kexpr_matches_random_trees(
+        parent_hints in proptest::collection::vec(any::<u32>(), 1..40),
+    ) {
+        use qpwm_core::cliquewidth::tree_to_kexpr;
+        let mut parent: Vec<Option<u32>> = vec![None];
+        for (i, hint) in parent_hints.iter().enumerate() {
+            parent.push(Some(hint % (i as u32 + 1)));
+        }
+        let (expr, order) = tree_to_kexpr(&parent);
+        prop_assert!(expr.max_label() < 3);
+        let graph = expr.eval();
+        prop_assert_eq!(graph.universe_size() as usize, parent.len());
+        let mut produced = std::collections::BTreeSet::new();
+        for t in graph.tuples(0) {
+            let (u, v) = (order[t[0] as usize], order[t[1] as usize]);
+            produced.insert((u.min(v), u.max(v)));
+        }
+        let expected: std::collections::BTreeSet<(u32, u32)> = parent
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.map(|p| (p.min(i as u32), p.max(i as u32))))
+            .collect();
+        prop_assert_eq!(produced, expected);
+    }
+
+    /// `pathdecomp_to_kexpr` reproduces random path powers.
+    #[test]
+    fn pathdecomp_matches_random_path_powers(n in 2u32..30, k in 1u32..4) {
+        use qpwm_core::cliquewidth::{path_power, pathdecomp_to_kexpr};
+        let (bags, edges) = path_power(n, k);
+        let (expr, order) =
+            pathdecomp_to_kexpr(&bags, &edges, k as usize).expect("valid decomposition");
+        let graph = expr.eval();
+        let mut produced = std::collections::BTreeSet::new();
+        for t in graph.tuples(0) {
+            let (u, v) = (order[t[0] as usize], order[t[1] as usize]);
+            produced.insert((u.min(v), u.max(v)));
+        }
+        let expected: std::collections::BTreeSet<(u32, u32)> = edges.iter().copied().collect();
+        prop_assert_eq!(produced, expected);
+    }
+}

@@ -1,0 +1,342 @@
+//! A join-based fast path for conjunctive queries.
+//!
+//! The generic evaluator enumerates all `|U|^s` candidate outputs per
+//! parameter and re-evaluates the formula on each — hopeless beyond toy
+//! sizes. Most registered queries, though, are *conjunctive*: a chain of
+//! existentials over a conjunction of atoms, equalities and safely
+//! negated atoms (everything [`crate::datalog`] produces, and most
+//! hand-built formulas). For those this module compiles a join plan:
+//!
+//! * positive atoms are joined by binding propagation, most-bound atom
+//!   first (a greedy nested-loop join — no statistics, but early pruning
+//!   does the heavy lifting at experiment scale);
+//! * equalities, inequalities and negated atoms become filters, legal
+//!   because range restriction guarantees their variables are bound.
+//!
+//! [`crate::ParametricQuery`] compiles a plan at construction when the
+//! formula has this shape and transparently falls back to the generic
+//! evaluator otherwise; a property test checks both paths agree.
+
+use crate::fo::{Formula, Var};
+use qpwm_structures::{Element, RelId, Structure};
+use std::collections::BTreeSet;
+
+#[derive(Debug, Clone)]
+struct AtomRef {
+    rel: RelId,
+    args: Vec<Var>,
+}
+
+/// A compiled conjunctive-query plan.
+#[derive(Debug, Clone)]
+pub struct CqPlan {
+    positive: Vec<AtomRef>,
+    negative: Vec<AtomRef>,
+    /// `(x, y, must_be_equal)`
+    equalities: Vec<(Var, Var, bool)>,
+    outputs: Vec<Var>,
+    /// Highest variable index + 1 (environment size).
+    env_size: usize,
+}
+
+impl CqPlan {
+    /// Attempts to compile `formula` (with the given parameter and output
+    /// variables) into a join plan. Returns `None` when the formula is
+    /// not a safe conjunctive query — callers then use the generic
+    /// evaluator.
+    pub fn compile(formula: &Formula, params: &[Var], outputs: &[Var]) -> Option<CqPlan> {
+        // strip the existential prefix
+        let mut body = formula;
+        let mut bound_by_exists: BTreeSet<Var> = BTreeSet::new();
+        while let Formula::Exists(v, inner) = body {
+            bound_by_exists.insert(*v);
+            body = inner;
+        }
+        // a parameter or output shadowed by a quantifier would change
+        // meaning under the join (the generic evaluator ignores the outer
+        // binding); bail out to the generic path
+        if params.iter().chain(outputs).any(|v| bound_by_exists.contains(v)) {
+            return None;
+        }
+        let conjuncts: Vec<&Formula> = match body {
+            Formula::And(fs) => fs.iter().collect(),
+            other => vec![other],
+        };
+        let mut positive = Vec::new();
+        let mut negative = Vec::new();
+        let mut equalities = Vec::new();
+        for c in conjuncts {
+            match c {
+                Formula::Atom { rel, args } => {
+                    positive.push(AtomRef { rel: *rel, args: args.clone() })
+                }
+                Formula::Eq(x, y) => equalities.push((*x, *y, true)),
+                Formula::Not(inner) => match inner.as_ref() {
+                    Formula::Atom { rel, args } => {
+                        negative.push(AtomRef { rel: *rel, args: args.clone() })
+                    }
+                    Formula::Eq(x, y) => equalities.push((*x, *y, false)),
+                    _ => return None,
+                },
+                _ => return None,
+            }
+        }
+        if positive.is_empty() {
+            return None;
+        }
+        // safety: every output / negated / equality variable must be a
+        // parameter or bound by a positive atom
+        let positive_vars: BTreeSet<Var> = positive
+            .iter()
+            .flat_map(|a| a.args.iter().copied())
+            .chain(params.iter().copied())
+            .collect();
+        let needs_binding = outputs
+            .iter()
+            .copied()
+            .chain(negative.iter().flat_map(|a| a.args.iter().copied()))
+            .chain(equalities.iter().flat_map(|&(x, y, _)| [x, y]));
+        for v in needs_binding {
+            if !positive_vars.contains(&v) {
+                return None;
+            }
+        }
+        // existential variables must also be covered (they always are for
+        // range-restricted formulas; double-check to stay safe)
+        for v in &bound_by_exists {
+            if !positive_vars.contains(v) {
+                return None;
+            }
+        }
+        let env_size = positive
+            .iter()
+            .flat_map(|a| a.args.iter())
+            .chain(params.iter())
+            .chain(outputs.iter())
+            .copied()
+            .max()
+            .unwrap_or(0) as usize
+            + 1;
+        Some(CqPlan {
+            positive,
+            negative,
+            equalities,
+            outputs: outputs.to_vec(),
+            env_size,
+        })
+    }
+
+    /// Evaluates the plan: the sorted set of output tuples for the given
+    /// parameter assignment.
+    pub fn answer_set(
+        &self,
+        structure: &Structure,
+        params: &[Var],
+        values: &[Element],
+    ) -> Vec<Vec<Element>> {
+        let mut env: Vec<Option<Element>> = vec![None; self.env_size];
+        for (v, e) in params.iter().zip(values) {
+            env[*v as usize] = Some(*e);
+        }
+        let mut remaining: Vec<&AtomRef> = self.positive.iter().collect();
+        let mut results: BTreeSet<Vec<Element>> = BTreeSet::new();
+        self.join(structure, &mut env, &mut remaining, &mut results);
+        results.into_iter().collect()
+    }
+
+    fn join(
+        &self,
+        structure: &Structure,
+        env: &mut Vec<Option<Element>>,
+        remaining: &mut Vec<&AtomRef>,
+        results: &mut BTreeSet<Vec<Element>>,
+    ) {
+        if remaining.is_empty() {
+            if self.filters_pass(structure, env) {
+                let tuple: Vec<Element> = self
+                    .outputs
+                    .iter()
+                    .map(|v| env[*v as usize].expect("outputs bound by safety"))
+                    .collect();
+                results.insert(tuple);
+            }
+            return;
+        }
+        // pick the most-bound atom (greedy selectivity heuristic)
+        let (idx, _) = remaining
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, a)| {
+                a.args
+                    .iter()
+                    .filter(|v| env[**v as usize].is_some())
+                    .count()
+            })
+            .expect("non-empty");
+        let atom = remaining.swap_remove(idx);
+        for tuple in structure.tuples(atom.rel) {
+            // match against current bindings, collecting extensions
+            let mut extensions: Vec<(Var, Element)> = Vec::new();
+            let mut ok = true;
+            for (v, &e) in atom.args.iter().zip(tuple) {
+                match env[*v as usize] {
+                    Some(bound) if bound != e => {
+                        ok = false;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        // a variable repeated within this atom must match
+                        if let Some(&(_, prev)) =
+                            extensions.iter().find(|(ev, _)| ev == v)
+                        {
+                            if prev != e {
+                                ok = false;
+                                break;
+                            }
+                        } else {
+                            extensions.push((*v, e));
+                        }
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            for &(v, e) in &extensions {
+                env[v as usize] = Some(e);
+            }
+            self.join(structure, env, remaining, results);
+            for &(v, _) in &extensions {
+                env[v as usize] = None;
+            }
+        }
+        remaining.push(atom);
+    }
+
+    fn filters_pass(&self, structure: &Structure, env: &[Option<Element>]) -> bool {
+        for &(x, y, want_eq) in &self.equalities {
+            let (ex, ey) = (
+                env[x as usize].expect("bound by safety"),
+                env[y as usize].expect("bound by safety"),
+            );
+            if (ex == ey) != want_eq {
+                return false;
+            }
+        }
+        let mut scratch: Vec<Element> = Vec::new();
+        for atom in &self.negative {
+            scratch.clear();
+            scratch.extend(
+                atom.args
+                    .iter()
+                    .map(|v| env[*v as usize].expect("bound by safety")),
+            );
+            if structure.contains(atom.rel, &scratch) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ParametricQuery;
+    use qpwm_structures::{Schema, StructureBuilder};
+    use std::sync::Arc;
+
+    fn graph(n: u32, edges: &[(u32, u32)]) -> Structure {
+        let schema = Arc::new(Schema::graph());
+        let mut b = StructureBuilder::new(schema, n);
+        for &(u, v) in edges {
+            b.add(0, &[u, v]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn compiles_single_atom() {
+        let f = Formula::atom(0, &[0, 1]);
+        let plan = CqPlan::compile(&f, &[0], &[1]).expect("compiles");
+        let g = graph(4, &[(0, 1), (0, 2), (3, 0)]);
+        assert_eq!(plan.answer_set(&g, &[0], &[0]), vec![vec![1], vec![2]]);
+        assert_eq!(plan.answer_set(&g, &[0], &[3]), vec![vec![0]]);
+    }
+
+    #[test]
+    fn compiles_two_hop_join() {
+        let f = Formula::exists(
+            2,
+            Formula::atom(0, &[0, 2]).and(Formula::atom(0, &[2, 1])),
+        );
+        let plan = CqPlan::compile(&f, &[0], &[1]).expect("compiles");
+        let g = graph(4, &[(0, 1), (1, 2), (1, 3), (2, 0)]);
+        assert_eq!(plan.answer_set(&g, &[0], &[0]), vec![vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn filters_and_negation() {
+        // E(u, v) ∧ ¬E(v, u) ∧ u ≠ v
+        let f = Formula::atom(0, &[0, 1])
+            .and(Formula::atom(0, &[1, 0]).not())
+            .and(Formula::eq(0, 1).not());
+        let plan = CqPlan::compile(&f, &[0], &[1]).expect("compiles");
+        let g = graph(4, &[(0, 1), (1, 0), (0, 2), (3, 3)]);
+        // (0,1) has a reverse edge; (0,2) does not; (3,3) fails u≠v.
+        assert_eq!(plan.answer_set(&g, &[0], &[0]), vec![vec![2]]);
+        assert!(plan.answer_set(&g, &[0], &[3]).is_empty());
+    }
+
+    #[test]
+    fn repeated_variable_in_atom() {
+        // self loops: E(v, v)
+        let f = Formula::atom(0, &[1, 1]);
+        let plan = CqPlan::compile(&f, &[0], &[1]).expect("compiles");
+        let g = graph(4, &[(0, 0), (1, 2), (3, 3)]);
+        // parameter 0 is irrelevant... but var 0 is a param not in the body;
+        // answers: self-loop vertices
+        assert_eq!(plan.answer_set(&g, &[0], &[1]), vec![vec![0], vec![3]]);
+    }
+
+    #[test]
+    fn rejects_non_cq_shapes() {
+        // disjunction
+        let f = Formula::atom(0, &[0, 1]).or(Formula::atom(0, &[1, 0]));
+        assert!(CqPlan::compile(&f, &[0], &[1]).is_none());
+        // universal quantifier
+        let f = Formula::forall(2, Formula::atom(0, &[0, 2]));
+        assert!(CqPlan::compile(&f, &[0], &[1]).is_none());
+        // unsafe output (v not in any positive atom)
+        let f = Formula::atom(0, &[0, 0]);
+        assert!(CqPlan::compile(&f, &[0], &[1]).is_none());
+        // negation of a conjunction
+        let f = Formula::atom(0, &[0, 1])
+            .and(Formula::atom(0, &[1, 0]).and(Formula::atom(0, &[0, 0])).not());
+        assert!(CqPlan::compile(&f, &[0], &[1]).is_none());
+    }
+
+    #[test]
+    fn plan_agrees_with_generic_evaluator() {
+        let f = Formula::exists(
+            2,
+            Formula::atom(0, &[0, 2])
+                .and(Formula::atom(0, &[2, 1]))
+                .and(Formula::eq(0, 1).not()),
+        );
+        let g = graph(6, &[(0, 1), (1, 2), (2, 3), (3, 0), (1, 4), (4, 5), (5, 1)]);
+        // via ParametricQuery both paths must agree (it uses the plan
+        // internally; compare against a formula the planner rejects but
+        // that is logically identical: wrap in a redundant Or)
+        let fast = ParametricQuery::new(f.clone(), vec![0], vec![1]);
+        let slow = ParametricQuery::new(f.clone().or(f), vec![0], vec![1]);
+        for a in 0..6 {
+            assert_eq!(
+                fast.answer_set(&g, &[a]),
+                slow.answer_set(&g, &[a]),
+                "parameter {a}"
+            );
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! Conjunctive queries in Datalog-style rule syntax.
+//!
+//! The paper's practical query language is "mostly plain SQL";
+//! select-project-join queries are conjunctive queries, which have a
+//! crisp rule syntax:
+//!
+//! ```text
+//! route($u; v)       :- Route($u, v)
+//! connections($u; v) :- E($u, z), E(z, v), z != v
+//! coworkers($u; v)   :- Works($u, d), Works(v, d), not Manager(v), v != $u
+//! ```
+//!
+//! * head: `name(params; outputs)` — parameters carry `$`;
+//! * body: comma-separated relation atoms, `x = y`, `x != y`, and
+//!   `not Rel(...)` (safe, set-difference-style negation);
+//! * body variables absent from the head are existentially quantified.
+//!
+//! Rules compile to [`ParametricQuery`] values after a *range
+//! restriction* (safety) check: every variable used in the head, in an
+//! equality, or under `not` must be bound by some positive body atom.
+
+use crate::fo::{Formula, Var};
+use crate::query::ParametricQuery;
+use qpwm_structures::Schema;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// Errors from [`parse_rule`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuleError {
+    /// Not even the skeleton `head :- body` parsed; message inside.
+    Syntax(String),
+    /// The head used a relation name that is not in the schema, or an
+    /// atom's arity was wrong.
+    Schema(String),
+    /// A variable violates range restriction (named inside).
+    Unsafe(String),
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleError::Syntax(m) => write!(f, "rule syntax error: {m}"),
+            RuleError::Schema(m) => write!(f, "schema error: {m}"),
+            RuleError::Unsafe(m) => write!(f, "unsafe rule: variable {m} is not range-restricted"),
+        }
+    }
+}
+
+impl std::error::Error for RuleError {}
+
+/// A parsed rule, compiled and ready to run.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// The rule's name (head predicate).
+    pub name: String,
+    /// The compiled parametric query.
+    pub query: ParametricQuery,
+}
+
+#[derive(Debug)]
+enum BodyAtom {
+    Rel { rel: usize, args: Vec<String>, negated: bool },
+    Eq { lhs: String, rhs: String, negated: bool },
+}
+
+/// Parses one rule against a schema.
+///
+/// ```
+/// use qpwm_logic::datalog::parse_rule;
+/// use qpwm_structures::Schema;
+///
+/// let schema = Schema::new(vec![("E", 2)], 1);
+/// let rule = parse_rule("two_hop($u; v) :- E($u, z), E(z, v)", &schema).unwrap();
+/// assert_eq!(rule.name, "two_hop");
+/// assert_eq!(rule.query.r(), 1);
+/// assert_eq!(rule.query.s(), 1);
+/// ```
+pub fn parse_rule(input: &str, schema: &Schema) -> Result<Rule, RuleError> {
+    let (head, body) = input
+        .split_once(":-")
+        .ok_or_else(|| RuleError::Syntax("missing :-".into()))?;
+
+    // ---- head -----------------------------------------------------------
+    let head = head.trim();
+    let open = head
+        .find('(')
+        .ok_or_else(|| RuleError::Syntax("head needs (params; outputs)".into()))?;
+    let name = head[..open].trim();
+    if name.is_empty() {
+        return Err(RuleError::Syntax("empty rule name".into()));
+    }
+    let args = head[open + 1..]
+        .strip_suffix(')')
+        .ok_or_else(|| RuleError::Syntax("head missing )".into()))?;
+    let (params_part, outputs_part) = args
+        .split_once(';')
+        .ok_or_else(|| RuleError::Syntax("head needs a ; between params and outputs".into()))?;
+    let parse_names = |part: &str, want_dollar: bool| -> Result<Vec<String>, RuleError> {
+        part.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                if want_dollar {
+                    s.strip_prefix('$')
+                        .map(str::to_owned)
+                        .ok_or_else(|| RuleError::Syntax(format!("parameter {s} needs a $")))
+                } else if let Some(stripped) = s.strip_prefix('$') {
+                    Err(RuleError::Syntax(format!("output ${stripped} must not carry a $")))
+                } else {
+                    Ok(s.to_owned())
+                }
+            })
+            .collect()
+    };
+    let params = parse_names(params_part, true)?;
+    let outputs = parse_names(outputs_part, false)?;
+    if outputs.is_empty() {
+        return Err(RuleError::Syntax("need at least one output variable".into()));
+    }
+
+    // ---- body -----------------------------------------------------------
+    let mut atoms = Vec::new();
+    for raw in split_atoms(body) {
+        let raw = raw.trim();
+        if raw.is_empty() {
+            continue;
+        }
+        let (negated, core) = match raw.strip_prefix("not ") {
+            Some(rest) => (true, rest.trim()),
+            None => (false, raw),
+        };
+        if let Some(open) = core.find('(') {
+            let rel_name = core[..open].trim();
+            let rel = schema
+                .rel_id(rel_name)
+                .ok_or_else(|| RuleError::Schema(format!("unknown relation {rel_name}")))?;
+            let inner = core[open + 1..]
+                .strip_suffix(')')
+                .ok_or_else(|| RuleError::Syntax(format!("atom {core} missing )")))?;
+            let args: Vec<String> = inner
+                .split(',')
+                .map(|s| s.trim().trim_start_matches('$').to_owned())
+                .collect();
+            if args.len() != schema.arity(rel) || args.iter().any(String::is_empty) {
+                return Err(RuleError::Schema(format!(
+                    "relation {rel_name} has arity {}",
+                    schema.arity(rel)
+                )));
+            }
+            atoms.push(BodyAtom::Rel { rel, args, negated });
+        } else if let Some((l, r)) = core.split_once("!=") {
+            atoms.push(BodyAtom::Eq {
+                lhs: clean_var(l)?,
+                rhs: clean_var(r)?,
+                negated: !negated, // x != y is a negated equality
+            });
+        } else if let Some((l, r)) = core.split_once('=') {
+            atoms.push(BodyAtom::Eq { lhs: clean_var(l)?, rhs: clean_var(r)?, negated });
+        } else {
+            return Err(RuleError::Syntax(format!("unparseable atom: {core}")));
+        }
+    }
+    if atoms.is_empty() {
+        return Err(RuleError::Syntax("empty body".into()));
+    }
+
+    // ---- range restriction ------------------------------------------------
+    let positive: BTreeSet<&String> = atoms
+        .iter()
+        .filter_map(|a| match a {
+            BodyAtom::Rel { args, negated: false, .. } => Some(args.iter()),
+            _ => None,
+        })
+        .flatten()
+        .collect();
+    let mut must_be_bound: Vec<&String> = params.iter().chain(&outputs).collect();
+    for atom in &atoms {
+        match atom {
+            BodyAtom::Rel { args, negated: true, .. } => must_be_bound.extend(args.iter()),
+            BodyAtom::Eq { lhs, rhs, .. } => {
+                must_be_bound.push(lhs);
+                must_be_bound.push(rhs);
+            }
+            _ => {}
+        }
+    }
+    for v in must_be_bound {
+        if !positive.contains(v) {
+            return Err(RuleError::Unsafe(v.clone()));
+        }
+    }
+
+    // ---- compile to FO ------------------------------------------------------
+    let mut vars: HashMap<String, Var> = HashMap::new();
+    let intern = |name: &String, vars: &mut HashMap<String, Var>| -> Var {
+        let next = vars.len() as Var;
+        *vars.entry(name.clone()).or_insert(next)
+    };
+    // head variables first so parameter/output indices are stable
+    for p in params.iter().chain(&outputs) {
+        intern(p, &mut vars);
+    }
+    let mut conjuncts = Vec::new();
+    for atom in &atoms {
+        match atom {
+            BodyAtom::Rel { rel, args, negated } => {
+                let f = Formula::Atom {
+                    rel: *rel,
+                    args: args.iter().map(|a| intern(a, &mut vars)).collect(),
+                };
+                conjuncts.push(if *negated { f.not() } else { f });
+            }
+            BodyAtom::Eq { lhs, rhs, negated } => {
+                let f = Formula::eq(intern(lhs, &mut vars), intern(rhs, &mut vars));
+                conjuncts.push(if *negated { f.not() } else { f });
+            }
+        }
+    }
+    let mut formula = Formula::And(conjuncts);
+    // existentially close body-only variables
+    let head_vars: BTreeSet<&String> = params.iter().chain(&outputs).collect();
+    let mut body_only: Vec<(String, Var)> = vars
+        .iter()
+        .filter(|(name, _)| !head_vars.contains(name))
+        .map(|(n, v)| (n.clone(), *v))
+        .collect();
+    body_only.sort_unstable();
+    for (_, v) in body_only {
+        formula = Formula::exists(v, formula);
+    }
+    let param_vars: Vec<Var> = params.iter().map(|p| vars[p]).collect();
+    let output_vars: Vec<Var> = outputs.iter().map(|o| vars[o]).collect();
+    Ok(Rule {
+        name: name.to_owned(),
+        query: ParametricQuery::new(formula, param_vars, output_vars),
+    })
+}
+
+fn clean_var(s: &str) -> Result<String, RuleError> {
+    let v = s.trim().trim_start_matches('$');
+    if v.is_empty() || !v.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return Err(RuleError::Syntax(format!("bad variable {s:?}")));
+    }
+    Ok(v.to_owned())
+}
+
+/// Splits the body on commas that are not inside parentheses.
+fn split_atoms(body: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0;
+    for (i, c) in body.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&body[start..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpwm_structures::StructureBuilder;
+    use std::sync::Arc;
+
+    fn schema() -> Schema {
+        Schema::new(vec![("E", 2), ("Route", 2), ("Manager", 1)], 1)
+    }
+
+    fn triangle() -> qpwm_structures::Structure {
+        let schema = Arc::new(schema());
+        let mut b = StructureBuilder::new(schema, 3);
+        b.add(0, &[0, 1]).add(0, &[1, 2]).add(0, &[2, 0]);
+        b.add(2, &[1]);
+        b.build()
+    }
+
+    #[test]
+    fn simple_rule_evaluates() {
+        let rule = parse_rule("route($u; v) :- Route($u, v)", &schema()).expect("parses");
+        assert_eq!(rule.name, "route");
+        assert_eq!(rule.query.r(), 1);
+        assert_eq!(rule.query.s(), 1);
+    }
+
+    #[test]
+    fn join_with_inequality() {
+        let rule = parse_rule(
+            "connections($u; v) :- E($u, z), E(z, v), z != v",
+            &schema(),
+        )
+        .expect("parses");
+        let g = triangle();
+        // from 0: 0 -> 1 -> 2, and z=1 != v=2: answer {2}
+        assert_eq!(rule.query.answer_set(&g, &[0]), vec![vec![2]]);
+    }
+
+    #[test]
+    fn negated_atom() {
+        let rule = parse_rule(
+            "succ($u; v) :- E($u, v), not Manager(v)",
+            &schema(),
+        )
+        .expect("parses");
+        let g = triangle();
+        // 0 -> 1 but 1 is a manager: empty; 1 -> 2 fine.
+        assert!(rule.query.answer_set(&g, &[0]).is_empty());
+        assert_eq!(rule.query.answer_set(&g, &[1]), vec![vec![2]]);
+    }
+
+    #[test]
+    fn two_outputs() {
+        let rule = parse_rule(
+            "edges($u; v, w) :- E(v, w), E($u, v)",
+            &schema(),
+        )
+        .expect("parses");
+        assert_eq!(rule.query.s(), 2);
+        let g = triangle();
+        // u=0: v must be 1 (E(0,1)); (v,w) = (1,2).
+        assert_eq!(rule.query.answer_set(&g, &[0]), vec![vec![1, 2]]);
+    }
+
+    #[test]
+    fn unsafe_rules_rejected() {
+        let s = schema();
+        // output not bound by a positive atom
+        assert!(matches!(
+            parse_rule("bad($u; v) :- E($u, z)", &s),
+            Err(RuleError::Unsafe(v)) if v == "v"
+        ));
+        // negated atom with an unbound variable
+        assert!(matches!(
+            parse_rule("bad($u; v) :- E($u, v), not E(v, w)", &s),
+            Err(RuleError::Unsafe(w)) if w == "w"
+        ));
+        // inequality with an unbound variable
+        assert!(matches!(
+            parse_rule("bad($u; v) :- E($u, v), v != q", &s),
+            Err(RuleError::Unsafe(q)) if q == "q"
+        ));
+    }
+
+    #[test]
+    fn syntax_and_schema_errors() {
+        let s = schema();
+        assert!(matches!(parse_rule("no body here", &s), Err(RuleError::Syntax(_))));
+        assert!(matches!(
+            parse_rule("r($u; v) :- Unknown($u, v)", &s),
+            Err(RuleError::Schema(_))
+        ));
+        assert!(matches!(
+            parse_rule("r($u; v) :- E($u, v, w)", &s),
+            Err(RuleError::Schema(_))
+        ));
+        assert!(matches!(
+            parse_rule("r(u; v) :- E(u, v)", &s),
+            Err(RuleError::Syntax(_))
+        ));
+        assert!(matches!(
+            parse_rule("r($u; $v) :- E($u, $v)", &s),
+            Err(RuleError::Syntax(_))
+        ));
+    }
+
+    #[test]
+    fn rule_query_matches_hand_built_formula() {
+        let rule = parse_rule("route($u; v) :- Route($u, v)", &schema()).expect("parses");
+        let hand = ParametricQuery::new(Formula::atom(1, &[0, 1]), vec![0], vec![1]);
+        let g = triangle();
+        for u in 0..3 {
+            assert_eq!(
+                rule.query.answer_set(&g, &[u]),
+                hand.answer_set(&g, &[u])
+            );
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! FO evaluation on finite structures.
+//!
+//! A straightforward environment-passing evaluator: quantifiers range over
+//! the whole universe. Complexity is `O(n^qd · |φ|)` per call — fine at the
+//! structure sizes of the experiments (the paper's schemes only need
+//! query evaluation as an oracle; they do not depend on its speed).
+
+use crate::fo::{Formula, Var};
+use qpwm_structures::{Element, Structure};
+
+/// Evaluator for FO formulas on one structure.
+///
+/// Holds a scratch environment so repeated calls do not allocate.
+pub struct Evaluator<'s> {
+    structure: &'s Structure,
+    env: Vec<Option<Element>>,
+}
+
+impl<'s> Evaluator<'s> {
+    /// Creates an evaluator for `structure`, able to handle variables up to
+    /// `max_var`.
+    pub fn new(structure: &'s Structure, max_var: Var) -> Self {
+        Evaluator { structure, env: vec![None; max_var as usize + 1] }
+    }
+
+    /// Evaluates `formula` under the given assignment of (some) free
+    /// variables. `assignment` lists `(var, element)` pairs; every free
+    /// variable of the formula must be assigned.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if a free variable is unassigned.
+    pub fn eval(&mut self, formula: &Formula, assignment: &[(Var, Element)]) -> bool {
+        self.env.iter_mut().for_each(|slot| *slot = None);
+        for &(v, e) in assignment {
+            self.grow_to(v);
+            self.env[v as usize] = Some(e);
+        }
+        self.eval_inner(formula)
+    }
+
+    fn grow_to(&mut self, v: Var) {
+        if self.env.len() <= v as usize {
+            self.env.resize(v as usize + 1, None);
+        }
+    }
+
+    fn eval_inner(&mut self, formula: &Formula) -> bool {
+        match formula {
+            Formula::Atom { rel, args } => {
+                let tuple: Vec<Element> = args
+                    .iter()
+                    .map(|v| {
+                        self.env[*v as usize]
+                            .expect("free variable without assignment in eval")
+                    })
+                    .collect();
+                self.structure.contains(*rel, &tuple)
+            }
+            Formula::Eq(x, y) => {
+                let ex = self.env[*x as usize].expect("unassigned variable");
+                let ey = self.env[*y as usize].expect("unassigned variable");
+                ex == ey
+            }
+            Formula::Not(f) => !self.eval_inner(f),
+            Formula::And(fs) => fs.iter().all(|f| self.eval_inner(f)),
+            Formula::Or(fs) => fs.iter().any(|f| self.eval_inner(f)),
+            Formula::Exists(v, f) => {
+                self.grow_to(*v);
+                let saved = self.env[*v as usize];
+                let mut found = false;
+                for e in self.structure.universe() {
+                    self.env[*v as usize] = Some(e);
+                    if self.eval_inner(f) {
+                        found = true;
+                        break;
+                    }
+                }
+                self.env[*v as usize] = saved;
+                found
+            }
+            Formula::Forall(v, f) => {
+                self.grow_to(*v);
+                let saved = self.env[*v as usize];
+                let mut holds = true;
+                for e in self.structure.universe() {
+                    self.env[*v as usize] = Some(e);
+                    if !self.eval_inner(f) {
+                        holds = false;
+                        break;
+                    }
+                }
+                self.env[*v as usize] = saved;
+                holds
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpwm_structures::{Schema, StructureBuilder};
+    use std::sync::Arc;
+
+    fn triangle() -> Structure {
+        // Directed 3-cycle 0 -> 1 -> 2 -> 0.
+        let schema = Arc::new(Schema::graph());
+        let mut b = StructureBuilder::new(schema, 3);
+        b.add(0, &[0, 1]).add(0, &[1, 2]).add(0, &[2, 0]);
+        b.build()
+    }
+
+    #[test]
+    fn atom_and_eq() {
+        let s = triangle();
+        let mut ev = Evaluator::new(&s, 2);
+        assert!(ev.eval(&Formula::atom(0, &[0, 1]), &[(0, 0), (1, 1)]));
+        assert!(!ev.eval(&Formula::atom(0, &[0, 1]), &[(0, 1), (1, 0)]));
+        assert!(ev.eval(&Formula::eq(0, 1), &[(0, 2), (1, 2)]));
+        assert!(!ev.eval(&Formula::eq(0, 1), &[(0, 2), (1, 0)]));
+    }
+
+    #[test]
+    fn connectives() {
+        let s = triangle();
+        let mut ev = Evaluator::new(&s, 2);
+        let both = Formula::atom(0, &[0, 1]).and(Formula::atom(0, &[1, 0]));
+        assert!(!ev.eval(&both, &[(0, 0), (1, 1)]));
+        let either = Formula::atom(0, &[0, 1]).or(Formula::atom(0, &[1, 0]));
+        assert!(ev.eval(&either, &[(0, 0), (1, 1)]));
+        assert!(ev.eval(&Formula::atom(0, &[0, 1]).not(), &[(0, 1), (1, 0)]));
+    }
+
+    #[test]
+    fn exists_successor() {
+        let s = triangle();
+        let mut ev = Evaluator::new(&s, 1);
+        // every vertex has an out-neighbor
+        let has_succ = Formula::exists(1, Formula::atom(0, &[0, 1]));
+        for v in 0..3 {
+            assert!(ev.eval(&has_succ, &[(0, v)]), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn forall_over_empty_edge_targets() {
+        // vertex 0 with edge only to 1; ∀y E(0,y) must fail on a 2-vertex
+        // universe (E(0,0) missing), ∃y E(0,y) succeeds.
+        let schema = Arc::new(Schema::graph());
+        let mut b = StructureBuilder::new(schema, 2);
+        b.add(0, &[0, 1]);
+        let s = b.build();
+        let mut ev = Evaluator::new(&s, 1);
+        assert!(!ev.eval(&Formula::forall(1, Formula::atom(0, &[0, 1])), &[(0, 0)]));
+        assert!(ev.eval(&Formula::exists(1, Formula::atom(0, &[0, 1])), &[(0, 0)]));
+    }
+
+    #[test]
+    fn two_step_reachability() {
+        let s = triangle();
+        let mut ev = Evaluator::new(&s, 2);
+        // ∃z (E(x,z) ∧ E(z,y)): 0 reaches 2 in two steps, not 1.
+        let two = Formula::exists(2, Formula::atom(0, &[0, 2]).and(Formula::atom(0, &[2, 1])));
+        assert!(ev.eval(&two, &[(0, 0), (1, 2)]));
+        assert!(!ev.eval(&two, &[(0, 0), (1, 1)]));
+    }
+
+    #[test]
+    fn quantifier_restores_environment() {
+        let s = triangle();
+        let mut ev = Evaluator::new(&s, 1);
+        // ∃x1 E(x0,x1) ∧ E(x0,x1) with outer x1 assigned: the inner ∃ must
+        // not clobber the outer assignment of x1.
+        let f = Formula::exists(1, Formula::atom(0, &[0, 1])).and(Formula::atom(0, &[0, 1]));
+        assert!(ev.eval(&f, &[(0, 0), (1, 1)]));
+        assert!(!ev.eval(&f, &[(0, 0), (1, 2)]));
+    }
+}

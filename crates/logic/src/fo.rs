@@ -1,0 +1,242 @@
+//! First-order formula syntax.
+//!
+//! Formulas are built from relational atoms and equality with `∧ ∨ ¬ ∃ ∀`.
+//! Variables are plain integers; a formula does not bind them to roles —
+//! [`crate::query::ParametricQuery`] designates which free variables are
+//! parameters `ū` and which are outputs `v̄`.
+
+use qpwm_structures::RelId;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A first-order variable.
+pub type Var = u32;
+
+/// A first-order formula over a relational schema.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Formula {
+    /// `R(x_1, ..., x_r)`
+    Atom {
+        /// The relation symbol.
+        rel: RelId,
+        /// Argument variables (length must equal the relation's arity).
+        args: Vec<Var>,
+    },
+    /// `x = y`
+    Eq(Var, Var),
+    /// `¬φ`
+    Not(Box<Formula>),
+    /// `φ_1 ∧ ... ∧ φ_n`
+    And(Vec<Formula>),
+    /// `φ_1 ∨ ... ∨ φ_n`
+    Or(Vec<Formula>),
+    /// `∃x φ`
+    Exists(Var, Box<Formula>),
+    /// `∀x φ`
+    Forall(Var, Box<Formula>),
+}
+
+impl Formula {
+    /// Atom constructor.
+    pub fn atom(rel: RelId, args: &[Var]) -> Formula {
+        Formula::Atom { rel, args: args.to_vec() }
+    }
+
+    /// `x = y`.
+    pub fn eq(x: Var, y: Var) -> Formula {
+        Formula::Eq(x, y)
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Formula {
+        Formula::Not(Box::new(self))
+    }
+
+    /// Binary conjunction (use `Formula::And` directly for wider ones).
+    pub fn and(self, other: Formula) -> Formula {
+        match self {
+            Formula::And(mut fs) => {
+                fs.push(other);
+                Formula::And(fs)
+            }
+            f => Formula::And(vec![f, other]),
+        }
+    }
+
+    /// Binary disjunction.
+    pub fn or(self, other: Formula) -> Formula {
+        match self {
+            Formula::Or(mut fs) => {
+                fs.push(other);
+                Formula::Or(fs)
+            }
+            f => Formula::Or(vec![f, other]),
+        }
+    }
+
+    /// Existential quantification.
+    pub fn exists(v: Var, body: Formula) -> Formula {
+        Formula::Exists(v, Box::new(body))
+    }
+
+    /// Universal quantification.
+    pub fn forall(v: Var, body: Formula) -> Formula {
+        Formula::Forall(v, Box::new(body))
+    }
+
+    /// Free variables of the formula.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.collect_free(&mut BTreeSet::new(), &mut out);
+        out
+    }
+
+    fn collect_free(&self, bound: &mut BTreeSet<Var>, out: &mut BTreeSet<Var>) {
+        match self {
+            Formula::Atom { args, .. } => {
+                for v in args {
+                    if !bound.contains(v) {
+                        out.insert(*v);
+                    }
+                }
+            }
+            Formula::Eq(x, y) => {
+                for v in [x, y] {
+                    if !bound.contains(v) {
+                        out.insert(*v);
+                    }
+                }
+            }
+            Formula::Not(f) => f.collect_free(bound, out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_free(bound, out);
+                }
+            }
+            Formula::Exists(v, f) | Formula::Forall(v, f) => {
+                let fresh = bound.insert(*v);
+                f.collect_free(bound, out);
+                if fresh {
+                    bound.remove(v);
+                }
+            }
+        }
+    }
+
+    /// Quantifier depth (deepest nesting of `∃/∀`), the input to Gaifman's
+    /// locality-rank bound.
+    pub fn quantifier_depth(&self) -> u32 {
+        match self {
+            Formula::Atom { .. } | Formula::Eq(..) => 0,
+            Formula::Not(f) => f.quantifier_depth(),
+            Formula::And(fs) | Formula::Or(fs) => {
+                fs.iter().map(Formula::quantifier_depth).max().unwrap_or(0)
+            }
+            Formula::Exists(_, f) | Formula::Forall(_, f) => 1 + f.quantifier_depth(),
+        }
+    }
+
+    /// Maximum variable index mentioned anywhere (bound or free); handy for
+    /// sizing environments.
+    pub fn max_var(&self) -> Var {
+        match self {
+            Formula::Atom { args, .. } => args.iter().copied().max().unwrap_or(0),
+            Formula::Eq(x, y) => (*x).max(*y),
+            Formula::Not(f) => f.max_var(),
+            Formula::And(fs) | Formula::Or(fs) => {
+                fs.iter().map(Formula::max_var).max().unwrap_or(0)
+            }
+            Formula::Exists(v, f) | Formula::Forall(v, f) => (*v).max(f.max_var()),
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::Atom { rel, args } => {
+                write!(f, "R{rel}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "x{a}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Eq(x, y) => write!(f, "x{x} = x{y}"),
+            Formula::Not(inner) => write!(f, "¬({inner})"),
+            Formula::And(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Exists(v, inner) => write!(f, "∃x{v} {inner}"),
+            Formula::Forall(v, inner) => write!(f, "∀x{v} {inner}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_vars_of_atom() {
+        let f = Formula::atom(0, &[1, 2]);
+        assert_eq!(f.free_vars().into_iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn quantifier_binds() {
+        let f = Formula::exists(2, Formula::atom(0, &[1, 2]));
+        assert_eq!(f.free_vars().into_iter().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(f.quantifier_depth(), 1);
+    }
+
+    #[test]
+    fn shadowing_inside_does_not_leak() {
+        // ∃x1 (R(x1) ∧ ∃x1 R(x1)): x1 never free.
+        let inner = Formula::exists(1, Formula::atom(0, &[1]));
+        let f = Formula::exists(1, Formula::atom(0, &[1]).and(inner));
+        assert!(f.free_vars().is_empty());
+        assert_eq!(f.quantifier_depth(), 2);
+    }
+
+    #[test]
+    fn rebound_variable_free_outside() {
+        // R(x1) ∧ ∃x1 R(x1): x1 IS free (first conjunct).
+        let f = Formula::atom(0, &[1]).and(Formula::exists(1, Formula::atom(0, &[1])));
+        assert_eq!(f.free_vars().into_iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn depth_takes_max_over_branches() {
+        let deep = Formula::exists(1, Formula::exists(2, Formula::atom(0, &[1, 2])));
+        let shallow = Formula::eq(3, 3);
+        assert_eq!(deep.clone().and(shallow).quantifier_depth(), 2);
+        assert_eq!(deep.max_var(), 2);
+    }
+
+    #[test]
+    fn display_renders() {
+        let f = Formula::exists(1, Formula::atom(0, &[0, 1]).and(Formula::eq(0, 1).not()));
+        assert_eq!(f.to_string(), "∃x1 (R0(x0,x1) ∧ ¬(x0 = x1))");
+    }
+}

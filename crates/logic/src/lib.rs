@@ -1,0 +1,28 @@
+//! First-order logic over finite structures, parametric queries, locality
+//! and VC-dimension.
+//!
+//! This crate supplies the *query language* side of the paper: FO formulas
+//! `ψ(ū, v̄)` with distinguished parameter variables `ū` and output
+//! variables `v̄`, their evaluation on finite structures, active-weight
+//! sets `W_ā`, Gaifman locality ranks, and the Vapnik–Chervonenkis
+//! dimension of the definable set systems `C(ψ, G)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datalog;
+pub mod cq;
+pub mod eval;
+pub mod fo;
+pub mod locality;
+pub mod naive;
+pub mod parse;
+pub mod query;
+pub mod vc;
+
+pub use eval::Evaluator;
+pub use fo::{Formula, Var};
+pub use locality::{empirical_locality_rank, gaifman_rank_bound};
+pub use parse::{parse_formula, ParseError, ParsedFormula};
+pub use query::{ParametricQuery, QueryAnswers};
+pub use vc::{is_shattered, vc_dimension, vc_of_answers, SetSystem};

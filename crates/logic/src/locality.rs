@@ -1,0 +1,130 @@
+//! Gaifman locality ranks.
+//!
+//! Gaifman's theorem: every FO query is local, with locality rank at most
+//! `(7^qd − 1) / 2` for quantifier depth `qd` (and independent of the
+//! structure). The bound is astronomically loose in practice — the paper
+//! itself notes `q` "can be rather huge for practical applications" — so
+//! schemes accept a caller-supplied rank, and this module also provides an
+//! *empirical* checker that certifies a candidate rank on a concrete
+//! structure (sound for that structure, which is all the marker needs:
+//! marking is always per-instance).
+
+use crate::query::ParametricQuery;
+use qpwm_structures::{GaifmanGraph, NeighborhoodTypes, Structure};
+
+/// Gaifman's worst-case locality-rank bound `(7^qd − 1)/2`, saturating.
+pub fn gaifman_rank_bound(quantifier_depth: u32) -> u64 {
+    let mut pow: u64 = 1;
+    for _ in 0..quantifier_depth {
+        pow = pow.saturating_mul(7);
+    }
+    (pow.saturating_sub(1)) / 2
+}
+
+/// Checks whether `rho` is a valid locality rank for `query` **on this
+/// structure**: for every pair of parameter tuples with isomorphic
+/// ρ-neighborhoods the membership of every output tuple must agree when
+/// the output lies outside both extended neighborhoods.
+///
+/// Returns the smallest ρ ≤ `max_rho` that passes the (sufficient)
+/// per-instance test, or `None` if none does. The test used here is the
+/// simpler *full-tuple* variant: tuples `(ā, b̄)` and `(ā', b̄)` are
+/// compared whenever `N_ρ(ā) ≈ N_ρ(ā')`; mismatches that Lemma 1 permits
+/// (outputs inside `S_{2ρ+1}`) are skipped.
+pub fn empirical_locality_rank(
+    structure: &Structure,
+    query: &ParametricQuery,
+    max_rho: u32,
+) -> Option<u32> {
+    let gaifman = GaifmanGraph::of(structure);
+    'rho: for rho in 0..=max_rho {
+        let domain = qpwm_structures::types::all_tuples(structure, query.r());
+        let census =
+            NeighborhoodTypes::classify(structure, &gaifman, rho, domain.iter().cloned());
+        let answers = query.answers_over(structure, domain.clone());
+        // group parameters by type
+        let mut by_type: Vec<Vec<usize>> = vec![Vec::new(); census.num_types()];
+        for (i, a) in domain.iter().enumerate() {
+            let t = census.type_of(a).expect("classified above");
+            by_type[t].push(i);
+        }
+        for group in &by_type {
+            for (pos, &i) in group.iter().enumerate() {
+                for &j in &group[pos + 1..] {
+                    if !outputs_agree_outside(structure, &gaifman, &answers, i, j, rho) {
+                        continue 'rho;
+                    }
+                }
+            }
+        }
+        return Some(rho);
+    }
+    None
+}
+
+fn outputs_agree_outside(
+    structure: &Structure,
+    gaifman: &GaifmanGraph,
+    answers: &crate::query::QueryAnswers,
+    i: usize,
+    j: usize,
+    rho: u32,
+) -> bool {
+    let a1 = &answers.parameters()[i];
+    let a2 = &answers.parameters()[j];
+    let mut centers: Vec<u32> = a1.clone();
+    centers.extend_from_slice(a2);
+    let forbidden = gaifman.sphere(&centers, 2 * rho + 1);
+    let in_forbidden = |b: &[u32]| b.iter().any(|e| forbidden.binary_search(e).is_ok());
+    let w1 = answers.active_set(i);
+    let w2 = answers.active_set(j);
+    let _ = structure;
+    // Every output outside S_{2ρ+1}(ā1 ā2) must be in both or neither.
+    for b in w1 {
+        if !in_forbidden(b) && w2.binary_search(b).is_err() {
+            return false;
+        }
+    }
+    for b in w2 {
+        if !in_forbidden(b) && w1.binary_search(b).is_err() {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fo::Formula;
+    use qpwm_structures::figure1_instance;
+
+    #[test]
+    fn gaifman_bound_values() {
+        assert_eq!(gaifman_rank_bound(0), 0);
+        assert_eq!(gaifman_rank_bound(1), 3);
+        assert_eq!(gaifman_rank_bound(2), 24);
+        // saturates rather than overflowing
+        assert!(gaifman_rank_bound(100) > 0);
+    }
+
+    #[test]
+    fn edge_query_has_rank_one_or_less_on_figure1() {
+        // The paper: ψ(u,v) ≡ E(u,v) has locality rank 1.
+        let s = figure1_instance();
+        let q = ParametricQuery::new(Formula::atom(0, &[0, 1]), vec![0], vec![1]);
+        let rank = empirical_locality_rank(&s, &q, 3).expect("local query");
+        assert!(rank <= 1, "rank {rank}");
+    }
+
+    #[test]
+    fn two_hop_query_is_certified_within_bound() {
+        let s = figure1_instance();
+        let f = Formula::exists(
+            2,
+            Formula::atom(0, &[0, 2]).and(Formula::atom(0, &[2, 1])),
+        );
+        let q = ParametricQuery::new(f, vec![0], vec![1]);
+        assert!(empirical_locality_rank(&s, &q, 4).is_some());
+    }
+}

@@ -1,0 +1,105 @@
+//! A reference FO evaluator for differential testing.
+//!
+//! [`crate::Evaluator`] threads a mutable environment through the
+//! formula; this module evaluates by *syntactic substitution* instead —
+//! quantifiers are expanded into explicit disjunctions/conjunctions over
+//! ground instantiations and only ground atoms ever touch the structure.
+//! It is exponentially slower but so simple it serves as ground truth:
+//! the property suite checks both evaluators agree on random formulas.
+
+use crate::fo::{Formula, Var};
+use qpwm_structures::{Element, Structure};
+use std::collections::HashMap;
+
+/// Evaluates `formula` under `assignment` by substitution.
+///
+/// # Panics
+/// Panics if a free variable lacks an assignment.
+pub fn eval_by_substitution(
+    structure: &Structure,
+    formula: &Formula,
+    assignment: &HashMap<Var, Element>,
+) -> bool {
+    match formula {
+        Formula::Atom { rel, args } => {
+            let tuple: Vec<Element> = args
+                .iter()
+                .map(|v| *assignment.get(v).expect("free variable unassigned"))
+                .collect();
+            structure.contains(*rel, &tuple)
+        }
+        Formula::Eq(x, y) => {
+            assignment.get(x).expect("unassigned") == assignment.get(y).expect("unassigned")
+        }
+        Formula::Not(f) => !eval_by_substitution(structure, f, assignment),
+        Formula::And(fs) => fs.iter().all(|f| eval_by_substitution(structure, f, assignment)),
+        Formula::Or(fs) => fs.iter().any(|f| eval_by_substitution(structure, f, assignment)),
+        Formula::Exists(v, f) => structure.universe().any(|e| {
+            let mut inner = assignment.clone();
+            inner.insert(*v, e);
+            eval_by_substitution(structure, f, &inner)
+        }),
+        Formula::Forall(v, f) => structure.universe().all(|e| {
+            let mut inner = assignment.clone();
+            inner.insert(*v, e);
+            eval_by_substitution(structure, f, &inner)
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Evaluator;
+    use qpwm_structures::{Schema, StructureBuilder};
+    use std::sync::Arc;
+
+    fn triangle() -> Structure {
+        let schema = Arc::new(Schema::graph());
+        let mut b = StructureBuilder::new(schema, 3);
+        b.add(0, &[0, 1]).add(0, &[1, 2]).add(0, &[2, 0]);
+        b.build()
+    }
+
+    #[test]
+    fn agrees_with_fast_evaluator_on_fixed_formulas() {
+        let s = triangle();
+        let formulas = [
+            Formula::atom(0, &[0, 1]),
+            Formula::exists(1, Formula::atom(0, &[0, 1])),
+            Formula::forall(1, Formula::atom(0, &[0, 1]).or(Formula::eq(0, 1))),
+            Formula::exists(
+                2,
+                Formula::atom(0, &[0, 2]).and(Formula::atom(0, &[2, 1])),
+            ),
+        ];
+        for f in &formulas {
+            let free: Vec<_> = f.free_vars().into_iter().collect();
+            let mut fast = Evaluator::new(&s, f.max_var());
+            // try every assignment of the free variables
+            let mut values = vec![0u32; free.len()];
+            'assignments: loop {
+                let pairs: Vec<(u32, u32)> =
+                    free.iter().copied().zip(values.iter().copied()).collect();
+                let map: HashMap<u32, u32> = pairs.iter().copied().collect();
+                assert_eq!(
+                    fast.eval(f, &pairs),
+                    eval_by_substitution(&s, f, &map),
+                    "{f} under {pairs:?}"
+                );
+                let mut i = values.len();
+                loop {
+                    if i == 0 {
+                        break 'assignments;
+                    }
+                    i -= 1;
+                    values[i] += 1;
+                    if values[i] < 3 {
+                        break;
+                    }
+                    values[i] = 0;
+                }
+            }
+        }
+    }
+}

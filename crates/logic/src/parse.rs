@@ -1,0 +1,394 @@
+//! A text syntax for first-order formulas.
+//!
+//! Grammar (ASCII; Unicode connectives also accepted):
+//!
+//! ```text
+//! formula := quantified
+//! quantified := ("exists" | "forall" | "∃" | "∀") var quantified
+//!             | implication
+//! implication := disjunction ("->" disjunction)?      // sugar: a -> b ≡ !a | b
+//! disjunction := conjunction (("|" | "∨" | "or") conjunction)*
+//! conjunction := negation (("&" | "∧" | "and") negation)*
+//! negation := ("!" | "¬" | "not") negation | atom
+//! atom := Rel "(" var ("," var)* ")" | var "=" var | var "!=" var
+//!       | "(" formula ")"
+//! var := identifier starting with a lowercase letter
+//! Rel := identifier starting with an uppercase letter (looked up in the schema)
+//! ```
+//!
+//! Variables are interned in first-appearance order; the returned
+//! [`ParsedFormula`] maps names to [`Var`] indices so callers can
+//! designate parameters and outputs by name.
+
+use crate::fo::{Formula, Var};
+use qpwm_structures::Schema;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed formula plus its variable name table.
+#[derive(Debug, Clone)]
+pub struct ParsedFormula {
+    /// The formula.
+    pub formula: Formula,
+    /// Name → variable index.
+    pub vars: HashMap<String, Var>,
+}
+
+impl ParsedFormula {
+    /// The variable index of `name`.
+    pub fn var(&self, name: &str) -> Option<Var> {
+        self.vars.get(name).copied()
+    }
+
+    /// Builds a [`crate::ParametricQuery`] by naming parameters/outputs.
+    ///
+    /// # Panics
+    /// Panics if a name was never mentioned in the formula.
+    pub fn query(&self, params: &[&str], outputs: &[&str]) -> crate::ParametricQuery {
+        let resolve = |names: &[&str]| -> Vec<Var> {
+            names
+                .iter()
+                .map(|n| self.var(n).unwrap_or_else(|| panic!("unknown variable {n}")))
+                .collect()
+        };
+        crate::ParametricQuery::new(self.formula.clone(), resolve(params), resolve(outputs))
+    }
+}
+
+/// Parse errors with byte positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the problem.
+    pub at: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+    schema: &'a Schema,
+    vars: HashMap<String, Var>,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { at: self.pos, message: message.into() })
+    }
+
+    fn skip_ws(&mut self) {
+        while self.input[self.pos..].starts_with(|c: char| c.is_whitespace()) {
+            self.pos += self.input[self.pos..].chars().next().expect("nonempty").len_utf8();
+        }
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.input[self.pos..].starts_with(token) {
+            // word tokens must not continue as identifiers
+            let end = self.pos + token.len();
+            if token.chars().all(|c| c.is_alphanumeric()) {
+                if let Some(next) = self.input[end..].chars().next() {
+                    if next.is_alphanumeric() || next == '_' {
+                        return false;
+                    }
+                }
+            }
+            self.pos = end;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn identifier(&mut self) -> Option<String> {
+        self.skip_ws();
+        let rest = &self.input[self.pos..];
+        let mut len = 0;
+        for c in rest.chars() {
+            if c.is_alphanumeric() || c == '_' {
+                len += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        if len == 0 || !rest.chars().next().is_some_and(|c| c.is_alphabetic()) {
+            return None;
+        }
+        let name = rest[..len].to_owned();
+        self.pos += len;
+        Some(name)
+    }
+
+    fn intern(&mut self, name: String) -> Var {
+        let next = self.vars.len() as Var;
+        *self.vars.entry(name).or_insert(next)
+    }
+
+    fn formula(&mut self) -> Result<Formula, ParseError> {
+        self.quantified()
+    }
+
+    fn quantified(&mut self) -> Result<Formula, ParseError> {
+        for (tokens, is_exists) in [(["exists", "∃"], true), (["forall", "∀"], false)] {
+            for t in tokens {
+                if self.eat(t) {
+                    let Some(name) = self.identifier() else {
+                        return self.err("expected a variable after quantifier");
+                    };
+                    if !name.chars().next().is_some_and(char::is_lowercase) {
+                        return self.err("variables must start lowercase");
+                    }
+                    let v = self.intern(name);
+                    let body = self.quantified()?;
+                    return Ok(if is_exists {
+                        Formula::exists(v, body)
+                    } else {
+                        Formula::forall(v, body)
+                    });
+                }
+            }
+        }
+        self.implication()
+    }
+
+    fn implication(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.disjunction()?;
+        if self.eat("->") {
+            let rhs = self.disjunction()?;
+            return Ok(lhs.not().or(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn disjunction(&mut self) -> Result<Formula, ParseError> {
+        let mut out = self.conjunction()?;
+        loop {
+            if self.eat("|") || self.eat("∨") || self.eat("or") {
+                let rhs = self.conjunction()?;
+                out = out.or(rhs);
+            } else {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn conjunction(&mut self) -> Result<Formula, ParseError> {
+        let mut out = self.negation()?;
+        loop {
+            if self.eat("&") || self.eat("∧") || self.eat("and") {
+                let rhs = self.negation()?;
+                out = out.and(rhs);
+            } else {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn negation(&mut self) -> Result<Formula, ParseError> {
+        if self.eat("!") || self.eat("¬") || self.eat("not") {
+            return Ok(self.negation()?.not());
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Formula, ParseError> {
+        self.skip_ws();
+        if self.eat("(") {
+            // could be a parenthesized formula
+            let inner = self.formula()?;
+            if !self.eat(")") {
+                return self.err("expected )");
+            }
+            return Ok(inner);
+        }
+        // quantifiers may start here too (e.g. "x = y & exists z ...") —
+        // handled by caller levels; here we need an identifier.
+        let Some(name) = self.identifier() else {
+            return self.err("expected an atom");
+        };
+        if name.chars().next().is_some_and(char::is_uppercase) {
+            // relation atom
+            let Some(rel) = self.schema.rel_id(&name) else {
+                return self.err(format!("unknown relation {name}"));
+            };
+            if !self.eat("(") {
+                return self.err("expected ( after relation name");
+            }
+            let mut args = Vec::new();
+            loop {
+                let Some(arg) = self.identifier() else {
+                    return self.err("expected a variable");
+                };
+                args.push(self.intern(arg));
+                if self.eat(",") {
+                    continue;
+                }
+                if self.eat(")") {
+                    break;
+                }
+                return self.err("expected , or )");
+            }
+            if args.len() != self.schema.arity(rel) {
+                return self.err(format!(
+                    "relation {name} has arity {}, got {}",
+                    self.schema.arity(rel),
+                    args.len()
+                ));
+            }
+            return Ok(Formula::Atom { rel, args });
+        }
+        // equality or inequality
+        let lhs = self.intern(name);
+        if self.eat("!=") {
+            let Some(rhs) = self.identifier() else {
+                return self.err("expected a variable after !=");
+            };
+            let rhs = self.intern(rhs);
+            return Ok(Formula::eq(lhs, rhs).not());
+        }
+        if self.eat("=") {
+            let Some(rhs) = self.identifier() else {
+                return self.err("expected a variable after =");
+            };
+            let rhs = self.intern(rhs);
+            return Ok(Formula::eq(lhs, rhs));
+        }
+        self.err("expected =, != or a relation atom")
+    }
+}
+
+/// Parses a formula against a schema.
+///
+/// ```
+/// use qpwm_logic::parse_formula;
+/// use qpwm_structures::Schema;
+///
+/// let schema = Schema::new(vec![("E", 2)], 1);
+/// let parsed = parse_formula("exists z (E(u, z) & E(z, v))", &schema).unwrap();
+/// let query = parsed.query(&["u"], &["v"]);
+/// assert_eq!(query.r(), 1);
+/// ```
+pub fn parse_formula(input: &str, schema: &Schema) -> Result<ParsedFormula, ParseError> {
+    let mut parser = Parser { input, pos: 0, schema, vars: HashMap::new() };
+    let formula = parser.formula()?;
+    parser.skip_ws();
+    if parser.pos != input.len() {
+        return parser.err("trailing input");
+    }
+    Ok(ParsedFormula { formula, vars: parser.vars })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Evaluator;
+    use qpwm_structures::StructureBuilder;
+    use std::sync::Arc;
+
+    fn schema() -> Schema {
+        Schema::new(vec![("E", 2), ("Route", 2)], 1)
+    }
+
+    #[test]
+    fn parses_simple_atom() {
+        let p = parse_formula("E(u, v)", &schema()).expect("parses");
+        assert_eq!(p.formula, Formula::atom(0, &[0, 1]));
+        assert_eq!(p.var("u"), Some(0));
+        assert_eq!(p.var("v"), Some(1));
+    }
+
+    #[test]
+    fn parses_two_hop() {
+        let p = parse_formula("exists z (E(u, z) & E(z, v))", &schema()).expect("parses");
+        let expected = Formula::exists(
+            0,
+            Formula::atom(0, &[1, 0]).and(Formula::atom(0, &[0, 2])),
+        );
+        // variable numbering: z=0 (quantifier first), u=1, v=2
+        assert_eq!(p.formula, expected);
+    }
+
+    #[test]
+    fn parses_connective_precedence() {
+        // & binds tighter than |
+        let p = parse_formula("E(u,v) | E(v,u) & u = v", &schema()).expect("parses");
+        match &p.formula {
+            Formula::Or(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(parts[1], Formula::And(_)));
+            }
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_negation_inequality_implication() {
+        let p = parse_formula("u != v -> !E(u, v)", &schema()).expect("parses");
+        // a -> b desugars to !a | b
+        assert!(matches!(p.formula, Formula::Or(_)));
+        let q = parse_formula("not (u = v)", &schema()).expect("parses");
+        assert!(matches!(q.formula, Formula::Not(_)));
+    }
+
+    #[test]
+    fn unicode_connectives() {
+        let a = parse_formula("∃z (E(u,z) ∧ ¬(z = v))", &schema()).expect("parses");
+        let b = parse_formula("exists z (E(u,z) & !(z = v))", &schema()).expect("parses");
+        assert_eq!(a.formula, b.formula);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let s = schema();
+        assert!(parse_formula("Nope(u, v)", &s).is_err());
+        assert!(parse_formula("E(u)", &s).is_err());
+        assert!(parse_formula("E(u, v) extra", &s).is_err());
+        assert!(parse_formula("E(u, v", &s).is_err());
+        assert!(parse_formula("", &s).is_err());
+        assert!(parse_formula("existsz E(u, v)", &s).is_err());
+    }
+
+    #[test]
+    fn parsed_queries_evaluate() {
+        // round-trip: parse the edge query, evaluate on a triangle.
+        let s = schema();
+        let parsed = parse_formula("E(u, v)", &s).expect("parses");
+        let q = parsed.query(&["u"], &["v"]);
+        let schema = Arc::new(s);
+        let mut b = StructureBuilder::new(schema, 3);
+        b.add(0, &[0, 1]).add(0, &[1, 2]).add(0, &[2, 0]);
+        let g = b.build();
+        assert_eq!(q.answer_set(&g, &[0]), vec![vec![1]]);
+    }
+
+    #[test]
+    fn forall_parses_and_evaluates() {
+        let s = schema();
+        let parsed = parse_formula("forall z (E(z, z) -> z = u)", &s).expect("parses");
+        let schema = Arc::new(s);
+        let mut b = StructureBuilder::new(schema, 2);
+        b.add(0, &[0, 0]);
+        let g = b.build();
+        let mut ev = Evaluator::new(&g, parsed.formula.max_var());
+        let u = parsed.var("u").expect("present");
+        // only element 0 has a self-loop, so the formula holds for u=0
+        assert!(ev.eval(&parsed.formula, &[(u, 0)]));
+        assert!(!ev.eval(&parsed.formula, &[(u, 1)]));
+    }
+
+    #[test]
+    fn word_operators_do_not_eat_identifiers() {
+        // "orbit" is a variable, not "or" + "bit"
+        let p = parse_formula("orbit = u", &schema()).expect("parses");
+        assert!(p.var("orbit").is_some());
+    }
+}

@@ -1,0 +1,351 @@
+//! Parametric queries `ψ(ū; v̄)` and their active-weight machinery.
+//!
+//! A [`ParametricQuery`] designates parameter variables `ū` (supplied by
+//! final users, arity `r`) and output variables `v̄` (arity `s`, the weight
+//! arity). [`QueryAnswers`] materializes, for every parameter tuple, the
+//! set `W_ā = ψ(ā, G)` of active weighted elements, the active union `W`,
+//! and the aggregates `f(ā)` — everything Definition 2's marker and
+//! detector consume.
+
+use crate::cq::CqPlan;
+use crate::eval::Evaluator;
+use crate::fo::{Formula, Var};
+use qpwm_structures::{distortion, Element, Structure, Weights};
+use std::collections::{BTreeSet, HashMap};
+
+/// A formula with distinguished parameter and output variables.
+///
+/// Construction compiles a conjunctive-query join plan
+/// ([`crate::cq::CqPlan`]) when the formula has CQ shape; evaluation
+/// then runs the join instead of enumerating `|U|^s` candidates.
+#[derive(Debug, Clone)]
+pub struct ParametricQuery {
+    formula: Formula,
+    params: Vec<Var>,
+    outputs: Vec<Var>,
+    plan: Option<CqPlan>,
+}
+
+impl ParametricQuery {
+    /// Creates a parametric query.
+    ///
+    /// # Panics
+    /// Panics if a variable is listed twice, or if the formula has a free
+    /// variable that is neither a parameter nor an output — such a query
+    /// has no well-defined answer sets.
+    pub fn new(formula: Formula, params: Vec<Var>, outputs: Vec<Var>) -> Self {
+        let mut seen = BTreeSet::new();
+        for v in params.iter().chain(&outputs) {
+            assert!(seen.insert(*v), "variable x{v} listed twice");
+        }
+        for v in formula.free_vars() {
+            assert!(
+                seen.contains(&v),
+                "free variable x{v} is neither parameter nor output"
+            );
+        }
+        let plan = CqPlan::compile(&formula, &params, &outputs);
+        ParametricQuery { formula, params, outputs, plan }
+    }
+
+    /// Does evaluation use the conjunctive-query join plan?
+    pub fn has_cq_plan(&self) -> bool {
+        self.plan.is_some()
+    }
+
+    /// The underlying formula.
+    pub fn formula(&self) -> &Formula {
+        &self.formula
+    }
+
+    /// Parameter variables `ū` (arity `r`).
+    pub fn params(&self) -> &[Var] {
+        &self.params
+    }
+
+    /// Output variables `v̄` (arity `s`).
+    pub fn outputs(&self) -> &[Var] {
+        &self.outputs
+    }
+
+    /// Parameter arity `r`.
+    pub fn r(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Output arity `s`.
+    pub fn s(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Evaluates `ψ(ā, G)`: the set of output tuples `b̄` with
+    /// `G ⊨ ψ(ā, b̄)`, sorted.
+    pub fn answer_set(&self, structure: &Structure, a: &[Element]) -> Vec<Vec<Element>> {
+        assert_eq!(a.len(), self.params.len(), "parameter arity mismatch");
+        if let Some(plan) = &self.plan {
+            return plan.answer_set(structure, &self.params, a);
+        }
+        let mut ev = Evaluator::new(structure, self.formula.max_var());
+        let mut assignment: Vec<(Var, Element)> = self
+            .params
+            .iter()
+            .copied()
+            .zip(a.iter().copied())
+            .collect();
+        let base = assignment.len();
+        for v in &self.outputs {
+            assignment.push((*v, 0));
+        }
+        let mut out = Vec::new();
+        let mut b = vec![0u32; self.outputs.len()];
+        let n = structure.universe_size();
+        if n == 0 {
+            return out;
+        }
+        loop {
+            for (i, &e) in b.iter().enumerate() {
+                assignment[base + i].1 = e;
+            }
+            if ev.eval(&self.formula, &assignment) {
+                out.push(b.clone());
+            }
+            // odometer over U^s
+            let mut i = b.len();
+            loop {
+                if i == 0 {
+                    out.sort_unstable();
+                    return out;
+                }
+                i -= 1;
+                b[i] += 1;
+                if b[i] < n {
+                    break;
+                }
+                b[i] = 0;
+            }
+        }
+    }
+
+    /// Materializes answers over the full parameter domain `U^r`.
+    pub fn answers(&self, structure: &Structure) -> QueryAnswers {
+        let domain = qpwm_structures::types::all_tuples(structure, self.params.len());
+        self.answers_over(structure, domain)
+    }
+
+    /// Materializes answers over an explicit parameter domain (use when the
+    /// meaningful parameters are a strict subset of `U^r`, e.g. only
+    /// travel names).
+    pub fn answers_over(
+        &self,
+        structure: &Structure,
+        domain: Vec<Vec<Element>>,
+    ) -> QueryAnswers {
+        let mut sets = Vec::with_capacity(domain.len());
+        for a in &domain {
+            sets.push(self.answer_set(structure, a));
+        }
+        QueryAnswers::new(domain, sets)
+    }
+}
+
+/// Materialized query answers: the family `{W_ā : ā ∈ domain}`.
+#[derive(Debug, Clone)]
+pub struct QueryAnswers {
+    parameters: Vec<Vec<Element>>,
+    active_sets: Vec<Vec<Vec<Element>>>,
+    index: HashMap<Vec<Element>, usize>,
+}
+
+impl QueryAnswers {
+    /// Pairs parameters with their active sets.
+    pub fn new(parameters: Vec<Vec<Element>>, active_sets: Vec<Vec<Vec<Element>>>) -> Self {
+        assert_eq!(parameters.len(), active_sets.len());
+        let index = parameters
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.clone(), i))
+            .collect();
+        QueryAnswers { parameters, active_sets, index }
+    }
+
+    /// The parameter domain, in materialization order.
+    pub fn parameters(&self) -> &[Vec<Element>] {
+        &self.parameters
+    }
+
+    /// `W_ā` for the i-th parameter.
+    pub fn active_set(&self, i: usize) -> &[Vec<Element>] {
+        &self.active_sets[i]
+    }
+
+    /// All active sets, parallel to [`Self::parameters`].
+    pub fn active_sets(&self) -> &[Vec<Vec<Element>>] {
+        &self.active_sets
+    }
+
+    /// `W_ā` looked up by parameter value.
+    pub fn active_set_of(&self, a: &[Element]) -> Option<&[Vec<Element>]> {
+        self.index.get(a).map(|&i| self.active_sets[i].as_slice())
+    }
+
+    /// The active weighted elements `W = ∪_ā W_ā`, sorted.
+    pub fn active_universe(&self) -> Vec<Vec<Element>> {
+        let mut set: BTreeSet<Vec<Element>> = BTreeSet::new();
+        for s in &self.active_sets {
+            set.extend(s.iter().cloned());
+        }
+        set.into_iter().collect()
+    }
+
+    /// Number of parameters in the domain.
+    pub fn len(&self) -> usize {
+        self.parameters.len()
+    }
+
+    /// True when the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parameters.is_empty()
+    }
+
+    /// `N`: the number of *distinct* active sets — the paper's "number of
+    /// distinct possible queries".
+    pub fn distinct_queries(&self) -> usize {
+        let set: BTreeSet<&[Vec<Element>]> =
+            self.active_sets.iter().map(Vec::as_slice).collect();
+        set.len()
+    }
+
+    /// The aggregate `f(ā)` for the i-th parameter under `weights`.
+    pub fn f(&self, weights: &Weights, i: usize) -> i64 {
+        distortion::f_value(weights, &self.active_sets[i])
+    }
+
+    /// All `f` values in parameter order.
+    pub fn f_all(&self, weights: &Weights) -> Vec<i64> {
+        (0..self.len()).map(|i| self.f(weights, i)).collect()
+    }
+
+    /// Maximum global distortion between two weight assignments over this
+    /// family — the `d` of the d-global distortion assumption.
+    pub fn max_global_distortion(&self, before: &Weights, after: &Weights) -> i64 {
+        distortion::global_distortion(before, after, &self.active_sets).max_global
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpwm_structures::{figure1_instance, Schema, StructureBuilder};
+    use std::sync::Arc;
+
+    /// ψ(u, v) ≡ E(u, v): the paper's running example query.
+    fn edge_query() -> ParametricQuery {
+        ParametricQuery::new(Formula::atom(0, &[0, 1]), vec![0], vec![1])
+    }
+
+    #[test]
+    fn figure2_active_sets() {
+        let s = figure1_instance();
+        let q = edge_query();
+        let ans = q.answers(&s);
+        assert_eq!(ans.active_set_of(&[0]).unwrap(), &[vec![3], vec![4]]);
+        assert_eq!(ans.active_set_of(&[1]).unwrap(), &[vec![3], vec![4]]);
+        assert_eq!(ans.active_set_of(&[2]).unwrap(), &[vec![3]]);
+        assert_eq!(ans.active_set_of(&[5]).unwrap(), &[vec![4]]);
+        assert_eq!(ans.active_set_of(&[3]).unwrap(), &[vec![0], vec![1], vec![2]]);
+        assert_eq!(ans.active_set_of(&[4]).unwrap(), &[vec![0], vec![1], vec![5]]);
+    }
+
+    #[test]
+    fn active_universe_is_everything_in_figure1() {
+        let s = figure1_instance();
+        let ans = edge_query().answers(&s);
+        // every element has an incident edge, so W = U.
+        assert_eq!(ans.active_universe().len(), 6);
+    }
+
+    #[test]
+    fn inactive_elements_are_excluded() {
+        // G13-style element: a vertex with no incident tuples is inactive.
+        let schema = Arc::new(Schema::graph());
+        let mut b = StructureBuilder::new(schema, 3);
+        b.add(0, &[0, 1]);
+        let s = b.build();
+        let ans = edge_query().answers(&s);
+        assert_eq!(ans.active_universe(), vec![vec![1]]);
+    }
+
+    #[test]
+    fn distinct_queries_counts_set_values() {
+        let s = figure1_instance();
+        let ans = edge_query().answers(&s);
+        // W_a = W_b, others distinct: 6 parameters, 5 distinct sets.
+        assert_eq!(ans.len(), 6);
+        assert_eq!(ans.distinct_queries(), 5);
+    }
+
+    #[test]
+    fn f_values_match_hand_computation() {
+        let s = figure1_instance();
+        let ans = edge_query().answers(&s);
+        let mut w = Weights::new(1);
+        for (e, val) in [(0u32, 1i64), (1, 2), (2, 4), (3, 8), (4, 16), (5, 32)] {
+            w.set(&[e], val);
+        }
+        // f(a) = W(d)+W(e) = 24, f(c) = 8, f(d) = W(a)+W(b)+W(c) = 7.
+        assert_eq!(ans.f(&w, 0), 24);
+        assert_eq!(ans.f(&w, 2), 8);
+        assert_eq!(ans.f(&w, 3), 7);
+    }
+
+    #[test]
+    fn global_distortion_of_figure3_mark() {
+        // Figure 3: mark d:+1, e:−1. Distortion 0 on a,b,d,e; +1 on c; −1
+        // on f (we report absolute value, so max 1 and it is attained).
+        let s = figure1_instance();
+        let ans = edge_query().answers(&s);
+        let before = Weights::new(1);
+        let mut after = Weights::new(1);
+        after.set(&[3], 1);
+        after.set(&[4], -1);
+        let deltas: Vec<i64> = (0..ans.len())
+            .map(|i| ans.f(&before, i) - ans.f(&after, i))
+            .collect();
+        assert_eq!(deltas, vec![0, 0, -1, 0, 0, 1]);
+        assert_eq!(ans.max_global_distortion(&before, &after), 1);
+    }
+
+    #[test]
+    fn answers_over_custom_domain() {
+        let s = figure1_instance();
+        let q = edge_query();
+        let ans = q.answers_over(&s, vec![vec![0], vec![2]]);
+        assert_eq!(ans.len(), 2);
+        assert!(ans.active_set_of(&[1]).is_none());
+    }
+
+    #[test]
+    fn exists_query_two_hop() {
+        // ψ(u, v) ≡ ∃z E(u,z) ∧ E(z,v): two-hop reachability on fig. 1.
+        let s = figure1_instance();
+        let f = Formula::exists(
+            2,
+            Formula::atom(0, &[0, 2]).and(Formula::atom(0, &[2, 1])),
+        );
+        let q = ParametricQuery::new(f, vec![0], vec![1]);
+        let from_c = q.answer_set(&s, &[2]); // c -> d -> {a,b,c}
+        assert_eq!(from_c, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "neither parameter nor output")]
+    fn dangling_free_variable_rejected() {
+        let _ = ParametricQuery::new(Formula::atom(0, &[0, 1]), vec![0], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "listed twice")]
+    fn duplicate_role_rejected() {
+        let _ = ParametricQuery::new(Formula::atom(0, &[0, 0]), vec![0], vec![0]);
+    }
+}

@@ -1,0 +1,206 @@
+//! Vapnik–Chervonenkis dimension of definable set systems.
+//!
+//! For a formula ψ and structure `G`, `C(ψ, G) = {ψ(ā, G) : ā ∈ U^r}` is a
+//! family of subsets of `U^s`. Theorem 2 ties watermarking impossibility to
+//! `VC(ψ, G) = |W|`; this module computes VC-dimension exactly by breadth-
+//! first growth of shattered sets (every subset of a shattered set is
+//! shattered, so the shattered families form a downward-closed lattice and
+//! can be explored level by level).
+
+use qpwm_structures::Element;
+use std::collections::{BTreeSet, HashSet};
+
+/// A set system: the ground set and the family of subsets, both over
+/// output tuples.
+#[derive(Debug, Clone)]
+pub struct SetSystem {
+    ground: Vec<Vec<Element>>,
+    /// Each family member as a set of indices into `ground`.
+    sets: Vec<BTreeSet<u32>>,
+}
+
+impl SetSystem {
+    /// Builds a set system from a family of tuple sets. The ground set is
+    /// the union of all members.
+    pub fn from_family(family: &[Vec<Vec<Element>>]) -> Self {
+        let mut ground_set: BTreeSet<Vec<Element>> = BTreeSet::new();
+        for s in family {
+            ground_set.extend(s.iter().cloned());
+        }
+        let ground: Vec<Vec<Element>> = ground_set.into_iter().collect();
+        let index = |t: &Vec<Element>| -> u32 {
+            ground.binary_search(t).expect("member of union") as u32
+        };
+        let mut sets: Vec<BTreeSet<u32>> = family
+            .iter()
+            .map(|s| s.iter().map(index).collect())
+            .collect();
+        sets.sort();
+        sets.dedup();
+        SetSystem { ground, sets }
+    }
+
+    /// Size of the ground set.
+    pub fn ground_size(&self) -> usize {
+        self.ground.len()
+    }
+
+    /// Number of distinct sets in the family.
+    pub fn family_size(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// The ground tuples.
+    pub fn ground(&self) -> &[Vec<Element>] {
+        &self.ground
+    }
+}
+
+/// Is `candidate` (indices into the ground set) shattered by the family?
+pub fn is_shattered(system: &SetSystem, candidate: &[u32]) -> bool {
+    let k = candidate.len();
+    if k >= 64 {
+        return false; // trace bitmaps use u64; |shatterable| ≥ 64 is absurd here
+    }
+    let needed: usize = 1usize << k;
+    if system.family_size() < needed {
+        return false;
+    }
+    let mut traces: HashSet<u64> = HashSet::with_capacity(needed);
+    for set in &system.sets {
+        let mut trace = 0u64;
+        for (bit, &e) in candidate.iter().enumerate() {
+            if set.contains(&e) {
+                trace |= 1 << bit;
+            }
+        }
+        traces.insert(trace);
+        if traces.len() == needed {
+            return true;
+        }
+    }
+    false
+}
+
+/// Exact VC-dimension of the system.
+///
+/// Level-wise search: maintain all shattered sets of size `d`, try to
+/// extend each by one larger element. Because shattering is downward
+/// closed, this finds the maximum without enumerating all subsets.
+pub fn vc_dimension(system: &SetSystem) -> usize {
+    let n = system.ground_size() as u32;
+    if n == 0 || system.family_size() == 0 {
+        return 0;
+    }
+    // Level 1: singletons with both traces (in some set and out of some set).
+    let mut current: Vec<Vec<u32>> = (0..n)
+        .filter(|&e| is_shattered(system, &[e]))
+        .map(|e| vec![e])
+        .collect();
+    if current.is_empty() {
+        return 0;
+    }
+    let mut dim = 1;
+    loop {
+        let mut next: Vec<Vec<u32>> = Vec::new();
+        let mut seen: HashSet<Vec<u32>> = HashSet::new();
+        for base in &current {
+            let last = *base.last().expect("non-empty shattered set");
+            for e in (last + 1)..n {
+                let mut cand = base.clone();
+                cand.push(e);
+                if seen.contains(&cand) {
+                    continue;
+                }
+                if is_shattered(system, &cand) {
+                    seen.insert(cand.clone());
+                    next.push(cand);
+                }
+            }
+        }
+        if next.is_empty() {
+            return dim;
+        }
+        dim += 1;
+        current = next;
+    }
+}
+
+/// Convenience: VC-dimension of `C(ψ, G)` given materialized answers.
+pub fn vc_of_answers(answers: &crate::query::QueryAnswers) -> usize {
+    vc_dimension(&SetSystem::from_family(answers.active_sets()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys(family: &[&[u32]]) -> SetSystem {
+        let family: Vec<Vec<Vec<Element>>> = family
+            .iter()
+            .map(|s| s.iter().map(|&e| vec![e]).collect())
+            .collect();
+        SetSystem::from_family(&family)
+    }
+
+    #[test]
+    fn empty_family_has_vc_zero() {
+        let s = SetSystem::from_family(&[]);
+        assert_eq!(vc_dimension(&s), 0);
+    }
+
+    #[test]
+    fn single_set_has_vc_zero() {
+        // One set cannot shatter even a singleton (needs 2 traces).
+        let s = sys(&[&[0, 1]]);
+        assert_eq!(vc_dimension(&s), 0);
+    }
+
+    #[test]
+    fn singleton_shattering() {
+        let s = sys(&[&[0], &[]]);
+        assert_eq!(vc_dimension(&s), 1);
+    }
+
+    #[test]
+    fn full_powerset_shatters_everything() {
+        // All 8 subsets of {0,1,2}: VC = 3.
+        let all: Vec<Vec<u32>> = (0..8u32)
+            .map(|mask| (0..3).filter(|b| mask >> b & 1 == 1).collect())
+            .collect();
+        let family: Vec<&[u32]> = all.iter().map(Vec::as_slice).collect();
+        let s = sys(&family);
+        assert_eq!(s.ground_size(), 3);
+        assert_eq!(vc_dimension(&s), 3);
+    }
+
+    #[test]
+    fn intervals_have_vc_two() {
+        // Intervals on a line shatter pairs but no triple (the middle
+        // element cannot be excluded while keeping the outer two).
+        let mut family: Vec<Vec<u32>> = Vec::new();
+        for lo in 0..5u32 {
+            for hi in lo..5 {
+                family.push((lo..=hi).collect());
+            }
+        }
+        family.push(Vec::new());
+        let refs: Vec<&[u32]> = family.iter().map(Vec::as_slice).collect();
+        assert_eq!(vc_dimension(&sys(&refs)), 2);
+    }
+
+    #[test]
+    fn is_shattered_checks_all_traces() {
+        let s = sys(&[&[0, 1], &[0], &[1]]);
+        // missing the empty trace for {0,1}
+        assert!(!is_shattered(&s, &[0, 1]));
+        let s2 = sys(&[&[0, 1], &[0], &[1], &[]]);
+        assert!(is_shattered(&s2, &[0, 1]));
+    }
+
+    #[test]
+    fn duplicate_sets_are_collapsed() {
+        let s = sys(&[&[0], &[0], &[]]);
+        assert_eq!(s.family_size(), 2);
+    }
+}

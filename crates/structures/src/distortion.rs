@@ -1,0 +1,175 @@
+//! Distortion assumptions (paper, section 1).
+//!
+//! `(G, W')` is a *c-local* distortion of `(G, W)` iff every weight moved by
+//! at most `c`; it is a *d-global* distortion w.r.t. a query iff the
+//! aggregate `f(ā)` moved by at most `d` for every parameter `ā`. The
+//! global side needs the query's active sets, so this module exposes it
+//! generically over any family of `(parameter, W_ā)` pairs — the `logic`
+//! and `trees` crates supply those families.
+
+use crate::structure::Element;
+use crate::weighted::Weights;
+
+/// Result of auditing a distortion: the extreme local and global deltas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistortionReport {
+    /// `max |W(w) - W'(w)|` over all touched weights.
+    pub max_local: i64,
+    /// `max |f(ā) - f'(ā)|` over all audited parameters.
+    pub max_global: i64,
+    /// Parameter achieving `max_global` (index into the audited family).
+    pub worst_parameter: Option<usize>,
+}
+
+impl DistortionReport {
+    /// Does the audited pair satisfy the c-local distortion assumption?
+    pub fn is_c_local(&self, c: i64) -> bool {
+        self.max_local <= c
+    }
+
+    /// Does it satisfy the d-global distortion assumption?
+    pub fn is_d_global(&self, d: i64) -> bool {
+        self.max_global <= d
+    }
+}
+
+/// The smallest `c` such that `after` is a c-local distortion of `before`.
+pub fn local_distortion(before: &Weights, after: &Weights) -> i64 {
+    before.max_pointwise_diff(after)
+}
+
+/// The aggregate `f(ā) = Σ_{b̄ ∈ W_ā} W(b̄)` for one active set.
+pub fn f_value(weights: &Weights, active_set: &[Vec<Element>]) -> i64 {
+    active_set.iter().map(|b| weights.get(b)).sum()
+}
+
+/// Audits both assumptions over a family of active sets.
+///
+/// `active_sets[i]` is `W_{ā_i}` for the i-th parameter in the audit.
+pub fn global_distortion(
+    before: &Weights,
+    after: &Weights,
+    active_sets: &[Vec<Vec<Element>>],
+) -> DistortionReport {
+    let max_local = local_distortion(before, after);
+    let mut max_global = 0i64;
+    let mut worst = None;
+    for (i, set) in active_sets.iter().enumerate() {
+        let delta = (f_value(before, set) - f_value(after, set)).abs();
+        if delta > max_global {
+            max_global = delta;
+            worst = Some(i);
+        }
+    }
+    DistortionReport { max_local, max_global, worst_parameter: worst }
+}
+
+/// Sum/mean/min/max aggregates — the paper notes `f` may use any of these
+/// without changing the positive results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// Sum of weights (the paper's default `f`).
+    Sum,
+    /// Arithmetic mean, rounded toward zero (integer weights).
+    Mean,
+    /// Minimum weight.
+    Min,
+    /// Maximum weight.
+    Max,
+}
+
+impl Aggregate {
+    /// Applies the aggregate to one active set. Empty sets yield 0.
+    pub fn apply(&self, weights: &Weights, active_set: &[Vec<Element>]) -> i64 {
+        if active_set.is_empty() {
+            return 0;
+        }
+        match self {
+            Aggregate::Sum => f_value(weights, active_set),
+            Aggregate::Mean => f_value(weights, active_set) / active_set.len() as i64,
+            Aggregate::Min => active_set.iter().map(|b| weights.get(b)).min().unwrap_or(0),
+            Aggregate::Max => active_set.iter().map(|b| weights.get(b)).max().unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(pairs: &[(u32, i64)]) -> Weights {
+        let mut out = Weights::new(1);
+        for &(k, v) in pairs {
+            out.set(&[k], v);
+        }
+        out
+    }
+
+    #[test]
+    fn example3_timetable_prime() {
+        // Paper example 3: Timetable' moves every duration by ±10 minutes
+        // (we use integer minutes). c = 10 holds; d = 10 fails for the
+        // parameter "India discovery" whose f moved by 20.
+        let original = w(&[(0, 635), (1, 380), (2, 375), (3, 210), (4, 170), (5, 600)]);
+        let prime = w(&[(0, 645), (1, 390), (2, 385), (3, 200), (4, 180), (5, 600)]);
+        // W_{India discovery} = {F21 (0), G12 (1)}
+        let india = vec![vec![0u32], vec![1]];
+        let nepal = vec![vec![0u32], vec![2], vec![3]];
+        let tour = vec![vec![3u32], vec![4]];
+        let report = global_distortion(&original, &prime, &[india, nepal, tour]);
+        assert_eq!(report.max_local, 10);
+        assert!(report.is_c_local(10));
+        assert_eq!(report.max_global, 20);
+        assert!(!report.is_d_global(10));
+        assert_eq!(report.worst_parameter, Some(0));
+    }
+
+    #[test]
+    fn example3_timetable_second() {
+        // Timetable'' respects both c = 10 and d = 10.
+        let original = w(&[(0, 635), (1, 380), (2, 375), (3, 210), (4, 170), (5, 600)]);
+        let second = w(&[(0, 625), (1, 390), (2, 365), (3, 220), (4, 160), (5, 600)]);
+        let india = vec![vec![0u32], vec![1]];
+        let nepal = vec![vec![0u32], vec![2], vec![3]];
+        let tour = vec![vec![3u32], vec![4]];
+        let report = global_distortion(&original, &second, &[india, nepal, tour]);
+        assert!(report.is_c_local(10));
+        assert!(report.is_d_global(10));
+    }
+
+    #[test]
+    fn identical_weights_have_zero_distortion() {
+        let a = w(&[(0, 5)]);
+        let report = global_distortion(&a, &a, &[vec![vec![0]]]);
+        assert_eq!(report.max_local, 0);
+        assert_eq!(report.max_global, 0);
+        assert_eq!(report.worst_parameter, None);
+    }
+
+    #[test]
+    fn balanced_pair_cancels_globally_not_locally() {
+        // The (+1, -1) trick: local distortion 1, global distortion 0 on a
+        // set containing both members.
+        let before = w(&[(0, 10), (1, 10)]);
+        let after = w(&[(0, 11), (1, 9)]);
+        let both = vec![vec![0u32], vec![1]];
+        let report = global_distortion(&before, &after, &[both]);
+        assert_eq!(report.max_local, 1);
+        assert_eq!(report.max_global, 0);
+        // But a set separating the pair sees the full +1.
+        let only_first = vec![vec![0u32]];
+        let report2 = global_distortion(&before, &after, &[only_first]);
+        assert_eq!(report2.max_global, 1);
+    }
+
+    #[test]
+    fn aggregates() {
+        let weights = w(&[(0, 2), (1, 4), (2, 9)]);
+        let set = vec![vec![0u32], vec![1], vec![2]];
+        assert_eq!(Aggregate::Sum.apply(&weights, &set), 15);
+        assert_eq!(Aggregate::Mean.apply(&weights, &set), 5);
+        assert_eq!(Aggregate::Min.apply(&weights, &set), 2);
+        assert_eq!(Aggregate::Max.apply(&weights, &set), 9);
+        assert_eq!(Aggregate::Sum.apply(&weights, &[]), 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Gaifman graphs, distances and ρ-spheres.
+//!
+//! The Gaifman graph of a structure `G` connects `a` and `b` iff some tuple
+//! of some relation contains both. Bounded Gaifman degree is the structural
+//! restriction under which Theorem 3's watermarking scheme exists.
+
+use crate::structure::{Element, Structure};
+use std::collections::VecDeque;
+
+/// The Gaifman graph of a structure, with BFS helpers.
+#[derive(Debug, Clone)]
+pub struct GaifmanGraph {
+    adj: Vec<Vec<Element>>,
+}
+
+impl GaifmanGraph {
+    /// Builds the Gaifman graph of `structure`.
+    pub fn of(structure: &Structure) -> Self {
+        let n = structure.universe_size() as usize;
+        let mut adj: Vec<Vec<Element>> = vec![Vec::new(); n];
+        for rel in 0..structure.schema().num_relations() {
+            for tuple in structure.tuples(rel) {
+                for i in 0..tuple.len() {
+                    for j in (i + 1)..tuple.len() {
+                        let (a, b) = (tuple[i], tuple[j]);
+                        if a != b {
+                            adj[a as usize].push(b);
+                            adj[b as usize].push(a);
+                        }
+                    }
+                }
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        GaifmanGraph { adj }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True for the empty graph.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Neighbors of `e`, sorted.
+    pub fn neighbors(&self, e: Element) -> &[Element] {
+        &self.adj[e as usize]
+    }
+
+    /// Degree of `e`.
+    pub fn degree(&self, e: Element) -> usize {
+        self.adj[e as usize].len()
+    }
+
+    /// Maximum degree `k` over the whole graph — the parameter of
+    /// `STRUCT_k[τ]`.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// BFS distances from `source`; `None` means unreachable (`d = ∞`).
+    pub fn distances_from(&self, source: Element) -> Vec<Option<u32>> {
+        let mut dist = vec![None; self.adj.len()];
+        let mut queue = VecDeque::new();
+        dist[source as usize] = Some(0);
+        queue.push_back(source);
+        while let Some(v) = queue.pop_front() {
+            let dv = dist[v as usize].expect("queued vertices have distances");
+            for &w in &self.adj[v as usize] {
+                if dist[w as usize].is_none() {
+                    dist[w as usize] = Some(dv + 1);
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// The ρ-sphere `S_ρ(c̄)`: all elements within distance `rho` of *some*
+    /// component of `centers`. Sorted.
+    pub fn sphere(&self, centers: &[Element], rho: u32) -> Vec<Element> {
+        let mut dist: Vec<Option<u32>> = vec![None; self.adj.len()];
+        let mut queue = VecDeque::new();
+        for &c in centers {
+            if dist[c as usize].is_none() {
+                dist[c as usize] = Some(0);
+                queue.push_back(c);
+            }
+        }
+        while let Some(v) = queue.pop_front() {
+            let dv = dist[v as usize].expect("queued vertices have distances");
+            if dv == rho {
+                continue;
+            }
+            for &w in &self.adj[v as usize] {
+                if dist[w as usize].is_none() {
+                    dist[w as usize] = Some(dv + 1);
+                    queue.push_back(w);
+                }
+            }
+        }
+        let mut out: Vec<Element> = dist
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| d.map(|_| i as Element))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Distance between two single elements (`None` = unreachable).
+    pub fn distance(&self, a: Element, b: Element) -> Option<u32> {
+        self.distances_from(a)[b as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::structure::{figure1_instance, StructureBuilder};
+    use std::sync::Arc;
+
+    fn path(n: u32) -> Structure {
+        let schema = Arc::new(Schema::graph());
+        let mut b = StructureBuilder::new(schema, n);
+        for i in 0..n - 1 {
+            b.add(0, &[i, i + 1]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn path_degrees() {
+        let g = GaifmanGraph::of(&path(5));
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn gaifman_ignores_orientation_and_self_loops() {
+        let schema = Arc::new(Schema::graph());
+        let mut b = StructureBuilder::new(schema, 3);
+        b.add(0, &[0, 1]).add(0, &[1, 0]).add(0, &[2, 2]);
+        let g = GaifmanGraph::of(&b.build());
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn higher_arity_tuples_form_cliques() {
+        let schema = Arc::new(Schema::new(vec![("T", 3)], 1));
+        let mut b = StructureBuilder::new(schema, 4);
+        b.add(0, &[0, 1, 2]);
+        let g = GaifmanGraph::of(&b.build());
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[0, 1]);
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn distances_and_unreachable() {
+        let g = GaifmanGraph::of(&path(4));
+        assert_eq!(g.distance(0, 3), Some(3));
+        let schema = Arc::new(Schema::graph());
+        let b = StructureBuilder::new(schema, 2);
+        let g2 = GaifmanGraph::of(&b.build());
+        assert_eq!(g2.distance(0, 1), None);
+    }
+
+    #[test]
+    fn spheres_grow_with_radius() {
+        let g = GaifmanGraph::of(&path(7));
+        assert_eq!(g.sphere(&[3], 0), vec![3]);
+        assert_eq!(g.sphere(&[3], 1), vec![2, 3, 4]);
+        assert_eq!(g.sphere(&[3], 2), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn multi_center_sphere_unions() {
+        let g = GaifmanGraph::of(&path(7));
+        assert_eq!(g.sphere(&[0, 6], 1), vec![0, 1, 5, 6]);
+    }
+
+    #[test]
+    fn figure1_gaifman_shape() {
+        // Edges a–d, a–e, b–d, b–e, c–d, f–e.
+        // Degrees: a,b = 2; c,f = 1; d,e = 3.
+        let g = GaifmanGraph::of(&figure1_instance());
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(2), 1);
+        assert_eq!(g.degree(3), 3);
+        assert_eq!(g.degree(4), 3);
+        assert_eq!(g.degree(5), 1);
+        assert_eq!(g.max_degree(), 3);
+    }
+}

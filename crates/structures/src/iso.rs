@@ -1,0 +1,226 @@
+//! Exact isomorphism of pointed neighborhoods.
+//!
+//! Neighborhood isomorphism (`≈` in the paper) must map the i-th
+//! distinguished point of one structure to the i-th point of the other and
+//! preserve every relation in both directions. Neighborhoods in
+//! `STRUCT_k[τ]` have at most `r·k^ρ`-ish elements — independent of the
+//! database size — so a backtracking search with degree pruning is exact
+//! and fast.
+
+use crate::neighborhood::Neighborhood;
+
+/// Tests pointed isomorphism of two neighborhoods.
+pub fn are_isomorphic(a: &Neighborhood, b: &Neighborhood) -> bool {
+    if a.len() != b.len()
+        || a.num_relations() != b.num_relations()
+        || a.points().len() != b.points().len()
+    {
+        return false;
+    }
+    for rel in 0..a.num_relations() {
+        if a.tuples(rel).len() != b.tuples(rel).len() {
+            return false;
+        }
+    }
+    if a.fingerprint() != b.fingerprint() {
+        return false;
+    }
+
+    let n = a.len();
+    let adj_a = a.local_adjacency();
+    let adj_b = b.local_adjacency();
+    let prof_a = a.relation_profiles();
+    let prof_b = b.relation_profiles();
+    // mapping[x] = image of x in b; used[y] = y already an image.
+    let mut mapping: Vec<Option<u32>> = vec![None; n];
+    let mut used: Vec<bool> = vec![false; n];
+
+    // Points are forced: point i of a must map to point i of b.
+    for (pa, pb) in a.points().iter().zip(b.points()) {
+        match mapping[*pa as usize] {
+            None => {
+                if used[*pb as usize] {
+                    return false; // two distinct points forced onto one image
+                }
+                if adj_a[*pa as usize].len() != adj_b[*pb as usize].len()
+                    || prof_a[*pa as usize] != prof_b[*pb as usize]
+                {
+                    return false;
+                }
+                mapping[*pa as usize] = Some(*pb);
+                used[*pb as usize] = true;
+            }
+            Some(existing) => {
+                if existing != *pb {
+                    return false; // repeated point with conflicting images
+                }
+            }
+        }
+    }
+
+    // Order the unmapped vertices by decreasing degree (most constrained
+    // first); a BFS order from the points would also work, degree order is
+    // simpler and the graphs are tiny.
+    let mut order: Vec<u32> = (0..n as u32).filter(|&v| mapping[v as usize].is_none()).collect();
+    order.sort_unstable_by_key(|&v| std::cmp::Reverse(adj_a[v as usize].len()));
+
+    backtrack(
+        a,
+        b,
+        &adj_a,
+        &adj_b,
+        &prof_a,
+        &prof_b,
+        &order,
+        0,
+        &mut mapping,
+        &mut used,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn backtrack(
+    a: &Neighborhood,
+    b: &Neighborhood,
+    adj_a: &[Vec<u32>],
+    adj_b: &[Vec<u32>],
+    prof_a: &[crate::neighborhood::RelationProfile],
+    prof_b: &[crate::neighborhood::RelationProfile],
+    order: &[u32],
+    depth: usize,
+    mapping: &mut Vec<Option<u32>>,
+    used: &mut Vec<bool>,
+) -> bool {
+    if depth == order.len() {
+        return relations_preserved(a, b, mapping);
+    }
+    let v = order[depth];
+    let deg_v = adj_a[v as usize].len();
+    for cand in 0..adj_b.len() as u32 {
+        if used[cand as usize]
+            || adj_b[cand as usize].len() != deg_v
+            || prof_b[cand as usize] != prof_a[v as usize]
+        {
+            continue;
+        }
+        // Adjacency consistency with already-mapped vertices (necessary
+        // condition; full relation check happens at the leaf).
+        let consistent = adj_a[v as usize].iter().all(|&u| match mapping[u as usize] {
+            Some(img) => adj_b[cand as usize].binary_search(&img).is_ok(),
+            None => true,
+        });
+        if !consistent {
+            continue;
+        }
+        mapping[v as usize] = Some(cand);
+        used[cand as usize] = true;
+        if backtrack(a, b, adj_a, adj_b, prof_a, prof_b, order, depth + 1, mapping, used) {
+            return true;
+        }
+        mapping[v as usize] = None;
+        used[cand as usize] = false;
+    }
+    false
+}
+
+fn relations_preserved(a: &Neighborhood, b: &Neighborhood, mapping: &[Option<u32>]) -> bool {
+    let mut image = vec![0u32; mapping.len()];
+    for (i, m) in mapping.iter().enumerate() {
+        image[i] = m.expect("complete mapping at leaf");
+    }
+    let mut scratch: Vec<u32> = Vec::new();
+    for rel in 0..a.num_relations() {
+        let b_tuples = b.tuples(rel);
+        for t in a.tuples(rel) {
+            scratch.clear();
+            scratch.extend(t.iter().map(|&x| image[x as usize]));
+            if b_tuples.binary_search_by(|probe| probe.as_slice().cmp(&scratch)).is_err() {
+                return false;
+            }
+        }
+        // Equal counts + injectivity make the reverse direction automatic.
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaifman::GaifmanGraph;
+    use crate::schema::Schema;
+    use crate::structure::{figure1_instance, Structure, StructureBuilder};
+    use std::sync::Arc;
+
+    fn nbhd(s: &Structure, centers: &[u32], rho: u32) -> Neighborhood {
+        let g = GaifmanGraph::of(s);
+        Neighborhood::extract(s, &g, centers, rho)
+    }
+
+    #[test]
+    fn figure1_equivalences_hold() {
+        // Figure 1 of the paper: N1(a) ≈ N1(b), N1(d) ≈ N1(e), N1(c) ≈ N1(f).
+        let s = figure1_instance();
+        assert!(are_isomorphic(&nbhd(&s, &[0], 1), &nbhd(&s, &[1], 1)));
+        assert!(are_isomorphic(&nbhd(&s, &[3], 1), &nbhd(&s, &[4], 1)));
+        assert!(are_isomorphic(&nbhd(&s, &[2], 1), &nbhd(&s, &[5], 1)));
+    }
+
+    #[test]
+    fn figure1_distinct_types_rejected() {
+        let s = figure1_instance();
+        assert!(!are_isomorphic(&nbhd(&s, &[0], 1), &nbhd(&s, &[2], 1)));
+        assert!(!are_isomorphic(&nbhd(&s, &[3], 1), &nbhd(&s, &[2], 1)));
+        assert!(!are_isomorphic(&nbhd(&s, &[0], 1), &nbhd(&s, &[3], 1)));
+    }
+
+    #[test]
+    fn orientation_matters() {
+        // Directed edge 0->1 vs 1->0: pointed neighborhoods of the source
+        // and target differ.
+        let schema = Arc::new(Schema::graph());
+        let mut b = StructureBuilder::new(schema, 2);
+        b.add(0, &[0, 1]);
+        let s = b.build();
+        let n0 = nbhd(&s, &[0], 1);
+        let n1 = nbhd(&s, &[1], 1);
+        assert!(!are_isomorphic(&n0, &n1));
+        assert!(are_isomorphic(&n0, &n0));
+    }
+
+    #[test]
+    fn pair_neighborhoods_respect_point_order() {
+        let s = figure1_instance();
+        let nab = nbhd(&s, &[0, 1], 1);
+        let nba = nbhd(&s, &[1, 0], 1);
+        // a-b is a symmetric edge here, so swapping points is isomorphic.
+        assert!(are_isomorphic(&nab, &nba));
+        let nad = nbhd(&s, &[0, 3], 1);
+        assert!(!are_isomorphic(&nab, &nad) || nab.len() != nad.len());
+    }
+
+    #[test]
+    fn repeated_points_must_repeat() {
+        let s = figure1_instance();
+        let naa = nbhd(&s, &[0, 0], 1);
+        let nab = nbhd(&s, &[0, 1], 1);
+        assert!(!are_isomorphic(&naa, &nab));
+        assert!(are_isomorphic(&naa, &nbhd(&s, &[1, 1], 1)));
+    }
+
+    #[test]
+    fn larger_symmetric_cycle() {
+        // 6-cycle: all radius-1 neighborhoods isomorphic.
+        let schema = Arc::new(Schema::graph());
+        let mut b = StructureBuilder::new(schema, 6);
+        for i in 0..6u32 {
+            let j = (i + 1) % 6;
+            b.add(0, &[i, j]);
+            b.add(0, &[j, i]);
+        }
+        let s = b.build();
+        let n0 = nbhd(&s, &[0], 1);
+        for v in 1..6u32 {
+            assert!(are_isomorphic(&n0, &nbhd(&s, &[v], 1)), "vertex {v}");
+        }
+    }
+}

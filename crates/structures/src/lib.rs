@@ -1,0 +1,33 @@
+//! Relational substrate for query-preserving watermarking.
+//!
+//! This crate implements the *weighted structures* of Gross-Amblard
+//! (PODS 2003, section 1): finite relational structures over a schema
+//! (signature), weight assignments on `s`-tuples, and the combinatorial
+//! machinery the watermarking schemes are built on — Gaifman graphs,
+//! ρ-spheres, ρ-neighborhoods, isomorphism of pointed structures and
+//! neighborhood-type censuses.
+//!
+//! Elements of the universe are dense indices (`Element = u32`); callers
+//! that need named elements keep their own name table (see
+//! [`structure::StructureBuilder`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distortion;
+pub mod gaifman;
+pub mod iso;
+pub mod neighborhood;
+pub mod schema;
+pub mod structure;
+pub mod types;
+pub mod weighted;
+
+pub use distortion::{global_distortion, local_distortion, DistortionReport};
+pub use gaifman::GaifmanGraph;
+pub use iso::are_isomorphic;
+pub use neighborhood::Neighborhood;
+pub use schema::{RelId, Schema};
+pub use structure::{figure1_instance, Element, Structure, StructureBuilder, Tuple};
+pub use types::{NeighborhoodTypes, TypeId};
+pub use weighted::{WeightKey, WeightedStructure, Weights};

@@ -1,0 +1,279 @@
+//! ρ-neighborhoods `N_ρ(c̄)`: induced substructures on spheres, with the
+//! tuple components as distinguished points.
+//!
+//! Neighborhoods are renumbered to a compact local universe so that
+//! isomorphism tests ([`crate::iso`]) and type censuses ([`crate::types`])
+//! operate on small, self-contained values.
+
+use crate::gaifman::GaifmanGraph;
+use crate::structure::{Element, Structure};
+use std::collections::HashMap;
+
+/// One vertex's relation profile: the sorted multiset of
+/// `(relation, position)` slots it occupies.
+pub type RelationProfile = Vec<(u16, u16)>;
+
+/// A distinguished point's invariant: Gaifman degree, BFS layer sizes,
+/// and its relation profile.
+pub type PointProfile = (u32, Vec<u32>, RelationProfile);
+
+/// A pointed induced substructure: the ρ-neighborhood of a tuple.
+///
+/// `universe` maps local indices back to the original elements;
+/// `relations[r]` holds relation `r`'s tuples in *local* indices, sorted;
+/// `points` are the distinguished elements `c_1, ..., c_n` in local indices
+/// (order matters for isomorphism — pointed isomorphisms must map the i-th
+/// point to the i-th point).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Neighborhood {
+    universe: Vec<Element>,
+    relations: Vec<Vec<Vec<u32>>>,
+    points: Vec<u32>,
+}
+
+impl Neighborhood {
+    /// Extracts `N_ρ(centers)` from `structure`, using a precomputed
+    /// Gaifman graph (pass the same graph for all extractions on one
+    /// structure — building it is the expensive part).
+    pub fn extract(
+        structure: &Structure,
+        gaifman: &GaifmanGraph,
+        centers: &[Element],
+        rho: u32,
+    ) -> Self {
+        let sphere = gaifman.sphere(centers, rho);
+        let local: HashMap<Element, u32> = sphere
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (e, i as u32))
+            .collect();
+        let mut relations = Vec::with_capacity(structure.schema().num_relations());
+        for rel in 0..structure.schema().num_relations() {
+            let mut tuples = Vec::new();
+            for t in structure.tuples(rel) {
+                if let Some(local_tuple) = t
+                    .iter()
+                    .map(|e| local.get(e).copied())
+                    .collect::<Option<Vec<u32>>>()
+                {
+                    tuples.push(local_tuple);
+                }
+            }
+            tuples.sort_unstable();
+            relations.push(tuples);
+        }
+        let points = centers
+            .iter()
+            .map(|c| local[c])
+            .collect();
+        Neighborhood { universe: sphere, relations, points }
+    }
+
+    /// Size of the local universe (the sphere).
+    pub fn len(&self) -> usize {
+        self.universe.len()
+    }
+
+    /// True when the sphere is empty (never happens for valid centers).
+    pub fn is_empty(&self) -> bool {
+        self.universe.is_empty()
+    }
+
+    /// Original element behind local index `i`.
+    pub fn original(&self, i: u32) -> Element {
+        self.universe[i as usize]
+    }
+
+    /// The distinguished points, in local indices.
+    pub fn points(&self) -> &[u32] {
+        &self.points
+    }
+
+    /// Tuples of relation `rel` in local indices, sorted.
+    pub fn tuples(&self, rel: usize) -> &[Vec<u32>] {
+        &self.relations[rel]
+    }
+
+    /// Number of relations.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Per-vertex relation profiles: for each local vertex, the sorted
+    /// multiset of `(relation, position)` slots it occupies. Any
+    /// isomorphism must map a vertex to one with an identical profile —
+    /// the pruning that keeps backtracking polynomial on hub-heavy
+    /// instances (e.g. every transport sharing one `plane` vertex),
+    /// where pure adjacency is uselessly symmetric.
+    pub fn relation_profiles(&self) -> Vec<RelationProfile> {
+        let mut profiles: Vec<RelationProfile> = vec![Vec::new(); self.universe.len()];
+        for (rel, tuples) in self.relations.iter().enumerate() {
+            for t in tuples {
+                for (pos, &v) in t.iter().enumerate() {
+                    profiles[v as usize].push((rel as u16, pos as u16));
+                }
+            }
+        }
+        for p in &mut profiles {
+            p.sort_unstable();
+        }
+        profiles
+    }
+
+    /// Local adjacency (Gaifman within the neighborhood), used by the
+    /// isomorphism backtracker and the invariant fingerprint.
+    pub fn local_adjacency(&self) -> Vec<Vec<u32>> {
+        let n = self.universe.len();
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for rel in &self.relations {
+            for t in rel {
+                for i in 0..t.len() {
+                    for j in (i + 1)..t.len() {
+                        let (a, b) = (t[i], t[j]);
+                        if a != b {
+                            adj[a as usize].push(b);
+                            adj[b as usize].push(a);
+                        }
+                    }
+                }
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        adj
+    }
+
+    /// An isomorphism-invariant fingerprint: neighborhoods with different
+    /// fingerprints are guaranteed non-isomorphic, so the type census only
+    /// runs the exact backtracking test within fingerprint buckets.
+    ///
+    /// Components: universe size, per-relation tuple counts, sorted local
+    /// degree sequence, per-point (degree, BFS layer sizes) profile.
+    pub fn fingerprint(&self) -> Fingerprint {
+        let adj = self.local_adjacency();
+        let mut degrees: Vec<u32> = adj.iter().map(|l| l.len() as u32).collect();
+        let rel_profiles = self.relation_profiles();
+        let point_profiles: Vec<PointProfile> = self
+            .points
+            .iter()
+            .map(|&p| {
+                let layers = bfs_layer_sizes(&adj, p);
+                (
+                    adj[p as usize].len() as u32,
+                    layers,
+                    rel_profiles[p as usize].clone(),
+                )
+            })
+            .collect();
+        degrees.sort_unstable();
+        let mut profile_multiset = rel_profiles;
+        profile_multiset.sort_unstable();
+        Fingerprint {
+            universe_size: self.universe.len() as u32,
+            tuple_counts: self.relations.iter().map(|r| r.len() as u32).collect(),
+            degree_sequence: degrees,
+            point_profiles,
+            profile_multiset,
+        }
+    }
+}
+
+/// Cheap isomorphism invariant of a [`Neighborhood`]; see
+/// [`Neighborhood::fingerprint`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Fingerprint {
+    universe_size: u32,
+    tuple_counts: Vec<u32>,
+    degree_sequence: Vec<u32>,
+    point_profiles: Vec<PointProfile>,
+    profile_multiset: Vec<RelationProfile>,
+}
+
+fn bfs_layer_sizes(adj: &[Vec<u32>], source: u32) -> Vec<u32> {
+    let mut dist: Vec<Option<u32>> = vec![None; adj.len()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[source as usize] = Some(0);
+    queue.push_back(source);
+    let mut layers: Vec<u32> = vec![1];
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize].expect("queued vertices have distances");
+        for &w in &adj[v as usize] {
+            if dist[w as usize].is_none() {
+                dist[w as usize] = Some(dv + 1);
+                if layers.len() <= (dv + 1) as usize {
+                    layers.push(0);
+                }
+                layers[(dv + 1) as usize] += 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    layers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::structure::{figure1_instance, StructureBuilder};
+    use std::sync::Arc;
+
+    #[test]
+    fn figure1_radius1_neighborhoods() {
+        let s = figure1_instance();
+        let g = GaifmanGraph::of(&s);
+        // a (0): neighbors d (3) and b (1) -> sphere {a, b, d}
+        let na = Neighborhood::extract(&s, &g, &[0], 1);
+        assert_eq!(na.len(), 3);
+        // c (2): neighbor d only -> sphere {c, d}
+        let nc = Neighborhood::extract(&s, &g, &[2], 1);
+        assert_eq!(nc.len(), 2);
+    }
+
+    #[test]
+    fn points_are_tracked_in_order() {
+        let s = figure1_instance();
+        let g = GaifmanGraph::of(&s);
+        let n = Neighborhood::extract(&s, &g, &[3, 0], 1);
+        assert_eq!(n.points().len(), 2);
+        assert_eq!(n.original(n.points()[0]), 3);
+        assert_eq!(n.original(n.points()[1]), 0);
+    }
+
+    #[test]
+    fn induced_tuples_only() {
+        let schema = Arc::new(Schema::graph());
+        let mut b = StructureBuilder::new(schema, 4);
+        // path 0-1-2-3
+        for i in 0..3u32 {
+            b.add(0, &[i, i + 1]);
+        }
+        let s = b.build();
+        let g = GaifmanGraph::of(&s);
+        // N_1(1) = {0,1,2}; must contain edges (0,1),(1,2) but not (2,3).
+        let n = Neighborhood::extract(&s, &g, &[1], 1);
+        assert_eq!(n.len(), 3);
+        assert_eq!(n.tuples(0).len(), 2);
+    }
+
+    #[test]
+    fn fingerprints_separate_different_shapes() {
+        let s = figure1_instance();
+        let g = GaifmanGraph::of(&s);
+        let na = Neighborhood::extract(&s, &g, &[0], 1); // degree-2 middle
+        let nc = Neighborhood::extract(&s, &g, &[2], 1); // degree-1 end
+        assert_ne!(na.fingerprint(), nc.fingerprint());
+    }
+
+    #[test]
+    fn fingerprints_match_for_symmetric_elements() {
+        let s = figure1_instance();
+        let g = GaifmanGraph::of(&s);
+        // a and b are symmetric in the figure-1 instance.
+        let na = Neighborhood::extract(&s, &g, &[0], 1);
+        let nb = Neighborhood::extract(&s, &g, &[1], 1);
+        assert_eq!(na.fingerprint(), nb.fingerprint());
+    }
+}

@@ -1,0 +1,149 @@
+//! Signatures (database schemas).
+//!
+//! A signature τ is a finite set of relation symbols with arities, plus the
+//! arity `s` of the weight function `W : U^s -> N` (fixed by the schema, as
+//! in the paper).
+
+use std::fmt;
+
+/// Identifier of a relation symbol within a [`Schema`] (dense index).
+pub type RelId = usize;
+
+/// A relation symbol: a name and an arity.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RelationSymbol {
+    /// Human-readable name (e.g. `"Route"`).
+    pub name: String,
+    /// Number of columns.
+    pub arity: usize,
+}
+
+/// A signature τ = {R_1, ..., R_t} together with the weight arity `s`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    relations: Vec<RelationSymbol>,
+    weight_arity: usize,
+}
+
+impl Schema {
+    /// Creates a schema from `(name, arity)` pairs and the weight arity `s`.
+    ///
+    /// # Panics
+    /// Panics if two relations share a name, if any arity is zero, or if
+    /// `weight_arity` is zero — all of these are programming errors in the
+    /// schema definition, not data errors.
+    pub fn new<S: Into<String>>(relations: Vec<(S, usize)>, weight_arity: usize) -> Self {
+        assert!(weight_arity > 0, "weight arity s must be positive");
+        let relations: Vec<RelationSymbol> = relations
+            .into_iter()
+            .map(|(name, arity)| {
+                assert!(arity > 0, "relation arity must be positive");
+                RelationSymbol { name: name.into(), arity }
+            })
+            .collect();
+        for i in 0..relations.len() {
+            for j in (i + 1)..relations.len() {
+                assert_ne!(relations[i].name, relations[j].name, "duplicate relation name");
+            }
+        }
+        Schema { relations, weight_arity }
+    }
+
+    /// A schema with a single binary relation `E` and unary weights — the
+    /// graph signature used throughout the paper's examples.
+    pub fn graph() -> Self {
+        Schema::new(vec![("E", 2)], 1)
+    }
+
+    /// Number of relation symbols.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// The relation symbols, in declaration order.
+    pub fn relations(&self) -> &[RelationSymbol] {
+        &self.relations
+    }
+
+    /// Arity of relation `rel`.
+    pub fn arity(&self, rel: RelId) -> usize {
+        self.relations[rel].arity
+    }
+
+    /// Name of relation `rel`.
+    pub fn name(&self, rel: RelId) -> &str {
+        &self.relations[rel].name
+    }
+
+    /// Looks a relation up by name.
+    pub fn rel_id(&self, name: &str) -> Option<RelId> {
+        self.relations.iter().position(|r| r.name == name)
+    }
+
+    /// Arity `s` of the weight function `W : U^s -> N`.
+    pub fn weight_arity(&self) -> usize {
+        self.weight_arity
+    }
+
+    /// Largest relation arity (useful for sizing scratch buffers).
+    pub fn max_arity(&self) -> usize {
+        self.relations.iter().map(|r| r.arity).max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "τ = {{")?;
+        for (i, r) in self.relations.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}/{}", r.name, r.arity)?;
+        }
+        write!(f, "}}, s = {}", self.weight_arity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_queries_schema() {
+        let s = Schema::new(vec![("Route", 2), ("Timetable", 4)], 1);
+        assert_eq!(s.num_relations(), 2);
+        assert_eq!(s.arity(0), 2);
+        assert_eq!(s.arity(1), 4);
+        assert_eq!(s.name(1), "Timetable");
+        assert_eq!(s.rel_id("Route"), Some(0));
+        assert_eq!(s.rel_id("Nope"), None);
+        assert_eq!(s.weight_arity(), 1);
+        assert_eq!(s.max_arity(), 4);
+    }
+
+    #[test]
+    fn graph_schema_shape() {
+        let g = Schema::graph();
+        assert_eq!(g.num_relations(), 1);
+        assert_eq!(g.arity(0), 2);
+        assert_eq!(g.name(0), "E");
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = Schema::new(vec![("E", 2)], 1);
+        assert_eq!(s.to_string(), "τ = {E/2}, s = 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate relation name")]
+    fn rejects_duplicate_names() {
+        let _ = Schema::new(vec![("E", 2), ("E", 3)], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight arity")]
+    fn rejects_zero_weight_arity() {
+        let _ = Schema::new(vec![("E", 2)], 0);
+    }
+}

@@ -1,0 +1,342 @@
+//! Finite structures (database instances).
+//!
+//! A structure `G = <U, R_1, ..., R_t>` interprets every relation symbol of
+//! a [`Schema`] over a finite universe `U = {0, ..., n-1}`. Tuples are kept
+//! both in a hash set (membership tests during formula evaluation) and in a
+//! sorted vector (deterministic iteration for reproducible experiments).
+
+use crate::schema::{RelId, Schema};
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// An element of the universe.
+pub type Element = u32;
+
+/// A tuple of elements (length = the arity of its relation).
+pub type Tuple = Vec<Element>;
+
+/// One interpreted relation: tuples in sorted order plus a membership index.
+#[derive(Debug, Clone, Default)]
+struct Relation {
+    sorted: Vec<Tuple>,
+    index: HashSet<Tuple>,
+}
+
+impl Relation {
+    fn insert(&mut self, t: Tuple) -> bool {
+        if self.index.insert(t.clone()) {
+            self.sorted.push(t);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn finish(&mut self) {
+        self.sorted.sort_unstable();
+    }
+}
+
+/// A finite τ-structure (database instance).
+///
+/// Immutable once built; construct through [`StructureBuilder`].
+#[derive(Debug, Clone)]
+pub struct Structure {
+    schema: Arc<Schema>,
+    universe_size: u32,
+    relations: Vec<Relation>,
+    element_names: Option<Vec<String>>,
+}
+
+impl Structure {
+    /// The schema this structure interprets.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Shared handle to the schema.
+    pub fn schema_arc(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
+    }
+
+    /// Size `n` of the universe `U = {0, ..., n-1}`.
+    pub fn universe_size(&self) -> u32 {
+        self.universe_size
+    }
+
+    /// Iterator over all universe elements.
+    pub fn universe(&self) -> impl Iterator<Item = Element> + Clone {
+        0..self.universe_size
+    }
+
+    /// Does `rel` contain `tuple`?
+    pub fn contains(&self, rel: RelId, tuple: &[Element]) -> bool {
+        debug_assert_eq!(tuple.len(), self.schema.arity(rel));
+        self.relations[rel].index.contains(tuple)
+    }
+
+    /// Tuples of `rel` in sorted order.
+    pub fn tuples(&self, rel: RelId) -> &[Tuple] {
+        &self.relations[rel].sorted
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.iter().map(|r| r.sorted.len()).sum()
+    }
+
+    /// Optional human-readable name of an element.
+    pub fn element_name(&self, e: Element) -> Option<&str> {
+        self.element_names
+            .as_ref()
+            .and_then(|names| names.get(e as usize))
+            .map(String::as_str)
+    }
+
+    /// Name of `e` if one was registered, else its index rendered as text.
+    pub fn display_element(&self, e: Element) -> String {
+        self.element_name(e)
+            .map(str::to_owned)
+            .unwrap_or_else(|| e.to_string())
+    }
+
+    /// Restricts this structure to the elements of `keep` (the induced
+    /// substructure): keeps exactly the tuples all of whose components lie
+    /// in `keep`. Element indices are preserved (no renumbering), so the
+    /// result shares the original universe size; use
+    /// [`crate::neighborhood::Neighborhood`] for compact renumbered
+    /// neighborhoods.
+    pub fn induced(&self, keep: &HashSet<Element>) -> Structure {
+        let mut relations = Vec::with_capacity(self.relations.len());
+        for rel in &self.relations {
+            let mut out = Relation::default();
+            for t in &rel.sorted {
+                if t.iter().all(|e| keep.contains(e)) {
+                    out.insert(t.clone());
+                }
+            }
+            out.finish();
+            relations.push(out);
+        }
+        Structure {
+            schema: Arc::clone(&self.schema),
+            universe_size: self.universe_size,
+            relations,
+            element_names: self.element_names.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Structure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "structure over {} (|U| = {})", self.schema, self.universe_size)?;
+        for (id, rel) in self.relations.iter().enumerate() {
+            write!(f, "  {}:", self.schema.name(id))?;
+            for t in &rel.sorted {
+                write!(f, " (")?;
+                for (i, e) in t.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{}", self.display_element(*e))?;
+                }
+                write!(f, ")")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`Structure`].
+#[derive(Debug)]
+pub struct StructureBuilder {
+    schema: Arc<Schema>,
+    universe_size: u32,
+    relations: Vec<Relation>,
+    element_names: Option<Vec<String>>,
+}
+
+impl StructureBuilder {
+    /// Starts a structure over `universe_size` elements.
+    pub fn new(schema: Arc<Schema>, universe_size: u32) -> Self {
+        let relations = (0..schema.num_relations()).map(|_| Relation::default()).collect();
+        StructureBuilder { schema, universe_size, relations, element_names: None }
+    }
+
+    /// Registers human-readable names for elements `0..names.len()`.
+    ///
+    /// # Panics
+    /// Panics if more names are given than there are elements.
+    pub fn element_names<S: Into<String>>(mut self, names: Vec<S>) -> Self {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        assert!(
+            names.len() <= self.universe_size as usize,
+            "more names than universe elements"
+        );
+        self.element_names = Some(names);
+        self
+    }
+
+    /// Adds a tuple to relation `rel`. Duplicate insertions are idempotent.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch or out-of-universe elements (data-model
+    /// violations that would silently corrupt every downstream theorem).
+    pub fn add(&mut self, rel: RelId, tuple: &[Element]) -> &mut Self {
+        assert_eq!(
+            tuple.len(),
+            self.schema.arity(rel),
+            "arity mismatch inserting into {}",
+            self.schema.name(rel)
+        );
+        for &e in tuple {
+            assert!(e < self.universe_size, "element {e} outside universe");
+        }
+        self.relations[rel].insert(tuple.to_vec());
+        self
+    }
+
+    /// Adds an edge to the relation named `name` (convenience).
+    ///
+    /// # Panics
+    /// Panics if no relation has that name.
+    pub fn add_named(&mut self, name: &str, tuple: &[Element]) -> &mut Self {
+        let rel = self
+            .schema
+            .rel_id(name)
+            .unwrap_or_else(|| panic!("no relation named {name}"));
+        self.add(rel, tuple)
+    }
+
+    /// Finalizes the structure.
+    pub fn build(mut self) -> Structure {
+        for rel in &mut self.relations {
+            rel.finish();
+        }
+        Structure {
+            schema: self.schema,
+            universe_size: self.universe_size,
+            relations: self.relations,
+            element_names: self.element_names,
+        }
+    }
+}
+
+/// Builds the six-element graph instance of the paper's Figure 1.
+///
+/// The figure itself is not machine-readable, but Figures 2–3 pin the
+/// instance down: with the query `ψ(u,v) ≡ R(u,v)` the active sets must be
+/// `W_a = W_b = {d, e}`, `W_c = {d}`, `W_f = {e}`, and `W_d`, `W_e` must
+/// agree except on two elements. The (symmetric) edge set
+/// `a–d, a–e, b–d, b–e, c–d, f–e` realizes exactly that, and yields the
+/// paper's three radius-1 neighborhood types
+/// (`type(a)=type(b)`, `type(d)=type(e)`, `type(c)=type(f)`).
+/// Elements are `a=0, b=1, c=2, d=3, e=4, f=5`.
+pub fn figure1_instance() -> Structure {
+    let schema = Arc::new(Schema::graph());
+    let mut b = StructureBuilder::new(schema, 6)
+        .element_names(vec!["a", "b", "c", "d", "e", "f"]);
+    for &(x, y) in &[(0u32, 3u32), (0, 4), (1, 3), (1, 4), (2, 3), (5, 4)] {
+        b.add(0, &[x, y]);
+        b.add(0, &[y, x]);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Structure {
+        let schema = Arc::new(Schema::graph());
+        let mut b = StructureBuilder::new(schema, 4);
+        b.add(0, &[0, 1]).add(0, &[1, 2]).add(0, &[2, 3]);
+        b.build()
+    }
+
+    #[test]
+    fn membership_and_iteration() {
+        let s = small();
+        assert!(s.contains(0, &[0, 1]));
+        assert!(!s.contains(0, &[1, 0]));
+        assert_eq!(s.tuples(0).len(), 3);
+        assert_eq!(s.total_tuples(), 3);
+        assert_eq!(s.universe().count(), 4);
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let schema = Arc::new(Schema::graph());
+        let mut b = StructureBuilder::new(schema, 2);
+        b.add(0, &[0, 1]).add(0, &[0, 1]);
+        let s = b.build();
+        assert_eq!(s.tuples(0).len(), 1);
+    }
+
+    #[test]
+    fn tuples_are_sorted() {
+        let schema = Arc::new(Schema::graph());
+        let mut b = StructureBuilder::new(schema, 3);
+        b.add(0, &[2, 1]).add(0, &[0, 1]).add(0, &[1, 1]);
+        let s = b.build();
+        let ts: Vec<_> = s.tuples(0).to_vec();
+        assert_eq!(ts, vec![vec![0, 1], vec![1, 1], vec![2, 1]]);
+    }
+
+    #[test]
+    fn induced_substructure_keeps_inner_tuples() {
+        let s = small();
+        let keep: HashSet<Element> = [0, 1, 2].into_iter().collect();
+        let sub = s.induced(&keep);
+        assert!(sub.contains(0, &[0, 1]));
+        assert!(sub.contains(0, &[1, 2]));
+        assert!(!sub.contains(0, &[2, 3]));
+    }
+
+    #[test]
+    fn element_names_render() {
+        let s = figure1_instance();
+        assert_eq!(s.display_element(0), "a");
+        assert_eq!(s.display_element(5), "f");
+        assert!(s.contains(0, &[0, 3]));
+        assert!(s.contains(0, &[3, 0]));
+    }
+
+    #[test]
+    fn figure1_active_sets_match_figure2() {
+        // With ψ(u,v) ≡ R(u,v): W_a = W_b = {d,e}, W_c = {d}, W_f = {e}.
+        let s = figure1_instance();
+        let neighbors = |u: Element| -> Vec<Element> {
+            s.tuples(0)
+                .iter()
+                .filter(|t| t[0] == u)
+                .map(|t| t[1])
+                .collect()
+        };
+        assert_eq!(neighbors(0), vec![3, 4]);
+        assert_eq!(neighbors(1), vec![3, 4]);
+        assert_eq!(neighbors(2), vec![3]);
+        assert_eq!(neighbors(5), vec![4]);
+        // W_d = {a,b,c}, W_e = {a,b,f}: differ on exactly two elements.
+        assert_eq!(neighbors(3), vec![0, 1, 2]);
+        assert_eq!(neighbors(4), vec![0, 1, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let schema = Arc::new(Schema::graph());
+        let mut b = StructureBuilder::new(schema, 2);
+        b.add(0, &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn out_of_universe_panics() {
+        let schema = Arc::new(Schema::graph());
+        let mut b = StructureBuilder::new(schema, 2);
+        b.add(0, &[0, 7]);
+    }
+}

@@ -1,0 +1,233 @@
+//! Neighborhood-type censuses: the `≈_ρ` equivalence classes and
+//! `ntp(ρ, G)`.
+//!
+//! Every tuple gets a [`TypeId`]; tuples are equivalent iff their
+//! ρ-neighborhoods are (pointed) isomorphic. For structures of bounded
+//! Gaifman degree the number of types is independent of `|G|` — this is
+//! what makes Theorem 3's canonical-parameter trick work.
+
+use crate::gaifman::GaifmanGraph;
+use crate::iso::are_isomorphic;
+use crate::neighborhood::{Fingerprint, Neighborhood};
+use crate::structure::{Element, Structure};
+use std::collections::HashMap;
+
+/// Identifier of a `≈_ρ` equivalence class (dense, starting at 0 in
+/// first-encounter order, so censuses are deterministic).
+pub type TypeId = usize;
+
+/// A census of ρ-neighborhood isomorphism types for a fixed tuple arity.
+#[derive(Debug)]
+pub struct NeighborhoodTypes {
+    rho: u32,
+    arity: usize,
+    /// One representative neighborhood per type.
+    representatives: Vec<(Vec<Element>, Neighborhood)>,
+    /// type of each classified tuple.
+    assignment: HashMap<Vec<Element>, TypeId>,
+    /// fingerprint buckets: candidates for the exact isomorphism test.
+    buckets: HashMap<Fingerprint, Vec<TypeId>>,
+}
+
+impl NeighborhoodTypes {
+    /// Classifies every tuple yielded by `tuples` by its ρ-neighborhood
+    /// type in `structure`.
+    ///
+    /// Pass all `U^r` tuples for a full census, or any subset (e.g. only
+    /// the parameter tuples that can actually occur).
+    pub fn classify<I>(structure: &Structure, gaifman: &GaifmanGraph, rho: u32, tuples: I) -> Self
+    where
+        I: IntoIterator<Item = Vec<Element>>,
+    {
+        let mut census = NeighborhoodTypes {
+            rho,
+            arity: 0,
+            representatives: Vec::new(),
+            assignment: HashMap::new(),
+            buckets: HashMap::new(),
+        };
+        for tuple in tuples {
+            census.arity = tuple.len();
+            census.classify_one(structure, gaifman, tuple);
+        }
+        census
+    }
+
+    fn classify_one(
+        &mut self,
+        structure: &Structure,
+        gaifman: &GaifmanGraph,
+        tuple: Vec<Element>,
+    ) -> TypeId {
+        if let Some(&t) = self.assignment.get(&tuple) {
+            return t;
+        }
+        let nbhd = Neighborhood::extract(structure, gaifman, &tuple, self.rho);
+        let fp = nbhd.fingerprint();
+        let candidates = self.buckets.entry(fp).or_default();
+        for &t in candidates.iter() {
+            if are_isomorphic(&self.representatives[t].1, &nbhd) {
+                self.assignment.insert(tuple, t);
+                return t;
+            }
+        }
+        let t = self.representatives.len();
+        candidates.push(t);
+        self.representatives.push((tuple.clone(), nbhd));
+        self.assignment.insert(tuple, t);
+        t
+    }
+
+    /// Radius ρ of the census.
+    pub fn rho(&self) -> u32 {
+        self.rho
+    }
+
+    /// The number of types seen: `ntp(ρ, G)` restricted to the classified
+    /// tuples.
+    pub fn num_types(&self) -> usize {
+        self.representatives.len()
+    }
+
+    /// Type of a classified tuple (`None` if it was never classified).
+    pub fn type_of(&self, tuple: &[Element]) -> Option<TypeId> {
+        self.assignment.get(tuple).copied()
+    }
+
+    /// The canonical representative tuple of type `t` — the paper's
+    /// canonical parameter `ā_t`.
+    pub fn representative(&self, t: TypeId) -> &[Element] {
+        &self.representatives[t].0
+    }
+
+    /// The representative's neighborhood.
+    pub fn representative_neighborhood(&self, t: TypeId) -> &Neighborhood {
+        &self.representatives[t].1
+    }
+
+    /// All canonical parameters `S = {ā_1, ..., ā_ntp}` in type order.
+    pub fn canonical_parameters(&self) -> Vec<Vec<Element>> {
+        self.representatives.iter().map(|(t, _)| t.clone()).collect()
+    }
+
+    /// Members of each type, sorted (for reports and tests).
+    pub fn members(&self) -> Vec<Vec<Vec<Element>>> {
+        let mut out: Vec<Vec<Vec<Element>>> = vec![Vec::new(); self.num_types()];
+        for (tuple, &t) in &self.assignment {
+            out[t].push(tuple.clone());
+        }
+        for group in &mut out {
+            group.sort_unstable();
+        }
+        out
+    }
+}
+
+/// Classifies all unary tuples (single elements) — the common case for the
+/// paper's examples where queries have one parameter.
+pub fn classify_elements(structure: &Structure, gaifman: &GaifmanGraph, rho: u32) -> NeighborhoodTypes {
+    NeighborhoodTypes::classify(
+        structure,
+        gaifman,
+        rho,
+        structure.universe().map(|e| vec![e]),
+    )
+}
+
+/// Enumerates all `U^r` tuples of `structure` (row-major). Use carefully:
+/// this is `n^r` tuples.
+pub fn all_tuples(structure: &Structure, r: usize) -> Vec<Vec<Element>> {
+    let n = structure.universe_size();
+    let mut out = Vec::with_capacity((n as usize).pow(r as u32));
+    let mut current = vec![0u32; r];
+    loop {
+        out.push(current.clone());
+        // odometer increment
+        let mut i = r;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            current[i] += 1;
+            if current[i] < n {
+                break;
+            }
+            current[i] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structure::figure1_instance;
+
+    #[test]
+    fn figure1_has_three_types() {
+        // The paper: type(a)=type(b), type(d)=type(e), type(c)=type(f);
+        // 3 distinct radius-1 types.
+        let s = figure1_instance();
+        let g = GaifmanGraph::of(&s);
+        let census = classify_elements(&s, &g, 1);
+        assert_eq!(census.num_types(), 3);
+        assert_eq!(census.type_of(&[0]), census.type_of(&[1]));
+        assert_eq!(census.type_of(&[3]), census.type_of(&[4]));
+        assert_eq!(census.type_of(&[2]), census.type_of(&[5]));
+        assert_ne!(census.type_of(&[0]), census.type_of(&[2]));
+        assert_ne!(census.type_of(&[0]), census.type_of(&[3]));
+    }
+
+    #[test]
+    fn representatives_are_first_encountered() {
+        let s = figure1_instance();
+        let g = GaifmanGraph::of(&s);
+        let census = classify_elements(&s, &g, 1);
+        // element 0 (a) is classified first, so type 0's representative is [0].
+        assert_eq!(census.representative(0), &[0]);
+        let canon = census.canonical_parameters();
+        assert_eq!(canon.len(), 3);
+        assert_eq!(canon[0], vec![0]);
+    }
+
+    #[test]
+    fn members_partition_the_universe() {
+        let s = figure1_instance();
+        let g = GaifmanGraph::of(&s);
+        let census = classify_elements(&s, &g, 1);
+        let members = census.members();
+        let total: usize = members.iter().map(Vec::len).sum();
+        assert_eq!(total, 6);
+        assert_eq!(members[0], vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn radius_zero_merges_everything_unlabeled() {
+        // With ρ = 0, every element's neighborhood is a single unlabeled
+        // point (plus self-loops, absent here) — one type.
+        let s = figure1_instance();
+        let g = GaifmanGraph::of(&s);
+        let census = classify_elements(&s, &g, 0);
+        assert_eq!(census.num_types(), 1);
+    }
+
+    #[test]
+    fn all_tuples_enumerates_row_major() {
+        let s = figure1_instance();
+        let pairs = all_tuples(&s, 2);
+        assert_eq!(pairs.len(), 36);
+        assert_eq!(pairs[0], vec![0, 0]);
+        assert_eq!(pairs[1], vec![0, 1]);
+        assert_eq!(pairs[35], vec![5, 5]);
+    }
+
+    #[test]
+    fn pair_census_on_figure1() {
+        let s = figure1_instance();
+        let g = GaifmanGraph::of(&s);
+        let census = NeighborhoodTypes::classify(&s, &g, 1, all_tuples(&s, 2));
+        // Sanity: symmetric pairs share a type.
+        assert_eq!(census.type_of(&[0, 3]), census.type_of(&[1, 4]));
+        assert!(census.num_types() >= 3);
+    }
+}

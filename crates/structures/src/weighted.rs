@@ -1,0 +1,227 @@
+//! Weighted structures `(G, W)`.
+//!
+//! A weight assignment maps `s`-tuples of universe elements to integer
+//! weights. The paper uses `W : U^s -> N`; we use `i64` so that ±1 marking
+//! distortions and simulated adversarial noise can never underflow. Tuples
+//! without an explicit weight have weight 0.
+
+use crate::structure::{Element, Structure};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Key of the weight map: an `s`-tuple of elements.
+pub type WeightKey = Vec<Element>;
+
+/// A weight assignment `W : U^s -> i64` (sparse; default 0).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Weights {
+    map: HashMap<WeightKey, i64>,
+    arity: usize,
+}
+
+impl Weights {
+    /// Creates an empty assignment on `s`-tuples.
+    pub fn new(arity: usize) -> Self {
+        Weights { map: HashMap::new(), arity }
+    }
+
+    /// Arity `s` of the keys.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The weight of `key` (0 if unset).
+    pub fn get(&self, key: &[Element]) -> i64 {
+        debug_assert_eq!(key.len(), self.arity);
+        self.map.get(key).copied().unwrap_or(0)
+    }
+
+    /// Sets the weight of `key`.
+    pub fn set(&mut self, key: &[Element], w: i64) {
+        debug_assert_eq!(key.len(), self.arity);
+        self.map.insert(key.to_vec(), w);
+    }
+
+    /// Adds `delta` to the weight of `key`.
+    pub fn add(&mut self, key: &[Element], delta: i64) {
+        debug_assert_eq!(key.len(), self.arity);
+        *self.map.entry(key.to_vec()).or_insert(0) += delta;
+    }
+
+    /// Number of explicitly stored weights.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no weight was ever set.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over explicitly stored `(key, weight)` pairs in sorted key
+    /// order (deterministic).
+    pub fn iter_sorted(&self) -> Vec<(&WeightKey, i64)> {
+        let mut v: Vec<_> = self.map.iter().map(|(k, &w)| (k, w)).collect();
+        v.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        v
+    }
+
+    /// Keys of all explicitly stored weights, sorted.
+    pub fn keys_sorted(&self) -> Vec<WeightKey> {
+        let mut v: Vec<_> = self.map.keys().cloned().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Maximum absolute pointwise difference to `other` over the union of
+    /// their explicit keys — the smallest `c` for which `other` is a
+    /// `c`-local distortion of `self`.
+    pub fn max_pointwise_diff(&self, other: &Weights) -> i64 {
+        debug_assert_eq!(self.arity, other.arity);
+        let mut max = 0i64;
+        for (k, &w) in &self.map {
+            max = max.max((w - other.get(k)).abs());
+        }
+        for (k, &w) in &other.map {
+            if !self.map.contains_key(k) {
+                max = max.max(w.abs());
+            }
+        }
+        max
+    }
+}
+
+impl fmt::Display for Weights {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "W = {{")?;
+        for (i, (k, w)) in self.iter_sorted().into_iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k:?} -> {w}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A weighted structure `(G, W)`.
+#[derive(Debug, Clone)]
+pub struct WeightedStructure {
+    structure: Structure,
+    weights: Weights,
+}
+
+impl WeightedStructure {
+    /// Pairs a structure with a weight assignment.
+    ///
+    /// # Panics
+    /// Panics if the weight arity disagrees with the schema's `s`.
+    pub fn new(structure: Structure, weights: Weights) -> Self {
+        assert_eq!(
+            weights.arity(),
+            structure.schema().weight_arity(),
+            "weight arity must match schema weight arity"
+        );
+        WeightedStructure { structure, weights }
+    }
+
+    /// The underlying structure `G`.
+    pub fn structure(&self) -> &Structure {
+        &self.structure
+    }
+
+    /// The weight assignment `W`.
+    pub fn weights(&self) -> &Weights {
+        &self.weights
+    }
+
+    /// Mutable access to the weights (the structure part stays immutable —
+    /// watermarking only ever perturbs `W`).
+    pub fn weights_mut(&mut self) -> &mut Weights {
+        &mut self.weights
+    }
+
+    /// Clones this weighted structure with a different weight assignment
+    /// over the same structure.
+    pub fn with_weights(&self, weights: Weights) -> Self {
+        WeightedStructure::new(self.structure.clone(), weights)
+    }
+
+    /// The weight of an `s`-tuple.
+    pub fn weight(&self, key: &[Element]) -> i64 {
+        self.weights.get(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::structure::StructureBuilder;
+    use std::sync::Arc;
+
+    fn graph2() -> Structure {
+        let schema = Arc::new(Schema::graph());
+        let mut b = StructureBuilder::new(schema, 3);
+        b.add(0, &[0, 1]).add(0, &[1, 2]);
+        b.build()
+    }
+
+    #[test]
+    fn default_weight_is_zero() {
+        let w = Weights::new(1);
+        assert_eq!(w.get(&[5]), 0);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn set_get_add_roundtrip() {
+        let mut w = Weights::new(1);
+        w.set(&[0], 10);
+        w.add(&[0], -3);
+        w.add(&[1], 4);
+        assert_eq!(w.get(&[0]), 7);
+        assert_eq!(w.get(&[1]), 4);
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn pointwise_diff_covers_both_sides() {
+        let mut a = Weights::new(1);
+        a.set(&[0], 10);
+        a.set(&[1], 5);
+        let mut b = Weights::new(1);
+        b.set(&[0], 12);
+        b.set(&[2], -4);
+        // |10-12| = 2, |5-0| = 5, |0-(-4)| = 4 -> max 5
+        assert_eq!(a.max_pointwise_diff(&b), 5);
+        assert_eq!(b.max_pointwise_diff(&a), 5);
+    }
+
+    #[test]
+    fn weighted_structure_accessors() {
+        let mut w = Weights::new(1);
+        w.set(&[0], 1);
+        let ws = WeightedStructure::new(graph2(), w);
+        assert_eq!(ws.weight(&[0]), 1);
+        assert_eq!(ws.weight(&[2]), 0);
+        assert_eq!(ws.structure().universe_size(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight arity")]
+    fn arity_mismatch_rejected() {
+        let w = Weights::new(2);
+        let _ = WeightedStructure::new(graph2(), w);
+    }
+
+    #[test]
+    fn iter_sorted_is_deterministic() {
+        let mut w = Weights::new(1);
+        for e in [3u32, 1, 2, 0] {
+            w.set(&[e], e as i64);
+        }
+        let keys: Vec<_> = w.iter_sorted().into_iter().map(|(k, _)| k[0]).collect();
+        assert_eq!(keys, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the relational substrate.
+
+use proptest::prelude::*;
+use qpwm_structures::{
+    distortion, GaifmanGraph, Neighborhood, Schema, Structure, StructureBuilder, Weights,
+};
+use std::sync::Arc;
+
+/// Strategy: a random graph structure with n in [2, 24] and random edges.
+fn graph_strategy() -> impl Strategy<Value = Structure> {
+    (2u32..24).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..48).prop_map(move |edges| {
+            let schema = Arc::new(Schema::graph());
+            let mut b = StructureBuilder::new(schema, n);
+            for (u, v) in edges {
+                b.add(0, &[u, v]);
+            }
+            b.build()
+        })
+    })
+}
+
+fn weights_strategy(n: u32) -> impl Strategy<Value = Weights> {
+    proptest::collection::vec(-1000i64..1000, n as usize).prop_map(|vals| {
+        let mut w = Weights::new(1);
+        for (e, v) in vals.into_iter().enumerate() {
+            w.set(&[e as u32], v);
+        }
+        w
+    })
+}
+
+proptest! {
+    #[test]
+    fn spheres_are_monotone_in_radius(s in graph_strategy(), center in 0u32..24, rho in 0u32..4) {
+        prop_assume!(center < s.universe_size());
+        let g = GaifmanGraph::of(&s);
+        let small = g.sphere(&[center], rho);
+        let large = g.sphere(&[center], rho + 1);
+        // every element of the ρ-sphere is in the (ρ+1)-sphere
+        for e in &small {
+            prop_assert!(large.binary_search(e).is_ok());
+        }
+        prop_assert!(small.binary_search(&center).is_ok());
+    }
+
+    #[test]
+    fn gaifman_adjacency_is_symmetric(s in graph_strategy()) {
+        let g = GaifmanGraph::of(&s);
+        for u in s.universe() {
+            for &v in g.neighbors(u) {
+                prop_assert!(g.neighbors(v).binary_search(&u).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn distance_satisfies_triangle_inequality(s in graph_strategy()) {
+        let g = GaifmanGraph::of(&s);
+        let n = s.universe_size().min(8);
+        for a in 0..n {
+            let da = g.distances_from(a);
+            for b in 0..n {
+                let db = g.distances_from(b);
+                for c in 0..n {
+                    if let (Some(ab), Some(bc), Some(ac)) =
+                        (da[b as usize], db[c as usize], da[c as usize])
+                    {
+                        prop_assert!(ac <= ab + bc);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighborhood_iso_is_reflexive_and_symmetric(
+        s in graph_strategy(),
+        a in 0u32..24,
+        b in 0u32..24,
+        rho in 0u32..3,
+    ) {
+        prop_assume!(a < s.universe_size() && b < s.universe_size());
+        let g = GaifmanGraph::of(&s);
+        let na = Neighborhood::extract(&s, &g, &[a], rho);
+        let nb = Neighborhood::extract(&s, &g, &[b], rho);
+        prop_assert!(qpwm_structures::are_isomorphic(&na, &na));
+        prop_assert_eq!(
+            qpwm_structures::are_isomorphic(&na, &nb),
+            qpwm_structures::are_isomorphic(&nb, &na)
+        );
+    }
+
+    #[test]
+    fn isomorphic_neighborhoods_have_equal_fingerprints(
+        s in graph_strategy(),
+        a in 0u32..24,
+        b in 0u32..24,
+        rho in 0u32..3,
+    ) {
+        prop_assume!(a < s.universe_size() && b < s.universe_size());
+        let g = GaifmanGraph::of(&s);
+        let na = Neighborhood::extract(&s, &g, &[a], rho);
+        let nb = Neighborhood::extract(&s, &g, &[b], rho);
+        if qpwm_structures::are_isomorphic(&na, &nb) {
+            prop_assert_eq!(na.fingerprint(), nb.fingerprint());
+        }
+    }
+
+    #[test]
+    fn local_distortion_is_a_metric_ish(wa in weights_strategy(10), wb in weights_strategy(10)) {
+        // symmetry and identity
+        prop_assert_eq!(
+            distortion::local_distortion(&wa, &wb),
+            distortion::local_distortion(&wb, &wa)
+        );
+        prop_assert_eq!(distortion::local_distortion(&wa, &wa), 0);
+        prop_assert!(distortion::local_distortion(&wa, &wb) >= 0);
+    }
+
+    #[test]
+    fn global_distortion_bounded_by_local_times_set_size(
+        wa in weights_strategy(10),
+        wb in weights_strategy(10),
+        set_mask in 0u32..1024,
+    ) {
+        let set: Vec<Vec<u32>> = (0..10u32)
+            .filter(|i| set_mask >> i & 1 == 1)
+            .map(|i| vec![i])
+            .collect();
+        let report = distortion::global_distortion(&wa, &wb, std::slice::from_ref(&set));
+        let local = distortion::local_distortion(&wa, &wb);
+        prop_assert!(report.max_global <= local * set.len() as i64);
+    }
+}

@@ -1,0 +1,515 @@
+//! Deterministic bottom-up Σ-tree automata.
+//!
+//! `B = (Q, δ, F)` with `δ : (Q ∪ {*})² × Σ → Q` exactly as in the paper:
+//! `*` stands for an absent child. Transitions are stored sparsely with a
+//! designated *sink* state absorbing unspecified combinations, which makes
+//! every automaton total (and hence complementable) without materializing
+//! the full table.
+
+use crate::tree::{BinaryTree, NodeId, Symbol};
+use std::collections::HashMap;
+
+/// State identifier.
+pub type State = u32;
+
+/// The `*` marker for an absent child in a transition.
+pub const STAR: State = State::MAX;
+
+/// A deterministic bottom-up tree automaton, abstractly: anything with a
+/// total transition function over `(Q ∪ {*})² × Σ`.
+///
+/// [`TreeAutomaton`] is the table-backed implementation; the pattern
+/// compiler ([`crate::pattern`]) provides a *semantic* implementation
+/// whose transition function is computed on the fly, avoiding the table
+/// blow-up of large (text-valued) alphabets.
+pub trait BottomUpAutomaton {
+    /// Number of states `m`.
+    fn num_states(&self) -> u32;
+
+    /// The transition function; children use [`STAR`] when absent.
+    fn step(&self, ql: State, qr: State, sym: Symbol) -> State;
+
+    /// Is `q` accepting?
+    fn is_accepting(&self, q: State) -> bool;
+
+    /// Runs on `tree` with node labels given by `label`; returns the state
+    /// of every node.
+    fn run_with_labels(&self, tree: &BinaryTree, label: &mut dyn FnMut(NodeId) -> Symbol) -> Vec<State> {
+        let mut states = vec![0; tree.len()];
+        for node in tree.postorder() {
+            let ql = tree.left(node).map_or(STAR, |l| states[l as usize]);
+            let qr = tree.right(node).map_or(STAR, |r| states[r as usize]);
+            states[node as usize] = self.step(ql, qr, label(node));
+        }
+        states
+    }
+
+    /// Does the automaton accept `tree` under `label`?
+    fn accepts_with_labels(&self, tree: &BinaryTree, label: &mut dyn FnMut(NodeId) -> Symbol) -> bool {
+        let states = self.run_with_labels(tree, label);
+        self.is_accepting(states[tree.root() as usize])
+    }
+}
+
+/// A deterministic bottom-up tree automaton.
+#[derive(Debug, Clone)]
+pub struct TreeAutomaton {
+    num_states: u32,
+    delta: HashMap<(State, State, Symbol), State>,
+    accepting: Vec<bool>,
+    sink: State,
+}
+
+impl TreeAutomaton {
+    /// Creates an automaton with `num_states` states; state `sink` absorbs
+    /// all unspecified transitions (specify `sink`'s own transitions or
+    /// leave them to default back to `sink`).
+    ///
+    /// # Panics
+    /// Panics if `sink >= num_states` or `num_states == 0`.
+    pub fn new(num_states: u32, sink: State) -> Self {
+        assert!(num_states > 0, "automaton needs at least one state");
+        assert!(sink < num_states, "sink out of range");
+        TreeAutomaton {
+            num_states,
+            delta: HashMap::new(),
+            accepting: vec![false; num_states as usize],
+            sink,
+        }
+    }
+
+    /// Number of states `m` (the paper's capacity parameter).
+    pub fn num_states(&self) -> u32 {
+        self.num_states
+    }
+
+    /// The sink state.
+    pub fn sink(&self) -> State {
+        self.sink
+    }
+
+    /// Marks `q` accepting.
+    pub fn set_accepting(&mut self, q: State, accepting: bool) {
+        self.accepting[q as usize] = accepting;
+    }
+
+    /// Is `q` accepting?
+    pub fn is_accepting(&self, q: State) -> bool {
+        self.accepting[q as usize]
+    }
+
+    /// Adds `δ(ql, qr, sym) = target`; use [`STAR`] for an absent child.
+    ///
+    /// # Panics
+    /// Panics if any non-`STAR` state is out of range.
+    pub fn add_transition(&mut self, ql: State, qr: State, sym: Symbol, target: State) {
+        for q in [ql, qr] {
+            assert!(q == STAR || q < self.num_states, "state out of range");
+        }
+        assert!(target < self.num_states, "target out of range");
+        self.delta.insert((ql, qr, sym), target);
+    }
+
+    /// The transition function (total via the sink).
+    pub fn step(&self, ql: State, qr: State, sym: Symbol) -> State {
+        self.delta.get(&(ql, qr, sym)).copied().unwrap_or(self.sink)
+    }
+
+    /// Runs on `tree` where node `n` carries symbol `label(n)`. Returns the
+    /// state of every node (indexed by `NodeId`).
+    pub fn run_with<F: FnMut(NodeId) -> Symbol>(
+        &self,
+        tree: &BinaryTree,
+        mut label: F,
+    ) -> Vec<State> {
+        let mut states = vec![self.sink; tree.len()];
+        for node in tree.postorder() {
+            let ql = tree.left(node).map_or(STAR, |l| states[l as usize]);
+            let qr = tree.right(node).map_or(STAR, |r| states[r as usize]);
+            states[node as usize] = self.step(ql, qr, label(node));
+        }
+        states
+    }
+
+    /// Runs using the tree's own labels.
+    pub fn run(&self, tree: &BinaryTree) -> Vec<State> {
+        self.run_with(tree, |n| tree.label(n))
+    }
+
+    /// Does the automaton accept `tree` (with its own labels)?
+    pub fn accepts(&self, tree: &BinaryTree) -> bool {
+        let states = self.run(tree);
+        self.is_accepting(states[tree.root() as usize])
+    }
+
+    /// Does it accept under a custom labeling?
+    pub fn accepts_with<F: FnMut(NodeId) -> Symbol>(&self, tree: &BinaryTree, label: F) -> bool {
+        let states = self.run_with(tree, label);
+        self.is_accepting(states[tree.root() as usize])
+    }
+
+    /// Complement: accepts exactly the trees this automaton rejects
+    /// (sound because the automaton is deterministic and total).
+    pub fn complement(&self) -> TreeAutomaton {
+        let mut out = self.clone();
+        for q in 0..out.num_states {
+            out.accepting[q as usize] = !out.accepting[q as usize];
+        }
+        out
+    }
+
+    /// Product automaton; acceptance combined by `combine(a_accepts,
+    /// b_accepts)`. States are pairs encoded as `qa * b.num_states + qb`.
+    /// Builds only transitions both factors specify on the union of their
+    /// specified symbols, plus sink absorption — reachable behaviour is
+    /// preserved because unspecified transitions go to the product sink.
+    pub fn product<F: Fn(bool, bool) -> bool>(
+        &self,
+        other: &TreeAutomaton,
+        combine: F,
+    ) -> TreeAutomaton {
+        let nb = other.num_states;
+        let encode = |qa: State, qb: State| -> State {
+            if qa == STAR && qb == STAR {
+                STAR
+            } else {
+                debug_assert!(qa != STAR && qb != STAR);
+                qa * nb + qb
+            }
+        };
+        let mut out = TreeAutomaton::new(self.num_states * nb, encode(self.sink, other.sink));
+        for qa in 0..self.num_states {
+            for qb in 0..nb {
+                let q = encode(qa, qb);
+                out.accepting[q as usize] =
+                    combine(self.accepting[qa as usize], other.accepting[qb as usize]);
+            }
+        }
+        // Symbols either factor mentions.
+        let mut symbols: Vec<Symbol> =
+            self.delta.keys().chain(other.delta.keys()).map(|k| k.2).collect();
+        symbols.sort_unstable();
+        symbols.dedup();
+        // Child-state combinations: (STAR, STAR) plus all pairs.
+        for &sym in &symbols {
+            for la in child_states(self.num_states) {
+                for lb in child_states(nb) {
+                    if (la == STAR) != (lb == STAR) {
+                        continue;
+                    }
+                    for ra in child_states(self.num_states) {
+                        for rb in child_states(nb) {
+                            if (ra == STAR) != (rb == STAR) {
+                                continue;
+                            }
+                            let ta = self.step(la, ra, sym);
+                            let tb = other.step(lb, rb, sym);
+                            out.add_transition(encode(la, lb), encode(ra, rb), sym, encode(ta, tb));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Minimizes by partition refinement (Myhill–Nerode for deterministic
+    /// bottom-up tree automata) over the symbols that appear in `delta`.
+    /// Returns an equivalent automaton with the minimal number of states
+    /// distinguishable on those symbols.
+    pub fn minimize(&self) -> TreeAutomaton {
+        let n = self.num_states as usize;
+        let mut symbols: Vec<Symbol> = self.delta.keys().map(|k| k.2).collect();
+        symbols.sort_unstable();
+        symbols.dedup();
+        // block id per state; start with accepting / rejecting.
+        let mut block: Vec<u32> = (0..n)
+            .map(|q| u32::from(self.accepting[q]))
+            .collect();
+        let mut num_blocks = 2;
+        loop {
+            // signature of each state: for every (context-state, side,
+            // symbol) where does it go, expressed in blocks.
+            let mut sig: Vec<Vec<u32>> = vec![Vec::new(); n];
+            for (q, s) in sig.iter_mut().enumerate() {
+                let q = q as State;
+                s.push(block[q as usize]);
+                for &sym in &symbols {
+                    // as a left child with every possible right sibling
+                    for other in child_states(self.num_states) {
+                        s.push(block[self.step(q, other, sym) as usize]);
+                        s.push(block[self.step(other, q, sym) as usize]);
+                    }
+                }
+            }
+            let mut remap: HashMap<&[u32], u32> = HashMap::new();
+            let mut next_block = vec![0u32; n];
+            for q in 0..n {
+                let id = remap.len() as u32;
+                let entry = remap.entry(&sig[q]).or_insert(id);
+                next_block[q] = *entry;
+            }
+            let new_count = remap.len();
+            if new_count == num_blocks {
+                break;
+            }
+            num_blocks = new_count;
+            block = next_block;
+        }
+        let mut out = TreeAutomaton::new(num_blocks as u32, block[self.sink as usize]);
+        for (q, &blk) in block.iter().enumerate() {
+            if self.accepting[q] {
+                out.accepting[blk as usize] = true;
+            }
+        }
+        for (&(ql, qr, sym), &t) in &self.delta {
+            let ml = if ql == STAR { STAR } else { block[ql as usize] };
+            let mr = if qr == STAR { STAR } else { block[qr as usize] };
+            out.delta.insert((ml, mr, sym), block[t as usize]);
+        }
+        out
+    }
+
+    /// The set of states reachable by *some* tree over `alphabet`
+    /// (fixpoint from leaf transitions upward).
+    pub fn reachable_states(&self, alphabet: &[Symbol]) -> Vec<State> {
+        let mut reachable = vec![false; self.num_states as usize];
+        loop {
+            let mut grew = false;
+            let current: Vec<State> = (0..self.num_states)
+                .filter(|&q| reachable[q as usize])
+                .collect();
+            for &sym in alphabet {
+                let mut mark = |q: State, grew: &mut bool| {
+                    if !reachable[q as usize] {
+                        reachable[q as usize] = true;
+                        *grew = true;
+                    }
+                };
+                mark(self.step(STAR, STAR, sym), &mut grew);
+                for &l in &current {
+                    mark(self.step(l, STAR, sym), &mut grew);
+                    mark(self.step(STAR, l, sym), &mut grew);
+                    for &r in &current {
+                        mark(self.step(l, r, sym), &mut grew);
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        (0..self.num_states).filter(|&q| reachable[q as usize]).collect()
+    }
+
+    /// Does the automaton accept at least one tree over `alphabet`?
+    pub fn is_empty(&self, alphabet: &[Symbol]) -> bool {
+        !self
+            .reachable_states(alphabet)
+            .iter()
+            .any(|&q| self.is_accepting(q))
+    }
+
+    /// Does it accept *every* tree over `alphabet`? (Emptiness of the
+    /// complement — sound because the automaton is deterministic/total.)
+    pub fn is_universal(&self, alphabet: &[Symbol]) -> bool {
+        self.complement().is_empty(alphabet)
+    }
+}
+
+fn child_states(num_states: u32) -> impl Iterator<Item = State> {
+    (0..num_states).chain(std::iter::once(STAR))
+}
+
+impl BottomUpAutomaton for TreeAutomaton {
+    fn num_states(&self) -> u32 {
+        self.num_states
+    }
+
+    fn step(&self, ql: State, qr: State, sym: Symbol) -> State {
+        TreeAutomaton::step(self, ql, qr, sym)
+    }
+
+    fn is_accepting(&self, q: State) -> bool {
+        TreeAutomaton::is_accepting(self, q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::BinaryTree;
+
+    /// Automaton over Σ = {0: "zero", 1: "one"} accepting trees whose
+    /// number of 1-labeled nodes is odd. States: 0 = even, 1 = odd.
+    fn parity() -> TreeAutomaton {
+        let mut a = TreeAutomaton::new(2, 0);
+        for ql in [STAR, 0, 1] {
+            for qr in [STAR, 0, 1] {
+                let below = (if ql == 1 { 1 } else { 0 }) + (if qr == 1 { 1 } else { 0 });
+                for sym in [0u32, 1] {
+                    let total = (below + sym) % 2;
+                    a.add_transition(ql, qr, sym, total);
+                }
+            }
+        }
+        a.set_accepting(1, true);
+        a
+    }
+
+    fn chain(labels: &[Symbol]) -> BinaryTree {
+        // left-spine chain, labels[0] at root
+        let triples: Vec<(Symbol, Option<u32>, Option<u32>)> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| {
+                let child = if i + 1 < labels.len() { Some(i as u32 + 1) } else { None };
+                (l, child, None)
+            })
+            .collect();
+        BinaryTree::from_triples(&triples, 0)
+    }
+
+    #[test]
+    fn parity_counts_ones() {
+        let a = parity();
+        assert!(a.accepts(&chain(&[1])));
+        assert!(!a.accepts(&chain(&[0])));
+        assert!(!a.accepts(&chain(&[1, 1])));
+        assert!(a.accepts(&chain(&[1, 0, 1, 1])));
+    }
+
+    #[test]
+    fn run_reports_per_node_states() {
+        let a = parity();
+        let t = chain(&[1, 1, 0]);
+        let states = a.run(&t);
+        // postorder: node2 (0 ones) -> 0, node1 (1 one) -> 1, node0 (2) -> 0
+        assert_eq!(states[2], 0);
+        assert_eq!(states[1], 1);
+        assert_eq!(states[0], 0);
+    }
+
+    #[test]
+    fn unspecified_transitions_sink() {
+        let mut a = TreeAutomaton::new(2, 0);
+        a.add_transition(STAR, STAR, 5, 1);
+        a.set_accepting(1, true);
+        assert!(a.accepts(&chain(&[5])));
+        // symbol 9 has no transition: sinks to state 0, rejecting.
+        assert!(!a.accepts(&chain(&[9])));
+    }
+
+    #[test]
+    fn complement_flips_acceptance() {
+        let a = parity();
+        let c = a.complement();
+        let t = chain(&[1, 0]);
+        assert!(a.accepts(&t));
+        assert!(!c.accepts(&t));
+        let t2 = chain(&[0, 0]);
+        assert!(!a.accepts(&t2));
+        assert!(c.accepts(&t2));
+    }
+
+    #[test]
+    fn product_intersection() {
+        // parity-of-1s AND root-labeled-1 (a 2-state automaton tracking the
+        // last symbol... simpler: automaton accepting iff root label is 1).
+        let mut root1 = TreeAutomaton::new(2, 0);
+        for ql in [STAR, 0, 1] {
+            for qr in [STAR, 0, 1] {
+                root1.add_transition(ql, qr, 1, 1);
+                root1.add_transition(ql, qr, 0, 0);
+            }
+        }
+        root1.set_accepting(1, true);
+        let both = parity().product(&root1, |a, b| a && b);
+        assert!(both.accepts(&chain(&[1, 0, 0])));
+        assert!(!both.accepts(&chain(&[0, 1, 0]))); // even... wait: two labels {0,1,0}
+        assert!(!both.accepts(&chain(&[1, 1, 0]))); // root 1 but even ones
+        assert!(!both.accepts(&chain(&[0, 1])));
+    }
+
+    #[test]
+    fn accepts_with_overrides_labels() {
+        let a = parity();
+        let t = chain(&[0, 0]);
+        assert!(!a.accepts(&t));
+        assert!(a.accepts_with(&t, |n| if n == 0 { 1 } else { 0 }));
+    }
+
+    #[test]
+    fn minimize_collapses_redundant_states() {
+        // Build parity with 4 states where 2|3 duplicate 0|1: the target
+        // lands in the copy selected by the symbol, so both copies are
+        // reachable and minimization must merge {0,2} and {1,3}.
+        let mut a = TreeAutomaton::new(4, 0);
+        for ql in [STAR, 0, 1, 2, 3] {
+            for qr in [STAR, 0, 1, 2, 3] {
+                let ones = |q: State| -> u32 {
+                    if q == STAR {
+                        0
+                    } else {
+                        q % 2
+                    }
+                };
+                let below = ones(ql) + ones(qr);
+                for sym in [0u32, 1] {
+                    let parity = (below + sym) % 2;
+                    a.add_transition(ql, qr, sym, parity + 2 * sym);
+                }
+            }
+        }
+        a.set_accepting(1, true);
+        a.set_accepting(3, true);
+        let m = a.minimize();
+        assert!(m.num_states() <= 2);
+        for labels in [[1u32, 0, 1].as_slice(), &[0, 0], &[1], &[1, 1, 1]] {
+            assert_eq!(a.accepts(&chain(labels)), m.accepts(&chain(labels)), "{labels:?}");
+        }
+    }
+
+    #[test]
+    fn emptiness_and_universality() {
+        let p = parity();
+        // parity accepts some trees and rejects others
+        assert!(!p.is_empty(&[0, 1]));
+        assert!(!p.is_universal(&[0, 1]));
+        // restricted to only even symbols, the odd-count language is empty
+        assert!(p.is_empty(&[0]));
+        // ... and its complement is universal over that alphabet
+        assert!(p.complement().is_universal(&[0]));
+        // an automaton accepting everything
+        let mut all = TreeAutomaton::new(1, 0);
+        for ql in [STAR, 0] {
+            for qr in [STAR, 0] {
+                all.add_transition(ql, qr, 0, 0);
+            }
+        }
+        all.set_accepting(0, true);
+        assert!(all.is_universal(&[0]));
+        assert!(!all.is_empty(&[0]));
+    }
+
+    #[test]
+    fn reachable_states_grow_with_alphabet() {
+        let p = parity();
+        // with only symbol 0 no odd count is reachable... both parities
+        // ARE reachable via node counts? symbol 0 contributes 0, so only
+        // even (state 0) is reachable.
+        assert_eq!(p.reachable_states(&[0]), vec![0]);
+        assert_eq!(p.reachable_states(&[0, 1]), vec![0, 1]);
+    }
+
+    #[test]
+    fn minimized_product_shrinks() {
+        let p = parity();
+        let doubled = p.product(&p, |a, _| a);
+        assert_eq!(doubled.num_states(), 4);
+        let m = doubled.minimize();
+        assert!(m.num_states() <= 2);
+        let t = chain(&[1, 0, 1, 1]);
+        assert_eq!(doubled.accepts(&t), m.accepts(&t));
+    }
+}

@@ -1,0 +1,28 @@
+//! Trees, XML documents, and tree automata — the substrate of the paper's
+//! Section 4 (MSO-query-preserving watermarking).
+//!
+//! Provides binary Σ-trees (`⟨T, S₁, S₂, ⪯, (P_c)⟩`), unranked labeled
+//! trees with the first-child/next-sibling binary encoding used to model
+//! XML, a minimal XML parser/serializer, deterministic and
+//! nondeterministic bottom-up tree automata (with determinization, product
+//! and minimization), pebbled alphabets `Σ_{k+s}` for parametric queries,
+//! and a compiler from XPath-like pattern queries to automata.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod automaton;
+pub mod nta;
+pub mod pattern;
+pub mod pebble;
+pub mod tree;
+pub mod unranked;
+pub mod xml;
+
+pub use automaton::TreeAutomaton;
+pub use nta::Nta;
+pub use pattern::PatternQuery;
+pub use pebble::PebbledQuery;
+pub use tree::{Alphabet, BinaryTree, NodeId};
+pub use unranked::UnrankedTree;
+pub use xml::{parse_xml, XmlError};

@@ -1,0 +1,315 @@
+//! Nondeterministic bottom-up tree automata and determinization.
+//!
+//! The pattern compiler ([`crate::pattern`]) emits nondeterministic
+//! automata (guessing which branch contains the match); the watermarking
+//! scheme needs deterministic ones. Determinization is the classical
+//! bottom-up subset construction; only reachable subsets are materialized.
+
+use crate::automaton::{State, TreeAutomaton, STAR};
+use crate::tree::{BinaryTree, Symbol};
+use std::collections::{BTreeSet, HashMap};
+
+/// A nondeterministic bottom-up tree automaton.
+///
+/// `δ ⊆ (Q ∪ {*})² × Σ × Q`; a run may choose any listed target. Symbols
+/// not mentioned in any rule for a given child pair yield no run (implicit
+/// empty target set), unless a wildcard rule was registered via
+/// [`Nta::add_wildcard_rule`].
+#[derive(Debug, Clone, Default)]
+pub struct Nta {
+    num_states: u32,
+    rules: HashMap<(State, State, Symbol), Vec<State>>,
+    /// Rules applying to *every* symbol (used for "any label" steps).
+    wildcard: HashMap<(State, State), Vec<State>>,
+    accepting: BTreeSet<State>,
+}
+
+impl Nta {
+    /// Creates an NTA with `num_states` states.
+    pub fn new(num_states: u32) -> Self {
+        Nta { num_states, ..Default::default() }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> u32 {
+        self.num_states
+    }
+
+    /// Adds a rule `(ql, qr, sym) → target` (use [`STAR`] for absent
+    /// children).
+    pub fn add_rule(&mut self, ql: State, qr: State, sym: Symbol, target: State) {
+        assert!(target < self.num_states);
+        self.rules.entry((ql, qr, sym)).or_default().push(target);
+    }
+
+    /// Adds a rule matching every symbol.
+    pub fn add_wildcard_rule(&mut self, ql: State, qr: State, target: State) {
+        assert!(target < self.num_states);
+        self.wildcard.entry((ql, qr)).or_default().push(target);
+    }
+
+    /// Marks `q` accepting.
+    pub fn set_accepting(&mut self, q: State) {
+        assert!(q < self.num_states);
+        self.accepting.insert(q);
+    }
+
+    fn targets(&self, ql: State, qr: State, sym: Symbol, out: &mut BTreeSet<State>) {
+        if let Some(ts) = self.rules.get(&(ql, qr, sym)) {
+            out.extend(ts.iter().copied());
+        }
+        if let Some(ts) = self.wildcard.get(&(ql, qr)) {
+            out.extend(ts.iter().copied());
+        }
+    }
+
+    /// The set of reachable states at each node (subset semantics).
+    pub fn run(&self, tree: &BinaryTree) -> Vec<BTreeSet<State>> {
+        let mut sets: Vec<BTreeSet<State>> = vec![BTreeSet::new(); tree.len()];
+        for node in tree.postorder() {
+            let mut here = BTreeSet::new();
+            match (tree.left(node), tree.right(node)) {
+                (None, None) => self.targets(STAR, STAR, tree.label(node), &mut here),
+                (Some(l), None) => {
+                    let ls = sets[l as usize].clone();
+                    for &ql in &ls {
+                        self.targets(ql, STAR, tree.label(node), &mut here);
+                    }
+                }
+                (None, Some(r)) => {
+                    let rs = sets[r as usize].clone();
+                    for &qr in &rs {
+                        self.targets(STAR, qr, tree.label(node), &mut here);
+                    }
+                }
+                (Some(l), Some(r)) => {
+                    let ls = sets[l as usize].clone();
+                    let rs = sets[r as usize].clone();
+                    for &ql in &ls {
+                        for &qr in &rs {
+                            self.targets(ql, qr, tree.label(node), &mut here);
+                        }
+                    }
+                }
+            }
+            sets[node as usize] = here;
+        }
+        sets
+    }
+
+    /// Does some run accept `tree`?
+    pub fn accepts(&self, tree: &BinaryTree) -> bool {
+        let sets = self.run(tree);
+        sets[tree.root() as usize]
+            .iter()
+            .any(|q| self.accepting.contains(q))
+    }
+
+    /// Determinizes over the given alphabet by the bottom-up subset
+    /// construction (only reachable subsets become states). The resulting
+    /// deterministic automaton is equivalent on all trees labeled within
+    /// `alphabet`.
+    pub fn determinize(&self, alphabet: &[Symbol]) -> TreeAutomaton {
+        // Subset states, interned; the empty subset (id 0) is the sink.
+        // Round-based fixpoint: each round pairs every known subset with
+        // every known subset (and with STAR) under every symbol; rounds
+        // repeat until no new subset appears. Transition recomputation is
+        // idempotent, so the map just overwrites identical entries.
+        let mut subsets: Vec<BTreeSet<State>> = vec![BTreeSet::new()];
+        let mut ids: HashMap<BTreeSet<State>, State> = HashMap::new();
+        ids.insert(BTreeSet::new(), 0);
+        let mut transitions: HashMap<(State, State, Symbol), State> = HashMap::new();
+
+        fn intern(
+            set: BTreeSet<State>,
+            subsets: &mut Vec<BTreeSet<State>>,
+            ids: &mut HashMap<BTreeSet<State>, State>,
+        ) -> State {
+            if let Some(&id) = ids.get(&set) {
+                return id;
+            }
+            let id = subsets.len() as State;
+            ids.insert(set.clone(), id);
+            subsets.push(set);
+            id
+        }
+
+        // Leaf transitions seed the reachable subsets.
+        for &sym in alphabet {
+            let mut set = BTreeSet::new();
+            self.targets(STAR, STAR, sym, &mut set);
+            let id = intern(set, &mut subsets, &mut ids);
+            transitions.insert((STAR, STAR, sym), id);
+        }
+
+        loop {
+            let count_before = subsets.len();
+            for l in 0..subsets.len() as State {
+                for &sym in alphabet {
+                    // l with an absent sibling, both sides
+                    let mut set_l = BTreeSet::new();
+                    let mut set_r = BTreeSet::new();
+                    for &q in &subsets[l as usize].clone() {
+                        self.targets(q, STAR, sym, &mut set_l);
+                        self.targets(STAR, q, sym, &mut set_r);
+                    }
+                    let tl = intern(set_l, &mut subsets, &mut ids);
+                    let tr = intern(set_r, &mut subsets, &mut ids);
+                    transitions.insert((l, STAR, sym), tl);
+                    transitions.insert((STAR, l, sym), tr);
+                    // l paired with every known subset
+                    for r in 0..subsets.len() as State {
+                        let mut set = BTreeSet::new();
+                        let ls = subsets[l as usize].clone();
+                        let rs = subsets[r as usize].clone();
+                        for &ql in &ls {
+                            for &qr in &rs {
+                                self.targets(ql, qr, sym, &mut set);
+                            }
+                        }
+                        let t = intern(set, &mut subsets, &mut ids);
+                        transitions.insert((l, r, sym), t);
+                    }
+                }
+            }
+            if subsets.len() == count_before {
+                break;
+            }
+        }
+
+        let mut dta = TreeAutomaton::new(subsets.len() as u32, 0);
+        for ((l, r, sym), t) in transitions {
+            dta.add_transition(l, r, sym, t);
+        }
+        for (i, set) in subsets.iter().enumerate() {
+            if set.iter().any(|q| self.accepting.contains(q)) {
+                dta.set_accepting(i as State, true);
+            }
+        }
+        dta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::BinaryTree;
+
+    fn chain(labels: &[Symbol]) -> BinaryTree {
+        let triples: Vec<(Symbol, Option<u32>, Option<u32>)> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| {
+                let child = if i + 1 < labels.len() { Some(i as u32 + 1) } else { None };
+                (l, child, None)
+            })
+            .collect();
+        BinaryTree::from_triples(&triples, 0)
+    }
+
+    /// NTA accepting trees containing at least one node labeled 1:
+    /// state 0 = "not seen yet", state 1 = "seen". Nondeterministic
+    /// because a parent of two "seen" children has two derivations.
+    fn contains_one() -> Nta {
+        let mut a = Nta::new(2);
+        // leaves
+        a.add_rule(STAR, STAR, 0, 0);
+        a.add_rule(STAR, STAR, 1, 1);
+        for ql in [STAR, 0, 1] {
+            for qr in [STAR, 0, 1] {
+                if ql == STAR && qr == STAR {
+                    continue;
+                }
+                let seen = ql == 1 || qr == 1;
+                a.add_rule(ql, qr, 0, u32::from(seen));
+                a.add_rule(ql, qr, 1, 1);
+            }
+        }
+        a.set_accepting(1);
+        a
+    }
+
+    #[test]
+    fn nta_accepts_containment() {
+        let a = contains_one();
+        assert!(a.accepts(&chain(&[0, 0, 1])));
+        assert!(a.accepts(&chain(&[1])));
+        assert!(!a.accepts(&chain(&[0, 0])));
+    }
+
+    #[test]
+    fn truly_nondeterministic_guess() {
+        // Automaton that guesses at a leaf whether it will be "the" marked
+        // leaf: both states reachable from a 0-leaf.
+        let mut a = Nta::new(2);
+        a.add_rule(STAR, STAR, 0, 0);
+        a.add_rule(STAR, STAR, 0, 1);
+        a.set_accepting(1);
+        let sets = a.run(&chain(&[0]));
+        assert_eq!(sets[0].len(), 2);
+        assert!(a.accepts(&chain(&[0])));
+    }
+
+    #[test]
+    fn determinize_preserves_language() {
+        let a = contains_one();
+        let d = a.determinize(&[0, 1]);
+        for labels in [
+            [0u32].as_slice(),
+            &[1],
+            &[0, 1],
+            &[0, 0, 0],
+            &[1, 0, 1],
+            &[0, 0, 1, 0],
+        ] {
+            let t = chain(labels);
+            assert_eq!(a.accepts(&t), d.accepts(&t), "{labels:?}");
+        }
+    }
+
+    #[test]
+    fn determinize_handles_branching_trees() {
+        let a = contains_one();
+        let d = a.determinize(&[0, 1]);
+        // full binary tree with the 1 deep on the right
+        let t = BinaryTree::from_triples(
+            &[
+                (0, Some(1), Some(2)),
+                (0, Some(3), Some(4)),
+                (0, None, Some(5)),
+                (0, None, None),
+                (0, None, None),
+                (1, None, None),
+            ],
+            0,
+        );
+        assert!(a.accepts(&t));
+        assert!(d.accepts(&t));
+        let t2 = BinaryTree::from_triples(
+            &[(0, Some(1), Some(2)), (0, None, None), (0, None, None)],
+            0,
+        );
+        assert!(!a.accepts(&t2));
+        assert!(!d.accepts(&t2));
+    }
+
+    #[test]
+    fn wildcard_rules_match_any_symbol() {
+        let mut a = Nta::new(1);
+        a.add_wildcard_rule(STAR, STAR, 0);
+        a.add_wildcard_rule(0, STAR, 0);
+        a.set_accepting(0);
+        assert!(a.accepts(&chain(&[42, 7])));
+        let d = a.determinize(&[42, 7]);
+        assert!(d.accepts(&chain(&[42, 7])));
+    }
+
+    #[test]
+    fn determinized_minimizes_further() {
+        let a = contains_one();
+        let d = a.determinize(&[0, 1]).minimize();
+        assert!(d.num_states() <= 3);
+        assert!(d.accepts(&chain(&[0, 1])));
+        assert!(!d.accepts(&chain(&[0, 0])));
+    }
+}

@@ -1,0 +1,760 @@
+//! XPath-like pattern queries compiled to deterministic tree automata.
+//!
+//! The paper's Example 4 uses the parametric query
+//! `ψ(a, v) = school/student[firstname=a]/exam`: `a` is a node whose
+//! label is a text value, and the answers are the text-value nodes of
+//! `exam` elements belonging to `student` elements whose `firstname` text
+//! equals `a`'s label. This module supports exactly that family:
+//!
+//! ```text
+//! tag_0 / tag_1 / ... / item_tag [ filter_tag = $a ] / target_tag
+//! ```
+//!
+//! with the output pebble on the text child of `target_tag` elements.
+//!
+//! Two implementations are provided and cross-checked in tests:
+//!
+//! 1. [`PatternQuery::answer_set_unranked`] — a direct evaluator on the
+//!    unranked document (ground truth);
+//! 2. [`PatternQuery::compile`] — a deterministic bottom-up automaton on
+//!    the first-child/next-sibling binary encoding, implemented
+//!    *semantically* (the transition function is computed from a small
+//!    enumerated state space, so the automaton works over arbitrarily
+//!    large text alphabets without a transition table). The compiled
+//!    automaton is what the paper's Theorem 5 scheme consumes; its state
+//!    count `m` is the capacity parameter in `|W|/4m`.
+
+use crate::automaton::{BottomUpAutomaton, State, STAR};
+use crate::pebble::PebbledQuery;
+use crate::tree::{NodeId, Symbol};
+use crate::xml::XmlDocument;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed pattern query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternQuery {
+    /// Plain path steps from the root down to (and including) the item
+    /// tag; `path[0]` must match the document root.
+    pub path: Vec<String>,
+    /// The filter tag compared against the parameter (`[filter=$a]` on the
+    /// last path step).
+    pub filter: String,
+    /// The target tag whose text children are the answers.
+    pub target: String,
+}
+
+/// Pattern parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternParseError(pub String);
+
+impl fmt::Display for PatternParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid pattern: {}", self.0)
+    }
+}
+
+impl std::error::Error for PatternParseError {}
+
+impl PatternQuery {
+    /// Parses `"school/student[firstname=$a]/exam"`.
+    ///
+    /// ```
+    /// use qpwm_trees::PatternQuery;
+    /// let q = PatternQuery::parse("school/student[firstname=$a]/exam").unwrap();
+    /// assert_eq!(q.path, vec!["school", "student"]);
+    /// assert_eq!(q.filter, "firstname");
+    /// assert_eq!(q.target, "exam");
+    /// ```
+    pub fn parse(input: &str) -> Result<Self, PatternParseError> {
+        let steps: Vec<&str> = input.split('/').collect();
+        if steps.len() < 2 {
+            return Err(PatternParseError("need at least item[...]/target".into()));
+        }
+        let target = steps[steps.len() - 1].trim();
+        if target.is_empty() || target.contains('[') {
+            return Err(PatternParseError("last step must be a plain target tag".into()));
+        }
+        let mut path = Vec::new();
+        let mut filter = None;
+        for (i, step) in steps[..steps.len() - 1].iter().enumerate() {
+            let step = step.trim();
+            if let Some(open) = step.find('[') {
+                if i != steps.len() - 2 {
+                    return Err(PatternParseError(
+                        "filter allowed only on the item step".into(),
+                    ));
+                }
+                let tag = &step[..open];
+                let rest = step[open + 1..]
+                    .strip_suffix(']')
+                    .ok_or_else(|| PatternParseError("missing ]".into()))?;
+                let (ftag, fval) = rest
+                    .split_once('=')
+                    .ok_or_else(|| PatternParseError("filter must be tag=$var".into()))?;
+                if !fval.trim().starts_with('$') {
+                    return Err(PatternParseError("filter value must be a $parameter".into()));
+                }
+                path.push(tag.trim().to_owned());
+                filter = Some(ftag.trim().to_owned());
+            } else {
+                if step.is_empty() {
+                    return Err(PatternParseError("empty step".into()));
+                }
+                path.push(step.to_owned());
+            }
+        }
+        let filter = filter.ok_or_else(|| {
+            PatternParseError("item step needs a [filter=$a] predicate".into())
+        })?;
+        Ok(PatternQuery { path, filter, target: target.to_owned() })
+    }
+
+    /// Ground-truth evaluation on the unranked document: the set of target
+    /// text nodes matching parameter node `a`, sorted.
+    pub fn answer_set_unranked(&self, doc: &XmlDocument, a: NodeId) -> Vec<NodeId> {
+        let a_label = doc.tree.label(a);
+        let mut out = Vec::new();
+        self.walk(doc, doc.tree.root(), 0, a_label, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    fn walk(&self, doc: &XmlDocument, node: NodeId, depth: usize, a_label: Symbol, out: &mut Vec<NodeId>) {
+        let name = doc.alphabet.name(doc.tree.label(node));
+        if name != self.path[depth] {
+            return;
+        }
+        if depth + 1 < self.path.len() {
+            for &c in doc.tree.children(node) {
+                self.walk(doc, c, depth + 1, a_label, out);
+            }
+            return;
+        }
+        // `node` is an item: check the filter, then collect target texts.
+        let filter_matches = doc.tree.children(node).iter().any(|&c| {
+            doc.alphabet.name(doc.tree.label(c)) == self.filter
+                && doc
+                    .tree
+                    .children(c)
+                    .first()
+                    .is_some_and(|&t| doc.tree.label(t) == a_label)
+        });
+        if !filter_matches {
+            return;
+        }
+        for &c in doc.tree.children(node) {
+            if doc.alphabet.name(doc.tree.label(c)) == self.target {
+                if let Some(&t) = doc.tree.children(c).first() {
+                    if doc.is_text(t) {
+                        out.push(t);
+                    }
+                }
+            }
+        }
+    }
+
+    /// All answer sets over parameters that can produce non-empty answers
+    /// (text nodes whose label is a filter value), plus a count of total
+    /// parameters. Ground truth for experiments.
+    pub fn all_answers_unranked(&self, doc: &XmlDocument) -> Vec<(NodeId, Vec<NodeId>)> {
+        (0..doc.tree.len() as NodeId)
+            .map(|a| (a, self.answer_set_unranked(doc, a)))
+            .collect()
+    }
+
+    /// Compiles to a deterministic pebbled automaton on the binary
+    /// encoding (k = 1 parameter pebble, 1 output pebble).
+    pub fn compile(&self, doc: &XmlDocument) -> PebbledQuery<PatternAutomaton> {
+        PebbledQuery::new(PatternAutomaton::build(self, doc), 1)
+    }
+}
+
+/// Classification of a base symbol for the pattern automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    /// `path[i]` tag.
+    Level(u8),
+    /// The filter tag.
+    Filter,
+    /// The target tag.
+    Target,
+    /// A text value that occurs under some filter element (index into the
+    /// tracked-value table).
+    TrackedText(u8),
+    /// Any other text value.
+    OtherText,
+    /// Any other element tag.
+    OtherTag,
+}
+
+/// Semantic state of the validity machine (M1): summarizes a binary
+/// (first-child/next-sibling) subtree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum M1 {
+    /// The output pebble is somewhere it can never be valid.
+    Dead,
+    /// No pebble, no structural information.
+    Clean,
+    /// A text leaf: pebble-b flag and tracked value (if any).
+    Text { b: bool, val: Option<u8> },
+    /// Right-spine of item children (filter/target/other fields).
+    Fields { b_target: bool, fval: Option<u8> },
+    /// Right-spine of elements at path depth `level`; `bv` is `Some(v)`
+    /// when the output pebble sits validly inside with filter value `v`.
+    Chain { level: u8, bv: Option<u8> },
+}
+
+/// Semantic state of the parameter machine (M2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum M2 {
+    /// Pebble `a` not seen.
+    NoA,
+    /// Pebble `a` on a node labeled with tracked value `v`.
+    A(u8),
+    /// Pebble `a` on a node whose label is not a tracked value: the
+    /// equality test can never succeed.
+    ADead,
+}
+
+/// A deterministic bottom-up automaton recognizing
+/// `{ T_ab : b ∈ ψ(a, T) }` for a compiled [`PatternQuery`].
+///
+/// States are interned pairs of enumerated semantic states, so `step` is
+/// a pure computation plus two table lookups; no transition table over
+/// the (large) text alphabet is ever materialized.
+#[derive(Debug, Clone)]
+pub struct PatternAutomaton {
+    kind_of: HashMap<Symbol, Kind>,
+    m1_states: Vec<M1>,
+    m1_ids: HashMap<M1, u32>,
+    m2_count: u32,
+    num_values: u8,
+    item_level: u8,
+}
+
+impl PatternAutomaton {
+    fn build(pattern: &PatternQuery, doc: &XmlDocument) -> Self {
+        // Tracked values: distinct text symbols occurring as the first
+        // child of a filter element.
+        let mut value_syms: Vec<Symbol> = Vec::new();
+        for f in doc.nodes_with_tag(&pattern.filter) {
+            if let Some(&t) = doc.tree.children(f).first() {
+                let sym = doc.tree.label(t);
+                if !value_syms.contains(&sym) {
+                    value_syms.push(sym);
+                }
+            }
+        }
+        value_syms.sort_unstable();
+        assert!(value_syms.len() < 250, "too many distinct filter values");
+        let num_values = value_syms.len() as u8;
+        let item_level = (pattern.path.len() - 1) as u8;
+
+        let mut kind_of: HashMap<Symbol, Kind> = HashMap::new();
+        // Classify every symbol of the document.
+        for sym in 0..doc.alphabet.len() as Symbol {
+            let name = doc.alphabet.name(sym);
+            let kind = if let Some(v) = value_syms.iter().position(|&s| s == sym) {
+                Kind::TrackedText(v as u8)
+            } else if name.starts_with('#') {
+                Kind::OtherText
+            } else if name == pattern.filter {
+                Kind::Filter
+            } else if name == pattern.target {
+                Kind::Target
+            } else if let Some(level) = pattern.path.iter().position(|t| t == name) {
+                Kind::Level(level as u8)
+            } else {
+                Kind::OtherTag
+            };
+            kind_of.insert(sym, kind);
+        }
+
+        // Enumerate the M1 state space.
+        let mut m1_states = vec![M1::Dead, M1::Clean];
+        for b in [false, true] {
+            m1_states.push(M1::Text { b, val: None });
+            for v in 0..num_values {
+                m1_states.push(M1::Text { b, val: Some(v) });
+            }
+        }
+        for b_target in [false, true] {
+            m1_states.push(M1::Fields { b_target, fval: None });
+            for v in 0..num_values {
+                m1_states.push(M1::Fields { b_target, fval: Some(v) });
+            }
+        }
+        for level in 0..=item_level {
+            m1_states.push(M1::Chain { level, bv: None });
+            for v in 0..num_values {
+                m1_states.push(M1::Chain { level, bv: Some(v) });
+            }
+        }
+        let m1_ids = m1_states
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i as u32))
+            .collect();
+
+        PatternAutomaton {
+            kind_of,
+            m1_states,
+            m1_ids,
+            m2_count: num_values as u32 + 2,
+            num_values,
+            item_level,
+        }
+    }
+
+    /// Number of tracked filter values.
+    pub fn num_values(&self) -> u8 {
+        self.num_values
+    }
+
+    fn m2_decode(&self, id: u32) -> M2 {
+        match id {
+            0 => M2::NoA,
+            1 => M2::ADead,
+            v => M2::A((v - 2) as u8),
+        }
+    }
+
+    fn m2_encode(&self, m: M2) -> u32 {
+        match m {
+            M2::NoA => 0,
+            M2::ADead => 1,
+            M2::A(v) => v as u32 + 2,
+        }
+    }
+
+    fn decode(&self, q: State) -> Option<(M1, M2)> {
+        if q == STAR {
+            return None;
+        }
+        let m1 = self.m1_states[(q / self.m2_count) as usize];
+        let m2 = self.m2_decode(q % self.m2_count);
+        Some((m1, m2))
+    }
+
+    fn encode(&self, m1: M1, m2: M2) -> State {
+        self.m1_ids[&m1] * self.m2_count + self.m2_encode(m2)
+    }
+
+    /// Does this subtree summary contain the output pebble?
+    fn has_b(m: M1) -> bool {
+        matches!(
+            m,
+            M1::Text { b: true, .. }
+                | M1::Fields { b_target: true, .. }
+                | M1::Chain { bv: Some(_), .. }
+        )
+    }
+
+    /// Extracts the resolved validity (`bv`) of a sibling summary at item
+    /// level or above; unresolved pebbles kill the run.
+    fn bv_of(m: Option<M1>) -> Result<Option<u8>, ()> {
+        match m {
+            None | Some(M1::Clean) => Ok(None),
+            Some(M1::Chain { bv, .. }) => Ok(bv),
+            Some(M1::Text { b: false, .. }) | Some(M1::Fields { b_target: false, .. }) => Ok(None),
+            Some(M1::Dead) | Some(M1::Text { b: true, .. }) | Some(M1::Fields { b_target: true, .. }) => Err(()),
+        }
+    }
+
+    /// Merges two at-most-one-pebble validity values.
+    fn bv_merge(x: Option<u8>, y: Option<u8>) -> Result<Option<u8>, ()> {
+        match (x, y) {
+            (None, z) | (z, None) => Ok(z),
+            _ => Err(()), // two output pebbles cannot happen; be safe
+        }
+    }
+
+    /// Reads a following-sibling summary as field-chain content.
+    fn fields_of(m: Option<M1>) -> Result<(bool, Option<u8>), ()> {
+        match m {
+            None | Some(M1::Clean) => Ok((false, None)),
+            Some(M1::Fields { b_target, fval }) => Ok((b_target, fval)),
+            Some(M1::Text { b: false, .. }) => Ok((false, None)),
+            Some(M1::Chain { bv: None, .. }) => Ok((false, None)),
+            Some(M1::Dead)
+            | Some(M1::Text { b: true, .. })
+            | Some(M1::Chain { bv: Some(_), .. }) => Err(()),
+        }
+    }
+
+    fn step_m1(&self, l: Option<M1>, r: Option<M1>, kind: Kind, has_b: bool) -> M1 {
+        use M1::*;
+        if l == Some(Dead) || r == Some(Dead) {
+            return Dead;
+        }
+        match kind {
+            Kind::TrackedText(v) => {
+                // A text leaf; children are impossible, a right sibling
+                // means mixed content (unsupported -> reject any pebble
+                // through Dead, otherwise stay neutral).
+                if l.is_some() {
+                    return if Self::has_b_opt(l) || has_b { Dead } else { Clean };
+                }
+                match r {
+                    None => Text { b: has_b, val: Some(v) },
+                    Some(sib) => {
+                        if has_b || Self::has_b(sib) {
+                            Dead
+                        } else {
+                            // keep the sibling summary alive: a clean text
+                            // among fields contributes nothing
+                            sib
+                        }
+                    }
+                }
+            }
+            Kind::OtherText => {
+                if l.is_some() {
+                    return if Self::has_b_opt(l) || has_b { Dead } else { Clean };
+                }
+                match r {
+                    None => Text { b: has_b, val: None },
+                    Some(sib) => {
+                        if has_b || Self::has_b(sib) {
+                            Dead
+                        } else {
+                            sib
+                        }
+                    }
+                }
+            }
+            Kind::Filter => {
+                if has_b {
+                    return Dead; // b on the filter element itself
+                }
+                let val = match l {
+                    None => None,
+                    Some(Text { b: false, val }) => val,
+                    Some(other) => {
+                        if Self::has_b(other) {
+                            return Dead;
+                        }
+                        None
+                    }
+                };
+                match Self::fields_of(r) {
+                    Ok((b_target, fval)) => {
+                        Fields { b_target, fval: val.or(fval) }
+                    }
+                    Err(()) => Dead,
+                }
+            }
+            Kind::Target => {
+                if has_b {
+                    return Dead; // b must be on the text child, not the element
+                }
+                let b_here = match l {
+                    None => false,
+                    Some(Text { b, .. }) => b,
+                    Some(other) => {
+                        if Self::has_b(other) {
+                            return Dead;
+                        }
+                        false
+                    }
+                };
+                match Self::fields_of(r) {
+                    Ok((b_target, fval)) => {
+                        if b_here && b_target {
+                            Dead
+                        } else {
+                            Fields { b_target: b_here || b_target, fval }
+                        }
+                    }
+                    Err(()) => Dead,
+                }
+            }
+            Kind::Level(i) if i == self.item_level => {
+                if has_b {
+                    return Dead;
+                }
+                // children: the field chain of this item
+                let my_bv = match Self::fields_of(l) {
+                    Ok((true, Some(v))) => Some(v),
+                    Ok((true, None)) => return Dead, // b in target, no usable filter
+                    Ok((false, _)) => None,
+                    Err(()) => return Dead,
+                };
+                match (Self::bv_of(r), Self::bv_merge(my_bv, None)) {
+                    (Ok(sib_bv), _) => match Self::bv_merge(my_bv, sib_bv) {
+                        Ok(bv) => Chain { level: self.item_level, bv },
+                        Err(()) => Dead,
+                    },
+                    (Err(()), _) => Dead,
+                }
+            }
+            Kind::Level(i) => {
+                if has_b {
+                    return Dead;
+                }
+                // children must summarize level i+1 (or be neutral)
+                let child_bv = match l {
+                    None => None,
+                    Some(Chain { level, bv }) if level == i + 1 => bv,
+                    Some(other) => {
+                        if Self::has_b(other) {
+                            return Dead;
+                        }
+                        None
+                    }
+                };
+                let sib_bv = match Self::bv_of(r) {
+                    Ok(bv) => bv,
+                    Err(()) => return Dead,
+                };
+                // siblings at this level must be Chain{i} or neutral; a
+                // Chain of a different level with a pebble is Dead via
+                // bv_of? bv_of accepts any Chain level — a valid pebble
+                // deeper down bubbles up through exactly this path, so
+                // accepting any level here is sound for single-pebble runs.
+                match Self::bv_merge(child_bv, sib_bv) {
+                    Ok(bv) => Chain { level: i, bv },
+                    Err(()) => Dead,
+                }
+            }
+            Kind::OtherTag => {
+                if has_b || Self::has_b_opt(l) {
+                    return Dead;
+                }
+                // transparent: preserve the sibling summary
+                match r {
+                    None => Clean,
+                    Some(sib) => sib,
+                }
+            }
+        }
+    }
+
+    fn has_b_opt(m: Option<M1>) -> bool {
+        m.is_some_and(Self::has_b)
+    }
+
+    fn step_m2(&self, l: Option<M2>, r: Option<M2>, kind: Kind, has_a: bool) -> M2 {
+        let mine = if has_a {
+            match kind {
+                Kind::TrackedText(v) => M2::A(v),
+                _ => M2::ADead,
+            }
+        } else {
+            M2::NoA
+        };
+        let mut acc = M2::NoA;
+        for part in [l.unwrap_or(M2::NoA), r.unwrap_or(M2::NoA), mine] {
+            acc = match (acc, part) {
+                (M2::NoA, x) | (x, M2::NoA) => x,
+                _ => M2::ADead, // two pebbles: impossible, fail closed
+            };
+        }
+        acc
+    }
+}
+
+impl BottomUpAutomaton for PatternAutomaton {
+    fn num_states(&self) -> u32 {
+        self.m1_states.len() as u32 * self.m2_count
+    }
+
+    fn step(&self, ql: State, qr: State, sym: Symbol) -> State {
+        // Decode the pebbled symbol: 2 pebble bits (a = bit 0, b = bit 1).
+        let base = sym >> 2;
+        let has_a = sym & 0b01 != 0;
+        let has_b = sym & 0b10 != 0;
+        let kind = self.kind_of.get(&base).copied().unwrap_or(Kind::OtherTag);
+        let l = self.decode(ql);
+        let r = self.decode(qr);
+        let m1 = self.step_m1(l.map(|p| p.0), r.map(|p| p.0), kind, has_b);
+        let m2 = self.step_m2(l.map(|p| p.1), r.map(|p| p.1), kind, has_a);
+        self.encode(m1, m2)
+    }
+
+    fn is_accepting(&self, q: State) -> bool {
+        match self.decode(q) {
+            Some((M1::Chain { level: 0, bv: Some(v) }, M2::A(a))) => v == a,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xml::{example4_school, parse_xml};
+
+    fn school_query() -> PatternQuery {
+        PatternQuery::parse("school/student[firstname=$a]/exam").expect("parses")
+    }
+
+    #[test]
+    fn parse_shapes() {
+        let q = school_query();
+        assert_eq!(q.path, vec!["school", "student"]);
+        assert_eq!(q.filter, "firstname");
+        assert_eq!(q.target, "exam");
+        let deep = PatternQuery::parse("a/b/c[d=$x]/e").expect("parses");
+        assert_eq!(deep.path, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn parse_rejects_bad_shapes() {
+        assert!(PatternQuery::parse("onlyone").is_err());
+        assert!(PatternQuery::parse("a/b/c").is_err()); // no filter
+        assert!(PatternQuery::parse("a[f=$x]/b[g=$y]/c").is_err());
+        assert!(PatternQuery::parse("a/b[f=3]/c").is_err()); // literal filter
+    }
+
+    #[test]
+    fn example4_direct_evaluation() {
+        let doc = example4_school();
+        let q = school_query();
+        // parameter: a Robert firstname text node
+        let robert = doc.text_symbol("Robert").expect("present");
+        let a = doc
+            .tree
+            .preorder()
+            .into_iter()
+            .find(|&n| doc.tree.label(n) == robert)
+            .expect("robert node");
+        let answers = q.answer_set_unranked(&doc, a);
+        // both Robert students' exam texts: values 16 and 12
+        assert_eq!(answers.len(), 2);
+        let values: Vec<&str> = answers.iter().map(|&t| doc.text(t).expect("text")).collect();
+        assert_eq!(values, vec!["16", "12"]);
+    }
+
+    #[test]
+    fn example4_john_and_irrelevant_parameters() {
+        let doc = example4_school();
+        let q = school_query();
+        let john = doc.text_symbol("John").expect("present");
+        let a = doc
+            .tree
+            .preorder()
+            .into_iter()
+            .find(|&n| doc.tree.label(n) == john)
+            .expect("john node");
+        assert_eq!(q.answer_set_unranked(&doc, a).len(), 1);
+        // an exam value as parameter: no student has firstname "11"
+        let eleven = doc.text_symbol("11").expect("present");
+        let a2 = doc
+            .tree
+            .preorder()
+            .into_iter()
+            .find(|&n| doc.tree.label(n) == eleven)
+            .expect("11 node");
+        assert!(q.answer_set_unranked(&doc, a2).is_empty());
+        // an element node as parameter: empty
+        let student = doc.nodes_with_tag("student")[0];
+        assert!(q.answer_set_unranked(&doc, student).is_empty());
+    }
+
+    #[test]
+    fn compiled_matches_direct_on_example4() {
+        let doc = example4_school();
+        let q = school_query();
+        let compiled = q.compile(&doc);
+        let binary = doc.tree.to_binary();
+        for a in 0..doc.tree.len() as NodeId {
+            let direct = q.answer_set_unranked(&doc, a);
+            let auto = compiled.answer_set(&binary, &[a]);
+            assert_eq!(direct, auto, "parameter node {a}");
+        }
+    }
+
+    #[test]
+    fn compiled_matches_direct_on_messier_document() {
+        // unknown tags, empty students, missing filters, extra text
+        let doc = parse_xml(
+            r#"<school>
+                 <note>term 1</note>
+                 <student>
+                   <lastname>X</lastname>
+                   <exam>7</exam>
+                 </student>
+                 <student>
+                   <firstname>Ana</firstname>
+                   <exam>9</exam>
+                   <exam>10</exam>
+                 </student>
+                 <student>
+                   <firstname>Bob</firstname>
+                 </student>
+                 <student>
+                   <firstname>Ana</firstname>
+                   <hobby>chess</hobby>
+                   <exam>3</exam>
+                 </student>
+               </school>"#,
+        )
+        .expect("parses");
+        let q = school_query();
+        let compiled = q.compile(&doc);
+        let binary = doc.tree.to_binary();
+        for a in 0..doc.tree.len() as NodeId {
+            let direct = q.answer_set_unranked(&doc, a);
+            let auto = compiled.answer_set(&binary, &[a]);
+            assert_eq!(direct, auto, "parameter node {a}");
+        }
+        // Ana has three exams across two students: 9, 10, 3.
+        let ana = doc.text_symbol("Ana").expect("present");
+        let a = doc
+            .tree
+            .preorder()
+            .into_iter()
+            .find(|&n| doc.tree.label(n) == ana)
+            .expect("ana node");
+        assert_eq!(q.answer_set_unranked(&doc, a).len(), 3);
+    }
+
+    #[test]
+    fn attribute_filters_work_unchanged() {
+        // attributes parse to `@name` children with a text child, so a
+        // filter tag of `@cat` needs no special handling anywhere.
+        let doc = parse_xml(
+            r#"<shop>
+                 <item cat="tools"><price>5</price></item>
+                 <item cat="toys"><price>9</price></item>
+                 <item cat="tools"><price>7</price></item>
+               </shop>"#,
+        )
+        .expect("parses");
+        let q = PatternQuery::parse("shop/item[@cat=$a]/price").expect("parses");
+        assert_eq!(q.filter, "@cat");
+        let tools = doc.text_symbol("tools").expect("present");
+        let a = doc
+            .tree
+            .preorder()
+            .into_iter()
+            .find(|&n| doc.tree.label(n) == tools)
+            .expect("tools node");
+        let direct = q.answer_set_unranked(&doc, a);
+        assert_eq!(direct.len(), 2);
+        let values: Vec<&str> = direct.iter().map(|&t| doc.text(t).expect("text")).collect();
+        assert_eq!(values, vec!["5", "7"]);
+        // and the compiled automaton agrees on every parameter
+        let compiled = q.compile(&doc);
+        let binary = doc.tree.to_binary();
+        for node in 0..doc.tree.len() as NodeId {
+            assert_eq!(
+                q.answer_set_unranked(&doc, node),
+                compiled.answer_set(&binary, &[node]),
+                "parameter {node}"
+            );
+        }
+    }
+
+    #[test]
+    fn automaton_state_count_is_modest() {
+        let doc = example4_school();
+        let q = school_query();
+        let compiled = q.compile(&doc);
+        // 2 tracked values (John, Robert): the product must stay small.
+        assert_eq!(compiled.automaton().num_values(), 2);
+        assert!(compiled.automaton().num_states() < 200);
+    }
+}

@@ -1,0 +1,424 @@
+//! Pebbled alphabets `Σ_{k+s}` and parametric automaton queries.
+//!
+//! A `Σ_{k+s}`-tree automaton defines the s-ary query with k parameters
+//! `B(ā, T) = {b̄ : B accepts T_{āb̄}}` where `T_{āb̄}` relabels each node
+//! with its base symbol plus one bit per pebble. We encode the extended
+//! symbol as `base · 2^(k+s) + bits`, parameter pebbles in the low `k`
+//! bits, output pebbles above them.
+//!
+//! Evaluation is incremental: placing the output pebble at `b` only
+//! changes automaton states on the path from `b` to the root, so after one
+//! `O(n)` base run per parameter tuple, each candidate output costs
+//! `O(depth)` ([`Overlay`]).
+
+use crate::automaton::{BottomUpAutomaton, State, TreeAutomaton, STAR};
+use crate::tree::{BinaryTree, NodeId, Symbol};
+use std::collections::HashMap;
+
+/// Encodes an extended symbol: `base` with pebble `bits` (bit i = pebble
+/// i present), for `k_plus_s` pebbles total.
+pub fn pebbled_symbol(base: Symbol, bits: u32, k_plus_s: u32) -> Symbol {
+    debug_assert!(bits < (1 << k_plus_s));
+    (base << k_plus_s) | bits
+}
+
+/// Recomputes automaton states under point overrides without rerunning
+/// the whole tree.
+///
+/// Given a base run (states for a fixed labeling), `Overlay` answers
+/// "what would the state at `target` be if these nodes had different
+/// labels / these nodes' states were forced": only ancestors of the
+/// overridden nodes are recomputed.
+pub struct Overlay<'a, A: BottomUpAutomaton + ?Sized> {
+    automaton: &'a A,
+    tree: &'a BinaryTree,
+    base_states: &'a [State],
+    label_overrides: HashMap<NodeId, Symbol>,
+    state_overrides: HashMap<NodeId, State>,
+    /// base labels, needed to recompute dirty non-overridden nodes.
+    base_label: &'a dyn Fn(NodeId) -> Symbol,
+}
+
+impl<'a, A: BottomUpAutomaton + ?Sized> Overlay<'a, A> {
+    /// Creates an overlay over a base run.
+    pub fn new(
+        automaton: &'a A,
+        tree: &'a BinaryTree,
+        base_states: &'a [State],
+        base_label: &'a dyn Fn(NodeId) -> Symbol,
+    ) -> Self {
+        Overlay {
+            automaton,
+            tree,
+            base_states,
+            label_overrides: HashMap::new(),
+            state_overrides: HashMap::new(),
+            base_label,
+        }
+    }
+
+    /// Overrides the label of `node`.
+    pub fn set_label(&mut self, node: NodeId, sym: Symbol) -> &mut Self {
+        self.label_overrides.insert(node, sym);
+        self
+    }
+
+    /// Forces the state of `node` (used by the tree scheme to explore
+    /// "entering state" behaviour below a region boundary).
+    pub fn set_state(&mut self, node: NodeId, state: State) -> &mut Self {
+        self.state_overrides.insert(node, state);
+        self
+    }
+
+    /// State at `target` under the overrides.
+    pub fn state_at(&self, target: NodeId) -> State {
+        // Dirty nodes: every ancestor-or-self of an override.
+        let mut dirty: HashMap<NodeId, ()> = HashMap::new();
+        for &n in self.label_overrides.keys().chain(self.state_overrides.keys()) {
+            let mut cur = Some(n);
+            while let Some(c) = cur {
+                if dirty.insert(c, ()).is_some() {
+                    break; // path already marked
+                }
+                cur = self.tree.parent(c);
+            }
+        }
+        self.eval(target, &dirty)
+    }
+
+    fn eval(&self, node: NodeId, dirty: &HashMap<NodeId, ()>) -> State {
+        if let Some(&s) = self.state_overrides.get(&node) {
+            return s;
+        }
+        if !dirty.contains_key(&node) {
+            return self.base_states[node as usize];
+        }
+        let ql = self.tree.left(node).map_or(STAR, |l| self.eval(l, dirty));
+        let qr = self.tree.right(node).map_or(STAR, |r| self.eval(r, dirty));
+        let sym = self
+            .label_overrides
+            .get(&node)
+            .copied()
+            .unwrap_or_else(|| (self.base_label)(node));
+        self.automaton.step(ql, qr, sym)
+    }
+}
+
+/// A parametric query defined by a `Σ_{k+s}`-tree automaton.
+///
+/// Currently `s = 1` (single output pebble) — the arity the paper's tree
+/// scheme (Lemma 3 / Theorem 5) is proved for; Theorem 5's generalization
+/// to larger `s` goes through the same randomized argument as the local
+/// scheme and is not needed by any experiment.
+#[derive(Debug, Clone)]
+pub struct PebbledQuery<A: BottomUpAutomaton = TreeAutomaton> {
+    automaton: A,
+    k: u32,
+}
+
+impl<A: BottomUpAutomaton> PebbledQuery<A> {
+    /// Wraps an automaton over the pebbled alphabet with `k` parameter
+    /// pebbles and one output pebble.
+    pub fn new(automaton: A, k: u32) -> Self {
+        PebbledQuery { automaton, k }
+    }
+
+    /// The underlying automaton.
+    pub fn automaton(&self) -> &A {
+        &self.automaton
+    }
+
+    /// Number of parameter pebbles `k`.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Total pebble count `k + s` (s = 1).
+    pub fn pebbles(&self) -> u32 {
+        self.k + 1
+    }
+
+    /// The pebbled label of `node` with parameters at `params` and the
+    /// output pebble optionally at `output`.
+    pub fn label(
+        &self,
+        tree: &BinaryTree,
+        node: NodeId,
+        params: &[NodeId],
+        output: Option<NodeId>,
+    ) -> Symbol {
+        let mut bits = 0u32;
+        for (i, &p) in params.iter().enumerate() {
+            if p == node {
+                bits |= 1 << i;
+            }
+        }
+        if output == Some(node) {
+            bits |= 1 << self.k;
+        }
+        pebbled_symbol(tree.label(node), bits, self.pebbles())
+    }
+
+    /// Runs the automaton on `T_ā` (parameters placed, no output pebble),
+    /// returning all node states.
+    pub fn base_run(&self, tree: &BinaryTree, params: &[NodeId]) -> Vec<State> {
+        assert_eq!(params.len(), self.k as usize, "parameter arity mismatch");
+        self.automaton
+            .run_with_labels(tree, &mut |n| self.label(tree, n, params, None))
+    }
+
+    /// The label of `node` with *no* pebbles placed at all (used by the
+    /// tree scheme, which reasons about runs independent of the
+    /// parameter's position).
+    pub fn free_label(&self, tree: &BinaryTree, node: NodeId) -> Symbol {
+        self.label(tree, node, &[], None)
+    }
+
+    /// The label of `node` carrying only the output pebble.
+    pub fn output_label(&self, tree: &BinaryTree, node: NodeId) -> Symbol {
+        self.label(tree, node, &[], Some(node))
+    }
+
+    /// Runs the automaton with no pebbles placed.
+    pub fn base_run_free(&self, tree: &BinaryTree) -> Vec<State> {
+        self.automaton
+            .run_with_labels(tree, &mut |n| self.free_label(tree, n))
+    }
+
+    /// Does `B` accept `T_{āb}`?
+    pub fn accepts(&self, tree: &BinaryTree, params: &[NodeId], output: NodeId) -> bool {
+        self.automaton
+            .accepts_with_labels(tree, &mut |n| self.label(tree, n, params, Some(output)))
+    }
+
+    /// The answer set `B(ā, T) = {b : B accepts T_{āb}}`, sorted.
+    ///
+    /// `O(n·m)`: one bottom-up base run for `ā`, then one top-down pass
+    /// computing, per node, the *context acceptance vector* — whether the
+    /// root would accept if this node were in state `q` with everything
+    /// else unchanged. A candidate `b` is in the answer set iff its
+    /// context accepts the state its pebbled relabeling produces.
+    pub fn answer_set(&self, tree: &BinaryTree, params: &[NodeId]) -> Vec<NodeId> {
+        let base_states = self.base_run(tree, params);
+        let m = self.automaton.num_states() as usize;
+        let n = tree.len();
+        // acc[v][q] = does the root accept if v's state were q?
+        let mut acc: Vec<Vec<bool>> = vec![Vec::new(); n];
+        let root = tree.root();
+        acc[root as usize] = (0..m as State).map(|q| self.automaton.is_accepting(q)).collect();
+        // parents before children: reverse postorder
+        let mut order = tree.postorder();
+        order.reverse();
+        for &v in &order {
+            let label_v = self.label(tree, v, params, None);
+            let acc_v = std::mem::take(&mut acc[v as usize]);
+            let left = tree.left(v);
+            let right = tree.right(v);
+            if let Some(l) = left {
+                let qr = right.map_or(STAR, |r| base_states[r as usize]);
+                acc[l as usize] = (0..m as State)
+                    .map(|q| acc_v[self.automaton.step(q, qr, label_v) as usize])
+                    .collect();
+            }
+            if let Some(r) = right {
+                let ql = left.map_or(STAR, |l| base_states[l as usize]);
+                acc[r as usize] = (0..m as State)
+                    .map(|q| acc_v[self.automaton.step(ql, q, label_v) as usize])
+                    .collect();
+            }
+            acc[v as usize] = acc_v;
+        }
+        let mut out = Vec::new();
+        for b in 0..n as NodeId {
+            let ql = tree.left(b).map_or(STAR, |l| base_states[l as usize]);
+            let qr = tree.right(b).map_or(STAR, |r| base_states[r as usize]);
+            let pebbled = self.automaton.step(ql, qr, self.label(tree, b, params, Some(b)));
+            if acc[b as usize][pebbled as usize] {
+                out.push(b);
+            }
+        }
+        out
+    }
+
+    /// Answer sets for every parameter tuple in `T^k` (row-major
+    /// odometer). `k = 0` yields the single empty-parameter answer.
+    pub fn all_answer_sets(&self, tree: &BinaryTree) -> Vec<(Vec<NodeId>, Vec<NodeId>)> {
+        let n = tree.len() as NodeId;
+        if self.k == 0 {
+            return vec![(Vec::new(), self.answer_set(tree, &[]))];
+        }
+        let mut out = Vec::new();
+        let mut params = vec![0 as NodeId; self.k as usize];
+        loop {
+            out.push((params.clone(), self.answer_set(tree, &params)));
+            let mut i = params.len();
+            loop {
+                if i == 0 {
+                    return out;
+                }
+                i -= 1;
+                params[i] += 1;
+                if params[i] < n {
+                    break;
+                }
+                params[i] = 0;
+            }
+        }
+    }
+
+    /// The active weights `W = ∪_ā W_ā`, sorted.
+    pub fn active_universe(&self, tree: &BinaryTree) -> Vec<NodeId> {
+        let mut active = vec![false; tree.len()];
+        for (_, set) in self.all_answer_sets(tree) {
+            for b in set {
+                active[b as usize] = true;
+            }
+        }
+        (0..tree.len() as NodeId).filter(|&b| active[b as usize]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::{TreeAutomaton, STAR};
+    use crate::tree::BinaryTree;
+
+    /// Base alphabet {0, 1}; k = 1. Query: "output pebble sits on a node
+    /// with base label 1, anywhere relative to the parameter".
+    /// States: 0 = not seen, 1 = seen output-pebble-on-1. Encoded symbols:
+    /// base << 2 | bits with bit0 = param, bit1 = output.
+    fn on_one_query() -> PebbledQuery {
+        let mut a = TreeAutomaton::new(2, 0);
+        for base in [0u32, 1] {
+            for bits in 0..4u32 {
+                let sym = pebbled_symbol(base, bits, 2);
+                let hit = base == 1 && bits & 0b10 != 0;
+                for ql in [STAR, 0, 1] {
+                    for qr in [STAR, 0, 1] {
+                        let seen = hit || ql == 1 || qr == 1;
+                        a.add_transition(ql, qr, sym, u32::from(seen));
+                    }
+                }
+            }
+        }
+        a.set_accepting(1, true);
+        PebbledQuery::new(a, 1)
+    }
+
+    fn sample() -> BinaryTree {
+        // labels:    0
+        //           / \
+        //          1   0
+        //         / \    \
+        //        0   1    1
+        BinaryTree::from_triples(
+            &[
+                (0, Some(1), Some(2)),
+                (1, Some(3), Some(4)),
+                (0, None, Some(5)),
+                (0, None, None),
+                (1, None, None),
+                (1, None, None),
+            ],
+            0,
+        )
+    }
+
+    #[test]
+    fn answer_set_finds_label_one_nodes() {
+        let q = on_one_query();
+        let t = sample();
+        // nodes with base label 1: 1, 4, 5 — independent of the parameter.
+        for a in 0..6 {
+            assert_eq!(q.answer_set(&t, &[a]), vec![1, 4, 5], "param {a}");
+        }
+    }
+
+    #[test]
+    fn answer_set_matches_naive_acceptance() {
+        let q = on_one_query();
+        let t = sample();
+        for a in 0..6 {
+            for b in 0..6 {
+                let fast = q.answer_set(&t, &[a]).contains(&b);
+                let slow = q.accepts(&t, &[a], b);
+                assert_eq!(fast, slow, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_answer_sets_covers_domain() {
+        let q = on_one_query();
+        let t = sample();
+        let all = q.all_answer_sets(&t);
+        assert_eq!(all.len(), 6);
+        assert_eq!(q.active_universe(&t), vec![1, 4, 5]);
+    }
+
+    #[test]
+    fn overlay_matches_full_rerun() {
+        let q = on_one_query();
+        let t = sample();
+        let base = q.base_run(&t, &[2]);
+        let label_of = |n: NodeId| q.label(&t, n, &[2], None);
+        for b in 0..6 {
+            let mut ov = Overlay::new(q.automaton(), &t, &base, &label_of);
+            ov.set_label(b, q.label(&t, b, &[2], Some(b)));
+            let overlay_state = ov.state_at(t.root());
+            let full = q
+                .automaton()
+                .run_with(&t, |n| q.label(&t, n, &[2], Some(b)));
+            assert_eq!(overlay_state, full[t.root() as usize], "b={b}");
+        }
+    }
+
+    #[test]
+    fn overlay_state_override_propagates() {
+        let q = on_one_query();
+        let t = sample();
+        let base = q.base_run(&t, &[0]);
+        let label_of = |n: NodeId| q.label(&t, n, &[0], None);
+        // Force node 1's state to "seen": root must become seen.
+        let mut ov = Overlay::new(q.automaton(), &t, &base, &label_of);
+        ov.set_state(1, 1);
+        assert_eq!(ov.state_at(t.root()), 1);
+        // Forcing to "not seen" keeps root not-seen (no other 1-pebble).
+        let mut ov2 = Overlay::new(q.automaton(), &t, &base, &label_of);
+        ov2.set_state(1, 0);
+        assert_eq!(ov2.state_at(t.root()), 0);
+    }
+
+    #[test]
+    fn pebbled_symbol_encoding() {
+        assert_eq!(pebbled_symbol(0, 0, 2), 0);
+        assert_eq!(pebbled_symbol(1, 0, 2), 4);
+        assert_eq!(pebbled_symbol(1, 3, 2), 7);
+        assert_eq!(pebbled_symbol(2, 1, 1), 5);
+    }
+
+    #[test]
+    fn zero_parameter_queries() {
+        // k = 0: single parameter tuple (empty).
+        let mut a = TreeAutomaton::new(2, 0);
+        for base in [0u32, 1] {
+            for bits in 0..2u32 {
+                let sym = pebbled_symbol(base, bits, 1);
+                let hit = base == 1 && bits & 1 != 0;
+                for ql in [STAR, 0, 1] {
+                    for qr in [STAR, 0, 1] {
+                        let seen = hit || ql == 1 || qr == 1;
+                        a.add_transition(ql, qr, sym, u32::from(seen));
+                    }
+                }
+            }
+        }
+        a.set_accepting(1, true);
+        let q = PebbledQuery::new(a, 0);
+        let t = sample();
+        let all = q.all_answer_sets(&t);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].1, vec![1, 4, 5]);
+    }
+}

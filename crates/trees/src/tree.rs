@@ -1,0 +1,467 @@
+//! Binary Σ-trees.
+//!
+//! A binary tree is the `{S₁, S₂, ⪯}`-structure of the paper: nodes with
+//! optional left/right children, the tree order `⪯` (ancestor relation),
+//! and a labeling `σ : T → Σ`. Labels are interned symbols from an
+//! [`Alphabet`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A node identifier (dense index into the tree's node arena).
+pub type NodeId = u32;
+
+/// A symbol of the finite alphabet Σ (interned index).
+pub type Symbol = u32;
+
+/// An interning table for alphabet symbols.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Alphabet {
+    names: Vec<String>,
+    index: HashMap<String, Symbol>,
+}
+
+impl Alphabet {
+    /// An empty alphabet.
+    pub fn new() -> Self {
+        Alphabet::default()
+    }
+
+    /// Interns `name`, returning its symbol (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&s) = self.index.get(name) {
+            return s;
+        }
+        let s = self.names.len() as Symbol;
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), s);
+        s
+    }
+
+    /// Looks a symbol up without interning.
+    pub fn get(&self, name: &str) -> Option<Symbol> {
+        self.index.get(name).copied()
+    }
+
+    /// The name of a symbol.
+    pub fn name(&self, s: Symbol) -> &str {
+        &self.names[s as usize]
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no symbol was interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Node {
+    label: Symbol,
+    left: Option<NodeId>,
+    right: Option<NodeId>,
+    parent: Option<NodeId>,
+}
+
+/// An ordered binary tree with labeled nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinaryTree {
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+impl BinaryTree {
+    /// Creates a tree with a single root labeled `label`.
+    pub fn leaf(label: Symbol) -> Self {
+        BinaryTree {
+            nodes: vec![Node { label, left: None, right: None, parent: None }],
+            root: 0,
+        }
+    }
+
+    /// Builds a tree from `(label, left, right)` triples where children are
+    /// indices into the same slice; entry `root` is the root.
+    ///
+    /// # Panics
+    /// Panics if the description is not a tree (dangling indices, child
+    /// shared by two parents, root with a parent).
+    pub fn from_triples(triples: &[(Symbol, Option<u32>, Option<u32>)], root: u32) -> Self {
+        let n = triples.len();
+        let mut nodes: Vec<Node> = triples
+            .iter()
+            .map(|&(label, left, right)| Node { label, left, right, parent: None })
+            .collect();
+        for (i, &(_, l, r)) in triples.iter().enumerate() {
+            for child in [l, r].into_iter().flatten() {
+                assert!((child as usize) < n, "dangling child index {child}");
+                assert!(
+                    nodes[child as usize].parent.is_none(),
+                    "node {child} has two parents"
+                );
+                nodes[child as usize].parent = Some(i as u32);
+            }
+        }
+        assert!((root as usize) < n, "dangling root");
+        assert!(nodes[root as usize].parent.is_none(), "root has a parent");
+        let tree = BinaryTree { nodes, root };
+        debug_assert_eq!(tree.postorder().len(), n, "disconnected nodes");
+        tree
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for the (impossible) empty tree; trees always have a root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Label of `node`.
+    pub fn label(&self, node: NodeId) -> Symbol {
+        self.nodes[node as usize].label
+    }
+
+    /// Left child (`S₁`).
+    pub fn left(&self, node: NodeId) -> Option<NodeId> {
+        self.nodes[node as usize].left
+    }
+
+    /// Right child (`S₂`).
+    pub fn right(&self, node: NodeId) -> Option<NodeId> {
+        self.nodes[node as usize].right
+    }
+
+    /// Parent node.
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.nodes[node as usize].parent
+    }
+
+    /// Is `node` a leaf?
+    pub fn is_leaf(&self, node: NodeId) -> bool {
+        self.left(node).is_none() && self.right(node).is_none()
+    }
+
+    /// All nodes in postorder (children before parents) — the evaluation
+    /// order of bottom-up automata.
+    pub fn postorder(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        // iterative postorder with explicit state
+        let mut stack: Vec<(NodeId, u8)> = vec![(self.root, 0)];
+        while let Some((node, phase)) = stack.pop() {
+            match phase {
+                0 => {
+                    stack.push((node, 1));
+                    if let Some(r) = self.right(node) {
+                        stack.push((r, 0));
+                    }
+                    if let Some(l) = self.left(node) {
+                        stack.push((l, 0));
+                    }
+                }
+                _ => out.push(node),
+            }
+        }
+        out
+    }
+
+    /// The tree order `⪯`: is `anc` an ancestor of (or equal to) `node`?
+    pub fn is_ancestor(&self, anc: NodeId, node: NodeId) -> bool {
+        let mut cur = Some(node);
+        while let Some(c) = cur {
+            if c == anc {
+                return true;
+            }
+            cur = self.parent(c);
+        }
+        false
+    }
+
+    /// Depth of `node` (root = 0).
+    pub fn depth(&self, node: NodeId) -> u32 {
+        let mut d = 0;
+        let mut cur = node;
+        while let Some(p) = self.parent(cur) {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Lowest common ancestor of a non-empty set of nodes.
+    ///
+    /// # Panics
+    /// Panics on an empty slice.
+    pub fn lca(&self, nodes: &[NodeId]) -> NodeId {
+        assert!(!nodes.is_empty(), "lca of empty set");
+        let mut acc = nodes[0];
+        for &n in &nodes[1..] {
+            acc = self.lca2(acc, n);
+        }
+        acc
+    }
+
+    fn lca2(&self, a: NodeId, b: NodeId) -> NodeId {
+        let (mut a, mut b) = (a, b);
+        let (mut da, mut db) = (self.depth(a), self.depth(b));
+        while da > db {
+            a = self.parent(a).expect("depth accounting");
+            da -= 1;
+        }
+        while db > da {
+            b = self.parent(b).expect("depth accounting");
+            db -= 1;
+        }
+        while a != b {
+            a = self.parent(a).expect("common root exists");
+            b = self.parent(b).expect("common root exists");
+        }
+        a
+    }
+
+    /// Nodes of the subtree rooted at `node`, in postorder.
+    pub fn subtree(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack: Vec<(NodeId, u8)> = vec![(node, 0)];
+        while let Some((n, phase)) = stack.pop() {
+            match phase {
+                0 => {
+                    stack.push((n, 1));
+                    if let Some(r) = self.right(n) {
+                        stack.push((r, 0));
+                    }
+                    if let Some(l) = self.left(n) {
+                        stack.push((l, 0));
+                    }
+                }
+                _ => out.push(n),
+            }
+        }
+        out
+    }
+
+    /// Size of the subtree rooted at each node (indexed by `NodeId`).
+    pub fn subtree_sizes(&self) -> Vec<u32> {
+        let mut sizes = vec![1u32; self.nodes.len()];
+        for node in self.postorder() {
+            let mut total = 1;
+            if let Some(l) = self.left(node) {
+                total += sizes[l as usize];
+            }
+            if let Some(r) = self.right(node) {
+                total += sizes[r as usize];
+            }
+            sizes[node as usize] = total;
+        }
+        sizes
+    }
+
+    /// Maximum depth over all nodes.
+    pub fn height(&self) -> u32 {
+        (0..self.nodes.len() as u32).map(|n| self.depth(n)).max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for BinaryTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn rec(t: &BinaryTree, n: NodeId, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{}", t.label(n))?;
+            if t.left(n).is_some() || t.right(n).is_some() {
+                write!(f, "(")?;
+                match t.left(n) {
+                    Some(l) => rec(t, l, f)?,
+                    None => write!(f, "·")?,
+                }
+                write!(f, ",")?;
+                match t.right(n) {
+                    Some(r) => rec(t, r, f)?,
+                    None => write!(f, "·")?,
+                }
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        rec(self, self.root, f)
+    }
+}
+
+/// A builder assembling a binary tree top-down.
+#[derive(Debug, Default)]
+pub struct TreeBuilder {
+    nodes: Vec<Node>,
+}
+
+impl TreeBuilder {
+    /// Starts an empty builder.
+    pub fn new() -> Self {
+        TreeBuilder::default()
+    }
+
+    /// Adds a root or detached node; attach it later via
+    /// [`TreeBuilder::set_left`]/[`TreeBuilder::set_right`].
+    pub fn add_node(&mut self, label: Symbol) -> NodeId {
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(Node { label, left: None, right: None, parent: None });
+        id
+    }
+
+    /// Makes `child` the left child of `parent`.
+    ///
+    /// # Panics
+    /// Panics if the slot is taken or the child already has a parent.
+    pub fn set_left(&mut self, parent: NodeId, child: NodeId) {
+        assert!(self.nodes[parent as usize].left.is_none(), "left slot taken");
+        assert!(self.nodes[child as usize].parent.is_none(), "child reattached");
+        self.nodes[parent as usize].left = Some(child);
+        self.nodes[child as usize].parent = Some(parent);
+    }
+
+    /// Makes `child` the right child of `parent`.
+    ///
+    /// # Panics
+    /// Panics if the slot is taken or the child already has a parent.
+    pub fn set_right(&mut self, parent: NodeId, child: NodeId) {
+        assert!(self.nodes[parent as usize].right.is_none(), "right slot taken");
+        assert!(self.nodes[child as usize].parent.is_none(), "child reattached");
+        self.nodes[parent as usize].right = Some(child);
+        self.nodes[child as usize].parent = Some(parent);
+    }
+
+    /// Finalizes with `root` as the root.
+    ///
+    /// # Panics
+    /// Panics if `root` has a parent or any node is unreachable.
+    pub fn build(self, root: NodeId) -> BinaryTree {
+        assert!(self.nodes[root as usize].parent.is_none(), "root has a parent");
+        let tree = BinaryTree { nodes: self.nodes, root };
+        assert_eq!(tree.postorder().len(), tree.len(), "unreachable nodes");
+        tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small fixed tree:
+    /// ```text
+    ///        0
+    ///       / \
+    ///      1   2
+    ///     / \    \
+    ///    3   4    5
+    /// ```
+    fn sample() -> BinaryTree {
+        BinaryTree::from_triples(
+            &[
+                (0, Some(1), Some(2)),
+                (1, Some(3), Some(4)),
+                (2, None, Some(5)),
+                (3, None, None),
+                (4, None, None),
+                (5, None, None),
+            ],
+            0,
+        )
+    }
+
+    #[test]
+    fn alphabet_interning() {
+        let mut a = Alphabet::new();
+        let x = a.intern("school");
+        let y = a.intern("student");
+        assert_ne!(x, y);
+        assert_eq!(a.intern("school"), x);
+        assert_eq!(a.name(y), "student");
+        assert_eq!(a.get("nope"), None);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn structure_accessors() {
+        let t = sample();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.root(), 0);
+        assert_eq!(t.left(0), Some(1));
+        assert_eq!(t.right(2), Some(5));
+        assert_eq!(t.parent(5), Some(2));
+        assert!(t.is_leaf(3));
+        assert!(!t.is_leaf(1));
+    }
+
+    #[test]
+    fn postorder_children_first() {
+        let t = sample();
+        let order = t.postorder();
+        assert_eq!(order, vec![3, 4, 1, 5, 2, 0]);
+    }
+
+    #[test]
+    fn ancestor_and_depth() {
+        let t = sample();
+        assert!(t.is_ancestor(0, 5));
+        assert!(t.is_ancestor(1, 4));
+        assert!(!t.is_ancestor(1, 5));
+        assert!(t.is_ancestor(3, 3));
+        assert_eq!(t.depth(0), 0);
+        assert_eq!(t.depth(5), 2);
+        assert_eq!(t.height(), 2);
+    }
+
+    #[test]
+    fn lca_pairs_and_sets() {
+        let t = sample();
+        assert_eq!(t.lca(&[3, 4]), 1);
+        assert_eq!(t.lca(&[3, 5]), 0);
+        assert_eq!(t.lca(&[4]), 4);
+        assert_eq!(t.lca(&[3, 4, 5]), 0);
+        assert_eq!(t.lca(&[1, 3]), 1);
+    }
+
+    #[test]
+    fn subtree_and_sizes() {
+        let t = sample();
+        assert_eq!(t.subtree(1), vec![3, 4, 1]);
+        let sizes = t.subtree_sizes();
+        assert_eq!(sizes[0], 6);
+        assert_eq!(sizes[1], 3);
+        assert_eq!(sizes[2], 2);
+        assert_eq!(sizes[3], 1);
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let mut b = TreeBuilder::new();
+        let root = b.add_node(7);
+        let l = b.add_node(8);
+        b.set_left(root, l);
+        let t = b.build(root);
+        assert_eq!(t.label(t.root()), 7);
+        assert_eq!(t.left(t.root()), Some(l));
+    }
+
+    #[test]
+    #[should_panic(expected = "two parents")]
+    fn shared_child_rejected() {
+        let _ = BinaryTree::from_triples(
+            &[(0, Some(2), None), (1, Some(2), None), (2, None, None)],
+            0,
+        );
+    }
+
+    #[test]
+    fn display_renders() {
+        let t = sample();
+        assert_eq!(t.to_string(), "0(1(3,4),2(·,5))");
+    }
+}

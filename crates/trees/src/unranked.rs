@@ -1,0 +1,227 @@
+//! Unranked labeled trees and their binary encoding.
+//!
+//! XML documents are unranked (a node has any number of ordered children);
+//! the paper handles them by encoding into binary trees (citing
+//! Milo–Suciu–Vianu). We use the standard first-child / next-sibling
+//! encoding: in the binary image, the left child is the first child and
+//! the right child is the next sibling. The encoding is a bijection on
+//! node sets, so weights and query answers transfer verbatim.
+
+use crate::tree::{BinaryTree, NodeId, Symbol, TreeBuilder};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct UNode {
+    label: Symbol,
+    children: Vec<NodeId>,
+    parent: Option<NodeId>,
+}
+
+/// An ordered unranked labeled tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnrankedTree {
+    nodes: Vec<UNode>,
+    root: NodeId,
+}
+
+impl UnrankedTree {
+    /// Creates a tree with a single root.
+    pub fn new(root_label: Symbol) -> Self {
+        UnrankedTree {
+            nodes: vec![UNode { label: root_label, children: Vec::new(), parent: None }],
+            root: 0,
+        }
+    }
+
+    /// Appends a child to `parent`, returning the new node.
+    pub fn add_child(&mut self, parent: NodeId, label: Symbol) -> NodeId {
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(UNode { label, children: Vec::new(), parent: Some(parent) });
+        self.nodes[parent as usize].children.push(id);
+        id
+    }
+
+    /// The root.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the tree is only a root (never fully empty).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Label of `node`.
+    pub fn label(&self, node: NodeId) -> Symbol {
+        self.nodes[node as usize].label
+    }
+
+    /// Ordered children of `node`.
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        &self.nodes[node as usize].children
+    }
+
+    /// Parent of `node`.
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.nodes[node as usize].parent
+    }
+
+    /// Preorder traversal (document order).
+    pub fn preorder(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            for &c in self.nodes[n as usize].children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// First-child / next-sibling binary encoding.
+    ///
+    /// Node ids are preserved: unranked node `i` becomes binary node `i`,
+    /// so weights assigned to unranked nodes carry over unchanged.
+    pub fn to_binary(&self) -> BinaryTree {
+        let mut b = TreeBuilder::new();
+        for node in &self.nodes {
+            b.add_node(node.label);
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            let i = i as NodeId;
+            if let Some(&first) = node.children.first() {
+                b.set_left(i, first);
+            }
+            for pair in node.children.windows(2) {
+                b.set_right(pair[0], pair[1]);
+            }
+        }
+        b.build(self.root)
+    }
+}
+
+/// Decodes a first-child / next-sibling binary tree back into an unranked
+/// tree (inverse of [`UnrankedTree::to_binary`]; node ids are preserved).
+///
+/// # Panics
+/// Panics if the binary tree's root has a right child (not a valid
+/// encoding).
+pub fn from_binary(tree: &BinaryTree) -> UnrankedTree {
+    assert!(
+        tree.right(tree.root()).is_none(),
+        "not a first-child/next-sibling encoding: root has a sibling"
+    );
+    let n = tree.len();
+    let mut nodes: Vec<UNode> = (0..n)
+        .map(|i| UNode { label: tree.label(i as NodeId), children: Vec::new(), parent: None })
+        .collect();
+    fn attach(tree: &BinaryTree, nodes: &mut [UNode], parent: NodeId, first: NodeId) {
+        let mut cur = Some(first);
+        while let Some(c) = cur {
+            nodes[parent as usize].children.push(c);
+            nodes[c as usize].parent = Some(parent);
+            if let Some(l) = tree.left(c) {
+                attach(tree, nodes, c, l);
+            }
+            cur = tree.right(c);
+        }
+    }
+    if let Some(l) = tree.left(tree.root()) {
+        attach(tree, &mut nodes, tree.root(), l);
+    }
+    UnrankedTree { nodes, root: tree.root() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// school with two students, each with two fields.
+    fn sample() -> UnrankedTree {
+        let mut t = UnrankedTree::new(0); // school
+        let s1 = t.add_child(t.root(), 1); // student
+        let s2 = t.add_child(t.root(), 1);
+        t.add_child(s1, 2); // firstname
+        t.add_child(s1, 3); // exam
+        t.add_child(s2, 2);
+        t.add_child(s2, 3);
+        t
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = sample();
+        assert_eq!(t.len(), 7);
+        assert_eq!(t.children(t.root()).len(), 2);
+        assert_eq!(t.label(0), 0);
+        assert_eq!(t.parent(1), Some(0));
+        assert_eq!(t.parent(0), None);
+    }
+
+    #[test]
+    fn preorder_visits_document_order() {
+        let t = sample();
+        assert_eq!(t.preorder(), vec![0, 1, 3, 4, 2, 5, 6]);
+    }
+
+    #[test]
+    fn binary_encoding_shape() {
+        let t = sample();
+        let b = t.to_binary();
+        assert_eq!(b.len(), 7);
+        // root's left = first child (student 1); no right sibling.
+        assert_eq!(b.left(0), Some(1));
+        assert_eq!(b.right(0), None);
+        // student1's right = student2; left = firstname.
+        assert_eq!(b.right(1), Some(2));
+        assert_eq!(b.left(1), Some(3));
+        // firstname's right = exam sibling.
+        assert_eq!(b.right(3), Some(4));
+    }
+
+    #[test]
+    fn labels_preserved_under_encoding() {
+        let t = sample();
+        let b = t.to_binary();
+        for i in 0..t.len() as NodeId {
+            assert_eq!(t.label(i), b.label(i), "node {i}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_binary_unranked() {
+        let t = sample();
+        let back = from_binary(&t.to_binary());
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn single_node_roundtrip() {
+        let t = UnrankedTree::new(9);
+        let b = t.to_binary();
+        assert_eq!(b.len(), 1);
+        assert_eq!(from_binary(&b), t);
+    }
+
+    #[test]
+    fn wide_node_chains_right_spine() {
+        let mut t = UnrankedTree::new(0);
+        for _ in 0..5 {
+            t.add_child(0, 1);
+        }
+        let b = t.to_binary();
+        // children 1..5 form a right-spine: 1 -R-> 2 -R-> 3 ...
+        let mut cur = b.left(0);
+        let mut count = 0;
+        while let Some(c) = cur {
+            count += 1;
+            cur = b.right(c);
+        }
+        assert_eq!(count, 5);
+    }
+}

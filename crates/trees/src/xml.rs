@@ -1,0 +1,474 @@
+//! A minimal XML parser and serializer.
+//!
+//! Covers the fragment the paper's documents use: nested elements, text
+//! content, attributes, comments and the XML declaration. Documents parse
+//! into an [`UnrankedTree`] over an interned [`Alphabet`]:
+//!
+//! * an element `<tag>` gets the symbol for `tag`;
+//! * an attribute `name="v"` becomes a child labeled `@name` with a text
+//!   child;
+//! * text content becomes a node labeled `#` + the trimmed text, so that
+//!   a parametric query can compare text *values* through labels (this is
+//!   exactly how Example 4's `firstname=a` test reaches an automaton over
+//!   a finite alphabet).
+
+use crate::tree::{Alphabet, NodeId, Symbol};
+use crate::unranked::UnrankedTree;
+use std::fmt;
+
+/// Errors from [`parse_xml`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// Input ended inside a construct.
+    UnexpectedEof,
+    /// A close tag did not match the open tag.
+    MismatchedTag {
+        /// Tag that was open.
+        expected: String,
+        /// Tag that closed it.
+        found: String,
+    },
+    /// Malformed syntax at a byte offset.
+    Malformed {
+        /// Byte offset of the problem.
+        at: usize,
+        /// What went wrong.
+        what: &'static str,
+    },
+    /// No root element.
+    Empty,
+    /// Content after the root element closed.
+    TrailingContent(usize),
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::UnexpectedEof => write!(f, "unexpected end of input"),
+            XmlError::MismatchedTag { expected, found } => {
+                write!(f, "mismatched tag: expected </{expected}>, found </{found}>")
+            }
+            XmlError::Malformed { at, what } => write!(f, "malformed XML at byte {at}: {what}"),
+            XmlError::Empty => write!(f, "no root element"),
+            XmlError::TrailingContent(at) => write!(f, "trailing content at byte {at}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// A parsed XML document: an unranked tree plus its alphabet.
+#[derive(Debug, Clone)]
+pub struct XmlDocument {
+    /// The document tree.
+    pub tree: UnrankedTree,
+    /// Interned labels (`tag`, `@attr`, `#text`).
+    pub alphabet: Alphabet,
+}
+
+impl XmlDocument {
+    /// Is `node` a text node?
+    pub fn is_text(&self, node: NodeId) -> bool {
+        self.alphabet.name(self.tree.label(node)).starts_with('#')
+    }
+
+    /// The text content of a text node (without the `#` marker).
+    pub fn text(&self, node: NodeId) -> Option<&str> {
+        let name = self.alphabet.name(self.tree.label(node));
+        name.strip_prefix('#')
+    }
+
+    /// Symbol for an element tag, if it occurs in the document.
+    pub fn tag_symbol(&self, tag: &str) -> Option<Symbol> {
+        self.alphabet.get(tag)
+    }
+
+    /// Symbol for a text value, if it occurs.
+    pub fn text_symbol(&self, text: &str) -> Option<Symbol> {
+        self.alphabet.get(&format!("#{text}"))
+    }
+
+    /// All nodes whose element tag is `tag`.
+    pub fn nodes_with_tag(&self, tag: &str) -> Vec<NodeId> {
+        match self.tag_symbol(tag) {
+            None => Vec::new(),
+            Some(sym) => self
+                .tree
+                .preorder()
+                .into_iter()
+                .filter(|&n| self.tree.label(n) == sym)
+                .collect(),
+        }
+    }
+
+    /// Serializes back to XML (attributes re-emerge from `@` children).
+    pub fn to_xml(&self) -> String {
+        self.to_xml_with(&std::collections::HashMap::new())
+    }
+
+    /// Serializes with some text nodes' content replaced — how a marked
+    /// document (weights = numeric text values) is written back out.
+    pub fn to_xml_with(&self, text_overrides: &std::collections::HashMap<NodeId, String>) -> String {
+        let mut out = String::new();
+        self.write_node(self.tree.root(), &mut out, 0, text_overrides);
+        out
+    }
+
+    fn write_node(
+        &self,
+        node: NodeId,
+        out: &mut String,
+        indent: usize,
+        text_overrides: &std::collections::HashMap<NodeId, String>,
+    ) {
+        let pad = "  ".repeat(indent);
+        let name = self.alphabet.name(self.tree.label(node));
+        if let Some(text) = name.strip_prefix('#') {
+            let text = text_overrides.get(&node).map_or(text, String::as_str);
+            out.push_str(&pad);
+            out.push_str(&escape(text));
+            out.push('\n');
+            return;
+        }
+        let (attrs, children): (Vec<NodeId>, Vec<NodeId>) = self
+            .tree
+            .children(node)
+            .iter()
+            .partition(|&&c| self.alphabet.name(self.tree.label(c)).starts_with('@'));
+        out.push_str(&pad);
+        out.push('<');
+        out.push_str(name);
+        for a in attrs {
+            let aname = self.alphabet.name(self.tree.label(a));
+            let value = self
+                .tree
+                .children(a)
+                .first()
+                .and_then(|&v| self.text(v))
+                .unwrap_or("");
+            out.push(' ');
+            out.push_str(aname.strip_prefix('@').unwrap_or(aname));
+            out.push_str("=\"");
+            out.push_str(&escape(value));
+            out.push('"');
+        }
+        if children.is_empty() {
+            out.push_str("/>\n");
+            return;
+        }
+        out.push_str(">\n");
+        for c in children {
+            self.write_node(c, out, indent + 1, text_overrides);
+        }
+        out.push_str(&pad);
+        out.push_str("</");
+        out.push_str(name);
+        out.push_str(">\n");
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&lt;", "<").replace("&gt;", ">").replace("&amp;", "&")
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_misc(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            if self.input[self.pos..].starts_with(b"<?") {
+                match find(self.input, self.pos, b"?>") {
+                    Some(end) => self.pos = end + 2,
+                    None => return Err(XmlError::UnexpectedEof),
+                }
+            } else if self.input[self.pos..].starts_with(b"<!--") {
+                match find(self.input, self.pos, b"-->") {
+                    Some(end) => self.pos = end + 3,
+                    None => return Err(XmlError::UnexpectedEof),
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b':' | b'.') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(XmlError::Malformed { at: start, what: "expected a name" });
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    /// Parses one element; cursor must be at `<`.
+    fn element(&mut self, alphabet: &mut Alphabet, tree: &mut Option<UnrankedTree>, parent: Option<NodeId>) -> Result<NodeId, XmlError> {
+        debug_assert_eq!(self.peek(), Some(b'<'));
+        self.pos += 1;
+        let tag = self.name()?;
+        let sym = alphabet.intern(&tag);
+        let node = match (tree.as_mut(), parent) {
+            (Some(t), Some(p)) => t.add_child(p, sym),
+            _ => {
+                *tree = Some(UnrankedTree::new(sym));
+                tree.as_ref().expect("just set").root()
+            }
+        };
+        // attributes
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(XmlError::Malformed { at: self.pos, what: "expected > after /" });
+                    }
+                    self.pos += 1;
+                    return Ok(node);
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let aname = self.name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(XmlError::Malformed { at: self.pos, what: "expected = in attribute" });
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = self.peek();
+                    if !matches!(quote, Some(b'"' | b'\'')) {
+                        return Err(XmlError::Malformed { at: self.pos, what: "expected quoted attribute value" });
+                    }
+                    let quote = quote.expect("matched above");
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.peek().is_some_and(|c| c != quote) {
+                        self.pos += 1;
+                    }
+                    if self.peek().is_none() {
+                        return Err(XmlError::UnexpectedEof);
+                    }
+                    let value =
+                        unescape(&String::from_utf8_lossy(&self.input[start..self.pos]));
+                    self.pos += 1;
+                    let asym = alphabet.intern(&format!("@{aname}"));
+                    let vsym = alphabet.intern(&format!("#{value}"));
+                    let t = tree.as_mut().expect("created above");
+                    let attr_node = t.add_child(node, asym);
+                    t.add_child(attr_node, vsym);
+                }
+                None => return Err(XmlError::UnexpectedEof),
+            }
+        }
+        // children / text until matching close tag
+        loop {
+            let text_start = self.pos;
+            while self.peek().is_some_and(|c| c != b'<') {
+                self.pos += 1;
+            }
+            if self.pos > text_start {
+                let raw = String::from_utf8_lossy(&self.input[text_start..self.pos]);
+                let trimmed = raw.trim();
+                if !trimmed.is_empty() {
+                    let tsym = alphabet.intern(&format!("#{}", unescape(trimmed)));
+                    tree.as_mut().expect("created above").add_child(node, tsym);
+                }
+            }
+            match self.peek() {
+                None => return Err(XmlError::UnexpectedEof),
+                Some(b'<') => {
+                    if self.input[self.pos..].starts_with(b"<!--") {
+                        match find(self.input, self.pos, b"-->") {
+                            Some(end) => {
+                                self.pos = end + 3;
+                                continue;
+                            }
+                            None => return Err(XmlError::UnexpectedEof),
+                        }
+                    }
+                    if self.input[self.pos..].starts_with(b"</") {
+                        self.pos += 2;
+                        let close = self.name()?;
+                        if close != tag {
+                            return Err(XmlError::MismatchedTag { expected: tag, found: close });
+                        }
+                        self.skip_ws();
+                        if self.peek() != Some(b'>') {
+                            return Err(XmlError::Malformed { at: self.pos, what: "expected > in close tag" });
+                        }
+                        self.pos += 1;
+                        return Ok(node);
+                    }
+                    self.element(alphabet, tree, Some(node))?;
+                }
+                Some(_) => unreachable!("loop consumed non-< bytes"),
+            }
+        }
+    }
+}
+
+fn find(haystack: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
+}
+
+/// Parses an XML document.
+pub fn parse_xml(input: &str) -> Result<XmlDocument, XmlError> {
+    let mut parser = Parser { input: input.as_bytes(), pos: 0 };
+    parser.skip_misc()?;
+    if parser.peek() != Some(b'<') {
+        return Err(XmlError::Empty);
+    }
+    let mut alphabet = Alphabet::new();
+    let mut tree: Option<UnrankedTree> = None;
+    parser.element(&mut alphabet, &mut tree, None)?;
+    parser.skip_misc()?;
+    parser.skip_ws();
+    if parser.pos != parser.input.len() {
+        return Err(XmlError::TrailingContent(parser.pos));
+    }
+    Ok(XmlDocument { tree: tree.ok_or(XmlError::Empty)?, alphabet })
+}
+
+/// The school document of the paper's Example 4.
+pub fn example4_school() -> XmlDocument {
+    parse_xml(
+        r#"<school>
+  <student>
+    <firstname>John</firstname>
+    <lastname>Doe</lastname>
+    <exam>11</exam>
+  </student>
+  <student>
+    <firstname>Robert</firstname>
+    <lastname>Durant</lastname>
+    <exam>16</exam>
+  </student>
+  <student>
+    <firstname>Robert</firstname>
+    <lastname>Smith</lastname>
+    <exam>12</exam>
+  </student>
+</school>"#,
+    )
+    .expect("example 4 document is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_example4() {
+        let doc = example4_school();
+        assert_eq!(doc.nodes_with_tag("student").len(), 3);
+        assert_eq!(doc.nodes_with_tag("exam").len(), 3);
+        // exam values are text children
+        let exams = doc.nodes_with_tag("exam");
+        let values: Vec<&str> = exams
+            .iter()
+            .map(|&e| doc.text(doc.tree.children(e)[0]).expect("text child"))
+            .collect();
+        assert_eq!(values, vec!["11", "16", "12"]);
+    }
+
+    #[test]
+    fn text_symbols_are_shared() {
+        let doc = example4_school();
+        // "Robert" occurs twice but is a single symbol.
+        let robert = doc.text_symbol("Robert").expect("present");
+        let count = doc
+            .tree
+            .preorder()
+            .into_iter()
+            .filter(|&n| doc.tree.label(n) == robert)
+            .count();
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn attributes_become_children() {
+        let doc = parse_xml(r#"<a href="x">hi</a>"#).expect("parses");
+        let root = doc.tree.root();
+        let kids = doc.tree.children(root);
+        assert_eq!(kids.len(), 2);
+        let names: Vec<&str> = kids
+            .iter()
+            .map(|&k| doc.alphabet.name(doc.tree.label(k)))
+            .collect();
+        assert!(names.contains(&"@href"));
+        assert!(names.contains(&"#hi"));
+    }
+
+    #[test]
+    fn self_closing_and_comments() {
+        let doc = parse_xml("<?xml version=\"1.0\"?><!-- hi --><r><x/><!-- mid --><y/></r>")
+            .expect("parses");
+        assert_eq!(doc.tree.children(doc.tree.root()).len(), 2);
+    }
+
+    #[test]
+    fn entity_escapes_roundtrip() {
+        let doc = parse_xml("<r>a &lt; b &amp; c</r>").expect("parses");
+        let t = doc.tree.children(doc.tree.root())[0];
+        assert_eq!(doc.text(t), Some("a < b & c"));
+        let rendered = doc.to_xml();
+        assert!(rendered.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        assert!(matches!(
+            parse_xml("<a><b></a></b>"),
+            Err(XmlError::MismatchedTag { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_content_rejected() {
+        assert!(matches!(parse_xml("<a/><b/>"), Err(XmlError::TrailingContent(_))));
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        assert!(matches!(parse_xml("<a><b>"), Err(XmlError::UnexpectedEof)));
+        assert!(parse_xml("").is_err());
+    }
+
+    #[test]
+    fn serializer_reparses_equivalently() {
+        let doc = example4_school();
+        let doc2 = parse_xml(&doc.to_xml()).expect("roundtrip parses");
+        assert_eq!(doc.tree.len(), doc2.tree.len());
+        assert_eq!(doc2.nodes_with_tag("student").len(), 3);
+    }
+}

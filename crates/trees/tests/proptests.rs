@@ -1,0 +1,238 @@
+//! Property-based tests for trees, encodings, XML and automata.
+
+use proptest::prelude::*;
+use qpwm_trees::automaton::{TreeAutomaton, STAR};
+use qpwm_trees::nta::Nta;
+use qpwm_trees::pebble::{pebbled_symbol, Overlay, PebbledQuery};
+use qpwm_trees::tree::BinaryTree;
+use qpwm_trees::unranked::{from_binary, UnrankedTree};
+
+/// Strategy: a random unranked tree described by each node's parent
+/// (node i attaches to a parent among 0..i).
+fn unranked_strategy() -> impl Strategy<Value = UnrankedTree> {
+    proptest::collection::vec((any::<u32>(), 0u32..64), 0..40).prop_map(|nodes| {
+        let mut t = UnrankedTree::new(0);
+        for (i, (label, parent_hint)) in nodes.into_iter().enumerate() {
+            let parent = parent_hint % (i as u32 + 1);
+            t.add_child(parent, label % 5);
+        }
+        t
+    })
+}
+
+/// Strategy: a random binary tree via parent/slot descriptions.
+fn binary_strategy() -> impl Strategy<Value = BinaryTree> {
+    proptest::collection::vec((0u32..4, any::<u32>()), 1..40).prop_map(|nodes| {
+        let mut b = qpwm_trees::tree::TreeBuilder::new();
+        let root = b.add_node(nodes[0].0);
+        let mut slots = vec![(root, true), (root, false)];
+        for &(label, pick) in &nodes[1..] {
+            let idx = (pick as usize) % slots.len();
+            let (parent, left) = slots.swap_remove(idx);
+            let n = b.add_node(label);
+            if left {
+                b.set_left(parent, n);
+            } else {
+                b.set_right(parent, n);
+            }
+            slots.push((n, true));
+            slots.push((n, false));
+        }
+        b.build(root)
+    })
+}
+
+fn parity_automaton() -> TreeAutomaton {
+    let mut a = TreeAutomaton::new(2, 0);
+    for ql in [STAR, 0, 1] {
+        for qr in [STAR, 0, 1] {
+            let below = u32::from(ql == 1) + u32::from(qr == 1);
+            for sym in 0..4u32 {
+                a.add_transition(ql, qr, sym, (below + sym % 2) % 2);
+            }
+        }
+    }
+    a.set_accepting(1, true);
+    a
+}
+
+proptest! {
+    #[test]
+    fn fcns_roundtrip(t in unranked_strategy()) {
+        let binary = t.to_binary();
+        prop_assert_eq!(binary.len(), t.len());
+        let back = from_binary(&binary);
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn postorder_is_a_permutation_with_children_first(t in binary_strategy()) {
+        let order = t.postorder();
+        prop_assert_eq!(order.len(), t.len());
+        let mut position = vec![0usize; t.len()];
+        for (i, &n) in order.iter().enumerate() {
+            position[n as usize] = i;
+        }
+        for n in 0..t.len() as u32 {
+            for child in [t.left(n), t.right(n)].into_iter().flatten() {
+                prop_assert!(position[child as usize] < position[n as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn lca_is_common_ancestor(t in binary_strategy(), a in 0u32..40, b in 0u32..40) {
+        prop_assume!((a as usize) < t.len() && (b as usize) < t.len());
+        let l = t.lca(&[a, b]);
+        prop_assert!(t.is_ancestor(l, a));
+        prop_assert!(t.is_ancestor(l, b));
+        // deepest: its children are not common ancestors
+        for child in [t.left(l), t.right(l)].into_iter().flatten() {
+            prop_assert!(!(t.is_ancestor(child, a) && t.is_ancestor(child, b)));
+        }
+    }
+
+    #[test]
+    fn parity_automaton_counts_correctly(t in binary_strategy()) {
+        let a = parity_automaton();
+        let ones = (0..t.len() as u32).filter(|&n| t.label(n) % 2 == 1).count();
+        prop_assert_eq!(a.accepts(&t), ones % 2 == 1);
+    }
+
+    #[test]
+    fn minimization_preserves_language(t in binary_strategy()) {
+        let a = parity_automaton();
+        let doubled = a.product(&a, |x, _| x);
+        let minimized = doubled.minimize();
+        prop_assert!(minimized.num_states() <= doubled.num_states());
+        prop_assert_eq!(doubled.accepts(&t), minimized.accepts(&t));
+        prop_assert_eq!(a.accepts(&t), minimized.accepts(&t));
+    }
+
+    #[test]
+    fn determinization_preserves_language(t in binary_strategy()) {
+        // NTA: "some node labeled 1 exists" (nondeterministic flavor)
+        let mut nta = Nta::new(2);
+        for sym in 0..4u32 {
+            nta.add_rule(STAR, STAR, sym, u32::from(sym == 1));
+            for ql in [STAR, 0, 1] {
+                for qr in [STAR, 0, 1] {
+                    if ql == STAR && qr == STAR {
+                        continue;
+                    }
+                    let seen = ql == 1 || qr == 1 || sym == 1;
+                    nta.add_rule(ql, qr, sym, u32::from(seen));
+                }
+            }
+        }
+        nta.set_accepting(1);
+        let dta = nta.determinize(&[0, 1, 2, 3]);
+        prop_assert_eq!(nta.accepts(&t), dta.accepts(&t));
+    }
+
+    #[test]
+    fn overlay_agrees_with_full_rerun(t in binary_strategy(), node in 0u32..40, newlabel in 0u32..4) {
+        prop_assume!((node as usize) < t.len());
+        let a = parity_automaton();
+        let base = a.run(&t);
+        let label_fn = |n: u32| t.label(n);
+        let mut ov = Overlay::new(&a, &t, &base, &label_fn);
+        ov.set_label(node, newlabel);
+        let overlay_root = ov.state_at(t.root());
+        let full = a.run_with(&t, |n| if n == node { newlabel } else { t.label(n) });
+        prop_assert_eq!(overlay_root, full[t.root() as usize]);
+    }
+
+    #[test]
+    fn pebbled_answer_sets_match_naive(t in binary_strategy(), a in 0u32..40) {
+        prop_assume!((a as usize) < t.len());
+        // query: output pebble on an odd-labeled node
+        let mut auto = TreeAutomaton::new(2, 0);
+        for base in 0..4u32 {
+            for bits in 0..4u32 {
+                let sym = pebbled_symbol(base, bits, 2);
+                let hit = base % 2 == 1 && bits & 0b10 != 0;
+                for ql in [STAR, 0, 1] {
+                    for qr in [STAR, 0, 1] {
+                        let seen = hit || ql == 1 || qr == 1;
+                        auto.add_transition(ql, qr, sym, u32::from(seen));
+                    }
+                }
+            }
+        }
+        auto.set_accepting(1, true);
+        let q = PebbledQuery::new(auto, 1);
+        let fast = q.answer_set(&t, &[a]);
+        let slow: Vec<u32> = (0..t.len() as u32).filter(|&b| q.accepts(&t, &[a], b)).collect();
+        prop_assert_eq!(fast, slow);
+    }
+}
+
+proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+    #[test]
+    fn determinization_agrees_on_random_ntas(
+        rules in proptest::collection::vec(
+            (0u32..4, 0u32..4, 0u32..3, 0u32..3),
+            1..24,
+        ),
+        accepting in 0u32..3,
+        t in binary_strategy(),
+    ) {
+        // decode: (child-kind-left, child-kind-right, symbol, target);
+        // child kind 3 = STAR.
+        let mut nta = Nta::new(3);
+        for &(l, r, sym, target) in &rules {
+            let ql = if l == 3 { STAR } else { l.min(2) };
+            let qr = if r == 3 { STAR } else { r.min(2) };
+            nta.add_rule(ql, qr, sym, target);
+        }
+        nta.set_accepting(accepting);
+        let dta = nta.determinize(&[0, 1, 2, 3]);
+        prop_assert_eq!(nta.accepts(&t), dta.accepts(&t));
+        // and minimization preserves the determinized language
+        let min = dta.minimize();
+        prop_assert_eq!(dta.accepts(&t), min.accepts(&t));
+    }
+}
+
+proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(256))]
+    /// The XML parser must never panic, whatever bytes arrive.
+    #[test]
+    fn xml_parser_never_panics(input in "\\PC*") {
+        let _ = qpwm_trees::xml::parse_xml(&input);
+    }
+
+    /// Slightly structured garbage: random tag soup.
+    #[test]
+    fn xml_parser_survives_tag_soup(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                proptest::string::string_regex("<[a-z]{1,4}>").unwrap(),
+                proptest::string::string_regex("</[a-z]{1,4}>").unwrap(),
+                proptest::string::string_regex("[a-z0-9 ]{0,8}").unwrap(),
+                Just("<!--x-->".to_string()),
+                Just("<a b=\"c\">".to_string()),
+            ],
+            0..12,
+        )
+    ) {
+        let soup: String = parts.concat();
+        let _ = qpwm_trees::xml::parse_xml(&soup);
+    }
+
+    /// Well-formed documents round-trip through serialize + parse.
+    #[test]
+    fn xml_roundtrip_preserves_shape(t in unranked_strategy()) {
+        // turn the random unranked tree into a document with safe names
+        let mut alphabet = qpwm_trees::tree::Alphabet::new();
+        for i in 0..5 {
+            alphabet.intern(&format!("tag{i}"));
+        }
+        let doc = qpwm_trees::xml::XmlDocument { tree: t.clone(), alphabet };
+        let rendered = doc.to_xml();
+        let reparsed = qpwm_trees::xml::parse_xml(&rendered).expect("round-trips");
+        prop_assert_eq!(reparsed.tree.len(), t.len());
+    }
+}

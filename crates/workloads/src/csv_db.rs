@@ -1,0 +1,300 @@
+//! Loading relational instances from CSV files.
+//!
+//! The CLI's relational mode reads a schema spec plus one CSV per
+//! relation; every distinct cell value becomes a universe element
+//! (interned in first-appearance order), and a weights CSV attaches
+//! durations/prices/readings to elements. The dialect is deliberately
+//! simple: comma-separated, optional double quotes (doubled quote
+//! escapes), one record per line, no headers.
+
+use qpwm_structures::{Element, Schema, StructureBuilder, WeightedStructure, Weights};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors from CSV loading.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// The schema spec didn't parse (message inside).
+    BadSchema(String),
+    /// A relation in `tables` is not in the schema.
+    UnknownRelation(String),
+    /// Wrong number of fields at `(relation, line)`.
+    BadRow(String, usize),
+    /// A weights row didn't parse at the given line.
+    BadWeight(usize),
+    /// A weights row names a value that no relation mentions.
+    UnknownElement(String),
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::BadSchema(m) => write!(f, "bad schema spec: {m}"),
+            CsvError::UnknownRelation(r) => write!(f, "relation {r} not in schema"),
+            CsvError::BadRow(r, l) => write!(f, "bad row in {r} at line {l}"),
+            CsvError::BadWeight(l) => write!(f, "bad weights row at line {l}"),
+            CsvError::UnknownElement(e) => write!(f, "weighted value {e} appears in no relation"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// A loaded relational database with its name dictionary.
+#[derive(Debug, Clone)]
+pub struct CsvDatabase {
+    /// The weighted instance.
+    pub instance: WeightedStructure,
+    /// Element id → original cell value.
+    pub names: Vec<String>,
+    /// Cell value → element id.
+    pub ids: HashMap<String, Element>,
+}
+
+impl CsvDatabase {
+    /// The element for a cell value.
+    pub fn element(&self, name: &str) -> Option<Element> {
+        self.ids.get(name).copied()
+    }
+
+    /// The cell value of an element.
+    pub fn name(&self, e: Element) -> &str {
+        &self.names[e as usize]
+    }
+
+    /// Serializes the given weights as a `name,weight` CSV (sorted by
+    /// name, explicit entries only).
+    pub fn weights_to_csv(&self, weights: &Weights) -> String {
+        let mut rows: Vec<(String, i64)> = weights
+            .iter_sorted()
+            .into_iter()
+            .map(|(k, w)| (quote(self.name(k[0])), w))
+            .collect();
+        rows.sort();
+        rows.into_iter()
+            .map(|(n, w)| format!("{n},{w}\n"))
+            .collect()
+    }
+}
+
+/// Parses `"Route(travel,transport); Timetable(t,dep,arr,ty)"` into a
+/// schema with unary weights.
+pub fn parse_schema_spec(spec: &str) -> Result<Schema, CsvError> {
+    let mut relations = Vec::new();
+    for part in spec.split(';') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let open = part
+            .find('(')
+            .ok_or_else(|| CsvError::BadSchema(format!("{part}: missing (")))?;
+        let name = part[..open].trim();
+        let cols = part[open + 1..]
+            .strip_suffix(')')
+            .ok_or_else(|| CsvError::BadSchema(format!("{part}: missing )")))?;
+        let arity = cols.split(',').filter(|c| !c.trim().is_empty()).count();
+        if name.is_empty() || arity == 0 {
+            return Err(CsvError::BadSchema(part.to_owned()));
+        }
+        relations.push((name.to_owned(), arity));
+    }
+    if relations.is_empty() {
+        return Err(CsvError::BadSchema("no relations".into()));
+    }
+    Ok(Schema::new(relations, 1))
+}
+
+/// Splits one CSV record, honoring double quotes.
+fn split_record(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut current = String::new();
+    let mut chars = line.chars().peekable();
+    let mut quoted = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if quoted => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    current.push('"');
+                } else {
+                    quoted = false;
+                }
+            }
+            '"' if current.is_empty() => quoted = true,
+            ',' if !quoted => {
+                fields.push(std::mem::take(&mut current));
+            }
+            c => current.push(c),
+        }
+    }
+    fields.push(current);
+    fields.into_iter().map(|f| f.trim().to_owned()).collect()
+}
+
+fn quote(value: &str) -> String {
+    if value.contains(',') || value.contains('"') {
+        format!("\"{}\"", value.replace('"', "\"\""))
+    } else {
+        value.to_owned()
+    }
+}
+
+/// Loads a database: `tables` pairs relation names with CSV contents;
+/// `weights_csv` (optional) holds `name,weight` rows.
+pub fn load_csv_database(
+    schema_spec: &str,
+    tables: &[(&str, &str)],
+    weights_csv: Option<&str>,
+) -> Result<CsvDatabase, CsvError> {
+    let schema = Arc::new(parse_schema_spec(schema_spec)?);
+    // first pass: intern all cell values
+    let mut names: Vec<String> = Vec::new();
+    let mut ids: HashMap<String, Element> = HashMap::new();
+    let mut parsed: Vec<(usize, Vec<Vec<Element>>)> = Vec::new();
+    for (rel_name, csv) in tables {
+        let rel = schema
+            .rel_id(rel_name)
+            .ok_or_else(|| CsvError::UnknownRelation((*rel_name).to_owned()))?;
+        let arity = schema.arity(rel);
+        let mut tuples = Vec::new();
+        for (lineno, line) in csv.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields = split_record(line);
+            if fields.len() != arity {
+                return Err(CsvError::BadRow((*rel_name).to_owned(), lineno + 1));
+            }
+            let tuple: Vec<Element> = fields
+                .into_iter()
+                .map(|value| {
+                    *ids.entry(value.clone()).or_insert_with(|| {
+                        names.push(value);
+                        (names.len() - 1) as Element
+                    })
+                })
+                .collect();
+            tuples.push(tuple);
+        }
+        parsed.push((rel, tuples));
+    }
+    let mut builder = StructureBuilder::new(Arc::clone(&schema), names.len() as u32);
+    for (rel, tuples) in &parsed {
+        for t in tuples {
+            builder.add(*rel, t);
+        }
+    }
+    let structure = builder.build();
+    let mut weights = Weights::new(1);
+    if let Some(csv) = weights_csv {
+        for (lineno, line) in csv.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields = split_record(line);
+            let [name, value] = fields.as_slice() else {
+                return Err(CsvError::BadWeight(lineno + 1));
+            };
+            let w: i64 = value.parse().map_err(|_| CsvError::BadWeight(lineno + 1))?;
+            let e = ids
+                .get(name)
+                .copied()
+                .ok_or_else(|| CsvError::UnknownElement(name.clone()))?;
+            weights.set(&[e], w);
+        }
+    }
+    Ok(CsvDatabase {
+        instance: WeightedStructure::new(structure, weights),
+        names,
+        ids,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCHEMA: &str = "Route(travel,transport); Timetable(transport,dep,arr,ty)";
+
+    fn sample() -> CsvDatabase {
+        let route = "India discovery,F21\nIndia discovery,G12\nNepal Trek,F21\n";
+        let timetable = "F21,Paris,Delhi,plane\nG12,Delhi,Nawalgarh,bus\n";
+        let weights = "F21,635\nG12,380\n";
+        load_csv_database(
+            SCHEMA,
+            &[("Route", route), ("Timetable", timetable)],
+            Some(weights),
+        )
+        .expect("loads")
+    }
+
+    #[test]
+    fn loads_relations_and_weights() {
+        let db = sample();
+        let s = db.instance.structure();
+        assert_eq!(s.tuples(0).len(), 3);
+        assert_eq!(s.tuples(1).len(), 2);
+        let f21 = db.element("F21").expect("present");
+        assert_eq!(db.instance.weight(&[f21]), 635);
+        let india = db.element("India discovery").expect("present");
+        assert!(s.contains(0, &[india, f21]));
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        let db = sample();
+        for (name, &id) in &db.ids {
+            assert_eq!(db.name(id), name);
+        }
+    }
+
+    #[test]
+    fn quoted_fields_and_escapes() {
+        let csv = "\"a,b\",plain\n\"say \"\"hi\"\"\",x\n";
+        let db = load_csv_database("R(p,q)", &[("R", csv)], None).expect("loads");
+        assert!(db.element("a,b").is_some());
+        assert!(db.element("say \"hi\"").is_some());
+        // and serialization re-quotes
+        let mut w = Weights::new(1);
+        w.set(&[db.element("a,b").expect("present")], 5);
+        let out = db.weights_to_csv(&w);
+        assert_eq!(out, "\"a,b\",5\n");
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        assert!(matches!(parse_schema_spec("nope"), Err(CsvError::BadSchema(_))));
+        assert!(matches!(
+            load_csv_database(SCHEMA, &[("Nope", "a,b\n")], None),
+            Err(CsvError::UnknownRelation(_))
+        ));
+        assert!(matches!(
+            load_csv_database(SCHEMA, &[("Route", "only-one-field\n")], None),
+            Err(CsvError::BadRow(_, 1))
+        ));
+        assert!(matches!(
+            load_csv_database(SCHEMA, &[("Route", "a,b\n")], Some("a,notanumber\n")),
+            Err(CsvError::BadWeight(1))
+        ));
+        assert!(matches!(
+            load_csv_database(SCHEMA, &[("Route", "a,b\n")], Some("ghost,5\n")),
+            Err(CsvError::UnknownElement(_))
+        ));
+    }
+
+    #[test]
+    fn rule_runs_against_loaded_db() {
+        let db = sample();
+        let rule = qpwm_logic::datalog::parse_rule(
+            "route($u; t) :- Route($u, t)",
+            db.instance.structure().schema(),
+        )
+        .expect("parses");
+        let india = db.element("India discovery").expect("present");
+        let answers = rule.query.answer_set(db.instance.structure(), &[india]);
+        let names: Vec<&str> = answers.iter().map(|t| db.name(t[0])).collect();
+        assert_eq!(names, vec!["F21", "G12"]);
+    }
+}

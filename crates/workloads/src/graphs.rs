@@ -1,0 +1,131 @@
+//! Random graph-shaped structures for the Theorem 3 sweeps and the
+//! capacity experiments.
+
+use qpwm_structures::{Element, Schema, Structure, StructureBuilder, WeightedStructure, Weights};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// A random symmetric graph with maximum degree ≤ `max_degree`:
+/// edges are sampled by repeatedly joining two under-capacity vertices.
+pub fn random_bounded_degree(n: u32, max_degree: u32, edges: u32, seed: u64) -> Structure {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = Arc::new(Schema::graph());
+    let mut b = StructureBuilder::new(schema, n);
+    let mut degree = vec![0u32; n as usize];
+    let mut present = std::collections::HashSet::new();
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < edges && attempts < edges * 50 {
+        attempts += 1;
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v
+            || degree[u as usize] >= max_degree
+            || degree[v as usize] >= max_degree
+            || present.contains(&(u.min(v), u.max(v)))
+        {
+            continue;
+        }
+        present.insert((u.min(v), u.max(v)));
+        degree[u as usize] += 1;
+        degree[v as usize] += 1;
+        b.add(0, &[u, v]);
+        b.add(0, &[v, u]);
+        added += 1;
+    }
+    b.build()
+}
+
+/// A disjoint union of `count` cycles, each of length `len` — maximally
+/// regular, so every element has the same neighborhood type and pairing
+/// capacity is high.
+pub fn cycle_union(count: u32, len: u32, seed: u64) -> Structure {
+    assert!(len >= 3, "cycles need length ≥ 3");
+    let _ = seed;
+    let n = count * len;
+    let schema = Arc::new(Schema::graph());
+    let mut b = StructureBuilder::new(schema, n);
+    for c in 0..count {
+        let base = c * len;
+        for i in 0..len {
+            let u = base + i;
+            let v = base + (i + 1) % len;
+            b.add(0, &[u, v]);
+            b.add(0, &[v, u]);
+        }
+    }
+    b.build()
+}
+
+/// Attaches uniform-random weights in `[lo, hi)` to every element.
+pub fn with_random_weights(structure: Structure, lo: i64, hi: i64, seed: u64) -> WeightedStructure {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut w = Weights::new(structure.schema().weight_arity());
+    for e in structure.universe() {
+        w.set(&[e], rng.gen_range(lo..hi));
+    }
+    WeightedStructure::new(structure, w)
+}
+
+/// A random bipartite adjacency matrix with edge probability `p`
+/// (for the PERMANENT experiments).
+pub fn random_bipartite(n: usize, p: f64, seed: u64) -> Vec<Vec<bool>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..n).map(|_| rng.gen::<f64>() < p).collect())
+        .collect()
+}
+
+/// All elements of a structure as 1-tuples (full unary parameter domain).
+pub fn unary_domain(structure: &Structure) -> Vec<Vec<Element>> {
+    structure.universe().map(|e| vec![e]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpwm_structures::GaifmanGraph;
+
+    #[test]
+    fn degree_bound_is_respected() {
+        let s = random_bounded_degree(200, 4, 300, 7);
+        let g = GaifmanGraph::of(&s);
+        assert!(g.max_degree() <= 4);
+        assert!(s.tuples(0).len() >= 200, "got {} tuples", s.tuples(0).len());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = random_bounded_degree(50, 3, 60, 42);
+        let b = random_bounded_degree(50, 3, 60, 42);
+        assert_eq!(a.tuples(0), b.tuples(0));
+    }
+
+    #[test]
+    fn cycles_are_regular() {
+        let s = cycle_union(4, 5, 0);
+        let g = GaifmanGraph::of(&s);
+        assert_eq!(s.universe_size(), 20);
+        for e in s.universe() {
+            assert_eq!(g.degree(e), 2);
+        }
+    }
+
+    #[test]
+    fn random_weights_in_range() {
+        let ws = with_random_weights(cycle_union(2, 4, 0), 100, 200, 3);
+        for e in ws.structure().universe() {
+            let w = ws.weight(&[e]);
+            assert!((100..200).contains(&w));
+        }
+    }
+
+    #[test]
+    fn bipartite_probability_extremes() {
+        let none = random_bipartite(5, 0.0, 1);
+        assert!(none.iter().flatten().all(|&b| !b));
+        let all = random_bipartite(5, 1.0, 1);
+        assert!(all.iter().flatten().all(|&b| b));
+    }
+}

@@ -1,0 +1,23 @@
+//! Synthetic workload generators for every experiment in EXPERIMENTS.md.
+//!
+//! * [`travel`] — the Example 1 travel-agency database, fixed and
+//!   scalable variants;
+//! * [`graphs`] — random bounded-degree structures for the Theorem 3
+//!   sweeps, paths, cycles and bipartite graphs for the PERMANENT
+//!   reduction;
+//! * [`xml_gen`] — random school-style XML documents and random binary
+//!   trees for the Theorem 5 sweeps;
+//! * [`csv_db`] — loading relational instances from CSV files (the CLI's
+//!   relational mode).
+//!
+//! All generators take explicit seeds; identical inputs produce identical
+//! workloads on every platform.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv_db;
+pub mod graphs;
+pub mod meteo;
+pub mod travel;
+pub mod xml_gen;

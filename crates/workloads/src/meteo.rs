@@ -1,0 +1,155 @@
+//! A meteorological-data workload — the paper's other motivating domain
+//! ("lodging information systems, meteorological and financial data").
+//!
+//! Schema: `Station(station, region)` and `Feeds(station, service)` —
+//! stations report into regions and are syndicated to weather services;
+//! the weight of a station is its latest reading (tenths of a degree).
+//! The natural registered queries join the two relations:
+//!
+//! ```text
+//! regional($r; s)  :- Station(s, $r)
+//! syndicated($v; s) :- Feeds(s, $v)
+//! shared($r; s)    :- Station(s, $r), Feeds(s, v)
+//! ```
+
+use qpwm_logic::datalog::{parse_rule, Rule};
+use qpwm_structures::{Element, Schema, StructureBuilder, WeightedStructure, Weights};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// The meteo schema.
+pub fn meteo_schema() -> Arc<Schema> {
+    Arc::new(Schema::new(vec![("Station", 2), ("Feeds", 2)], 1))
+}
+
+/// A generated meteo instance with its element layout.
+#[derive(Debug, Clone)]
+pub struct MeteoInstance {
+    /// The weighted instance (weights = readings on stations).
+    pub instance: WeightedStructure,
+    /// Station elements.
+    pub stations: Vec<Element>,
+    /// Region elements.
+    pub regions: Vec<Element>,
+    /// Service elements.
+    pub services: Vec<Element>,
+}
+
+/// Generates `stations` stations spread over `regions` regions, each
+/// feeding 1–3 of `services` weather services. Bounded Gaifman degree is
+/// controlled by capping stations per region at `per_region`.
+pub fn random_meteo(
+    stations: u32,
+    regions: u32,
+    services: u32,
+    per_region: u32,
+    seed: u64,
+) -> MeteoInstance {
+    assert!(regions * per_region >= stations, "not enough region capacity");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = meteo_schema();
+    let n = stations + regions + services;
+    let mut b = StructureBuilder::new(schema, n);
+    let region_base = stations;
+    let service_base = stations + regions;
+    let mut region_load = vec![0u32; regions as usize];
+    let mut w = Weights::new(1);
+    for s in 0..stations {
+        // place into an under-capacity region
+        let region = loop {
+            let r = rng.gen_range(0..regions);
+            if region_load[r as usize] < per_region {
+                region_load[r as usize] += 1;
+                break r;
+            }
+        };
+        b.add(0, &[s, region_base + region]);
+        for _ in 0..rng.gen_range(1..=3u32) {
+            let v = rng.gen_range(0..services);
+            b.add(1, &[s, service_base + v]);
+        }
+        // readings: -30.0°C .. 45.0°C in tenths
+        w.set(&[s], rng.gen_range(-300..450));
+    }
+    MeteoInstance {
+        instance: WeightedStructure::new(b.build(), w),
+        stations: (0..stations).collect(),
+        regions: (region_base..region_base + regions).collect(),
+        services: (service_base..service_base + services).collect(),
+    }
+}
+
+/// The "readings of region r" rule.
+pub fn regional_rule(instance: &MeteoInstance) -> Rule {
+    parse_rule(
+        "regional($r; s) :- Station(s, $r)",
+        instance.instance.structure().schema(),
+    )
+    .expect("rule is valid")
+}
+
+/// The "readings syndicated to service v" rule.
+pub fn syndicated_rule(instance: &MeteoInstance) -> Rule {
+    parse_rule(
+        "syndicated($v; s) :- Feeds(s, $v)",
+        instance.instance.structure().schema(),
+    )
+    .expect("rule is valid")
+}
+
+/// Region parameters as 1-tuples.
+pub fn region_domain(instance: &MeteoInstance) -> Vec<Vec<Element>> {
+    instance.regions.iter().map(|&r| vec![r]).collect()
+}
+
+/// Service parameters as 1-tuples.
+pub fn service_domain(instance: &MeteoInstance) -> Vec<Vec<Element>> {
+    instance.services.iter().map(|&v| vec![v]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_layout() {
+        let m = random_meteo(120, 30, 6, 8, 1);
+        assert_eq!(m.stations.len(), 120);
+        assert_eq!(m.regions.len(), 30);
+        assert_eq!(m.services.len(), 6);
+        let s = m.instance.structure();
+        assert_eq!(s.tuples(0).len(), 120); // one region per station
+        assert!(s.tuples(1).len() >= 120);
+        // every station has a reading
+        for &st in &m.stations {
+            let reading = m.instance.weight(&[st]);
+            assert!((-300..450).contains(&reading));
+        }
+    }
+
+    #[test]
+    fn rules_answer_station_sets() {
+        let m = random_meteo(60, 12, 4, 8, 2);
+        let rule = regional_rule(&m);
+        let mut covered = 0usize;
+        for &r in &m.regions {
+            let answers = rule.query.answer_set(m.instance.structure(), &[r]);
+            covered += answers.len();
+            for a in &answers {
+                assert!(m.stations.contains(&a[0]));
+            }
+        }
+        assert_eq!(covered, 60, "regions partition the stations");
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let a = random_meteo(50, 10, 3, 8, 7);
+        let b = random_meteo(50, 10, 3, 8, 7);
+        assert_eq!(
+            a.instance.structure().tuples(1),
+            b.instance.structure().tuples(1)
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! The travel-agency workload (paper, Example 1) — fixed and scalable.
+//!
+//! Schema: `Route(travel, transport)` and `Timetable(transport,
+//! departure, arrival, type)`, with the `duration` weight attached to
+//! transports. Elements are travels, transports, cities and vehicle
+//! types, all in one universe; durations are minutes.
+
+use qpwm_logic::{Formula, ParametricQuery};
+use qpwm_structures::{Element, Schema, StructureBuilder, WeightedStructure, Weights};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// The travel schema: `Route/2`, `Timetable/4`, unary weights.
+pub fn travel_schema() -> Arc<Schema> {
+    Arc::new(Schema::new(vec![("Route", 2), ("Timetable", 4)], 1))
+}
+
+/// Element layout of [`example1_instance`].
+#[derive(Debug, Clone)]
+pub struct TravelInstance {
+    /// The weighted structure.
+    pub instance: WeightedStructure,
+    /// Element ids of travels.
+    pub travels: Vec<Element>,
+    /// Element ids of transports.
+    pub transports: Vec<Element>,
+}
+
+/// The exact instance of the paper's Example 1.
+///
+/// Elements: travels 0–2 (`India discovery`, `Nepal Trek`, `TourNepal`),
+/// transports 3–8 (`F21, G12, R5, F2, T33, G13`), cities 9–15, types
+/// 16–18. Durations in minutes: `F21=635, G12=380, R5=375, F2=210,
+/// T33=170, G13=600`.
+pub fn example1_instance() -> TravelInstance {
+    let schema = travel_schema();
+    let names = vec![
+        "India discovery",
+        "Nepal Trek",
+        "TourNepal",
+        "F21",
+        "G12",
+        "R5",
+        "F2",
+        "T33",
+        "G13",
+        "Paris",
+        "Delhi",
+        "Nawalgarh",
+        "Kathmandu",
+        "Simikot",
+        "Daman",
+        "plane",
+        "bus",
+        "jeep",
+    ];
+    let mut b = StructureBuilder::new(schema, names.len() as u32).element_names(names);
+    // Route(travel, transport)
+    for &(t, tr) in &[(0u32, 3u32), (0, 4), (1, 3), (1, 5), (1, 6), (2, 6), (2, 7)] {
+        b.add(0, &[t, tr]);
+    }
+    // Timetable(transport, departure, arrival, type)
+    for &(tr, dep, arr, ty) in &[
+        (3u32, 9u32, 10u32, 15u32), // F21 Paris->Delhi plane
+        (4, 10, 11, 16),            // G12 Delhi->Nawalgarh bus
+        (5, 10, 12, 15),            // R5 Delhi->Kathmandu plane
+        (6, 12, 13, 15),            // F2 Kathmandu->Simikot plane
+        (7, 12, 14, 17),            // T33 Kathmandu->Daman jeep
+        (8, 12, 9, 15),             // G13 Kathmandu->Paris plane
+    ] {
+        b.add(1, &[tr, dep, arr, ty]);
+    }
+    let structure = b.build();
+    let mut w = Weights::new(1);
+    for (tr, minutes) in [(3u32, 635i64), (4, 380), (5, 375), (6, 210), (7, 170), (8, 600)] {
+        w.set(&[tr], minutes);
+    }
+    TravelInstance {
+        instance: WeightedStructure::new(structure, w),
+        travels: vec![0, 1, 2],
+        transports: (3..9).collect(),
+    }
+}
+
+/// The registered query of Example 1: `ψ(u, v) ≡ Route(u, v)` —
+/// parameter `u` is the travel, answers are its transports with
+/// durations.
+pub fn route_query() -> ParametricQuery {
+    ParametricQuery::new(Formula::atom(0, &[0, 1]), vec![0], vec![1])
+}
+
+/// A scalable travel database: `travels` travels, each using a random
+/// selection of ≈`transports_per_travel` transports out of `transports`.
+/// Each transport is shared by a bounded number of travels, keeping the
+/// Gaifman degree bounded.
+pub fn random_travel(
+    travels: u32,
+    transports: u32,
+    transports_per_travel: u32,
+    max_share: u32,
+    seed: u64,
+) -> TravelInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = travel_schema();
+    // universe: travels, transports, 8 cities, 3 vehicle types
+    let cities = 8u32;
+    let vtypes = 3u32;
+    let n = travels + transports + cities + vtypes;
+    let mut b = StructureBuilder::new(schema, n);
+    let transport_base = travels;
+    let city_base = travels + transports;
+    let type_base = city_base + cities;
+    let mut share_count = vec![0u32; transports as usize];
+    for t in 0..travels {
+        for _ in 0..transports_per_travel {
+            // find a transport with remaining share capacity
+            for _attempt in 0..16 {
+                let tr = rng.gen_range(0..transports);
+                if share_count[tr as usize] < max_share {
+                    share_count[tr as usize] += 1;
+                    b.add(0, &[t, transport_base + tr]);
+                    break;
+                }
+            }
+        }
+    }
+    let mut w = Weights::new(1);
+    for tr in 0..transports {
+        let dep = city_base + rng.gen_range(0..cities);
+        let mut arr = city_base + rng.gen_range(0..cities);
+        if arr == dep {
+            arr = city_base + (arr - city_base + 1) % cities;
+        }
+        let ty = type_base + rng.gen_range(0..vtypes);
+        b.add(1, &[transport_base + tr, dep, arr, ty]);
+        w.set(&[transport_base + tr], rng.gen_range(30..900));
+    }
+    TravelInstance {
+        instance: WeightedStructure::new(b.build(), w),
+        travels: (0..travels).collect(),
+        transports: (transport_base..transport_base + transports).collect(),
+    }
+}
+
+/// Parameter domain for travel queries: travel elements as 1-tuples.
+pub fn travel_domain(t: &TravelInstance) -> Vec<Vec<Element>> {
+    t.travels.iter().map(|&x| vec![x]).collect()
+}
+
+/// Recomputes Example 2's `f` values (minutes).
+pub fn example2_f_values() -> Vec<(String, i64)> {
+    let t = example1_instance();
+    let q = route_query();
+    let answers = q.answers_over(t.instance.structure(), travel_domain(&t));
+    t.travels
+        .iter()
+        .enumerate()
+        .map(|(i, &travel)| {
+            let name = t
+                .instance
+                .structure()
+                .display_element(travel);
+            (name, answers.f(t.instance.weights(), i))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example1_shape() {
+        let t = example1_instance();
+        let s = t.instance.structure();
+        assert_eq!(s.tuples(0).len(), 7);
+        assert_eq!(s.tuples(1).len(), 6);
+        assert_eq!(t.instance.weight(&[3]), 635);
+    }
+
+    #[test]
+    fn example1_answer_sets() {
+        // A_{India discovery} = {(F21, 635), (G12, 380)}.
+        let t = example1_instance();
+        let q = route_query();
+        let india = q.answer_set(t.instance.structure(), &[0]);
+        assert_eq!(india, vec![vec![3], vec![4]]);
+    }
+
+    #[test]
+    fn example2_f_values_match_paper() {
+        // f(India discovery) = 16:55 = 1015, f(Nepal Trek) = 20:20 = 1220,
+        // f(TourNepal) = 6:20 = 380.
+        let values = example2_f_values();
+        assert_eq!(values[0], ("India discovery".to_owned(), 1015));
+        assert_eq!(values[1], ("Nepal Trek".to_owned(), 1220));
+        assert_eq!(values[2], ("TourNepal".to_owned(), 380));
+    }
+
+    #[test]
+    fn example1_active_elements() {
+        // Active: F21, G12, R5, F2, T33; G13 (element 8) is inactive.
+        let t = example1_instance();
+        let q = route_query();
+        let answers = q.answers_over(t.instance.structure(), travel_domain(&t));
+        let active = answers.active_universe();
+        assert_eq!(active, vec![vec![3], vec![4], vec![5], vec![6], vec![7]]);
+    }
+
+    #[test]
+    fn random_travel_is_reproducible_and_bounded() {
+        let a = random_travel(50, 100, 3, 4, 9);
+        let b = random_travel(50, 100, 3, 4, 9);
+        assert_eq!(a.instance.structure().tuples(0), b.instance.structure().tuples(0));
+        let g = qpwm_structures::GaifmanGraph::of(a.instance.structure());
+        // transports shared ≤ 4 ways; timetable tuples add ≤ 3 more
+        // neighbors per transport.
+        for &tr in &a.transports {
+            assert!(g.degree(tr) <= 7, "transport degree {}", g.degree(tr));
+        }
+    }
+
+    #[test]
+    fn random_travel_weights_cover_transports() {
+        let t = random_travel(10, 30, 2, 3, 4);
+        for &tr in &t.transports {
+            assert!(t.instance.weight(&[tr]) >= 30);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Random XML documents and binary trees for the Theorem 5 experiments.
+
+use qpwm_structures::Weights;
+use qpwm_trees::tree::BinaryTree;
+use qpwm_trees::xml::{parse_xml, XmlDocument};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a school document with `students` students; firstnames are
+/// drawn from `names`, exam scores from `0..=20`. Shapes match Example 4.
+pub fn random_school(students: u32, names: &[&str], seed: u64) -> XmlDocument {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut xml = String::from("<school>\n");
+    for i in 0..students {
+        let name = names[rng.gen_range(0..names.len())];
+        let exam = rng.gen_range(0..=20);
+        xml.push_str(&format!(
+            "  <student>\n    <firstname>{name}</firstname>\n    <lastname>L{i}</lastname>\n    <exam>{exam}</exam>\n  </student>\n"
+        ));
+    }
+    xml.push_str("</school>");
+    parse_xml(&xml).expect("generated school XML is well-formed")
+}
+
+/// Weights for a school document: each exam text node weighs its score;
+/// all other nodes weigh 0 (and stay untouched by marking).
+pub fn school_weights(doc: &XmlDocument) -> Weights {
+    let mut w = Weights::new(1);
+    for exam in doc.nodes_with_tag("exam") {
+        if let Some(&t) = doc.tree.children(exam).first() {
+            if let Some(text) = doc.text(t) {
+                if let Ok(v) = text.parse::<i64>() {
+                    w.set(&[t], v);
+                }
+            }
+        }
+    }
+    w
+}
+
+/// A random binary tree of `n` nodes: each new node attaches to a random
+/// free child slot. Labels are drawn uniformly from `0..alphabet`.
+pub fn random_binary_tree(n: u32, alphabet: u32, seed: u64) -> BinaryTree {
+    assert!(n >= 1 && alphabet >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = qpwm_trees::tree::TreeBuilder::new();
+    let root = builder.add_node(rng.gen_range(0..alphabet));
+    // free slots: (parent, is_left)
+    let mut slots: Vec<(u32, bool)> = vec![(root, true), (root, false)];
+    for _ in 1..n {
+        let idx = rng.gen_range(0..slots.len());
+        let (parent, is_left) = slots.swap_remove(idx);
+        let node = builder.add_node(rng.gen_range(0..alphabet));
+        if is_left {
+            builder.set_left(parent, node);
+        } else {
+            builder.set_right(parent, node);
+        }
+        slots.push((node, true));
+        slots.push((node, false));
+    }
+    builder.build(root)
+}
+
+/// Uniform random node weights in `[lo, hi)`.
+pub fn random_node_weights(tree: &BinaryTree, lo: i64, hi: i64, seed: u64) -> Weights {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut w = Weights::new(1);
+    for node in 0..tree.len() as u32 {
+        w.set(&[node], rng.gen_range(lo..hi));
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_school_has_requested_students() {
+        let doc = random_school(10, &["Ann", "Bob"], 1);
+        assert_eq!(doc.nodes_with_tag("student").len(), 10);
+        assert_eq!(doc.nodes_with_tag("exam").len(), 10);
+    }
+
+    #[test]
+    fn school_weights_track_scores() {
+        let doc = random_school(5, &["Ann"], 2);
+        let w = school_weights(&doc);
+        assert_eq!(w.len(), 5);
+        for exam in doc.nodes_with_tag("exam") {
+            let t = doc.tree.children(exam)[0];
+            let score: i64 = doc.text(t).expect("text").parse().expect("numeric");
+            assert_eq!(w.get(&[t]), score);
+        }
+    }
+
+    #[test]
+    fn random_tree_shape() {
+        let t = random_binary_tree(100, 3, 7);
+        assert_eq!(t.len(), 100);
+        assert!(t.height() >= 6); // random trees are deeper than log2(n)=6.6 rarely fails
+        let t2 = random_binary_tree(100, 3, 7);
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn node_weights_cover_all_nodes() {
+        let t = random_binary_tree(20, 2, 1);
+        let w = random_node_weights(&t, 5, 10, 1);
+        assert_eq!(w.len(), 20);
+    }
+}

@@ -1,0 +1,58 @@
+//! # qpwm — query-preserving watermarking
+//!
+//! A reproduction of *Gross-Amblard, "Query-preserving watermarking of
+//! relational databases and XML documents", PODS 2003* as a Rust
+//! workspace. This facade crate re-exports the public API of every
+//! subcrate:
+//!
+//! * [`structures`] — weighted relational structures, Gaifman graphs,
+//!   neighborhoods, isomorphism types;
+//! * [`logic`] — first-order parametric queries, locality, VC-dimension;
+//! * [`trees`] — binary Σ-trees, XML, tree automata, pattern queries;
+//! * [`core`] — the watermarking schemes (Theorems 3 and 5), capacity
+//!   counting (Theorem 1), impossibility witnesses (Theorems 2 and 6),
+//!   the adversarial transform (Fact 1) and incremental maintenance
+//!   (Theorems 7 and 8);
+//! * [`baselines`] — Agrawal–Kiernan and Khanna–Zane;
+//! * [`workloads`] — reproducible synthetic workload generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qpwm::core::{LocalScheme, LocalSchemeConfig};
+//! use qpwm::core::local_scheme::SelectionStrategy;
+//! use qpwm::core::detect::HonestServer;
+//! use qpwm::workloads::travel::{example1_instance, route_query, travel_domain};
+//!
+//! // The paper's Example 1 travel database and its registered query.
+//! let travel = example1_instance();
+//! let query = route_query();
+//!
+//! // Build a Theorem 3 scheme preserving ψ(u,v) = Route(u,v).
+//! let config = LocalSchemeConfig {
+//!     rho: 1,
+//!     d: 1,
+//!     strategy: SelectionStrategy::Greedy,
+//!     seed: 7,
+//! };
+//! let scheme = LocalScheme::build_over(
+//!     &travel.instance,
+//!     &query,
+//!     travel_domain(&travel),
+//!     &config,
+//! ).expect("scheme exists");
+//!
+//! // Mark, serve, detect.
+//! let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 2 == 0).collect();
+//! let marked = scheme.mark(travel.instance.weights(), &message);
+//! let server = HonestServer::new(scheme.answers().active_sets().to_vec(), marked);
+//! let report = scheme.detect(travel.instance.weights(), &server);
+//! assert_eq!(report.bits, message);
+//! ```
+
+pub use qpwm_baselines as baselines;
+pub use qpwm_core as core;
+pub use qpwm_logic as logic;
+pub use qpwm_structures as structures;
+pub use qpwm_trees as trees;
+pub use qpwm_workloads as workloads;

@@ -1,0 +1,422 @@
+//! `qpwm` — command-line watermarking of XML documents.
+//!
+//! ```text
+//! qpwm inspect  --xml doc.xml --pattern 'school/student[firstname=$a]/exam'
+//! qpwm mark     --xml doc.xml --pattern '...' --message 101101 \
+//!               --out marked.xml --key-out secret.key
+//! qpwm detect   --xml suspect.xml --original doc.xml --pattern '...' \
+//!               --key secret.key
+//! ```
+//!
+//! `mark` builds the Theorem 5 scheme over the pattern query, embeds the
+//! message in the numeric text values of the target elements (±1), writes
+//! the marked document, and saves the secret pair list to the key file.
+//! `detect` replays the pattern queries against the suspect document,
+//! extracts the bits and reports the binomial significance of the match.
+//!
+//! Node identity is positional: detection expects the suspect document to
+//! preserve the original's element structure (the non-adversarial model;
+//! value changes are fine, reshuffling elements is not).
+
+use qpwm::core::detect::{AnswerServer, ObservedWeights};
+use qpwm::core::keyfile::SchemeKey;
+use qpwm::core::local_scheme::{LocalScheme, LocalSchemeConfig, SelectionStrategy};
+use qpwm::core::TreeScheme;
+use qpwm::logic::datalog::parse_rule;
+use qpwm::structures::Weights;
+use qpwm::trees::pattern::PatternQuery;
+use qpwm::trees::xml::{parse_xml, XmlDocument};
+use qpwm::workloads::csv_db::{load_csv_database, CsvDatabase};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  XML mode (pattern queries, Theorem 5):
+    qpwm inspect --xml <file> --pattern <pattern>
+    qpwm mark    --xml <file> --pattern <pattern> --message <bits>
+                 --out <marked.xml> --key-out <keyfile>
+    qpwm detect  --xml <suspect.xml> --original <file> --pattern <pattern>
+                 --key <keyfile> [--claim <bits>]
+  relational mode (Datalog rules, Theorem 3):
+    qpwm mark-db   --schema <spec> --table Rel=file.csv [--table ...]
+                   --weights <w.csv> --rule <rule> --message <bits>
+                   --out-weights <marked.csv> --key-out <keyfile> [--d <n>] [--rho <n>]
+    qpwm detect-db --schema <spec> --table Rel=file.csv [--table ...]
+                   --weights <original.csv> --suspect <suspect.csv>
+                   --rule <rule> --key <keyfile> [--claim <bits>]
+
+  <spec>    like 'Route(travel,transport); Timetable(t,dep,arr,ty)'
+  <rule>    like 'route($u; t) :- Route($u, t)'
+  <pattern> like 'school/student[firstname=$a]/exam'";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err("missing command".into());
+    };
+    let opts = parse_options(rest)?;
+    match command.as_str() {
+        "inspect" => inspect(&opts),
+        "mark" => mark(&opts),
+        "detect" => detect(&opts),
+        "mark-db" => mark_db(&opts),
+        "detect-db" => detect_db(&opts),
+        other => Err(format!("unknown command {other}")),
+    }
+}
+
+type Options = HashMap<String, Vec<String>>;
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut out: Options = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got {flag}"));
+        };
+        let Some(value) = it.next() else {
+            return Err(format!("--{name} needs a value"));
+        };
+        out.entry(name.to_owned()).or_default().push(value.clone());
+    }
+    Ok(out)
+}
+
+fn required<'a>(opts: &'a Options, name: &str) -> Result<&'a str, String> {
+    opts.get(name)
+        .and_then(|v| v.first())
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing --{name}"))
+}
+
+fn optional<'a>(opts: &'a Options, name: &str) -> Option<&'a str> {
+    opts.get(name).and_then(|v| v.first()).map(String::as_str)
+}
+
+fn load_doc(path: &str) -> Result<XmlDocument, String> {
+    let content =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    parse_xml(&content).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+/// Weights = numeric text children of the pattern's target elements.
+fn target_weights(doc: &XmlDocument, pattern: &PatternQuery) -> Weights {
+    let mut w = Weights::new(1);
+    for target in doc.nodes_with_tag(&pattern.target) {
+        if let Some(&t) = doc.tree.children(target).first() {
+            if let Some(value) = doc.text(t).and_then(|s| s.parse::<i64>().ok()) {
+                w.set(&[t], value);
+            }
+        }
+    }
+    w
+}
+
+/// One canonical parameter per distinct filter value.
+fn canonical_parameters(doc: &XmlDocument, pattern: &PatternQuery) -> Vec<Vec<u32>> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for f in doc.nodes_with_tag(&pattern.filter) {
+        if let Some(&t) = doc.tree.children(f).first() {
+            if seen.insert(doc.tree.label(t)) {
+                out.push(vec![t]);
+            }
+        }
+    }
+    out
+}
+
+fn build_scheme(doc: &XmlDocument, pattern: &PatternQuery) -> TreeScheme {
+    let compiled = pattern.compile(doc);
+    let binary = doc.tree.to_binary();
+    // Small block threshold: pattern automata reach very few distinct
+    // states in practice, so collisions come fast; blocks that fail to
+    // collide cost capacity, never soundness (see build_with_threshold).
+    TreeScheme::build_with_threshold(&binary, &compiled, 16, canonical_parameters(doc, pattern))
+}
+
+fn inspect(opts: &Options) -> Result<(), String> {
+    let doc = load_doc(required(opts, "xml")?)?;
+    let pattern = PatternQuery::parse(required(opts, "pattern")?)
+        .map_err(|e| e.to_string())?;
+    let weights = target_weights(&doc, &pattern);
+    let scheme = build_scheme(&doc, &pattern);
+    println!("document: {} nodes", doc.tree.len());
+    println!("targets:  {} numeric {} values", weights.len(), pattern.target);
+    println!("automaton states (m): {}", scheme.stats().num_states);
+    println!("active weights |W|:   {}", scheme.stats().active_nodes);
+    println!("capacity:             {} bits", scheme.capacity());
+    Ok(())
+}
+
+fn mark(opts: &Options) -> Result<(), String> {
+    let doc = load_doc(required(opts, "xml")?)?;
+    let pattern = PatternQuery::parse(required(opts, "pattern")?)
+        .map_err(|e| e.to_string())?;
+    let message: Vec<bool> = required(opts, "message")?
+        .chars()
+        .map(|c| match c {
+            '0' => Ok(false),
+            '1' => Ok(true),
+            other => Err(format!("message must be 0/1 bits, got {other}")),
+        })
+        .collect::<Result<_, _>>()?;
+    let weights = target_weights(&doc, &pattern);
+    let scheme = build_scheme(&doc, &pattern);
+    if message.len() > scheme.capacity() {
+        return Err(format!(
+            "message has {} bits but the document only carries {}",
+            message.len(),
+            scheme.capacity()
+        ));
+    }
+    let marked = scheme.mark(&weights, &message);
+    // new text values for changed nodes
+    let mut overrides: HashMap<u32, String> = HashMap::new();
+    for key in marked.keys_sorted() {
+        let (before, after) = (weights.get(&key), marked.get(&key));
+        if before != after {
+            overrides.insert(key[0], after.to_string());
+        }
+    }
+    let out_path = required(opts, "out")?;
+    std::fs::write(out_path, doc.to_xml_with(&overrides))
+        .map_err(|e| format!("writing {out_path}: {e}"))?;
+    let key = SchemeKey {
+        marking: scheme.marking().clone(),
+        d: 1,
+    };
+    let key_path = required(opts, "key-out")?;
+    std::fs::write(key_path, key.to_text())
+        .map_err(|e| format!("writing {key_path}: {e}"))?;
+    println!(
+        "marked {} values (±1), wrote {out_path} and secret {key_path}",
+        overrides.len()
+    );
+    println!("embedded {} of {} available bits", message.len(), scheme.capacity());
+    Ok(())
+}
+
+fn detect(opts: &Options) -> Result<(), String> {
+    let original = load_doc(required(opts, "original")?)?;
+    let suspect = load_doc(required(opts, "xml")?)?;
+    let pattern = PatternQuery::parse(required(opts, "pattern")?)
+        .map_err(|e| e.to_string())?;
+    let key_path = required(opts, "key")?;
+    let key_text =
+        std::fs::read_to_string(key_path).map_err(|e| format!("reading {key_path}: {e}"))?;
+    let key = SchemeKey::from_text(&key_text).map_err(|e| e.to_string())?;
+
+    // The owner acts as a user: replay the pattern queries against the
+    // suspect document and collect the weights its answers expose.
+    let original_weights = target_weights(&original, &pattern);
+    let suspect_weights = target_weights(&suspect, &pattern);
+    struct SuspectXmlServer {
+        sets: Vec<Vec<Vec<u32>>>,
+        weights: Weights,
+    }
+    impl AnswerServer for SuspectXmlServer {
+        fn num_parameters(&self) -> usize {
+            self.sets.len()
+        }
+        fn answer(&self, i: usize) -> Vec<(Vec<u32>, i64)> {
+            self.sets[i]
+                .iter()
+                .map(|b| (b.clone(), self.weights.get(b)))
+                .collect()
+        }
+    }
+    let sets: Vec<Vec<Vec<u32>>> = canonical_parameters(&suspect, &pattern)
+        .into_iter()
+        .map(|a| {
+            pattern
+                .answer_set_unranked(&suspect, a[0])
+                .into_iter()
+                .map(|t| vec![t])
+                .collect()
+        })
+        .collect();
+    let server = SuspectXmlServer { sets, weights: suspect_weights };
+    let observed = ObservedWeights::collect(&server);
+    let report = key.marking.extract(&original_weights, &observed);
+    let bits: String = report.bits.iter().map(|&b| if b { '1' } else { '0' }).collect();
+    println!("extracted bits: {bits}");
+    println!(
+        "clean reads: {:.0}% ({} pairs unseen)",
+        report.clean_fraction() * 100.0,
+        report.missing_pairs
+    );
+    if let Some(claim) = optional(opts, "claim") {
+        let claimed: Vec<bool> = claim.chars().map(|c| c == '1').collect();
+        let errors = report.errors_against(&claimed);
+        let significance = report.match_significance(&claimed);
+        println!(
+            "claim check: {}/{} bits match, false-positive probability {:.2e}",
+            claimed.len().min(report.bits.len()) - errors,
+            claimed.len(),
+            significance
+        );
+        if significance < 1e-6 {
+            println!("verdict: MARK PRESENT (ownership established)");
+        } else {
+            println!("verdict: inconclusive");
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// relational mode
+// ---------------------------------------------------------------------
+
+fn load_db(opts: &Options) -> Result<(CsvDatabase, Vec<(String, String)>), String> {
+    let spec = required(opts, "schema")?;
+    let table_specs = opts
+        .get("table")
+        .ok_or_else(|| "missing --table".to_string())?;
+    let mut tables: Vec<(String, String)> = Vec::new();
+    for spec in table_specs {
+        let (rel, path) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("--table must be Rel=file.csv, got {spec}"))?;
+        let csv = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        tables.push((rel.to_owned(), csv));
+    }
+    let weights_path = required(opts, "weights")?;
+    let weights_csv = std::fs::read_to_string(weights_path)
+        .map_err(|e| format!("reading {weights_path}: {e}"))?;
+    let refs: Vec<(&str, &str)> = tables
+        .iter()
+        .map(|(r, c)| (r.as_str(), c.as_str()))
+        .collect();
+    let db = load_csv_database(spec, &refs, Some(&weights_csv)).map_err(|e| e.to_string())?;
+    Ok((db, tables))
+}
+
+fn build_db_scheme(
+    db: &CsvDatabase,
+    opts: &Options,
+) -> Result<(LocalScheme, String), String> {
+    let rule_text = required(opts, "rule")?;
+    let rule = parse_rule(rule_text, db.instance.structure().schema())
+        .map_err(|e| e.to_string())?;
+    let d: u64 = optional(opts, "d").unwrap_or("1").parse().map_err(|_| "--d needs a number")?;
+    let rho: u32 =
+        optional(opts, "rho").unwrap_or("1").parse().map_err(|_| "--rho needs a number")?;
+    let config = LocalSchemeConfig {
+        rho,
+        d,
+        strategy: SelectionStrategy::Greedy,
+        seed: 7,
+    };
+    let scheme = LocalScheme::build(&db.instance, &rule.query, &config)
+        .map_err(|e| format!("cannot build a scheme: {e}"))?;
+    Ok((scheme, rule.name))
+}
+
+fn mark_db(opts: &Options) -> Result<(), String> {
+    let (db, _) = load_db(opts)?;
+    let (scheme, rule_name) = build_db_scheme(&db, opts)?;
+    let message: Vec<bool> = required(opts, "message")?
+        .chars()
+        .map(|c| match c {
+            '0' => Ok(false),
+            '1' => Ok(true),
+            other => Err(format!("message must be 0/1 bits, got {other}")),
+        })
+        .collect::<Result<_, _>>()?;
+    if message.len() > scheme.capacity() {
+        return Err(format!(
+            "message has {} bits but the database carries {} (rule {rule_name}, d = {})",
+            message.len(),
+            scheme.capacity(),
+            scheme.d()
+        ));
+    }
+    let marked = scheme.mark(db.instance.weights(), &message);
+    let audit = scheme.audit(db.instance.weights(), &marked);
+    let out_path = required(opts, "out-weights")?;
+    std::fs::write(out_path, db.weights_to_csv(&marked))
+        .map_err(|e| format!("writing {out_path}: {e}"))?;
+    let key = SchemeKey { marking: scheme.marking().clone(), d: scheme.d() };
+    let key_path = required(opts, "key-out")?;
+    std::fs::write(key_path, key.to_text())
+        .map_err(|e| format!("writing {key_path}: {e}"))?;
+    println!(
+        "marked: {} bits of {} available; per-value change ≤ {}, per-answer change ≤ {}",
+        message.len(),
+        scheme.capacity(),
+        audit.max_local,
+        audit.max_global
+    );
+    println!("wrote {out_path} and secret {key_path}");
+    Ok(())
+}
+
+fn detect_db(opts: &Options) -> Result<(), String> {
+    let (db, _) = load_db(opts)?;
+    let (scheme, _) = build_db_scheme(&db, opts)?;
+    let key_path = required(opts, "key")?;
+    let key_text =
+        std::fs::read_to_string(key_path).map_err(|e| format!("reading {key_path}: {e}"))?;
+    let key = SchemeKey::from_text(&key_text).map_err(|e| e.to_string())?;
+    // load the suspect's weights over the same name dictionary
+    let suspect_path = required(opts, "suspect")?;
+    let suspect_csv = std::fs::read_to_string(suspect_path)
+        .map_err(|e| format!("reading {suspect_path}: {e}"))?;
+    let mut suspect_weights = Weights::new(1);
+    for (lineno, line) in suspect_csv.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .rsplit_once(',')
+            .ok_or_else(|| format!("bad suspect row at line {}", lineno + 1))?;
+        let name = name.trim().trim_matches('"').replace("\"\"", "\"");
+        let w: i64 = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad suspect weight at line {}", lineno + 1))?;
+        if let Some(e) = db.element(&name) {
+            suspect_weights.set(&[e], w);
+        }
+    }
+    // the suspect serves the rule's answers with its weights
+    let server = qpwm::core::detect::HonestServer::new(
+        scheme.answers().active_sets().to_vec(),
+        suspect_weights,
+    );
+    let observed = ObservedWeights::collect(&server);
+    let report = key.marking.extract(db.instance.weights(), &observed);
+    let bits: String = report.bits.iter().map(|&b| if b { '1' } else { '0' }).collect();
+    println!("extracted bits: {bits}");
+    if let Some(claim) = optional(opts, "claim") {
+        let claimed: Vec<bool> = claim.chars().map(|c| c == '1').collect();
+        let errors = report.errors_against(&claimed);
+        let significance = report.match_significance(&claimed);
+        println!(
+            "claim check: {}/{} bits match, false-positive probability {:.2e}",
+            claimed.len().min(report.bits.len()) - errors,
+            claimed.len(),
+            significance
+        );
+        if significance < 1e-6 {
+            println!("verdict: MARK PRESENT (ownership established)");
+        } else {
+            println!("verdict: inconclusive");
+        }
+    }
+    Ok(())
+}

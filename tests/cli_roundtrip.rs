@@ -1,0 +1,216 @@
+//! End-to-end test of the `qpwm` command-line tool: inspect → mark →
+//! detect on a real XML file, including the false-positive check.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const PATTERN: &str = "school/student[firstname=$a]/exam";
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qpwm-cli-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn school_xml(students: usize) -> String {
+    let names = ["Robert", "John", "Ana", "Wei"];
+    let mut xml = String::from("<school>\n");
+    for i in 0..students {
+        let name = names[i % names.len()];
+        let exam = (i * 7) % 21;
+        xml.push_str(&format!(
+            "  <student>\n    <firstname>{name}</firstname>\n    <lastname>L{i}</lastname>\n    <exam>{exam}</exam>\n  </student>\n"
+        ));
+    }
+    xml.push_str("</school>\n");
+    xml
+}
+
+fn run(args: &[&str]) -> (bool, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_qpwm"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    (output.status.success(), text)
+}
+
+#[test]
+fn full_mark_detect_cycle() {
+    let dir = workdir("roundtrip");
+    let doc = dir.join("school.xml");
+    std::fs::write(&doc, school_xml(400)).expect("write doc");
+    let marked = dir.join("marked.xml");
+    let key = dir.join("secret.key");
+    let doc_s = doc.to_str().expect("utf8");
+    let marked_s = marked.to_str().expect("utf8");
+    let key_s = key.to_str().expect("utf8");
+
+    // inspect reports capacity
+    let (ok, out) = run(&["inspect", "--xml", doc_s, "--pattern", PATTERN]);
+    assert!(ok, "{out}");
+    assert!(out.contains("capacity"), "{out}");
+
+    // mark
+    let message = "110100111010011011001011"; // 24 bits: enough for < 1e-6 significance
+    let (ok, out) = run(&[
+        "mark", "--xml", doc_s, "--pattern", PATTERN, "--message", message, "--out", marked_s,
+        "--key-out", key_s,
+    ]);
+    assert!(ok, "{out}");
+    assert!(marked.exists() && key.exists());
+
+    // detect on the marked copy: full match, overwhelming significance
+    let (ok, out) = run(&[
+        "detect", "--xml", marked_s, "--original", doc_s, "--pattern", PATTERN, "--key", key_s,
+        "--claim", message,
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("24/24 bits match"), "{out}");
+    assert!(out.contains("MARK PRESENT"), "{out}");
+
+    // detect on the unmarked original: inconclusive
+    let (ok, out) = run(&[
+        "detect", "--xml", doc_s, "--original", doc_s, "--pattern", PATTERN, "--key", key_s,
+        "--claim", message,
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("inconclusive"), "{out}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn marked_document_stays_well_formed_and_close() {
+    let dir = workdir("wellformed");
+    let doc = dir.join("school.xml");
+    std::fs::write(&doc, school_xml(200)).expect("write doc");
+    let marked = dir.join("marked.xml");
+    let key = dir.join("secret.key");
+    let (ok, out) = run(&[
+        "mark",
+        "--xml",
+        doc.to_str().expect("utf8"),
+        "--pattern",
+        PATTERN,
+        "--message",
+        "1010",
+        "--out",
+        marked.to_str().expect("utf8"),
+        "--key-out",
+        key.to_str().expect("utf8"),
+    ]);
+    assert!(ok, "{out}");
+    // the marked file reparses, has the same shape, and every exam value
+    // moved by at most 1
+    let original = qpwm::trees::xml::parse_xml(&std::fs::read_to_string(&doc).expect("read"))
+        .expect("original parses");
+    let reparsed = qpwm::trees::xml::parse_xml(&std::fs::read_to_string(&marked).expect("read"))
+        .expect("marked parses");
+    assert_eq!(original.tree.len(), reparsed.tree.len());
+    let exams_orig = original.nodes_with_tag("exam");
+    let exams_marked = reparsed.nodes_with_tag("exam");
+    assert_eq!(exams_orig.len(), exams_marked.len());
+    let mut moved = 0;
+    for (&a, &b) in exams_orig.iter().zip(&exams_marked) {
+        let va: i64 = original
+            .text(original.tree.children(a)[0])
+            .and_then(|s| s.parse().ok())
+            .expect("numeric");
+        let vb: i64 = reparsed
+            .text(reparsed.tree.children(b)[0])
+            .and_then(|s| s.parse().ok())
+            .expect("numeric");
+        assert!((va - vb).abs() <= 1, "exam moved by {}", (va - vb).abs());
+        if va != vb {
+            moved += 1;
+        }
+    }
+    assert_eq!(moved, 8, "4 bits = 4 pairs = 8 moved values");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn helpful_errors() {
+    let (ok, out) = run(&["mark", "--xml", "/nonexistent.xml"]);
+    assert!(!ok);
+    assert!(out.contains("error:"), "{out}");
+    let (ok, out) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(out.contains("unknown command"), "{out}");
+    let (ok, out) = run(&[]);
+    assert!(!ok);
+    assert!(out.contains("usage"), "{out}");
+}
+
+#[test]
+fn relational_mode_mark_detect_cycle() {
+    let dir = workdir("relational");
+    // tiny deterministic travel db
+    let mut route = String::new();
+    let mut weights = String::new();
+    for trip in 0..60 {
+        for k in 0..3 {
+            route.push_str(&format!("Trip{trip},T{}\n", (trip * 3 + k) % 120));
+        }
+    }
+    let mut timetable = String::new();
+    for t in 0..120 {
+        timetable.push_str(&format!("T{t},CityA,CityB,plane\n"));
+        weights.push_str(&format!("T{t},{}\n", 100 + t));
+    }
+    let route_p = dir.join("route.csv");
+    let tt_p = dir.join("timetable.csv");
+    let w_p = dir.join("weights.csv");
+    std::fs::write(&route_p, route).expect("write");
+    std::fs::write(&tt_p, timetable).expect("write");
+    std::fs::write(&w_p, weights).expect("write");
+    let marked_p = dir.join("marked.csv");
+    let key_p = dir.join("db.key");
+    let spec = "Route(travel,transport); Timetable(t,dep,arr,ty)";
+    let rule = "route($u; t) :- Route($u, t)";
+    let message = "101101001111001011010110"; // 24 bits
+
+    let (ok, out) = run(&[
+        "mark-db", "--schema", spec,
+        "--table", &format!("Route={}", route_p.display()),
+        "--table", &format!("Timetable={}", tt_p.display()),
+        "--weights", w_p.to_str().expect("utf8"),
+        "--rule", rule, "--message", message,
+        "--out-weights", marked_p.to_str().expect("utf8"),
+        "--key-out", key_p.to_str().expect("utf8"),
+    ]);
+    assert!(ok, "{out}");
+
+    let (ok, out) = run(&[
+        "detect-db", "--schema", spec,
+        "--table", &format!("Route={}", route_p.display()),
+        "--table", &format!("Timetable={}", tt_p.display()),
+        "--weights", w_p.to_str().expect("utf8"),
+        "--suspect", marked_p.to_str().expect("utf8"),
+        "--rule", rule, "--key", key_p.to_str().expect("utf8"),
+        "--claim", message,
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("24/24 bits match"), "{out}");
+    assert!(out.contains("MARK PRESENT"), "{out}");
+
+    // unmarked original: inconclusive
+    let (ok, out) = run(&[
+        "detect-db", "--schema", spec,
+        "--table", &format!("Route={}", route_p.display()),
+        "--table", &format!("Timetable={}", tt_p.display()),
+        "--weights", w_p.to_str().expect("utf8"),
+        "--suspect", w_p.to_str().expect("utf8"),
+        "--rule", rule, "--key", key_p.to_str().expect("utf8"),
+        "--claim", message,
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("inconclusive"), "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

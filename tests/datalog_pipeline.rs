@@ -1,0 +1,97 @@
+//! Glue test: Datalog rule text → compiled query (with join plan) →
+//! Theorem 3 scheme → keyfile round-trip → detection — the full
+//! owner-facing workflow through the textual frontend.
+
+use qpwm::core::detect::{HonestServer, ObservedWeights};
+use qpwm::core::incremental::MarkDeltas;
+use qpwm::core::keyfile::SchemeKey;
+use qpwm::core::local_scheme::{LocalScheme, LocalSchemeConfig, SelectionStrategy};
+use qpwm::core::TreeScheme;
+use qpwm::logic::datalog::parse_rule;
+use qpwm::structures::Weights;
+use qpwm::trees::pattern::PatternQuery;
+use qpwm::workloads::graphs::{cycle_union, unary_domain, with_random_weights};
+use qpwm::workloads::xml_gen::{random_school, school_weights};
+
+#[test]
+fn rule_text_to_detection() {
+    let instance = with_random_weights(cycle_union(30, 6, 0), 500, 3_000, 6);
+    let schema = instance.structure().schema();
+    let rule = parse_rule("neighbors($u; v) :- E($u, v)", schema).expect("parses");
+    assert!(rule.query.has_cq_plan(), "edge rule should use the join plan");
+    let scheme = LocalScheme::build_over(
+        &instance,
+        &rule.query,
+        unary_domain(instance.structure()),
+        &LocalSchemeConfig { rho: 1, d: 1, strategy: SelectionStrategy::Greedy, seed: 2 },
+    )
+    .expect("builds");
+    let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 2 == 0).collect();
+    let marked = scheme.mark(instance.weights(), &message);
+
+    // persist the secret, reload it, detect with the reloaded key
+    let key = SchemeKey { marking: scheme.marking().clone(), d: 1 };
+    let reloaded = SchemeKey::from_text(&key.to_text()).expect("round-trips");
+    let server = HonestServer::new(scheme.answers().active_sets().to_vec(), marked);
+    let report = reloaded
+        .marking
+        .extract(instance.weights(), &ObservedWeights::collect(&server));
+    assert_eq!(report.bits, message);
+}
+
+#[test]
+fn join_rule_preserves_both_hops() {
+    let instance = with_random_weights(cycle_union(20, 6, 0), 500, 3_000, 9);
+    let schema = instance.structure().schema();
+    let rule = parse_rule(
+        "two_hop($u; v) :- E($u, z), E(z, v), v != $u",
+        schema,
+    )
+    .expect("parses");
+    assert!(rule.query.has_cq_plan());
+    let scheme = LocalScheme::build_over(
+        &instance,
+        &rule.query,
+        unary_domain(instance.structure()),
+        &LocalSchemeConfig { rho: 2, d: 2, strategy: SelectionStrategy::Greedy, seed: 4 },
+    )
+    .expect("builds");
+    let message = vec![true; scheme.capacity()];
+    let marked = scheme.mark(instance.weights(), &message);
+    assert!(scheme.audit(instance.weights(), &marked).is_d_global(2));
+}
+
+#[test]
+fn tree_scheme_survives_weight_updates_via_deltas() {
+    // Theorem 7 for the tree scheme: re-apply stored deltas after the
+    // owner refreshes exam scores.
+    let doc = random_school(300, &["Ann", "Bo"], 12);
+    let query = PatternQuery::parse("school/student[firstname=$a]/exam").expect("parses");
+    let compiled = query.compile(&doc);
+    let binary = doc.tree.to_binary();
+    let weights = school_weights(&doc);
+    let canonical: Vec<Vec<u32>> = {
+        let mut seen = std::collections::HashSet::new();
+        doc.nodes_with_tag("firstname")
+            .into_iter()
+            .filter_map(|f| doc.tree.children(f).first().copied())
+            .filter(|&t| seen.insert(doc.tree.label(t)))
+            .map(|t| vec![t])
+            .collect()
+    };
+    let scheme = TreeScheme::build_with_threshold(&binary, &compiled, 16, canonical);
+    assert!(scheme.capacity() >= 4);
+    let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 3 != 0).collect();
+    let marked = scheme.mark(&weights, &message);
+    let deltas = MarkDeltas::from_marked(&weights, &marked);
+
+    // the owner re-grades every exam (new weights on the same nodes)
+    let mut new_weights = Weights::new(1);
+    for key in weights.keys_sorted() {
+        new_weights.set(&key, weights.get(&key) + 100);
+    }
+    let refreshed = deltas.reapply(&new_weights);
+    let server = HonestServer::new(scheme.active_sets(), refreshed);
+    let report = scheme.detect(&new_weights, &server);
+    assert_eq!(report.bits, message);
+}

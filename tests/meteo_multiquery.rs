@@ -1,0 +1,65 @@
+//! The meteo workload end-to-end: two registered join queries over a
+//! station network, preserved simultaneously by one multi-query scheme.
+
+use qpwm::core::detect::HonestServer;
+use qpwm::core::local_scheme::{LocalSchemeConfig, SelectionStrategy};
+use qpwm::core::MultiQueryScheme;
+use qpwm::workloads::meteo::{
+    random_meteo, region_domain, regional_rule, service_domain, syndicated_rule,
+};
+
+#[test]
+fn both_meteo_queries_preserved_and_detectable() {
+    let m = random_meteo(240, 60, 8, 8, 5);
+    let regional = regional_rule(&m);
+    let syndicated = syndicated_rule(&m);
+    let config = LocalSchemeConfig {
+        rho: 1,
+        d: 2,
+        strategy: SelectionStrategy::Greedy,
+        seed: 3,
+    };
+    let scheme = MultiQueryScheme::build(
+        &m.instance,
+        &[
+            (&regional.query, region_domain(&m)),
+            (&syndicated.query, service_domain(&m)),
+        ],
+        &config,
+    )
+    .expect("meteo instances pair");
+    assert!(scheme.capacity() >= 8, "capacity {}", scheme.capacity());
+
+    let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 3 == 1).collect();
+    let marked = scheme.mark(m.instance.weights(), &message);
+
+    // both registered queries stay within d
+    let audits = scheme.audit(m.instance.weights(), &marked);
+    for (i, d) in audits.iter().enumerate() {
+        assert!(*d <= 2, "query {i}: distortion {d}");
+    }
+    // per-region mean temperature moves by < 0.1 °C × |stations|⁻¹ —
+    // check the raw sums directly too
+    for (i, &region) in m.regions.iter().enumerate() {
+        let _ = region;
+        let set = scheme.answers(0).active_set(i);
+        let before: i64 = set.iter().map(|s| m.instance.weights().get(s)).sum();
+        let after: i64 = set.iter().map(|s| marked.get(s)).sum();
+        assert!((before - after).abs() <= 2);
+    }
+
+    // detection through the syndication query alone (a service's feed)
+    let server = HonestServer::new(scheme.answers(1).active_sets().to_vec(), marked);
+    let report = scheme.detect(m.instance.weights(), &server);
+    let clean: usize = report.scores.iter().filter(|s| s.abs() >= 2).count();
+    // the syndication feeds may not expose every pair member; the exposed
+    // ones must decode correctly
+    for ((bit, expected), score) in
+        report.bits.iter().zip(&message).zip(&report.scores)
+    {
+        if score.abs() >= 2 {
+            assert_eq!(bit, expected);
+        }
+    }
+    assert!(clean >= scheme.capacity() / 2, "clean {clean}");
+}

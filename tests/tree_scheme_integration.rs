@@ -1,0 +1,169 @@
+//! Integration tests: the Theorem 5 pipeline on XML documents, with the
+//! pattern compiler, binary encoding and tree scheme working together.
+
+use qpwm::core::detect::HonestServer;
+use qpwm::core::TreeScheme;
+use qpwm::trees::pattern::PatternQuery;
+use qpwm::workloads::xml_gen::{random_node_weights, random_binary_tree, random_school, school_weights};
+
+
+/// One canonical parameter node per distinct firstname value.
+fn canonical_parameters(doc: &qpwm::trees::xml::XmlDocument) -> Vec<Vec<u32>> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for f in doc.nodes_with_tag("firstname") {
+        if let Some(&t) = doc.tree.children(f).first() {
+            if seen.insert(doc.tree.label(t)) {
+                out.push(vec![t]);
+            }
+        }
+    }
+    out
+}
+fn school_query() -> PatternQuery {
+    PatternQuery::parse("school/student[firstname=$a]/exam").expect("parses")
+}
+
+#[test]
+fn large_school_roundtrip() {
+    let doc = random_school(800, &["Robert", "John", "Ana"], 3);
+    let query = school_query();
+    let compiled = query.compile(&doc);
+    let binary = doc.tree.to_binary();
+    let weights = school_weights(&doc);
+    let scheme = TreeScheme::build_over(&binary, &compiled, 2, canonical_parameters(&doc));
+    assert!(scheme.capacity() >= 1, "stats {:?}", scheme.stats());
+    let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 2 == 0).collect();
+    let marked = scheme.mark(&weights, &message);
+    let audit = scheme.audit(&weights, &marked);
+    assert!(audit.is_c_local(1));
+    assert!(audit.is_d_global(1), "global {}", audit.max_global);
+    let server = HonestServer::new(scheme.active_sets(), marked);
+    assert_eq!(scheme.detect(&weights, &server).bits, message);
+}
+
+#[test]
+fn marking_changes_only_exam_scores() {
+    let doc = random_school(400, &["Ann", "Bo"], 5);
+    let query = school_query();
+    let compiled = query.compile(&doc);
+    let binary = doc.tree.to_binary();
+    let weights = school_weights(&doc);
+    let scheme = TreeScheme::build_over(&binary, &compiled, 2, canonical_parameters(&doc));
+    let marked = scheme.mark(&weights, &vec![true; scheme.capacity()]);
+    // Every touched key must be an exam text node (an active weight).
+    let exam_texts: std::collections::HashSet<u32> = doc
+        .nodes_with_tag("exam")
+        .into_iter()
+        .filter_map(|e| doc.tree.children(e).first().copied())
+        .collect();
+    for key in marked.keys_sorted() {
+        if marked.get(&key) != weights.get(&key) {
+            assert!(exam_texts.contains(&key[0]), "touched non-exam node {key:?}");
+        }
+    }
+}
+
+#[test]
+fn per_name_query_distortion_is_at_most_one() {
+    // The paper's guarantee, checked per firstname: marking any message
+    // moves each name's total exam score by at most 1.
+    let names = ["Robert", "John", "Ana", "Wei"];
+    let doc = random_school(600, &names, 8);
+    let query = school_query();
+    let compiled = query.compile(&doc);
+    let binary = doc.tree.to_binary();
+    let weights = school_weights(&doc);
+    let scheme = TreeScheme::build_over(&binary, &compiled, 2, canonical_parameters(&doc));
+    let marked = scheme.mark(&weights, &vec![false; scheme.capacity()]);
+    for name in names {
+        let sym = doc.text_symbol(name).expect("name occurs");
+        let a = doc
+            .tree
+            .preorder()
+            .into_iter()
+            .find(|&n| doc.tree.label(n) == sym)
+            .expect("node exists");
+        let answers = query.answer_set_unranked(&doc, a);
+        let before: i64 = answers.iter().map(|&t| weights.get(&[t])).sum();
+        let after: i64 = answers.iter().map(|&t| marked.get(&[t])).sum();
+        assert!((before - after).abs() <= 1, "{name}: {before} -> {after}");
+    }
+}
+
+#[test]
+fn capacity_tracks_w_over_m() {
+    // Lemma 3: capacity ≈ |W| / (block_factor · m). Doubling the school
+    // roughly doubles capacity.
+    let query = school_query();
+    let small_doc = random_school(300, &["A", "B"], 1);
+    let large_doc = random_school(600, &["A", "B"], 1);
+    let small = TreeScheme::build_over(&small_doc.tree.to_binary(), &query.compile(&small_doc), 2, canonical_parameters(&small_doc));
+    let large = TreeScheme::build_over(&large_doc.tree.to_binary(), &query.compile(&large_doc), 2, canonical_parameters(&large_doc));
+    assert!(
+        large.capacity() as f64 >= 1.5 * small.capacity() as f64,
+        "small {} large {}",
+        small.capacity(),
+        large.capacity()
+    );
+}
+
+#[test]
+fn compiled_automaton_agrees_with_ground_truth_on_random_docs() {
+    for seed in 0..3 {
+        let doc = random_school(40, &["Ann", "Bo", "Cy"], seed);
+        let query = school_query();
+        let compiled = query.compile(&doc);
+        let binary = doc.tree.to_binary();
+        for a in (0..doc.tree.len() as u32).step_by(7) {
+            assert_eq!(
+                query.answer_set_unranked(&doc, a),
+                compiled.answer_set(&binary, &[a]),
+                "seed {seed} a {a}"
+            );
+        }
+    }
+}
+
+#[test]
+fn hand_built_automaton_scheme_on_random_trees() {
+    use qpwm::trees::automaton::{TreeAutomaton, STAR};
+    use qpwm::trees::pebble::{pebbled_symbol, PebbledQuery};
+    // Query: output pebble on a node labeled 0 whose parent is labeled 1
+    // (parameter ignored) — 3 states: 0 none, 1 pebble-on-0 pending, 2 hit.
+    let mut a = TreeAutomaton::new(3, 0);
+    for base in [0u32, 1, 2] {
+        for bits in 0..4u32 {
+            let sym = pebbled_symbol(base, bits, 2);
+            let b_here = bits & 0b10 != 0;
+            for ql in [STAR, 0, 1, 2] {
+                for qr in [STAR, 0, 1, 2] {
+                    let child_pending = ql == 1 || qr == 1;
+                    let child_hit = ql == 2 || qr == 2;
+                    let state = if child_hit || (child_pending && base == 1) {
+                        2
+                    } else if b_here && base == 0 {
+                        1
+                    } else {
+                        0
+                    };
+                    a.add_transition(ql, qr, sym, state);
+                }
+            }
+        }
+    }
+    a.set_accepting(2, true);
+    let q = PebbledQuery::new(a, 1);
+    let tree = random_binary_tree(600, 2, 11);
+    let weights = random_node_weights(&tree, 100, 200, 2);
+    let scheme = TreeScheme::build(&tree, &q, 2);
+    if scheme.capacity() == 0 {
+        // possible on unlucky trees; the construction must still be sound
+        return;
+    }
+    let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 2 == 1).collect();
+    let marked = scheme.mark(&weights, &message);
+    assert!(scheme.audit(&weights, &marked).is_d_global(1));
+    let server = HonestServer::new(scheme.active_sets(), marked);
+    assert_eq!(scheme.detect(&weights, &server).bits, message);
+}

@@ -1,0 +1,106 @@
+//! The general weight arity `s = 2`: weights attached to *pairs*
+//! (edges), exactly the `W : U^s → N` of the paper's Definition 1.
+//!
+//! Query: `ψ(u; v₁, v₂) ≡ E(v₁, v₂) ∧ (u = v₁ ∨ u = v₂)` — "the weighted
+//! edges incident to u". The whole pipeline (answers, classes, pairing,
+//! marking, detection) is arity-generic; this test proves it.
+
+use qpwm::core::detect::HonestServer;
+use qpwm::core::local_scheme::SelectionStrategy;
+use qpwm::core::{LocalScheme, LocalSchemeConfig};
+use qpwm::logic::{Formula, ParametricQuery};
+use qpwm::structures::{Schema, StructureBuilder, WeightedStructure, Weights};
+use std::sync::Arc;
+
+/// Disjoint 6-cycles with edge weights; schema declares s = 2.
+fn edge_weighted_cycles(cycles: u32) -> WeightedStructure {
+    let schema = Arc::new(Schema::new(vec![("E", 2)], 2));
+    let n = cycles * 6;
+    let mut b = StructureBuilder::new(schema, n);
+    let mut w = Weights::new(2);
+    for c in 0..cycles {
+        let base = c * 6;
+        for i in 0..6 {
+            let u = base + i;
+            let v = base + (i + 1) % 6;
+            b.add(0, &[u, v]);
+            b.add(0, &[v, u]);
+            let weight = 500 + (u as i64 * 7 + v as i64) % 90;
+            w.set(&[u, v], weight);
+            w.set(&[v, u], weight);
+        }
+    }
+    WeightedStructure::new(b.build(), w)
+}
+
+fn incident_edges_query() -> ParametricQuery {
+    // ψ(u; v1, v2) ≡ E(v1, v2) ∧ (u = v1 ∨ u = v2)
+    let formula = Formula::atom(0, &[1, 2]).and(Formula::eq(0, 1).or(Formula::eq(0, 2)));
+    ParametricQuery::new(formula, vec![0], vec![1, 2])
+}
+
+#[test]
+fn answer_sets_are_incident_edge_tuples() {
+    let instance = edge_weighted_cycles(2);
+    let query = incident_edges_query();
+    let answers = query.answer_set(instance.structure(), &[0]);
+    // vertex 0's incident edge tuples in both orientations:
+    // (0,1), (1,0), (0,5), (5,0)
+    assert_eq!(
+        answers,
+        vec![vec![0, 1], vec![0, 5], vec![1, 0], vec![5, 0]]
+    );
+}
+
+#[test]
+fn scheme_marks_edge_weights_and_detects() {
+    let instance = edge_weighted_cycles(8);
+    let query = incident_edges_query();
+    let domain: Vec<Vec<u32>> = instance.structure().universe().map(|e| vec![e]).collect();
+    let config = LocalSchemeConfig {
+        rho: 1,
+        d: 1,
+        strategy: SelectionStrategy::Greedy,
+        seed: 3,
+    };
+    let scheme =
+        LocalScheme::build_over(&instance, &query, domain, &config).expect("builds");
+    assert!(scheme.capacity() >= 4, "capacity {}", scheme.capacity());
+    // every marked key is a 2-tuple
+    for pair in scheme.marking().pairs() {
+        assert_eq!(pair.plus.len(), 2);
+        assert_eq!(pair.minus.len(), 2);
+    }
+    let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 2 == 1).collect();
+    let marked = scheme.mark(instance.weights(), &message);
+    let audit = scheme.audit(instance.weights(), &marked);
+    assert!(audit.is_c_local(1));
+    assert!(audit.is_d_global(1), "global {}", audit.max_global);
+    let server = HonestServer::new(scheme.answers().active_sets().to_vec(), marked);
+    let report = scheme.detect(instance.weights(), &server);
+    assert_eq!(report.bits, message);
+}
+
+#[test]
+fn per_vertex_total_incident_weight_is_preserved_within_d() {
+    let instance = edge_weighted_cycles(8);
+    let query = incident_edges_query();
+    let domain: Vec<Vec<u32>> = instance.structure().universe().map(|e| vec![e]).collect();
+    let config = LocalSchemeConfig {
+        rho: 1,
+        d: 2,
+        strategy: SelectionStrategy::Greedy,
+        seed: 8,
+    };
+    let scheme =
+        LocalScheme::build_over(&instance, &query, domain, &config).expect("builds");
+    let marked = scheme.mark(instance.weights(), &vec![true; scheme.capacity()]);
+    // hand-check the d-global bound: each vertex's summed incident edge
+    // weight moved by at most 2
+    for u in instance.structure().universe() {
+        let edges = query.answer_set(instance.structure(), &[u]);
+        let before: i64 = edges.iter().map(|e| instance.weights().get(e)).sum();
+        let after: i64 = edges.iter().map(|e| marked.get(e)).sum();
+        assert!((before - after).abs() <= 2, "vertex {u}: {before} -> {after}");
+    }
+}
