@@ -13,8 +13,7 @@
 //! * a differential detector reading edge weights back from the suspect
 //!   graph.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use qpwm_rng::Rng;
 use std::collections::BinaryHeap;
 
 /// An undirected weighted graph for shortest-path watermarking.
@@ -125,12 +124,9 @@ impl KzScheme {
     /// Greedily selects a maximal mark-edge set keeping all shortest
     /// paths within `d` under both extreme orientations.
     pub fn build(graph: &KzGraph, d: i64, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut order: Vec<usize> = (0..graph.edges.len()).collect();
-        for i in (1..order.len()).rev() {
-            let j = rng.gen_range(0..=i);
-            order.swap(i, j);
-        }
+        rng.shuffle(&mut order);
         let base: Vec<i64> = graph.edges.iter().map(|&(_, _, w)| w).collect();
         let mut selected: Vec<usize> = Vec::new();
         for cand in order {

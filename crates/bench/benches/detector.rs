@@ -23,7 +23,7 @@ fn bench_detect(c: &mut Criterion) {
         .expect("builds");
         let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 2 == 0).collect();
         let marked = scheme.mark(instance.weights(), &message);
-        let server = HonestServer::new(scheme.answers().active_sets().to_vec(), marked);
+        let server = HonestServer::new(scheme.answers().clone(), marked);
         group.bench_with_input(BenchmarkId::from_parameter(cycles * 6), &cycles, |b, _| {
             b.iter(|| black_box(scheme.detect(instance.weights(), &server)))
         });

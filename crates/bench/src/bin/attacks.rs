@@ -28,7 +28,7 @@ fn main() {
         base.capacity(),
         base.stats().active_elements
     );
-    let active_sets = base.answers().active_sets().to_vec();
+    let answers = base.answers().clone();
 
     // ---- bit errors vs attack strength and repetition -----------------------
     let mut table = Table::new(vec!["attack", "R=1 err", "R=3 err", "R=7 err", "attacker d'"]);
@@ -51,7 +51,7 @@ fn main() {
                 let out = simulate_attack(
                     &scheme,
                     instance.weights(),
-                    &active_sets,
+                    &answers,
                     &message,
                     &attack,
                     seed,
@@ -75,7 +75,7 @@ fn main() {
         let matches = false_positive_matches(
             &scheme,
             instance.weights(),
-            &active_sets,
+            &answers,
             innocent.weights(),
             &claimed,
         );
@@ -103,7 +103,7 @@ fn main() {
         let out = simulate_attack(
             &scheme,
             instance.weights(),
-            &active_sets,
+            &answers,
             &message,
             &attack,
             3,
@@ -118,20 +118,18 @@ fn main() {
 
     // ---- partial access: detect from a sample of the parameter domain ------
     use qpwm_core::detect::ObservedWeights;
-    use rand::rngs::StdRng;
-    use rand::seq::SliceRandom;
-    use rand::SeedableRng;
+    use qpwm_rng::Rng;
     let mut partial = Table::new(vec!["queried params", "bits read cleanly", "of", "significance"]);
     let scheme = RobustScheme::new(base.marking().clone(), 1);
     let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 2 == 0).collect();
     let marked = scheme.mark(instance.weights(), &message);
-    let server = qpwm_core::detect::HonestServer::new(active_sets.clone(), marked);
-    let total = active_sets.len();
+    let server = qpwm_core::detect::HonestServer::new(answers.clone(), marked);
+    let total = answers.len();
     for fraction in [0.05f64, 0.15, 0.4, 1.0] {
         let sample_size = ((total as f64 * fraction) as usize).max(1);
-        let mut rng = StdRng::seed_from_u64(17);
+        let mut rng = Rng::seed_from_u64(17);
         let mut indices: Vec<usize> = (0..total).collect();
-        indices.shuffle(&mut rng);
+        rng.shuffle(&mut indices);
         indices.truncate(sample_size);
         let observed = ObservedWeights::collect_sample(&server, &indices);
         let report = base.marking().extract(instance.weights(), &observed);

@@ -15,10 +15,9 @@ use qpwm_baselines::khanna_zane::{KzGraph, KzScheme};
 use qpwm_bench::Table;
 use qpwm_core::local_scheme::{LocalScheme, LocalSchemeConfig, SelectionStrategy};
 use qpwm_logic::{Formula, ParametricQuery};
-use qpwm_structures::distortion::f_value;
+use qpwm_rng::Rng;
+use qpwm_structures::distortion::Aggregate;
 use qpwm_workloads::graphs::{cycle_union, unary_domain, with_random_weights};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn main() {
     // ---- X-B1 ---------------------------------------------------------------
@@ -42,8 +41,8 @@ fn main() {
         let (m1, v1) = mean_variance(&marked, &universe);
         let worst = (0..answers.len())
             .map(|i| {
-                (f_value(instance.weights(), answers.active_set(i))
-                    - f_value(&marked, answers.active_set(i)))
+                (Aggregate::Sum.apply_iter(instance.weights(), answers.set_tuples(i))
+                    - Aggregate::Sum.apply_iter(&marked, answers.set_tuples(i)))
                 .abs()
             })
             .max()
@@ -87,14 +86,14 @@ fn main() {
 
     // ---- X-B2 ---------------------------------------------------------------
     let mut b2 = Table::new(vec!["graph", "edges", "d", "bits", "max path change"]);
-    let mut rng = StdRng::seed_from_u64(8);
+    let mut rng = Rng::seed_from_u64(8);
     for n in [12u32, 20, 32] {
         let mut edges = Vec::new();
         for i in 0..n {
-            edges.push((i, (i + 1) % n, rng.gen_range(8..20)));
+            edges.push((i, (i + 1) % n, rng.gen_range(8i64..20)));
         }
         for i in 0..n / 2 {
-            edges.push((i, i + n / 2, rng.gen_range(20..40)));
+            edges.push((i, i + n / 2, rng.gen_range(20i64..40)));
         }
         let g = KzGraph::new(n as usize, edges);
         for d in [1i64, 2, 4] {

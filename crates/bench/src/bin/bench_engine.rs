@@ -1,0 +1,119 @@
+//! Engine micro-benchmark: times the interned answer-set layer on the
+//! `local_sweep` workload (regular cycle unions, edge query) and writes
+//! the numbers to `BENCH_engine.json` so later PRs have a perf
+//! trajectory.
+//!
+//! Three phases are timed per instance size:
+//!
+//! * **eval** — building the interned [`qpwm_structures::AnswerFamily`]
+//!   via `ParametricQuery::answers_over` (FO evaluation streaming into
+//!   the tuple arena);
+//! * **build** — the full Theorem 3 marker
+//!   (`LocalScheme::build_over`: census, pairing, separation audit);
+//! * **detect** — mark + replay detection through an [`HonestServer`].
+//!
+//! Run with `cargo run --release -p qpwm-bench --bin bench_engine`.
+
+use qpwm_bench::Table;
+use qpwm_core::detect::HonestServer;
+use qpwm_core::local_scheme::{LocalScheme, LocalSchemeConfig, SelectionStrategy};
+use qpwm_logic::{Formula, ParametricQuery};
+use qpwm_workloads::graphs::{cycle_union, unary_domain, with_random_weights};
+use std::time::Instant;
+
+fn edge_query() -> ParametricQuery {
+    ParametricQuery::new(Formula::atom(0, &[0, 1]), vec![0], vec![1])
+}
+
+struct Sample {
+    cycles: u32,
+    universe: usize,
+    active: usize,
+    capacity: usize,
+    eval_ms: f64,
+    build_ms: f64,
+    detect_ms: f64,
+}
+
+fn ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1_000.0
+}
+
+fn main() {
+    let query = edge_query();
+    let mut samples: Vec<Sample> = Vec::new();
+
+    for cycles in [8u32, 32, 128, 512, 2048] {
+        let instance = with_random_weights(cycle_union(cycles, 6, 0), 100, 1_000, 1);
+        let domain = unary_domain(instance.structure());
+
+        let start = Instant::now();
+        let answers = query.answers_over(instance.structure(), domain.clone());
+        let eval_ms = ms(start);
+
+        let start = Instant::now();
+        let scheme = LocalScheme::build_over(
+            &instance,
+            &query,
+            domain,
+            &LocalSchemeConfig { rho: 1, d: 1, strategy: SelectionStrategy::Greedy, seed: 7 },
+        )
+        .expect("regular instances pair");
+        let build_ms = ms(start);
+
+        let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 2 == 0).collect();
+        let start = Instant::now();
+        let marked = scheme.mark(instance.weights(), &message);
+        let server = HonestServer::new(scheme.answers().clone(), marked);
+        let report = scheme.detect(instance.weights(), &server);
+        let detect_ms = ms(start);
+        assert_eq!(report.bits, message, "cycles {cycles}: detection must round-trip");
+
+        samples.push(Sample {
+            cycles,
+            universe: answers.arena().len(),
+            active: answers.active_universe().len(),
+            capacity: scheme.capacity(),
+            eval_ms,
+            build_ms,
+            detect_ms,
+        });
+    }
+
+    let mut table = Table::new(vec![
+        "cycles", "arena", "|W|", "bits", "eval ms", "build ms", "detect ms",
+    ]);
+    for s in &samples {
+        table.row(vec![
+            s.cycles.to_string(),
+            s.universe.to_string(),
+            s.active.to_string(),
+            s.capacity.to_string(),
+            format!("{:.2}", s.eval_ms),
+            format!("{:.2}", s.build_ms),
+            format!("{:.2}", s.detect_ms),
+        ]);
+    }
+    table.print("Engine timings (edge query over cycle unions, rho = 1, d = 1)");
+
+    // Hand-rolled JSON — the workspace carries no serde dependency.
+    let mut json = String::from("{\n  \"workload\": \"cycle_union(c, 6) edge query, rho=1, d=1, greedy, seed 7\",\n  \"samples\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"cycles\": {}, \"arena_tuples\": {}, \"active_elements\": {}, \
+             \"capacity_bits\": {}, \"eval_ms\": {:.3}, \"build_ms\": {:.3}, \
+             \"detect_ms\": {:.3}}}{}\n",
+            s.cycles,
+            s.universe,
+            s.active,
+            s.capacity,
+            s.eval_ms,
+            s.build_ms,
+            s.detect_ms,
+            if i + 1 < samples.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    println!("\nwrote BENCH_engine.json");
+}

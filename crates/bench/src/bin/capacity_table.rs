@@ -100,7 +100,7 @@ fn main() {
     // #Mark growth with the distortion budget on a small instance.
     let instance = cycle_union(2, 4, 0);
     let answers = query.answers_over(&instance, unary_domain(&instance));
-    let problem = CapacityProblem::new(answers.active_sets());
+    let problem = CapacityProblem::from_family(&answers);
     let mut growth = Table::new(vec!["d", "#Mark(<=d)", "#Mark(=d)", "bits"]);
     for d in 0..=3i64 {
         growth.row(vec![

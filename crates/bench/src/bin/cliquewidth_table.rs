@@ -43,7 +43,7 @@ fn main() {
         let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 2 == 0).collect();
         let marked = scheme.mark(&weights, &message);
         let audit = scheme.audit(&weights, &marked);
-        let server = HonestServer::new(scheme.active_sets(), marked);
+        let server = HonestServer::new(scheme.family().clone(), marked);
         let ok = scheme.detect(&weights, &server).bits == message;
         table.row(vec![
             n.to_string(),

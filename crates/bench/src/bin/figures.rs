@@ -8,9 +8,9 @@
 //! Run with `cargo run -p qpwm-bench --bin figures`.
 
 use qpwm_bench::Table;
-use qpwm_core::pairing::{classes, s_partition, PairMarking};
+use qpwm_core::pairing::{classes_ids, s_partition_ids, Pair, PairMarking};
 use qpwm_logic::{Formula, ParametricQuery};
-use qpwm_structures::{figure1_instance, GaifmanGraph, NeighborhoodTypes, Weights};
+use qpwm_structures::{figure1_instance, GaifmanGraph, NeighborhoodTypes, TupleId, Weights};
 
 fn main() {
     let s = figure1_instance();
@@ -34,10 +34,9 @@ fn main() {
     // ---- Figure 2: types and active weighted elements --------------------
     let mut f2 = Table::new(vec!["u", "type(u)", "W_u"]);
     for e in s.universe() {
+        let pos = answers.position_of(&[e]).expect("in domain");
         let set = answers
-            .active_set_of(&[e])
-            .expect("in domain")
-            .iter()
+            .set_tuples(pos)
             .map(|b| name(b[0]))
             .collect::<Vec<_>>()
             .join(",");
@@ -70,23 +69,29 @@ fn main() {
     f3.print("Figure 3 — mark d:+1 e:-1 (paper: 0 0 +1 0 0 -1)");
 
     // ---- Figure 4: canonical parameters, classes, pair marking -----------
-    let canonical_sets: Vec<Vec<Vec<u32>>> = (0..census.num_types())
-        .map(|t| answers.active_set_of(census.representative(t)).expect("domain").to_vec())
+    let canonical_sets: Vec<&[TupleId]> = (0..census.num_types())
+        .map(|t| answers.ids_of(census.representative(t)).expect("domain"))
         .collect();
     let active = answers.active_universe();
-    let cls = classes(&active, &canonical_sets);
+    let cls = classes_ids(active, &canonical_sets);
     let mut f4a = Table::new(vec!["w", "cl(w)"]);
-    for w in &active {
-        let c = cls[w]
+    for (rank, &id) in active.iter().enumerate() {
+        let c = cls[rank]
             .iter()
             .map(|t| (t + 1).to_string())
             .collect::<Vec<_>>()
             .join(",");
-        f4a.row(vec![name(w[0]), format!("{{{c}}}")]);
+        f4a.row(vec![name(answers.tuple(id)[0]), format!("{{{c}}}")]);
     }
     f4a.print("Figure 4a — canonical parameters and classes");
 
-    let pairs = s_partition(&active, &cls);
+    let pairs: Vec<Pair> = s_partition_ids(active, &cls)
+        .into_iter()
+        .map(|(a, b)| Pair {
+            plus: answers.tuple(a).to_vec(),
+            minus: answers.tuple(b).to_vec(),
+        })
+        .collect();
     let marking = PairMarking::new(pairs);
     let mut f4b = Table::new(vec!["pair", "+1", "-1", "max separation"]);
     for (i, p) in marking.pairs().iter().enumerate() {
@@ -94,7 +99,7 @@ fn main() {
             (i + 1).to_string(),
             name(p.plus[0]),
             name(p.minus[0]),
-            marking.max_separation(answers.active_sets()).to_string(),
+            marking.max_separation(&answers).to_string(),
         ]);
     }
     f4b.print("Figure 4b — S-partition pair marking (paper: pair (a,b), distortion 0)");

@@ -63,12 +63,14 @@ fn main() {
         let sets = half_shattered_active_sets(n);
         let scheme = half_shattered_scheme(n);
         let p = CapacityProblem::new(&sets);
+        let params: Vec<Vec<u32>> = (0..sets.len()).map(|i| vec![i as u32]).collect();
+        let family = qpwm_structures::AnswerFamily::from_nested(params, &sets);
         r1.row(vec![
             n.to_string(),
             (n / 2).to_string(),
             scheme.capacity().to_string(),
             format!("{:.1}", p.bits_at(0)),
-            scheme.max_separation(&sets).to_string(),
+            scheme.max_separation(&family).to_string(),
         ]);
     }
     r1.print("X-R1 — Remark 1: half-shattered family carries |W|/4 bits at d = 0");

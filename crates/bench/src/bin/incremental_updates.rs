@@ -15,10 +15,9 @@ use qpwm_core::detect::{HonestServer, ObservedWeights};
 use qpwm_core::incremental::{classify_update, maintain_marking, MarkDeltas};
 use qpwm_core::local_scheme::{LocalScheme, LocalSchemeConfig, SelectionStrategy};
 use qpwm_logic::{Formula, ParametricQuery};
+use qpwm_rng::Rng;
 use qpwm_structures::{Schema, StructureBuilder, Weights};
 use qpwm_workloads::graphs::{cycle_union, unary_domain, with_random_weights};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 fn main() {
@@ -37,14 +36,14 @@ fn main() {
 
     // ---- Theorem 7: weights-only updates ------------------------------------
     let mut t7 = Table::new(vec!["update", "bits recovered", "of", "local distortion"]);
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = Rng::seed_from_u64(99);
     for round in 1..=4 {
         let mut new_weights = Weights::new(1);
         for e in instance.structure().universe() {
-            new_weights.set(&[e], rng.gen_range(1_000..50_000));
+            new_weights.set(&[e], rng.gen_range(1_000i64..50_000));
         }
         let republished = deltas.reapply(&new_weights);
-        let server = HonestServer::new(scheme.answers().active_sets().to_vec(), republished.clone());
+        let server = HonestServer::new(scheme.answers().clone(), republished.clone());
         let report = scheme
             .marking()
             .extract(&new_weights, &ObservedWeights::collect(&server));
@@ -91,7 +90,7 @@ fn main() {
             scheme.marking(),
             class.clone(),
             instance.weights(),
-            new_answers.active_sets(),
+            &new_answers,
             &message,
         );
         t8.row(vec![
@@ -125,7 +124,7 @@ fn main() {
         scheme.marking(),
         class,
         instance.weights(),
-        new_answers.active_sets(),
+        &new_answers,
         &message,
     );
     t8.row(vec![
@@ -146,11 +145,8 @@ fn main() {
             })
             .collect();
         let attack = qpwm_core::adversary::Attack::Averaging { copies };
-        let active: Vec<Vec<u32>> = scheme
-            .answers()
-            .active_universe();
-        let averaged = attack.apply(&marked, &active, 1);
-        let server = HonestServer::new(scheme.answers().active_sets().to_vec(), averaged);
+        let averaged = attack.apply(&marked, scheme.answers(), 1);
+        let server = HonestServer::new(scheme.answers().clone(), averaged);
         let report = scheme.detect(instance.weights(), &server);
         let recovered = message.len() - report.errors_against(&message);
         coll.row(vec![

@@ -136,7 +136,7 @@ fn main() {
         let ms = start.elapsed().as_millis();
         let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 3 == 0).collect();
         let marked = scheme.mark(&weights, &message);
-        let server = HonestServer::new(scheme.active_sets(), marked);
+        let server = HonestServer::new(scheme.family().clone(), marked);
         let ok = scheme.detect(&weights, &server).bits == message;
         xml.row(vec![
             students.to_string(),

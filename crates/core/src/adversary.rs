@@ -16,9 +16,8 @@
 
 use crate::detect::{AnswerServer, DetectionReport, HonestServer, ObservedWeights};
 use crate::pairing::PairMarking;
-use qpwm_structures::{Element, Weights};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use qpwm_rng::Rng;
+use qpwm_structures::{AnswerFamily, Element, Weights};
 
 /// Attacker strategies (all operate on the weights the server will
 /// serve; the attacker never learns the original weights or the pair
@@ -55,14 +54,15 @@ pub enum Attack {
 }
 
 impl Attack {
-    /// Applies the attack to `weights` over the given active tuples.
-    pub fn apply(&self, weights: &Weights, active: &[Vec<Element>], seed: u64) -> Weights {
-        let mut rng = StdRng::seed_from_u64(seed);
+    /// Applies the attack to `weights` over the family's active universe
+    /// (iterated straight off the interned arena, content order).
+    pub fn apply(&self, weights: &Weights, answers: &AnswerFamily, seed: u64) -> Weights {
+        let mut rng = Rng::seed_from_u64(seed);
         let mut out = weights.clone();
         match self {
             Attack::UniformNoise { amplitude, fraction } => {
-                for key in active {
-                    if rng.gen::<f64>() < *fraction {
+                for key in answers.universe_tuples() {
+                    if rng.gen_f64() < *fraction {
                         let delta = rng.gen_range(-*amplitude..=*amplitude);
                         out.add(key, delta);
                     }
@@ -70,19 +70,19 @@ impl Attack {
             }
             Attack::Rounding { granularity } => {
                 let g = (*granularity).max(1);
-                for key in active {
+                for key in answers.universe_tuples() {
                     let w = out.get(key);
                     let rounded = ((w + g / 2).div_euclid(g)) * g;
                     out.set(key, rounded);
                 }
             }
             Attack::ConstantShift { delta } => {
-                for key in active {
+                for key in answers.universe_tuples() {
                     out.add(key, *delta);
                 }
             }
             Attack::Averaging { copies } => {
-                for key in active {
+                for key in answers.universe_tuples() {
                     let mut sum = out.get(key);
                     for c in copies {
                         sum += c.get(key);
@@ -247,23 +247,15 @@ pub struct AttackOutcome {
 pub fn simulate_attack(
     scheme: &RobustScheme,
     original: &Weights,
-    active_sets: &[Vec<Vec<Element>>],
+    answers: &AnswerFamily,
     message: &[bool],
     attack: &Attack,
     seed: u64,
 ) -> AttackOutcome {
     let marked = scheme.mark(original, message);
-    let active: Vec<Vec<Element>> = {
-        let mut set: std::collections::BTreeSet<Vec<Element>> = std::collections::BTreeSet::new();
-        for s in active_sets {
-            set.extend(s.iter().cloned());
-        }
-        set.into_iter().collect()
-    };
-    let attacked = attack.apply(&marked, &active, seed);
-    let attacker_distortion =
-        qpwm_structures::global_distortion(&marked, &attacked, active_sets).max_global;
-    let server = HonestServer::new(active_sets.to_vec(), attacked);
+    let attacked = attack.apply(&marked, answers, seed);
+    let attacker_distortion = answers.max_global_distortion(&marked, &attacked);
+    let server = HonestServer::new(answers.clone(), attacked);
     let report = scheme.detect(original, &server);
     AttackOutcome {
         bit_errors: report.errors_against(message),
@@ -279,11 +271,11 @@ pub fn simulate_attack(
 pub fn false_positive_matches(
     scheme: &RobustScheme,
     original: &Weights,
-    active_sets: &[Vec<Vec<Element>>],
+    answers: &AnswerFamily,
     innocent: &Weights,
     claimed: &[bool],
 ) -> usize {
-    let server = HonestServer::new(active_sets.to_vec(), innocent.clone());
+    let server = HonestServer::new(answers.clone(), innocent.clone());
     let report = scheme.detect(original, &server);
     claimed.len() - report.errors_against(claimed)
 }
@@ -299,7 +291,7 @@ mod tests {
 
     /// 24 pairs over 48 weights, one big active set exposing everything,
     /// plus singleton sets (so noise shows up as global distortion).
-    fn setup() -> (PairMarking, Weights, Vec<Vec<Vec<Element>>>) {
+    fn setup() -> (PairMarking, Weights, AnswerFamily) {
         let pairs: Vec<Pair> = (0..24)
             .map(|i| Pair { plus: key(2 * i), minus: key(2 * i + 1) })
             .collect();
@@ -311,7 +303,8 @@ mod tests {
         for e in 0..48 {
             sets.push(vec![key(e)]);
         }
-        (PairMarking::new(pairs), w, sets)
+        let params = (0..sets.len()).map(|i| vec![i as Element]).collect();
+        (PairMarking::new(pairs), w, AnswerFamily::from_nested(params, &sets))
     }
 
     #[test]

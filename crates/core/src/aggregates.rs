@@ -14,7 +14,7 @@
 //!   markings distort min/max by ≤ 1 *regardless* of the pair structure.
 
 use qpwm_structures::distortion::Aggregate;
-use qpwm_structures::{Element, Weights};
+use qpwm_structures::{AnswerFamily, Weights};
 
 /// Distortion of one aggregate over a family of active sets.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,11 +25,12 @@ pub struct AggregateAudit {
     pub max_distortion: i64,
 }
 
-/// Audits a marking under sum, mean, min and max at once.
+/// Audits a marking under sum, mean, min and max at once, streaming each
+/// active set off the interned family.
 pub fn audit_all(
     before: &Weights,
     after: &Weights,
-    active_sets: &[Vec<Vec<Element>>],
+    answers: &AnswerFamily,
 ) -> Vec<AggregateAudit> {
     [
         ("sum", Aggregate::Sum),
@@ -39,9 +40,12 @@ pub fn audit_all(
     ]
     .into_iter()
     .map(|(name, agg)| {
-        let max_distortion = active_sets
-            .iter()
-            .map(|set| (agg.apply(before, set) - agg.apply(after, set)).abs())
+        let max_distortion = (0..answers.len())
+            .map(|i| {
+                (agg.apply_iter(before, answers.set_tuples(i))
+                    - agg.apply_iter(after, answers.set_tuples(i)))
+                .abs()
+            })
             .max()
             .unwrap_or(0);
         AggregateAudit { aggregate: name, max_distortion }
@@ -54,7 +58,9 @@ mod tests {
     use super::*;
     use crate::local_scheme::{LocalScheme, LocalSchemeConfig, SelectionStrategy};
     use qpwm_logic::{Formula, ParametricQuery};
-    use qpwm_structures::{Schema, StructureBuilder, WeightedStructure};
+    use qpwm_structures::{
+        AnswerFamily, Element, Schema, StructureBuilder, WeightedStructure, Weights,
+    };
     use std::sync::Arc;
 
     fn cycles_instance() -> WeightedStructure {
@@ -89,7 +95,7 @@ mod tests {
         .expect("builds");
         let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 2 == 0).collect();
         let marked = scheme.mark(instance.weights(), &message);
-        let audits = audit_all(instance.weights(), &marked, scheme.answers().active_sets());
+        let audits = audit_all(instance.weights(), &marked, scheme.answers());
         for audit in &audits {
             // sum bounded by d = 1; mean ≤ sum; min/max ≤ local bound 1.
             assert!(audit.max_distortion <= 1, "{}: {}", audit.aggregate, audit.max_distortion);
@@ -109,7 +115,8 @@ mod tests {
             after.add(&[e], 1);
         }
         let sets = vec![vec![vec![0u32], vec![1], vec![2]]];
-        let audits = audit_all(&before, &after, &sets);
+        let family = AnswerFamily::from_nested(vec![vec![0 as Element]], &sets);
+        let audits = audit_all(&before, &after, &family);
         let get = |name: &str| {
             audits
                 .iter()
@@ -134,7 +141,8 @@ mod tests {
         let mut after = before.clone();
         after.add(&[0], 1);
         let sets = vec![(0..4u32).map(|e| vec![e]).collect::<Vec<_>>()];
-        let audits = audit_all(&before, &after, &sets);
+        let family = AnswerFamily::from_nested(vec![vec![0 as Element]], &sets);
+        let audits = audit_all(&before, &after, &family);
         assert_eq!(audits[0].max_distortion, 1); // sum
         assert_eq!(audits[1].max_distortion, 0); // mean (401/4 = 100)
     }
@@ -142,7 +150,8 @@ mod tests {
     #[test]
     fn empty_family_audits_to_zero() {
         let w = Weights::new(1);
-        for audit in audit_all(&w, &w, &[]) {
+        let family = AnswerFamily::from_nested(Vec::new(), &[]);
+        for audit in audit_all(&w, &w, &family) {
             assert_eq!(audit.max_distortion, 0);
         }
     }

@@ -11,7 +11,7 @@
 //! perfect matchings) to a constrained marking count; we verify it
 //! against Ryser's inclusion-exclusion permanent.
 
-use qpwm_structures::{Element, WeightKey};
+use qpwm_structures::{AnswerFamily, Element, WeightKey};
 use std::collections::HashMap;
 
 /// A marking-capacity counting problem: the active elements and, for each
@@ -45,6 +45,30 @@ impl CapacityProblem {
                 v.sort_unstable();
                 v.dedup();
                 v
+            })
+            .collect();
+        let mut containing: Vec<Vec<usize>> = vec![Vec::new(); elements.len()];
+        for (ci, set) in sets.iter().enumerate() {
+            for &e in set {
+                containing[e].push(ci);
+            }
+        }
+        CapacityProblem { elements, sets, containing }
+    }
+
+    /// Builds a problem straight from an interned family: elements are
+    /// the active universe in canonical order and per-set index lists
+    /// come from universe ranks — no tuple hashing.
+    pub fn from_family(answers: &AnswerFamily) -> Self {
+        let elements: Vec<WeightKey> =
+            answers.universe_tuples().map(<[Element]>::to_vec).collect();
+        let sets: Vec<Vec<usize>> = (0..answers.len())
+            .map(|i| {
+                answers
+                    .active_ids(i)
+                    .iter()
+                    .map(|&id| answers.universe_rank(id).expect("active id is in the universe"))
+                    .collect()
             })
             .collect();
         let mut containing: Vec<Vec<usize>> = vec![Vec::new(); elements.len()];

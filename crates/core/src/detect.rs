@@ -8,8 +8,7 @@
 //! (the non-adversarial model), and the attack simulations in
 //! [`crate::adversary`] wrap it.
 
-use qpwm_structures::{Element, Weights};
-use std::collections::HashMap;
+use qpwm_structures::{AnswerFamily, Element, TupleArena, Weights};
 
 /// A data server answering the registered parametric query.
 ///
@@ -24,16 +23,31 @@ pub trait AnswerServer {
 }
 
 /// A server that faithfully replays a weighted instance.
+///
+/// Holds an interned [`AnswerFamily`] — constructing one from a scheme's
+/// family is an O(1) clone, not a nested-vector copy.
 #[derive(Debug, Clone)]
 pub struct HonestServer {
-    active_sets: Vec<Vec<Vec<Element>>>,
+    family: AnswerFamily,
     weights: Weights,
 }
 
 impl HonestServer {
-    /// Creates a server over materialized active sets and weights.
-    pub fn new(active_sets: Vec<Vec<Vec<Element>>>, weights: Weights) -> Self {
-        HonestServer { active_sets, weights }
+    /// Creates a server replaying an interned answer family with weights.
+    pub fn new(family: AnswerFamily, weights: Weights) -> Self {
+        HonestServer { family, weights }
+    }
+
+    /// Compat constructor from materialized nested active sets; the i-th
+    /// set gets the synthetic parameter `[i]`.
+    pub fn from_sets(active_sets: Vec<Vec<Vec<Element>>>, weights: Weights) -> Self {
+        let parameters = (0..active_sets.len()).map(|i| vec![i as Element]).collect();
+        HonestServer::new(AnswerFamily::from_nested(parameters, &active_sets), weights)
+    }
+
+    /// The family the server replays.
+    pub fn family(&self) -> &AnswerFamily {
+        &self.family
     }
 
     /// The weights the server is serving (for tests).
@@ -44,45 +58,82 @@ impl HonestServer {
 
 impl AnswerServer for HonestServer {
     fn num_parameters(&self) -> usize {
-        self.active_sets.len()
+        self.family.len()
     }
 
     fn answer(&self, i: usize) -> Vec<(Vec<Element>, i64)> {
-        self.active_sets[i]
-            .iter()
-            .map(|b| (b.clone(), self.weights.get(b)))
+        self.family
+            .set_tuples(i)
+            .map(|b| (b.to_vec(), self.weights.get(b)))
             .collect()
     }
 }
 
+/// One arena of observed tuples of a fixed arity, with weights parallel
+/// to the arena's ids.
+#[derive(Debug, Clone)]
+struct ObservedBucket {
+    arena: TupleArena,
+    values: Vec<i64>,
+}
+
 /// Weights reconstructed from a server's answers.
+///
+/// Tuples are interned into a [`TupleArena`] per output arity: a tuple
+/// answered under many parameters hashes once per observation but is
+/// stored once, and repeat observations compare against a dense `i64`
+/// slot instead of re-hashing an owned key.
 #[derive(Debug, Clone)]
 pub struct ObservedWeights {
-    observed: HashMap<Vec<Element>, i64>,
+    /// One bucket per distinct observed arity (almost always exactly one;
+    /// merged multi-query observations may mix arities).
+    buckets: Vec<ObservedBucket>,
     /// Tuples answered with inconsistent weights across parameters — a
     /// sign of a cheating server.
     pub inconsistencies: Vec<Vec<Element>>,
 }
 
 impl ObservedWeights {
+    fn empty() -> Self {
+        ObservedWeights { buckets: Vec::new(), inconsistencies: Vec::new() }
+    }
+
+    /// Records one observation; first-seen weight wins, later conflicting
+    /// weights are flagged.
+    fn record(&mut self, tuple: &[Element], w: i64) {
+        let bucket = match self.buckets.iter_mut().position(|b| b.arena.arity() == tuple.len()) {
+            Some(i) => &mut self.buckets[i],
+            None => {
+                self.buckets.push(ObservedBucket {
+                    arena: TupleArena::new(tuple.len()),
+                    values: Vec::new(),
+                });
+                self.buckets.last_mut().expect("just pushed")
+            }
+        };
+        let id = bucket.arena.intern(tuple) as usize;
+        if id == bucket.values.len() {
+            bucket.values.push(w);
+        } else if bucket.values[id] != w {
+            self.inconsistencies.push(tuple.to_vec());
+        }
+    }
+
+    fn finish(&mut self) {
+        self.inconsistencies.sort_unstable();
+        self.inconsistencies.dedup();
+    }
+
     /// Queries every parameter and collects each active tuple's weight.
     pub fn collect(server: &dyn AnswerServer) -> Self {
-        let mut observed: HashMap<Vec<Element>, i64> = HashMap::new();
-        let mut inconsistencies = Vec::new();
+        let mut out = ObservedWeights::empty();
         for i in 0..server.num_parameters() {
             for (tuple, w) in server.answer(i) {
-                match observed.get(&tuple) {
-                    None => {
-                        observed.insert(tuple, w);
-                    }
-                    Some(&prev) if prev != w => inconsistencies.push(tuple),
-                    Some(_) => {}
-                }
+                out.record(&tuple, w);
             }
         }
-        inconsistencies.sort_unstable();
-        inconsistencies.dedup();
-        ObservedWeights { observed, inconsistencies }
+        out.finish();
+        out
     }
 
     /// Queries only the given parameter indices — the *partial access*
@@ -91,55 +142,43 @@ impl ObservedWeights {
     /// answers read as missing; detection degrades gracefully with the
     /// sample size (measured in the `attacks` experiment).
     pub fn collect_sample(server: &dyn AnswerServer, indices: &[usize]) -> Self {
-        let mut observed: HashMap<Vec<Element>, i64> = HashMap::new();
-        let mut inconsistencies = Vec::new();
+        let mut out = ObservedWeights::empty();
         for &i in indices {
             debug_assert!(i < server.num_parameters());
             for (tuple, w) in server.answer(i) {
-                match observed.get(&tuple) {
-                    None => {
-                        observed.insert(tuple, w);
-                    }
-                    Some(&prev) if prev != w => inconsistencies.push(tuple),
-                    Some(_) => {}
-                }
+                out.record(&tuple, w);
             }
         }
-        inconsistencies.sort_unstable();
-        inconsistencies.dedup();
-        ObservedWeights { observed, inconsistencies }
+        out.finish();
+        out
     }
 
     /// The observed weight of a tuple, if the server ever returned it.
     pub fn get(&self, tuple: &[Element]) -> Option<i64> {
-        self.observed.get(tuple).copied()
+        let bucket = self.buckets.iter().find(|b| b.arena.arity() == tuple.len())?;
+        bucket.arena.lookup(tuple).map(|id| bucket.values[id as usize])
     }
 
     /// Merges another observation set (e.g. from a second registered
     /// query); conflicting weights are recorded as inconsistencies.
     pub fn merge(&mut self, other: ObservedWeights) {
-        for (tuple, w) in other.observed {
-            match self.observed.get(&tuple) {
-                None => {
-                    self.observed.insert(tuple, w);
-                }
-                Some(&prev) if prev != w => self.inconsistencies.push(tuple),
-                Some(_) => {}
+        for bucket in &other.buckets {
+            for (id, tuple) in bucket.arena.iter() {
+                self.record(tuple, bucket.values[id as usize]);
             }
         }
         self.inconsistencies.extend(other.inconsistencies);
-        self.inconsistencies.sort_unstable();
-        self.inconsistencies.dedup();
+        self.finish();
     }
 
     /// Number of distinct tuples observed.
     pub fn len(&self) -> usize {
-        self.observed.len()
+        self.buckets.iter().map(|b| b.values.len()).sum()
     }
 
     /// True when nothing was observed.
     pub fn is_empty(&self) -> bool {
-        self.observed.is_empty()
+        self.len() == 0
     }
 }
 
@@ -228,7 +267,7 @@ mod tests {
     #[test]
     fn honest_server_replays_weights() {
         let sets = vec![vec![vec![0u32], vec![1]], vec![vec![1u32]]];
-        let server = HonestServer::new(sets, w(&[(0, 5), (1, 7)]));
+        let server = HonestServer::from_sets(sets, w(&[(0, 5), (1, 7)]));
         assert_eq!(server.num_parameters(), 2);
         assert_eq!(server.answer(0), vec![(vec![0], 5), (vec![1], 7)]);
         assert_eq!(server.answer(1), vec![(vec![1], 7)]);
@@ -237,7 +276,7 @@ mod tests {
     #[test]
     fn observed_weights_union_all_answers() {
         let sets = vec![vec![vec![0u32], vec![1]], vec![vec![1u32], vec![2]]];
-        let server = HonestServer::new(sets, w(&[(0, 5), (1, 7), (2, -1)]));
+        let server = HonestServer::from_sets(sets, w(&[(0, 5), (1, 7), (2, -1)]));
         let obs = ObservedWeights::collect(&server);
         assert_eq!(obs.len(), 3);
         assert_eq!(obs.get(&[0]), Some(5));
@@ -259,6 +298,29 @@ mod tests {
         }
         let obs = ObservedWeights::collect(&Liar);
         assert_eq!(obs.inconsistencies, vec![vec![0]]);
+    }
+
+    #[test]
+    fn merge_mixes_arities_and_flags_conflicts() {
+        let a_sets = vec![vec![vec![0u32], vec![1]]];
+        let mut a =
+            ObservedWeights::collect(&HonestServer::from_sets(a_sets, w(&[(0, 5), (1, 7)])));
+        let b_sets = vec![vec![vec![1u32, 1]]];
+        let mut bw = Weights::new(2);
+        bw.set(&[1, 1], 9);
+        let b = ObservedWeights::collect(&HonestServer::from_sets(b_sets, bw));
+        a.merge(b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.get(&[1]), Some(7));
+        assert_eq!(a.get(&[1, 1]), Some(9));
+        // conflicting re-observation of [1] is flagged, first weight kept
+        let c_sets = vec![vec![vec![1u32]]];
+        a.merge(ObservedWeights::collect(&HonestServer::from_sets(
+            c_sets,
+            w(&[(1, 8)]),
+        )));
+        assert_eq!(a.get(&[1]), Some(7));
+        assert_eq!(a.inconsistencies, vec![vec![1]]);
     }
 
     #[test]

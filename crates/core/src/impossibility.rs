@@ -178,7 +178,8 @@ mod tests {
         let direct = powerset_active_sets(n);
         // every directly-constructed set appears among the evaluated ones
         for (i, set) in direct.iter().enumerate() {
-            assert_eq!(answers.active_set_of(&[i as u32]).expect("in domain"), set.as_slice());
+            let pos = answers.position_of(&[i as u32]).expect("in domain");
+            assert_eq!(answers.materialize_set(pos), *set);
         }
     }
 
@@ -220,16 +221,11 @@ mod tests {
         // the direct sets are those of parameters 0..2^(n/2) plus vertex a
         let params = 1u32 << (n / 2);
         for (i, set) in direct.iter().enumerate().take(params as usize) {
-            assert_eq!(
-                answers.active_set_of(&[i as u32]).expect("in domain"),
-                set.as_slice(),
-                "subset parameter {i}"
-            );
+            let pos = answers.position_of(&[i as u32]).expect("in domain");
+            assert_eq!(answers.materialize_set(pos), *set, "subset parameter {i}");
         }
-        assert_eq!(
-            answers.active_set_of(&[params]).expect("vertex a"),
-            direct.last().expect("a-set").as_slice()
-        );
+        let pos_a = answers.position_of(&[params]).expect("vertex a");
+        assert_eq!(answers.materialize_set(pos_a), *direct.last().expect("a-set"));
     }
 
     #[test]
@@ -238,9 +234,11 @@ mod tests {
         let marking = half_shattered_scheme(n);
         assert_eq!(marking.capacity() as u32, n / 4);
         let sets = half_shattered_active_sets(n);
+        let params: Vec<Vec<Element>> = (0..sets.len()).map(|i| vec![i as Element]).collect();
+        let family = qpwm_structures::AnswerFamily::from_nested(params, &sets);
         // zero separation anywhere: W_a contains both members of every
         // pair; the subset-parameters contain neither.
-        assert_eq!(marking.max_separation(&sets), 0);
+        assert_eq!(marking.max_separation(&family), 0);
     }
 
     #[test]
@@ -256,7 +254,7 @@ mod tests {
         }
         let message = vec![true, false];
         let marked = marking.apply(&w, &message);
-        let server = HonestServer::new(half_shattered_active_sets(n), marked);
+        let server = HonestServer::from_sets(half_shattered_active_sets(n), marked);
         let report = marking.extract(&w, &ObservedWeights::collect(&server));
         assert_eq!(report.bits, message);
     }

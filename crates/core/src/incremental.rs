@@ -16,7 +16,7 @@
 
 use crate::pairing::PairMarking;
 use qpwm_structures::{
-    are_isomorphic, GaifmanGraph, NeighborhoodTypes, Structure, WeightKey, Weights,
+    are_isomorphic, AnswerFamily, GaifmanGraph, NeighborhoodTypes, Structure, WeightKey, Weights,
 };
 
 /// The stored mark: per-weight deltas (the difference the marker applied)
@@ -137,23 +137,28 @@ pub struct MaintenanceReport {
 
 /// Checks how a pair marking fares after a structure update: how many
 /// pairs remain detectable and what distortion the kept mark now causes.
+/// Pair survival is an arena lookup against the new family's interned
+/// universe — no hash set over owned keys.
 pub fn maintain_marking(
     marking: &PairMarking,
     class: UpdateClass,
     new_weights: &Weights,
-    new_active_sets: &[Vec<WeightKey>],
+    new_answers: &AnswerFamily,
     message: &[bool],
 ) -> MaintenanceReport {
-    let active: std::collections::HashSet<&WeightKey> =
-        new_active_sets.iter().flatten().collect();
+    let arena = new_answers.arena();
+    let is_active = |key: &WeightKey| {
+        arena
+            .lookup(key)
+            .is_some_and(|id| new_answers.universe_rank(id).is_some())
+    };
     let surviving = marking
         .pairs()
         .iter()
-        .filter(|p| active.contains(&p.plus) && active.contains(&p.minus))
+        .filter(|p| is_active(&p.plus) && is_active(&p.minus))
         .count();
     let marked = marking.apply(new_weights, message);
-    let new_distortion =
-        qpwm_structures::global_distortion(new_weights, &marked, new_active_sets).max_global;
+    let new_distortion = new_answers.global_distortion(new_weights, &marked).max_global;
     MaintenanceReport {
         class,
         surviving_pairs: surviving,
@@ -198,7 +203,7 @@ mod tests {
         assert_eq!(w1.max_pointwise_diff(&marked1), 1);
         // detector (differential) still reads the message
         let sets = vec![(0..4).map(key).collect::<Vec<_>>()];
-        let server = HonestServer::new(sets, marked1);
+        let server = HonestServer::from_sets(sets, marked1);
         let report = marking.extract(&w1, &ObservedWeights::collect(&server));
         assert_eq!(report.bits, message);
     }
@@ -268,11 +273,13 @@ mod tests {
         // Updated instance: element 3 became inactive; a set separates
         // pair 1.
         let new_sets: Vec<Vec<WeightKey>> = vec![vec![key(0), key(1)], vec![key(0), key(2)]];
+        let new_answers =
+            AnswerFamily::from_nested(vec![vec![0], vec![1]], &new_sets);
         let report = maintain_marking(
             &marking,
             UpdateClass::TypePreserving,
             &w,
-            &new_sets,
+            &new_answers,
             &[true, true],
         );
         assert_eq!(report.total_pairs, 2);

@@ -187,7 +187,7 @@ mod tests {
         let marked = key.marking.apply(&w, &message);
         let reloaded = SchemeKey::from_text(&key.to_text()).expect("parses");
         let sets = vec![vec![vec![4u32], vec![5], vec![10], vec![11]]];
-        let server = HonestServer::new(sets, marked);
+        let server = HonestServer::from_sets(sets, marked);
         let report = reloaded
             .marking
             .extract(&w, &ObservedWeights::collect(&server));

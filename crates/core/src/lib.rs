@@ -47,8 +47,8 @@ pub mod pairing;
 pub mod relative;
 pub mod tree_scheme;
 
-pub use detect::{AnswerServer, DetectionReport, HonestServer};
+pub use detect::{AnswerServer, DetectionReport, HonestServer, ObservedWeights};
 pub use local_scheme::{LocalScheme, LocalSchemeConfig, SchemeError};
-pub use pairing::{Pair, PairMarking};
+pub use pairing::{FamilyIndex, Pair, PairMarking};
 pub use multi_query::MultiQueryScheme;
 pub use tree_scheme::TreeScheme;

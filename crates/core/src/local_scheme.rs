@@ -17,17 +17,21 @@
 //! 5. the marker encodes each message bit as the orientation of one pair;
 //!    the detector reads orientations back from query answers.
 //!
+//! Selection runs entirely on interned [`TupleId`]s: canonical sets are
+//! borrowed id slices out of the family's CSR storage, pairs are id
+//! pairs, and per-parameter separation counts come from a
+//! [`FamilyIndex`] postings transpose — no tuple hashing in the loop.
+//!
 //! Encoding every bit in an orientation (rather than marking a subset of
 //! pairs) makes the `d`-global guarantee hold for **all** `2^l` messages
 //! deterministically once step 4 succeeds, which is slightly stronger
 //! than Definition 2's probability-¾ requirement.
 
 use crate::detect::{AnswerServer, DetectionReport, ObservedWeights};
-use crate::pairing::{classes, s_partition, Pair, PairMarking};
+use crate::pairing::{classes_ids, s_partition_ids, FamilyIndex, Pair, PairMarking};
 use qpwm_logic::{ParametricQuery, QueryAnswers};
-use qpwm_structures::{GaifmanGraph, NeighborhoodTypes, WeightedStructure, Weights};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use qpwm_rng::Rng;
+use qpwm_structures::{GaifmanGraph, NeighborhoodTypes, TupleId, WeightedStructure, Weights};
 use std::fmt;
 
 /// How the scheme selects pairs subject to the separation bound.
@@ -166,21 +170,22 @@ impl LocalScheme {
             config.rho,
             answers.parameters().iter().cloned(),
         );
-        // Canonical active sets: the representative parameter of each type.
-        let canonical_sets: Vec<Vec<Vec<qpwm_structures::Element>>> = (0..census.num_types())
+        // Canonical active sets: the representative parameter of each
+        // type, as borrowed id slices straight out of the CSR storage.
+        let canonical_sets: Vec<&[TupleId]> = (0..census.num_types())
             .map(|t| {
                 answers
-                    .active_set_of(census.representative(t))
+                    .ids_of(census.representative(t))
                     .expect("representative parameter is in the domain")
-                    .to_vec()
             })
             .collect();
         let active = answers.active_universe();
-        let cls = classes(&active, &canonical_sets);
-        let all_pairs = s_partition(&active, &cls);
+        let cls = classes_ids(active, &canonical_sets);
+        let all_pairs = s_partition_ids(active, &cls);
         if all_pairs.is_empty() {
             return Err(SchemeError::NoPairs);
         }
+        let index = FamilyIndex::new(&[&answers]);
 
         // Lemma 1's deviation bound η = r·k^(2ρ+1) (s = 1), used for the
         // sampling probability. Saturating: huge η just means tiny p.
@@ -191,26 +196,26 @@ impl LocalScheme {
         let epsilon = 1.0 / config.d as f64;
         let p = (1.0 / (eta as f64 * (2.0 * n_queries).powf(epsilon))).min(1.0);
 
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut rng = Rng::seed_from_u64(config.seed);
+        let mut counts = vec![0u64; index.num_sets()];
         let (selected, attempts) = match config.strategy {
             SelectionStrategy::Sampling { max_retries } => {
                 let mut attempt = 0;
                 loop {
                     attempt += 1;
-                    let chosen: Vec<Pair> = all_pairs
+                    let chosen: Vec<(TupleId, TupleId)> = all_pairs
                         .iter()
-                        .filter(|_| rng.gen::<f64>() < p)
-                        .cloned()
+                        .filter(|_| rng.gen_f64() < p)
+                        .copied()
                         .collect();
-                    if chosen.is_empty() {
-                        if attempt >= max_retries {
-                            return Err(SchemeError::SamplingFailed { attempts: attempt });
+                    if !chosen.is_empty() {
+                        counts.iter_mut().for_each(|c| *c = 0);
+                        for &(a, b) in &chosen {
+                            index.for_each_separating_set(a, b, |s| counts[s] += 1);
                         }
-                        continue;
-                    }
-                    let trial = PairMarking::new(chosen);
-                    if trial.max_separation(answers.active_sets()) <= config.d as usize {
-                        break (trial, attempt);
+                        if counts.iter().all(|&c| c <= config.d) {
+                            break (chosen, attempt);
+                        }
                     }
                     if attempt >= max_retries {
                         return Err(SchemeError::SamplingFailed { attempts: attempt });
@@ -219,42 +224,39 @@ impl LocalScheme {
             }
             SelectionStrategy::Greedy => {
                 let mut order: Vec<usize> = (0..all_pairs.len()).collect();
-                // Fisher-Yates with the seeded RNG for determinism.
-                for i in (1..order.len()).rev() {
-                    let j = rng.gen_range(0..=i);
-                    order.swap(i, j);
-                }
-                // Track per-parameter separation counts incrementally.
-                let sets: Vec<std::collections::HashSet<&Vec<u32>>> = answers
-                    .active_sets()
-                    .iter()
-                    .map(|s| s.iter().collect())
-                    .collect();
-                let mut counts = vec![0u64; sets.len()];
-                let mut chosen = Vec::new();
+                rng.shuffle(&mut order);
+                let mut chosen: Vec<(TupleId, TupleId)> = Vec::new();
+                let mut separating: Vec<usize> = Vec::new();
                 for idx in order {
-                    let pair = &all_pairs[idx];
-                    let separating: Vec<usize> = sets
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, s)| s.contains(&pair.plus) != s.contains(&pair.minus))
-                        .map(|(i, _)| i)
-                        .collect();
-                    if separating.iter().all(|&i| counts[i] < config.d) {
-                        for &i in &separating {
-                            counts[i] += 1;
+                    let (a, b) = all_pairs[idx];
+                    separating.clear();
+                    index.for_each_separating_set(a, b, |s| separating.push(s));
+                    if separating.iter().all(|&s| counts[s] < config.d) {
+                        for &s in &separating {
+                            counts[s] += 1;
                         }
-                        chosen.push(pair.clone());
+                        chosen.push((a, b));
                     }
                 }
                 if chosen.is_empty() {
                     return Err(SchemeError::NoPairs);
                 }
-                (PairMarking::new(chosen), 1)
+                (chosen, 1)
             }
         };
 
-        let max_separation = selected.max_separation(answers.active_sets());
+        // Only the final selection leaves id space: the secret pair list
+        // stores tuple content so detection works against any server.
+        let marking = PairMarking::new(
+            selected
+                .iter()
+                .map(|&(a, b)| Pair {
+                    plus: answers.tuple(a).to_vec(),
+                    minus: answers.tuple(b).to_vec(),
+                })
+                .collect(),
+        );
+        let max_separation = marking.max_separation(&answers);
         debug_assert!(max_separation <= config.d as usize);
         let stats = SchemeStats {
             active_elements: active.len(),
@@ -269,7 +271,7 @@ impl LocalScheme {
             attempts,
             max_separation,
         };
-        Ok(LocalScheme { marking: selected, answers, stats, d: config.d })
+        Ok(LocalScheme { marking, answers, stats, d: config.d })
     }
 
     /// Number of message bits the scheme hides (`l`).
@@ -293,7 +295,7 @@ impl LocalScheme {
         &self.marking
     }
 
-    /// The materialized answers (active sets per parameter).
+    /// The interned answer family (active sets per parameter).
     pub fn answers(&self) -> &QueryAnswers {
         &self.answers
     }
@@ -316,7 +318,7 @@ impl LocalScheme {
     /// Audits a marked instance against Definition 2: 1-local and
     /// d-global over the full parameter domain.
     pub fn audit(&self, original: &Weights, marked: &Weights) -> qpwm_structures::DistortionReport {
-        qpwm_structures::global_distortion(original, marked, self.answers.active_sets())
+        self.answers.global_distortion(original, marked)
     }
 }
 
@@ -386,7 +388,7 @@ mod tests {
         let scheme = LocalScheme::build(&ws, &q, &greedy_config()).expect("builds");
         let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 2 == 0).collect();
         let marked = scheme.mark(ws.weights(), &message);
-        let server = HonestServer::new(scheme.answers().active_sets().to_vec(), marked);
+        let server = HonestServer::new(scheme.answers().clone(), marked);
         let report = scheme.detect(ws.weights(), &server);
         assert_eq!(report.bits, message);
         assert_eq!(report.missing_pairs, 0);
@@ -399,7 +401,7 @@ mod tests {
         let config = LocalSchemeConfig {
             rho: 1,
             d: 2,
-            strategy: SelectionStrategy::Sampling { max_retries: 200 },
+            strategy: SelectionStrategy::Sampling { max_retries: 2000 },
             seed: 42,
         };
         let scheme = LocalScheme::build(&ws, &q, &config).expect("builds");

@@ -8,21 +8,28 @@
 //! whose membership agrees across *all* queries' canonical parameters,
 //! and the ε-goodness check runs over the union of all answer families.
 //! Each query then individually satisfies the d-global bound.
+//!
+//! All per-query families are materialized through one [`FamilyBuilder`]
+//! so they share a single arena: tuple ids are comparable across
+//! queries, the combined universe is an id merge, and the selection loop
+//! runs on one [`FamilyIndex`] spanning every family.
 
 use crate::detect::{AnswerServer, DetectionReport, ObservedWeights};
 use crate::local_scheme::{LocalSchemeConfig, SchemeError, SelectionStrategy};
-use crate::pairing::{classes, s_partition, Pair, PairMarking};
+use crate::pairing::{classes_ids, s_partition_ids, FamilyIndex, Pair, PairMarking};
 use qpwm_logic::{ParametricQuery, QueryAnswers};
-use qpwm_structures::{Element, GaifmanGraph, NeighborhoodTypes, WeightedStructure, Weights};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use qpwm_rng::Rng;
+use qpwm_structures::{
+    Element, FamilyBuilder, GaifmanGraph, NeighborhoodTypes, TupleId, WeightedStructure, Weights,
+};
 use std::collections::BTreeSet;
 
 /// A scheme preserving a set of registered parametric queries.
 #[derive(Debug)]
 pub struct MultiQueryScheme {
     marking: PairMarking,
-    /// Per-query materialized answers, in registration order.
+    /// Per-query interned families, in registration order (one shared
+    /// arena).
     answers: Vec<QueryAnswers>,
     /// Worst-case separation across all queries.
     max_separation: usize,
@@ -37,7 +44,9 @@ impl MultiQueryScheme {
 }
 
 impl MultiQueryScheme {
-    /// Builds a scheme preserving every `(query, domain)` pair.
+    /// Builds a scheme preserving every `(query, domain)` pair. All
+    /// registered queries must share one output arity (tuples from
+    /// different queries live in one arena).
     ///
     /// # Errors
     /// [`SchemeError::NoPairs`] when no two active elements share classes
@@ -49,14 +58,25 @@ impl MultiQueryScheme {
         config: &LocalSchemeConfig,
     ) -> Result<Self, SchemeError> {
         assert!(!queries.is_empty(), "need at least one query");
+        let arity = queries[0].0.s();
+        assert!(
+            queries.iter().all(|(q, _)| q.s() == arity),
+            "registered queries must share one output arity"
+        );
         let structure = instance.structure();
         let gaifman = GaifmanGraph::of(structure);
 
-        // Materialize all answers; build canonical sets per query.
-        let mut all_answers = Vec::with_capacity(queries.len());
-        let mut canonical_sets: Vec<Vec<Vec<Element>>> = Vec::new();
+        // Stream every query's answers through one builder: ids are
+        // comparable across the resulting families.
+        let mut builder = FamilyBuilder::new(arity);
         for (query, domain) in queries {
-            let answers = query.answers_over(structure, domain.clone());
+            builder.push_source(&query.bind(structure), domain.clone());
+        }
+        let all_answers = builder.finish();
+
+        // Canonical sets per query, as id slices out of each family.
+        let mut canonical_sets: Vec<&[TupleId]> = Vec::new();
+        for answers in &all_answers {
             let census = NeighborhoodTypes::classify(
                 structure,
                 &gaifman,
@@ -66,70 +86,59 @@ impl MultiQueryScheme {
             for t in 0..census.num_types() {
                 canonical_sets.push(
                     answers
-                        .active_set_of(census.representative(t))
-                        .expect("representative in domain")
-                        .to_vec(),
+                        .ids_of(census.representative(t))
+                        .expect("representative in domain"),
                 );
             }
-            all_answers.push(answers);
         }
 
-        // Active universe: union over all queries.
-        let active: Vec<Vec<Element>> = {
-            let mut set: BTreeSet<Vec<Element>> = BTreeSet::new();
+        // Active universe: id union over all queries (shared arena).
+        let active: Vec<TupleId> = {
+            let mut set: BTreeSet<TupleId> = BTreeSet::new();
             for answers in &all_answers {
-                set.extend(answers.active_universe());
+                set.extend(answers.active_universe().iter().copied());
             }
             set.into_iter().collect()
         };
-        let cls = classes(&active, &canonical_sets);
-        let all_pairs = s_partition(&active, &cls);
+        let cls = classes_ids(&active, &canonical_sets);
+        let all_pairs = s_partition_ids(&active, &cls);
         if all_pairs.is_empty() {
             return Err(SchemeError::NoPairs);
         }
 
-        // Combined family for the separation check.
-        let combined: Vec<Vec<Vec<Element>>> = all_answers
-            .iter()
-            .flat_map(|a| a.active_sets().iter().cloned())
-            .collect();
+        // One postings index spanning every family's sets.
+        let family_refs: Vec<&QueryAnswers> = all_answers.iter().collect();
+        let index = FamilyIndex::new(&family_refs);
 
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let marking = match config.strategy {
+        let mut rng = Rng::seed_from_u64(config.seed);
+        let mut counts = vec![0u64; index.num_sets()];
+        let selected: Vec<(TupleId, TupleId)> = match config.strategy {
             SelectionStrategy::Greedy => {
                 let mut order: Vec<usize> = (0..all_pairs.len()).collect();
-                for i in (1..order.len()).rev() {
-                    let j = rng.gen_range(0..=i);
-                    order.swap(i, j);
-                }
-                let sets: Vec<std::collections::HashSet<&Vec<u32>>> =
-                    combined.iter().map(|s| s.iter().collect()).collect();
-                let mut counts = vec![0u64; sets.len()];
-                let mut chosen: Vec<Pair> = Vec::new();
+                rng.shuffle(&mut order);
+                let mut chosen: Vec<(TupleId, TupleId)> = Vec::new();
+                let mut separating: Vec<usize> = Vec::new();
                 for idx in order {
-                    let pair = &all_pairs[idx];
-                    let separating: Vec<usize> = sets
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, s)| s.contains(&pair.plus) != s.contains(&pair.minus))
-                        .map(|(i, _)| i)
-                        .collect();
-                    if separating.iter().all(|&i| counts[i] < config.d) {
-                        for &i in &separating {
-                            counts[i] += 1;
+                    let (a, b) = all_pairs[idx];
+                    separating.clear();
+                    index.for_each_separating_set(a, b, |s| separating.push(s));
+                    if separating.iter().all(|&s| counts[s] < config.d) {
+                        for &s in &separating {
+                            counts[s] += 1;
                         }
-                        chosen.push(pair.clone());
+                        chosen.push((a, b));
                     }
                 }
                 if chosen.is_empty() {
                     return Err(SchemeError::NoPairs);
                 }
-                PairMarking::new(chosen)
+                chosen
             }
             SelectionStrategy::Sampling { max_retries } => {
                 // the paper's p with N = total distinct queries across all
                 // registered formulas
-                let n_queries: usize = all_answers.iter().map(QueryAnswers::distinct_queries).sum();
+                let n_queries: usize =
+                    all_answers.iter().map(QueryAnswers::distinct_queries).sum();
                 let r = queries.iter().map(|(q, _)| q.r()).max().unwrap_or(1) as u64;
                 let k = gaifman.max_degree() as u64;
                 let eta = r.saturating_mul(k.saturating_pow(2 * config.rho + 1)).max(1);
@@ -140,15 +149,18 @@ impl MultiQueryScheme {
                 let mut attempt = 0;
                 loop {
                     attempt += 1;
-                    let chosen: Vec<Pair> = all_pairs
+                    let chosen: Vec<(TupleId, TupleId)> = all_pairs
                         .iter()
-                        .filter(|_| rng.gen::<f64>() < p)
-                        .cloned()
+                        .filter(|_| rng.gen_f64() < p)
+                        .copied()
                         .collect();
                     if !chosen.is_empty() {
-                        let trial = PairMarking::new(chosen);
-                        if trial.max_separation(&combined) <= config.d as usize {
-                            break trial;
+                        counts.iter_mut().for_each(|c| *c = 0);
+                        for &(a, b) in &chosen {
+                            index.for_each_separating_set(a, b, |s| counts[s] += 1);
+                        }
+                        if counts.iter().all(|&c| c <= config.d) {
+                            break chosen;
                         }
                     }
                     if attempt >= max_retries {
@@ -157,7 +169,24 @@ impl MultiQueryScheme {
                 }
             }
         };
-        let max_separation = marking.max_separation(&combined);
+
+        // Separation of the final selection, across every family's sets.
+        counts.iter_mut().for_each(|c| *c = 0);
+        for &(a, b) in &selected {
+            index.for_each_separating_set(a, b, |s| counts[s] += 1);
+        }
+        let max_separation = counts.iter().copied().max().unwrap_or(0) as usize;
+
+        let arena = all_answers[0].arena();
+        let marking = PairMarking::new(
+            selected
+                .iter()
+                .map(|&(a, b)| Pair {
+                    plus: arena.tuple(a).to_vec(),
+                    minus: arena.tuple(b).to_vec(),
+                })
+                .collect(),
+        );
         Ok(MultiQueryScheme { marking, answers: all_answers, max_separation, d: config.d })
     }
 
@@ -306,7 +335,7 @@ mod tests {
         let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 3 == 0).collect();
         let marked = scheme.mark(instance.weights(), &message);
         // the edge query alone exposes every element's weight on cycles
-        let server = HonestServer::new(scheme.answers(0).active_sets().to_vec(), marked);
+        let server = HonestServer::new(scheme.answers(0).clone(), marked);
         let report = scheme.detect(instance.weights(), &server);
         assert_eq!(report.bits, message);
     }
@@ -328,8 +357,8 @@ mod tests {
         .expect("builds");
         let message: Vec<bool> = (0..scheme.capacity()).map(|_| true).collect();
         let marked = scheme.mark(instance.weights(), &message);
-        let s0 = HonestServer::new(scheme.answers(0).active_sets().to_vec(), marked.clone());
-        let s1 = HonestServer::new(scheme.answers(1).active_sets().to_vec(), marked);
+        let s0 = HonestServer::new(scheme.answers(0).clone(), marked.clone());
+        let s1 = HonestServer::new(scheme.answers(1).clone(), marked);
         let report =
             scheme.detect_combined(instance.weights(), &[&s0 as &dyn AnswerServer, &s1]);
         assert_eq!(report.bits, message);

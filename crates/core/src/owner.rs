@@ -178,7 +178,7 @@ mod tests {
             .map(|s| (s.to_string(), owner.issue(s)))
             .collect();
         for (name, weights) in &copies {
-            let server = HonestServer::new(sets.clone(), weights.clone());
+            let server = HonestServer::from_sets(sets.clone(), weights.clone());
             let attribution = owner.identify(&server).expect("copies issued");
             assert_eq!(&attribution.server, name);
             assert_eq!(attribution.matches, 48);
@@ -198,7 +198,7 @@ mod tests {
             new_w.set(&[e], 12_345 + 3 * e as i64);
         }
         let refreshed_alpha = owner.refresh("alpha", new_w);
-        let server = HonestServer::new(sets, refreshed_alpha);
+        let server = HonestServer::from_sets(sets, refreshed_alpha);
         let attribution = owner.identify(&server).expect("issued");
         assert_eq!(attribution.server, "alpha");
         assert_eq!(attribution.matches, 40);
@@ -207,7 +207,7 @@ mod tests {
     #[test]
     fn unissued_owner_identifies_nothing() {
         let (owner, sets) = setup(8);
-        let server = HonestServer::new(sets, Weights::new(1));
+        let server = HonestServer::from_sets(sets, Weights::new(1));
         assert!(owner.identify(&server).is_none());
     }
 
@@ -221,7 +221,7 @@ mod tests {
         for e in 0..96u32 {
             other.set(&[e], 1_000_000 + ((e as i64 * 37) % 11));
         }
-        let server = HonestServer::new(sets, other);
+        let server = HonestServer::from_sets(sets, other);
         let attribution = owner.identify(&server).expect("issued");
         // significance nowhere near an ownership claim
         assert!(attribution.significance > 1e-6, "sig {}", attribution.significance);

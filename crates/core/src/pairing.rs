@@ -8,7 +8,7 @@
 //! most the few weights where its answer set deviates from its canonical
 //! representative's.
 
-use qpwm_structures::{Element, WeightKey, Weights};
+use qpwm_structures::{AnswerFamily, TupleId, WeightKey, Weights};
 use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// A balanced pair of weighted elements.
@@ -81,6 +81,136 @@ pub fn s_partition(
     pairs
 }
 
+/// Computes the class of every universe id against canonical active
+/// sets, all as interned id slices: `classes[rank] = {i : id ∈ W_{ā_i}}`
+/// for the id at `rank` in `universe`. No tuple hashing — membership is
+/// a binary search per (id, canonical set).
+pub fn classes_ids(
+    universe: &[TupleId],
+    canonical_sets: &[&[TupleId]],
+) -> Vec<BTreeSet<usize>> {
+    universe
+        .iter()
+        .map(|id| {
+            canonical_sets
+                .iter()
+                .enumerate()
+                .filter(|(_, set)| set.binary_search(id).is_ok())
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect()
+}
+
+/// S-partition over interned ids: pairs universe ids with equal classes.
+/// Because canonical ids follow content order, the result matches the
+/// content-based [`s_partition`] pair for pair.
+pub fn s_partition_ids(
+    universe: &[TupleId],
+    classes: &[BTreeSet<usize>],
+) -> Vec<(TupleId, TupleId)> {
+    let mut groups: HashMap<&BTreeSet<usize>, Vec<TupleId>> = HashMap::new();
+    for (rank, &id) in universe.iter().enumerate() {
+        groups.entry(&classes[rank]).or_default().push(id);
+    }
+    let mut keys: Vec<&BTreeSet<usize>> = groups.keys().copied().collect();
+    keys.sort_unstable();
+    let mut pairs = Vec::new();
+    for k in keys {
+        let group = groups.get_mut(k).expect("key from map");
+        group.sort_unstable();
+        for chunk in group.chunks(2) {
+            if let [a, b] = chunk {
+                pairs.push((*a, *b));
+            }
+        }
+    }
+    pairs
+}
+
+/// A postings-list transpose of one or more answer families sharing an
+/// arena: `postings[id]` lists (in order) the global indices of the sets
+/// containing `id`. Pair-separation queries then reduce to a symmetric-
+/// difference merge walk over two sorted lists — the hot path of the
+/// marker's selection loops, with no per-set hash sets and no tuple
+/// hashing.
+#[derive(Debug)]
+pub struct FamilyIndex {
+    postings: Vec<Vec<u32>>,
+    num_sets: usize,
+}
+
+impl FamilyIndex {
+    /// Builds the transpose. Families are concatenated in order: family
+    /// `f`'s set `i` gets global index `offset_f + i`.
+    ///
+    /// # Panics
+    /// Panics when the families do not share one arena (ids must be
+    /// comparable).
+    pub fn new(families: &[&AnswerFamily]) -> Self {
+        let arena_len = families.first().map_or(0, |f| f.arena().len());
+        for f in families {
+            assert_eq!(f.arena().len(), arena_len, "families must share an arena");
+        }
+        let mut postings: Vec<Vec<u32>> = vec![Vec::new(); arena_len];
+        let mut global = 0u32;
+        for family in families {
+            for i in 0..family.len() {
+                for &id in family.active_ids(i) {
+                    postings[id as usize].push(global);
+                }
+                global += 1;
+            }
+        }
+        FamilyIndex { postings, num_sets: global as usize }
+    }
+
+    /// Total number of indexed sets.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Visits the global index of every set separating the pair `(a, b)`
+    /// (containing exactly one member) — a merge walk over the two
+    /// sorted postings lists.
+    pub fn for_each_separating_set(&self, a: TupleId, b: TupleId, mut visit: impl FnMut(usize)) {
+        let (pa, pb) = (&self.postings[a as usize], &self.postings[b as usize]);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < pa.len() || j < pb.len() {
+            match (pa.get(i), pb.get(j)) {
+                (Some(&x), Some(&y)) if x == y => {
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&x), Some(&y)) if x < y => {
+                    visit(x as usize);
+                    i += 1;
+                }
+                (Some(_), Some(&y)) => {
+                    visit(y as usize);
+                    j += 1;
+                }
+                (Some(&x), None) => {
+                    visit(x as usize);
+                    i += 1;
+                }
+                (None, Some(&y)) => {
+                    visit(y as usize);
+                    j += 1;
+                }
+                (None, None) => unreachable!("loop condition"),
+            }
+        }
+    }
+
+    /// How many indexed sets separate the pair `(a, b)`?
+    pub fn separation(&self, a: TupleId, b: TupleId) -> usize {
+        let mut n = 0usize;
+        self.for_each_separating_set(a, b, |_| n += 1);
+        n
+    }
+}
+
 /// A pair marking: an ordered list of pairs carrying one message bit
 /// each.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -121,17 +251,25 @@ impl PairMarking {
         out
     }
 
-    /// For each active set, how many pairs does it separate (contain
-    /// exactly one member of)? The worst case over all sets bounds the
-    /// global distortion of *any* message.
-    pub fn separation_counts(&self, active_sets: &[Vec<Vec<Element>>]) -> Vec<usize> {
-        active_sets
+    /// For each active set of the family, how many pairs does it separate
+    /// (contain exactly one member of)? The worst case over all sets
+    /// bounds the global distortion of *any* message. Each pair member is
+    /// interned once (an arena lookup); membership is an id binary
+    /// search — no per-set hash sets.
+    pub fn separation_counts(&self, answers: &AnswerFamily) -> Vec<usize> {
+        let ids: Vec<(Option<TupleId>, Option<TupleId>)> = self
+            .pairs
             .iter()
-            .map(|set| {
-                let set: HashSet<&WeightKey> = set.iter().collect();
-                self.pairs
-                    .iter()
-                    .filter(|p| set.contains(&p.plus) != set.contains(&p.minus))
+            .map(|p| (answers.arena().lookup(&p.plus), answers.arena().lookup(&p.minus)))
+            .collect();
+        (0..answers.len())
+            .map(|i| {
+                ids.iter()
+                    .filter(|(p, m)| {
+                        let cp = p.is_some_and(|id| answers.contains(i, id));
+                        let cm = m.is_some_and(|id| answers.contains(i, id));
+                        cp != cm
+                    })
                     .count()
             })
             .collect()
@@ -140,8 +278,8 @@ impl PairMarking {
     /// The worst-case separation over a family of active sets — an upper
     /// bound on the global distortion of every possible message, and the
     /// quantity the marker's ε-goodness check constrains.
-    pub fn max_separation(&self, active_sets: &[Vec<Vec<Element>>]) -> usize {
-        self.separation_counts(active_sets).into_iter().max().unwrap_or(0)
+    pub fn max_separation(&self, answers: &AnswerFamily) -> usize {
+        self.separation_counts(answers).into_iter().max().unwrap_or(0)
     }
 
     /// Reads the message back by comparing observed weights against the
@@ -181,6 +319,13 @@ mod tests {
         vec![e]
     }
 
+    /// Wraps hand-built nested sets as an interned family (synthetic
+    /// parameters `[i]`).
+    fn fam(sets: &[Vec<WeightKey>]) -> AnswerFamily {
+        let params = (0..sets.len()).map(|i| vec![i as u32]).collect();
+        AnswerFamily::from_nested(params, sets)
+    }
+
     #[test]
     fn figure4_classes_and_partition() {
         // Figure 1 instance, edge query: canonical parameters a (type 1),
@@ -213,7 +358,7 @@ mod tests {
         let pairs = s_partition(&active, &cls);
         assert_eq!(pairs.len(), 2);
         let marking = PairMarking::new(pairs);
-        assert_eq!(marking.max_separation(&canonical), 0);
+        assert_eq!(marking.max_separation(&fam(&canonical)), 0);
         // And the realized distortion of any message on those sets is 0.
         let mut w = Weights::new(1);
         for e in 0..4u32 {
@@ -255,8 +400,9 @@ mod tests {
             vec![key(0), key(2)],         // separates both
             vec![key(1), key(0)],         // separates none
         ];
-        assert_eq!(marking.separation_counts(&sets), vec![1, 2, 0]);
-        assert_eq!(marking.max_separation(&sets), 2);
+        let family = fam(&sets);
+        assert_eq!(marking.separation_counts(&family), vec![1, 2, 0]);
+        assert_eq!(marking.max_separation(&family), 2);
     }
 
     #[test]
@@ -273,8 +419,7 @@ mod tests {
         let message = [true, false, true];
         let marked = marking.apply(&w, &message);
         // server exposes every weight through one big active set
-        let sets = vec![(0..6).map(key).collect::<Vec<_>>()];
-        let server = HonestServer::new(sets, marked);
+        let server = HonestServer::new(fam(&[(0..6).map(key).collect::<Vec<_>>()]), marked);
         let obs = ObservedWeights::collect(&server);
         let report = marking.extract(&w, &obs);
         assert_eq!(report.bits, message.to_vec());
@@ -287,7 +432,7 @@ mod tests {
     fn extract_reports_missing_pairs() {
         let marking = PairMarking::new(vec![Pair { plus: key(8), minus: key(9) }]);
         let w = Weights::new(1);
-        let server = HonestServer::new(vec![vec![key(0)]], Weights::new(1));
+        let server = HonestServer::new(fam(&[vec![key(0)]]), Weights::new(1));
         let obs = ObservedWeights::collect(&server);
         let report = marking.extract(&w, &obs);
         assert_eq!(report.missing_pairs, 1);

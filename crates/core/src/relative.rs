@@ -8,7 +8,7 @@
 //! as values grow. This module implements the trivial relative scheme so
 //! the experiments can demonstrate both failure modes quantitatively.
 
-use qpwm_structures::{Element, WeightKey, Weights};
+use qpwm_structures::{AnswerFamily, WeightKey, Weights};
 
 /// The trivial relative-error marking: each bit scales one weight by
 /// `(1 + ε)` (bit 1) or `(1 − ε)` (bit 0), with integer rounding.
@@ -65,20 +65,20 @@ impl RelativeScheme {
             .collect()
     }
 
-    /// Worst relative aggregate error over a family of active sets:
+    /// Worst relative aggregate error over an interned family:
     /// `max |f'(ā) − f(ā)| / f(ā)` (sets with `f = 0` skipped).
     pub fn relative_distortion(
         original: &Weights,
         marked: &Weights,
-        active_sets: &[Vec<Vec<Element>>],
+        answers: &AnswerFamily,
     ) -> f64 {
         let mut worst = 0.0f64;
-        for set in active_sets {
-            let before: i64 = set.iter().map(|k| original.get(k)).sum();
+        for i in 0..answers.len() {
+            let before: i64 = answers.set_tuples(i).map(|k| original.get(k)).sum();
             if before == 0 {
                 continue;
             }
-            let after: i64 = set.iter().map(|k| marked.get(k)).sum();
+            let after: i64 = answers.set_tuples(i).map(|k| marked.get(k)).sum();
             worst = worst.max(((after - before).abs() as f64) / before.abs() as f64);
         }
         worst
@@ -105,7 +105,8 @@ mod tests {
         let message: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
         let marked = scheme.mark(&w, &message);
         let sets: Vec<Vec<WeightKey>> = vec![carriers.clone(), carriers[..3].to_vec()];
-        let rel = RelativeScheme::relative_distortion(&w, &marked, &sets);
+        let family = AnswerFamily::from_nested(vec![vec![0], vec![1]], &sets);
+        let rel = RelativeScheme::relative_distortion(&w, &marked, &family);
         assert!(rel <= 0.011, "relative distortion {rel}");
         // and detection works on large weights
         let bits = scheme.extract(&w, &marked);

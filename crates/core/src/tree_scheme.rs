@@ -22,7 +22,7 @@
 
 use crate::detect::{AnswerServer, DetectionReport, ObservedWeights};
 use crate::pairing::{Pair, PairMarking};
-use qpwm_structures::Weights;
+use qpwm_structures::{AnswerFamily, Element, Weights};
 use qpwm_trees::automaton::BottomUpAutomaton;
 use qpwm_trees::pebble::{Overlay, PebbledQuery};
 use qpwm_trees::tree::{BinaryTree, NodeId};
@@ -52,6 +52,10 @@ pub struct TreeScheme {
     regions: Vec<NodeId>,
     stats: TreeSchemeStats,
     answers: Vec<(Vec<NodeId>, Vec<NodeId>)>,
+    /// The same answers as an interned family (`NodeId` = `Element`),
+    /// built once at construction — audits and servers share it without
+    /// rematerializing nested sets.
+    family: AnswerFamily,
 }
 
 impl TreeScheme {
@@ -243,7 +247,13 @@ impl TreeScheme {
             usable_blocks,
             max_transformations,
         };
-        TreeScheme { marking: PairMarking::new(pairs), regions, stats, answers }
+        let parameters: Vec<Vec<Element>> = answers.iter().map(|(p, _)| p.clone()).collect();
+        let sets: Vec<Vec<Vec<Element>>> = answers
+            .iter()
+            .map(|(_, set)| set.iter().map(|&b| vec![b]).collect())
+            .collect();
+        let family = AnswerFamily::from_nested(parameters, &sets);
+        TreeScheme { marking: PairMarking::new(pairs), regions, stats, answers, family }
     }
 
     /// Number of message bits.
@@ -271,12 +281,11 @@ impl TreeScheme {
         &self.answers
     }
 
-    /// Active sets as weight-key families (for audits and servers).
-    pub fn active_sets(&self) -> Vec<Vec<Vec<u32>>> {
-        self.answers
-            .iter()
-            .map(|(_, set)| set.iter().map(|&b| vec![b]).collect())
-            .collect()
+    /// The answers as an interned family (singleton node tuples) — pass a
+    /// clone to [`HonestServer::new`](crate::detect::HonestServer::new),
+    /// it is two `Arc` bumps.
+    pub fn family(&self) -> &AnswerFamily {
+        &self.family
     }
 
     /// Marker: embeds `message` into node weights.
@@ -292,7 +301,7 @@ impl TreeScheme {
 
     /// Audits Definition 2 bounds (Theorem 5 guarantees global ≤ 1).
     pub fn audit(&self, original: &Weights, marked: &Weights) -> qpwm_structures::DistortionReport {
-        qpwm_structures::global_distortion(original, marked, &self.active_sets())
+        self.family.global_distortion(original, marked)
     }
 }
 
@@ -553,7 +562,7 @@ mod tests {
         let w = uniform_weights(40);
         let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 3 == 0).collect();
         let marked = scheme.mark(&w, &message);
-        let server = HonestServer::new(scheme.active_sets(), marked);
+        let server = HonestServer::new(scheme.family().clone(), marked);
         let report = scheme.detect(&w, &server);
         assert_eq!(report.bits, message);
         assert_eq!(report.missing_pairs, 0);

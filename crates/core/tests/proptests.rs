@@ -246,7 +246,7 @@ mod scheme_properties {
             let audit = scheme.audit(instance.weights(), &marked);
             prop_assert!(audit.is_c_local(1));
             prop_assert!(audit.is_d_global(d as i64), "global {}", audit.max_global);
-            let server = HonestServer::new(scheme.answers().active_sets().to_vec(), marked);
+            let server = HonestServer::new(scheme.answers().clone(), marked);
             let report = scheme.detect(instance.weights(), &server);
             prop_assert_eq!(&report.bits[..message.len()], message.as_slice());
         }
@@ -300,7 +300,7 @@ mod scheme_properties {
             let audit = scheme.audit(&w, &marked);
             prop_assert!(audit.is_c_local(1));
             prop_assert!(audit.is_d_global(1), "global {}", audit.max_global);
-            let server = HonestServer::new(scheme.active_sets(), marked);
+            let server = HonestServer::new(scheme.family().clone(), marked);
             let report = scheme.detect(&w, &server);
             prop_assert_eq!(&report.bits[..message.len()], message.as_slice());
         }

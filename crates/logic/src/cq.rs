@@ -18,7 +18,7 @@
 //! evaluator otherwise; a property test checks both paths agree.
 
 use crate::fo::{Formula, Var};
-use qpwm_structures::{Element, RelId, Structure};
+use qpwm_structures::{AnswerSource, Element, RelId, Structure};
 use std::collections::BTreeSet;
 
 #[derive(Debug, Clone)]
@@ -134,14 +134,36 @@ impl CqPlan {
         params: &[Var],
         values: &[Element],
     ) -> Vec<Vec<Element>> {
+        let mut results: BTreeSet<Vec<Element>> = BTreeSet::new();
+        self.for_each_answer(structure, params, values, &mut |b| {
+            results.insert(b.to_vec());
+        });
+        results.into_iter().collect()
+    }
+
+    /// Streams the join results to `visit` without materializing them.
+    /// Tuples may repeat (one per existential witness) and arrive in join
+    /// order, not sorted — the answer-set engine sorts and dedups.
+    pub fn for_each_answer(
+        &self,
+        structure: &Structure,
+        params: &[Var],
+        values: &[Element],
+        visit: &mut dyn FnMut(&[Element]),
+    ) {
         let mut env: Vec<Option<Element>> = vec![None; self.env_size];
         for (v, e) in params.iter().zip(values) {
             env[*v as usize] = Some(*e);
         }
         let mut remaining: Vec<&AtomRef> = self.positive.iter().collect();
-        let mut results: BTreeSet<Vec<Element>> = BTreeSet::new();
-        self.join(structure, &mut env, &mut remaining, &mut results);
-        results.into_iter().collect()
+        let mut scratch: Vec<Element> = Vec::with_capacity(self.outputs.len());
+        self.join(structure, &mut env, &mut remaining, &mut scratch, visit);
+    }
+
+    /// Binds the plan to a structure as an [`AnswerSource`], so the
+    /// engine can materialize an interned family straight off the join.
+    pub fn bind<'a>(&'a self, structure: &'a Structure, params: &'a [Var]) -> BoundPlan<'a> {
+        BoundPlan { plan: self, structure, params }
     }
 
     fn join(
@@ -149,16 +171,18 @@ impl CqPlan {
         structure: &Structure,
         env: &mut Vec<Option<Element>>,
         remaining: &mut Vec<&AtomRef>,
-        results: &mut BTreeSet<Vec<Element>>,
+        scratch: &mut Vec<Element>,
+        visit: &mut dyn FnMut(&[Element]),
     ) {
         if remaining.is_empty() {
             if self.filters_pass(structure, env) {
-                let tuple: Vec<Element> = self
-                    .outputs
-                    .iter()
-                    .map(|v| env[*v as usize].expect("outputs bound by safety"))
-                    .collect();
-                results.insert(tuple);
+                scratch.clear();
+                scratch.extend(
+                    self.outputs
+                        .iter()
+                        .map(|v| env[*v as usize].expect("outputs bound by safety")),
+                );
+                visit(scratch);
             }
             return;
         }
@@ -206,7 +230,7 @@ impl CqPlan {
             for &(v, e) in &extensions {
                 env[v as usize] = Some(e);
             }
-            self.join(structure, env, remaining, results);
+            self.join(structure, env, remaining, scratch, visit);
             for &(v, _) in &extensions {
                 env[v as usize] = None;
             }
@@ -237,6 +261,25 @@ impl CqPlan {
             }
         }
         true
+    }
+}
+
+/// A [`CqPlan`] bound to a structure and parameter variables — the CQ
+/// join plan's face as an [`AnswerSource`].
+#[derive(Debug, Clone, Copy)]
+pub struct BoundPlan<'a> {
+    plan: &'a CqPlan,
+    structure: &'a Structure,
+    params: &'a [Var],
+}
+
+impl AnswerSource for BoundPlan<'_> {
+    fn output_arity(&self) -> usize {
+        self.plan.outputs.len()
+    }
+
+    fn for_each_answer(&self, param: &[Element], visit: &mut dyn FnMut(&[Element])) {
+        self.plan.for_each_answer(self.structure, self.params, param, visit);
     }
 }
 

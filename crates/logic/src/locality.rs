@@ -76,17 +76,19 @@ fn outputs_agree_outside(
     centers.extend_from_slice(a2);
     let forbidden = gaifman.sphere(&centers, 2 * rho + 1);
     let in_forbidden = |b: &[u32]| b.iter().any(|e| forbidden.binary_search(e).is_ok());
-    let w1 = answers.active_set(i);
-    let w2 = answers.active_set(j);
+    let w1 = answers.active_ids(i);
+    let w2 = answers.active_ids(j);
     let _ = structure;
-    // Every output outside S_{2ρ+1}(ā1 ā2) must be in both or neither.
-    for b in w1 {
-        if !in_forbidden(b) && w2.binary_search(b).is_err() {
+    // Every output outside S_{2ρ+1}(ā1 ā2) must be in both or neither —
+    // membership is an id binary search, content only read for the
+    // sphere test.
+    for &id in w1 {
+        if !in_forbidden(answers.tuple(id)) && w2.binary_search(&id).is_err() {
             return false;
         }
     }
-    for b in w2 {
-        if !in_forbidden(b) && w1.binary_search(b).is_err() {
+    for &id in w2 {
+        if !in_forbidden(answers.tuple(id)) && w1.binary_search(&id).is_err() {
             return false;
         }
     }

@@ -2,16 +2,21 @@
 //!
 //! A [`ParametricQuery`] designates parameter variables `ū` (supplied by
 //! final users, arity `r`) and output variables `v̄` (arity `s`, the weight
-//! arity). [`QueryAnswers`] materializes, for every parameter tuple, the
-//! set `W_ā = ψ(ā, G)` of active weighted elements, the active union `W`,
-//! and the aggregates `f(ā)` — everything Definition 2's marker and
-//! detector consume.
+//! arity). Materialization goes through the interned answer-set engine:
+//! [`QueryAnswers`] (an alias of [`qpwm_structures::AnswerFamily`]) holds,
+//! for every parameter tuple, the set `W_ā = ψ(ā, G)` as a slice of dense
+//! tuple ids over one shared arena, plus the memoized active union `W` and
+//! the aggregates `f(ā)` — everything Definition 2's marker and detector
+//! consume, without nested per-set vectors.
 
 use crate::cq::CqPlan;
 use crate::eval::Evaluator;
 use crate::fo::{Formula, Var};
-use qpwm_structures::{distortion, Element, Structure, Weights};
-use std::collections::{BTreeSet, HashMap};
+use qpwm_structures::{AnswerSource, Element, Structure};
+use std::collections::BTreeSet;
+
+/// Materialized query answers: the interned family `{W_ā : ā ∈ domain}`.
+pub use qpwm_structures::AnswerFamily as QueryAnswers;
 
 /// A formula with distinguished parameter and output variables.
 ///
@@ -78,12 +83,21 @@ impl ParametricQuery {
         self.outputs.len()
     }
 
-    /// Evaluates `ψ(ā, G)`: the set of output tuples `b̄` with
-    /// `G ⊨ ψ(ā, b̄)`, sorted.
-    pub fn answer_set(&self, structure: &Structure, a: &[Element]) -> Vec<Vec<Element>> {
+    /// Streams every output tuple of `ψ(a, G)` to `visit`. The plan path
+    /// may repeat tuples (one per existential witness); the generic path
+    /// visits each satisfying tuple once, in ascending order. Callers that
+    /// need a sorted deduped set use [`Self::answer_set`] or materialize
+    /// through the engine, which canonicalizes either way.
+    pub fn for_each_answer(
+        &self,
+        structure: &Structure,
+        a: &[Element],
+        visit: &mut dyn FnMut(&[Element]),
+    ) {
         assert_eq!(a.len(), self.params.len(), "parameter arity mismatch");
         if let Some(plan) = &self.plan {
-            return plan.answer_set(structure, &self.params, a);
+            plan.for_each_answer(structure, &self.params, a, visit);
+            return;
         }
         let mut ev = Evaluator::new(structure, self.formula.max_var());
         let mut assignment: Vec<(Var, Element)> = self
@@ -96,25 +110,23 @@ impl ParametricQuery {
         for v in &self.outputs {
             assignment.push((*v, 0));
         }
-        let mut out = Vec::new();
         let mut b = vec![0u32; self.outputs.len()];
         let n = structure.universe_size();
         if n == 0 {
-            return out;
+            return;
         }
         loop {
             for (i, &e) in b.iter().enumerate() {
                 assignment[base + i].1 = e;
             }
             if ev.eval(&self.formula, &assignment) {
-                out.push(b.clone());
+                visit(&b);
             }
             // odometer over U^s
             let mut i = b.len();
             loop {
                 if i == 0 {
-                    out.sort_unstable();
-                    return out;
+                    return;
                 }
                 i -= 1;
                 b[i] += 1;
@@ -126,7 +138,25 @@ impl ParametricQuery {
         }
     }
 
-    /// Materializes answers over the full parameter domain `U^r`.
+    /// Evaluates `ψ(ā, G)`: the set of output tuples `b̄` with
+    /// `G ⊨ ψ(ā, b̄)`, sorted and deduped.
+    pub fn answer_set(&self, structure: &Structure, a: &[Element]) -> Vec<Vec<Element>> {
+        let mut out: Vec<Vec<Element>> = Vec::new();
+        self.for_each_answer(structure, a, &mut |b| out.push(b.to_vec()));
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Binds the query to a structure as an [`AnswerSource`] — the FO
+    /// evaluation face of the engine (uses the CQ join plan when one
+    /// compiled).
+    pub fn bind<'a>(&'a self, structure: &'a Structure) -> BoundQuery<'a> {
+        BoundQuery { query: self, structure }
+    }
+
+    /// Materializes answers over the full parameter domain `U^r` into an
+    /// interned family.
     pub fn answers(&self, structure: &Structure) -> QueryAnswers {
         let domain = qpwm_structures::types::all_tuples(structure, self.params.len());
         self.answers_over(structure, domain)
@@ -134,108 +164,50 @@ impl ParametricQuery {
 
     /// Materializes answers over an explicit parameter domain (use when the
     /// meaningful parameters are a strict subset of `U^r`, e.g. only
-    /// travel names).
+    /// travel names). Answers stream straight into the arena — no nested
+    /// intermediate vectors.
     pub fn answers_over(
         &self,
         structure: &Structure,
         domain: Vec<Vec<Element>>,
     ) -> QueryAnswers {
-        let mut sets = Vec::with_capacity(domain.len());
-        for a in &domain {
-            sets.push(self.answer_set(structure, a));
-        }
-        QueryAnswers::new(domain, sets)
+        QueryAnswers::from_source(&self.bind(structure), domain)
+    }
+
+    /// Pre-engine materialization: per-parameter nested `Vec`s. Kept only
+    /// as the reference implementation for the differential test.
+    #[cfg(test)]
+    fn answers_nested(
+        &self,
+        structure: &Structure,
+        domain: &[Vec<Element>],
+    ) -> Vec<Vec<Vec<Element>>> {
+        domain.iter().map(|a| self.answer_set(structure, a)).collect()
     }
 }
 
-/// Materialized query answers: the family `{W_ā : ā ∈ domain}`.
-#[derive(Debug, Clone)]
-pub struct QueryAnswers {
-    parameters: Vec<Vec<Element>>,
-    active_sets: Vec<Vec<Vec<Element>>>,
-    index: HashMap<Vec<Element>, usize>,
+/// A [`ParametricQuery`] bound to a structure — FO evaluation as an
+/// [`AnswerSource`].
+#[derive(Debug, Clone, Copy)]
+pub struct BoundQuery<'a> {
+    query: &'a ParametricQuery,
+    structure: &'a Structure,
 }
 
-impl QueryAnswers {
-    /// Pairs parameters with their active sets.
-    pub fn new(parameters: Vec<Vec<Element>>, active_sets: Vec<Vec<Vec<Element>>>) -> Self {
-        assert_eq!(parameters.len(), active_sets.len());
-        let index = parameters
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (p.clone(), i))
-            .collect();
-        QueryAnswers { parameters, active_sets, index }
+impl AnswerSource for BoundQuery<'_> {
+    fn output_arity(&self) -> usize {
+        self.query.outputs.len()
     }
 
-    /// The parameter domain, in materialization order.
-    pub fn parameters(&self) -> &[Vec<Element>] {
-        &self.parameters
-    }
-
-    /// `W_ā` for the i-th parameter.
-    pub fn active_set(&self, i: usize) -> &[Vec<Element>] {
-        &self.active_sets[i]
-    }
-
-    /// All active sets, parallel to [`Self::parameters`].
-    pub fn active_sets(&self) -> &[Vec<Vec<Element>>] {
-        &self.active_sets
-    }
-
-    /// `W_ā` looked up by parameter value.
-    pub fn active_set_of(&self, a: &[Element]) -> Option<&[Vec<Element>]> {
-        self.index.get(a).map(|&i| self.active_sets[i].as_slice())
-    }
-
-    /// The active weighted elements `W = ∪_ā W_ā`, sorted.
-    pub fn active_universe(&self) -> Vec<Vec<Element>> {
-        let mut set: BTreeSet<Vec<Element>> = BTreeSet::new();
-        for s in &self.active_sets {
-            set.extend(s.iter().cloned());
-        }
-        set.into_iter().collect()
-    }
-
-    /// Number of parameters in the domain.
-    pub fn len(&self) -> usize {
-        self.parameters.len()
-    }
-
-    /// True when the domain is empty.
-    pub fn is_empty(&self) -> bool {
-        self.parameters.is_empty()
-    }
-
-    /// `N`: the number of *distinct* active sets — the paper's "number of
-    /// distinct possible queries".
-    pub fn distinct_queries(&self) -> usize {
-        let set: BTreeSet<&[Vec<Element>]> =
-            self.active_sets.iter().map(Vec::as_slice).collect();
-        set.len()
-    }
-
-    /// The aggregate `f(ā)` for the i-th parameter under `weights`.
-    pub fn f(&self, weights: &Weights, i: usize) -> i64 {
-        distortion::f_value(weights, &self.active_sets[i])
-    }
-
-    /// All `f` values in parameter order.
-    pub fn f_all(&self, weights: &Weights) -> Vec<i64> {
-        (0..self.len()).map(|i| self.f(weights, i)).collect()
-    }
-
-    /// Maximum global distortion between two weight assignments over this
-    /// family — the `d` of the d-global distortion assumption.
-    pub fn max_global_distortion(&self, before: &Weights, after: &Weights) -> i64 {
-        distortion::global_distortion(before, after, &self.active_sets).max_global
+    fn for_each_answer(&self, param: &[Element], visit: &mut dyn FnMut(&[Element])) {
+        self.query.for_each_answer(self.structure, param, visit);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qpwm_structures::{figure1_instance, Schema, StructureBuilder};
+    use qpwm_structures::{figure1_instance, Schema, StructureBuilder, Weights};
     use std::sync::Arc;
 
     /// ψ(u, v) ≡ E(u, v): the paper's running example query.
@@ -243,17 +215,22 @@ mod tests {
         ParametricQuery::new(Formula::atom(0, &[0, 1]), vec![0], vec![1])
     }
 
+    fn set_of(ans: &QueryAnswers, a: &[Element]) -> Vec<Vec<Element>> {
+        let i = ans.position_of(a).expect("parameter in domain");
+        ans.materialize_set(i)
+    }
+
     #[test]
     fn figure2_active_sets() {
         let s = figure1_instance();
         let q = edge_query();
         let ans = q.answers(&s);
-        assert_eq!(ans.active_set_of(&[0]).unwrap(), &[vec![3], vec![4]]);
-        assert_eq!(ans.active_set_of(&[1]).unwrap(), &[vec![3], vec![4]]);
-        assert_eq!(ans.active_set_of(&[2]).unwrap(), &[vec![3]]);
-        assert_eq!(ans.active_set_of(&[5]).unwrap(), &[vec![4]]);
-        assert_eq!(ans.active_set_of(&[3]).unwrap(), &[vec![0], vec![1], vec![2]]);
-        assert_eq!(ans.active_set_of(&[4]).unwrap(), &[vec![0], vec![1], vec![5]]);
+        assert_eq!(set_of(&ans, &[0]), vec![vec![3], vec![4]]);
+        assert_eq!(set_of(&ans, &[1]), vec![vec![3], vec![4]]);
+        assert_eq!(set_of(&ans, &[2]), vec![vec![3]]);
+        assert_eq!(set_of(&ans, &[5]), vec![vec![4]]);
+        assert_eq!(set_of(&ans, &[3]), vec![vec![0], vec![1], vec![2]]);
+        assert_eq!(set_of(&ans, &[4]), vec![vec![0], vec![1], vec![5]]);
     }
 
     #[test]
@@ -272,7 +249,9 @@ mod tests {
         b.add(0, &[0, 1]);
         let s = b.build();
         let ans = edge_query().answers(&s);
-        assert_eq!(ans.active_universe(), vec![vec![1]]);
+        let universe: Vec<Vec<Element>> =
+            ans.universe_tuples().map(<[Element]>::to_vec).collect();
+        assert_eq!(universe, vec![vec![1]]);
     }
 
     #[test]
@@ -321,7 +300,7 @@ mod tests {
         let q = edge_query();
         let ans = q.answers_over(&s, vec![vec![0], vec![2]]);
         assert_eq!(ans.len(), 2);
-        assert!(ans.active_set_of(&[1]).is_none());
+        assert!(ans.ids_of(&[1]).is_none());
     }
 
     #[test]
@@ -347,5 +326,104 @@ mod tests {
     #[should_panic(expected = "listed twice")]
     fn duplicate_role_rejected() {
         let _ = ParametricQuery::new(Formula::atom(0, &[0, 0]), vec![0], vec![0]);
+    }
+
+    // ---- differential test: interned engine vs nested path vs ground truth
+
+    use crate::naive::eval_by_substitution;
+    use qpwm_rng::Rng;
+    use std::collections::HashMap;
+
+    fn random_graph(rng: &mut Rng, n: u32, edges: u32) -> Structure {
+        let schema = Arc::new(Schema::graph());
+        let mut b = StructureBuilder::new(schema, n);
+        for _ in 0..edges {
+            b.add(0, &[rng.gen_range(0..n), rng.gen_range(0..n)]);
+        }
+        b.build()
+    }
+
+    fn random_weights(rng: &mut Rng, n: u32) -> Weights {
+        let mut w = Weights::new(1);
+        for e in 0..n {
+            w.set(&[e], rng.gen_range(-50i64..50));
+        }
+        w
+    }
+
+    /// The queries exercised: a bare atom (CQ single-atom), a two-hop
+    /// join with a filter (CQ with existential + negation), and a
+    /// disjunction the planner rejects (generic odometer path).
+    fn differential_queries() -> Vec<ParametricQuery> {
+        let two_hop = Formula::exists(
+            2,
+            Formula::atom(0, &[0, 2])
+                .and(Formula::atom(0, &[2, 1]))
+                .and(Formula::eq(0, 1).not()),
+        );
+        let either_dir = Formula::atom(0, &[0, 1]).or(Formula::atom(0, &[1, 0]));
+        vec![
+            ParametricQuery::new(Formula::atom(0, &[0, 1]), vec![0], vec![1]),
+            ParametricQuery::new(two_hop, vec![0], vec![1]),
+            ParametricQuery::new(either_dir, vec![0], vec![1]),
+        ]
+    }
+
+    #[test]
+    fn differential_interned_vs_nested_vs_ground_truth() {
+        let mut rng = Rng::seed_from_u64(0xE16E);
+        for round in 0..12u64 {
+            let n = 3 + (round % 5) as u32;
+            let s = random_graph(&mut rng, n, n * 2);
+            let before = random_weights(&mut rng, n);
+            let after = random_weights(&mut rng, n);
+            for (qi, q) in differential_queries().iter().enumerate() {
+                let domain = qpwm_structures::types::all_tuples(&s, q.r());
+                let family = q.answers_over(&s, domain.clone());
+                let nested = q.answers_nested(&s, &domain);
+
+                // identical active sets, parameter by parameter
+                assert_eq!(family.len(), nested.len());
+                for (i, set) in nested.iter().enumerate() {
+                    assert_eq!(
+                        &family.materialize_set(i),
+                        set,
+                        "round {round} query {qi} parameter {i}"
+                    );
+                }
+
+                // identical aggregates f(ā) and max-global-distortion
+                for (i, set) in nested.iter().enumerate() {
+                    let nested_f: i64 = set.iter().map(|b| before.get(b)).sum();
+                    assert_eq!(family.f(&before, i), nested_f);
+                }
+                let nested_report =
+                    qpwm_structures::global_distortion(&before, &after, &nested);
+                assert_eq!(
+                    family.max_global_distortion(&before, &after),
+                    nested_report.max_global
+                );
+
+                // ground truth by substitution on every (ā, b̄)
+                for (i, a) in domain.iter().enumerate() {
+                    for b in 0..n {
+                        let mut assignment: HashMap<Var, Element> = HashMap::new();
+                        for (v, &e) in q.params().iter().zip(a.iter()) {
+                            assignment.insert(*v, e);
+                        }
+                        assignment.insert(q.outputs()[0], b);
+                        let truth = eval_by_substitution(&s, q.formula(), &assignment);
+                        let in_family = family
+                            .arena()
+                            .lookup(&[b])
+                            .is_some_and(|id| family.contains(i, id));
+                        assert_eq!(
+                            truth, in_family,
+                            "round {round} query {qi} a={a:?} b={b}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -40,6 +40,26 @@ impl SetSystem {
         SetSystem { ground, sets }
     }
 
+    /// Builds the set system of an interned answer family without
+    /// re-hashing tuples: the family's sorted universe *is* the ground
+    /// set, and each active id maps to its universe rank.
+    pub fn from_answers(answers: &crate::query::QueryAnswers) -> Self {
+        let ground: Vec<Vec<Element>> =
+            answers.universe_tuples().map(<[Element]>::to_vec).collect();
+        let mut sets: Vec<BTreeSet<u32>> = (0..answers.len())
+            .map(|i| {
+                answers
+                    .active_ids(i)
+                    .iter()
+                    .map(|&id| answers.universe_rank(id).expect("active id in universe") as u32)
+                    .collect()
+            })
+            .collect();
+        sets.sort();
+        sets.dedup();
+        SetSystem { ground, sets }
+    }
+
     /// Size of the ground set.
     pub fn ground_size(&self) -> usize {
         self.ground.len()
@@ -128,7 +148,7 @@ pub fn vc_dimension(system: &SetSystem) -> usize {
 
 /// Convenience: VC-dimension of `C(ψ, G)` given materialized answers.
 pub fn vc_of_answers(answers: &crate::query::QueryAnswers) -> usize {
-    vc_dimension(&SetSystem::from_family(answers.active_sets()))
+    vc_dimension(&SetSystem::from_answers(answers))
 }
 
 #[cfg(test)]

@@ -81,14 +81,36 @@ pub enum Aggregate {
 impl Aggregate {
     /// Applies the aggregate to one active set. Empty sets yield 0.
     pub fn apply(&self, weights: &Weights, active_set: &[Vec<Element>]) -> i64 {
-        if active_set.is_empty() {
+        self.apply_iter(weights, active_set.iter().map(Vec::as_slice))
+    }
+
+    /// Applies the aggregate to a stream of output tuples (one active
+    /// set, borrowed — e.g. out of an interned [`crate::AnswerFamily`]).
+    /// Empty streams yield 0.
+    pub fn apply_iter<'a>(
+        &self,
+        weights: &Weights,
+        tuples: impl Iterator<Item = &'a [Element]>,
+    ) -> i64 {
+        let mut count = 0i64;
+        let mut sum = 0i64;
+        let mut min = i64::MAX;
+        let mut max = i64::MIN;
+        for b in tuples {
+            let w = weights.get(b);
+            count += 1;
+            sum += w;
+            min = min.min(w);
+            max = max.max(w);
+        }
+        if count == 0 {
             return 0;
         }
         match self {
-            Aggregate::Sum => f_value(weights, active_set),
-            Aggregate::Mean => f_value(weights, active_set) / active_set.len() as i64,
-            Aggregate::Min => active_set.iter().map(|b| weights.get(b)).min().unwrap_or(0),
-            Aggregate::Max => active_set.iter().map(|b| weights.get(b)).max().unwrap_or(0),
+            Aggregate::Sum => sum,
+            Aggregate::Mean => sum / count,
+            Aggregate::Min => min,
+            Aggregate::Max => max,
         }
     }
 }

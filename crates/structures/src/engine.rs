@@ -1,0 +1,522 @@
+//! The interned answer-set engine.
+//!
+//! Every scheme in the paper consumes the same object: the family of
+//! active sets `W_ā = ψ(ā, G)` (Definition 2). This module gives that
+//! object one shared, cheap representation:
+//!
+//! * a [`TupleArena`] interns output tuples to dense [`TupleId`]s with
+//!   O(1) slice lookup, so a tuple's content is stored once no matter how
+//!   many active sets it appears in;
+//! * an [`AnswerFamily`] stores the family itself in CSR form — one flat
+//!   `Vec<TupleId>` plus offsets — with a memoized active universe, and
+//!   clones in O(1) (the payload sits behind `Arc`s), so markers,
+//!   detectors and benches can pass families around freely;
+//! * an [`AnswerSource`] abstracts *where* answers come from (FO
+//!   evaluation, a CQ join plan, a tree-pattern matcher) so Theorem 3 and
+//!   Theorem 5 schemes materialize through one streaming interface
+//!   without intermediate nested vectors.
+//!
+//! Ids are **canonical**: after construction, numeric id order equals
+//! lexicographic tuple order. Consequences the rest of the workspace
+//! leans on: a numerically sorted id slice is content-sorted, set
+//! equality is id-slice equality, membership is a binary search on ids,
+//! and the universe's rank of an id doubles as a ground-set index for
+//! VC-dimension machinery.
+
+use crate::distortion::{self, DistortionReport};
+use crate::structure::Element;
+use crate::weighted::Weights;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// Dense identifier of an interned output tuple.
+pub type TupleId = u32;
+
+/// Interns `s`-ary output tuples to dense ids.
+#[derive(Debug, Clone, Default)]
+pub struct TupleArena {
+    arity: usize,
+    flat: Vec<Element>,
+    index: HashMap<Vec<Element>, TupleId>,
+}
+
+impl TupleArena {
+    /// Creates an empty arena for tuples of the given arity.
+    pub fn new(arity: usize) -> Self {
+        TupleArena { arity, flat: Vec::new(), index: HashMap::new() }
+    }
+
+    /// Interns a tuple, returning its id (existing or fresh).
+    ///
+    /// # Panics
+    /// Panics on an arity mismatch.
+    pub fn intern(&mut self, tuple: &[Element]) -> TupleId {
+        assert_eq!(tuple.len(), self.arity, "tuple arity mismatch");
+        if let Some(&id) = self.index.get(tuple) {
+            return id;
+        }
+        let id = (self.flat.len() / self.arity.max(1)) as TupleId;
+        self.flat.extend_from_slice(tuple);
+        self.index.insert(tuple.to_vec(), id);
+        id
+    }
+
+    /// Looks up a tuple without interning (O(1), no allocation).
+    pub fn lookup(&self, tuple: &[Element]) -> Option<TupleId> {
+        self.index.get(tuple).copied()
+    }
+
+    /// The content of an interned tuple.
+    ///
+    /// # Panics
+    /// Panics when `id` was never issued.
+    pub fn tuple(&self, id: TupleId) -> &[Element] {
+        let start = id as usize * self.arity;
+        &self.flat[start..start + self.arity]
+    }
+
+    /// Number of distinct interned tuples.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Tuple arity `s`.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Iterates `(id, tuple)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TupleId, &[Element])> {
+        let arity = self.arity;
+        self.flat
+            .chunks(arity.max(1))
+            .enumerate()
+            .map(move |(i, t)| (i as TupleId, if arity == 0 { &t[..0] } else { t }))
+    }
+
+    /// Remaps ids so numeric order equals lexicographic tuple order.
+    /// Returns `perm` with `perm[old_id] = new_id`.
+    fn canonicalize(&mut self) -> Vec<TupleId> {
+        let n = self.len();
+        let mut order: Vec<TupleId> = (0..n as TupleId).collect();
+        order.sort_by(|&a, &b| self.tuple(a).cmp(self.tuple(b)));
+        let mut perm = vec![0 as TupleId; n];
+        let mut flat = Vec::with_capacity(self.flat.len());
+        for (new, &old) in order.iter().enumerate() {
+            perm[old as usize] = new as TupleId;
+            flat.extend_from_slice(self.tuple(old));
+        }
+        self.flat = flat;
+        for id in self.index.values_mut() {
+            *id = perm[*id as usize];
+        }
+        perm
+    }
+}
+
+/// A producer of answer sets: given a parameter tuple `ā`, visits every
+/// output tuple of `ψ(ā, G)`. Implementations may visit in any order and
+/// may repeat tuples — the engine sorts and dedups while interning.
+///
+/// Implemented by FO evaluation and the CQ join plan (`qpwm-logic`) and
+/// by the tree-pattern matcher (`qpwm-trees`), so relational (Theorem 3)
+/// and XML (Theorem 5) schemes materialize through one interface.
+pub trait AnswerSource {
+    /// Output arity `s` of the produced tuples.
+    fn output_arity(&self) -> usize;
+    /// Visits every output tuple of `ψ(param, G)`.
+    fn for_each_answer(&self, param: &[Element], visit: &mut dyn FnMut(&[Element]));
+}
+
+/// Immutable payload of one family (everything but the shared arena).
+#[derive(Debug)]
+struct FamilyCore {
+    parameters: Vec<Vec<Element>>,
+    param_index: HashMap<Vec<Element>, usize>,
+    /// CSR offsets into `ids`; length `parameters.len() + 1`.
+    offsets: Vec<u32>,
+    /// Concatenated active sets, each slice sorted and deduped.
+    ids: Vec<TupleId>,
+    /// Memoized `W = ∪_ā W_ā`, sorted.
+    universe: Vec<TupleId>,
+}
+
+/// The interned family `{W_ā : ā ∈ domain}` — the engine's central type.
+///
+/// Cloning is O(1) (two `Arc` bumps); several families produced by one
+/// [`FamilyBuilder`] share a single arena, so ids are comparable across
+/// them.
+#[derive(Debug, Clone)]
+pub struct AnswerFamily {
+    arena: Arc<TupleArena>,
+    core: Arc<FamilyCore>,
+}
+
+impl AnswerFamily {
+    /// Materializes a family by streaming `source` over `domain` —
+    /// answers flow straight into the arena with no intermediate nested
+    /// vectors.
+    pub fn from_source<S: AnswerSource + ?Sized>(source: &S, domain: Vec<Vec<Element>>) -> Self {
+        let mut b = FamilyBuilder::new(source.output_arity());
+        b.push_source(source, domain);
+        b.finish().pop().expect("one family pushed")
+    }
+
+    /// Builds a family from an already-materialized nested representation
+    /// (compat path for hand-built set families).
+    pub fn from_nested(parameters: Vec<Vec<Element>>, sets: &[Vec<Vec<Element>>]) -> Self {
+        let mut b = FamilyBuilder::new(sets.iter().flat_map(|s| s.iter()).map(Vec::len).next().unwrap_or(1));
+        b.push_nested(parameters, sets);
+        b.finish().pop().expect("one family pushed")
+    }
+
+    /// The parameter domain, in materialization order.
+    pub fn parameters(&self) -> &[Vec<Element>] {
+        &self.core.parameters
+    }
+
+    /// Number of parameters in the domain.
+    pub fn len(&self) -> usize {
+        self.core.parameters.len()
+    }
+
+    /// True when the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.core.parameters.is_empty()
+    }
+
+    /// The shared tuple arena.
+    pub fn arena(&self) -> &TupleArena {
+        &self.arena
+    }
+
+    /// Output arity `s`.
+    pub fn output_arity(&self) -> usize {
+        self.arena.arity()
+    }
+
+    /// `W_ā` for the i-th parameter, as a sorted, deduped id slice.
+    pub fn active_ids(&self, i: usize) -> &[TupleId] {
+        let lo = self.core.offsets[i] as usize;
+        let hi = self.core.offsets[i + 1] as usize;
+        &self.core.ids[lo..hi]
+    }
+
+    /// Index of a parameter value in the domain.
+    pub fn position_of(&self, a: &[Element]) -> Option<usize> {
+        self.core.param_index.get(a).copied()
+    }
+
+    /// `W_ā` looked up by parameter value.
+    pub fn ids_of(&self, a: &[Element]) -> Option<&[TupleId]> {
+        self.position_of(a).map(|i| self.active_ids(i))
+    }
+
+    /// Content of one interned tuple.
+    pub fn tuple(&self, id: TupleId) -> &[Element] {
+        self.arena.tuple(id)
+    }
+
+    /// Iterates the tuples of `W_ā` in sorted content order.
+    pub fn set_tuples(&self, i: usize) -> impl Iterator<Item = &[Element]> + '_ {
+        self.active_ids(i).iter().map(move |&id| self.arena.tuple(id))
+    }
+
+    /// Owned nested copy of one active set (cold paths and tests only).
+    pub fn materialize_set(&self, i: usize) -> Vec<Vec<Element>> {
+        self.set_tuples(i).map(<[Element]>::to_vec).collect()
+    }
+
+    /// Owned nested copy of the whole family (tests and compat shims
+    /// only — scheme code must stay on the interned representation).
+    pub fn materialize_sets(&self) -> Vec<Vec<Vec<Element>>> {
+        (0..self.len()).map(|i| self.materialize_set(i)).collect()
+    }
+
+    /// The active universe `W = ∪_ā W_ā` as a memoized sorted id slice
+    /// — no per-call allocation.
+    pub fn active_universe(&self) -> &[TupleId] {
+        &self.core.universe
+    }
+
+    /// Iterates the universe's tuples in sorted content order.
+    pub fn universe_tuples(&self) -> impl Iterator<Item = &[Element]> + '_ {
+        self.core.universe.iter().map(move |&id| self.arena.tuple(id))
+    }
+
+    /// Is `id` a member of `W_ā` for the i-th parameter?
+    pub fn contains(&self, i: usize, id: TupleId) -> bool {
+        self.active_ids(i).binary_search(&id).is_ok()
+    }
+
+    /// Rank of `id` within the sorted universe, if active.
+    pub fn universe_rank(&self, id: TupleId) -> Option<usize> {
+        self.core.universe.binary_search(&id).ok()
+    }
+
+    /// `N`: the number of *distinct* active sets — the paper's "number
+    /// of distinct possible queries". Id slices compare in O(len), no
+    /// tuple hashing.
+    pub fn distinct_queries(&self) -> usize {
+        let set: BTreeSet<&[TupleId]> = (0..self.len()).map(|i| self.active_ids(i)).collect();
+        set.len()
+    }
+
+    /// The aggregate `f(ā) = Σ_{b̄ ∈ W_ā} W(b̄)` for the i-th parameter.
+    pub fn f(&self, weights: &Weights, i: usize) -> i64 {
+        self.set_tuples(i).map(|b| weights.get(b)).sum()
+    }
+
+    /// All `f` values in parameter order.
+    pub fn f_all(&self, weights: &Weights) -> Vec<i64> {
+        (0..self.len()).map(|i| self.f(weights, i)).collect()
+    }
+
+    /// Audits the c-local / d-global distortion assumptions over this
+    /// family.
+    pub fn global_distortion(&self, before: &Weights, after: &Weights) -> DistortionReport {
+        let max_local = distortion::local_distortion(before, after);
+        let mut max_global = 0i64;
+        let mut worst = None;
+        for i in 0..self.len() {
+            let delta = (self.f(before, i) - self.f(after, i)).abs();
+            if delta > max_global {
+                max_global = delta;
+                worst = Some(i);
+            }
+        }
+        DistortionReport { max_local, max_global, worst_parameter: worst }
+    }
+
+    /// Maximum global distortion between two weight assignments — the
+    /// `d` of the d-global distortion assumption.
+    pub fn max_global_distortion(&self, before: &Weights, after: &Weights) -> i64 {
+        self.global_distortion(before, after).max_global
+    }
+}
+
+/// Accumulates one or more families over a single shared arena (the
+/// multi-query scheme builds all its per-query families through one
+/// builder so ids stay comparable across queries).
+#[derive(Debug)]
+pub struct FamilyBuilder {
+    arena: TupleArena,
+    families: Vec<RawFamily>,
+}
+
+#[derive(Debug)]
+struct RawFamily {
+    parameters: Vec<Vec<Element>>,
+    offsets: Vec<u32>,
+    ids: Vec<TupleId>,
+}
+
+impl FamilyBuilder {
+    /// Creates a builder for output arity `s`.
+    pub fn new(arity: usize) -> Self {
+        FamilyBuilder { arena: TupleArena::new(arity), families: Vec::new() }
+    }
+
+    /// Streams one family from `source` over `domain`.
+    pub fn push_source<S: AnswerSource + ?Sized>(&mut self, source: &S, domain: Vec<Vec<Element>>) {
+        assert_eq!(source.output_arity(), self.arena.arity(), "output arity mismatch");
+        let mut offsets: Vec<u32> = Vec::with_capacity(domain.len() + 1);
+        offsets.push(0);
+        let mut ids: Vec<TupleId> = Vec::new();
+        for a in &domain {
+            let arena = &mut self.arena;
+            source.for_each_answer(a, &mut |b| ids.push(arena.intern(b)));
+            offsets.push(ids.len() as u32);
+        }
+        self.families.push(RawFamily { parameters: domain, offsets, ids });
+    }
+
+    /// Adds one family from nested, already-materialized sets.
+    pub fn push_nested(&mut self, parameters: Vec<Vec<Element>>, sets: &[Vec<Vec<Element>>]) {
+        assert_eq!(parameters.len(), sets.len(), "parameters/sets length mismatch");
+        let mut offsets: Vec<u32> = Vec::with_capacity(parameters.len() + 1);
+        offsets.push(0);
+        let mut ids: Vec<TupleId> = Vec::new();
+        for set in sets {
+            for b in set {
+                ids.push(self.arena.intern(b));
+            }
+            offsets.push(ids.len() as u32);
+        }
+        self.families.push(RawFamily { parameters, offsets, ids });
+    }
+
+    /// Finalizes: remaps ids to canonical (lexicographic) order, sorts
+    /// and dedups every set slice, memoizes each family's universe, and
+    /// returns the families in push order, all sharing one arena.
+    pub fn finish(mut self) -> Vec<AnswerFamily> {
+        let perm = self.arena.canonicalize();
+        let arena = Arc::new(self.arena);
+        self.families
+            .into_iter()
+            .map(|raw| {
+                let mut offsets: Vec<u32> = Vec::with_capacity(raw.offsets.len());
+                offsets.push(0);
+                let mut ids: Vec<TupleId> = Vec::with_capacity(raw.ids.len());
+                let mut scratch: Vec<TupleId> = Vec::new();
+                for w in raw.offsets.windows(2) {
+                    scratch.clear();
+                    scratch.extend(
+                        raw.ids[w[0] as usize..w[1] as usize]
+                            .iter()
+                            .map(|&old| perm[old as usize]),
+                    );
+                    scratch.sort_unstable();
+                    scratch.dedup();
+                    ids.extend_from_slice(&scratch);
+                    offsets.push(ids.len() as u32);
+                }
+                let mut universe = ids.clone();
+                universe.sort_unstable();
+                universe.dedup();
+                let param_index = raw
+                    .parameters
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (p.clone(), i))
+                    .collect();
+                AnswerFamily {
+                    arena: Arc::clone(&arena),
+                    core: Arc::new(FamilyCore {
+                        parameters: raw.parameters,
+                        param_index,
+                        offsets,
+                        ids,
+                        universe,
+                    }),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct SquaresBelow(u32);
+    impl AnswerSource for SquaresBelow {
+        fn output_arity(&self) -> usize {
+            1
+        }
+        fn for_each_answer(&self, param: &[Element], visit: &mut dyn FnMut(&[Element])) {
+            // deliberately emit out of order and with a duplicate
+            for k in (0..self.0).rev() {
+                if k * k <= param[0] {
+                    visit(&[k]);
+                    visit(&[k]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arena_interns_and_looks_up() {
+        let mut a = TupleArena::new(2);
+        let x = a.intern(&[3, 4]);
+        let y = a.intern(&[1, 2]);
+        assert_ne!(x, y);
+        assert_eq!(a.intern(&[3, 4]), x);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.lookup(&[1, 2]), Some(y));
+        assert_eq!(a.lookup(&[9, 9]), None);
+        assert_eq!(a.tuple(x), &[3, 4]);
+    }
+
+    #[test]
+    fn streaming_source_sorts_and_dedups() {
+        let fam =
+            AnswerFamily::from_source(&SquaresBelow(5), vec![vec![0], vec![4], vec![10]]);
+        assert_eq!(fam.materialize_set(0), vec![vec![0]]);
+        assert_eq!(fam.materialize_set(1), vec![vec![0], vec![1], vec![2]]);
+        assert_eq!(fam.materialize_set(2), vec![vec![0], vec![1], vec![2], vec![3]]);
+        assert_eq!(fam.active_universe().len(), 4);
+    }
+
+    #[test]
+    fn canonical_ids_follow_content_order() {
+        let fam = AnswerFamily::from_nested(
+            vec![vec![0], vec![1]],
+            &[vec![vec![7], vec![2]], vec![vec![5]]],
+        );
+        // ids sorted numerically == tuples sorted lexicographically
+        for ids in [fam.active_ids(0), fam.active_ids(1)] {
+            let mut sorted = ids.to_vec();
+            sorted.sort_unstable();
+            assert_eq!(ids, sorted.as_slice());
+        }
+        let universe_tuples: Vec<Vec<Element>> =
+            fam.universe_tuples().map(<[Element]>::to_vec).collect();
+        assert_eq!(universe_tuples, vec![vec![2], vec![5], vec![7]]);
+        assert_eq!(fam.tuple(fam.active_universe()[0]), &[2]);
+    }
+
+    #[test]
+    fn universe_is_memoized_and_shared() {
+        let fam = AnswerFamily::from_nested(
+            vec![vec![0], vec![1]],
+            &[vec![vec![1], vec![2]], vec![vec![2], vec![3]]],
+        );
+        let first = fam.active_universe().as_ptr();
+        assert_eq!(fam.active_universe().as_ptr(), first, "no per-call rebuild");
+        assert_eq!(fam.active_universe().len(), 3);
+        let clone = fam.clone();
+        assert_eq!(clone.active_universe().as_ptr(), first, "clone shares the payload");
+    }
+
+    #[test]
+    fn lookup_and_membership() {
+        let fam = AnswerFamily::from_nested(
+            vec![vec![10], vec![20]],
+            &[vec![vec![1]], vec![vec![1], vec![2]]],
+        );
+        let one = fam.arena().lookup(&[1]).unwrap();
+        let two = fam.arena().lookup(&[2]).unwrap();
+        assert!(fam.contains(0, one));
+        assert!(!fam.contains(0, two));
+        assert!(fam.contains(1, two));
+        assert_eq!(fam.ids_of(&[20]).unwrap().len(), 2);
+        assert!(fam.ids_of(&[30]).is_none());
+        assert_eq!(fam.universe_rank(one), Some(0));
+    }
+
+    #[test]
+    fn distinct_queries_and_aggregates() {
+        let fam = AnswerFamily::from_nested(
+            vec![vec![0], vec![1], vec![2]],
+            &[vec![vec![4], vec![5]], vec![vec![4], vec![5]], vec![vec![5]]],
+        );
+        assert_eq!(fam.distinct_queries(), 2);
+        let mut w = Weights::new(1);
+        w.set(&[4], 7);
+        w.set(&[5], 9);
+        assert_eq!(fam.f(&w, 0), 16);
+        assert_eq!(fam.f_all(&w), vec![16, 16, 9]);
+        let mut after = w.clone();
+        after.set(&[4], 8);
+        assert_eq!(fam.max_global_distortion(&w, &after), 1);
+    }
+
+    #[test]
+    fn shared_arena_across_families() {
+        let mut b = FamilyBuilder::new(1);
+        b.push_nested(vec![vec![0]], &[vec![vec![3], vec![1]]]);
+        b.push_nested(vec![vec![0]], &[vec![vec![3], vec![2]]]);
+        let fams = b.finish();
+        assert_eq!(fams.len(), 2);
+        let three_a = fams[0].arena().lookup(&[3]).unwrap();
+        let three_b = fams[1].arena().lookup(&[3]).unwrap();
+        assert_eq!(three_a, three_b, "ids comparable across families");
+        assert_eq!(fams[0].arena().len(), 3);
+    }
+}

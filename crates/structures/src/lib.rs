@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod distortion;
+pub mod engine;
 pub mod gaifman;
 pub mod iso;
 pub mod neighborhood;
@@ -24,6 +25,7 @@ pub mod types;
 pub mod weighted;
 
 pub use distortion::{global_distortion, local_distortion, DistortionReport};
+pub use engine::{AnswerFamily, AnswerSource, FamilyBuilder, TupleArena, TupleId};
 pub use gaifman::GaifmanGraph;
 pub use iso::are_isomorphic;
 pub use neighborhood::Neighborhood;

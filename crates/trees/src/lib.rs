@@ -21,8 +21,8 @@ pub mod xml;
 
 pub use automaton::TreeAutomaton;
 pub use nta::Nta;
-pub use pattern::PatternQuery;
-pub use pebble::PebbledQuery;
+pub use pattern::{BoundPattern, PatternQuery};
+pub use pebble::{BoundPebbled, PebbledQuery};
 pub use tree::{Alphabet, BinaryTree, NodeId};
 pub use unranked::UnrankedTree;
 pub use xml::{parse_xml, XmlError};

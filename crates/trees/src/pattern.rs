@@ -28,6 +28,7 @@ use crate::automaton::{BottomUpAutomaton, State, STAR};
 use crate::pebble::PebbledQuery;
 use crate::tree::{NodeId, Symbol};
 use crate::xml::XmlDocument;
+use qpwm_structures::{AnswerSource, Element};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -167,6 +168,34 @@ impl PatternQuery {
     /// encoding (k = 1 parameter pebble, 1 output pebble).
     pub fn compile(&self, doc: &XmlDocument) -> PebbledQuery<PatternAutomaton> {
         PebbledQuery::new(PatternAutomaton::build(self, doc), 1)
+    }
+
+    /// Binds the pattern to a document as an [`AnswerSource`] — the
+    /// tree-pattern face of the answer-set engine (Theorem 5 schemes and
+    /// the relational ones then share one materialization path).
+    pub fn bind<'a>(&'a self, doc: &'a XmlDocument) -> BoundPattern<'a> {
+        BoundPattern { query: self, doc }
+    }
+}
+
+/// A [`PatternQuery`] bound to a document, producing singleton node
+/// tuples (`NodeId` and `Element` are the same dense `u32` index space).
+#[derive(Debug, Clone, Copy)]
+pub struct BoundPattern<'a> {
+    query: &'a PatternQuery,
+    doc: &'a XmlDocument,
+}
+
+impl AnswerSource for BoundPattern<'_> {
+    fn output_arity(&self) -> usize {
+        1
+    }
+
+    fn for_each_answer(&self, param: &[Element], visit: &mut dyn FnMut(&[Element])) {
+        assert_eq!(param.len(), 1, "pattern queries take one parameter node");
+        for b in self.query.answer_set_unranked(self.doc, param[0]) {
+            visit(&[b]);
+        }
     }
 }
 

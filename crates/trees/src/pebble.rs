@@ -104,6 +104,32 @@ impl<'a, A: BottomUpAutomaton + ?Sized> Overlay<'a, A> {
     }
 }
 
+/// A [`PebbledQuery`] bound to a binary tree as an
+/// [`qpwm_structures::AnswerSource`]: parameters are `k` pebble
+/// positions, answers are singleton output-node tuples.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundPebbled<'a, A: BottomUpAutomaton> {
+    query: &'a PebbledQuery<A>,
+    tree: &'a BinaryTree,
+}
+
+impl<A: BottomUpAutomaton> qpwm_structures::AnswerSource for BoundPebbled<'_, A> {
+    fn output_arity(&self) -> usize {
+        1
+    }
+
+    fn for_each_answer(
+        &self,
+        param: &[qpwm_structures::Element],
+        visit: &mut dyn FnMut(&[qpwm_structures::Element]),
+    ) {
+        assert_eq!(param.len(), self.query.k() as usize, "pebble arity mismatch");
+        for b in self.query.answer_set(self.tree, param) {
+            visit(&[b]);
+        }
+    }
+}
+
 /// A parametric query defined by a `Σ_{k+s}`-tree automaton.
 ///
 /// Currently `s = 1` (single output pebble) — the arity the paper's tree
@@ -136,6 +162,11 @@ impl<A: BottomUpAutomaton> PebbledQuery<A> {
     /// Total pebble count `k + s` (s = 1).
     pub fn pebbles(&self) -> u32 {
         self.k + 1
+    }
+
+    /// Binds the query to a tree as an answer source for the engine.
+    pub fn bind<'a>(&'a self, tree: &'a BinaryTree) -> BoundPebbled<'a, A> {
+        BoundPebbled { query: self, tree }
     }
 
     /// The pebbled label of `node` with parameters at `params` and the

@@ -1,15 +1,14 @@
 //! Random graph-shaped structures for the Theorem 3 sweeps and the
 //! capacity experiments.
 
+use qpwm_rng::Rng;
 use qpwm_structures::{Element, Schema, Structure, StructureBuilder, WeightedStructure, Weights};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 /// A random symmetric graph with maximum degree ≤ `max_degree`:
 /// edges are sampled by repeatedly joining two under-capacity vertices.
 pub fn random_bounded_degree(n: u32, max_degree: u32, edges: u32, seed: u64) -> Structure {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let schema = Arc::new(Schema::graph());
     let mut b = StructureBuilder::new(schema, n);
     let mut degree = vec![0u32; n as usize];
@@ -60,7 +59,7 @@ pub fn cycle_union(count: u32, len: u32, seed: u64) -> Structure {
 
 /// Attaches uniform-random weights in `[lo, hi)` to every element.
 pub fn with_random_weights(structure: Structure, lo: i64, hi: i64, seed: u64) -> WeightedStructure {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut w = Weights::new(structure.schema().weight_arity());
     for e in structure.universe() {
         w.set(&[e], rng.gen_range(lo..hi));
@@ -71,9 +70,9 @@ pub fn with_random_weights(structure: Structure, lo: i64, hi: i64, seed: u64) ->
 /// A random bipartite adjacency matrix with edge probability `p`
 /// (for the PERMANENT experiments).
 pub fn random_bipartite(n: usize, p: f64, seed: u64) -> Vec<Vec<bool>> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     (0..n)
-        .map(|_| (0..n).map(|_| rng.gen::<f64>() < p).collect())
+        .map(|_| (0..n).map(|_| rng.gen_f64() < p).collect())
         .collect()
 }
 

@@ -13,9 +13,8 @@
 //! ```
 
 use qpwm_logic::datalog::{parse_rule, Rule};
+use qpwm_rng::Rng;
 use qpwm_structures::{Element, Schema, StructureBuilder, WeightedStructure, Weights};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 /// The meteo schema.
@@ -47,7 +46,7 @@ pub fn random_meteo(
     seed: u64,
 ) -> MeteoInstance {
     assert!(regions * per_region >= stations, "not enough region capacity");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let schema = meteo_schema();
     let n = stations + regions + services;
     let mut b = StructureBuilder::new(schema, n);
@@ -70,7 +69,7 @@ pub fn random_meteo(
             b.add(1, &[s, service_base + v]);
         }
         // readings: -30.0°C .. 45.0°C in tenths
-        w.set(&[s], rng.gen_range(-300..450));
+        w.set(&[s], rng.gen_range(-300i64..450));
     }
     MeteoInstance {
         instance: WeightedStructure::new(b.build(), w),

@@ -6,9 +6,8 @@
 //! types, all in one universe; durations are minutes.
 
 use qpwm_logic::{Formula, ParametricQuery};
+use qpwm_rng::Rng;
 use qpwm_structures::{Element, Schema, StructureBuilder, WeightedStructure, Weights};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 /// The travel schema: `Route/2`, `Timetable/4`, unary weights.
@@ -101,7 +100,7 @@ pub fn random_travel(
     max_share: u32,
     seed: u64,
 ) -> TravelInstance {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let schema = travel_schema();
     // universe: travels, transports, 8 cities, 3 vehicle types
     let cities = 8u32;
@@ -134,7 +133,7 @@ pub fn random_travel(
         }
         let ty = type_base + rng.gen_range(0..vtypes);
         b.add(1, &[transport_base + tr, dep, arr, ty]);
-        w.set(&[transport_base + tr], rng.gen_range(30..900));
+        w.set(&[transport_base + tr], rng.gen_range(30i64..900));
     }
     TravelInstance {
         instance: WeightedStructure::new(b.build(), w),
@@ -204,7 +203,8 @@ mod tests {
         let t = example1_instance();
         let q = route_query();
         let answers = q.answers_over(t.instance.structure(), travel_domain(&t));
-        let active = answers.active_universe();
+        let active: Vec<Vec<Element>> =
+            answers.universe_tuples().map(<[Element]>::to_vec).collect();
         assert_eq!(active, vec![vec![3], vec![4], vec![5], vec![6], vec![7]]);
     }
 

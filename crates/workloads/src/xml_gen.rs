@@ -1,15 +1,14 @@
 //! Random XML documents and binary trees for the Theorem 5 experiments.
 
+use qpwm_rng::Rng;
 use qpwm_structures::Weights;
 use qpwm_trees::tree::BinaryTree;
 use qpwm_trees::xml::{parse_xml, XmlDocument};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Generates a school document with `students` students; firstnames are
 /// drawn from `names`, exam scores from `0..=20`. Shapes match Example 4.
 pub fn random_school(students: u32, names: &[&str], seed: u64) -> XmlDocument {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut xml = String::from("<school>\n");
     for i in 0..students {
         let name = names[rng.gen_range(0..names.len())];
@@ -42,7 +41,7 @@ pub fn school_weights(doc: &XmlDocument) -> Weights {
 /// free child slot. Labels are drawn uniformly from `0..alphabet`.
 pub fn random_binary_tree(n: u32, alphabet: u32, seed: u64) -> BinaryTree {
     assert!(n >= 1 && alphabet >= 1);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut builder = qpwm_trees::tree::TreeBuilder::new();
     let root = builder.add_node(rng.gen_range(0..alphabet));
     // free slots: (parent, is_left)
@@ -64,7 +63,7 @@ pub fn random_binary_tree(n: u32, alphabet: u32, seed: u64) -> BinaryTree {
 
 /// Uniform random node weights in `[lo, hi)`.
 pub fn random_node_weights(tree: &BinaryTree, lo: i64, hi: i64, seed: u64) -> Weights {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut w = Weights::new(1);
     for node in 0..tree.len() as u32 {
         w.set(&[node], rng.gen_range(lo..hi));

@@ -43,7 +43,7 @@ fn main() {
         robust.capacity()
     );
 
-    let active_sets = base.answers().active_sets().to_vec();
+    let answers = base.answers().clone();
     println!("\n{:<44} {:>8} {:>10}", "attack", "bit err", "atk d'");
     for (name, attack) in [
         ("none (honest redistribution)", Attack::ConstantShift { delta: 0 }),
@@ -53,7 +53,7 @@ fn main() {
         ("uniform ±3 noise on 60% of weights", Attack::UniformNoise { amplitude: 3, fraction: 0.6 }),
         ("round to multiples of 50 (breaks data!)", Attack::Rounding { granularity: 50 }),
     ] {
-        let outcome = simulate_attack(&robust, instance.weights(), &active_sets, &message, &attack, 77);
+        let outcome = simulate_attack(&robust, instance.weights(), &answers, &message, &attack, 77);
         println!(
             "{:<44} {:>3}/{:<4} {:>10}",
             name,

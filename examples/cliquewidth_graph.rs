@@ -56,7 +56,7 @@ fn main() {
     );
     assert!(audit.is_c_local(1) && audit.is_d_global(1));
 
-    let server = HonestServer::new(scheme.active_sets(), marked);
+    let server = HonestServer::new(scheme.family().clone(), marked);
     let report = scheme.detect(&weights, &server);
     assert_eq!(report.bits, message);
     println!(

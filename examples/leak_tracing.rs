@@ -45,12 +45,11 @@ fn main() {
 
     // cheap-trips leaks its copy, adding light noise to cover its tracks.
     let leaked = &copies[1].1;
-    let active: Vec<Vec<u32>> = scheme.answers().active_universe();
     let attack = Attack::UniformNoise { amplitude: 1, fraction: 0.15 };
-    let tampered = attack.apply(leaked, &active, 99);
+    let tampered = attack.apply(leaked, scheme.answers(), 99);
 
     // The owner discovers a suspicious site and queries it like a user.
-    let suspect = HonestServer::new(scheme.answers().active_sets().to_vec(), tampered);
+    let suspect = HonestServer::new(scheme.answers().clone(), tampered);
     let attribution = owner.identify(&suspect).expect("copies issued");
     println!(
         "attribution: {} ({} of {} bits, significance {:.2e})",

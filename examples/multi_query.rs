@@ -59,7 +59,7 @@ fn main() {
     assert!(audits.iter().all(|&d| d <= scheme.d() as i64));
 
     // detection through the *first* query's answers alone
-    let server = HonestServer::new(scheme.answers(0).active_sets().to_vec(), marked);
+    let server = HonestServer::new(scheme.answers(0).clone(), marked);
     let report = scheme.detect(instance.weights(), &server);
     assert_eq!(report.bits, message);
     println!(

@@ -51,7 +51,7 @@ fn main() {
 
     // 5. A data server redistributes the marked instance; the owner
     //    detects by querying it like any final user.
-    let server = HonestServer::new(scheme.answers().active_sets().to_vec(), marked);
+    let server = HonestServer::new(scheme.answers().clone(), marked);
     let report = scheme.detect(instance.weights(), &server);
     assert_eq!(report.bits, message);
     println!(

@@ -8,7 +8,6 @@
 use qpwm::core::detect::HonestServer;
 use qpwm::core::local_scheme::SelectionStrategy;
 use qpwm::core::{LocalScheme, LocalSchemeConfig};
-use qpwm::structures::global_distortion;
 use qpwm::workloads::travel::{
     example1_instance, example2_f_values, random_travel, route_query, travel_domain,
 };
@@ -44,7 +43,7 @@ fn main() {
     ] {
         prime.set(&[tr], w);
     }
-    let report = global_distortion(original, &prime, answers.active_sets());
+    let report = answers.global_distortion(original, &prime);
     println!("\nExample 3 — Timetable': c-local({}) = {}, d-global({}) = {}",
         minutes(0, 10), report.is_c_local(minutes(0, 10)),
         minutes(0, 10), report.is_d_global(minutes(0, 10)));
@@ -60,7 +59,7 @@ fn main() {
     ] {
         second.set(&[tr], w);
     }
-    let report2 = global_distortion(original, &second, answers.active_sets());
+    let report2 = answers.global_distortion(original, &second);
     println!("            Timetable'': c-local({}) = {}, d-global({}) = {}",
         minutes(0, 10), report2.is_c_local(minutes(0, 10)),
         minutes(0, 10), report2.is_d_global(minutes(0, 10)));
@@ -95,7 +94,7 @@ fn main() {
         audit.max_global,
         scheme.d()
     );
-    let server = HonestServer::new(scheme.answers().active_sets().to_vec(), marked);
+    let server = HonestServer::new(scheme.answers().clone(), marked);
     let detected = scheme.detect(big.instance.weights(), &server);
     assert_eq!(detected.bits, message);
     println!("  detector recovered the full mark by replaying Route queries only");

@@ -88,7 +88,7 @@ fn main() {
     );
     assert!(audit.is_d_global(1));
 
-    let server = HonestServer::new(scheme.active_sets(), marked);
+    let server = HonestServer::new(scheme.family().clone(), marked);
     let report = scheme.detect(&big_weights, &server);
     assert_eq!(report.bits, message);
     println!("detector recovered all {} bits from pattern-query answers", message.len());

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, test, lint — all offline.
+#
+# This is the gate every PR must keep green (see ROADMAP.md). Run from
+# the repository root:
+#
+#   ./scripts/tier1.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+echo "== tier-1: cargo clippy --workspace -- -D warnings =="
+cargo clippy --workspace -- -D warnings
+
+echo "== tier-1: OK =="

@@ -45,7 +45,7 @@
 //! // Mark, serve, detect.
 //! let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 2 == 0).collect();
 //! let marked = scheme.mark(travel.instance.weights(), &message);
-//! let server = HonestServer::new(scheme.answers().active_sets().to_vec(), marked);
+//! let server = HonestServer::new(scheme.answers().clone(), marked);
 //! let report = scheme.detect(travel.instance.weights(), &server);
 //! assert_eq!(report.bits, message);
 //! ```

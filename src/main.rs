@@ -394,10 +394,8 @@ fn detect_db(opts: &Options) -> Result<(), String> {
         }
     }
     // the suspect serves the rule's answers with its weights
-    let server = qpwm::core::detect::HonestServer::new(
-        scheme.answers().active_sets().to_vec(),
-        suspect_weights,
-    );
+    let server =
+        qpwm::core::detect::HonestServer::new(scheme.answers().clone(), suspect_weights);
     let observed = ObservedWeights::collect(&server);
     let report = key.marking.extract(db.instance.weights(), &observed);
     let bits: String = report.bits.iter().map(|&b| if b { '1' } else { '0' }).collect();

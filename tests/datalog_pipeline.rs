@@ -32,7 +32,7 @@ fn rule_text_to_detection() {
     // persist the secret, reload it, detect with the reloaded key
     let key = SchemeKey { marking: scheme.marking().clone(), d: 1 };
     let reloaded = SchemeKey::from_text(&key.to_text()).expect("round-trips");
-    let server = HonestServer::new(scheme.answers().active_sets().to_vec(), marked);
+    let server = HonestServer::new(scheme.answers().clone(), marked);
     let report = reloaded
         .marking
         .extract(instance.weights(), &ObservedWeights::collect(&server));
@@ -91,7 +91,7 @@ fn tree_scheme_survives_weight_updates_via_deltas() {
         new_weights.set(&key, weights.get(&key) + 100);
     }
     let refreshed = deltas.reapply(&new_weights);
-    let server = HonestServer::new(scheme.active_sets(), refreshed);
+    let server = HonestServer::new(scheme.family().clone(), refreshed);
     let report = scheme.detect(&new_weights, &server);
     assert_eq!(report.bits, message);
 }

@@ -37,7 +37,7 @@ fn definition2_holds_on_random_bounded_degree_instances() {
         let audit = scheme.audit(instance.weights(), &marked);
         assert!(audit.is_c_local(1), "seed {seed}");
         assert!(audit.is_d_global(2), "seed {seed}: {}", audit.max_global);
-        let server = HonestServer::new(scheme.answers().active_sets().to_vec(), marked);
+        let server = HonestServer::new(scheme.answers().clone(), marked);
         let report = scheme.detect(instance.weights(), &server);
         assert_eq!(report.bits, message, "seed {seed}");
     }
@@ -110,7 +110,7 @@ fn scaled_travel_catalogue_roundtrip() {
     assert!(scheme.capacity() >= 20, "capacity {}", scheme.capacity());
     let message: Vec<bool> = (0..scheme.capacity()).map(|i| (i * 13) % 5 < 2).collect();
     let marked = scheme.mark(big.instance.weights(), &message);
-    let server = HonestServer::new(scheme.answers().active_sets().to_vec(), marked);
+    let server = HonestServer::new(scheme.answers().clone(), marked);
     assert_eq!(scheme.detect(big.instance.weights(), &server).bits, message);
 }
 
@@ -152,7 +152,7 @@ fn two_hop_query_is_also_preserved() {
     let marked = scheme.mark(instance.weights(), &message);
     let audit = scheme.audit(instance.weights(), &marked);
     assert!(audit.is_d_global(2), "global {}", audit.max_global);
-    let server = HonestServer::new(scheme.answers().active_sets().to_vec(), marked);
+    let server = HonestServer::new(scheme.answers().clone(), marked);
     assert_eq!(scheme.detect(instance.weights(), &server).bits, message);
 }
 
@@ -182,6 +182,6 @@ fn binary_parameter_queries_work_end_to_end() {
     let marked = scheme.mark(instance.weights(), &message);
     let audit = scheme.audit(instance.weights(), &marked);
     assert!(audit.is_d_global(2), "global {}", audit.max_global);
-    let server = HonestServer::new(scheme.answers().active_sets().to_vec(), marked);
+    let server = HonestServer::new(scheme.answers().clone(), marked);
     assert_eq!(scheme.detect(instance.weights(), &server).bits, message);
 }

@@ -42,14 +42,14 @@ fn both_meteo_queries_preserved_and_detectable() {
     // check the raw sums directly too
     for (i, &region) in m.regions.iter().enumerate() {
         let _ = region;
-        let set = scheme.answers(0).active_set(i);
-        let before: i64 = set.iter().map(|s| m.instance.weights().get(s)).sum();
-        let after: i64 = set.iter().map(|s| marked.get(s)).sum();
+        let answers = scheme.answers(0);
+        let before: i64 = answers.set_tuples(i).map(|s| m.instance.weights().get(s)).sum();
+        let after: i64 = answers.set_tuples(i).map(|s| marked.get(s)).sum();
         assert!((before - after).abs() <= 2);
     }
 
     // detection through the syndication query alone (a service's feed)
-    let server = HonestServer::new(scheme.answers(1).active_sets().to_vec(), marked);
+    let server = HonestServer::new(scheme.answers(1).clone(), marked);
     let report = scheme.detect(m.instance.weights(), &server);
     let clean: usize = report.scores.iter().filter(|s| s.abs() >= 2).count();
     // the syndication feeds may not expose every pair member; the exposed

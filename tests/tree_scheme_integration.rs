@@ -38,7 +38,7 @@ fn large_school_roundtrip() {
     let audit = scheme.audit(&weights, &marked);
     assert!(audit.is_c_local(1));
     assert!(audit.is_d_global(1), "global {}", audit.max_global);
-    let server = HonestServer::new(scheme.active_sets(), marked);
+    let server = HonestServer::new(scheme.family().clone(), marked);
     assert_eq!(scheme.detect(&weights, &server).bits, message);
 }
 
@@ -164,6 +164,6 @@ fn hand_built_automaton_scheme_on_random_trees() {
     let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 2 == 1).collect();
     let marked = scheme.mark(&weights, &message);
     assert!(scheme.audit(&weights, &marked).is_d_global(1));
-    let server = HonestServer::new(scheme.active_sets(), marked);
+    let server = HonestServer::new(scheme.family().clone(), marked);
     assert_eq!(scheme.detect(&weights, &server).bits, message);
 }

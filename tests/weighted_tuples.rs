@@ -76,7 +76,7 @@ fn scheme_marks_edge_weights_and_detects() {
     let audit = scheme.audit(instance.weights(), &marked);
     assert!(audit.is_c_local(1));
     assert!(audit.is_d_global(1), "global {}", audit.max_global);
-    let server = HonestServer::new(scheme.answers().active_sets().to_vec(), marked);
+    let server = HonestServer::new(scheme.answers().clone(), marked);
     let report = scheme.detect(instance.weights(), &server);
     assert_eq!(report.bits, message);
 }
