@@ -13,6 +13,9 @@
 //! * **detect** — mark + replay detection through an [`HonestServer`].
 //!
 //! Run with `cargo run --release -p qpwm-bench --bin bench_engine`.
+//! Pass `--threads <n>` to pin the worker-thread count (otherwise the
+//! `QPWM_THREADS` / available-parallelism resolution of `qpwm-par`
+//! applies); the resolved count lands in every JSON sample.
 
 use qpwm_bench::Table;
 use qpwm_core::detect::HonestServer;
@@ -35,11 +38,22 @@ struct Sample {
     detect_ms: f64,
 }
 
+/// PR-1 committed numbers (pre-optimization `BENCH_engine.json`), kept
+/// in-binary so every run prints its speedup against the same baseline.
+const BASELINE: [(u32, f64, f64, f64); 5] = [
+    (8, 0.059, 0.447, 0.130),
+    (32, 0.490, 2.932, 0.136),
+    (128, 5.165, 32.106, 0.336),
+    (512, 56.648, 389.066, 1.438),
+    (2048, 1225.896, 6353.284, 6.467),
+];
+
 fn ms(start: Instant) -> f64 {
     start.elapsed().as_secs_f64() * 1_000.0
 }
 
 fn main() {
+    let threads = qpwm_bench::parse_threads_flag();
     let query = edge_query();
     let mut samples: Vec<Sample> = Vec::new();
 
@@ -81,9 +95,13 @@ fn main() {
     }
 
     let mut table = Table::new(vec![
-        "cycles", "arena", "|W|", "bits", "eval ms", "build ms", "detect ms",
+        "cycles", "arena", "|W|", "bits", "eval ms", "build ms", "detect ms", "eval x", "build x",
     ]);
     for s in &samples {
+        let speedup = |base: f64, now: f64| {
+            if now > 0.0 { format!("{:.1}x", base / now) } else { "-".to_string() }
+        };
+        let base = BASELINE.iter().find(|(c, ..)| *c == s.cycles);
         table.row(vec![
             s.cycles.to_string(),
             s.universe.to_string(),
@@ -92,21 +110,27 @@ fn main() {
             format!("{:.2}", s.eval_ms),
             format!("{:.2}", s.build_ms),
             format!("{:.2}", s.detect_ms),
+            base.map_or("-".into(), |(_, e, _, _)| speedup(*e, s.eval_ms)),
+            base.map_or("-".into(), |(_, _, b, _)| speedup(*b, s.build_ms)),
         ]);
     }
-    table.print("Engine timings (edge query over cycle unions, rho = 1, d = 1)");
+    table.print(&format!(
+        "Engine timings (edge query over cycle unions, rho = 1, d = 1, threads = {threads}; \
+         speedups vs PR-1 baseline)"
+    ));
 
     // Hand-rolled JSON — the workspace carries no serde dependency.
     let mut json = String::from("{\n  \"workload\": \"cycle_union(c, 6) edge query, rho=1, d=1, greedy, seed 7\",\n  \"samples\": [\n");
     for (i, s) in samples.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"cycles\": {}, \"arena_tuples\": {}, \"active_elements\": {}, \
-             \"capacity_bits\": {}, \"eval_ms\": {:.3}, \"build_ms\": {:.3}, \
-             \"detect_ms\": {:.3}}}{}\n",
+             \"capacity_bits\": {}, \"threads\": {}, \"eval_ms\": {:.3}, \
+             \"build_ms\": {:.3}, \"detect_ms\": {:.3}}}{}\n",
             s.cycles,
             s.universe,
             s.active,
             s.capacity,
+            threads,
             s.eval_ms,
             s.build_ms,
             s.detect_ms,

@@ -7,8 +7,9 @@
 //! ≥ 3/4).
 //!
 //! Run with `cargo run --release -p qpwm-bench --bin local_sweep`.
+//! Pass `--threads <n>` to pin the `qpwm-par` worker-thread count.
 
-use qpwm_bench::Table;
+use qpwm_bench::{parse_threads_flag, Table};
 use qpwm_core::local_scheme::{LocalScheme, LocalSchemeConfig, SelectionStrategy};
 use qpwm_logic::{Formula, ParametricQuery};
 use qpwm_structures::GaifmanGraph;
@@ -22,6 +23,7 @@ fn edge_query() -> ParametricQuery {
 }
 
 fn main() {
+    parse_threads_flag();
     let query = edge_query();
 
     // ---- bits vs |W| (regular instances, d = 1) --------------------------

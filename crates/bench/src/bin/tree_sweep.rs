@@ -6,8 +6,9 @@
 //! compile → scheme → mark → detect) at growing document sizes.
 //!
 //! Run with `cargo run --release -p qpwm-bench --bin tree_sweep`.
+//! Pass `--threads <n>` to pin the `qpwm-par` worker-thread count.
 
-use qpwm_bench::Table;
+use qpwm_bench::{parse_threads_flag, Table};
 use qpwm_core::detect::HonestServer;
 use qpwm_core::TreeScheme;
 use qpwm_trees::automaton::{BottomUpAutomaton, TreeAutomaton, STAR};
@@ -61,6 +62,7 @@ fn canonical_parameters(doc: &XmlDocument) -> Vec<Vec<u32>> {
 }
 
 fn main() {
+    parse_threads_flag();
     // ---- capacity vs |W| at fixed m ---------------------------------------
     let mut vs_w = Table::new(vec!["nodes", "|W|", "m", "blocks", "bits", "|W|/4m"]);
     for n in [200u32, 400, 800, 1_600, 3_200] {

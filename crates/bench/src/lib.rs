@@ -64,6 +64,28 @@ impl Table {
     }
 }
 
+/// Applies a `--threads <n>` command-line flag (if present) to the
+/// `qpwm-par` thread-count override, and returns the resolved count.
+/// Shared by the experiment binaries so every regenerator can pin its
+/// parallelism the same way.
+///
+/// # Panics
+/// Panics when `--threads` is passed without a numeric value.
+pub fn parse_threads_flag() -> usize {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--threads" {
+            let n: usize = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--threads needs a number");
+            qpwm_par::set_threads(n);
+        }
+    }
+    qpwm_par::thread_count()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -196,6 +196,15 @@ impl LocalScheme {
         let epsilon = 1.0 / config.d as f64;
         let p = (1.0 / (eta as f64 * (2.0 * n_queries).powf(epsilon))).min(1.0);
 
+        // Separating-set lists are per-pair independent reads of the
+        // postings transpose: compute them all once, in parallel, then
+        // let both strategies consume the precomputed lists.
+        let sep_lists: Vec<Vec<usize>> = qpwm_par::par_map(&all_pairs, |&(a, b)| {
+            let mut sep = Vec::new();
+            index.for_each_separating_set(a, b, |s| sep.push(s));
+            sep
+        });
+
         let mut rng = Rng::seed_from_u64(config.seed);
         let mut counts = vec![0u64; index.num_sets()];
         let (selected, attempts) = match config.strategy {
@@ -203,18 +212,18 @@ impl LocalScheme {
                 let mut attempt = 0;
                 loop {
                     attempt += 1;
-                    let chosen: Vec<(TupleId, TupleId)> = all_pairs
-                        .iter()
+                    let chosen: Vec<usize> = (0..all_pairs.len())
                         .filter(|_| rng.gen_f64() < p)
-                        .copied()
                         .collect();
                     if !chosen.is_empty() {
                         counts.iter_mut().for_each(|c| *c = 0);
-                        for &(a, b) in &chosen {
-                            index.for_each_separating_set(a, b, |s| counts[s] += 1);
+                        for &idx in &chosen {
+                            for &s in &sep_lists[idx] {
+                                counts[s] += 1;
+                            }
                         }
                         if counts.iter().all(|&c| c <= config.d) {
-                            break (chosen, attempt);
+                            break (chosen.iter().map(|&i| all_pairs[i]).collect(), attempt);
                         }
                     }
                     if attempt >= max_retries {
@@ -226,16 +235,13 @@ impl LocalScheme {
                 let mut order: Vec<usize> = (0..all_pairs.len()).collect();
                 rng.shuffle(&mut order);
                 let mut chosen: Vec<(TupleId, TupleId)> = Vec::new();
-                let mut separating: Vec<usize> = Vec::new();
                 for idx in order {
-                    let (a, b) = all_pairs[idx];
-                    separating.clear();
-                    index.for_each_separating_set(a, b, |s| separating.push(s));
+                    let separating = &sep_lists[idx];
                     if separating.iter().all(|&s| counts[s] < config.d) {
-                        for &s in &separating {
+                        for &s in separating {
                             counts[s] += 1;
                         }
-                        chosen.push((a, b));
+                        chosen.push(all_pairs[idx]);
                     }
                 }
                 if chosen.is_empty() {
@@ -256,7 +262,11 @@ impl LocalScheme {
                 })
                 .collect(),
         );
-        let max_separation = marking.max_separation(&answers);
+        // Both strategies leave `counts[s]` = number of selected pairs
+        // separated by set `s`, which is exactly the per-set separation
+        // of the final marking — no need to recount from tuple content.
+        let max_separation = counts.iter().copied().max().unwrap_or(0) as usize;
+        debug_assert_eq!(max_separation, marking.max_separation(&answers));
         debug_assert!(max_separation <= config.d as usize);
         let stats = SchemeStats {
             active_elements: active.len(),

@@ -70,7 +70,7 @@ impl MultiQueryScheme {
         // comparable across the resulting families.
         let mut builder = FamilyBuilder::new(arity);
         for (query, domain) in queries {
-            builder.push_source(&query.bind(structure), domain.clone());
+            builder.push_source_par(&query.bind(structure), domain.clone());
         }
         let all_answers = builder.finish();
 
@@ -110,6 +110,14 @@ impl MultiQueryScheme {
         let family_refs: Vec<&QueryAnswers> = all_answers.iter().collect();
         let index = FamilyIndex::new(&family_refs);
 
+        // Per-pair separating lists, computed once in parallel and
+        // shared by both strategies (independent postings merge walks).
+        let sep_lists: Vec<Vec<usize>> = qpwm_par::par_map(&all_pairs, |&(a, b)| {
+            let mut sep = Vec::new();
+            index.for_each_separating_set(a, b, |s| sep.push(s));
+            sep
+        });
+
         let mut rng = Rng::seed_from_u64(config.seed);
         let mut counts = vec![0u64; index.num_sets()];
         let selected: Vec<(TupleId, TupleId)> = match config.strategy {
@@ -117,16 +125,13 @@ impl MultiQueryScheme {
                 let mut order: Vec<usize> = (0..all_pairs.len()).collect();
                 rng.shuffle(&mut order);
                 let mut chosen: Vec<(TupleId, TupleId)> = Vec::new();
-                let mut separating: Vec<usize> = Vec::new();
                 for idx in order {
-                    let (a, b) = all_pairs[idx];
-                    separating.clear();
-                    index.for_each_separating_set(a, b, |s| separating.push(s));
+                    let separating = &sep_lists[idx];
                     if separating.iter().all(|&s| counts[s] < config.d) {
-                        for &s in &separating {
+                        for &s in separating {
                             counts[s] += 1;
                         }
-                        chosen.push((a, b));
+                        chosen.push(all_pairs[idx]);
                     }
                 }
                 if chosen.is_empty() {
@@ -149,18 +154,18 @@ impl MultiQueryScheme {
                 let mut attempt = 0;
                 loop {
                     attempt += 1;
-                    let chosen: Vec<(TupleId, TupleId)> = all_pairs
-                        .iter()
+                    let chosen: Vec<usize> = (0..all_pairs.len())
                         .filter(|_| rng.gen_f64() < p)
-                        .copied()
                         .collect();
                     if !chosen.is_empty() {
                         counts.iter_mut().for_each(|c| *c = 0);
-                        for &(a, b) in &chosen {
-                            index.for_each_separating_set(a, b, |s| counts[s] += 1);
+                        for &idx in &chosen {
+                            for &s in &sep_lists[idx] {
+                                counts[s] += 1;
+                            }
                         }
                         if counts.iter().all(|&c| c <= config.d) {
-                            break chosen;
+                            break chosen.iter().map(|&i| all_pairs[i]).collect();
                         }
                     }
                     if attempt >= max_retries {
@@ -170,11 +175,9 @@ impl MultiQueryScheme {
             }
         };
 
-        // Separation of the final selection, across every family's sets.
-        counts.iter_mut().for_each(|c| *c = 0);
-        for &(a, b) in &selected {
-            index.for_each_separating_set(a, b, |s| counts[s] += 1);
-        }
+        // Separation of the final selection, across every family's sets:
+        // both strategies leave `counts` reflecting exactly the selected
+        // pairs, so the maximum is already on hand.
         let max_separation = counts.iter().copied().max().unwrap_or(0) as usize;
 
         let arena = all_answers[0].arena();

@@ -38,14 +38,16 @@ pub fn classes(
     active_universe: &[WeightKey],
     canonical_sets: &[Vec<WeightKey>],
 ) -> HashMap<WeightKey, BTreeSet<usize>> {
-    let mut canon: Vec<HashSet<&WeightKey>> = canonical_sets
+    // Borrowed lookup sets, built once up front; the membership loop
+    // below only reads them.
+    let canon: Vec<HashSet<&WeightKey>> = canonical_sets
         .iter()
         .map(|s| s.iter().collect())
         .collect();
     let mut out = HashMap::with_capacity(active_universe.len());
     for w in active_universe {
         let cls: BTreeSet<usize> = canon
-            .iter_mut()
+            .iter()
             .enumerate()
             .filter(|(_, set)| set.contains(w))
             .map(|(i, _)| i)
@@ -82,42 +84,59 @@ pub fn s_partition(
 }
 
 /// Computes the class of every universe id against canonical active
-/// sets, all as interned id slices: `classes[rank] = {i : id ∈ W_{ā_i}}`
-/// for the id at `rank` in `universe`. No tuple hashing — membership is
-/// a binary search per (id, canonical set).
-pub fn classes_ids(
-    universe: &[TupleId],
-    canonical_sets: &[&[TupleId]],
-) -> Vec<BTreeSet<usize>> {
-    universe
-        .iter()
-        .map(|id| {
-            canonical_sets
-                .iter()
-                .enumerate()
-                .filter(|(_, set)| set.binary_search(id).is_ok())
-                .map(|(i, _)| i)
-                .collect()
-        })
-        .collect()
+/// sets, all as interned id slices, as a packed bitset signature:
+/// `classes[rank]` has bit `i` set iff the id at `rank` in `universe`
+/// belongs to `canonical_sets[i]`. Built in one sweep over the
+/// canonical-set postings — O(total postings), no per-(id, set) binary
+/// searches.
+pub fn classes_ids(universe: &[TupleId], canonical_sets: &[&[TupleId]]) -> Vec<Vec<u64>> {
+    let words = canonical_sets.len().div_ceil(64);
+    let mut sigs = vec![vec![0u64; words]; universe.len()];
+    if universe.is_empty() {
+        return sigs;
+    }
+    // Dense id → rank lookup; universe ids are canonical (ascending).
+    let max_id = *universe.last().expect("nonempty") as usize;
+    let mut rank_of = vec![u32::MAX; max_id + 1];
+    for (rank, &id) in universe.iter().enumerate() {
+        rank_of[id as usize] = rank as u32;
+    }
+    for (i, set) in canonical_sets.iter().enumerate() {
+        let (word, bit) = (i / 64, 1u64 << (i % 64));
+        for &id in *set {
+            let Some(&rank) = rank_of.get(id as usize) else { continue };
+            if rank != u32::MAX {
+                sigs[rank as usize][word] |= bit;
+            }
+        }
+    }
+    sigs
 }
 
-/// S-partition over interned ids: pairs universe ids with equal classes.
-/// Because canonical ids follow content order, the result matches the
-/// content-based [`s_partition`] pair for pair.
-pub fn s_partition_ids(
-    universe: &[TupleId],
-    classes: &[BTreeSet<usize>],
-) -> Vec<(TupleId, TupleId)> {
-    let mut groups: HashMap<&BTreeSet<usize>, Vec<TupleId>> = HashMap::new();
+/// S-partition over interned ids: pairs universe ids with equal classes
+/// (equal bitset signatures). Because canonical ids follow content
+/// order, the result matches the content-based [`s_partition`] pair for
+/// pair; groups are emitted in ascending set-index order, exactly as the
+/// sorted-`BTreeSet` path used to produce.
+pub fn s_partition_ids(universe: &[TupleId], classes: &[Vec<u64>]) -> Vec<(TupleId, TupleId)> {
+    let mut groups: HashMap<&[u64], Vec<TupleId>> = HashMap::new();
     for (rank, &id) in universe.iter().enumerate() {
-        groups.entry(&classes[rank]).or_default().push(id);
+        groups.entry(classes[rank].as_slice()).or_default().push(id);
     }
-    let mut keys: Vec<&BTreeSet<usize>> = groups.keys().copied().collect();
-    keys.sort_unstable();
+    // Order groups the way sorted `BTreeSet<usize>` keys would sort:
+    // lexicographically on the ascending list of member set indices.
+    let mut keyed: Vec<(Vec<usize>, Vec<TupleId>)> = groups
+        .into_iter()
+        .map(|(sig, group)| {
+            let indices: Vec<usize> = (0..classes.first().map_or(0, |c| c.len()) * 64)
+                .filter(|&i| sig[i / 64] & (1u64 << (i % 64)) != 0)
+                .collect();
+            (indices, group)
+        })
+        .collect();
+    keyed.sort_unstable();
     let mut pairs = Vec::new();
-    for k in keys {
-        let group = groups.get_mut(k).expect("key from map");
+    for (_, mut group) in keyed {
         group.sort_unstable();
         for chunk in group.chunks(2) {
             if let [a, b] = chunk {
@@ -262,17 +281,19 @@ impl PairMarking {
             .iter()
             .map(|p| (answers.arena().lookup(&p.plus), answers.arena().lookup(&p.minus)))
             .collect();
-        (0..answers.len())
-            .map(|i| {
-                ids.iter()
-                    .filter(|(p, m)| {
-                        let cp = p.is_some_and(|id| answers.contains(i, id));
-                        let cm = m.is_some_and(|id| answers.contains(i, id));
-                        cp != cm
-                    })
-                    .count()
-            })
-            .collect()
+        let count_for = |i: usize| {
+            ids.iter()
+                .filter(|(p, m)| {
+                    let cp = p.is_some_and(|id| answers.contains(i, id));
+                    let cm = m.is_some_and(|id| answers.contains(i, id));
+                    cp != cm
+                })
+                .count()
+        };
+        let chunks = qpwm_par::par_chunks(answers.len(), |range| {
+            range.map(count_for).collect::<Vec<usize>>()
+        });
+        chunks.into_iter().flatten().collect()
     }
 
     /// The worst-case separation over a family of active sets — an upper
@@ -289,20 +310,23 @@ impl PairMarking {
         original: &Weights,
         observed: &crate::detect::ObservedWeights,
     ) -> crate::detect::DetectionReport {
-        let mut bits = Vec::with_capacity(self.pairs.len());
-        let mut scores = Vec::with_capacity(self.pairs.len());
-        let mut missing = 0usize;
-        for pair in &self.pairs {
+        // Per-pair orientation reads are independent; fan them out and
+        // assemble the report in pair order.
+        let per_pair = qpwm_par::par_map(&self.pairs, |pair| {
             let dp = observed
                 .get(&pair.plus)
                 .map(|w| w - original.get(&pair.plus));
             let dm = observed
                 .get(&pair.minus)
                 .map(|w| w - original.get(&pair.minus));
-            if dp.is_none() && dm.is_none() {
-                missing += 1;
-            }
             let score = dp.unwrap_or(0) - dm.unwrap_or(0);
+            (score, dp.is_none() && dm.is_none())
+        });
+        let mut bits = Vec::with_capacity(self.pairs.len());
+        let mut scores = Vec::with_capacity(self.pairs.len());
+        let mut missing = 0usize;
+        for (score, gone) in per_pair {
+            missing += usize::from(gone);
             scores.push(score);
             bits.push(score > 0);
         }
@@ -437,6 +461,40 @@ mod tests {
         let report = marking.extract(&w, &obs);
         assert_eq!(report.missing_pairs, 1);
         assert_eq!(report.scores, vec![0]);
+    }
+
+    #[test]
+    fn bitset_id_partition_matches_content_partition() {
+        // Random-ish overlapping sets (deterministic arithmetic pattern);
+        // the interned bitset path must reproduce the content-keyed
+        // s_partition pair for pair, including group emission order.
+        let canonical: Vec<Vec<WeightKey>> = (0..70u32)
+            .map(|s| (0..40u32).filter(|e| (e * 7 + s * 3) % (s + 2) == 0).map(key).collect())
+            .collect();
+
+        // Interned mirror: one family whose sets are the canonical sets;
+        // ids are canonical so id order == content order. Both paths
+        // must range over the same universe (elements in some set).
+        let family = fam(&canonical);
+        let universe = family.active_universe();
+        let active: Vec<WeightKey> =
+            universe.iter().map(|&id| family.arena().tuple(id).to_vec()).collect();
+        let cls = classes(&active, &canonical);
+        let content_pairs = s_partition(&active, &cls);
+        let canonical_ids: Vec<&[TupleId]> =
+            (0..family.len()).map(|i| family.active_ids(i)).collect();
+        let sigs = classes_ids(universe, &canonical_ids);
+        assert_eq!(sigs.len(), universe.len());
+        let id_pairs = s_partition_ids(universe, &sigs);
+
+        let id_pairs_content: Vec<Pair> = id_pairs
+            .iter()
+            .map(|&(a, b)| Pair {
+                plus: family.arena().tuple(a).to_vec(),
+                minus: family.arena().tuple(b).to_vec(),
+            })
+            .collect();
+        assert_eq!(id_pairs_content, content_pairs);
     }
 
     #[test]

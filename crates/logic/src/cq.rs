@@ -198,44 +198,75 @@ impl CqPlan {
             })
             .expect("non-empty");
         let atom = remaining.swap_remove(idx);
-        for tuple in structure.tuples(atom.rel) {
-            // match against current bindings, collecting extensions
-            let mut extensions: Vec<(Var, Element)> = Vec::new();
-            let mut ok = true;
-            for (v, &e) in atom.args.iter().zip(tuple) {
-                match env[*v as usize] {
-                    Some(bound) if bound != e => {
-                        ok = false;
-                        break;
-                    }
-                    Some(_) => {}
-                    None => {
-                        // a variable repeated within this atom must match
-                        if let Some(&(_, prev)) =
-                            extensions.iter().find(|(ev, _)| ev == v)
-                        {
-                            if prev != e {
-                                ok = false;
-                                break;
-                            }
-                        } else {
-                            extensions.push((*v, e));
-                        }
-                    }
+        let tuples = structure.tuples(atom.rel);
+        // Access path: when some position is already bound, iterate only
+        // that element's postings list (the shortest one) instead of the
+        // whole relation. Postings hold ascending tuple indices, so the
+        // candidates arrive in exactly the order the full scan would
+        // have visited them — output order is unchanged. This is what
+        // makes the join O(matching tuples) instead of O(|relation|)
+        // per parameter on bounded-degree structures.
+        let mut best: Option<&[u32]> = None;
+        for (pos, v) in atom.args.iter().enumerate() {
+            if let Some(e) = env[*v as usize] {
+                let list = structure.tuples_with(atom.rel, pos, e);
+                if best.is_none_or(|b: &[u32]| list.len() < b.len()) {
+                    best = Some(list);
                 }
             }
-            if !ok {
-                continue;
+        }
+        match best {
+            Some(list) => {
+                for &ti in list {
+                    self.join_tuple(structure, env, remaining, scratch, visit, atom, &tuples[ti as usize]);
+                }
             }
-            for &(v, e) in &extensions {
-                env[v as usize] = Some(e);
-            }
-            self.join(structure, env, remaining, scratch, visit);
-            for &(v, _) in &extensions {
-                env[v as usize] = None;
+            None => {
+                for tuple in tuples {
+                    self.join_tuple(structure, env, remaining, scratch, visit, atom, tuple);
+                }
             }
         }
         remaining.push(atom);
+    }
+
+    /// One candidate tuple of the chosen atom: match it against the
+    /// current bindings and recurse on success.
+    #[allow(clippy::too_many_arguments)]
+    fn join_tuple<'p>(
+        &self,
+        structure: &Structure,
+        env: &mut Vec<Option<Element>>,
+        remaining: &mut Vec<&'p AtomRef>,
+        scratch: &mut Vec<Element>,
+        visit: &mut dyn FnMut(&[Element]),
+        atom: &AtomRef,
+        tuple: &[Element],
+    ) {
+        let mut extensions: Vec<(Var, Element)> = Vec::new();
+        for (v, &e) in atom.args.iter().zip(tuple) {
+            match env[*v as usize] {
+                Some(bound) if bound != e => return,
+                Some(_) => {}
+                None => {
+                    // a variable repeated within this atom must match
+                    if let Some(&(_, prev)) = extensions.iter().find(|(ev, _)| ev == v) {
+                        if prev != e {
+                            return;
+                        }
+                    } else {
+                        extensions.push((*v, e));
+                    }
+                }
+            }
+        }
+        for &(v, e) in &extensions {
+            env[v as usize] = Some(e);
+        }
+        self.join(structure, env, remaining, scratch, visit);
+        for &(v, _) in &extensions {
+            env[v as usize] = None;
+        }
     }
 
     fn filters_pass(&self, structure: &Structure, env: &[Option<Element>]) -> bool {

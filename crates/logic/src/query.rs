@@ -165,13 +165,15 @@ impl ParametricQuery {
     /// Materializes answers over an explicit parameter domain (use when the
     /// meaningful parameters are a strict subset of `U^r`, e.g. only
     /// travel names). Answers stream straight into the arena — no nested
-    /// intermediate vectors.
+    /// intermediate vectors. Per-parameter evaluation fans out over
+    /// [`qpwm_par::thread_count`] workers; the result is id-for-id
+    /// identical to the sequential path for any thread count.
     pub fn answers_over(
         &self,
         structure: &Structure,
         domain: Vec<Vec<Element>>,
     ) -> QueryAnswers {
-        QueryAnswers::from_source(&self.bind(structure), domain)
+        QueryAnswers::from_source_par(&self.bind(structure), domain)
     }
 
     /// Pre-engine materialization: per-parameter nested `Vec`s. Kept only
@@ -367,6 +369,55 @@ mod tests {
             ParametricQuery::new(two_hop, vec![0], vec![1]),
             ParametricQuery::new(either_dir, vec![0], vec![1]),
         ]
+    }
+
+    #[test]
+    fn differential_parallel_vs_sequential_materialization() {
+        let mut rng = Rng::seed_from_u64(0x9A21);
+        for round in 0..8u64 {
+            let n = 4 + (round % 4) as u32;
+            let s = random_graph(&mut rng, n, n * 3);
+            for (qi, q) in differential_queries().iter().enumerate() {
+                let domain = qpwm_structures::types::all_tuples(&s, q.r());
+                let bound = q.bind(&s);
+                let sequential = QueryAnswers::from_source(&bound, domain.clone());
+                for threads in [1usize, 2, 3, 5] {
+                    let parallel =
+                        QueryAnswers::from_source_par_with(threads, &bound, domain.clone());
+                    assert_eq!(
+                        parallel.parameters(),
+                        sequential.parameters(),
+                        "round {round} query {qi} threads {threads}"
+                    );
+                    assert_eq!(
+                        parallel.active_universe(),
+                        sequential.active_universe(),
+                        "round {round} query {qi} threads {threads}"
+                    );
+                    for i in 0..sequential.len() {
+                        assert_eq!(
+                            parallel.active_ids(i),
+                            sequential.active_ids(i),
+                            "round {round} query {qi} threads {threads} set {i}"
+                        );
+                    }
+                    let seq_arena: Vec<(u32, Vec<Element>)> = sequential
+                        .arena()
+                        .iter()
+                        .map(|(id, t)| (id, t.to_vec()))
+                        .collect();
+                    let par_arena: Vec<(u32, Vec<Element>)> = parallel
+                        .arena()
+                        .iter()
+                        .map(|(id, t)| (id, t.to_vec()))
+                        .collect();
+                    assert_eq!(
+                        par_arena, seq_arena,
+                        "round {round} query {qi} threads {threads}: arenas id-for-id"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

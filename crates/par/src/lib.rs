@@ -1,0 +1,226 @@
+//! Deterministic, dependency-free parallelism for the workspace.
+//!
+//! The marker/detector pipeline is full of embarrassingly parallel
+//! stages — per-parameter answer materialization, per-tuple neighborhood
+//! extraction, per-pair separation counting — but the workspace is
+//! hermetic: no rayon, no crossbeam. This crate fills the gap with
+//! `std::thread::scope` chunked map/reduce whose output is **bit-identical
+//! to the sequential path**: inputs are split into contiguous chunks, each
+//! worker maps its chunk in order, and results are concatenated in chunk
+//! order, so `par_map(items, f)` returns exactly `items.map(f).collect()`
+//! for any thread count.
+//!
+//! Thread count resolution (first match wins):
+//!
+//! 1. an explicit [`set_threads`] call (the CLI `--threads N` flag);
+//! 2. the `QPWM_THREADS` environment variable;
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! At 1 thread every entry point degrades to a plain sequential loop on
+//! the calling thread — no spawn, no overhead — which is also the
+//! deterministic reference the differential tests pin against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// 0 = unset; otherwise the explicit override from [`set_threads`].
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets an explicit thread count for all subsequent parallel calls,
+/// taking precedence over `QPWM_THREADS` and the detected parallelism.
+/// `set_threads(0)` clears the override.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Resolves the effective worker count: [`set_threads`] override, then
+/// the `QPWM_THREADS` environment variable, then
+/// [`std::thread::available_parallelism`] (1 if unavailable).
+pub fn thread_count() -> usize {
+    let explicit = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if explicit > 0 {
+        return explicit;
+    }
+    if let Ok(value) = std::env::var("QPWM_THREADS") {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Splits `len` items into at most `threads` contiguous chunk ranges of
+/// near-equal size (the first `len % threads` chunks get one extra item).
+/// Empty input yields no chunks.
+pub fn chunk_ranges(len: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
+    let threads = threads.max(1).min(len.max(1));
+    if len == 0 {
+        return Vec::new();
+    }
+    let base = len / threads;
+    let extra = len % threads;
+    let mut ranges = Vec::with_capacity(threads);
+    let mut start = 0;
+    for i in 0..threads {
+        let size = base + usize::from(i < extra);
+        if size == 0 {
+            break;
+        }
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+/// Maps `f` over `items` with the ambient [`thread_count`], preserving
+/// input order. Equivalent to `items.iter().map(f).collect()`.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_with(thread_count(), items, f)
+}
+
+/// [`par_map`] with an explicit thread count — the deterministic entry
+/// point for tests, immune to the global [`set_threads`] state.
+pub fn par_map_with<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let ranges = chunk_ranges(items.len(), threads);
+    if ranges.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut chunks: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|range| {
+                let slice = &items[range.clone()];
+                let f = &f;
+                scope.spawn(move || slice.iter().map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("qpwm-par worker panicked")).collect()
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for chunk in chunks.iter_mut() {
+        out.append(chunk);
+    }
+    out
+}
+
+/// Maps `f` over whole index chunks (`f` receives the chunk's index
+/// range) and returns the per-chunk results in chunk order. This is the
+/// shard-then-merge primitive: each worker builds a private accumulator
+/// for a contiguous slice of the input, and the caller merges the shards
+/// sequentially in deterministic order.
+pub fn par_chunks<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> R + Sync,
+{
+    par_chunks_with(thread_count(), len, f)
+}
+
+/// [`par_chunks`] with an explicit thread count.
+pub fn par_chunks_with<R, F>(threads: usize, len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> R + Sync,
+{
+    let ranges = chunk_ranges(len, threads);
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(f).collect();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| {
+                let f = &f;
+                scope.spawn(move || f(range))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("qpwm-par worker panicked")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_input_exactly_once() {
+        for len in [0usize, 1, 2, 7, 16, 100] {
+            for threads in [1usize, 2, 3, 8, 200] {
+                let ranges = chunk_ranges(len, threads);
+                let mut covered = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, covered, "chunks must be contiguous");
+                    assert!(!r.is_empty(), "no empty chunks");
+                    covered = r.end;
+                }
+                assert_eq!(covered, len, "chunks must cover the input");
+                assert!(ranges.len() <= threads.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_matches_sequential_for_all_thread_counts() {
+        let items: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [1usize, 2, 3, 4, 7, 32] {
+            let got = par_map_with(threads, &items, |x| x * x + 1);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order_with_uneven_work() {
+        // Make later items cheap and early items expensive so workers
+        // finish out of order; the merge must still be input-ordered.
+        let items: Vec<usize> = (0..64).collect();
+        let got = par_map_with(8, &items, |&i| {
+            let mut acc = 0u64;
+            for k in 0..((64 - i) * 1_000) as u64 {
+                acc = acc.wrapping_add(k ^ i as u64);
+            }
+            (i, acc)
+        });
+        let indices: Vec<usize> = got.iter().map(|(i, _)| *i).collect();
+        assert_eq!(indices, items);
+    }
+
+    #[test]
+    fn par_chunks_shards_merge_in_order() {
+        let len = 103;
+        for threads in [1usize, 2, 5, 16] {
+            let shards = par_chunks_with(threads, len, |range| range.collect::<Vec<usize>>());
+            let merged: Vec<usize> = shards.into_iter().flatten().collect();
+            assert_eq!(merged, (0..len).collect::<Vec<usize>>(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_with(4, &empty, |x| *x).is_empty());
+        assert!(par_chunks_with(4, 0, |r| r.len()).is_empty());
+    }
+
+    #[test]
+    fn thread_count_respects_override() {
+        set_threads(3);
+        assert_eq!(thread_count(), 3);
+        set_threads(0);
+        assert!(thread_count() >= 1);
+    }
+}

@@ -167,6 +167,29 @@ impl AnswerFamily {
         b.finish().pop().expect("one family pushed")
     }
 
+    /// [`AnswerFamily::from_source`] with per-parameter materialization
+    /// fanned out over the ambient [`qpwm_par::thread_count`]. The result
+    /// is id-for-id identical to the sequential path for any thread
+    /// count (see [`FamilyBuilder::push_source_par_with`]).
+    pub fn from_source_par<S: AnswerSource + Sync + ?Sized>(
+        source: &S,
+        domain: Vec<Vec<Element>>,
+    ) -> Self {
+        Self::from_source_par_with(qpwm_par::thread_count(), source, domain)
+    }
+
+    /// [`AnswerFamily::from_source_par`] with an explicit thread count
+    /// (deterministic entry point for differential tests).
+    pub fn from_source_par_with<S: AnswerSource + Sync + ?Sized>(
+        threads: usize,
+        source: &S,
+        domain: Vec<Vec<Element>>,
+    ) -> Self {
+        let mut b = FamilyBuilder::new(source.output_arity());
+        b.push_source_par_with(threads, source, domain);
+        b.finish().pop().expect("one family pushed")
+    }
+
     /// Builds a family from an already-materialized nested representation
     /// (compat path for hand-built set families).
     pub fn from_nested(parameters: Vec<Vec<Element>>, sets: &[Vec<Vec<Element>>]) -> Self {
@@ -336,6 +359,68 @@ impl FamilyBuilder {
         self.families.push(RawFamily { parameters: domain, offsets, ids });
     }
 
+    /// Streams one family from `source` over `domain` with the parameters
+    /// fanned out over the ambient [`qpwm_par::thread_count`].
+    pub fn push_source_par<S: AnswerSource + Sync + ?Sized>(
+        &mut self,
+        source: &S,
+        domain: Vec<Vec<Element>>,
+    ) {
+        self.push_source_par_with(qpwm_par::thread_count(), source, domain);
+    }
+
+    /// [`FamilyBuilder::push_source_par`] with an explicit thread count.
+    ///
+    /// Each worker streams a contiguous chunk of `domain` into a private
+    /// thread-local [`TupleArena`] shard; shards are then merged
+    /// sequentially in chunk order by re-interning each shard's tuples
+    /// into the shared arena and remapping the shard-local ids. Merging
+    /// in chunk order reproduces the sequential per-set id *multisets*
+    /// exactly, and [`FamilyBuilder::finish`] canonicalizes the arena to
+    /// content order and sorts/dedups every set — so the final family is
+    /// id-for-id identical to [`FamilyBuilder::push_source`] no matter
+    /// how the domain was chunked.
+    pub fn push_source_par_with<S: AnswerSource + Sync + ?Sized>(
+        &mut self,
+        threads: usize,
+        source: &S,
+        domain: Vec<Vec<Element>>,
+    ) {
+        assert_eq!(source.output_arity(), self.arena.arity(), "output arity mismatch");
+        if threads <= 1 || domain.len() < 2 {
+            self.push_source(source, domain);
+            return;
+        }
+        struct Shard {
+            arena: TupleArena,
+            offsets: Vec<u32>,
+            ids: Vec<TupleId>,
+        }
+        let arity = self.arena.arity();
+        let domain_ref = &domain;
+        let shards: Vec<Shard> = qpwm_par::par_chunks_with(threads, domain.len(), |range| {
+            let mut arena = TupleArena::new(arity);
+            let mut offsets: Vec<u32> = vec![0];
+            let mut ids: Vec<TupleId> = Vec::new();
+            for a in &domain_ref[range] {
+                source.for_each_answer(a, &mut |b| ids.push(arena.intern(b)));
+                offsets.push(ids.len() as u32);
+            }
+            Shard { arena, offsets, ids }
+        });
+        let mut offsets: Vec<u32> = Vec::with_capacity(domain.len() + 1);
+        offsets.push(0);
+        let mut ids: Vec<TupleId> = Vec::new();
+        for shard in shards {
+            let remap: Vec<TupleId> =
+                shard.arena.iter().map(|(_, t)| self.arena.intern(t)).collect();
+            let base = ids.len() as u32;
+            ids.extend(shard.ids.iter().map(|&local| remap[local as usize]));
+            offsets.extend(shard.offsets[1..].iter().map(|&o| base + o));
+        }
+        self.families.push(RawFamily { parameters: domain, offsets, ids });
+    }
+
     /// Adds one family from nested, already-materialized sets.
     pub fn push_nested(&mut self, parameters: Vec<Vec<Element>>, sets: &[Vec<Vec<Element>>]) {
         assert_eq!(parameters.len(), sets.len(), "parameters/sets length mismatch");
@@ -441,6 +526,33 @@ mod tests {
         assert_eq!(fam.materialize_set(1), vec![vec![0], vec![1], vec![2]]);
         assert_eq!(fam.materialize_set(2), vec![vec![0], vec![1], vec![2], vec![3]]);
         assert_eq!(fam.active_universe().len(), 4);
+    }
+
+    #[test]
+    fn parallel_materialization_is_id_for_id_identical() {
+        let source = SquaresBelow(40);
+        let domain: Vec<Vec<Element>> = (0..100).map(|i| vec![i * 7]).collect();
+        let sequential = AnswerFamily::from_source(&source, domain.clone());
+        for threads in [1usize, 2, 3, 5, 16] {
+            let parallel =
+                AnswerFamily::from_source_par_with(threads, &source, domain.clone());
+            assert_eq!(parallel.parameters(), sequential.parameters(), "threads {threads}");
+            assert_eq!(
+                parallel.active_universe(),
+                sequential.active_universe(),
+                "threads {threads}"
+            );
+            for i in 0..sequential.len() {
+                assert_eq!(
+                    parallel.active_ids(i),
+                    sequential.active_ids(i),
+                    "threads {threads}, set {i}"
+                );
+            }
+            for (a, b) in parallel.arena().iter().zip(sequential.arena().iter()) {
+                assert_eq!(a, b, "threads {threads}: arenas must agree id-for-id");
+            }
+        }
     }
 
     #[test]

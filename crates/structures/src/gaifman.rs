@@ -5,7 +5,8 @@
 //! restriction under which Theorem 3's watermarking scheme exists.
 
 use crate::structure::{Element, Structure};
-use std::collections::VecDeque;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
 
 /// The Gaifman graph of a structure, with BFS helpers.
 #[derive(Debug, Clone)]
@@ -84,32 +85,32 @@ impl GaifmanGraph {
 
     /// The ρ-sphere `S_ρ(c̄)`: all elements within distance `rho` of *some*
     /// component of `centers`. Sorted.
+    ///
+    /// Visited-set BFS sized to the sphere, not the graph: on bounded
+    /// degree the cost is O(|sphere| · k), independent of `|U|`, which is
+    /// what lets per-tuple neighborhood extraction scale linearly.
     pub fn sphere(&self, centers: &[Element], rho: u32) -> Vec<Element> {
-        let mut dist: Vec<Option<u32>> = vec![None; self.adj.len()];
+        let mut dist: std::collections::HashMap<Element, u32> = HashMap::new();
         let mut queue = VecDeque::new();
         for &c in centers {
-            if dist[c as usize].is_none() {
-                dist[c as usize] = Some(0);
+            if let Entry::Vacant(slot) = dist.entry(c) {
+                slot.insert(0);
                 queue.push_back(c);
             }
         }
         while let Some(v) = queue.pop_front() {
-            let dv = dist[v as usize].expect("queued vertices have distances");
+            let dv = dist[&v];
             if dv == rho {
                 continue;
             }
             for &w in &self.adj[v as usize] {
-                if dist[w as usize].is_none() {
-                    dist[w as usize] = Some(dv + 1);
+                if let Entry::Vacant(slot) = dist.entry(w) {
+                    slot.insert(dv + 1);
                     queue.push_back(w);
                 }
             }
         }
-        let mut out: Vec<Element> = dist
-            .iter()
-            .enumerate()
-            .filter_map(|(i, d)| d.map(|_| i as Element))
-            .collect();
+        let mut out: Vec<Element> = dist.into_keys().collect();
         out.sort_unstable();
         out
     }

@@ -50,13 +50,27 @@ impl Neighborhood {
         let mut relations = Vec::with_capacity(structure.schema().num_relations());
         for rel in 0..structure.schema().num_relations() {
             let mut tuples = Vec::new();
-            for t in structure.tuples(rel) {
-                if let Some(local_tuple) = t
-                    .iter()
-                    .map(|e| local.get(e).copied())
-                    .collect::<Option<Vec<u32>>>()
-                {
-                    tuples.push(local_tuple);
+            if structure.schema().arity(rel) == 0 {
+                // Nullary tuples have no components and are vacuously
+                // induced; the postings gather below would miss them.
+                tuples.extend(structure.tuples(rel).iter().map(|_| Vec::new()));
+            } else {
+                // A tuple lies in the induced substructure iff every
+                // component is in the sphere — in particular its first
+                // component, so gathering the postings lists of sphere
+                // elements at position 0 visits each candidate exactly
+                // once. O(sphere-local tuples), not O(all tuples).
+                for &e in &sphere {
+                    for &ti in structure.tuples_with(rel, 0, e) {
+                        let t = &structure.tuples(rel)[ti as usize];
+                        if let Some(local_tuple) = t
+                            .iter()
+                            .map(|c| local.get(c).copied())
+                            .collect::<Option<Vec<u32>>>()
+                        {
+                            tuples.push(local_tuple);
+                        }
+                    }
                 }
             }
             tuples.sort_unstable();

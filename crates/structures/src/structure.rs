@@ -16,11 +16,17 @@ pub type Element = u32;
 /// A tuple of elements (length = the arity of its relation).
 pub type Tuple = Vec<Element>;
 
-/// One interpreted relation: tuples in sorted order plus a membership index.
+/// One interpreted relation: tuples in sorted order, a membership index,
+/// and per-position postings lists for candidate lookup.
 #[derive(Debug, Clone, Default)]
 struct Relation {
     sorted: Vec<Tuple>,
     index: HashSet<Tuple>,
+    /// Per position `p` of the relation's arity, a CSR map from element
+    /// `e` to the (ascending) indices into `sorted` of tuples with `e`
+    /// at position `p`: `postings[p] = (offsets, tuple_indices)` with
+    /// `offsets.len() == universe_size + 1`.
+    postings: Vec<(Vec<u32>, Vec<u32>)>,
 }
 
 impl Relation {
@@ -33,8 +39,43 @@ impl Relation {
         }
     }
 
-    fn finish(&mut self) {
+    fn finish(&mut self, universe_size: u32) {
         self.sorted.sort_unstable();
+        let arity = self.sorted.first().map(Vec::len).unwrap_or(0);
+        let n = universe_size as usize;
+        self.postings = (0..arity)
+            .map(|pos| {
+                // Counting sort by the component at `pos`: scanning
+                // `sorted` in order keeps each bucket's tuple indices
+                // ascending, which downstream code relies on for
+                // deterministic, scan-order-identical iteration.
+                let mut counts = vec![0u32; n + 1];
+                for t in &self.sorted {
+                    counts[t[pos] as usize + 1] += 1;
+                }
+                for i in 0..n {
+                    counts[i + 1] += counts[i];
+                }
+                let mut ids = vec![0u32; self.sorted.len()];
+                let mut cursor = counts.clone();
+                for (i, t) in self.sorted.iter().enumerate() {
+                    let slot = &mut cursor[t[pos] as usize];
+                    ids[*slot as usize] = i as u32;
+                    *slot += 1;
+                }
+                (counts, ids)
+            })
+            .collect();
+    }
+
+    /// Ascending indices into `sorted` of tuples with `e` at position `pos`.
+    fn with_at(&self, pos: usize, e: Element) -> &[u32] {
+        match self.postings.get(pos) {
+            Some((offsets, ids)) if (e as usize + 1) < offsets.len() => {
+                &ids[offsets[e as usize] as usize..offsets[e as usize + 1] as usize]
+            }
+            _ => &[],
+        }
     }
 }
 
@@ -81,6 +122,19 @@ impl Structure {
         &self.relations[rel].sorted
     }
 
+    /// Indices (ascending, into [`Structure::tuples`]) of the tuples of
+    /// `rel` whose component at `pos` is `e` — the postings list built at
+    /// construction time. Empty for out-of-range `pos`/`e`.
+    pub fn tuples_with(&self, rel: RelId, pos: usize, e: Element) -> &[u32] {
+        self.relations[rel].with_at(pos, e)
+    }
+
+    /// Number of tuples of `rel` with `e` at position `pos` (postings
+    /// list length — O(1)).
+    pub fn count_with(&self, rel: RelId, pos: usize, e: Element) -> usize {
+        self.relations[rel].with_at(pos, e).len()
+    }
+
     /// Total number of tuples across all relations.
     pub fn total_tuples(&self) -> usize {
         self.relations.iter().map(|r| r.sorted.len()).sum()
@@ -116,7 +170,7 @@ impl Structure {
                     out.insert(t.clone());
                 }
             }
-            out.finish();
+            out.finish(self.universe_size);
             relations.push(out);
         }
         Structure {
@@ -213,7 +267,7 @@ impl StructureBuilder {
     /// Finalizes the structure.
     pub fn build(mut self) -> Structure {
         for rel in &mut self.relations {
-            rel.finish();
+            rel.finish(self.universe_size);
         }
         Structure {
             schema: self.schema,
@@ -293,6 +347,36 @@ mod tests {
         assert!(sub.contains(0, &[0, 1]));
         assert!(sub.contains(0, &[1, 2]));
         assert!(!sub.contains(0, &[2, 3]));
+    }
+
+    #[test]
+    fn postings_agree_with_full_scan() {
+        let s = figure1_instance();
+        for pos in 0..2 {
+            for e in s.universe() {
+                let via_postings: Vec<&Tuple> = s
+                    .tuples_with(0, pos, e)
+                    .iter()
+                    .map(|&i| &s.tuples(0)[i as usize])
+                    .collect();
+                let via_scan: Vec<&Tuple> =
+                    s.tuples(0).iter().filter(|t| t[pos] == e).collect();
+                assert_eq!(via_postings, via_scan, "pos {pos} elem {e}");
+                assert_eq!(s.count_with(0, pos, e), via_scan.len());
+            }
+        }
+        // Out-of-range lookups are empty, not panics.
+        assert!(s.tuples_with(0, 5, 0).is_empty());
+        assert!(s.tuples_with(0, 0, 999).is_empty());
+    }
+
+    #[test]
+    fn induced_rebuilds_postings() {
+        let s = small();
+        let keep: HashSet<Element> = [0, 1, 2].into_iter().collect();
+        let sub = s.induced(&keep);
+        assert_eq!(sub.tuples_with(0, 0, 1), &[1]); // tuple (1,2)
+        assert!(sub.tuples_with(0, 0, 2).is_empty()); // (2,3) dropped
     }
 
     #[test]

@@ -35,6 +35,12 @@ impl NeighborhoodTypes {
     ///
     /// Pass all `U^r` tuples for a full census, or any subset (e.g. only
     /// the parameter tuples that can actually occur).
+    ///
+    /// Neighborhood extraction and fingerprinting — the expensive,
+    /// per-tuple-independent phase — fan out over
+    /// [`qpwm_par::thread_count`] workers; the bucket/isomorphism merge
+    /// then runs sequentially in input order, so type ids keep their
+    /// deterministic first-encounter numbering for any thread count.
     pub fn classify<I>(structure: &Structure, gaifman: &GaifmanGraph, rho: u32, tuples: I) -> Self
     where
         I: IntoIterator<Item = Vec<Element>>,
@@ -46,24 +52,32 @@ impl NeighborhoodTypes {
             assignment: HashMap::new(),
             buckets: HashMap::new(),
         };
+        let mut seen: std::collections::HashSet<Vec<Element>> = std::collections::HashSet::new();
+        let mut distinct: Vec<Vec<Element>> = Vec::new();
         for tuple in tuples {
             census.arity = tuple.len();
-            census.classify_one(structure, gaifman, tuple);
+            if seen.insert(tuple.clone()) {
+                distinct.push(tuple);
+            }
+        }
+        let rho_ = rho;
+        let extracted = qpwm_par::par_map(&distinct, |tuple| {
+            let nbhd = Neighborhood::extract(structure, gaifman, tuple, rho_);
+            let fp = nbhd.fingerprint();
+            (nbhd, fp)
+        });
+        for (tuple, (nbhd, fp)) in distinct.into_iter().zip(extracted) {
+            census.merge_classified(tuple, nbhd, fp);
         }
         census
     }
 
-    fn classify_one(
+    fn merge_classified(
         &mut self,
-        structure: &Structure,
-        gaifman: &GaifmanGraph,
         tuple: Vec<Element>,
+        nbhd: Neighborhood,
+        fp: Fingerprint,
     ) -> TypeId {
-        if let Some(&t) = self.assignment.get(&tuple) {
-            return t;
-        }
-        let nbhd = Neighborhood::extract(structure, gaifman, &tuple, self.rho);
-        let fp = nbhd.fingerprint();
         let candidates = self.buckets.entry(fp).or_default();
         for &t in candidates.iter() {
             if are_isomorphic(&self.representatives[t].1, &nbhd) {

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Perf regression gate: re-run the engine micro-benchmark and compare it
+# against the committed BENCH_engine.json.
+#
+#   ./scripts/bench_compare.sh [--threads N] [--tolerance PCT]
+#
+# Rebuilds bench_engine in release mode, runs it into a scratch file,
+# and flags any sample whose eval_ms / build_ms / detect_ms regressed by
+# more than the tolerance (default 10%) relative to the committed
+# baseline. Exits non-zero on regression so CI can gate on it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+THREADS=""
+TOLERANCE=10
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --threads) THREADS="$2"; shift 2 ;;
+    --tolerance) TOLERANCE="$2"; shift 2 ;;
+    *) echo "unknown flag: $1" >&2; exit 2 ;;
+  esac
+done
+
+BASELINE=BENCH_engine.json
+[[ -f "$BASELINE" ]] || { echo "missing $BASELINE (run bench_engine once and commit it)" >&2; exit 2; }
+
+cargo build --release -p qpwm-bench --bin bench_engine
+
+# bench_engine writes BENCH_engine.json in the working directory; run it
+# from a scratch dir so the committed baseline stays untouched.
+SCRATCH="$(mktemp -d)"
+trap 'rm -rf "$SCRATCH"' EXIT
+BIN="$PWD/target/release/bench_engine"
+if [[ -n "$THREADS" ]]; then
+  (cd "$SCRATCH" && "$BIN" --threads "$THREADS" >/dev/null)
+else
+  (cd "$SCRATCH" && "$BIN" >/dev/null)
+fi
+
+python3 - "$BASELINE" "$SCRATCH/BENCH_engine.json" "$TOLERANCE" <<'PY'
+import json
+import sys
+
+baseline_path, fresh_path, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
+with open(baseline_path) as f:
+    baseline = {s["cycles"]: s for s in json.load(f)["samples"]}
+with open(fresh_path) as f:
+    fresh = {s["cycles"]: s for s in json.load(f)["samples"]}
+
+METRICS = ("eval_ms", "build_ms", "detect_ms")
+failures = []
+print(f"{'cycles':>7} {'metric':>10} {'baseline':>10} {'fresh':>10} {'delta':>8}")
+for cycles, base in sorted(baseline.items()):
+    now = fresh.get(cycles)
+    if now is None:
+        failures.append(f"cycles={cycles}: missing from fresh run")
+        continue
+    for metric in METRICS:
+        old, new = base[metric], now[metric]
+        delta = (new - old) / old * 100 if old > 0 else 0.0
+        flag = ""
+        if old > 0 and delta > tolerance:
+            failures.append(f"cycles={cycles} {metric}: {old:.3f} -> {new:.3f} ms (+{delta:.1f}%)")
+            flag = "  << REGRESSION"
+        print(f"{cycles:>7} {metric:>10} {old:>10.3f} {new:>10.3f} {delta:>+7.1f}%{flag}")
+
+if failures:
+    print(f"\n{len(failures)} regression(s) beyond {tolerance:.0f}%:", file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+print(f"\nOK: no metric regressed by more than {tolerance:.0f}%")
+PY

@@ -14,6 +14,13 @@ cargo build --release
 echo "== tier-1: cargo test -q =="
 cargo test -q
 
+# The parallel runtime backs every hot path; exercise it explicitly so a
+# workspace-level filter can never silently skip it.
+echo "== tier-1: qpwm-par (build + test + clippy) =="
+cargo build -p qpwm-par
+cargo test -q -p qpwm-par
+cargo clippy -p qpwm-par -- -D warnings
+
 echo "== tier-1: cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace -- -D warnings
 

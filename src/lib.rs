@@ -14,7 +14,8 @@
 //!   the adversarial transform (Fact 1) and incremental maintenance
 //!   (Theorems 7 and 8);
 //! * [`baselines`] — Agrawal–Kiernan and Khanna–Zane;
-//! * [`workloads`] — reproducible synthetic workload generators.
+//! * [`workloads`] — reproducible synthetic workload generators;
+//! * [`par`] — deterministic scoped-thread parallel map/reduce.
 //!
 //! ## Quickstart
 //!
@@ -53,6 +54,7 @@
 pub use qpwm_baselines as baselines;
 pub use qpwm_core as core;
 pub use qpwm_logic as logic;
+pub use qpwm_par as par;
 pub use qpwm_structures as structures;
 pub use qpwm_trees as trees;
 pub use qpwm_workloads as workloads;

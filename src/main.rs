@@ -54,9 +54,10 @@ const USAGE: &str = "usage:
     qpwm mark-db   --schema <spec> --table Rel=file.csv [--table ...]
                    --weights <w.csv> --rule <rule> --message <bits>
                    --out-weights <marked.csv> --key-out <keyfile> [--d <n>] [--rho <n>]
+                   [--threads <n>]
     qpwm detect-db --schema <spec> --table Rel=file.csv [--table ...]
                    --weights <original.csv> --suspect <suspect.csv>
-                   --rule <rule> --key <keyfile> [--claim <bits>]
+                   --rule <rule> --key <keyfile> [--claim <bits>] [--threads <n>]
 
   <spec>    like 'Route(travel,transport); Timetable(t,dep,arr,ty)'
   <rule>    like 'route($u; t) :- Route($u, t)'
@@ -67,6 +68,10 @@ fn run(args: &[String]) -> Result<(), String> {
         return Err("missing command".into());
     };
     let opts = parse_options(rest)?;
+    if let Some(n) = optional(&opts, "threads") {
+        let n: usize = n.parse().map_err(|_| "--threads needs a number")?;
+        qpwm::par::set_threads(n);
+    }
     match command.as_str() {
         "inspect" => inspect(&opts),
         "mark" => mark(&opts),
