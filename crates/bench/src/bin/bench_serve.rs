@@ -1,0 +1,244 @@
+//! Closed-loop load generator for the `qpwm-serve` data server.
+//!
+//! Spins the server in-process on an ephemeral port over a marked
+//! `cycle_union` instance (edge query — the same workload family as
+//! `bench_engine`), then drives it with multi-threaded keep-alive
+//! clients issuing a Zipf-skewed parameter mix (90% `GET /answer`, 10%
+//! `GET /aggregate`). Afterwards it verifies the acceptance property:
+//! `POST /detect` over HTTP recovers the embedded message with exactly
+//! the significance the offline detector reports on the same marked
+//! data. Results land in `BENCH_serve.json`:
+//! throughput, p50/p99 latency, cache hit rate, error count.
+//!
+//! Run with `cargo run --release -p qpwm-bench --bin bench_serve`
+//! (flags: `--threads <server workers>`, `--clients <n>`,
+//! `--requests <total>`, `--cycles <workload size>`).
+
+use qpwm_bench::Table;
+use qpwm_core::detect::{HonestServer, DEFAULT_DELTA};
+use qpwm_core::keyfile::SchemeKey;
+use qpwm_core::local_scheme::{LocalScheme, LocalSchemeConfig, SelectionStrategy};
+use qpwm_logic::{Formula, ParametricQuery};
+use qpwm_rng::Rng;
+use qpwm_serve::client::HttpClient;
+use qpwm_serve::{detect_request_body, ServeData, Server, ServerConfig};
+use qpwm_workloads::graphs::{cycle_union, unary_domain, with_random_weights};
+use std::time::Instant;
+
+/// Zipf exponent of the parameter mix: hot parameters dominate, as in
+/// any real lookup workload, which is what makes the answer cache earn
+/// its keep.
+const ZIPF_S: f64 = 1.1;
+
+fn flag_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    args.windows(2)
+        .find(|w| w[0] == name)
+        .map(|w| w[1].clone())
+}
+
+fn parse_flag(name: &str, default: usize) -> usize {
+    match flag_value(name) {
+        None => default,
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("error: {name} needs a positive integer, got '{raw}'");
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// Cumulative Zipf distribution over `n` ranks.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Self {
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.gen_f64();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[rank]
+}
+
+fn main() {
+    let server_threads = qpwm_bench::parse_threads_flag();
+    let clients = parse_flag("--clients", 4);
+    let total_requests = parse_flag("--requests", 20_000);
+    let cycles = parse_flag("--cycles", 128) as u32;
+
+    // -- workload: mark a cycle-union instance, serve the marked weights
+    let query = ParametricQuery::new(Formula::atom(0, &[0, 1]), vec![0], vec![1]);
+    let instance = with_random_weights(cycle_union(cycles, 6, 0), 100, 1_000, 1);
+    let domain = unary_domain(instance.structure());
+    let scheme = LocalScheme::build_over(
+        &instance,
+        &query,
+        domain,
+        &LocalSchemeConfig { rho: 1, d: 1, strategy: SelectionStrategy::Greedy, seed: 7 },
+    )
+    .expect("regular instances pair");
+    let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 3 != 0).collect();
+    let marked = scheme.mark(instance.weights(), &message);
+    let key = SchemeKey { marking: scheme.marking().clone(), d: scheme.d() };
+
+    // offline reference detection (what the owner would compute locally)
+    let offline = scheme.detect(
+        instance.weights(),
+        &HonestServer::new(scheme.answers().clone(), marked.clone()),
+    );
+    assert_eq!(offline.bits, message, "offline detection must round-trip");
+    let offline_check = offline.claim_check(&message, DEFAULT_DELTA);
+
+    let family = scheme.answers().clone();
+    let num_params = family.len();
+    let data = ServeData::new(family, marked, Vec::new(), None, "bench-edge".into());
+    let server = Server::start(
+        data,
+        ServerConfig { threads: server_threads, ..Default::default() },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr().to_string();
+    println!(
+        "serving {num_params} parameters on {addr} ({server_threads} worker(s), {clients} client(s), {total_requests} requests)"
+    );
+
+    // -- closed-loop load phase
+    let zipf = Zipf::new(num_params, ZIPF_S);
+    let per_client = total_requests / clients.max(1);
+    let load_start = Instant::now();
+    let results: Vec<(Vec<u64>, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let addr = addr.clone();
+                let zipf = &zipf;
+                scope.spawn(move || {
+                    let mut rng = Rng::seed_from_u64(0xbe9c + c as u64);
+                    let mut latencies = Vec::with_capacity(per_client);
+                    let mut errors = 0u64;
+                    let mut client = match HttpClient::connect(&addr) {
+                        Ok(c) => c,
+                        Err(_) => return (latencies, per_client as u64),
+                    };
+                    for _ in 0..per_client {
+                        let i = zipf.sample(&mut rng);
+                        let target = if rng.gen_bool(0.9) {
+                            format!("/answer?i={i}")
+                        } else {
+                            format!("/aggregate?i={i}")
+                        };
+                        let start = Instant::now();
+                        match client.get(&target) {
+                            Ok((200, _)) => {
+                                latencies.push(start.elapsed().as_micros() as u64);
+                            }
+                            _ => errors += 1,
+                        }
+                    }
+                    (latencies, errors)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    let elapsed = load_start.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<u64> = Vec::with_capacity(total_requests);
+    let mut errors = 0u64;
+    for (mut l, e) in results {
+        latencies.append(&mut l);
+        errors += e;
+    }
+    latencies.sort_unstable();
+    let served = latencies.len();
+    let throughput = served as f64 / elapsed;
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+    let (hits, misses) = server.cache_stats();
+    let hit_rate = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64
+    } else {
+        0.0
+    };
+
+    // -- ownership verification over the same public interface
+    let body = detect_request_body(&key, instance.weights());
+    let claim: String = message.iter().map(|&b| if b { '1' } else { '0' }).collect();
+    let (status, detect_body) = qpwm_serve::client::http_post(
+        &addr,
+        &format!("/detect?claim={claim}"),
+        &body,
+    )
+    .expect("detect request");
+    assert_eq!(status, 200, "detect must succeed: {detect_body}");
+    let bits_start = detect_body.find("\"bits\":\"").expect("bits in response") + 8;
+    let bits_end = detect_body[bits_start..].find('"').expect("bits terminated") + bits_start;
+    let http_bits = &detect_body[bits_start..bits_end];
+    assert_eq!(http_bits, claim, "HTTP detection must recover the message");
+    let sig_key = "\"significance\":";
+    let sig_start = detect_body.find(sig_key).expect("significance in response") + sig_key.len();
+    let sig_end = detect_body[sig_start..]
+        .find([',', '}'])
+        .expect("significance terminated")
+        + sig_start;
+    let http_significance: f64 = detect_body[sig_start..sig_end]
+        .parse()
+        .expect("significance parses");
+    assert_eq!(
+        http_significance, offline_check.significance,
+        "HTTP and offline detection must report the same significance"
+    );
+
+    server.shutdown();
+
+    let mut table = Table::new(vec![
+        "clients", "requests", "errors", "rps", "p50 us", "p99 us", "hit rate", "significance",
+    ]);
+    table.row(vec![
+        clients.to_string(),
+        served.to_string(),
+        errors.to_string(),
+        format!("{throughput:.0}"),
+        p50.to_string(),
+        p99.to_string(),
+        format!("{:.1}%", hit_rate * 100.0),
+        format!("{http_significance:.2e}"),
+    ]);
+    table.print(&format!(
+        "qpwm-serve load (cycle_union({cycles}, 6) edge query, zipf s = {ZIPF_S}, \
+         {server_threads} server worker(s))"
+    ));
+
+    let json = format!(
+        "{{\n  \"workload\": \"cycle_union({cycles}, 6) edge query, zipf s={ZIPF_S}, 90/10 answer/aggregate\",\n  \
+         \"server_threads\": {server_threads},\n  \"clients\": {clients},\n  \"requests\": {served},\n  \
+         \"errors\": {errors},\n  \"throughput_rps\": {throughput:.1},\n  \"p50_us\": {p50},\n  \
+         \"p99_us\": {p99},\n  \"cache_hit_rate\": {hit_rate:.4},\n  \
+         \"detect_significance\": {http_significance:e},\n  \"detect_bits_ok\": true\n}}\n"
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("\nwrote BENCH_serve.json");
+    assert_eq!(errors, 0, "load run must complete without error responses");
+}

@@ -67,20 +67,26 @@ impl Table {
 /// Applies a `--threads <n>` command-line flag (if present) to the
 /// `qpwm-par` thread-count override, and returns the resolved count.
 /// Shared by the experiment binaries so every regenerator can pin its
-/// parallelism the same way.
-///
-/// # Panics
-/// Panics when `--threads` is passed without a numeric value.
+/// parallelism the same way. Validation goes through the workspace-wide
+/// [`qpwm_par::parse_thread_arg`] resolver — `--threads 0` and
+/// non-numeric values exit with a diagnostic instead of panicking or
+/// silently falling back.
 pub fn parse_threads_flag() -> usize {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         if flag == "--threads" {
-            let n: usize = it
-                .next()
-                .and_then(|v| v.parse().ok())
-                .expect("--threads needs a number");
-            qpwm_par::set_threads(n);
+            let Some(raw) = it.next() else {
+                eprintln!("error: --threads needs a value");
+                std::process::exit(2);
+            };
+            match qpwm_par::parse_thread_arg(raw) {
+                Ok(n) => qpwm_par::set_threads(n),
+                Err(e) => {
+                    eprintln!("error: --threads: {e}");
+                    std::process::exit(2);
+                }
+            }
         }
     }
     qpwm_par::thread_count()

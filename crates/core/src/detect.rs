@@ -6,9 +6,17 @@
 //! compares them against the original (secret) weights. [`AnswerServer`]
 //! abstracts the server; [`HonestServer`] replays a structure verbatim
 //! (the non-adversarial model), and the attack simulations in
-//! [`crate::adversary`] wrap it.
+//! [`crate::adversary`] wrap it. The abstraction is deliberately wide
+//! enough for *remote* servers: `qpwm-serve` implements [`AnswerServer`]
+//! over HTTP (`RemoteServer`), so the exact same
+//! [`ObservedWeights::collect`] → [`PairMarking::extract`] pipeline runs
+//! whether the suspect's answers come from an in-process family or from
+//! a data server across the network.
+//!
+//! [`PairMarking::extract`]: crate::pairing::PairMarking::extract
 
 use qpwm_structures::{AnswerFamily, Element, TupleArena, Weights};
+use std::fmt;
 
 /// A data server answering the registered parametric query.
 ///
@@ -227,6 +235,59 @@ impl DetectionReport {
         let matches = n - self.errors_against(expected);
         binomial_tail(n, matches)
     }
+
+    /// Scores an ownership claim at false-positive threshold `delta`.
+    ///
+    /// This is the one place the match count, significance, and verdict
+    /// are computed together, so every frontend — the offline `detect` /
+    /// `detect-db` CLI paths and the `qpwm-serve` `POST /detect`
+    /// endpoint — reports identical numbers for identical evidence.
+    pub fn claim_check(&self, expected: &[bool], delta: f64) -> ClaimCheck {
+        let claimed = expected.len();
+        let compared = self.bits.len().min(claimed);
+        let matches = compared - self.errors_against(expected);
+        let significance = self.match_significance(expected);
+        let verdict = if significance < delta {
+            Verdict::MarkPresent
+        } else {
+            Verdict::Inconclusive
+        };
+        ClaimCheck { matches, claimed, significance, verdict }
+    }
+}
+
+/// The default false-positive threshold δ for ownership verdicts.
+pub const DEFAULT_DELTA: f64 = 1e-6;
+
+/// Outcome of an ownership claim check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Significance below the threshold: the mark is present.
+    MarkPresent,
+    /// The evidence is consistent with an innocent server.
+    Inconclusive,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::MarkPresent => write!(f, "mark-present"),
+            Verdict::Inconclusive => write!(f, "inconclusive"),
+        }
+    }
+}
+
+/// A scored ownership claim (see [`DetectionReport::claim_check`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClaimCheck {
+    /// Bits of the claim matched by the extraction.
+    pub matches: usize,
+    /// Length of the claimed message.
+    pub claimed: usize,
+    /// `P[innocent server matches at least this well]`.
+    pub significance: f64,
+    /// The threshold verdict.
+    pub verdict: Verdict,
 }
 
 /// `P[Bin(n, 1/2) ≥ k]`, computed in log-space for stability.
@@ -345,6 +406,25 @@ mod tests {
         assert!(binomial_tail(100, 80) < binomial_tail(100, 60));
         // a perfect 100-bit match is overwhelming evidence
         assert!(binomial_tail(100, 100) < 1e-29);
+    }
+
+    #[test]
+    fn claim_check_matches_significance_and_thresholds() {
+        let perfect = DetectionReport {
+            bits: vec![true; 40],
+            scores: vec![2; 40],
+            missing_pairs: 0,
+        };
+        let check = perfect.claim_check(&[true; 40], DEFAULT_DELTA);
+        assert_eq!(check.matches, 40);
+        assert_eq!(check.claimed, 40);
+        assert_eq!(check.significance, perfect.match_significance(&[true; 40]));
+        assert_eq!(check.verdict, Verdict::MarkPresent);
+        // the same evidence under a stricter threshold can be inconclusive
+        let strict = perfect.claim_check(&[true; 40], 1e-30);
+        assert_eq!(strict.verdict, Verdict::Inconclusive);
+        assert_eq!(format!("{}", check.verdict), "mark-present");
+        assert_eq!(format!("{}", strict.verdict), "inconclusive");
     }
 
     #[test]

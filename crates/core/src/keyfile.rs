@@ -26,17 +26,32 @@ use std::fmt;
 pub enum KeyError {
     /// Wrong or missing header line.
     BadHeader,
-    /// A malformed line, with its 1-based number.
-    BadLine(usize),
+    /// A malformed line: its 1-based number and verbatim content, so the
+    /// owner can find the corruption in a key they may have hand-edited
+    /// or merged.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending line, verbatim.
+        content: String,
+    },
     /// Pair count mismatch or missing terminator.
     Truncated,
+}
+
+impl KeyError {
+    fn bad_line(line: usize, content: &str) -> KeyError {
+        KeyError::BadLine { line, content: content.to_owned() }
+    }
 }
 
 impl fmt::Display for KeyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             KeyError::BadHeader => write!(f, "not a qpwm-key v1 file"),
-            KeyError::BadLine(n) => write!(f, "malformed key file at line {n}"),
+            KeyError::BadLine { line, content } => {
+                write!(f, "malformed key file at line {line}: '{content}'")
+            }
             KeyError::Truncated => write!(f, "key file is truncated"),
         }
     }
@@ -87,26 +102,29 @@ impl SchemeKey {
             .trim()
             .strip_prefix("d ")
             .and_then(|v| v.parse().ok())
-            .ok_or(KeyError::BadLine(dn + 1))?;
+            .ok_or_else(|| KeyError::bad_line(dn + 1, dline))?;
         let (pn, pline) = lines.next().ok_or(KeyError::Truncated)?;
         let count: usize = pline
             .trim()
             .strip_prefix("pairs ")
             .and_then(|v| v.parse().ok())
-            .ok_or(KeyError::BadLine(pn + 1))?;
+            .ok_or_else(|| KeyError::bad_line(pn + 1, pline))?;
         let mut pairs = Vec::with_capacity(count);
         for _ in 0..count {
-            let (n, line) = lines.next().ok_or(KeyError::Truncated)?;
-            let line = line.trim();
-            let rest = line.strip_prefix('+').ok_or(KeyError::BadLine(n + 1))?;
-            let (plus_part, minus_part) =
-                rest.split_once('-').ok_or(KeyError::BadLine(n + 1))?;
+            let (n, raw) = lines.next().ok_or(KeyError::Truncated)?;
+            let line = raw.trim();
+            let rest = line
+                .strip_prefix('+')
+                .ok_or_else(|| KeyError::bad_line(n + 1, raw))?;
+            let (plus_part, minus_part) = rest
+                .split_once('-')
+                .ok_or_else(|| KeyError::bad_line(n + 1, raw))?;
             let parse_key = |part: &str| -> Result<WeightKey, KeyError> {
                 let key: Result<WeightKey, _> =
                     part.split_whitespace().map(str::parse).collect();
                 match key {
                     Ok(k) if !k.is_empty() => Ok(k),
-                    _ => Err(KeyError::BadLine(n + 1)),
+                    _ => Err(KeyError::bad_line(n + 1, raw)),
                 }
             };
             pairs.push(Pair { plus: parse_key(plus_part)?, minus: parse_key(minus_part)? });
@@ -166,10 +184,69 @@ mod tests {
         assert_eq!(SchemeKey::from_text(cut), Err(KeyError::Truncated));
         // corrupt a pair line
         let bad = text.replace("+ 4 - 5", "+ x - 5");
-        assert!(matches!(SchemeKey::from_text(&bad), Err(KeyError::BadLine(_))));
+        assert!(matches!(SchemeKey::from_text(&bad), Err(KeyError::BadLine { .. })));
         // corrupt the count
         let bad = text.replace("pairs 3", "pairs many");
-        assert!(matches!(SchemeKey::from_text(&bad), Err(KeyError::BadLine(_))));
+        assert!(matches!(SchemeKey::from_text(&bad), Err(KeyError::BadLine { .. })));
+    }
+
+    #[test]
+    fn diagnostics_name_the_offending_line() {
+        // sample() serializes to: line 1 header, 2 `d`, 3 `pairs`,
+        // 4..6 pair lines, 7 `end`. Corrupt each pair line in turn and
+        // check the error points at exactly that line, with its content.
+        let text = sample().to_text();
+        let pair_lines: Vec<&str> =
+            text.lines().filter(|l| l.starts_with('+')).collect();
+        assert_eq!(pair_lines.len(), 3);
+        for (offset, pair_line) in pair_lines.iter().enumerate() {
+            let corrupted = pair_line.replace('-', "~");
+            let bad = text.replace(pair_line, &corrupted);
+            match SchemeKey::from_text(&bad) {
+                Err(KeyError::BadLine { line, content }) => {
+                    assert_eq!(line, 4 + offset, "line number names the corruption");
+                    assert_eq!(content, corrupted, "content is quoted verbatim");
+                    let message = KeyError::BadLine { line, content }.to_string();
+                    assert!(message.contains(&format!("line {}", 4 + offset)), "{message}");
+                    assert!(message.contains(&corrupted), "{message}");
+                }
+                other => panic!("expected BadLine, got {other:?}"),
+            }
+        }
+        // a corrupted d line names line 2
+        let bad = text.replace("d 2", "d two");
+        assert!(
+            matches!(SchemeKey::from_text(&bad), Err(KeyError::BadLine { line: 2, .. })),
+            "d line corruption names line 2"
+        );
+    }
+
+    /// Random-key round-trip property: write → read → write is the
+    /// identity on the text form, and read → write → read the identity
+    /// on the value, for keys spanning arities, id ranges, and sizes.
+    #[test]
+    fn random_keys_round_trip() {
+        let mut rng = qpwm_rng::Rng::seed_from_u64(0x5eed_4e1f);
+        for _ in 0..200 {
+            let num_pairs = rng.below(20) as usize;
+            let pairs: Vec<Pair> = (0..num_pairs)
+                .map(|_| {
+                    let arity = 1 + rng.below(3) as usize;
+                    let mut side = |rng: &mut qpwm_rng::Rng| -> WeightKey {
+                        (0..arity).map(|_| rng.below(1 << 20) as u32).collect()
+                    };
+                    Pair { plus: side(&mut rng), minus: side(&mut rng) }
+                })
+                .collect();
+            let key = SchemeKey {
+                marking: PairMarking::new(pairs),
+                d: rng.below(1 << 40),
+            };
+            let text = key.to_text();
+            let back = SchemeKey::from_text(&text).expect("round-trips");
+            assert_eq!(back, key, "value round-trip");
+            assert_eq!(back.to_text(), text, "text round-trip is the identity");
+        }
     }
 
     #[test]

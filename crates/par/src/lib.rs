@@ -35,6 +35,27 @@ pub fn set_threads(n: usize) {
     THREAD_OVERRIDE.store(n, Ordering::Relaxed);
 }
 
+/// Parses a user-supplied thread count (a `--threads` value or the
+/// `QPWM_THREADS` variable): a positive integer, nothing else.
+///
+/// This is the one validator every frontend shares — the `qpwm` CLI,
+/// the bench binaries, and `qpwm serve` — so `--threads 0` and
+/// `--threads fast` fail the same way everywhere: a clear diagnostic
+/// naming the offending value, never a panic or a silent fallback.
+pub fn parse_thread_arg(value: &str) -> Result<usize, String> {
+    match value.trim().parse::<usize>() {
+        Ok(0) => Err(format!(
+            "thread count must be at least 1, got '{}'",
+            value.trim()
+        )),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "thread count must be a positive integer, got '{}'",
+            value.trim()
+        )),
+    }
+}
+
 /// Resolves the effective worker count: [`set_threads`] override, then
 /// the `QPWM_THREADS` environment variable, then
 /// [`std::thread::available_parallelism`] (1 if unavailable).
@@ -214,6 +235,24 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(par_map_with(4, &empty, |x| *x).is_empty());
         assert!(par_chunks_with(4, 0, |r| r.len()).is_empty());
+    }
+
+    #[test]
+    fn parse_thread_arg_accepts_positive_integers() {
+        assert_eq!(parse_thread_arg("1"), Ok(1));
+        assert_eq!(parse_thread_arg(" 8 "), Ok(8));
+        assert_eq!(parse_thread_arg("128"), Ok(128));
+    }
+
+    #[test]
+    fn parse_thread_arg_rejects_zero_and_garbage() {
+        let zero = parse_thread_arg("0").expect_err("0 is rejected");
+        assert!(zero.contains("at least 1"), "{zero}");
+        assert!(zero.contains("'0'"), "{zero}");
+        for bad in ["", "fast", "-2", "1.5", "0x4"] {
+            let err = parse_thread_arg(bad).expect_err("non-numeric is rejected");
+            assert!(err.contains("positive integer"), "{bad}: {err}");
+        }
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! A sharded LRU cache for rendered answer bodies.
+//!
+//! `/answer` and `/aggregate` responses are pure functions of the
+//! canonical parameter index, so the server renders each one at most a
+//! handful of times and serves the cached bytes afterwards. The cache is
+//! sharded by key hash so concurrent workers rarely contend on the same
+//! mutex; each shard evicts its least-recently-used entry when full
+//! (exact LRU via an access tick — shards are small, so the O(shard)
+//! eviction scan is noise next to the render it avoids).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+struct Entry {
+    value: Arc<String>,
+    last_used: u64,
+}
+
+struct Shard {
+    map: HashMap<u64, Entry>,
+    tick: u64,
+}
+
+/// Sharded LRU keyed by `u64` (endpoint tag ⊕ canonical parameter id),
+/// holding shared rendered bodies.
+pub struct ShardedLru {
+    shards: Vec<Mutex<Shard>>,
+    per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ShardedLru {
+    /// A cache with `capacity` total entries spread over `shards`
+    /// shards. Zero capacity disables caching (every `get` misses).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = capacity / shards;
+        ShardedLru {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard { map: HashMap::new(), tick: 0 }))
+                .collect(),
+            per_shard,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Shard> {
+        // multiplicative hash so sequential parameter ids spread across
+        // shards instead of piling into one
+        let h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        &self.shards[(h >> 32) as usize % self.shards.len()]
+    }
+
+    /// Looks the key up, bumping its recency on hit.
+    pub fn get(&self, key: u64) -> Option<Arc<String>> {
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.map.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.value))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a rendered body, evicting the shard's LRU
+    /// entry when full.
+    pub fn insert(&self, key: u64, value: Arc<String>) {
+        if self.per_shard == 0 {
+            return;
+        }
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+        if shard.map.len() >= self.per_shard && !shard.map.contains_key(&key) {
+            if let Some((&victim, _)) =
+                shard.map.iter().min_by_key(|(_, e)| e.last_used)
+            {
+                shard.map.remove(&victim);
+            }
+        }
+        shard.map.insert(key, Entry { value, last_used: tick });
+    }
+
+    /// Total entries currently cached.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert() {
+        let cache = ShardedLru::new(16, 4);
+        assert!(cache.get(7).is_none());
+        cache.insert(7, Arc::new("body".into()));
+        assert_eq!(cache.get(7).as_deref().map(String::as_str), Some("body"));
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let cache = ShardedLru::new(2, 1); // 2 entries, single shard
+        cache.insert(1, Arc::new("a".into()));
+        cache.insert(2, Arc::new("b".into()));
+        assert!(cache.get(1).is_some()); // 1 is now more recent than 2
+        cache.insert(3, Arc::new("c".into())); // evicts 2
+        assert!(cache.get(2).is_none());
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = ShardedLru::new(0, 4);
+        cache.insert(1, Arc::new("a".into()));
+        assert!(cache.get(1).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn reinsert_refreshes_in_place() {
+        let cache = ShardedLru::new(1, 1);
+        cache.insert(5, Arc::new("old".into()));
+        cache.insert(5, Arc::new("new".into()));
+        assert_eq!(cache.get(5).as_deref().map(String::as_str), Some("new"));
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,225 @@
+//! The owner's side of the wire: a minimal blocking HTTP client and a
+//! remote [`AnswerServer`] implementation.
+//!
+//! [`RemoteServer`] is the deployment-scenario detector: the owner acts
+//! as an ordinary user of a suspect data server, replaying the public
+//! parameter domain over `GET /answer` and feeding the observed
+//! `(b̄, W(b̄))` pairs into the standard
+//! [`qpwm_core::detect::ObservedWeights`] → extraction pipeline. Element
+//! ids are taken from the `"t"` arrays of the server's JSON, so
+//! detection works id-for-id as long as owner and server load the same
+//! public database (same interning order) — the paper's setting, where
+//! the *data* is public and only the weights carry the mark.
+
+use qpwm_core::detect::AnswerServer;
+use qpwm_structures::Element;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A persistent keep-alive connection to one server.
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    host: String,
+}
+
+impl HttpClient {
+    /// Connects to `addr` (`host:port`).
+    pub fn connect(addr: &str) -> Result<HttpClient, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .map_err(|e| e.to_string())?;
+        stream
+            .set_write_timeout(Some(Duration::from_secs(30)))
+            .map_err(|e| e.to_string())?;
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+        Ok(HttpClient { reader, writer: stream, host: addr.to_owned() })
+    }
+
+    /// Issues one request on the persistent connection and returns
+    /// `(status, body)`.
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, String), String> {
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {target} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n\r\n",
+            self.host,
+            body.len()
+        );
+        self.writer
+            .write_all(head.as_bytes())
+            .and_then(|()| self.writer.write_all(body.as_bytes()))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("send {target}: {e}"))?;
+        read_response(&mut self.reader).map_err(|e| format!("read {target}: {e}"))
+    }
+
+    /// `GET target` on the persistent connection.
+    pub fn get(&mut self, target: &str) -> Result<(u16, String), String> {
+        self.request("GET", target, None)
+    }
+}
+
+fn read_response(reader: &mut BufReader<TcpStream>) -> Result<(u16, String), String> {
+    let mut status_line = String::new();
+    if reader.read_line(&mut status_line).map_err(|e| e.to_string())? == 0 {
+        return Err("server closed the connection".into());
+    }
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line: {status_line:?}"))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+            return Err("truncated response head".into());
+        }
+        if line == "\r\n" || line == "\n" {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| "bad content-length".to_string())?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| e.to_string())?;
+    String::from_utf8(body).map(|b| (status, b)).map_err(|e| e.to_string())
+}
+
+/// One-shot `GET` over a fresh connection.
+pub fn http_get(addr: &str, target: &str) -> Result<(u16, String), String> {
+    HttpClient::connect(addr)?.get(target)
+}
+
+/// One-shot `POST` over a fresh connection.
+pub fn http_post(addr: &str, target: &str, body: &str) -> Result<(u16, String), String> {
+    HttpClient::connect(addr)?.request("POST", target, Some(body))
+}
+
+/// Extracts `(tuple, weight)` pairs from a `/answer` body.
+///
+/// This is a purpose-built scanner for the server's own rendering (each
+/// answer is `{"t":[ids],...,"w":value}`), not a general JSON parser —
+/// the workspace carries none, and the format is under our control.
+pub fn parse_answer_tuples(body: &str) -> Result<Vec<(Vec<Element>, i64)>, String> {
+    let mut out = Vec::new();
+    let mut rest = body;
+    while let Some(t_pos) = rest.find("\"t\":[") {
+        let after_t = &rest[t_pos + 5..];
+        let close = after_t
+            .find(']')
+            .ok_or_else(|| "unterminated tuple array".to_string())?;
+        let ids: Result<Vec<Element>, _> = after_t[..close]
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(|s| s.trim().parse::<Element>())
+            .collect();
+        let ids = ids.map_err(|e| format!("bad tuple id: {e}"))?;
+        let after_ids = &after_t[close..];
+        let w_pos = after_ids
+            .find("\"w\":")
+            .ok_or_else(|| "answer without a weight".to_string())?;
+        let after_w = &after_ids[w_pos + 4..];
+        let end = after_w
+            .find(['}', ','])
+            .ok_or_else(|| "unterminated weight".to_string())?;
+        let w: i64 = after_w[..end]
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad weight '{}'", &after_w[..end]))?;
+        out.push((ids, w));
+        rest = &after_w[end..];
+    }
+    Ok(out)
+}
+
+/// Scans a JSON body for `"name":<integer>`.
+pub fn parse_json_uint(body: &str, name: &str) -> Option<u64> {
+    let needle = format!("\"{name}\":");
+    let pos = body.find(&needle)?;
+    let rest = &body[pos + needle.len()..];
+    let digits: String = rest.trim_start().chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// A suspect data server reached over HTTP — the remote counterpart of
+/// [`qpwm_core::detect::HonestServer`].
+pub struct RemoteServer {
+    addr: String,
+    num_parameters: usize,
+}
+
+impl RemoteServer {
+    /// Probes `addr`'s `/healthz` and records the parameter-domain size.
+    pub fn connect(addr: &str) -> Result<RemoteServer, String> {
+        let (status, body) = http_get(addr, "/healthz")?;
+        if status != 200 {
+            return Err(format!("{addr}/healthz returned {status}"));
+        }
+        let num_parameters = parse_json_uint(&body, "parameters")
+            .ok_or_else(|| format!("no parameter count in healthz body: {body}"))?
+            as usize;
+        Ok(RemoteServer { addr: addr.to_owned(), num_parameters })
+    }
+
+    /// The server address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+}
+
+impl AnswerServer for RemoteServer {
+    fn num_parameters(&self) -> usize {
+        self.num_parameters
+    }
+
+    /// One `GET /answer?i=<i>` per parameter. A transport error reads as
+    /// an empty answer set — the affected pairs surface as missing reads
+    /// in the detection report rather than a crash, matching how the
+    /// detector degrades under partial access.
+    fn answer(&self, i: usize) -> Vec<(Vec<Element>, i64)> {
+        match http_get(&self.addr, &format!("/answer?i={i}")) {
+            Ok((200, body)) => parse_answer_tuples(&body).unwrap_or_default(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_servers_answer_rendering() {
+        let body = "{\"param\":0,\"label\":\"a\",\"count\":2,\"answers\":[{\"t\":[4],\"label\":\"x\",\"w\":7},{\"t\":[5,6],\"label\":\"y,z\",\"w\":-3}]}\n";
+        let parsed = parse_answer_tuples(body).expect("parses");
+        assert_eq!(parsed, vec![(vec![4], 7), (vec![5, 6], -3)]);
+    }
+
+    #[test]
+    fn empty_answer_set_parses_to_nothing() {
+        let body = "{\"param\":1,\"label\":\"b\",\"count\":0,\"answers\":[]}\n";
+        assert_eq!(parse_answer_tuples(body).expect("parses"), Vec::new());
+    }
+
+    #[test]
+    fn uint_scanning() {
+        let body = "{\"status\":\"ok\",\"parameters\":42,\"output_arity\":1}";
+        assert_eq!(parse_json_uint(body, "parameters"), Some(42));
+        assert_eq!(parse_json_uint(body, "missing"), None);
+    }
+}

@@ -1,0 +1,281 @@
+//! A minimal HTTP/1.1 wire layer over blocking std I/O.
+//!
+//! The server is dependency-free by workspace policy, so this module
+//! implements exactly the slice of HTTP the data server needs: request
+//! line + headers + optional `Content-Length` body, percent-decoded
+//! query strings, keep-alive, and plain-text/JSON responses. Request
+//! size is bounded (8 KiB of head, 1 MiB of body) so a slow or hostile
+//! client cannot balloon memory; everything larger is rejected before
+//! allocation catches up.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request line + headers.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// Upper bound on a request body (`POST /detect` carries a keyfile plus
+/// an original-weights listing; 1 MiB is orders of magnitude above any
+/// key the schemes produce).
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// Why a request could not be read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestError {
+    /// The peer closed the connection before a full request arrived
+    /// (normal end of a keep-alive session when no bytes were read).
+    Closed,
+    /// Head or body exceeded the configured bounds.
+    TooLarge,
+    /// The bytes did not parse as HTTP/1.x.
+    Malformed(&'static str),
+}
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Decoded path, without the query string.
+    pub path: String,
+    /// Decoded `key=value` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+    /// True when the client asked for `Connection: close`.
+    pub close: bool,
+}
+
+impl Request {
+    /// First query value under `name`, if present.
+    pub fn query_value(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads one request from a buffered stream. Returns `Closed` when the
+/// peer hung up cleanly between requests.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, RequestError> {
+    let mut head = String::new();
+    let mut line = String::new();
+    // request line + header lines, each terminated by \r\n, until the
+    // blank separator line
+    loop {
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|_| if head.is_empty() { RequestError::Closed } else { RequestError::Malformed("read failed") })?;
+        if n == 0 {
+            return Err(if head.is_empty() {
+                RequestError::Closed
+            } else {
+                RequestError::Malformed("truncated head")
+            });
+        }
+        if head.len() + line.len() > MAX_HEAD_BYTES {
+            return Err(RequestError::TooLarge);
+        }
+        if line == "\r\n" || line == "\n" {
+            if head.is_empty() {
+                // tolerate a stray blank line before the request line
+                continue;
+            }
+            break;
+        }
+        head.push_str(&line);
+    }
+
+    let mut lines = head.lines();
+    let request_line = lines.next().ok_or(RequestError::Malformed("empty head"))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(RequestError::Malformed("missing method"))?
+        .to_ascii_uppercase();
+    let target = parts.next().ok_or(RequestError::Malformed("missing target"))?;
+    let version = parts.next().ok_or(RequestError::Malformed("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Malformed("not HTTP/1.x"));
+    }
+
+    let mut content_length: usize = 0;
+    let mut close = false;
+    for header in lines {
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(RequestError::Malformed("bad header line"));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        if name == "content-length" {
+            content_length = value
+                .parse()
+                .map_err(|_| RequestError::Malformed("bad content-length"))?;
+        } else if name == "connection" && value.eq_ignore_ascii_case("close") {
+            close = true;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(RequestError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader
+            .read_exact(&mut body)
+            .map_err(|_| RequestError::Malformed("truncated body"))?;
+    }
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, parse_query(q)),
+        None => (target, Vec::new()),
+    };
+    Ok(Request {
+        method,
+        path: percent_decode(path),
+        query,
+        body,
+        close,
+    })
+}
+
+/// Decodes `%XX` escapes and `+`-as-space.
+pub fn percent_decode(input: &str) -> String {
+    let bytes = input.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Splits a raw query string into decoded pairs.
+pub fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|part| !part.is_empty())
+        .map(|part| match part.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(part), String::new()),
+        })
+        .collect()
+}
+
+/// Percent-encodes a string for use inside a query value.
+pub fn percent_encode(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for b in input.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            other => out.push_str(&format!("%{other:02X}")),
+        }
+    }
+    out
+}
+
+/// Writes one response; returns an error only on I/O failure.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        403 => "Forbidden",
+        413 => "Payload Too Large",
+        _ => "Internal Server Error",
+    };
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Escapes a string for embedding in a JSON literal.
+pub fn json_escape(input: &str) -> String {
+    let mut out = String::with_capacity(input.len() + 2);
+    for c in input.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%20b+c"), "a b c");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%2Fpath%3f"), "/path?");
+        assert_eq!(percent_decode("plain"), "plain");
+    }
+
+    #[test]
+    fn query_parsing() {
+        let q = parse_query("param=Paris%2C%20TX&i=3&flag");
+        assert_eq!(
+            q,
+            vec![
+                ("param".into(), "Paris, TX".into()),
+                ("i".into(), "3".into()),
+                ("flag".into(), String::new()),
+            ]
+        );
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for s in ["Paris", "a b/c?d&e=f", "100% pure", "naïve"] {
+            assert_eq!(percent_decode(&percent_encode(s)), s);
+        }
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+}

@@ -1,0 +1,39 @@
+//! # qpwm-serve — the data server of the paper's trust model
+//!
+//! The watermarking schemes assume a *data server*: final users submit a
+//! parameter value `ā` and receive the answer set `{(b̄, W(b̄))}` over the
+//! (marked) weights, and the owner later proves ownership by querying
+//! that same public interface. This crate is that server, dependency-free
+//! by workspace policy:
+//!
+//! * [`http`] — a bounded HTTP/1.1 wire layer over `std::net`;
+//! * [`state`] — the immutable data plane: a pre-materialized
+//!   [`qpwm_structures::AnswerFamily`] plus marked weights, rendered to
+//!   JSON per endpoint;
+//! * [`server`] — `TcpListener` + a scoped worker pool (sized by the
+//!   `qpwm-par` thread conventions), a sharded LRU answer [`cache`],
+//!   Prometheus [`metrics`], per-connection timeouts, graceful shutdown;
+//! * [`client`] — the owner's side: a blocking HTTP client and
+//!   [`client::RemoteServer`], an [`qpwm_core::detect::AnswerServer`]
+//!   over the wire, so detection replays the public query interface
+//!   exactly as an ordinary user would.
+//!
+//! Endpoints: `GET /answer?param=…|i=…`, `GET /aggregate?…` (the `f(ā)`
+//! sums the d-global bound protects), `POST /detect` (owner-side
+//! detection: key + original weights in, extracted bits + binomial
+//! significance out), `GET /params`, `GET /healthz`, `GET /metrics`,
+//! and loopback-only `POST /shutdown` for clean teardown.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod server;
+pub mod state;
+
+pub use client::RemoteServer;
+pub use server::{Server, ServerConfig};
+pub use state::{detect_request_body, ServeData};

@@ -1,0 +1,295 @@
+//! Per-endpoint request metrics in Prometheus text exposition format.
+//!
+//! Counters are plain relaxed atomics — observation never blocks a
+//! request thread — and `/metrics` renders them on demand. Latency is a
+//! fixed-bucket histogram (microsecond bounds) so operators get p50/p99
+//! estimates from any Prometheus-compatible scraper, plus exact
+//! `_sum`/`_count` for mean latency.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Histogram bucket upper bounds, in microseconds.
+pub const LATENCY_BUCKETS_US: [u64; 12] =
+    [50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 1_000_000];
+
+/// The endpoints the server distinguishes in its metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `GET /answer`
+    Answer,
+    /// `GET /aggregate`
+    Aggregate,
+    /// `POST /detect`
+    Detect,
+    /// `GET /params`
+    Params,
+    /// `GET /healthz`
+    Healthz,
+    /// `GET /metrics`
+    Metrics,
+    /// Anything else (404s, bad methods).
+    Other,
+}
+
+impl Endpoint {
+    /// All endpoints, in render order.
+    pub const ALL: [Endpoint; 7] = [
+        Endpoint::Answer,
+        Endpoint::Aggregate,
+        Endpoint::Detect,
+        Endpoint::Params,
+        Endpoint::Healthz,
+        Endpoint::Metrics,
+        Endpoint::Other,
+    ];
+
+    /// The Prometheus label value.
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Answer => "answer",
+            Endpoint::Aggregate => "aggregate",
+            Endpoint::Detect => "detect",
+            Endpoint::Params => "params",
+            Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        Endpoint::ALL
+            .iter()
+            .position(|e| *e == self)
+            .expect("endpoint in ALL")
+    }
+}
+
+#[derive(Default)]
+struct EndpointCounters {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    cache_hits: AtomicU64,
+    latency_sum_us: AtomicU64,
+    buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1], // last = +Inf
+}
+
+/// One observed request, for [`Metrics::observe`].
+#[derive(Debug, Clone, Copy)]
+pub struct Observation {
+    /// Which endpoint handled it.
+    pub endpoint: Endpoint,
+    /// HTTP status returned.
+    pub status: u16,
+    /// Whether the response came from the answer cache.
+    pub cache_hit: bool,
+    /// Wall time spent handling it.
+    pub latency: Duration,
+}
+
+/// A point-in-time view of one endpoint's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EndpointSnapshot {
+    /// Requests handled.
+    pub requests: u64,
+    /// Non-2xx responses.
+    pub errors: u64,
+    /// Responses served from cache.
+    pub cache_hits: u64,
+    /// Total handling time, microseconds.
+    pub latency_sum_us: u64,
+}
+
+/// The server's metrics registry.
+#[derive(Default)]
+pub struct Metrics {
+    endpoints: [EndpointCounters; Endpoint::ALL.len()],
+    connections: AtomicU64,
+}
+
+impl Metrics {
+    /// A zeroed registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records one accepted connection.
+    pub fn connection_opened(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one handled request.
+    pub fn observe(&self, obs: Observation) {
+        let c = &self.endpoints[obs.endpoint.index()];
+        c.requests.fetch_add(1, Ordering::Relaxed);
+        if obs.status >= 400 {
+            c.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        if obs.cache_hit {
+            c.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        let us = obs.latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        c.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+        let bucket = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        c.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counter snapshot for one endpoint (used by tests and the load
+    /// generator's cache-hit accounting).
+    pub fn snapshot(&self, endpoint: Endpoint) -> EndpointSnapshot {
+        let c = &self.endpoints[endpoint.index()];
+        EndpointSnapshot {
+            requests: c.requests.load(Ordering::Relaxed),
+            errors: c.errors.load(Ordering::Relaxed),
+            cache_hits: c.cache_hits.load(Ordering::Relaxed),
+            latency_sum_us: c.latency_sum_us.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Renders the Prometheus text exposition.
+    pub fn render(&self, cache_entries: usize, cache_hits: u64, cache_misses: u64) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("# HELP qpwm_requests_total Requests handled, by endpoint.\n");
+        out.push_str("# TYPE qpwm_requests_total counter\n");
+        for e in Endpoint::ALL {
+            let s = self.snapshot(e);
+            out.push_str(&format!(
+                "qpwm_requests_total{{endpoint=\"{}\"}} {}\n",
+                e.label(),
+                s.requests
+            ));
+        }
+        out.push_str("# HELP qpwm_errors_total Non-2xx responses, by endpoint.\n");
+        out.push_str("# TYPE qpwm_errors_total counter\n");
+        for e in Endpoint::ALL {
+            let s = self.snapshot(e);
+            out.push_str(&format!(
+                "qpwm_errors_total{{endpoint=\"{}\"}} {}\n",
+                e.label(),
+                s.errors
+            ));
+        }
+        out.push_str("# HELP qpwm_cache_hits_total Responses served from the answer cache.\n");
+        out.push_str("# TYPE qpwm_cache_hits_total counter\n");
+        for e in [Endpoint::Answer, Endpoint::Aggregate] {
+            let s = self.snapshot(e);
+            out.push_str(&format!(
+                "qpwm_cache_hits_total{{endpoint=\"{}\"}} {}\n",
+                e.label(),
+                s.cache_hits
+            ));
+        }
+        out.push_str("# HELP qpwm_request_latency_us Request handling latency, microseconds.\n");
+        out.push_str("# TYPE qpwm_request_latency_us histogram\n");
+        for e in Endpoint::ALL {
+            let c = &self.endpoints[e.index()];
+            let mut cumulative = 0u64;
+            for (i, &bound) in LATENCY_BUCKETS_US.iter().enumerate() {
+                cumulative += c.buckets[i].load(Ordering::Relaxed);
+                out.push_str(&format!(
+                    "qpwm_request_latency_us_bucket{{endpoint=\"{}\",le=\"{}\"}} {}\n",
+                    e.label(),
+                    bound,
+                    cumulative
+                ));
+            }
+            cumulative += c.buckets[LATENCY_BUCKETS_US.len()].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "qpwm_request_latency_us_bucket{{endpoint=\"{}\",le=\"+Inf\"}} {}\n",
+                e.label(),
+                cumulative
+            ));
+            let s = self.snapshot(e);
+            out.push_str(&format!(
+                "qpwm_request_latency_us_sum{{endpoint=\"{}\"}} {}\n",
+                e.label(),
+                s.latency_sum_us
+            ));
+            out.push_str(&format!(
+                "qpwm_request_latency_us_count{{endpoint=\"{}\"}} {}\n",
+                e.label(),
+                s.requests
+            ));
+        }
+        out.push_str("# HELP qpwm_connections_total Connections accepted.\n");
+        out.push_str("# TYPE qpwm_connections_total counter\n");
+        out.push_str(&format!(
+            "qpwm_connections_total {}\n",
+            self.connections.load(Ordering::Relaxed)
+        ));
+        out.push_str("# HELP qpwm_cache_entries Entries resident in the answer cache.\n");
+        out.push_str("# TYPE qpwm_cache_entries gauge\n");
+        out.push_str(&format!("qpwm_cache_entries {cache_entries}\n"));
+        out.push_str("# HELP qpwm_cache_lookup_total Answer-cache lookups by outcome.\n");
+        out.push_str("# TYPE qpwm_cache_lookup_total counter\n");
+        out.push_str(&format!("qpwm_cache_lookup_total{{outcome=\"hit\"}} {cache_hits}\n"));
+        out.push_str(&format!("qpwm_cache_lookup_total{{outcome=\"miss\"}} {cache_misses}\n"));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observations_accumulate() {
+        let m = Metrics::new();
+        m.observe(Observation {
+            endpoint: Endpoint::Answer,
+            status: 200,
+            cache_hit: true,
+            latency: Duration::from_micros(120),
+        });
+        m.observe(Observation {
+            endpoint: Endpoint::Answer,
+            status: 404,
+            cache_hit: false,
+            latency: Duration::from_micros(80),
+        });
+        let s = m.snapshot(Endpoint::Answer);
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.latency_sum_us, 200);
+        assert_eq!(m.snapshot(Endpoint::Detect).requests, 0);
+    }
+
+    #[test]
+    fn render_is_prometheus_shaped() {
+        let m = Metrics::new();
+        m.connection_opened();
+        m.observe(Observation {
+            endpoint: Endpoint::Aggregate,
+            status: 200,
+            cache_hit: false,
+            latency: Duration::from_micros(300),
+        });
+        let text = m.render(5, 2, 3);
+        assert!(text.contains("qpwm_requests_total{endpoint=\"aggregate\"} 1"));
+        assert!(text.contains("qpwm_connections_total 1"));
+        assert!(text.contains("qpwm_cache_entries 5"));
+        assert!(text.contains("qpwm_cache_lookup_total{outcome=\"hit\"} 2"));
+        // the 300 us observation lands in the le=500 bucket and above
+        assert!(text.contains("qpwm_request_latency_us_bucket{endpoint=\"aggregate\",le=\"250\"} 0"));
+        assert!(text.contains("qpwm_request_latency_us_bucket{endpoint=\"aggregate\",le=\"500\"} 1"));
+        assert!(text.contains("qpwm_request_latency_us_bucket{endpoint=\"aggregate\",le=\"+Inf\"} 1"));
+    }
+
+    #[test]
+    fn oversized_latency_lands_in_inf_bucket() {
+        let m = Metrics::new();
+        m.observe(Observation {
+            endpoint: Endpoint::Detect,
+            status: 200,
+            cache_hit: false,
+            latency: Duration::from_secs(5),
+        });
+        let text = m.render(0, 0, 0);
+        assert!(text.contains("qpwm_request_latency_us_bucket{endpoint=\"detect\",le=\"1000000\"} 0"));
+        assert!(text.contains("qpwm_request_latency_us_bucket{endpoint=\"detect\",le=\"+Inf\"} 1"));
+    }
+}

@@ -1,0 +1,367 @@
+//! The HTTP server: listener, worker pool, routing, graceful shutdown.
+//!
+//! Architecture: one acceptor thread pushes connections into an mpsc
+//! channel; a fixed pool of worker threads (sized by the `qpwm-par`
+//! thread-count conventions unless pinned) drains it, each handling one
+//! keep-alive connection at a time. Per-connection read/write timeouts
+//! and the bounded request parser in [`crate::http`] keep a slow client
+//! from pinning a worker forever. Shutdown is cooperative: a flag flips,
+//! a wake connection unblocks `accept`, the channel closes, and every
+//! worker drains its current connection before exiting — no request is
+//! dropped mid-response.
+
+use crate::cache::ShardedLru;
+use crate::http::{read_request, write_response, Request, RequestError};
+use crate::metrics::{Endpoint, Metrics, Observation};
+use crate::state::ServeData;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads; 0 resolves via [`qpwm_par::thread_count`] (the
+    /// `--threads` / `QPWM_THREADS` conventions).
+    pub threads: usize,
+    /// Total answer-cache entries (0 disables caching).
+    pub cache_entries: usize,
+    /// Per-connection read timeout.
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+    /// Allow `POST /shutdown` from loopback peers (used by the CLI and
+    /// the smoke test for clean teardown).
+    pub shutdown_endpoint: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 0,
+            cache_entries: 1024,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            shutdown_endpoint: true,
+        }
+    }
+}
+
+/// Cache-key endpoint tags (high byte of the key).
+const TAG_ANSWER: u64 = 1 << 56;
+const TAG_AGGREGATE: u64 = 2 << 56;
+
+struct Shared {
+    data: ServeData,
+    cache: ShardedLru,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    shutdown_endpoint: bool,
+}
+
+/// A running server. Dropping the handle does **not** stop it; call
+/// [`Server::shutdown`] (or hit `POST /shutdown`) for a clean stop.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    done_rx: Receiver<()>,
+}
+
+impl Server {
+    /// Binds, spawns the pool, and returns immediately.
+    pub fn start(data: ServeData, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let threads = if config.threads == 0 {
+            qpwm_par::thread_count()
+        } else {
+            config.threads
+        };
+        let shared = Arc::new(Shared {
+            data,
+            cache: ShardedLru::new(config.cache_entries, 8),
+            metrics: Metrics::new(),
+            shutdown: AtomicBool::new(false),
+            shutdown_endpoint: config.shutdown_endpoint,
+        });
+        // `done_tx` is dropped by the acceptor on exit; `recv` on the
+        // other end turns that into a "server stopped" signal for join().
+        let (done_tx, done_rx) = mpsc::sync_channel::<()>(1);
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let mut workers = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let shared = Arc::clone(&shared);
+            let conn_rx = Arc::clone(&conn_rx);
+            let read_timeout = config.read_timeout;
+            let write_timeout = config.write_timeout;
+            workers.push(std::thread::spawn(move || {
+                worker_loop(&shared, &conn_rx, read_timeout, write_timeout);
+            }));
+        }
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared, &conn_tx, &done_tx))
+        };
+        Ok(Server {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+            done_rx,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live metrics registry (shared with the handlers).
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// `(hits, misses)` of the answer cache.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.shared.cache.stats()
+    }
+
+    /// Blocks until the server stops (via [`Server::shutdown`] from
+    /// another thread or the `POST /shutdown` endpoint), then reaps the
+    /// pool.
+    pub fn join(mut self) {
+        let _ = self.done_rx.recv();
+        self.reap();
+    }
+
+    /// Requests a graceful stop and waits for in-flight requests to
+    /// finish.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        wake_acceptor(self.addr);
+        let _ = self.done_rx.recv();
+        self.reap();
+    }
+
+    fn reap(&mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Unblocks a pending `accept` by making (and dropping) a connection.
+fn wake_acceptor(addr: SocketAddr) {
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Shared,
+    conn_tx: &Sender<TcpStream>,
+    _done_tx: &SyncSender<()>,
+) {
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match conn {
+            Ok(stream) => {
+                shared.metrics.connection_opened();
+                if conn_tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            Err(_) => {
+                // transient accept errors (EMFILE, aborted handshake):
+                // keep serving
+                continue;
+            }
+        }
+    }
+    // dropping conn_tx closes the channel; workers drain and exit.
+    // dropping _done_tx signals join()/shutdown().
+}
+
+fn worker_loop(
+    shared: &Shared,
+    conn_rx: &Arc<Mutex<Receiver<TcpStream>>>,
+    read_timeout: Duration,
+    write_timeout: Duration,
+) {
+    loop {
+        let stream = {
+            let guard = conn_rx.lock().expect("connection queue poisoned");
+            guard.recv()
+        };
+        let Ok(stream) = stream else {
+            return; // channel closed: shutdown
+        };
+        handle_connection(shared, stream, read_timeout, write_timeout);
+    }
+}
+
+fn handle_connection(
+    shared: &Shared,
+    stream: TcpStream,
+    read_timeout: Duration,
+    write_timeout: Duration,
+) {
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let _ = stream.set_write_timeout(Some(write_timeout));
+    let _ = stream.set_nodelay(true);
+    let peer_loopback = stream
+        .peer_addr()
+        .map(|a| a.ip().is_loopback())
+        .unwrap_or(false);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut stream = stream;
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(r) => r,
+            Err(RequestError::Closed) => return,
+            Err(RequestError::TooLarge) => {
+                let _ = write_response(
+                    &mut stream,
+                    413,
+                    "application/json",
+                    "{\"error\":\"request too large\"}\n",
+                    false,
+                );
+                return;
+            }
+            Err(RequestError::Malformed(what)) => {
+                let body = format!("{{\"error\":\"malformed request: {what}\"}}\n");
+                let _ = write_response(&mut stream, 400, "application/json", &body, false);
+                return;
+            }
+        };
+        let keep_alive = !request.close && !shared.shutdown.load(Ordering::SeqCst);
+        let start = Instant::now();
+        let (endpoint, status, content_type, body, cache_hit, stop) =
+            route(shared, &request, peer_loopback);
+        shared.metrics.observe(Observation {
+            endpoint,
+            status,
+            cache_hit,
+            latency: start.elapsed(),
+        });
+        let keep_alive = keep_alive && !stop;
+        if write_response(&mut stream, status, content_type, body.as_str(), keep_alive).is_err() {
+            return;
+        }
+        if stop {
+            // response is on the wire; now trip the shutdown
+            shared.shutdown.store(true, Ordering::SeqCst);
+            if let Ok(addr) = stream.local_addr() {
+                wake_acceptor(addr);
+            }
+            return;
+        }
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+type Routed = (Endpoint, u16, &'static str, Arc<String>, bool, bool);
+
+fn ok(endpoint: Endpoint, content_type: &'static str, body: String) -> Routed {
+    (endpoint, 200, content_type, Arc::new(body), false, false)
+}
+
+fn bad(endpoint: Endpoint, status: u16, message: &str) -> Routed {
+    let body = format!("{{\"error\":\"{}\"}}\n", crate::http::json_escape(message));
+    (endpoint, status, "application/json", Arc::new(body), false, false)
+}
+
+fn route(shared: &Shared, request: &Request, peer_loopback: bool) -> Routed {
+    let data = &shared.data;
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => ok(Endpoint::Healthz, "application/json", data.healthz_json()),
+        ("GET", "/params") => ok(Endpoint::Params, "application/json", data.params_json()),
+        ("GET", "/metrics") => {
+            let (hits, misses) = shared.cache.stats();
+            ok(
+                Endpoint::Metrics,
+                "text/plain; version=0.0.4",
+                shared.metrics.render(shared.cache.len(), hits, misses),
+            )
+        }
+        ("GET", "/answer") => cached_param_endpoint(shared, request, Endpoint::Answer, TAG_ANSWER),
+        ("GET", "/aggregate") => {
+            cached_param_endpoint(shared, request, Endpoint::Aggregate, TAG_AGGREGATE)
+        }
+        ("POST", "/detect") => {
+            let body = match std::str::from_utf8(&request.body) {
+                Ok(s) => s,
+                Err(_) => return bad(Endpoint::Detect, 400, "body must be UTF-8"),
+            };
+            match data.detect_json(body, request.query_value("claim")) {
+                Ok(json) => ok(Endpoint::Detect, "application/json", json),
+                Err(e) => bad(Endpoint::Detect, 400, &e),
+            }
+        }
+        ("POST", "/shutdown") if shared.shutdown_endpoint => {
+            if !peer_loopback {
+                return bad(Endpoint::Other, 403, "shutdown is loopback-only");
+            }
+            (
+                Endpoint::Other,
+                200,
+                "application/json",
+                Arc::new("{\"status\":\"shutting down\"}\n".to_string()),
+                false,
+                true,
+            )
+        }
+        (method, "/answer" | "/aggregate" | "/detect" | "/healthz" | "/params" | "/metrics") => bad(
+            Endpoint::Other,
+            405,
+            &format!("method {method} not allowed here"),
+        ),
+        ("GET" | "POST", _) => bad(Endpoint::Other, 404, "unknown path"),
+        (method, _) => bad(Endpoint::Other, 405, &format!("method {method} not supported")),
+    }
+}
+
+fn cached_param_endpoint(
+    shared: &Shared,
+    request: &Request,
+    endpoint: Endpoint,
+    tag: u64,
+) -> Routed {
+    let i = match shared
+        .data
+        .resolve_param(request.query_value("i"), request.query_value("param"))
+    {
+        Ok(i) => i,
+        Err(e) => return bad(endpoint, 400, &e),
+    };
+    let key = tag | i as u64;
+    if let Some(body) = shared.cache.get(key) {
+        return (endpoint, 200, "application/json", body, true, false);
+    }
+    let body = Arc::new(match endpoint {
+        Endpoint::Aggregate => shared.data.aggregate_json(i),
+        _ => shared.data.answer_json(i),
+    });
+    shared.cache.insert(key, Arc::clone(&body));
+    (endpoint, 200, "application/json", body, false, false)
+}

@@ -1,0 +1,385 @@
+//! The server's immutable data plane: a pre-materialized answer family,
+//! the (marked) weights it serves, and the JSON renderings of every
+//! endpoint.
+//!
+//! The paper's data server is the *honest* party: final users submit a
+//! parameter `ā` and receive `{(b̄, W(b̄))}` verbatim. Everything here is
+//! read-only after startup — the family is interned once, parameters are
+//! resolved by canonical index or display label, and handlers only
+//! render — so request threads share the state without locks.
+
+use crate::http::json_escape;
+use qpwm_core::detect::{HonestServer, ObservedWeights, DEFAULT_DELTA};
+use qpwm_core::keyfile::SchemeKey;
+use qpwm_structures::{AnswerFamily, Element, Weights};
+use std::collections::HashMap;
+
+/// Everything the request handlers read.
+pub struct ServeData {
+    family: AnswerFamily,
+    weights: Weights,
+    param_labels: Vec<String>,
+    label_index: HashMap<String, usize>,
+    element_names: Option<Vec<String>>,
+    query_name: String,
+}
+
+impl ServeData {
+    /// Bundles a family with the weights it serves.
+    ///
+    /// `param_labels` gives each canonical parameter a display label (an
+    /// element name, a filter value, ...); when empty, labels default to
+    /// the parameter tuple's ids joined by `,`. `element_names` maps
+    /// element ids back to source names for rendering answer tuples.
+    pub fn new(
+        family: AnswerFamily,
+        weights: Weights,
+        param_labels: Vec<String>,
+        element_names: Option<Vec<String>>,
+        query_name: String,
+    ) -> Self {
+        let param_labels = if param_labels.is_empty() {
+            family
+                .parameters()
+                .iter()
+                .map(|a| join_ids(a))
+                .collect()
+        } else {
+            assert_eq!(
+                param_labels.len(),
+                family.len(),
+                "one label per canonical parameter"
+            );
+            param_labels
+        };
+        let mut label_index = HashMap::new();
+        for (i, label) in param_labels.iter().enumerate() {
+            label_index.entry(label.clone()).or_insert(i);
+        }
+        ServeData {
+            family,
+            weights,
+            param_labels,
+            label_index,
+            element_names,
+            query_name,
+        }
+    }
+
+    /// The served family.
+    pub fn family(&self) -> &AnswerFamily {
+        &self.family
+    }
+
+    /// The served weights.
+    pub fn weights(&self) -> &Weights {
+        &self.weights
+    }
+
+    /// Number of canonical parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.family.len()
+    }
+
+    /// Resolves a parameter reference: `i=<index>` takes precedence,
+    /// then `param=<label>`.
+    pub fn resolve_param(&self, index: Option<&str>, label: Option<&str>) -> Result<usize, String> {
+        if let Some(raw) = index {
+            let i: usize = raw
+                .parse()
+                .map_err(|_| format!("i must be a parameter index, got '{raw}'"))?;
+            if i >= self.family.len() {
+                return Err(format!(
+                    "parameter index {i} out of range (domain has {})",
+                    self.family.len()
+                ));
+            }
+            return Ok(i);
+        }
+        if let Some(label) = label {
+            return self
+                .label_index
+                .get(label)
+                .copied()
+                .ok_or_else(|| format!("unknown parameter '{label}'"));
+        }
+        Err("missing parameter: pass ?param=<label> or ?i=<index>".into())
+    }
+
+    fn display_tuple(&self, tuple: &[Element]) -> String {
+        match &self.element_names {
+            Some(names) => tuple
+                .iter()
+                .map(|&e| {
+                    names
+                        .get(e as usize)
+                        .cloned()
+                        .unwrap_or_else(|| e.to_string())
+                })
+                .collect::<Vec<_>>()
+                .join(","),
+            None => join_ids(tuple),
+        }
+    }
+
+    /// `GET /answer` body: the answer set `{(b̄, W(b̄))}` for parameter `i`.
+    ///
+    /// `t` carries raw element ids — the canonical tuple encoding remote
+    /// detectors parse — and `label` the human rendering.
+    pub fn answer_json(&self, i: usize) -> String {
+        let ids = self.family.active_ids(i);
+        let mut out = String::with_capacity(64 + ids.len() * 32);
+        out.push_str(&format!(
+            "{{\"param\":{i},\"label\":\"{}\",\"count\":{},\"answers\":[",
+            json_escape(&self.param_labels[i]),
+            ids.len()
+        ));
+        for (n, &id) in ids.iter().enumerate() {
+            let tuple = self.family.tuple(id);
+            if n > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"t\":[{}],\"label\":\"{}\",\"w\":{}}}",
+                join_ids(tuple),
+                json_escape(&self.display_tuple(tuple)),
+                self.weights.get(tuple)
+            ));
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// `GET /aggregate` body: the protected aggregate `f(ā) = Σ W(b̄)`.
+    pub fn aggregate_json(&self, i: usize) -> String {
+        format!(
+            "{{\"param\":{i},\"label\":\"{}\",\"count\":{},\"f\":{}}}\n",
+            json_escape(&self.param_labels[i]),
+            self.family.active_ids(i).len(),
+            self.family.f(&self.weights, i)
+        )
+    }
+
+    /// `GET /params` body: the full canonical parameter domain.
+    pub fn params_json(&self) -> String {
+        let mut out = String::from("{\"params\":[");
+        for (i, label) in self.param_labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"i\":{i},\"label\":\"{}\"}}", json_escape(label)));
+        }
+        out.push_str(&format!("],\"count\":{}}}\n", self.param_labels.len()));
+        out
+    }
+
+    /// `GET /healthz` body.
+    pub fn healthz_json(&self) -> String {
+        format!(
+            "{{\"status\":\"ok\",\"query\":\"{}\",\"parameters\":{},\"active_tuples\":{},\"output_arity\":{}}}\n",
+            json_escape(&self.query_name),
+            self.family.len(),
+            self.family.active_universe().len(),
+            self.family.output_arity()
+        )
+    }
+
+    /// `POST /detect`: owner-side detection replayed through the public
+    /// query interface.
+    ///
+    /// The body is a [`SchemeKey`] text (self-terminating at its `end`
+    /// line) followed by `orig <e...> <weight>` lines carrying the
+    /// owner's secret original weights (see [`detect_request_body`]).
+    /// The handler queries the same family + weights `/answer` serves —
+    /// the owner acts as an ordinary user — extracts the embedded bits,
+    /// and scores an optional `claim` at the standard δ.
+    pub fn detect_json(&self, body: &str, claim: Option<&str>) -> Result<String, String> {
+        let key = SchemeKey::from_text(body).map_err(|e| format!("bad key: {e}"))?;
+        let original = parse_original_weights(body, self.weights.arity())?;
+        let server = HonestServer::new(self.family.clone(), self.weights.clone());
+        let observed = ObservedWeights::collect(&server);
+        let report = key.marking.extract(&original, &observed);
+        let bits: String = report.bits.iter().map(|&b| if b { '1' } else { '0' }).collect();
+        let mut out = format!(
+            "{{\"bits\":\"{bits}\",\"clean_fraction\":{:.6},\"missing_pairs\":{},\"inconsistencies\":{}",
+            report.clean_fraction(),
+            report.missing_pairs,
+            observed.inconsistencies.len()
+        );
+        if let Some(claim) = claim {
+            let claimed: Result<Vec<bool>, String> = claim
+                .chars()
+                .map(|c| match c {
+                    '0' => Ok(false),
+                    '1' => Ok(true),
+                    other => Err(format!("claim must be 0/1 bits, got '{other}'")),
+                })
+                .collect();
+            let claimed = claimed?;
+            let check = report.claim_check(&claimed, DEFAULT_DELTA);
+            out.push_str(&format!(
+                ",\"claim\":{{\"matches\":{},\"claimed\":{},\"significance\":{:e},\"verdict\":\"{}\"}}",
+                check.matches, check.claimed, check.significance, check.verdict
+            ));
+        }
+        out.push_str("}\n");
+        Ok(out)
+    }
+}
+
+fn join_ids(tuple: &[Element]) -> String {
+    tuple
+        .iter()
+        .map(|e| e.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Renders the `POST /detect` request body: the key text followed by the
+/// owner's original weights, one `orig <e...> <weight>` line per entry.
+pub fn detect_request_body(key: &SchemeKey, original: &Weights) -> String {
+    let mut out = key.to_text();
+    for (k, w) in original.iter_sorted() {
+        out.push_str("orig");
+        for e in k.iter() {
+            out.push_str(&format!(" {e}"));
+        }
+        out.push_str(&format!(" {w}\n"));
+    }
+    out
+}
+
+/// Parses the `orig` lines that follow the key's `end` terminator.
+fn parse_original_weights(body: &str, arity: usize) -> Result<Weights, String> {
+    let mut weights = Weights::new(arity);
+    let mut past_key = false;
+    for (lineno, line) in body.lines().enumerate() {
+        let line = line.trim();
+        if !past_key {
+            past_key = line == "end";
+            continue;
+        }
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        if tokens.next() != Some("orig") {
+            return Err(format!(
+                "line {}: expected 'orig <elements...> <weight>', got '{line}'",
+                lineno + 1
+            ));
+        }
+        let fields: Vec<&str> = tokens.collect();
+        if fields.len() != arity + 1 {
+            return Err(format!(
+                "line {}: expected {arity} element(s) and a weight, got {} field(s)",
+                lineno + 1,
+                fields.len()
+            ));
+        }
+        let key: Result<Vec<Element>, _> =
+            fields[..arity].iter().map(|t| t.parse::<Element>()).collect();
+        let key = key.map_err(|_| format!("line {}: bad element id in '{line}'", lineno + 1))?;
+        let w: i64 = fields[arity]
+            .parse()
+            .map_err(|_| format!("line {}: bad weight in '{line}'", lineno + 1))?;
+        weights.set(&key, w);
+    }
+    if !past_key {
+        return Err("body is missing the key's 'end' terminator".into());
+    }
+    Ok(weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpwm_core::pairing::{Pair, PairMarking};
+
+    fn sample_data() -> ServeData {
+        let sets = vec![vec![vec![0u32], vec![1]], vec![vec![1u32], vec![2]]];
+        let family = AnswerFamily::from_nested(vec![vec![10], vec![11]], &sets);
+        let mut w = Weights::new(1);
+        for (e, v) in [(0u32, 5i64), (1, 7), (2, -1)] {
+            w.set(&[e], v);
+        }
+        ServeData::new(
+            family,
+            w,
+            vec!["alpha".into(), "beta".into()],
+            Some(vec!["n0".into(), "n1".into(), "n2".into()]),
+            "test-query".into(),
+        )
+    }
+
+    #[test]
+    fn param_resolution() {
+        let data = sample_data();
+        assert_eq!(data.resolve_param(Some("1"), None), Ok(1));
+        assert_eq!(data.resolve_param(None, Some("alpha")), Ok(0));
+        assert!(data.resolve_param(Some("9"), None).is_err());
+        assert!(data.resolve_param(None, Some("gamma")).is_err());
+        assert!(data.resolve_param(None, None).is_err());
+    }
+
+    #[test]
+    fn answer_rendering_carries_ids_names_and_weights() {
+        let data = sample_data();
+        let json = data.answer_json(0);
+        assert!(json.contains("\"label\":\"alpha\""), "{json}");
+        assert!(json.contains("{\"t\":[0],\"label\":\"n0\",\"w\":5}"), "{json}");
+        assert!(json.contains("{\"t\":[1],\"label\":\"n1\",\"w\":7}"), "{json}");
+        assert!(json.contains("\"count\":2"), "{json}");
+    }
+
+    #[test]
+    fn aggregate_is_the_sum_over_the_active_set() {
+        let data = sample_data();
+        assert!(data.aggregate_json(0).contains("\"f\":12"));
+        assert!(data.aggregate_json(1).contains("\"f\":6"));
+    }
+
+    #[test]
+    fn detect_round_trips_through_the_public_interface() {
+        // mark the served weights, then detect over the endpoint logic
+        let marking =
+            PairMarking::new(vec![Pair { plus: vec![0], minus: vec![1] }]);
+        let mut original = Weights::new(1);
+        for (e, v) in [(0u32, 5i64), (1, 5), (2, -1)] {
+            original.set(&[e], v);
+        }
+        let message = vec![true];
+        let marked = marking.apply(&original, &message);
+        let sets = vec![vec![vec![0u32], vec![1]], vec![vec![1u32], vec![2]]];
+        let family = AnswerFamily::from_nested(vec![vec![10], vec![11]], &sets);
+        let data = ServeData::new(family, marked, Vec::new(), None, "q".into());
+
+        let key = SchemeKey { marking, d: 1 };
+        let body = detect_request_body(&key, &original);
+        let json = data.detect_json(&body, Some("1")).expect("detects");
+        assert!(json.contains("\"bits\":\"1\""), "{json}");
+        assert!(json.contains("\"verdict\":\"inconclusive\""), "{json}"); // 1 bit can't reach 1e-6
+        assert!(json.contains("\"matches\":1"), "{json}");
+    }
+
+    #[test]
+    fn detect_rejects_malformed_bodies() {
+        let data = sample_data();
+        assert!(data.detect_json("not a key", None).is_err());
+        let key = SchemeKey { marking: PairMarking::new(Vec::new()), d: 1 };
+        let body = format!("{}orig zero 1\n", key.to_text());
+        let err = data.detect_json(&body, None).expect_err("bad element id");
+        assert!(err.contains("bad element id"), "{err}");
+        let body = format!("{}orig 1 2 3\n", key.to_text());
+        let err = data.detect_json(&body, None).expect_err("arity mismatch");
+        assert!(err.contains("expected 1 element(s)"), "{err}");
+    }
+
+    #[test]
+    fn default_labels_join_parameter_ids() {
+        let sets = vec![vec![vec![0u32]]];
+        let family = AnswerFamily::from_nested(vec![vec![4, 2]], &sets);
+        let data = ServeData::new(family, Weights::new(1), Vec::new(), None, "q".into());
+        assert_eq!(data.resolve_param(None, Some("4,2")), Ok(0));
+    }
+}

@@ -1,0 +1,183 @@
+//! Differential tests: every byte the server emits must decode back to
+//! exactly what the in-process engine computes. Each test spins a real
+//! server on an ephemeral loopback port, queries it over actual TCP,
+//! and compares against direct [`qpwm_core`] evaluation on the same
+//! marked data.
+
+use qpwm_core::detect::{AnswerServer, HonestServer, ObservedWeights, DEFAULT_DELTA};
+use qpwm_core::keyfile::SchemeKey;
+use qpwm_core::local_scheme::{LocalScheme, LocalSchemeConfig, SelectionStrategy};
+use qpwm_logic::{Formula, ParametricQuery};
+use qpwm_serve::client::{http_get, http_post, parse_answer_tuples, parse_json_uint};
+use qpwm_serve::{detect_request_body, RemoteServer, ServeData, Server, ServerConfig};
+use qpwm_structures::Weights;
+use qpwm_workloads::graphs::{cycle_union, unary_domain, with_random_weights};
+
+struct Fixture {
+    server: Server,
+    addr: String,
+    scheme: LocalScheme,
+    original: Weights,
+    marked: Weights,
+    message: Vec<bool>,
+}
+
+fn fixture() -> Fixture {
+    let query = ParametricQuery::new(Formula::atom(0, &[0, 1]), vec![0], vec![1]);
+    let instance = with_random_weights(cycle_union(4, 6, 0), 100, 1_000, 1);
+    let domain = unary_domain(instance.structure());
+    let scheme = LocalScheme::build_over(
+        &instance,
+        &query,
+        domain,
+        &LocalSchemeConfig { rho: 1, d: 1, strategy: SelectionStrategy::Greedy, seed: 7 },
+    )
+    .expect("regular instances pair");
+    let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 2 == 1).collect();
+    let marked = scheme.mark(instance.weights(), &message);
+    let data = ServeData::new(
+        scheme.answers().clone(),
+        marked.clone(),
+        Vec::new(),
+        None,
+        "edge".into(),
+    );
+    let server = Server::start(data, ServerConfig::default()).expect("bind ephemeral port");
+    let addr = server.addr().to_string();
+    Fixture { server, addr, scheme, original: instance.weights().clone(), marked, message }
+}
+
+#[test]
+fn answers_decode_to_the_engines_answer_sets() {
+    let fx = fixture();
+    let honest = HonestServer::new(fx.scheme.answers().clone(), fx.marked.clone());
+    for i in 0..fx.scheme.answers().len() {
+        let (status, body) = http_get(&fx.addr, &format!("/answer?i={i}")).expect("request");
+        assert_eq!(status, 200, "param {i}: {body}");
+        let decoded = parse_answer_tuples(&body).expect("parses");
+        assert_eq!(decoded, honest.answer(i), "param {i} must match the engine");
+    }
+    fx.server.shutdown();
+}
+
+#[test]
+fn answer_by_label_is_byte_identical_to_by_index() {
+    let fx = fixture();
+    let family = fx.scheme.answers();
+    for (i, param) in family.parameters().iter().enumerate() {
+        // the server's default label is the parameter ids joined by ","
+        let label: Vec<String> = param.iter().map(|e| e.to_string()).collect();
+        let by_label =
+            http_get(&fx.addr, &format!("/answer?param={}", label.join(","))).expect("request");
+        let by_index = http_get(&fx.addr, &format!("/answer?i={i}")).expect("request");
+        assert_eq!(by_label, by_index, "param {i}");
+    }
+    fx.server.shutdown();
+}
+
+#[test]
+fn aggregates_decode_to_the_engines_f_values() {
+    let fx = fixture();
+    let family = fx.scheme.answers();
+    for i in 0..family.len() {
+        let (status, body) =
+            http_get(&fx.addr, &format!("/aggregate?i={i}")).expect("request");
+        assert_eq!(status, 200, "param {i}: {body}");
+        let f = parse_json_uint(&body, "f").expect("f field") as i64;
+        assert_eq!(f, family.f(&fx.marked, i), "param {i} aggregate must match f");
+    }
+    fx.server.shutdown();
+}
+
+#[test]
+fn detect_over_http_matches_offline_detection() {
+    let fx = fixture();
+    let honest = HonestServer::new(fx.scheme.answers().clone(), fx.marked.clone());
+    let offline = fx.scheme.detect(&fx.original, &honest);
+    assert_eq!(offline.bits, fx.message, "offline detection is the reference");
+    let offline_check = offline.claim_check(&fx.message, DEFAULT_DELTA);
+
+    let key = SchemeKey { marking: fx.scheme.marking().clone(), d: fx.scheme.d() };
+    let body = detect_request_body(&key, &fx.original);
+    let claim: String = fx.message.iter().map(|&b| if b { '1' } else { '0' }).collect();
+    let (status, response) =
+        http_post(&fx.addr, &format!("/detect?claim={claim}"), &body).expect("request");
+    assert_eq!(status, 200, "{response}");
+
+    let expected_bits = format!("\"bits\":\"{claim}\"");
+    assert!(response.contains(&expected_bits), "{response}");
+    let expected_sig = format!("\"significance\":{:e}", offline_check.significance);
+    assert!(
+        response.contains(&expected_sig),
+        "HTTP significance must equal the offline value: {response}"
+    );
+    assert!(response.contains("\"matches\":"), "{response}");
+    fx.server.shutdown();
+}
+
+#[test]
+fn remote_server_detection_equals_in_process_detection() {
+    let fx = fixture();
+    let remote = RemoteServer::connect(&fx.addr).expect("healthz probe");
+    assert_eq!(remote.num_parameters(), fx.scheme.answers().len());
+
+    let honest = HonestServer::new(fx.scheme.answers().clone(), fx.marked.clone());
+    let via_http = fx
+        .scheme
+        .marking()
+        .extract(&fx.original, &ObservedWeights::collect(&remote));
+    let in_process = fx
+        .scheme
+        .marking()
+        .extract(&fx.original, &ObservedWeights::collect(&honest));
+    assert_eq!(via_http, in_process, "HTTP transport must not change the report");
+    assert_eq!(via_http.bits, fx.message);
+    fx.server.shutdown();
+}
+
+#[test]
+fn healthz_and_metrics_report_the_served_domain() {
+    let fx = fixture();
+    let (status, body) = http_get(&fx.addr, "/healthz").expect("request");
+    assert_eq!(status, 200);
+    assert_eq!(
+        parse_json_uint(&body, "parameters").expect("parameters"),
+        fx.scheme.answers().len() as u64
+    );
+
+    // the same answer twice: second must be a cache hit
+    http_get(&fx.addr, "/answer?i=0").expect("request");
+    http_get(&fx.addr, "/answer?i=0").expect("request");
+    let (status, metrics) = http_get(&fx.addr, "/metrics").expect("request");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("qpwm_cache_lookup_total{outcome=\"hit\"} 1"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("qpwm_requests_total{endpoint=\"answer\"} 2"), "{metrics}");
+    let (hits, misses) = fx.server.cache_stats();
+    assert_eq!((hits, misses), (1, 1));
+    fx.server.shutdown();
+}
+
+#[test]
+fn error_paths_use_http_status_codes() {
+    let fx = fixture();
+    let out_of_range = fx.scheme.answers().len();
+    for (target, want) in [
+        (format!("/answer?i={out_of_range}"), 400u16),
+        ("/answer?i=notanumber".into(), 400),
+        ("/answer?param=no-such-label".into(), 400),
+        ("/answer".into(), 400),
+        ("/no-such-endpoint".into(), 404),
+        ("/detect".into(), 405), // GET on a POST-only endpoint
+    ] {
+        let (status, body) = http_get(&fx.addr, &target).expect("request");
+        assert_eq!(status, want, "{target}: {body}");
+    }
+    let (status, body) = http_post(&fx.addr, "/answer?i=0", "").expect("request");
+    assert_eq!(status, 405, "POST on a GET-only endpoint: {body}");
+    let (status, body) = http_post(&fx.addr, "/detect", "not a key file").expect("request");
+    assert_eq!(status, 400, "malformed detect body: {body}");
+    fx.server.shutdown();
+}

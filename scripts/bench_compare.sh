@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
-# Perf regression gate: re-run the engine micro-benchmark and compare it
-# against the committed BENCH_engine.json.
+# Perf regression gate: re-run the engine micro-benchmark and the serve
+# load generator, comparing both against the committed baselines
+# (BENCH_engine.json and BENCH_serve.json).
 #
 #   ./scripts/bench_compare.sh [--threads N] [--tolerance PCT]
 #
-# Rebuilds bench_engine in release mode, runs it into a scratch file,
-# and flags any sample whose eval_ms / build_ms / detect_ms regressed by
-# more than the tolerance (default 10%) relative to the committed
-# baseline. Exits non-zero on regression so CI can gate on it.
+# Rebuilds the bench binaries in release mode, runs them into a scratch
+# dir, and flags any engine sample whose eval_ms / build_ms / detect_ms
+# regressed — or any serving metric (throughput down, p50/p99 latency
+# up) — by more than the tolerance (default 10%) relative to the
+# committed baseline. Exits non-zero on regression so CI can gate on it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -70,4 +72,54 @@ if failures:
         print(f"  {f}", file=sys.stderr)
     sys.exit(1)
 print(f"\nOK: no metric regressed by more than {tolerance:.0f}%")
+PY
+
+# -- serving gate: throughput and latency of the qpwm-serve load run
+SERVE_BASELINE=BENCH_serve.json
+if [[ ! -f "$SERVE_BASELINE" ]]; then
+  echo "note: missing $SERVE_BASELINE — run bench_serve once and commit it to enable the serving gate"
+  exit 0
+fi
+
+cargo build --release -p qpwm-bench --bin bench_serve
+SERVE_BIN="$PWD/target/release/bench_serve"
+if [[ -n "$THREADS" ]]; then
+  (cd "$SCRATCH" && "$SERVE_BIN" --threads "$THREADS" >/dev/null)
+else
+  (cd "$SCRATCH" && "$SERVE_BIN" >/dev/null)
+fi
+
+python3 - "$SERVE_BASELINE" "$SCRATCH/BENCH_serve.json" "$TOLERANCE" <<'PY'
+import json
+import sys
+
+baseline_path, fresh_path, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
+with open(baseline_path) as f:
+    base = json.load(f)
+with open(fresh_path) as f:
+    now = json.load(f)
+
+# (metric, higher_is_better)
+METRICS = (("throughput_rps", True), ("p50_us", False), ("p99_us", False))
+failures = []
+print(f"\n{'metric':>16} {'baseline':>12} {'fresh':>12} {'delta':>8}")
+for metric, higher_is_better in METRICS:
+    old, new = float(base[metric]), float(now[metric])
+    delta = (new - old) / old * 100 if old > 0 else 0.0
+    regressed = delta < -tolerance if higher_is_better else delta > tolerance
+    flag = "  << REGRESSION" if regressed else ""
+    if regressed:
+        direction = "dropped" if higher_is_better else "rose"
+        failures.append(f"{metric} {direction}: {old:.1f} -> {new:.1f} ({delta:+.1f}%)")
+    print(f"{metric:>16} {old:>12.1f} {new:>12.1f} {delta:>+7.1f}%{flag}")
+
+if now.get("errors", 0) != 0:
+    failures.append(f"load run returned {now['errors']} error response(s)")
+
+if failures:
+    print(f"\n{len(failures)} serving regression(s) beyond {tolerance:.0f}%:", file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+print(f"\nOK: serving metrics within {tolerance:.0f}% of the committed baseline")
 PY

@@ -24,4 +24,37 @@ cargo clippy -p qpwm-par -- -D warnings
 echo "== tier-1: cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace -- -D warnings
 
+# End-to-end smoke test of the data server: serve a tiny marked XML
+# document, hit it over real HTTP, and require a clean shutdown.
+echo "== tier-1: qpwm serve smoke test =="
+SMOKE="$(mktemp -d)"
+trap 'rm -rf "$SMOKE"' EXIT
+cat > "$SMOKE/school.xml" <<'XML'
+<school>
+  <student><firstname>Robert</firstname><exam>14</exam></student>
+  <student><firstname>Ana</firstname><exam>7</exam></student>
+  <student><firstname>Robert</firstname><exam>21</exam></student>
+</school>
+XML
+./target/release/qpwm serve --xml "$SMOKE/school.xml" \
+  --pattern 'school/student[firstname=$a]/exam' --port 0 > "$SMOKE/serve.log" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 50); do
+  ADDR="$(sed -n 's|^listening on http://||p' "$SMOKE/serve.log" | head -n 1)"
+  [[ -n "$ADDR" ]] && break
+  sleep 0.1
+done
+[[ -n "$ADDR" ]] || { echo "serve did not start:" >&2; cat "$SMOKE/serve.log" >&2; kill "$SERVE_PID" 2>/dev/null; exit 1; }
+
+HEALTH="$(curl -sf -w '\n%{http_code}' "http://$ADDR/healthz")"
+[[ "$HEALTH" == *'"status":"ok"'* && "$HEALTH" == *$'\n200' ]] \
+  || { echo "unexpected /healthz response: $HEALTH" >&2; kill "$SERVE_PID" 2>/dev/null; exit 1; }
+ANSWER="$(curl -sf -w '\n%{http_code}' "http://$ADDR/answer?param=Robert")"
+[[ "$ANSWER" == *'"w":14'* && "$ANSWER" == *'"w":21'* && "$ANSWER" == *$'\n200' ]] \
+  || { echo "unexpected /answer response: $ANSWER" >&2; kill "$SERVE_PID" 2>/dev/null; exit 1; }
+curl -sf -X POST "http://$ADDR/shutdown" >/dev/null
+wait "$SERVE_PID"   # a clean shutdown exits 0; set -e fails the gate otherwise
+echo "serve smoke test OK ($ADDR)"
+
 echo "== tier-1: OK =="

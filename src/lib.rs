@@ -15,7 +15,9 @@
 //!   (Theorems 7 and 8);
 //! * [`baselines`] — Agrawal–Kiernan and Khanna–Zane;
 //! * [`workloads`] — reproducible synthetic workload generators;
-//! * [`par`] — deterministic scoped-thread parallel map/reduce.
+//! * [`par`] — deterministic scoped-thread parallel map/reduce;
+//! * [`serve`] — the HTTP data server (answer sets, aggregates,
+//!   owner-side detection over the wire, cache + metrics).
 //!
 //! ## Quickstart
 //!
@@ -55,6 +57,7 @@ pub use qpwm_baselines as baselines;
 pub use qpwm_core as core;
 pub use qpwm_logic as logic;
 pub use qpwm_par as par;
+pub use qpwm_serve as serve;
 pub use qpwm_structures as structures;
 pub use qpwm_trees as trees;
 pub use qpwm_workloads as workloads;

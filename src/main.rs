@@ -14,11 +14,19 @@
 //! `detect` replays the pattern queries against the suspect document,
 //! extracts the bits and reports the binomial significance of the match.
 //!
+//! `serve` runs the paper's data server over a marked database (or XML
+//! document): final users hit `GET /answer` and `GET /aggregate`, the
+//! owner verifies ownership through the same public interface
+//! (`POST /detect`, or `detect-db --server host:port` from another
+//! machine).
+//!
 //! Node identity is positional: detection expects the suspect document to
 //! preserve the original's element structure (the non-adversarial model;
 //! value changes are fine, reshuffling elements is not).
 
-use qpwm::core::detect::{AnswerServer, ObservedWeights};
+use qpwm::core::detect::{
+    AnswerServer, DetectionReport, ObservedWeights, Verdict, DEFAULT_DELTA,
+};
 use qpwm::core::keyfile::SchemeKey;
 use qpwm::core::local_scheme::{LocalScheme, LocalSchemeConfig, SelectionStrategy};
 use qpwm::core::TreeScheme;
@@ -56,8 +64,14 @@ const USAGE: &str = "usage:
                    --out-weights <marked.csv> --key-out <keyfile> [--d <n>] [--rho <n>]
                    [--threads <n>]
     qpwm detect-db --schema <spec> --table Rel=file.csv [--table ...]
-                   --weights <original.csv> --suspect <suspect.csv>
+                   --weights <original.csv> (--suspect <suspect.csv> | --server <host:port>)
                    --rule <rule> --key <keyfile> [--claim <bits>] [--threads <n>]
+  data server (answer sets + aggregates over HTTP):
+    qpwm serve     --schema <spec> --table Rel=file.csv [--table ...]
+                   --weights <marked.csv> --rule <rule>
+                   [--port <n>] [--threads <n>] [--cache <entries>]
+    qpwm serve     --xml <marked.xml> --pattern <pattern>
+                   [--port <n>] [--threads <n>] [--cache <entries>]
 
   <spec>    like 'Route(travel,transport); Timetable(t,dep,arr,ty)'
   <rule>    like 'route($u; t) :- Route($u, t)'
@@ -68,8 +82,8 @@ fn run(args: &[String]) -> Result<(), String> {
         return Err("missing command".into());
     };
     let opts = parse_options(rest)?;
-    if let Some(n) = optional(&opts, "threads") {
-        let n: usize = n.parse().map_err(|_| "--threads needs a number")?;
+    if let Some(raw) = optional(&opts, "threads") {
+        let n = qpwm::par::parse_thread_arg(raw).map_err(|e| format!("--threads: {e}"))?;
         qpwm::par::set_threads(n);
     }
     match command.as_str() {
@@ -78,6 +92,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "detect" => detect(&opts),
         "mark-db" => mark_db(&opts),
         "detect-db" => detect_db(&opts),
+        "serve" => serve(&opts),
         other => Err(format!("unknown command {other}")),
     }
 }
@@ -263,23 +278,25 @@ fn detect(opts: &Options) -> Result<(), String> {
         report.clean_fraction() * 100.0,
         report.missing_pairs
     );
+    print_claim(&report, opts);
+    Ok(())
+}
+
+/// Scores and prints a `--claim` check; the numbers come from the same
+/// [`DetectionReport::claim_check`] the serve `/detect` endpoint uses.
+fn print_claim(report: &DetectionReport, opts: &Options) {
     if let Some(claim) = optional(opts, "claim") {
         let claimed: Vec<bool> = claim.chars().map(|c| c == '1').collect();
-        let errors = report.errors_against(&claimed);
-        let significance = report.match_significance(&claimed);
+        let check = report.claim_check(&claimed, DEFAULT_DELTA);
         println!(
             "claim check: {}/{} bits match, false-positive probability {:.2e}",
-            claimed.len().min(report.bits.len()) - errors,
-            claimed.len(),
-            significance
+            check.matches, check.claimed, check.significance
         );
-        if significance < 1e-6 {
-            println!("verdict: MARK PRESENT (ownership established)");
-        } else {
-            println!("verdict: inconclusive");
+        match check.verdict {
+            Verdict::MarkPresent => println!("verdict: MARK PRESENT (ownership established)"),
+            Verdict::Inconclusive => println!("verdict: inconclusive"),
         }
     }
-    Ok(())
 }
 
 // ---------------------------------------------------------------------
@@ -372,54 +389,150 @@ fn mark_db(opts: &Options) -> Result<(), String> {
 
 fn detect_db(opts: &Options) -> Result<(), String> {
     let (db, _) = load_db(opts)?;
-    let (scheme, _) = build_db_scheme(&db, opts)?;
     let key_path = required(opts, "key")?;
     let key_text =
         std::fs::read_to_string(key_path).map_err(|e| format!("reading {key_path}: {e}"))?;
     let key = SchemeKey::from_text(&key_text).map_err(|e| e.to_string())?;
-    // load the suspect's weights over the same name dictionary
-    let suspect_path = required(opts, "suspect")?;
-    let suspect_csv = std::fs::read_to_string(suspect_path)
-        .map_err(|e| format!("reading {suspect_path}: {e}"))?;
-    let mut suspect_weights = Weights::new(1);
-    for (lineno, line) in suspect_csv.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
+
+    let observed = if let Some(addr) = optional(opts, "server") {
+        // remote mode: the owner acts as an ordinary user of the suspect
+        // data server, replaying the public parameter domain over HTTP.
+        // Element ids align because owner and server load the same
+        // public tables (same interning order).
+        let addr = addr.strip_prefix("http://").unwrap_or(addr);
+        let remote = qpwm::serve::RemoteServer::connect(addr)?;
+        println!(
+            "querying {} ({} parameters)...",
+            remote.addr(),
+            remote.num_parameters()
+        );
+        ObservedWeights::collect(&remote)
+    } else {
+        let (scheme, _) = build_db_scheme(&db, opts)?;
+        // load the suspect's weights over the same name dictionary
+        let suspect_path = required(opts, "suspect")
+            .map_err(|_| "missing --suspect (or --server for remote detection)".to_string())?;
+        let suspect_csv = std::fs::read_to_string(suspect_path)
+            .map_err(|e| format!("reading {suspect_path}: {e}"))?;
+        let mut suspect_weights = Weights::new(1);
+        for (lineno, line) in suspect_csv.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (name, value) = line
+                .rsplit_once(',')
+                .ok_or_else(|| format!("bad suspect row at line {}", lineno + 1))?;
+            let name = name.trim().trim_matches('"').replace("\"\"", "\"");
+            let w: i64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad suspect weight at line {}", lineno + 1))?;
+            if let Some(e) = db.element(&name) {
+                suspect_weights.set(&[e], w);
+            }
         }
-        let (name, value) = line
-            .rsplit_once(',')
-            .ok_or_else(|| format!("bad suspect row at line {}", lineno + 1))?;
-        let name = name.trim().trim_matches('"').replace("\"\"", "\"");
-        let w: i64 = value
-            .trim()
-            .parse()
-            .map_err(|_| format!("bad suspect weight at line {}", lineno + 1))?;
-        if let Some(e) = db.element(&name) {
-            suspect_weights.set(&[e], w);
-        }
-    }
-    // the suspect serves the rule's answers with its weights
-    let server =
-        qpwm::core::detect::HonestServer::new(scheme.answers().clone(), suspect_weights);
-    let observed = ObservedWeights::collect(&server);
+        // the suspect serves the rule's answers with its weights
+        let server =
+            qpwm::core::detect::HonestServer::new(scheme.answers().clone(), suspect_weights);
+        ObservedWeights::collect(&server)
+    };
     let report = key.marking.extract(db.instance.weights(), &observed);
     let bits: String = report.bits.iter().map(|&b| if b { '1' } else { '0' }).collect();
     println!("extracted bits: {bits}");
-    if let Some(claim) = optional(opts, "claim") {
-        let claimed: Vec<bool> = claim.chars().map(|c| c == '1').collect();
-        let errors = report.errors_against(&claimed);
-        let significance = report.match_significance(&claimed);
-        println!(
-            "claim check: {}/{} bits match, false-positive probability {:.2e}",
-            claimed.len().min(report.bits.len()) - errors,
-            claimed.len(),
-            significance
-        );
-        if significance < 1e-6 {
-            println!("verdict: MARK PRESENT (ownership established)");
-        } else {
-            println!("verdict: inconclusive");
-        }
-    }
+    print_claim(&report, opts);
     Ok(())
+}
+
+// ---------------------------------------------------------------------
+// data server
+// ---------------------------------------------------------------------
+
+/// `qpwm serve`: pre-materializes the answer family once and serves it
+/// over HTTP until `POST /shutdown` (loopback-only) stops it.
+fn serve(opts: &Options) -> Result<(), String> {
+    let data = if optional(opts, "xml").is_some() {
+        serve_data_xml(opts)?
+    } else {
+        serve_data_db(opts)?
+    };
+    let port: u16 = optional(opts, "port")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| "--port needs a port number")?;
+    let cache_entries: usize = optional(opts, "cache")
+        .unwrap_or("1024")
+        .parse()
+        .map_err(|_| "--cache needs an entry count")?;
+    let config = qpwm::serve::ServerConfig {
+        addr: format!("127.0.0.1:{port}"),
+        cache_entries,
+        ..Default::default()
+    };
+    let server = qpwm::serve::Server::start(data, config).map_err(|e| e.to_string())?;
+    println!("listening on http://{}", server.addr());
+    println!(
+        "endpoints: /answer /aggregate /detect /params /healthz /metrics (POST /shutdown to stop)"
+    );
+    server.join();
+    println!("shut down cleanly");
+    Ok(())
+}
+
+/// Relational serve mode: the family detect-db replays, marked weights
+/// attached.
+fn serve_data_db(opts: &Options) -> Result<qpwm::serve::ServeData, String> {
+    let (db, _) = load_db(opts)?;
+    let rule_text = required(opts, "rule")?;
+    let rule = parse_rule(rule_text, db.instance.structure().schema())
+        .map_err(|e| e.to_string())?;
+    let family = rule.query.answers(db.instance.structure());
+    let labels = family
+        .parameters()
+        .iter()
+        .map(|a| {
+            a.iter()
+                .map(|&e| db.name(e).to_owned())
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect();
+    Ok(qpwm::serve::ServeData::new(
+        family,
+        db.instance.weights().clone(),
+        labels,
+        Some(db.names.clone()),
+        rule.name,
+    ))
+}
+
+/// XML serve mode: pattern answers per canonical filter value, numeric
+/// target texts as weights.
+fn serve_data_xml(opts: &Options) -> Result<qpwm::serve::ServeData, String> {
+    let doc = load_doc(required(opts, "xml")?)?;
+    let pattern = PatternQuery::parse(required(opts, "pattern")?)
+        .map_err(|e| e.to_string())?;
+    let weights = target_weights(&doc, &pattern);
+    let parameters = canonical_parameters(&doc, &pattern);
+    let labels = parameters
+        .iter()
+        .map(|a| doc.text(a[0]).unwrap_or_default().to_owned())
+        .collect();
+    let sets: Vec<Vec<Vec<u32>>> = parameters
+        .iter()
+        .map(|a| {
+            pattern
+                .answer_set_unranked(&doc, a[0])
+                .into_iter()
+                .map(|t| vec![t])
+                .collect()
+        })
+        .collect();
+    let family = qpwm::structures::AnswerFamily::from_nested(parameters, &sets);
+    Ok(qpwm::serve::ServeData::new(
+        family,
+        weights,
+        labels,
+        None,
+        required(opts, "pattern")?.to_owned(),
+    ))
 }
