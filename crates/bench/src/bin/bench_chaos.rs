@@ -1,0 +1,277 @@
+//! Fault-rate sweep for remote detection over a chaotic transport.
+//!
+//! Serves a marked `cycle_union` instance (same workload family as
+//! `bench_serve`) behind the deterministic chaos layer, then runs the
+//! owner's full remote detection (`RemoteServer` + retrying client) at
+//! increasing fault rates. For every transient-only spec the retry loop
+//! must absorb every injected fault: zero user-visible errors, zero
+//! permanently lost reads, and a verdict byte-identical to the offline
+//! detector. The sweep also re-runs each rate with retries disabled to
+//! measure how the missing-read budget grows and to check the
+//! never-flip property (match or abstain, never a different ruling).
+//! Results land in `BENCH_chaos.json`.
+//!
+//! Run with `cargo run --release -p qpwm-bench --bin bench_chaos`
+//! (flags: `--threads <server workers>`, `--cycles <workload size>`).
+
+use qpwm_bench::Table;
+use qpwm_core::detect::{HonestServer, ObservedWeights, Verdict, DEFAULT_DELTA};
+use qpwm_core::local_scheme::{LocalScheme, LocalSchemeConfig, SelectionStrategy};
+use qpwm_logic::{Formula, ParametricQuery};
+use qpwm_serve::{
+    FaultPolicy, RemoteServer, RetryPolicy, ServeData, Server, ServerConfig, Timeouts,
+};
+use qpwm_workloads::graphs::{cycle_union, unary_domain, with_random_weights};
+use std::time::{Duration, Instant};
+
+fn flag_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    args.windows(2)
+        .find(|w| w[0] == name)
+        .map(|w| w[1].clone())
+}
+
+fn parse_flag(name: &str, default: usize) -> usize {
+    match flag_value(name) {
+        None => default,
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("error: {name} needs a positive integer, got '{raw}'");
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// One detection run against a chaotic server.
+struct SweepPoint {
+    spec: &'static str,
+    rate_pct: f64,
+    retries_enabled: bool,
+    requests: u64,
+    attempts: u64,
+    retries: u64,
+    reconnects: u64,
+    user_errors: u64,
+    failed_reads: usize,
+    faults_injected: u64,
+    verdict: Verdict,
+    matches_offline: bool,
+    elapsed_ms: f64,
+}
+
+/// The shared marked instance every sweep point detects against.
+struct Fixture<'a> {
+    scheme: &'a LocalScheme,
+    original: &'a qpwm_structures::Weights,
+    marked: &'a qpwm_structures::Weights,
+    message: &'a [bool],
+    offline_verdict: Verdict,
+    server_threads: usize,
+}
+
+fn run_point(fx: &Fixture, spec: &'static str, rate_pct: f64, policy: RetryPolicy) -> SweepPoint {
+    let Fixture { scheme, original, marked, message, offline_verdict, server_threads } = *fx;
+    let chaos = FaultPolicy::parse(spec).expect("valid chaos spec");
+    let data = ServeData::new(
+        scheme.answers().clone(),
+        marked.clone(),
+        Vec::new(),
+        None,
+        "bench-chaos".into(),
+    );
+    let server = Server::start(
+        data,
+        ServerConfig {
+            threads: server_threads,
+            chaos: Some(chaos),
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            ..Default::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr().to_string();
+
+    let start = Instant::now();
+    let remote = RemoteServer::connect_with(&addr, Timeouts::from_millis(2_000), policy)
+        .expect("healthz probe");
+    let observed = ObservedWeights::collect(&remote);
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1_000.0;
+
+    let report = scheme.marking().extract(original, &observed);
+    let failed_reads = remote.failed_reads();
+    let check = if failed_reads > 0 {
+        report.claim_check_effective(message, DEFAULT_DELTA)
+    } else {
+        report.claim_check(message, DEFAULT_DELTA)
+    };
+    let stats = remote.transport_stats();
+    let requests = scheme.answers().len() as u64 + 1; // + healthz probe
+    let (faults, _, _, _) = server.metrics().resilience_snapshot();
+    let faults_injected: u64 = faults.iter().sum();
+    drop(remote);
+    server.shutdown();
+
+    SweepPoint {
+        spec,
+        rate_pct,
+        retries_enabled: policy.max_attempts > 1,
+        requests,
+        attempts: stats.attempts,
+        retries: stats.retries,
+        reconnects: stats.reconnects,
+        user_errors: stats.failed_requests,
+        failed_reads,
+        faults_injected,
+        verdict: check.verdict,
+        matches_offline: check.verdict == offline_verdict,
+        elapsed_ms,
+    }
+}
+
+fn main() {
+    let server_threads = qpwm_bench::parse_threads_flag();
+    let cycles = parse_flag("--cycles", 64) as u32;
+
+    let query = ParametricQuery::new(Formula::atom(0, &[0, 1]), vec![0], vec![1]);
+    let instance = with_random_weights(cycle_union(cycles, 6, 0), 100, 1_000, 1);
+    let domain = unary_domain(instance.structure());
+    let scheme = LocalScheme::build_over(
+        &instance,
+        &query,
+        domain,
+        &LocalSchemeConfig { rho: 1, d: 1, strategy: SelectionStrategy::Greedy, seed: 7 },
+    )
+    .expect("regular instances pair");
+    let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 3 != 0).collect();
+    let marked = scheme.mark(instance.weights(), &message);
+
+    let offline = scheme.detect(
+        instance.weights(),
+        &HonestServer::new(scheme.answers().clone(), marked.clone()),
+    );
+    assert_eq!(offline.bits, message, "offline detection must round-trip");
+    let offline_verdict = offline.claim_check(&message, DEFAULT_DELTA).verdict;
+    assert_eq!(
+        offline_verdict,
+        Verdict::MarkPresent,
+        "the benchmark mark must be provable offline"
+    );
+
+    // transient-only specs: every fault class here is absorbable by a
+    // retry (a fresh attempt re-rolls the chaos draw)
+    let sweeps: [(&'static str, f64); 3] = [
+        ("seed=17", 0.0),
+        ("drop=3%,error=4%,delay=2%:1ms,trunc=1%,seed=17", 10.0),
+        ("drop=9%,error=12%,delay=6%:1ms,trunc=3%,seed=17", 30.0),
+    ];
+
+    // the retry budget must outlast the worst fault streak: with n
+    // reads at per-request fault rate p, the expected number of
+    // permanent failures is n·p^k, so k = 8 attempts keeps it ≪ 1 even
+    // at the 30% point (385 · 0.3^8 ≈ 0.03)
+    let retry_on = RetryPolicy { max_attempts: 8, ..RetryPolicy::default() };
+
+    let fx = Fixture {
+        scheme: &scheme,
+        original: instance.weights(),
+        marked: &marked,
+        message: &message,
+        offline_verdict,
+        server_threads,
+    };
+    let mut points = Vec::new();
+    for (spec, rate) in sweeps {
+        // retries on: the user-visible error rate must be zero
+        points.push(run_point(&fx, spec, rate, retry_on));
+        // retries off: faults become missing reads; the verdict may
+        // abstain but must never flip
+        if rate > 0.0 {
+            points.push(run_point(&fx, spec, rate, RetryPolicy::none()));
+        }
+    }
+
+    let mut table = Table::new(vec![
+        "rate", "retries", "requests", "attempts", "faults", "user errs", "lost reads",
+        "verdict", "ms",
+    ]);
+    for p in &points {
+        table.row(vec![
+            format!("{:.0}%", p.rate_pct),
+            if p.retries_enabled { "on".into() } else { "off".into() },
+            p.requests.to_string(),
+            p.attempts.to_string(),
+            p.faults_injected.to_string(),
+            p.user_errors.to_string(),
+            p.failed_reads.to_string(),
+            p.verdict.to_string(),
+            format!("{:.0}", p.elapsed_ms),
+        ]);
+    }
+    table.print(&format!(
+        "remote detection under chaos (cycle_union({cycles}, 6) edge query, \
+         {server_threads} server worker(s))"
+    ));
+
+    // acceptance: transient-only faults never surface to the user when
+    // retries are on, and no configuration ever flips the verdict
+    for p in &points {
+        if p.retries_enabled {
+            assert_eq!(
+                p.user_errors, 0,
+                "{}: retries must absorb transient faults",
+                p.spec
+            );
+            assert_eq!(p.failed_reads, 0, "{}: no read may fail permanently", p.spec);
+            assert!(p.matches_offline, "{}: verdict must match offline", p.spec);
+        } else {
+            assert!(
+                matches!(p.verdict, Verdict::MarkPresent | Verdict::Abstain),
+                "{}: verdict flipped to {:?}",
+                p.spec,
+                p.verdict
+            );
+        }
+        if p.rate_pct > 0.0 {
+            assert!(p.faults_injected > 0, "{}: chaos must actually fire", p.spec);
+        }
+    }
+
+    let entries: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"spec\": \"{}\", \"fault_rate_pct\": {}, \"retries\": {}, \
+                 \"requests\": {}, \"attempts\": {}, \"client_retries\": {}, \
+                 \"reconnects\": {}, \"faults_injected\": {}, \"user_errors\": {}, \
+                 \"failed_reads\": {}, \"verdict\": \"{}\", \"matches_offline\": {}, \
+                 \"elapsed_ms\": {:.1}}}",
+                p.spec,
+                p.rate_pct,
+                p.retries_enabled,
+                p.requests,
+                p.attempts,
+                p.retries,
+                p.reconnects,
+                p.faults_injected,
+                p.user_errors,
+                p.failed_reads,
+                p.verdict,
+                p.matches_offline,
+                p.elapsed_ms
+            )
+        })
+        .collect();
+    let user_errors_total: u64 = points
+        .iter()
+        .filter(|p| p.retries_enabled)
+        .map(|p| p.user_errors)
+        .sum();
+    let json = format!(
+        "{{\n  \"workload\": \"cycle_union({cycles}, 6) edge query, remote detection sweep\",\n  \
+         \"server_threads\": {server_threads},\n  \"user_errors_with_retries\": {user_errors_total},\n  \
+         \"sweeps\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_chaos.json", &json).expect("write BENCH_chaos.json");
+    println!("\nwrote BENCH_chaos.json");
+}

@@ -138,6 +138,62 @@ impl<S: AnswerServer> AnswerServer for CensoringServer<S> {
     }
 }
 
+/// A server whose *channel* is unreliable: whole reads are lost.
+///
+/// This is not an attacker — it models the transport between owner and
+/// suspect (a flaky network, a load-shedding proxy, the chaos layer in
+/// `qpwm-serve`). A lost read drops the entire answer set of one
+/// parameter, pseudo-randomly per parameter so the loss pattern is
+/// reproducible. Detection should treat the resulting zero-score pairs
+/// as missing evidence (shrinking the effective sample via
+/// `claim_check_effective`), never as mark bits.
+pub struct FlakyServer<S> {
+    inner: S,
+    /// Lose the read iff `hash(i, seed) mod 100 < loss_percent`.
+    loss_percent: u32,
+    seed: u64,
+    missed: std::sync::atomic::AtomicUsize,
+}
+
+impl<S: AnswerServer> FlakyServer<S> {
+    /// Wraps a server, losing ≈`loss_percent`% of whole reads.
+    pub fn new(inner: S, loss_percent: u32, seed: u64) -> Self {
+        FlakyServer {
+            inner,
+            loss_percent: loss_percent.min(100),
+            seed,
+            missed: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    fn loses(&self, i: usize) -> bool {
+        let mut h = self.seed ^ (i as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 31;
+        ((h % 100) as u32) < self.loss_percent
+    }
+
+    /// Reads lost so far (the simulated missing-read budget).
+    pub fn missed(&self) -> usize {
+        self.missed.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl<S: AnswerServer> AnswerServer for FlakyServer<S> {
+    fn num_parameters(&self) -> usize {
+        self.inner.num_parameters()
+    }
+
+    fn answer(&self, i: usize) -> Vec<(Vec<Element>, i64)> {
+        if self.loses(i) {
+            self.missed
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return Vec::new();
+        }
+        self.inner.answer(i)
+    }
+}
+
 /// A server that *lies inconsistently*: it perturbs each answer's weight
 /// depending on the query parameter, so the same tuple gets different
 /// weights in different answers. `ObservedWeights` flags exactly this.
@@ -423,6 +479,52 @@ mod tests {
             }
         }
         assert!(correct_clean >= 4, "clean reads {correct_clean}");
+    }
+
+    #[test]
+    fn flaky_channel_reads_as_missing_evidence_not_mark_bits() {
+        use crate::detect::{Verdict, DEFAULT_DELTA};
+        let (marking, w, sets) = setup();
+        let scheme = RobustScheme::new(marking, 1);
+        let message: Vec<bool> = (0..24).map(|i| i % 2 == 0).collect();
+        let marked = scheme.mark(&w, &message);
+        let offline = scheme
+            .detect(&w, &HonestServer::new(sets.clone(), marked.clone()))
+            .claim_check(&message, DEFAULT_DELTA);
+        assert_eq!(offline.verdict, Verdict::MarkPresent);
+
+        // a dead channel loses every read: detection must abstain, not rule
+        let dead = FlakyServer::new(HonestServer::new(sets.clone(), marked.clone()), 100, 3);
+        let report = scheme.detect(&w, &dead);
+        assert_eq!(dead.missed(), dead.num_parameters());
+        assert!(report.scores.iter().all(|s| *s == 0));
+        let check = report.claim_check_effective(&message, DEFAULT_DELTA);
+        assert_eq!(check.verdict, Verdict::Abstain);
+        assert_eq!(check.compared, 0);
+
+        // a clean channel is transparent
+        let clean = FlakyServer::new(HonestServer::new(sets.clone(), marked.clone()), 0, 3);
+        let clean_report = scheme.detect(&w, &clean);
+        assert_eq!(clean.missed(), 0);
+        assert_eq!(
+            clean_report.claim_check_effective(&message, DEFAULT_DELTA),
+            offline
+        );
+
+        // partial loss over many seeds: the verdict matches offline or
+        // abstains — it never flips
+        for seed in 0..32 {
+            let flaky =
+                FlakyServer::new(HonestServer::new(sets.clone(), marked.clone()), 50, seed);
+            let check = scheme
+                .detect(&w, &flaky)
+                .claim_check_effective(&message, DEFAULT_DELTA);
+            assert!(
+                matches!(check.verdict, Verdict::MarkPresent | Verdict::Abstain),
+                "seed {seed}: verdict flipped to {:?}",
+                check.verdict
+            );
+        }
     }
 
     #[test]

@@ -252,7 +252,50 @@ impl DetectionReport {
         } else {
             Verdict::Inconclusive
         };
-        ClaimCheck { matches, claimed, significance, verdict }
+        ClaimCheck { matches, claimed, compared, significance, verdict }
+    }
+
+    /// Scores an ownership claim over the *effective* sample: only bits
+    /// with surviving evidence (`score ≠ 0`).
+    ///
+    /// This is the missing-read-aware variant for detection over an
+    /// unreliable channel. A transport failure erases a read — the
+    /// affected pairs score 0 exactly like an adversarial erasure — and
+    /// counting those bits as coin flips in the binomial sample would
+    /// *dilute* significance with noise the channel, not the server,
+    /// introduced. Excluding them keeps the null hypothesis honest: each
+    /// remaining bit is still a fair coin for an innocent server, so
+    /// `P[Bin(n_eff, ½) ≥ matches]` is a valid (conservative, since
+    /// n_eff ≤ n) false-positive bound.
+    ///
+    /// The verdict can be [`Verdict::Abstain`]: evidence was lost *and*
+    /// what remains does not clear `delta`. It can never flip a verdict
+    /// relative to complete evidence — with nothing missing it degrades
+    /// to the plain [`DetectionReport::claim_check`] decision, and with
+    /// missing evidence it either still proves the mark or explicitly
+    /// declines to rule.
+    pub fn claim_check_effective(&self, expected: &[bool], delta: f64) -> ClaimCheck {
+        let claimed = expected.len();
+        let full = self.bits.len().min(claimed);
+        let mut compared = 0usize;
+        let mut matches = 0usize;
+        for (i, &want) in expected.iter().enumerate().take(full) {
+            if self.scores[i] != 0 {
+                compared += 1;
+                if self.bits[i] == want {
+                    matches += 1;
+                }
+            }
+        }
+        let significance = binomial_tail(compared, matches);
+        let verdict = if significance < delta {
+            Verdict::MarkPresent
+        } else if compared < full {
+            Verdict::Abstain
+        } else {
+            Verdict::Inconclusive
+        };
+        ClaimCheck { matches, claimed, compared, significance, verdict }
     }
 }
 
@@ -266,6 +309,12 @@ pub enum Verdict {
     MarkPresent,
     /// The evidence is consistent with an innocent server.
     Inconclusive,
+    /// Evidence was lost in transit (missing reads shrank the effective
+    /// sample) and what survived does not clear the threshold. Only
+    /// [`DetectionReport::claim_check_effective`] produces this: it is a
+    /// refusal to rule, not a ruling — rerun detection over a cleaner
+    /// channel.
+    Abstain,
 }
 
 impl fmt::Display for Verdict {
@@ -273,6 +322,7 @@ impl fmt::Display for Verdict {
         match self {
             Verdict::MarkPresent => write!(f, "mark-present"),
             Verdict::Inconclusive => write!(f, "inconclusive"),
+            Verdict::Abstain => write!(f, "abstain"),
         }
     }
 }
@@ -284,6 +334,10 @@ pub struct ClaimCheck {
     pub matches: usize,
     /// Length of the claimed message.
     pub claimed: usize,
+    /// Bits that entered the binomial sample: the full overlap for
+    /// [`DetectionReport::claim_check`], only evidence-bearing bits for
+    /// [`DetectionReport::claim_check_effective`].
+    pub compared: usize,
     /// `P[innocent server matches at least this well]`.
     pub significance: f64,
     /// The threshold verdict.
@@ -425,6 +479,65 @@ mod tests {
         assert_eq!(strict.verdict, Verdict::Inconclusive);
         assert_eq!(format!("{}", check.verdict), "mark-present");
         assert_eq!(format!("{}", strict.verdict), "inconclusive");
+    }
+
+    #[test]
+    fn effective_check_with_complete_evidence_matches_the_plain_check() {
+        let report = DetectionReport {
+            bits: vec![true, false, true, true],
+            scores: vec![2, -2, 2, 2],
+            missing_pairs: 0,
+        };
+        let expected = [true, true, true, true];
+        let plain = report.claim_check(&expected, DEFAULT_DELTA);
+        let effective = report.claim_check_effective(&expected, DEFAULT_DELTA);
+        assert_eq!(plain, effective);
+        assert_eq!(effective.compared, 4);
+        assert_eq!(effective.verdict, Verdict::Inconclusive, "4 bits never clear 1e-6");
+    }
+
+    #[test]
+    fn effective_check_excludes_erased_bits_from_the_sample() {
+        // 30 clean matching bits + 10 erased bits whose extracted values
+        // are garbage. The plain check dilutes: 30/40 matches. The
+        // effective check scores 30/30 over the surviving sample.
+        let mut bits = vec![true; 30];
+        bits.extend(vec![false; 10]);
+        let mut scores = vec![2i64; 30];
+        scores.extend(vec![0i64; 10]);
+        let report = DetectionReport { bits, scores, missing_pairs: 10 };
+        let effective = report.claim_check_effective(&[true; 40], DEFAULT_DELTA);
+        assert_eq!(effective.compared, 30);
+        assert_eq!(effective.matches, 30);
+        assert_eq!(effective.significance, binomial_tail(30, 30));
+        assert_eq!(effective.verdict, Verdict::MarkPresent);
+    }
+
+    #[test]
+    fn effective_check_abstains_when_surviving_evidence_is_thin() {
+        // almost everything erased: 4 surviving bits cannot clear 1e-6,
+        // and the loss is reported as an abstention, not a ruling
+        let mut scores = vec![0i64; 36];
+        scores.extend(vec![2i64; 4]);
+        let report = DetectionReport {
+            bits: vec![true; 40],
+            scores,
+            missing_pairs: 36,
+        };
+        let check = report.claim_check_effective(&[true; 40], DEFAULT_DELTA);
+        assert_eq!(check.compared, 4);
+        assert_eq!(check.verdict, Verdict::Abstain);
+        assert_eq!(format!("{}", check.verdict), "abstain");
+        // total erasure: nothing observed, certain abstention
+        let blank = DetectionReport {
+            bits: vec![false; 8],
+            scores: vec![0; 8],
+            missing_pairs: 8,
+        };
+        let blank_check = blank.claim_check_effective(&[true; 8], DEFAULT_DELTA);
+        assert_eq!(blank_check.compared, 0);
+        assert_eq!(blank_check.significance, 1.0);
+        assert_eq!(blank_check.verdict, Verdict::Abstain);
     }
 
     #[test]

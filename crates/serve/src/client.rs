@@ -1,5 +1,6 @@
-//! The owner's side of the wire: a minimal blocking HTTP client and a
-//! remote [`AnswerServer`] implementation.
+//! The owner's side of the wire: a minimal blocking HTTP client, a
+//! resilient retrying transport, and a remote [`AnswerServer`]
+//! implementation.
 //!
 //! [`RemoteServer`] is the deployment-scenario detector: the owner acts
 //! as an ordinary user of a suspect data server, replaying the public
@@ -10,12 +11,74 @@
 //! detection works id-for-id as long as owner and server load the same
 //! public database (same interning order) — the paper's setting, where
 //! the *data* is public and only the weights carry the mark.
+//!
+//! Resilience: the channel between owner and suspect is not assumed to
+//! be clean. [`RetryingClient`] layers a [`RetryPolicy`] — exponential
+//! backoff with deterministic [`qpwm_rng`] jitter, per-request
+//! deadlines, reconnect on broken keep-alive, and a consecutive-failure
+//! circuit breaker — over [`HttpClient`], so *transient* transport
+//! faults become retries and only *permanent* faults surface. A
+//! permanent failure reads as a missing answer: [`RemoteServer`] counts
+//! it in its failed-read budget, which detection converts into a
+//! smaller effective sample (see
+//! [`qpwm_core::detect::DetectionReport::claim_check_effective`])
+//! instead of corrupted bits.
 
 use qpwm_core::detect::AnswerServer;
+use qpwm_rng::Rng;
 use qpwm_structures::Element;
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
-use std::time::Duration;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Connection timeouts for client traffic.
+///
+/// Detection replays thousands of small answers; a stuck read should
+/// fail (and be retried) in seconds, not the 30 s a generic client
+/// would wait — the defaults are sized for that traffic. Override with
+/// `Timeouts::from_millis`, the `QPWM_HTTP_TIMEOUT_MS` environment
+/// variable, or the CLI's `--timeout-ms`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timeouts {
+    /// TCP connect timeout.
+    pub connect: Duration,
+    /// Per-response read timeout.
+    pub read: Duration,
+    /// Per-request write timeout.
+    pub write: Duration,
+}
+
+impl Default for Timeouts {
+    fn default() -> Self {
+        Timeouts {
+            connect: Duration::from_secs(2),
+            read: Duration::from_secs(5),
+            write: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Timeouts {
+    /// Uniform timeouts of `ms` milliseconds on connect, read and write.
+    pub fn from_millis(ms: u64) -> Self {
+        let d = Duration::from_millis(ms.max(1));
+        Timeouts { connect: d, read: d, write: d }
+    }
+
+    /// The defaults, overridden by `QPWM_HTTP_TIMEOUT_MS` when set.
+    pub fn from_env() -> Result<Self, String> {
+        match std::env::var("QPWM_HTTP_TIMEOUT_MS") {
+            Ok(raw) if !raw.trim().is_empty() => raw
+                .trim()
+                .parse()
+                .map(Timeouts::from_millis)
+                .map_err(|_| format!("QPWM_HTTP_TIMEOUT_MS needs milliseconds, got '{raw}'")),
+            _ => Ok(Timeouts::default()),
+        }
+    }
+}
 
 /// A persistent keep-alive connection to one server.
 pub struct HttpClient {
@@ -25,14 +88,25 @@ pub struct HttpClient {
 }
 
 impl HttpClient {
-    /// Connects to `addr` (`host:port`).
+    /// Connects to `addr` (`host:port`) with the default [`Timeouts`].
     pub fn connect(addr: &str) -> Result<HttpClient, String> {
-        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        HttpClient::connect_with(addr, &Timeouts::default())
+    }
+
+    /// Connects to `addr` with explicit timeouts.
+    pub fn connect_with(addr: &str, timeouts: &Timeouts) -> Result<HttpClient, String> {
+        let sock_addr = addr
+            .to_socket_addrs()
+            .map_err(|e| format!("resolve {addr}: {e}"))?
+            .next()
+            .ok_or_else(|| format!("resolve {addr}: no address"))?;
+        let stream = TcpStream::connect_timeout(&sock_addr, timeouts.connect)
+            .map_err(|e| format!("connect {addr}: {e}"))?;
         stream
-            .set_read_timeout(Some(Duration::from_secs(30)))
+            .set_read_timeout(Some(timeouts.read))
             .map_err(|e| e.to_string())?;
         stream
-            .set_write_timeout(Some(Duration::from_secs(30)))
+            .set_write_timeout(Some(timeouts.write))
             .map_err(|e| e.to_string())?;
         let _ = stream.set_nodelay(true);
         let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
@@ -110,6 +184,217 @@ pub fn http_post(addr: &str, target: &str, body: &str) -> Result<(u16, String), 
     HttpClient::connect(addr)?.request("POST", target, Some(body))
 }
 
+/// Retry/backoff/breaker configuration for [`RetryingClient`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per request (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Upper bound on a single backoff pause.
+    pub max_backoff: Duration,
+    /// Wall-clock budget per request (attempts + pauses).
+    pub deadline: Duration,
+    /// Consecutive failed *requests* that open the circuit breaker
+    /// (0 disables the breaker).
+    pub breaker_threshold: u32,
+    /// Requests failed fast while the breaker is open, before the next
+    /// probe is allowed through (half-open).
+    pub breaker_cooldown: u32,
+    /// Seed of the deterministic backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(100),
+            deadline: Duration::from_secs(10),
+            breaker_threshold: 8,
+            breaker_cooldown: 16,
+            seed: 0x7e7,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (single attempt, breaker disabled) —
+    /// every transport fault is immediately permanent.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            breaker_threshold: 0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The pause before retry number `attempt` (1-based): exponential in
+    /// the attempt with multiplicative jitter in `[0.5, 1.5)` drawn from
+    /// the deterministic rng.
+    pub fn backoff(&self, attempt: u32, rng: &mut Rng) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(16))
+            .min(self.max_backoff);
+        exp.mul_f64(0.5 + rng.gen_f64())
+    }
+}
+
+/// Transport counters accumulated by [`RetryingClient`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Individual wire attempts (including the first try of each
+    /// request).
+    pub attempts: u64,
+    /// Attempts beyond the first, after a backoff pause.
+    pub retries: u64,
+    /// Reconnects after a broken keep-alive connection.
+    pub reconnects: u64,
+    /// Requests that failed permanently (every attempt exhausted).
+    pub failed_requests: u64,
+    /// Requests rejected without I/O while the breaker was open.
+    pub breaker_fast_fails: u64,
+}
+
+/// A keep-alive HTTP client that absorbs transient faults.
+///
+/// Wraps [`HttpClient`] with the [`RetryPolicy`] loop: 5xx responses
+/// and transport errors are retried with jittered exponential backoff
+/// under a per-request deadline; a broken connection is re-established
+/// on the next attempt; a run of permanently failed requests opens a
+/// circuit breaker that fails fast for a cooldown before probing again
+/// (so a dead server costs O(1) timeouts, not one per remaining
+/// request).
+pub struct RetryingClient {
+    addr: String,
+    timeouts: Timeouts,
+    policy: RetryPolicy,
+    conn: Option<HttpClient>,
+    ever_connected: bool,
+    rng: Rng,
+    stats: TransportStats,
+    consecutive_failures: u32,
+    breaker_open_for: u32,
+}
+
+impl RetryingClient {
+    /// A client for `addr` (`host:port`); connects lazily on the first
+    /// request.
+    pub fn new(addr: &str, timeouts: Timeouts, policy: RetryPolicy) -> Self {
+        RetryingClient {
+            addr: addr.to_owned(),
+            timeouts,
+            policy,
+            conn: None,
+            ever_connected: false,
+            rng: Rng::seed_from_u64(policy.seed),
+            stats: TransportStats::default(),
+            consecutive_failures: 0,
+            breaker_open_for: 0,
+        }
+    }
+
+    /// The target address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> TransportStats {
+        self.stats
+    }
+
+    /// `GET target` with retries.
+    pub fn get(&mut self, target: &str) -> Result<(u16, String), String> {
+        self.request("GET", target, None)
+    }
+
+    /// Issues one logical request, retrying transient faults.
+    ///
+    /// Returns `Ok` for any response the server actually produced except
+    /// retryable 5xx (500/503, which are treated as transient); returns
+    /// `Err` only when the request failed permanently — attempts
+    /// exhausted, deadline passed, or breaker open.
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, String), String> {
+        if self.breaker_open_for > 0 {
+            self.breaker_open_for -= 1;
+            self.stats.breaker_fast_fails += 1;
+            return Err(format!(
+                "circuit breaker open ({} fast-fail(s) before the next probe)",
+                self.breaker_open_for
+            ));
+        }
+        let start = Instant::now();
+        let max_attempts = self.policy.max_attempts.max(1);
+        let mut last_error = String::new();
+        for attempt in 1..=max_attempts {
+            self.stats.attempts += 1;
+            match self.try_once(method, target, body) {
+                Ok((status, text)) if status != 500 && status != 503 => {
+                    self.consecutive_failures = 0;
+                    return Ok((status, text));
+                }
+                Ok((status, _)) => {
+                    // retryable server-side failure; the keep-alive
+                    // connection is still good (the response was read)
+                    last_error = format!("server returned {status}");
+                }
+                Err(e) => {
+                    // transport failure: the connection is suspect
+                    last_error = e;
+                    self.conn = None;
+                }
+            }
+            if attempt == max_attempts {
+                break;
+            }
+            let pause = self.policy.backoff(attempt, &mut self.rng);
+            if start.elapsed() + pause >= self.policy.deadline {
+                last_error.push_str(" (request deadline exhausted)");
+                break;
+            }
+            std::thread::sleep(pause);
+            self.stats.retries += 1;
+        }
+        self.stats.failed_requests += 1;
+        self.consecutive_failures += 1;
+        if self.policy.breaker_threshold > 0
+            && self.consecutive_failures >= self.policy.breaker_threshold
+        {
+            self.breaker_open_for = self.policy.breaker_cooldown;
+            self.consecutive_failures = 0;
+        }
+        Err(format!("{method} {target}: {last_error}"))
+    }
+
+    fn try_once(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, String), String> {
+        if self.conn.is_none() {
+            let conn = HttpClient::connect_with(&self.addr, &self.timeouts)?;
+            if self.ever_connected {
+                self.stats.reconnects += 1;
+            }
+            self.ever_connected = true;
+            self.conn = Some(conn);
+        }
+        self.conn
+            .as_mut()
+            .expect("connection just established")
+            .request(method, target, body)
+    }
+}
+
 /// Extracts `(tuple, weight)` pairs from a `/answer` body.
 ///
 /// This is a purpose-built scanner for the server's own rendering (each
@@ -158,27 +443,63 @@ pub fn parse_json_uint(body: &str, name: &str) -> Option<u64> {
 
 /// A suspect data server reached over HTTP — the remote counterpart of
 /// [`qpwm_core::detect::HonestServer`].
+///
+/// All requests go through one keep-alive [`RetryingClient`]: transient
+/// transport faults are retried transparently; a request that fails
+/// permanently is an unread answer, counted in
+/// [`RemoteServer::failed_reads`] — the missing-read budget the
+/// detector folds into its effective significance sample.
 pub struct RemoteServer {
-    addr: String,
+    client: Mutex<RetryingClient>,
     num_parameters: usize,
+    failed_reads: AtomicUsize,
 }
 
 impl RemoteServer {
-    /// Probes `addr`'s `/healthz` and records the parameter-domain size.
+    /// Probes `addr`'s `/healthz` (default timeouts — honoring
+    /// `QPWM_HTTP_TIMEOUT_MS` — and default retry policy) and records
+    /// the parameter-domain size.
     pub fn connect(addr: &str) -> Result<RemoteServer, String> {
-        let (status, body) = http_get(addr, "/healthz")?;
+        RemoteServer::connect_with(addr, Timeouts::from_env()?, RetryPolicy::default())
+    }
+
+    /// Probes `addr`'s `/healthz` with explicit transport configuration.
+    pub fn connect_with(
+        addr: &str,
+        timeouts: Timeouts,
+        policy: RetryPolicy,
+    ) -> Result<RemoteServer, String> {
+        let mut client = RetryingClient::new(addr, timeouts, policy);
+        let (status, body) = client.get("/healthz")?;
         if status != 200 {
             return Err(format!("{addr}/healthz returned {status}"));
         }
         let num_parameters = parse_json_uint(&body, "parameters")
             .ok_or_else(|| format!("no parameter count in healthz body: {body}"))?
             as usize;
-        Ok(RemoteServer { addr: addr.to_owned(), num_parameters })
+        Ok(RemoteServer {
+            client: Mutex::new(client),
+            num_parameters,
+            failed_reads: AtomicUsize::new(0),
+        })
     }
 
     /// The server address.
-    pub fn addr(&self) -> &str {
-        &self.addr
+    pub fn addr(&self) -> String {
+        self.client.lock().expect("client poisoned").addr().to_owned()
+    }
+
+    /// Parameters whose answers could not be read despite retries — the
+    /// missing-read budget. Detection shrinks its effective sample by
+    /// the pairs these reads would have covered instead of treating
+    /// them as mark evidence.
+    pub fn failed_reads(&self) -> usize {
+        self.failed_reads.load(Ordering::Relaxed)
+    }
+
+    /// Transport counters accumulated so far.
+    pub fn transport_stats(&self) -> TransportStats {
+        self.client.lock().expect("client poisoned").stats()
     }
 }
 
@@ -187,14 +508,26 @@ impl AnswerServer for RemoteServer {
         self.num_parameters
     }
 
-    /// One `GET /answer?i=<i>` per parameter. A transport error reads as
-    /// an empty answer set — the affected pairs surface as missing reads
-    /// in the detection report rather than a crash, matching how the
-    /// detector degrades under partial access.
+    /// One `GET /answer?i=<i>` per parameter over the retrying
+    /// transport. A *permanent* transport error (or an unparseable
+    /// body) reads as an empty answer set and increments the
+    /// failed-read budget — the affected pairs surface as missing reads
+    /// that shrink the effective detection sample rather than corrupt
+    /// bits.
     fn answer(&self, i: usize) -> Vec<(Vec<Element>, i64)> {
-        match http_get(&self.addr, &format!("/answer?i={i}")) {
-            Ok((200, body)) => parse_answer_tuples(&body).unwrap_or_default(),
-            _ => Vec::new(),
+        let mut client = self.client.lock().expect("client poisoned");
+        match client.get(&format!("/answer?i={i}")) {
+            Ok((200, body)) => match parse_answer_tuples(&body) {
+                Ok(tuples) => tuples,
+                Err(_) => {
+                    self.failed_reads.fetch_add(1, Ordering::Relaxed);
+                    Vec::new()
+                }
+            },
+            _ => {
+                self.failed_reads.fetch_add(1, Ordering::Relaxed);
+                Vec::new()
+            }
         }
     }
 }
@@ -221,5 +554,83 @@ mod tests {
         let body = "{\"status\":\"ok\",\"parameters\":42,\"output_arity\":1}";
         assert_eq!(parse_json_uint(body, "parameters"), Some(42));
         assert_eq!(parse_json_uint(body, "missing"), None);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_grows() {
+        let policy = RetryPolicy {
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(80),
+            ..RetryPolicy::default()
+        };
+        let schedule = |seed: u64| -> Vec<Duration> {
+            let mut rng = Rng::seed_from_u64(seed);
+            (1..=6).map(|a| policy.backoff(a, &mut rng)).collect()
+        };
+        assert_eq!(schedule(1), schedule(1), "same seed, same schedule");
+        assert_ne!(schedule(1), schedule(2), "different seeds jitter differently");
+        for (attempt, pause) in schedule(7).iter().enumerate() {
+            // jitter keeps each pause within [0.5, 1.5) of the capped
+            // exponential step
+            let step = policy
+                .base_backoff
+                .saturating_mul(1 << attempt)
+                .min(policy.max_backoff);
+            assert!(*pause >= step.mul_f64(0.5), "attempt {attempt}: {pause:?}");
+            assert!(*pause < step.mul_f64(1.5), "attempt {attempt}: {pause:?}");
+        }
+    }
+
+    #[test]
+    fn timeouts_from_millis() {
+        let t = Timeouts::from_millis(250);
+        assert_eq!(t.connect, Duration::from_millis(250));
+        assert_eq!(t.read, Duration::from_millis(250));
+        assert_eq!(t.write, Duration::from_millis(250));
+        // zero is clamped to something positive (a zero read timeout is
+        // invalid for std sockets)
+        assert!(Timeouts::from_millis(0).read > Duration::ZERO);
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_failures_and_half_opens() {
+        // 127.0.0.1:1 refuses connections immediately, so every attempt
+        // is a fast permanent failure.
+        let policy = RetryPolicy {
+            max_attempts: 1,
+            breaker_threshold: 2,
+            breaker_cooldown: 3,
+            deadline: Duration::from_secs(1),
+            ..RetryPolicy::default()
+        };
+        let mut client = RetryingClient::new("127.0.0.1:1", Timeouts::from_millis(200), policy);
+        assert!(client.get("/x").is_err());
+        assert!(client.get("/x").is_err()); // second failure: breaker opens
+        let after_failures = client.stats();
+        assert_eq!(after_failures.failed_requests, 2);
+        assert_eq!(after_failures.attempts, 2);
+        for _ in 0..3 {
+            assert!(client.get("/x").is_err()); // cooldown: no I/O
+        }
+        let during_open = client.stats();
+        assert_eq!(during_open.breaker_fast_fails, 3);
+        assert_eq!(during_open.attempts, 2, "open breaker must not touch the wire");
+        assert!(client.get("/x").is_err()); // half-open probe reaches the wire
+        assert_eq!(client.stats().attempts, 3);
+    }
+
+    #[test]
+    fn retry_policy_none_is_single_shot() {
+        let policy = RetryPolicy::none();
+        assert_eq!(policy.max_attempts, 1);
+        assert_eq!(policy.breaker_threshold, 0);
+        let mut client = RetryingClient::new("127.0.0.1:1", Timeouts::from_millis(200), policy);
+        for _ in 0..5 {
+            assert!(client.get("/x").is_err());
+        }
+        let stats = client.stats();
+        assert_eq!(stats.attempts, 5, "breaker disabled: every request hits the wire");
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.breaker_fast_fails, 0);
     }
 }

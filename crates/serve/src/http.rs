@@ -212,6 +212,7 @@ pub fn write_response(
         405 => "Method Not Allowed",
         403 => "Forbidden",
         413 => "Payload Too Large",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
     let connection = if keep_alive { "keep-alive" } else { "close" };
@@ -221,6 +222,27 @@ pub fn write_response(
     );
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Writes a deliberately truncated response: the head advertises the
+/// full `Content-Length`, but only the first half of the body follows
+/// before the connection is abandoned. Used by the chaos layer
+/// ([`crate::chaos::Fault::Truncate`]) to model a channel that cuts a
+/// response short — the client's bounded body read fails fast instead
+/// of parsing garbage.
+pub fn write_truncated_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} OK\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&body.as_bytes()[..body.len() / 2])?;
     stream.flush()
 }
 

@@ -13,10 +13,16 @@
 //! * [`server`] — `TcpListener` + a scoped worker pool (sized by the
 //!   `qpwm-par` thread conventions), a sharded LRU answer [`cache`],
 //!   Prometheus [`metrics`], per-connection timeouts, graceful shutdown;
-//! * [`client`] — the owner's side: a blocking HTTP client and
-//!   [`client::RemoteServer`], an [`qpwm_core::detect::AnswerServer`]
-//!   over the wire, so detection replays the public query interface
-//!   exactly as an ordinary user would.
+//! * [`chaos`] — a deterministic fault-injection layer
+//!   ([`chaos::FaultPolicy`], env `QPWM_CHAOS` / `--chaos`) that drops,
+//!   delays, errors, or truncates data-plane responses so resilience is
+//!   testable end to end;
+//! * [`client`] — the owner's side: a blocking HTTP client, a
+//!   retrying transport ([`client::RetryingClient`] with backoff,
+//!   deadlines and a circuit breaker), and [`client::RemoteServer`], an
+//!   [`qpwm_core::detect::AnswerServer`] over the wire, so detection
+//!   replays the public query interface exactly as an ordinary user
+//!   would — and survives a flaky one.
 //!
 //! Endpoints: `GET /answer?param=…|i=…`, `GET /aggregate?…` (the `f(ā)`
 //! sums the d-global bound protects), `POST /detect` (owner-side
@@ -28,12 +34,14 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod chaos;
 pub mod client;
 pub mod http;
 pub mod metrics;
 pub mod server;
 pub mod state;
 
-pub use client::RemoteServer;
+pub use chaos::{Fault, FaultPolicy};
+pub use client::{RemoteServer, RetryPolicy, RetryingClient, Timeouts, TransportStats};
 pub use server::{Server, ServerConfig};
 pub use state::{detect_request_body, ServeData};

@@ -100,11 +100,19 @@ pub struct EndpointSnapshot {
     pub latency_sum_us: u64,
 }
 
+/// Fault-class labels, in render order (must match
+/// [`crate::chaos::Fault::label`] values).
+pub const FAULT_KINDS: [&str; 4] = ["drop", "error", "delay", "truncate"];
+
 /// The server's metrics registry.
 #[derive(Default)]
 pub struct Metrics {
     endpoints: [EndpointCounters; Endpoint::ALL.len()],
     connections: AtomicU64,
+    faults: [AtomicU64; FAULT_KINDS.len()],
+    shed: AtomicU64,
+    stale_serves: AtomicU64,
+    degraded: AtomicU64,
 }
 
 impl Metrics {
@@ -116,6 +124,44 @@ impl Metrics {
     /// Records one accepted connection.
     pub fn connection_opened(&self) {
         self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one injected chaos fault of the given class (a
+    /// [`crate::chaos::Fault::label`] value).
+    pub fn fault_injected(&self, kind: &str) {
+        if let Some(i) = FAULT_KINDS.iter().position(|&k| k == kind) {
+            self.faults[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one connection rejected by overload protection (503 with
+    /// no usable answer).
+    pub fn shed_one(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one answer served from cache while the worker pool was
+    /// saturated (the stale-while-degraded path).
+    pub fn stale_served(&self) {
+        self.stale_serves.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request handled on the degraded lane (worker pool
+    /// saturated; request routed to the control/cache-only responder).
+    pub fn degraded_one(&self) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `(faults-per-class, shed, stale-serves, degraded)` counters, for
+    /// tests and the chaos bench.
+    pub fn resilience_snapshot(&self) -> ([u64; FAULT_KINDS.len()], u64, u64, u64) {
+        let faults = std::array::from_fn(|i| self.faults[i].load(Ordering::Relaxed));
+        (
+            faults,
+            self.shed.load(Ordering::Relaxed),
+            self.stale_serves.load(Ordering::Relaxed),
+            self.degraded.load(Ordering::Relaxed),
+        )
     }
 
     /// Records one handled request.
@@ -214,6 +260,31 @@ impl Metrics {
                 s.requests
             ));
         }
+        out.push_str("# HELP qpwm_faults_injected_total Chaos faults injected, by class.\n");
+        out.push_str("# TYPE qpwm_faults_injected_total counter\n");
+        for (i, kind) in FAULT_KINDS.iter().enumerate() {
+            out.push_str(&format!(
+                "qpwm_faults_injected_total{{kind=\"{kind}\"}} {}\n",
+                self.faults[i].load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str("# HELP qpwm_shed_total Requests rejected by overload protection.\n");
+        out.push_str("# TYPE qpwm_shed_total counter\n");
+        out.push_str(&format!("qpwm_shed_total {}\n", self.shed.load(Ordering::Relaxed)));
+        out.push_str(
+            "# HELP qpwm_stale_serve_total Cached answers served while the pool was saturated.\n",
+        );
+        out.push_str("# TYPE qpwm_stale_serve_total counter\n");
+        out.push_str(&format!(
+            "qpwm_stale_serve_total {}\n",
+            self.stale_serves.load(Ordering::Relaxed)
+        ));
+        out.push_str("# HELP qpwm_degraded_total Requests handled on the degraded lane.\n");
+        out.push_str("# TYPE qpwm_degraded_total counter\n");
+        out.push_str(&format!(
+            "qpwm_degraded_total {}\n",
+            self.degraded.load(Ordering::Relaxed)
+        ));
         out.push_str("# HELP qpwm_connections_total Connections accepted.\n");
         out.push_str("# TYPE qpwm_connections_total counter\n");
         out.push_str(&format!(
@@ -277,6 +348,29 @@ mod tests {
         assert!(text.contains("qpwm_request_latency_us_bucket{endpoint=\"aggregate\",le=\"250\"} 0"));
         assert!(text.contains("qpwm_request_latency_us_bucket{endpoint=\"aggregate\",le=\"500\"} 1"));
         assert!(text.contains("qpwm_request_latency_us_bucket{endpoint=\"aggregate\",le=\"+Inf\"} 1"));
+    }
+
+    #[test]
+    fn resilience_counters_render_as_prometheus_series() {
+        let m = Metrics::new();
+        m.fault_injected("drop");
+        m.fault_injected("error");
+        m.fault_injected("error");
+        m.fault_injected("no-such-kind"); // ignored, never panics
+        m.shed_one();
+        m.stale_served();
+        m.stale_served();
+        m.degraded_one();
+        let text = m.render(0, 0, 0);
+        assert!(text.contains("# TYPE qpwm_faults_injected_total counter"), "{text}");
+        assert!(text.contains("qpwm_faults_injected_total{kind=\"drop\"} 1"), "{text}");
+        assert!(text.contains("qpwm_faults_injected_total{kind=\"error\"} 2"), "{text}");
+        assert!(text.contains("qpwm_faults_injected_total{kind=\"delay\"} 0"), "{text}");
+        assert!(text.contains("qpwm_faults_injected_total{kind=\"truncate\"} 0"), "{text}");
+        assert!(text.contains("qpwm_shed_total 1"), "{text}");
+        assert!(text.contains("qpwm_stale_serve_total 2"), "{text}");
+        assert!(text.contains("qpwm_degraded_total 1"), "{text}");
+        assert_eq!(m.resilience_snapshot(), ([1, 2, 0, 0], 1, 2, 1));
     }
 
     #[test]

@@ -1,29 +1,46 @@
-//! The HTTP server: listener, worker pool, routing, graceful shutdown.
+//! The HTTP server: listener, worker pool, routing, overload
+//! protection, fault injection, graceful shutdown.
 //!
-//! Architecture: one acceptor thread pushes connections into an mpsc
-//! channel; a fixed pool of worker threads (sized by the `qpwm-par`
+//! Architecture: one acceptor thread pushes connections into a *bounded*
+//! mpsc channel; a fixed pool of worker threads (sized by the `qpwm-par`
 //! thread-count conventions unless pinned) drains it, each handling one
 //! keep-alive connection at a time. Per-connection read/write timeouts
 //! and the bounded request parser in [`crate::http`] keep a slow client
-//! from pinning a worker forever. Shutdown is cooperative: a flag flips,
-//! a wake connection unblocks `accept`, the channel closes, and every
-//! worker drains its current connection before exiting — no request is
-//! dropped mid-response.
+//! from pinning a worker forever.
+//!
+//! Overload protection: when the worker queue is full, new connections
+//! overflow onto a *degraded lane* — a single dedicated responder that
+//! answers control endpoints (`/healthz`, `/metrics`, `POST /shutdown`)
+//! normally, serves `/answer`/`/aggregate` from the answer cache when
+//! the rendered body is already resident (stale-while-degraded), and
+//! sheds everything else with `503` + `Retry-After`. If the degraded
+//! lane is itself full, the acceptor writes a minimal `503` and closes —
+//! the server never queues unboundedly and never goes silent.
+//!
+//! Fault injection: an optional [`FaultPolicy`] (env `QPWM_CHAOS` /
+//! `qpwm serve --chaos`) injects dropped connections, `503`s, delays,
+//! and truncated bodies at seeded deterministic rates, exempting the
+//! control endpoints. See [`crate::chaos`].
+//!
+//! Shutdown is cooperative: a flag flips, a wake connection unblocks
+//! `accept`, the channels close, and every worker drains its current
+//! connection before exiting — no request is dropped mid-response.
 
 use crate::cache::ShardedLru;
-use crate::http::{read_request, write_response, Request, RequestError};
+use crate::chaos::{Fault, FaultPolicy};
+use crate::http::{read_request, write_response, write_truncated_response, Request, RequestError};
 use crate::metrics::{Endpoint, Metrics, Observation};
 use crate::state::ServeData;
-use std::io::BufReader;
+use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Server tuning knobs.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ServerConfig {
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
@@ -39,6 +56,11 @@ pub struct ServerConfig {
     /// Allow `POST /shutdown` from loopback peers (used by the CLI and
     /// the smoke test for clean teardown).
     pub shutdown_endpoint: bool,
+    /// Bounded accept backlog: connections queued for the worker pool.
+    /// Overflow goes to the degraded lane, then to load-shedding 503s.
+    pub backlog: usize,
+    /// Optional fault-injection policy (see [`crate::chaos`]).
+    pub chaos: Option<FaultPolicy>,
 }
 
 impl Default for ServerConfig {
@@ -50,9 +72,15 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             shutdown_endpoint: true,
+            backlog: 128,
+            chaos: None,
         }
     }
 }
+
+/// Queue depth of the degraded lane (beyond this, connections are shed
+/// with a raw 503 straight from the acceptor).
+const DEGRADED_BACKLOG: usize = 32;
 
 /// Cache-key endpoint tags (high byte of the key).
 const TAG_ANSWER: u64 = 1 << 56;
@@ -64,6 +92,7 @@ struct Shared {
     metrics: Metrics,
     shutdown: AtomicBool,
     shutdown_endpoint: bool,
+    chaos: FaultPolicy,
 }
 
 /// A running server. Dropping the handle does **not** stop it; call
@@ -92,13 +121,15 @@ impl Server {
             metrics: Metrics::new(),
             shutdown: AtomicBool::new(false),
             shutdown_endpoint: config.shutdown_endpoint,
+            chaos: config.chaos.unwrap_or_else(FaultPolicy::disabled),
         });
         // `done_tx` is dropped by the acceptor on exit; `recv` on the
         // other end turns that into a "server stopped" signal for join().
         let (done_tx, done_rx) = mpsc::sync_channel::<()>(1);
-        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(config.backlog.max(1));
+        let (degraded_tx, degraded_rx) = mpsc::sync_channel::<TcpStream>(DEGRADED_BACKLOG);
         let conn_rx = Arc::new(Mutex::new(conn_rx));
-        let mut workers = Vec::with_capacity(threads);
+        let mut workers = Vec::with_capacity(threads + 1);
         for _ in 0..threads {
             let shared = Arc::clone(&shared);
             let conn_rx = Arc::clone(&conn_rx);
@@ -108,9 +139,22 @@ impl Server {
                 worker_loop(&shared, &conn_rx, read_timeout, write_timeout);
             }));
         }
+        {
+            // the degraded lane: one responder that stays available when
+            // every pool worker is pinned
+            let shared = Arc::clone(&shared);
+            let read_timeout = config.read_timeout.min(Duration::from_secs(2));
+            let write_timeout = config.write_timeout.min(Duration::from_secs(2));
+            workers.push(std::thread::spawn(move || {
+                degraded_loop(&shared, &degraded_rx, read_timeout, write_timeout);
+            }));
+        }
         let acceptor = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || accept_loop(&listener, &shared, &conn_tx, &done_tx))
+            let write_timeout = config.write_timeout.min(Duration::from_secs(1));
+            std::thread::spawn(move || {
+                accept_loop(&listener, &shared, &conn_tx, &degraded_tx, write_timeout, &done_tx)
+            })
         };
         Ok(Server {
             addr,
@@ -171,7 +215,9 @@ fn wake_acceptor(addr: SocketAddr) {
 fn accept_loop(
     listener: &TcpListener,
     shared: &Shared,
-    conn_tx: &Sender<TcpStream>,
+    conn_tx: &SyncSender<TcpStream>,
+    degraded_tx: &SyncSender<TcpStream>,
+    shed_write_timeout: Duration,
     _done_tx: &SyncSender<()>,
 ) {
     for conn in listener.incoming() {
@@ -181,8 +227,18 @@ fn accept_loop(
         match conn {
             Ok(stream) => {
                 shared.metrics.connection_opened();
-                if conn_tx.send(stream).is_err() {
-                    break;
+                // never block the acceptor: pool queue, then degraded
+                // lane, then an explicit load-shedding 503
+                match conn_tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Disconnected(_)) => break,
+                    Err(TrySendError::Full(stream)) => match degraded_tx.try_send(stream) {
+                        Ok(()) | Err(TrySendError::Disconnected(_)) => {}
+                        Err(TrySendError::Full(stream)) => {
+                            shared.metrics.shed_one();
+                            shed_raw(stream, shed_write_timeout);
+                        }
+                    },
                 }
             }
             Err(_) => {
@@ -192,8 +248,23 @@ fn accept_loop(
             }
         }
     }
-    // dropping conn_tx closes the channel; workers drain and exit.
-    // dropping _done_tx signals join()/shutdown().
+    // dropping conn_tx/degraded_tx closes the channels; workers drain
+    // and exit. dropping _done_tx signals join()/shutdown().
+}
+
+/// Best-effort minimal 503 written straight from the acceptor when even
+/// the degraded lane is full. Does not read the request — the one thing
+/// that must never happen under overload is the acceptor blocking.
+fn shed_raw(mut stream: TcpStream, write_timeout: Duration) {
+    let _ = stream.set_write_timeout(Some(write_timeout));
+    let body = "{\"error\":\"overloaded\"}\n";
+    let head = format!(
+        "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\nContent-Length: {}\r\nRetry-After: 1\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
 }
 
 fn worker_loop(
@@ -211,6 +282,110 @@ fn worker_loop(
             return; // channel closed: shutdown
         };
         handle_connection(shared, stream, read_timeout, write_timeout);
+    }
+}
+
+/// The degraded lane's responder: one request per connection, control
+/// endpoints answered normally, answers served only from cache.
+fn degraded_loop(
+    shared: &Shared,
+    degraded_rx: &Receiver<TcpStream>,
+    read_timeout: Duration,
+    write_timeout: Duration,
+) {
+    while let Ok(stream) = degraded_rx.recv() {
+        handle_degraded(shared, stream, read_timeout, write_timeout);
+    }
+}
+
+fn handle_degraded(
+    shared: &Shared,
+    stream: TcpStream,
+    read_timeout: Duration,
+    write_timeout: Duration,
+) {
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let _ = stream.set_write_timeout(Some(write_timeout));
+    let _ = stream.set_nodelay(true);
+    let peer_loopback = stream
+        .peer_addr()
+        .map(|a| a.ip().is_loopback())
+        .unwrap_or(false);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut stream = stream;
+    let Ok(request) = read_request(&mut reader) else {
+        return;
+    };
+    shared.metrics.degraded_one();
+    let start = Instant::now();
+    let (endpoint, status, content_type, body, cache_hit, stop) =
+        route_degraded(shared, &request, peer_loopback);
+    shared.metrics.observe(Observation {
+        endpoint,
+        status,
+        cache_hit,
+        latency: start.elapsed(),
+    });
+    if write_response(&mut stream, status, content_type, body.as_str(), false).is_err() {
+        return;
+    }
+    if stop {
+        trip_shutdown(shared, &stream);
+    }
+}
+
+/// Degraded-lane routing: control endpoints behave exactly as on the
+/// main lane (and are exempt from shedding), `/answer`/`/aggregate` are
+/// served *only* when the rendered body is already cached, everything
+/// else is shed with 503.
+fn route_degraded(shared: &Shared, request: &Request, peer_loopback: bool) -> Routed {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz" | "/metrics" | "/params") | ("POST", "/shutdown") => {
+            route(shared, request, peer_loopback)
+        }
+        ("GET", "/answer" | "/aggregate") => {
+            let endpoint = if request.path == "/answer" {
+                Endpoint::Answer
+            } else {
+                Endpoint::Aggregate
+            };
+            let tag = if request.path == "/answer" { TAG_ANSWER } else { TAG_AGGREGATE };
+            let i = match shared
+                .data
+                .resolve_param(request.query_value("i"), request.query_value("param"))
+            {
+                Ok(i) => i,
+                Err(e) => return bad(endpoint, 400, &e),
+            };
+            if let Some(body) = shared.cache.get(tag | i as u64) {
+                shared.metrics.stale_served();
+                return (endpoint, 200, "application/json", body, true, false);
+            }
+            shared.metrics.shed_one();
+            bad(endpoint, 503, "overloaded: answer not cached")
+        }
+        _ => {
+            shared.metrics.shed_one();
+            bad(Endpoint::Other, 503, "overloaded")
+        }
+    }
+}
+
+/// Control endpoints are exempt from fault injection and load shedding:
+/// operators must be able to observe and stop the server no matter what
+/// the chaos policy or the load does.
+fn is_control(path: &str) -> bool {
+    matches!(path, "/healthz" | "/metrics" | "/shutdown")
+}
+
+/// Response is on the wire; flip the flag and unblock `accept`.
+fn trip_shutdown(shared: &Shared, stream: &TcpStream) {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    if let Ok(addr) = stream.local_addr() {
+        wake_acceptor(addr);
     }
 }
 
@@ -254,6 +429,45 @@ fn handle_connection(
         };
         let keep_alive = !request.close && !shared.shutdown.load(Ordering::SeqCst);
         let start = Instant::now();
+
+        // chaos: decide the injected fault for this request (control
+        // endpoints are exempt; the counter only advances on eligible
+        // requests so configured rates hold over the eligible stream)
+        let fault = if is_control(&request.path) {
+            None
+        } else {
+            shared.chaos.next_fault()
+        };
+        if let Some(fault) = fault {
+            shared.metrics.fault_injected(fault.label());
+        }
+        match fault {
+            Some(Fault::Drop) => return, // close without responding
+            Some(Fault::Error) => {
+                shared.metrics.observe(Observation {
+                    endpoint: endpoint_of(&request),
+                    status: 503,
+                    cache_hit: false,
+                    latency: start.elapsed(),
+                });
+                if write_response(
+                    &mut stream,
+                    503,
+                    "application/json",
+                    "{\"error\":\"injected fault\"}\n",
+                    keep_alive,
+                )
+                .is_err()
+                    || !keep_alive
+                {
+                    return;
+                }
+                continue;
+            }
+            Some(Fault::Delay(d)) => std::thread::sleep(d),
+            Some(Fault::Truncate) | None => {}
+        }
+
         let (endpoint, status, content_type, body, cache_hit, stop) =
             route(shared, &request, peer_loopback);
         shared.metrics.observe(Observation {
@@ -262,21 +476,35 @@ fn handle_connection(
             cache_hit,
             latency: start.elapsed(),
         });
+        if matches!(fault, Some(Fault::Truncate)) {
+            let _ = write_truncated_response(&mut stream, status, content_type, body.as_str());
+            return; // the truncated connection is dead by construction
+        }
         let keep_alive = keep_alive && !stop;
         if write_response(&mut stream, status, content_type, body.as_str(), keep_alive).is_err() {
             return;
         }
         if stop {
-            // response is on the wire; now trip the shutdown
-            shared.shutdown.store(true, Ordering::SeqCst);
-            if let Ok(addr) = stream.local_addr() {
-                wake_acceptor(addr);
-            }
+            trip_shutdown(shared, &stream);
             return;
         }
         if !keep_alive {
             return;
         }
+    }
+}
+
+/// Maps a request path to its metrics endpoint without routing (used
+/// when a fault preempts the handler).
+fn endpoint_of(request: &Request) -> Endpoint {
+    match request.path.as_str() {
+        "/answer" => Endpoint::Answer,
+        "/aggregate" => Endpoint::Aggregate,
+        "/detect" => Endpoint::Detect,
+        "/params" => Endpoint::Params,
+        "/healthz" => Endpoint::Healthz,
+        "/metrics" => Endpoint::Metrics,
+        _ => Endpoint::Other,
     }
 }
 

@@ -1,0 +1,358 @@
+//! Chaos differential tests: detection through a faulty transport must
+//! equal detection over a clean channel, or explicitly abstain — it may
+//! never flip a verdict. Each test spins a real server on an ephemeral
+//! loopback port with a seeded [`qpwm_serve::FaultPolicy`], runs the
+//! owner's remote detection through the retrying client, and compares
+//! against direct in-process evaluation of the same marked data.
+
+use qpwm_core::adversary::{CensoringServer, LyingServer};
+use qpwm_core::detect::{
+    AnswerServer, HonestServer, ObservedWeights, Verdict, DEFAULT_DELTA,
+};
+use qpwm_core::local_scheme::{LocalScheme, LocalSchemeConfig, SelectionStrategy};
+use qpwm_logic::{Formula, ParametricQuery};
+use qpwm_serve::client::{http_get, http_post};
+use qpwm_serve::{
+    FaultPolicy, RemoteServer, RetryPolicy, ServeData, Server, ServerConfig, Timeouts,
+};
+use qpwm_structures::Weights;
+use qpwm_workloads::graphs::{cycle_union, unary_domain, with_random_weights};
+use std::time::Duration;
+
+struct Fixture {
+    server: Server,
+    addr: String,
+    scheme: LocalScheme,
+    original: Weights,
+    marked: Weights,
+    message: Vec<bool>,
+}
+
+/// A marked instance large enough that a clean claim check rules
+/// MARK PRESENT at the default δ (the never-flip tests need a strong
+/// offline verdict to guard): 24 six-cycles carry a 25-bit mark, and
+/// 2^-25 clears the 1e-6 threshold with room for a few lost reads.
+fn fixture(config: ServerConfig) -> Fixture {
+    let query = ParametricQuery::new(Formula::atom(0, &[0, 1]), vec![0], vec![1]);
+    let instance = with_random_weights(cycle_union(24, 6, 0), 100, 1_000, 1);
+    let domain = unary_domain(instance.structure());
+    let scheme = LocalScheme::build_over(
+        &instance,
+        &query,
+        domain,
+        &LocalSchemeConfig { rho: 1, d: 1, strategy: SelectionStrategy::Greedy, seed: 7 },
+    )
+    .expect("regular instances pair");
+    let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 2 == 1).collect();
+    let marked = scheme.mark(instance.weights(), &message);
+    let data = ServeData::new(
+        scheme.answers().clone(),
+        marked.clone(),
+        Vec::new(),
+        None,
+        "edge".into(),
+    );
+    let server = Server::start(data, config).expect("bind ephemeral port");
+    let addr = server.addr().to_string();
+    Fixture { server, addr, scheme, original: instance.weights().clone(), marked, message }
+}
+
+fn chaos_config(spec: &str) -> ServerConfig {
+    ServerConfig {
+        chaos: Some(FaultPolicy::parse(spec).expect("valid chaos spec")),
+        // the CI box may expose a single CPU; two workers keep control
+        // endpoints reachable while a keep-alive detection connection
+        // holds one worker
+        threads: 2,
+        // shutdown waits for workers parked in read_request on idle
+        // keep-alive connections; a short timeout keeps teardown fast
+        read_timeout: Duration::from_secs(2),
+        write_timeout: Duration::from_secs(2),
+        ..Default::default()
+    }
+}
+
+fn offline_report(fx: &Fixture) -> qpwm_core::detect::DetectionReport {
+    let honest = HonestServer::new(fx.scheme.answers().clone(), fx.marked.clone());
+    fx.scheme
+        .marking()
+        .extract(&fx.original, &ObservedWeights::collect(&honest))
+}
+
+#[test]
+fn zero_rate_chaos_is_byte_transparent() {
+    // a configured-but-all-zero policy must not perturb anything: the
+    // remote report equals the in-process report bit for bit
+    let fx = fixture(chaos_config("seed=99"));
+    let remote = RemoteServer::connect(&fx.addr).expect("healthz probe");
+    let via_http = fx
+        .scheme
+        .marking()
+        .extract(&fx.original, &ObservedWeights::collect(&remote));
+    assert_eq!(via_http, offline_report(&fx), "disabled chaos must be invisible");
+    assert_eq!(remote.failed_reads(), 0);
+    let stats = remote.transport_stats();
+    assert_eq!(stats.retries, 0);
+    assert_eq!(stats.failed_requests, 0);
+    drop(remote);
+    fx.server.shutdown();
+}
+
+#[test]
+fn transient_faults_retry_to_an_identical_report() {
+    // 20% injected 503s: every faulted read succeeds on retry, so the
+    // user-visible outcome is byte-identical to the clean channel and
+    // the missing-read budget stays empty
+    let fx = fixture(chaos_config("error=20%,seed=5"));
+    let remote = RemoteServer::connect_with(
+        &fx.addr,
+        Timeouts::from_millis(2_000),
+        RetryPolicy::default(),
+    )
+    .expect("healthz probe");
+    let via_http = fx
+        .scheme
+        .marking()
+        .extract(&fx.original, &ObservedWeights::collect(&remote));
+    assert_eq!(via_http, offline_report(&fx), "retries must absorb transient faults");
+    assert_eq!(remote.failed_reads(), 0, "no read may fail permanently");
+    let stats = remote.transport_stats();
+    assert!(stats.retries > 0, "a 20% fault rate must have triggered retries");
+    assert_eq!(stats.failed_requests, 0);
+    drop(remote); // free the keep-alive worker before the metrics read
+
+    // the injected faults are visible to the operator
+    let (status, metrics) = http_get(&fx.addr, "/metrics").expect("metrics");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("qpwm_faults_injected_total{kind=\"error\"}"),
+        "{metrics}"
+    );
+    fx.server.shutdown();
+}
+
+#[test]
+fn mixed_transient_faults_with_reconnects_still_match_offline() {
+    // drops and truncations kill the keep-alive connection; the client
+    // must reconnect and end up with the exact offline report
+    let fx = fixture(chaos_config("drop=5%,error=5%,delay=5%:1ms,trunc=5%,seed=11"));
+    let remote = RemoteServer::connect_with(
+        &fx.addr,
+        Timeouts::from_millis(2_000),
+        RetryPolicy::default(),
+    )
+    .expect("healthz probe");
+    let via_http = fx
+        .scheme
+        .marking()
+        .extract(&fx.original, &ObservedWeights::collect(&remote));
+    assert_eq!(via_http, offline_report(&fx));
+    assert_eq!(remote.failed_reads(), 0);
+    assert!(remote.transport_stats().reconnects > 0, "drops must force reconnects");
+    drop(remote);
+    fx.server.shutdown();
+}
+
+#[test]
+fn verdicts_never_flip_under_permanent_faults() {
+    // With retries disabled every fault is a permanently lost read. The
+    // effective claim check must then either still prove the mark or
+    // abstain — across fault rates and chaos seeds it may never flip to
+    // a different ruling than the clean channel.
+    let offline_verdict = {
+        let fx = fixture(ServerConfig::default());
+        let verdict = offline_report(&fx)
+            .claim_check(&fx.message, DEFAULT_DELTA)
+            .verdict;
+        fx.server.shutdown();
+        verdict
+    };
+    assert_eq!(offline_verdict, Verdict::MarkPresent, "fixture must carry a provable mark");
+
+    for spec in [
+        "drop=4%,error=3%,trunc=3%,seed=1",
+        "drop=10%,error=10%,trunc=10%,seed=2",
+        "drop=10%,error=10%,trunc=10%,seed=3",
+    ] {
+        let fx = fixture(chaos_config(spec));
+        let remote = RemoteServer::connect_with(
+            &fx.addr,
+            Timeouts::from_millis(2_000),
+            RetryPolicy::none(),
+        )
+        .expect("healthz probe");
+        let report = fx
+            .scheme
+            .marking()
+            .extract(&fx.original, &ObservedWeights::collect(&remote));
+        let check = report.claim_check_effective(&fx.message, DEFAULT_DELTA);
+        assert!(
+            matches!(check.verdict, Verdict::MarkPresent | Verdict::Abstain),
+            "{spec}: verdict {:?} with {} failed reads",
+            check.verdict,
+            remote.failed_reads()
+        );
+        if remote.failed_reads() == 0 {
+            assert_eq!(check.verdict, offline_verdict, "{spec}: clean run must match");
+        }
+        drop(remote);
+        fx.server.shutdown();
+    }
+}
+
+#[test]
+fn semantic_adversaries_compose_with_transport_faults() {
+    // A censoring or lying server behind a faulty transport: the owner
+    // wraps the remote in the same adversary models used offline. The
+    // composed verdict must match the offline composed verdict or
+    // abstain — transport faults on top of censorship must not
+    // manufacture evidence.
+    for (drop_pct, seed) in [(0u32, 1u64), (30, 2), (60, 3)] {
+        let fx = fixture(chaos_config("drop=6%,error=6%,trunc=6%,seed=21"));
+        let offline_check = {
+            let honest = HonestServer::new(fx.scheme.answers().clone(), fx.marked.clone());
+            let censored = CensoringServer::new(honest, drop_pct, seed);
+            fx.scheme
+                .marking()
+                .extract(&fx.original, &ObservedWeights::collect(&censored))
+                .claim_check_effective(&fx.message, DEFAULT_DELTA)
+        };
+        let remote = RemoteServer::connect_with(
+            &fx.addr,
+            Timeouts::from_millis(2_000),
+            RetryPolicy::none(),
+        )
+        .expect("healthz probe");
+        let composed = CensoringServer::new(remote, drop_pct, seed);
+        let check = fx
+            .scheme
+            .marking()
+            .extract(&fx.original, &ObservedWeights::collect(&composed))
+            .claim_check_effective(&fx.message, DEFAULT_DELTA);
+        assert!(
+            check.verdict == offline_check.verdict || check.verdict == Verdict::Abstain,
+            "censor {drop_pct}%/seed {seed}: remote {:?} vs offline {:?}",
+            check.verdict,
+            offline_check.verdict
+        );
+        drop(composed);
+        fx.server.shutdown();
+    }
+
+    // lying servers perturb weights per parameter; observed over a flaky
+    // wire, detection must flag the inconsistencies it can still see and
+    // never flip the verdict
+    let fx = fixture(chaos_config("drop=8%,error=8%,seed=31"));
+    let offline_check = {
+        let honest = HonestServer::new(fx.scheme.answers().clone(), fx.marked.clone());
+        let liar = LyingServer::new(honest);
+        fx.scheme
+            .marking()
+            .extract(&fx.original, &ObservedWeights::collect(&liar))
+            .claim_check_effective(&fx.message, DEFAULT_DELTA)
+    };
+    let remote = RemoteServer::connect_with(
+        &fx.addr,
+        Timeouts::from_millis(2_000),
+        RetryPolicy::none(),
+    )
+    .expect("healthz probe");
+    let composed = LyingServer::new(remote);
+    let check = fx
+        .scheme
+        .marking()
+        .extract(&fx.original, &ObservedWeights::collect(&composed))
+        .claim_check_effective(&fx.message, DEFAULT_DELTA);
+    assert!(
+        check.verdict == offline_check.verdict || check.verdict == Verdict::Abstain,
+        "lying: remote {:?} vs offline {:?}",
+        check.verdict,
+        offline_check.verdict
+    );
+    drop(composed);
+    fx.server.shutdown();
+}
+
+#[test]
+fn control_endpoints_are_exempt_from_chaos() {
+    // even with a 100% drop rate on the data plane, the operator can
+    // still observe and stop the server
+    let fx = fixture(chaos_config("drop=100%,seed=1"));
+    let (status, _) = http_get(&fx.addr, "/healthz").expect("healthz is exempt");
+    assert_eq!(status, 200);
+    let (status, metrics) = http_get(&fx.addr, "/metrics").expect("metrics is exempt");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("qpwm_requests_total"), "{metrics}");
+
+    // the data plane really is dark
+    assert!(
+        http_get(&fx.addr, "/answer?i=0").is_err(),
+        "a 100% drop policy must kill data-plane reads"
+    );
+    // ... and visibly so
+    let (_, metrics) = http_get(&fx.addr, "/metrics").expect("metrics survives");
+    assert!(
+        metrics.contains("qpwm_faults_injected_total{kind=\"drop\"}"),
+        "{metrics}"
+    );
+
+    // POST /shutdown is exempt too: clean teardown under total chaos
+    let (status, _) = http_post(&fx.addr, "/shutdown", "").expect("shutdown is exempt");
+    assert_eq!(status, 200);
+    fx.server.join();
+}
+
+#[test]
+fn saturated_pool_sheds_but_control_and_cached_answers_survive() {
+    // one worker, a one-slot backlog: two idle connections saturate the
+    // normal path, so further connections land in the degraded lane —
+    // which must keep answering control endpoints and already-cached
+    // answers while shedding the rest
+    let config = ServerConfig {
+        threads: 1,
+        backlog: 1,
+        read_timeout: Duration::from_secs(5),
+        write_timeout: Duration::from_secs(5),
+        ..Default::default()
+    };
+    let fx = fixture(config);
+
+    // prime the render cache through the healthy pool
+    let (status, primed) = http_get(&fx.addr, "/answer?i=0").expect("prime");
+    assert_eq!(status, 200);
+    // let the worker notice the closed connection and go idle
+    std::thread::sleep(Duration::from_millis(100));
+
+    // saturate: the first idle connection occupies the worker, the
+    // second fills the backlog slot
+    let idle_a = std::net::TcpStream::connect(&fx.addr).expect("idle connection");
+    std::thread::sleep(Duration::from_millis(100));
+    let idle_b = std::net::TcpStream::connect(&fx.addr).expect("idle connection");
+    std::thread::sleep(Duration::from_millis(100));
+
+    // control endpoints answer from the degraded lane
+    let (status, _) = http_get(&fx.addr, "/healthz").expect("healthz while shedding");
+    assert_eq!(status, 200);
+    let (status, metrics) = http_get(&fx.addr, "/metrics").expect("metrics while shedding");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("qpwm_degraded_total"), "{metrics}");
+
+    // a cached answer is served stale rather than shed
+    let (status, body) = http_get(&fx.addr, "/answer?i=0").expect("cached answer");
+    assert_eq!(status, 200, "cached answers must survive saturation: {body}");
+    assert_eq!(body, primed, "stale serve must replay the cached bytes");
+
+    // an uncached answer is shed with 503 (no evaluation under overload)
+    let (status, body) = http_get(&fx.addr, "/answer?i=1").expect("uncached answer");
+    assert_eq!(status, 503, "uncached answers must shed: {body}");
+
+    // the counters saw both outcomes
+    let (_, metrics) = http_get(&fx.addr, "/metrics").expect("metrics");
+    assert!(metrics.contains("qpwm_stale_serve_total 1"), "{metrics}");
+    assert!(!metrics.contains("qpwm_shed_total 0\n"), "{metrics}");
+
+    drop(idle_a);
+    drop(idle_b);
+    std::thread::sleep(Duration::from_millis(100));
+    fx.server.shutdown();
+}

@@ -123,3 +123,66 @@ if failures:
     sys.exit(1)
 print(f"\nOK: serving metrics within {tolerance:.0f}% of the committed baseline")
 PY
+
+# -- chaos gate: resilience of remote detection under injected faults
+CHAOS_BASELINE=BENCH_chaos.json
+if [[ ! -f "$CHAOS_BASELINE" ]]; then
+  echo "note: missing $CHAOS_BASELINE — run bench_chaos once and commit it to enable the chaos gate"
+  exit 0
+fi
+
+cargo build --release -p qpwm-bench --bin bench_chaos
+CHAOS_BIN="$PWD/target/release/bench_chaos"
+if [[ -n "$THREADS" ]]; then
+  (cd "$SCRATCH" && "$CHAOS_BIN" --threads "$THREADS" >/dev/null)
+else
+  (cd "$SCRATCH" && "$CHAOS_BIN" >/dev/null)
+fi
+
+python3 - "$CHAOS_BASELINE" "$SCRATCH/BENCH_chaos.json" <<'PY'
+import json
+import sys
+
+baseline_path, fresh_path = sys.argv[1], sys.argv[2]
+with open(baseline_path) as f:
+    base = json.load(f)
+with open(fresh_path) as f:
+    now = json.load(f)
+
+failures = []
+if now.get("user_errors_with_retries", 1) != 0:
+    failures.append(
+        f"user-visible errors with retries: {now['user_errors_with_retries']} (must be 0)"
+    )
+
+key = lambda s: (s["spec"], s["retries"])
+base_sweeps = {key(s): s for s in base["sweeps"]}
+print(f"\n{'rate':>5} {'retries':>8} {'user errs':>10} {'lost reads':>11} {'verdict':>13}")
+for sweep in now["sweeps"]:
+    print(
+        f"{sweep['fault_rate_pct']:>4.0f}% {str(sweep['retries']):>8} "
+        f"{sweep['user_errors']:>10} {sweep['failed_reads']:>11} {sweep['verdict']:>13}"
+    )
+    if sweep["retries"]:
+        if sweep["user_errors"] != 0:
+            failures.append(f"{sweep['spec']}: {sweep['user_errors']} user error(s) with retries on")
+        if not sweep["matches_offline"]:
+            failures.append(f"{sweep['spec']}: verdict diverged from offline with retries on")
+    elif sweep["verdict"] not in ("mark-present", "abstain"):
+        failures.append(f"{sweep['spec']} (no retries): verdict flipped to {sweep['verdict']}")
+    if sweep["fault_rate_pct"] > 0 and sweep["faults_injected"] == 0:
+        failures.append(f"{sweep['spec']}: chaos layer injected nothing")
+    ref = base_sweeps.get(key(sweep))
+    if ref is not None and ref["verdict"] != sweep["verdict"]:
+        failures.append(
+            f"{sweep['spec']} (retries={sweep['retries']}): verdict changed "
+            f"{ref['verdict']} -> {sweep['verdict']} vs committed baseline"
+        )
+
+if failures:
+    print(f"\n{len(failures)} chaos gate failure(s):", file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+print("\nOK: chaos sweep is fault-free with retries and never flips a verdict")
+PY

@@ -57,4 +57,46 @@ curl -sf -X POST "http://$ADDR/shutdown" >/dev/null
 wait "$SERVE_PID"   # a clean shutdown exits 0; set -e fails the gate otherwise
 echo "serve smoke test OK ($ADDR)"
 
+# Chaos smoke test: mark a relational instance, serve it with 10%
+# injected transport faults, and require remote detection to retry its
+# way to the correct ownership verdict over the faulty channel.
+echo "== tier-1: chaos detection smoke test =="
+for i in $(seq 0 255); do
+  echo "n$i,n$(( (i + 1) % 256 ))"
+done > "$SMOKE/ring.csv"
+for i in $(seq 0 255); do
+  echo "n$i,$(( 100 + i ))"
+done > "$SMOKE/weights.csv"
+MESSAGE=110100111010011101001101
+./target/release/qpwm mark-db \
+  --schema 'R(a,b)' --table "R=$SMOKE/ring.csv" \
+  --weights "$SMOKE/weights.csv" --rule 'q($u; v) :- R($u, v)' \
+  --message "$MESSAGE" \
+  --out-weights "$SMOKE/marked.csv" --key-out "$SMOKE/secret.key" > /dev/null
+
+./target/release/qpwm serve \
+  --schema 'R(a,b)' --table "R=$SMOKE/ring.csv" \
+  --weights "$SMOKE/marked.csv" --rule 'q($u; v) :- R($u, v)' \
+  --port 0 --chaos 'drop=3%,error=5%,trunc=2%,seed=9' > "$SMOKE/chaos-serve.log" &
+CHAOS_PID=$!
+CHAOS_ADDR=""
+for _ in $(seq 1 50); do
+  CHAOS_ADDR="$(sed -n 's|^listening on http://||p' "$SMOKE/chaos-serve.log" | head -n 1)"
+  [[ -n "$CHAOS_ADDR" ]] && break
+  sleep 0.1
+done
+[[ -n "$CHAOS_ADDR" ]] || { echo "chaos serve did not start:" >&2; cat "$SMOKE/chaos-serve.log" >&2; kill "$CHAOS_PID" 2>/dev/null; exit 1; }
+
+DETECT="$(./target/release/qpwm detect-db \
+  --schema 'R(a,b)' --table "R=$SMOKE/ring.csv" \
+  --weights "$SMOKE/weights.csv" --server "$CHAOS_ADDR" \
+  --rule 'q($u; v) :- R($u, v)' --key "$SMOKE/secret.key" \
+  --claim "$MESSAGE" --timeout-ms 2000)"
+echo "$DETECT" | grep -q 'MARK PRESENT' \
+  || { echo "chaos detection failed to prove the mark:" >&2; echo "$DETECT" >&2; kill "$CHAOS_PID" 2>/dev/null; exit 1; }
+
+curl -sf -X POST "http://$CHAOS_ADDR/shutdown" >/dev/null
+wait "$CHAOS_PID"
+echo "chaos smoke test OK ($CHAOS_ADDR)"
+
 echo "== tier-1: OK =="

@@ -66,12 +66,20 @@ const USAGE: &str = "usage:
     qpwm detect-db --schema <spec> --table Rel=file.csv [--table ...]
                    --weights <original.csv> (--suspect <suspect.csv> | --server <host:port>)
                    --rule <rule> --key <keyfile> [--claim <bits>] [--threads <n>]
+                   [--timeout-ms <n>] [--retries <n>]
   data server (answer sets + aggregates over HTTP):
     qpwm serve     --schema <spec> --table Rel=file.csv [--table ...]
                    --weights <marked.csv> --rule <rule>
                    [--port <n>] [--threads <n>] [--cache <entries>]
+                   [--backlog <n>] [--chaos <spec>]
     qpwm serve     --xml <marked.xml> --pattern <pattern>
                    [--port <n>] [--threads <n>] [--cache <entries>]
+                   [--backlog <n>] [--chaos <spec>]
+
+  --chaos <spec> injects deterministic transport faults, e.g.
+                 'drop=5%,error=10%,delay=20%:2ms,trunc=3%,seed=42'
+                 (env QPWM_CHAOS when the flag is absent)
+  --timeout-ms / QPWM_HTTP_TIMEOUT_MS bound client connect/read/write
 
   <spec>    like 'Route(travel,transport); Timetable(t,dep,arr,ty)'
   <rule>    like 'route($u; t) :- Route($u, t)'
@@ -285,17 +293,49 @@ fn detect(opts: &Options) -> Result<(), String> {
 /// Scores and prints a `--claim` check; the numbers come from the same
 /// [`DetectionReport::claim_check`] the serve `/detect` endpoint uses.
 fn print_claim(report: &DetectionReport, opts: &Options) {
+    print_claim_with_budget(report, opts, 0);
+}
+
+/// Claim check that knows about lost reads. With a zero budget this is
+/// exactly [`print_claim`] (same numbers, same lines). With reads
+/// missing it switches to the effective-sample significance
+/// ([`DetectionReport::claim_check_effective`]): erased bits leave the
+/// binomial sample instead of diluting it, and the verdict may abstain
+/// but can never flip relative to a clean channel.
+fn print_claim_with_budget(report: &DetectionReport, opts: &Options, failed_reads: usize) {
     if let Some(claim) = optional(opts, "claim") {
         let claimed: Vec<bool> = claim.chars().map(|c| c == '1').collect();
-        let check = report.claim_check(&claimed, DEFAULT_DELTA);
-        println!(
-            "claim check: {}/{} bits match, false-positive probability {:.2e}",
-            check.matches, check.claimed, check.significance
-        );
-        match check.verdict {
-            Verdict::MarkPresent => println!("verdict: MARK PRESENT (ownership established)"),
-            Verdict::Inconclusive => println!("verdict: inconclusive"),
+        if failed_reads > 0 {
+            let check = report.claim_check_effective(&claimed, DEFAULT_DELTA);
+            println!(
+                "missing-read budget: {failed_reads} answer(s) unread despite retries; \
+                 {} of {} claim bits retain evidence",
+                check.compared, check.claimed
+            );
+            println!(
+                "claim check (effective sample): {}/{} surviving bits match, \
+                 false-positive probability {:.2e}",
+                check.matches, check.compared, check.significance
+            );
+            print_verdict(check.verdict);
+        } else {
+            let check = report.claim_check(&claimed, DEFAULT_DELTA);
+            println!(
+                "claim check: {}/{} bits match, false-positive probability {:.2e}",
+                check.matches, check.claimed, check.significance
+            );
+            print_verdict(check.verdict);
         }
+    }
+}
+
+fn print_verdict(verdict: Verdict) {
+    match verdict {
+        Verdict::MarkPresent => println!("verdict: MARK PRESENT (ownership established)"),
+        Verdict::Inconclusive => println!("verdict: inconclusive"),
+        Verdict::Abstain => println!(
+            "verdict: ABSTAIN (evidence lost in transit; rerun detection over a cleaner channel)"
+        ),
     }
 }
 
@@ -394,19 +434,45 @@ fn detect_db(opts: &Options) -> Result<(), String> {
         std::fs::read_to_string(key_path).map_err(|e| format!("reading {key_path}: {e}"))?;
     let key = SchemeKey::from_text(&key_text).map_err(|e| e.to_string())?;
 
+    let mut failed_reads = 0usize;
     let observed = if let Some(addr) = optional(opts, "server") {
         // remote mode: the owner acts as an ordinary user of the suspect
         // data server, replaying the public parameter domain over HTTP.
         // Element ids align because owner and server load the same
         // public tables (same interning order).
         let addr = addr.strip_prefix("http://").unwrap_or(addr);
-        let remote = qpwm::serve::RemoteServer::connect(addr)?;
+        let timeouts = match optional(opts, "timeout-ms") {
+            Some(raw) => qpwm::serve::Timeouts::from_millis(
+                raw.parse().map_err(|_| "--timeout-ms needs milliseconds")?,
+            ),
+            None => qpwm::serve::Timeouts::from_env()?,
+        };
+        let mut policy = qpwm::serve::RetryPolicy::default();
+        if let Some(raw) = optional(opts, "retries") {
+            let retries: u32 = raw.parse().map_err(|_| "--retries needs a count")?;
+            policy.max_attempts = retries + 1;
+        }
+        let remote = qpwm::serve::RemoteServer::connect_with(addr, timeouts, policy)?;
         println!(
             "querying {} ({} parameters)...",
             remote.addr(),
             remote.num_parameters()
         );
-        ObservedWeights::collect(&remote)
+        let observed = ObservedWeights::collect(&remote);
+        let stats = remote.transport_stats();
+        if stats.retries + stats.failed_requests + stats.breaker_fast_fails > 0 {
+            println!(
+                "transport: {} attempts, {} retries, {} reconnects, \
+                 {} failed requests, {} breaker fast-fails",
+                stats.attempts,
+                stats.retries,
+                stats.reconnects,
+                stats.failed_requests,
+                stats.breaker_fast_fails
+            );
+        }
+        failed_reads = remote.failed_reads();
+        observed
     } else {
         let (scheme, _) = build_db_scheme(&db, opts)?;
         // load the suspect's weights over the same name dictionary
@@ -439,7 +505,7 @@ fn detect_db(opts: &Options) -> Result<(), String> {
     let report = key.marking.extract(db.instance.weights(), &observed);
     let bits: String = report.bits.iter().map(|&b| if b { '1' } else { '0' }).collect();
     println!("extracted bits: {bits}");
-    print_claim(&report, opts);
+    print_claim_with_budget(&report, opts, failed_reads);
     Ok(())
 }
 
@@ -463,11 +529,26 @@ fn serve(opts: &Options) -> Result<(), String> {
         .unwrap_or("1024")
         .parse()
         .map_err(|_| "--cache needs an entry count")?;
-    let config = qpwm::serve::ServerConfig {
+    let mut config = qpwm::serve::ServerConfig {
         addr: format!("127.0.0.1:{port}"),
         cache_entries,
         ..Default::default()
     };
+    if let Some(raw) = optional(opts, "backlog") {
+        config.backlog = raw.parse().map_err(|_| "--backlog needs a queue length")?;
+    }
+    // the flag wins over the environment so a shell-wide QPWM_CHAOS can
+    // be overridden per invocation
+    let chaos = match optional(opts, "chaos") {
+        Some(spec) => Some(qpwm::serve::FaultPolicy::parse(spec).map_err(|e| format!("--chaos: {e}"))?),
+        None => qpwm::serve::FaultPolicy::from_env()?,
+    };
+    if let Some(policy) = chaos {
+        if !policy.is_disabled() {
+            println!("chaos enabled: {}", policy.describe());
+        }
+        config.chaos = Some(policy);
+    }
     let server = qpwm::serve::Server::start(data, config).map_err(|e| e.to_string())?;
     println!("listening on http://{}", server.addr());
     println!(
