@@ -1,0 +1,229 @@
+//! Capacity-engine benchmark: the v2 counting engine (component
+//! decomposition + memoized frontier DP + fork-join) against the v1
+//! branch-and-bound enumerator it replaced, on the X-T1 cycle-union
+//! workload, plus a `--threads` scaling sweep on two genuinely hard
+//! single kernels (the shattered powerset family and the Gray-code
+//! Ryser permanent). Writes the numbers to `BENCH_capacity.json` so
+//! `scripts/bench_compare.sh` can gate count-time regressions.
+//!
+//! Run with `cargo run --release -p qpwm-bench --bin bench_capacity`.
+//! Pass `--threads <n>` to pin the ambient worker count (the scaling
+//! sweep always measures 1/2/4 explicitly). Pass `--check` for the
+//! tier-1 smoke mode: a fast v1-vs-v2 differential on a tiny instance,
+//! no timing, no JSON.
+
+use qpwm_bench::Table;
+use qpwm_core::capacity::{Bipartite, CapacityProblem};
+use qpwm_core::impossibility::powerset_active_sets;
+use qpwm_logic::{Formula, ParametricQuery};
+use qpwm_workloads::graphs::{cycle_union, random_bipartite, unary_domain};
+use std::time::Instant;
+
+fn edge_query() -> ParametricQuery {
+    ParametricQuery::new(Formula::atom(0, &[0, 1]), vec![0], vec![1])
+}
+
+/// Active-set problem of the X-T1 workload: edge query over a union of
+/// `c` cycles of length 6 (the family `capacity_table` sweeps).
+fn cycle_problem(cycles: u32) -> CapacityProblem {
+    let instance = cycle_union(cycles, 6, 0);
+    let answers = edge_query().answers_over(&instance, unary_domain(&instance));
+    CapacityProblem::from_family(&answers)
+}
+
+fn ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1_000.0
+}
+
+/// Times `f` as best-of-`reps` so microsecond-scale v2 counts are not
+/// drowned in scheduler noise; returns (best ms, last result).
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::MAX;
+    let mut out = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        out = Some(f());
+        best = best.min(ms(start));
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+/// `--check` smoke mode: v1 and v2 must agree bit-for-bit on a small
+/// instance, at more than one thread count. Exercised by tier1.sh.
+fn run_check() {
+    let problem = cycle_problem(2);
+    for d in 0..=2i64 {
+        let v1 = problem.count_constrained_v1(&[-1, 0, 1], -d, d);
+        for threads in [1usize, 2] {
+            let v2 = problem.count_at_most_with(threads, d);
+            assert_eq!(v1, v2, "v1/v2 divergence at d = {d}, threads = {threads}");
+        }
+    }
+    println!("capacity differential check OK (v1 == v2 on cycle_union(2, 6), d = 0..=2)");
+}
+
+struct SpeedupSample {
+    cycles: u32,
+    w: usize,
+    v1_ms: f64,
+    v2_ms: f64,
+    count: u128,
+}
+
+struct ScalingSample {
+    case: &'static str,
+    threads: usize,
+    ms: f64,
+    count: u128,
+}
+
+fn main() {
+    let check_only = std::env::args().skip(1).any(|a| a == "--check");
+    let threads = qpwm_bench::parse_threads_flag();
+    if check_only {
+        run_check();
+        return;
+    }
+
+    // ---- v2 vs v1 on the X-T1 workload ----------------------------------
+    // d = 1 throughout: the budget the X-T1b growth table centers on.
+    // v1 explores ~130^c feasible prefixes; v2 decomposes into c
+    // independent 6-cycle DPs, so its cost is linear in c.
+    let d = 1i64;
+    let mut speedup_samples: Vec<SpeedupSample> = Vec::new();
+    for cycles in [1u32, 2, 3] {
+        let problem = cycle_problem(cycles);
+        let (v1_ms, v1_count) =
+            time_best(1, || problem.count_constrained_v1(&[-1, 0, 1], -d, d));
+        let (v2_ms, v2_count) = time_best(5, || problem.count_at_most_with(1, d));
+        assert_eq!(v1_count, v2_count, "cycles {cycles}: v1 and v2 must agree");
+        speedup_samples.push(SpeedupSample {
+            cycles,
+            w: problem.num_elements(),
+            v1_ms,
+            v2_ms,
+            count: v2_count,
+        });
+    }
+
+    let mut table = Table::new(vec!["cycles", "|W|", "#Mark(<=1)", "v1 ms", "v2 ms", "speedup"]);
+    let mut best_speedup = 0.0f64;
+    for s in &speedup_samples {
+        let speedup = if s.v2_ms > 0.0 { s.v1_ms / s.v2_ms } else { f64::INFINITY };
+        best_speedup = best_speedup.max(speedup);
+        table.row(vec![
+            s.cycles.to_string(),
+            s.w.to_string(),
+            s.count.to_string(),
+            format!("{:.3}", s.v1_ms),
+            format!("{:.4}", s.v2_ms),
+            format!("{speedup:.0}x"),
+        ]);
+    }
+    table.print(&format!(
+        "Capacity counting: v2 engine vs v1 enumerator \
+         (X-T1 cycle unions, d = 1, single thread; ambient threads = {threads})"
+    ));
+    assert!(
+        best_speedup >= 10.0,
+        "v2 must be >= 10x faster than v1 on the X-T1 workload (best {best_speedup:.1}x)"
+    );
+
+    // The headline instance (|W| = 24; v1 needs ~33 s there, measured
+    // once and excluded from the sweep to keep the bench fast), then
+    // fully beyond v1's reach at |W| = 48.
+    let headline = cycle_problem(4);
+    let (headline_ms, headline_count) = time_best(3, || headline.count_at_most_with(1, d));
+    println!(
+        "\nheadline: |W| = {} -> #Mark(<=1) = {} in {:.3} ms (v1: ~33 s)",
+        headline.num_elements(),
+        headline_count,
+        headline_ms
+    );
+    let big = cycle_problem(8);
+    let (big_ms, big_count) = time_best(3, || big.count_at_most_with(1, d));
+    println!(
+        "out of v1's reach: |W| = {} -> #Mark(<=1) = {} in {:.3} ms (v1 would need ~130^8 nodes)",
+        big.num_elements(),
+        big_count,
+        big_ms
+    );
+
+    // ---- --threads scaling on hard single kernels ------------------------
+    // powerset n=12: 4096 constraints over one 12-element component, no
+    // decomposition to hide behind; permanent n=24: 2^24 Gray steps.
+    let mut scaling: Vec<ScalingSample> = Vec::new();
+    let shattered = CapacityProblem::new(&powerset_active_sets(12));
+    let adj = random_bipartite(24, 0.5, 24 * 31 + 5);
+    let perm = Bipartite::new(adj);
+    for t in [1usize, 2, 4] {
+        let (count_ms, count) = time_best(1, || shattered.count_at_most_with(t, 1));
+        scaling.push(ScalingSample { case: "powerset12_d1", threads: t, ms: count_ms, count });
+        let (perm_ms, matchings) = time_best(1, || perm.permanent_with(t));
+        scaling.push(ScalingSample { case: "permanent24", threads: t, ms: perm_ms, count: matchings });
+    }
+    let mut scale_table = Table::new(vec!["case", "threads", "ms", "count"]);
+    for s in &scaling {
+        scale_table.row(vec![
+            s.case.to_string(),
+            s.threads.to_string(),
+            format!("{:.2}", s.ms),
+            s.count.to_string(),
+        ]);
+    }
+    scale_table.print("Scaling: same counts, 1/2/4 threads (byte-identical by construction)");
+    for case in ["powerset12_d1", "permanent24"] {
+        let counts: Vec<u128> =
+            scaling.iter().filter(|s| s.case == case).map(|s| s.count).collect();
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "{case}: thread count changed the result");
+    }
+
+    // Hand-rolled JSON — the workspace carries no serde dependency.
+    let mut json = String::from(
+        "{\n  \"workload\": \"X-T1 cycle_union(c, 6) edge query, #Mark(<=1); \
+         scaling: powerset n=12 d=1 + Ryser permanent n=24\",\n",
+    );
+    let cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    json.push_str(&format!(
+        "  \"threads\": {threads},\n  \"host_cpus\": {cpus},\n  \"speedup_samples\": [\n"
+    ));
+    for (i, s) in speedup_samples.iter().enumerate() {
+        let speedup = if s.v2_ms > 0.0 { s.v1_ms / s.v2_ms } else { f64::INFINITY };
+        json.push_str(&format!(
+            "    {{\"cycles\": {}, \"w\": {}, \"d\": 1, \"v1_ms\": {:.3}, \"v2_ms\": {:.4}, \
+             \"speedup\": {:.1}, \"count\": \"{}\"}}{}\n",
+            s.cycles,
+            s.w,
+            s.v1_ms,
+            s.v2_ms,
+            speedup,
+            s.count,
+            if i + 1 < speedup_samples.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n  \"scaling\": [\n");
+    for (i, s) in scaling.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"case\": \"{}\", \"threads\": {}, \"ms\": {:.3}, \"count\": \"{}\"}}{}\n",
+            s.case,
+            s.threads,
+            s.ms,
+            s.count,
+            if i + 1 < scaling.len() { "," } else { "" },
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"headline\": {{\"w\": {}, \"d\": 1, \"count\": \"{}\", \"ms\": {:.3}}},\n",
+        headline.num_elements(),
+        headline_count,
+        headline_ms
+    ));
+    json.push_str(&format!(
+        "  \"extended\": {{\"w\": {}, \"d\": 1, \"count\": \"{}\", \"ms\": {:.3}}}\n}}\n",
+        big.num_elements(),
+        big_count,
+        big_ms
+    ));
+    std::fs::write("BENCH_capacity.json", &json).expect("write BENCH_capacity.json");
+    println!("\nwrote BENCH_capacity.json (best v2-vs-v1 speedup: {best_speedup:.0}x)");
+}

@@ -6,9 +6,14 @@
 //!
 //! X-T1 — Theorem 1: `#Mark(=d)` counting is #P-complete; we cross-check
 //! the marking-capacity counter against Ryser's permanent on random
-//! bipartite graphs and show `#Mark(≤d)` growth.
+//! bipartite graphs and show `#Mark(≤d)` growth — now through the v2
+//! counting engine, whose component decomposition carries the growth
+//! table to `|W| = 24` (the v1 enumerator saturated at 8).
 //!
 //! Run with `cargo run --release -p qpwm-bench --bin capacity_table`.
+//! Pass `--threads <n>` to pin the worker count. Alongside the text
+//! tables the run writes `RESULTS_capacity_table.json` with one
+//! machine-readable row per printed row.
 
 use qpwm_bench::Table;
 use qpwm_core::capacity::{Bipartite, CapacityProblem};
@@ -17,6 +22,9 @@ use qpwm_logic::{Formula, ParametricQuery};
 use qpwm_workloads::graphs::{cycle_union, random_bipartite, unary_domain, with_random_weights};
 
 fn main() {
+    let threads = qpwm_bench::parse_threads_flag();
+    let mut json_rows: Vec<String> = Vec::new();
+
     // ---- X-R2: Remark 2 arithmetic --------------------------------------
     // "if q = 30 and 1/ε = 40, hidden bits = |W|^(1/4): for |W| = 5000
     //  that is 8 bits, 2^8 = 256 watermarked copies" (the paper says 64 —
@@ -33,6 +41,10 @@ fn main() {
                 format!("{bits:.1}"),
                 format!("2^{:.0}", bits.floor()),
             ]);
+            json_rows.push(format!(
+                "{{\"experiment\": \"X-R2\", \"w\": {w}, \"q\": {q}, \"inv_eps\": {d}, \
+                 \"bits\": {bits:.3}}}"
+            ));
         }
     }
     r2.print("X-R2 — Remark 2: theoretical capacity |W|^(1-q·eps)");
@@ -74,6 +86,11 @@ fn main() {
                 s_bits.to_string(),
                 format!("{p:.4}"),
             ]);
+            json_rows.push(format!(
+                "{{\"experiment\": \"X-R2b\", \"w\": {}, \"d\": {d}, \"greedy_bits\": {greedy}, \
+                 \"sampling_bits\": {s_bits}, \"sampling_p\": {p:.6}}}",
+                cycles * 6
+            ));
         }
     }
     imp.print("X-R2b — implemented capacity (greedy vs paper's sampling marker)");
@@ -93,22 +110,50 @@ fn main() {
                 via.to_string(),
                 (perm == via).to_string(),
             ]);
+            json_rows.push(format!(
+                "{{\"experiment\": \"X-T1\", \"n\": {n}, \"density\": {p:.1}, \
+                 \"permanent\": {perm}, \"mark_reduction\": {via}, \"agree\": {}}}",
+                perm == via
+            ));
         }
     }
     t1.print("X-T1 — Theorem 1: #Mark(=1,{0,1}) equals the PERMANENT");
 
-    // #Mark growth with the distortion budget on a small instance.
-    let instance = cycle_union(2, 4, 0);
-    let answers = query.answers_over(&instance, unary_domain(&instance));
-    let problem = CapacityProblem::from_family(&answers);
-    let mut growth = Table::new(vec!["d", "#Mark(<=d)", "#Mark(=d)", "bits"]);
-    for d in 0..=3i64 {
-        growth.row(vec![
-            d.to_string(),
-            problem.count_at_most(d).to_string(),
-            problem.count_exactly(d).to_string(),
-            format!("{:.1}", problem.bits_at(d)),
-        ]);
+    // #Mark growth with the distortion budget: the original toy instance
+    // (two 4-cycles, 8 active weights) and the extended range the v2
+    // engine opens up (four 6-cycles, 24 active weights — component
+    // decomposition makes the union cost four times one cycle).
+    for (cycles, len, d_max, title) in [
+        (2u32, 4u32, 3i64, "X-T1b — exact #Mark counts on two 4-cycles (8 active weights)"),
+        (4, 6, 4, "X-T1c — exact #Mark counts on four 6-cycles (24 active weights, v2 engine)"),
+    ] {
+        let instance = cycle_union(cycles, len, 0);
+        let answers = query.answers_over(&instance, unary_domain(&instance));
+        let problem = CapacityProblem::from_family(&answers);
+        let mut growth = Table::new(vec!["d", "#Mark(<=d)", "#Mark(=d)", "bits"]);
+        for d in 0..=d_max {
+            let at_most = problem.count_at_most(d);
+            let exactly = problem.count_exactly(d);
+            growth.row(vec![
+                d.to_string(),
+                at_most.to_string(),
+                exactly.to_string(),
+                format!("{:.1}", problem.bits_at(d)),
+            ]);
+            json_rows.push(format!(
+                "{{\"experiment\": \"X-T1-growth\", \"w\": {}, \"d\": {d}, \
+                 \"at_most\": {at_most}, \"exactly\": {exactly}, \"threads\": {threads}}}",
+                problem.num_elements()
+            ));
+        }
+        growth.print(title);
     }
-    growth.print("X-T1b — exact #Mark counts on two 4-cycles (8 active weights)");
+
+    let json = format!(
+        "{{\n  \"threads\": {threads},\n  \"rows\": [\n    {}\n  ]\n}}\n",
+        json_rows.join(",\n    ")
+    );
+    std::fs::write("RESULTS_capacity_table.json", &json)
+        .expect("write RESULTS_capacity_table.json");
+    println!("\nwrote RESULTS_capacity_table.json ({} rows)", json_rows.len());
 }

@@ -4,15 +4,67 @@
 //! `#Mark(≤ d)` counts the assignments `m : W → {−1, 0, +1}` whose global
 //! distortion is at most `d` on every active set; `#Mark(= d)` those whose
 //! *worst-case* distortion is exactly `d`. Counting is exponential in
-//! `|W|` (it must be — Theorem 1 shows `#Mark(= d)` is #P-complete), but
-//! branch-and-bound pruning keeps it practical at experiment scale.
+//! `|W|` in the worst case (it must be — Theorem 1 shows `#Mark(= d)` is
+//! #P-complete), but real active-set families are far from worst-case,
+//! and the v2 engine exploits that structure in four layers:
+//!
+//! 1. **Component decomposition.** Elements that never share a
+//!    constraint are independent, so the element–constraint incidence
+//!    graph splits into connected components whose counts multiply
+//!    (`=d` needs no per-component profile: it is assembled from two
+//!    `≤d` products at the top). Constraint-free elements contribute a
+//!    closed-form `|marks|^free` factor. A union of `c` cycles thus
+//!    costs `c` times one cycle, not `3^{c·len}`.
+//! 2. **Memoization.** Within a component, elements are assigned in a
+//!    constraint-BFS order that keeps the *frontier* (constraints with
+//!    both assigned and unassigned elements) narrow. The continuation
+//!    count depends only on the position and the frontier sums —
+//!    clamped to a single `FREE` sentinel once a constraint can no
+//!    longer leave `[lo, hi]` — so a bounded, instrumented cache turns
+//!    the exponential tree into a path-decomposition DP on structured
+//!    instances.
+//! 3. **Residual-slack bounds.** Every constraint is checked at the
+//!    top: if even the extreme completions cannot land in `[lo, hi]`,
+//!    the count is 0 before a single element is branched on. During the
+//!    search, the same residual window prunes a subtree the moment any
+//!    touched constraint becomes unreachable.
+//! 4. **Fork-join parallelism.** Hard components are split near the
+//!    root into prefix-assignment subtasks via [`qpwm_par::fork_join`]
+//!    (deterministic task tree, in-order reduction); each leaf runs the
+//!    memoized DP on its own cache. Counts are exact integers combined
+//!    by checked addition, so every thread count produces byte-identical
+//!    results.
+//!
+//! The previous single-threaded branch-and-bound enumerator survives as
+//! [`CapacityProblem::count_constrained_v1`]: it is the differential
+//! reference the tests and `bench_capacity` pin the engine against.
 //!
 //! The hardness reduction maps a bipartite graph's PERMANENT (number of
 //! perfect matchings) to a constrained marking count; we verify it
-//! against Ryser's inclusion-exclusion permanent.
+//! against Ryser's inclusion-exclusion permanent, itself computed with
+//! Gray-code row-sum updates (`O(2^n · n)` — constant work per subset
+//! step) and fork-join block parallelism.
 
+use qpwm_par::{Fork, ForkJoinLimits};
 use qpwm_structures::{AnswerFamily, Element, WeightKey};
 use std::collections::HashMap;
+
+/// Panic message for counts that leave `u128`; the boundary is tested.
+const OVERFLOW: &str =
+    "#Mark count overflowed u128 — reduce |W|, the mark alphabet, or the distortion budget";
+
+/// Upper bound on memo entries per DP task; past it the cache stops
+/// growing (counting stays exact, [`CountStats::memo_capped`] reports it).
+const MEMO_CAP: usize = 1 << 20;
+
+/// Components at least this large are considered for fork-join
+/// splitting (smaller ones finish faster than a task tree is built).
+const PAR_MIN_ELEMENTS: usize = 14;
+
+/// Fork-join expansion limits for one hard component: ≤ 81 prefix
+/// tasks, ≤ 4 split levels. Fixed constants (never thread-derived) so
+/// the task tree is identical for every worker count.
+const COMPONENT_LIMITS: ForkJoinLimits = ForkJoinLimits { max_depth: 4, max_tasks: 81 };
 
 /// A marking-capacity counting problem: the active elements and, for each
 /// parameter, the indices (into `elements`) of its active set.
@@ -25,6 +77,36 @@ pub struct CapacityProblem {
     containing: Vec<Vec<usize>>,
 }
 
+/// Instrumentation from one engine run ([`CapacityProblem::count_constrained_stats`]).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct CountStats {
+    /// Connected components of the element–constraint incidence graph
+    /// (constraint-free elements excluded).
+    pub components: usize,
+    /// Elements in no constraint: they contribute `|marks|^free` directly.
+    pub free_elements: usize,
+    /// Memoized subproblems reused.
+    pub memo_hits: u64,
+    /// Subproblems computed (memo misses).
+    pub memo_misses: u64,
+    /// Cache entries across all DP tasks.
+    pub memo_entries: usize,
+    /// True when any task's cache hit [`MEMO_CAP`] and stopped growing.
+    pub memo_capped: bool,
+    /// Fork-join leaf tasks evaluated (1 per component when unsplit).
+    pub tasks: usize,
+}
+
+impl CountStats {
+    fn absorb(&mut self, other: &CountStats) {
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
+        self.memo_entries += other.memo_entries;
+        self.memo_capped |= other.memo_capped;
+        self.tasks += other.tasks;
+    }
+}
+
 impl CapacityProblem {
     /// Builds a problem from active sets over weight keys.
     pub fn new(active_sets: &[Vec<Vec<Element>>]) -> Self {
@@ -32,8 +114,8 @@ impl CapacityProblem {
         let mut elements: Vec<WeightKey> = Vec::new();
         for set in active_sets {
             for w in set {
-                if !index.contains_key(w) {
-                    index.insert(w, elements.len());
+                if let std::collections::hash_map::Entry::Vacant(slot) = index.entry(w) {
+                    slot.insert(elements.len());
                     elements.push(w.clone());
                 }
             }
@@ -86,23 +168,78 @@ impl CapacityProblem {
     }
 
     /// Counts assignments from `marks` (per-element allowed values) with
-    /// every constraint sum in `[lo, hi]`.
-    ///
-    /// Branch and bound: elements are assigned in index order; a partial
-    /// assignment is pruned when some constraint can no longer land in
-    /// `[lo, hi]` even with extreme values on its unassigned elements.
+    /// every constraint sum in `[lo, hi]`, on the ambient
+    /// [`qpwm_par::thread_count`].
     pub fn count_constrained(&self, marks: &[i64], lo: i64, hi: i64) -> u128 {
+        self.count_constrained_with(qpwm_par::thread_count(), marks, lo, hi)
+    }
+
+    /// [`Self::count_constrained`] at an explicit worker count. The
+    /// result is byte-identical for every `threads` value.
+    pub fn count_constrained_with(&self, threads: usize, marks: &[i64], lo: i64, hi: i64) -> u128 {
+        self.count_constrained_stats(threads, marks, lo, hi).0
+    }
+
+    /// The instrumented engine entry point: the count plus cache /
+    /// decomposition / task statistics for benches and diagnostics.
+    pub fn count_constrained_stats(
+        &self,
+        threads: usize,
+        marks: &[i64],
+        lo: i64,
+        hi: i64,
+    ) -> (u128, CountStats) {
+        assert!(!marks.is_empty(), "need at least one allowed mark value");
+        let min_mark = *marks.iter().min().expect("non-empty");
+        let max_mark = *marks.iter().max().expect("non-empty");
+        let mut stats = CountStats::default();
+
+        // Top-level residual-slack bounds: a constraint whose extreme
+        // completions both miss the window kills the whole count before
+        // any branching; an empty constraint has sum 0 forever.
+        for set in &self.sets {
+            let n = set.len() as i64;
+            if n * max_mark < lo || n * min_mark > hi {
+                return (0, stats);
+            }
+        }
+
+        let (components, free) = self.decompose();
+        stats.components = components.len();
+        stats.free_elements = free;
+
+        let mut total: u128 = 1;
+        for comp in &components {
+            let (count, comp_stats) =
+                count_component(comp, threads, marks, lo, hi, min_mark, max_mark);
+            stats.absorb(&comp_stats);
+            total = total.checked_mul(count).expect(OVERFLOW);
+            if total == 0 {
+                return (0, stats);
+            }
+        }
+        for _ in 0..free {
+            total = total.checked_mul(marks.len() as u128).expect(OVERFLOW);
+        }
+        (total, stats)
+    }
+
+    /// The v1 exact counter: single-threaded branch-and-bound over the
+    /// whole element list in index order. Kept as the differential
+    /// reference for the engine (`bench_capacity` measures the v2
+    /// speedup against it; the tests pin byte-identical counts).
+    pub fn count_constrained_v1(&self, marks: &[i64], lo: i64, hi: i64) -> u128 {
         assert!(!marks.is_empty(), "need at least one allowed mark value");
         let min_mark = *marks.iter().min().expect("non-empty");
         let max_mark = *marks.iter().max().expect("non-empty");
         // remaining[c] = number of unassigned elements in constraint c.
         let mut remaining: Vec<i64> = self.sets.iter().map(|s| s.len() as i64).collect();
         let mut sums: Vec<i64> = vec![0; self.sets.len()];
-        self.count_rec(0, marks, lo, hi, min_mark, max_mark, &mut sums, &mut remaining)
+        self.count_rec_v1(0, marks, lo, hi, min_mark, max_mark, &mut sums, &mut remaining)
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn count_rec(
+    fn count_rec_v1(
         &self,
         idx: usize,
         marks: &[i64],
@@ -114,10 +251,7 @@ impl CapacityProblem {
         remaining: &mut Vec<i64>,
     ) -> u128 {
         if idx == self.elements.len() {
-            return u128::from(sums.iter().zip(self.sets.iter()).all(|(s, set)| {
-                let _ = set;
-                *s >= lo && *s <= hi
-            }));
+            return u128::from(sums.iter().all(|s| *s >= lo && *s <= hi));
         }
         let mut total = 0u128;
         for &cs in &self.containing[idx] {
@@ -136,7 +270,18 @@ impl CapacityProblem {
             if feasible {
                 // also check constraints untouched by this element lazily:
                 // they were feasible before and unchanged, so still feasible.
-                total += self.count_rec(idx + 1, marks, lo, hi, min_mark, max_mark, sums, remaining);
+                total = total
+                    .checked_add(self.count_rec_v1(
+                        idx + 1,
+                        marks,
+                        lo,
+                        hi,
+                        min_mark,
+                        max_mark,
+                        sums,
+                        remaining,
+                    ))
+                    .expect(OVERFLOW);
             }
             for &cs in &self.containing[idx] {
                 sums[cs] -= m;
@@ -154,8 +299,15 @@ impl CapacityProblem {
         self.count_constrained(&[-1, 0, 1], -d, d)
     }
 
+    /// [`Self::count_at_most`] at an explicit worker count.
+    pub fn count_at_most_with(&self, threads: usize, d: i64) -> u128 {
+        self.count_constrained_with(threads, &[-1, 0, 1], -d, d)
+    }
+
     /// `#Mark(= d)`: markings whose worst constraint distortion is
-    /// exactly `d` (computed as `count(≤d) − count(≤d−1)`).
+    /// exactly `d` (computed as `count(≤d) − count(≤d−1)`; per-component
+    /// counts multiply inside each `≤` product, so no worst-case
+    /// profile convolution is needed at the top).
     pub fn count_exactly(&self, d: i64) -> u128 {
         if d == 0 {
             return self.count_at_most(0);
@@ -170,6 +322,317 @@ impl CapacityProblem {
             return 0.0;
         }
         (count as f64).log2()
+    }
+
+    /// Splits the incidence graph into connected components (union-find
+    /// over shared constraints) and counts constraint-free elements.
+    fn decompose(&self) -> (Vec<Component>, usize) {
+        let n = self.elements.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for set in &self.sets {
+            for w in set.windows(2) {
+                let (a, b) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
+                if a != b {
+                    parent[a] = b;
+                }
+            }
+        }
+        let mut free = 0usize;
+        // root element -> component accumulator (sets, discovered later)
+        let mut comp_of_root: HashMap<usize, usize> = HashMap::new();
+        let mut comp_sets: Vec<Vec<usize>> = Vec::new();
+        for (ci, set) in self.sets.iter().enumerate() {
+            let Some(&first) = set.first() else { continue };
+            let root = find(&mut parent, first);
+            let idx = *comp_of_root.entry(root).or_insert_with(|| {
+                comp_sets.push(Vec::new());
+                comp_sets.len() - 1
+            });
+            comp_sets[idx].push(ci);
+        }
+        for e in 0..n {
+            if self.containing[e].is_empty() {
+                free += 1;
+            }
+        }
+        let components =
+            comp_sets.iter().map(|sets| self.build_component(sets)).collect();
+        (components, free)
+    }
+
+    /// Lays one component out for the DP: a constraint-BFS element
+    /// order (neighboring constraints stay adjacent, keeping the open
+    /// frontier narrow on path/cycle-like incidence) plus the static
+    /// per-position tables the counter walks.
+    fn build_component(&self, set_indices: &[usize]) -> Component {
+        let num_sets = set_indices.len();
+        let mut order: Vec<usize> = Vec::new();
+        let mut pos_of: HashMap<usize, u32> = HashMap::new();
+        let mut set_seen: HashMap<usize, u32> = HashMap::new(); // global -> local id
+        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        let seed = *set_indices.iter().min().expect("component has a set");
+        set_seen.insert(seed, 0);
+        queue.push_back(seed);
+        let mut visit_order: Vec<usize> = vec![seed];
+        while let Some(si) = queue.pop_front() {
+            for &e in &self.sets[si] {
+                if let std::collections::hash_map::Entry::Vacant(slot) = pos_of.entry(e) {
+                    slot.insert(order.len() as u32);
+                    order.push(e);
+                    for &cs in &self.containing[e] {
+                        if let std::collections::hash_map::Entry::Vacant(slot) =
+                            set_seen.entry(cs)
+                        {
+                            slot.insert(visit_order.len() as u32);
+                            visit_order.push(cs);
+                            queue.push_back(cs);
+                        }
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(visit_order.len(), num_sets, "component sets are connected");
+        let k = order.len();
+        // Per-set sorted positions, then the per-position tables.
+        let set_positions: Vec<Vec<u32>> = visit_order
+            .iter()
+            .map(|&si| {
+                let mut ps: Vec<u32> = self.sets[si].iter().map(|e| pos_of[e]).collect();
+                ps.sort_unstable();
+                ps
+            })
+            .collect();
+        let mut sets_at: Vec<Vec<u32>> = vec![Vec::new(); k];
+        let mut open_at: Vec<Vec<u32>> = vec![Vec::new(); k];
+        for (local, ps) in set_positions.iter().enumerate() {
+            for &p in ps {
+                sets_at[p as usize].push(local as u32);
+            }
+            let (start, end) = (ps[0], *ps.last().expect("non-empty set"));
+            for p in (start + 1)..=end {
+                open_at[p as usize].push(local as u32);
+            }
+        }
+        Component { k, num_sets, sets_at, open_at, set_positions }
+    }
+}
+
+/// One connected component of the incidence graph, laid out in DP order.
+#[derive(Debug)]
+struct Component {
+    /// Elements in this component (positions `0..k` in BFS order).
+    k: usize,
+    /// Constraints in this component (local ids `0..num_sets`).
+    num_sets: usize,
+    /// Per position, the local constraints containing that element.
+    sets_at: Vec<Vec<u32>>,
+    /// Per boundary position `p`, the constraints with elements on both
+    /// sides (`start < p ≤ end`) — the memo frontier.
+    open_at: Vec<Vec<u32>>,
+    /// Per local constraint, its element positions, ascending.
+    set_positions: Vec<Vec<u32>>,
+}
+
+impl Component {
+    /// Unassigned elements of local set `s` at boundary `p`.
+    fn remaining_at(&self, s: usize, p: usize) -> i64 {
+        let ps = &self.set_positions[s];
+        (ps.len() - ps.partition_point(|&x| (x as usize) < p)) as i64
+    }
+}
+
+/// A fork-join task: the frontier state after assigning positions `< p`.
+#[derive(Debug, Clone)]
+struct PrefixState {
+    p: usize,
+    sums: Vec<i64>,
+}
+
+/// Counts one component, splitting near the root into prefix tasks when
+/// it is large enough to be worth parallelizing. Each leaf runs the
+/// memoized DP on its own cache; leaf counts are exact integers summed
+/// in task order, so the result is thread-count independent.
+fn count_component(
+    comp: &Component,
+    threads: usize,
+    marks: &[i64],
+    lo: i64,
+    hi: i64,
+    min_mark: i64,
+    max_mark: i64,
+) -> (u128, CountStats) {
+    let root = PrefixState { p: 0, sums: vec![0; comp.num_sets] };
+    let limits = if threads > 1 && comp.k >= PAR_MIN_ELEMENTS {
+        COMPONENT_LIMITS
+    } else {
+        // Sequential shape: the root is the only leaf and runs inline,
+        // sharing one memo cache across the whole component.
+        ForkJoinLimits { max_depth: 0, max_tasks: 1 }
+    };
+    let split = |state: PrefixState, _depth: usize| -> Fork<PrefixState> {
+        // Leave at least the tail of the component to the DP.
+        if comp.k - state.p <= comp.k / 2 {
+            return Fork::Leaf(state);
+        }
+        let mut children = Vec::with_capacity(marks.len());
+        for &m in marks {
+            let mut sums = state.sums.clone();
+            let mut feasible = true;
+            for &s in &comp.sets_at[state.p] {
+                let s = s as usize;
+                sums[s] += m;
+                let r = comp.remaining_at(s, state.p + 1);
+                if sums[s] + r * max_mark < lo || sums[s] + r * min_mark > hi {
+                    feasible = false;
+                    break;
+                }
+            }
+            if feasible {
+                children.push(PrefixState { p: state.p + 1, sums });
+            }
+        }
+        Fork::Split(children)
+    };
+    let leaf = |state: &PrefixState| -> (u128, CountStats) {
+        let mut counter = DpCounter::new(comp, marks, lo, hi, min_mark, max_mark, state);
+        let count = counter.count_from(state.p);
+        (count, counter.into_stats())
+    };
+    let join = |children: Vec<(u128, CountStats)>| -> (u128, CountStats) {
+        let mut total = 0u128;
+        let mut stats = CountStats::default();
+        for (count, child) in &children {
+            total = total.checked_add(*count).expect(OVERFLOW);
+            stats.absorb(child);
+        }
+        (total, stats)
+    };
+    qpwm_par::fork_join_with(threads, root, limits, split, leaf, join)
+}
+
+/// The sequential memoized counter for one component (or one fork-join
+/// leaf's suffix of it).
+struct DpCounter<'a> {
+    comp: &'a Component,
+    marks: &'a [i64],
+    lo: i64,
+    hi: i64,
+    min_mark: i64,
+    max_mark: i64,
+    sums: Vec<i64>,
+    remaining: Vec<i64>,
+    memo: HashMap<(u32, Box<[i64]>), u128>,
+    hits: u64,
+    misses: u64,
+    capped: bool,
+}
+
+impl<'a> DpCounter<'a> {
+    fn new(
+        comp: &'a Component,
+        marks: &'a [i64],
+        lo: i64,
+        hi: i64,
+        min_mark: i64,
+        max_mark: i64,
+        state: &PrefixState,
+    ) -> Self {
+        let remaining: Vec<i64> =
+            (0..comp.num_sets).map(|s| comp.remaining_at(s, state.p)).collect();
+        DpCounter {
+            comp,
+            marks,
+            lo,
+            hi,
+            min_mark,
+            max_mark,
+            sums: state.sums.clone(),
+            remaining,
+            memo: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            capped: false,
+        }
+    }
+
+    /// The memo key at boundary `p`: open-constraint partial sums, each
+    /// clamped to a `FREE` sentinel once every completion of that
+    /// constraint stays inside the window (two states differing only in
+    /// a `FREE` sum have identical continuations, and `FREE` persists
+    /// downward: shrinking the residual keeps both extremes inside).
+    fn state_key(&self, p: usize) -> (u32, Box<[i64]>) {
+        let open = &self.comp.open_at[p];
+        let mut key = Vec::with_capacity(open.len());
+        for &s in open {
+            let s = s as usize;
+            let (sum, r) = (self.sums[s], self.remaining[s]);
+            if sum + r * self.min_mark >= self.lo && sum + r * self.max_mark <= self.hi {
+                key.push(i64::MAX);
+            } else {
+                key.push(sum);
+            }
+        }
+        (p as u32, key.into_boxed_slice())
+    }
+
+    fn count_from(&mut self, p: usize) -> u128 {
+        if p == self.comp.k {
+            return 1;
+        }
+        let key = self.state_key(p);
+        if let Some(&v) = self.memo.get(&key) {
+            self.hits += 1;
+            return v;
+        }
+        self.misses += 1;
+        let mut total = 0u128;
+        for mi in 0..self.marks.len() {
+            let m = self.marks[mi];
+            let touched = &self.comp.sets_at[p];
+            let mut feasible = true;
+            for &s in touched {
+                let s = s as usize;
+                self.sums[s] += m;
+                self.remaining[s] -= 1;
+                let (sum, r) = (self.sums[s], self.remaining[s]);
+                if sum + r * self.max_mark < self.lo || sum + r * self.min_mark > self.hi {
+                    feasible = false;
+                }
+            }
+            if feasible {
+                total = total.checked_add(self.count_from(p + 1)).expect(OVERFLOW);
+            }
+            for &s in &self.comp.sets_at[p] {
+                let s = s as usize;
+                self.sums[s] -= m;
+                self.remaining[s] += 1;
+            }
+        }
+        if self.memo.len() < MEMO_CAP {
+            self.memo.insert(key, total);
+        } else {
+            self.capped = true;
+        }
+        total
+    }
+
+    fn into_stats(self) -> CountStats {
+        CountStats {
+            components: 0,
+            free_elements: 0,
+            memo_hits: self.hits,
+            memo_misses: self.misses,
+            memo_entries: self.memo.len(),
+            memo_capped: self.capped,
+            tasks: 1,
+        }
     }
 }
 
@@ -192,33 +655,61 @@ impl Bipartite {
         Bipartite { n, adj }
     }
 
-    /// Ryser's formula: the permanent of the adjacency matrix = the
-    /// number of perfect matchings. `O(2^n · n²)`.
+    /// Ryser's formula on the ambient thread count: see
+    /// [`Self::permanent_with`].
     pub fn permanent(&self) -> u128 {
+        self.permanent_with(qpwm_par::thread_count())
+    }
+
+    /// Ryser's formula: the permanent of the adjacency matrix = the
+    /// number of perfect matchings.
+    ///
+    /// Subsets are enumerated in Gray-code order so each step flips one
+    /// column in or out: every row sum updates in `O(1)` and only the
+    /// `O(n)` product is recomputed — `O(2^n · n)` total, versus the
+    /// naive `O(2^n · n²)` inclusion-exclusion. The `2^n` index range is
+    /// split into blocks via [`qpwm_par::fork_join`]; each block seeds
+    /// its own row sums from its first Gray code (`O(n²)` once), walks
+    /// its range, and the exact signed block sums are added in block
+    /// order — byte-identical for every thread count.
+    pub fn permanent_with(&self, threads: usize) -> u128 {
         let n = self.n;
         if n == 0 {
             return 1;
         }
         assert!(n <= 30, "Ryser beyond n=30 is unreasonable");
-        let mut total: i128 = 0;
-        for mask in 1u32..(1 << n) {
-            let ones = mask.count_ones() as i128;
-            let sign = if (n as i128 - ones) % 2 == 0 { 1 } else { -1 };
-            let mut prod: i128 = 1;
-            for i in 0..n {
-                let mut row = 0i128;
-                for j in 0..n {
-                    if mask >> j & 1 == 1 && self.adj[i][j] {
-                        row += 1;
-                    }
+        let rows: Vec<u32> = self
+            .adj
+            .iter()
+            .map(|row| {
+                row.iter().enumerate().fold(0u32, |acc, (j, &edge)| {
+                    acc | (u32::from(edge) << j)
+                })
+            })
+            .collect();
+        let span = 1u64 << n;
+        // Blocks of ≥ 2^14 Gray steps: below that, the O(n²) reseed
+        // dominates the walk.
+        let limits = ForkJoinLimits { max_depth: 16, max_tasks: 256 };
+        let total = qpwm_par::fork_join_with(
+            threads,
+            0u64..span,
+            limits,
+            |range, _| {
+                if range.end - range.start <= (1 << 14) {
+                    Fork::Leaf(range)
+                } else {
+                    let mid = range.start + (range.end - range.start) / 2;
+                    Fork::Split(vec![range.start..mid, mid..range.end])
                 }
-                prod *= row;
-                if prod == 0 {
-                    break;
-                }
-            }
-            total += sign * prod;
-        }
+            },
+            |range| ryser_block(&rows, n, range.start, range.end),
+            |blocks| {
+                blocks
+                    .into_iter()
+                    .fold(0i128, |acc, b| acc.checked_add(b).expect(PERM_OVERFLOW))
+            },
+        );
         total.max(0) as u128
     }
 
@@ -251,6 +742,45 @@ impl Bipartite {
     pub fn matchings_via_marking(&self) -> u128 {
         self.to_marking_problem().count_constrained(&[0, 1], 1, 1)
     }
+}
+
+/// Panic message for permanents that leave `i128` mid-sum.
+const PERM_OVERFLOW: &str =
+    "Ryser permanent overflowed i128 — the matrix is too large or too dense";
+
+/// One Gray-code block of Ryser's sum: signed contributions of subset
+/// indices `start..end` (the subset for index `k` is `k ^ (k >> 1)`).
+fn ryser_block(rows: &[u32], n: usize, start: u64, end: u64) -> i128 {
+    let mut gray = (start ^ (start >> 1)) as u32;
+    let mut row_sums: Vec<i64> = rows.iter().map(|&r| i64::from((r & gray).count_ones())).collect();
+    let mut acc: i128 = 0;
+    for k in start..end {
+        let ones = gray.count_ones() as i128;
+        if ones > 0 {
+            let sign: i128 = if (n as i128 - ones) % 2 == 0 { 1 } else { -1 };
+            let mut prod: i128 = 1;
+            for &rs in &row_sums {
+                prod = prod.checked_mul(i128::from(rs)).expect(PERM_OVERFLOW);
+                if prod == 0 {
+                    break;
+                }
+            }
+            acc = acc.checked_add(sign * prod).expect(PERM_OVERFLOW);
+        }
+        // advance to the Gray code of k + 1: flip bit tz(k + 1)
+        let next = k + 1;
+        if next < end {
+            let j = next.trailing_zeros();
+            gray ^= 1 << j;
+            let up = gray >> j & 1 == 1;
+            for (i, &row) in rows.iter().enumerate() {
+                if row >> j & 1 == 1 {
+                    row_sums[i] += if up { 1 } else { -1 };
+                }
+            }
+        }
+    }
+    acc
 }
 
 #[cfg(test)]
@@ -308,6 +838,123 @@ mod tests {
     }
 
     #[test]
+    fn empty_constraint_outside_window_kills_count() {
+        // An empty active set has sum 0 forever; a window excluding 0
+        // makes every marking infeasible — in both engines.
+        let sets = vec![Vec::<WeightKey>::new(), vec![key(0)]];
+        let p = CapacityProblem::new(&sets);
+        assert_eq!(p.count_constrained(&[0, 1], 1, 1), 0);
+        assert_eq!(p.count_constrained_v1(&[0, 1], 1, 1), 0);
+        // and a window containing 0 leaves the other element free
+        assert_eq!(p.count_constrained(&[-1, 0, 1], -1, 1), 3);
+        assert_eq!(p.count_constrained_v1(&[-1, 0, 1], -1, 1), 3);
+    }
+
+    #[test]
+    fn engine_decomposes_cycle_unions() {
+        // 4 disjoint 6-cycles (adjacent-edge constraints): 24 elements,
+        // the old enumerator's saturation point was 8. Counts multiply
+        // across components and match the per-cycle v1 reference.
+        let cycles = 4u32;
+        let len = 6u32;
+        let mut sets: Vec<Vec<WeightKey>> = Vec::new();
+        for c in 0..cycles {
+            let base = c * len;
+            for i in 0..len {
+                sets.push(vec![key(base + i), key(base + (i + 1) % len)]);
+            }
+        }
+        let p = CapacityProblem::new(&sets);
+        assert_eq!(p.num_elements(), 24);
+        let one_cycle: Vec<Vec<WeightKey>> =
+            (0..len).map(|i| vec![key(i), key((i + 1) % len)]).collect();
+        let single = CapacityProblem::new(&one_cycle);
+        for d in 0..=2i64 {
+            let expected = single.count_constrained_v1(&[-1, 0, 1], -d, d).pow(cycles);
+            assert_eq!(p.count_at_most(d), expected, "d = {d}");
+        }
+        let (_, stats) = p.count_constrained_stats(1, &[-1, 0, 1], -1, 1);
+        assert_eq!(stats.components, 4);
+        assert_eq!(stats.free_elements, 0);
+        assert!(stats.memo_hits > 0, "cycle DP must reuse frontier states");
+    }
+
+    #[test]
+    fn engine_matches_v1_and_is_thread_independent() {
+        // Deterministic pseudo-random overlapping sets, |W| ≤ 12:
+        // byte-identical counts between v1, v2, and every thread count.
+        let mut state = 0xfeed5eedu64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for trial in 0..25 {
+            let n = 4 + (next() % 9) as u32; // 4..=12 elements
+            let num_sets = 1 + (next() % 6) as usize;
+            let sets: Vec<Vec<WeightKey>> = (0..num_sets)
+                .map(|_| {
+                    let mask = next();
+                    (0..n).filter(|i| mask >> i & 1 == 1).map(key).collect()
+                })
+                .collect();
+            let p = CapacityProblem::new(&sets);
+            for d in 0..=2i64 {
+                let v1 = p.count_constrained_v1(&[-1, 0, 1], -d, d);
+                for threads in [1usize, 2, 4] {
+                    assert_eq!(
+                        p.count_at_most_with(threads, d),
+                        v1,
+                        "trial {trial}, d = {d}, threads = {threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fork_join_splitting_engages_and_agrees() {
+        // One dense 18-element component forces the fork-join path at
+        // threads > 1; counts must match v1 and the 1-thread engine.
+        let mut state = 0xabcdef12u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let n = 18u32;
+        let sets: Vec<Vec<WeightKey>> = (0..6)
+            .map(|_| {
+                let mask = next() | 1 | (1 << (n - 1)); // ends overlap -> one component
+                (0..n).filter(|i| mask >> i & 1 == 1).map(key).collect()
+            })
+            .collect();
+        let p = CapacityProblem::new(&sets);
+        let v1 = p.count_constrained_v1(&[-1, 0, 1], -1, 1);
+        let (seq, seq_stats) = p.count_constrained_stats(1, &[-1, 0, 1], -1, 1);
+        let (par, par_stats) = p.count_constrained_stats(4, &[-1, 0, 1], -1, 1);
+        assert_eq!(seq, v1);
+        assert_eq!(par, v1);
+        assert_eq!(seq_stats.tasks, seq_stats.components, "1 thread: one task per component");
+        assert!(par_stats.tasks > par_stats.components, "4 threads must fork the component");
+    }
+
+    #[test]
+    fn overflow_boundary_is_checked() {
+        // 80 free elements: 3^80 ≈ 1.5e38 still fits u128.
+        let sets: Vec<Vec<WeightKey>> = (0..80).map(|i| vec![key(i)]).collect();
+        let p = CapacityProblem::new(&sets);
+        assert_eq!(p.count_at_most(1), 3u128.pow(80));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflowed u128")]
+    fn overflow_past_boundary_panics() {
+        // 81 free elements: 3^81 ≈ 4.4e38 > u128::MAX ≈ 3.4e38.
+        let sets: Vec<Vec<WeightKey>> = (0..81).map(|i| vec![key(i)]).collect();
+        let p = CapacityProblem::new(&sets);
+        let _ = p.count_at_most(1);
+    }
+
+    #[test]
     fn permanent_of_complete_bipartite() {
         // K_{3,3}: permanent = 3! = 6.
         let g = Bipartite::new(vec![vec![true; 3]; 3]);
@@ -331,6 +978,50 @@ mod tests {
     }
 
     #[test]
+    fn gray_code_permanent_matches_naive_ryser() {
+        // The O(2^n · n²) textbook sum, kept here as ground truth.
+        fn naive(adj: &[Vec<bool>]) -> u128 {
+            let n = adj.len();
+            if n == 0 {
+                return 1;
+            }
+            let mut total: i128 = 0;
+            for mask in 1u32..(1 << n) {
+                let ones = mask.count_ones() as i128;
+                let sign = if (n as i128 - ones) % 2 == 0 { 1 } else { -1 };
+                let mut prod: i128 = 1;
+                for row in adj {
+                    let mut rs = 0i128;
+                    for (j, &edge) in row.iter().enumerate() {
+                        if mask >> j & 1 == 1 && edge {
+                            rs += 1;
+                        }
+                    }
+                    prod *= rs;
+                    if prod == 0 {
+                        break;
+                    }
+                }
+                total += sign * prod;
+            }
+            total.max(0) as u128
+        }
+        let mut state = 0x9e3779b9u64;
+        let mut rand_bool = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) & 1 == 1
+        };
+        for n in 1..=7 {
+            let adj: Vec<Vec<bool>> =
+                (0..n).map(|_| (0..n).map(|_| rand_bool()).collect()).collect();
+            let g = Bipartite::new(adj.clone());
+            for threads in [1usize, 2, 4] {
+                assert_eq!(g.permanent_with(threads), naive(&adj), "n = {n}, threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
     fn reduction_matches_on_random_graphs() {
         // Deterministic pseudo-random adjacency (LCG) for reproducibility.
         let mut state = 0x12345678u64;
@@ -342,7 +1033,13 @@ mod tests {
             let adj: Vec<Vec<bool>> =
                 (0..n).map(|_| (0..n).map(|_| rand_bool()).collect()).collect();
             let g = Bipartite::new(adj);
-            assert_eq!(g.permanent(), g.matchings_via_marking(), "n={n}");
+            let perm = g.permanent();
+            assert_eq!(perm, g.matchings_via_marking(), "n={n}");
+            assert_eq!(
+                perm,
+                g.to_marking_problem().count_constrained_v1(&[0, 1], 1, 1),
+                "n={n} (v1)"
+            );
         }
     }
 

@@ -38,23 +38,25 @@ pub fn classes(
     active_universe: &[WeightKey],
     canonical_sets: &[Vec<WeightKey>],
 ) -> HashMap<WeightKey, BTreeSet<usize>> {
-    // Borrowed lookup sets, built once up front; the membership loop
-    // below only reads them.
-    let canon: Vec<HashSet<&WeightKey>> = canonical_sets
+    // One sweep over the canonical-set postings — the [`classes_ids`]
+    // signature technique applied to content keys. The universe is
+    // ranked once; each posting then costs a single hash lookup, so the
+    // build is O(universe + total postings) instead of the old
+    // per-element scan over every canonical set.
+    let rank_of: HashMap<&WeightKey, usize> = active_universe
         .iter()
-        .map(|s| s.iter().collect())
+        .enumerate()
+        .map(|(rank, w)| (w, rank))
         .collect();
-    let mut out = HashMap::with_capacity(active_universe.len());
-    for w in active_universe {
-        let cls: BTreeSet<usize> = canon
-            .iter()
-            .enumerate()
-            .filter(|(_, set)| set.contains(w))
-            .map(|(i, _)| i)
-            .collect();
-        out.insert(w.clone(), cls);
+    let mut cls: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); active_universe.len()];
+    for (i, set) in canonical_sets.iter().enumerate() {
+        for w in set {
+            if let Some(&rank) = rank_of.get(w) {
+                cls[rank].insert(i);
+            }
+        }
     }
-    out
+    active_universe.iter().cloned().zip(cls).collect()
 }
 
 /// Builds an S-partition: pairs of active elements with equal classes.
@@ -495,6 +497,34 @@ mod tests {
             })
             .collect();
         assert_eq!(id_pairs_content, content_pairs);
+    }
+
+    #[test]
+    fn classes_matches_bitset_signatures() {
+        // Differential pin: the content-keyed postings sweep must agree
+        // with the interned bitset signatures on every universe element.
+        let canonical: Vec<Vec<WeightKey>> = (0..70u32)
+            .map(|s| (0..40u32).filter(|e| (e * 5 + s) % (s + 3) == 0).map(key).collect())
+            .collect();
+        let family = fam(&canonical);
+        let universe = family.active_universe();
+        let active: Vec<WeightKey> =
+            universe.iter().map(|&id| family.arena().tuple(id).to_vec()).collect();
+        let cls = classes(&active, &canonical);
+        assert_eq!(cls.len(), active.len());
+        let canonical_ids: Vec<&[TupleId]> =
+            (0..family.len()).map(|i| family.active_ids(i)).collect();
+        let sigs = classes_ids(universe, &canonical_ids);
+        for (rank, w) in active.iter().enumerate() {
+            let from_bits: BTreeSet<usize> = (0..canonical.len())
+                .filter(|&i| sigs[rank][i / 64] >> (i % 64) & 1 == 1)
+                .collect();
+            assert_eq!(cls[w], from_bits, "element {w:?}");
+        }
+        // Elements outside every canonical set keep an empty class.
+        let stray = key(999);
+        let cls2 = classes(&[stray.clone()], &canonical);
+        assert!(cls2[&stray].is_empty());
     }
 
     #[test]

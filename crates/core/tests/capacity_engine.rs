@@ -1,0 +1,210 @@
+//! Deterministic property tests for the v2 capacity engine: algebraic
+//! invariants (monotonicity, the `3^|W|` ceiling, permutation and
+//! reordering invariance, component factorization) plus the three-way
+//! differential pin v1 enumerator == v2 engine == Ryser permanent on
+//! the Theorem 1 reduction instances — all at `|W| ≤ 12` where the v1
+//! reference is fast, and the `|W| = 24` union-of-cycles headline the
+//! old enumerator could not reach.
+
+use qpwm_core::capacity::{Bipartite, CapacityProblem};
+use qpwm_structures::WeightKey;
+
+fn key(e: u32) -> WeightKey {
+    vec![e]
+}
+
+/// Deterministic splitmix-ish generator so every run sees the same
+/// instances (no proptest dependency in the hermetic workspace).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// Random overlapping constraint family over `n` elements.
+fn random_sets(rng: &mut Lcg, n: u32, num_sets: usize) -> Vec<Vec<WeightKey>> {
+    (0..num_sets)
+        .map(|_| {
+            let mask = rng.next();
+            (0..n).filter(|i| mask >> i & 1 == 1).map(key).collect()
+        })
+        .collect()
+}
+
+#[test]
+fn count_at_most_is_monotone_in_d() {
+    let mut rng = Lcg(0x5eed0001);
+    for _ in 0..20 {
+        let n = 4 + (rng.next() % 8) as u32;
+        let num_sets = 1 + (rng.next() % 5) as usize;
+        let sets = random_sets(&mut rng, n, num_sets);
+        let p = CapacityProblem::new(&sets);
+        let mut prev = 0u128;
+        for d in 0..=(n as i64) {
+            let cur = p.count_at_most(d);
+            assert!(cur >= prev, "count_at_most must be monotone in d (n = {n}, d = {d})");
+            prev = cur;
+        }
+    }
+}
+
+#[test]
+fn count_at_most_is_bounded_by_3_pow_w() {
+    let mut rng = Lcg(0x5eed0002);
+    for _ in 0..20 {
+        let n = 3 + (rng.next() % 9) as u32;
+        let num_sets = 1 + (rng.next() % 5) as usize;
+        let sets = random_sets(&mut rng, n, num_sets);
+        let p = CapacityProblem::new(&sets);
+        let ceiling = 3u128.pow(p.num_elements() as u32);
+        for d in 0..=(n as i64) {
+            assert!(p.count_at_most(d) <= ceiling);
+        }
+        // A budget that swallows every extreme sum hits the ceiling.
+        assert_eq!(p.count_at_most(n as i64), ceiling);
+    }
+}
+
+#[test]
+fn count_is_invariant_under_constraint_permutation() {
+    let mut rng = Lcg(0x5eed0003);
+    for _ in 0..15 {
+        let n = 4 + (rng.next() % 8) as u32;
+        let num_sets = 2 + (rng.next() % 4) as usize;
+        let sets = random_sets(&mut rng, n, num_sets);
+        let p = CapacityProblem::new(&sets);
+        // Deterministic shuffle of the constraint list.
+        let mut permuted = sets.clone();
+        for i in (1..permuted.len()).rev() {
+            permuted.swap(i, (rng.next() % (i as u64 + 1)) as usize);
+        }
+        let q = CapacityProblem::new(&permuted);
+        for d in 0..=2i64 {
+            assert_eq!(p.count_at_most(d), q.count_at_most(d), "d = {d}");
+        }
+    }
+}
+
+#[test]
+fn count_is_invariant_under_element_reordering() {
+    let mut rng = Lcg(0x5eed0004);
+    for _ in 0..15 {
+        let n = 4 + (rng.next() % 8) as u32;
+        let num_sets = 2 + (rng.next() % 4) as usize;
+        let sets = random_sets(&mut rng, n, num_sets);
+        // Relabel elements by a deterministic permutation: the induced
+        // problem is isomorphic, so every count must match.
+        let mut perm: Vec<u32> = (0..n).collect();
+        for i in (1..perm.len()).rev() {
+            perm.swap(i, (rng.next() % (i as u64 + 1)) as usize);
+        }
+        let relabeled: Vec<Vec<WeightKey>> = sets
+            .iter()
+            .map(|set| set.iter().map(|w| key(perm[w[0] as usize])).collect())
+            .collect();
+        let p = CapacityProblem::new(&sets);
+        let q = CapacityProblem::new(&relabeled);
+        for d in 0..=2i64 {
+            assert_eq!(p.count_at_most(d), q.count_at_most(d), "d = {d}");
+        }
+    }
+}
+
+#[test]
+fn component_decomposed_count_equals_monolithic() {
+    // Two independent blocks glued into one problem: the engine's
+    // factored count must equal the v1 monolithic enumeration, and
+    // must equal the product of the blocks counted separately.
+    let mut rng = Lcg(0x5eed0005);
+    for _ in 0..10 {
+        let na = 3 + (rng.next() % 4) as u32;
+        let nb = 3 + (rng.next() % 4) as u32;
+        let block_a = random_sets(&mut rng, na, 2);
+        let block_b: Vec<Vec<WeightKey>> = random_sets(&mut rng, nb, 2)
+            .into_iter()
+            .map(|set| set.into_iter().map(|w| key(w[0] + 100)).collect())
+            .collect();
+        let mut combined = block_a.clone();
+        combined.extend(block_b.iter().cloned());
+        let whole = CapacityProblem::new(&combined);
+        let pa = CapacityProblem::new(&block_a);
+        let pb = CapacityProblem::new(&block_b);
+        for d in 0..=2i64 {
+            let mono = whole.count_constrained_v1(&[-1, 0, 1], -d, d);
+            assert_eq!(whole.count_at_most(d), mono, "engine vs monolithic, d = {d}");
+            assert_eq!(pa.count_at_most(d) * pb.count_at_most(d), mono, "product, d = {d}");
+        }
+    }
+}
+
+#[test]
+fn v1_v2_and_ryser_agree_on_reduction_instances() {
+    // Theorem 1 reduction: permanents of random bipartite graphs,
+    // counted three ways. |W| = number of edges ≤ 12 keeps v1 fast.
+    let mut rng = Lcg(0x5eed0006);
+    for n in 2..=4usize {
+        for _ in 0..5 {
+            let adj: Vec<Vec<bool>> =
+                (0..n).map(|_| (0..n).map(|_| rng.next() & 1 == 1).collect()).collect();
+            let g = Bipartite::new(adj);
+            let problem = g.to_marking_problem();
+            if problem.num_elements() > 12 {
+                continue;
+            }
+            let ryser = g.permanent();
+            let v1 = problem.count_constrained_v1(&[0, 1], 1, 1);
+            let v2 = problem.count_constrained(&[0, 1], 1, 1);
+            assert_eq!(v1, v2, "n = {n}");
+            assert_eq!(v2, ryser, "n = {n}");
+        }
+    }
+}
+
+#[test]
+fn engine_is_deterministic_across_thread_counts() {
+    // The acceptance-criteria sweep: same instance, threads 1/2/4,
+    // byte-identical counts (fork-join shape is thread-independent).
+    let mut rng = Lcg(0x5eed0007);
+    for _ in 0..8 {
+        let n = 10 + (rng.next() % 9) as u32; // 10..=18: crosses the split threshold
+        let num_sets = 3 + (rng.next() % 3) as usize;
+        let sets = random_sets(&mut rng, n, num_sets);
+        let p = CapacityProblem::new(&sets);
+        for d in 0..=2i64 {
+            let reference = p.count_at_most_with(1, d);
+            for threads in [2usize, 4] {
+                assert_eq!(p.count_at_most_with(threads, d), reference, "d = {d}, {threads} threads");
+            }
+        }
+    }
+}
+
+#[test]
+fn headline_union_of_cycles_at_w24() {
+    // The issue's headline: exact #Mark(≤ d) at |W| ≥ 24 on a union of
+    // cycles — the v1 enumerator saturated at |W| = 8. Expected counts
+    // are the per-cycle v1 reference raised to the number of cycles.
+    let (cycles, len) = (4u32, 6u32);
+    let mut sets: Vec<Vec<WeightKey>> = Vec::new();
+    for c in 0..cycles {
+        let base = c * len;
+        for i in 0..len {
+            sets.push(vec![key(base + i), key(base + (i + 1) % len)]);
+        }
+    }
+    let p = CapacityProblem::new(&sets);
+    assert_eq!(p.num_elements(), 24);
+    let one: Vec<Vec<WeightKey>> = (0..len).map(|i| vec![key(i), key((i + 1) % len)]).collect();
+    let single = CapacityProblem::new(&one);
+    for d in 0..=3i64 {
+        let expected = single.count_constrained_v1(&[-1, 0, 1], -d, d).pow(cycles);
+        for threads in [1usize, 4] {
+            assert_eq!(p.count_at_most_with(threads, d), expected, "d = {d}, {threads} threads");
+        }
+    }
+    // And the saturation ceiling is respected: d = |W| gives 3^24.
+    assert_eq!(p.count_at_most(24), 3u128.pow(24));
+}

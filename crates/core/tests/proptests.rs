@@ -178,6 +178,43 @@ proptest! {
             prop_assert_eq!(p.count_at_most(d), brute, "d = {}", d);
         }
     }
+
+    #[test]
+    fn v2_engine_agrees_with_v1_enumerator(
+        masks in proptest::collection::vec(0u32..4096, 1..7),
+    ) {
+        // the decomposed/memoized engine vs the plain branch-and-bound
+        // reference, on overlapping sets over ≤ 12 elements
+        let sets: Vec<Vec<WeightKey>> = masks
+            .iter()
+            .map(|m| (0..12u32).filter(|i| m >> i & 1 == 1).map(key).collect())
+            .collect();
+        let p = CapacityProblem::new(&sets);
+        for d in 0..3i64 {
+            let v1 = p.count_constrained_v1(&[-1, 0, 1], -d, d);
+            for threads in [1usize, 2, 4] {
+                prop_assert_eq!(p.count_at_most_with(threads, d), v1, "d = {}, threads = {}", d, threads);
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_count_invariant_under_set_permutation(
+        masks in proptest::collection::vec(0u32..1024, 2..6),
+        rot in 1usize..5,
+    ) {
+        let sets: Vec<Vec<WeightKey>> = masks
+            .iter()
+            .map(|m| (0..10u32).filter(|i| m >> i & 1 == 1).map(key).collect())
+            .collect();
+        let mut rotated = sets.clone();
+        rotated.rotate_left(rot % sets.len());
+        let p = CapacityProblem::new(&sets);
+        let q = CapacityProblem::new(&rotated);
+        for d in 0..3i64 {
+            prop_assert_eq!(p.count_at_most(d), q.count_at_most(d), "d = {}", d);
+        }
+    }
 }
 
 /// End-to-end property: on random bounded-degree instances, the Theorem 3

@@ -173,6 +173,163 @@ where
     })
 }
 
+/// One step of a recursive [`fork_join`] split: either replace the task
+/// with an ordered list of subtasks, or keep it as a leaf.
+#[derive(Debug)]
+pub enum Fork<T> {
+    /// Replace the task with these subtasks. Child order is reduction
+    /// order: the join callback sees the children's results in exactly
+    /// this order, for every thread count.
+    Split(Vec<T>),
+    /// Stop splitting: evaluate this task as a leaf.
+    Leaf(T),
+}
+
+/// Expansion cutoffs for [`fork_join`]. Both limits are *inputs*, never
+/// derived from the thread count, so the task tree — and therefore the
+/// reduction shape — is identical for any number of workers.
+#[derive(Debug, Clone, Copy)]
+pub struct ForkJoinLimits {
+    /// Maximum split depth; the root is at depth 0.
+    pub max_depth: usize,
+    /// Soft cap on the number of leaves: once reached, no further
+    /// splits happen (a final split may overshoot by its own fan-out).
+    pub max_tasks: usize,
+}
+
+impl Default for ForkJoinLimits {
+    fn default() -> Self {
+        ForkJoinLimits { max_depth: 12, max_tasks: 128 }
+    }
+}
+
+/// The expanded task tree: leaves carry tasks, branches only shape.
+enum Node<T> {
+    Leaf(T),
+    Branch(Vec<Node<T>>),
+}
+
+/// Tree shape with the tasks stripped out, used to replay the joins in
+/// the exact split order after the leaves were evaluated in parallel.
+enum Shape {
+    Leaf,
+    Branch(Vec<Shape>),
+}
+
+fn expand<T, S>(
+    task: T,
+    depth: usize,
+    limits: &ForkJoinLimits,
+    leaves: &mut usize,
+    split: &S,
+) -> Node<T>
+where
+    S: Fn(T, usize) -> Fork<T>,
+{
+    if depth >= limits.max_depth || *leaves >= limits.max_tasks {
+        return Node::Leaf(task);
+    }
+    match split(task, depth) {
+        Fork::Leaf(t) => Node::Leaf(t),
+        Fork::Split(children) => {
+            *leaves += children.len().saturating_sub(1);
+            Node::Branch(
+                children
+                    .into_iter()
+                    .map(|c| expand(c, depth + 1, limits, leaves, split))
+                    .collect(),
+            )
+        }
+    }
+}
+
+fn strip<T>(node: Node<T>, tasks: &mut Vec<T>) -> Shape {
+    match node {
+        Node::Leaf(t) => {
+            tasks.push(t);
+            Shape::Leaf
+        }
+        Node::Branch(children) => {
+            Shape::Branch(children.into_iter().map(|c| strip(c, tasks)).collect())
+        }
+    }
+}
+
+fn reduce<R, J>(shape: &Shape, results: &mut std::vec::IntoIter<R>, join: &J) -> R
+where
+    J: Fn(Vec<R>) -> R,
+{
+    match shape {
+        Shape::Leaf => results.next().expect("one result per leaf"),
+        Shape::Branch(children) => {
+            let rs: Vec<R> = children.iter().map(|c| reduce(c, results, join)).collect();
+            join(rs)
+        }
+    }
+}
+
+/// Recursive fork-join with the ambient [`thread_count`]: see
+/// [`fork_join_with`].
+pub fn fork_join<T, R, S, L, J>(
+    root: T,
+    limits: ForkJoinLimits,
+    split: S,
+    leaf: L,
+    join: J,
+) -> R
+where
+    T: Sync,
+    R: Send,
+    S: Fn(T, usize) -> Fork<T>,
+    L: Fn(&T) -> R + Sync,
+    J: Fn(Vec<R>) -> R,
+{
+    fork_join_with(thread_count(), root, limits, split, leaf, join)
+}
+
+/// Recursive fork-join parallelism with a deterministic reduction order.
+///
+/// The root task is split recursively (`split` decides, per task and
+/// depth) until `limits` cuts expansion off; the resulting leaves are
+/// evaluated on the scoped-thread pool in left-to-right order-preserving
+/// chunks ([`par_map_with`]); then `join` folds each branch's child
+/// results back up **in child order**, sequentially, on the calling
+/// thread.
+///
+/// Determinism: the expansion is sequential and the limits are explicit
+/// inputs, so the task tree has the same shape for every thread count —
+/// `threads` only changes how leaves are scheduled, never which leaves
+/// exist nor the order their results are joined in. Even a
+/// non-commutative `join` therefore produces bit-identical output at any
+/// worker count. A single-leaf tree (the root refuses to split) runs
+/// entirely on the calling thread with no spawn.
+///
+/// A task that splits into an empty `Vec` becomes `join(vec![])` — the
+/// join callback must supply the identity for that case if its splits
+/// can come up empty.
+pub fn fork_join_with<T, R, S, L, J>(
+    threads: usize,
+    root: T,
+    limits: ForkJoinLimits,
+    split: S,
+    leaf: L,
+    join: J,
+) -> R
+where
+    T: Sync,
+    R: Send,
+    S: Fn(T, usize) -> Fork<T>,
+    L: Fn(&T) -> R + Sync,
+    J: Fn(Vec<R>) -> R,
+{
+    let mut leaves = 1usize;
+    let tree = expand(root, 0, &limits, &mut leaves, &split);
+    let mut tasks: Vec<T> = Vec::with_capacity(leaves);
+    let shape = strip(tree, &mut tasks);
+    let results = par_map_with(threads, &tasks, leaf);
+    reduce(&shape, &mut results.into_iter(), &join)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,6 +410,132 @@ mod tests {
             let err = parse_thread_arg(bad).expect_err("non-numeric is rejected");
             assert!(err.contains("positive integer"), "{bad}: {err}");
         }
+    }
+
+    /// Splits an integer range in half until it is small; leaves sum
+    /// their range. The closed form pins the arithmetic.
+    #[test]
+    fn fork_join_sums_a_range() {
+        let limits = ForkJoinLimits { max_depth: 8, max_tasks: 64 };
+        for threads in [1usize, 2, 3, 8] {
+            let total = fork_join_with(
+                threads,
+                0u64..1000,
+                limits,
+                |r, _| {
+                    if r.end - r.start <= 10 {
+                        Fork::Leaf(r)
+                    } else {
+                        let mid = r.start + (r.end - r.start) / 2;
+                        Fork::Split(vec![r.start..mid, mid..r.end])
+                    }
+                },
+                |r| r.clone().sum::<u64>(),
+                |rs| rs.into_iter().sum(),
+            );
+            assert_eq!(total, 999 * 1000 / 2, "threads = {threads}");
+        }
+    }
+
+    /// A deliberately non-commutative join (string concatenation in
+    /// child order) must come out identical for every thread count:
+    /// the task tree and the reduction order never depend on workers.
+    #[test]
+    fn fork_join_reduction_order_is_thread_independent() {
+        let limits = ForkJoinLimits { max_depth: 6, max_tasks: 32 };
+        let run = |threads: usize| -> String {
+            fork_join_with(
+                threads,
+                (0u32, 27u32),
+                limits,
+                |(lo, hi), _| {
+                    if hi - lo <= 3 {
+                        Fork::Leaf((lo, hi))
+                    } else {
+                        let third = (hi - lo) / 3;
+                        Fork::Split(vec![
+                            (lo, lo + third),
+                            (lo + third, hi - third),
+                            (hi - third, hi),
+                        ])
+                    }
+                },
+                |&(lo, hi)| format!("[{lo}-{hi}]"),
+                |rs| rs.concat(),
+            )
+        };
+        let reference = run(1);
+        for threads in [2usize, 4, 7] {
+            assert_eq!(run(threads), reference, "threads = {threads}");
+        }
+        // and the reference really is the in-order concatenation
+        assert!(reference.starts_with("[0-3]"));
+        assert!(reference.ends_with("[24-27]"));
+    }
+
+    /// The width cutoff stops expansion: leaf count stays within
+    /// max_tasks plus one final fan-out, and max_depth bounds the tree.
+    #[test]
+    fn fork_join_respects_limits() {
+        use std::sync::atomic::AtomicUsize;
+        let leaves = AtomicUsize::new(0);
+        let limits = ForkJoinLimits { max_depth: 20, max_tasks: 10 };
+        let total = fork_join_with(
+            4,
+            0u32..4096,
+            limits,
+            |r, _| {
+                if r.end - r.start <= 1 {
+                    Fork::Leaf(r)
+                } else {
+                    let mid = r.start + (r.end - r.start) / 2;
+                    Fork::Split(vec![r.start..mid, mid..r.end])
+                }
+            },
+            |r| {
+                leaves.fetch_add(1, Ordering::Relaxed);
+                r.len() as u64
+            },
+            |rs| rs.into_iter().sum(),
+        );
+        assert_eq!(total, 4096);
+        let n = leaves.load(Ordering::Relaxed);
+        assert!(n <= 12, "width cutoff ignored: {n} leaves");
+        assert!(n >= 10, "expansion stopped early: {n} leaves");
+    }
+
+    /// An unsplit root runs as a single leaf on the calling thread.
+    #[test]
+    fn fork_join_single_leaf_runs_inline() {
+        let caller = std::thread::current().id();
+        let limits = ForkJoinLimits { max_depth: 0, max_tasks: 1 };
+        let ran_on = fork_join_with(
+            8,
+            42u32,
+            limits,
+            |t, _| Fork::Split(vec![t]), // never reached: depth 0
+            |&t| {
+                assert_eq!(t, 42);
+                std::thread::current().id()
+            },
+            |mut rs| rs.pop().expect("one leaf"),
+        );
+        assert_eq!(ran_on, caller);
+    }
+
+    /// An empty split reduces to join(vec![]).
+    #[test]
+    fn fork_join_empty_split_joins_identity() {
+        let limits = ForkJoinLimits::default();
+        let total = fork_join_with(
+            2,
+            0u32,
+            limits,
+            |_, _| Fork::Split(Vec::new()),
+            |_| 7u64,
+            |rs| rs.into_iter().sum::<u64>(),
+        );
+        assert_eq!(total, 0);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Perf regression gate: re-run the engine micro-benchmark and the serve
-# load generator, comparing both against the committed baselines
-# (BENCH_engine.json and BENCH_serve.json).
+# Perf regression gate: re-run the engine micro-benchmark, the capacity
+# counting benchmark, and the serve load generator, comparing each
+# against its committed baseline (BENCH_engine.json, BENCH_capacity.json
+# and BENCH_serve.json).
 #
 #   ./scripts/bench_compare.sh [--threads N] [--tolerance PCT]
 #
@@ -72,6 +73,81 @@ if failures:
         print(f"  {f}", file=sys.stderr)
     sys.exit(1)
 print(f"\nOK: no metric regressed by more than {tolerance:.0f}%")
+PY
+
+# -- capacity gate: v2 counting engine — speedup floor, byte-identical
+#    counts, and count-time regression vs the committed baseline
+CAP_BASELINE=BENCH_capacity.json
+[[ -f "$CAP_BASELINE" ]] || { echo "missing $CAP_BASELINE (run bench_capacity once and commit it)" >&2; exit 2; }
+
+cargo build --release -p qpwm-bench --bin bench_capacity
+CAP_BIN="$PWD/target/release/bench_capacity"
+if [[ -n "$THREADS" ]]; then
+  (cd "$SCRATCH" && "$CAP_BIN" --threads "$THREADS" >/dev/null)
+else
+  (cd "$SCRATCH" && "$CAP_BIN" >/dev/null)
+fi
+
+python3 - "$CAP_BASELINE" "$SCRATCH/BENCH_capacity.json" "$TOLERANCE" <<'PY'
+import json
+import sys
+
+baseline_path, fresh_path, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
+with open(baseline_path) as f:
+    base = json.load(f)
+with open(fresh_path) as f:
+    now = json.load(f)
+
+failures = []
+
+# 1. the v2-vs-v1 speedup floor must hold on the X-T1 workload
+best = max(s["speedup"] for s in now["speedup_samples"])
+print(f"\nbest v2-vs-v1 speedup: {best:.0f}x (floor: 10x)")
+if best < 10.0:
+    failures.append(f"v2 speedup fell to {best:.1f}x (< 10x) on the X-T1 workload")
+
+# 2. counts are exact integers: any drift vs the committed baseline is a
+#    correctness bug, not a perf regression
+base_counts = {s["cycles"]: s["count"] for s in base["speedup_samples"]}
+for s in now["speedup_samples"]:
+    want = base_counts.get(s["cycles"])
+    if want is not None and want != s["count"]:
+        failures.append(f"cycles={s['cycles']}: count changed {want} -> {s['count']}")
+if base["headline"]["count"] != now["headline"]["count"]:
+    failures.append(
+        f"headline count changed {base['headline']['count']} -> {now['headline']['count']}"
+    )
+
+# 3. count-time regression: compare the best-across-threads time per
+#    scaling case (hard kernels with stable, >10ms runtimes; the tiny
+#    X-T1 rows are microseconds and pure noise at any tolerance)
+def best_ms(doc, case):
+    times = [s["ms"] for s in doc["scaling"] if s["case"] == case]
+    return min(times) if times else None
+
+print(f"{'case':>16} {'baseline':>10} {'fresh':>10} {'delta':>8}")
+for case in sorted({s["case"] for s in base["scaling"]}):
+    old, new = best_ms(base, case), best_ms(now, case)
+    if new is None:
+        failures.append(f"{case}: missing from fresh run")
+        continue
+    delta = (new - old) / old * 100 if old > 0 else 0.0
+    flag = ""
+    if old > 0 and delta > tolerance:
+        failures.append(f"{case}: count time {old:.1f} -> {new:.1f} ms (+{delta:.1f}%)")
+        flag = "  << REGRESSION"
+    print(f"{case:>16} {old:>10.1f} {new:>10.1f} {delta:>+7.1f}%{flag}")
+    base_scale_counts = {s["threads"]: s["count"] for s in base["scaling"] if s["case"] == case}
+    for s in now["scaling"]:
+        if s["case"] == case and base_scale_counts.get(s["threads"], s["count"]) != s["count"]:
+            failures.append(f"{case} threads={s['threads']}: count drifted vs baseline")
+
+if failures:
+    print(f"\n{len(failures)} capacity gate failure(s):", file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+print(f"\nOK: capacity counts identical, speedup floor holds, no count-time regression beyond {tolerance:.0f}%")
 PY
 
 # -- serving gate: throughput and latency of the qpwm-serve load run

@@ -24,6 +24,11 @@ cargo clippy -p qpwm-par -- -D warnings
 echo "== tier-1: cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace -- -D warnings
 
+# The v2 capacity engine must agree with the v1 enumerator it replaced;
+# --check runs the differential on a tiny instance in milliseconds.
+echo "== tier-1: capacity engine v1-vs-v2 differential smoke =="
+./target/release/bench_capacity --check
+
 # End-to-end smoke test of the data server: serve a tiny marked XML
 # document, hit it over real HTTP, and require a clean shutdown.
 echo "== tier-1: qpwm serve smoke test =="

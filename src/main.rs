@@ -67,6 +67,10 @@ const USAGE: &str = "usage:
                    --weights <original.csv> (--suspect <suspect.csv> | --server <host:port>)
                    --rule <rule> --key <keyfile> [--claim <bits>] [--threads <n>]
                    [--timeout-ms <n>] [--retries <n>]
+  capacity counting (exact #Mark, Theorem 1 engine):
+    qpwm capacity  --schema <spec> --table Rel=file.csv [--table ...]
+                   --rule <rule> [--d <n>] [--threads <n>]
+    qpwm capacity  --xml <file> --pattern <pattern> [--d <n>] [--threads <n>]
   data server (answer sets + aggregates over HTTP):
     qpwm serve     --schema <spec> --table Rel=file.csv [--table ...]
                    --weights <marked.csv> --rule <rule>
@@ -101,6 +105,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "mark-db" => mark_db(&opts),
         "detect-db" => detect_db(&opts),
         "serve" => serve(&opts),
+        "capacity" => capacity(&opts),
         other => Err(format!("unknown command {other}")),
     }
 }
@@ -344,6 +349,16 @@ fn print_verdict(verdict: Verdict) {
 // ---------------------------------------------------------------------
 
 fn load_db(opts: &Options) -> Result<(CsvDatabase, Vec<(String, String)>), String> {
+    load_db_core(opts, true)
+}
+
+/// Shared CSV-database loader. Marking and detection need `--weights`;
+/// the capacity counter only needs the instance, so the flag becomes
+/// optional there (`weights_required = false`).
+fn load_db_core(
+    opts: &Options,
+    weights_required: bool,
+) -> Result<(CsvDatabase, Vec<(String, String)>), String> {
     let spec = required(opts, "schema")?;
     let table_specs = opts
         .get("table")
@@ -356,14 +371,21 @@ fn load_db(opts: &Options) -> Result<(CsvDatabase, Vec<(String, String)>), Strin
         let csv = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
         tables.push((rel.to_owned(), csv));
     }
-    let weights_path = required(opts, "weights")?;
-    let weights_csv = std::fs::read_to_string(weights_path)
-        .map_err(|e| format!("reading {weights_path}: {e}"))?;
+    let weights_csv = if weights_required || optional(opts, "weights").is_some() {
+        let weights_path = required(opts, "weights")?;
+        Some(
+            std::fs::read_to_string(weights_path)
+                .map_err(|e| format!("reading {weights_path}: {e}"))?,
+        )
+    } else {
+        None
+    };
     let refs: Vec<(&str, &str)> = tables
         .iter()
         .map(|(r, c)| (r.as_str(), c.as_str()))
         .collect();
-    let db = load_csv_database(spec, &refs, Some(&weights_csv)).map_err(|e| e.to_string())?;
+    let db =
+        load_csv_database(spec, &refs, weights_csv.as_deref()).map_err(|e| e.to_string())?;
     Ok((db, tables))
 }
 
@@ -506,6 +528,68 @@ fn detect_db(opts: &Options) -> Result<(), String> {
     let bits: String = report.bits.iter().map(|&b| if b { '1' } else { '0' }).collect();
     println!("extracted bits: {bits}");
     print_claim_with_budget(&report, opts, failed_reads);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// capacity counting
+// ---------------------------------------------------------------------
+
+/// `qpwm capacity`: exact `#Mark(≤d)` / `#Mark(=d)` over the query's
+/// active sets, via the decomposed/memoized/fork-join counting engine.
+/// Honors the global `--threads` flag like every other parallel path.
+fn capacity(opts: &Options) -> Result<(), String> {
+    use qpwm::core::capacity::CapacityProblem;
+    let d: i64 =
+        optional(opts, "d").unwrap_or("1").parse().map_err(|_| "--d needs a number")?;
+    if d < 0 {
+        return Err("--d must be non-negative".into());
+    }
+    let (problem, source) = if optional(opts, "xml").is_some() {
+        let doc = load_doc(required(opts, "xml")?)?;
+        let pattern = PatternQuery::parse(required(opts, "pattern")?)
+            .map_err(|e| e.to_string())?;
+        let parameters = canonical_parameters(&doc, &pattern);
+        let sets: Vec<Vec<Vec<u32>>> = parameters
+            .iter()
+            .map(|a| {
+                pattern
+                    .answer_set_unranked(&doc, a[0])
+                    .into_iter()
+                    .map(|t| vec![t])
+                    .collect()
+            })
+            .collect();
+        let family = qpwm::structures::AnswerFamily::from_nested(parameters, &sets);
+        (CapacityProblem::from_family(&family), required(opts, "pattern")?.to_owned())
+    } else {
+        let (db, _) = load_db_core(opts, false)?;
+        let rule_text = required(opts, "rule")?;
+        let rule = parse_rule(rule_text, db.instance.structure().schema())
+            .map_err(|e| e.to_string())?;
+        let family = rule.query.answers(db.instance.structure());
+        (CapacityProblem::from_family(&family), rule.name)
+    };
+    let threads = qpwm::par::thread_count();
+    println!("query: {source}");
+    println!("active weights |W|: {} (threads = {threads})", problem.num_elements());
+    let mut stats = None;
+    for budget in 0..=d {
+        let (at_most, s) =
+            problem.count_constrained_stats(threads, &[-1, 0, 1], -budget, budget);
+        let exactly = problem.count_exactly(budget);
+        println!(
+            "d = {budget}: #Mark(<=d) = {at_most}  #Mark(=d) = {exactly}  bits = {:.1}",
+            problem.bits_at(budget)
+        );
+        stats = Some(s);
+    }
+    if let Some(s) = stats {
+        println!(
+            "engine: {} component(s), {} free element(s), {} memo hits / {} misses, {} task(s)",
+            s.components, s.free_elements, s.memo_hits, s.memo_misses, s.tasks
+        );
+    }
     Ok(())
 }
 
