@@ -1,0 +1,290 @@
+//! [`WatermarkScheme`] adapters for the baseline schemes, so the
+//! battleground can box Agrawal–Kiernan and Khanna–Zane next to the
+//! query-preserving schemes and judge all of them with the same
+//! binomial significance statistic.
+//!
+//! Both adapters carry the *workload's* answer family: neither baseline
+//! preserves those parametric aggregates by construction, which is
+//! exactly what the shared `distortion` column then measures.
+
+use qpwm_core::detect::{binomial_tail, Verdict, DEFAULT_DELTA};
+use qpwm_core::scheme::{MarkedCarrier, SchemeVerdict, WatermarkScheme};
+use qpwm_structures::{AnswerFamily, WeightKey, Weights};
+
+use crate::agrawal_kiernan::AkScheme;
+use crate::khanna_zane::{KzGraph, KzScheme};
+
+/// Scores `matches` out of `compared` evidence-bearing bits the same
+/// way `claim_check_effective` does: prove the mark below
+/// [`DEFAULT_DELTA`], abstain when evidence was lost and what remains
+/// does not clear it, stay inconclusive otherwise.
+fn verdict_from_counts(matches: usize, compared: usize, full: usize) -> SchemeVerdict {
+    let significance = binomial_tail(compared, matches);
+    let verdict = if significance < DEFAULT_DELTA {
+        Verdict::MarkPresent
+    } else if compared < full {
+        Verdict::Abstain
+    } else {
+        Verdict::Inconclusive
+    };
+    SchemeVerdict {
+        matches,
+        compared,
+        bit_errors: compared - matches,
+        significance,
+        verdict,
+    }
+}
+
+/// Agrawal–Kiernan behind the [`WatermarkScheme`] trait: the carrier is
+/// the weight column over the family's active universe, the "message"
+/// is the PRF's keyed bit selection.
+///
+/// AK embeds no free message — which tuples are marked, and to what,
+/// follows from the secret key alone. [`WatermarkScheme::mark`]
+/// therefore *ignores the content* of its `message` argument (only its
+/// length is validated) and records the PRF-expected bits as the
+/// carrier's claim, so detection scores exactly what AK's own detector
+/// counts: marked cells whose LSB still agrees with the key.
+pub struct AkWatermark {
+    scheme: AkScheme,
+    params: String,
+    family: AnswerFamily,
+    baseline: Weights,
+    /// `(tuple, bit position, expected value)` for every PRF-selected
+    /// tuple, in universe order.
+    selections: Vec<(WeightKey, u32, bool)>,
+}
+
+impl AkWatermark {
+    /// Wraps an AK scheme over `family`'s active universe.
+    pub fn new(scheme: AkScheme, params: String, family: AnswerFamily, baseline: Weights) -> Self {
+        let universe: Vec<WeightKey> = family.universe_tuples().map(|t| t.to_vec()).collect();
+        let selections = scheme.selections(&universe);
+        AkWatermark { scheme, params, family, baseline, selections }
+    }
+}
+
+impl WatermarkScheme for AkWatermark {
+    fn name(&self) -> &str {
+        "ak"
+    }
+
+    fn params(&self) -> String {
+        self.params.clone()
+    }
+
+    fn capacity_hint(&self) -> usize {
+        self.selections.len()
+    }
+
+    fn family(&self) -> &AnswerFamily {
+        &self.family
+    }
+
+    fn baseline(&self) -> &Weights {
+        &self.baseline
+    }
+
+    fn mark(&self, message: &[bool]) -> MarkedCarrier {
+        assert!(message.len() <= self.capacity_hint(), "message exceeds capacity");
+        let universe: Vec<WeightKey> = self.family.universe_tuples().map(|t| t.to_vec()).collect();
+        let marked = self.scheme.mark(&self.baseline, &universe);
+        let expected = self.selections.iter().map(|&(_, _, v)| v).collect();
+        MarkedCarrier::clean(marked, expected)
+    }
+
+    fn detect(&self, suspect: &MarkedCarrier) -> SchemeVerdict {
+        let dropped = suspect.dropped_set();
+        let mut compared = 0usize;
+        let mut matches = 0usize;
+        for (key, bit, value) in &self.selections {
+            if dropped.contains(key) {
+                continue;
+            }
+            compared += 1;
+            let observed = suspect.weights.get(key) >> bit & 1 == 1;
+            if observed == *value {
+                matches += 1;
+            }
+        }
+        // AK's detector scans the whole served relation, so forged
+        // tuples the PRF happens to select dilute the sample — the
+        // superset attack's entire effect on this scheme.
+        for (key, w) in &suspect.inserted {
+            if let Some((bit, value)) = self
+                .scheme
+                .selections(std::slice::from_ref(key))
+                .first()
+                .map(|&(_, b, v)| (b, v))
+            {
+                compared += 1;
+                if (w >> bit & 1 == 1) == value {
+                    matches += 1;
+                }
+            }
+        }
+        verdict_from_counts(matches, compared, self.selections.len())
+    }
+}
+
+/// Khanna–Zane behind the [`WatermarkScheme`] trait: the family's
+/// active universe becomes the leaf edges of a star graph (edge `i`
+/// joins leaf `i` to a hub vertex, carrying tuple `i`'s weight), so
+/// every ±1 edge mark moves any leaf-to-leaf shortest path by at most
+/// 2 — the budget `d = 2` then admits every edge and capacity tracks
+/// the universe size.
+///
+/// Detection is blind (the KZ scheme state stores the pre-mark digest);
+/// the adapter only reconstructs the suspect's edge weights from the
+/// carrier and lets [`KzScheme::detect`] read the bits back.
+pub struct KzWatermark {
+    scheme: KzScheme,
+    graph: KzGraph,
+    params: String,
+    family: AnswerFamily,
+    baseline: Weights,
+    /// `universe[e]` is the tuple carried by star edge `e`.
+    universe: Vec<WeightKey>,
+}
+
+impl KzWatermark {
+    /// Builds the star carrier over `family`'s universe and selects the
+    /// KZ mark-edge set under shortest-path budget `d`.
+    pub fn new(family: AnswerFamily, baseline: Weights, d: i64, seed: u64) -> Self {
+        let universe: Vec<WeightKey> = family.universe_tuples().map(|t| t.to_vec()).collect();
+        let hub = universe.len() as u32;
+        // Star edge weights clamp at 2: KZ never selects weight-1 edges
+        // (a −1 would zero them), and only weight *deltas* round-trip to
+        // the real carrier, so clamping costs nothing but keeps every
+        // tuple markable.
+        let edges = universe
+            .iter()
+            .enumerate()
+            .map(|(i, key)| (i as u32, hub, baseline.get(key).max(2)))
+            .collect();
+        let graph = KzGraph::new(universe.len() + 1, edges);
+        let scheme = KzScheme::build(&graph, d, seed);
+        let params = format!("d={d}, star over |W|={}", universe.len());
+        KzWatermark { scheme, graph, params, family, baseline, universe }
+    }
+
+    /// The underlying blind KZ scheme.
+    pub fn scheme(&self) -> &KzScheme {
+        &self.scheme
+    }
+}
+
+impl WatermarkScheme for KzWatermark {
+    fn name(&self) -> &str {
+        "kz"
+    }
+
+    fn params(&self) -> String {
+        self.params.clone()
+    }
+
+    fn capacity_hint(&self) -> usize {
+        self.scheme.capacity()
+    }
+
+    fn family(&self) -> &AnswerFamily {
+        &self.family
+    }
+
+    fn baseline(&self) -> &Weights {
+        &self.baseline
+    }
+
+    fn mark(&self, message: &[bool]) -> MarkedCarrier {
+        let marked_graph = self.scheme.mark(&self.graph, message);
+        let mut weights = self.baseline.clone();
+        for (&e, _) in self.scheme.mark_edges().iter().zip(message) {
+            let delta = marked_graph.edges()[e].2 - self.graph.edges()[e].2;
+            weights.add(&self.universe[e], delta);
+        }
+        MarkedCarrier::clean(weights, message.to_vec())
+    }
+
+    fn detect(&self, suspect: &MarkedCarrier) -> SchemeVerdict {
+        let dropped = suspect.dropped_set();
+        // Rebuild the star's edge weights from the served carrier;
+        // censored tuples keep the pre-mark weight (no evidence) and
+        // are excluded from the sample below.
+        let mut edge_weights: Vec<i64> =
+            self.graph.edges().iter().map(|&(_, _, w)| w).collect();
+        for (e, key) in self.universe.iter().enumerate() {
+            if !dropped.contains(key) {
+                edge_weights[e] += suspect.weights.get(key) - self.baseline.get(key);
+            }
+        }
+        let bits = self.scheme.detect(&self.graph.with_weights(&edge_weights));
+        let full = suspect.message.len().min(bits.len());
+        let mut compared = 0usize;
+        let mut matches = 0usize;
+        for (j, &bit) in bits.iter().enumerate().take(full) {
+            let key = &self.universe[self.scheme.mark_edges()[j]];
+            if dropped.contains(key) {
+                continue;
+            }
+            compared += 1;
+            if bit == suspect.message[j] {
+                matches += 1;
+            }
+        }
+        verdict_from_counts(matches, compared, full)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agrawal_kiernan::AkConfig;
+    use qpwm_core::adversary::Attack;
+
+    fn family(n: u32) -> AnswerFamily {
+        let sets: Vec<Vec<WeightKey>> = (0..n / 4)
+            .map(|s| (4 * s..4 * s + 4).map(|e| vec![e]).collect())
+            .collect();
+        let params = (0..sets.len()).map(|i| vec![1000 + i as u32]).collect();
+        AnswerFamily::from_nested(params, &sets)
+    }
+
+    fn baseline(n: u32) -> Weights {
+        let mut w = Weights::new(1);
+        for e in 0..n {
+            w.set(&[e], 100 + i64::from(e) * 3);
+        }
+        w
+    }
+
+    #[test]
+    fn ak_adapter_roundtrips_and_rejects_unmarked() {
+        let fam = family(120);
+        let scheme = AkWatermark::new(
+            AkScheme::new(AkConfig::default()),
+            "default".into(),
+            fam,
+            baseline(120),
+        );
+        assert!(scheme.capacity_hint() >= 20, "capacity {}", scheme.capacity_hint());
+        let carrier = scheme.mark(&vec![false; scheme.capacity_hint()]);
+        assert!(scheme.detect(&carrier).survived());
+        let unmarked = MarkedCarrier::clean(baseline(120), carrier.message.clone());
+        assert!(!scheme.detect(&unmarked).survived());
+    }
+
+    #[test]
+    fn kz_adapter_is_blind_and_survives_subsetting() {
+        let fam = family(96);
+        let scheme = KzWatermark::new(fam.clone(), baseline(96), 2, 7);
+        assert!(scheme.capacity_hint() >= 90, "capacity {}", scheme.capacity_hint());
+        let message: Vec<bool> = (0..scheme.capacity_hint()).map(|i| i % 2 == 0).collect();
+        let mut carrier = scheme.mark(&message);
+        assert!(scheme.detect(&carrier).survived());
+        Attack::SubsetSelection { drop_fraction: 0.4 }.apply_carrier(&mut carrier, &fam, 99);
+        let verdict = scheme.detect(&carrier);
+        assert!(verdict.compared < scheme.capacity_hint());
+        assert_eq!(verdict.bit_errors, 0, "surviving edges decode exactly");
+    }
+}

@@ -126,6 +126,20 @@ impl AkScheme {
     pub fn max_local_distortion(&self) -> i64 {
         (1i64 << self.config.xi) - 1
     }
+
+    /// The keyed selections over a universe: every tuple the PRF marks,
+    /// with its chosen bit position and bit value, in universe order.
+    /// This is the scheme's effective "message" — exposed so trait
+    /// adapters can score ownership claims bit by bit.
+    pub fn selections(&self, universe: &[WeightKey]) -> Vec<(WeightKey, u32, bool)> {
+        universe
+            .iter()
+            .filter_map(|key| {
+                self.selection(key)
+                    .map(|(bit, value)| (key.clone(), bit, value))
+            })
+            .collect()
+    }
 }
 
 /// Mean and variance of a weight assignment over a universe — the

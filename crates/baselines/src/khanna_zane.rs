@@ -112,11 +112,17 @@ impl KzGraph {
     }
 }
 
-/// A constructed Khanna–Zane scheme: the secret mark-edge set.
+/// A constructed Khanna–Zane scheme: the secret mark-edge set plus the
+/// original weights of those edges, so detection is *blind* — the
+/// detector needs only the scheme state and the suspect graph, never
+/// the original graph.
 #[derive(Debug, Clone)]
 pub struct KzScheme {
     /// Indices into the graph's edge list.
     mark_edges: Vec<usize>,
+    /// Pre-mark weight of each mark edge (parallel to `mark_edges`) —
+    /// the digest the blind detector compares against.
+    original: Vec<i64>,
     d: i64,
 }
 
@@ -147,7 +153,8 @@ impl KzScheme {
             }
         }
         selected.sort_unstable();
-        KzScheme { mark_edges: selected, d }
+        let original = selected.iter().map(|&e| base[e]).collect();
+        KzScheme { mark_edges: selected, original, d }
     }
 
     /// Message capacity in bits.
@@ -158,6 +165,17 @@ impl KzScheme {
     /// The distortion budget.
     pub fn d(&self) -> i64 {
         self.d
+    }
+
+    /// The secret mark-edge indices.
+    pub fn mark_edges(&self) -> &[usize] {
+        &self.mark_edges
+    }
+
+    /// The stored pre-mark weights of the mark edges (parallel to
+    /// [`KzScheme::mark_edges`]).
+    pub fn original_weights(&self) -> &[i64] {
+        &self.original
     }
 
     /// Marks the graph with `message` (bit per selected edge).
@@ -173,11 +191,15 @@ impl KzScheme {
         graph.with_weights(&weights)
     }
 
-    /// Reads the message back from a suspect graph's edge weights.
-    pub fn detect(&self, original: &KzGraph, suspect: &KzGraph) -> Vec<bool> {
+    /// Reads the message back from a suspect graph's edge weights —
+    /// blind: compares against the pre-mark weights stored in the
+    /// scheme state, so no caller has to thread the original graph
+    /// through every detection site.
+    pub fn detect(&self, suspect: &KzGraph) -> Vec<bool> {
         self.mark_edges
             .iter()
-            .map(|&e| suspect.edges[e].2 > original.edges[e].2)
+            .zip(&self.original)
+            .map(|(&e, &w0)| suspect.edges[e].2 > w0)
             .collect()
     }
 }
@@ -241,7 +263,22 @@ mod tests {
         let scheme = KzScheme::build(&g, 3, 5);
         let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 3 != 0).collect();
         let marked = scheme.mark(&g, &message);
-        assert_eq!(scheme.detect(&g, &marked), message);
+        assert_eq!(scheme.detect(&marked), message);
+    }
+
+    #[test]
+    fn detection_is_blind() {
+        // The detector sees only the suspect graph: marking a *copy*
+        // with different base weights than the build-time graph still
+        // decodes against the stored digest, not a caller-supplied
+        // original.
+        let g = ring(10);
+        let scheme = KzScheme::build(&g, 3, 5);
+        let message: Vec<bool> = (0..scheme.capacity()).map(|i| i % 2 == 0).collect();
+        let marked = scheme.mark(&g, &message);
+        drop(g); // no original graph survives to detection time
+        assert_eq!(scheme.detect(&marked), message);
+        assert_eq!(scheme.original_weights().len(), scheme.capacity());
     }
 
     #[test]

@@ -12,8 +12,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adapters;
 pub mod agrawal_kiernan;
 pub mod khanna_zane;
 
+pub use adapters::{AkWatermark, KzWatermark};
 pub use agrawal_kiernan::{AkConfig, AkScheme};
 pub use khanna_zane::{KzGraph, KzScheme};

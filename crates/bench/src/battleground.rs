@@ -1,0 +1,1001 @@
+//! The cross-scheme attack battleground: every [`WatermarkScheme`] ×
+//! every shared workload × a unified attack suite, producing the
+//! capacity / distortion / detection-power / attack-survival Pareto
+//! table the paper's comparison claims rest on.
+//!
+//! Five schemes enter: `qp-local` (Theorem 3), `qp-tree` (Theorem 5),
+//! `qp-robust` (the Fact 1 repetition wrapper), `ak` (Agrawal–Kiernan)
+//! and `kz` (Khanna–Zane). Five workloads host them: `meteo`, `travel`,
+//! `csv_db` (a ring relation loaded from CSV), `graphs` (a cycle
+//! union), `xml_gen` (a random binary tree). Schemes that natively
+//! speak another carrier get a faithful derived one: `qp-tree` marks a
+//! serialized tree view of a relational weight column, `qp-local` marks
+//! the parent/child edge relation of the XML tree, and `kz` rides a
+//! star graph whose leaf edges carry the tuple weights.
+//!
+//! Every cell is deterministic: the per-cell attack seed mixes the
+//! (workload, scheme, attack) coordinates through splitmix64, and the
+//! cell grid runs under [`qpwm_par::fork_join`], whose reduction order
+//! is thread-count invariant — `RESULTS_battleground.json` is
+//! byte-identical at any `--threads` value. Wall-clock throughput is
+//! measured separately (sequentially) and lands in
+//! `BENCH_battleground.json`, which `scripts/bench_compare.sh` gates.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use qpwm_baselines::adapters::{AkWatermark, KzWatermark};
+use qpwm_baselines::agrawal_kiernan::{AkConfig, AkScheme};
+use qpwm_core::adversary::Attack;
+use qpwm_core::detect::Verdict;
+use qpwm_core::local_scheme::{LocalSchemeConfig, SelectionStrategy};
+use qpwm_core::scheme::{RobustWatermark, SchemeVerdict, WatermarkScheme};
+use qpwm_core::{LocalScheme, PairWatermark, TreeScheme};
+use qpwm_logic::datalog::parse_rule;
+use qpwm_logic::{Formula, ParametricQuery};
+use qpwm_par::{fork_join, Fork, ForkJoinLimits};
+use qpwm_structures::{AnswerFamily, Element, Weights};
+use qpwm_trees::automaton::{TreeAutomaton, STAR};
+use qpwm_trees::pebble::{pebbled_symbol, PebbledQuery};
+use qpwm_workloads::csv_db::load_csv_database;
+use qpwm_workloads::graphs::{cycle_union, unary_domain, with_random_weights};
+use qpwm_workloads::meteo::{random_meteo, region_domain, regional_rule};
+use qpwm_workloads::travel::{random_travel, route_query, travel_domain};
+use qpwm_workloads::xml_gen::{random_binary_tree, random_node_weights};
+
+/// The scheme names the battleground knows, in reporting order.
+pub const SCHEME_NAMES: [&str; 5] = ["qp-local", "qp-tree", "qp-robust", "ak", "kz"];
+
+/// The workload names, in reporting order.
+pub const WORKLOAD_NAMES: [&str; 5] = ["meteo", "travel", "csv_db", "graphs", "xml_gen"];
+
+/// The attack names, in reporting order (`clean` is the no-attack
+/// baseline cell that anchors the detection-power column).
+pub const ATTACK_NAMES: [&str; 8] = [
+    "clean",
+    "noise",
+    "rounding",
+    "shift",
+    "collusion",
+    "subset",
+    "superset",
+    "rerandomize",
+];
+
+/// Battleground configuration (CLI flags map onto this 1:1).
+#[derive(Debug, Clone, Default)]
+pub struct BattleConfig {
+    /// Tiny workloads, no files, assert every cell yields a verdict.
+    pub check: bool,
+    /// Keep only these schemes (names as in [`SCHEME_NAMES`]).
+    pub schemes: Option<Vec<String>>,
+    /// Keep only these attacks (names as in [`ATTACK_NAMES`]).
+    pub attacks: Option<Vec<String>>,
+    /// Skip the (sequential) throughput phase and the BENCH file.
+    pub skip_bench: bool,
+}
+
+// (Experiment id: X-B3 — X-B1/X-B2 are the two-way baseline_compare
+// studies this battleground generalizes to all five schemes at once.)
+
+/// One scheme instance bound to one workload.
+struct Unit {
+    w_idx: usize,
+    s_idx: usize,
+    workload: &'static str,
+    scheme: Box<dyn WatermarkScheme>,
+    build_ms: f64,
+}
+
+/// One Pareto row: a scheme × workload × attack cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Scheme name.
+    pub scheme: String,
+    /// Workload name.
+    pub workload: String,
+    /// Attack name (`clean` for the unattacked baseline).
+    pub attack: String,
+    /// Scheme capacity on this workload (bits).
+    pub capacity: usize,
+    /// Marking distortion vs the unmarked baseline: max |Δweight|.
+    pub mark_local: i64,
+    /// Marking distortion vs the baseline: max |Δ aggregate|.
+    pub mark_global: i64,
+    /// The attacker's own local distortion (attacked vs marked).
+    pub attack_local: i64,
+    /// The attacker's own global distortion (attacked vs marked).
+    pub attack_global: i64,
+    /// Claim bits matched among the evidence-bearing sample.
+    pub matches: usize,
+    /// Evidence-bearing sample size.
+    pub compared: usize,
+    /// Mismatches in the sample.
+    pub bit_errors: usize,
+    /// False-positive significance of the match.
+    pub significance: f64,
+    /// The scheme's ruling.
+    pub verdict: Verdict,
+}
+
+impl Cell {
+    /// Did the mark survive the attack?
+    pub fn survived(&self) -> bool {
+        self.verdict == Verdict::MarkPresent
+    }
+}
+
+/// Per-unit metadata for the RESULTS header.
+#[derive(Debug, Clone)]
+pub struct UnitInfo {
+    /// Scheme name.
+    pub scheme: String,
+    /// Workload name.
+    pub workload: String,
+    /// Scheme parameter summary.
+    pub params: String,
+    /// Capacity on this workload.
+    pub capacity: usize,
+    /// Active-universe size of the scheme's carrier family.
+    pub universe: usize,
+}
+
+/// Per-unit throughput sample (BENCH file).
+#[derive(Debug, Clone)]
+pub struct UnitBench {
+    /// Scheme name.
+    pub scheme: String,
+    /// Workload name.
+    pub workload: String,
+    /// Scheme construction time (ms).
+    pub build_ms: f64,
+    /// Mean time to mark the full message (ms/op).
+    pub mark_ms: f64,
+    /// Mean time to detect on the clean carrier (ms/op).
+    pub detect_ms: f64,
+}
+
+/// Everything one battleground run produces.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Unit metadata (scheme × workload).
+    pub units: Vec<UnitInfo>,
+    /// All Pareto cells, in (workload, scheme, attack) order.
+    pub cells: Vec<Cell>,
+    /// Throughput samples (empty in `--check` / `skip_bench` mode).
+    pub bench: Vec<UnitBench>,
+    /// Worker threads the cell grid ran under.
+    pub threads: usize,
+}
+
+/// splitmix64: the per-cell seed mixer (deterministic, coordinate-keyed).
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The deterministic seed for one (workload, scheme, attack) cell.
+fn cell_seed(w_idx: usize, s_idx: usize, a_idx: usize) -> u64 {
+    splitmix((w_idx as u64) << 32 | (s_idx as u64) << 16 | a_idx as u64)
+}
+
+/// The counting-mod-m automaton with a sticky accepting state (the
+/// `tree_sweep` construction, with the acceptance condition relaxed
+/// from "output pebble on a label-1 node" to "output pebble seen"):
+/// state = (#label-1 nodes below) mod m, accepting once the output
+/// pebble is encountered — so *every* node is active and the whole
+/// tree is markable carrier material, which is what a capacity
+/// benchmark wants from its carrier query.
+fn mod_m_query(m: u32) -> PebbledQuery {
+    let mut a = TreeAutomaton::new(m + 1, 0);
+    let hit_state = m;
+    for base in [0u32, 1] {
+        for bits in 0..4u32 {
+            let sym = pebbled_symbol(base, bits, 2);
+            let b_here = bits & 0b10 != 0;
+            for ql in 0..=m {
+                for qr in 0..=m {
+                    for (l, r) in [(ql, qr), (ql, STAR), (STAR, qr), (STAR, STAR)] {
+                        let seen = l == hit_state || r == hit_state || b_here;
+                        let count = |q: u32| if q == STAR || q == hit_state { 0 } else { q };
+                        let next = if seen {
+                            hit_state
+                        } else {
+                            (count(l) + count(r) + base) % m
+                        };
+                        a.add_transition(l, r, sym, next);
+                    }
+                }
+            }
+        }
+    }
+    a.set_accepting(hit_state, true);
+    PebbledQuery::new(a, 1)
+}
+
+/// Wraps a freshly built [`TreeScheme`] as a trait object.
+fn tree_watermark(scheme: &TreeScheme, baseline: Weights, params: String) -> PairWatermark {
+    PairWatermark::new("qp-tree", params, scheme.core().clone(), baseline)
+}
+
+/// The derived XML view of a relational weight column: a random binary
+/// tree with one node per active tuple (in universe order), node `i`
+/// carrying tuple `i`'s weight, marked under the mod-2 counting query.
+/// Block threshold 3: the X-T5e ablation shows real automata collide
+/// almost immediately, so the smallest legal block maximizes capacity
+/// at zero soundness cost (a collision-free block just yields no pair).
+fn derived_tree_watermark(family: &AnswerFamily, baseline: &Weights, seed: u64) -> PairWatermark {
+    let universe: Vec<Vec<Element>> = family.universe_tuples().map(|t| t.to_vec()).collect();
+    let n = universe.len() as u32;
+    let tree = random_binary_tree(n.max(4), 2, seed);
+    let query = mod_m_query(2);
+    let domain: Vec<Vec<Element>> = (0..tree.len() as Element).map(|a| vec![a]).collect();
+    let scheme = TreeScheme::build_with_threshold(&tree, &query, 3, domain);
+    let mut weights = Weights::new(1);
+    for (i, key) in universe.iter().enumerate() {
+        weights.set(&[i as Element], baseline.get(key));
+    }
+    tree_watermark(
+        &scheme,
+        weights,
+        format!("m=3, threshold=3, derived tree |W|={n}"),
+    )
+}
+
+/// The ψ(u, v) = E(u, v) edge query (parameter `u`, output `v`).
+fn edge_query() -> ParametricQuery {
+    ParametricQuery::new(Formula::atom(0, &[0, 1]), vec![0], vec![1])
+}
+
+/// One workload's carrier material: the family every non-native scheme
+/// is benchmarked over, its baseline weights, and the native
+/// query-preserving schemes.
+struct Material {
+    family: AnswerFamily,
+    baseline: Weights,
+    qp_local: PairWatermark,
+    qp_tree: PairWatermark,
+}
+
+/// Builds one workload's material (five of these, see
+/// [`WORKLOAD_NAMES`]). `check` shrinks every instance to smoke-test
+/// size.
+fn build_material(name: &str, check: bool) -> Material {
+    let local_cfg = |d: u64| LocalSchemeConfig {
+        rho: 1,
+        d,
+        strategy: SelectionStrategy::Greedy,
+        seed: 7,
+    };
+    match name {
+        "meteo" => {
+            let m = if check {
+                random_meteo(24, 8, 4, 4, 5)
+            } else {
+                random_meteo(120, 30, 6, 4, 5)
+            };
+            let rule = regional_rule(&m);
+            let family = rule
+                .query
+                .answers_over(m.instance.structure(), region_domain(&m));
+            let baseline = m.instance.weights().clone();
+            let scheme = LocalScheme::build_over(
+                &m.instance,
+                &rule.query,
+                region_domain(&m),
+                &local_cfg(3),
+            )
+            .expect("meteo scheme builds");
+            let qp_local = PairWatermark::new(
+                "qp-local",
+                "rho=1, d=3, greedy (regional rule)".to_string(),
+                scheme.core().clone(),
+                baseline.clone(),
+            );
+            let qp_tree = derived_tree_watermark(&family, &baseline, 11);
+            Material { family, baseline, qp_local, qp_tree }
+        }
+        "travel" => {
+            let t = if check {
+                random_travel(12, 24, 2, 3, 5)
+            } else {
+                random_travel(70, 130, 3, 3, 5)
+            };
+            let query = route_query();
+            let family = query.answers_over(t.instance.structure(), travel_domain(&t));
+            let baseline = t.instance.weights().clone();
+            let scheme =
+                LocalScheme::build_over(&t.instance, &query, travel_domain(&t), &local_cfg(3))
+                    .expect("travel scheme builds");
+            let qp_local = PairWatermark::new(
+                "qp-local",
+                "rho=1, d=3, greedy (route query)".to_string(),
+                scheme.core().clone(),
+                baseline.clone(),
+            );
+            let qp_tree = derived_tree_watermark(&family, &baseline, 13);
+            Material { family, baseline, qp_local, qp_tree }
+        }
+        "csv_db" => {
+            let n = if check { 24u32 } else { 128 };
+            let mut ring = String::new();
+            let mut weights_csv = String::new();
+            for i in 0..n {
+                let _ = writeln!(ring, "n{i},n{}", (i + 1) % n);
+                let _ = writeln!(weights_csv, "n{i},{}", 100 + i64::from(i) * 3);
+            }
+            let db = load_csv_database("R(a,b)", &[("R", &ring)], Some(&weights_csv))
+                .expect("ring CSV loads");
+            let rule = parse_rule("q($u; v) :- R($u, v)", db.instance.structure().schema())
+                .expect("ring rule parses");
+            let domain: Vec<Vec<Element>> = (0..n).map(|e| vec![e]).collect();
+            let family = rule
+                .query
+                .answers_over(db.instance.structure(), domain.clone());
+            let baseline = db.instance.weights().clone();
+            let scheme =
+                LocalScheme::build_over(&db.instance, &rule.query, domain, &local_cfg(1))
+                    .expect("csv scheme builds");
+            let qp_local = PairWatermark::new(
+                "qp-local",
+                "rho=1, d=1, greedy (ring rule)".to_string(),
+                scheme.core().clone(),
+                baseline.clone(),
+            );
+            let qp_tree = derived_tree_watermark(&family, &baseline, 17);
+            Material { family, baseline, qp_local, qp_tree }
+        }
+        "graphs" => {
+            let instance = if check {
+                with_random_weights(cycle_union(4, 6, 0), 100, 900, 5)
+            } else {
+                with_random_weights(cycle_union(20, 6, 0), 100, 900, 5)
+            };
+            let query = edge_query();
+            let domain = unary_domain(instance.structure());
+            let family = query.answers_over(instance.structure(), domain.clone());
+            let baseline = instance.weights().clone();
+            let scheme = LocalScheme::build_over(&instance, &query, domain, &local_cfg(2))
+                .expect("graphs scheme builds");
+            let qp_local = PairWatermark::new(
+                "qp-local",
+                "rho=1, d=2, greedy (edge query)".to_string(),
+                scheme.core().clone(),
+                baseline.clone(),
+            );
+            let qp_tree = derived_tree_watermark(&family, &baseline, 19);
+            Material { family, baseline, qp_local, qp_tree }
+        }
+        "xml_gen" => {
+            let n = if check { 40u32 } else { 160 };
+            let tree = random_binary_tree(n, 2, 5);
+            let node_weights = random_node_weights(&tree, 100, 500, 7);
+            let query = mod_m_query(2);
+            let domain: Vec<Vec<Element>> = (0..tree.len() as Element).map(|a| vec![a]).collect();
+            let tree_scheme = TreeScheme::build_with_threshold(&tree, &query, 3, domain);
+            let family = tree_scheme.family().clone();
+            let baseline = node_weights.clone();
+            let qp_tree = tree_watermark(
+                &tree_scheme,
+                baseline.clone(),
+                format!("m=3, threshold=3, native tree n={n}"),
+            );
+            // qp-local marks the parent/child edge relation of the same
+            // tree (weights stay on the child node).
+            let schema = std::sync::Arc::new(qpwm_structures::Schema::graph());
+            let mut b = qpwm_structures::StructureBuilder::new(schema, n);
+            for node in 0..tree.len() as Element {
+                for child in [tree.left(node), tree.right(node)].into_iter().flatten() {
+                    b.add(0, &[node, child]);
+                    b.add(0, &[child, node]);
+                }
+            }
+            let structure = b.build();
+            let edge_instance =
+                qpwm_structures::WeightedStructure::new(structure, node_weights.clone());
+            let q = edge_query();
+            let edge_domain = unary_domain(edge_instance.structure());
+            let scheme =
+                LocalScheme::build_over(&edge_instance, &q, edge_domain, &local_cfg(2))
+                    .expect("xml edge scheme builds");
+            let qp_local = PairWatermark::new(
+                "qp-local",
+                "rho=1, d=2, greedy (tree edge relation)".to_string(),
+                scheme.core().clone(),
+                baseline.clone(),
+            );
+            Material { family, baseline, qp_local, qp_tree }
+        }
+        other => panic!("unknown workload {other}"),
+    }
+}
+
+/// Instantiates one named scheme over a workload's material.
+fn scheme_for(material: &Material, sname: &str) -> Box<dyn WatermarkScheme> {
+    match sname {
+        "qp-local" => Box::new(material.qp_local.clone()),
+        "qp-tree" => Box::new(material.qp_tree.clone()),
+        "qp-robust" => Box::new(RobustWatermark::over_marking(
+            material.qp_local.core().marking().clone(),
+            "R=2 over qp-local pairs".to_string(),
+            material.family.clone(),
+            material.baseline.clone(),
+            2,
+        )),
+        "ak" => Box::new(AkWatermark::new(
+            AkScheme::new(AkConfig::default()),
+            "gamma=4, xi=2".to_string(),
+            material.family.clone(),
+            material.baseline.clone(),
+        )),
+        "kz" => Box::new(KzWatermark::new(
+            material.family.clone(),
+            material.baseline.clone(),
+            2,
+            23,
+        )),
+        other => panic!("unknown scheme {other}"),
+    }
+}
+
+/// All five schemes instantiated over one named workload, exactly as the
+/// battleground runs them — the surface the trait-conformance suite
+/// exercises. `check` selects the smoke-test workload sizes.
+pub fn workload_schemes(workload: &str, check: bool) -> Vec<Box<dyn WatermarkScheme>> {
+    let material = build_material(workload, check);
+    SCHEME_NAMES
+        .iter()
+        .map(|s| scheme_for(&material, s))
+        .collect()
+}
+
+/// Is `name` enabled by an optional comma-list filter?
+fn enabled(filter: &Option<Vec<String>>, name: &str) -> bool {
+    match filter {
+        None => true,
+        Some(list) => list.iter().any(|f| f.eq_ignore_ascii_case(name)),
+    }
+}
+
+/// Builds all enabled scheme × workload units.
+fn build_units(cfg: &BattleConfig) -> Vec<Unit> {
+    let mut units = Vec::new();
+    for (w_idx, &wname) in WORKLOAD_NAMES.iter().enumerate() {
+        let start = Instant::now();
+        let material = build_material(wname, cfg.check);
+        let material_ms = start.elapsed().as_secs_f64() * 1000.0;
+        for (s_idx, &sname) in SCHEME_NAMES.iter().enumerate() {
+            if !enabled(&cfg.schemes, sname) {
+                continue;
+            }
+            let start = Instant::now();
+            let scheme = scheme_for(&material, sname);
+            let build_ms = material_ms + start.elapsed().as_secs_f64() * 1000.0;
+            units.push(Unit { w_idx, s_idx, workload: wname, scheme, build_ms });
+        }
+    }
+    units
+}
+
+/// The message every scheme embeds: alternating bits at full capacity.
+fn message_for(capacity: usize) -> Vec<bool> {
+    (0..capacity).map(|i| i % 2 == 0).collect()
+}
+
+/// Runs the full attack row for one unit.
+fn run_unit(unit: &Unit, attacks: &Option<Vec<String>>) -> Vec<Cell> {
+    let scheme = unit.scheme.as_ref();
+    let capacity = scheme.capacity_hint();
+    let message = message_for(capacity);
+    let marked = scheme.mark(&message);
+    let mark_report = scheme.distortion(&marked);
+    // The collusion copy: the same scheme instance marking the
+    // complementary message (for keyed schemes like AK this is the same
+    // marking — averaging is then a no-op, which is itself a finding).
+    let complement: Vec<bool> = message.iter().map(|b| !b).collect();
+    let co_marked = scheme.mark(&complement).weights;
+    let universe = scheme.family().active_universe().len();
+
+    let mut cells = Vec::new();
+    for (a_idx, &aname) in ATTACK_NAMES.iter().enumerate() {
+        if !enabled(attacks, aname) {
+            continue;
+        }
+        let attack = match aname {
+            "clean" => None,
+            "noise" => Some(Attack::UniformNoise { amplitude: 2, fraction: 0.25 }),
+            "rounding" => Some(Attack::Rounding { granularity: 2 }),
+            "shift" => Some(Attack::ConstantShift { delta: 7 }),
+            "collusion" => Some(Attack::Averaging { copies: vec![co_marked.clone()] }),
+            "subset" => Some(Attack::SubsetSelection { drop_fraction: 0.5 }),
+            "superset" => Some(Attack::FakeInsertion {
+                count: universe.div_ceil(2),
+                amplitude: 3,
+            }),
+            "rerandomize" => Some(Attack::Rerandomize { fraction: 0.3 }),
+            other => panic!("unknown attack {other}"),
+        };
+        let mut carrier = marked.clone();
+        if let Some(att) = &attack {
+            att.apply_carrier(
+                &mut carrier,
+                scheme.family(),
+                cell_seed(unit.w_idx, unit.s_idx, a_idx),
+            );
+        }
+        let verdict: SchemeVerdict = scheme.detect(&carrier);
+        let attack_report = scheme
+            .family()
+            .global_distortion(&marked.weights, &carrier.weights);
+        cells.push(Cell {
+            scheme: scheme.name().to_string(),
+            workload: unit.workload.to_string(),
+            attack: aname.to_string(),
+            capacity,
+            mark_local: mark_report.max_local,
+            mark_global: mark_report.max_global,
+            attack_local: attack_report.max_local,
+            attack_global: attack_report.max_global,
+            matches: verdict.matches,
+            compared: verdict.compared,
+            bit_errors: verdict.bit_errors,
+            significance: verdict.significance,
+            verdict: verdict.verdict,
+        });
+    }
+    cells
+}
+
+/// Times `op` and returns mean ms/op (at least 3 iterations, stops
+/// after ~40 ms of sampling).
+fn time_per_op(mut op: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    let mut iters = 0u32;
+    loop {
+        op();
+        iters += 1;
+        if (iters >= 3 && start.elapsed().as_millis() >= 40) || iters >= 10_000 {
+            break;
+        }
+    }
+    start.elapsed().as_secs_f64() * 1000.0 / f64::from(iters)
+}
+
+/// Runs the battleground: builds units, evaluates the cell grid under
+/// [`fork_join`], then (unless disabled) measures per-unit throughput
+/// sequentially.
+pub fn run(cfg: &BattleConfig) -> RunOutcome {
+    let threads = qpwm_par::thread_count();
+    let units = build_units(cfg);
+    let infos: Vec<UnitInfo> = units
+        .iter()
+        .map(|u| UnitInfo {
+            scheme: u.scheme.name().to_string(),
+            workload: u.workload.to_string(),
+            params: u.scheme.params(),
+            capacity: u.scheme.capacity_hint(),
+            universe: u.scheme.family().active_universe().len(),
+        })
+        .collect();
+
+    // The cell grid: fork-join over unit indices, one leaf per unit,
+    // concatenation join — deterministic at any thread count.
+    let indices: Vec<usize> = (0..units.len()).collect();
+    let cells = fork_join(
+        indices,
+        ForkJoinLimits::default(),
+        |mut task, _depth| {
+            if task.len() <= 1 {
+                Fork::Leaf(task)
+            } else {
+                let right = task.split_off(task.len() / 2);
+                Fork::Split(vec![task, right])
+            }
+        },
+        |task: &Vec<usize>| -> Vec<Cell> {
+            task.iter()
+                .flat_map(|&i| run_unit(&units[i], &cfg.attacks))
+                .collect()
+        },
+        |parts: Vec<Vec<Cell>>| parts.into_iter().flatten().collect(),
+    );
+
+    // Throughput phase: sequential, so contention never skews the
+    // numbers the perf gate compares.
+    let mut bench = Vec::new();
+    if !cfg.check && !cfg.skip_bench {
+        for unit in &units {
+            let scheme = unit.scheme.as_ref();
+            let message = message_for(scheme.capacity_hint());
+            let marked = scheme.mark(&message);
+            let mark_ms = time_per_op(|| {
+                std::hint::black_box(scheme.mark(&message));
+            });
+            let detect_ms = time_per_op(|| {
+                std::hint::black_box(scheme.detect(&marked));
+            });
+            bench.push(UnitBench {
+                scheme: scheme.name().to_string(),
+                workload: unit.workload.to_string(),
+                build_ms: unit.build_ms,
+                mark_ms,
+                detect_ms,
+            });
+        }
+    }
+
+    RunOutcome { units: infos, cells, bench, threads }
+}
+
+/// The subset-selection dominance check the paper predicts: on every
+/// workload where both ran, `qp-local`'s survival must be at least
+/// Agrawal–Kiernan's, and strictly better somewhere.
+pub fn subset_dominance(cells: &[Cell]) -> Option<bool> {
+    let survived = |scheme: &str, workload: &str| -> Option<bool> {
+        cells
+            .iter()
+            .find(|c| c.scheme == scheme && c.workload == workload && c.attack == "subset")
+            .map(Cell::survived)
+    };
+    let mut saw_pair = false;
+    let mut strict = false;
+    for &w in &WORKLOAD_NAMES {
+        let (Some(qp), Some(ak)) = (survived("qp-local", w), survived("ak", w)) else {
+            continue;
+        };
+        saw_pair = true;
+        if ak && !qp {
+            return Some(false);
+        }
+        if qp && !ak {
+            strict = true;
+        }
+    }
+    saw_pair.then_some(strict)
+}
+
+/// JSON escaping for the hand-rolled writers.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders the deterministic Pareto table (`RESULTS_battleground.json`).
+pub fn results_json(outcome: &RunOutcome) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"units\": [\n");
+    for (i, u) in outcome.units.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"scheme\": {}, \"workload\": {}, \"params\": {}, \"capacity\": {}, \"universe\": {}}}{}",
+            json_str(&u.scheme),
+            json_str(&u.workload),
+            json_str(&u.params),
+            u.capacity,
+            u.universe,
+            if i + 1 < outcome.units.len() { "," } else { "" },
+        );
+    }
+    s.push_str("  ],\n  \"cells\": [\n");
+    for (i, c) in outcome.cells.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"scheme\": {}, \"workload\": {}, \"attack\": {}, \"capacity\": {}, \
+             \"mark_local\": {}, \"mark_global\": {}, \"attack_local\": {}, \"attack_global\": {}, \
+             \"matches\": {}, \"compared\": {}, \"bit_errors\": {}, \"significance\": {:.6e}, \
+             \"verdict\": {}, \"survived\": {}}}{}",
+            json_str(&c.scheme),
+            json_str(&c.workload),
+            json_str(&c.attack),
+            c.capacity,
+            c.mark_local,
+            c.mark_global,
+            c.attack_local,
+            c.attack_global,
+            c.matches,
+            c.compared,
+            c.bit_errors,
+            c.significance,
+            json_str(&c.verdict.to_string()),
+            c.survived(),
+            if i + 1 < outcome.cells.len() { "," } else { "" },
+        );
+    }
+    let schemes: std::collections::BTreeSet<&str> =
+        outcome.cells.iter().map(|c| c.scheme.as_str()).collect();
+    let workloads: std::collections::BTreeSet<&str> =
+        outcome.cells.iter().map(|c| c.workload.as_str()).collect();
+    let attacks: std::collections::BTreeSet<&str> =
+        outcome.cells.iter().map(|c| c.attack.as_str()).collect();
+    let dominance = match subset_dominance(&outcome.cells) {
+        Some(b) => b.to_string(),
+        None => "null".to_string(),
+    };
+    let _ = write!(
+        s,
+        "  ],\n  \"summary\": {{\"schemes\": {}, \"workloads\": {}, \"attacks\": {}, \"cells\": {}, \"subset_dominance\": {}}}\n}}\n",
+        schemes.len(),
+        workloads.len(),
+        attacks.len(),
+        outcome.cells.len(),
+        dominance,
+    );
+    s
+}
+
+/// Renders the timing trajectory (`BENCH_battleground.json`).
+pub fn bench_json(outcome: &RunOutcome) -> String {
+    let mut s = String::new();
+    let _ = write!(s, "{{\n  \"threads\": {},\n  \"units\": [\n", outcome.threads);
+    for (i, b) in outcome.bench.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"scheme\": {}, \"workload\": {}, \"build_ms\": {:.3}, \"mark_ms\": {:.4}, \"detect_ms\": {:.4}}}{}",
+            json_str(&b.scheme),
+            json_str(&b.workload),
+            b.build_ms,
+            b.mark_ms,
+            b.detect_ms,
+            if i + 1 < outcome.bench.len() { "," } else { "" },
+        );
+    }
+    s.push_str("  ],\n  \"per_scheme\": [\n");
+    let mut totals: Vec<(String, f64, f64)> = Vec::new();
+    for b in &outcome.bench {
+        match totals.iter_mut().find(|(n, _, _)| *n == b.scheme) {
+            Some(t) => {
+                t.1 += b.mark_ms;
+                t.2 += b.detect_ms;
+            }
+            None => totals.push((b.scheme.clone(), b.mark_ms, b.detect_ms)),
+        }
+    }
+    for (i, (name, mark_ms, detect_ms)) in totals.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"scheme\": {}, \"mark_ms\": {:.4}, \"detect_ms\": {:.4}, \"mark_per_s\": {:.1}, \"detect_per_s\": {:.1}}}{}",
+            json_str(name),
+            mark_ms,
+            detect_ms,
+            if *mark_ms > 0.0 { 1000.0 / mark_ms } else { 0.0 },
+            if *detect_ms > 0.0 { 1000.0 / detect_ms } else { 0.0 },
+            if i + 1 < totals.len() { "," } else { "" },
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Shared CLI driver for the `battleground` binary and the
+/// `qpwm battleground` subcommand. Parses flags, honours
+/// `--threads` via [`qpwm_par::parse_thread_arg`], runs, writes the
+/// JSON artifacts (full mode), and returns a process exit code.
+pub fn cli_main(args: &[String]) -> i32 {
+    let mut cfg = BattleConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--check" => cfg.check = true,
+            "--no-bench" => cfg.skip_bench = true,
+            "--threads" => {
+                let Some(raw) = it.next() else {
+                    eprintln!("error: --threads needs a value");
+                    return 2;
+                };
+                match qpwm_par::parse_thread_arg(raw) {
+                    Ok(n) => qpwm_par::set_threads(n),
+                    Err(e) => {
+                        eprintln!("error: --threads: {e}");
+                        return 2;
+                    }
+                }
+            }
+            "--schemes" => {
+                let Some(raw) = it.next() else {
+                    eprintln!("error: --schemes needs a comma-separated list");
+                    return 2;
+                };
+                cfg.schemes = Some(raw.split(',').map(|s| s.trim().to_string()).collect());
+            }
+            "--attacks" => {
+                let Some(raw) = it.next() else {
+                    eprintln!("error: --attacks needs a comma-separated list");
+                    return 2;
+                };
+                cfg.attacks = Some(raw.split(',').map(|s| s.trim().to_string()).collect());
+            }
+            other => {
+                eprintln!(
+                    "unknown flag: {other}\nusage: battleground [--check] [--threads N] \
+                     [--schemes a,b] [--attacks x,y] [--no-bench]"
+                );
+                return 2;
+            }
+        }
+    }
+
+    let outcome = run(&cfg);
+
+    if cfg.check {
+        let expected_schemes = match &cfg.schemes {
+            None => SCHEME_NAMES.len(),
+            Some(list) => SCHEME_NAMES
+                .iter()
+                .filter(|s| enabled(&cfg.schemes, s))
+                .count()
+                .max(usize::from(!list.is_empty())),
+        };
+        let expected_attacks = match &cfg.attacks {
+            None => ATTACK_NAMES.len(),
+            Some(_) => ATTACK_NAMES
+                .iter()
+                .filter(|a| enabled(&cfg.attacks, a))
+                .count(),
+        };
+        let expected = expected_schemes * expected_attacks * WORKLOAD_NAMES.len();
+        if outcome.cells.len() != expected {
+            eprintln!(
+                "battleground check FAILED: {} cells, expected {expected}",
+                outcome.cells.len()
+            );
+            return 1;
+        }
+        // Every cell must carry a ruling — a significance in [0, 1] and
+        // a printable verdict.
+        for c in &outcome.cells {
+            if !(0.0..=1.0).contains(&c.significance) {
+                eprintln!(
+                    "battleground check FAILED: {}/{}/{} has significance {}",
+                    c.scheme, c.workload, c.attack, c.significance
+                );
+                return 1;
+            }
+        }
+        println!(
+            "battleground check OK ({} cells, {} units, {} threads)",
+            outcome.cells.len(),
+            outcome.units.len(),
+            outcome.threads
+        );
+        return 0;
+    }
+
+    std::fs::write("RESULTS_battleground.json", results_json(&outcome))
+        .expect("write RESULTS_battleground.json");
+    if !outcome.bench.is_empty() {
+        std::fs::write("BENCH_battleground.json", bench_json(&outcome))
+            .expect("write BENCH_battleground.json");
+    }
+
+    // A human-readable digest of the Pareto table.
+    let mut table = crate::Table::new(vec![
+        "workload", "scheme", "bits", "d_mark", "survived", "of",
+    ]);
+    for &w in &WORKLOAD_NAMES {
+        for &s in &SCHEME_NAMES {
+            let row: Vec<&Cell> = outcome
+                .cells
+                .iter()
+                .filter(|c| c.workload == w && c.scheme == s)
+                .collect();
+            if row.is_empty() {
+                continue;
+            }
+            let survived = row.iter().filter(|c| c.survived()).count();
+            table.row(vec![
+                w.to_string(),
+                s.to_string(),
+                row[0].capacity.to_string(),
+                row[0].mark_global.to_string(),
+                survived.to_string(),
+                row.len().to_string(),
+            ]);
+        }
+    }
+    table.print("X-B3 — battleground: attacks survived per scheme × workload");
+    match subset_dominance(&outcome.cells) {
+        Some(true) => println!("subset-selection dominance: qp-local ≥ ak on every workload (strict somewhere) ✓"),
+        Some(false) => println!("subset-selection dominance: VIOLATED (ak survived where qp-local did not)"),
+        None => println!("subset-selection dominance: not evaluated (filtered run)"),
+    }
+    println!("wrote RESULTS_battleground.json{}", if outcome.bench.is_empty() { "" } else { " and BENCH_battleground.json" });
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_grid_is_complete_and_thread_invariant() {
+        let cfg = BattleConfig {
+            check: true,
+            schemes: Some(vec!["qp-local".into(), "ak".into()]),
+            attacks: Some(vec!["clean".into(), "subset".into()]),
+            skip_bench: true,
+        };
+        qpwm_par::set_threads(1);
+        let one = run(&cfg);
+        qpwm_par::set_threads(2);
+        let two = run(&cfg);
+        qpwm_par::set_threads(1);
+        assert_eq!(one.cells.len(), 2 * 2 * WORKLOAD_NAMES.len());
+        assert_eq!(results_json(&one), results_json(&two));
+    }
+
+    #[test]
+    #[ignore]
+    fn probe_capacities() {
+        for m in [1u32, 2] {
+            for thr in [3usize, 4, 6, 8] {
+                for n in [120u32, 150, 176, 240] {
+                    let tree = random_binary_tree(n, 2, 11);
+                    let q = mod_m_query(m);
+                    let domain: Vec<Vec<Element>> =
+                        (0..tree.len() as Element).map(|a| vec![a]).collect();
+                    let s = TreeScheme::build_with_threshold(&tree, &q, thr, domain);
+                    println!(
+                        "tree m={m} thr={thr} n={n} active={} cap={}",
+                        s.family().active_universe().len(),
+                        s.capacity()
+                    );
+                }
+            }
+        }
+        for (stations, regions, d) in [(120u32, 30u32, 2u64), (120, 30, 3), (150, 38, 3)] {
+            let m = random_meteo(stations, regions, 6, 4, 5);
+            let rule = regional_rule(&m);
+            let s = LocalScheme::build_over(
+                &m.instance,
+                &rule.query,
+                region_domain(&m),
+                &LocalSchemeConfig { rho: 1, d, strategy: SelectionStrategy::Greedy, seed: 7 },
+            )
+            .unwrap();
+            println!("meteo s={stations} r={regions} d={d} cap={}", s.capacity());
+        }
+        for (travels, transports, d) in [(70u32, 130u32, 2u64), (70, 130, 3), (85, 150, 3)] {
+            let t = random_travel(travels, transports, 3, 3, 5);
+            let s = LocalScheme::build_over(
+                &t.instance,
+                &route_query(),
+                travel_domain(&t),
+                &LocalSchemeConfig { rho: 1, d, strategy: SelectionStrategy::Greedy, seed: 7 },
+            )
+            .unwrap();
+            println!("travel t={travels} tr={transports} d={d} cap={}", s.capacity());
+        }
+        for n in [160u32, 170, 176, 190] {
+            let universe: Vec<Vec<Element>> = (0..n).map(|e| vec![e]).collect();
+            let ak = AkScheme::new(AkConfig::default());
+            println!("ak n={n} cap={}", ak.selections(&universe).len());
+        }
+    }
+
+    #[test]
+    fn cell_seeds_are_coordinate_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for w in 0..5 {
+            for s in 0..5 {
+                for a in 0..8 {
+                    assert!(seen.insert(cell_seed(w, s, a)));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Experiment X-B3: the cross-scheme attack battleground.
+//!
+//! Every [`qpwm_core::scheme::WatermarkScheme`] implementation × five
+//! shared workloads × the unified attack suite, emitting the
+//! `RESULTS_battleground.json` Pareto table and the
+//! `BENCH_battleground.json` throughput trajectory. See the module docs
+//! of [`qpwm_bench::battleground`] for the full cell semantics.
+//!
+//! Run with `cargo run --release -p qpwm-bench --bin battleground`.
+//! Flags: `--check` (smoke grid, no files), `--threads N`,
+//! `--schemes a,b`, `--attacks x,y`, `--no-bench`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(qpwm_bench::battleground::cli_main(&args));
+}

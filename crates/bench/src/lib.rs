@@ -5,6 +5,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod battleground;
+
 /// A plain-text table printer: fixed-width columns, a header rule, and
 /// stable formatting for EXPERIMENTS.md extracts.
 #[derive(Debug, Default)]

@@ -1,0 +1,84 @@
+//! Trait-conformance suite: every scheme behind [`WatermarkScheme`]
+//! must (a) mark-then-detect its own message at the default
+//! significance δ, and (b) refuse to claim ownership of unmarked data.
+//!
+//! The schemes are instantiated exactly as the battleground runs them
+//! (`workload_schemes`), on the `graphs` workload — the cheapest full
+//! size carrier — so this suite also pins the battleground's builders.
+
+use qpwm_bench::battleground::{workload_schemes, SCHEME_NAMES};
+use qpwm_core::detect::Verdict;
+use qpwm_core::scheme::MarkedCarrier;
+
+fn alternating(n: usize) -> Vec<bool> {
+    (0..n).map(|i| i % 2 == 0).collect()
+}
+
+#[test]
+fn every_scheme_roundtrips_and_rejects_unmarked() {
+    let schemes = workload_schemes("graphs", false);
+    assert_eq!(schemes.len(), SCHEME_NAMES.len());
+    for (scheme, &expected_name) in schemes.iter().zip(SCHEME_NAMES.iter()) {
+        assert_eq!(scheme.name(), expected_name);
+        assert!(!scheme.params().is_empty(), "{expected_name} params are empty");
+        // Enough capacity to clear the 2^-20 < δ significance bar.
+        let capacity = scheme.capacity_hint();
+        assert!(capacity >= 20, "{expected_name} capacity {capacity} < 20");
+
+        let message = alternating(capacity);
+        let marked = scheme.mark(&message);
+        let verdict = scheme.detect(&marked);
+        assert_eq!(
+            verdict.verdict,
+            Verdict::MarkPresent,
+            "{expected_name} failed its own roundtrip: {verdict:?}"
+        );
+        assert_eq!(verdict.bit_errors, 0, "{expected_name} clean decode has errors");
+
+        // The same claim against the unmarked baseline must not
+        // establish ownership (pair schemes abstain — no evidence;
+        // baselines land at chance-level matches — inconclusive).
+        let unmarked = MarkedCarrier::clean(scheme.baseline().clone(), marked.message.clone());
+        let innocent = scheme.detect(&unmarked);
+        assert_ne!(
+            innocent.verdict,
+            Verdict::MarkPresent,
+            "{expected_name} claimed unmarked data: {innocent:?}"
+        );
+    }
+}
+
+#[test]
+fn marking_distortion_is_audited_per_scheme() {
+    for scheme in workload_schemes("graphs", false) {
+        let marked = scheme.mark(&alternating(scheme.capacity_hint()));
+        let report = scheme.distortion(&marked);
+        assert!(report.max_local >= 0 && report.max_global >= 0);
+        match scheme.name() {
+            // Pair schemes move each weight by at most 1 and each
+            // answer-set aggregate by at most the scheme's d (the tree
+            // scheme's bound is 1 per region).
+            "qp-local" | "qp-robust" => {
+                assert!(report.max_global <= 2, "global {}", report.max_global);
+            }
+            "qp-tree" => assert!(report.max_global <= 1, "global {}", report.max_global),
+            // The baselines bound nothing per answer set — that gap is
+            // the paper's motivation, so just require they moved
+            // something.
+            "ak" | "kz" => assert!(report.max_local >= 1, "baseline marked nothing"),
+            other => panic!("unexpected scheme {other}"),
+        }
+    }
+}
+
+#[test]
+fn check_sized_workloads_build_for_all_five_workloads() {
+    // The --check grid builds every workload at smoke size; conformance
+    // there is just "constructs and reports coherent metadata".
+    for workload in ["meteo", "travel", "csv_db", "graphs", "xml_gen"] {
+        for scheme in workload_schemes(workload, true) {
+            assert!(!scheme.params().is_empty());
+            assert!(scheme.family().len() > 0, "{workload} family is empty");
+        }
+    }
+}

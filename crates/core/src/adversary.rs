@@ -16,6 +16,7 @@
 
 use crate::detect::{AnswerServer, DetectionReport, HonestServer, ObservedWeights};
 use crate::pairing::PairMarking;
+use crate::scheme::MarkedCarrier;
 use qpwm_rng::Rng;
 use qpwm_structures::{AnswerFamily, Element, Weights};
 
@@ -50,6 +51,33 @@ pub enum Attack {
     Averaging {
         /// The other copies' weights.
         copies: Vec<Weights>,
+    },
+    /// Serve only a random subset of the data: each active tuple is
+    /// censored out of every answer with probability `drop_fraction`
+    /// (the classic subset-selection attack; a set-level attack, so it
+    /// acts through [`Attack::apply_carrier`] and leaves weights alone).
+    SubsetSelection {
+        /// Per-tuple censoring probability.
+        drop_fraction: f64,
+    },
+    /// Insert `count` forged tuples with plausible weights (the SPSW
+    /// superset / fake-tuple attack). Forged elements are drawn beyond
+    /// the active universe, and their weights uniformly from the
+    /// empirical weight range stretched by `amplitude`. A set-level
+    /// attack: it acts through [`Attack::apply_carrier`].
+    FakeInsertion {
+        /// Number of forged tuples.
+        count: usize,
+        /// Extra slack added to the empirical weight range.
+        amplitude: i64,
+    },
+    /// Re-randomize a fraction of the weights: each touched weight is
+    /// replaced by a fresh uniform draw from the empirical `[min, max]`
+    /// range — destroying any mark it carried while keeping the column
+    /// statistically plausible.
+    Rerandomize {
+        /// Fraction of weights replaced.
+        fraction: f64,
     },
 }
 
@@ -91,9 +119,98 @@ impl Attack {
                     out.set(key, (sum + n / 2).div_euclid(n));
                 }
             }
+            // Set-level attacks do not move weights; their effect lives
+            // on the carrier ([`Attack::apply_carrier`]).
+            Attack::SubsetSelection { .. } => {}
+            Attack::FakeInsertion { count, amplitude } => {
+                let (lo, hi) = empirical_range(weights, answers);
+                let base = fresh_element_base(answers);
+                let arity = answers.output_arity().max(1);
+                for i in 0..*count {
+                    let key: Vec<Element> = vec![base + i as Element; arity];
+                    out.set(&key, rng.gen_range(lo - amplitude..=hi + amplitude));
+                }
+            }
+            Attack::Rerandomize { fraction } => {
+                let (lo, hi) = empirical_range(weights, answers);
+                for key in answers.universe_tuples() {
+                    if rng.gen_f64() < *fraction {
+                        out.set(key, rng.gen_range(lo..=hi));
+                    }
+                }
+            }
         }
         out
     }
+
+    /// Applies the attack to a full [`MarkedCarrier`]: weight-level
+    /// attacks rewrite `carrier.weights` exactly like
+    /// [`Attack::apply`]; subset selection records censored tuples in
+    /// `carrier.dropped`; fake insertion records the forged tuples (and
+    /// their served weights) in `carrier.inserted`. The claim
+    /// (`carrier.message`) is never touched — attacks destroy evidence,
+    /// not the owner's assertion.
+    pub fn apply_carrier(&self, carrier: &mut MarkedCarrier, answers: &AnswerFamily, seed: u64) {
+        match self {
+            Attack::SubsetSelection { drop_fraction } => {
+                let mut rng = Rng::seed_from_u64(seed);
+                for key in answers.universe_tuples() {
+                    if rng.gen_f64() < *drop_fraction {
+                        carrier.dropped.push(key.to_vec());
+                    }
+                }
+            }
+            Attack::FakeInsertion { count, amplitude } => {
+                // Same draws as [`Attack::apply`], but the forged tuples
+                // are additionally recorded for detectors (like
+                // Agrawal–Kiernan's) that scan the served relation
+                // rather than true answer sets.
+                let mut rng = Rng::seed_from_u64(seed);
+                let (lo, hi) = empirical_range(&carrier.weights, answers);
+                let base = fresh_element_base(answers);
+                let arity = answers.output_arity().max(1);
+                for i in 0..*count {
+                    let key: Vec<Element> = vec![base + i as Element; arity];
+                    let w = rng.gen_range(lo - amplitude..=hi + amplitude);
+                    carrier.weights.set(&key, w);
+                    carrier.inserted.push((key, w));
+                }
+            }
+            _ => {
+                carrier.weights = self.apply(&carrier.weights, answers, seed);
+            }
+        }
+    }
+}
+
+/// The empirical `[min, max]` range of the active weights — the
+/// attacker's view of what a plausible value looks like.
+fn empirical_range(weights: &Weights, answers: &AnswerFamily) -> (i64, i64) {
+    let mut lo = i64::MAX;
+    let mut hi = i64::MIN;
+    for key in answers.universe_tuples() {
+        let w = weights.get(key);
+        lo = lo.min(w);
+        hi = hi.max(w);
+    }
+    if lo > hi {
+        (0, 0)
+    } else {
+        (lo, hi)
+    }
+}
+
+/// First element id strictly beyond every id used by the family's
+/// active universe — forged tuples built from here can never collide
+/// with a true tuple.
+fn fresh_element_base(answers: &AnswerFamily) -> Element {
+    let mut max = 0;
+    for key in answers.universe_tuples() {
+        for &e in key {
+            max = max.max(e);
+        }
+    }
+    max + 1
 }
 
 /// A server that *censors*: answers every query but drops a fraction of

@@ -22,6 +22,10 @@
 //!   false-positive significance.
 //! * [`cliquewidth`] — Theorem 4 executed: k-expressions, parse trees,
 //!   the edge-query automaton, tree → 3-expression conversion.
+//! * [`scheme`] — the object-safe [`WatermarkScheme`] trait unifying
+//!   every scheme (pair markings, the repetition wrapper, and the
+//!   baselines in `qpwm-baselines`) behind one mark/detect/distortion
+//!   surface, plus the shared [`PairSchemeCore`].
 //! * [`multi_query`] — several registered queries preserved at once.
 //! * [`owner`] — the 3-tier console: issue per-server copies, refresh
 //!   them across weight updates, attribute leaks.
@@ -45,10 +49,15 @@ pub mod multi_query;
 pub mod owner;
 pub mod pairing;
 pub mod relative;
+pub mod scheme;
 pub mod tree_scheme;
 
 pub use detect::{AnswerServer, DetectionReport, HonestServer, ObservedWeights};
 pub use local_scheme::{LocalScheme, LocalSchemeConfig, SchemeError};
 pub use pairing::{FamilyIndex, Pair, PairMarking};
 pub use multi_query::MultiQueryScheme;
+pub use scheme::{
+    family_pairs, MarkedCarrier, PairSchemeCore, PairWatermark, RobustWatermark, SchemeVerdict,
+    WatermarkScheme,
+};
 pub use tree_scheme::TreeScheme;

@@ -27,8 +27,9 @@
 //! deterministically once step 4 succeeds, which is slightly stronger
 //! than Definition 2's probability-¾ requirement.
 
-use crate::detect::{AnswerServer, DetectionReport, ObservedWeights};
+use crate::detect::{AnswerServer, DetectionReport};
 use crate::pairing::{classes_ids, s_partition_ids, FamilyIndex, Pair, PairMarking};
+use crate::scheme::PairSchemeCore;
 use qpwm_logic::{ParametricQuery, QueryAnswers};
 use qpwm_rng::Rng;
 use qpwm_structures::{GaifmanGraph, NeighborhoodTypes, TupleId, WeightedStructure, Weights};
@@ -124,10 +125,8 @@ pub struct SchemeStats {
 /// pair list.
 #[derive(Debug, Clone)]
 pub struct LocalScheme {
-    marking: PairMarking,
-    answers: QueryAnswers,
+    core: PairSchemeCore,
     stats: SchemeStats,
-    d: u64,
 }
 
 impl LocalScheme {
@@ -281,17 +280,17 @@ impl LocalScheme {
             attempts,
             max_separation,
         };
-        Ok(LocalScheme { marking, answers, stats, d: config.d })
+        Ok(LocalScheme { core: PairSchemeCore::new(marking, answers, config.d), stats })
     }
 
     /// Number of message bits the scheme hides (`l`).
     pub fn capacity(&self) -> usize {
-        self.marking.capacity()
+        self.core.capacity()
     }
 
     /// The distortion budget `d`.
     pub fn d(&self) -> u64 {
-        self.d
+        self.core.d()
     }
 
     /// Construction diagnostics.
@@ -299,15 +298,20 @@ impl LocalScheme {
         &self.stats
     }
 
+    /// The shared pair-scheme core (marking + preserved family + `d`).
+    pub fn core(&self) -> &PairSchemeCore {
+        &self.core
+    }
+
     /// The secret pair marking (exposed for adversarial wrappers and
     /// incremental maintenance).
     pub fn marking(&self) -> &PairMarking {
-        &self.marking
+        self.core.marking()
     }
 
     /// The interned answer family (active sets per parameter).
     pub fn answers(&self) -> &QueryAnswers {
-        &self.answers
+        self.core.family()
     }
 
     /// The marker `M`: embeds `message` into the weights.
@@ -315,20 +319,19 @@ impl LocalScheme {
     /// # Panics
     /// Panics if `message` exceeds [`LocalScheme::capacity`].
     pub fn mark(&self, weights: &Weights, message: &[bool]) -> Weights {
-        self.marking.apply(weights, message)
+        self.core.mark(weights, message)
     }
 
     /// The detector `D`: recovers the message from a suspect server's
     /// answers, given the original (secret) weights.
     pub fn detect(&self, original: &Weights, server: &dyn AnswerServer) -> DetectionReport {
-        let observed = ObservedWeights::collect(server);
-        self.marking.extract(original, &observed)
+        self.core.detect(original, server)
     }
 
     /// Audits a marked instance against Definition 2: 1-local and
     /// d-global over the full parameter domain.
     pub fn audit(&self, original: &Weights, marked: &Weights) -> qpwm_structures::DistortionReport {
-        self.answers.global_distortion(original, marked)
+        self.core.audit(original, marked)
     }
 }
 

@@ -1,0 +1,524 @@
+//! One trait over every watermarking scheme in the repository.
+//!
+//! The paper's headline claim — query-preserving marking beats key-hash
+//! marking on the capacity / distortion / robustness trade-off — is only
+//! checkable if every scheme answers the same three questions over the
+//! same carrier type: *how many bits fit*, *how far did the data move*,
+//! and *does the mark survive this attack*. [`WatermarkScheme`] is that
+//! common interface. The carrier is type-erased into the engine types
+//! every scheme already speaks: a [`Weights`] assignment over an
+//! [`AnswerFamily`]'s active universe, wrapped in a [`MarkedCarrier`]
+//! that additionally records set-level tampering (dropped and inserted
+//! tuples) so SPSW-style subset / superset attacks are expressible
+//! without inventing a new data model per scheme.
+//!
+//! Implementations live next to their schemes:
+//!
+//! * [`PairWatermark`] (here) — the Theorem 3 / Theorem 5 pair markings
+//!   (`LocalScheme`, `TreeScheme`) through their shared
+//!   [`PairSchemeCore`];
+//! * [`RobustWatermark`] (here) — the Fact 1 repetition wrapper;
+//! * `AkWatermark` / `KzWatermark` (in `qpwm-baselines`) — the
+//!   Agrawal–Kiernan and Khanna–Zane baselines.
+//!
+//! [`PairSchemeCore`] is also where the `marking()/mark()/detect()/
+//! audit()` plumbing formerly copy-pasted between `local_scheme.rs` and
+//! `tree_scheme.rs` now lives exactly once.
+
+use std::collections::HashSet;
+
+use qpwm_structures::{AnswerFamily, DistortionReport, Element, WeightKey, Weights};
+
+use crate::adversary::RobustScheme;
+use crate::detect::{
+    AnswerServer, ClaimCheck, DetectionReport, ObservedWeights, Verdict, DEFAULT_DELTA,
+};
+use crate::pairing::{classes_ids, s_partition_ids, Pair, PairMarking};
+
+/// A marked (or attacked) carrier: the weights a suspect server would
+/// serve, the message the owner claims, and any set-level tampering.
+///
+/// Weight-level attacks mutate `weights`; subset selection records the
+/// censored tuples in `dropped` (the detector will not see them in any
+/// answer); superset / fake-tuple insertion records the forged tuples in
+/// `inserted`. The owner's `message` travels with the carrier because an
+/// ownership claim is always checked against the message that was
+/// embedded — attacks never change the claim, only the evidence.
+#[derive(Debug, Clone)]
+pub struct MarkedCarrier {
+    /// The weights the suspect serves (marked, then possibly attacked).
+    pub weights: Weights,
+    /// The embedded message the owner will claim.
+    pub message: Vec<bool>,
+    /// Tuples censored out of every answer set (subset selection).
+    pub dropped: Vec<WeightKey>,
+    /// Forged tuples the suspect added, with their served weights
+    /// (superset / fake-tuple insertion à la SPSW).
+    pub inserted: Vec<(WeightKey, i64)>,
+}
+
+impl MarkedCarrier {
+    /// A freshly marked, untampered carrier.
+    pub fn clean(weights: Weights, message: Vec<bool>) -> Self {
+        MarkedCarrier { weights, message, dropped: Vec::new(), inserted: Vec::new() }
+    }
+
+    /// The censored tuples as a set, for membership tests during
+    /// detection.
+    pub fn dropped_set(&self) -> HashSet<&WeightKey> {
+        self.dropped.iter().collect()
+    }
+}
+
+/// A scheme's ruling on a suspect carrier, with the false-positive
+/// significance that backs it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchemeVerdict {
+    /// Claim bits matched by the evidence-bearing sample.
+    pub matches: usize,
+    /// Size of the evidence-bearing sample (erased bits excluded).
+    pub compared: usize,
+    /// Mismatches within the compared sample.
+    pub bit_errors: usize,
+    /// `P[an innocent server matches at least this well]`.
+    pub significance: f64,
+    /// The thresholded ruling at the scheme's significance level.
+    pub verdict: Verdict,
+}
+
+impl SchemeVerdict {
+    /// Builds a verdict from a scored ownership claim.
+    pub fn from_claim(check: &ClaimCheck) -> Self {
+        SchemeVerdict {
+            matches: check.matches,
+            compared: check.compared,
+            bit_errors: check.compared - check.matches,
+            significance: check.significance,
+            verdict: check.verdict,
+        }
+    }
+
+    /// A refusal to rule: no evidence-bearing bits survived.
+    pub fn abstain() -> Self {
+        SchemeVerdict {
+            matches: 0,
+            compared: 0,
+            bit_errors: 0,
+            significance: 1.0,
+            verdict: Verdict::Abstain,
+        }
+    }
+
+    /// Did the mark survive — is the ruling [`Verdict::MarkPresent`]?
+    pub fn survived(&self) -> bool {
+        self.verdict == Verdict::MarkPresent
+    }
+}
+
+/// The common interface over every watermarking scheme.
+///
+/// Object-safe by construction: the battleground holds
+/// `Box<dyn WatermarkScheme>` and never needs to know whether the marks
+/// ride on canonical pairs, PRF-selected bits, or graph edge weights.
+pub trait WatermarkScheme: Send + Sync {
+    /// Stable scheme identifier (`qp-local`, `qp-tree`, `qp-robust`,
+    /// `ak`, `kz`).
+    fn name(&self) -> &str;
+
+    /// Human-readable parameter summary for result tables.
+    fn params(&self) -> String;
+
+    /// How many message bits this instance can embed.
+    fn capacity_hint(&self) -> usize;
+
+    /// The answer family whose aggregates the scheme is judged against
+    /// (for query-preserving schemes, the family it preserves; for
+    /// baselines, the workload family it is benchmarked on).
+    fn family(&self) -> &AnswerFamily;
+
+    /// The unmarked weights of the carrier.
+    fn baseline(&self) -> &Weights;
+
+    /// Embeds `message`, returning a clean marked carrier.
+    ///
+    /// # Panics
+    /// Panics if `message` exceeds [`WatermarkScheme::capacity_hint`].
+    fn mark(&self, message: &[bool]) -> MarkedCarrier;
+
+    /// Rules on a suspect carrier at the scheme's significance level
+    /// ([`DEFAULT_DELTA`] unless a scheme documents otherwise).
+    fn detect(&self, suspect: &MarkedCarrier) -> SchemeVerdict;
+
+    /// Audits how far the suspect's weights moved the preserved
+    /// aggregates — the (c-local, d-global) distortion against the
+    /// baseline.
+    fn distortion(&self, suspect: &MarkedCarrier) -> DistortionReport {
+        self.family().global_distortion(self.baseline(), &suspect.weights)
+    }
+}
+
+/// An [`AnswerServer`] view of a [`MarkedCarrier`]: serves the carrier's
+/// weights over the family's answer sets, honouring the carrier's
+/// censored tuples. Forged tuples never appear — they are not members of
+/// any true answer set, which is exactly why insertion attacks cannot
+/// starve a pair detector.
+struct CarrierServer<'a> {
+    family: &'a AnswerFamily,
+    carrier: &'a MarkedCarrier,
+    dropped: HashSet<WeightKey>,
+}
+
+impl<'a> CarrierServer<'a> {
+    fn new(family: &'a AnswerFamily, carrier: &'a MarkedCarrier) -> Self {
+        let dropped = carrier.dropped.iter().cloned().collect();
+        CarrierServer { family, carrier, dropped }
+    }
+}
+
+impl AnswerServer for CarrierServer<'_> {
+    fn num_parameters(&self) -> usize {
+        self.family.len()
+    }
+
+    fn answer(&self, i: usize) -> Vec<(Vec<Element>, i64)> {
+        self.family
+            .set_tuples(i)
+            .filter(|b| !self.dropped.contains(*b))
+            .map(|b| (b.to_vec(), self.carrier.weights.get(b)))
+            .collect()
+    }
+}
+
+/// The shared core of every pair-marking scheme: a [`PairMarking`], the
+/// answer family it preserves, and the distortion budget `d` it was
+/// built under. `LocalScheme` (Theorem 3) and `TreeScheme` (Theorem 5)
+/// both delegate their `capacity / mark / detect / audit` surface here.
+#[derive(Debug, Clone)]
+pub struct PairSchemeCore {
+    marking: PairMarking,
+    family: AnswerFamily,
+    d: u64,
+}
+
+impl PairSchemeCore {
+    /// Wraps a marking with the family it preserves under budget `d`.
+    pub fn new(marking: PairMarking, family: AnswerFamily, d: u64) -> Self {
+        PairSchemeCore { marking, family, d }
+    }
+
+    /// Message capacity in bits (one bit per pair).
+    pub fn capacity(&self) -> usize {
+        self.marking.capacity()
+    }
+
+    /// The global distortion budget the marking was built under.
+    pub fn d(&self) -> u64 {
+        self.d
+    }
+
+    /// The underlying pair marking.
+    pub fn marking(&self) -> &PairMarking {
+        &self.marking
+    }
+
+    /// The preserved answer family.
+    pub fn family(&self) -> &AnswerFamily {
+        &self.family
+    }
+
+    /// Marker: applies the pairwise `(+1, −1)` distortions encoding
+    /// `message`.
+    ///
+    /// # Panics
+    /// Panics if `message` exceeds [`PairSchemeCore::capacity`].
+    pub fn mark(&self, weights: &Weights, message: &[bool]) -> Weights {
+        self.marking.apply(weights, message)
+    }
+
+    /// Detector: queries `server`, reconstructs the weights it serves,
+    /// and extracts the message by pairwise comparison with `original`.
+    pub fn detect(&self, original: &Weights, server: &dyn AnswerServer) -> DetectionReport {
+        let observed = ObservedWeights::collect(server);
+        self.marking.extract(original, &observed)
+    }
+
+    /// Detector over a [`MarkedCarrier`]: serves the carrier through an
+    /// internal answer server (honouring censored tuples) and extracts
+    /// against `original`.
+    pub fn detect_carrier(&self, original: &Weights, carrier: &MarkedCarrier) -> DetectionReport {
+        let server = CarrierServer::new(&self.family, carrier);
+        self.detect(original, &server)
+    }
+
+    /// Audits the (c-local, d-global) distortion between two weight
+    /// assignments over the preserved family.
+    pub fn audit(&self, original: &Weights, marked: &Weights) -> DistortionReport {
+        self.family.global_distortion(original, marked)
+    }
+}
+
+/// The full S-partition pairing of a family: canonical sets are the
+/// distinct active-id signatures, elements are classed by which
+/// canonical sets contain them, and same-class elements are paired off.
+///
+/// This is the maximal pair supply a family admits before any
+/// distortion-budget selection — the raw material the [`RobustScheme`]
+/// repetition wrapper spends on redundancy (it trades the distortion
+/// guarantee for capacity, which the battleground's distortion column
+/// then reports honestly).
+pub fn family_pairs(family: &AnswerFamily) -> Vec<Pair> {
+    let universe = family.active_universe();
+    let mut seen = HashSet::new();
+    let mut canonical: Vec<&[qpwm_structures::TupleId]> = Vec::new();
+    for i in 0..family.len() {
+        let ids = family.active_ids(i);
+        if seen.insert(ids.to_vec()) {
+            canonical.push(ids);
+        }
+    }
+    let classes = classes_ids(universe, &canonical);
+    s_partition_ids(universe, &classes)
+        .into_iter()
+        .map(|(a, b)| Pair {
+            plus: family.tuple(a).to_vec(),
+            minus: family.tuple(b).to_vec(),
+        })
+        .collect()
+}
+
+/// [`WatermarkScheme`] adapter for any pair-marking scheme: a
+/// [`PairSchemeCore`] plus the baseline weights it marks.
+#[derive(Debug, Clone)]
+pub struct PairWatermark {
+    name: String,
+    params: String,
+    core: PairSchemeCore,
+    baseline: Weights,
+}
+
+impl PairWatermark {
+    /// Wraps a pair-scheme core over `baseline` under reporting `name`.
+    pub fn new(
+        name: impl Into<String>,
+        params: impl Into<String>,
+        core: PairSchemeCore,
+        baseline: Weights,
+    ) -> Self {
+        PairWatermark { name: name.into(), params: params.into(), core, baseline }
+    }
+
+    /// The wrapped core.
+    pub fn core(&self) -> &PairSchemeCore {
+        &self.core
+    }
+}
+
+impl WatermarkScheme for PairWatermark {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn params(&self) -> String {
+        self.params.clone()
+    }
+
+    fn capacity_hint(&self) -> usize {
+        self.core.capacity()
+    }
+
+    fn family(&self) -> &AnswerFamily {
+        self.core.family()
+    }
+
+    fn baseline(&self) -> &Weights {
+        &self.baseline
+    }
+
+    fn mark(&self, message: &[bool]) -> MarkedCarrier {
+        MarkedCarrier::clean(self.core.mark(&self.baseline, message), message.to_vec())
+    }
+
+    fn detect(&self, suspect: &MarkedCarrier) -> SchemeVerdict {
+        let report = self.core.detect_carrier(&self.baseline, suspect);
+        SchemeVerdict::from_claim(&report.claim_check_effective(&suspect.message, DEFAULT_DELTA))
+    }
+}
+
+/// [`WatermarkScheme`] adapter for the Fact 1 repetition wrapper: an
+/// R-fold [`RobustScheme`] over the family's full S-partition pairing.
+pub struct RobustWatermark {
+    params: String,
+    scheme: RobustScheme,
+    family: AnswerFamily,
+    baseline: Weights,
+}
+
+impl RobustWatermark {
+    /// Builds the repetition wrapper over `family`'s full S-partition
+    /// pair supply ([`family_pairs`]) with repetition factor
+    /// `repetition`.
+    ///
+    /// # Panics
+    /// Panics if `repetition` is zero.
+    pub fn new(family: AnswerFamily, baseline: Weights, repetition: usize) -> Self {
+        let pairs = family_pairs(&family);
+        let marking = PairMarking::new(pairs);
+        let params = format!("R={repetition}, pairs=S-partition");
+        Self::over_marking(marking, params, family, baseline, repetition)
+    }
+
+    /// Builds the repetition wrapper over an explicit pair supply —
+    /// typically a [`LocalScheme`](crate::LocalScheme)'s marking, whose
+    /// bounded-separation pairs exist even on families where every
+    /// tuple's answer-set signature is distinct (there [`family_pairs`]
+    /// finds nothing to pair).
+    ///
+    /// # Panics
+    /// Panics if `repetition` is zero.
+    pub fn over_marking(
+        marking: PairMarking,
+        params: String,
+        family: AnswerFamily,
+        baseline: Weights,
+        repetition: usize,
+    ) -> Self {
+        let scheme = RobustScheme::new(marking, repetition);
+        RobustWatermark { params, scheme, family, baseline }
+    }
+
+    /// The wrapped repetition scheme.
+    pub fn scheme(&self) -> &RobustScheme {
+        &self.scheme
+    }
+}
+
+impl WatermarkScheme for RobustWatermark {
+    fn name(&self) -> &str {
+        "qp-robust"
+    }
+
+    fn params(&self) -> String {
+        self.params.clone()
+    }
+
+    fn capacity_hint(&self) -> usize {
+        self.scheme.capacity()
+    }
+
+    fn family(&self) -> &AnswerFamily {
+        &self.family
+    }
+
+    fn baseline(&self) -> &Weights {
+        &self.baseline
+    }
+
+    fn mark(&self, message: &[bool]) -> MarkedCarrier {
+        MarkedCarrier::clean(self.scheme.mark(&self.baseline, message), message.to_vec())
+    }
+
+    fn detect(&self, suspect: &MarkedCarrier) -> SchemeVerdict {
+        let server = CarrierServer::new(&self.family, suspect);
+        let report = self.scheme.detect(&self.baseline, &server);
+        SchemeVerdict::from_claim(&report.claim_check_effective(&suspect.message, DEFAULT_DELTA))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpwm_structures::AnswerFamily;
+
+    fn key(e: u32) -> WeightKey {
+        vec![e]
+    }
+
+    /// Two disjoint answer sets of four elements each: every set yields
+    /// two same-class pairs, so the full S-partition has 4 pairs.
+    fn family() -> AnswerFamily {
+        let sets: Vec<Vec<WeightKey>> = vec![
+            (0..4).map(key).collect(),
+            (4..8).map(key).collect(),
+        ];
+        let params = (0..sets.len()).map(|i| vec![100 + i as u32]).collect();
+        AnswerFamily::from_nested(params, &sets)
+    }
+
+    fn baseline() -> Weights {
+        let mut w = Weights::new(1);
+        for e in 0..8 {
+            w.set(&key(e), 50 + i64::from(e));
+        }
+        w
+    }
+
+    #[test]
+    fn family_pairs_partitions_each_class() {
+        let pairs = family_pairs(&family());
+        assert_eq!(pairs.len(), 4);
+        // Pair members never straddle the two sets (they would change
+        // both aggregates in the same direction otherwise).
+        for p in &pairs {
+            assert_eq!(p.plus[0] < 4, p.minus[0] < 4);
+        }
+    }
+
+    #[test]
+    fn pair_core_mark_then_detect_roundtrips() {
+        let fam = family();
+        let core = PairSchemeCore::new(PairMarking::new(family_pairs(&fam)), fam, 1);
+        let message = vec![true, false, true, false];
+        let marked = core.mark(&baseline(), &message);
+        let carrier = MarkedCarrier::clean(marked, message.clone());
+        let report = core.detect_carrier(&baseline(), &carrier);
+        assert_eq!(report.bits, message);
+        let audit = core.audit(&baseline(), &carrier.weights);
+        assert_eq!(audit.max_local, 1);
+    }
+
+    #[test]
+    fn pair_watermark_abstains_on_unmarked_data() {
+        let fam = family();
+        let core = PairSchemeCore::new(PairMarking::new(family_pairs(&fam)), fam, 1);
+        let scheme = PairWatermark::new("qp-local", "test", core, baseline());
+        // Unmarked carrier claiming a message: every score is 0, so the
+        // effective sample is empty and the scheme refuses to rule.
+        let unmarked = MarkedCarrier::clean(baseline(), vec![true; 4]);
+        let verdict = scheme.detect(&unmarked);
+        assert_eq!(verdict.verdict, Verdict::Abstain);
+        assert_eq!(verdict.compared, 0);
+        assert!(!verdict.survived());
+    }
+
+    #[test]
+    fn carrier_server_honours_dropped_tuples() {
+        let fam = family();
+        let core = PairSchemeCore::new(PairMarking::new(family_pairs(&fam)), fam, 1);
+        let scheme = PairWatermark::new("qp-local", "test", core, baseline());
+        let message = vec![true, true, false, false];
+        let mut carrier = scheme.mark(&message);
+        // Censor one member of the first pair: its partner still carries
+        // a ±1 delta, so the bit survives with |score| = 1.
+        let first = scheme.core().marking().pairs()[0].plus.clone();
+        carrier.dropped.push(first);
+        let verdict = scheme.detect(&carrier);
+        assert_eq!(verdict.bit_errors, 0);
+        assert_eq!(verdict.compared, 4);
+    }
+
+    #[test]
+    fn robust_watermark_survives_partial_erasure() {
+        let fam = family();
+        let scheme = RobustWatermark::new(fam, baseline(), 2);
+        assert_eq!(scheme.capacity_hint(), 2);
+        let message = vec![true, false];
+        let carrier = scheme.mark(&message);
+        let verdict = scheme.detect(&carrier);
+        assert_eq!(verdict.bit_errors, 0);
+        assert_eq!(verdict.compared, 2);
+        let distortion = scheme.distortion(&carrier);
+        // Repetition spends the distortion budget: both pairs of a bit
+        // sit in one set, so the aggregate can move by 2.
+        assert!(distortion.max_global <= 2);
+    }
+}

@@ -20,8 +20,9 @@
 //!    local scheme. Every parameter lies in at most one region `V_i`, so
 //!    the global distortion of any message is at most 1.
 
-use crate::detect::{AnswerServer, DetectionReport, ObservedWeights};
+use crate::detect::{AnswerServer, DetectionReport};
 use crate::pairing::{Pair, PairMarking};
+use crate::scheme::PairSchemeCore;
 use qpwm_structures::{AnswerFamily, Element, Weights};
 use qpwm_trees::automaton::BottomUpAutomaton;
 use qpwm_trees::pebble::{Overlay, PebbledQuery};
@@ -47,15 +48,14 @@ pub struct TreeSchemeStats {
 /// A constructed Theorem 5 scheme.
 #[derive(Debug)]
 pub struct TreeScheme {
-    marking: PairMarking,
+    /// Shared pair-scheme plumbing: the marking, the answers as an
+    /// interned family (`NodeId` = `Element`, built once at
+    /// construction), and the d = 1 budget Theorem 5 guarantees.
+    core: PairSchemeCore,
     /// Region root of each pair (for maintenance/debugging).
     regions: Vec<NodeId>,
     stats: TreeSchemeStats,
     answers: Vec<(Vec<NodeId>, Vec<NodeId>)>,
-    /// The same answers as an interned family (`NodeId` = `Element`),
-    /// built once at construction — audits and servers share it without
-    /// rematerializing nested sets.
-    family: AnswerFamily,
 }
 
 impl TreeScheme {
@@ -253,12 +253,13 @@ impl TreeScheme {
             .map(|(_, set)| set.iter().map(|&b| vec![b]).collect())
             .collect();
         let family = AnswerFamily::from_nested(parameters, &sets);
-        TreeScheme { marking: PairMarking::new(pairs), regions, stats, answers, family }
+        let core = PairSchemeCore::new(PairMarking::new(pairs), family, 1);
+        TreeScheme { core, regions, stats, answers }
     }
 
     /// Number of message bits.
     pub fn capacity(&self) -> usize {
-        self.marking.capacity()
+        self.core.capacity()
     }
 
     /// Construction diagnostics.
@@ -266,9 +267,14 @@ impl TreeScheme {
         &self.stats
     }
 
+    /// The shared pair-scheme core (marking + interned family + budget).
+    pub fn core(&self) -> &PairSchemeCore {
+        &self.core
+    }
+
     /// The secret pair marking.
     pub fn marking(&self) -> &PairMarking {
-        &self.marking
+        self.core.marking()
     }
 
     /// Region root of each pair.
@@ -285,23 +291,22 @@ impl TreeScheme {
     /// clone to [`HonestServer::new`](crate::detect::HonestServer::new),
     /// it is two `Arc` bumps.
     pub fn family(&self) -> &AnswerFamily {
-        &self.family
+        self.core.family()
     }
 
     /// Marker: embeds `message` into node weights.
     pub fn mark(&self, weights: &Weights, message: &[bool]) -> Weights {
-        self.marking.apply(weights, message)
+        self.core.mark(weights, message)
     }
 
     /// Detector: recovers the message from a server's answers.
     pub fn detect(&self, original: &Weights, server: &dyn AnswerServer) -> DetectionReport {
-        let observed = ObservedWeights::collect(server);
-        self.marking.extract(original, &observed)
+        self.core.detect(original, server)
     }
 
     /// Audits Definition 2 bounds (Theorem 5 guarantees global ≤ 1).
     pub fn audit(&self, original: &Weights, marked: &Weights) -> qpwm_structures::DistortionReport {
-        self.family.global_distortion(original, marked)
+        self.core.audit(original, marked)
     }
 }
 

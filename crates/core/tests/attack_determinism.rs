@@ -1,0 +1,121 @@
+//! Seeded-determinism property tests for every [`Attack`] variant: the
+//! battleground's byte-identical RESULTS promise rests on each attack
+//! being a pure function of `(carrier, family, seed)` — same seed ⇒
+//! byte-identical attacked weights (and, for the carrier-level attacks,
+//! identical dropped/inserted records), different seed ⇒ a genuinely
+//! different transformation for every randomized variant.
+
+use qpwm_core::adversary::Attack;
+use qpwm_core::scheme::MarkedCarrier;
+use qpwm_structures::{AnswerFamily, WeightKey, Weights};
+
+/// A 64-tuple family: 16 disjoint answer sets of 4 singletons each.
+fn family() -> AnswerFamily {
+    let sets: Vec<Vec<WeightKey>> = (0..16u32)
+        .map(|s| (4 * s..4 * s + 4).map(|e| vec![e]).collect())
+        .collect();
+    let params = (0..sets.len()).map(|i| vec![1000 + i as u32]).collect();
+    AnswerFamily::from_nested(params, &sets)
+}
+
+fn weights() -> Weights {
+    let mut w = Weights::new(1);
+    for e in 0..64u32 {
+        w.set(&[e], 500 + i64::from(e) * 7);
+    }
+    w
+}
+
+/// Every attack variant under test, with its display name.
+fn all_attacks(answers: &AnswerFamily, weights: &Weights) -> Vec<(&'static str, Attack)> {
+    // A plausible colluding copy: the same weights nudged on one tuple.
+    let mut copy = weights.clone();
+    copy.add(&[3u32], 5);
+    vec![
+        ("uniform-noise", Attack::UniformNoise { amplitude: 3, fraction: 0.4 }),
+        ("rounding", Attack::Rounding { granularity: 4 }),
+        ("constant-shift", Attack::ConstantShift { delta: 9 }),
+        ("averaging", Attack::Averaging { copies: vec![copy] }),
+        ("subset-selection", Attack::SubsetSelection { drop_fraction: 0.5 }),
+        (
+            "fake-insertion",
+            Attack::FakeInsertion { count: answers.active_universe().len() / 2, amplitude: 3 },
+        ),
+        ("rerandomize", Attack::Rerandomize { fraction: 0.5 }),
+    ]
+}
+
+#[test]
+fn same_seed_gives_byte_identical_weights() {
+    let answers = family();
+    let w = weights();
+    for (name, attack) in all_attacks(&answers, &w) {
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let a = attack.apply(&w, &answers, seed);
+            let b = attack.apply(&w, &answers, seed);
+            assert_eq!(a, b, "{name} is not deterministic at seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn same_seed_gives_identical_carrier_transcripts() {
+    let answers = family();
+    let w = weights();
+    let message = vec![true; 4];
+    for (name, attack) in all_attacks(&answers, &w) {
+        for seed in [7u64, 99] {
+            let mut a = MarkedCarrier::clean(w.clone(), message.clone());
+            let mut b = MarkedCarrier::clean(w.clone(), message.clone());
+            attack.apply_carrier(&mut a, &answers, seed);
+            attack.apply_carrier(&mut b, &answers, seed);
+            assert_eq!(a.weights, b.weights, "{name} carrier weights differ at seed {seed}");
+            assert_eq!(a.dropped, b.dropped, "{name} dropped set differs at seed {seed}");
+            assert_eq!(a.inserted, b.inserted, "{name} inserted set differs at seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn different_seeds_change_randomized_attacks() {
+    let answers = family();
+    let w = weights();
+    for (name, attack) in all_attacks(&answers, &w) {
+        let deterministic = matches!(
+            attack,
+            Attack::Rounding { .. } | Attack::ConstantShift { .. } | Attack::Averaging { .. }
+        );
+        let mut a = MarkedCarrier::clean(w.clone(), vec![true]);
+        let mut b = MarkedCarrier::clean(w.clone(), vec![true]);
+        attack.apply_carrier(&mut a, &answers, 1);
+        attack.apply_carrier(&mut b, &answers, 2);
+        let identical = a.weights == b.weights && a.dropped == b.dropped && a.inserted == b.inserted;
+        if deterministic {
+            assert!(identical, "{name} should ignore the seed");
+        } else {
+            assert!(!identical, "{name} ignored its seed");
+        }
+    }
+}
+
+#[test]
+fn subset_selection_only_drops_and_fake_insertion_only_inserts() {
+    let answers = family();
+    let w = weights();
+    let mut sub = MarkedCarrier::clean(w.clone(), vec![true]);
+    Attack::SubsetSelection { drop_fraction: 0.5 }.apply_carrier(&mut sub, &answers, 3);
+    assert_eq!(sub.weights, w, "subsetting must not rewrite surviving weights");
+    assert!(!sub.dropped.is_empty());
+    assert!(sub.inserted.is_empty());
+
+    let mut sup = MarkedCarrier::clean(w.clone(), vec![true]);
+    Attack::FakeInsertion { count: 10, amplitude: 2 }.apply_carrier(&mut sup, &answers, 3);
+    assert_eq!(sup.inserted.len(), 10);
+    assert!(sup.dropped.is_empty());
+    // Forged tuples live outside the real universe.
+    let universe: std::collections::HashSet<WeightKey> =
+        answers.universe_tuples().map(|t| t.to_vec()).collect();
+    for (key, _) in &sup.inserted {
+        assert!(!universe.contains(key), "forged tuple {key:?} collides with a real one");
+    }
+}

@@ -150,6 +150,65 @@ if failures:
 print(f"\nOK: capacity counts identical, speedup floor holds, no count-time regression beyond {tolerance:.0f}%")
 PY
 
+# -- battleground gate: the X-B1 Pareto table must be byte-stable and
+#    per-scheme mark/detect throughput within tolerance of the baseline
+BG_RESULTS=RESULTS_battleground.json
+BG_BASELINE=BENCH_battleground.json
+[[ -f "$BG_RESULTS" && -f "$BG_BASELINE" ]] \
+  || { echo "missing $BG_RESULTS / $BG_BASELINE (run 'qpwm battleground' once and commit both)" >&2; exit 2; }
+
+cargo build --release -p qpwm-bench --bin battleground
+BG_BIN="$PWD/target/release/battleground"
+if [[ -n "$THREADS" ]]; then
+  (cd "$SCRATCH" && "$BG_BIN" --threads "$THREADS" >/dev/null)
+else
+  (cd "$SCRATCH" && "$BG_BIN" >/dev/null)
+fi
+
+# The RESULTS table is deterministic (seeded cells, thread-invariant
+# fork-join), so any byte of drift is a correctness bug.
+if cmp -s "$BG_RESULTS" "$SCRATCH/RESULTS_battleground.json"; then
+  echo "battleground RESULTS: byte-identical to the committed Pareto table"
+else
+  echo "battleground RESULTS drifted from the committed baseline:" >&2
+  cmp "$BG_RESULTS" "$SCRATCH/RESULTS_battleground.json" >&2 || true
+  exit 1
+fi
+
+python3 - "$BG_BASELINE" "$SCRATCH/BENCH_battleground.json" "$TOLERANCE" <<'PY'
+import json
+import sys
+
+baseline_path, fresh_path, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
+with open(baseline_path) as f:
+    base = {s["scheme"]: s for s in json.load(f)["per_scheme"]}
+with open(fresh_path) as f:
+    now = {s["scheme"]: s for s in json.load(f)["per_scheme"]}
+
+failures = []
+print(f"\n{'scheme':>10} {'metric':>10} {'baseline':>10} {'fresh':>10} {'delta':>8}")
+for scheme, ref in sorted(base.items()):
+    cur = now.get(scheme)
+    if cur is None:
+        failures.append(f"{scheme}: missing from fresh run")
+        continue
+    for metric in ("mark_ms", "detect_ms"):
+        old, new = ref[metric], cur[metric]
+        delta = (new - old) / old * 100 if old > 0 else 0.0
+        flag = ""
+        if old > 0 and delta > tolerance:
+            failures.append(f"{scheme} {metric}: {old:.4f} -> {new:.4f} ms (+{delta:.1f}%)")
+            flag = "  << REGRESSION"
+        print(f"{scheme:>10} {metric:>10} {old:>10.4f} {new:>10.4f} {delta:>+7.1f}%{flag}")
+
+if failures:
+    print(f"\n{len(failures)} battleground regression(s) beyond {tolerance:.0f}%:", file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+print(f"\nOK: battleground throughput within {tolerance:.0f}% of the committed baseline")
+PY
+
 # -- serving gate: throughput and latency of the qpwm-serve load run
 SERVE_BASELINE=BENCH_serve.json
 if [[ ! -f "$SERVE_BASELINE" ]]; then

@@ -29,6 +29,11 @@ cargo clippy --workspace -- -D warnings
 echo "== tier-1: capacity engine v1-vs-v2 differential smoke =="
 ./target/release/bench_capacity --check
 
+# Cross-scheme battleground: the X-B1 grid at smoke size — every
+# scheme × workload × attack cell must build and produce a verdict.
+echo "== tier-1: battleground --check smoke =="
+./target/release/qpwm battleground --check
+
 # End-to-end smoke test of the data server: serve a tiny marked XML
 # document, hit it over real HTTP, and require a clean shutdown.
 echo "== tier-1: qpwm serve smoke test =="

@@ -54,6 +54,7 @@
 //! ```
 
 pub use qpwm_baselines as baselines;
+pub use qpwm_bench as bench;
 pub use qpwm_core as core;
 pub use qpwm_logic as logic;
 pub use qpwm_par as par;

@@ -40,6 +40,11 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // The battleground subcommand owns its flag grammar (boolean flags,
+    // comma lists) — delegate before the key=value option parser runs.
+    if args.first().map(String::as_str) == Some("battleground") {
+        return ExitCode::from(qpwm::bench::battleground::cli_main(&args[1..]) as u8);
+    }
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
@@ -71,6 +76,9 @@ const USAGE: &str = "usage:
     qpwm capacity  --schema <spec> --table Rel=file.csv [--table ...]
                    --rule <rule> [--d <n>] [--threads <n>]
     qpwm capacity  --xml <file> --pattern <pattern> [--d <n>] [--threads <n>]
+  cross-scheme attack battleground (X-B3 Pareto table):
+    qpwm battleground [--check] [--threads <n>] [--schemes <a,b,..>]
+                      [--attacks <x,y,..>] [--no-bench]
   data server (answer sets + aggregates over HTTP):
     qpwm serve     --schema <spec> --table Rel=file.csv [--table ...]
                    --weights <marked.csv> --rule <rule>
