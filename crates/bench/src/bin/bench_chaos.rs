@@ -12,7 +12,7 @@
 //! Results land in `BENCH_chaos.json`.
 //!
 //! Run with `cargo run --release -p qpwm-bench --bin bench_chaos`
-//! (flags: `--threads <server workers>`, `--cycles <workload size>`).
+//! (flags: `--threads <server shards>`, `--cycles <workload size>`).
 
 use qpwm_bench::Table;
 use qpwm_core::detect::{HonestServer, ObservedWeights, Verdict, DEFAULT_DELTA};
@@ -65,11 +65,11 @@ struct Fixture<'a> {
     marked: &'a qpwm_structures::Weights,
     message: &'a [bool],
     offline_verdict: Verdict,
-    server_threads: usize,
+    server_shards: usize,
 }
 
 fn run_point(fx: &Fixture, spec: &'static str, rate_pct: f64, policy: RetryPolicy) -> SweepPoint {
-    let Fixture { scheme, original, marked, message, offline_verdict, server_threads } = *fx;
+    let Fixture { scheme, original, marked, message, offline_verdict, server_shards } = *fx;
     let chaos = FaultPolicy::parse(spec).expect("valid chaos spec");
     let data = ServeData::new(
         scheme.answers().clone(),
@@ -81,7 +81,7 @@ fn run_point(fx: &Fixture, spec: &'static str, rate_pct: f64, policy: RetryPolic
     let server = Server::start(
         data,
         ServerConfig {
-            threads: server_threads,
+            shards: server_shards,
             chaos: Some(chaos),
             read_timeout: Duration::from_secs(2),
             write_timeout: Duration::from_secs(2),
@@ -106,7 +106,7 @@ fn run_point(fx: &Fixture, spec: &'static str, rate_pct: f64, policy: RetryPolic
     };
     let stats = remote.transport_stats();
     let requests = scheme.answers().len() as u64 + 1; // + healthz probe
-    let (faults, _, _, _) = server.metrics().resilience_snapshot();
+    let (faults, _, _, _) = server.resilience_snapshot();
     let faults_injected: u64 = faults.iter().sum();
     drop(remote);
     server.shutdown();
@@ -129,7 +129,7 @@ fn run_point(fx: &Fixture, spec: &'static str, rate_pct: f64, policy: RetryPolic
 }
 
 fn main() {
-    let server_threads = qpwm_bench::parse_threads_flag();
+    let server_shards = qpwm_bench::parse_threads_flag();
     let cycles = parse_flag("--cycles", 64) as u32;
 
     let query = ParametricQuery::new(Formula::atom(0, &[0, 1]), vec![0], vec![1]);
@@ -177,7 +177,7 @@ fn main() {
         marked: &marked,
         message: &message,
         offline_verdict,
-        server_threads,
+        server_shards,
     };
     let mut points = Vec::new();
     for (spec, rate) in sweeps {
@@ -209,7 +209,7 @@ fn main() {
     }
     table.print(&format!(
         "remote detection under chaos (cycle_union({cycles}, 6) edge query, \
-         {server_threads} server worker(s))"
+         {server_shards} reactor shard(s))"
     ));
 
     // acceptance: transient-only faults never surface to the user when
@@ -268,7 +268,7 @@ fn main() {
         .sum();
     let json = format!(
         "{{\n  \"workload\": \"cycle_union({cycles}, 6) edge query, remote detection sweep\",\n  \
-         \"server_threads\": {server_threads},\n  \"user_errors_with_retries\": {user_errors_total},\n  \
+         \"server_shards\": {server_shards},\n  \"user_errors_with_retries\": {user_errors_total},\n  \
          \"sweeps\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );

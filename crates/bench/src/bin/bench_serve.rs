@@ -7,12 +7,16 @@
 //! `GET /aggregate`). Afterwards it verifies the acceptance property:
 //! `POST /detect` over HTTP recovers the embedded message with exactly
 //! the significance the offline detector reports on the same marked
-//! data. Results land in `BENCH_serve.json`:
-//! throughput, p50/p99 latency, cache hit rate, error count.
+//! data. A second phase sweeps the reactor across shard counts with a
+//! large keep-alive connection fan-in (default 1024 concurrent
+//! connections) and records per-shard load balance. Results land in
+//! `BENCH_serve.json`: throughput, p50/p99 latency, cache hit rate,
+//! error count, and the shard sweep.
 //!
 //! Run with `cargo run --release -p qpwm-bench --bin bench_serve`
-//! (flags: `--threads <server workers>`, `--clients <n>`,
-//! `--requests <total>`, `--cycles <workload size>`).
+//! (flags: `--threads <server shards>`, `--clients <n>`,
+//! `--requests <total>`, `--cycles <workload size>`,
+//! `--sweep-connections <n>`, `--sweep-requests <n>`).
 
 use qpwm_bench::Table;
 use qpwm_core::detect::{HonestServer, DEFAULT_DELTA};
@@ -80,11 +84,132 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[rank]
 }
 
+/// One row of the shard sweep: a fixed keep-alive connection fan-in
+/// driven against a server with `shards` reactor shards.
+struct SweepRow {
+    shards: usize,
+    connections: usize,
+    served: usize,
+    errors: u64,
+    throughput: f64,
+    p50: u64,
+    p99: u64,
+    /// smallest per-shard fraction of total requests (kernel
+    /// `SO_REUSEPORT` hashing decides the split)
+    min_shard_share: f64,
+}
+
+/// Drives `connections` keep-alive connections (spread over
+/// `client_threads` OS threads, round-robin within each thread so every
+/// connection stays registered with its reactor for the whole run)
+/// against a fresh server with `shards` shards.
+#[allow(clippy::too_many_arguments)]
+fn sweep_point(
+    scheme: &LocalScheme,
+    marked: &qpwm_structures::Weights,
+    shards: usize,
+    connections: usize,
+    client_threads: usize,
+    total_requests: usize,
+    zipf: &Zipf,
+) -> SweepRow {
+    let data = ServeData::new(
+        scheme.answers().clone(),
+        marked.clone(),
+        Vec::new(),
+        None,
+        "bench-edge".into(),
+    );
+    let server = Server::start(
+        data,
+        ServerConfig {
+            shards,
+            // the fan-in is the point of this phase: keep every
+            // connection on the healthy path, not the degraded lane
+            backlog: connections + 64,
+            ..Default::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr().to_string();
+
+    let threads = client_threads.max(1);
+    let per_thread = total_requests / threads;
+    let conns_per_thread = (connections / threads).max(1);
+    let start = Instant::now();
+    let results: Vec<(Vec<u64>, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|c| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut rng = Rng::seed_from_u64(0x5eed + c as u64);
+                    let mut conns = Vec::with_capacity(conns_per_thread);
+                    for _ in 0..conns_per_thread {
+                        match HttpClient::connect(&addr) {
+                            Ok(conn) => conns.push(conn),
+                            Err(_) => return (Vec::new(), per_thread as u64),
+                        }
+                    }
+                    let mut latencies = Vec::with_capacity(per_thread);
+                    let mut errors = 0u64;
+                    for r in 0..per_thread {
+                        let i = zipf.sample(&mut rng);
+                        let target = format!("/answer?i={i}");
+                        let t = Instant::now();
+                        match conns[r % conns_per_thread].get(&target) {
+                            Ok((200, _)) => {
+                                latencies.push(t.elapsed().as_micros() as u64);
+                            }
+                            _ => errors += 1,
+                        }
+                    }
+                    (latencies, errors)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep client panicked"))
+            .collect()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<u64> = Vec::with_capacity(total_requests);
+    let mut errors = 0u64;
+    for (mut l, e) in results {
+        latencies.append(&mut l);
+        errors += e;
+    }
+    latencies.sort_unstable();
+    let served = latencies.len();
+    let totals = server.shard_request_totals();
+    let grand: u64 = totals.iter().sum();
+    let min_shard_share = if grand > 0 {
+        totals.iter().copied().min().unwrap_or(0) as f64 / grand as f64
+    } else {
+        0.0
+    };
+    let (p50, p99) = (percentile(&latencies, 0.50), percentile(&latencies, 0.99));
+    server.shutdown();
+    SweepRow {
+        shards,
+        connections: conns_per_thread * threads,
+        served,
+        errors,
+        throughput: served as f64 / elapsed,
+        p50,
+        p99,
+        min_shard_share,
+    }
+}
+
 fn main() {
-    let server_threads = qpwm_bench::parse_threads_flag();
+    let server_shards = qpwm_bench::parse_threads_flag();
     let clients = parse_flag("--clients", 4);
     let total_requests = parse_flag("--requests", 20_000);
     let cycles = parse_flag("--cycles", 128) as u32;
+    let sweep_connections = parse_flag("--sweep-connections", 1_024);
+    let sweep_requests = parse_flag("--sweep-requests", 12_000);
 
     // -- workload: mark a cycle-union instance, serve the marked weights
     let query = ParametricQuery::new(Formula::atom(0, &[0, 1]), vec![0], vec![1]);
@@ -111,15 +236,15 @@ fn main() {
 
     let family = scheme.answers().clone();
     let num_params = family.len();
-    let data = ServeData::new(family, marked, Vec::new(), None, "bench-edge".into());
+    let data = ServeData::new(family, marked.clone(), Vec::new(), None, "bench-edge".into());
     let server = Server::start(
         data,
-        ServerConfig { threads: server_threads, ..Default::default() },
+        ServerConfig { shards: server_shards, ..Default::default() },
     )
     .expect("bind ephemeral port");
     let addr = server.addr().to_string();
     println!(
-        "serving {num_params} parameters on {addr} ({server_threads} worker(s), {clients} client(s), {total_requests} requests)"
+        "serving {num_params} parameters on {addr} ({server_shards} shard(s), {clients} client(s), {total_requests} requests)"
     );
 
     // -- closed-loop load phase
@@ -228,17 +353,66 @@ fn main() {
     ]);
     table.print(&format!(
         "qpwm-serve load (cycle_union({cycles}, 6) edge query, zipf s = {ZIPF_S}, \
-         {server_threads} server worker(s))"
+         {server_shards} reactor shard(s))"
     ));
 
+    // -- shard sweep: the same workload through a growing shard count
+    //    under a large keep-alive connection fan-in
+    let mut sweep_rows = Vec::new();
+    let mut sweep_table = Table::new(vec![
+        "shards", "conns", "requests", "errors", "rps", "p50 us", "p99 us", "min share",
+    ]);
+    for shards in [1usize, 2, 4] {
+        let row = sweep_point(
+            &scheme,
+            &marked,
+            shards,
+            sweep_connections,
+            8,
+            sweep_requests,
+            &zipf,
+        );
+        sweep_table.row(vec![
+            row.shards.to_string(),
+            row.connections.to_string(),
+            row.served.to_string(),
+            row.errors.to_string(),
+            format!("{:.0}", row.throughput),
+            row.p50.to_string(),
+            row.p99.to_string(),
+            format!("{:.2}", row.min_shard_share),
+        ]);
+        sweep_rows.push(row);
+    }
+    sweep_table.print(&format!(
+        "shard sweep ({sweep_connections} keep-alive connections, {sweep_requests} requests/point)"
+    ));
+
+    let sweep_json: Vec<String> = sweep_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"shards\": {}, \"connections\": {}, \"requests\": {}, \
+                 \"errors\": {}, \"throughput_rps\": {:.1}, \"p50_us\": {}, \
+                 \"p99_us\": {}, \"min_shard_share\": {:.4}}}",
+                r.shards, r.connections, r.served, r.errors, r.throughput, r.p50, r.p99,
+                r.min_shard_share
+            )
+        })
+        .collect();
     let json = format!(
         "{{\n  \"workload\": \"cycle_union({cycles}, 6) edge query, zipf s={ZIPF_S}, 90/10 answer/aggregate\",\n  \
-         \"server_threads\": {server_threads},\n  \"clients\": {clients},\n  \"requests\": {served},\n  \
+         \"server_shards\": {server_shards},\n  \"clients\": {clients},\n  \"requests\": {served},\n  \
          \"errors\": {errors},\n  \"throughput_rps\": {throughput:.1},\n  \"p50_us\": {p50},\n  \
          \"p99_us\": {p99},\n  \"cache_hit_rate\": {hit_rate:.4},\n  \
-         \"detect_significance\": {http_significance:e},\n  \"detect_bits_ok\": true\n}}\n"
+         \"detect_significance\": {http_significance:e},\n  \"detect_bits_ok\": true,\n  \
+         \"sweep\": [\n{}\n  ]\n}}\n",
+        sweep_json.join(",\n")
     );
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
     println!("\nwrote BENCH_serve.json");
     assert_eq!(errors, 0, "load run must complete without error responses");
+    for row in &sweep_rows {
+        assert_eq!(row.errors, 0, "{} shard sweep must run error-free", row.shards);
+    }
 }

@@ -78,7 +78,7 @@ fn check_sized_workloads_build_for_all_five_workloads() {
     for workload in ["meteo", "travel", "csv_db", "graphs", "xml_gen"] {
         for scheme in workload_schemes(workload, true) {
             assert!(!scheme.params().is_empty());
-            assert!(scheme.family().len() > 0, "{workload} family is empty");
+            assert!(!scheme.family().is_empty(), "{workload} family is empty");
         }
     }
 }

@@ -232,7 +232,7 @@ mod tests {
             let pairs: Vec<Pair> = (0..num_pairs)
                 .map(|_| {
                     let arity = 1 + rng.below(3) as usize;
-                    let mut side = |rng: &mut qpwm_rng::Rng| -> WeightKey {
+                    let side = |rng: &mut qpwm_rng::Rng| -> WeightKey {
                         (0..arity).map(|_| rng.below(1 << 20) as u32).collect()
                     };
                     Pair { plus: side(&mut rng), minus: side(&mut rng) }

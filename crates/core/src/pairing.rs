@@ -523,7 +523,7 @@ mod tests {
         }
         // Elements outside every canonical set keep an empty class.
         let stray = key(999);
-        let cls2 = classes(&[stray.clone()], &canonical);
+        let cls2 = classes(std::slice::from_ref(&stray), &canonical);
         assert!(cls2[&stray].is_empty());
     }
 

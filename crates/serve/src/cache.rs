@@ -1,19 +1,24 @@
-//! A sharded LRU cache for rendered answer bodies.
+//! An LRU cache of precomputed wire responses — one instance per serve
+//! shard.
 //!
 //! `/answer` and `/aggregate` responses are pure functions of the
-//! canonical parameter index, so the server renders each one at most a
-//! handful of times and serves the cached bytes afterwards. The cache is
-//! sharded by key hash so concurrent workers rarely contend on the same
-//! mutex; each shard evicts its least-recently-used entry when full
-//! (exact LRU via an access tick — shards are small, so the O(shard)
-//! eviction scan is noise next to the render it avoids).
+//! canonical parameter index, precomputed as full wire bytes at startup
+//! (see [`crate::state::WireTable`]). What the cache tracks per shard is
+//! *heat*: which responses this shard has recently served. The degraded
+//! lane serves only cache-resident answers (stale-while-degraded), so
+//! residency doubles as the overload-survival set, and hit/miss counters
+//! feed `/metrics`. Internally the map is still hash-sharded so an
+//! external reader (`Server::cache_stats`, the `/metrics` renderer)
+//! never contends with the owning event loop for more than a sliver;
+//! each internal shard evicts its least-recently-used entry when full
+//! (exact LRU via an access tick).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 struct Entry {
-    value: Arc<String>,
+    value: Arc<[u8]>,
     last_used: u64,
 }
 
@@ -23,7 +28,7 @@ struct Shard {
 }
 
 /// Sharded LRU keyed by `u64` (endpoint tag ⊕ canonical parameter id),
-/// holding shared rendered bodies.
+/// holding shared wire-response bytes.
 pub struct ShardedLru {
     shards: Vec<Mutex<Shard>>,
     per_shard: usize,
@@ -55,7 +60,7 @@ impl ShardedLru {
     }
 
     /// Looks the key up, bumping its recency on hit.
-    pub fn get(&self, key: u64) -> Option<Arc<String>> {
+    pub fn get(&self, key: u64) -> Option<Arc<[u8]>> {
         let mut shard = self.shard(key).lock().expect("cache shard poisoned");
         shard.tick += 1;
         let tick = shard.tick;
@@ -72,9 +77,9 @@ impl ShardedLru {
         }
     }
 
-    /// Inserts (or refreshes) a rendered body, evicting the shard's LRU
+    /// Inserts (or refreshes) a wire response, evicting the shard's LRU
     /// entry when full.
-    pub fn insert(&self, key: u64, value: Arc<String>) {
+    pub fn insert(&self, key: u64, value: Arc<[u8]>) {
         if self.per_shard == 0 {
             return;
         }
@@ -114,22 +119,26 @@ impl ShardedLru {
 mod tests {
     use super::*;
 
+    fn bytes(s: &str) -> Arc<[u8]> {
+        Arc::from(s.as_bytes())
+    }
+
     #[test]
     fn hit_after_insert() {
         let cache = ShardedLru::new(16, 4);
         assert!(cache.get(7).is_none());
-        cache.insert(7, Arc::new("body".into()));
-        assert_eq!(cache.get(7).as_deref().map(String::as_str), Some("body"));
+        cache.insert(7, bytes("body"));
+        assert_eq!(cache.get(7).as_deref(), Some(&b"body"[..]));
         assert_eq!(cache.stats(), (1, 1));
     }
 
     #[test]
     fn evicts_least_recently_used() {
         let cache = ShardedLru::new(2, 1); // 2 entries, single shard
-        cache.insert(1, Arc::new("a".into()));
-        cache.insert(2, Arc::new("b".into()));
+        cache.insert(1, bytes("a"));
+        cache.insert(2, bytes("b"));
         assert!(cache.get(1).is_some()); // 1 is now more recent than 2
-        cache.insert(3, Arc::new("c".into())); // evicts 2
+        cache.insert(3, bytes("c")); // evicts 2
         assert!(cache.get(2).is_none());
         assert!(cache.get(1).is_some());
         assert!(cache.get(3).is_some());
@@ -139,7 +148,7 @@ mod tests {
     #[test]
     fn zero_capacity_disables_caching() {
         let cache = ShardedLru::new(0, 4);
-        cache.insert(1, Arc::new("a".into()));
+        cache.insert(1, bytes("a"));
         assert!(cache.get(1).is_none());
         assert!(cache.is_empty());
     }
@@ -147,9 +156,9 @@ mod tests {
     #[test]
     fn reinsert_refreshes_in_place() {
         let cache = ShardedLru::new(1, 1);
-        cache.insert(5, Arc::new("old".into()));
-        cache.insert(5, Arc::new("new".into()));
-        assert_eq!(cache.get(5).as_deref().map(String::as_str), Some("new"));
+        cache.insert(5, bytes("old"));
+        cache.insert(5, bytes("new"));
+        assert_eq!(cache.get(5).as_deref(), Some(&b"new"[..]));
         assert_eq!(cache.len(), 1);
     }
 }

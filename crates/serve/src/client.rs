@@ -27,6 +27,7 @@
 use qpwm_core::detect::AnswerServer;
 use qpwm_rng::Rng;
 use qpwm_structures::Element;
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -441,6 +442,9 @@ pub fn parse_json_uint(body: &str, name: &str) -> Option<u64> {
     digits.parse().ok()
 }
 
+/// One answer set with its aggregate, as fetched from the wire.
+type AnswerTuples = Vec<(Vec<Element>, i64)>;
+
 /// A suspect data server reached over HTTP — the remote counterpart of
 /// [`qpwm_core::detect::HonestServer`].
 ///
@@ -453,21 +457,42 @@ pub struct RemoteServer {
     client: Mutex<RetryingClient>,
     num_parameters: usize,
     failed_reads: AtomicUsize,
+    /// Parameters fetched per `POST /answers` round trip; 0 or 1
+    /// disables batching (every read is its own `GET /answer`).
+    batch: usize,
+    /// Answers fetched ahead by a batch request, keyed by parameter.
+    prefetched: Mutex<HashMap<usize, AnswerTuples>>,
 }
 
 impl RemoteServer {
     /// Probes `addr`'s `/healthz` (default timeouts — honoring
     /// `QPWM_HTTP_TIMEOUT_MS` — and default retry policy) and records
-    /// the parameter-domain size.
+    /// the parameter-domain size. Batching is off: each read is one
+    /// `GET /answer`, the finest granularity for fault accounting.
     pub fn connect(addr: &str) -> Result<RemoteServer, String> {
         RemoteServer::connect_with(addr, Timeouts::from_env()?, RetryPolicy::default())
     }
 
-    /// Probes `addr`'s `/healthz` with explicit transport configuration.
+    /// Probes `addr`'s `/healthz` with explicit transport configuration
+    /// (batching off).
     pub fn connect_with(
         addr: &str,
         timeouts: Timeouts,
         policy: RetryPolicy,
+    ) -> Result<RemoteServer, String> {
+        RemoteServer::connect_batched(addr, timeouts, policy, 0)
+    }
+
+    /// Like [`RemoteServer::connect_with`], but reads ahead `batch`
+    /// parameters per `POST /answers` round trip, amortizing request
+    /// parsing and syscalls across the audit. A failed batch falls back
+    /// to a single `GET /answer` for the current parameter, so fault
+    /// semantics degrade gracefully to the unbatched path.
+    pub fn connect_batched(
+        addr: &str,
+        timeouts: Timeouts,
+        policy: RetryPolicy,
+        batch: usize,
     ) -> Result<RemoteServer, String> {
         let mut client = RetryingClient::new(addr, timeouts, policy);
         let (status, body) = client.get("/healthz")?;
@@ -481,7 +506,41 @@ impl RemoteServer {
             client: Mutex::new(client),
             num_parameters,
             failed_reads: AtomicUsize::new(0),
+            batch,
+            prefetched: Mutex::new(HashMap::new()),
         })
+    }
+
+    /// Fetches `start_i..start_i+batch` in one `POST /answers`, parking
+    /// everything but `start_i` in the prefetch map. `None` means the
+    /// batch failed (transport or parse) and the caller should fall
+    /// back to a single `GET`.
+    fn prefetch_batch(
+        &self,
+        client: &mut RetryingClient,
+        start_i: usize,
+    ) -> Option<AnswerTuples> {
+        let end = (start_i + self.batch).min(self.num_parameters);
+        let body = (start_i..end).map(|i| i.to_string()).collect::<Vec<_>>().join(" ");
+        let (status, text) = client.request("POST", "/answers", Some(&body)).ok()?;
+        if status != 200 {
+            return None;
+        }
+        let mut wanted = None;
+        let mut map = self.prefetched.lock().expect("prefetch map poisoned");
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let Some(i) = parse_json_uint(line, "param").map(|i| i as usize) else { continue };
+            let Ok(tuples) = parse_answer_tuples(line) else { continue };
+            if i == start_i {
+                wanted = Some(tuples);
+            } else {
+                map.insert(i, tuples);
+            }
+        }
+        wanted
     }
 
     /// The server address.
@@ -509,13 +568,25 @@ impl AnswerServer for RemoteServer {
     }
 
     /// One `GET /answer?i=<i>` per parameter over the retrying
-    /// transport. A *permanent* transport error (or an unparseable
-    /// body) reads as an empty answer set and increments the
-    /// failed-read budget — the affected pairs surface as missing reads
-    /// that shrink the effective detection sample rather than corrupt
-    /// bits.
+    /// transport — or, when batching is on, one `POST /answers` per
+    /// `batch` parameters with the rest served from the prefetch map. A
+    /// *permanent* transport error (or an unparseable body) reads as an
+    /// empty answer set and increments the failed-read budget — the
+    /// affected pairs surface as missing reads that shrink the
+    /// effective detection sample rather than corrupt bits.
     fn answer(&self, i: usize) -> Vec<(Vec<Element>, i64)> {
+        if self.batch > 1 {
+            if let Some(tuples) = self.prefetched.lock().expect("prefetch map poisoned").remove(&i)
+            {
+                return tuples;
+            }
+        }
         let mut client = self.client.lock().expect("client poisoned");
+        if self.batch > 1 {
+            if let Some(tuples) = self.prefetch_batch(&mut client, i) {
+                return tuples;
+            }
+        }
         match client.get(&format!("/answer?i={i}")) {
             Ok((200, body)) => match parse_answer_tuples(&body) {
                 Ok(tuples) => tuples,

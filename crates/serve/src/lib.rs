@@ -6,13 +6,18 @@
 //! that same public interface. This crate is that server, dependency-free
 //! by workspace policy:
 //!
-//! * [`http`] — a bounded HTTP/1.1 wire layer over `std::net`;
+//! * [`reactor`] — a hand-rolled nonblocking I/O layer: raw `epoll` /
+//!   `eventfd` / `SO_REUSEPORT` syscall bindings under safe wrappers
+//!   (poller, doorbell, connection slab, vectored write queue);
+//! * [`http`] — a bounded, *incremental* HTTP/1.1 wire layer;
 //! * [`state`] — the immutable data plane: a pre-materialized
 //!   [`qpwm_structures::AnswerFamily`] plus marked weights, rendered to
-//!   JSON per endpoint;
-//! * [`server`] — `TcpListener` + a scoped worker pool (sized by the
-//!   `qpwm-par` thread conventions), a sharded LRU answer [`cache`],
-//!   Prometheus [`metrics`], per-connection timeouts, graceful shutdown;
+//!   JSON and precomputed as full wire responses ([`state::WireTable`])
+//!   at startup;
+//! * [`server`] — shared-nothing per-core shards (one `SO_REUSEPORT`
+//!   listener, LRU answer [`cache`] partition, and [`metrics`] block
+//!   each), a zero-copy `/answer` hot path, batched `POST /answers`,
+//!   degraded-lane overload shedding, graceful shutdown;
 //! * [`chaos`] — a deterministic fault-injection layer
 //!   ([`chaos::FaultPolicy`], env `QPWM_CHAOS` / `--chaos`) that drops,
 //!   delays, errors, or truncates data-plane responses so resilience is
@@ -30,7 +35,9 @@
 //! significance out), `GET /params`, `GET /healthz`, `GET /metrics`,
 //! and loopback-only `POST /shutdown` for clean teardown.
 
-#![forbid(unsafe_code)]
+// unsafe is denied crate-wide and allowed back in exactly one place:
+// the raw syscall bindings in `reactor::sys`
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
@@ -38,6 +45,7 @@ pub mod chaos;
 pub mod client;
 pub mod http;
 pub mod metrics;
+pub mod reactor;
 pub mod server;
 pub mod state;
 

@@ -1,10 +1,17 @@
 //! Per-endpoint request metrics in Prometheus text exposition format.
 //!
-//! Counters are plain relaxed atomics — observation never blocks a
-//! request thread — and `/metrics` renders them on demand. Latency is a
+//! Counters are plain relaxed atomics — observation never blocks the
+//! event loop — and `/metrics` renders them on demand. Latency is a
 //! fixed-bucket histogram (microsecond bounds) so operators get p50/p99
 //! estimates from any Prometheus-compatible scraper, plus exact
 //! `_sum`/`_count` for mean latency.
+//!
+//! Sharding: each serve shard owns a private [`Metrics`] block (no
+//! cross-core cacheline traffic on the hot path). [`render_cluster`]
+//! merges the blocks on scrape: the classic unlabeled totals keep their
+//! PR-3 series names (so dashboards and the differential tests see one
+//! logical server), and an additional `shard="i"`-labeled family
+//! exposes the per-shard split for balance monitoring.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -20,6 +27,8 @@ pub enum Endpoint {
     Answer,
     /// `GET /aggregate`
     Aggregate,
+    /// `POST /answers` (batched answer reads)
+    Batch,
     /// `POST /detect`
     Detect,
     /// `GET /params`
@@ -34,9 +43,10 @@ pub enum Endpoint {
 
 impl Endpoint {
     /// All endpoints, in render order.
-    pub const ALL: [Endpoint; 7] = [
+    pub const ALL: [Endpoint; 8] = [
         Endpoint::Answer,
         Endpoint::Aggregate,
+        Endpoint::Batch,
         Endpoint::Detect,
         Endpoint::Params,
         Endpoint::Healthz,
@@ -49,6 +59,7 @@ impl Endpoint {
         match self {
             Endpoint::Answer => "answer",
             Endpoint::Aggregate => "aggregate",
+            Endpoint::Batch => "answers",
             Endpoint::Detect => "detect",
             Endpoint::Params => "params",
             Endpoint::Healthz => "healthz",
@@ -100,11 +111,20 @@ pub struct EndpointSnapshot {
     pub latency_sum_us: u64,
 }
 
+impl EndpointSnapshot {
+    fn add(&mut self, other: EndpointSnapshot) {
+        self.requests += other.requests;
+        self.errors += other.errors;
+        self.cache_hits += other.cache_hits;
+        self.latency_sum_us += other.latency_sum_us;
+    }
+}
+
 /// Fault-class labels, in render order (must match
 /// [`crate::chaos::Fault::label`] values).
 pub const FAULT_KINDS: [&str; 4] = ["drop", "error", "delay", "truncate"];
 
-/// The server's metrics registry.
+/// The server's metrics registry — one per shard.
 #[derive(Default)]
 pub struct Metrics {
     endpoints: [EndpointCounters; Endpoint::ALL.len()],
@@ -140,14 +160,14 @@ impl Metrics {
         self.shed.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records one answer served from cache while the worker pool was
+    /// Records one answer served from cache while the shard was
     /// saturated (the stale-while-degraded path).
     pub fn stale_served(&self) {
         self.stale_serves.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records one request handled on the degraded lane (worker pool
-    /// saturated; request routed to the control/cache-only responder).
+    /// Records one request handled on the degraded lane (shard beyond
+    /// its backlog; request restricted to control/cache-only service).
     pub fn degraded_one(&self) {
         self.degraded.fetch_add(1, Ordering::Relaxed);
     }
@@ -195,111 +215,195 @@ impl Metrics {
         }
     }
 
-    /// Renders the Prometheus text exposition.
+    /// Requests handled across all endpoints (per-shard balance
+    /// accounting for the high-connection bench sweep).
+    pub fn total_requests(&self) -> u64 {
+        Endpoint::ALL.iter().map(|&e| self.snapshot(e).requests).sum()
+    }
+
+    /// Renders the Prometheus text exposition for a single registry
+    /// (the one-shard view of [`render_cluster`]).
     pub fn render(&self, cache_entries: usize, cache_hits: u64, cache_misses: u64) -> String {
-        let mut out = String::with_capacity(4096);
-        out.push_str("# HELP qpwm_requests_total Requests handled, by endpoint.\n");
-        out.push_str("# TYPE qpwm_requests_total counter\n");
-        for e in Endpoint::ALL {
-            let s = self.snapshot(e);
-            out.push_str(&format!(
-                "qpwm_requests_total{{endpoint=\"{}\"}} {}\n",
-                e.label(),
-                s.requests
-            ));
+        render_cluster(&[ShardView {
+            metrics: self,
+            cache_entries,
+            cache_hits,
+            cache_misses,
+        }])
+    }
+}
+
+/// One shard's contribution to the `/metrics` scrape.
+pub struct ShardView<'a> {
+    /// The shard's counter block.
+    pub metrics: &'a Metrics,
+    /// Entries resident in the shard's answer cache.
+    pub cache_entries: usize,
+    /// Cache lookup hits.
+    pub cache_hits: u64,
+    /// Cache lookup misses.
+    pub cache_misses: u64,
+}
+
+/// Renders the merged Prometheus exposition for all shards: the
+/// unlabeled cluster totals (series-compatible with the single-threaded
+/// server), followed by `shard="i"`-labeled per-shard counters.
+pub fn render_cluster(shards: &[ShardView<'_>]) -> String {
+    let mut out = String::with_capacity(4096 + shards.len() * 1024);
+    let sum_snapshot = |e: Endpoint| {
+        let mut total = EndpointSnapshot { requests: 0, errors: 0, cache_hits: 0, latency_sum_us: 0 };
+        for s in shards {
+            total.add(s.metrics.snapshot(e));
         }
-        out.push_str("# HELP qpwm_errors_total Non-2xx responses, by endpoint.\n");
-        out.push_str("# TYPE qpwm_errors_total counter\n");
-        for e in Endpoint::ALL {
-            let s = self.snapshot(e);
-            out.push_str(&format!(
-                "qpwm_errors_total{{endpoint=\"{}\"}} {}\n",
-                e.label(),
-                s.errors
-            ));
-        }
-        out.push_str("# HELP qpwm_cache_hits_total Responses served from the answer cache.\n");
-        out.push_str("# TYPE qpwm_cache_hits_total counter\n");
-        for e in [Endpoint::Answer, Endpoint::Aggregate] {
-            let s = self.snapshot(e);
-            out.push_str(&format!(
-                "qpwm_cache_hits_total{{endpoint=\"{}\"}} {}\n",
-                e.label(),
-                s.cache_hits
-            ));
-        }
-        out.push_str("# HELP qpwm_request_latency_us Request handling latency, microseconds.\n");
-        out.push_str("# TYPE qpwm_request_latency_us histogram\n");
-        for e in Endpoint::ALL {
-            let c = &self.endpoints[e.index()];
-            let mut cumulative = 0u64;
-            for (i, &bound) in LATENCY_BUCKETS_US.iter().enumerate() {
-                cumulative += c.buckets[i].load(Ordering::Relaxed);
-                out.push_str(&format!(
-                    "qpwm_request_latency_us_bucket{{endpoint=\"{}\",le=\"{}\"}} {}\n",
-                    e.label(),
-                    bound,
-                    cumulative
-                ));
+        total
+    };
+    out.push_str("# HELP qpwm_requests_total Requests handled, by endpoint.\n");
+    out.push_str("# TYPE qpwm_requests_total counter\n");
+    for e in Endpoint::ALL {
+        out.push_str(&format!(
+            "qpwm_requests_total{{endpoint=\"{}\"}} {}\n",
+            e.label(),
+            sum_snapshot(e).requests
+        ));
+    }
+    out.push_str("# HELP qpwm_errors_total Non-2xx responses, by endpoint.\n");
+    out.push_str("# TYPE qpwm_errors_total counter\n");
+    for e in Endpoint::ALL {
+        out.push_str(&format!(
+            "qpwm_errors_total{{endpoint=\"{}\"}} {}\n",
+            e.label(),
+            sum_snapshot(e).errors
+        ));
+    }
+    out.push_str("# HELP qpwm_cache_hits_total Responses served from the answer cache.\n");
+    out.push_str("# TYPE qpwm_cache_hits_total counter\n");
+    for e in [Endpoint::Answer, Endpoint::Aggregate] {
+        out.push_str(&format!(
+            "qpwm_cache_hits_total{{endpoint=\"{}\"}} {}\n",
+            e.label(),
+            sum_snapshot(e).cache_hits
+        ));
+    }
+    out.push_str("# HELP qpwm_request_latency_us Request handling latency, microseconds.\n");
+    out.push_str("# TYPE qpwm_request_latency_us histogram\n");
+    for e in Endpoint::ALL {
+        let mut cumulative = 0u64;
+        for (i, &bound) in LATENCY_BUCKETS_US.iter().enumerate() {
+            for s in shards {
+                cumulative += s.metrics.endpoints[e.index()].buckets[i].load(Ordering::Relaxed);
             }
-            cumulative += c.buckets[LATENCY_BUCKETS_US.len()].load(Ordering::Relaxed);
             out.push_str(&format!(
-                "qpwm_request_latency_us_bucket{{endpoint=\"{}\",le=\"+Inf\"}} {}\n",
+                "qpwm_request_latency_us_bucket{{endpoint=\"{}\",le=\"{}\"}} {}\n",
                 e.label(),
+                bound,
                 cumulative
             ));
-            let s = self.snapshot(e);
-            out.push_str(&format!(
-                "qpwm_request_latency_us_sum{{endpoint=\"{}\"}} {}\n",
-                e.label(),
-                s.latency_sum_us
-            ));
-            out.push_str(&format!(
-                "qpwm_request_latency_us_count{{endpoint=\"{}\"}} {}\n",
-                e.label(),
-                s.requests
-            ));
         }
-        out.push_str("# HELP qpwm_faults_injected_total Chaos faults injected, by class.\n");
-        out.push_str("# TYPE qpwm_faults_injected_total counter\n");
-        for (i, kind) in FAULT_KINDS.iter().enumerate() {
-            out.push_str(&format!(
-                "qpwm_faults_injected_total{{kind=\"{kind}\"}} {}\n",
-                self.faults[i].load(Ordering::Relaxed)
-            ));
+        for s in shards {
+            cumulative += s.metrics.endpoints[e.index()].buckets[LATENCY_BUCKETS_US.len()]
+                .load(Ordering::Relaxed);
         }
-        out.push_str("# HELP qpwm_shed_total Requests rejected by overload protection.\n");
-        out.push_str("# TYPE qpwm_shed_total counter\n");
-        out.push_str(&format!("qpwm_shed_total {}\n", self.shed.load(Ordering::Relaxed)));
-        out.push_str(
-            "# HELP qpwm_stale_serve_total Cached answers served while the pool was saturated.\n",
-        );
-        out.push_str("# TYPE qpwm_stale_serve_total counter\n");
         out.push_str(&format!(
-            "qpwm_stale_serve_total {}\n",
-            self.stale_serves.load(Ordering::Relaxed)
+            "qpwm_request_latency_us_bucket{{endpoint=\"{}\",le=\"+Inf\"}} {}\n",
+            e.label(),
+            cumulative
         ));
-        out.push_str("# HELP qpwm_degraded_total Requests handled on the degraded lane.\n");
-        out.push_str("# TYPE qpwm_degraded_total counter\n");
+        let total = sum_snapshot(e);
         out.push_str(&format!(
-            "qpwm_degraded_total {}\n",
-            self.degraded.load(Ordering::Relaxed)
+            "qpwm_request_latency_us_sum{{endpoint=\"{}\"}} {}\n",
+            e.label(),
+            total.latency_sum_us
         ));
-        out.push_str("# HELP qpwm_connections_total Connections accepted.\n");
-        out.push_str("# TYPE qpwm_connections_total counter\n");
         out.push_str(&format!(
-            "qpwm_connections_total {}\n",
-            self.connections.load(Ordering::Relaxed)
+            "qpwm_request_latency_us_count{{endpoint=\"{}\"}} {}\n",
+            e.label(),
+            total.requests
         ));
-        out.push_str("# HELP qpwm_cache_entries Entries resident in the answer cache.\n");
-        out.push_str("# TYPE qpwm_cache_entries gauge\n");
-        out.push_str(&format!("qpwm_cache_entries {cache_entries}\n"));
-        out.push_str("# HELP qpwm_cache_lookup_total Answer-cache lookups by outcome.\n");
-        out.push_str("# TYPE qpwm_cache_lookup_total counter\n");
-        out.push_str(&format!("qpwm_cache_lookup_total{{outcome=\"hit\"}} {cache_hits}\n"));
-        out.push_str(&format!("qpwm_cache_lookup_total{{outcome=\"miss\"}} {cache_misses}\n"));
-        out
     }
+    out.push_str("# HELP qpwm_faults_injected_total Chaos faults injected, by class.\n");
+    out.push_str("# TYPE qpwm_faults_injected_total counter\n");
+    for (i, kind) in FAULT_KINDS.iter().enumerate() {
+        let total: u64 = shards.iter().map(|s| s.metrics.faults[i].load(Ordering::Relaxed)).sum();
+        out.push_str(&format!("qpwm_faults_injected_total{{kind=\"{kind}\"}} {total}\n"));
+    }
+    let sum_of = |f: &dyn Fn(&Metrics) -> u64| -> u64 { shards.iter().map(|s| f(s.metrics)).sum() };
+    out.push_str("# HELP qpwm_shed_total Requests rejected by overload protection.\n");
+    out.push_str("# TYPE qpwm_shed_total counter\n");
+    out.push_str(&format!(
+        "qpwm_shed_total {}\n",
+        sum_of(&|m| m.shed.load(Ordering::Relaxed))
+    ));
+    out.push_str(
+        "# HELP qpwm_stale_serve_total Cached answers served while the shard was saturated.\n",
+    );
+    out.push_str("# TYPE qpwm_stale_serve_total counter\n");
+    out.push_str(&format!(
+        "qpwm_stale_serve_total {}\n",
+        sum_of(&|m| m.stale_serves.load(Ordering::Relaxed))
+    ));
+    out.push_str("# HELP qpwm_degraded_total Requests handled on the degraded lane.\n");
+    out.push_str("# TYPE qpwm_degraded_total counter\n");
+    out.push_str(&format!(
+        "qpwm_degraded_total {}\n",
+        sum_of(&|m| m.degraded.load(Ordering::Relaxed))
+    ));
+    out.push_str("# HELP qpwm_connections_total Connections accepted.\n");
+    out.push_str("# TYPE qpwm_connections_total counter\n");
+    out.push_str(&format!(
+        "qpwm_connections_total {}\n",
+        sum_of(&|m| m.connections.load(Ordering::Relaxed))
+    ));
+    out.push_str("# HELP qpwm_cache_entries Entries resident in the answer cache.\n");
+    out.push_str("# TYPE qpwm_cache_entries gauge\n");
+    out.push_str(&format!(
+        "qpwm_cache_entries {}\n",
+        shards.iter().map(|s| s.cache_entries).sum::<usize>()
+    ));
+    out.push_str("# HELP qpwm_cache_lookup_total Answer-cache lookups by outcome.\n");
+    out.push_str("# TYPE qpwm_cache_lookup_total counter\n");
+    out.push_str(&format!(
+        "qpwm_cache_lookup_total{{outcome=\"hit\"}} {}\n",
+        shards.iter().map(|s| s.cache_hits).sum::<u64>()
+    ));
+    out.push_str(&format!(
+        "qpwm_cache_lookup_total{{outcome=\"miss\"}} {}\n",
+        shards.iter().map(|s| s.cache_misses).sum::<u64>()
+    ));
+
+    // the per-shard split: requests by endpoint, plus the shard-local
+    // connection and cache counters that make imbalance visible
+    out.push_str("# HELP qpwm_shard_requests_total Requests handled, by shard and endpoint.\n");
+    out.push_str("# TYPE qpwm_shard_requests_total counter\n");
+    for (i, s) in shards.iter().enumerate() {
+        for e in Endpoint::ALL {
+            out.push_str(&format!(
+                "qpwm_shard_requests_total{{shard=\"{i}\",endpoint=\"{}\"}} {}\n",
+                e.label(),
+                s.metrics.snapshot(e).requests
+            ));
+        }
+    }
+    out.push_str("# HELP qpwm_shard_connections_total Connections accepted, by shard.\n");
+    out.push_str("# TYPE qpwm_shard_connections_total counter\n");
+    for (i, s) in shards.iter().enumerate() {
+        out.push_str(&format!(
+            "qpwm_shard_connections_total{{shard=\"{i}\"}} {}\n",
+            s.metrics.connections.load(Ordering::Relaxed)
+        ));
+    }
+    out.push_str("# HELP qpwm_shard_cache_lookup_total Answer-cache lookups, by shard and outcome.\n");
+    out.push_str("# TYPE qpwm_shard_cache_lookup_total counter\n");
+    for (i, s) in shards.iter().enumerate() {
+        out.push_str(&format!(
+            "qpwm_shard_cache_lookup_total{{shard=\"{i}\",outcome=\"hit\"}} {}\n",
+            s.cache_hits
+        ));
+        out.push_str(&format!(
+            "qpwm_shard_cache_lookup_total{{shard=\"{i}\",outcome=\"miss\"}} {}\n",
+            s.cache_misses
+        ));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -327,6 +431,7 @@ mod tests {
         assert_eq!(s.cache_hits, 1);
         assert_eq!(s.latency_sum_us, 200);
         assert_eq!(m.snapshot(Endpoint::Detect).requests, 0);
+        assert_eq!(m.total_requests(), 2);
     }
 
     #[test]
@@ -348,6 +453,9 @@ mod tests {
         assert!(text.contains("qpwm_request_latency_us_bucket{endpoint=\"aggregate\",le=\"250\"} 0"));
         assert!(text.contains("qpwm_request_latency_us_bucket{endpoint=\"aggregate\",le=\"500\"} 1"));
         assert!(text.contains("qpwm_request_latency_us_bucket{endpoint=\"aggregate\",le=\"+Inf\"} 1"));
+        // the single-shard view still carries shard labels
+        assert!(text.contains("qpwm_shard_requests_total{shard=\"0\",endpoint=\"aggregate\"} 1"));
+        assert!(text.contains("qpwm_shard_connections_total{shard=\"0\"} 1"));
     }
 
     #[test]
@@ -385,5 +493,34 @@ mod tests {
         let text = m.render(0, 0, 0);
         assert!(text.contains("qpwm_request_latency_us_bucket{endpoint=\"detect\",le=\"1000000\"} 0"));
         assert!(text.contains("qpwm_request_latency_us_bucket{endpoint=\"detect\",le=\"+Inf\"} 1"));
+    }
+
+    #[test]
+    fn cluster_render_sums_shards_and_labels_each() {
+        let a = Metrics::new();
+        let b = Metrics::new();
+        for (m, n) in [(&a, 3u64), (&b, 5u64)] {
+            for _ in 0..n {
+                m.observe(Observation {
+                    endpoint: Endpoint::Answer,
+                    status: 200,
+                    cache_hit: false,
+                    latency: Duration::from_micros(10),
+                });
+            }
+            m.connection_opened();
+        }
+        let text = render_cluster(&[
+            ShardView { metrics: &a, cache_entries: 2, cache_hits: 1, cache_misses: 2 },
+            ShardView { metrics: &b, cache_entries: 4, cache_hits: 3, cache_misses: 4 },
+        ]);
+        assert!(text.contains("qpwm_requests_total{endpoint=\"answer\"} 8"), "{text}");
+        assert!(text.contains("qpwm_connections_total 2"), "{text}");
+        assert!(text.contains("qpwm_cache_entries 6"), "{text}");
+        assert!(text.contains("qpwm_cache_lookup_total{outcome=\"hit\"} 4"), "{text}");
+        assert!(text.contains("qpwm_shard_requests_total{shard=\"0\",endpoint=\"answer\"} 3"), "{text}");
+        assert!(text.contains("qpwm_shard_requests_total{shard=\"1\",endpoint=\"answer\"} 5"), "{text}");
+        assert!(text.contains("qpwm_shard_cache_lookup_total{shard=\"1\",outcome=\"miss\"} 4"), "{text}");
+        assert!(text.contains("qpwm_request_latency_us_bucket{endpoint=\"answer\",le=\"50\"} 8"), "{text}");
     }
 }

@@ -1,0 +1,589 @@
+//! A dependency-free nonblocking I/O reactor over raw Linux `epoll`.
+//!
+//! The workspace carries no external crates, so the readiness layer is
+//! hand-rolled: a thin [`sys`](self) binding module declares the five
+//! syscalls the event loop needs (`epoll_create1`, `epoll_ctl`,
+//! `epoll_wait`, `eventfd`, plus the socket-setup calls `socket` /
+//! `setsockopt` / `bind` / `listen` that `std` cannot express with
+//! `SO_REUSEPORT` set *before* bind), and everything above it is safe
+//! Rust over `std::net` types: accepted connections and listeners are
+//! ordinary nonblocking [`TcpStream`]/[`TcpListener`] values, so reads
+//! and vectored writes go through `std`'s fd-safe wrappers.
+//!
+//! The pieces, bottom-up:
+//!
+//! * [`bind_reuseport`] — an IPv4 listener with `SO_REUSEPORT` applied
+//!   pre-bind, so every shard of [`crate::server`] owns a private accept
+//!   queue on the same port and the kernel load-balances connections by
+//!   4-tuple hash;
+//! * [`Poller`] — level-triggered `epoll` registration and waiting,
+//!   yielding plain [`Event`] values keyed by caller-chosen `u64`
+//!   tokens;
+//! * [`Wake`] — an `eventfd` doorbell for cross-thread wakeups
+//!   (shutdown, shard fan-in) that composes with the same poller;
+//! * [`Slab`] — the connection table: stable `usize` tokens, O(1)
+//!   insert/remove, free-list reuse;
+//! * [`WriteQueue`] — the nonblocking write state machine: a queue of
+//!   byte segments, each either *shared* (an [`Arc<[u8]>`] range — the
+//!   zero-copy hot path serving precomputed wire responses) or *owned*
+//!   (a scratch `Vec<u8>` that is reclaimed for reuse once written),
+//!   flushed with a single vectored write per readiness notification
+//!   and resumed mid-segment after short writes.
+
+use std::collections::VecDeque;
+use std::io::{self, IoSlice, Read, Write};
+use std::net::{Ipv4Addr, TcpListener, TcpStream};
+use std::os::unix::io::RawFd;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Raw syscall bindings. The only unsafe code in the crate lives here;
+/// every wrapper returns owned `std` types (or plain results) so the
+/// layers above stay safe.
+#[allow(unsafe_code)]
+mod sys {
+    use std::fs::File;
+    use std::io;
+    use std::net::{Ipv4Addr, TcpListener};
+    use std::os::unix::io::{FromRawFd, RawFd};
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+
+    const EFD_CLOEXEC: i32 = 0o2000000;
+    const EFD_NONBLOCK: i32 = 0o4000;
+
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    const SOCK_NONBLOCK: i32 = 0o4000;
+    const SOCK_CLOEXEC: i32 = 0o2000000;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+    const SO_REUSEPORT: i32 = 15;
+
+    /// The kernel's `struct epoll_event`. Packed on x86-64 (the kernel
+    /// ABI omits the padding there); naturally aligned elsewhere.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    /// `struct sockaddr_in`: family, then port and address in network
+    /// byte order.
+    #[repr(C)]
+    struct SockAddrIn {
+        sin_family: u16,
+        sin_port: u16,
+        sin_addr: u32,
+        sin_zero: [u8; 8],
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, optname: i32, optval: *const i32, optlen: u32) -> i32;
+        fn bind(fd: i32, addr: *const SockAddrIn, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    fn check(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    pub fn epoll_create() -> io::Result<RawFd> {
+        check(unsafe { epoll_create1(EPOLL_CLOEXEC) })
+    }
+
+    fn epoll_op(epfd: RawFd, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent { events, data: token };
+        check(unsafe { epoll_ctl(epfd, op, fd, &mut ev) }).map(|_| ())
+    }
+
+    pub fn epoll_add(epfd: RawFd, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        epoll_op(epfd, EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    pub fn epoll_mod(epfd: RawFd, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        epoll_op(epfd, EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    pub fn epoll_del(epfd: RawFd, fd: RawFd) {
+        // pre-2.6.9 kernels require a non-null event pointer even for DEL
+        let _ = epoll_op(epfd, EPOLL_CTL_DEL, fd, 0, 0);
+    }
+
+    /// Waits for events, retrying `EINTR`. `timeout_ms < 0` blocks.
+    pub fn epoll_wait_into(
+        epfd: RawFd,
+        buf: &mut [EpollEvent],
+        timeout_ms: i32,
+    ) -> io::Result<usize> {
+        loop {
+            let n = unsafe { epoll_wait(epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms) };
+            if n >= 0 {
+                return Ok(n as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+
+    pub fn close_fd(fd: RawFd) {
+        let _ = unsafe { close(fd) };
+    }
+
+    /// A nonblocking `eventfd`, owned as a `File` (read to drain, write
+    /// 8 bytes to signal).
+    pub fn new_eventfd() -> io::Result<File> {
+        let fd = check(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        Ok(unsafe { File::from_raw_fd(fd) })
+    }
+
+    /// A nonblocking IPv4 listener with `SO_REUSEPORT` (and
+    /// `SO_REUSEADDR`) set *before* bind — the property `std` cannot
+    /// provide, and the one that lets N shard listeners share a port.
+    pub fn listener_reuseport(ip: Ipv4Addr, port: u16, backlog: i32) -> io::Result<TcpListener> {
+        let fd = check(unsafe {
+            socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0)
+        })?;
+        let sock = unsafe { TcpListener::from_raw_fd(fd) }; // closes fd on any early return
+        for opt in [SO_REUSEADDR, SO_REUSEPORT] {
+            let one: i32 = 1;
+            check(unsafe {
+                setsockopt(fd, SOL_SOCKET, opt, &one, std::mem::size_of::<i32>() as u32)
+            })?;
+        }
+        let addr = SockAddrIn {
+            sin_family: AF_INET as u16,
+            sin_port: port.to_be(),
+            sin_addr: u32::from(ip).to_be(),
+            sin_zero: [0; 8],
+        };
+        check(unsafe { bind(fd, &addr, std::mem::size_of::<SockAddrIn>() as u32) })?;
+        check(unsafe { listen(fd, backlog) })?;
+        Ok(sock)
+    }
+}
+
+/// Binds a nonblocking IPv4 listener on `ip:port` with `SO_REUSEPORT`,
+/// so multiple shards can each own an accept queue on the same port
+/// (`port` 0 lets the kernel pick; read it back via `local_addr`).
+pub fn bind_reuseport(ip: Ipv4Addr, port: u16) -> io::Result<TcpListener> {
+    sys::listener_reuseport(ip, port, 1024)
+}
+
+/// One readiness notification from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered under.
+    pub token: u64,
+    /// Readable — includes error/hangup conditions, which surface as a
+    /// zero-byte read or an error on the next `read`.
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+}
+
+/// Level-triggered `epoll` instance. Registrations always include
+/// read-side interest; `writable` toggles `EPOLLOUT` for connections
+/// with queued output.
+pub struct Poller {
+    epfd: RawFd,
+    buf: Vec<sys::EpollEvent>,
+}
+
+impl Poller {
+    /// A fresh epoll instance sized for `capacity` events per wait.
+    pub fn new(capacity: usize) -> io::Result<Poller> {
+        Ok(Poller {
+            epfd: sys::epoll_create()?,
+            buf: vec![sys::EpollEvent { events: 0, data: 0 }; capacity.max(16)],
+        })
+    }
+
+    fn interest(writable: bool) -> u32 {
+        let mut events = sys::EPOLLIN | sys::EPOLLRDHUP;
+        if writable {
+            events |= sys::EPOLLOUT;
+        }
+        events
+    }
+
+    /// Registers `fd` under `token`.
+    pub fn add(&self, fd: RawFd, token: u64, writable: bool) -> io::Result<()> {
+        sys::epoll_add(self.epfd, fd, Self::interest(writable), token)
+    }
+
+    /// Changes the write-side interest of an already-registered fd.
+    pub fn rearm(&self, fd: RawFd, token: u64, writable: bool) -> io::Result<()> {
+        sys::epoll_mod(self.epfd, fd, Self::interest(writable), token)
+    }
+
+    /// Deregisters `fd` (best-effort; closing the fd drops it anyway).
+    pub fn remove(&self, fd: RawFd) {
+        sys::epoll_del(self.epfd, fd);
+    }
+
+    /// Waits up to `timeout` (`None` blocks) and appends the readiness
+    /// events to `out` (cleared first).
+    pub fn wait(&mut self, timeout: Option<Duration>, out: &mut Vec<Event>) -> io::Result<()> {
+        out.clear();
+        let timeout_ms = match timeout {
+            None => -1,
+            Some(d) => {
+                let ms = d.as_millis().min(i32::MAX as u128) as i32;
+                // round a sub-millisecond wait up so it is not a busy spin
+                if ms == 0 && !d.is_zero() {
+                    1
+                } else {
+                    ms
+                }
+            }
+        };
+        let n = sys::epoll_wait_into(self.epfd, &mut self.buf, timeout_ms)?;
+        for ev in &self.buf[..n] {
+            let events = ev.events; // copy out of the packed struct
+            let data = ev.data;
+            out.push(Event {
+                token: data,
+                readable: events & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLERR | sys::EPOLLHUP)
+                    != 0,
+                writable: events & sys::EPOLLOUT != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        sys::close_fd(self.epfd);
+    }
+}
+
+/// An `eventfd` doorbell: any thread can [`Wake::signal`] it, and the
+/// owning event loop sees the fd turn readable and [`Wake::drain`]s it.
+pub struct Wake {
+    file: std::fs::File,
+}
+
+impl Wake {
+    /// A fresh nonblocking doorbell.
+    pub fn new() -> io::Result<Wake> {
+        Ok(Wake { file: sys::new_eventfd()? })
+    }
+
+    /// The fd to register with a [`Poller`].
+    pub fn raw_fd(&self) -> RawFd {
+        use std::os::unix::io::AsRawFd;
+        self.file.as_raw_fd()
+    }
+
+    /// Rings the doorbell (never blocks; a saturated counter still
+    /// reads as ready).
+    pub fn signal(&self) {
+        let _ = (&self.file).write(&1u64.to_ne_bytes());
+    }
+
+    /// Clears pending signals so level-triggered polling quiesces.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        while (&self.file).read(&mut buf).is_ok() {}
+    }
+}
+
+/// The connection table: stable `usize` tokens with free-list reuse, so
+/// epoll tokens stay valid across unrelated inserts and removals.
+pub struct Slab<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<usize>,
+    live: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Slab<T> {
+        Slab { slots: Vec::new(), free: Vec::new(), live: 0 }
+    }
+
+    /// Stores `value`, returning its token.
+    pub fn insert(&mut self, value: T) -> usize {
+        self.live += 1;
+        match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Some(value);
+                i
+            }
+            None => {
+                self.slots.push(Some(value));
+                self.slots.len() - 1
+            }
+        }
+    }
+
+    /// The value under `token`, if live.
+    pub fn get_mut(&mut self, token: usize) -> Option<&mut T> {
+        self.slots.get_mut(token).and_then(Option::as_mut)
+    }
+
+    /// Removes and returns the value under `token`.
+    pub fn remove(&mut self, token: usize) -> Option<T> {
+        let value = self.slots.get_mut(token).and_then(Option::take);
+        if value.is_some() {
+            self.live -= 1;
+            self.free.push(token);
+        }
+        value
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Snapshot of the live tokens (for sweeps that may remove entries
+    /// while iterating).
+    pub fn tokens(&self) -> Vec<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| i))
+            .collect()
+    }
+}
+
+/// How many segments a single vectored write covers.
+const MAX_IOVEC: usize = 16;
+
+enum Bytes {
+    Shared(Arc<[u8]>),
+    Owned(Vec<u8>),
+}
+
+struct Segment {
+    bytes: Bytes,
+    pos: usize,
+    end: usize,
+}
+
+impl Segment {
+    fn slice(&self) -> &[u8] {
+        match &self.bytes {
+            Bytes::Shared(b) => &b[self.pos..self.end],
+            Bytes::Owned(b) => &b[self.pos..self.end],
+        }
+    }
+}
+
+/// How many written-out scratch buffers a shard keeps for reuse.
+const RECLAIM_POOL: usize = 8;
+
+/// The nonblocking write state machine of one connection: an ordered
+/// queue of byte segments flushed with vectored writes, resumable
+/// mid-segment after a short write.
+///
+/// Shared segments borrow precomputed wire responses ([`Arc<[u8]>`]
+/// ranges) so the hot path queues a response without copying or
+/// formatting anything; owned segments carry per-request scratch
+/// buffers, which are handed back to a reclaim pool once fully written
+/// so steady-state serving allocates nothing.
+#[derive(Default)]
+pub struct WriteQueue {
+    segments: VecDeque<Segment>,
+    pending: usize,
+}
+
+impl WriteQueue {
+    /// An empty queue.
+    pub fn new() -> WriteQueue {
+        WriteQueue::default()
+    }
+
+    /// Queues a whole shared byte buffer.
+    pub fn push_shared(&mut self, bytes: Arc<[u8]>) {
+        self.push_shared_range(bytes, 0, usize::MAX);
+    }
+
+    /// Queues `bytes[start..end]` (end clamps to the buffer length).
+    pub fn push_shared_range(&mut self, bytes: Arc<[u8]>, start: usize, end: usize) {
+        let end = end.min(bytes.len());
+        if start >= end {
+            return;
+        }
+        self.pending += end - start;
+        self.segments.push_back(Segment { bytes: Bytes::Shared(bytes), pos: start, end });
+    }
+
+    /// Queues an owned buffer (reclaimed after it is written out).
+    pub fn push_owned(&mut self, bytes: Vec<u8>) {
+        if bytes.is_empty() {
+            return;
+        }
+        self.pending += bytes.len();
+        let end = bytes.len();
+        self.segments.push_back(Segment { bytes: Bytes::Owned(bytes), pos: 0, end });
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Bytes still to be written.
+    pub fn pending_bytes(&self) -> usize {
+        self.pending
+    }
+
+    /// Writes as much as the socket accepts. Returns `Ok(true)` when
+    /// the queue drained, `Ok(false)` when the socket would block
+    /// (caller arms `EPOLLOUT`), `Err` on a dead connection. Fully
+    /// written owned buffers are cleared and pushed onto `reclaim`.
+    pub fn flush(&mut self, stream: &mut TcpStream, reclaim: &mut Vec<Vec<u8>>) -> io::Result<bool> {
+        while !self.segments.is_empty() {
+            let bufs: [IoSlice<'_>; MAX_IOVEC] = std::array::from_fn(|i| {
+                IoSlice::new(self.segments.get(i).map_or(&[][..], Segment::slice))
+            });
+            let count = self.segments.len().min(MAX_IOVEC);
+            let written = match stream.write_vectored(&bufs[..count]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            self.advance(written, reclaim);
+        }
+        Ok(true)
+    }
+
+    fn advance(&mut self, mut written: usize, reclaim: &mut Vec<Vec<u8>>) {
+        self.pending -= written.min(self.pending);
+        while written > 0 {
+            let Some(seg) = self.segments.front_mut() else { return };
+            let take = written.min(seg.end - seg.pos);
+            seg.pos += take;
+            written -= take;
+            if seg.pos == seg.end {
+                if let Some(Segment { bytes: Bytes::Owned(mut v), .. }) = self.segments.pop_front()
+                {
+                    if reclaim.len() < RECLAIM_POOL {
+                        v.clear();
+                        reclaim.push(v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slab_reuses_tokens_and_tracks_len() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.remove(a), Some("a"));
+        assert_eq!(slab.len(), 1);
+        let c = slab.insert("c");
+        assert_eq!(c, a, "freed token is reused");
+        assert_eq!(slab.get_mut(b), Some(&mut "b"));
+        assert_eq!(slab.remove(99), None);
+        assert_eq!(slab.tokens(), vec![a, b]);
+    }
+
+    #[test]
+    fn write_queue_tracks_pending_and_reclaims() {
+        let mut q = WriteQueue::new();
+        q.push_shared(Arc::from(&b"hello "[..]));
+        q.push_owned(b"world".to_vec());
+        assert_eq!(q.pending_bytes(), 11);
+        // advance through a simulated short write
+        let mut reclaim = Vec::new();
+        q.advance(8, &mut reclaim);
+        assert_eq!(q.pending_bytes(), 3);
+        assert!(reclaim.is_empty(), "owned segment not yet complete");
+        q.advance(3, &mut reclaim);
+        assert!(q.is_empty());
+        assert_eq!(reclaim.len(), 1, "owned buffer reclaimed after full write");
+        assert!(reclaim[0].is_empty() && reclaim[0].capacity() >= 5);
+    }
+
+    #[test]
+    fn write_queue_flushes_over_a_real_socket() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = std::net::TcpStream::connect(addr).expect("connect");
+        let (mut server_side, _) = listener.accept().expect("accept");
+        let mut q = WriteQueue::new();
+        q.push_shared_range(Arc::from(&b"xxabcxx"[..]), 2, 5);
+        q.push_owned(b"def".to_vec());
+        let mut reclaim = Vec::new();
+        assert!(q.flush(&mut server_side, &mut reclaim).expect("flush"));
+        server_side.flush().expect("socket flush");
+        drop(server_side);
+        let mut got = Vec::new();
+        let mut client = client;
+        client.read_to_end(&mut got).expect("read");
+        assert_eq!(got, b"abcdef");
+    }
+
+    #[test]
+    fn reuseport_listeners_share_a_port() {
+        let a = bind_reuseport(Ipv4Addr::LOCALHOST, 0).expect("first bind");
+        let port = a.local_addr().expect("addr").port();
+        let b = bind_reuseport(Ipv4Addr::LOCALHOST, port).expect("second bind on same port");
+        assert_eq!(b.local_addr().expect("addr").port(), port);
+    }
+
+    #[test]
+    fn poller_sees_wake_signals_and_socket_readability() {
+        let mut poller = Poller::new(16).expect("poller");
+        let wake = Wake::new().expect("eventfd");
+        poller.add(wake.raw_fd(), 7, false).expect("register");
+        let mut events = Vec::new();
+        poller.wait(Some(Duration::from_millis(10)), &mut events).expect("wait");
+        assert!(events.is_empty(), "nothing signaled yet");
+        wake.signal();
+        poller.wait(Some(Duration::from_millis(1000)), &mut events).expect("wait");
+        assert!(events.iter().any(|e| e.token == 7 && e.readable));
+        wake.drain();
+        poller.wait(Some(Duration::from_millis(10)), &mut events).expect("wait");
+        assert!(events.is_empty(), "drained doorbell quiesces level-triggered polling");
+    }
+}

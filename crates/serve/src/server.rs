@@ -1,41 +1,53 @@
-//! The HTTP server: listener, worker pool, routing, overload
-//! protection, fault injection, graceful shutdown.
+//! The HTTP server: shared-nothing per-core shards, each running a
+//! nonblocking readiness loop over the [`crate::reactor`] primitives.
 //!
-//! Architecture: one acceptor thread pushes connections into a *bounded*
-//! mpsc channel; a fixed pool of worker threads (sized by the `qpwm-par`
-//! thread-count conventions unless pinned) drains it, each handling one
-//! keep-alive connection at a time. Per-connection read/write timeouts
-//! and the bounded request parser in [`crate::http`] keep a slow client
-//! from pinning a worker forever.
+//! Architecture: every shard owns a private `SO_REUSEPORT` listener on
+//! the shared port (the kernel load-balances incoming connections by
+//! 4-tuple hash), an answer-cache partition, and a metrics block — no
+//! locks or channels on the request path. Within a shard, one
+//! `epoll`-driven event loop multiplexes accept, incremental request
+//! parsing ([`crate::http::parse_request`]), routing, and vectored
+//! nonblocking writes ([`crate::reactor::WriteQueue`]). The hot
+//! `/answer` path is zero-copy: responses are precomputed wire bytes
+//! ([`crate::state::WireTable`]) queued as shared segments, so a cache
+//! hit does no formatting and no allocation.
 //!
-//! Overload protection: when the worker queue is full, new connections
-//! overflow onto a *degraded lane* — a single dedicated responder that
-//! answers control endpoints (`/healthz`, `/metrics`, `POST /shutdown`)
-//! normally, serves `/answer`/`/aggregate` from the answer cache when
-//! the rendered body is already resident (stale-while-degraded), and
-//! sheds everything else with `503` + `Retry-After`. If the degraded
-//! lane is itself full, the acceptor writes a minimal `503` and closes —
-//! the server never queues unboundedly and never goes silent.
+//! Overload protection: a shard whose live-connection count reaches the
+//! configured backlog routes *new* connections onto a degraded lane —
+//! control endpoints (`/healthz`, `/metrics`, `/params`,
+//! `POST /shutdown`) answer normally, `/answer`/`/aggregate` are served
+//! only when already cache-resident (stale-while-degraded), and
+//! everything else is shed with `503` + `Retry-After`. Beyond the
+//! degraded headroom, the shard writes a canned `503` straight from the
+//! accept loop and closes — it never queues unboundedly and never goes
+//! silent.
 //!
 //! Fault injection: an optional [`FaultPolicy`] (env `QPWM_CHAOS` /
-//! `qpwm serve --chaos`) injects dropped connections, `503`s, delays,
-//! and truncated bodies at seeded deterministic rates, exempting the
-//! control endpoints. See [`crate::chaos`].
+//! `qpwm serve --chaos`) is re-threaded through the readiness loop:
+//! drops close without responding, errors enqueue a `503`, delays gate
+//! the connection's parse/flush until a deadline (driven by the epoll
+//! timeout, not a sleeping thread), truncations advertise the full
+//! `Content-Length` but queue half the body. Control endpoints and the
+//! degraded lane are exempt. See [`crate::chaos`].
 //!
-//! Shutdown is cooperative: a flag flips, a wake connection unblocks
-//! `accept`, the channels close, and every worker drains its current
-//! connection before exiting — no request is dropped mid-response.
+//! Shutdown is cooperative: `POST /shutdown` (loopback-only) flushes
+//! its response, flips the shared flag, and rings every shard's
+//! [`Wake`] doorbell; each shard deregisters its listener, drains
+//! pending writes under a short grace deadline, and exits.
 
 use crate::cache::ShardedLru;
 use crate::chaos::{Fault, FaultPolicy};
-use crate::http::{read_request, write_response, write_truncated_response, Request, RequestError};
-use crate::metrics::{Endpoint, Metrics, Observation};
-use crate::state::ServeData;
-use std::io::{BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use crate::http::{
+    json_escape, parse_request, write_head, Request, RequestError, MAX_BODY_BYTES, MAX_HEAD_BYTES,
+};
+use crate::metrics::{render_cluster, Endpoint, Metrics, Observation, ShardView, FAULT_KINDS};
+use crate::reactor::{bind_reuseport, Event, Poller, Slab, Wake, WriteQueue};
+use crate::state::{parse_batch_indices, ServeData, WireTable};
+use std::io::{self, Read, Write};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -44,20 +56,25 @@ use std::time::{Duration, Instant};
 pub struct ServerConfig {
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
-    /// Worker threads; 0 resolves via [`qpwm_par::thread_count`] (the
-    /// `--threads` / `QPWM_THREADS` conventions).
-    pub threads: usize,
-    /// Total answer-cache entries (0 disables caching).
+    /// Event-loop shards, each with its own listener, cache partition,
+    /// and metrics block; 0 resolves via `QPWM_SHARDS` (defaulting
+    /// to 1).
+    pub shards: usize,
+    /// Total answer-cache entries across shards (0 disables caching).
     pub cache_entries: usize,
-    /// Per-connection read timeout.
+    /// Idle-connection timeout: a connection with no traffic for this
+    /// long is closed by the shard's sweep.
     pub read_timeout: Duration,
-    /// Per-connection write timeout.
+    /// Retained for configuration compatibility; the nonblocking writer
+    /// never blocks, so slow readers are bounded by `read_timeout`
+    /// instead.
     pub write_timeout: Duration,
     /// Allow `POST /shutdown` from loopback peers (used by the CLI and
     /// the smoke test for clean teardown).
     pub shutdown_endpoint: bool,
-    /// Bounded accept backlog: connections queued for the worker pool.
-    /// Overflow goes to the degraded lane, then to load-shedding 503s.
+    /// Live connections per shard before new arrivals land on the
+    /// degraded lane; beyond that plus [`DEGRADED_BACKLOG`], they are
+    /// shed with a canned 503.
     pub backlog: usize,
     /// Optional fault-injection policy (see [`crate::chaos`]).
     pub chaos: Option<FaultPolicy>,
@@ -67,7 +84,7 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:0".into(),
-            threads: 0,
+            shards: 0,
             cache_entries: 1024,
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
@@ -78,91 +95,114 @@ impl Default for ServerConfig {
     }
 }
 
-/// Queue depth of the degraded lane (beyond this, connections are shed
-/// with a raw 503 straight from the acceptor).
+/// Degraded-lane headroom per shard (connections above the backlog that
+/// still get cache-or-control service instead of a canned 503).
 const DEGRADED_BACKLOG: usize = 32;
 
 /// Cache-key endpoint tags (high byte of the key).
 const TAG_ANSWER: u64 = 1 << 56;
 const TAG_AGGREGATE: u64 = 2 << 56;
 
+/// Epoll token of the shard's listener.
+const LISTENER_TOKEN: u64 = u64::MAX;
+/// Epoll token of the shard's wake doorbell.
+const WAKE_TOKEN: u64 = u64::MAX - 1;
+
+/// Canned response written straight from the accept loop when even the
+/// degraded lane is full — the one path that must never allocate or
+/// wait.
+const SHED_RESPONSE: &[u8] = b"HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\nContent-Length: 23\r\nRetry-After: 1\r\nConnection: close\r\n\r\n{\"error\":\"overloaded\"}\n";
+
+/// How long a draining shard keeps flushing pending responses after
+/// shutdown is requested.
+const DRAIN_GRACE: Duration = Duration::from_secs(1);
+
 struct Shared {
     data: ServeData,
-    cache: ShardedLru,
-    metrics: Metrics,
+    wire: WireTable,
     shutdown: AtomicBool,
     shutdown_endpoint: bool,
     chaos: FaultPolicy,
+}
+
+/// Everything one shard's event loop reads: its own cache/metrics plus
+/// the sibling views `/metrics` merges and the doorbells shutdown rings.
+struct ShardEnv {
+    shared: Arc<Shared>,
+    cache: Arc<ShardedLru>,
+    metrics: Arc<Metrics>,
+    all_caches: Vec<Arc<ShardedLru>>,
+    all_metrics: Vec<Arc<Metrics>>,
+    wakes: Vec<Arc<Wake>>,
+    backlog: usize,
+    idle_timeout: Duration,
 }
 
 /// A running server. Dropping the handle does **not** stop it; call
 /// [`Server::shutdown`] (or hit `POST /shutdown`) for a clean stop.
 pub struct Server {
     addr: SocketAddr,
+    caches: Vec<Arc<ShardedLru>>,
+    metrics: Vec<Arc<Metrics>>,
+    wakes: Vec<Arc<Wake>>,
     shared: Arc<Shared>,
-    acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
-    done_rx: Receiver<()>,
+    handles: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds, spawns the pool, and returns immediately.
-    pub fn start(data: ServeData, config: ServerConfig) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(&config.addr)?;
-        let addr = listener.local_addr()?;
-        let threads = if config.threads == 0 {
-            qpwm_par::thread_count()
-        } else {
-            config.threads
-        };
+    /// Binds the per-shard listeners, spawns the event loops, and
+    /// returns immediately.
+    pub fn start(data: ServeData, config: ServerConfig) -> io::Result<Server> {
+        let shards = resolve_shards(config.shards)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        let requested = config
+            .addr
+            .to_socket_addrs()?
+            .find(SocketAddr::is_ipv4)
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidInput, "serve needs an IPv4 bind address")
+            })?;
+        let IpAddr::V4(ip) = requested.ip() else { unreachable!("filtered to IPv4") };
+        let first = bind_reuseport(ip, requested.port())?;
+        let addr = first.local_addr()?;
+        let mut listeners = vec![first];
+        for _ in 1..shards {
+            listeners.push(bind_reuseport(ip, addr.port())?);
+        }
+
+        let wire = WireTable::build(&data);
         let shared = Arc::new(Shared {
             data,
-            cache: ShardedLru::new(config.cache_entries, 8),
-            metrics: Metrics::new(),
+            wire,
             shutdown: AtomicBool::new(false),
             shutdown_endpoint: config.shutdown_endpoint,
             chaos: config.chaos.unwrap_or_else(FaultPolicy::disabled),
         });
-        // `done_tx` is dropped by the acceptor on exit; `recv` on the
-        // other end turns that into a "server stopped" signal for join().
-        let (done_tx, done_rx) = mpsc::sync_channel::<()>(1);
-        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(config.backlog.max(1));
-        let (degraded_tx, degraded_rx) = mpsc::sync_channel::<TcpStream>(DEGRADED_BACKLOG);
-        let conn_rx = Arc::new(Mutex::new(conn_rx));
-        let mut workers = Vec::with_capacity(threads + 1);
-        for _ in 0..threads {
-            let shared = Arc::clone(&shared);
-            let conn_rx = Arc::clone(&conn_rx);
-            let read_timeout = config.read_timeout;
-            let write_timeout = config.write_timeout;
-            workers.push(std::thread::spawn(move || {
-                worker_loop(&shared, &conn_rx, read_timeout, write_timeout);
-            }));
+        let per_shard_cache = config.cache_entries / shards;
+        let caches: Vec<Arc<ShardedLru>> = (0..shards)
+            .map(|_| Arc::new(ShardedLru::new(per_shard_cache, per_shard_cache.clamp(1, 8))))
+            .collect();
+        let metrics: Vec<Arc<Metrics>> = (0..shards).map(|_| Arc::new(Metrics::new())).collect();
+        let wakes: Vec<Arc<Wake>> = (0..shards)
+            .map(|_| Wake::new().map(Arc::new))
+            .collect::<io::Result<_>>()?;
+
+        let mut handles = Vec::with_capacity(shards);
+        for (i, listener) in listeners.into_iter().enumerate() {
+            let env = ShardEnv {
+                shared: Arc::clone(&shared),
+                cache: Arc::clone(&caches[i]),
+                metrics: Arc::clone(&metrics[i]),
+                all_caches: caches.clone(),
+                all_metrics: metrics.clone(),
+                wakes: wakes.clone(),
+                backlog: config.backlog.max(1),
+                idle_timeout: config.read_timeout,
+            };
+            let wake = Arc::clone(&wakes[i]);
+            handles.push(std::thread::spawn(move || shard_loop(env, listener, wake)));
         }
-        {
-            // the degraded lane: one responder that stays available when
-            // every pool worker is pinned
-            let shared = Arc::clone(&shared);
-            let read_timeout = config.read_timeout.min(Duration::from_secs(2));
-            let write_timeout = config.write_timeout.min(Duration::from_secs(2));
-            workers.push(std::thread::spawn(move || {
-                degraded_loop(&shared, &degraded_rx, read_timeout, write_timeout);
-            }));
-        }
-        let acceptor = {
-            let shared = Arc::clone(&shared);
-            let write_timeout = config.write_timeout.min(Duration::from_secs(1));
-            std::thread::spawn(move || {
-                accept_loop(&listener, &shared, &conn_tx, &degraded_tx, write_timeout, &done_tx)
-            })
-        };
-        Ok(Server {
-            addr,
-            shared,
-            acceptor: Some(acceptor),
-            workers,
-            done_rx,
-        })
+        Ok(Server { addr, caches, metrics, wakes, shared, handles })
     }
 
     /// The bound address (resolves port 0).
@@ -170,208 +210,400 @@ impl Server {
         self.addr
     }
 
-    /// The live metrics registry (shared with the handlers).
-    pub fn metrics(&self) -> &Metrics {
-        &self.shared.metrics
+    /// `(hits, misses)` of the answer cache, summed across shards.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        let mut hits = 0;
+        let mut misses = 0;
+        for c in &self.caches {
+            let (h, m) = c.stats();
+            hits += h;
+            misses += m;
+        }
+        (hits, misses)
     }
 
-    /// `(hits, misses)` of the answer cache.
-    pub fn cache_stats(&self) -> (u64, u64) {
-        self.shared.cache.stats()
+    /// `(faults-per-class, shed, stale-serves, degraded)` counters,
+    /// summed across shards.
+    pub fn resilience_snapshot(&self) -> ([u64; FAULT_KINDS.len()], u64, u64, u64) {
+        let mut faults = [0u64; FAULT_KINDS.len()];
+        let (mut shed, mut stale, mut degraded) = (0, 0, 0);
+        for m in &self.metrics {
+            let (f, s, st, d) = m.resilience_snapshot();
+            for (total, x) in faults.iter_mut().zip(f) {
+                *total += x;
+            }
+            shed += s;
+            stale += st;
+            degraded += d;
+        }
+        (faults, shed, stale, degraded)
+    }
+
+    /// Requests handled per shard, for balance reporting.
+    pub fn shard_request_totals(&self) -> Vec<u64> {
+        self.metrics.iter().map(|m| m.total_requests()).collect()
     }
 
     /// Blocks until the server stops (via [`Server::shutdown`] from
-    /// another thread or the `POST /shutdown` endpoint), then reaps the
-    /// pool.
-    pub fn join(mut self) {
-        let _ = self.done_rx.recv();
-        self.reap();
+    /// another thread or the `POST /shutdown` endpoint).
+    pub fn join(self) {
+        for handle in self.handles {
+            let _ = handle.join();
+        }
     }
 
-    /// Requests a graceful stop and waits for in-flight requests to
-    /// finish.
-    pub fn shutdown(mut self) {
+    /// Requests a graceful stop and waits for the shards to drain.
+    pub fn shutdown(self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        wake_acceptor(self.addr);
-        let _ = self.done_rx.recv();
-        self.reap();
-    }
-
-    fn reap(&mut self) {
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        for wake in &self.wakes {
+            wake.signal();
         }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
+        self.join();
     }
 }
 
-/// Unblocks a pending `accept` by making (and dropping) a connection.
-fn wake_acceptor(addr: SocketAddr) {
-    let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+/// `--shards` / `QPWM_SHARDS` resolution: an explicit count wins, the
+/// env var is validated like a thread count, and the default is one
+/// shard (deterministic for tests and small deployments).
+fn resolve_shards(configured: usize) -> Result<usize, String> {
+    if configured > 0 {
+        return Ok(configured);
+    }
+    match std::env::var("QPWM_SHARDS") {
+        Ok(value) => qpwm_par::parse_thread_arg(&value)
+            .map_err(|e| format!("QPWM_SHARDS: {}", e.replace("thread count", "shard count"))),
+        Err(_) => Ok(1),
+    }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    shared: &Shared,
-    conn_tx: &SyncSender<TcpStream>,
-    degraded_tx: &SyncSender<TcpStream>,
-    shed_write_timeout: Duration,
-    _done_tx: &SyncSender<()>,
-) {
-    for conn in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
+/// One connection's state machine.
+struct Conn {
+    stream: TcpStream,
+    /// Unparsed input bytes.
+    buf: Vec<u8>,
+    /// Pending output segments.
+    out: WriteQueue,
+    /// Reclaimed scratch buffers for response heads (the per-connection
+    /// scratch pool: steady-state serving allocates nothing).
+    scratch: Vec<Vec<u8>>,
+    /// Whether `EPOLLOUT` is currently armed.
+    want_write: bool,
+    /// Accepted beyond the backlog: cache-or-control service only.
+    degraded: bool,
+    peer_loopback: bool,
+    /// Close once the write queue drains.
+    close_after_flush: bool,
+    /// Peer sent FIN; close once parsed requests are answered.
+    peer_closed: bool,
+    /// Injected chaos delay: parsing and flushing are gated until then.
+    delay_until: Option<Instant>,
+    /// Initiate server shutdown once the write queue drains.
+    trip_shutdown: bool,
+    last_activity: Instant,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, degraded: bool, peer_loopback: bool) -> Conn {
+        Conn {
+            stream,
+            buf: Vec::new(),
+            out: WriteQueue::new(),
+            scratch: Vec::new(),
+            want_write: false,
+            degraded,
+            peer_loopback,
+            close_after_flush: false,
+            peer_closed: false,
+            delay_until: None,
+            trip_shutdown: false,
+            last_activity: Instant::now(),
         }
-        match conn {
-            Ok(stream) => {
-                shared.metrics.connection_opened();
-                // never block the acceptor: pool queue, then degraded
-                // lane, then an explicit load-shedding 503
-                match conn_tx.try_send(stream) {
-                    Ok(()) => {}
-                    Err(TrySendError::Disconnected(_)) => break,
-                    Err(TrySendError::Full(stream)) => match degraded_tx.try_send(stream) {
-                        Ok(()) | Err(TrySendError::Disconnected(_)) => {}
-                        Err(TrySendError::Full(stream)) => {
-                            shared.metrics.shed_one();
-                            shed_raw(stream, shed_write_timeout);
-                        }
-                    },
+    }
+
+    fn take_scratch(&mut self) -> Vec<u8> {
+        self.scratch.pop().unwrap_or_default()
+    }
+}
+
+/// One shard's event loop: accept, parse, route, flush — all driven by
+/// readiness, with the epoll timeout doubling as the timer wheel for
+/// chaos delays, idle sweeps, and the drain grace period.
+fn shard_loop(env: ShardEnv, listener: TcpListener, wake: Arc<Wake>) {
+    let Ok(mut poller) = Poller::new(256) else { return };
+    let _ = listener.set_nonblocking(true);
+    if poller.add(listener.as_raw_fd(), LISTENER_TOKEN, false).is_err() {
+        return;
+    }
+    if poller.add(wake.raw_fd(), WAKE_TOKEN, false).is_err() {
+        return;
+    }
+    let mut conns: Slab<Conn> = Slab::new();
+    let mut events: Vec<Event> = Vec::new();
+    // (token, deadline) of connections gated by an injected delay
+    let mut delays: Vec<(usize, Instant)> = Vec::new();
+    let mut draining = false;
+    let mut drain_deadline = Instant::now();
+    let mut last_sweep = Instant::now();
+
+    loop {
+        let now = Instant::now();
+        let mut timeout = Duration::from_secs(1); // idle-sweep cadence
+        for (_, until) in &delays {
+            timeout = timeout.min(until.saturating_duration_since(now));
+        }
+        if draining {
+            timeout = timeout.min(drain_deadline.saturating_duration_since(now));
+        }
+        if poller.wait(Some(timeout), &mut events).is_err() {
+            return;
+        }
+
+        let mut accept_ready = false;
+        for &ev in &events {
+            match ev.token {
+                WAKE_TOKEN => wake.drain(),
+                LISTENER_TOKEN => accept_ready = true,
+                token => {
+                    let token = token as usize;
+                    let Some(conn) = conns.get_mut(token) else { continue };
+                    let mut dead = ev.readable && read_into(conn);
+                    if !dead {
+                        dead = pump(&env, conn);
+                    }
+                    settle(&poller, &mut conns, &mut delays, token, dead);
                 }
             }
-            Err(_) => {
-                // transient accept errors (EMFILE, aborted handshake):
-                // keep serving
-                continue;
-            }
         }
-    }
-    // dropping conn_tx/degraded_tx closes the channels; workers drain
-    // and exit. dropping _done_tx signals join()/shutdown().
-}
 
-/// Best-effort minimal 503 written straight from the acceptor when even
-/// the degraded lane is full. Does not read the request — the one thing
-/// that must never happen under overload is the acceptor blocking.
-fn shed_raw(mut stream: TcpStream, write_timeout: Duration) {
-    let _ = stream.set_write_timeout(Some(write_timeout));
-    let body = "{\"error\":\"overloaded\"}\n";
-    let head = format!(
-        "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\nContent-Length: {}\r\nRetry-After: 1\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    let _ = stream.write_all(head.as_bytes());
-    let _ = stream.write_all(body.as_bytes());
-    let _ = stream.flush();
-}
-
-fn worker_loop(
-    shared: &Shared,
-    conn_rx: &Arc<Mutex<Receiver<TcpStream>>>,
-    read_timeout: Duration,
-    write_timeout: Duration,
-) {
-    loop {
-        let stream = {
-            let guard = conn_rx.lock().expect("connection queue poisoned");
-            guard.recv()
-        };
-        let Ok(stream) = stream else {
-            return; // channel closed: shutdown
-        };
-        handle_connection(shared, stream, read_timeout, write_timeout);
-    }
-}
-
-/// The degraded lane's responder: one request per connection, control
-/// endpoints answered normally, answers served only from cache.
-fn degraded_loop(
-    shared: &Shared,
-    degraded_rx: &Receiver<TcpStream>,
-    read_timeout: Duration,
-    write_timeout: Duration,
-) {
-    while let Ok(stream) = degraded_rx.recv() {
-        handle_degraded(shared, stream, read_timeout, write_timeout);
-    }
-}
-
-fn handle_degraded(
-    shared: &Shared,
-    stream: TcpStream,
-    read_timeout: Duration,
-    write_timeout: Duration,
-) {
-    let _ = stream.set_read_timeout(Some(read_timeout));
-    let _ = stream.set_write_timeout(Some(write_timeout));
-    let _ = stream.set_nodelay(true);
-    let peer_loopback = stream
-        .peer_addr()
-        .map(|a| a.ip().is_loopback())
-        .unwrap_or(false);
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    });
-    let mut stream = stream;
-    let Ok(request) = read_request(&mut reader) else {
-        return;
-    };
-    shared.metrics.degraded_one();
-    let start = Instant::now();
-    let (endpoint, status, content_type, body, cache_hit, stop) =
-        route_degraded(shared, &request, peer_loopback);
-    shared.metrics.observe(Observation {
-        endpoint,
-        status,
-        cache_hit,
-        latency: start.elapsed(),
-    });
-    if write_response(&mut stream, status, content_type, body.as_str(), false).is_err() {
-        return;
-    }
-    if stop {
-        trip_shutdown(shared, &stream);
-    }
-}
-
-/// Degraded-lane routing: control endpoints behave exactly as on the
-/// main lane (and are exempt from shedding), `/answer`/`/aggregate` are
-/// served *only* when the rendered body is already cached, everything
-/// else is shed with 503.
-fn route_degraded(shared: &Shared, request: &Request, peer_loopback: bool) -> Routed {
-    match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz" | "/metrics" | "/params") | ("POST", "/shutdown") => {
-            route(shared, request, peer_loopback)
-        }
-        ("GET", "/answer" | "/aggregate") => {
-            let endpoint = if request.path == "/answer" {
-                Endpoint::Answer
+        // expired chaos delays: ungate the connection and resume
+        let now = Instant::now();
+        let mut expired: Vec<usize> = Vec::new();
+        delays.retain(|&(token, until)| {
+            if until <= now {
+                expired.push(token);
+                false
             } else {
-                Endpoint::Aggregate
-            };
-            let tag = if request.path == "/answer" { TAG_ANSWER } else { TAG_AGGREGATE };
-            let i = match shared
-                .data
-                .resolve_param(request.query_value("i"), request.query_value("param"))
-            {
-                Ok(i) => i,
-                Err(e) => return bad(endpoint, 400, &e),
-            };
-            if let Some(body) = shared.cache.get(tag | i as u64) {
-                shared.metrics.stale_served();
-                return (endpoint, 200, "application/json", body, true, false);
+                true
             }
-            shared.metrics.shed_one();
-            bad(endpoint, 503, "overloaded: answer not cached")
+        });
+        for token in expired {
+            let Some(conn) = conns.get_mut(token) else { continue };
+            if conn.delay_until.map(|d| d <= now) != Some(true) {
+                continue; // token reused or delay replaced
+            }
+            conn.delay_until = None;
+            let dead = pump(&env, conn);
+            settle(&poller, &mut conns, &mut delays, token, dead);
         }
-        _ => {
-            shared.metrics.shed_one();
-            bad(Endpoint::Other, 503, "overloaded")
+
+        if !draining && env.shared.shutdown.load(Ordering::SeqCst) {
+            draining = true;
+            drain_deadline = Instant::now() + DRAIN_GRACE;
+            poller.remove(listener.as_raw_fd());
+            // idle connections have nothing owed to them; drop them now
+            for token in conns.tokens() {
+                let idle = conns.get_mut(token).map(|c| c.out.is_empty()).unwrap_or(false);
+                if idle {
+                    close_conn(&poller, &mut conns, token);
+                }
+            }
+        }
+        if draining && (conns.is_empty() || Instant::now() >= drain_deadline) {
+            return;
+        }
+
+        if accept_ready && !draining {
+            accept_burst(&env, &poller, &mut conns, &listener);
+        }
+
+        if last_sweep.elapsed() >= Duration::from_secs(1) {
+            last_sweep = Instant::now();
+            for token in conns.tokens() {
+                let stale = conns
+                    .get_mut(token)
+                    .map(|c| c.last_activity.elapsed() > env.idle_timeout)
+                    .unwrap_or(false);
+                if stale {
+                    close_conn(&poller, &mut conns, token);
+                }
+            }
         }
     }
+}
+
+/// Post-service bookkeeping for one connection: close it, or reconcile
+/// its `EPOLLOUT` interest and delay registration.
+fn settle(
+    poller: &Poller,
+    conns: &mut Slab<Conn>,
+    delays: &mut Vec<(usize, Instant)>,
+    token: usize,
+    dead: bool,
+) {
+    if dead {
+        close_conn(poller, conns, token);
+        return;
+    }
+    let Some(conn) = conns.get_mut(token) else { return };
+    if let Some(until) = conn.delay_until {
+        if !delays.iter().any(|&(t, _)| t == token) {
+            delays.push((token, until));
+        }
+    }
+    let want = !conn.out.is_empty() && conn.delay_until.is_none();
+    if want != conn.want_write
+        && poller.rearm(conn.stream.as_raw_fd(), token as u64, want).is_ok()
+    {
+        conn.want_write = want;
+    }
+}
+
+fn close_conn(poller: &Poller, conns: &mut Slab<Conn>, token: usize) {
+    if let Some(conn) = conns.remove(token) {
+        poller.remove(conn.stream.as_raw_fd());
+    }
+}
+
+/// Drains the accept queue. Accounting mirrors the thread-pool design:
+/// every connection counts as opened; past the backlog it is degraded;
+/// past the degraded headroom it gets the canned 503 and the door.
+fn accept_burst(env: &ShardEnv, poller: &Poller, conns: &mut Slab<Conn>, listener: &TcpListener) {
+    loop {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                env.metrics.connection_opened();
+                let _ = stream.set_nonblocking(true);
+                let _ = stream.set_nodelay(true);
+                if conns.len() >= env.backlog + DEGRADED_BACKLOG {
+                    env.metrics.shed_one();
+                    let mut stream = stream;
+                    let _ = stream.write(SHED_RESPONSE); // best effort, never waits
+                    continue;
+                }
+                let degraded = conns.len() >= env.backlog;
+                let conn = Conn::new(stream, degraded, peer.ip().is_loopback());
+                let fd = conn.stream.as_raw_fd();
+                let token = conns.insert(conn);
+                if poller.add(fd, token as u64, false).is_err() {
+                    conns.remove(token);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(_) => return, // transient (EMFILE, aborted handshake): retry on next readiness
+        }
+    }
+}
+
+/// Reads whatever the socket has. Returns true when the connection is
+/// dead. A FIN only marks `peer_closed`: pipelined requests already
+/// buffered are still answered.
+fn read_into(conn: &mut Conn) -> bool {
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.peer_closed = true;
+                return false;
+            }
+            Ok(n) => {
+                conn.last_activity = Instant::now();
+                conn.buf.extend_from_slice(&chunk[..n]);
+                // bound pipelined buildup; the parse loop drains it
+                if conn.buf.len() > MAX_HEAD_BYTES + MAX_BODY_BYTES + 1024 {
+                    return false;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return false,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return true,
+        }
+    }
+}
+
+/// Parses and routes every complete buffered request, then flushes.
+/// Returns true when the connection should be closed.
+fn pump(env: &ShardEnv, conn: &mut Conn) -> bool {
+    while conn.delay_until.is_none() && !conn.close_after_flush && !conn.trip_shutdown {
+        match parse_request(&conn.buf) {
+            Ok(Some((request, consumed))) => {
+                conn.buf.drain(..consumed);
+                handle_request(env, conn, &request);
+            }
+            Ok(None) => break,
+            Err(RequestError::TooLarge) => {
+                respond_error(conn, 413, "request too large", false);
+                break;
+            }
+            Err(RequestError::Malformed(what)) => {
+                respond_error(conn, 400, &format!("malformed request: {what}"), false);
+                break;
+            }
+        }
+    }
+    if conn.delay_until.is_some() {
+        return false; // gated: the delay expiry resumes the flush
+    }
+    match conn.out.flush(&mut conn.stream, &mut conn.scratch) {
+        Ok(true) => {
+            if conn.trip_shutdown {
+                env.shared.shutdown.store(true, Ordering::SeqCst);
+                for wake in &env.wakes {
+                    wake.signal();
+                }
+                return true;
+            }
+            conn.close_after_flush || conn.peer_closed
+        }
+        Ok(false) => false,
+        Err(_) => true,
+    }
+}
+
+/// Routes one parsed request, applying chaos faults first (the degraded
+/// lane and control endpoints are exempt, and the fault counter only
+/// advances on eligible requests so configured rates hold).
+fn handle_request(env: &ShardEnv, conn: &mut Conn, request: &Request) {
+    let start = Instant::now();
+    conn.last_activity = start;
+    let shutdown = env.shared.shutdown.load(Ordering::SeqCst);
+    let keep_alive = !request.close && !shutdown && !conn.degraded;
+    if conn.degraded {
+        env.metrics.degraded_one();
+    }
+    let fault = if conn.degraded || is_control(&request.path) {
+        None
+    } else {
+        env.shared.chaos.next_fault()
+    };
+    if let Some(fault) = fault {
+        env.metrics.fault_injected(fault.label());
+    }
+    let mut truncate = false;
+    match fault {
+        Some(Fault::Drop) => {
+            // close without responding (earlier queued responses still
+            // flush — they were already owed to the client)
+            conn.close_after_flush = true;
+            return;
+        }
+        Some(Fault::Error) => {
+            observe(env, endpoint_of(request), 503, false, start);
+            respond_error(conn, 503, "injected fault", keep_alive);
+            return;
+        }
+        Some(Fault::Delay(d)) => conn.delay_until = Some(start + d),
+        Some(Fault::Truncate) => truncate = true,
+        None => {}
+    }
+
+    if conn.degraded {
+        return route_degraded(env, conn, request, start);
+    }
+    route(env, conn, request, keep_alive, truncate, start);
+}
+
+fn observe(env: &ShardEnv, endpoint: Endpoint, status: u16, cache_hit: bool, start: Instant) {
+    env.metrics.observe(Observation { endpoint, status, cache_hit, latency: start.elapsed() });
 }
 
 /// Control endpoints are exempt from fault injection and load shedding:
@@ -381,125 +613,13 @@ fn is_control(path: &str) -> bool {
     matches!(path, "/healthz" | "/metrics" | "/shutdown")
 }
 
-/// Response is on the wire; flip the flag and unblock `accept`.
-fn trip_shutdown(shared: &Shared, stream: &TcpStream) {
-    shared.shutdown.store(true, Ordering::SeqCst);
-    if let Ok(addr) = stream.local_addr() {
-        wake_acceptor(addr);
-    }
-}
-
-fn handle_connection(
-    shared: &Shared,
-    stream: TcpStream,
-    read_timeout: Duration,
-    write_timeout: Duration,
-) {
-    let _ = stream.set_read_timeout(Some(read_timeout));
-    let _ = stream.set_write_timeout(Some(write_timeout));
-    let _ = stream.set_nodelay(true);
-    let peer_loopback = stream
-        .peer_addr()
-        .map(|a| a.ip().is_loopback())
-        .unwrap_or(false);
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    });
-    let mut stream = stream;
-    loop {
-        let request = match read_request(&mut reader) {
-            Ok(r) => r,
-            Err(RequestError::Closed) => return,
-            Err(RequestError::TooLarge) => {
-                let _ = write_response(
-                    &mut stream,
-                    413,
-                    "application/json",
-                    "{\"error\":\"request too large\"}\n",
-                    false,
-                );
-                return;
-            }
-            Err(RequestError::Malformed(what)) => {
-                let body = format!("{{\"error\":\"malformed request: {what}\"}}\n");
-                let _ = write_response(&mut stream, 400, "application/json", &body, false);
-                return;
-            }
-        };
-        let keep_alive = !request.close && !shared.shutdown.load(Ordering::SeqCst);
-        let start = Instant::now();
-
-        // chaos: decide the injected fault for this request (control
-        // endpoints are exempt; the counter only advances on eligible
-        // requests so configured rates hold over the eligible stream)
-        let fault = if is_control(&request.path) {
-            None
-        } else {
-            shared.chaos.next_fault()
-        };
-        if let Some(fault) = fault {
-            shared.metrics.fault_injected(fault.label());
-        }
-        match fault {
-            Some(Fault::Drop) => return, // close without responding
-            Some(Fault::Error) => {
-                shared.metrics.observe(Observation {
-                    endpoint: endpoint_of(&request),
-                    status: 503,
-                    cache_hit: false,
-                    latency: start.elapsed(),
-                });
-                if write_response(
-                    &mut stream,
-                    503,
-                    "application/json",
-                    "{\"error\":\"injected fault\"}\n",
-                    keep_alive,
-                )
-                .is_err()
-                    || !keep_alive
-                {
-                    return;
-                }
-                continue;
-            }
-            Some(Fault::Delay(d)) => std::thread::sleep(d),
-            Some(Fault::Truncate) | None => {}
-        }
-
-        let (endpoint, status, content_type, body, cache_hit, stop) =
-            route(shared, &request, peer_loopback);
-        shared.metrics.observe(Observation {
-            endpoint,
-            status,
-            cache_hit,
-            latency: start.elapsed(),
-        });
-        if matches!(fault, Some(Fault::Truncate)) {
-            let _ = write_truncated_response(&mut stream, status, content_type, body.as_str());
-            return; // the truncated connection is dead by construction
-        }
-        let keep_alive = keep_alive && !stop;
-        if write_response(&mut stream, status, content_type, body.as_str(), keep_alive).is_err() {
-            return;
-        }
-        if stop {
-            trip_shutdown(shared, &stream);
-            return;
-        }
-        if !keep_alive {
-            return;
-        }
-    }
-}
-
 /// Maps a request path to its metrics endpoint without routing (used
 /// when a fault preempts the handler).
 fn endpoint_of(request: &Request) -> Endpoint {
     match request.path.as_str() {
         "/answer" => Endpoint::Answer,
         "/aggregate" => Endpoint::Aggregate,
+        "/answers" => Endpoint::Batch,
         "/detect" => Endpoint::Detect,
         "/params" => Endpoint::Params,
         "/healthz" => Endpoint::Healthz,
@@ -508,88 +628,245 @@ fn endpoint_of(request: &Request) -> Endpoint {
     }
 }
 
-type Routed = (Endpoint, u16, &'static str, Arc<String>, bool, bool);
-
-fn ok(endpoint: Endpoint, content_type: &'static str, body: String) -> Routed {
-    (endpoint, 200, content_type, Arc::new(body), false, false)
-}
-
-fn bad(endpoint: Endpoint, status: u16, message: &str) -> Routed {
-    let body = format!("{{\"error\":\"{}\"}}\n", crate::http::json_escape(message));
-    (endpoint, status, "application/json", Arc::new(body), false, false)
-}
-
-fn route(shared: &Shared, request: &Request, peer_loopback: bool) -> Routed {
-    let data = &shared.data;
+fn route(
+    env: &ShardEnv,
+    conn: &mut Conn,
+    request: &Request,
+    keep_alive: bool,
+    truncate: bool,
+    start: Instant,
+) {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => ok(Endpoint::Healthz, "application/json", data.healthz_json()),
-        ("GET", "/params") => ok(Endpoint::Params, "application/json", data.params_json()),
-        ("GET", "/metrics") => {
-            let (hits, misses) = shared.cache.stats();
-            ok(
-                Endpoint::Metrics,
-                "text/plain; version=0.0.4",
-                shared.metrics.render(shared.cache.len(), hits, misses),
-            )
+        ("GET", "/healthz") => {
+            respond_wire(conn, env.shared.wire.healthz(), keep_alive, truncate);
+            observe(env, Endpoint::Healthz, 200, false, start);
         }
-        ("GET", "/answer") => cached_param_endpoint(shared, request, Endpoint::Answer, TAG_ANSWER),
+        ("GET", "/params") => {
+            respond_wire(conn, env.shared.wire.params(), keep_alive, truncate);
+            observe(env, Endpoint::Params, 200, false, start);
+        }
+        ("GET", "/metrics") => {
+            let views: Vec<ShardView<'_>> = env
+                .all_metrics
+                .iter()
+                .zip(&env.all_caches)
+                .map(|(m, c)| {
+                    let (hits, misses) = c.stats();
+                    ShardView { metrics: m, cache_entries: c.len(), cache_hits: hits, cache_misses: misses }
+                })
+                .collect();
+            let text = render_cluster(&views);
+            respond_text(conn, 200, "text/plain; version=0.0.4", &text, keep_alive, truncate);
+            observe(env, Endpoint::Metrics, 200, false, start);
+        }
+        ("GET", "/answer") => {
+            answer_endpoint(env, conn, request, Endpoint::Answer, keep_alive, truncate, start)
+        }
         ("GET", "/aggregate") => {
-            cached_param_endpoint(shared, request, Endpoint::Aggregate, TAG_AGGREGATE)
+            answer_endpoint(env, conn, request, Endpoint::Aggregate, keep_alive, truncate, start)
+        }
+        ("POST", "/answers") => {
+            let Ok(body) = std::str::from_utf8(&request.body) else {
+                observe(env, Endpoint::Batch, 400, false, start);
+                return respond_error(conn, 400, "body must be UTF-8", keep_alive);
+            };
+            match parse_batch_indices(body, env.shared.data.num_parameters()) {
+                Ok(indices) => {
+                    respond_batch(env, conn, &indices, keep_alive, truncate);
+                    observe(env, Endpoint::Batch, 200, false, start);
+                }
+                Err(e) => {
+                    observe(env, Endpoint::Batch, 400, false, start);
+                    respond_error(conn, 400, &e, keep_alive);
+                }
+            }
         }
         ("POST", "/detect") => {
-            let body = match std::str::from_utf8(&request.body) {
-                Ok(s) => s,
-                Err(_) => return bad(Endpoint::Detect, 400, "body must be UTF-8"),
+            let Ok(body) = std::str::from_utf8(&request.body) else {
+                observe(env, Endpoint::Detect, 400, false, start);
+                return respond_error(conn, 400, "body must be UTF-8", keep_alive);
             };
-            match data.detect_json(body, request.query_value("claim")) {
-                Ok(json) => ok(Endpoint::Detect, "application/json", json),
-                Err(e) => bad(Endpoint::Detect, 400, &e),
+            match env.shared.data.detect_json(body, &request.query_values("claim")) {
+                Ok(json) => {
+                    respond_text(conn, 200, "application/json", &json, keep_alive, truncate);
+                    observe(env, Endpoint::Detect, 200, false, start);
+                }
+                Err(e) => {
+                    observe(env, Endpoint::Detect, 400, false, start);
+                    respond_error(conn, 400, &e, keep_alive);
+                }
             }
         }
-        ("POST", "/shutdown") if shared.shutdown_endpoint => {
-            if !peer_loopback {
-                return bad(Endpoint::Other, 403, "shutdown is loopback-only");
+        ("POST", "/shutdown") if env.shared.shutdown_endpoint => {
+            if !conn.peer_loopback {
+                observe(env, Endpoint::Other, 403, false, start);
+                return respond_error(conn, 403, "shutdown is loopback-only", keep_alive);
             }
-            (
-                Endpoint::Other,
-                200,
-                "application/json",
-                Arc::new("{\"status\":\"shutting down\"}\n".to_string()),
-                false,
-                true,
-            )
+            respond_text(conn, 200, "application/json", "{\"status\":\"shutting down\"}\n", false, false);
+            conn.trip_shutdown = true;
+            observe(env, Endpoint::Other, 200, false, start);
         }
-        (method, "/answer" | "/aggregate" | "/detect" | "/healthz" | "/params" | "/metrics") => bad(
-            Endpoint::Other,
-            405,
-            &format!("method {method} not allowed here"),
-        ),
-        ("GET" | "POST", _) => bad(Endpoint::Other, 404, "unknown path"),
-        (method, _) => bad(Endpoint::Other, 405, &format!("method {method} not supported")),
+        (method, "/answer" | "/aggregate" | "/answers" | "/detect" | "/healthz" | "/params" | "/metrics") => {
+            observe(env, Endpoint::Other, 405, false, start);
+            respond_error(conn, 405, &format!("method {method} not allowed here"), keep_alive);
+        }
+        ("GET" | "POST", _) => {
+            observe(env, Endpoint::Other, 404, false, start);
+            respond_error(conn, 404, "unknown path", keep_alive);
+        }
+        (method, _) => {
+            observe(env, Endpoint::Other, 405, false, start);
+            respond_error(conn, 405, &format!("method {method} not supported"), keep_alive);
+        }
     }
 }
 
-fn cached_param_endpoint(
-    shared: &Shared,
+/// `/answer` & `/aggregate`: resolve the parameter, track cache heat,
+/// and queue the precomputed wire bytes — zero-copy on the hot path.
+fn answer_endpoint(
+    env: &ShardEnv,
+    conn: &mut Conn,
     request: &Request,
     endpoint: Endpoint,
-    tag: u64,
-) -> Routed {
-    let i = match shared
+    keep_alive: bool,
+    truncate: bool,
+    start: Instant,
+) {
+    let i = match env
+        .shared
         .data
         .resolve_param(request.query_value("i"), request.query_value("param"))
     {
         Ok(i) => i,
-        Err(e) => return bad(endpoint, 400, &e),
+        Err(e) => {
+            observe(env, endpoint, 400, false, start);
+            return respond_error(conn, 400, &e, keep_alive);
+        }
+    };
+    let (tag, resp) = match endpoint {
+        Endpoint::Aggregate => (TAG_AGGREGATE, env.shared.wire.aggregate(i)),
+        _ => (TAG_ANSWER, env.shared.wire.answer(i)),
     };
     let key = tag | i as u64;
-    if let Some(body) = shared.cache.get(key) {
-        return (endpoint, 200, "application/json", body, true, false);
+    let hit = env.cache.get(key).is_some();
+    if !hit {
+        env.cache.insert(key, Arc::clone(resp.bytes()));
     }
-    let body = Arc::new(match endpoint {
-        Endpoint::Aggregate => shared.data.aggregate_json(i),
-        _ => shared.data.answer_json(i),
-    });
-    shared.cache.insert(key, Arc::clone(&body));
-    (endpoint, 200, "application/json", body, false, false)
+    respond_wire(conn, resp, keep_alive, truncate);
+    observe(env, endpoint, 200, hit, start);
+}
+
+/// Degraded-lane routing: control endpoints behave exactly as on the
+/// main lane (and are exempt from shedding), `/answer`/`/aggregate` are
+/// served *only* when already cache-resident, everything else is shed
+/// with 503. Degraded responses always close.
+fn route_degraded(env: &ShardEnv, conn: &mut Conn, request: &Request, start: Instant) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz" | "/metrics" | "/params") | ("POST", "/shutdown") => {
+            route(env, conn, request, false, false, start)
+        }
+        ("GET", "/answer" | "/aggregate") => {
+            let endpoint = if request.path == "/answer" { Endpoint::Answer } else { Endpoint::Aggregate };
+            let i = match env
+                .shared
+                .data
+                .resolve_param(request.query_value("i"), request.query_value("param"))
+            {
+                Ok(i) => i,
+                Err(e) => {
+                    observe(env, endpoint, 400, false, start);
+                    return respond_error(conn, 400, &e, false);
+                }
+            };
+            let (tag, resp) = match endpoint {
+                Endpoint::Aggregate => (TAG_AGGREGATE, env.shared.wire.aggregate(i)),
+                _ => (TAG_ANSWER, env.shared.wire.answer(i)),
+            };
+            if env.cache.get(tag | i as u64).is_some() {
+                env.metrics.stale_served();
+                respond_wire(conn, resp, false, false);
+                observe(env, endpoint, 200, true, start);
+            } else {
+                env.metrics.shed_one();
+                observe(env, endpoint, 503, false, start);
+                respond_error(conn, 503, "overloaded: answer not cached", false);
+            }
+        }
+        _ => {
+            env.metrics.shed_one();
+            observe(env, Endpoint::Other, 503, false, start);
+            respond_error(conn, 503, "overloaded", false);
+        }
+    }
+}
+
+/// Queues a precomputed wire response. Keep-alive hits queue the shared
+/// bytes whole (zero-copy); close and truncate variants reuse a scratch
+/// head over the shared body range.
+fn respond_wire(conn: &mut Conn, resp: &crate::state::WireResponse, keep_alive: bool, truncate: bool) {
+    if keep_alive && !truncate {
+        conn.out.push_shared(Arc::clone(resp.bytes()));
+        return;
+    }
+    let mut head = conn.take_scratch();
+    write_head(&mut head, 200, "application/json", resp.body_len(), false);
+    conn.out.push_owned(head);
+    let sent = if truncate { resp.body_len() / 2 } else { resp.body_len() };
+    conn.out
+        .push_shared_range(Arc::clone(resp.bytes()), resp.body_start(), resp.body_start() + sent);
+    conn.close_after_flush = true;
+}
+
+/// Queues a dynamically rendered response via the connection's scratch
+/// pool. A truncation fault advertises the full `Content-Length` but
+/// queues half the body, then closes.
+fn respond_text(
+    conn: &mut Conn,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+    truncate: bool,
+) {
+    let keep_alive = keep_alive && !truncate;
+    let mut buf = conn.take_scratch();
+    write_head(&mut buf, status, content_type, body.len(), keep_alive);
+    let sent = if truncate { body.len() / 2 } else { body.len() };
+    buf.extend_from_slice(&body.as_bytes()[..sent]);
+    conn.out.push_owned(buf);
+    if !keep_alive {
+        conn.close_after_flush = true;
+    }
+}
+
+fn respond_error(conn: &mut Conn, status: u16, message: &str, keep_alive: bool) {
+    let body = format!("{{\"error\":\"{}\"}}\n", json_escape(message));
+    respond_text(conn, status, "application/json", &body, keep_alive, false);
+}
+
+/// `POST /answers`: one response whose body is the concatenation of the
+/// requested `/answer` bodies (NDJSON — each precomputed body is a
+/// single `\n`-terminated JSON object), queued as shared ranges with a
+/// single scratch head. A remote audit amortizes request parsing and
+/// syscalls across the whole batch.
+fn respond_batch(env: &ShardEnv, conn: &mut Conn, indices: &[usize], keep_alive: bool, truncate: bool) {
+    let total: usize = indices.iter().map(|&i| env.shared.wire.answer(i).body_len()).sum();
+    let keep_alive = keep_alive && !truncate;
+    let mut head = conn.take_scratch();
+    write_head(&mut head, 200, "application/json", total, keep_alive);
+    conn.out.push_owned(head);
+    let mut remaining = if truncate { total / 2 } else { total };
+    for &i in indices {
+        if remaining == 0 {
+            break;
+        }
+        let resp = env.shared.wire.answer(i);
+        let take = resp.body_len().min(remaining);
+        conn.out
+            .push_shared_range(Arc::clone(resp.bytes()), resp.body_start(), resp.body_start() + take);
+        remaining -= take;
+    }
+    if !keep_alive {
+        conn.close_after_flush = true;
+    }
 }

@@ -8,11 +8,12 @@
 //! resolved by canonical index or display label, and handlers only
 //! render — so request threads share the state without locks.
 
-use crate::http::json_escape;
+use crate::http::{json_escape, write_head};
 use qpwm_core::detect::{HonestServer, ObservedWeights, DEFAULT_DELTA};
 use qpwm_core::keyfile::SchemeKey;
 use qpwm_structures::{AnswerFamily, Element, Weights};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Everything the request handlers read.
 pub struct ServeData {
@@ -193,7 +194,11 @@ impl ServeData {
     /// The handler queries the same family + weights `/answer` serves —
     /// the owner acts as an ordinary user — extracts the embedded bits,
     /// and scores an optional `claim` at the standard δ.
-    pub fn detect_json(&self, body: &str, claim: Option<&str>) -> Result<String, String> {
+    /// `claims` may carry several candidate messages: one claim renders
+    /// the classic `"claim":{...}` object, several render a
+    /// `"claims":[...]` array in submission order — a remote audit
+    /// checks all its candidates against one extraction pass.
+    pub fn detect_json(&self, body: &str, claims: &[&str]) -> Result<String, String> {
         let key = SchemeKey::from_text(body).map_err(|e| format!("bad key: {e}"))?;
         let original = parse_original_weights(body, self.weights.arity())?;
         let server = HonestServer::new(self.family.clone(), self.weights.clone());
@@ -206,7 +211,8 @@ impl ServeData {
             report.missing_pairs,
             observed.inconsistencies.len()
         );
-        if let Some(claim) = claim {
+        let mut checks = Vec::with_capacity(claims.len());
+        for claim in claims {
             let claimed: Result<Vec<bool>, String> = claim
                 .chars()
                 .map(|c| match c {
@@ -215,16 +221,133 @@ impl ServeData {
                     other => Err(format!("claim must be 0/1 bits, got '{other}'")),
                 })
                 .collect();
-            let claimed = claimed?;
-            let check = report.claim_check(&claimed, DEFAULT_DELTA);
-            out.push_str(&format!(
-                ",\"claim\":{{\"matches\":{},\"claimed\":{},\"significance\":{:e},\"verdict\":\"{}\"}}",
+            let check = report.claim_check(&claimed?, DEFAULT_DELTA);
+            checks.push(format!(
+                "{{\"matches\":{},\"claimed\":{},\"significance\":{:e},\"verdict\":\"{}\"}}",
                 check.matches, check.claimed, check.significance, check.verdict
             ));
+        }
+        match checks.len() {
+            0 => {}
+            1 => out.push_str(&format!(",\"claim\":{}", checks[0])),
+            _ => out.push_str(&format!(",\"claims\":[{}]", checks.join(","))),
         }
         out.push_str("}\n");
         Ok(out)
     }
+}
+
+/// One precomputed HTTP response: full keep-alive wire bytes (status
+/// line, headers, body), with the body's offset so callers can reuse
+/// the body range under a different head (`Connection: close`,
+/// truncation faults, batch framing).
+pub struct WireResponse {
+    bytes: Arc<[u8]>,
+    body_start: usize,
+}
+
+impl WireResponse {
+    fn json(body: &str) -> Self {
+        let mut out = Vec::with_capacity(96 + body.len());
+        write_head(&mut out, 200, "application/json", body.len(), true);
+        let body_start = out.len();
+        out.extend_from_slice(body.as_bytes());
+        WireResponse { bytes: out.into(), body_start }
+    }
+
+    /// The full response bytes (status line through body).
+    pub fn bytes(&self) -> &Arc<[u8]> {
+        &self.bytes
+    }
+
+    /// Offset where the body starts inside [`Self::bytes`].
+    pub fn body_start(&self) -> usize {
+        self.body_start
+    }
+
+    /// Body length in bytes.
+    pub fn body_len(&self) -> usize {
+        self.bytes.len() - self.body_start
+    }
+}
+
+/// All read-only endpoint responses, precomputed as wire bytes at
+/// startup. A hot-path hit is then a single vectored write of shared
+/// bytes: no formatting, no allocation, no copying into a connection
+/// buffer.
+pub struct WireTable {
+    answers: Vec<WireResponse>,
+    aggregates: Vec<WireResponse>,
+    healthz: WireResponse,
+    params: WireResponse,
+}
+
+impl WireTable {
+    /// Renders every `/answer` and `/aggregate` response (plus
+    /// `/healthz` and `/params`) from the family.
+    pub fn build(data: &ServeData) -> Self {
+        let n = data.num_parameters();
+        let mut answers = Vec::with_capacity(n);
+        let mut aggregates = Vec::with_capacity(n);
+        for i in 0..n {
+            answers.push(WireResponse::json(&data.answer_json(i)));
+            aggregates.push(WireResponse::json(&data.aggregate_json(i)));
+        }
+        WireTable {
+            answers,
+            aggregates,
+            healthz: WireResponse::json(&data.healthz_json()),
+            params: WireResponse::json(&data.params_json()),
+        }
+    }
+
+    /// The `/answer` response for parameter `i`.
+    pub fn answer(&self, i: usize) -> &WireResponse {
+        &self.answers[i]
+    }
+
+    /// The `/aggregate` response for parameter `i`.
+    pub fn aggregate(&self, i: usize) -> &WireResponse {
+        &self.aggregates[i]
+    }
+
+    /// The `/healthz` response.
+    pub fn healthz(&self) -> &WireResponse {
+        &self.healthz
+    }
+
+    /// The `/params` response.
+    pub fn params(&self) -> &WireResponse {
+        &self.params
+    }
+}
+
+/// Largest batch `POST /answers` accepts.
+pub const MAX_BATCH: usize = 4096;
+
+/// Parses a `POST /answers` body: whitespace-separated parameter
+/// indices, capped at [`MAX_BATCH`] and range-checked against the
+/// domain.
+pub fn parse_batch_indices(body: &str, num_parameters: usize) -> Result<Vec<usize>, String> {
+    let mut out = Vec::new();
+    for token in body.split_whitespace() {
+        if out.len() >= MAX_BATCH {
+            return Err(format!("batch too large (max {MAX_BATCH} indices)"));
+        }
+        let i: usize = token
+            .parse()
+            .map_err(|_| format!("batch entries must be parameter indices, got '{token}'"))?;
+        if i >= num_parameters {
+            return Err(format!(
+                "parameter index {i} out of range (domain has {num_parameters})"
+            ));
+        }
+        out.push(i);
+    }
+    if out.is_empty() {
+        return Err("empty batch: body must list parameter indices".into());
+    }
+    Ok(out)
 }
 
 fn join_ids(tuple: &[Element]) -> String {
@@ -356,23 +479,62 @@ mod tests {
 
         let key = SchemeKey { marking, d: 1 };
         let body = detect_request_body(&key, &original);
-        let json = data.detect_json(&body, Some("1")).expect("detects");
+        let json = data.detect_json(&body, &["1"]).expect("detects");
         assert!(json.contains("\"bits\":\"1\""), "{json}");
         assert!(json.contains("\"verdict\":\"inconclusive\""), "{json}"); // 1 bit can't reach 1e-6
         assert!(json.contains("\"matches\":1"), "{json}");
+        assert!(json.contains("\"claim\":{"), "{json}");
+        assert!(!json.contains("\"claims\":["), "{json}");
+
+        // several claims render an array, in submission order
+        let multi = data.detect_json(&body, &["1", "0"]).expect("detects");
+        assert!(multi.contains("\"claims\":[{\"matches\":1"), "{multi}");
+        assert!(multi.contains("},{\"matches\":0"), "{multi}");
+        assert!(!multi.contains("\"claim\":{"), "{multi}");
     }
 
     #[test]
     fn detect_rejects_malformed_bodies() {
         let data = sample_data();
-        assert!(data.detect_json("not a key", None).is_err());
+        assert!(data.detect_json("not a key", &[]).is_err());
         let key = SchemeKey { marking: PairMarking::new(Vec::new()), d: 1 };
         let body = format!("{}orig zero 1\n", key.to_text());
-        let err = data.detect_json(&body, None).expect_err("bad element id");
+        let err = data.detect_json(&body, &[]).expect_err("bad element id");
         assert!(err.contains("bad element id"), "{err}");
         let body = format!("{}orig 1 2 3\n", key.to_text());
-        let err = data.detect_json(&body, None).expect_err("arity mismatch");
+        let err = data.detect_json(&body, &[]).expect_err("arity mismatch");
         assert!(err.contains("expected 1 element(s)"), "{err}");
+    }
+
+    #[test]
+    fn wire_table_precomputes_full_responses() {
+        let data = sample_data();
+        let wire = WireTable::build(&data);
+        let resp = wire.answer(0);
+        let text = std::str::from_utf8(resp.bytes()).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        let body = &resp.bytes()[resp.body_start()..];
+        assert_eq!(body, data.answer_json(0).as_bytes());
+        assert_eq!(resp.body_len(), data.answer_json(0).len());
+        assert!(text.contains(&format!("Content-Length: {}\r\n", resp.body_len())), "{text}");
+        let health = std::str::from_utf8(wire.healthz().bytes()).expect("utf8");
+        assert!(health.contains("\"status\":\"ok\""), "{health}");
+        let params = std::str::from_utf8(wire.params().bytes()).expect("utf8");
+        assert!(params.contains("\"count\":2"), "{params}");
+        assert!(std::str::from_utf8(wire.aggregate(0).bytes())
+            .expect("utf8")
+            .contains("\"f\":12"));
+    }
+
+    #[test]
+    fn batch_indices_parse_and_validate() {
+        assert_eq!(parse_batch_indices("0 1\n1", 2), Ok(vec![0, 1, 1]));
+        assert!(parse_batch_indices("", 2).unwrap_err().contains("empty batch"));
+        assert!(parse_batch_indices("2", 2).unwrap_err().contains("out of range"));
+        assert!(parse_batch_indices("x", 2).unwrap_err().contains("indices"));
+        let big = "0 ".repeat(MAX_BATCH + 1);
+        assert!(parse_batch_indices(&big, 2).unwrap_err().contains("batch too large"));
     }
 
     #[test]

@@ -6,9 +6,7 @@
 //! against direct in-process evaluation of the same marked data.
 
 use qpwm_core::adversary::{CensoringServer, LyingServer};
-use qpwm_core::detect::{
-    AnswerServer, HonestServer, ObservedWeights, Verdict, DEFAULT_DELTA,
-};
+use qpwm_core::detect::{HonestServer, ObservedWeights, Verdict, DEFAULT_DELTA};
 use qpwm_core::local_scheme::{LocalScheme, LocalSchemeConfig, SelectionStrategy};
 use qpwm_logic::{Formula, ParametricQuery};
 use qpwm_serve::client::{http_get, http_post};
@@ -60,12 +58,10 @@ fn fixture(config: ServerConfig) -> Fixture {
 fn chaos_config(spec: &str) -> ServerConfig {
     ServerConfig {
         chaos: Some(FaultPolicy::parse(spec).expect("valid chaos spec")),
-        // the CI box may expose a single CPU; two workers keep control
-        // endpoints reachable while a keep-alive detection connection
-        // holds one worker
-        threads: 2,
-        // shutdown waits for workers parked in read_request on idle
-        // keep-alive connections; a short timeout keeps teardown fast
+        // one reactor shard multiplexes every connection, so control
+        // endpoints stay reachable even while keep-alive detection
+        // connections are parked; a short idle timeout keeps teardown fast
+        shards: 1,
         read_timeout: Duration::from_secs(2),
         write_timeout: Duration::from_secs(2),
         ..Default::default()
@@ -304,12 +300,12 @@ fn control_endpoints_are_exempt_from_chaos() {
 
 #[test]
 fn saturated_pool_sheds_but_control_and_cached_answers_survive() {
-    // one worker, a one-slot backlog: two idle connections saturate the
-    // normal path, so further connections land in the degraded lane —
-    // which must keep answering control endpoints and already-cached
-    // answers while shedding the rest
+    // one shard, a one-connection backlog: two idle connections push the
+    // shard past its live-connection budget, so further connections land
+    // in the degraded lane — which must keep answering control endpoints
+    // and already-cached answers while shedding the rest
     let config = ServerConfig {
-        threads: 1,
+        shards: 1,
         backlog: 1,
         read_timeout: Duration::from_secs(5),
         write_timeout: Duration::from_secs(5),
@@ -353,6 +349,125 @@ fn saturated_pool_sheds_but_control_and_cached_answers_survive() {
 
     drop(idle_a);
     drop(idle_b);
+    std::thread::sleep(Duration::from_millis(100));
+    fx.server.shutdown();
+}
+
+#[test]
+fn truncated_writes_mid_stream_never_corrupt_detection() {
+    // truncation now happens inside the reactor's vectored-write path:
+    // the server advertises the full Content-Length, queues half the
+    // body, flushes whatever writev accepts, and drops the connection.
+    // Combined with outright drops, every partial write must surface as
+    // a transport error (never as silently short data), so the retried
+    // detection run is byte-identical to the offline report.
+    let fx = fixture(chaos_config("trunc=25%,drop=10%,seed=17"));
+    // a 35% fault rate needs a deeper retry budget than the default
+    // four attempts: 0.35^8 per read keeps permanent losses ≪ 1
+    let remote = RemoteServer::connect_with(
+        &fx.addr,
+        Timeouts::from_millis(2_000),
+        RetryPolicy { max_attempts: 8, ..RetryPolicy::default() },
+    )
+    .expect("healthz probe");
+    let via_http = fx
+        .scheme
+        .marking()
+        .extract(&fx.original, &ObservedWeights::collect(&remote));
+    assert_eq!(via_http, offline_report(&fx), "partial writes must never alter bytes");
+    assert_eq!(remote.failed_reads(), 0);
+    let stats = remote.transport_stats();
+    assert!(stats.reconnects > 0, "truncated responses must kill the connection");
+    drop(remote);
+    fx.server.shutdown();
+}
+
+#[test]
+fn readiness_storm_under_thirty_percent_faults_stays_correct() {
+    // several owners hammer one reactor shard at once while ~30% of
+    // data-plane responses are dropped, errored, delayed, or truncated.
+    // The single event loop interleaves every connection's state machine;
+    // each client must still converge to the exact offline report with
+    // zero user-visible errors.
+    let fx = fixture(chaos_config("drop=7%,error=10%,delay=6%:1ms,trunc=7%,seed=41"));
+    let offline = offline_report(&fx);
+    let mut clients = Vec::new();
+    for _ in 0..4 {
+        let addr = fx.addr.clone();
+        clients.push(std::thread::spawn(move || {
+            let remote = RemoteServer::connect_with(
+                &addr,
+                Timeouts::from_millis(2_000),
+                // 30% faults over four concurrent detection runs: eight
+                // attempts keep the expected permanent-loss count ≪ 1
+                RetryPolicy { max_attempts: 8, ..RetryPolicy::default() },
+            )
+            .expect("healthz probe");
+            let observed = ObservedWeights::collect(&remote);
+            (observed, remote.failed_reads())
+        }));
+    }
+    for handle in clients {
+        let (observed, failed_reads) = handle.join().expect("client thread");
+        let report = fx.scheme.marking().extract(&fx.original, &observed);
+        assert_eq!(report, offline, "storm client must match the clean channel");
+        assert_eq!(failed_reads, 0, "retries must absorb every fault");
+    }
+    // the storm really was stormy
+    let (_, metrics) = http_get(&fx.addr, "/metrics").expect("metrics");
+    assert!(metrics.contains("qpwm_faults_injected_total{kind=\"drop\"}"), "{metrics}");
+    fx.server.shutdown();
+}
+
+#[test]
+fn degraded_lane_is_chaos_exempt_and_serves_cached_bytes() {
+    // overload shedding composes with fault injection: the degraded lane
+    // bypasses chaos entirely, so a saturated server under heavy faults
+    // still replays cached answers byte-for-byte and sheds the rest with
+    // an honest 503 — never an injected one.
+    let config = ServerConfig {
+        chaos: Some(FaultPolicy::parse("error=50%,seed=13").expect("valid chaos spec")),
+        shards: 1,
+        backlog: 1,
+        read_timeout: Duration::from_secs(5),
+        write_timeout: Duration::from_secs(5),
+        ..Default::default()
+    };
+    let fx = fixture(config);
+
+    // prime the cache through the (faulty) normal lane: seeded 50%
+    // errors mean a bounded number of one-shot attempts must land a 200
+    let mut primed = None;
+    for _ in 0..32 {
+        let (status, body) = http_get(&fx.addr, "/answer?i=0").expect("prime attempt");
+        if status == 200 {
+            primed = Some(body);
+            break;
+        }
+        assert_eq!(status, 503, "only injected errors are expected");
+    }
+    let primed = primed.expect("a 50% error rate cannot fault 32 straight reads");
+    std::thread::sleep(Duration::from_millis(100));
+
+    // saturate the shard so new connections land in the degraded lane
+    let idle_a = std::net::TcpStream::connect(&fx.addr).expect("idle connection");
+    std::thread::sleep(Duration::from_millis(100));
+
+    // the cached answer survives every time: the degraded lane never
+    // consults the fault policy
+    for round in 0..6 {
+        let (status, body) = http_get(&fx.addr, "/answer?i=0").expect("cached answer");
+        assert_eq!(status, 200, "round {round}: degraded lane must be chaos-exempt");
+        assert_eq!(body, primed, "round {round}: stale serve must replay cached bytes");
+    }
+
+    // uncached answers shed with the overload error, not the chaos one
+    let (status, body) = http_get(&fx.addr, "/answer?i=1").expect("uncached answer");
+    assert_eq!(status, 503);
+    assert!(body.contains("overloaded"), "shed must be honest, got: {body}");
+    assert!(!body.contains("injected"), "degraded lane must not inject faults: {body}");
+
+    drop(idle_a);
     std::thread::sleep(Duration::from_millis(100));
     fx.server.shutdown();
 }

@@ -9,7 +9,9 @@ use qpwm_core::keyfile::SchemeKey;
 use qpwm_core::local_scheme::{LocalScheme, LocalSchemeConfig, SelectionStrategy};
 use qpwm_logic::{Formula, ParametricQuery};
 use qpwm_serve::client::{http_get, http_post, parse_answer_tuples, parse_json_uint};
-use qpwm_serve::{detect_request_body, RemoteServer, ServeData, Server, ServerConfig};
+use qpwm_serve::{
+    detect_request_body, RemoteServer, RetryPolicy, ServeData, Server, ServerConfig, Timeouts,
+};
 use qpwm_structures::Weights;
 use qpwm_workloads::graphs::{cycle_union, unary_domain, with_random_weights};
 
@@ -112,6 +114,78 @@ fn detect_over_http_matches_offline_detection() {
         "HTTP significance must equal the offline value: {response}"
     );
     assert!(response.contains("\"matches\":"), "{response}");
+    fx.server.shutdown();
+}
+
+#[test]
+fn batched_answers_are_byte_identical_to_individual_answers() {
+    // POST /answers streams the same precomputed bodies the single-shot
+    // endpoint serves, newline-delimited, in request order
+    let fx = fixture();
+    let n = fx.scheme.answers().len();
+    let indices: Vec<String> = (0..n).map(|i| i.to_string()).collect();
+    let (status, batch) =
+        http_post(&fx.addr, "/answers", &indices.join(" ")).expect("batch request");
+    assert_eq!(status, 200, "{batch}");
+
+    let lines: Vec<&str> = batch.lines().filter(|l| !l.is_empty()).collect();
+    assert_eq!(lines.len(), n, "one JSON object per requested index");
+    for (i, line) in lines.iter().enumerate() {
+        let (_, single) = http_get(&fx.addr, &format!("/answer?i={i}")).expect("request");
+        assert_eq!(format!("{line}\n"), single, "batch line {i} must match the single body");
+        assert_eq!(parse_json_uint(line, "param"), Some(i as u64));
+    }
+
+    // out-of-range and empty bodies are rejected, not truncated
+    let (status, body) = http_post(&fx.addr, "/answers", &n.to_string()).expect("request");
+    assert_eq!(status, 400, "{body}");
+    let (status, body) = http_post(&fx.addr, "/answers", "  ").expect("request");
+    assert_eq!(status, 400, "{body}");
+    fx.server.shutdown();
+}
+
+#[test]
+fn batched_remote_detection_equals_in_process_detection() {
+    // a batch size that does not divide the parameter count exercises
+    // the ragged tail prefetch
+    let fx = fixture();
+    let remote = RemoteServer::connect_batched(
+        &fx.addr,
+        Timeouts::from_millis(2_000),
+        RetryPolicy::default(),
+        7,
+    )
+    .expect("healthz probe");
+    let honest = HonestServer::new(fx.scheme.answers().clone(), fx.marked.clone());
+    let via_http = fx
+        .scheme
+        .marking()
+        .extract(&fx.original, &ObservedWeights::collect(&remote));
+    let in_process = fx
+        .scheme
+        .marking()
+        .extract(&fx.original, &ObservedWeights::collect(&honest));
+    assert_eq!(via_http, in_process, "batched transport must not change the report");
+    assert_eq!(remote.failed_reads(), 0);
+    fx.server.shutdown();
+}
+
+#[test]
+fn multi_claim_detect_checks_each_claim_once() {
+    let fx = fixture();
+    let key = SchemeKey { marking: fx.scheme.marking().clone(), d: fx.scheme.d() };
+    let body = detect_request_body(&key, &fx.original);
+    let claim: String = fx.message.iter().map(|&b| if b { '1' } else { '0' }).collect();
+    let wrong: String = fx.message.iter().map(|&b| if b { '0' } else { '1' }).collect();
+    let (status, response) = http_post(
+        &fx.addr,
+        &format!("/detect?claim={claim}&claim={wrong}"),
+        &body,
+    )
+    .expect("request");
+    assert_eq!(status, 200, "{response}");
+    assert!(response.contains("\"claims\":["), "{response}");
+    assert_eq!(response.matches("\"verdict\"").count(), 2, "{response}");
     fx.server.shutdown();
 }
 

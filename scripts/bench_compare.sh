@@ -251,6 +251,42 @@ for metric, higher_is_better in METRICS:
 if now.get("errors", 0) != 0:
     failures.append(f"load run returned {now['errors']} error response(s)")
 
+# shard sweep: throughput/latency per shard count vs baseline, zero
+# errors, and no shard starved of its share of the connection hash.
+# Percentiles under a 1024-connection fan-in jitter well beyond the
+# headline tolerance on a shared single-core CI box, so the sweep's
+# timing comparison runs at double the configured tolerance; the
+# correctness gates (errors, shard balance) stay strict.
+sweep_tolerance = tolerance * 2
+base_sweep = {s["shards"]: s for s in base.get("sweep", [])}
+fresh_sweep = {s["shards"]: s for s in now.get("sweep", [])}
+if base_sweep:
+    print(f"\n{'shards':>7} {'metric':>16} {'baseline':>12} {'fresh':>12} {'delta':>8}")
+for shards, ref in sorted(base_sweep.items()):
+    cur = fresh_sweep.get(shards)
+    if cur is None:
+        failures.append(f"sweep shards={shards}: missing from fresh run")
+        continue
+    if cur.get("errors", 0) != 0:
+        failures.append(f"sweep shards={shards}: {cur['errors']} error response(s)")
+    if shards > 1 and cur.get("min_shard_share", 0.0) < 0.05:
+        failures.append(
+            f"sweep shards={shards}: a shard got only "
+            f"{cur['min_shard_share']:.1%} of requests (floor 5%)"
+        )
+    for metric, higher_is_better in METRICS:
+        old, new = float(ref[metric]), float(cur[metric])
+        delta = (new - old) / old * 100 if old > 0 else 0.0
+        regressed = delta < -sweep_tolerance if higher_is_better else delta > sweep_tolerance
+        flag = "  << REGRESSION" if regressed else ""
+        if regressed:
+            direction = "dropped" if higher_is_better else "rose"
+            failures.append(
+                f"sweep shards={shards} {metric} {direction}: "
+                f"{old:.1f} -> {new:.1f} ({delta:+.1f}%)"
+            )
+        print(f"{shards:>7} {metric:>16} {old:>12.1f} {new:>12.1f} {delta:>+7.1f}%{flag}")
+
 if failures:
     print(f"\n{len(failures)} serving regression(s) beyond {tolerance:.0f}%:", file=sys.stderr)
     for f in failures:

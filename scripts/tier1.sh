@@ -109,4 +109,49 @@ curl -sf -X POST "http://$CHAOS_ADDR/shutdown" >/dev/null
 wait "$CHAOS_PID"
 echo "chaos smoke test OK ($CHAOS_ADDR)"
 
+# Sharded smoke test: two SO_REUSEPORT reactor shards on one port. The
+# kernel hashes connections across both listeners, so repeated
+# one-shot curls must eventually land on each shard; then a remote
+# detection audit (batched POST /answers) must prove the mark through
+# whichever shards its connections hash to.
+echo "== tier-1: sharded serve smoke test =="
+./target/release/qpwm serve \
+  --schema 'R(a,b)' --table "R=$SMOKE/ring.csv" \
+  --weights "$SMOKE/marked.csv" --rule 'q($u; v) :- R($u, v)' \
+  --port 0 --shards 2 > "$SMOKE/shard-serve.log" &
+SHARD_PID=$!
+SHARD_ADDR=""
+for _ in $(seq 1 50); do
+  SHARD_ADDR="$(sed -n 's|^listening on http://||p' "$SMOKE/shard-serve.log" | head -n 1)"
+  [[ -n "$SHARD_ADDR" ]] && break
+  sleep 0.1
+done
+[[ -n "$SHARD_ADDR" ]] || { echo "sharded serve did not start:" >&2; cat "$SMOKE/shard-serve.log" >&2; kill "$SHARD_PID" 2>/dev/null; exit 1; }
+
+BOTH_SHARDS=""
+for _ in $(seq 1 100); do
+  curl -sf "http://$SHARD_ADDR/healthz" >/dev/null
+  curl -sf "http://$SHARD_ADDR/answer?i=0" >/dev/null
+  METRICS="$(curl -sf "http://$SHARD_ADDR/metrics")"
+  S0="$(echo "$METRICS" | sed -n 's/^qpwm_shard_connections_total{shard="0"} //p')"
+  S1="$(echo "$METRICS" | sed -n 's/^qpwm_shard_connections_total{shard="1"} //p')"
+  if [[ -n "$S0" && -n "$S1" && "$S0" -gt 0 && "$S1" -gt 0 ]]; then
+    BOTH_SHARDS="yes"
+    break
+  fi
+done
+[[ -n "$BOTH_SHARDS" ]] || { echo "connections never reached both shards:" >&2; echo "$METRICS" >&2; kill "$SHARD_PID" 2>/dev/null; exit 1; }
+
+SHARD_DETECT="$(./target/release/qpwm detect-db \
+  --schema 'R(a,b)' --table "R=$SMOKE/ring.csv" \
+  --weights "$SMOKE/weights.csv" --server "$SHARD_ADDR" \
+  --rule 'q($u; v) :- R($u, v)' --key "$SMOKE/secret.key" \
+  --claim "$MESSAGE" --timeout-ms 2000)"
+echo "$SHARD_DETECT" | grep -q 'MARK PRESENT' \
+  || { echo "sharded detection failed to prove the mark:" >&2; echo "$SHARD_DETECT" >&2; kill "$SHARD_PID" 2>/dev/null; exit 1; }
+
+curl -sf -X POST "http://$SHARD_ADDR/shutdown" >/dev/null
+wait "$SHARD_PID"
+echo "sharded smoke test OK ($SHARD_ADDR, shard0=$S0 shard1=$S1 connections)"
+
 echo "== tier-1: OK =="

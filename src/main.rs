@@ -71,7 +71,7 @@ const USAGE: &str = "usage:
     qpwm detect-db --schema <spec> --table Rel=file.csv [--table ...]
                    --weights <original.csv> (--suspect <suspect.csv> | --server <host:port>)
                    --rule <rule> --key <keyfile> [--claim <bits>] [--threads <n>]
-                   [--timeout-ms <n>] [--retries <n>]
+                   [--timeout-ms <n>] [--retries <n>] [--batch <n>]
   capacity counting (exact #Mark, Theorem 1 engine):
     qpwm capacity  --schema <spec> --table Rel=file.csv [--table ...]
                    --rule <rule> [--d <n>] [--threads <n>]
@@ -82,10 +82,10 @@ const USAGE: &str = "usage:
   data server (answer sets + aggregates over HTTP):
     qpwm serve     --schema <spec> --table Rel=file.csv [--table ...]
                    --weights <marked.csv> --rule <rule>
-                   [--port <n>] [--threads <n>] [--cache <entries>]
+                   [--port <n>] [--shards <n>] [--cache <entries>]
                    [--backlog <n>] [--chaos <spec>]
     qpwm serve     --xml <marked.xml> --pattern <pattern>
-                   [--port <n>] [--threads <n>] [--cache <entries>]
+                   [--port <n>] [--shards <n>] [--cache <entries>]
                    [--backlog <n>] [--chaos <spec>]
 
   --chaos <spec> injects deterministic transport faults, e.g.
@@ -482,7 +482,13 @@ fn detect_db(opts: &Options) -> Result<(), String> {
             let retries: u32 = raw.parse().map_err(|_| "--retries needs a count")?;
             policy.max_attempts = retries + 1;
         }
-        let remote = qpwm::serve::RemoteServer::connect_with(addr, timeouts, policy)?;
+        // batched prefetch over POST /answers amortizes round trips;
+        // --batch 1 (or 0) falls back to one GET /answer per parameter
+        let batch = match optional(opts, "batch") {
+            Some(raw) => raw.parse().map_err(|_| "--batch needs a count")?,
+            None => 64,
+        };
+        let remote = qpwm::serve::RemoteServer::connect_batched(addr, timeouts, policy, batch)?;
         println!(
             "querying {} ({} parameters)...",
             remote.addr(),
@@ -626,6 +632,12 @@ fn serve(opts: &Options) -> Result<(), String> {
         cache_entries,
         ..Default::default()
     };
+    // explicit flag wins; otherwise QPWM_SHARDS is resolved inside the
+    // server (defaulting to one shard)
+    if let Some(raw) = optional(opts, "shards") {
+        config.shards =
+            qpwm::par::parse_thread_arg(raw).map_err(|e| format!("--shards: {}", e.replace("thread count", "shard count")))?;
+    }
     if let Some(raw) = optional(opts, "backlog") {
         config.backlog = raw.parse().map_err(|_| "--backlog needs a queue length")?;
     }
@@ -644,7 +656,7 @@ fn serve(opts: &Options) -> Result<(), String> {
     let server = qpwm::serve::Server::start(data, config).map_err(|e| e.to_string())?;
     println!("listening on http://{}", server.addr());
     println!(
-        "endpoints: /answer /aggregate /detect /params /healthz /metrics (POST /shutdown to stop)"
+        "endpoints: /answer /answers /aggregate /detect /params /healthz /metrics (POST /shutdown to stop)"
     );
     server.join();
     println!("shut down cleanly");
