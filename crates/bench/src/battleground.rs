@@ -27,7 +27,8 @@ use std::time::Instant;
 use qpwm_baselines::adapters::{AkWatermark, KzWatermark};
 use qpwm_baselines::agrawal_kiernan::{AkConfig, AkScheme};
 use qpwm_core::adversary::Attack;
-use qpwm_core::detect::Verdict;
+use qpwm_core::detect::{Verdict, DEFAULT_DELTA};
+use qpwm_fingerprint::{accuse, observed_from_pairs, Fingerprinter, KeyRegistry, MasterSecret};
 use qpwm_core::local_scheme::{LocalSchemeConfig, SelectionStrategy};
 use qpwm_core::scheme::{RobustWatermark, SchemeVerdict, WatermarkScheme};
 use qpwm_core::{LocalScheme, PairWatermark, TreeScheme};
@@ -61,6 +62,14 @@ pub const ATTACK_NAMES: [&str; 8] = [
     "superset",
     "rerandomize",
 ];
+
+/// The coalition-combination strategies the traitor-tracing sweep runs,
+/// in reporting order: per-tuple averaging, per-tuple median vote, and
+/// seeded per-tuple mixing.
+pub const COALITION_STRATEGIES: [&str; 3] = ["average", "vote", "mix"];
+
+/// The coalition sizes the traitor-tracing sweep covers.
+pub const COALITION_MAX_K: usize = 8;
 
 /// Battleground configuration (CLI flags map onto this 1:1).
 #[derive(Debug, Clone, Default)]
@@ -155,6 +164,28 @@ pub struct UnitBench {
     pub detect_ms: f64,
 }
 
+/// One traitor-tracing cell: `k` recipients combine their fingerprinted
+/// copies of the `csv_db` carrier under one strategy, and the
+/// accusation engine scores every issued recipient against the blend.
+#[derive(Debug, Clone)]
+pub struct CoalitionCell {
+    /// Combination strategy (see [`COALITION_STRATEGIES`]).
+    pub strategy: String,
+    /// Coalition size.
+    pub k: usize,
+    /// Recipients scored by the accusation.
+    pub scored: usize,
+    /// The accused recipient, if anyone cleared the significance floor.
+    pub accused: Option<String>,
+    /// Was the accused actually a coalition member? (`false` both when
+    /// nobody was accused and on a — never observed — misaccusation.)
+    pub traced: bool,
+    /// Best-scoring recipient's false-positive significance.
+    pub best_significance: f64,
+    /// log10 separation between the best and runner-up significance.
+    pub gap_log10: f64,
+}
+
 /// Everything one battleground run produces.
 #[derive(Debug, Clone)]
 pub struct RunOutcome {
@@ -162,6 +193,8 @@ pub struct RunOutcome {
     pub units: Vec<UnitInfo>,
     /// All Pareto cells, in (workload, scheme, attack) order.
     pub cells: Vec<Cell>,
+    /// The traitor-tracing coalition sweep (strategy × k).
+    pub coalitions: Vec<CoalitionCell>,
     /// Throughput samples (empty in `--check` / `skip_bench` mode).
     pub bench: Vec<UnitBench>,
     /// Worker threads the cell grid ran under.
@@ -548,6 +581,84 @@ fn run_unit(unit: &Unit, attacks: &Option<Vec<String>>) -> Vec<Cell> {
     cells
 }
 
+/// The traitor-tracing sweep: fingerprint the `csv_db` carrier for a
+/// registry of recipients, let coalitions of size `k = 1..=8` blend
+/// their copies under each [`COALITION_STRATEGIES`] entry, and score
+/// the blend with the accusation engine. Fully sequential and
+/// seed-deterministic, so the rendered rows are byte-stable at any
+/// thread count.
+fn run_coalitions(cfg: &BattleConfig) -> Vec<CoalitionCell> {
+    let material = build_material("csv_db", cfg.check);
+    let fingerprinter = Fingerprinter::new(
+        material.qp_local.core().marking().clone(),
+        material.baseline.clone(),
+    );
+    let recipients: usize = if cfg.check { 16 } else { 64 };
+    let mut registry = KeyRegistry::new(MasterSecret::from_u64(0xB477_1E60));
+    for i in 0..recipients {
+        registry
+            .issue(&format!("r{i:03}"), i as u64)
+            .expect("fresh registry issues");
+    }
+    let mut cells = Vec::new();
+    for (strat_idx, &strategy) in COALITION_STRATEGIES.iter().enumerate() {
+        for k in 1..=COALITION_MAX_K {
+            // coalition membership is coordinate-seeded: k consecutive
+            // indices from a splitmix-derived start, so strategies and
+            // sizes cover different slices of the registry
+            let seed = cell_seed(9, strat_idx, k);
+            let start = (seed % recipients as u64) as usize;
+            let members: Vec<u64> =
+                (0..k).map(|j| ((start + j) % recipients) as u64).collect();
+            let mut copies: Vec<Weights> = members
+                .iter()
+                .map(|&i| fingerprinter.stamp(registry.key_at(i)))
+                .collect();
+            let mine = copies.remove(0);
+            let blended = if copies.is_empty() {
+                mine
+            } else {
+                let attack = match strategy {
+                    "average" => Attack::Averaging { copies },
+                    "vote" => Attack::MajorityVote { copies },
+                    "mix" => Attack::Mixing { copies },
+                    other => panic!("unknown coalition strategy {other}"),
+                };
+                attack.apply(&mine, &material.family, splitmix(seed))
+            };
+            let observed = observed_from_pairs(
+                material
+                    .family
+                    .universe_tuples()
+                    .map(|t| (t.to_vec(), blended.get(t)))
+                    .collect(),
+            );
+            let outcome = accuse(&fingerprinter, &registry, &observed, DEFAULT_DELTA);
+            let accused = outcome.accused().map(|a| a.recipient.clone());
+            let traced = accused
+                .as_ref()
+                .is_some_and(|name| {
+                    registry
+                        .record(name)
+                        .is_some_and(|r| members.contains(&r.index))
+                });
+            cells.push(CoalitionCell {
+                strategy: strategy.to_string(),
+                k,
+                scored: outcome.scored,
+                accused,
+                traced,
+                best_significance: outcome
+                    .best
+                    .as_ref()
+                    .map_or(1.0, |b| b.check.significance),
+                gap_log10: outcome.gap_log10,
+            });
+        }
+    }
+    cells
+}
+
 /// Times `op` and returns mean ms/op (at least 3 iterations, stops
 /// after ~40 ms of sampling).
 fn time_per_op(mut op: impl FnMut()) -> f64 {
@@ -602,6 +713,9 @@ pub fn run(cfg: &BattleConfig) -> RunOutcome {
         |parts: Vec<Vec<Cell>>| parts.into_iter().flatten().collect(),
     );
 
+    // Traitor tracing: sequential and seed-deterministic by design.
+    let coalitions = run_coalitions(cfg);
+
     // Throughput phase: sequential, so contention never skews the
     // numbers the perf gate compares.
     let mut bench = Vec::new();
@@ -626,7 +740,7 @@ pub fn run(cfg: &BattleConfig) -> RunOutcome {
         }
     }
 
-    RunOutcome { units: infos, cells, bench, threads }
+    RunOutcome { units: infos, cells, coalitions, bench, threads }
 }
 
 /// The subset-selection dominance check the paper predicts: on every
@@ -716,6 +830,25 @@ pub fn results_json(outcome: &RunOutcome) -> String {
             if i + 1 < outcome.cells.len() { "," } else { "" },
         );
     }
+    s.push_str("  ],\n  \"coalitions\": [\n");
+    for (i, c) in outcome.coalitions.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"strategy\": {}, \"k\": {}, \"scored\": {}, \"accused\": {}, \
+             \"traced\": {}, \"best_significance\": {:.6e}, \"gap_log10\": {:.3}}}{}",
+            json_str(&c.strategy),
+            c.k,
+            c.scored,
+            match &c.accused {
+                Some(name) => json_str(name),
+                None => "null".to_string(),
+            },
+            c.traced,
+            c.best_significance,
+            c.gap_log10,
+            if i + 1 < outcome.coalitions.len() { "," } else { "" },
+        );
+    }
     let schemes: std::collections::BTreeSet<&str> =
         outcome.cells.iter().map(|c| c.scheme.as_str()).collect();
     let workloads: std::collections::BTreeSet<&str> =
@@ -726,13 +859,17 @@ pub fn results_json(outcome: &RunOutcome) -> String {
         Some(b) => b.to_string(),
         None => "null".to_string(),
     };
+    let traced = outcome.coalitions.iter().filter(|c| c.traced).count();
     let _ = write!(
         s,
-        "  ],\n  \"summary\": {{\"schemes\": {}, \"workloads\": {}, \"attacks\": {}, \"cells\": {}, \"subset_dominance\": {}}}\n}}\n",
+        "  ],\n  \"summary\": {{\"schemes\": {}, \"workloads\": {}, \"attacks\": {}, \"cells\": {}, \
+         \"coalition_cells\": {}, \"coalitions_traced\": {}, \"subset_dominance\": {}}}\n}}\n",
         schemes.len(),
         workloads.len(),
         attacks.len(),
         outcome.cells.len(),
+        outcome.coalitions.len(),
+        traced,
         dominance,
     );
     s
@@ -866,9 +1003,18 @@ pub fn cli_main(args: &[String]) -> i32 {
                 return 1;
             }
         }
+        let expected_coalitions = COALITION_STRATEGIES.len() * COALITION_MAX_K;
+        if outcome.coalitions.len() != expected_coalitions {
+            eprintln!(
+                "battleground check FAILED: {} coalition cells, expected {expected_coalitions}",
+                outcome.coalitions.len()
+            );
+            return 1;
+        }
         println!(
-            "battleground check OK ({} cells, {} units, {} threads)",
+            "battleground check OK ({} cells, {} coalition cells, {} units, {} threads)",
             outcome.cells.len(),
+            outcome.coalitions.len(),
             outcome.units.len(),
             outcome.threads
         );
@@ -908,6 +1054,19 @@ pub fn cli_main(args: &[String]) -> i32 {
         }
     }
     table.print("X-B3 — battleground: attacks survived per scheme × workload");
+
+    // Traitor tracing: accusation power vs coalition size.
+    let mut tracing = crate::Table::new(vec!["strategy", "k", "accused", "traced", "gap_log10"]);
+    for c in &outcome.coalitions {
+        tracing.row(vec![
+            c.strategy.clone(),
+            c.k.to_string(),
+            c.accused.clone().unwrap_or_else(|| "-".to_string()),
+            if c.traced { "yes".to_string() } else { "no".to_string() },
+            format!("{:.1}", c.gap_log10),
+        ]);
+    }
+    tracing.print("X-F1 — traitor tracing: accusation vs coalition size (csv_db carrier)");
     match subset_dominance(&outcome.cells) {
         Some(true) => println!("subset-selection dominance: qp-local ≥ ak on every workload (strict somewhere) ✓"),
         Some(false) => println!("subset-selection dominance: VIOLATED (ak survived where qp-local did not)"),
@@ -984,6 +1143,34 @@ mod tests {
             let universe: Vec<Vec<Element>> = (0..n).map(|e| vec![e]).collect();
             let ak = AkScheme::new(AkConfig::default());
             println!("ak n={n} cap={}", ak.selections(&universe).len());
+        }
+    }
+
+    #[test]
+    fn coalition_sweep_traces_singletons_and_is_deterministic() {
+        // full-size csv_db carrier: capacity clears the default
+        // significance floor, so every k=1 "coalition" (a plain leak)
+        // must be traced to its recipient
+        let cfg = BattleConfig { skip_bench: true, ..BattleConfig::default() };
+        let cells = run_coalitions(&cfg);
+        assert_eq!(cells.len(), COALITION_STRATEGIES.len() * COALITION_MAX_K);
+        for c in cells.iter().filter(|c| c.k == 1) {
+            assert!(
+                c.traced,
+                "a single leaked copy must be traced ({}, accused {:?})",
+                c.strategy, c.accused
+            );
+            assert!(c.best_significance < DEFAULT_DELTA);
+        }
+        // the engine abstains rather than misaccuse: every accusation
+        // that does land names a coalition member
+        for c in &cells {
+            assert!(c.accused.is_none() || c.traced, "{}/k={} misaccused", c.strategy, c.k);
+        }
+        let again = run_coalitions(&cfg);
+        for (a, b) in cells.iter().zip(&again) {
+            assert_eq!(a.accused, b.accused);
+            assert_eq!(a.best_significance.to_bits(), b.best_significance.to_bits());
         }
     }
 

@@ -1,0 +1,199 @@
+//! Fingerprinting micro-benchmark: key-derivation throughput, per-copy
+//! stamping cost, and accusation latency as the issuance registry grows.
+//!
+//! The carrier is the battleground's ring relation at serving size
+//! (n = 512, capacity 255 bits — comfortably past the default
+//! significance floor). The headline check doubles as the subsystem's
+//! end-to-end acceptance drill: with 10^4 issued recipients, a leaked
+//! copy must be accused correctly at the default significance level.
+//! Results land in `BENCH_fingerprint.json`, which
+//! `scripts/bench_compare.sh` gates.
+//!
+//! Run with `cargo run --release -p qpwm-bench --bin bench_fingerprint`
+//! (flags: `--ring <n>`, `--threads <n>` accepted for symmetry).
+
+use qpwm_bench::Table;
+use qpwm_core::detect::DEFAULT_DELTA;
+use qpwm_core::local_scheme::{LocalScheme, LocalSchemeConfig, SelectionStrategy};
+use qpwm_fingerprint::{accuse, observed_from_pairs, Fingerprinter, KeyRegistry, MasterSecret};
+use qpwm_logic::datalog::parse_rule;
+use qpwm_structures::Element;
+use qpwm_workloads::csv_db::load_csv_database;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn flag_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    args.windows(2)
+        .find(|w| w[0] == name)
+        .map(|w| w[1].clone())
+}
+
+fn parse_flag(name: &str, default: usize) -> usize {
+    match flag_value(name) {
+        None => default,
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("error: {name} needs a positive integer, got '{raw}'");
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// Mean ms/op (at least 3 iterations, stops after ~60 ms of sampling).
+fn time_per_op(mut op: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    let mut iters = 0u32;
+    loop {
+        op();
+        iters += 1;
+        if (iters >= 3 && start.elapsed().as_millis() >= 60) || iters >= 100_000 {
+            break;
+        }
+    }
+    start.elapsed().as_secs_f64() * 1000.0 / f64::from(iters)
+}
+
+struct AccusePoint {
+    recipients: usize,
+    ms: f64,
+    accused_ok: bool,
+    significance: f64,
+    gap_log10: f64,
+}
+
+fn main() {
+    if let Some(raw) = flag_value("--threads") {
+        match qpwm_par::parse_thread_arg(&raw) {
+            Ok(n) => qpwm_par::set_threads(n),
+            Err(e) => {
+                eprintln!("error: --threads: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let n = parse_flag("--ring", 512) as u32;
+
+    // the carrier: a ring relation under the battleground's ring rule
+    let mut ring = String::new();
+    let mut weights_csv = String::new();
+    for i in 0..n {
+        let _ = writeln!(ring, "n{i},n{}", (i + 1) % n);
+        let _ = writeln!(weights_csv, "n{i},{}", 100 + i64::from(i) * 3);
+    }
+    let db = load_csv_database("R(a,b)", &[("R", &ring)], Some(&weights_csv))
+        .expect("ring CSV loads");
+    let rule = parse_rule("q($u; v) :- R($u, v)", db.instance.structure().schema())
+        .expect("ring rule parses");
+    let domain: Vec<Vec<Element>> = (0..n).map(|e| vec![e]).collect();
+    let config = LocalSchemeConfig { rho: 1, d: 1, strategy: SelectionStrategy::Greedy, seed: 7 };
+    let scheme = LocalScheme::build_over(&db.instance, &rule.query, domain, &config)
+        .expect("ring scheme builds");
+    let baseline = db.instance.weights().clone();
+    let fingerprinter = Fingerprinter::new(scheme.marking().clone(), baseline);
+    let capacity = fingerprinter.capacity();
+    println!("carrier: ring n={n}, capacity {capacity} bits");
+    assert!(
+        capacity >= 20,
+        "carrier must clear the default significance floor (got {capacity} bits)"
+    );
+
+    // 1. derivation throughput: pure arithmetic, no family access
+    let master = MasterSecret::from_u64(0xF1F0_57A3);
+    let derive_batch = 100_000u64;
+    let start = Instant::now();
+    let mut sink = 0u64;
+    for i in 0..derive_batch {
+        // fold the derived seed bytes (not the index, which is just `i`)
+        // so the chain cannot be dead-coded
+        let bytes = master.derive(i).to_bytes();
+        sink ^= u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    }
+    std::hint::black_box(sink);
+    let derive_per_s = derive_batch as f64 / start.elapsed().as_secs_f64();
+
+    // 2. stamping cost: full stamped table vs the sparse serving plan
+    let key = master.derive(7);
+    let stamp_ms = time_per_op(|| {
+        std::hint::black_box(fingerprinter.stamp(key));
+    });
+    let plan_ms = time_per_op(|| {
+        std::hint::black_box(fingerprinter.delta_map(key));
+    });
+
+    // 3. accusation latency vs registry size; the 10^4 point is the
+    //    subsystem's end-to-end acceptance drill
+    let mut points = Vec::new();
+    for recipients in [100usize, 1_000, 10_000] {
+        let mut registry = KeyRegistry::new(master);
+        for i in 0..recipients {
+            registry
+                .issue(&format!("r{i:05}"), i as u64)
+                .expect("fresh registry issues");
+        }
+        let culprit = recipients / 2;
+        let leaked = fingerprinter.stamp(registry.key_at(culprit as u64));
+        let observed = observed_from_pairs(
+            fingerprinter
+                .original()
+                .keys_sorted()
+                .into_iter()
+                .map(|k| {
+                    let w = leaked.get(&k);
+                    (k, w)
+                })
+                .collect(),
+        );
+        let start = Instant::now();
+        let outcome = accuse(&fingerprinter, &registry, &observed, DEFAULT_DELTA);
+        let ms = start.elapsed().as_secs_f64() * 1000.0;
+        let accused_ok = outcome
+            .accused()
+            .is_some_and(|a| a.recipient == format!("r{culprit:05}"));
+        assert!(
+            accused_ok,
+            "a leaked copy among {recipients} recipients must be accused correctly"
+        );
+        points.push(AccusePoint {
+            recipients,
+            ms,
+            accused_ok,
+            significance: outcome.best.as_ref().map_or(1.0, |b| b.check.significance),
+            gap_log10: outcome.gap_log10,
+        });
+    }
+
+    let mut table = Table::new(vec!["recipients", "accuse_ms", "significance", "gap_log10"]);
+    for p in &points {
+        table.row(vec![
+            p.recipients.to_string(),
+            format!("{:.2}", p.ms),
+            format!("{:.2e}", p.significance),
+            format!("{:.1}", p.gap_log10),
+        ]);
+    }
+    table.print("X-F2 — fingerprinting: accusation latency vs registry size");
+    println!(
+        "derivation: {:.0} keys/s; stamp: {:.4} ms/copy; serving plan: {:.4} ms/recipient",
+        derive_per_s, stamp_ms, plan_ms
+    );
+
+    let entries: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"recipients\": {}, \"accuse_ms\": {:.3}, \"accused_ok\": {}, \
+                 \"significance\": {:.6e}, \"gap_log10\": {:.3}}}",
+                p.recipients, p.ms, p.accused_ok, p.significance, p.gap_log10
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"carrier\": \"ring n={n}, q($u; v) :- R($u, v), rho=1 d=1\",\n  \
+         \"capacity_bits\": {capacity},\n  \"derive_per_s\": {derive_per_s:.1},\n  \
+         \"stamp_ms\": {stamp_ms:.4},\n  \"plan_ms\": {plan_ms:.4},\n  \
+         \"accuse\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_fingerprint.json", &json).expect("write BENCH_fingerprint.json");
+    println!("wrote BENCH_fingerprint.json");
+}

@@ -52,6 +52,25 @@ pub enum Attack {
         /// The other copies' weights.
         copies: Vec<Weights>,
     },
+    /// A colluding coalition serving the per-tuple *median* of its
+    /// members' copies (the attacked weights plus `copies`). Where a
+    /// majority of the coalition carries the same fingerprint bit the
+    /// value survives; where members disagree the median lands between
+    /// their stamps — the classic majority-vote collusion against
+    /// fingerprinting. Deterministic (no randomness needed).
+    MajorityVote {
+        /// The other coalition members' weights.
+        copies: Vec<Weights>,
+    },
+    /// A colluding coalition *mixing* its copies: every tuple's weight
+    /// is taken from one coalition member (the attacked weights or one
+    /// of `copies`), chosen uniformly per tuple by the seeded RNG — so
+    /// the served table is a patchwork in which each colluder
+    /// contributes ≈ 1/k of the evidence.
+    Mixing {
+        /// The other coalition members' weights.
+        copies: Vec<Weights>,
+    },
     /// Serve only a random subset of the data: each active tuple is
     /// censored out of every answer with probability `drop_fraction`
     /// (the classic subset-selection attack; a set-level attack, so it
@@ -117,6 +136,34 @@ impl Attack {
                     }
                     let n = copies.len() as i64 + 1;
                     out.set(key, (sum + n / 2).div_euclid(n));
+                }
+            }
+            Attack::MajorityVote { copies } => {
+                let mut values = Vec::with_capacity(copies.len() + 1);
+                for key in answers.universe_tuples() {
+                    values.clear();
+                    values.push(out.get(key));
+                    values.extend(copies.iter().map(|c| c.get(key)));
+                    values.sort_unstable();
+                    let n = values.len();
+                    let median = if n % 2 == 1 {
+                        values[n / 2]
+                    } else {
+                        // even coalition: rounded midpoint of the two
+                        // middle members
+                        let (a, b) = (values[n / 2 - 1], values[n / 2]);
+                        (a + b + 1).div_euclid(2)
+                    };
+                    out.set(key, median);
+                }
+            }
+            Attack::Mixing { copies } => {
+                let n = copies.len() as u64 + 1;
+                for key in answers.universe_tuples() {
+                    let pick = rng.below(n);
+                    if pick > 0 {
+                        out.set(key, copies[pick as usize - 1].get(key));
+                    }
                 }
             }
             // Set-level attacks do not move weights; their effect lives
@@ -556,6 +603,65 @@ mod tests {
         // Averaging a copy with the inverse message canels every pair
         // delta; with rounding ties the detector is near chance.
         assert!(outcome.bit_errors >= 8, "errors {}", outcome.bit_errors);
+    }
+
+    #[test]
+    fn majority_vote_collusion_erases_minority_marks() {
+        let (marking, w, sets) = setup();
+        let scheme = RobustScheme::new(marking.clone(), 1);
+        let message: Vec<bool> = (0..24).map(|i| i % 2 == 0).collect();
+        // a 3-member coalition: the attacked copy plus two copies whose
+        // bits all agree with each other but not with the victim — the
+        // per-tuple median is the majority's value, so the victim's
+        // fingerprint vanishes entirely
+        let inverse: Vec<bool> = message.iter().map(|b| !b).collect();
+        let copies = vec![scheme.mark(&w, &inverse), scheme.mark(&w, &inverse)];
+        let attack = Attack::MajorityVote { copies: copies.clone() };
+        let marked = scheme.mark(&w, &message);
+        let voted = attack.apply(&marked, &sets, 5);
+        for key in sets.universe_tuples() {
+            assert_eq!(voted.get(key), copies[0].get(key), "median is the majority copy");
+        }
+        // deterministic: no randomness enters the vote
+        let again = attack.apply(&marked, &sets, 999);
+        for key in sets.universe_tuples() {
+            assert_eq!(voted.get(key), again.get(key));
+        }
+    }
+
+    #[test]
+    fn mixing_collusion_is_seeded_and_draws_from_every_member() {
+        let (marking, w, sets) = setup();
+        let scheme = RobustScheme::new(marking.clone(), 1);
+        let message: Vec<bool> = (0..24).map(|i| i % 2 == 0).collect();
+        let inverse: Vec<bool> = message.iter().map(|b| !b).collect();
+        let marked = scheme.mark(&w, &message);
+        let other = scheme.mark(&w, &inverse);
+        let attack = Attack::Mixing { copies: vec![other.clone()] };
+        let mixed = attack.apply(&marked, &sets, 42);
+        let (mut from_self, mut from_other) = (0, 0);
+        for key in sets.universe_tuples() {
+            let v = mixed.get(key);
+            assert!(
+                v == marked.get(key) || v == other.get(key),
+                "every mixed weight comes from a coalition member"
+            );
+            if v == marked.get(key) {
+                from_self += 1;
+            }
+            if v == other.get(key) {
+                from_other += 1;
+            }
+        }
+        assert!(from_self > 0 && from_other > 0, "both members contribute");
+        // same seed, same patchwork; different seed, different patchwork
+        let same = attack.apply(&marked, &sets, 42);
+        let diff = attack.apply(&marked, &sets, 43);
+        let collect = |x: &Weights| -> Vec<i64> {
+            sets.universe_tuples().map(|k| x.get(k)).collect()
+        };
+        assert_eq!(collect(&mixed), collect(&same));
+        assert_ne!(collect(&mixed), collect(&diff));
     }
 
     #[test]

@@ -35,6 +35,16 @@ pub enum KeyError {
         /// The offending line, verbatim.
         content: String,
     },
+    /// A weight key that appears more than once across the pair list. A
+    /// key id must belong to exactly one side of one pair: a repeat
+    /// would silently overwrite earlier evidence (last-write-wins) and
+    /// corrupt both marking and detection, so it is rejected by name.
+    DuplicateKey {
+        /// 1-based line number of the *second* occurrence.
+        line: usize,
+        /// The repeated weight key, space-joined.
+        key: String,
+    },
     /// Pair count mismatch or missing terminator.
     Truncated,
 }
@@ -51,6 +61,9 @@ impl fmt::Display for KeyError {
             KeyError::BadHeader => write!(f, "not a qpwm-key v1 file"),
             KeyError::BadLine { line, content } => {
                 write!(f, "malformed key file at line {line}: '{content}'")
+            }
+            KeyError::DuplicateKey { line, key } => {
+                write!(f, "duplicate key id at line {line}: '{key}' already appears in an earlier pair")
             }
             KeyError::Truncated => write!(f, "key file is truncated"),
         }
@@ -110,6 +123,8 @@ impl SchemeKey {
             .and_then(|v| v.parse().ok())
             .ok_or_else(|| KeyError::bad_line(pn + 1, pline))?;
         let mut pairs = Vec::with_capacity(count);
+        let mut seen: std::collections::HashSet<WeightKey> =
+            std::collections::HashSet::with_capacity(count * 2);
         for _ in 0..count {
             let (n, raw) = lines.next().ok_or(KeyError::Truncated)?;
             let line = raw.trim();
@@ -127,7 +142,18 @@ impl SchemeKey {
                     _ => Err(KeyError::bad_line(n + 1, raw)),
                 }
             };
-            pairs.push(Pair { plus: parse_key(plus_part)?, minus: parse_key(minus_part)? });
+            let pair = Pair { plus: parse_key(plus_part)?, minus: parse_key(minus_part)? };
+            for side in [&pair.plus, &pair.minus] {
+                if !seen.insert(side.clone()) {
+                    let key = side
+                        .iter()
+                        .map(u32::to_string)
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    return Err(KeyError::DuplicateKey { line: n + 1, key });
+                }
+            }
+            pairs.push(pair);
         }
         let (_, terminator) = lines.next().ok_or(KeyError::Truncated)?;
         if terminator.trim() != "end" {
@@ -221,19 +247,57 @@ mod tests {
         );
     }
 
+    #[test]
+    fn rejects_duplicate_key_ids_by_name() {
+        // the same weight key on two different pair lines
+        let text = "qpwm-key v1\nd 1\npairs 2\n+ 4 - 5\n+ 6 - 4\nend\n";
+        match SchemeKey::from_text(text) {
+            Err(KeyError::DuplicateKey { line, key }) => {
+                assert_eq!(line, 5, "the second occurrence is named");
+                assert_eq!(key, "4");
+                let message = KeyError::DuplicateKey { line, key }.to_string();
+                assert!(message.contains("duplicate key id at line 5"), "{message}");
+                assert!(message.contains("'4'"), "{message}");
+            }
+            other => panic!("expected DuplicateKey, got {other:?}"),
+        }
+        // both sides of one pair naming the same key is also a duplicate
+        let text = "qpwm-key v1\nd 1\npairs 1\n+ 7 2 - 7 2\nend\n";
+        assert!(
+            matches!(
+                SchemeKey::from_text(text),
+                Err(KeyError::DuplicateKey { line: 4, .. })
+            ),
+            "plus == minus within a single pair is rejected"
+        );
+        // multi-component keys compare as whole tuples: `7` and `7 2`
+        // are distinct and both legal
+        let text = "qpwm-key v1\nd 1\npairs 2\n+ 7 - 8\n+ 7 2 - 8 2\nend\n";
+        assert!(SchemeKey::from_text(text).is_ok(), "prefix overlap is not a duplicate");
+    }
+
     /// Random-key round-trip property: write → read → write is the
     /// identity on the text form, and read → write → read the identity
     /// on the value, for keys spanning arities, id ranges, and sizes.
+    /// The generator rejection-samples fresh weight keys, since the
+    /// parser now refuses duplicate key ids.
     #[test]
     fn random_keys_round_trip() {
         let mut rng = qpwm_rng::Rng::seed_from_u64(0x5eed_4e1f);
         for _ in 0..200 {
             let num_pairs = rng.below(20) as usize;
+            let mut used: std::collections::HashSet<WeightKey> = std::collections::HashSet::new();
             let pairs: Vec<Pair> = (0..num_pairs)
                 .map(|_| {
                     let arity = 1 + rng.below(3) as usize;
-                    let side = |rng: &mut qpwm_rng::Rng| -> WeightKey {
-                        (0..arity).map(|_| rng.below(1 << 20) as u32).collect()
+                    let mut side = |rng: &mut qpwm_rng::Rng| -> WeightKey {
+                        loop {
+                            let key: WeightKey =
+                                (0..arity).map(|_| rng.below(1 << 20) as u32).collect();
+                            if used.insert(key.clone()) {
+                                return key;
+                            }
+                        }
                     };
                     Pair { plus: side(&mut rng), minus: side(&mut rng) }
                 })

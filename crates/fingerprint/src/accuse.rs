@@ -1,0 +1,222 @@
+//! The forensic half: trace a leaked answer set to its recipient.
+//!
+//! Accusation is one extraction plus many cheap scorings. The marking
+//! is applied to the leaked observations exactly once
+//! ([`PairMarking::extract`](qpwm_core::pairing::PairMarking::extract)
+//! — the expensive, `O(pairs × observations)` step); every issued,
+//! non-revoked recipient is then scored against that single
+//! [`DetectionReport`](qpwm_core::detect::DetectionReport) with
+//! [`claim_check_effective`](qpwm_core::detect::DetectionReport::claim_check_effective),
+//! which is `O(capacity)` per recipient — so a 10⁴-recipient registry
+//! is scored in milliseconds, and the scoring loop parallelizes with
+//! [`qpwm_par::par_map`] without changing the result.
+//!
+//! **Never accuse an innocent.** The best-scoring recipient is only
+//! *accused* when their claim clears the significance floor `delta`
+//! with [`Verdict::MarkPresent`]; a leak that merely *resembles*
+//! someone's fingerprint (or a registry scored against an unrelated
+//! leak) ends in [`Verdict::Abstain`] / `Inconclusive` with nobody
+//! accused. The runner-up gap quantifies how far the verdict is from
+//! flipping to the next-best recipient: `gap_log10` is
+//! `log10(runner_up significance) − log10(accused significance)` —
+//! orders of magnitude of evidence separating the two.
+
+use crate::registry::KeyRegistry;
+use crate::stamp::Fingerprinter;
+use qpwm_core::detect::{AnswerServer, ClaimCheck, ObservedWeights, Verdict};
+use qpwm_structures::Element;
+
+/// One recipient's score against the leaked evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Accusation {
+    /// The recipient id.
+    pub recipient: String,
+    /// The recipient's derivation index.
+    pub index: u64,
+    /// The significance check of this recipient's expected bits.
+    pub check: ClaimCheck,
+}
+
+/// The outcome of scoring a whole registry against one leak.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuseOutcome {
+    /// Non-revoked recipients scored.
+    pub scored: usize,
+    /// Revoked recipients excluded from scoring.
+    pub skipped_revoked: usize,
+    /// The best-scoring recipient (lowest significance), whatever their
+    /// verdict.
+    pub best: Option<Accusation>,
+    /// The second-best recipient.
+    pub runner_up: Option<Accusation>,
+    /// `log10(runner_up.significance) − log10(best.significance)`:
+    /// orders of magnitude separating the accused from the next
+    /// candidate. `0.0` when fewer than two recipients were scored.
+    pub gap_log10: f64,
+}
+
+impl AccuseOutcome {
+    /// The accused recipient — the best scorer, but only when the
+    /// evidence clears the significance floor. `None` means the
+    /// forensic run *abstains*: nobody is accused on weak evidence.
+    pub fn accused(&self) -> Option<&Accusation> {
+        self.best
+            .as_ref()
+            .filter(|a| a.check.verdict == Verdict::MarkPresent)
+    }
+}
+
+/// Scores every issued, non-revoked recipient in `registry` against the
+/// leaked observations and returns the ranked outcome. `delta` is the
+/// false-accusation budget (see
+/// [`DEFAULT_DELTA`](qpwm_core::detect::DEFAULT_DELTA)).
+pub fn accuse(
+    fingerprinter: &Fingerprinter,
+    registry: &KeyRegistry,
+    leaked: &ObservedWeights,
+    delta: f64,
+) -> AccuseOutcome {
+    let report = fingerprinter.marking().extract(fingerprinter.original(), leaked);
+    let capacity = fingerprinter.capacity();
+    let active: Vec<_> = registry.active().collect();
+    let skipped_revoked = registry.len() - active.len();
+
+    let scores: Vec<Accusation> = qpwm_par::par_map(&active, |record| {
+        let expected = registry.key_at(record.index).message_bits(capacity);
+        Accusation {
+            recipient: record.recipient.clone(),
+            index: record.index,
+            check: report.claim_check_effective(&expected, delta),
+        }
+    });
+
+    // Rank by significance, ties broken by derivation index — a total
+    // order, so the outcome is deterministic at any thread count.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .check
+            .significance
+            .total_cmp(&scores[b].check.significance)
+            .then(scores[a].index.cmp(&scores[b].index))
+    });
+
+    let best = order.first().map(|&i| scores[i].clone());
+    let runner_up = order.get(1).map(|&i| scores[i].clone());
+    let gap_log10 = match (&best, &runner_up) {
+        (Some(b), Some(r)) => {
+            let floor = f64::MIN_POSITIVE;
+            (r.check.significance.max(floor)).log10() - (b.check.significance.max(floor)).log10()
+        }
+        _ => 0.0,
+    };
+    AccuseOutcome { scored: scores.len(), skipped_revoked, best, runner_up, gap_log10 }
+}
+
+/// Builds the leaked-evidence view from raw `(tuple, weight)`
+/// observations — the shape a leak arrives in, whether parsed from a
+/// `POST /accuse` body or scraped from a suspect's files.
+pub fn observed_from_pairs(pairs: Vec<(Vec<Element>, i64)>) -> ObservedWeights {
+    struct LeakServer {
+        pairs: Vec<(Vec<Element>, i64)>,
+    }
+    impl AnswerServer for LeakServer {
+        fn num_parameters(&self) -> usize {
+            1
+        }
+        fn answer(&self, _i: usize) -> Vec<(Vec<Element>, i64)> {
+            self.pairs.clone()
+        }
+    }
+    ObservedWeights::collect(&LeakServer { pairs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::derive::MasterSecret;
+    use qpwm_core::detect::DEFAULT_DELTA;
+    use qpwm_core::pairing::{Pair, PairMarking};
+    use qpwm_structures::Weights;
+
+    /// 32 disjoint unit pairs over elements 0..64 — enough capacity for
+    /// decisive significance.
+    fn fixture(recipients: usize) -> (Fingerprinter, KeyRegistry) {
+        let pairs: Vec<Pair> = (0..32)
+            .map(|i| Pair { plus: vec![2 * i], minus: vec![2 * i + 1] })
+            .collect();
+        let mut original = Weights::new(1);
+        for e in 0..64u32 {
+            original.set(&[e], 500 + i64::from(e));
+        }
+        let fp = Fingerprinter::new(PairMarking::new(pairs), original);
+        let mut reg = KeyRegistry::new(MasterSecret::from_u64(0x5eed));
+        for i in 0..recipients {
+            reg.issue(&format!("tenant-{i}"), 1_000 + i as u64).expect("issue");
+        }
+        (fp, reg)
+    }
+
+    fn leak_of(fp: &Fingerprinter, reg: &KeyRegistry, recipient: &str) -> ObservedWeights {
+        let stamped = fp.stamp(reg.key_for(recipient).expect("issued"));
+        let pairs: Vec<(Vec<Element>, i64)> =
+            (0..64u32).map(|e| (vec![e], stamped.get(&[e]))).collect();
+        observed_from_pairs(pairs)
+    }
+
+    #[test]
+    fn the_leaker_is_accused_with_a_wide_gap() {
+        let (fp, reg) = fixture(50);
+        let leaked = leak_of(&fp, &reg, "tenant-17");
+        let outcome = accuse(&fp, &reg, &leaked, DEFAULT_DELTA);
+        assert_eq!(outcome.scored, 50);
+        let accused = outcome.accused().expect("a clean leak is decisive");
+        assert_eq!(accused.recipient, "tenant-17");
+        assert_eq!(accused.check.verdict, Verdict::MarkPresent);
+        assert!(
+            outcome.gap_log10 > 3.0,
+            "runner-up should trail by orders of magnitude, gap={}",
+            outcome.gap_log10
+        );
+    }
+
+    #[test]
+    fn revoked_recipients_are_excluded_from_scoring() {
+        let (fp, mut reg) = fixture(10);
+        let leaked = leak_of(&fp, &reg, "tenant-3");
+        reg.revoke("tenant-3", 9_999).expect("revoke");
+        let outcome = accuse(&fp, &reg, &leaked, DEFAULT_DELTA);
+        assert_eq!(outcome.scored, 9);
+        assert_eq!(outcome.skipped_revoked, 1);
+        assert!(
+            outcome.best.as_ref().is_none_or(|b| b.recipient != "tenant-3"),
+            "a revoked recipient must never appear in the ranking"
+        );
+        // and the leak of a *revoked* copy must not frame an innocent
+        // active recipient
+        assert!(outcome.accused().is_none(), "{:?}", outcome.best);
+    }
+
+    #[test]
+    fn an_unrelated_leak_accuses_nobody() {
+        let (fp, reg) = fixture(25);
+        // the pristine original: no fingerprint at all
+        let pairs: Vec<(Vec<Element>, i64)> =
+            (0..64u32).map(|e| (vec![e], fp.original().get(&[e]))).collect();
+        let outcome = accuse(&fp, &reg, &observed_from_pairs(pairs), DEFAULT_DELTA);
+        assert_eq!(outcome.scored, 25);
+        assert!(outcome.accused().is_none(), "never accuse an innocent: {:?}", outcome.best);
+    }
+
+    #[test]
+    fn outcome_is_thread_invariant() {
+        let (fp, reg) = fixture(64);
+        let leaked = leak_of(&fp, &reg, "tenant-40");
+        qpwm_par::set_threads(1);
+        let one = accuse(&fp, &reg, &leaked, DEFAULT_DELTA);
+        qpwm_par::set_threads(4);
+        let four = accuse(&fp, &reg, &leaked, DEFAULT_DELTA);
+        qpwm_par::set_threads(1);
+        assert_eq!(one, four);
+    }
+}

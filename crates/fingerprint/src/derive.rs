@@ -1,0 +1,154 @@
+//! Per-recipient key derivation: an HMAC-style two-pass splitmix chain.
+//!
+//! The shape follows HMAC — `F(k, v) = H((k ^ opad) ‖ H((k ^ ipad) ‖ v))`
+//! — with the workspace's splitmix64 finalizer standing in for the hash
+//! compression function. Two properties matter here and both are
+//! inherited from the construction:
+//!
+//! * **determinism**: `(master, index)` fully determines the recipient
+//!   key, so any process holding the master secret re-derives any
+//!   recipient's bits without a key database — the ledger only records
+//!   *who* holds *which index*;
+//! * **spread**: the double mix decorrelates neighboring indices, so
+//!   recipients `i` and `i+1` receive message bit vectors that disagree
+//!   on about half their positions — which is exactly what the
+//!   accusation scorer needs to separate them.
+//!
+//! This is *not* a cryptographic guarantee (nothing in this hermetic
+//! workspace is); it is the deterministic, dependency-free analogue the
+//! rest of the system can be measured against.
+
+use qpwm_rng::Rng;
+
+/// HMAC inner pad (the classic `0x36` byte, repeated).
+const INNER_PAD: u64 = 0x3636_3636_3636_3636;
+/// HMAC outer pad (the classic `0x5c` byte, repeated).
+const OUTER_PAD: u64 = 0x5c5c_5c5c_5c5c_5c5c;
+
+/// splitmix64 finalizer — the same mixing constants the workspace RNG
+/// uses for seeding (`qpwm-rng` keeps its copy private; the chain here
+/// is a derivation primitive, not a stream generator).
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The owner's master fingerprinting secret.
+///
+/// One `MasterSecret` serves every recipient: per-recipient keys are
+/// derived, never stored. Keep it out of ledgers and logs — the ledger
+/// format deliberately has no field for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MasterSecret {
+    key: u64,
+}
+
+impl MasterSecret {
+    /// Wraps a raw 64-bit secret.
+    pub fn from_u64(key: u64) -> MasterSecret {
+        MasterSecret { key }
+    }
+
+    /// Folds an arbitrary passphrase into a master secret: each byte is
+    /// absorbed through the splitmix finalizer, so `"hunter2"` and
+    /// `"hunter3"` land far apart.
+    pub fn from_text(passphrase: &str) -> MasterSecret {
+        let mut key = mix(passphrase.len() as u64);
+        for &b in passphrase.as_bytes() {
+            key = mix(key ^ u64::from(b));
+        }
+        MasterSecret { key }
+    }
+
+    /// Derives recipient key number `index`:
+    /// `outer_mix(inner_mix(index))` keyed by the padded master secret.
+    pub fn derive(&self, index: u64) -> RecipientKey {
+        let inner = mix(mix(self.key ^ INNER_PAD).wrapping_add(index));
+        let seed = mix(mix(self.key ^ OUTER_PAD).wrapping_add(inner));
+        RecipientKey { index, seed }
+    }
+}
+
+/// One recipient's derived key: the derivation index plus the expanded
+/// seed. Cheap to copy, cheap to re-derive, never persisted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RecipientKey {
+    /// The derivation index recorded in the issuance ledger.
+    pub index: u64,
+    seed: u64,
+}
+
+impl RecipientKey {
+    /// The canonical byte form (little-endian `index ‖ seed`) — what
+    /// "byte-identical derivation" is asserted against in tests.
+    pub fn to_bytes(self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.index.to_le_bytes());
+        out[8..].copy_from_slice(&self.seed.to_le_bytes());
+        out
+    }
+
+    /// Expands the key into this recipient's message bits at a given
+    /// marking capacity. The expansion is a seeded stream, so one key
+    /// serves markings of any capacity and a capacity change (re-keyed
+    /// scheme) does not require re-issuing recipients.
+    pub fn message_bits(self, capacity: usize) -> Vec<bool> {
+        let mut rng = Rng::seed_from_u64(self.seed);
+        (0..capacity).map(|_| rng.gen_bool(0.5)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivation_is_deterministic_and_index_sensitive() {
+        let master = MasterSecret::from_u64(0xfeed);
+        assert_eq!(master.derive(7), master.derive(7));
+        assert_ne!(master.derive(7), master.derive(8));
+        assert_ne!(
+            MasterSecret::from_u64(1).derive(7),
+            MasterSecret::from_u64(2).derive(7),
+            "different masters must not share recipient keys"
+        );
+    }
+
+    #[test]
+    fn neighboring_indices_disagree_on_about_half_their_bits() {
+        let master = MasterSecret::from_u64(42);
+        let capacity = 256;
+        for index in 0..16u64 {
+            let a = master.derive(index).message_bits(capacity);
+            let b = master.derive(index + 1).message_bits(capacity);
+            let differ = a.iter().zip(&b).filter(|(x, y)| x != y).count();
+            assert!(
+                (capacity / 4..=3 * capacity / 4).contains(&differ),
+                "index {index}: neighbors differ on {differ}/{capacity} bits"
+            );
+        }
+    }
+
+    #[test]
+    fn passphrase_folding_separates_close_inputs() {
+        let a = MasterSecret::from_text("hunter2");
+        let b = MasterSecret::from_text("hunter3");
+        assert_ne!(a, b);
+        assert_eq!(a, MasterSecret::from_text("hunter2"));
+        assert_ne!(
+            MasterSecret::from_text(""),
+            MasterSecret::from_u64(0),
+            "empty passphrase is still mixed, not the zero key"
+        );
+    }
+
+    #[test]
+    fn byte_form_round_trips_the_fields() {
+        let key = MasterSecret::from_u64(9).derive(3);
+        let bytes = key.to_bytes();
+        assert_eq!(u64::from_le_bytes(bytes[..8].try_into().unwrap()), 3);
+        assert_eq!(bytes.len(), 16);
+    }
+}

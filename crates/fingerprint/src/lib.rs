@@ -1,0 +1,47 @@
+//! Multi-tenant fingerprinting: one answer family, millions of
+//! recipients.
+//!
+//! The core marker embeds one owner key into one weight table. This
+//! crate turns that marker into a *fingerprinting* service in the sense
+//! of the database-watermarking literature: every recipient of the data
+//! receives a copy carrying a distinct, detectable mark derived from a
+//! single master secret, so a leaked answer set can be traced back to
+//! the recipient who received it.
+//!
+//! The pieces, in pipeline order:
+//!
+//! * [`MasterSecret`] / [`RecipientKey`] ([`derive`]) — an HMAC-style
+//!   two-pass splitmix chain maps `(master, index)` to a per-recipient
+//!   seed; the seed expands to the recipient's message bits at any
+//!   marking capacity. Derivation is pure arithmetic: no answer-family
+//!   re-materialization, no per-recipient state beyond the index.
+//! * [`KeyRegistry`] ([`registry`]) — immutable issuance records
+//!   (recipient id, derivation index, issued-at, revocation status)
+//!   replayed from an append-only JSON-lines ledger.
+//! * [`Fingerprinter`] ([`stamp`]) — reuses the existing
+//!   [`qpwm_core::pairing::PairMarking`] machinery to turn a
+//!   recipient's bits into a stamped weight table, or into the sparse
+//!   per-tuple delta map a serving hot path splices into precomputed
+//!   wire bytes.
+//! * [`accuse`](accuse::accuse) ([`accuse`]) — the forensic half:
+//!   extract once from the leaked observations, then score every
+//!   issued, non-revoked recipient with the
+//!   [`claim_check`](qpwm_core::detect::DetectionReport::claim_check_effective)
+//!   significance framework and return the accused recipient, its
+//!   significance, and the runner-up gap. A leak that matches nobody at
+//!   the significance floor yields
+//!   [`Verdict::Abstain`](qpwm_core::detect::Verdict) — the subsystem
+//!   never accuses an innocent recipient to say *something*.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuse;
+pub mod derive;
+pub mod registry;
+pub mod stamp;
+
+pub use accuse::{accuse, observed_from_pairs, Accusation, AccuseOutcome};
+pub use derive::{MasterSecret, RecipientKey};
+pub use registry::{IssuanceRecord, KeyRegistry, RegistryError};
+pub use stamp::Fingerprinter;

@@ -1,0 +1,406 @@
+//! The issuance registry: who holds which derivation index, and whether
+//! that grant is still live.
+//!
+//! Records are immutable once written; the only mutation the registry
+//! knows is *appending* — issuing a new recipient appends an `issue`
+//! record, revoking appends a `revoke` record that flips the replayed
+//! state. Persistence mirrors that shape: an append-only JSON-lines
+//! ledger, one operation per line, replayed front to back by
+//! [`KeyRegistry::from_ledger`]. A deployment appends lines with
+//! [`KeyRegistry::issue_line`] / [`KeyRegistry::revoke_line`] and never
+//! rewrites history.
+//!
+//! ```text
+//! {"op":"issue","recipient":"alice","index":0,"issued_at":1700000000}
+//! {"op":"issue","recipient":"bob","index":1,"issued_at":1700000060}
+//! {"op":"revoke","recipient":"alice","at":1700086400}
+//! ```
+//!
+//! Timestamps are caller-provided (unix seconds): the registry itself
+//! never reads a clock, so replays and tests are deterministic.
+
+use crate::derive::{MasterSecret, RecipientKey};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Registry and ledger errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// Issuing a recipient id that already holds a grant.
+    DuplicateRecipient(String),
+    /// Revoking (or looking up) a recipient that was never issued.
+    UnknownRecipient(String),
+    /// A ledger line that does not parse as an `issue`/`revoke` op.
+    BadLedgerLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending line, verbatim.
+        content: String,
+    },
+    /// An `issue` op whose index is not the next unissued index —
+    /// evidence the append-only ledger was reordered or truncated.
+    IndexMismatch {
+        /// 1-based line number.
+        line: usize,
+        /// The index the ledger line claims.
+        got: u64,
+        /// The index replay expected.
+        expected: u64,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::DuplicateRecipient(r) => {
+                write!(f, "recipient '{r}' already holds an issued fingerprint")
+            }
+            RegistryError::UnknownRecipient(r) => {
+                write!(f, "recipient '{r}' was never issued")
+            }
+            RegistryError::BadLedgerLine { line, content } => {
+                write!(f, "malformed ledger line {line}: '{content}'")
+            }
+            RegistryError::IndexMismatch { line, got, expected } => {
+                write!(
+                    f,
+                    "ledger line {line}: issue index {got} but replay expected {expected} \
+                     (ledger reordered or truncated?)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// One immutable issuance record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IssuanceRecord {
+    /// The recipient id (tenant name, contract id, …).
+    pub recipient: String,
+    /// The derivation index handed to [`MasterSecret::derive`].
+    pub index: u64,
+    /// Caller-provided issuance timestamp (unix seconds).
+    pub issued_at: u64,
+    /// When the grant was revoked, if it was.
+    pub revoked_at: Option<u64>,
+}
+
+impl IssuanceRecord {
+    /// Is this grant still live?
+    pub fn active(&self) -> bool {
+        self.revoked_at.is_none()
+    }
+}
+
+/// The in-memory registry: issuance records in index order plus the
+/// master secret that re-derives each recipient's key on demand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyRegistry {
+    master: MasterSecret,
+    records: Vec<IssuanceRecord>,
+    by_name: HashMap<String, usize>,
+}
+
+impl KeyRegistry {
+    /// An empty registry over `master`.
+    pub fn new(master: MasterSecret) -> KeyRegistry {
+        KeyRegistry { master, records: Vec::new(), by_name: HashMap::new() }
+    }
+
+    /// Total records, revoked included.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Has nothing been issued yet?
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records, in derivation-index order.
+    pub fn records(&self) -> &[IssuanceRecord] {
+        &self.records
+    }
+
+    /// The non-revoked records, in derivation-index order.
+    pub fn active(&self) -> impl Iterator<Item = &IssuanceRecord> {
+        self.records.iter().filter(|r| r.active())
+    }
+
+    /// Looks up one recipient's record.
+    pub fn record(&self, recipient: &str) -> Option<&IssuanceRecord> {
+        self.by_name.get(recipient).map(|&i| &self.records[i])
+    }
+
+    /// Re-derives one recipient's key (revoked recipients included —
+    /// forensics may still need to *score* a revoked key, it just must
+    /// never be *accused* as live).
+    pub fn key_for(&self, recipient: &str) -> Option<RecipientKey> {
+        self.record(recipient).map(|r| self.master.derive(r.index))
+    }
+
+    /// The key for a raw derivation index.
+    pub fn key_at(&self, index: u64) -> RecipientKey {
+        self.master.derive(index)
+    }
+
+    /// Issues the next derivation index to `recipient`. Returns the new
+    /// record; rejects a recipient id that already holds a grant.
+    pub fn issue(
+        &mut self,
+        recipient: &str,
+        issued_at: u64,
+    ) -> Result<&IssuanceRecord, RegistryError> {
+        if self.by_name.contains_key(recipient) {
+            return Err(RegistryError::DuplicateRecipient(recipient.to_owned()));
+        }
+        let index = self.records.len() as u64;
+        self.by_name.insert(recipient.to_owned(), self.records.len());
+        self.records.push(IssuanceRecord {
+            recipient: recipient.to_owned(),
+            index,
+            issued_at,
+            revoked_at: None,
+        });
+        Ok(&self.records[self.records.len() - 1])
+    }
+
+    /// Revokes `recipient`'s grant at `at`. Idempotent revocation is
+    /// rejected: a second revoke is evidence of a confused caller.
+    pub fn revoke(&mut self, recipient: &str, at: u64) -> Result<(), RegistryError> {
+        let idx = *self
+            .by_name
+            .get(recipient)
+            .ok_or_else(|| RegistryError::UnknownRecipient(recipient.to_owned()))?;
+        if self.records[idx].revoked_at.is_some() {
+            return Err(RegistryError::UnknownRecipient(recipient.to_owned()));
+        }
+        self.records[idx].revoked_at = Some(at);
+        Ok(())
+    }
+
+    /// The ledger line an `issue` op appends.
+    pub fn issue_line(record: &IssuanceRecord) -> String {
+        format!(
+            "{{\"op\":\"issue\",\"recipient\":{},\"index\":{},\"issued_at\":{}}}\n",
+            json_string(&record.recipient),
+            record.index,
+            record.issued_at,
+        )
+    }
+
+    /// The ledger line a `revoke` op appends.
+    pub fn revoke_line(recipient: &str, at: u64) -> String {
+        format!(
+            "{{\"op\":\"revoke\",\"recipient\":{},\"at\":{}}}\n",
+            json_string(recipient),
+            at,
+        )
+    }
+
+    /// The canonical full-history dump: every issue op in index order,
+    /// then every revoke op in index order. Replays to the same state
+    /// as the original append sequence.
+    pub fn ledger(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&KeyRegistry::issue_line(r));
+        }
+        for r in &self.records {
+            if let Some(at) = r.revoked_at {
+                out.push_str(&KeyRegistry::revoke_line(&r.recipient, at));
+            }
+        }
+        out
+    }
+
+    /// Replays an append-only ledger into a registry. Blank lines are
+    /// skipped; anything else must parse as an issue/revoke op, issue
+    /// indices must arrive in order, and the usual duplicate/unknown
+    /// rules apply.
+    pub fn from_ledger(master: MasterSecret, text: &str) -> Result<KeyRegistry, RegistryError> {
+        let mut reg = KeyRegistry::new(master);
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let bad = || RegistryError::BadLedgerLine { line: n + 1, content: raw.to_owned() };
+            let op = json_field_str(line, "op").ok_or_else(bad)?;
+            let recipient = json_field_str(line, "recipient").ok_or_else(bad)?;
+            match op.as_str() {
+                "issue" => {
+                    let index = json_field_u64(line, "index").ok_or_else(bad)?;
+                    let issued_at = json_field_u64(line, "issued_at").ok_or_else(bad)?;
+                    let expected = reg.records.len() as u64;
+                    if index != expected {
+                        return Err(RegistryError::IndexMismatch {
+                            line: n + 1,
+                            got: index,
+                            expected,
+                        });
+                    }
+                    reg.issue(&recipient, issued_at)?;
+                }
+                "revoke" => {
+                    let at = json_field_u64(line, "at").ok_or_else(bad)?;
+                    reg.revoke(&recipient, at)?;
+                }
+                _ => return Err(bad()),
+            }
+        }
+        Ok(reg)
+    }
+}
+
+/// Renders a JSON string literal (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Extracts `"name":"value"` from one ledger line, undoing the escapes
+/// [`json_string`] produces. Purpose-built for the ledger's own
+/// rendering, not a general JSON parser (the workspace carries none).
+fn json_field_str(line: &str, name: &str) -> Option<String> {
+    let needle = format!("\"{name}\":\"");
+    let start = line.find(&needle)? + needle.len();
+    let mut out = String::new();
+    let mut chars = line[start..].chars();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'u' => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+/// Extracts `"name":<integer>` from one ledger line.
+fn json_field_u64(line: &str, name: &str) -> Option<u64> {
+    let needle = format!("\"{name}\":");
+    let start = line.find(&needle)? + needle.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> KeyRegistry {
+        let mut reg = KeyRegistry::new(MasterSecret::from_u64(0xabc));
+        reg.issue("alice", 100).expect("issue alice");
+        reg.issue("bob", 200).expect("issue bob");
+        reg.issue("carol", 300).expect("issue carol");
+        reg.revoke("bob", 250).expect("revoke bob");
+        reg
+    }
+
+    #[test]
+    fn issuance_assigns_sequential_indices_and_rejects_duplicates() {
+        let mut reg = registry();
+        assert_eq!(reg.record("alice").unwrap().index, 0);
+        assert_eq!(reg.record("carol").unwrap().index, 2);
+        assert_eq!(
+            reg.issue("alice", 400),
+            Err(RegistryError::DuplicateRecipient("alice".into()))
+        );
+        assert_eq!(reg.len(), 3, "failed issue must not burn an index");
+    }
+
+    #[test]
+    fn revocation_excludes_from_active_but_keeps_the_record() {
+        let reg = registry();
+        let active: Vec<&str> = reg.active().map(|r| r.recipient.as_str()).collect();
+        assert_eq!(active, ["alice", "carol"]);
+        assert_eq!(reg.record("bob").unwrap().revoked_at, Some(250));
+        assert!(reg.key_for("bob").is_some(), "forensics can still derive a revoked key");
+        assert!(reg.clone().revoke("bob", 999).is_err(), "double revoke rejected");
+        assert!(reg.clone().revoke("mallory", 1).is_err());
+    }
+
+    #[test]
+    fn ledger_round_trips_including_revocations() {
+        let reg = registry();
+        let text = reg.ledger();
+        assert_eq!(text.lines().count(), 4, "3 issues + 1 revoke:\n{text}");
+        let back =
+            KeyRegistry::from_ledger(MasterSecret::from_u64(0xabc), &text).expect("replays");
+        assert_eq!(back.records(), reg.records());
+        assert_eq!(back.ledger(), text, "dump is a fixpoint");
+    }
+
+    #[test]
+    fn ledger_lines_are_append_only_compatible() {
+        // appending issue_line/revoke_line one op at a time replays to
+        // the same state as the canonical dump
+        let mut appended = String::new();
+        let mut reg = KeyRegistry::new(MasterSecret::from_u64(7));
+        for (name, at) in [("a\"quote", 1u64), ("b\\slash", 2), ("plain", 3)] {
+            let record = reg.issue(name, at).expect("issue").clone();
+            appended.push_str(&KeyRegistry::issue_line(&record));
+        }
+        reg.revoke("a\"quote", 9).expect("revoke");
+        appended.push_str(&KeyRegistry::revoke_line("a\"quote", 9));
+        let back = KeyRegistry::from_ledger(MasterSecret::from_u64(7), &appended)
+            .expect("escaped names replay");
+        assert_eq!(back.records(), reg.records());
+    }
+
+    #[test]
+    fn ledger_rejects_corruption_by_line() {
+        let master = MasterSecret::from_u64(1);
+        let err = KeyRegistry::from_ledger(master, "\nnot json\n").unwrap_err();
+        assert!(
+            matches!(err, RegistryError::BadLedgerLine { line: 2, .. }),
+            "{err}"
+        );
+        // reordered indices are named, not silently re-normalized
+        let text = "{\"op\":\"issue\",\"recipient\":\"x\",\"index\":5,\"issued_at\":1}\n";
+        assert_eq!(
+            KeyRegistry::from_ledger(master, text),
+            Err(RegistryError::IndexMismatch { line: 1, got: 5, expected: 0 })
+        );
+        // revoking before issuing fails the replay
+        let text = "{\"op\":\"revoke\",\"recipient\":\"x\",\"at\":1}\n";
+        assert!(KeyRegistry::from_ledger(master, text).is_err());
+    }
+
+    #[test]
+    fn keys_come_from_the_master_chain() {
+        let reg = registry();
+        let alice = reg.key_for("alice").unwrap();
+        assert_eq!(alice, MasterSecret::from_u64(0xabc).derive(0));
+        assert_eq!(reg.key_at(1), MasterSecret::from_u64(0xabc).derive(1));
+        assert!(reg.key_for("mallory").is_none());
+    }
+}

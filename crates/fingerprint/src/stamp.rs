@@ -1,0 +1,125 @@
+//! Stamping: a recipient's bits applied to the shared answer family.
+//!
+//! The [`Fingerprinter`] owns the scheme's secret pair marking and the
+//! original (unmarked) weight table — the two things every recipient's
+//! copy is derived from. It exposes the operation at two granularities:
+//!
+//! * [`Fingerprinter::stamp`] — the offline path: a full stamped
+//!   [`Weights`] table, exactly `marking.apply(original, bits)`.
+//! * [`Fingerprinter::delta_map`] — the serving hot path: the sparse
+//!   per-weight-key ±1 plan a server splices into precomputed wire
+//!   bytes. The family is *never* re-materialized per recipient; a plan
+//!   is `O(pairs)` to build and `O(1)` per answer tuple to apply.
+
+use crate::derive::RecipientKey;
+use qpwm_core::pairing::PairMarking;
+use qpwm_structures::{WeightKey, Weights};
+use std::collections::HashMap;
+
+/// Turns derived recipient keys into stamped weight tables or sparse
+/// stamping plans over one shared marking.
+#[derive(Debug, Clone)]
+pub struct Fingerprinter {
+    marking: PairMarking,
+    original: Weights,
+}
+
+impl Fingerprinter {
+    /// A fingerprinter over the scheme's secret `marking` and the
+    /// `original` weights every recipient copy is derived from.
+    pub fn new(marking: PairMarking, original: Weights) -> Fingerprinter {
+        Fingerprinter { marking, original }
+    }
+
+    /// The shared pair marking.
+    pub fn marking(&self) -> &PairMarking {
+        &self.marking
+    }
+
+    /// The original weights (the detection reference).
+    pub fn original(&self) -> &Weights {
+        &self.original
+    }
+
+    /// Fingerprint capacity in bits (= the marking's pair count).
+    pub fn capacity(&self) -> usize {
+        self.marking.capacity()
+    }
+
+    /// The message bits this recipient's copy carries.
+    pub fn bits_for(&self, key: RecipientKey) -> Vec<bool> {
+        key.message_bits(self.capacity())
+    }
+
+    /// The full stamped weight table for one recipient — the offline
+    /// equivalent of what the serving hot path assembles per answer.
+    pub fn stamp(&self, key: RecipientKey) -> Weights {
+        self.marking.apply(&self.original, &self.bits_for(key))
+    }
+
+    /// The sparse stamping plan for one recipient: weight key → ±1
+    /// delta. Bit `1` adds to the pair's plus key and subtracts from
+    /// its minus key; bit `0` the opposite — the same convention as
+    /// [`PairMarking::apply`], just without touching a weight table.
+    pub fn delta_map(&self, key: RecipientKey) -> HashMap<WeightKey, i64> {
+        let bits = self.bits_for(key);
+        let mut deltas: HashMap<WeightKey, i64> =
+            HashMap::with_capacity(self.marking.capacity() * 2);
+        for (pair, &bit) in self.marking.pairs().iter().zip(&bits) {
+            let sign = if bit { 1 } else { -1 };
+            *deltas.entry(pair.plus.clone()).or_insert(0) += sign;
+            *deltas.entry(pair.minus.clone()).or_insert(0) -= sign;
+        }
+        deltas
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::derive::MasterSecret;
+    use qpwm_core::pairing::Pair;
+
+    fn fingerprinter() -> Fingerprinter {
+        let pairs: Vec<Pair> = (0..8)
+            .map(|i| Pair { plus: vec![2 * i], minus: vec![2 * i + 1] })
+            .collect();
+        let mut original = Weights::new(1);
+        for e in 0..16u32 {
+            original.set(&[e], 100 + i64::from(e));
+        }
+        Fingerprinter::new(PairMarking::new(pairs), original)
+    }
+
+    #[test]
+    fn delta_map_agrees_with_full_apply() {
+        let fp = fingerprinter();
+        let key = MasterSecret::from_u64(3).derive(5);
+        let stamped = fp.stamp(key);
+        let deltas = fp.delta_map(key);
+        for e in 0..16u32 {
+            let base = fp.original().get(&[e]);
+            let delta = deltas.get(&vec![e]).copied().unwrap_or(0);
+            assert_eq!(stamped.get(&[e]), base + delta, "tuple {e}");
+            assert_eq!(delta.abs(), 1, "disjoint unit pairs move every key by exactly 1");
+        }
+    }
+
+    #[test]
+    fn distinct_recipients_get_distinct_stamps() {
+        let fp = fingerprinter();
+        let master = MasterSecret::from_u64(11);
+        let a = fp.stamp(master.derive(0));
+        let b = fp.stamp(master.derive(1));
+        assert_ne!(
+            (0..16u32).map(|e| a.get(&[e])).collect::<Vec<_>>(),
+            (0..16u32).map(|e| b.get(&[e])).collect::<Vec<_>>(),
+        );
+        // same recipient, same stamp — stamping is a pure function
+        let again = fp.stamp(master.derive(0));
+        assert_eq!(
+            (0..16u32).map(|e| a.get(&[e])).collect::<Vec<_>>(),
+            (0..16u32).map(|e| again.get(&[e])).collect::<Vec<_>>(),
+        );
+    }
+}

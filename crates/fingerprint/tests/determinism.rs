@@ -1,0 +1,62 @@
+//! Registry determinism: derivation is a pure function of
+//! `(master, index)` — the same inputs yield byte-identical keys no
+//! matter how many worker threads derive them, and a ledger replay on
+//! another machine re-derives the same keys without any key database.
+
+use qpwm_fingerprint::{KeyRegistry, MasterSecret};
+
+/// Same master secret + index ⇒ byte-identical derived key, across
+/// 1/2/4 worker threads and across independent derivation orders.
+#[test]
+fn derived_keys_are_byte_identical_across_thread_counts() {
+    let master = MasterSecret::from_u64(0x00d1_ce00_f00d_cafe);
+    let indices: Vec<u64> = (0..4096).collect();
+
+    let derive_all = || -> Vec<[u8; 16]> {
+        qpwm_par::par_map(&indices, |&i| master.derive(i).to_bytes())
+    };
+
+    qpwm_par::set_threads(1);
+    let one = derive_all();
+    qpwm_par::set_threads(2);
+    let two = derive_all();
+    qpwm_par::set_threads(4);
+    let four = derive_all();
+    qpwm_par::set_threads(1);
+
+    assert_eq!(one, two, "1 vs 2 threads");
+    assert_eq!(two, four, "2 vs 4 threads");
+
+    // the expanded message bits are equally stable
+    let bits_one: Vec<Vec<bool>> = one
+        .iter()
+        .enumerate()
+        .map(|(i, _)| master.derive(i as u64).message_bits(48))
+        .collect();
+    qpwm_par::set_threads(4);
+    let bits_four = qpwm_par::par_map(&indices, |&i| master.derive(i).message_bits(48));
+    qpwm_par::set_threads(1);
+    assert_eq!(bits_one, bits_four, "bit expansion is thread-invariant");
+}
+
+/// A registry replayed from its ledger derives the same keys as the
+/// registry that wrote it — the ledger carries indices, never keys.
+#[test]
+fn ledger_replay_re_derives_identical_keys() {
+    let master = MasterSecret::from_text("operations master secret");
+    let mut reg = KeyRegistry::new(master);
+    for i in 0..200 {
+        reg.issue(&format!("tenant-{i}"), 1_000 + i).expect("issue");
+    }
+    reg.revoke("tenant-7", 5_000).expect("revoke");
+
+    let replayed = KeyRegistry::from_ledger(master, &reg.ledger()).expect("replay");
+    for i in 0..200 {
+        let name = format!("tenant-{i}");
+        assert_eq!(
+            reg.key_for(&name).map(|k| k.to_bytes()),
+            replayed.key_for(&name).map(|k| k.to_bytes()),
+            "{name}"
+        );
+    }
+}

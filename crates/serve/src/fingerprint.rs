@@ -1,0 +1,387 @@
+//! Per-recipient fingerprint stamping on the serving hot path, plus the
+//! `POST /accuse` forensic endpoint's request/response logic.
+//!
+//! When the server is started with a [`FingerprintContext`], a request
+//! carrying `?recipient=<id>` (or the configured default recipient)
+//! receives *that recipient's copy* of the answer set: the precomputed
+//! body template ([`crate::state::AnswerTemplate`]) is re-rendered with
+//! the recipient's ±1 deltas spliced into the weight slots. The answer
+//! family is never re-materialized per recipient — a recipient's whole
+//! stamping plan is one flat `i32` array (one entry per weight slot
+//! across all parameters), built once from the
+//! [`Fingerprinter`]'s delta map and cached per shard in a
+//! [`ShardedLru`] keyed by derivation index.
+//!
+//! The forensic half mirrors `POST /detect`'s grammar: the body is one
+//! `leak <elements...> <weight>` line per observed answer tuple, and the
+//! response names the accused recipient (or abstains) with the
+//! significance and runner-up gap computed by
+//! [`qpwm_fingerprint::accuse`].
+
+use crate::cache::ShardedLru;
+use crate::http::json_escape;
+use crate::state::{AnswerTemplate, ServeData};
+use qpwm_fingerprint::{accuse, observed_from_pairs, Fingerprinter, IssuanceRecord, KeyRegistry};
+use qpwm_structures::Element;
+use std::sync::Arc;
+
+/// Everything the stamping and accusation handlers read. Immutable
+/// after startup, shared by every shard.
+#[derive(Debug)]
+pub struct FingerprintContext {
+    registry: KeyRegistry,
+    fingerprinter: Fingerprinter,
+    templates: Vec<AnswerTemplate>,
+    /// Base aggregate `f` per parameter (sum of the template's slots).
+    agg_base: Vec<i64>,
+    /// Flat-plan offset of each parameter's first slot.
+    slot_offsets: Vec<usize>,
+    total_slots: usize,
+    default_recipient: Option<String>,
+}
+
+impl FingerprintContext {
+    /// Builds the stamping context over the data the server serves.
+    ///
+    /// The server must be serving the *original* (unstamped) weights —
+    /// the same table `fingerprinter` holds — so that slot base + plan
+    /// delta reproduces each recipient's stamped copy exactly. A
+    /// `default_recipient` (the `--fingerprint` flag) stamps every
+    /// answer that does not name a recipient itself; it must be issued
+    /// and non-revoked.
+    pub fn new(
+        data: &ServeData,
+        registry: KeyRegistry,
+        fingerprinter: Fingerprinter,
+        default_recipient: Option<String>,
+    ) -> Result<FingerprintContext, String> {
+        if let Some(name) = &default_recipient {
+            match registry.record(name) {
+                None => return Err(format!("default recipient '{name}' was never issued")),
+                Some(r) if !r.active() => {
+                    return Err(format!("default recipient '{name}' is revoked"))
+                }
+                Some(_) => {}
+            }
+        }
+        let n = data.num_parameters();
+        let mut templates = Vec::with_capacity(n);
+        let mut agg_base = Vec::with_capacity(n);
+        let mut slot_offsets = Vec::with_capacity(n);
+        let mut total_slots = 0usize;
+        for i in 0..n {
+            let template = data.answer_template(i);
+            slot_offsets.push(total_slots);
+            total_slots += template.slots.len();
+            agg_base.push(template.slots.iter().map(|(_, w)| w).sum());
+            templates.push(template);
+        }
+        Ok(FingerprintContext {
+            registry,
+            fingerprinter,
+            templates,
+            agg_base,
+            slot_offsets,
+            total_slots,
+            default_recipient,
+        })
+    }
+
+    /// The issuance registry.
+    pub fn registry(&self) -> &KeyRegistry {
+        &self.registry
+    }
+
+    /// Resolves which recipient (if any) a request is stamped for:
+    /// the explicit `?recipient=` query value wins, then the configured
+    /// default. `Ok(None)` means serve the unstamped base data; unknown
+    /// or revoked recipients are refused.
+    pub fn resolve(&self, query_recipient: Option<&str>) -> Result<Option<&IssuanceRecord>, String> {
+        let Some(name) = query_recipient.or(self.default_recipient.as_deref()) else {
+            return Ok(None);
+        };
+        let record = self
+            .registry
+            .record(name)
+            .ok_or_else(|| format!("unknown recipient '{name}'"))?;
+        if !record.active() {
+            return Err(format!("recipient '{name}' is revoked"));
+        }
+        Ok(Some(record))
+    }
+
+    /// Builds one recipient's flat stamping plan: one little-endian
+    /// `i32` delta per weight slot, across every parameter in order.
+    /// `O(pairs)` for the delta map plus `O(slots)` for the splice —
+    /// independent of how many recipients exist.
+    pub fn build_plan(&self, index: u64) -> Arc<[u8]> {
+        let deltas = self.fingerprinter.delta_map(self.registry.key_at(index));
+        let mut out = Vec::with_capacity(self.total_slots * 4);
+        for template in &self.templates {
+            for (tuple, _) in &template.slots {
+                let d = deltas.get(tuple).copied().unwrap_or(0) as i32;
+                out.extend_from_slice(&d.to_le_bytes());
+            }
+        }
+        out.into()
+    }
+
+    /// Fetches (or builds and caches) a recipient's plan from the
+    /// shard's plan LRU. Returns the plan and whether it was a cache
+    /// hit.
+    pub fn plan(&self, cache: &ShardedLru, index: u64) -> (Arc<[u8]>, bool) {
+        if let Some(plan) = cache.get(index) {
+            return (plan, true);
+        }
+        let plan = self.build_plan(index);
+        cache.insert(index, Arc::clone(&plan));
+        (plan, false)
+    }
+
+    /// Decodes parameter `i`'s slice of a flat plan.
+    fn param_deltas(&self, plan: &[u8], i: usize) -> Vec<i64> {
+        let start = self.slot_offsets[i];
+        let count = self.templates[i].slots.len();
+        (0..count)
+            .map(|k| {
+                let at = (start + k) * 4;
+                plan.get(at..at + 4)
+                    .map(|b| i64::from(i32::from_le_bytes([b[0], b[1], b[2], b[3]])))
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Renders the stamped `/answer` body for parameter `i`.
+    pub fn answer_json(&self, i: usize, plan: &[u8]) -> String {
+        self.templates[i].render(&self.param_deltas(plan, i))
+    }
+
+    /// Renders the stamped `/aggregate` body for parameter `i`: the base
+    /// aggregate plus the sum of the parameter's slot deltas.
+    pub fn aggregate_json(&self, data: &ServeData, i: usize, plan: &[u8]) -> String {
+        let delta: i64 = self.param_deltas(plan, i).iter().sum();
+        data.aggregate_json_with_f(i, self.agg_base[i] + delta)
+    }
+
+    /// `POST /accuse`: parses the leaked answer set (`leak <elements...>
+    /// <weight>` lines), scores every issued non-revoked recipient, and
+    /// renders the forensic verdict.
+    pub fn accuse_json(&self, body: &str, delta: f64) -> Result<String, String> {
+        let pairs = parse_leak_body(body, self.fingerprinter.original().arity())?;
+        let observed = observed_from_pairs(pairs);
+        let outcome = accuse(&self.fingerprinter, &self.registry, &observed, delta);
+        let mut out = format!(
+            "{{\"scored\":{},\"skipped_revoked\":{}",
+            outcome.scored, outcome.skipped_revoked
+        );
+        let render = |a: &qpwm_fingerprint::Accusation| {
+            format!(
+                "{{\"recipient\":\"{}\",\"index\":{},\"matches\":{},\"compared\":{},\"significance\":{:e},\"verdict\":\"{}\"}}",
+                json_escape(&a.recipient),
+                a.index,
+                a.check.matches,
+                a.check.compared,
+                a.check.significance,
+                a.check.verdict
+            )
+        };
+        match outcome.accused() {
+            Some(a) => out.push_str(&format!(",\"accused\":{}", render(a))),
+            None => out.push_str(",\"accused\":null"),
+        }
+        if let Some(best) = &outcome.best {
+            out.push_str(&format!(",\"best\":{}", render(best)));
+        }
+        if let Some(runner) = &outcome.runner_up {
+            out.push_str(&format!(",\"runner_up\":{}", render(runner)));
+        }
+        out.push_str(&format!(",\"gap_log10\":{:.3}}}\n", outcome.gap_log10));
+        Ok(out)
+    }
+}
+
+/// Parses a `POST /accuse` body: one `leak <elements...> <weight>` line
+/// per observed answer tuple (the same token grammar as `/detect`'s
+/// `orig` lines).
+pub fn parse_leak_body(body: &str, arity: usize) -> Result<Vec<(Vec<Element>, i64)>, String> {
+    let mut pairs = Vec::new();
+    for (lineno, raw) in body.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        if tokens.next() != Some("leak") {
+            return Err(format!(
+                "line {}: expected 'leak <elements...> <weight>', got '{line}'",
+                lineno + 1
+            ));
+        }
+        let fields: Vec<&str> = tokens.collect();
+        if fields.len() != arity + 1 {
+            return Err(format!(
+                "line {}: expected {arity} element(s) and a weight, got {} field(s)",
+                lineno + 1,
+                fields.len()
+            ));
+        }
+        let key: Result<Vec<Element>, _> =
+            fields[..arity].iter().map(|t| t.parse::<Element>()).collect();
+        let key = key.map_err(|_| format!("line {}: bad element id in '{line}'", lineno + 1))?;
+        let w: i64 = fields[arity]
+            .parse()
+            .map_err(|_| format!("line {}: bad weight in '{line}'", lineno + 1))?;
+        pairs.push((key, w));
+    }
+    if pairs.is_empty() {
+        return Err("empty leak: body must carry 'leak <elements...> <weight>' lines".into());
+    }
+    Ok(pairs)
+}
+
+/// Renders a leaked answer set as a `POST /accuse` body.
+pub fn leak_request_body(pairs: &[(Vec<Element>, i64)]) -> String {
+    let mut out = String::with_capacity(pairs.len() * 16);
+    for (tuple, w) in pairs {
+        out.push_str("leak");
+        for e in tuple {
+            out.push_str(&format!(" {e}"));
+        }
+        out.push_str(&format!(" {w}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpwm_core::pairing::{Pair, PairMarking};
+    use qpwm_fingerprint::MasterSecret;
+    use qpwm_structures::{AnswerFamily, Weights};
+
+    /// 24 disjoint unit pairs over elements 0..48 (enough capacity to
+    /// clear the default significance floor), served as two parameters
+    /// covering the halves.
+    fn fixture(recipients: usize) -> (ServeData, FingerprintContext) {
+        let pairs: Vec<Pair> = (0..24)
+            .map(|i| Pair { plus: vec![2 * i], minus: vec![2 * i + 1] })
+            .collect();
+        let mut original = Weights::new(1);
+        for e in 0..48u32 {
+            original.set(&[e], 300 + i64::from(e));
+        }
+        let sets: Vec<Vec<Vec<u32>>> = vec![
+            (0..24u32).map(|e| vec![e]).collect(),
+            (24..48u32).map(|e| vec![e]).collect(),
+        ];
+        let family = AnswerFamily::from_nested(vec![vec![100], vec![101]], &sets);
+        let data = ServeData::new(family, original.clone(), Vec::new(), None, "fp".into());
+        let mut registry = KeyRegistry::new(MasterSecret::from_u64(0xfeed));
+        for i in 0..recipients {
+            registry.issue(&format!("tenant-{i}"), i as u64).expect("issue");
+        }
+        let fp = Fingerprinter::new(PairMarking::new(pairs), original);
+        let ctx = FingerprintContext::new(&data, registry, fp, None).expect("context");
+        (data, ctx)
+    }
+
+    #[test]
+    fn stamped_answers_match_the_offline_stamp() {
+        let (data, ctx) = fixture(6);
+        let record = ctx.registry().record("tenant-4").expect("issued").clone();
+        let plan = ctx.build_plan(record.index);
+        let stamped = ctx
+            .fingerprinter
+            .stamp(ctx.registry().key_at(record.index));
+        for i in 0..data.num_parameters() {
+            let body = ctx.answer_json(i, &plan);
+            // the stamped body must carry the per-recipient weights
+            for e in (i as u32 * 24)..(i as u32 * 24 + 24) {
+                assert!(
+                    body.contains(&format!("\"t\":[{e}],\"label\":\"{e}\",\"w\":{}", stamped.get(&[e]))),
+                    "param {i} tuple {e}: {body}"
+                );
+            }
+            // and the aggregate is the stamped sum
+            let f: i64 = ((i as u32 * 24)..(i as u32 * 24 + 24)).map(|e| stamped.get(&[e])).sum();
+            assert!(
+                ctx.aggregate_json(&data, i, &plan).contains(&format!("\"f\":{f}")),
+                "param {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn plans_are_cached_per_recipient() {
+        let (_, ctx) = fixture(3);
+        let cache = ShardedLru::new(8, 2);
+        let (first, hit1) = ctx.plan(&cache, 1);
+        let (second, hit2) = ctx.plan(&cache, 1);
+        assert!(!hit1 && hit2);
+        assert_eq!(first, second);
+        let (other, _) = ctx.plan(&cache, 2);
+        assert_ne!(first, other, "distinct recipients get distinct plans");
+    }
+
+    #[test]
+    fn resolve_prefers_query_and_refuses_revoked() {
+        let (data, ctx) = fixture(3);
+        assert!(ctx.resolve(None).expect("no default").is_none());
+        assert_eq!(
+            ctx.resolve(Some("tenant-2")).expect("issued").expect("record").recipient,
+            "tenant-2"
+        );
+        assert!(ctx.resolve(Some("mallory")).is_err());
+
+        // rebuild with a default recipient and a revocation
+        let mut registry = ctx.registry.clone();
+        registry.revoke("tenant-1", 9).expect("revoke");
+        let ctx = FingerprintContext::new(
+            &data,
+            registry,
+            ctx.fingerprinter.clone(),
+            Some("tenant-0".into()),
+        )
+        .expect("context");
+        assert_eq!(
+            ctx.resolve(None).expect("default").expect("record").recipient,
+            "tenant-0"
+        );
+        assert!(ctx.resolve(Some("tenant-1")).unwrap_err().contains("revoked"));
+    }
+
+    #[test]
+    fn a_revoked_default_recipient_is_rejected_at_startup() {
+        let (data, ctx) = fixture(2);
+        let mut registry = ctx.registry.clone();
+        registry.revoke("tenant-0", 5).expect("revoke");
+        let err = FingerprintContext::new(
+            &data,
+            registry,
+            ctx.fingerprinter.clone(),
+            Some("tenant-0".into()),
+        )
+        .unwrap_err();
+        assert!(err.contains("revoked"), "{err}");
+    }
+
+    #[test]
+    fn accuse_round_trips_over_the_leak_grammar() {
+        let (_, ctx) = fixture(12);
+        let stamped = ctx.fingerprinter.stamp(ctx.registry().key_at(7));
+        let pairs: Vec<(Vec<Element>, i64)> =
+            (0..48u32).map(|e| (vec![e], stamped.get(&[e]))).collect();
+        let body = leak_request_body(&pairs);
+        let json = ctx
+            .accuse_json(&body, qpwm_core::detect::DEFAULT_DELTA)
+            .expect("accuses");
+        assert!(json.contains("\"scored\":12"), "{json}");
+        assert!(json.contains("\"recipient\":\"tenant-7\""), "{json}");
+        assert!(json.contains("\"verdict\":\"mark-present\""), "{json}");
+
+        // malformed bodies are named by line
+        assert!(ctx.accuse_json("nope 1 2\n", 1e-6).unwrap_err().contains("line 1"));
+        assert!(ctx.accuse_json("", 1e-6).unwrap_err().contains("empty leak"));
+    }
+}

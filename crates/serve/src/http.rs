@@ -209,6 +209,40 @@ pub fn write_head(
     });
 }
 
+/// [`write_head`] plus one extra response header, inserted between
+/// `Content-Length` and `Connection`. Used by the fingerprint path to
+/// attach `X-Fingerprint-Recipient` without disturbing the pinned
+/// [`write_head`] wire shape.
+pub fn write_head_with(
+    out: &mut Vec<u8>,
+    status: u16,
+    content_type: &str,
+    content_length: usize,
+    keep_alive: bool,
+    header: (&str, &str),
+) {
+    out.extend_from_slice(b"HTTP/1.1 ");
+    push_uint(out, status as usize);
+    out.push(b' ');
+    out.extend_from_slice(reason(status).as_bytes());
+    out.extend_from_slice(b"\r\nContent-Type: ");
+    out.extend_from_slice(content_type.as_bytes());
+    out.extend_from_slice(b"\r\nContent-Length: ");
+    push_uint(out, content_length);
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(header.0.as_bytes());
+    out.extend_from_slice(b": ");
+    out.extend_from_slice(header.1.as_bytes());
+    if status == 503 {
+        out.extend_from_slice(b"\r\nRetry-After: 1");
+    }
+    out.extend_from_slice(if keep_alive {
+        b"\r\nConnection: keep-alive\r\n\r\n"
+    } else {
+        b"\r\nConnection: close\r\n\r\n"
+    });
+}
+
 /// Appends a decimal integer without going through `format!`.
 fn push_uint(out: &mut Vec<u8>, mut value: usize) {
     let mut digits = [0u8; 20];
@@ -390,6 +424,29 @@ mod tests {
         let wire = b"GET /x HTTP/1.1\r\nConnection: close\r\n\r\n";
         let (req, _) = parse_request(wire).expect("parses").expect("complete");
         assert!(req.close);
+    }
+
+    #[test]
+    fn head_writer_with_extra_header_carries_it_before_connection() {
+        let mut out = Vec::new();
+        write_head_with(
+            &mut out,
+            200,
+            "application/json",
+            7,
+            true,
+            ("X-Fingerprint-Recipient", "alice"),
+        );
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(
+            text.contains("Content-Length: 7\r\nX-Fingerprint-Recipient: alice\r\nConnection: keep-alive\r\n\r\n"),
+            "{text}"
+        );
+        // with the header removed, the shape matches write_head exactly
+        let stripped = text.replace("X-Fingerprint-Recipient: alice\r\n", "");
+        let mut plain = Vec::new();
+        write_head(&mut plain, 200, "application/json", 7, true);
+        assert_eq!(stripped.as_bytes(), plain.as_slice());
     }
 
     #[test]

@@ -22,6 +22,12 @@
 //!   ([`chaos::FaultPolicy`], env `QPWM_CHAOS` / `--chaos`) that drops,
 //!   delays, errors, or truncates data-plane responses so resilience is
 //!   testable end to end;
+//! * [`fingerprint`] — multi-tenant stamping: with a
+//!   [`fingerprint::FingerprintContext`] attached, `?recipient=<id>`
+//!   answers carry that recipient's fingerprint (spliced into the
+//!   precomputed templates via a per-shard plan LRU, never
+//!   re-materializing the family), and `POST /accuse` traces a leaked
+//!   answer set back to the recipient who received it;
 //! * [`client`] — the owner's side: a blocking HTTP client, a
 //!   retrying transport ([`client::RetryingClient`] with backoff,
 //!   deadlines and a circuit breaker), and [`client::RemoteServer`], an
@@ -43,6 +49,7 @@
 pub mod cache;
 pub mod chaos;
 pub mod client;
+pub mod fingerprint;
 pub mod http;
 pub mod metrics;
 pub mod reactor;
@@ -51,5 +58,6 @@ pub mod state;
 
 pub use chaos::{Fault, FaultPolicy};
 pub use client::{RemoteServer, RetryPolicy, RetryingClient, Timeouts, TransportStats};
+pub use fingerprint::FingerprintContext;
 pub use server::{Server, ServerConfig};
 pub use state::{detect_request_body, ServeData};

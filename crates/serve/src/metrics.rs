@@ -31,6 +31,8 @@ pub enum Endpoint {
     Batch,
     /// `POST /detect`
     Detect,
+    /// `POST /accuse` (forensic traitor tracing)
+    Accuse,
     /// `GET /params`
     Params,
     /// `GET /healthz`
@@ -43,11 +45,12 @@ pub enum Endpoint {
 
 impl Endpoint {
     /// All endpoints, in render order.
-    pub const ALL: [Endpoint; 8] = [
+    pub const ALL: [Endpoint; 9] = [
         Endpoint::Answer,
         Endpoint::Aggregate,
         Endpoint::Batch,
         Endpoint::Detect,
+        Endpoint::Accuse,
         Endpoint::Params,
         Endpoint::Healthz,
         Endpoint::Metrics,
@@ -61,6 +64,7 @@ impl Endpoint {
             Endpoint::Aggregate => "aggregate",
             Endpoint::Batch => "answers",
             Endpoint::Detect => "detect",
+            Endpoint::Accuse => "accuse",
             Endpoint::Params => "params",
             Endpoint::Healthz => "healthz",
             Endpoint::Metrics => "metrics",
@@ -229,6 +233,8 @@ impl Metrics {
             cache_entries,
             cache_hits,
             cache_misses,
+            plan_hits: 0,
+            plan_misses: 0,
         }])
     }
 }
@@ -243,6 +249,10 @@ pub struct ShardView<'a> {
     pub cache_hits: u64,
     /// Cache lookup misses.
     pub cache_misses: u64,
+    /// Fingerprint plan-cache hits (0 when fingerprinting is off).
+    pub plan_hits: u64,
+    /// Fingerprint plan-cache misses (0 when fingerprinting is off).
+    pub plan_misses: u64,
 }
 
 /// Renders the merged Prometheus exposition for all shards: the
@@ -368,6 +378,18 @@ pub fn render_cluster(shards: &[ShardView<'_>]) -> String {
     out.push_str(&format!(
         "qpwm_cache_lookup_total{{outcome=\"miss\"}} {}\n",
         shards.iter().map(|s| s.cache_misses).sum::<u64>()
+    ));
+    out.push_str(
+        "# HELP qpwm_fingerprint_plan_cache_total Fingerprint stamping-plan cache lookups by outcome.\n",
+    );
+    out.push_str("# TYPE qpwm_fingerprint_plan_cache_total counter\n");
+    out.push_str(&format!(
+        "qpwm_fingerprint_plan_cache_total{{outcome=\"hit\"}} {}\n",
+        shards.iter().map(|s| s.plan_hits).sum::<u64>()
+    ));
+    out.push_str(&format!(
+        "qpwm_fingerprint_plan_cache_total{{outcome=\"miss\"}} {}\n",
+        shards.iter().map(|s| s.plan_misses).sum::<u64>()
     ));
 
     // the per-shard split: requests by endpoint, plus the shard-local
@@ -511,13 +533,15 @@ mod tests {
             m.connection_opened();
         }
         let text = render_cluster(&[
-            ShardView { metrics: &a, cache_entries: 2, cache_hits: 1, cache_misses: 2 },
-            ShardView { metrics: &b, cache_entries: 4, cache_hits: 3, cache_misses: 4 },
+            ShardView { metrics: &a, cache_entries: 2, cache_hits: 1, cache_misses: 2, plan_hits: 5, plan_misses: 1 },
+            ShardView { metrics: &b, cache_entries: 4, cache_hits: 3, cache_misses: 4, plan_hits: 2, plan_misses: 1 },
         ]);
         assert!(text.contains("qpwm_requests_total{endpoint=\"answer\"} 8"), "{text}");
         assert!(text.contains("qpwm_connections_total 2"), "{text}");
         assert!(text.contains("qpwm_cache_entries 6"), "{text}");
         assert!(text.contains("qpwm_cache_lookup_total{outcome=\"hit\"} 4"), "{text}");
+        assert!(text.contains("qpwm_fingerprint_plan_cache_total{outcome=\"hit\"} 7"), "{text}");
+        assert!(text.contains("qpwm_fingerprint_plan_cache_total{outcome=\"miss\"} 2"), "{text}");
         assert!(text.contains("qpwm_shard_requests_total{shard=\"0\",endpoint=\"answer\"} 3"), "{text}");
         assert!(text.contains("qpwm_shard_requests_total{shard=\"1\",endpoint=\"answer\"} 5"), "{text}");
         assert!(text.contains("qpwm_shard_cache_lookup_total{shard=\"1\",outcome=\"miss\"} 4"), "{text}");

@@ -37,8 +37,10 @@
 
 use crate::cache::ShardedLru;
 use crate::chaos::{Fault, FaultPolicy};
+use crate::fingerprint::FingerprintContext;
 use crate::http::{
-    json_escape, parse_request, write_head, Request, RequestError, MAX_BODY_BYTES, MAX_HEAD_BYTES,
+    json_escape, parse_request, write_head, write_head_with, Request, RequestError,
+    MAX_BODY_BYTES, MAX_HEAD_BYTES,
 };
 use crate::metrics::{render_cluster, Endpoint, Metrics, Observation, ShardView, FAULT_KINDS};
 use crate::reactor::{bind_reuseport, Event, Poller, Slab, Wake, WriteQueue};
@@ -78,6 +80,10 @@ pub struct ServerConfig {
     pub backlog: usize,
     /// Optional fault-injection policy (see [`crate::chaos`]).
     pub chaos: Option<FaultPolicy>,
+    /// Optional multi-tenant fingerprinting context: stamped
+    /// `?recipient=` answers and the `POST /accuse` forensic endpoint
+    /// (see [`crate::fingerprint`]).
+    pub fingerprint: Option<FingerprintContext>,
 }
 
 impl Default for ServerConfig {
@@ -91,9 +97,14 @@ impl Default for ServerConfig {
             shutdown_endpoint: true,
             backlog: 128,
             chaos: None,
+            fingerprint: None,
         }
     }
 }
+
+/// Per-shard capacity of the fingerprint stamping-plan LRU (recipients
+/// with a hot plan; a plan is rebuilt in `O(pairs)` on a miss).
+const PLAN_CACHE_ENTRIES: usize = 256;
 
 /// Degraded-lane headroom per shard (connections above the backlog that
 /// still get cache-or-control service instead of a canned 503).
@@ -123,6 +134,7 @@ struct Shared {
     shutdown: AtomicBool,
     shutdown_endpoint: bool,
     chaos: FaultPolicy,
+    fingerprint: Option<FingerprintContext>,
 }
 
 /// Everything one shard's event loop reads: its own cache/metrics plus
@@ -131,8 +143,12 @@ struct ShardEnv {
     shared: Arc<Shared>,
     cache: Arc<ShardedLru>,
     metrics: Arc<Metrics>,
+    /// This shard's fingerprint stamping-plan LRU (derivation index →
+    /// flat delta plan).
+    plan_cache: Arc<ShardedLru>,
     all_caches: Vec<Arc<ShardedLru>>,
     all_metrics: Vec<Arc<Metrics>>,
+    all_plan_caches: Vec<Arc<ShardedLru>>,
     wakes: Vec<Arc<Wake>>,
     backlog: usize,
     idle_timeout: Duration,
@@ -144,6 +160,7 @@ pub struct Server {
     addr: SocketAddr,
     caches: Vec<Arc<ShardedLru>>,
     metrics: Vec<Arc<Metrics>>,
+    plan_caches: Vec<Arc<ShardedLru>>,
     wakes: Vec<Arc<Wake>>,
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
@@ -177,10 +194,14 @@ impl Server {
             shutdown: AtomicBool::new(false),
             shutdown_endpoint: config.shutdown_endpoint,
             chaos: config.chaos.unwrap_or_else(FaultPolicy::disabled),
+            fingerprint: config.fingerprint,
         });
         let per_shard_cache = config.cache_entries / shards;
         let caches: Vec<Arc<ShardedLru>> = (0..shards)
             .map(|_| Arc::new(ShardedLru::new(per_shard_cache, per_shard_cache.clamp(1, 8))))
+            .collect();
+        let plan_caches: Vec<Arc<ShardedLru>> = (0..shards)
+            .map(|_| Arc::new(ShardedLru::new(PLAN_CACHE_ENTRIES, 4)))
             .collect();
         let metrics: Vec<Arc<Metrics>> = (0..shards).map(|_| Arc::new(Metrics::new())).collect();
         let wakes: Vec<Arc<Wake>> = (0..shards)
@@ -193,8 +214,10 @@ impl Server {
                 shared: Arc::clone(&shared),
                 cache: Arc::clone(&caches[i]),
                 metrics: Arc::clone(&metrics[i]),
+                plan_cache: Arc::clone(&plan_caches[i]),
                 all_caches: caches.clone(),
                 all_metrics: metrics.clone(),
+                all_plan_caches: plan_caches.clone(),
                 wakes: wakes.clone(),
                 backlog: config.backlog.max(1),
                 idle_timeout: config.read_timeout,
@@ -202,7 +225,7 @@ impl Server {
             let wake = Arc::clone(&wakes[i]);
             handles.push(std::thread::spawn(move || shard_loop(env, listener, wake)));
         }
-        Ok(Server { addr, caches, metrics, wakes, shared, handles })
+        Ok(Server { addr, caches, metrics, plan_caches, wakes, shared, handles })
     }
 
     /// The bound address (resolves port 0).
@@ -215,6 +238,20 @@ impl Server {
         let mut hits = 0;
         let mut misses = 0;
         for c in &self.caches {
+            let (h, m) = c.stats();
+            hits += h;
+            misses += m;
+        }
+        (hits, misses)
+    }
+
+    /// `(hits, misses)` of the fingerprint stamping-plan cache, summed
+    /// across shards. All zero unless the server was started with a
+    /// [`FingerprintContext`].
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        let mut hits = 0;
+        let mut misses = 0;
+        for c in &self.plan_caches {
             let (h, m) = c.stats();
             hits += h;
             misses += m;
@@ -621,6 +658,7 @@ fn endpoint_of(request: &Request) -> Endpoint {
         "/aggregate" => Endpoint::Aggregate,
         "/answers" => Endpoint::Batch,
         "/detect" => Endpoint::Detect,
+        "/accuse" => Endpoint::Accuse,
         "/params" => Endpoint::Params,
         "/healthz" => Endpoint::Healthz,
         "/metrics" => Endpoint::Metrics,
@@ -650,9 +688,18 @@ fn route(
                 .all_metrics
                 .iter()
                 .zip(&env.all_caches)
-                .map(|(m, c)| {
+                .zip(&env.all_plan_caches)
+                .map(|((m, c), p)| {
                     let (hits, misses) = c.stats();
-                    ShardView { metrics: m, cache_entries: c.len(), cache_hits: hits, cache_misses: misses }
+                    let (plan_hits, plan_misses) = p.stats();
+                    ShardView {
+                        metrics: m,
+                        cache_entries: c.len(),
+                        cache_hits: hits,
+                        cache_misses: misses,
+                        plan_hits,
+                        plan_misses,
+                    }
                 })
                 .collect();
             let text = render_cluster(&views);
@@ -660,10 +707,10 @@ fn route(
             observe(env, Endpoint::Metrics, 200, false, start);
         }
         ("GET", "/answer") => {
-            answer_endpoint(env, conn, request, Endpoint::Answer, keep_alive, truncate, start)
+            routed_answer(env, conn, request, Endpoint::Answer, keep_alive, truncate, start)
         }
         ("GET", "/aggregate") => {
-            answer_endpoint(env, conn, request, Endpoint::Aggregate, keep_alive, truncate, start)
+            routed_answer(env, conn, request, Endpoint::Aggregate, keep_alive, truncate, start)
         }
         ("POST", "/answers") => {
             let Ok(body) = std::str::from_utf8(&request.body) else {
@@ -697,6 +744,26 @@ fn route(
                 }
             }
         }
+        ("POST", "/accuse") => {
+            let Some(ctx) = &env.shared.fingerprint else {
+                observe(env, Endpoint::Accuse, 404, false, start);
+                return respond_error(conn, 404, "fingerprinting is not enabled on this server", keep_alive);
+            };
+            let Ok(body) = std::str::from_utf8(&request.body) else {
+                observe(env, Endpoint::Accuse, 400, false, start);
+                return respond_error(conn, 400, "body must be UTF-8", keep_alive);
+            };
+            match ctx.accuse_json(body, qpwm_core::detect::DEFAULT_DELTA) {
+                Ok(json) => {
+                    respond_text(conn, 200, "application/json", &json, keep_alive, truncate);
+                    observe(env, Endpoint::Accuse, 200, false, start);
+                }
+                Err(e) => {
+                    observe(env, Endpoint::Accuse, 400, false, start);
+                    respond_error(conn, 400, &e, keep_alive);
+                }
+            }
+        }
         ("POST", "/shutdown") if env.shared.shutdown_endpoint => {
             if !conn.peer_loopback {
                 observe(env, Endpoint::Other, 403, false, start);
@@ -706,7 +773,7 @@ fn route(
             conn.trip_shutdown = true;
             observe(env, Endpoint::Other, 200, false, start);
         }
-        (method, "/answer" | "/aggregate" | "/answers" | "/detect" | "/healthz" | "/params" | "/metrics") => {
+        (method, "/answer" | "/aggregate" | "/answers" | "/detect" | "/accuse" | "/healthz" | "/params" | "/metrics") => {
             observe(env, Endpoint::Other, 405, false, start);
             respond_error(conn, 405, &format!("method {method} not allowed here"), keep_alive);
         }
@@ -719,6 +786,90 @@ fn route(
             respond_error(conn, 405, &format!("method {method} not supported"), keep_alive);
         }
     }
+}
+
+/// Which recipient (if any) a request's answers are stamped for:
+/// `Ok(Some((derivation index, recipient id)))` on the fingerprint
+/// path, `Ok(None)` for the plain precomputed path.
+fn stamp_target(env: &ShardEnv, request: &Request) -> Result<Option<(u64, String)>, String> {
+    let Some(ctx) = &env.shared.fingerprint else {
+        if request.query_value("recipient").is_some() {
+            return Err("fingerprinting is not enabled on this server".into());
+        }
+        return Ok(None);
+    };
+    Ok(ctx
+        .resolve(request.query_value("recipient"))?
+        .map(|r| (r.index, r.recipient.clone())))
+}
+
+/// `/answer` & `/aggregate` dispatch: fingerprint-stamped when the
+/// request (or the server default) names a recipient, the zero-copy
+/// precomputed path otherwise.
+fn routed_answer(
+    env: &ShardEnv,
+    conn: &mut Conn,
+    request: &Request,
+    endpoint: Endpoint,
+    keep_alive: bool,
+    truncate: bool,
+    start: Instant,
+) {
+    match stamp_target(env, request) {
+        Ok(None) => answer_endpoint(env, conn, request, endpoint, keep_alive, truncate, start),
+        Ok(Some((index, recipient))) => stamped_endpoint(
+            env, conn, request, index, &recipient, endpoint, keep_alive, truncate, start,
+        ),
+        Err(e) => {
+            observe(env, endpoint, 403, false, start);
+            respond_error(conn, 403, &e, keep_alive);
+        }
+    }
+}
+
+/// The fingerprint hot path: fetch (or build) the recipient's stamping
+/// plan from the shard's plan LRU, splice its deltas into the
+/// precomputed body template, and attach `X-Fingerprint-Recipient`.
+/// The observation's `cache_hit` reports the *plan* cache.
+#[allow(clippy::too_many_arguments)]
+fn stamped_endpoint(
+    env: &ShardEnv,
+    conn: &mut Conn,
+    request: &Request,
+    index: u64,
+    recipient: &str,
+    endpoint: Endpoint,
+    keep_alive: bool,
+    truncate: bool,
+    start: Instant,
+) {
+    let ctx = env.shared.fingerprint.as_ref().expect("stamped path requires a context");
+    let i = match env
+        .shared
+        .data
+        .resolve_param(request.query_value("i"), request.query_value("param"))
+    {
+        Ok(i) => i,
+        Err(e) => {
+            observe(env, endpoint, 400, false, start);
+            return respond_error(conn, 400, &e, keep_alive);
+        }
+    };
+    let (plan, hit) = ctx.plan(&env.plan_cache, index);
+    let body = match endpoint {
+        Endpoint::Aggregate => ctx.aggregate_json(&env.shared.data, i, &plan),
+        _ => ctx.answer_json(i, &plan),
+    };
+    respond_text_with_header(
+        conn,
+        200,
+        "application/json",
+        &body,
+        keep_alive,
+        truncate,
+        ("X-Fingerprint-Recipient", recipient),
+    );
+    observe(env, endpoint, 200, hit, start);
 }
 
 /// `/answer` & `/aggregate`: resolve the parameter, track cache heat,
@@ -767,6 +918,13 @@ fn route_degraded(env: &ShardEnv, conn: &mut Conn, request: &Request, start: Ins
         }
         ("GET", "/answer" | "/aggregate") => {
             let endpoint = if request.path == "/answer" { Endpoint::Answer } else { Endpoint::Aggregate };
+            // stamping renders per request — too expensive for a
+            // saturated shard, so fingerprint traffic is shed here
+            if !matches!(stamp_target(env, request), Ok(None)) {
+                env.metrics.shed_one();
+                observe(env, endpoint, 503, false, start);
+                return respond_error(conn, 503, "overloaded: stamping unavailable", false);
+            }
             let i = match env
                 .shared
                 .data
@@ -831,6 +989,29 @@ fn respond_text(
     let keep_alive = keep_alive && !truncate;
     let mut buf = conn.take_scratch();
     write_head(&mut buf, status, content_type, body.len(), keep_alive);
+    let sent = if truncate { body.len() / 2 } else { body.len() };
+    buf.extend_from_slice(&body.as_bytes()[..sent]);
+    conn.out.push_owned(buf);
+    if !keep_alive {
+        conn.close_after_flush = true;
+    }
+}
+
+/// [`respond_text`] with one extra response header (the fingerprint
+/// path's `X-Fingerprint-Recipient`).
+#[allow(clippy::too_many_arguments)]
+fn respond_text_with_header(
+    conn: &mut Conn,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+    truncate: bool,
+    header: (&str, &str),
+) {
+    let keep_alive = keep_alive && !truncate;
+    let mut buf = conn.take_scratch();
+    write_head_with(&mut buf, status, content_type, body.len(), keep_alive, header);
     let sent = if truncate { body.len() / 2 } else { body.len() };
     buf.extend_from_slice(&body.as_bytes()[..sent]);
     conn.out.push_owned(buf);

@@ -153,12 +153,51 @@ impl ServeData {
 
     /// `GET /aggregate` body: the protected aggregate `f(ā) = Σ W(b̄)`.
     pub fn aggregate_json(&self, i: usize) -> String {
+        self.aggregate_json_with_f(i, self.family.f(&self.weights, i))
+    }
+
+    /// [`Self::aggregate_json`] with the aggregate value supplied by the
+    /// caller — the fingerprint path serves per-recipient aggregates
+    /// without re-summing the family.
+    pub fn aggregate_json_with_f(&self, i: usize, f: i64) -> String {
         format!(
-            "{{\"param\":{i},\"label\":\"{}\",\"count\":{},\"f\":{}}}\n",
+            "{{\"param\":{i},\"label\":\"{}\",\"count\":{},\"f\":{f}}}\n",
             json_escape(&self.param_labels[i]),
             self.family.active_ids(i).len(),
-            self.family.f(&self.weights, i)
         )
+    }
+
+    /// The `/answer` body split at its weight slots: interleaving
+    /// `chunks` with one rendered weight per slot reproduces
+    /// [`Self::answer_json`] exactly. The fingerprint hot path renders a
+    /// recipient's copy by splicing `base + delta` into each slot — it
+    /// never re-walks the family.
+    pub fn answer_template(&self, i: usize) -> AnswerTemplate {
+        let ids = self.family.active_ids(i);
+        let mut chunks = Vec::with_capacity(ids.len() + 1);
+        let mut slots = Vec::with_capacity(ids.len());
+        let mut cur = format!(
+            "{{\"param\":{i},\"label\":\"{}\",\"count\":{},\"answers\":[",
+            json_escape(&self.param_labels[i]),
+            ids.len()
+        );
+        for (n, &id) in ids.iter().enumerate() {
+            let tuple = self.family.tuple(id);
+            if n > 0 {
+                cur.push(',');
+            }
+            cur.push_str(&format!(
+                "{{\"t\":[{}],\"label\":\"{}\",\"w\":",
+                join_ids(tuple),
+                json_escape(&self.display_tuple(tuple)),
+            ));
+            chunks.push(std::mem::take(&mut cur));
+            slots.push((tuple.to_vec(), self.weights.get(tuple)));
+            cur.push('}');
+        }
+        cur.push_str("]}\n");
+        chunks.push(cur);
+        AnswerTemplate { chunks, slots }
     }
 
     /// `GET /params` body: the full canonical parameter domain.
@@ -234,6 +273,31 @@ impl ServeData {
         }
         out.push_str("}\n");
         Ok(out)
+    }
+}
+
+/// One `/answer` body with its weight values factored out (see
+/// [`ServeData::answer_template`]).
+#[derive(Debug, Clone)]
+pub struct AnswerTemplate {
+    /// `slots.len() + 1` text pieces around the weight slots.
+    pub chunks: Vec<String>,
+    /// Per-slot `(answer tuple, base weight)`, in body order.
+    pub slots: Vec<(Vec<Element>, i64)>,
+}
+
+impl AnswerTemplate {
+    /// Renders the body with `deltas[k]` added to slot `k`'s base
+    /// weight. All-zero deltas reproduce the precomputed body exactly.
+    pub fn render(&self, deltas: &[i64]) -> String {
+        debug_assert_eq!(deltas.len(), self.slots.len());
+        let mut out = String::with_capacity(64 + self.chunks.iter().map(String::len).sum::<usize>() + self.slots.len() * 8);
+        for (k, (_, base)) in self.slots.iter().enumerate() {
+            out.push_str(&self.chunks[k]);
+            out.push_str(&(base + deltas.get(k).copied().unwrap_or(0)).to_string());
+        }
+        out.push_str(self.chunks.last().map(String::as_str).unwrap_or(""));
+        out
     }
 }
 
@@ -504,6 +568,27 @@ mod tests {
         let body = format!("{}orig 1 2 3\n", key.to_text());
         let err = data.detect_json(&body, &[]).expect_err("arity mismatch");
         assert!(err.contains("expected 1 element(s)"), "{err}");
+    }
+
+    #[test]
+    fn answer_template_round_trips_the_precomputed_body() {
+        let data = sample_data();
+        for i in 0..data.num_parameters() {
+            let template = data.answer_template(i);
+            let zeros = vec![0i64; template.slots.len()];
+            assert_eq!(template.render(&zeros), data.answer_json(i), "param {i}");
+            // a +1 on every slot moves exactly the weight values
+            let ones = vec![1i64; template.slots.len()];
+            assert_ne!(template.render(&ones), data.answer_json(i));
+        }
+        let stamped = data.answer_template(0).render(&[1, 1]);
+        assert!(stamped.contains("{\"t\":[0],\"label\":\"n0\",\"w\":6}"), "{stamped}");
+        assert!(stamped.contains("{\"t\":[1],\"label\":\"n1\",\"w\":8}"), "{stamped}");
+        assert_eq!(
+            data.aggregate_json_with_f(0, 12),
+            data.aggregate_json(0),
+            "explicit f matches the summed aggregate"
+        );
     }
 
     #[test]

@@ -7,10 +7,13 @@
 use qpwm_core::detect::{AnswerServer, HonestServer, ObservedWeights, DEFAULT_DELTA};
 use qpwm_core::keyfile::SchemeKey;
 use qpwm_core::local_scheme::{LocalScheme, LocalSchemeConfig, SelectionStrategy};
+use qpwm_fingerprint::{Fingerprinter, KeyRegistry, MasterSecret};
 use qpwm_logic::{Formula, ParametricQuery};
 use qpwm_serve::client::{http_get, http_post, parse_answer_tuples, parse_json_uint};
+use qpwm_serve::fingerprint::leak_request_body;
 use qpwm_serve::{
-    detect_request_body, RemoteServer, RetryPolicy, ServeData, Server, ServerConfig, Timeouts,
+    detect_request_body, FingerprintContext, RemoteServer, RetryPolicy, ServeData, Server,
+    ServerConfig, Timeouts,
 };
 use qpwm_structures::Weights;
 use qpwm_workloads::graphs::{cycle_union, unary_domain, with_random_weights};
@@ -253,5 +256,152 @@ fn error_paths_use_http_status_codes() {
     assert_eq!(status, 405, "POST on a GET-only endpoint: {body}");
     let (status, body) = http_post(&fx.addr, "/detect", "not a key file").expect("request");
     assert_eq!(status, 400, "malformed detect body: {body}");
+    fx.server.shutdown();
+}
+
+struct FingerprintFixture {
+    server: Server,
+    addr: String,
+    scheme: LocalScheme,
+    original: Weights,
+    registry: KeyRegistry,
+}
+
+/// A server fingerprinting its answers for three issued recipients.
+/// Serves the *original* weights; each recipient's copy is stamped on
+/// the fly. Eight 12-cycles give the scheme 21 bits of capacity, enough
+/// for an accusation to clear the default significance floor.
+fn fingerprint_fixture() -> FingerprintFixture {
+    let query = ParametricQuery::new(Formula::atom(0, &[0, 1]), vec![0], vec![1]);
+    let instance = with_random_weights(cycle_union(8, 12, 0), 100, 1_000, 1);
+    let domain = unary_domain(instance.structure());
+    let scheme = LocalScheme::build_over(
+        &instance,
+        &query,
+        domain,
+        &LocalSchemeConfig { rho: 1, d: 1, strategy: SelectionStrategy::Greedy, seed: 7 },
+    )
+    .expect("regular instances pair");
+    assert!(scheme.capacity() >= 20, "need capacity for default-delta accusations");
+    let original = instance.weights().clone();
+    let data = ServeData::new(
+        scheme.answers().clone(),
+        original.clone(),
+        Vec::new(),
+        None,
+        "edge".into(),
+    );
+    let mut registry = KeyRegistry::new(MasterSecret::from_u64(0xfeed_f00d));
+    for (i, name) in ["alice", "bob", "carol"].iter().enumerate() {
+        registry.issue(name, i as u64).expect("issue");
+    }
+    let fingerprinter = Fingerprinter::new(scheme.marking().clone(), original.clone());
+    let ctx = FingerprintContext::new(&data, registry.clone(), fingerprinter, None)
+        .expect("context over the served data");
+    let config = ServerConfig { fingerprint: Some(ctx), ..ServerConfig::default() };
+    let server = Server::start(data, config).expect("bind ephemeral port");
+    let addr = server.addr().to_string();
+    FingerprintFixture { server, addr, scheme, original, registry }
+}
+
+/// Raw one-shot GET that keeps the response head, so header assertions
+/// can see what the byte-dropping convenience client does not.
+fn raw_get(addr: &str, target: &str) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: qpwm\r\nConnection: close\r\n\r\n")
+        .expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    response
+}
+
+#[test]
+fn stamped_answers_decode_to_each_recipients_offline_stamp() {
+    let fx = fingerprint_fixture();
+    let fingerprinter = Fingerprinter::new(fx.scheme.marking().clone(), fx.original.clone());
+    for name in ["alice", "bob"] {
+        let key = fx.registry.key_for(name).expect("issued");
+        let stamped = fingerprinter.stamp(key);
+        let honest = HonestServer::new(fx.scheme.answers().clone(), stamped);
+        for i in 0..fx.scheme.answers().len() {
+            let (status, body) =
+                http_get(&fx.addr, &format!("/answer?i={i}&recipient={name}")).expect("request");
+            assert_eq!(status, 200, "param {i}: {body}");
+            let decoded = parse_answer_tuples(&body).expect("parses");
+            assert_eq!(decoded, honest.answer(i), "param {i} must carry {name}'s stamp");
+        }
+    }
+    // without a recipient the same server serves the unstamped base
+    let base = HonestServer::new(fx.scheme.answers().clone(), fx.original.clone());
+    let (_, body) = http_get(&fx.addr, "/answer?i=0").expect("request");
+    assert_eq!(parse_answer_tuples(&body).expect("parses"), base.answer(0));
+    // unknown recipients are refused, not served someone else's copy
+    let (status, body) = http_get(&fx.addr, "/answer?i=0&recipient=mallory").expect("request");
+    assert_eq!(status, 403, "{body}");
+    fx.server.shutdown();
+}
+
+#[test]
+fn stamped_responses_name_the_recipient_in_a_header() {
+    let fx = fingerprint_fixture();
+    let stamped = raw_get(&fx.addr, "/answer?i=0&recipient=carol");
+    assert!(
+        stamped.contains("X-Fingerprint-Recipient: carol\r\n"),
+        "stamped responses must carry the recipient header: {stamped}"
+    );
+    let plain = raw_get(&fx.addr, "/answer?i=0");
+    assert!(
+        !plain.contains("X-Fingerprint-Recipient"),
+        "unstamped responses must not claim a recipient: {plain}"
+    );
+    fx.server.shutdown();
+}
+
+#[test]
+fn accuse_over_http_traces_a_leak_and_metrics_count_plan_cache_hits() {
+    let fx = fingerprint_fixture();
+    // the leak: bob's full stamped copy, fetched over the public interface
+    let mut pairs = Vec::new();
+    for i in 0..fx.scheme.answers().len() {
+        let (status, body) =
+            http_get(&fx.addr, &format!("/answer?i={i}&recipient=bob")).expect("request");
+        assert_eq!(status, 200, "{body}");
+        pairs.extend(parse_answer_tuples(&body).expect("parses"));
+    }
+    let (status, verdict) =
+        http_post(&fx.addr, "/accuse", &leak_request_body(&pairs)).expect("request");
+    assert_eq!(status, 200, "{verdict}");
+    assert!(verdict.contains("\"scored\":3"), "{verdict}");
+    assert!(
+        verdict.contains("\"accused\":{\"recipient\":\"bob\""),
+        "the leak must trace back to bob: {verdict}"
+    );
+    assert!(verdict.contains("\"verdict\":\"mark-present\""), "{verdict}");
+
+    // repeated stamped fetches hit the per-shard plan cache, and the
+    // cluster metrics expose the ratio
+    let (hits, misses) = fx.server.plan_cache_stats();
+    assert!(hits > 0, "repeat fetches for one recipient must hit the plan cache");
+    assert!(misses >= 1, "the first fetch builds the plan");
+    let (status, metrics) = http_get(&fx.addr, "/metrics").expect("request");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains(&format!("qpwm_fingerprint_plan_cache_total{{outcome=\"hit\"}} {hits}")),
+        "{metrics}"
+    );
+    assert!(metrics.contains("qpwm_requests_total{endpoint=\"accuse\"} 1"), "{metrics}");
+
+    // malformed leak bodies are a client error, not a trace
+    let (status, body) = http_post(&fx.addr, "/accuse", "not a leak line").expect("request");
+    assert_eq!(status, 400, "{body}");
+    fx.server.shutdown();
+}
+
+#[test]
+fn accuse_without_fingerprinting_is_not_found() {
+    let fx = fixture();
+    let (status, body) = http_post(&fx.addr, "/accuse", "leak 0 1\n").expect("request");
+    assert_eq!(status, 404, "{body}");
     fx.server.shutdown();
 }

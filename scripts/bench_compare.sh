@@ -357,3 +357,85 @@ if failures:
     sys.exit(1)
 print("\nOK: chaos sweep is fault-free with retries and never flips a verdict")
 PY
+
+# -- fingerprint gate: key derivation / stamping throughput and
+#    accusation latency vs registry size must hold, and every leaked
+#    copy must still be accused correctly
+FP_BASELINE=BENCH_fingerprint.json
+if [[ ! -f "$FP_BASELINE" ]]; then
+  echo "note: missing $FP_BASELINE — run bench_fingerprint once and commit it to enable the fingerprint gate"
+  exit 0
+fi
+
+cargo build --release -p qpwm-bench --bin bench_fingerprint
+FP_BIN="$PWD/target/release/bench_fingerprint"
+if [[ -n "$THREADS" ]]; then
+  (cd "$SCRATCH" && "$FP_BIN" --threads "$THREADS" >/dev/null)
+else
+  (cd "$SCRATCH" && "$FP_BIN" >/dev/null)
+fi
+
+python3 - "$FP_BASELINE" "$SCRATCH/BENCH_fingerprint.json" "$TOLERANCE" <<'PY'
+import json
+import sys
+
+baseline_path, fresh_path, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
+with open(baseline_path) as f:
+    base = json.load(f)
+with open(fresh_path) as f:
+    now = json.load(f)
+
+failures = []
+
+# 1. correctness: capacity is exact, and every accusation point must
+#    still finger the planted culprit
+if base["capacity_bits"] != now["capacity_bits"]:
+    failures.append(
+        f"carrier capacity changed {base['capacity_bits']} -> {now['capacity_bits']} bits"
+    )
+for point in now["accuse"]:
+    if not point["accused_ok"]:
+        failures.append(
+            f"recipients={point['recipients']}: leaked copy no longer accused correctly"
+        )
+
+# 2. throughput: derivation keys/s may not drop, stamp/plan ms may not
+#    rise, beyond tolerance
+print(f"\n{'metric':>14} {'baseline':>14} {'fresh':>14} {'delta':>8}")
+for metric, higher_is_better in (("derive_per_s", True), ("stamp_ms", False), ("plan_ms", False)):
+    old, new = float(base[metric]), float(now[metric])
+    delta = (new - old) / old * 100 if old > 0 else 0.0
+    regressed = delta < -tolerance if higher_is_better else delta > tolerance
+    flag = "  << REGRESSION" if regressed else ""
+    if regressed:
+        direction = "dropped" if higher_is_better else "rose"
+        failures.append(f"{metric} {direction}: {old:.4g} -> {new:.4g} ({delta:+.1f}%)")
+    print(f"{metric:>14} {old:>14.4f} {new:>14.4f} {delta:>+7.1f}%{flag}")
+
+# 3. accusation latency vs registry size
+base_points = {p["recipients"]: p for p in base["accuse"]}
+print(f"\n{'recipients':>10} {'accuse_ms':>10} {'fresh':>10} {'delta':>8}")
+for point in now["accuse"]:
+    ref = base_points.get(point["recipients"])
+    if ref is None:
+        continue
+    old, new = ref["accuse_ms"], point["accuse_ms"]
+    delta = (new - old) / old * 100 if old > 0 else 0.0
+    flag = ""
+    if old > 0 and delta > tolerance:
+        failures.append(
+            f"recipients={point['recipients']} accuse_ms: {old:.2f} -> {new:.2f} (+{delta:.1f}%)"
+        )
+        flag = "  << REGRESSION"
+    print(f"{point['recipients']:>10} {old:>10.2f} {new:>10.2f} {delta:>+7.1f}%{flag}")
+for recipients in base_points:
+    if recipients not in {p["recipients"] for p in now["accuse"]}:
+        failures.append(f"recipients={recipients}: missing from fresh run")
+
+if failures:
+    print(f"\n{len(failures)} fingerprint gate failure(s):", file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+print(f"\nOK: fingerprinting accuses correctly and stays within {tolerance:.0f}% of the committed baseline")
+PY

@@ -154,4 +154,42 @@ curl -sf -X POST "http://$SHARD_ADDR/shutdown" >/dev/null
 wait "$SHARD_PID"
 echo "sharded smoke test OK ($SHARD_ADDR, shard0=$S0 shard1=$S1 connections)"
 
+# Fingerprint smoke test: issue three recipients into an append-only
+# ledger, serve the ORIGINAL weights with per-recipient stamping, check
+# the attribution header, then leak bob's full copy back through the
+# forensic HTTP path and require the accusation to name bob.
+echo "== tier-1: fingerprint traitor-tracing smoke test =="
+FP_MASTER=0xfeedf00d
+for NAME in alice bob carol; do
+  ./target/release/qpwm issue --recipient "$NAME" \
+    --master "$FP_MASTER" --ledger "$SMOKE/ledger.jsonl" > /dev/null
+done
+[[ "$(wc -l < "$SMOKE/ledger.jsonl")" -eq 3 ]] \
+  || { echo "ledger should hold 3 issuance records:" >&2; cat "$SMOKE/ledger.jsonl" >&2; exit 1; }
+
+./target/release/qpwm serve \
+  --schema 'R(a,b)' --table "R=$SMOKE/ring.csv" \
+  --weights "$SMOKE/weights.csv" --rule 'q($u; v) :- R($u, v)' \
+  --master "$FP_MASTER" --ledger "$SMOKE/ledger.jsonl" \
+  --key "$SMOKE/secret.key" --port 0 > "$SMOKE/fp-serve.log" &
+FP_PID=$!
+FP_ADDR=""
+for _ in $(seq 1 50); do
+  FP_ADDR="$(sed -n 's|^listening on http://||p' "$SMOKE/fp-serve.log" | head -n 1)"
+  [[ -n "$FP_ADDR" ]] && break
+  sleep 0.1
+done
+[[ -n "$FP_ADDR" ]] || { echo "fingerprint serve did not start:" >&2; cat "$SMOKE/fp-serve.log" >&2; kill "$FP_PID" 2>/dev/null; exit 1; }
+
+curl -si "http://$FP_ADDR/answer?i=0&recipient=alice" | grep -q 'X-Fingerprint-Recipient: alice' \
+  || { echo "stamped answer missing attribution header" >&2; kill "$FP_PID" 2>/dev/null; exit 1; }
+
+ACCUSE="$(./target/release/qpwm accuse --server "$FP_ADDR" --fetch-as bob)"
+echo "$ACCUSE" | grep -q '"accused":{"recipient":"bob"' \
+  || { echo "leaked copy was not traced to bob:" >&2; echo "$ACCUSE" >&2; kill "$FP_PID" 2>/dev/null; exit 1; }
+
+curl -sf -X POST "http://$FP_ADDR/shutdown" >/dev/null
+wait "$FP_PID"
+echo "fingerprint smoke test OK ($FP_ADDR, bob accused)"
+
 echo "== tier-1: OK =="

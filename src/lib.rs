@@ -14,6 +14,9 @@
 //!   the adversarial transform (Fact 1) and incremental maintenance
 //!   (Theorems 7 and 8);
 //! * [`baselines`] — Agrawal–Kiernan and Khanna–Zane;
+//! * [`fingerprint`] — multi-tenant fingerprinting: per-recipient key
+//!   derivation from a master secret, the append-only issuance ledger,
+//!   and forensic traitor tracing (`accuse`);
 //! * [`workloads`] — reproducible synthetic workload generators;
 //! * [`par`] — deterministic scoped-thread parallel map/reduce;
 //! * [`serve`] — the HTTP data server (answer sets, aggregates,
@@ -56,6 +59,7 @@
 pub use qpwm_baselines as baselines;
 pub use qpwm_bench as bench;
 pub use qpwm_core as core;
+pub use qpwm_fingerprint as fingerprint;
 pub use qpwm_logic as logic;
 pub use qpwm_par as par;
 pub use qpwm_serve as serve;

@@ -28,6 +28,7 @@ use qpwm::core::detect::{
     AnswerServer, DetectionReport, ObservedWeights, Verdict, DEFAULT_DELTA,
 };
 use qpwm::core::keyfile::SchemeKey;
+use qpwm::fingerprint::{Fingerprinter, KeyRegistry, MasterSecret};
 use qpwm::core::local_scheme::{LocalScheme, LocalSchemeConfig, SelectionStrategy};
 use qpwm::core::TreeScheme;
 use qpwm::logic::datalog::parse_rule;
@@ -84,9 +85,22 @@ const USAGE: &str = "usage:
                    --weights <marked.csv> --rule <rule>
                    [--port <n>] [--shards <n>] [--cache <entries>]
                    [--backlog <n>] [--chaos <spec>]
+                   [--master <secret> --ledger <file> --key <keyfile>
+                    [--fingerprint <recipient>]]
     qpwm serve     --xml <marked.xml> --pattern <pattern>
                    [--port <n>] [--shards <n>] [--cache <entries>]
                    [--backlog <n>] [--chaos <spec>]
+  multi-tenant fingerprinting (issuance ledger, traitor tracing):
+    qpwm issue     --master <secret> --ledger <file> --recipient <name> [--at <ts>]
+    qpwm revoke    --master <secret> --ledger <file> --recipient <name> [--at <ts>]
+    qpwm accuse    --master <secret> --ledger <file> --key <keyfile>
+                   --schema <spec> --table Rel=file.csv [--table ...]
+                   --weights <original.csv> --leak <leaked.csv> [--delta <p>]
+    qpwm accuse    --server <host:port> --fetch-as <recipient>
+
+  --master  the owner's fingerprinting secret: a u64 (decimal or 0x hex)
+            or any passphrase; per-recipient keys derive from it
+  --ledger  append-only JSON-lines issuance ledger (created on first issue)
 
   --chaos <spec> injects deterministic transport faults, e.g.
                  'drop=5%,error=10%,delay=20%:2ms,trunc=3%,seed=42'
@@ -114,6 +128,9 @@ fn run(args: &[String]) -> Result<(), String> {
         "detect-db" => detect_db(&opts),
         "serve" => serve(&opts),
         "capacity" => capacity(&opts),
+        "issue" => issue(&opts),
+        "revoke" => revoke(&opts),
+        "accuse" => accuse_cmd(&opts),
         other => Err(format!("unknown command {other}")),
     }
 }
@@ -608,6 +625,207 @@ fn capacity(opts: &Options) -> Result<(), String> {
 }
 
 // ---------------------------------------------------------------------
+// multi-tenant fingerprinting
+// ---------------------------------------------------------------------
+
+/// `--master` accepts a raw u64 (decimal or `0x` hex) or folds any other
+/// string as a passphrase. Either way the ledger never stores it.
+fn parse_master(opts: &Options) -> Result<MasterSecret, String> {
+    let raw = required(opts, "master")?;
+    if let Some(hex) = raw.strip_prefix("0x") {
+        if let Ok(key) = u64::from_str_radix(hex, 16) {
+            return Ok(MasterSecret::from_u64(key));
+        }
+    }
+    if let Ok(key) = raw.parse::<u64>() {
+        return Ok(MasterSecret::from_u64(key));
+    }
+    Ok(MasterSecret::from_text(raw))
+}
+
+/// Replays the `--ledger` file into a registry. A missing file is an
+/// empty registry (first `issue` creates it); a malformed one is an
+/// error, never silently truncated.
+fn load_registry(opts: &Options) -> Result<(KeyRegistry, String), String> {
+    let master = parse_master(opts)?;
+    let path = required(opts, "ledger")?.to_owned();
+    let registry = match std::fs::read_to_string(&path) {
+        Ok(text) => KeyRegistry::from_ledger(master, &text)
+            .map_err(|e| format!("replaying ledger {path}: {e}"))?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => KeyRegistry::new(master),
+        Err(e) => return Err(format!("reading ledger {path}: {e}")),
+    };
+    Ok((registry, path))
+}
+
+fn append_ledger_line(path: &str, line: &str) -> Result<(), String> {
+    use std::io::Write;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("opening ledger {path}: {e}"))?;
+    file.write_all(line.as_bytes())
+        .map_err(|e| format!("appending to ledger {path}: {e}"))
+}
+
+/// `qpwm issue`: grants the next derivation index to a recipient and
+/// appends the immutable record to the ledger.
+fn issue(opts: &Options) -> Result<(), String> {
+    let (mut registry, path) = load_registry(opts)?;
+    let name = required(opts, "recipient")?;
+    let at: u64 =
+        optional(opts, "at").unwrap_or("0").parse().map_err(|_| "--at needs a timestamp")?;
+    let record = registry.issue(name, at).map_err(|e| e.to_string())?.clone();
+    append_ledger_line(&path, &KeyRegistry::issue_line(&record))?;
+    println!(
+        "issued '{}' at derivation index {} ({} record(s) in {path})",
+        record.recipient,
+        record.index,
+        registry.len()
+    );
+    Ok(())
+}
+
+/// `qpwm revoke`: marks a grant revoked; the recipient keeps its index
+/// (indices are never reused) but leaves accusation scoring.
+fn revoke(opts: &Options) -> Result<(), String> {
+    let (mut registry, path) = load_registry(opts)?;
+    let name = required(opts, "recipient")?;
+    let at: u64 =
+        optional(opts, "at").unwrap_or("0").parse().map_err(|_| "--at needs a timestamp")?;
+    registry.revoke(name, at).map_err(|e| e.to_string())?;
+    append_ledger_line(&path, &KeyRegistry::revoke_line(name, at))?;
+    println!(
+        "revoked '{name}' ({} active of {} issued)",
+        registry.active().count(),
+        registry.len()
+    );
+    Ok(())
+}
+
+/// `qpwm accuse`: traces a leaked answer set back to the recipient it
+/// was issued to. Offline mode scores locally from the master secret and
+/// ledger; `--server` mode fetches one recipient's copy over HTTP and
+/// lets the server's `POST /accuse` do the forensics (the end-to-end
+/// drill for a live deployment).
+fn accuse_cmd(opts: &Options) -> Result<(), String> {
+    if let Some(addr) = optional(opts, "server") {
+        return accuse_remote(addr, opts);
+    }
+    let (registry, _) = load_registry(opts)?;
+    let (db, _) = load_db(opts)?;
+    let key_path = required(opts, "key")?;
+    let key_text =
+        std::fs::read_to_string(key_path).map_err(|e| format!("reading {key_path}: {e}"))?;
+    let key = SchemeKey::from_text(&key_text).map_err(|e| e.to_string())?;
+    let delta: f64 = match optional(opts, "delta") {
+        Some(raw) => raw.parse().map_err(|_| "--delta needs a probability")?,
+        None => DEFAULT_DELTA,
+    };
+
+    // the leaked copy, over the same name dictionary as the original
+    let leak_path = required(opts, "leak")?;
+    let leak_csv = std::fs::read_to_string(leak_path)
+        .map_err(|e| format!("reading {leak_path}: {e}"))?;
+    let mut pairs: Vec<(Vec<u32>, i64)> = Vec::new();
+    for (lineno, line) in leak_csv.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .rsplit_once(',')
+            .ok_or_else(|| format!("bad leak row at line {}", lineno + 1))?;
+        let name = name.trim().trim_matches('"').replace("\"\"", "\"");
+        let w: i64 = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad leak weight at line {}", lineno + 1))?;
+        if let Some(e) = db.element(&name) {
+            pairs.push((vec![e], w));
+        }
+    }
+    if pairs.is_empty() {
+        return Err(format!("{leak_path}: no rows matched the database's elements"));
+    }
+
+    let fingerprinter = Fingerprinter::new(key.marking, db.instance.weights().clone());
+    let observed = qpwm::fingerprint::observed_from_pairs(pairs);
+    let outcome = qpwm::fingerprint::accuse(&fingerprinter, &registry, &observed, delta);
+    print_accusation(&outcome);
+    Ok(())
+}
+
+fn print_accusation(outcome: &qpwm::fingerprint::AccuseOutcome) {
+    println!(
+        "scored {} active recipient(s) ({} revoked excluded)",
+        outcome.scored, outcome.skipped_revoked
+    );
+    if let Some(best) = &outcome.best {
+        println!(
+            "best match: '{}' (index {}): {}/{} bits, false-positive probability {:.2e}",
+            best.recipient,
+            best.index,
+            best.check.matches,
+            best.check.compared,
+            best.check.significance
+        );
+    }
+    if let Some(runner) = &outcome.runner_up {
+        println!(
+            "runner-up:  '{}' (index {}): {}/{} bits, false-positive probability {:.2e}",
+            runner.recipient,
+            runner.index,
+            runner.check.matches,
+            runner.check.compared,
+            runner.check.significance
+        );
+        println!("separation: 10^{:.1} between best and runner-up", outcome.gap_log10);
+    }
+    match outcome.accused() {
+        Some(a) => println!("verdict: ACCUSED '{}' (leak traces to this grant)", a.recipient),
+        None => println!(
+            "verdict: abstain (no recipient clears the significance floor; \
+             nobody is accused on weak evidence)"
+        ),
+    }
+}
+
+/// Remote accusation drill: fetch `--fetch-as`'s stamped copy through
+/// the public interface, then hand it to the server's forensic endpoint.
+fn accuse_remote(addr: &str, opts: &Options) -> Result<(), String> {
+    use qpwm::serve::client::{http_get, http_post, parse_answer_tuples, parse_json_uint};
+    let addr = addr.strip_prefix("http://").unwrap_or(addr);
+    let recipient = required(opts, "fetch-as")?;
+    let (status, body) = http_get(addr, "/params")?;
+    if status != 200 {
+        return Err(format!("GET /params: HTTP {status}: {}", body.trim()));
+    }
+    let count = parse_json_uint(&body, "count")
+        .ok_or_else(|| format!("GET /params: no count in {}", body.trim()))? as usize;
+    let mut pairs = Vec::new();
+    for i in 0..count {
+        let (status, body) =
+            http_get(addr, &format!("/answer?i={i}&recipient={recipient}"))?;
+        if status != 200 {
+            return Err(format!("GET /answer?i={i}: HTTP {status}: {}", body.trim()));
+        }
+        pairs.extend(parse_answer_tuples(&body)?);
+    }
+    println!(
+        "fetched {count} answer set(s) ({} weights) as '{recipient}' from {addr}",
+        pairs.len()
+    );
+    let leak = qpwm::serve::fingerprint::leak_request_body(&pairs);
+    let (status, verdict) = http_post(addr, "/accuse", &leak)?;
+    if status != 200 {
+        return Err(format!("POST /accuse: HTTP {status}: {}", verdict.trim()));
+    }
+    print!("{verdict}");
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
 // data server
 // ---------------------------------------------------------------------
 
@@ -652,6 +870,30 @@ fn serve(opts: &Options) -> Result<(), String> {
             println!("chaos enabled: {}", policy.describe());
         }
         config.chaos = Some(policy);
+    }
+    // fingerprinting: --master + --ledger + --key attach a stamping
+    // context; the server must then be serving the *original* weights
+    // (each recipient's marked copy is spliced on the fly)
+    if optional(opts, "master").is_some() || optional(opts, "ledger").is_some() {
+        let (registry, _) = load_registry(opts)?;
+        let key_path = required(opts, "key")
+            .map_err(|_| "fingerprinting needs --key (the marking key file)".to_string())?;
+        let key_text = std::fs::read_to_string(key_path)
+            .map_err(|e| format!("reading {key_path}: {e}"))?;
+        let key = SchemeKey::from_text(&key_text).map_err(|e| e.to_string())?;
+        let fingerprinter = Fingerprinter::new(key.marking, data.weights().clone());
+        let default_recipient = optional(opts, "fingerprint").map(str::to_owned);
+        let ctx = qpwm::serve::FingerprintContext::new(
+            &data,
+            registry,
+            fingerprinter,
+            default_recipient,
+        )?;
+        println!(
+            "fingerprinting {} active recipient(s); forensic POST /accuse enabled",
+            ctx.registry().active().count()
+        );
+        config.fingerprint = Some(ctx);
     }
     let server = qpwm::serve::Server::start(data, config).map_err(|e| e.to_string())?;
     println!("listening on http://{}", server.addr());
