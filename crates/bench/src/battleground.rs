@@ -71,6 +71,10 @@ pub const COALITION_STRATEGIES: [&str; 3] = ["average", "vote", "mix"];
 /// The coalition sizes the traitor-tracing sweep covers.
 pub const COALITION_MAX_K: usize = 8;
 
+/// The leak fractions the partial-leak sweep covers: what share of the
+/// universe the leaked copy still exposes when it reaches the owner.
+pub const LEAK_FRACTIONS: [f64; 5] = [1.0, 0.75, 0.5, 0.25, 0.1];
+
 /// Battleground configuration (CLI flags map onto this 1:1).
 #[derive(Debug, Clone, Default)]
 pub struct BattleConfig {
@@ -186,6 +190,30 @@ pub struct CoalitionCell {
     pub gap_log10: f64,
 }
 
+/// One partial-leak cell: a single recipient's copy leaks, but only a
+/// `fraction` of the universe reaches the owner; the accusation engine
+/// scores the subset through the missing-read (effective-sample)
+/// significance budget.
+#[derive(Debug, Clone)]
+pub struct LeakCell {
+    /// Fraction of the universe the leak exposes.
+    pub fraction: f64,
+    /// Tuples actually present in the leak.
+    pub kept: usize,
+    /// Universe size of the carrier.
+    pub universe: usize,
+    /// Recipients scored by the accusation.
+    pub scored: usize,
+    /// The accused recipient, if anyone cleared the significance floor.
+    pub accused: Option<String>,
+    /// Did the accusation name the actual leaker?
+    pub traced: bool,
+    /// Best-scoring recipient's false-positive significance.
+    pub best_significance: f64,
+    /// log10 separation between the best and runner-up significance.
+    pub gap_log10: f64,
+}
+
 /// Everything one battleground run produces.
 #[derive(Debug, Clone)]
 pub struct RunOutcome {
@@ -195,6 +223,8 @@ pub struct RunOutcome {
     pub cells: Vec<Cell>,
     /// The traitor-tracing coalition sweep (strategy × k).
     pub coalitions: Vec<CoalitionCell>,
+    /// The partial-leak sweep (fraction of the universe leaked).
+    pub leaks: Vec<LeakCell>,
     /// Throughput samples (empty in `--check` / `skip_bench` mode).
     pub bench: Vec<UnitBench>,
     /// Worker threads the cell grid ran under.
@@ -587,19 +617,25 @@ fn run_unit(unit: &Unit, attacks: &Option<Vec<String>>) -> Vec<Cell> {
 /// the blend with the accusation engine. Fully sequential and
 /// seed-deterministic, so the rendered rows are byte-stable at any
 /// thread count.
-fn run_coalitions(cfg: &BattleConfig) -> Vec<CoalitionCell> {
-    let material = build_material("csv_db", cfg.check);
+fn tracing_setup(check: bool) -> (Material, Fingerprinter, KeyRegistry) {
+    let material = build_material("csv_db", check);
     let fingerprinter = Fingerprinter::new(
         material.qp_local.core().marking().clone(),
         material.baseline.clone(),
     );
-    let recipients: usize = if cfg.check { 16 } else { 64 };
+    let recipients: usize = if check { 16 } else { 64 };
     let mut registry = KeyRegistry::new(MasterSecret::from_u64(0xB477_1E60));
     for i in 0..recipients {
         registry
             .issue(&format!("r{i:03}"), i as u64)
             .expect("fresh registry issues");
     }
+    (material, fingerprinter, registry)
+}
+
+fn run_coalitions(cfg: &BattleConfig) -> Vec<CoalitionCell> {
+    let (material, fingerprinter, registry) = tracing_setup(cfg.check);
+    let recipients = registry.len();
     let mut cells = Vec::new();
     for (strat_idx, &strategy) in COALITION_STRATEGIES.iter().enumerate() {
         for k in 1..=COALITION_MAX_K {
@@ -655,6 +691,56 @@ fn run_coalitions(cfg: &BattleConfig) -> Vec<CoalitionCell> {
                 gap_log10: outcome.gap_log10,
             });
         }
+    }
+    cells
+}
+
+/// The partial-leak sweep (X-F1b): one recipient's stamped `csv_db`
+/// copy leaks, but only a fraction of the universe survives the leak
+/// (a competitor republishing excerpts). The accusation engine sees the
+/// subset as missing reads and scores it through the effective-sample
+/// significance — thin leaks must degrade to *abstain*, never to a
+/// misaccusation. Deterministic: the kept subset is splitmix-ranked.
+fn run_leak_fractions(cfg: &BattleConfig) -> Vec<LeakCell> {
+    let (material, fingerprinter, registry) = tracing_setup(cfg.check);
+    let universe: Vec<Vec<Element>> =
+        material.family.universe_tuples().map(|t| t.to_vec()).collect();
+    // the leaker: a fixed mid-registry grant (coordinate-seeded like
+    // every other cell, so the sweep is stable under registry growth)
+    let leaker = cell_seed(10, 0, 0) % registry.len() as u64;
+    let leaker_name = format!("r{leaker:03}");
+    let copy = fingerprinter.stamp(registry.key_at(leaker));
+    let mut cells = Vec::new();
+    for (f_idx, &fraction) in LEAK_FRACTIONS.iter().enumerate() {
+        // rank tuples by a seeded hash and keep the first ⌈f·n⌉ — an
+        // exact-size, deterministic subset per fraction
+        let seed = cell_seed(10, 1, f_idx);
+        let mut ranked: Vec<usize> = (0..universe.len()).collect();
+        ranked.sort_by_key(|&i| splitmix(seed ^ i as u64));
+        let kept = ((fraction * universe.len() as f64).ceil() as usize).min(universe.len());
+        ranked.truncate(kept);
+        let observed = observed_from_pairs(
+            ranked
+                .iter()
+                .map(|&i| (universe[i].clone(), copy.get(&universe[i])))
+                .collect(),
+        );
+        let outcome = accuse(&fingerprinter, &registry, &observed, DEFAULT_DELTA);
+        let accused = outcome.accused().map(|a| a.recipient.clone());
+        let traced = accused.as_deref() == Some(leaker_name.as_str());
+        cells.push(LeakCell {
+            fraction,
+            kept,
+            universe: universe.len(),
+            scored: outcome.scored,
+            accused,
+            traced,
+            best_significance: outcome
+                .best
+                .as_ref()
+                .map_or(1.0, |b| b.check.significance),
+            gap_log10: outcome.gap_log10,
+        });
     }
     cells
 }
@@ -715,6 +801,7 @@ pub fn run(cfg: &BattleConfig) -> RunOutcome {
 
     // Traitor tracing: sequential and seed-deterministic by design.
     let coalitions = run_coalitions(cfg);
+    let leaks = run_leak_fractions(cfg);
 
     // Throughput phase: sequential, so contention never skews the
     // numbers the perf gate compares.
@@ -740,7 +827,7 @@ pub fn run(cfg: &BattleConfig) -> RunOutcome {
         }
     }
 
-    RunOutcome { units: infos, cells, coalitions, bench, threads }
+    RunOutcome { units: infos, cells, coalitions, leaks, bench, threads }
 }
 
 /// The subset-selection dominance check the paper predicts: on every
@@ -849,6 +936,26 @@ pub fn results_json(outcome: &RunOutcome) -> String {
             if i + 1 < outcome.coalitions.len() { "," } else { "" },
         );
     }
+    s.push_str("  ],\n  \"leaks\": [\n");
+    for (i, c) in outcome.leaks.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"fraction\": {:.2}, \"kept\": {}, \"universe\": {}, \"scored\": {}, \
+             \"accused\": {}, \"traced\": {}, \"best_significance\": {:.6e}, \"gap_log10\": {:.3}}}{}",
+            c.fraction,
+            c.kept,
+            c.universe,
+            c.scored,
+            match &c.accused {
+                Some(name) => json_str(name),
+                None => "null".to_string(),
+            },
+            c.traced,
+            c.best_significance,
+            c.gap_log10,
+            if i + 1 < outcome.leaks.len() { "," } else { "" },
+        );
+    }
     let schemes: std::collections::BTreeSet<&str> =
         outcome.cells.iter().map(|c| c.scheme.as_str()).collect();
     let workloads: std::collections::BTreeSet<&str> =
@@ -860,16 +967,20 @@ pub fn results_json(outcome: &RunOutcome) -> String {
         None => "null".to_string(),
     };
     let traced = outcome.coalitions.iter().filter(|c| c.traced).count();
+    let leaks_traced = outcome.leaks.iter().filter(|c| c.traced).count();
     let _ = write!(
         s,
         "  ],\n  \"summary\": {{\"schemes\": {}, \"workloads\": {}, \"attacks\": {}, \"cells\": {}, \
-         \"coalition_cells\": {}, \"coalitions_traced\": {}, \"subset_dominance\": {}}}\n}}\n",
+         \"coalition_cells\": {}, \"coalitions_traced\": {}, \"leak_cells\": {}, \
+         \"leaks_traced\": {}, \"subset_dominance\": {}}}\n}}\n",
         schemes.len(),
         workloads.len(),
         attacks.len(),
         outcome.cells.len(),
         outcome.coalitions.len(),
         traced,
+        outcome.leaks.len(),
+        leaks_traced,
         dominance,
     );
     s
@@ -1011,10 +1122,28 @@ pub fn cli_main(args: &[String]) -> i32 {
             );
             return 1;
         }
+        if outcome.leaks.len() != LEAK_FRACTIONS.len() {
+            eprintln!(
+                "battleground check FAILED: {} leak cells, expected {}",
+                outcome.leaks.len(),
+                LEAK_FRACTIONS.len()
+            );
+            return 1;
+        }
+        for c in &outcome.leaks {
+            if !(0.0..=1.0).contains(&c.best_significance) {
+                eprintln!(
+                    "battleground check FAILED: leak f={} has significance {}",
+                    c.fraction, c.best_significance
+                );
+                return 1;
+            }
+        }
         println!(
-            "battleground check OK ({} cells, {} coalition cells, {} units, {} threads)",
+            "battleground check OK ({} cells, {} coalition cells, {} leak cells, {} units, {} threads)",
             outcome.cells.len(),
             outcome.coalitions.len(),
+            outcome.leaks.len(),
             outcome.units.len(),
             outcome.threads
         );
@@ -1067,6 +1196,20 @@ pub fn cli_main(args: &[String]) -> i32 {
         ]);
     }
     tracing.print("X-F1 — traitor tracing: accusation vs coalition size (csv_db carrier)");
+
+    // Partial leaks: accusation power vs leaked fraction.
+    let mut leak_table =
+        crate::Table::new(vec!["fraction", "kept/universe", "accused", "traced", "significance"]);
+    for c in &outcome.leaks {
+        leak_table.row(vec![
+            format!("{:.0}%", c.fraction * 100.0),
+            format!("{}/{}", c.kept, c.universe),
+            c.accused.clone().unwrap_or_else(|| "-".to_string()),
+            if c.traced { "yes".to_string() } else { "no".to_string() },
+            format!("{:.2e}", c.best_significance),
+        ]);
+    }
+    leak_table.print("X-F1b — partial leaks: accusation vs leaked fraction (csv_db carrier)");
     match subset_dominance(&outcome.cells) {
         Some(true) => println!("subset-selection dominance: qp-local ≥ ak on every workload (strict somewhere) ✓"),
         Some(false) => println!("subset-selection dominance: VIOLATED (ak survived where qp-local did not)"),
@@ -1168,6 +1311,34 @@ mod tests {
             assert!(c.accused.is_none() || c.traced, "{}/k={} misaccused", c.strategy, c.k);
         }
         let again = run_coalitions(&cfg);
+        for (a, b) in cells.iter().zip(&again) {
+            assert_eq!(a.accused, b.accused);
+            assert_eq!(a.best_significance.to_bits(), b.best_significance.to_bits());
+        }
+    }
+
+    #[test]
+    fn leak_sweep_traces_half_leaks_and_never_misaccuses() {
+        // full-size csv_db carrier: half the universe still carries
+        // enough pair evidence to clear the significance floor, while
+        // the thinnest leaks must degrade to abstain — never to an
+        // accusation of the wrong recipient
+        let cfg = BattleConfig { skip_bench: true, ..BattleConfig::default() };
+        let cells = run_leak_fractions(&cfg);
+        assert_eq!(cells.len(), LEAK_FRACTIONS.len());
+        for c in &cells {
+            assert!(c.accused.is_none() || c.traced, "f={} misaccused", c.fraction);
+        }
+        for c in cells.iter().filter(|c| c.fraction >= 0.5) {
+            assert!(
+                c.traced,
+                "a {:.0}% leak must still be traced (significance {:.2e})",
+                c.fraction * 100.0,
+                c.best_significance
+            );
+            assert!(c.best_significance < DEFAULT_DELTA);
+        }
+        let again = run_leak_fractions(&cfg);
         for (a, b) in cells.iter().zip(&again) {
             assert_eq!(a.accused, b.accused);
             assert_eq!(a.best_significance.to_bits(), b.best_significance.to_bits());

@@ -1,0 +1,253 @@
+//! Persistent-store micro-benchmark: crash-recovery time and the
+//! Theorem 7 incremental re-marking advantage.
+//!
+//! The carrier is the battleground's ring relation at store size
+//! (n = 32768 by default — large enough that a full re-mark overflows
+//! the buffer pool while the 1% update stays resident). The headline metric pits a full re-mark — a
+//! fresh `delta_map` over every pair, written as one transaction —
+//! against the incremental path for a 1% weight update, where
+//! `remark_touched` confines the delta writes to the pairs the update
+//! actually hit. The incremental commit must be at least 10× faster;
+//! `scripts/bench_compare.sh` gates that floor alongside the recovery
+//! timing in `BENCH_store.json`.
+//!
+//! Run with `cargo run --release -p qpwm-bench --bin bench_store`
+//! (flags: `--ring <n>`, `--threads <n>`). Writes its store file and
+//! WAL into the working directory.
+
+use qpwm_bench::Table;
+use qpwm_core::detect::{HonestServer, ObservedWeights, Verdict, DEFAULT_DELTA};
+use qpwm_core::incremental::remark_touched;
+use qpwm_core::local_scheme::{LocalScheme, LocalSchemeConfig, SelectionStrategy};
+use qpwm_logic::datalog::parse_rule;
+use qpwm_store::{DiskVfs, Store, StoreContent};
+use qpwm_structures::{Element, WeightKey};
+use qpwm_workloads::csv_db::load_csv_database;
+use std::collections::HashSet;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const STORE_NAME: &str = "bench_store.qps";
+
+fn flag_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    args.windows(2)
+        .find(|w| w[0] == name)
+        .map(|w| w[1].clone())
+}
+
+fn parse_flag(name: &str, default: usize) -> usize {
+    match flag_value(name) {
+        None => default,
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("error: {name} needs a positive integer, got '{raw}'");
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// Median ms/op (at least 5 iterations, stops after ~250 ms of
+/// sampling). The median rather than the mean: commits end in fsync,
+/// and a single slow flush would otherwise dominate a short op.
+fn time_per_op(mut op: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    let mut samples = Vec::new();
+    loop {
+        let t = Instant::now();
+        op();
+        samples.push(t.elapsed().as_secs_f64() * 1000.0);
+        if (samples.len() >= 5 && start.elapsed().as_millis() >= 250) || samples.len() >= 100_000 {
+            break;
+        }
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// One full re-mark: a fresh `delta_map` over every pair, applied as a
+/// single transaction of delta writes.
+fn full_remark(store: &mut Store, content: &StoreContent, scheme: &LocalScheme, bits: &[bool]) {
+    let deltas = scheme.marking().delta_map(bits);
+    let mut txn = store.begin();
+    for (key, delta) in &deltas {
+        let id = content.lookup(key).expect("marked tuple is interned");
+        txn.set_delta(id, *delta).expect("delta write");
+    }
+    txn.commit().expect("full re-mark commits");
+}
+
+fn main() {
+    if let Some(raw) = flag_value("--threads") {
+        match qpwm_par::parse_thread_arg(&raw) {
+            Ok(n) => qpwm_par::set_threads(n),
+            Err(e) => {
+                eprintln!("error: --threads: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let n = parse_flag("--ring", 32768) as u32;
+
+    // the carrier: a ring relation under the battleground's ring rule
+    let mut ring = String::new();
+    let mut weights_csv = String::new();
+    for i in 0..n {
+        let _ = writeln!(ring, "n{i},n{}", (i + 1) % n);
+        let _ = writeln!(weights_csv, "n{i},{}", 100 + i64::from(i) * 3);
+    }
+    let db = load_csv_database("R(a,b)", &[("R", &ring)], Some(&weights_csv))
+        .expect("ring CSV loads");
+    let rule = parse_rule("q($u; v) :- R($u, v)", db.instance.structure().schema())
+        .expect("ring rule parses");
+    let domain: Vec<Vec<Element>> = (0..n).map(|e| vec![e]).collect();
+    let config = LocalSchemeConfig { rho: 1, d: 1, strategy: SelectionStrategy::Greedy, seed: 7 };
+    let scheme = LocalScheme::build_over(&db.instance, &rule.query, domain, &config)
+        .expect("ring scheme builds");
+    let capacity = scheme.capacity();
+    println!("carrier: ring n={n}, capacity {capacity} bits");
+    assert!(
+        capacity >= 20,
+        "carrier must clear the default significance floor (got {capacity} bits)"
+    );
+
+    let message: Vec<bool> = (0..capacity).map(|i| i % 2 == 0).collect();
+    let alternate: Vec<bool> = (0..capacity).map(|i| i % 3 != 0).collect();
+    let marked = scheme.mark(db.instance.weights(), &message);
+    let labels: Vec<String> = scheme
+        .answers()
+        .parameters()
+        .iter()
+        .map(|a| a.iter().map(|&e| db.name(e).to_owned()).collect::<Vec<_>>().join(","))
+        .collect();
+    let content = StoreContent::from_family(
+        scheme.answers(),
+        db.instance.weights(),
+        &marked,
+        labels,
+        db.names.clone(),
+        rule.name.clone(),
+    )
+    .expect("content captures the marked family");
+
+    let vfs = DiskVfs::new("");
+    let start = Instant::now();
+    let mut store = Store::create(&vfs, STORE_NAME, &content).expect("store creates");
+    let create_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+    // 1. recovery time: leave a WAL of committed-but-unchecked-pointed
+    //    transactions, then reopen and let recovery roll them forward.
+    const RECOVER_ROUNDS: usize = 5;
+    const RECOVER_TXNS: usize = 16;
+    let mut recover_ms_total = 0.0;
+    let mut wal_records = 0usize;
+    let mut replayed_pages = 0usize;
+    for round in 0..RECOVER_ROUNDS {
+        for k in 0..RECOVER_TXNS {
+            let mut txn = store.begin();
+            for j in 0..4u32 {
+                let id = ((round * RECOVER_TXNS + k) as u32 * 131 + j * 977) % n;
+                txn.set_base(id, store_base(&content, id) + 1).expect("base write");
+            }
+            txn.commit_no_checkpoint().expect("uncheckpointed commit");
+        }
+        drop(store);
+        let start = Instant::now();
+        store = Store::open(&vfs, STORE_NAME).expect("store reopens");
+        recover_ms_total += start.elapsed().as_secs_f64() * 1000.0;
+        let rec = store.recovery();
+        assert_eq!(
+            rec.replayed_txns, RECOVER_TXNS,
+            "recovery must roll forward every committed transaction"
+        );
+        assert_eq!(rec.discarded_txns, 0, "nothing uncommitted to discard");
+        wal_records = rec.wal_records;
+        replayed_pages = rec.replayed_pages;
+    }
+    let recover_ms = recover_ms_total / RECOVER_ROUNDS as f64;
+
+    // 2. full re-mark: every pair re-written in one transaction
+    let mut flip = false;
+    let full_remark_ms = time_per_op(|| {
+        flip = !flip;
+        let bits = if flip { &alternate } else { &message };
+        full_remark(&mut store, &content, &scheme, bits);
+    });
+    // leave the canonical message embedded for the incremental phase
+    full_remark(&mut store, &content, &scheme, &message);
+
+    // 3. incremental re-mark of a 1% weight update (Theorem 7): bump the
+    //    base weight of a contiguous 1% of tuples and re-mark only the
+    //    pairs that update touched.
+    let touched_n = (n as usize / 100).max(1) as u32;
+    let touched: HashSet<WeightKey> = (0..touched_n).map(|e| vec![e]).collect();
+    let mut bump = 0i64;
+    let delta_remark_ms = time_per_op(|| {
+        bump += 1;
+        let mut txn = store.begin();
+        for id in 0..touched_n {
+            txn.set_base(id, store_base(&content, id) + bump).expect("base write");
+        }
+        let plan = remark_touched(scheme.marking(), &message, &touched);
+        for (key, delta) in &plan {
+            let id = content.lookup(key).expect("re-marked tuple is interned");
+            txn.set_delta(id, *delta).expect("delta write");
+        }
+        txn.commit().expect("incremental re-mark commits");
+    });
+    let remarked = remark_touched(scheme.marking(), &message, &touched).len();
+    let speedup = full_remark_ms / delta_remark_ms;
+
+    // 4. acceptance drill: after all of the above the detector, reading
+    //    the store cold, must still see the full mark.
+    drop(store);
+    let mut store = Store::open(&vfs, STORE_NAME).expect("final reopen");
+    let fresh = store.content().expect("content decodes");
+    let family = fresh.family().expect("family revalidates");
+    let server = HonestServer::new(family, fresh.marked_weights());
+    let observed = ObservedWeights::collect(&server);
+    let report = scheme.marking().extract(&fresh.base_weights(), &observed);
+    let check = report.claim_check(&message, DEFAULT_DELTA);
+    let mark_intact = check.verdict == Verdict::MarkPresent && check.matches == check.claimed;
+    assert!(
+        mark_intact,
+        "mark must survive recovery and incremental re-marking ({}/{} bits, {:?})",
+        check.matches, check.claimed, check.verdict
+    );
+
+    let mut table = Table::new(vec!["metric", "value"]);
+    table.row(vec!["create_ms".into(), format!("{create_ms:.2}")]);
+    table.row(vec![
+        format!("recover_ms ({RECOVER_TXNS} txns)"),
+        format!("{recover_ms:.2}"),
+    ]);
+    table.row(vec!["full_remark_ms".into(), format!("{full_remark_ms:.2}")]);
+    table.row(vec![
+        format!("delta_remark_ms (1% = {touched_n} tuples)"),
+        format!("{delta_remark_ms:.2}"),
+    ]);
+    table.row(vec!["remark_speedup".into(), format!("{speedup:.1}x")]);
+    table.print("X-S2 — store: recovery time and incremental re-marking");
+    println!(
+        "WAL at recovery: {wal_records} record(s), {replayed_pages} page(s) replayed; \
+         incremental plan re-marks {remarked} tuple(s); mark intact: {mark_intact}"
+    );
+
+    let json = format!(
+        "{{\n  \"carrier\": \"ring n={n}, q($u; v) :- R($u, v), rho=1 d=1\",\n  \
+         \"capacity_bits\": {capacity},\n  \"n_tuples\": {},\n  \"create_ms\": {create_ms:.3},\n  \
+         \"recover_txns\": {RECOVER_TXNS},\n  \"recover_ms\": {recover_ms:.3},\n  \
+         \"recover_wal_records\": {wal_records},\n  \"recover_replayed_pages\": {replayed_pages},\n  \
+         \"full_remark_ms\": {full_remark_ms:.3},\n  \"delta_remark_ms\": {delta_remark_ms:.3},\n  \
+         \"touched_tuples\": {touched_n},\n  \"remarked_tuples\": {remarked},\n  \
+         \"remark_speedup\": {speedup:.2},\n  \"mark_intact\": {mark_intact}\n}}\n",
+        content.n_tuples()
+    );
+    std::fs::write("BENCH_store.json", &json).expect("write BENCH_store.json");
+    println!("wrote BENCH_store.json");
+}
+
+/// The carrier's deterministic original base weight for tuple `id` —
+/// the CSV assigned `100 + 3·element`, and 1-ary tuples are their element.
+fn store_base(content: &StoreContent, id: u32) -> i64 {
+    100 + i64::from(content.flat[id as usize]) * 3
+}

@@ -18,6 +18,7 @@ use crate::pairing::PairMarking;
 use qpwm_structures::{
     are_isomorphic, AnswerFamily, GaifmanGraph, NeighborhoodTypes, Structure, WeightKey, Weights,
 };
+use std::collections::{BTreeMap, HashSet};
 
 /// The stored mark: per-weight deltas (the difference the marker applied)
 /// that can be re-applied to any future weight assignment.
@@ -53,6 +54,43 @@ impl MarkDeltas {
         }
         out
     }
+}
+
+/// Indices of the marking's pairs with at least one member among the
+/// `touched` keys of an update — the pairs whose ρ-neighborhood evidence
+/// an incremental re-marking must refresh. Everything else is untouched
+/// by Theorem 7/8, so a transactional update can re-mark in time
+/// proportional to `|touched|`, not the database.
+pub fn affected_pairs(marking: &PairMarking, touched: &HashSet<WeightKey>) -> Vec<usize> {
+    marking
+        .pairs()
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| touched.contains(&p.plus) || touched.contains(&p.minus))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// The sparse re-mark plan for an update that touched `touched` keys:
+/// per-key mark deltas of exactly the affected pairs (both members of
+/// each, so a pair is always re-marked atomically even when only one
+/// member was updated), sorted by key. Re-applying this plan on top of
+/// the updated base weights restores the full mark on the touched
+/// region; the untouched region still carries its original deltas.
+pub fn remark_touched(
+    marking: &PairMarking,
+    bits: &[bool],
+    touched: &HashSet<WeightKey>,
+) -> Vec<(WeightKey, i64)> {
+    let mut plan: BTreeMap<WeightKey, i64> = BTreeMap::new();
+    for i in affected_pairs(marking, touched) {
+        let Some(&bit) = bits.get(i) else { continue };
+        let pair = &marking.pairs()[i];
+        let sign = if bit { 1 } else { -1 };
+        *plan.entry(pair.plus.clone()).or_insert(0) += sign;
+        *plan.entry(pair.minus.clone()).or_insert(0) -= sign;
+    }
+    plan.into_iter().collect()
 }
 
 /// Classification of a structure update.
@@ -258,6 +296,32 @@ mod tests {
         }
         let new = b.build();
         assert_eq!(classify_update(&old, &new, 1), UpdateClass::TypeChanging);
+    }
+
+    #[test]
+    fn remark_touched_covers_exactly_the_affected_pairs() {
+        let marking = PairMarking::new(vec![
+            Pair { plus: key(0), minus: key(1) },
+            Pair { plus: key(2), minus: key(3) },
+            Pair { plus: key(4), minus: key(5) },
+        ]);
+        let bits = [true, false, true];
+        // touching one member of pair 1 re-marks both of its members
+        let touched: HashSet<WeightKey> = [key(3)].into_iter().collect();
+        assert_eq!(affected_pairs(&marking, &touched), vec![1]);
+        let plan = remark_touched(&marking, &bits, &touched);
+        assert_eq!(plan, vec![(key(2), -1), (key(3), 1)]);
+        // untouched update: empty plan
+        let none: HashSet<WeightKey> = [key(9)].into_iter().collect();
+        assert!(remark_touched(&marking, &bits, &none).is_empty());
+        // the full plan equals the delta_map of apply
+        let all: HashSet<WeightKey> = (0..6).map(key).collect();
+        let full = remark_touched(&marking, &bits, &all);
+        let map = marking.delta_map(&bits);
+        assert_eq!(full.len(), map.len());
+        for (k, d) in &full {
+            assert_eq!(map[k], *d, "key {k:?}");
+        }
     }
 
     #[test]

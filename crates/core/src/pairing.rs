@@ -272,6 +272,26 @@ impl PairMarking {
         out
     }
 
+    /// The sparse plan of [`PairMarking::apply`]: the map of per-key
+    /// signed distortions message `bits` induces, without touching a full
+    /// weight assignment. This is what transactional re-marking persists —
+    /// only the `2 · |bits|` touched keys, not the whole table. Keys
+    /// shared by several pairs accumulate (and may cancel to an explicit
+    /// 0 entry, which `apply` would also leave behind as `w + 0`).
+    ///
+    /// # Panics
+    /// Panics if `bits` is longer than the capacity.
+    pub fn delta_map(&self, bits: &[bool]) -> HashMap<WeightKey, i64> {
+        assert!(bits.len() <= self.pairs.len(), "message longer than capacity");
+        let mut map: HashMap<WeightKey, i64> = HashMap::with_capacity(2 * bits.len());
+        for (pair, &bit) in self.pairs.iter().zip(bits) {
+            let sign = if bit { 1 } else { -1 };
+            *map.entry(pair.plus.clone()).or_insert(0) += sign;
+            *map.entry(pair.minus.clone()).or_insert(0) -= sign;
+        }
+        map
+    }
+
     /// For each active set of the family, how many pairs does it separate
     /// (contain exactly one member of)? The worst case over all sets
     /// bounds the global distortion of *any* message. Each pair member is

@@ -43,5 +43,5 @@ pub mod stamp;
 
 pub use accuse::{accuse, observed_from_pairs, Accusation, AccuseOutcome};
 pub use derive::{MasterSecret, RecipientKey};
-pub use registry::{IssuanceRecord, KeyRegistry, RegistryError};
+pub use registry::{append_ledger_line, IssuanceRecord, KeyRegistry, RegistryError};
 pub use stamp::Fingerprinter;

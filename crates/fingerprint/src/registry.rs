@@ -101,12 +101,13 @@ pub struct KeyRegistry {
     master: MasterSecret,
     records: Vec<IssuanceRecord>,
     by_name: HashMap<String, usize>,
+    torn_tail: Option<String>,
 }
 
 impl KeyRegistry {
     /// An empty registry over `master`.
     pub fn new(master: MasterSecret) -> KeyRegistry {
-        KeyRegistry { master, records: Vec::new(), by_name: HashMap::new() }
+        KeyRegistry { master, records: Vec::new(), by_name: HashMap::new(), torn_tail: None }
     }
 
     /// Total records, revoked included.
@@ -216,43 +217,83 @@ impl KeyRegistry {
         out
     }
 
+    /// The discarded unparsable final line, when the ledger ended in
+    /// one (a torn append from a crash mid-write). The operation that
+    /// line would have recorded is **lost** — callers should surface
+    /// this so the operator can re-issue or re-revoke.
+    pub fn torn_tail(&self) -> Option<&str> {
+        self.torn_tail.as_deref()
+    }
+
     /// Replays an append-only ledger into a registry. Blank lines are
     /// skipped; anything else must parse as an issue/revoke op, issue
     /// indices must arrive in order, and the usual duplicate/unknown
-    /// rules apply.
+    /// rules apply — with one forgiveness: an unparsable **final** line
+    /// is the signature of an append torn by a crash, so it is dropped
+    /// (and reported via [`KeyRegistry::torn_tail`]) instead of
+    /// poisoning the whole ledger. Malformed lines with history after
+    /// them are still hard errors: that is corruption, not a torn tail.
     pub fn from_ledger(master: MasterSecret, text: &str) -> Result<KeyRegistry, RegistryError> {
         let mut reg = KeyRegistry::new(master);
-        for (n, raw) in text.lines().enumerate() {
+        let lines: Vec<&str> = text.lines().collect();
+        let last_content = lines.iter().rposition(|l| !l.trim().is_empty());
+        for (n, raw) in lines.iter().enumerate() {
             let line = raw.trim();
             if line.is_empty() {
                 continue;
             }
-            let bad = || RegistryError::BadLedgerLine { line: n + 1, content: raw.to_owned() };
-            let op = json_field_str(line, "op").ok_or_else(bad)?;
-            let recipient = json_field_str(line, "recipient").ok_or_else(bad)?;
-            match op.as_str() {
-                "issue" => {
-                    let index = json_field_u64(line, "index").ok_or_else(bad)?;
-                    let issued_at = json_field_u64(line, "issued_at").ok_or_else(bad)?;
-                    let expected = reg.records.len() as u64;
-                    if index != expected {
-                        return Err(RegistryError::IndexMismatch {
-                            line: n + 1,
-                            got: index,
-                            expected,
-                        });
-                    }
-                    reg.issue(&recipient, issued_at)?;
+            let is_final = Some(n) == last_content;
+            let bad = || RegistryError::BadLedgerLine { line: n + 1, content: (*raw).to_owned() };
+            match Self::replay_line(&mut reg, line, n, bad) {
+                Ok(()) => {}
+                Err(RegistryError::BadLedgerLine { .. }) if is_final => {
+                    reg.torn_tail = Some((*raw).to_owned());
+                    break;
                 }
-                "revoke" => {
-                    let at = json_field_u64(line, "at").ok_or_else(bad)?;
-                    reg.revoke(&recipient, at)?;
-                }
-                _ => return Err(bad()),
+                Err(e) => return Err(e),
             }
         }
         Ok(reg)
     }
+
+    fn replay_line(
+        reg: &mut KeyRegistry,
+        line: &str,
+        n: usize,
+        bad: impl Fn() -> RegistryError,
+    ) -> Result<(), RegistryError> {
+        let op = json_field_str(line, "op").ok_or_else(&bad)?;
+        let recipient = json_field_str(line, "recipient").ok_or_else(&bad)?;
+        match op.as_str() {
+            "issue" => {
+                let index = json_field_u64(line, "index").ok_or_else(&bad)?;
+                let issued_at = json_field_u64(line, "issued_at").ok_or_else(&bad)?;
+                let expected = reg.records.len() as u64;
+                if index != expected {
+                    return Err(RegistryError::IndexMismatch { line: n + 1, got: index, expected });
+                }
+                reg.issue(&recipient, issued_at)?;
+                Ok(())
+            }
+            "revoke" => {
+                let at = json_field_u64(line, "at").ok_or_else(&bad)?;
+                reg.revoke(&recipient, at)
+            }
+            _ => Err(bad()),
+        }
+    }
+}
+
+/// Durably appends one ledger line: open append-or-create, write, then
+/// `sync_data` — the line is on disk before the caller acts on the
+/// operation it records. Without the sync, an issuance could hand out a
+/// fingerprint whose record evaporates in a crash, leaving a marked
+/// release no ledger replay can attribute.
+pub fn append_ledger_line(path: &std::path::Path, line: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    f.write_all(line.as_bytes())?;
+    f.sync_data()
 }
 
 /// Renders a JSON string literal (quotes, backslashes, control chars).
@@ -379,7 +420,10 @@ mod tests {
     #[test]
     fn ledger_rejects_corruption_by_line() {
         let master = MasterSecret::from_u64(1);
-        let err = KeyRegistry::from_ledger(master, "\nnot json\n").unwrap_err();
+        // a malformed line with real history after it is corruption, not
+        // a torn tail, and must fail loudly
+        let text = "\nnot json\n{\"op\":\"issue\",\"recipient\":\"x\",\"index\":0,\"issued_at\":1}\n";
+        let err = KeyRegistry::from_ledger(master, text).unwrap_err();
         assert!(
             matches!(err, RegistryError::BadLedgerLine { line: 2, .. }),
             "{err}"
@@ -393,6 +437,55 @@ mod tests {
         // revoking before issuing fails the replay
         let text = "{\"op\":\"revoke\",\"recipient\":\"x\",\"at\":1}\n";
         assert!(KeyRegistry::from_ledger(master, text).is_err());
+    }
+
+    #[test]
+    fn torn_final_line_is_tolerated_and_reported() {
+        let master = MasterSecret::from_u64(2);
+        let mut text = registry().ledger();
+        // a crash mid-append leaves a prefix of the next line
+        text.push_str("{\"op\":\"issue\",\"recipient\":\"dave\",\"ind");
+        let reg = KeyRegistry::from_ledger(master, &text).expect("torn tail tolerated");
+        assert_eq!(reg.len(), 3, "full lines replayed");
+        assert!(reg.record("dave").is_none(), "the torn op is lost, not guessed");
+        assert!(reg.torn_tail().expect("reported").contains("dave"));
+        // trailing whitespace after the torn line changes nothing
+        let reg2 = KeyRegistry::from_ledger(master, &format!("{text}\n  \n")).expect("replays");
+        assert_eq!(reg2.records(), reg.records());
+        assert!(reg2.torn_tail().is_some());
+        // a clean ledger reports no tear
+        assert!(KeyRegistry::from_ledger(master, &registry().ledger())
+            .expect("replays")
+            .torn_tail()
+            .is_none());
+    }
+
+    #[test]
+    fn malformed_line_mid_ledger_is_still_a_hard_error() {
+        let master = MasterSecret::from_u64(3);
+        let good = registry().ledger();
+        let mut lines: Vec<&str> = good.lines().collect();
+        lines.insert(1, "{\"op\":\"iss"); // tear with history after it
+        let text = lines.join("\n");
+        let err = KeyRegistry::from_ledger(master, &text).unwrap_err();
+        assert!(matches!(err, RegistryError::BadLedgerLine { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn append_ledger_line_survives_replay() {
+        let dir = std::env::temp_dir().join(format!("qpwm-ledger-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmpdir");
+        let path = dir.join("ledger.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut reg = KeyRegistry::new(MasterSecret::from_u64(4));
+        let rec = reg.issue("erin", 10).expect("issue").clone();
+        append_ledger_line(&path, &KeyRegistry::issue_line(&rec)).expect("append");
+        append_ledger_line(&path, &KeyRegistry::revoke_line("erin", 20)).expect("append");
+        reg.revoke("erin", 20).expect("revoke");
+        let text = std::fs::read_to_string(&path).expect("read");
+        let back = KeyRegistry::from_ledger(MasterSecret::from_u64(4), &text).expect("replay");
+        assert_eq!(back.records(), reg.records());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

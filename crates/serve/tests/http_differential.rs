@@ -272,8 +272,12 @@ struct FingerprintFixture {
 /// the fly. Eight 12-cycles give the scheme 21 bits of capacity, enough
 /// for an accusation to clear the default significance floor.
 fn fingerprint_fixture() -> FingerprintFixture {
+    fingerprint_fixture_with(8)
+}
+
+fn fingerprint_fixture_with(cycles: u32) -> FingerprintFixture {
     let query = ParametricQuery::new(Formula::atom(0, &[0, 1]), vec![0], vec![1]);
-    let instance = with_random_weights(cycle_union(8, 12, 0), 100, 1_000, 1);
+    let instance = with_random_weights(cycle_union(cycles, 12, 0), 100, 1_000, 1);
     let domain = unary_domain(instance.structure());
     let scheme = LocalScheme::build_over(
         &instance,
@@ -395,6 +399,49 @@ fn accuse_over_http_traces_a_leak_and_metrics_count_plan_cache_hits() {
     // malformed leak bodies are a client error, not a trace
     let (status, body) = http_post(&fx.addr, "/accuse", "not a leak line").expect("request");
     assert_eq!(status, 400, "{body}");
+    fx.server.shutdown();
+}
+
+#[test]
+fn accuse_over_http_scores_partial_leaks_through_the_effective_sample() {
+    // 16 cycles ≈ double the capacity of the default fixture, so half
+    // the universe still carries enough pair evidence to accuse, while
+    // a thin excerpt must drop to abstain — never to a misaccusation.
+    let fx = fingerprint_fixture_with(16);
+    let mut pairs = Vec::new();
+    for i in 0..fx.scheme.answers().len() {
+        let (status, body) =
+            http_get(&fx.addr, &format!("/answer?i={i}&recipient=bob")).expect("request");
+        assert_eq!(status, 200, "{body}");
+        pairs.extend(parse_answer_tuples(&body).expect("parses"));
+    }
+
+    // 50% leak: keep only even-id tuples (deterministic half of the
+    // universe); the accusation scores the subset via the missing-read
+    // budget and still names bob
+    let half: Vec<(Vec<u32>, i64)> =
+        pairs.iter().filter(|(t, _)| t[0] % 2 == 0).cloned().collect();
+    assert!(half.len() < pairs.len(), "the subset must actually drop reads");
+    let (status, verdict) =
+        http_post(&fx.addr, "/accuse", &leak_request_body(&half)).expect("request");
+    assert_eq!(status, 200, "{verdict}");
+    assert!(
+        verdict.contains("\"accused\":{\"recipient\":\"bob\""),
+        "a half leak must still trace to bob: {verdict}"
+    );
+
+    // 12.5% excerpt: too little evidence for the significance floor —
+    // the engine abstains instead of accusing anyone
+    let thin: Vec<(Vec<u32>, i64)> =
+        pairs.iter().filter(|(t, _)| t[0] % 8 == 0).cloned().collect();
+    assert!(!thin.is_empty());
+    let (status, verdict) =
+        http_post(&fx.addr, "/accuse", &leak_request_body(&thin)).expect("request");
+    assert_eq!(status, 200, "{verdict}");
+    assert!(
+        verdict.contains("\"accused\":null"),
+        "a thin excerpt must abstain, not accuse: {verdict}"
+    );
     fx.server.shutdown();
 }
 

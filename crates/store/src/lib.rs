@@ -1,0 +1,38 @@
+//! Crash-safe persistent store for marked answer families.
+//!
+//! `qpwm-store` persists the output of the watermarking pipeline — the
+//! interned [`AnswerFamily`](qpwm_structures::AnswerFamily), the owner's
+//! base weights, and the ±1 pair-marking deltas — in a single paged file
+//! with a redo write-ahead log. The design goal is the robustness half
+//! of the paper's story: the detector's differential read (original vs
+//! published weights) must survive *any* crash, so after recovery the
+//! store is always exactly the last committed state — never a
+//! half-re-marked hybrid that would corrupt the binomial-tail
+//! significance test.
+//!
+//! Modules:
+//!
+//! - [`vfs`] — file abstraction; [`vfs::DiskVfs`] for real files (with
+//!   env-driven crash injection for process-level tests) and
+//!   [`vfs::SimVfs`], a deterministic in-memory filesystem whose `sync`
+//!   is the durability boundary and which can crash — cleanly or with
+//!   torn writes — at any seeded operation index.
+//! - [`page`] — 4 KiB checksummed pages.
+//! - [`wal`] — redo log with per-record CRCs and torn-tail detection.
+//! - [`pool`] — a no-steal clock buffer pool.
+//! - [`store`] — layout, recovery, and transactional updates
+//!   (weight-only per Theorem 7, type-preserving per Theorem 8).
+
+pub mod page;
+pub mod pool;
+pub mod store;
+pub mod vfs;
+pub mod wal;
+
+pub use store::{
+    wal_name, CommitStats, RecoveryStats, Store, StoreContent, Txn, DEFAULT_POOL_FRAMES,
+};
+pub use vfs::{
+    CrashPolicy, DiskVfs, Result, SimVfs, StoreError, Vfs, VfsFile, CRASH_EXIT_CODE,
+    CRASH_OP_ENV, CRASH_TORN_ENV,
+};

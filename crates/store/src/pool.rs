@@ -1,0 +1,255 @@
+//! Buffer pool with a clock replacer.
+//!
+//! A small cache of page frames between the store and the page file.
+//! Policy is **no-steal**: dirty frames are never evicted — a dirty page
+//! reaches the file only through the commit protocol (WAL first, then
+//! checkpoint), so the on-disk page file never contains effects of an
+//! uncommitted transaction. When every frame is dirty the pool grows
+//! instead of stealing; a transaction's working set therefore bounds
+//! memory, not correctness.
+//!
+//! Eviction is the classic clock: each frame has a reference bit set on
+//! access; the hand sweeps, clearing reference bits, and evicts the
+//! first clean frame whose bit is already clear.
+
+use crate::page::{self, PAGE_SIZE};
+use crate::vfs::{Result, StoreError, VfsFile};
+use std::collections::HashMap;
+
+struct Frame {
+    page_no: u32,
+    data: Vec<u8>,
+    dirty: bool,
+    referenced: bool,
+}
+
+/// The pool. All I/O goes through the `file` handle passed per call —
+/// the pool owns frames, not the file.
+pub struct BufferPool {
+    frames: Vec<Frame>,
+    map: HashMap<u32, usize>,
+    hand: usize,
+    capacity: usize,
+}
+
+impl BufferPool {
+    /// A pool that prefers to stay at `capacity` frames.
+    pub fn new(capacity: usize) -> Self {
+        BufferPool {
+            frames: Vec::new(),
+            map: HashMap::new(),
+            hand: 0,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Number of resident frames.
+    pub fn resident(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Pins nothing (single-threaded store), just finds or loads a frame
+    /// and returns its slot.
+    fn slot(
+        &mut self,
+        file: &mut dyn VfsFile,
+        page_no: u32,
+        init: bool,
+        expect_kind: Option<u8>,
+    ) -> Result<usize> {
+        if let Some(&slot) = self.map.get(&page_no) {
+            self.frames[slot].referenced = true;
+            return Ok(slot);
+        }
+        let mut data = vec![0u8; PAGE_SIZE];
+        if !init {
+            file.read_at(&mut data, page_no as u64 * PAGE_SIZE as u64)?;
+            page::verify(&data, page_no, expect_kind)?;
+        }
+        let slot = self.free_slot()?;
+        if let Some(f) = self.frames.get(slot) {
+            self.map.remove(&f.page_no);
+        }
+        let frame = Frame { page_no, data, dirty: init, referenced: true };
+        if slot == self.frames.len() {
+            self.frames.push(frame);
+        } else {
+            self.frames[slot] = frame;
+        }
+        self.map.insert(page_no, slot);
+        Ok(slot)
+    }
+
+    /// Finds a reusable slot: an empty one below capacity, a clean clock
+    /// victim, or (all frames dirty) a fresh slot beyond capacity.
+    fn free_slot(&mut self) -> Result<usize> {
+        if self.frames.len() < self.capacity {
+            return Ok(self.frames.len());
+        }
+        // Two full sweeps: the first clears reference bits, the second is
+        // then guaranteed to accept any clean frame.
+        for _ in 0..2 * self.frames.len() {
+            let i = self.hand;
+            self.hand = (self.hand + 1) % self.frames.len();
+            let frame = &mut self.frames[i];
+            if frame.dirty {
+                continue;
+            }
+            if frame.referenced {
+                frame.referenced = false;
+                continue;
+            }
+            return Ok(i);
+        }
+        // Every frame dirty: grow (no-steal).
+        Ok(self.frames.len())
+    }
+
+    /// Read access to a page's bytes, loading (and checksum-verifying) it
+    /// on miss.
+    pub fn page(
+        &mut self,
+        file: &mut dyn VfsFile,
+        page_no: u32,
+        expect_kind: Option<u8>,
+    ) -> Result<&[u8]> {
+        let slot = self.slot(file, page_no, false, expect_kind)?;
+        Ok(&self.frames[slot].data)
+    }
+
+    /// Write access to a page's bytes; the frame is marked dirty. With
+    /// `init` the page is assumed fresh (no disk read, zeroed payload).
+    pub fn page_mut(
+        &mut self,
+        file: &mut dyn VfsFile,
+        page_no: u32,
+        init: bool,
+        expect_kind: Option<u8>,
+    ) -> Result<&mut [u8]> {
+        let slot = self.slot(file, page_no, init, expect_kind)?;
+        self.frames[slot].dirty = true;
+        Ok(&mut self.frames[slot].data)
+    }
+
+    /// Dirty page numbers in ascending order (the deterministic WAL and
+    /// checkpoint write order).
+    pub fn dirty_pages(&self) -> Vec<u32> {
+        let mut v: Vec<u32> =
+            self.frames.iter().filter(|f| f.dirty).map(|f| f.page_no).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Borrow a dirty (or clean) resident page's bytes without touching
+    /// reference bits — used by the commit protocol after sealing.
+    pub fn resident_page(&self, page_no: u32) -> Result<&[u8]> {
+        let &slot = self
+            .map
+            .get(&page_no)
+            .ok_or_else(|| StoreError::Invalid(format!("page {page_no} not resident")))?;
+        Ok(&self.frames[slot].data)
+    }
+
+    /// Seals a resident page in place (LSN + kind + checksum) without
+    /// touching its dirty or reference bits — the commit protocol's
+    /// pre-WAL step.
+    pub fn seal_resident(&mut self, page_no: u32, lsn: u64, kind: u8) -> Result<()> {
+        let &slot = self
+            .map
+            .get(&page_no)
+            .ok_or_else(|| StoreError::Invalid(format!("page {page_no} not resident")))?;
+        page::seal(&mut self.frames[slot].data, lsn, kind);
+        Ok(())
+    }
+
+    /// Marks every frame clean (after a successful checkpoint).
+    pub fn mark_all_clean(&mut self) {
+        for f in &mut self.frames {
+            f.dirty = false;
+        }
+    }
+
+    /// Drops every dirty frame (transaction abort): the modified bytes
+    /// are forgotten and the next access re-reads the committed page.
+    pub fn discard_dirty(&mut self) {
+        let mut kept = Vec::with_capacity(self.frames.len());
+        self.map.clear();
+        for f in std::mem::take(&mut self.frames) {
+            if !f.dirty {
+                self.map.insert(f.page_no, kept.len());
+                kept.push(f);
+            }
+        }
+        self.frames = kept;
+        self.hand = 0;
+    }
+
+    /// Drops every frame (tests and size accounting).
+    pub fn clear(&mut self) {
+        self.frames.clear();
+        self.map.clear();
+        self.hand = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::kind;
+    use crate::vfs::{SimVfs, Vfs};
+
+    fn write_sealed(file: &mut dyn VfsFile, page_no: u32, byte: u8) {
+        let mut p = vec![0u8; PAGE_SIZE];
+        p[crate::page::PAGE_HDR] = byte;
+        page::seal(&mut p, 0, kind::WEIGHT);
+        file.write_at(&p, page_no as u64 * PAGE_SIZE as u64).expect("write");
+        file.sync().expect("sync");
+    }
+
+    #[test]
+    fn load_verifies_and_caches() {
+        let vfs = SimVfs::new();
+        let mut f = vfs.open("db", true).expect("open");
+        write_sealed(f.as_mut(), 0, 0x11);
+        let mut pool = BufferPool::new(4);
+        let bytes = pool.page(f.as_mut(), 0, Some(kind::WEIGHT)).expect("load");
+        assert_eq!(bytes[crate::page::PAGE_HDR], 0x11);
+        assert_eq!(pool.resident(), 1);
+        // kind mismatch on a fresh pool is a corruption error
+        let mut pool2 = BufferPool::new(4);
+        assert!(pool2.page(f.as_mut(), 0, Some(kind::META)).is_err());
+    }
+
+    #[test]
+    fn clock_evicts_clean_grows_for_dirty() {
+        let vfs = SimVfs::new();
+        let mut f = vfs.open("db", true).expect("open");
+        for p in 0..6u32 {
+            write_sealed(f.as_mut(), p, p as u8);
+        }
+        let mut pool = BufferPool::new(2);
+        pool.page(f.as_mut(), 0, None).expect("p0");
+        pool.page(f.as_mut(), 1, None).expect("p1");
+        pool.page(f.as_mut(), 2, None).expect("p2 evicts");
+        assert_eq!(pool.resident(), 2, "clean frames are evicted at capacity");
+        // dirty frames are never evicted: the pool grows instead
+        pool.page_mut(f.as_mut(), 3, true, None).expect("d3");
+        pool.page_mut(f.as_mut(), 4, true, None).expect("d4");
+        pool.page(f.as_mut(), 5, None).expect("p5");
+        assert!(pool.resident() >= 3);
+        assert_eq!(pool.dirty_pages(), vec![3, 4]);
+    }
+
+    #[test]
+    fn discard_dirty_forgets_uncommitted_bytes() {
+        let vfs = SimVfs::new();
+        let mut f = vfs.open("db", true).expect("open");
+        write_sealed(f.as_mut(), 0, 0x55);
+        let mut pool = BufferPool::new(4);
+        let bytes = pool.page_mut(f.as_mut(), 0, false, None).expect("load");
+        bytes[crate::page::PAGE_HDR] = 0x99;
+        pool.discard_dirty();
+        let fresh = pool.page(f.as_mut(), 0, None).expect("reload");
+        assert_eq!(fresh[crate::page::PAGE_HDR], 0x55, "abort restored the page");
+    }
+}

@@ -1,0 +1,1090 @@
+//! The paged store: layout, recovery, and transactional updates.
+//!
+//! ## Layout
+//!
+//! ```text
+//! page 0                                meta (magic, counts, next_txn)
+//! pages 1 .. 1+BP                       blob: arena flat, parameters,
+//!                                       labels, element names, query name
+//! pages 1+BP .. 1+BP+WP                 weights: (base i64, delta i64)
+//!                                       per tuple id, 255 entries/page
+//! pages 1+BP+WP .. 1+BP+WP+AP           answers: CSR offsets ++ ids ++
+//!                                       universe (u32 stream, growable)
+//! ```
+//!
+//! The **marked** weight of tuple `t` is `base[t] + delta[t]`: the base
+//! is the owner's true weight, the delta is the ±1 pair-marking
+//! distortion. Splitting them on disk is what makes Theorem 7 updates
+//! transactional and cheap — a weight-only update rewrites touched base
+//! entries (and, with the key at hand, re-marks the touched pairs'
+//! delta entries), never the whole table — and it means the detector's
+//! reference ("original") weights are recoverable from the same file.
+//!
+//! ## Commit protocol (redo-only, no-steal/force)
+//!
+//! 1. every dirty page is sealed (LSN = txn id, CRC) and appended to the
+//!    WAL as a full after-image, followed by a commit record;
+//! 2. `wal.sync()` — **the commit point**;
+//! 3. checkpoint: dirty non-meta pages are written to the page file and
+//!    synced, then the meta page (carrying `next_txn = id + 1`) is
+//!    written and synced, then the WAL is truncated and synced.
+//!
+//! A crash before step 2 loses the transaction entirely (no commit
+//! record → recovery discards it). A crash after step 2 replays it from
+//! the WAL. The meta-last checkpoint order plus the monotonic txn-id
+//! watermark close the two classic seams: a torn meta write invalidates
+//! the meta checksum, which recovery treats as "replay every committed
+//! transaction" (safe — the WAL still holds them), and a lost WAL
+//! truncate leaves stale records whose txn ids fall below the durable
+//! watermark, so they are skipped.
+
+use crate::page::{self, kind, PAGE_HDR, PAGE_PAYLOAD, PAGE_SIZE};
+use crate::pool::BufferPool;
+use crate::vfs::{Result, StoreError, Vfs, VfsFile};
+use crate::wal::{self, Wal, WalRecord};
+use qpwm_structures::{AnswerFamily, Weights};
+use std::collections::HashSet;
+
+/// `"qpwmstor"` little-endian.
+const MAGIC: u64 = 0x726F_7473_6D77_7071;
+const VERSION: u32 = 1;
+
+/// Weight entries per page (16 bytes each).
+const WEIGHTS_PER_PAGE: usize = PAGE_PAYLOAD / 16;
+
+/// Default number of buffer-pool frames (~256 KiB resident).
+pub const DEFAULT_POOL_FRAMES: usize = 64;
+
+/// The WAL path of a store file.
+pub fn wal_name(store_name: &str) -> String {
+    format!("{store_name}.wal")
+}
+
+// ---------------------------------------------------------------------------
+// Meta page
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Meta {
+    tuple_arity: u32,
+    param_arity: u32,
+    n_tuples: u32,
+    n_params: u32,
+    n_ids: u32,
+    n_universe: u32,
+    blob_len: u64,
+    blob_pages: u32,
+    weight_pages: u32,
+    answer_pages: u32,
+    next_txn: u64,
+}
+
+impl Meta {
+    fn encode(&self, payload: &mut [u8]) {
+        payload.fill(0);
+        payload[0..8].copy_from_slice(&MAGIC.to_le_bytes());
+        payload[8..12].copy_from_slice(&VERSION.to_le_bytes());
+        let fields = [
+            self.tuple_arity,
+            self.param_arity,
+            self.n_tuples,
+            self.n_params,
+            self.n_ids,
+            self.n_universe,
+            self.blob_pages,
+            self.weight_pages,
+            self.answer_pages,
+        ];
+        for (i, f) in fields.iter().enumerate() {
+            payload[12 + 4 * i..16 + 4 * i].copy_from_slice(&f.to_le_bytes());
+        }
+        payload[48..56].copy_from_slice(&self.blob_len.to_le_bytes());
+        payload[56..64].copy_from_slice(&self.next_txn.to_le_bytes());
+    }
+
+    fn decode(payload: &[u8]) -> Result<Meta> {
+        let magic = u64::from_le_bytes(payload[0..8].try_into().expect("8"));
+        if magic != MAGIC {
+            return Err(StoreError::Corrupt(format!("bad magic {magic:#018x}")));
+        }
+        let version = u32::from_le_bytes(payload[8..12].try_into().expect("4"));
+        if version != VERSION {
+            return Err(StoreError::Corrupt(format!("unsupported version {version}")));
+        }
+        let f = |i: usize| {
+            u32::from_le_bytes(payload[12 + 4 * i..16 + 4 * i].try_into().expect("4"))
+        };
+        Ok(Meta {
+            tuple_arity: f(0),
+            param_arity: f(1),
+            n_tuples: f(2),
+            n_params: f(3),
+            n_ids: f(4),
+            n_universe: f(5),
+            blob_pages: f(6),
+            weight_pages: f(7),
+            answer_pages: f(8),
+            blob_len: u64::from_le_bytes(payload[48..56].try_into().expect("8")),
+            next_txn: u64::from_le_bytes(payload[56..64].try_into().expect("8")),
+        })
+    }
+
+    fn weight_first(&self) -> u32 {
+        1 + self.blob_pages
+    }
+
+    fn answer_first(&self) -> u32 {
+        1 + self.blob_pages + self.weight_pages
+    }
+
+    fn total_pages(&self) -> u32 {
+        1 + self.blob_pages + self.weight_pages + self.answer_pages
+    }
+
+    fn kind_of(&self, page_no: u32) -> u8 {
+        if page_no == 0 {
+            kind::META
+        } else if page_no < self.weight_first() {
+            kind::BLOB
+        } else if page_no < self.answer_first() {
+            kind::WEIGHT
+        } else {
+            kind::ANSWER
+        }
+    }
+
+    /// Byte length of the answer stream (offsets ++ ids ++ universe).
+    fn answer_len(&self) -> usize {
+        4 * (self.n_params as usize + 1 + self.n_ids as usize + self.n_universe as usize)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Content (the typed view of the persisted family)
+// ---------------------------------------------------------------------------
+
+/// Everything a store file holds, decoded. Built from an
+/// [`AnswerFamily`] + weights at init time and reconstructed (with full
+/// canonical-invariant validation) on load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreContent {
+    /// Output arity of the answer tuples.
+    pub tuple_arity: u32,
+    /// Arity of the parameter tuples.
+    pub param_arity: u32,
+    /// The arena's flat element buffer, canonical (lexicographic) order.
+    pub flat: Vec<u32>,
+    /// Flattened parameter domain (`n_params × param_arity`).
+    pub parameters: Vec<u32>,
+    /// CSR offsets (`n_params + 1`).
+    pub offsets: Vec<u32>,
+    /// Concatenated sorted active sets.
+    pub ids: Vec<u32>,
+    /// Memoized sorted universe.
+    pub universe: Vec<u32>,
+    /// Owner's true weight per tuple id.
+    pub base: Vec<i64>,
+    /// Mark distortion per tuple id (marked = base + delta).
+    pub delta: Vec<i64>,
+    /// Display label per parameter (the serve-tier URL keys).
+    pub param_labels: Vec<String>,
+    /// Element id → display name (empty when the instance is unnamed).
+    pub element_names: Vec<String>,
+    /// Name of the registered query.
+    pub query_name: String,
+}
+
+impl StoreContent {
+    /// Captures a family and its weight assignments for persistence.
+    /// `base` are the owner's true weights, `marked` the published ones;
+    /// the difference becomes the stored per-tuple mark delta.
+    pub fn from_family(
+        family: &AnswerFamily,
+        base: &Weights,
+        marked: &Weights,
+        param_labels: Vec<String>,
+        element_names: Vec<String>,
+        query_name: String,
+    ) -> Result<Self> {
+        let arity = family.output_arity();
+        if arity == 0 {
+            return Err(StoreError::Invalid("output arity must be >= 1".into()));
+        }
+        if base.arity() != arity || marked.arity() != arity {
+            return Err(StoreError::Invalid(format!(
+                "weight arity {} / {} vs output arity {arity}",
+                base.arity(),
+                marked.arity()
+            )));
+        }
+        if param_labels.len() != family.len() {
+            return Err(StoreError::Invalid(format!(
+                "{} labels for {} parameters",
+                param_labels.len(),
+                family.len()
+            )));
+        }
+        let arena = family.arena();
+        let mut flat = Vec::with_capacity(arena.len() * arity);
+        let mut base_v = Vec::with_capacity(arena.len());
+        let mut delta_v = Vec::with_capacity(arena.len());
+        for (_, t) in arena.iter() {
+            flat.extend_from_slice(t);
+            let b = base.get(t);
+            base_v.push(b);
+            delta_v.push(marked.get(t) - b);
+        }
+        let param_arity = family.parameters().first().map_or(0, Vec::len);
+        let mut parameters = Vec::with_capacity(family.len() * param_arity);
+        for p in family.parameters() {
+            if p.len() != param_arity {
+                return Err(StoreError::Invalid("non-uniform parameter arity".into()));
+            }
+            parameters.extend_from_slice(p);
+        }
+        let mut offsets = Vec::with_capacity(family.len() + 1);
+        offsets.push(0u32);
+        let mut ids = Vec::new();
+        for i in 0..family.len() {
+            ids.extend_from_slice(family.active_ids(i));
+            ids.len()
+                .try_into()
+                .ok()
+                .map(|n: u32| offsets.push(n))
+                .ok_or_else(|| StoreError::Invalid("family too large for u32 CSR".into()))?;
+        }
+        Ok(StoreContent {
+            tuple_arity: arity as u32,
+            param_arity: param_arity as u32,
+            flat,
+            parameters,
+            offsets,
+            ids,
+            universe: family.active_universe().to_vec(),
+            base: base_v,
+            delta: delta_v,
+            param_labels,
+            element_names,
+            query_name,
+        })
+    }
+
+    /// Number of interned tuples.
+    pub fn n_tuples(&self) -> usize {
+        if self.tuple_arity == 0 {
+            0
+        } else {
+            self.flat.len() / self.tuple_arity as usize
+        }
+    }
+
+    /// Number of parameters.
+    pub fn n_params(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Rebuilds the interned family, re-checking every canonical
+    /// invariant (see `AnswerFamily::from_raw_parts`).
+    pub fn family(&self) -> Result<AnswerFamily> {
+        let params: Vec<Vec<u32>> = if self.param_arity == 0 {
+            vec![Vec::new(); self.n_params()]
+        } else {
+            self.parameters.chunks(self.param_arity as usize).map(<[u32]>::to_vec).collect()
+        };
+        AnswerFamily::from_raw_parts(
+            self.tuple_arity as usize,
+            self.flat.clone(),
+            params,
+            self.offsets.clone(),
+            self.ids.clone(),
+            self.universe.clone(),
+        )
+        .map_err(StoreError::Corrupt)
+    }
+
+    /// The owner's true (pre-mark) weights.
+    pub fn base_weights(&self) -> Weights {
+        self.weights_from(|i| self.base[i])
+    }
+
+    /// The published marked weights (`base + delta`).
+    pub fn marked_weights(&self) -> Weights {
+        self.weights_from(|i| self.base[i] + self.delta[i])
+    }
+
+    fn weights_from(&self, f: impl Fn(usize) -> i64) -> Weights {
+        let arity = self.tuple_arity as usize;
+        let mut w = Weights::new(arity);
+        for (i, t) in self.flat.chunks(arity).enumerate() {
+            w.set(t, f(i));
+        }
+        w
+    }
+
+    /// Binary search for a tuple's id in the canonical flat buffer.
+    pub fn lookup(&self, key: &[u32]) -> Option<u32> {
+        let arity = self.tuple_arity as usize;
+        if key.len() != arity || arity == 0 {
+            return None;
+        }
+        let n = self.n_tuples();
+        let (mut lo, mut hi) = (0usize, n);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            match self.flat[mid * arity..(mid + 1) * arity].cmp(key) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Some(mid as u32),
+            }
+        }
+        None
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.tuple_arity == 0 {
+            return Err(StoreError::Invalid("tuple arity must be >= 1".into()));
+        }
+        if !self.flat.len().is_multiple_of(self.tuple_arity as usize) {
+            return Err(StoreError::Invalid("flat length not a multiple of arity".into()));
+        }
+        let n = self.n_tuples();
+        if self.base.len() != n || self.delta.len() != n {
+            return Err(StoreError::Invalid(format!(
+                "{} base / {} delta entries for {n} tuples",
+                self.base.len(),
+                self.delta.len()
+            )));
+        }
+        if self.param_arity as usize * self.n_params() != self.parameters.len() {
+            return Err(StoreError::Invalid("parameter buffer length mismatch".into()));
+        }
+        if self.param_labels.len() != self.n_params() {
+            return Err(StoreError::Invalid("one label per parameter required".into()));
+        }
+        // The family constructor re-checks CSR + canonical invariants.
+        self.family().map(|_| ())
+    }
+
+    fn encode_blob(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for &e in &self.flat {
+            out.extend_from_slice(&e.to_le_bytes());
+        }
+        for &e in &self.parameters {
+            out.extend_from_slice(&e.to_le_bytes());
+        }
+        for s in &self.param_labels {
+            push_str(&mut out, s);
+        }
+        out.extend_from_slice(&(self.element_names.len() as u32).to_le_bytes());
+        for s in &self.element_names {
+            push_str(&mut out, s);
+        }
+        push_str(&mut out, &self.query_name);
+        out
+    }
+
+    fn encode_answers(&self) -> Vec<u8> {
+        let mut out =
+            Vec::with_capacity(4 * (self.offsets.len() + self.ids.len() + self.universe.len()));
+        for &x in self.offsets.iter().chain(&self.ids).chain(&self.universe) {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        out
+    }
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, off: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.off + n > self.bytes.len() {
+            return Err(StoreError::Corrupt(format!(
+                "blob truncated: need {n} at {} of {}",
+                self.off,
+                self.bytes.len()
+            )));
+        }
+        let s = &self.bytes[self.off..self.off + n];
+        self.off += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u32s(&mut self, n: usize) -> Result<Vec<u32>> {
+        let raw = self.take(4 * n)?;
+        Ok(raw.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().expect("4"))).collect())
+    }
+
+    fn string(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        if len > 1 << 24 {
+            return Err(StoreError::Corrupt(format!("implausible string length {len}")));
+        }
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| StoreError::Corrupt("non-UTF-8 string in blob".into()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery + commit statistics
+// ---------------------------------------------------------------------------
+
+/// What [`Store::open`] found and did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Parsed WAL records.
+    pub wal_records: usize,
+    /// The WAL ended in an unparsable (torn) tail that was discarded.
+    pub torn_tail: bool,
+    /// Committed transactions replayed into the page file.
+    pub replayed_txns: usize,
+    /// Page images written during replay.
+    pub replayed_pages: usize,
+    /// Transactions present in the WAL but not replayed (uncommitted, or
+    /// stale records below the meta watermark after a lost truncate).
+    pub discarded_txns: usize,
+}
+
+/// What one committed transaction wrote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitStats {
+    /// The transaction id.
+    pub txn: u64,
+    /// Pages logged and checkpointed (including the meta page).
+    pub pages: usize,
+    /// WAL bytes appended.
+    pub wal_bytes: u64,
+}
+
+// ---------------------------------------------------------------------------
+// The store
+// ---------------------------------------------------------------------------
+
+/// An open store file: page file + WAL + buffer pool.
+///
+/// Single-writer by construction (`&mut self` transactions). A commit
+/// that returns an error — in particular an injected crash — leaves the
+/// in-memory state unusable; drop the store and reopen to recover.
+pub struct Store {
+    file: Box<dyn VfsFile>,
+    wal: Wal,
+    pool: BufferPool,
+    meta: Meta,
+    recovery: RecoveryStats,
+}
+
+impl Store {
+    /// Creates a store file holding `content`, overwriting any previous
+    /// file of the same name. The initial image is itself written as one
+    /// committed transaction, so a crash mid-create leaves either a
+    /// recoverable store or an invalid file — never a half-written one
+    /// that opens.
+    pub fn create(vfs: &dyn Vfs, name: &str, content: &StoreContent) -> Result<Store> {
+        content.validate()?;
+        let blob = content.encode_blob();
+        let answers = content.encode_answers();
+        let n = content.n_tuples();
+        let meta = Meta {
+            tuple_arity: content.tuple_arity,
+            param_arity: content.param_arity,
+            n_tuples: n as u32,
+            n_params: content.n_params() as u32,
+            n_ids: content.ids.len() as u32,
+            n_universe: content.universe.len() as u32,
+            blob_len: blob.len() as u64,
+            blob_pages: pages_for(blob.len())?,
+            weight_pages: pages_for_weights(n)?,
+            answer_pages: pages_for(answers.len())?,
+            next_txn: 1,
+        };
+        let mut file = vfs.open(name, true)?;
+        file.truncate(0)?;
+        let mut wal_file = vfs.open(&wal_name(name), true)?;
+        wal_file.truncate(0)?;
+        let mut store = Store {
+            file,
+            wal: Wal::new(wal_file)?,
+            pool: BufferPool::new(DEFAULT_POOL_FRAMES),
+            meta,
+            recovery: RecoveryStats::default(),
+        };
+        store.write_stream(1, &blob)?;
+        for (i, (&b, &d)) in content.base.iter().zip(&content.delta).enumerate() {
+            store.write_weight_entry(i as u32, b, d, true)?;
+        }
+        store.write_stream(meta.answer_first(), &answers)?;
+        let id = store.meta.next_txn;
+        store.commit_txn(id, true)?;
+        Ok(store)
+    }
+
+    /// Opens an existing store, running crash recovery first: committed
+    /// WAL transactions at or above the meta watermark are replayed in
+    /// log order, everything else is discarded, and the WAL is reset.
+    /// After `open` returns, the detector's view (family, base, marked
+    /// weights) is exactly the last committed state.
+    pub fn open(vfs: &dyn Vfs, name: &str) -> Result<Store> {
+        let mut file = vfs.open(name, false)?;
+        let wal_file = vfs.open(&wal_name(name), true)?;
+        let scan = wal::scan(wal_file.as_ref())?;
+        let committed: HashSet<u64> = wal::committed_txns(&scan.records).into_iter().collect();
+
+        // The durable meta decides the replay watermark. An unreadable
+        // meta (torn checkpoint write) means "replay every committed
+        // transaction" — the WAL is only truncated after the meta page is
+        // durable, so those records necessarily include the meta image.
+        let watermark = read_meta_direct(file.as_ref()).ok().map(|m| m.next_txn).unwrap_or(0);
+
+        let mut stats = RecoveryStats {
+            wal_records: scan.records.len(),
+            torn_tail: scan.torn_tail,
+            ..RecoveryStats::default()
+        };
+        let mut replayed: HashSet<u64> = HashSet::new();
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut meta_images: Vec<&WalRecord> = Vec::new();
+        // Replay order mirrors the checkpoint: data pages first (log
+        // order), sync, then meta images, sync. Writing the meta image
+        // before the data pages would move the txn watermark past
+        // transactions whose pages are not yet durable — a torn meta
+        // write can validate (the payload tail is zeros in old and new
+        // alike), silently discarding a committed transaction.
+        for record in &scan.records {
+            seen.insert(record.txn());
+            let WalRecord::PageImage { txn, page_no, bytes } = record else { continue };
+            if !committed.contains(txn) || *txn < watermark {
+                continue;
+            }
+            page::verify(bytes, *page_no, None)?;
+            replayed.insert(*txn);
+            if *page_no == 0 {
+                meta_images.push(record);
+                continue;
+            }
+            file.write_at(bytes, *page_no as u64 * PAGE_SIZE as u64)?;
+            stats.replayed_pages += 1;
+        }
+        if stats.replayed_pages > 0 {
+            file.sync()?;
+        }
+        for record in meta_images {
+            let WalRecord::PageImage { bytes, .. } = record else { unreachable!() };
+            file.write_at(bytes, 0)?;
+            stats.replayed_pages += 1;
+            file.sync()?;
+        }
+        stats.replayed_txns = replayed.len();
+        stats.discarded_txns = seen.iter().filter(|t| !replayed.contains(t)).count();
+        let mut wal = Wal::new(wal_file)?;
+        if !wal.is_empty() {
+            wal.reset()?;
+        }
+
+        let meta = read_meta_direct(file.as_ref())?;
+        let need = meta.total_pages() as u64 * PAGE_SIZE as u64;
+        if file.size()? < need {
+            return Err(StoreError::Corrupt(format!(
+                "file holds {} bytes, layout needs {need}",
+                file.size()?
+            )));
+        }
+        Ok(Store {
+            file,
+            wal,
+            pool: BufferPool::new(DEFAULT_POOL_FRAMES),
+            meta,
+            recovery: stats,
+        })
+    }
+
+    /// What recovery did when this store was opened.
+    pub fn recovery(&self) -> &RecoveryStats {
+        &self.recovery
+    }
+
+    /// Number of persisted tuples.
+    pub fn n_tuples(&self) -> usize {
+        self.meta.n_tuples as usize
+    }
+
+    /// Number of persisted parameters.
+    pub fn n_params(&self) -> usize {
+        self.meta.n_params as usize
+    }
+
+    /// The next transaction id (the durability watermark).
+    pub fn next_txn(&self) -> u64 {
+        self.meta.next_txn
+    }
+
+    /// Decodes the full content: family components, weights, labels.
+    pub fn content(&mut self) -> Result<StoreContent> {
+        let meta = self.meta;
+        let blob = self.read_stream(1, meta.blob_len as usize)?;
+        let mut r = Reader::new(&blob);
+        let flat = r.u32s(meta.n_tuples as usize * meta.tuple_arity as usize)?;
+        let parameters = r.u32s(meta.n_params as usize * meta.param_arity as usize)?;
+        let mut param_labels = Vec::with_capacity(meta.n_params as usize);
+        for _ in 0..meta.n_params {
+            param_labels.push(r.string()?);
+        }
+        let n_names = r.u32()? as usize;
+        if n_names > 1 << 28 {
+            return Err(StoreError::Corrupt(format!("implausible name count {n_names}")));
+        }
+        let mut element_names = Vec::with_capacity(n_names);
+        for _ in 0..n_names {
+            element_names.push(r.string()?);
+        }
+        let query_name = r.string()?;
+
+        let answers = self.read_stream(meta.answer_first(), meta.answer_len())?;
+        let mut a = Reader::new(&answers);
+        let offsets = a.u32s(meta.n_params as usize + 1)?;
+        let ids = a.u32s(meta.n_ids as usize)?;
+        let universe = a.u32s(meta.n_universe as usize)?;
+
+        let mut base = Vec::with_capacity(meta.n_tuples as usize);
+        let mut delta = Vec::with_capacity(meta.n_tuples as usize);
+        for i in 0..meta.n_tuples {
+            let (b, d) = self.read_weight_entry(i)?;
+            base.push(b);
+            delta.push(d);
+        }
+        Ok(StoreContent {
+            tuple_arity: meta.tuple_arity,
+            param_arity: meta.param_arity,
+            flat,
+            parameters,
+            offsets,
+            ids,
+            universe,
+            base,
+            delta,
+            param_labels,
+            element_names,
+            query_name,
+        })
+    }
+
+    /// The `(base, delta)` weight entry of one tuple.
+    pub fn weight_entry(&mut self, tuple_id: u32) -> Result<(i64, i64)> {
+        if tuple_id >= self.meta.n_tuples {
+            return Err(StoreError::Invalid(format!(
+                "tuple {tuple_id} out of range ({} tuples)",
+                self.meta.n_tuples
+            )));
+        }
+        self.read_weight_entry(tuple_id)
+    }
+
+    /// Starts a transaction. Dropping the returned handle without
+    /// committing aborts it: dirty frames are discarded and the store
+    /// rereads committed state on next access.
+    pub fn begin(&mut self) -> Txn<'_> {
+        let saved_meta = self.meta;
+        let id = self.meta.next_txn;
+        Txn { store: self, id, saved_meta, done: false }
+    }
+
+    // -- internals ---------------------------------------------------------
+
+    fn read_weight_entry(&mut self, i: u32) -> Result<(i64, i64)> {
+        let (page_no, off) = self.weight_slot(i);
+        let kind = self.meta.kind_of(page_no);
+        let page = self.pool.page(self.file.as_mut(), page_no, Some(kind))?;
+        let base = i64::from_le_bytes(page[off..off + 8].try_into().expect("8"));
+        let delta = i64::from_le_bytes(page[off + 8..off + 16].try_into().expect("8"));
+        Ok((base, delta))
+    }
+
+    fn write_weight_entry(&mut self, i: u32, base: i64, delta: i64, init: bool) -> Result<()> {
+        let (page_no, off) = self.weight_slot(i);
+        let kind = self.meta.kind_of(page_no);
+        let expect = if init { None } else { Some(kind) };
+        let page = self.pool.page_mut(self.file.as_mut(), page_no, init, expect)?;
+        page[off..off + 8].copy_from_slice(&base.to_le_bytes());
+        page[off + 8..off + 16].copy_from_slice(&delta.to_le_bytes());
+        Ok(())
+    }
+
+    fn weight_slot(&self, i: u32) -> (u32, usize) {
+        let page_no = self.meta.weight_first() + i / WEIGHTS_PER_PAGE as u32;
+        let off = PAGE_HDR + (i as usize % WEIGHTS_PER_PAGE) * 16;
+        (page_no, off)
+    }
+
+    /// Writes a byte stream across consecutive pages, fully overwriting
+    /// each touched page's payload (so no disk read is needed).
+    fn write_stream(&mut self, first_page: u32, bytes: &[u8]) -> Result<()> {
+        let pages = bytes.len().div_ceil(PAGE_PAYLOAD).max(1);
+        for i in 0..pages {
+            let chunk = &bytes[(i * PAGE_PAYLOAD).min(bytes.len())
+                ..((i + 1) * PAGE_PAYLOAD).min(bytes.len())];
+            let page_no = first_page + i as u32;
+            let page = self.pool.page_mut(self.file.as_mut(), page_no, true, None)?;
+            let payload = &mut page[PAGE_HDR..];
+            payload[..chunk.len()].copy_from_slice(chunk);
+            payload[chunk.len()..].fill(0);
+        }
+        Ok(())
+    }
+
+    fn read_stream(&mut self, first_page: u32, len: usize) -> Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(len);
+        let pages = len.div_ceil(PAGE_PAYLOAD);
+        for i in 0..pages {
+            let page_no = first_page + i as u32;
+            let kind = self.meta.kind_of(page_no);
+            let page = self.pool.page(self.file.as_mut(), page_no, Some(kind))?;
+            let take = (len - out.len()).min(PAGE_PAYLOAD);
+            out.extend_from_slice(&page[PAGE_HDR..PAGE_HDR + take]);
+        }
+        Ok(out)
+    }
+
+    fn write_meta_page(&mut self) -> Result<()> {
+        let meta = self.meta;
+        let page = self.pool.page_mut(self.file.as_mut(), 0, true, None)?;
+        meta.encode(&mut page[PAGE_HDR..]);
+        Ok(())
+    }
+
+    /// The commit protocol (see module docs). With `checkpoint = false`
+    /// the transaction is durable in the WAL but the page file is left
+    /// untouched — the state a crash-after-commit leaves behind, used by
+    /// the recovery benchmarks and tests.
+    fn commit_txn(&mut self, id: u64, checkpoint: bool) -> Result<CommitStats> {
+        self.meta.next_txn = id + 1;
+        self.write_meta_page()?;
+        let dirty = self.pool.dirty_pages();
+        let wal_before = self.wal.len();
+        for &page_no in &dirty {
+            let kind = self.meta.kind_of(page_no);
+            self.pool.seal_resident(page_no, id, kind)?;
+            let bytes = self.pool.resident_page(page_no)?;
+            // borrow: copy out to appease the wal's &mut self
+            let image = bytes.to_vec();
+            self.wal.append_page_image(id, page_no, &image)?;
+        }
+        self.wal.append_commit(id)?;
+        self.wal.sync()?; // ---- commit point ----
+        let stats =
+            CommitStats { txn: id, pages: dirty.len(), wal_bytes: self.wal.len() - wal_before };
+        if !checkpoint {
+            return Ok(stats);
+        }
+        // Checkpoint: data pages first, then meta, then WAL reset — each
+        // step synced before the next (see module docs for why).
+        for &page_no in dirty.iter().filter(|&&p| p != 0) {
+            let image = self.pool.resident_page(page_no)?.to_vec();
+            self.file.write_at(&image, page_no as u64 * PAGE_SIZE as u64)?;
+        }
+        self.file.sync()?;
+        let meta_image = self.pool.resident_page(0)?.to_vec();
+        self.file.write_at(&meta_image, 0)?;
+        self.file.sync()?;
+        self.wal.reset()?;
+        self.pool.mark_all_clean();
+        Ok(stats)
+    }
+}
+
+fn pages_for(bytes: usize) -> Result<u32> {
+    let pages = bytes.div_ceil(PAGE_PAYLOAD).max(1);
+    u32::try_from(pages).map_err(|_| StoreError::Invalid("content too large".into()))
+}
+
+fn pages_for_weights(n_tuples: usize) -> Result<u32> {
+    let pages = n_tuples.div_ceil(WEIGHTS_PER_PAGE).max(1);
+    u32::try_from(pages).map_err(|_| StoreError::Invalid("too many tuples".into()))
+}
+
+/// Reads and validates the meta page straight from the file (bypassing
+/// the pool — used before the layout is known).
+fn read_meta_direct(file: &dyn VfsFile) -> Result<Meta> {
+    if file.size()? < PAGE_SIZE as u64 {
+        return Err(StoreError::Corrupt("file smaller than one page".into()));
+    }
+    let mut page = vec![0u8; PAGE_SIZE];
+    file.read_at(&mut page, 0)?;
+    page::verify(&page, 0, Some(kind::META))?;
+    Meta::decode(&page[PAGE_HDR..])
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+// ---------------------------------------------------------------------------
+
+/// An open transaction. All mutations stay in the buffer pool (no-steal)
+/// until [`Txn::commit`]; dropping the handle aborts.
+pub struct Txn<'a> {
+    store: &'a mut Store,
+    id: u64,
+    saved_meta: Meta,
+    done: bool,
+}
+
+impl Txn<'_> {
+    /// This transaction's id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Sets the base (true) weight of a tuple — the Theorem 7 weight-only
+    /// update path. The mark delta is untouched, so the published weight
+    /// moves with the base and the detector's differential read survives.
+    pub fn set_base(&mut self, tuple_id: u32, value: i64) -> Result<()> {
+        let (_, delta) = self.check_tuple(tuple_id)?;
+        self.store.write_weight_entry(tuple_id, value, delta, false)
+    }
+
+    /// Sets the mark delta of a tuple — the re-marking path, fed by the
+    /// sparse plans of `qpwm_core::incremental::remark_touched`.
+    pub fn set_delta(&mut self, tuple_id: u32, value: i64) -> Result<()> {
+        let (base, _) = self.check_tuple(tuple_id)?;
+        self.store.write_weight_entry(tuple_id, base, value, false)
+    }
+
+    /// Replaces one parameter's active set — the Theorem 8
+    /// type-preserving structural update. The CSR and universe are
+    /// rewritten (the answer section grows if needed); tuple ids must
+    /// already be interned.
+    pub fn set_answer_ids(&mut self, param: usize, new_ids: &[u32]) -> Result<()> {
+        let meta = self.store.meta;
+        if param >= meta.n_params as usize {
+            return Err(StoreError::Invalid(format!(
+                "parameter {param} out of range ({} params)",
+                meta.n_params
+            )));
+        }
+        let mut set: Vec<u32> = new_ids.to_vec();
+        set.sort_unstable();
+        set.dedup();
+        if set.last().is_some_and(|&m| m >= meta.n_tuples) {
+            return Err(StoreError::Invalid("answer id out of range".into()));
+        }
+        let answers = self.store.read_stream(meta.answer_first(), meta.answer_len())?;
+        let mut r = Reader::new(&answers);
+        let offsets = r.u32s(meta.n_params as usize + 1)?;
+        let ids = r.u32s(meta.n_ids as usize)?;
+
+        let (lo, hi) = (offsets[param] as usize, offsets[param + 1] as usize);
+        let mut new_ids_all = Vec::with_capacity(ids.len() - (hi - lo) + set.len());
+        new_ids_all.extend_from_slice(&ids[..lo]);
+        new_ids_all.extend_from_slice(&set);
+        new_ids_all.extend_from_slice(&ids[hi..]);
+        let shift = set.len() as i64 - (hi - lo) as i64;
+        let mut new_offsets = offsets.clone();
+        for o in new_offsets.iter_mut().skip(param + 1) {
+            *o = (*o as i64 + shift) as u32;
+        }
+        let mut new_universe = new_ids_all.clone();
+        new_universe.sort_unstable();
+        new_universe.dedup();
+
+        let mut bytes = Vec::with_capacity(
+            4 * (new_offsets.len() + new_ids_all.len() + new_universe.len()),
+        );
+        for &x in new_offsets.iter().chain(&new_ids_all).chain(&new_universe) {
+            bytes.extend_from_slice(&x.to_le_bytes());
+        }
+        let needed = pages_for(bytes.len())?;
+        // The answer section is last, so growing it only appends pages.
+        self.store.meta.n_ids = new_ids_all.len() as u32;
+        self.store.meta.n_universe = new_universe.len() as u32;
+        self.store.meta.answer_pages = meta.answer_pages.max(needed);
+        self.store.write_stream(meta.answer_first(), &bytes)?;
+        // Freshly-grown tail pages beyond the stream still need sealing;
+        // write_stream only touched pages the stream reached.
+        for p in meta.answer_first() + needed..meta.answer_first() + self.store.meta.answer_pages
+        {
+            let page = self.store.pool.page_mut(self.store.file.as_mut(), p, true, None)?;
+            page[PAGE_HDR..].fill(0);
+        }
+        Ok(())
+    }
+
+    /// Commits: WAL append + fsync (the durability point), then
+    /// checkpoint into the page file.
+    pub fn commit(mut self) -> Result<CommitStats> {
+        self.done = true;
+        self.store.commit_txn(self.id, true)
+    }
+
+    /// Commits durably into the WAL but skips the checkpoint, leaving
+    /// the page file stale — exactly the state a crash immediately after
+    /// the commit point leaves behind. The next [`Store::open`] replays
+    /// it. For recovery tests and benchmarks.
+    pub fn commit_no_checkpoint(mut self) -> Result<CommitStats> {
+        self.done = true;
+        self.store.commit_txn(self.id, false)
+    }
+
+    fn check_tuple(&mut self, tuple_id: u32) -> Result<(i64, i64)> {
+        if tuple_id >= self.store.meta.n_tuples {
+            return Err(StoreError::Invalid(format!(
+                "tuple {tuple_id} out of range ({} tuples)",
+                self.store.meta.n_tuples
+            )));
+        }
+        self.store.read_weight_entry(tuple_id)
+    }
+}
+
+impl Drop for Txn<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.store.pool.discard_dirty();
+            self.store.meta = self.saved_meta;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::SimVfs;
+    use qpwm_structures::AnswerFamily;
+
+    /// A small family: params [i] with sets {2i, 2i+1} over 1-ary tuples.
+    fn sample_content(n_pairs: u32) -> StoreContent {
+        let params: Vec<Vec<u32>> = (0..n_pairs).map(|i| vec![i]).collect();
+        let sets: Vec<Vec<Vec<u32>>> =
+            (0..n_pairs).map(|i| vec![vec![2 * i], vec![2 * i + 1]]).collect();
+        let family = AnswerFamily::from_nested(params, &sets);
+        let mut base = Weights::new(1);
+        let mut marked = Weights::new(1);
+        for e in 0..2 * n_pairs {
+            base.set(&[e], 100 + e as i64);
+            // mark: +1 on even, -1 on odd
+            marked.set(&[e], 100 + e as i64 + if e % 2 == 0 { 1 } else { -1 });
+        }
+        let labels = (0..n_pairs).map(|i| format!("p{i}")).collect();
+        let names = (0..2 * n_pairs).map(|e| format!("n{e}")).collect();
+        StoreContent::from_family(&family, &base, &marked, labels, names, "q".into())
+            .expect("content")
+    }
+
+    #[test]
+    fn create_open_roundtrip_preserves_everything() {
+        let vfs = SimVfs::new();
+        let content = sample_content(8);
+        Store::create(&vfs, "db", &content).expect("create");
+        let mut store = Store::open(&vfs, "db").expect("open");
+        assert_eq!(store.recovery().replayed_txns, 0, "clean open replays nothing");
+        let back = store.content().expect("content");
+        assert_eq!(back, content);
+        let family = back.family().expect("family");
+        assert_eq!(family.len(), 8);
+        assert_eq!(back.marked_weights().get(&[0]), 101);
+        assert_eq!(back.base_weights().get(&[0]), 100);
+        assert_eq!(back.lookup(&[5]), Some(5));
+        assert_eq!(back.lookup(&[99]), None);
+    }
+
+    #[test]
+    fn weight_txn_commit_and_abort() {
+        let vfs = SimVfs::new();
+        Store::create(&vfs, "db", &sample_content(4)).expect("create");
+        let mut store = Store::open(&vfs, "db").expect("open");
+        // abort: drop without commit
+        {
+            let mut txn = store.begin();
+            txn.set_base(0, 999).expect("set");
+        }
+        assert_eq!(store.weight_entry(0).expect("entry"), (100, 1), "abort rolled back");
+        // commit
+        let mut txn = store.begin();
+        txn.set_base(0, 999).expect("set");
+        txn.set_delta(1, -5).expect("set");
+        let stats = txn.commit().expect("commit");
+        assert!(stats.pages >= 2, "weight page + meta page");
+        assert_eq!(store.weight_entry(0).expect("entry"), (999, 1));
+        assert_eq!(store.weight_entry(1).expect("entry"), (101, -5));
+        // durable across reopen
+        drop(store);
+        let mut store = Store::open(&vfs, "db").expect("reopen");
+        assert_eq!(store.weight_entry(0).expect("entry"), (999, 1));
+        assert_eq!(store.next_txn(), 3, "create was txn 1, update txn 2");
+    }
+
+    #[test]
+    fn uncheckpointed_commit_is_recovered_from_the_wal() {
+        let vfs = SimVfs::new();
+        Store::create(&vfs, "db", &sample_content(4)).expect("create");
+        let mut store = Store::open(&vfs, "db").expect("open");
+        let mut txn = store.begin();
+        txn.set_base(2, 777).expect("set");
+        txn.commit_no_checkpoint().expect("commit");
+        drop(store); // crash: page file never saw the txn
+        let mut store = Store::open(&vfs, "db").expect("recover");
+        assert_eq!(store.recovery().replayed_txns, 1);
+        assert!(store.recovery().replayed_pages >= 2);
+        assert_eq!(store.weight_entry(2).expect("entry"), (777, 1));
+        // recovery checkpointed implicitly: a second open replays nothing
+        drop(store);
+        let store = Store::open(&vfs, "db").expect("reopen");
+        assert_eq!(store.recovery().replayed_txns, 0);
+        assert_eq!(store.recovery().wal_records, 0, "wal was reset");
+    }
+
+    #[test]
+    fn type_preserving_update_rewrites_the_answer_section() {
+        let vfs = SimVfs::new();
+        Store::create(&vfs, "db", &sample_content(4)).expect("create");
+        let mut store = Store::open(&vfs, "db").expect("open");
+        let mut txn = store.begin();
+        // param 1 now answers {0, 7} instead of {2, 3}
+        txn.set_answer_ids(1, &[7, 0]).expect("set");
+        txn.commit().expect("commit");
+        drop(store);
+        let mut store = Store::open(&vfs, "db").expect("reopen");
+        let content = store.content().expect("content");
+        let family = content.family().expect("family");
+        assert_eq!(family.active_ids(1), &[0, 7]);
+        assert_eq!(family.active_ids(0), &[0, 1], "other sets untouched");
+        // universe recomputed: 2 and 3 dropped out
+        assert!(!content.universe.contains(&2));
+        assert!(!content.universe.contains(&3));
+    }
+
+    #[test]
+    fn out_of_range_ops_are_rejected() {
+        let vfs = SimVfs::new();
+        Store::create(&vfs, "db", &sample_content(2)).expect("create");
+        let mut store = Store::open(&vfs, "db").expect("open");
+        let mut txn = store.begin();
+        assert!(txn.set_base(999, 0).is_err());
+        assert!(txn.set_answer_ids(99, &[0]).is_err());
+        assert!(txn.set_answer_ids(0, &[999]).is_err());
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let vfs = SimVfs::new();
+        let mut f = vfs.open("junk", true).expect("open");
+        f.write_at(&[0xAB; 8192], 0).expect("write");
+        f.sync().expect("sync");
+        drop(f);
+        assert!(matches!(Store::open(&vfs, "junk"), Err(StoreError::Corrupt(_))));
+        assert!(Store::open(&vfs, "missing").is_err());
+    }
+}

@@ -1,0 +1,535 @@
+//! Virtual file system with deterministic crash injection.
+//!
+//! The store never touches `std::fs` directly: every byte goes through a
+//! [`Vfs`], so the exact same WAL/page-file code runs against the real
+//! disk ([`DiskVfs`]) and against an in-memory simulator ([`SimVfs`])
+//! whose [`CrashPolicy`] can kill the process model at *every* write,
+//! sync, and truncate point — optionally leaving a torn (partial) write
+//! behind, the way a real sector-interrupted crash would.
+//!
+//! The simulator's durability model is the pessimistic one: a write is
+//! **pending** until the file is synced; a crash drops all pending bytes
+//! (and may first apply a torn prefix of the crashing write). Reads see
+//! pending bytes (read-your-writes), exactly like an OS page cache.
+//! [`DiskVfs`] mirrors the same crash points via the
+//! `QPWM_STORE_CRASH_OP` environment variable, but crashes by
+//! `process::exit` — that is what the tier-1 smoke test kills and
+//! recovers from with a real file system underneath.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Store-wide result type.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+/// Errors surfaced by the store stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(String),
+    /// On-disk state failed validation (bad magic, checksum, layout).
+    Corrupt(String),
+    /// Caller misuse (bad arity, out-of-range id, oversized content).
+    Invalid(String),
+    /// A [`CrashPolicy`] fired: the simulated process died at this op
+    /// index. Everything pending and unsynced is lost.
+    InjectedCrash(u64),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(m) => write!(f, "io error: {m}"),
+            StoreError::Corrupt(m) => write!(f, "corrupt store: {m}"),
+            StoreError::Invalid(m) => write!(f, "invalid: {m}"),
+            StoreError::InjectedCrash(op) => write!(f, "injected crash at op {op}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// One open file. All offsets are absolute; reads are exact-length.
+pub trait VfsFile: Send {
+    /// Reads exactly `buf.len()` bytes at `off` (error on short read).
+    fn read_at(&self, buf: &mut [u8], off: u64) -> Result<()>;
+    /// Writes `data` at `off`, extending the file if needed. Durable only
+    /// after [`VfsFile::sync`].
+    fn write_at(&mut self, data: &[u8], off: u64) -> Result<()>;
+    /// Makes every prior write durable.
+    fn sync(&mut self) -> Result<()>;
+    /// Current file size in bytes (pending writes included).
+    fn size(&self) -> Result<u64>;
+    /// Truncates to `len` bytes. Durable only after [`VfsFile::sync`].
+    fn truncate(&mut self, len: u64) -> Result<()>;
+}
+
+/// A namespace of openable files.
+pub trait Vfs {
+    /// Opens (optionally creating) a file by name.
+    fn open(&self, name: &str, create: bool) -> Result<Box<dyn VfsFile>>;
+    /// Does the file exist?
+    fn exists(&self, name: &str) -> bool;
+}
+
+// ---------------------------------------------------------------------------
+// Disk implementation
+// ---------------------------------------------------------------------------
+
+/// Environment variable: op index at which [`DiskVfs`] kills the process.
+pub const CRASH_OP_ENV: &str = "QPWM_STORE_CRASH_OP";
+/// Environment variable: when set to `1`, the crashing write leaves a
+/// torn (half-length) prefix behind before the process dies.
+pub const CRASH_TORN_ENV: &str = "QPWM_STORE_CRASH_TORN";
+/// Exit code of an injected [`DiskVfs`] crash — distinguishable from
+/// panics and clean failures in the tier-1 smoke test.
+pub const CRASH_EXIT_CODE: i32 = 86;
+
+struct DiskCrash {
+    at: u64,
+    torn: bool,
+    counter: AtomicU64,
+}
+
+/// Real files under a root directory, with optional env-driven crash
+/// injection shared across every file opened from this instance.
+pub struct DiskVfs {
+    root: std::path::PathBuf,
+    crash: Option<Arc<DiskCrash>>,
+}
+
+impl DiskVfs {
+    /// A plain disk VFS (no crash injection).
+    pub fn new(root: impl Into<std::path::PathBuf>) -> Self {
+        DiskVfs { root: root.into(), crash: None }
+    }
+
+    /// A disk VFS that honors `QPWM_STORE_CRASH_OP` / `QPWM_STORE_CRASH_TORN`
+    /// — the entry point the CLI uses so the tier-1 smoke can kill a live
+    /// `store update` at a seeded write point.
+    pub fn from_env(root: impl Into<std::path::PathBuf>) -> Self {
+        let crash = std::env::var(CRASH_OP_ENV).ok().and_then(|v| v.parse::<u64>().ok()).map(
+            |at| {
+                let torn = std::env::var(CRASH_TORN_ENV).is_ok_and(|v| v == "1");
+                Arc::new(DiskCrash { at, torn, counter: AtomicU64::new(0) })
+            },
+        );
+        DiskVfs { root: root.into(), crash }
+    }
+
+    fn path(&self, name: &str) -> std::path::PathBuf {
+        self.root.join(name)
+    }
+}
+
+impl Vfs for DiskVfs {
+    fn open(&self, name: &str, create: bool) -> Result<Box<dyn VfsFile>> {
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(create)
+            .open(self.path(name))
+            .map_err(|e| StoreError::Io(format!("open {name}: {e}")))?;
+        Ok(Box::new(DiskFile { file, crash: self.crash.clone() }))
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.path(name).exists()
+    }
+}
+
+struct DiskFile {
+    file: std::fs::File,
+    crash: Option<Arc<DiskCrash>>,
+}
+
+impl DiskFile {
+    /// Counts one mutating op; on the seeded op, optionally leaves a torn
+    /// prefix of `data` behind and kills the process. This is a *real*
+    /// crash as far as the store is concerned — no destructors, no
+    /// further writes, only what the kernel already has.
+    fn crash_point(&mut self, data: Option<(&[u8], u64)>) {
+        let Some(crash) = &self.crash else { return };
+        let op = crash.counter.fetch_add(1, Ordering::SeqCst);
+        if op != crash.at {
+            return;
+        }
+        if crash.torn {
+            if let Some((data, off)) = data {
+                use std::os::unix::fs::FileExt;
+                let half = data.len() / 2;
+                let _ = self.file.write_at(&data[..half], off);
+            }
+        }
+        std::process::exit(CRASH_EXIT_CODE);
+    }
+}
+
+impl VfsFile for DiskFile {
+    fn read_at(&self, buf: &mut [u8], off: u64) -> Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file
+            .read_exact_at(buf, off)
+            .map_err(|e| StoreError::Io(format!("read {} at {off}: {e}", buf.len())))
+    }
+
+    fn write_at(&mut self, data: &[u8], off: u64) -> Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.crash_point(Some((data, off)));
+        self.file
+            .write_all_at(data, off)
+            .map_err(|e| StoreError::Io(format!("write {} at {off}: {e}", data.len())))
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.crash_point(None);
+        self.file.sync_data().map_err(|e| StoreError::Io(format!("sync: {e}")))
+    }
+
+    fn size(&self) -> Result<u64> {
+        self.file
+            .metadata()
+            .map(|m| m.len())
+            .map_err(|e| StoreError::Io(format!("metadata: {e}")))
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<()> {
+        self.crash_point(None);
+        self.file.set_len(len).map_err(|e| StoreError::Io(format!("truncate to {len}: {e}")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simulator
+// ---------------------------------------------------------------------------
+
+/// When (and how) the simulated process dies: at global mutating-op index
+/// `crash_op`; `torn` additionally makes a crashing *write* leave its
+/// half-length prefix durable, and a crashing *sync* flush only the first
+/// half of the pending queue — the torn-page / torn-tail cases the WAL's
+/// record CRCs exist for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPolicy {
+    /// Global index (across all files of the [`SimVfs`]) of the mutating
+    /// op — write, sync, or truncate — that dies.
+    pub crash_op: u64,
+    /// Leave partial effects behind at the crash point.
+    pub torn: bool,
+}
+
+enum PendingOp {
+    Write { off: u64, data: Vec<u8> },
+    Truncate { len: u64 },
+}
+
+fn apply_op(bytes: &mut Vec<u8>, op: &PendingOp) {
+    match op {
+        PendingOp::Write { off, data } => {
+            let end = *off as usize + data.len();
+            if bytes.len() < end {
+                bytes.resize(end, 0);
+            }
+            bytes[*off as usize..end].copy_from_slice(data);
+        }
+        PendingOp::Truncate { len } => bytes.resize(*len as usize, 0),
+    }
+}
+
+#[derive(Default)]
+struct SimState {
+    durable: HashMap<String, Vec<u8>>,
+    pending: HashMap<String, Vec<PendingOp>>,
+    ops: u64,
+    policy: Option<CrashPolicy>,
+    crashed: bool,
+}
+
+impl SimState {
+    /// Counts one mutating op and fires the policy if this is the seeded
+    /// one. Returns the op index when the caller should crash.
+    fn tick(&mut self) -> std::result::Result<(), u64> {
+        let op = self.ops;
+        self.ops += 1;
+        if self.policy.is_some_and(|p| p.crash_op == op) {
+            self.crashed = true;
+            return Err(op);
+        }
+        Ok(())
+    }
+
+    fn view(&self, name: &str) -> Vec<u8> {
+        let mut bytes = self.durable.get(name).cloned().unwrap_or_default();
+        if let Some(ops) = self.pending.get(name) {
+            for op in ops {
+                apply_op(&mut bytes, op);
+            }
+        }
+        bytes
+    }
+}
+
+/// In-memory VFS with deterministic crash injection. Clones share state:
+/// open files from one instance, crash it, call [`SimVfs::restart`], and
+/// reopen — only synced bytes survive, exactly like a process crash.
+#[derive(Clone, Default)]
+pub struct SimVfs {
+    state: Arc<Mutex<SimState>>,
+}
+
+impl SimVfs {
+    /// Fresh empty simulator.
+    pub fn new() -> Self {
+        SimVfs::default()
+    }
+
+    /// Arms (or disarms, with `None`) the crash policy.
+    pub fn set_policy(&self, policy: Option<CrashPolicy>) {
+        self.state.lock().expect("sim lock").policy = policy;
+    }
+
+    /// Mutating ops counted so far (the sweep range of a crash harness).
+    pub fn ops(&self) -> u64 {
+        self.state.lock().expect("sim lock").ops
+    }
+
+    /// Resets the op counter (so a policy's `crash_op` indexes the ops of
+    /// the *next* phase only).
+    pub fn reset_ops(&self) {
+        self.state.lock().expect("sim lock").ops = 0;
+    }
+
+    /// Simulated reboot: drops every pending (unsynced) byte, clears the
+    /// crashed flag and the policy. Open handles from before the restart
+    /// must be dropped — using them is a harness bug, and they would only
+    /// see the post-restart durable state anyway.
+    pub fn restart(&self) {
+        let mut st = self.state.lock().expect("sim lock");
+        st.pending.clear();
+        st.crashed = false;
+        st.policy = None;
+    }
+
+    /// The durable bytes of a file (what a post-crash open would read) —
+    /// the byte-identical-recovery tests compare these directly.
+    pub fn durable_bytes(&self, name: &str) -> Option<Vec<u8>> {
+        self.state.lock().expect("sim lock").durable.get(name).cloned()
+    }
+
+    /// Full durable snapshot, for save/restore in sweep harnesses.
+    pub fn snapshot(&self) -> Vec<(String, Vec<u8>)> {
+        let st = self.state.lock().expect("sim lock");
+        let mut files: Vec<(String, Vec<u8>)> =
+            st.durable.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        files.sort_by(|a, b| a.0.cmp(&b.0));
+        files
+    }
+
+    /// Restores a [`SimVfs::snapshot`], discarding everything since.
+    pub fn restore(&self, snapshot: &[(String, Vec<u8>)]) {
+        let mut st = self.state.lock().expect("sim lock");
+        st.durable = snapshot.iter().cloned().collect();
+        st.pending.clear();
+        st.crashed = false;
+        st.policy = None;
+        st.ops = 0;
+    }
+}
+
+impl Vfs for SimVfs {
+    fn open(&self, name: &str, create: bool) -> Result<Box<dyn VfsFile>> {
+        let mut st = self.state.lock().expect("sim lock");
+        if st.crashed {
+            return Err(StoreError::Io("simulated process is dead".into()));
+        }
+        if !st.durable.contains_key(name) && !st.pending.contains_key(name) {
+            if !create {
+                return Err(StoreError::Io(format!("open {name}: no such file")));
+            }
+            // File creation is modeled as immediately durable: the store's
+            // create-crash safety rests on meta-page validation, not on
+            // directory-entry durability.
+            st.durable.insert(name.to_string(), Vec::new());
+        }
+        Ok(Box::new(SimFile { vfs: self.clone(), name: name.to_string() }))
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        let st = self.state.lock().expect("sim lock");
+        st.durable.contains_key(name) || st.pending.contains_key(name)
+    }
+}
+
+struct SimFile {
+    vfs: SimVfs,
+    name: String,
+}
+
+impl SimFile {
+    fn with_state<T>(&self, f: impl FnOnce(&mut SimState) -> Result<T>) -> Result<T> {
+        let mut st = self.vfs.state.lock().expect("sim lock");
+        if st.crashed {
+            return Err(StoreError::Io("simulated process is dead".into()));
+        }
+        f(&mut st)
+    }
+}
+
+impl VfsFile for SimFile {
+    fn read_at(&self, buf: &mut [u8], off: u64) -> Result<()> {
+        self.with_state(|st| {
+            let bytes = st.view(&self.name);
+            let end = off as usize + buf.len();
+            if end > bytes.len() {
+                return Err(StoreError::Io(format!(
+                    "short read of {} at {off} in {} (len {})",
+                    buf.len(),
+                    self.name,
+                    bytes.len()
+                )));
+            }
+            buf.copy_from_slice(&bytes[off as usize..end]);
+            Ok(())
+        })
+    }
+
+    fn write_at(&mut self, data: &[u8], off: u64) -> Result<()> {
+        self.with_state(|st| {
+            if let Err(op) = st.tick() {
+                // A torn crash makes a half-length prefix of the dying
+                // write durable — modeling a sector-boundary interruption.
+                if st.policy.is_some_and(|p| p.torn) && !data.is_empty() {
+                    let half = data.len() / 2;
+                    let durable = st.durable.entry(self.name.clone()).or_default();
+                    apply_op(
+                        durable,
+                        &PendingOp::Write { off, data: data[..half].to_vec() },
+                    );
+                }
+                return Err(StoreError::InjectedCrash(op));
+            }
+            st.pending
+                .entry(self.name.clone())
+                .or_default()
+                .push(PendingOp::Write { off, data: data.to_vec() });
+            Ok(())
+        })
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.with_state(|st| {
+            if let Err(op) = st.tick() {
+                // A torn crash during sync flushes only a prefix of the
+                // pending queue — the OS got partway through writeback.
+                if st.policy.is_some_and(|p| p.torn) {
+                    if let Some(ops) = st.pending.remove(&self.name) {
+                        let durable = st.durable.entry(self.name.clone()).or_default();
+                        for pending in ops.iter().take(ops.len() / 2) {
+                            apply_op(durable, pending);
+                        }
+                    }
+                }
+                return Err(StoreError::InjectedCrash(op));
+            }
+            if let Some(ops) = st.pending.remove(&self.name) {
+                let durable = st.durable.entry(self.name.clone()).or_default();
+                for op in &ops {
+                    apply_op(durable, op);
+                }
+            }
+            Ok(())
+        })
+    }
+
+    fn size(&self) -> Result<u64> {
+        self.with_state(|st| Ok(st.view(&self.name).len() as u64))
+    }
+
+    fn truncate(&mut self, len: u64) -> Result<()> {
+        self.with_state(|st| {
+            if let Err(op) = st.tick() {
+                return Err(StoreError::InjectedCrash(op));
+            }
+            st.pending
+                .entry(self.name.clone())
+                .or_default()
+                .push(PendingOp::Truncate { len });
+            Ok(())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_read_your_writes_but_crash_loses_unsynced() {
+        let vfs = SimVfs::new();
+        let mut f = vfs.open("a", true).expect("open");
+        f.write_at(b"hello", 0).expect("write");
+        let mut buf = [0u8; 5];
+        f.read_at(&mut buf, 0).expect("read");
+        assert_eq!(&buf, b"hello");
+        // not yet durable
+        assert_eq!(vfs.durable_bytes("a").expect("exists"), b"");
+        drop(f);
+        vfs.restart();
+        let f2 = vfs.open("a", false).expect("reopen");
+        assert_eq!(f2.size().expect("size"), 0, "unsynced bytes lost");
+    }
+
+    #[test]
+    fn sim_sync_makes_writes_durable_in_order() {
+        let vfs = SimVfs::new();
+        let mut f = vfs.open("a", true).expect("open");
+        f.write_at(b"aaaa", 0).expect("write");
+        f.write_at(b"bb", 1).expect("overwrite");
+        f.sync().expect("sync");
+        assert_eq!(vfs.durable_bytes("a").expect("exists"), b"abba");
+        f.truncate(2).expect("truncate");
+        f.sync().expect("sync");
+        assert_eq!(vfs.durable_bytes("a").expect("exists"), b"ab");
+    }
+
+    #[test]
+    fn crash_policy_fires_at_the_seeded_op_and_poisons_the_handle() {
+        let vfs = SimVfs::new();
+        vfs.set_policy(Some(CrashPolicy { crash_op: 1, torn: false }));
+        let mut f = vfs.open("a", true).expect("open");
+        f.write_at(b"one", 0).expect("op 0 survives");
+        assert_eq!(f.write_at(b"two", 3), Err(StoreError::InjectedCrash(1)));
+        // dead process: every further op fails
+        assert!(matches!(f.sync(), Err(StoreError::Io(_))));
+        vfs.restart();
+        let f2 = vfs.open("a", false).expect("reopen");
+        assert_eq!(f2.size().expect("size"), 0, "nothing was synced");
+    }
+
+    #[test]
+    fn torn_write_leaves_half_prefix_durable() {
+        let vfs = SimVfs::new();
+        vfs.set_policy(Some(CrashPolicy { crash_op: 0, torn: true }));
+        let mut f = vfs.open("a", true).expect("open");
+        assert_eq!(f.write_at(b"abcdef", 0), Err(StoreError::InjectedCrash(0)));
+        vfs.restart();
+        assert_eq!(vfs.durable_bytes("a").expect("exists"), b"abc");
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let vfs = SimVfs::new();
+        let mut f = vfs.open("a", true).expect("open");
+        f.write_at(b"xy", 0).expect("write");
+        f.sync().expect("sync");
+        let snap = vfs.snapshot();
+        f.write_at(b"zz", 0).expect("write");
+        f.sync().expect("sync");
+        assert_eq!(vfs.durable_bytes("a").expect("exists"), b"zz");
+        drop(f);
+        vfs.restore(&snap);
+        assert_eq!(vfs.durable_bytes("a").expect("exists"), b"xy");
+        assert_eq!(vfs.ops(), 0, "restore resets the op counter");
+    }
+}

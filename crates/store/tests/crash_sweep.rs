@@ -1,0 +1,244 @@
+//! Seeded crash-injection sweep.
+//!
+//! The store's contract: after a crash at *any* mutating-op index —
+//! including torn writes and torn syncs — recovery restores exactly one
+//! of the committed states that bracket the interrupted transaction, and
+//! the detector's claim check over the recovered store gives the same
+//! verdict and significance as it gave over that committed state before
+//! the crash. The sweep kills the store at every write/sync/truncate a
+//! re-marking update performs, both cleanly and torn, and asserts the
+//! invariant each time.
+
+use qpwm_core::detect::{ClaimCheck, Verdict, DEFAULT_DELTA};
+use qpwm_core::incremental::remark_touched;
+use qpwm_core::{HonestServer, ObservedWeights, Pair, PairMarking};
+use qpwm_store::vfs::{CrashPolicy, SimVfs};
+use qpwm_store::{Store, StoreContent, StoreError};
+use qpwm_structures::{AnswerFamily, WeightKey, Weights};
+use std::collections::HashSet;
+
+const N_PARAMS: u32 = 24;
+const MESSAGE: [bool; 24] = [
+    true, false, true, true, false, false, true, false, true, true, false, true, false, true,
+    true, false, true, false, false, true, true, false, false, true,
+];
+
+/// Family: parameter `i` answers `{2i, 2i+1}` (1-ary tuples), so the
+/// pair `(2i, 2i+1)` is separated by no set — the zero-distortion pairs
+/// of Proposition 1 — and each carries one message bit.
+fn fixture() -> (AnswerFamily, Weights, PairMarking) {
+    let params: Vec<Vec<u32>> = (0..N_PARAMS).map(|i| vec![i]).collect();
+    let sets: Vec<Vec<Vec<u32>>> =
+        (0..N_PARAMS).map(|i| vec![vec![2 * i], vec![2 * i + 1]]).collect();
+    let family = AnswerFamily::from_nested(params, &sets);
+    let mut base = Weights::new(1);
+    for e in 0..2 * N_PARAMS {
+        base.set(&[e], 1000 + 7 * e as i64);
+    }
+    let pairs = (0..N_PARAMS)
+        .map(|i| Pair { plus: vec![2 * i], minus: vec![2 * i + 1] })
+        .collect();
+    (family, base, PairMarking::new(pairs))
+}
+
+fn content_for(family: &AnswerFamily, base: &Weights, marking: &PairMarking) -> StoreContent {
+    let marked = marking.apply(base, &MESSAGE);
+    let labels = (0..N_PARAMS).map(|i| format!("p{i}")).collect();
+    StoreContent::from_family(family, base, &marked, labels, Vec::new(), "q".into())
+        .expect("content")
+}
+
+/// The detector's end-to-end read over a store state: rebuild the
+/// family, serve the marked weights, extract against the base weights,
+/// and score the claimed message.
+fn claim_check_of(content: &StoreContent, marking: &PairMarking) -> ClaimCheck {
+    let family = content.family().expect("family");
+    let server = HonestServer::new(family, content.marked_weights());
+    let observed = ObservedWeights::collect(&server);
+    marking.extract(&content.base_weights(), &observed).claim_check_effective(
+        &MESSAGE,
+        DEFAULT_DELTA,
+    )
+}
+
+/// The Theorem 7 update under test: bump a few base weights, then
+/// re-mark only the touched pairs' neighborhoods via the sparse plan.
+fn apply_update(store: &mut Store, marking: &PairMarking, checkpoint: bool) -> qpwm_store::Result<()> {
+    let content = store.content()?;
+    let updates: [(u32, i64); 3] = [(0, 5000), (5, 5001), (13, 5002)];
+    let touched: HashSet<WeightKey> =
+        updates.iter().map(|&(e, _)| vec![e] as WeightKey).collect();
+    let plan = remark_touched(marking, &MESSAGE, &touched);
+    let mut txn = store.begin();
+    for &(e, w) in &updates {
+        let id = content.lookup(&[e]).expect("tuple interned");
+        txn.set_base(id, w)?;
+    }
+    for (key, delta) in &plan {
+        let id = content.lookup(key).expect("tuple interned");
+        txn.set_delta(id, *delta)?;
+    }
+    if checkpoint {
+        txn.commit()?;
+    } else {
+        txn.commit_no_checkpoint()?;
+    }
+    Ok(())
+}
+
+struct SweepEnv {
+    vfs: SimVfs,
+    snapshot: Vec<(String, Vec<u8>)>,
+    marking: PairMarking,
+    old_content: StoreContent,
+    new_content: StoreContent,
+    old_check: ClaimCheck,
+    new_check: ClaimCheck,
+    update_ops: u64,
+}
+
+fn sweep_env() -> SweepEnv {
+    let (family, base, marking) = fixture();
+    let content = content_for(&family, &base, &marking);
+    let vfs = SimVfs::new();
+    {
+        let store = Store::create(&vfs, "db", &content).expect("create");
+        drop(store);
+    }
+    let snapshot = vfs.snapshot();
+
+    // Dry run: measure the op count of the full update and capture the
+    // post-update committed state.
+    vfs.reset_ops();
+    let mut store = Store::open(&vfs, "db").expect("open");
+    let old_content = store.content().expect("content");
+    apply_update(&mut store, &marking, true).expect("update");
+    let update_ops = vfs.ops();
+    let new_content = store.content().expect("content");
+    drop(store);
+    assert!(update_ops > 0, "the update must perform mutating ops");
+    assert_ne!(old_content, new_content);
+
+    let old_check = claim_check_of(&old_content, &marking);
+    let new_check = claim_check_of(&new_content, &marking);
+    assert_eq!(old_check.verdict, Verdict::MarkPresent);
+    assert_eq!(new_check.verdict, Verdict::MarkPresent);
+
+    vfs.restore(&snapshot);
+    SweepEnv { vfs, snapshot, marking, old_content, new_content, old_check, new_check, update_ops }
+}
+
+/// Crash at one op index, then recover and check the invariant. Returns
+/// true when the recovered state was the *new* (post-update) one.
+fn crash_and_check(env: &SweepEnv, crash_op: u64, torn: bool) -> bool {
+    let SweepEnv { vfs, snapshot, marking, .. } = env;
+    vfs.restore(snapshot);
+    vfs.set_policy(Some(CrashPolicy { crash_op, torn }));
+
+    let crashed = (|| -> qpwm_store::Result<()> {
+        let mut store = Store::open(vfs, "db")?;
+        apply_update(&mut store, marking, true)
+    })();
+    assert!(
+        matches!(crashed, Err(StoreError::InjectedCrash(_)) | Err(StoreError::Io(_))),
+        "op {crash_op} torn={torn}: update must die at the seeded point, got {crashed:?}"
+    );
+
+    vfs.restart();
+    let mut store = Store::open(vfs, "db")
+        .unwrap_or_else(|e| panic!("op {crash_op} torn={torn}: recovery failed: {e}"));
+    let recovered = store.content().expect("content");
+
+    let (which, expect_check) = if recovered == env.new_content {
+        ("new", &env.new_check)
+    } else if recovered == env.old_content {
+        ("old", &env.old_check)
+    } else {
+        panic!("op {crash_op} torn={torn}: recovered state is neither committed state");
+    };
+    let check = claim_check_of(&recovered, marking);
+    assert_eq!(
+        (check.verdict, check.significance),
+        (expect_check.verdict, expect_check.significance),
+        "op {crash_op} torn={torn}: claim check drifted from the {which} committed state"
+    );
+    which == "new"
+}
+
+#[test]
+fn crash_sweep_over_every_write_point() {
+    let env = sweep_env();
+    let mut recovered_new = 0usize;
+    let mut recovered_old = 0usize;
+    for torn in [false, true] {
+        for op in 0..env.update_ops {
+            if crash_and_check(&env, op, torn) {
+                recovered_new += 1;
+            } else {
+                recovered_old += 1;
+            }
+        }
+    }
+    // Sanity on the sweep itself: crashes before the commit point roll
+    // back, crashes after it roll forward — both sides must be exercised.
+    assert!(recovered_old > 0, "no crash point rolled back");
+    assert!(recovered_new > 0, "no crash point rolled forward");
+}
+
+#[test]
+fn crash_during_recovery_is_itself_recoverable() {
+    let env = sweep_env();
+    // Leave a committed-but-uncheckpointed txn in the WAL...
+    env.vfs.restore(&env.snapshot);
+    {
+        let mut store = Store::open(&env.vfs, "db").expect("open");
+        apply_update(&mut store, &env.marking, false).expect("update");
+    }
+    env.vfs.restart();
+    let wal_snapshot = env.vfs.snapshot();
+
+    // ...then kill recovery at every op it performs, torn and clean.
+    env.vfs.reset_ops();
+    Store::open(&env.vfs, "db").expect("recovery dry run");
+    let recover_ops = env.vfs.ops();
+    assert!(recover_ops > 0, "recovery must replay");
+    for torn in [false, true] {
+        for op in 0..recover_ops {
+            env.vfs.restore(&wal_snapshot);
+            env.vfs.set_policy(Some(CrashPolicy { crash_op: op, torn }));
+            let died = Store::open(&env.vfs, "db");
+            assert!(died.is_err(), "op {op} torn={torn}: recovery should crash");
+            env.vfs.restart();
+            let mut store = Store::open(&env.vfs, "db")
+                .unwrap_or_else(|e| panic!("op {op} torn={torn}: re-recovery failed: {e}"));
+            let recovered = store.content().expect("content");
+            assert_eq!(
+                recovered, env.new_content,
+                "op {op} torn={torn}: committed txn lost by interrupted recovery"
+            );
+        }
+    }
+}
+
+#[test]
+fn torn_wal_tail_from_mid_append_crash_is_discarded() {
+    let env = sweep_env();
+    // Crash torn inside the WAL-append run: ops 0.. are the WAL writes
+    // (meta + dirty pages + commit). A torn write at op 1 leaves a
+    // half-record tail after the first full record.
+    for op in 0..4u64 {
+        env.vfs.restore(&env.snapshot);
+        env.vfs.set_policy(Some(CrashPolicy { crash_op: op, torn: true }));
+        let _ = (|| -> qpwm_store::Result<()> {
+            let mut store = Store::open(&env.vfs, "db")?;
+            apply_update(&mut store, &env.marking, true)
+        })();
+        env.vfs.restart();
+        let mut store = Store::open(&env.vfs, "db").expect("recover");
+        assert_eq!(
+            store.content().expect("content"),
+            env.old_content,
+            "op {op}: a txn torn before its commit record must roll back"
+        );
+    }
+}

@@ -198,6 +198,86 @@ impl AnswerFamily {
         b.finish().pop().expect("one family pushed")
     }
 
+    /// Rebuilds a family from its raw canonical components, as persisted
+    /// by `qpwm-store`'s page file: the arena's flat element buffer (in
+    /// canonical lexicographic order), the parameter domain, the CSR
+    /// offsets/ids, and the memoized universe. The hash indexes the
+    /// in-memory representation carries (`TupleArena::index`,
+    /// `param_index`) are derived here rather than persisted.
+    ///
+    /// Every canonical invariant the engine normally establishes through
+    /// [`FamilyBuilder::finish`] is *checked*, not assumed — a corrupt or
+    /// hand-forged page image must fail loudly rather than yield a family
+    /// whose binary searches silently misbehave.
+    pub fn from_raw_parts(
+        arity: usize,
+        flat: Vec<Element>,
+        parameters: Vec<Vec<Element>>,
+        offsets: Vec<u32>,
+        ids: Vec<TupleId>,
+        universe: Vec<TupleId>,
+    ) -> Result<Self, String> {
+        if arity == 0 {
+            return Err("from_raw_parts: output arity must be >= 1".into());
+        }
+        if !flat.len().is_multiple_of(arity) {
+            return Err(format!(
+                "from_raw_parts: flat length {} not a multiple of arity {arity}",
+                flat.len()
+            ));
+        }
+        let n_tuples = flat.len() / arity;
+        let mut index: HashMap<Vec<Element>, TupleId> = HashMap::with_capacity(n_tuples);
+        for (i, chunk) in flat.chunks(arity).enumerate() {
+            if i > 0 && flat[(i - 1) * arity..i * arity] >= *chunk {
+                return Err(format!("from_raw_parts: tuple {i} breaks canonical order"));
+            }
+            index.insert(chunk.to_vec(), i as TupleId);
+        }
+        if offsets.len() != parameters.len() + 1 {
+            return Err(format!(
+                "from_raw_parts: {} offsets for {} parameters",
+                offsets.len(),
+                parameters.len()
+            ));
+        }
+        if offsets.first() != Some(&0) || *offsets.last().expect("nonempty") != ids.len() as u32 {
+            return Err("from_raw_parts: CSR offsets do not span ids".into());
+        }
+        for (p, w) in offsets.windows(2).enumerate() {
+            if w[0] > w[1] {
+                return Err(format!("from_raw_parts: offsets decrease at parameter {p}"));
+            }
+            let set = &ids[w[0] as usize..w[1] as usize];
+            for pair in set.windows(2) {
+                if pair[0] >= pair[1] {
+                    return Err(format!("from_raw_parts: set {p} not strictly sorted"));
+                }
+            }
+            if let Some(&max) = set.last() {
+                if max as usize >= n_tuples {
+                    return Err(format!("from_raw_parts: set {p} references tuple {max}"));
+                }
+            }
+        }
+        let mut expected_universe = ids.clone();
+        expected_universe.sort_unstable();
+        expected_universe.dedup();
+        if expected_universe != universe {
+            return Err("from_raw_parts: universe is not the union of the sets".into());
+        }
+        let param_index: HashMap<Vec<Element>, usize> =
+            parameters.iter().enumerate().map(|(i, p)| (p.clone(), i)).collect();
+        if param_index.len() != parameters.len() {
+            return Err("from_raw_parts: duplicate parameter in domain".into());
+        }
+        let arena = TupleArena { arity, flat, index };
+        Ok(AnswerFamily {
+            arena: Arc::new(arena),
+            core: Arc::new(FamilyCore { parameters, param_index, offsets, ids, universe }),
+        })
+    }
+
     /// The parameter domain, in materialization order.
     pub fn parameters(&self) -> &[Vec<Element>] {
         &self.core.parameters

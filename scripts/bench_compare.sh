@@ -439,3 +439,74 @@ if failures:
     sys.exit(1)
 print(f"\nOK: fingerprinting accuses correctly and stays within {tolerance:.0f}% of the committed baseline")
 PY
+
+# -- store gate: crash-recovery time and the Theorem 7 incremental
+#    re-marking advantage. The ≥10x speedup of a 1%-update re-mark over
+#    a full re-mark is a hard floor; the mark must survive everything.
+ST_BASELINE=BENCH_store.json
+if [[ ! -f "$ST_BASELINE" ]]; then
+  echo "note: missing $ST_BASELINE — run bench_store once and commit it to enable the store gate"
+  exit 0
+fi
+
+cargo build --release -p qpwm-bench --bin bench_store
+ST_BIN="$PWD/target/release/bench_store"
+if [[ -n "$THREADS" ]]; then
+  (cd "$SCRATCH" && "$ST_BIN" --threads "$THREADS" >/dev/null)
+else
+  (cd "$SCRATCH" && "$ST_BIN" >/dev/null)
+fi
+
+python3 - "$ST_BASELINE" "$SCRATCH/BENCH_store.json" "$TOLERANCE" <<'PY'
+import json
+import sys
+
+baseline_path, fresh_path, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
+with open(baseline_path) as f:
+    base = json.load(f)
+with open(fresh_path) as f:
+    now = json.load(f)
+
+failures = []
+
+# 1. correctness: exact capacity, every committed txn rolled forward,
+#    and the mark intact after recovery plus incremental re-marking
+if base["capacity_bits"] != now["capacity_bits"]:
+    failures.append(
+        f"carrier capacity changed {base['capacity_bits']} -> {now['capacity_bits']} bits"
+    )
+if not now["mark_intact"]:
+    failures.append("mark no longer survives recovery + incremental re-marking")
+if base["remarked_tuples"] != now["remarked_tuples"]:
+    failures.append(
+        f"incremental plan size changed {base['remarked_tuples']} -> {now['remarked_tuples']}"
+    )
+
+# 2. the Theorem 7 floor: re-marking after a 1% update must beat a full
+#    re-mark by at least 10x
+speedup = float(now["remark_speedup"])
+print(f"\nincremental re-mark speedup: {speedup:.1f}x (floor: 10x)")
+if speedup < 10.0:
+    failures.append(f"incremental re-mark speedup fell to {speedup:.1f}x (< 10x)")
+
+# 3. timing vs the committed baseline. Every store op ends in fsync, so
+#    these jitter well beyond CPU-bound noise on a shared box — compare
+#    at double the configured tolerance.
+store_tolerance = tolerance * 2
+print(f"\n{'metric':>16} {'baseline':>10} {'fresh':>10} {'delta':>8}")
+for metric in ("create_ms", "recover_ms", "full_remark_ms", "delta_remark_ms"):
+    old, new = float(base[metric]), float(now[metric])
+    delta = (new - old) / old * 100 if old > 0 else 0.0
+    flag = ""
+    if old > 0 and delta > store_tolerance:
+        failures.append(f"{metric}: {old:.2f} -> {new:.2f} ms (+{delta:.1f}%)")
+        flag = "  << REGRESSION"
+    print(f"{metric:>16} {old:>10.2f} {new:>10.2f} {delta:>+7.1f}%{flag}")
+
+if failures:
+    print(f"\n{len(failures)} store gate failure(s):", file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+print(f"\nOK: store recovers in time, and the incremental re-mark keeps its 10x edge")
+PY

@@ -192,4 +192,42 @@ curl -sf -X POST "http://$FP_ADDR/shutdown" >/dev/null
 wait "$FP_PID"
 echo "fingerprint smoke test OK ($FP_ADDR, bob accused)"
 
+# Crash-recovery smoke test: initialize a persistent store over the
+# ring instance, embed the mark, then kill a re-marking update at a
+# seeded WAL/page-file write (with a torn half-write) and require
+# recovery to hand the detector the exact committed state — the claimed
+# mark must still verify. A clean retry of the update must then commit
+# and keep the mark.
+echo "== tier-1: store crash-recovery smoke test =="
+./target/release/qpwm store init \
+  --store "$SMOKE/db.qps" --schema 'R(a,b)' --table "R=$SMOKE/ring.csv" \
+  --weights "$SMOKE/weights.csv" --rule 'q($u; v) :- R($u, v)' > /dev/null
+./target/release/qpwm store mark \
+  --store "$SMOKE/db.qps" --schema 'R(a,b)' --table "R=$SMOKE/ring.csv" \
+  --weights "$SMOKE/weights.csv" --rule 'q($u; v) :- R($u, v)' \
+  --message "$MESSAGE" --key-out "$SMOKE/store.key" > /dev/null
+printf 'n3,500\nn7,501\n' > "$SMOKE/upd.csv"
+
+set +e
+QPWM_STORE_CRASH_OP=5 QPWM_STORE_CRASH_TORN=1 ./target/release/qpwm store update \
+  --store "$SMOKE/db.qps" --updates "$SMOKE/upd.csv" --key "$SMOKE/store.key" \
+  > "$SMOKE/crash-update.log" 2>&1
+CRASH_RC=$?
+set -e
+[[ "$CRASH_RC" -eq 86 ]] \
+  || { echo "seeded crash did not fire (exit $CRASH_RC):" >&2; cat "$SMOKE/crash-update.log" >&2; exit 1; }
+
+VERIFY="$(./target/release/qpwm store verify \
+  --store "$SMOKE/db.qps" --key "$SMOKE/store.key" --claim "$MESSAGE")"
+echo "$VERIFY" | grep -q 'MARK PRESENT' \
+  || { echo "mark lost after crashed update:" >&2; echo "$VERIFY" >&2; exit 1; }
+
+./target/release/qpwm store update \
+  --store "$SMOKE/db.qps" --updates "$SMOKE/upd.csv" --key "$SMOKE/store.key" > /dev/null
+VERIFY="$(./target/release/qpwm store verify \
+  --store "$SMOKE/db.qps" --key "$SMOKE/store.key" --claim "$MESSAGE")"
+echo "$VERIFY" | grep -q 'MARK PRESENT' \
+  || { echo "mark lost after committed update:" >&2; echo "$VERIFY" >&2; exit 1; }
+echo "store crash-recovery smoke test OK (crashed at op 5 with a torn write, recovered, re-marked)"
+
 echo "== tier-1: OK =="

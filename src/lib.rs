@@ -20,7 +20,9 @@
 //! * [`workloads`] — reproducible synthetic workload generators;
 //! * [`par`] — deterministic scoped-thread parallel map/reduce;
 //! * [`serve`] — the HTTP data server (answer sets, aggregates,
-//!   owner-side detection over the wire, cache + metrics).
+//!   owner-side detection over the wire, cache + metrics);
+//! * [`store`] — the crash-safe persistent store: checksummed pages, a
+//!   redo WAL, transactional re-marking, and seeded crash injection.
 //!
 //! ## Quickstart
 //!
@@ -63,6 +65,7 @@ pub use qpwm_fingerprint as fingerprint;
 pub use qpwm_logic as logic;
 pub use qpwm_par as par;
 pub use qpwm_serve as serve;
+pub use qpwm_store as store;
 pub use qpwm_structures as structures;
 pub use qpwm_trees as trees;
 pub use qpwm_workloads as workloads;

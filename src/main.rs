@@ -46,6 +46,18 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("battleground") {
         return ExitCode::from(qpwm::bench::battleground::cli_main(&args[1..]) as u8);
     }
+    // `store` takes a positional verb before its flags.
+    if args.first().map(String::as_str) == Some("store") {
+        return match store_cmd(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                eprintln!();
+                eprintln!("{USAGE}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
@@ -80,6 +92,14 @@ const USAGE: &str = "usage:
   cross-scheme attack battleground (X-B3 Pareto table):
     qpwm battleground [--check] [--threads <n>] [--schemes <a,b,..>]
                       [--attacks <x,y,..>] [--no-bench]
+  crash-safe persistent store (WAL-backed pages, transactional re-marking):
+    qpwm store init   --store <file.qps> --schema <spec> --table Rel=file.csv
+                      [--table ...] --weights <w.csv> --rule <rule>
+    qpwm store mark   --store <file.qps> --schema <spec> --table Rel=file.csv
+                      [--table ...] --rule <rule> --message <bits>
+                      --key-out <keyfile> [--d <n>] [--rho <n>]
+    qpwm store update --store <file.qps> --updates <changes.csv> [--key <keyfile>]
+    qpwm store verify --store <file.qps> --key <keyfile> [--claim <bits>]
   data server (answer sets + aggregates over HTTP):
     qpwm serve     --schema <spec> --table Rel=file.csv [--table ...]
                    --weights <marked.csv> --rule <rule>
@@ -90,6 +110,7 @@ const USAGE: &str = "usage:
     qpwm serve     --xml <marked.xml> --pattern <pattern>
                    [--port <n>] [--shards <n>] [--cache <entries>]
                    [--backlog <n>] [--chaos <spec>]
+    qpwm serve     --store <file.qps> [--port <n>] [--shards <n>] [...]
   multi-tenant fingerprinting (issuance ledger, traitor tracing):
     qpwm issue     --master <secret> --ledger <file> --recipient <name> [--at <ts>]
     qpwm revoke    --master <secret> --ledger <file> --recipient <name> [--at <ts>]
@@ -655,17 +676,19 @@ fn load_registry(opts: &Options) -> Result<(KeyRegistry, String), String> {
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => KeyRegistry::new(master),
         Err(e) => return Err(format!("reading ledger {path}: {e}")),
     };
+    if let Some(torn) = registry.torn_tail() {
+        eprintln!(
+            "warning: ledger {path} ends in a torn line (crash mid-append?); \
+             that record is lost and was skipped: {torn}"
+        );
+    }
     Ok((registry, path))
 }
 
+/// Ledger appends go through the fingerprint crate's fsync'd writer: a
+/// grant the CLI reported as issued must survive a crash right after.
 fn append_ledger_line(path: &str, line: &str) -> Result<(), String> {
-    use std::io::Write;
-    let mut file = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(path)
-        .map_err(|e| format!("opening ledger {path}: {e}"))?;
-    file.write_all(line.as_bytes())
+    qpwm::fingerprint::append_ledger_line(std::path::Path::new(path), line)
         .map_err(|e| format!("appending to ledger {path}: {e}"))
 }
 
@@ -832,7 +855,9 @@ fn accuse_remote(addr: &str, opts: &Options) -> Result<(), String> {
 /// `qpwm serve`: pre-materializes the answer family once and serves it
 /// over HTTP until `POST /shutdown` (loopback-only) stops it.
 fn serve(opts: &Options) -> Result<(), String> {
-    let data = if optional(opts, "xml").is_some() {
+    let data = if optional(opts, "store").is_some() {
+        serve_data_store(opts)?
+    } else if optional(opts, "xml").is_some() {
         serve_data_xml(opts)?
     } else {
         serve_data_db(opts)?
@@ -962,4 +987,296 @@ fn serve_data_xml(opts: &Options) -> Result<qpwm::serve::ServeData, String> {
         None,
         required(opts, "pattern")?.to_owned(),
     ))
+}
+
+/// Store serve mode: the family, labels and *marked* weights come
+/// straight off the WAL-recovered pages — after any crash the server
+/// exposes exactly one committed marking, never a torn one.
+fn serve_data_store(opts: &Options) -> Result<qpwm::serve::ServeData, String> {
+    let (mut store, path) = open_store(opts)?;
+    let content = store.content().map_err(|e| format!("reading store {path}: {e}"))?;
+    let family = content.family().map_err(|e| format!("store {path}: {e}"))?;
+    let names = (!content.element_names.is_empty()).then(|| content.element_names.clone());
+    println!(
+        "store {path}: {} tuple(s), {} parameter(s), query {}",
+        content.n_tuples(),
+        content.n_params(),
+        content.query_name
+    );
+    Ok(qpwm::serve::ServeData::new(
+        family,
+        content.marked_weights(),
+        content.param_labels.clone(),
+        names,
+        content.query_name,
+    ))
+}
+
+// ---------------------------------------------------------------------
+// crash-safe persistent store
+// ---------------------------------------------------------------------
+
+/// `qpwm store <verb>`: the WAL-backed persistent store. The `--store`
+/// path names the page file (a `.wal` sibling rides next to it); the
+/// tier-1 crash smoke arms `QPWM_STORE_CRASH_OP` so a live `store
+/// update` dies mid-write and the next verb recovers.
+fn store_cmd(args: &[String]) -> Result<(), String> {
+    let Some((verb, rest)) = args.split_first() else {
+        return Err("store needs a verb: init | mark | update | verify".into());
+    };
+    let opts = parse_options(rest)?;
+    if let Some(raw) = optional(&opts, "threads") {
+        let n = qpwm::par::parse_thread_arg(raw).map_err(|e| format!("--threads: {e}"))?;
+        qpwm::par::set_threads(n);
+    }
+    match verb.as_str() {
+        "init" => store_init(&opts),
+        "mark" => store_mark(&opts),
+        "update" => store_update(&opts),
+        "verify" => store_verify(&opts),
+        other => Err(format!("unknown store verb {other} (init | mark | update | verify)")),
+    }
+}
+
+/// Opens `--store`, running WAL recovery; anything recovery did is
+/// reported so crash smoke logs show the replay happening.
+fn open_store(opts: &Options) -> Result<(qpwm::store::Store, String), String> {
+    let path = required(opts, "store")?.to_owned();
+    let vfs = qpwm::store::DiskVfs::from_env("");
+    let store = qpwm::store::Store::open(&vfs, &path)
+        .map_err(|e| format!("opening store {path}: {e}"))?;
+    let rec = store.recovery();
+    if rec.replayed_txns > 0 || rec.discarded_txns > 0 || rec.torn_tail {
+        println!(
+            "recovery: replayed {} committed txn(s) ({} page(s)), discarded {} uncommitted{}",
+            rec.replayed_txns,
+            rec.replayed_pages,
+            rec.discarded_txns,
+            if rec.torn_tail { "; torn WAL tail truncated" } else { "" }
+        );
+    }
+    Ok((store, path))
+}
+
+fn parse_message(opts: &Options) -> Result<Vec<bool>, String> {
+    required(opts, "message")?
+        .chars()
+        .map(|c| match c {
+            '0' => Ok(false),
+            '1' => Ok(true),
+            other => Err(format!("message must be 0/1 bits, got {other}")),
+        })
+        .collect()
+}
+
+fn load_key(opts: &Options) -> Result<SchemeKey, String> {
+    let key_path = required(opts, "key")?;
+    let key_text =
+        std::fs::read_to_string(key_path).map_err(|e| format!("reading {key_path}: {e}"))?;
+    SchemeKey::from_text(&key_text).map_err(|e| e.to_string())
+}
+
+/// `qpwm store init`: materializes the rule's answer family over the CSV
+/// tables and persists it unmarked (delta = 0 everywhere).
+fn store_init(opts: &Options) -> Result<(), String> {
+    let path = required(opts, "store")?;
+    let (db, _) = load_db(opts)?;
+    let rule_text = required(opts, "rule")?;
+    let rule = parse_rule(rule_text, db.instance.structure().schema())
+        .map_err(|e| e.to_string())?;
+    let family = rule.query.answers(db.instance.structure());
+    let labels: Vec<String> = family
+        .parameters()
+        .iter()
+        .map(|a| {
+            a.iter().map(|&e| db.name(e).to_owned()).collect::<Vec<_>>().join(",")
+        })
+        .collect();
+    let content = qpwm::store::StoreContent::from_family(
+        &family,
+        db.instance.weights(),
+        db.instance.weights(),
+        labels,
+        db.names.clone(),
+        rule.name.clone(),
+    )
+    .map_err(|e| e.to_string())?;
+    let vfs = qpwm::store::DiskVfs::from_env("");
+    let store = qpwm::store::Store::create(&vfs, path, &content)
+        .map_err(|e| format!("creating store {path}: {e}"))?;
+    println!(
+        "initialized {path}: {} tuple(s), {} parameter(s), query {} (unmarked)",
+        store.n_tuples(),
+        store.n_params(),
+        rule.name
+    );
+    Ok(())
+}
+
+/// `qpwm store mark`: builds the Theorem 3 scheme over the same public
+/// tables the store was initialized from (element ids align because the
+/// interning order is deterministic), embeds the message as one
+/// transaction of delta writes, and saves the secret to `--key-out`.
+fn store_mark(opts: &Options) -> Result<(), String> {
+    let (mut store, path) = open_store(opts)?;
+    let content = store.content().map_err(|e| format!("reading store {path}: {e}"))?;
+    let (db, _) = load_db_core(opts, false)?;
+    let (scheme, rule_name) = build_db_scheme(&db, opts)?;
+    let message = parse_message(opts)?;
+    if message.len() > scheme.capacity() {
+        return Err(format!(
+            "message has {} bits but the database carries {} (rule {rule_name}, d = {})",
+            message.len(),
+            scheme.capacity(),
+            scheme.d()
+        ));
+    }
+    let deltas = scheme.marking().delta_map(&message);
+    let mut txn = store.begin();
+    let mut touched = 0usize;
+    for (key, delta) in &deltas {
+        let id = content.lookup(key).ok_or_else(|| {
+            format!("pair tuple not interned in {path} (was init run over the same tables?)")
+        })?;
+        txn.set_delta(id, *delta).map_err(|e| e.to_string())?;
+        touched += 1;
+    }
+    let stats = txn.commit().map_err(|e| e.to_string())?;
+    let key = SchemeKey { marking: scheme.marking().clone(), d: scheme.d() };
+    let key_path = required(opts, "key-out")?;
+    std::fs::write(key_path, key.to_text())
+        .map_err(|e| format!("writing {key_path}: {e}"))?;
+    println!(
+        "marked: {} bits across {touched} tuple(s); txn {} committed ({} page(s), {} WAL byte(s))",
+        message.len(),
+        stats.txn,
+        stats.pages,
+        stats.wal_bytes
+    );
+    println!("wrote secret {key_path}");
+    Ok(())
+}
+
+/// `qpwm store update`: applies a weight-only delta (Theorem 7) as one
+/// transaction. With `--key` the touched pairs are re-marked in the same
+/// transaction, so a crash anywhere leaves either the old committed
+/// marking or the new one — never a half-re-marked state.
+fn store_update(opts: &Options) -> Result<(), String> {
+    use std::collections::HashSet;
+    let (mut store, path) = open_store(opts)?;
+    let content = store.content().map_err(|e| format!("reading store {path}: {e}"))?;
+    if content.tuple_arity != 1 {
+        return Err("store update needs 1-ary answer tuples (named elements)".into());
+    }
+    let by_name: HashMap<&str, u32> = content
+        .element_names
+        .iter()
+        .enumerate()
+        .map(|(e, n)| (n.as_str(), e as u32))
+        .collect();
+    let updates_path = required(opts, "updates")?;
+    let updates_csv = std::fs::read_to_string(updates_path)
+        .map_err(|e| format!("reading {updates_path}: {e}"))?;
+    let mut updates: Vec<(u32, u32, i64)> = Vec::new(); // (tuple id, element, new base)
+    for (lineno, line) in updates_csv.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .rsplit_once(',')
+            .ok_or_else(|| format!("bad update row at line {}", lineno + 1))?;
+        let name = name.trim().trim_matches('"').replace("\"\"", "\"");
+        let w: i64 = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad update weight at line {}", lineno + 1))?;
+        let &e = by_name
+            .get(name.as_str())
+            .ok_or_else(|| format!("line {}: unknown element '{name}'", lineno + 1))?;
+        let id = content
+            .lookup(&[e])
+            .ok_or_else(|| format!("line {}: '{name}' is not an answer tuple", lineno + 1))?;
+        updates.push((id, e, w));
+    }
+    if updates.is_empty() {
+        return Err(format!("{updates_path}: no updates"));
+    }
+
+    // With the key, re-mark only the touched neighborhoods (the sparse
+    // Theorem 7 plan); without it, the delta column is left untouched.
+    let mut remark: Vec<(u32, i64)> = Vec::new();
+    if optional(opts, "key").is_some() {
+        let key = load_key(opts)?;
+        // Reconstruct the embedded bits from the store itself: pairwise
+        // extraction over the marked vs base weights. Trailing pairs with
+        // no evidence were never marked — trim them off the message.
+        let family = content.family().map_err(|e| format!("store {path}: {e}"))?;
+        let server =
+            qpwm::core::detect::HonestServer::new(family, content.marked_weights());
+        let observed = ObservedWeights::collect(&server);
+        let report = key.marking.extract(&content.base_weights(), &observed);
+        let embedded = report.scores.iter().rposition(|&s| s != 0).map_or(0, |i| i + 1);
+        let bits = &report.bits[..embedded];
+        let touched: HashSet<Vec<u32>> = updates.iter().map(|&(_, e, _)| vec![e]).collect();
+        for (wkey, delta) in qpwm::core::incremental::remark_touched(&key.marking, bits, &touched)
+        {
+            let id = content
+                .lookup(&wkey)
+                .ok_or_else(|| format!("re-mark pair tuple not interned in {path}"))?;
+            remark.push((id, delta));
+        }
+    }
+
+    let mut txn = store.begin();
+    for &(id, _, w) in &updates {
+        txn.set_base(id, w).map_err(|e| e.to_string())?;
+    }
+    for &(id, delta) in &remark {
+        txn.set_delta(id, delta).map_err(|e| e.to_string())?;
+    }
+    let stats = txn.commit().map_err(|e| e.to_string())?;
+    println!(
+        "updated {} base weight(s), re-marked {} tuple(s); txn {} committed \
+         ({} page(s), {} WAL byte(s))",
+        updates.len(),
+        remark.len(),
+        stats.txn,
+        stats.pages,
+        stats.wal_bytes
+    );
+    Ok(())
+}
+
+/// `qpwm store verify`: the detector's read over the recovered pages —
+/// serve the marked weights, extract against the base weights, and score
+/// an optional `--claim` exactly like `detect-db` does.
+fn store_verify(opts: &Options) -> Result<(), String> {
+    let (mut store, path) = open_store(opts)?;
+    let content = store.content().map_err(|e| format!("reading store {path}: {e}"))?;
+    let key = load_key(opts)?;
+    let family = content.family().map_err(|e| format!("store {path}: {e}"))?;
+    let server = qpwm::core::detect::HonestServer::new(family, content.marked_weights());
+    let observed = ObservedWeights::collect(&server);
+    let report = key.marking.extract(&content.base_weights(), &observed);
+    let bits: String = report.bits.iter().map(|&b| if b { '1' } else { '0' }).collect();
+    println!(
+        "store {path}: {} tuple(s), {} parameter(s), next txn {}",
+        content.n_tuples(),
+        content.n_params(),
+        store.next_txn()
+    );
+    println!("extracted bits: {bits}");
+    if let Some(claim) = optional(opts, "claim") {
+        let claimed: Vec<bool> = claim.chars().map(|c| c == '1').collect();
+        let check = report.claim_check(&claimed, DEFAULT_DELTA);
+        println!(
+            "claim check: {}/{} bits match, false-positive probability {:.2e}",
+            check.matches, check.claimed, check.significance
+        );
+        print_verdict(check.verdict);
+        if check.verdict != Verdict::MarkPresent {
+            return Err(format!("claimed mark not established in {path}"));
+        }
+    }
+    Ok(())
 }
