@@ -1,26 +1,40 @@
-//! Persistent-store micro-benchmark: crash-recovery time and the
+//! Persistent-store micro-benchmark: the out-of-core marking/serving
+//! path, group-commit throughput, crash-recovery time, and the
 //! Theorem 7 incremental re-marking advantage.
 //!
-//! The carrier is the battleground's ring relation at store size
-//! (n = 32768 by default — large enough that a full re-mark overflows
-//! the buffer pool while the 1% update stays resident). The headline metric pits a full re-mark — a
-//! fresh `delta_map` over every pair, written as one transaction —
-//! against the incremental path for a 1% weight update, where
-//! `remark_touched` confines the delta writes to the pairs the update
-//! actually hit. The incremental commit must be at least 10× faster;
-//! `scripts/bench_compare.sh` gates that floor alongside the recovery
-//! timing in `BENCH_store.json`.
+//! Phase order matters: the out-of-core phase runs **first** so the
+//! process high-water mark (`VmHWM`) it reports reflects the streaming
+//! path alone. It streams an `--oo`-sized pair family (default 10^7
+//! tuples) through [`StoreStreamer`] into store pages, then verifies
+//! every pair back through a [`ReadView`] buffer pool without ever
+//! materializing the family — the acceptance gate holds the peak RSS
+//! under 256 MiB. A smaller differential run re-reads the same image
+//! through both the paged and the in-RAM (`Store::open` → `content()`)
+//! paths and demands bit-for-bit identical detection evidence.
+//!
+//! The group-commit phase commits the same 64-transaction batch twice —
+//! once with an fsync per transaction, once buffered behind a single
+//! [`Store::group_commit_no_checkpoint`] flush — and reports the
+//! speedup (gated at ≥ 3× by `scripts/bench_compare.sh`).
+//!
+//! The remaining phases are the original X-S2 drill over the
+//! battleground's ring relation: recovery time for a committed WAL and
+//! full re-mark vs `remark_touched` for a 1% update, with the 10×
+//! incremental floor gated alongside everything else in
+//! `BENCH_store.json`.
 //!
 //! Run with `cargo run --release -p qpwm-bench --bin bench_store`
-//! (flags: `--ring <n>`, `--threads <n>`). Writes its store file and
-//! WAL into the working directory.
+//! (flags: `--oo <n>`, `--ring <n>`, `--threads <n>`). Writes its store
+//! files and WALs into the working directory.
 
 use qpwm_bench::Table;
-use qpwm_core::detect::{HonestServer, ObservedWeights, Verdict, DEFAULT_DELTA};
+use qpwm_core::detect::{
+    DetectionReport, HonestServer, ObservedWeights, Verdict, DEFAULT_DELTA,
+};
 use qpwm_core::incremental::remark_touched;
 use qpwm_core::local_scheme::{LocalScheme, LocalSchemeConfig, SelectionStrategy};
 use qpwm_logic::datalog::parse_rule;
-use qpwm_store::{DiskVfs, Store, StoreContent};
+use qpwm_store::{DiskVfs, ReadView, Store, StoreContent, StoreStreamer};
 use qpwm_structures::{Element, WeightKey};
 use qpwm_workloads::csv_db::load_csv_database;
 use std::collections::HashSet;
@@ -28,6 +42,16 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 const STORE_NAME: &str = "bench_store.qps";
+const OO_NAME: &str = "bench_oo.qps";
+const DIFF_NAME: &str = "bench_oo_diff.qps";
+const GC_NAME: &str = "bench_gc.qps";
+
+/// Frames per pool in the out-of-core phase: 8 MiB of 4 KiB pages, a
+/// rounding error next to the ~375 MB image it serves.
+const OO_POOL_FRAMES: usize = 2048;
+
+/// Transactions per group-commit batch (the acceptance batch size).
+const GC_BATCH: usize = 64;
 
 fn flag_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -64,6 +88,156 @@ fn time_per_op(mut op: impl FnMut()) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// Process high-water RSS in MiB, from `VmHWM` in `/proc/self/status`.
+fn peak_rss_mib() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
+// ---------------------------------------------------------------- OO phase
+
+/// The procedural pair carrier: unary tuples `0..n`, parameter `i`
+/// activates the pair `{2i, 2i+1}`, and the embedded bit for pair `i`
+/// is the popcount parity of `i`. Everything below derives from these
+/// three functions, so no phase ever needs the family in RAM.
+fn oo_bit(i: usize) -> bool {
+    (i as u64).count_ones().is_multiple_of(2)
+}
+
+fn oo_base(e: u32) -> i64 {
+    100 + i64::from(e) % 1000
+}
+
+/// The pair mark: the first member carries `+1` when the bit is 1, the
+/// second the opposite sign — the same ±1 swap Theorem 3 emits.
+fn oo_delta(e: u32) -> i64 {
+    let first = if oo_bit((e / 2) as usize) { 1 } else { -1 };
+    if e.is_multiple_of(2) {
+        first
+    } else {
+        -first
+    }
+}
+
+/// Streams the `n`-tuple pair family into `name` and returns the wall
+/// time. Peak memory is the streamer's write buffers plus an `n/8`-byte
+/// active bitmap — the family itself never exists in RAM.
+fn oo_create(vfs: &DiskVfs, name: &str, n: usize) -> f64 {
+    let start = Instant::now();
+    let mut s = StoreStreamer::new(vfs, name, 1, 1, "pairs").expect("streamer");
+    for e in 0..n as u32 {
+        s.push_tuple(&[e], oo_base(e), oo_delta(e)).expect("tuple");
+    }
+    for i in 0..n as u32 / 2 {
+        s.push_param(&[i], &format!("p{i}"), &[2 * i, 2 * i + 1]).expect("param");
+    }
+    let stats = s.finish(vfs).expect("finish");
+    assert_eq!(stats.n_tuples, n);
+    assert_eq!(stats.n_params, n / 2);
+    start.elapsed().as_secs_f64() * 1000.0
+}
+
+/// Builds the pair-marking detection evidence from any per-tuple
+/// `(base, delta)` reader: bit `i` is the sign of the observed swap on
+/// pair `(2i, 2i+1)`. Both the paged and the in-RAM differential paths
+/// run exactly this — only the data source differs.
+fn pair_report(n_pairs: usize, mut entry: impl FnMut(u32) -> (i64, i64)) -> DetectionReport {
+    let mut bits = Vec::with_capacity(n_pairs);
+    let mut scores = Vec::with_capacity(n_pairs);
+    for i in 0..n_pairs {
+        let (_, d0) = entry(2 * i as u32);
+        let (_, d1) = entry(2 * i as u32 + 1);
+        let score = d0 - d1;
+        bits.push(score > 0);
+        scores.push(score);
+    }
+    DetectionReport { bits, scores, missing_pairs: 0 }
+}
+
+/// The small-scale differential: the same image read through the paged
+/// path and through the in-RAM decode must yield bit-identical
+/// detection evidence and claim checks.
+fn oo_evidence_identical(vfs: &DiskVfs, n: usize) -> bool {
+    let mut s = StoreStreamer::new(vfs, DIFF_NAME, 1, 1, "pairs").expect("diff streamer");
+    for e in 0..n as u32 {
+        s.push_tuple(&[e], oo_base(e), oo_delta(e)).expect("tuple");
+    }
+    for i in 0..n as u32 / 2 {
+        s.push_param(&[i], &format!("p{i}"), &[2 * i, 2 * i + 1]).expect("param");
+    }
+    s.finish(vfs).expect("diff finish");
+
+    let mut store = Store::open(vfs, DIFF_NAME).expect("diff open");
+    let content = store.content().expect("diff content");
+    let ram = pair_report(n / 2, |id| (content.base[id as usize], content.delta[id as usize]));
+    drop(store);
+
+    let mut view = ReadView::open(vfs, DIFF_NAME, Some(64)).expect("diff view");
+    let paged = pair_report(n / 2, |id| view.weight_entry(id).expect("weight entry"));
+    drop(view);
+    let _ = std::fs::remove_file(DIFF_NAME);
+    let _ = std::fs::remove_file(format!("{DIFF_NAME}.wal"));
+
+    let expected: Vec<bool> = (0..64).map(oo_bit).collect();
+    let ram_check = ram.claim_check(&expected, DEFAULT_DELTA);
+    let paged_check = paged.claim_check(&expected, DEFAULT_DELTA);
+    ram.bits == paged.bits
+        && ram.scores == paged.scores
+        && ram.missing_pairs == paged.missing_pairs
+        && ram_check.matches == paged_check.matches
+        && ram_check.compared == paged_check.compared
+        && ram_check.significance == paged_check.significance
+        && ram_check.verdict == paged_check.verdict
+}
+
+// ---------------------------------------------------------------- GC phase
+
+/// A small dedicated store for the group-commit drill: 512 unary
+/// tuples, 256 pair parameters.
+fn gc_content() -> StoreContent {
+    let n = 512usize;
+    let ids: Vec<u32> = (0..n as u32).collect();
+    StoreContent {
+        tuple_arity: 1,
+        param_arity: 1,
+        flat: ids.clone(),
+        parameters: (0..n as u32 / 2).collect(),
+        offsets: (0..=n as u32 / 2).map(|i| 2 * i).collect(),
+        ids: ids.clone(),
+        universe: ids,
+        base: (0..n).map(|e| 100 + e as i64).collect(),
+        delta: vec![0; n],
+        param_labels: (0..n / 2).map(|i| format!("p{i}")).collect(),
+        element_names: Vec::new(),
+        query_name: "gc".into(),
+    }
+}
+
+/// One batch of `GC_BATCH` single-delta transactions, committed either
+/// one-fsync-per-transaction or buffered behind one group commit.
+/// Returns (elapsed ms, WAL fsyncs the batch cost).
+fn gc_batch(store: &mut Store, round: i64, grouped: bool) -> (f64, u64) {
+    let fsyncs_before = store.stat().wal.fsyncs;
+    let start = Instant::now();
+    for k in 0..GC_BATCH {
+        let mut txn = store.begin();
+        txn.set_delta(k as u32, round + k as i64).expect("delta write");
+        if grouped {
+            txn.commit_buffered().expect("buffered commit");
+        } else {
+            txn.commit_no_checkpoint().expect("per-txn commit");
+        }
+    }
+    if grouped {
+        let batched = store.group_commit_no_checkpoint().expect("group commit");
+        assert_eq!(batched, GC_BATCH, "every buffered txn flushes");
+    }
+    let ms = start.elapsed().as_secs_f64() * 1000.0;
+    (ms, store.stat().wal.fsyncs - fsyncs_before)
+}
+
 /// One full re-mark: a fresh `delta_map` over every pair, applied as a
 /// single transaction of delta writes.
 fn full_remark(store: &mut Store, content: &StoreContent, scheme: &LocalScheme, bits: &[bool]) {
@@ -86,7 +260,108 @@ fn main() {
             }
         }
     }
+    let oo_n = parse_flag("--oo", 10_000_000);
+    assert!(oo_n >= 4 && oo_n.is_multiple_of(2), "--oo must be an even pair count >= 4");
     let n = parse_flag("--ring", 32768) as u32;
+    let vfs = DiskVfs::new("");
+
+    // 0. out-of-core: stream a 10^7-tuple pair family into store pages,
+    //    then verify every pair back through a bounded buffer pool. The
+    //    family never exists in RAM; VmHWM is recorded immediately after
+    //    so later (resident) phases can't inflate it.
+    println!("out-of-core carrier: {oo_n} tuples, {} pairs", oo_n / 2);
+    let oo_create_ms = oo_create(&vfs, OO_NAME, oo_n);
+    let oo_pages = {
+        let store = Store::open(&vfs, OO_NAME).expect("oo reopen");
+        store.stat().total_pages
+    };
+
+    let mut view =
+        ReadView::open(&vfs, OO_NAME, Some(OO_POOL_FRAMES)).expect("oo view");
+    let start = Instant::now();
+    let report = pair_report(oo_n / 2, |id| view.weight_entry(id).expect("weight entry"));
+    let oo_verify_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let expected: Vec<bool> = (0..64).map(oo_bit).collect();
+    let check = report.claim_check(&expected, DEFAULT_DELTA);
+    assert!(
+        check.verdict == Verdict::MarkPresent && check.matches == check.claimed,
+        "streamed mark must verify ({}/{} bits, {:?})",
+        check.matches,
+        check.claimed,
+        check.verdict
+    );
+    assert_eq!(report.clean_fraction(), 1.0, "every pair read cleanly");
+
+    // the serving read path: answer sets + labels for a strided sample
+    // of parameters, through the same pool the paged server uses.
+    let sample = 4096.min(oo_n / 2);
+    let stride = (oo_n / 2 / sample).max(1);
+    let start = Instant::now();
+    let mut served_rows = 0usize;
+    for s in 0..sample {
+        let i = s * stride;
+        let pairs = view.answer_pairs(i).expect("answer pairs");
+        let label = view.label(i).expect("label");
+        assert_eq!(pairs.len(), 2, "pair family parameter {label}");
+        served_rows += pairs.len();
+    }
+    let oo_serve_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let pool = view.pool_stats();
+    let (resident, capacity) = view.pool_usage();
+    drop(view);
+
+    let oo_peak_rss_mib = peak_rss_mib().unwrap_or(0.0);
+    assert!(
+        oo_peak_rss_mib > 0.0 && oo_peak_rss_mib < 256.0,
+        "out-of-core phase must stay under the 256 MiB ceiling (VmHWM {oo_peak_rss_mib:.1} MiB)"
+    );
+    let oo_evidence = oo_evidence_identical(&vfs, 100_000);
+    assert!(oo_evidence, "paged and in-RAM detection evidence must be bit-identical");
+    let _ = std::fs::remove_file(OO_NAME);
+    let _ = std::fs::remove_file(format!("{OO_NAME}.wal"));
+    println!(
+        "out-of-core: create {oo_create_ms:.0} ms, verify {oo_verify_ms:.0} ms \
+         ({} pool hits / {} misses / {} evictions, {resident}/{capacity} frames), \
+         serve sample {served_rows} rows in {oo_serve_ms:.1} ms, peak RSS {oo_peak_rss_mib:.1} MiB",
+        pool.hits, pool.misses, pool.evictions
+    );
+
+    // 0b. group commit: the same 64-txn batch, one fsync per txn vs one
+    //     fsync per batch. Three rounds each, medians, interleaved so
+    //     neither path monopolizes a cold or warm page cache.
+    let gc = gc_content();
+    let mut store = Store::create(&vfs, GC_NAME, &gc).expect("gc store");
+    let mut per_txn = Vec::new();
+    let mut grouped = Vec::new();
+    let mut gc_fsyncs_per_txn = 0u64;
+    let mut gc_fsyncs_grouped = 0u64;
+    for round in 0..3i64 {
+        let (ms, fsyncs) = gc_batch(&mut store, 2 * round, false);
+        per_txn.push(ms);
+        gc_fsyncs_per_txn = fsyncs;
+        let (ms, fsyncs) = gc_batch(&mut store, 2 * round + 1, true);
+        grouped.push(ms);
+        gc_fsyncs_grouped = fsyncs;
+    }
+    per_txn.sort_by(f64::total_cmp);
+    grouped.sort_by(f64::total_cmp);
+    let gc_per_txn_ms = per_txn[per_txn.len() / 2];
+    let gc_grouped_ms = grouped[grouped.len() / 2];
+    let gc_speedup = gc_per_txn_ms / gc_grouped_ms;
+    assert_eq!(gc_fsyncs_per_txn, GC_BATCH as u64, "one fsync per txn");
+    assert_eq!(gc_fsyncs_grouped, 1, "one fsync per batch");
+    // the batch survives a reopen: recovery replays every grouped txn
+    drop(store);
+    let store = Store::open(&vfs, GC_NAME).expect("gc reopen");
+    assert_eq!(store.recovery().discarded_txns, 0, "no torn group commits");
+    drop(store);
+    let _ = std::fs::remove_file(GC_NAME);
+    let _ = std::fs::remove_file(format!("{GC_NAME}.wal"));
+    println!(
+        "group commit: {GC_BATCH} txns, {gc_per_txn_ms:.1} ms per-txn vs \
+         {gc_grouped_ms:.1} ms grouped ({gc_speedup:.1}x, \
+         {gc_fsyncs_per_txn} vs {gc_fsyncs_grouped} fsyncs)"
+    );
 
     // the carrier: a ring relation under the battleground's ring rule
     let mut ring = String::new();
@@ -129,7 +404,6 @@ fn main() {
     )
     .expect("content captures the marked family");
 
-    let vfs = DiskVfs::new("");
     let start = Instant::now();
     let mut store = Store::create(&vfs, STORE_NAME, &content).expect("store creates");
     let create_ms = start.elapsed().as_secs_f64() * 1000.0;
@@ -215,6 +489,13 @@ fn main() {
     );
 
     let mut table = Table::new(vec!["metric", "value"]);
+    table.row(vec![format!("oo_create_ms ({oo_n} tuples)"), format!("{oo_create_ms:.0}")]);
+    table.row(vec!["oo_verify_ms".into(), format!("{oo_verify_ms:.0}")]);
+    table.row(vec!["oo_peak_rss_mib".into(), format!("{oo_peak_rss_mib:.1}")]);
+    table.row(vec![
+        format!("gc_speedup ({GC_BATCH} txns)"),
+        format!("{gc_speedup:.1}x"),
+    ]);
     table.row(vec!["create_ms".into(), format!("{create_ms:.2}")]);
     table.row(vec![
         format!("recover_ms ({RECOVER_TXNS} txns)"),
@@ -226,7 +507,7 @@ fn main() {
         format!("{delta_remark_ms:.2}"),
     ]);
     table.row(vec!["remark_speedup".into(), format!("{speedup:.1}x")]);
-    table.print("X-S2 — store: recovery time and incremental re-marking");
+    table.print("X-S2/X-S3 — store: out-of-core, group commit, recovery, re-marking");
     println!(
         "WAL at recovery: {wal_records} record(s), {replayed_pages} page(s) replayed; \
          incremental plan re-marks {remarked} tuple(s); mark intact: {mark_intact}"
@@ -234,7 +515,17 @@ fn main() {
 
     let json = format!(
         "{{\n  \"carrier\": \"ring n={n}, q($u; v) :- R($u, v), rho=1 d=1\",\n  \
-         \"capacity_bits\": {capacity},\n  \"n_tuples\": {},\n  \"create_ms\": {create_ms:.3},\n  \
+         \"capacity_bits\": {capacity},\n  \"n_tuples\": {},\n  \
+         \"oo_n_tuples\": {oo_n},\n  \"oo_pages\": {oo_pages},\n  \
+         \"oo_create_ms\": {oo_create_ms:.3},\n  \"oo_verify_ms\": {oo_verify_ms:.3},\n  \
+         \"oo_serve_ms\": {oo_serve_ms:.3},\n  \"oo_pool_frames\": {OO_POOL_FRAMES},\n  \
+         \"oo_peak_rss_mib\": {oo_peak_rss_mib:.1},\n  \
+         \"oo_evidence_identical\": {oo_evidence},\n  \
+         \"gc_batch\": {GC_BATCH},\n  \"gc_per_txn_ms\": {gc_per_txn_ms:.3},\n  \
+         \"gc_grouped_ms\": {gc_grouped_ms:.3},\n  \"gc_speedup\": {gc_speedup:.2},\n  \
+         \"gc_fsyncs_per_txn\": {gc_fsyncs_per_txn},\n  \
+         \"gc_fsyncs_grouped\": {gc_fsyncs_grouped},\n  \
+         \"create_ms\": {create_ms:.3},\n  \
          \"recover_txns\": {RECOVER_TXNS},\n  \"recover_ms\": {recover_ms:.3},\n  \
          \"recover_wal_records\": {wal_records},\n  \"recover_replayed_pages\": {replayed_pages},\n  \
          \"full_remark_ms\": {full_remark_ms:.3},\n  \"delta_remark_ms\": {delta_remark_ms:.3},\n  \

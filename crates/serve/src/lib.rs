@@ -52,6 +52,7 @@ pub mod client;
 pub mod fingerprint;
 pub mod http;
 pub mod metrics;
+pub mod paged;
 pub mod reactor;
 pub mod server;
 pub mod state;
@@ -59,5 +60,6 @@ pub mod state;
 pub use chaos::{Fault, FaultPolicy};
 pub use client::{RemoteServer, RetryPolicy, RetryingClient, Timeouts, TransportStats};
 pub use fingerprint::FingerprintContext;
+pub use paged::PagedPlane;
 pub use server::{Server, ServerConfig};
 pub use state::{detect_request_body, ServeData};

@@ -43,8 +43,10 @@ use crate::http::{
     MAX_BODY_BYTES, MAX_HEAD_BYTES,
 };
 use crate::metrics::{render_cluster, Endpoint, Metrics, Observation, ShardView, FAULT_KINDS};
+use crate::paged::{render_store_metrics, sum_gauges, PagedPlane, PagedShard, PoolGauges};
 use crate::reactor::{bind_reuseport, Event, Poller, Slab, Wake, WriteQueue};
 use crate::state::{parse_batch_indices, ServeData, WireTable};
+use qpwm_store::WalStats;
 use std::io::{self, Read, Write};
 use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::io::AsRawFd;
@@ -84,6 +86,11 @@ pub struct ServerConfig {
     /// `?recipient=` answers and the `POST /accuse` forensic endpoint
     /// (see [`crate::fingerprint`]).
     pub fingerprint: Option<FingerprintContext>,
+    /// Optional out-of-core data plane: serve answers straight off
+    /// store pages through per-shard buffer pools instead of a resident
+    /// family (see [`crate::paged`]). Mutually exclusive with
+    /// `fingerprint`.
+    pub paged: Option<PagedPlane>,
 }
 
 impl Default for ServerConfig {
@@ -98,6 +105,7 @@ impl Default for ServerConfig {
             backlog: 128,
             chaos: None,
             fingerprint: None,
+            paged: None,
         }
     }
 }
@@ -135,6 +143,9 @@ struct Shared {
     shutdown_endpoint: bool,
     chaos: FaultPolicy,
     fingerprint: Option<FingerprintContext>,
+    /// WAL counters captured when the store was recovered, exported as
+    /// `qpwm_store_wal_*`; `Some` marks the server as paged.
+    store_wal: Option<WalStats>,
 }
 
 /// Everything one shard's event loop reads: its own cache/metrics plus
@@ -146,9 +157,12 @@ struct ShardEnv {
     /// This shard's fingerprint stamping-plan LRU (derivation index →
     /// flat delta plan).
     plan_cache: Arc<ShardedLru>,
+    /// This shard's private read view of the store (paged mode only).
+    paged: Option<PagedShard>,
     all_caches: Vec<Arc<ShardedLru>>,
     all_metrics: Vec<Arc<Metrics>>,
     all_plan_caches: Vec<Arc<ShardedLru>>,
+    all_pool_gauges: Vec<Arc<PoolGauges>>,
     wakes: Vec<Arc<Wake>>,
     backlog: usize,
     idle_timeout: Duration,
@@ -161,6 +175,7 @@ pub struct Server {
     caches: Vec<Arc<ShardedLru>>,
     metrics: Vec<Arc<Metrics>>,
     plan_caches: Vec<Arc<ShardedLru>>,
+    pool_gauges: Vec<Arc<PoolGauges>>,
     wakes: Vec<Arc<Wake>>,
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
@@ -172,6 +187,23 @@ impl Server {
     pub fn start(data: ServeData, config: ServerConfig) -> io::Result<Server> {
         let shards = resolve_shards(config.shards)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        if config.paged.is_some() && config.fingerprint.is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "fingerprint stamping requires the resident data plane",
+            ));
+        }
+        // each shard gets its own read view (own file handle, own pool)
+        // so the request path stays shared-nothing
+        let mut paged_shards: Vec<Option<PagedShard>> = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            paged_shards.push(match &config.paged {
+                Some(plane) => Some(PagedShard::open(plane)?),
+                None => None,
+            });
+        }
+        let pool_gauges: Vec<Arc<PoolGauges>> =
+            paged_shards.iter().flatten().map(PagedShard::gauges).collect();
         let requested = config
             .addr
             .to_socket_addrs()?
@@ -195,6 +227,7 @@ impl Server {
             shutdown_endpoint: config.shutdown_endpoint,
             chaos: config.chaos.unwrap_or_else(FaultPolicy::disabled),
             fingerprint: config.fingerprint,
+            store_wal: config.paged.as_ref().map(|p| p.wal),
         });
         let per_shard_cache = config.cache_entries / shards;
         let caches: Vec<Arc<ShardedLru>> = (0..shards)
@@ -209,15 +242,17 @@ impl Server {
             .collect::<io::Result<_>>()?;
 
         let mut handles = Vec::with_capacity(shards);
-        for (i, listener) in listeners.into_iter().enumerate() {
+        for ((i, listener), paged) in listeners.into_iter().enumerate().zip(paged_shards) {
             let env = ShardEnv {
                 shared: Arc::clone(&shared),
                 cache: Arc::clone(&caches[i]),
                 metrics: Arc::clone(&metrics[i]),
                 plan_cache: Arc::clone(&plan_caches[i]),
+                paged,
                 all_caches: caches.clone(),
                 all_metrics: metrics.clone(),
                 all_plan_caches: plan_caches.clone(),
+                all_pool_gauges: pool_gauges.clone(),
                 wakes: wakes.clone(),
                 backlog: config.backlog.max(1),
                 idle_timeout: config.read_timeout,
@@ -225,7 +260,7 @@ impl Server {
             let wake = Arc::clone(&wakes[i]);
             handles.push(std::thread::spawn(move || shard_loop(env, listener, wake)));
         }
-        Ok(Server { addr, caches, metrics, plan_caches, wakes, shared, handles })
+        Ok(Server { addr, caches, metrics, plan_caches, pool_gauges, wakes, shared, handles })
     }
 
     /// The bound address (resolves port 0).
@@ -279,6 +314,14 @@ impl Server {
     /// Requests handled per shard, for balance reporting.
     pub fn shard_request_totals(&self) -> Vec<u64> {
         self.metrics.iter().map(|m| m.total_requests()).collect()
+    }
+
+    /// `(hits, misses, evictions, pinned)` of the store buffer pools,
+    /// summed across shard read views. `None` unless the server runs
+    /// the paged data plane.
+    pub fn store_pool_totals(&self) -> Option<(u64, u64, u64, u64)> {
+        self.shared.store_wal.as_ref()?;
+        Some(sum_gauges(&self.pool_gauges))
     }
 
     /// Blocks until the server stops (via [`Server::shutdown`] from
@@ -676,13 +719,31 @@ fn route(
 ) {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => {
-            respond_wire(conn, env.shared.wire.healthz(), keep_alive, truncate);
+            match &env.paged {
+                Some(paged) => {
+                    let body = paged.healthz_json();
+                    respond_text(conn, 200, "application/json", &body, keep_alive, truncate);
+                }
+                None => respond_wire(conn, env.shared.wire.healthz(), keep_alive, truncate),
+            }
             observe(env, Endpoint::Healthz, 200, false, start);
         }
-        ("GET", "/params") => {
-            respond_wire(conn, env.shared.wire.params(), keep_alive, truncate);
-            observe(env, Endpoint::Params, 200, false, start);
-        }
+        ("GET", "/params") => match &env.paged {
+            Some(paged) => match paged.params_json() {
+                Ok(body) => {
+                    respond_text(conn, 200, "application/json", &body, keep_alive, truncate);
+                    observe(env, Endpoint::Params, 200, false, start);
+                }
+                Err(e) => {
+                    observe(env, Endpoint::Params, 500, false, start);
+                    respond_error(conn, 500, &e, keep_alive);
+                }
+            },
+            None => {
+                respond_wire(conn, env.shared.wire.params(), keep_alive, truncate);
+                observe(env, Endpoint::Params, 200, false, start);
+            }
+        },
         ("GET", "/metrics") => {
             let views: Vec<ShardView<'_>> = env
                 .all_metrics
@@ -702,22 +763,46 @@ fn route(
                     }
                 })
                 .collect();
-            let text = render_cluster(&views);
+            let mut text = render_cluster(&views);
+            if let Some(wal) = &env.shared.store_wal {
+                render_store_metrics(&mut text, sum_gauges(&env.all_pool_gauges), wal);
+            }
             respond_text(conn, 200, "text/plain; version=0.0.4", &text, keep_alive, truncate);
             observe(env, Endpoint::Metrics, 200, false, start);
         }
         ("GET", "/answer") => {
-            routed_answer(env, conn, request, Endpoint::Answer, keep_alive, truncate, start)
+            if env.paged.is_some() {
+                paged_answer_endpoint(env, conn, request, Endpoint::Answer, keep_alive, truncate, start)
+            } else {
+                routed_answer(env, conn, request, Endpoint::Answer, keep_alive, truncate, start)
+            }
         }
         ("GET", "/aggregate") => {
-            routed_answer(env, conn, request, Endpoint::Aggregate, keep_alive, truncate, start)
+            if env.paged.is_some() {
+                paged_answer_endpoint(env, conn, request, Endpoint::Aggregate, keep_alive, truncate, start)
+            } else {
+                routed_answer(env, conn, request, Endpoint::Aggregate, keep_alive, truncate, start)
+            }
         }
         ("POST", "/answers") => {
             let Ok(body) = std::str::from_utf8(&request.body) else {
                 observe(env, Endpoint::Batch, 400, false, start);
                 return respond_error(conn, 400, "body must be UTF-8", keep_alive);
             };
-            match parse_batch_indices(body, env.shared.data.num_parameters()) {
+            let num_parameters = env
+                .paged
+                .as_ref()
+                .map_or_else(|| env.shared.data.num_parameters(), PagedShard::n_params);
+            match parse_batch_indices(body, num_parameters) {
+                Ok(indices) if env.paged.is_some() => {
+                    match respond_batch_paged(env, conn, &indices, keep_alive, truncate) {
+                        Ok(()) => observe(env, Endpoint::Batch, 200, false, start),
+                        Err(e) => {
+                            observe(env, Endpoint::Batch, 500, false, start);
+                            respond_error(conn, 500, &e, keep_alive);
+                        }
+                    }
+                }
                 Ok(indices) => {
                     respond_batch(env, conn, &indices, keep_alive, truncate);
                     observe(env, Endpoint::Batch, 200, false, start);
@@ -729,6 +814,17 @@ fn route(
             }
         }
         ("POST", "/detect") => {
+            if env.paged.is_some() {
+                // inline detection collects the full observed-weight
+                // table — the O(family) allocation paged mode forbids
+                observe(env, Endpoint::Detect, 501, false, start);
+                return respond_error(
+                    conn,
+                    501,
+                    "detection is not served on the paged plane; run qpwm store verify --paged against the store",
+                    keep_alive,
+                );
+            }
             let Ok(body) = std::str::from_utf8(&request.body) else {
                 observe(env, Endpoint::Detect, 400, false, start);
                 return respond_error(conn, 400, "body must be UTF-8", keep_alive);
@@ -872,6 +968,58 @@ fn stamped_endpoint(
     observe(env, endpoint, 200, hit, start);
 }
 
+/// `/answer` & `/aggregate` on the paged plane: resolve `?i=`, then
+/// serve the cached body or render one through the shard's buffer pool.
+/// The LRU holds rendered bodies (not wire responses), so a hit costs
+/// one scratch head and zero page reads.
+fn paged_answer_endpoint(
+    env: &ShardEnv,
+    conn: &mut Conn,
+    request: &Request,
+    endpoint: Endpoint,
+    keep_alive: bool,
+    truncate: bool,
+    start: Instant,
+) {
+    let paged = env.paged.as_ref().expect("paged route requires a plane");
+    if request.query_value("recipient").is_some() {
+        observe(env, endpoint, 403, false, start);
+        return respond_error(conn, 403, "fingerprinting is not enabled on this server", keep_alive);
+    }
+    let i = match paged.resolve_param(request.query_value("i"), request.query_value("param")) {
+        Ok(i) => i,
+        Err(e) => {
+            observe(env, endpoint, 400, false, start);
+            return respond_error(conn, 400, &e, keep_alive);
+        }
+    };
+    let tag = match endpoint {
+        Endpoint::Aggregate => TAG_AGGREGATE,
+        _ => TAG_ANSWER,
+    };
+    if let Some(body) = env.cache.get(tag | i as u64) {
+        respond_shared_body(conn, body, keep_alive, truncate);
+        observe(env, endpoint, 200, true, start);
+        return;
+    }
+    let rendered = match endpoint {
+        Endpoint::Aggregate => paged.aggregate_json(i),
+        _ => paged.answer_json(i),
+    };
+    match rendered {
+        Ok(body) => {
+            let body: Arc<[u8]> = body.into_bytes().into();
+            env.cache.insert(tag | i as u64, Arc::clone(&body));
+            respond_shared_body(conn, body, keep_alive, truncate);
+            observe(env, endpoint, 200, false, start);
+        }
+        Err(e) => {
+            observe(env, endpoint, 500, false, start);
+            respond_error(conn, 500, &e, keep_alive);
+        }
+    }
+}
+
 /// `/answer` & `/aggregate`: resolve the parameter, track cache heat,
 /// and queue the precomputed wire bytes — zero-copy on the hot path.
 fn answer_endpoint(
@@ -925,6 +1073,33 @@ fn route_degraded(env: &ShardEnv, conn: &mut Conn, request: &Request, start: Ins
                 observe(env, endpoint, 503, false, start);
                 return respond_error(conn, 503, "overloaded: stamping unavailable", false);
             }
+            if let Some(paged) = &env.paged {
+                // page reads are too expensive for a saturated shard:
+                // serve only bodies some main-lane request already
+                // rendered into the LRU
+                let i = match paged
+                    .resolve_param(request.query_value("i"), request.query_value("param"))
+                {
+                    Ok(i) => i,
+                    Err(e) => {
+                        observe(env, endpoint, 400, false, start);
+                        return respond_error(conn, 400, &e, false);
+                    }
+                };
+                let tag = if endpoint == Endpoint::Aggregate { TAG_AGGREGATE } else { TAG_ANSWER };
+                return match env.cache.get(tag | i as u64) {
+                    Some(body) => {
+                        env.metrics.stale_served();
+                        respond_shared_body(conn, body, false, false);
+                        observe(env, endpoint, 200, true, start);
+                    }
+                    None => {
+                        env.metrics.shed_one();
+                        observe(env, endpoint, 503, false, start);
+                        respond_error(conn, 503, "overloaded: answer not cached", false);
+                    }
+                };
+            }
             let i = match env
                 .shared
                 .data
@@ -973,6 +1148,65 @@ fn respond_wire(conn: &mut Conn, resp: &crate::state::WireResponse, keep_alive: 
     conn.out
         .push_shared_range(Arc::clone(resp.bytes()), resp.body_start(), resp.body_start() + sent);
     conn.close_after_flush = true;
+}
+
+/// Queues a cached (shared) JSON body under a fresh scratch head — the
+/// paged plane's hit path: one head write, zero body copies.
+fn respond_shared_body(conn: &mut Conn, body: Arc<[u8]>, keep_alive: bool, truncate: bool) {
+    let keep_alive = keep_alive && !truncate;
+    let mut head = conn.take_scratch();
+    write_head(&mut head, 200, "application/json", body.len(), keep_alive);
+    conn.out.push_owned(head);
+    let sent = if truncate { body.len() / 2 } else { body.len() };
+    conn.out.push_shared_range(body, 0, sent);
+    if !keep_alive {
+        conn.close_after_flush = true;
+    }
+}
+
+/// `POST /answers` on the paged plane: fetch or render each body, then
+/// queue the NDJSON concatenation as shared ranges under one head.
+/// Errors before anything is queued, so a failed render costs the
+/// client a clean 500 rather than a half-written batch.
+fn respond_batch_paged(
+    env: &ShardEnv,
+    conn: &mut Conn,
+    indices: &[usize],
+    keep_alive: bool,
+    truncate: bool,
+) -> Result<(), String> {
+    let paged = env.paged.as_ref().expect("paged batch requires a plane");
+    let mut bodies: Vec<Arc<[u8]>> = Vec::with_capacity(indices.len());
+    for &i in indices {
+        let key = TAG_ANSWER | i as u64;
+        let body = match env.cache.get(key) {
+            Some(body) => body,
+            None => {
+                let body: Arc<[u8]> = paged.answer_json(i)?.into_bytes().into();
+                env.cache.insert(key, Arc::clone(&body));
+                body
+            }
+        };
+        bodies.push(body);
+    }
+    let total: usize = bodies.iter().map(|b| b.len()).sum();
+    let keep_alive = keep_alive && !truncate;
+    let mut head = conn.take_scratch();
+    write_head(&mut head, 200, "application/json", total, keep_alive);
+    conn.out.push_owned(head);
+    let mut remaining = if truncate { total / 2 } else { total };
+    for body in bodies {
+        if remaining == 0 {
+            break;
+        }
+        let take = body.len().min(remaining);
+        conn.out.push_shared_range(body, 0, take);
+        remaining -= take;
+    }
+    if !keep_alive {
+        conn.close_after_flush = true;
+    }
+    Ok(())
 }
 
 /// Queues a dynamically rendered response via the connection's scratch

@@ -20,18 +20,34 @@
 //! - [`page`] — 4 KiB checksummed pages.
 //! - [`wal`] — redo log with per-record CRCs and torn-tail detection.
 //! - [`pool`] — a no-steal clock buffer pool.
+//! - [`locks`] — page-granular S/X lock table + checkpoint epoch, the
+//!   seam that lets read-only views scan while the writer checkpoints.
 //! - [`store`] — layout, recovery, and transactional updates
 //!   (weight-only per Theorem 7, type-preserving per Theorem 8).
+//! - [`stream`] — out-of-core store creation: spill finished runs to
+//!   section files as produced, then splice into a store image without
+//!   ever materializing the family in RAM.
+//! - [`paged`] — read-only paged access ([`ReadView`]) and the
+//!   out-of-core detection adapter ([`PagedServer`]).
 
+pub mod locks;
 pub mod page;
+pub mod paged;
 pub mod pool;
 pub mod store;
+pub mod stream;
 pub mod vfs;
 pub mod wal;
 
+pub use locks::LockTable;
+pub use paged::{PagedServer, ReadView};
+pub use pool::PoolStats;
 pub use store::{
-    wal_name, CommitStats, RecoveryStats, Store, StoreContent, Txn, DEFAULT_POOL_FRAMES,
+    resolve_pool_frames, wal_name, CommitStats, RecoveryStats, Store, StoreContent, StoreOptions,
+    StoreStat, Txn, DEFAULT_POOL_FRAMES, MIN_POOL_FRAMES, POOL_FRAMES_ENV,
 };
+pub use stream::{FamilyStreamSink, StoreStreamer};
+pub use wal::WalStats;
 pub use vfs::{
     CrashPolicy, DiskVfs, Result, SimVfs, StoreError, Vfs, VfsFile, CRASH_EXIT_CODE,
     CRASH_OP_ENV, CRASH_TORN_ENV,

@@ -16,12 +16,32 @@ use crate::page::{self, PAGE_SIZE};
 use crate::vfs::{Result, StoreError, VfsFile};
 use std::collections::HashMap;
 
+/// Hit/miss/eviction counters of one pool — the
+/// `qpwm_store_pool_{hits,misses,evictions}` observability series.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Page requests answered from a resident frame.
+    pub hits: u64,
+    /// Page requests that had to read (or initialize) a frame.
+    pub misses: u64,
+    /// Clean frames evicted to make room.
+    pub evictions: u64,
+}
+
 struct Frame {
     page_no: u32,
     data: Vec<u8>,
     dirty: bool,
     referenced: bool,
+    /// The frame's current content has been appended to the WAL by a
+    /// buffered (group-pending) commit — it is committed data that must
+    /// survive a later transaction's abort.
+    logged: bool,
 }
+
+/// A resident frame's captured pre-image — `Some((bytes, dirty,
+/// logged))` — or `None` when the page was not in the pool.
+pub type FrameState = Option<(Vec<u8>, bool, bool)>;
 
 /// The pool. All I/O goes through the `file` handle passed per call —
 /// the pool owns frames, not the file.
@@ -30,6 +50,7 @@ pub struct BufferPool {
     map: HashMap<u32, usize>,
     hand: usize,
     capacity: usize,
+    stats: PoolStats,
 }
 
 impl BufferPool {
@@ -40,12 +61,29 @@ impl BufferPool {
             map: HashMap::new(),
             hand: 0,
             capacity: capacity.max(1),
+            stats: PoolStats::default(),
         }
     }
 
     /// Number of resident frames.
     pub fn resident(&self) -> usize {
         self.frames.len()
+    }
+
+    /// The pool's preferred frame count.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Hit/miss/eviction counters since the pool was created.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Number of pinned (dirty, unevictable) frames — the
+    /// `qpwm_store_pool_pinned` gauge.
+    pub fn pinned(&self) -> usize {
+        self.frames.iter().filter(|f| f.dirty).count()
     }
 
     /// Pins nothing (single-threaded store), just finds or loads a frame
@@ -59,8 +97,10 @@ impl BufferPool {
     ) -> Result<usize> {
         if let Some(&slot) = self.map.get(&page_no) {
             self.frames[slot].referenced = true;
+            self.stats.hits += 1;
             return Ok(slot);
         }
+        self.stats.misses += 1;
         let mut data = vec![0u8; PAGE_SIZE];
         if !init {
             file.read_at(&mut data, page_no as u64 * PAGE_SIZE as u64)?;
@@ -69,8 +109,9 @@ impl BufferPool {
         let slot = self.free_slot()?;
         if let Some(f) = self.frames.get(slot) {
             self.map.remove(&f.page_no);
+            self.stats.evictions += 1;
         }
-        let frame = Frame { page_no, data, dirty: init, referenced: true };
+        let frame = Frame { page_no, data, dirty: init, referenced: true, logged: false };
         if slot == self.frames.len() {
             self.frames.push(frame);
         } else {
@@ -128,6 +169,9 @@ impl BufferPool {
     ) -> Result<&mut [u8]> {
         let slot = self.slot(file, page_no, init, expect_kind)?;
         self.frames[slot].dirty = true;
+        // Re-modifying a page whose content was WAL-logged by a buffered
+        // commit starts a fresh (unlogged) modification batch for it.
+        self.frames[slot].logged = false;
         Ok(&mut self.frames[slot].data)
     }
 
@@ -138,6 +182,83 @@ impl BufferPool {
             self.frames.iter().filter(|f| f.dirty).map(|f| f.page_no).collect();
         v.sort_unstable();
         v
+    }
+
+    /// Dirty pages whose current content has not yet been appended to the
+    /// WAL (ascending) — the set a buffered commit must log.
+    pub fn unlogged_dirty_pages(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self
+            .frames
+            .iter()
+            .filter(|f| f.dirty && !f.logged)
+            .map(|f| f.page_no)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Marks a resident page's current content as WAL-logged.
+    pub fn set_logged(&mut self, page_no: u32) {
+        if let Some(&slot) = self.map.get(&page_no) {
+            self.frames[slot].logged = true;
+        }
+    }
+
+    /// Snapshot of a resident frame for transaction pre-image capture:
+    /// `Some((bytes, dirty, logged))`, or `None` if the page is not
+    /// resident (abort can simply drop the frame — no-steal guarantees
+    /// the on-disk copy holds only committed data).
+    pub fn frame_state(&self, page_no: u32) -> FrameState {
+        self.map
+            .get(&page_no)
+            .map(|&slot| {
+                let f = &self.frames[slot];
+                (f.data.clone(), f.dirty, f.logged)
+            })
+    }
+
+    /// Restores a frame to a captured pre-image (transaction abort with a
+    /// group-commit batch pending, where committed-but-uncheckpointed
+    /// frames must survive).
+    pub fn restore_frame(&mut self, page_no: u32, data: Vec<u8>, dirty: bool, logged: bool) {
+        if let Some(&slot) = self.map.get(&page_no) {
+            let f = &mut self.frames[slot];
+            f.data = data;
+            f.dirty = dirty;
+            f.logged = logged;
+            return;
+        }
+        let frame = Frame { page_no, data, dirty, referenced: true, logged };
+        // Insertion mirrors slot(): reuse a clean victim or grow.
+        let slot = match self.free_slot() {
+            Ok(s) => s,
+            Err(_) => self.frames.len(),
+        };
+        if let Some(f) = self.frames.get(slot) {
+            self.map.remove(&f.page_no);
+            self.stats.evictions += 1;
+        }
+        if slot == self.frames.len() {
+            self.frames.push(frame);
+        } else {
+            self.frames[slot] = frame;
+        }
+        self.map.insert(page_no, slot);
+    }
+
+    /// Forgets a single frame (abort of a page that did not exist before
+    /// the transaction, e.g. answer-region growth).
+    pub fn drop_frame(&mut self, page_no: u32) {
+        if let Some(slot) = self.map.remove(&page_no) {
+            // Swap-remove and fix the moved frame's map entry.
+            let last = self.frames.len() - 1;
+            self.frames.swap(slot, last);
+            self.frames.pop();
+            if slot < self.frames.len() {
+                self.map.insert(self.frames[slot].page_no, slot);
+            }
+            self.hand = 0;
+        }
     }
 
     /// Borrow a dirty (or clean) resident page's bytes without touching
@@ -162,20 +283,24 @@ impl BufferPool {
         Ok(())
     }
 
-    /// Marks every frame clean (after a successful checkpoint).
+    /// Marks every frame clean (after a successful checkpoint). Logged
+    /// flags are cleared too — the page file now holds the content.
     pub fn mark_all_clean(&mut self) {
         for f in &mut self.frames {
             f.dirty = false;
+            f.logged = false;
         }
     }
 
-    /// Drops every dirty frame (transaction abort): the modified bytes
-    /// are forgotten and the next access re-reads the committed page.
+    /// Drops every dirty *unlogged* frame (transaction abort): the
+    /// modified bytes are forgotten and the next access re-reads the
+    /// committed page. Logged frames hold committed (WAL-durable but not
+    /// yet checkpointed) content and are kept.
     pub fn discard_dirty(&mut self) {
         let mut kept = Vec::with_capacity(self.frames.len());
         self.map.clear();
         for f in std::mem::take(&mut self.frames) {
-            if !f.dirty {
+            if !f.dirty || f.logged {
                 self.map.insert(f.page_no, kept.len());
                 kept.push(f);
             }
@@ -238,6 +363,65 @@ mod tests {
         pool.page(f.as_mut(), 5, None).expect("p5");
         assert!(pool.resident() >= 3);
         assert_eq!(pool.dirty_pages(), vec![3, 4]);
+    }
+
+    #[test]
+    fn stats_count_hits_misses_evictions() {
+        let vfs = SimVfs::new();
+        let mut f = vfs.open("db", true).expect("open");
+        for p in 0..3u32 {
+            write_sealed(f.as_mut(), p, p as u8);
+        }
+        let mut pool = BufferPool::new(2);
+        pool.page(f.as_mut(), 0, None).expect("p0");
+        pool.page(f.as_mut(), 0, None).expect("p0 again");
+        pool.page(f.as_mut(), 1, None).expect("p1");
+        pool.page(f.as_mut(), 2, None).expect("p2 evicts");
+        let s = pool.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 3);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(pool.pinned(), 0);
+        pool.page_mut(f.as_mut(), 1, false, None).expect("dirty p1");
+        assert_eq!(pool.pinned(), 1);
+    }
+
+    #[test]
+    fn restore_and_drop_frame_round_trip() {
+        let vfs = SimVfs::new();
+        let mut f = vfs.open("db", true).expect("open");
+        write_sealed(f.as_mut(), 0, 0x21);
+        let mut pool = BufferPool::new(4);
+        let pre = pool.page(f.as_mut(), 0, None).expect("load").to_vec();
+        let bytes = pool.page_mut(f.as_mut(), 0, false, None).expect("mut");
+        bytes[crate::page::PAGE_HDR] = 0x77;
+        pool.restore_frame(0, pre.clone(), false, false);
+        assert_eq!(pool.resident_page(0).expect("resident"), &pre[..]);
+        assert_eq!(pool.dirty_pages(), Vec::<u32>::new());
+        // a fresh page dropped on abort disappears entirely
+        pool.page_mut(f.as_mut(), 9, true, None).expect("fresh");
+        pool.drop_frame(9);
+        assert!(pool.resident_page(9).is_err());
+    }
+
+    #[test]
+    fn logged_frames_survive_discard() {
+        let vfs = SimVfs::new();
+        let mut f = vfs.open("db", true).expect("open");
+        write_sealed(f.as_mut(), 0, 0x01);
+        write_sealed(f.as_mut(), 1, 0x02);
+        let mut pool = BufferPool::new(4);
+        pool.page_mut(f.as_mut(), 0, false, None).expect("a")[crate::page::PAGE_HDR] = 0xAA;
+        pool.page_mut(f.as_mut(), 1, false, None).expect("b")[crate::page::PAGE_HDR] = 0xBB;
+        pool.set_logged(0);
+        assert_eq!(pool.unlogged_dirty_pages(), vec![1]);
+        pool.discard_dirty();
+        // page 0 (logged, committed content) kept; page 1 forgotten
+        assert_eq!(pool.resident_page(0).expect("kept")[crate::page::PAGE_HDR], 0xAA);
+        assert!(pool.resident_page(1).is_err());
+        // re-modifying a logged frame clears its logged flag
+        pool.page_mut(f.as_mut(), 0, false, None).expect("remod");
+        assert_eq!(pool.unlogged_dirty_pages(), vec![0]);
     }
 
     #[test]

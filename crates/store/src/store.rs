@@ -38,22 +38,68 @@
 //! truncate leaves stale records whose txn ids fall below the durable
 //! watermark, so they are skipped.
 
+use crate::locks::LockTable;
 use crate::page::{self, kind, PAGE_HDR, PAGE_PAYLOAD, PAGE_SIZE};
-use crate::pool::BufferPool;
+use crate::pool::{BufferPool, PoolStats};
 use crate::vfs::{Result, StoreError, Vfs, VfsFile};
-use crate::wal::{self, Wal, WalRecord};
+use crate::wal::{self, Wal, WalRecord, WalStats};
 use qpwm_structures::{AnswerFamily, Weights};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// `"qpwmstor"` little-endian.
-const MAGIC: u64 = 0x726F_7473_6D77_7071;
-const VERSION: u32 = 1;
+pub(crate) const MAGIC: u64 = 0x726F_7473_6D77_7071;
+pub(crate) const VERSION: u32 = 1;
 
 /// Weight entries per page (16 bytes each).
-const WEIGHTS_PER_PAGE: usize = PAGE_PAYLOAD / 16;
+pub(crate) const WEIGHTS_PER_PAGE: usize = PAGE_PAYLOAD / 16;
 
 /// Default number of buffer-pool frames (~256 KiB resident).
 pub const DEFAULT_POOL_FRAMES: usize = 64;
+
+/// Environment variable overriding the pool size when no explicit
+/// `pool_frames` option (CLI `--pool-frames`) is given.
+pub const POOL_FRAMES_ENV: &str = "QPWM_POOL_FRAMES";
+
+/// Smallest accepted pool: meta + one page of each data kind.
+pub const MIN_POOL_FRAMES: usize = 4;
+
+/// Largest auto-scaled pool (explicit settings may exceed it).
+const MAX_AUTO_POOL_FRAMES: usize = 4096;
+
+/// Open/create tuning knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreOptions {
+    /// Buffer-pool frame count. `None` falls back to the
+    /// [`POOL_FRAMES_ENV`] environment variable, then to a default scaled
+    /// to the store's size (1/8 of its pages, clamped to
+    /// `[64, 4096]` frames ≈ 256 KiB – 16 MiB resident).
+    pub pool_frames: Option<usize>,
+}
+
+/// Resolves the effective pool size: explicit setting, then environment,
+/// then the size-scaled default. Anything below [`MIN_POOL_FRAMES`] is
+/// rejected — a smaller pool cannot hold one page of each kind.
+pub fn resolve_pool_frames(explicit: Option<usize>, total_pages: u64) -> Result<usize> {
+    fn validated(frames: usize, origin: &str) -> Result<usize> {
+        if frames < MIN_POOL_FRAMES {
+            return Err(StoreError::Invalid(format!(
+                "{origin}: pool needs at least {MIN_POOL_FRAMES} frames, got {frames}"
+            )));
+        }
+        Ok(frames)
+    }
+    if let Some(frames) = explicit {
+        return validated(frames, "pool-frames");
+    }
+    if let Ok(raw) = std::env::var(POOL_FRAMES_ENV) {
+        let frames = raw.trim().parse::<usize>().map_err(|_| {
+            StoreError::Invalid(format!("{POOL_FRAMES_ENV}={raw}: not a frame count"))
+        })?;
+        return validated(frames, POOL_FRAMES_ENV);
+    }
+    Ok(((total_pages / 8) as usize).clamp(DEFAULT_POOL_FRAMES, MAX_AUTO_POOL_FRAMES))
+}
 
 /// The WAL path of a store file.
 pub fn wal_name(store_name: &str) -> String {
@@ -65,22 +111,22 @@ pub fn wal_name(store_name: &str) -> String {
 // ---------------------------------------------------------------------------
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Meta {
-    tuple_arity: u32,
-    param_arity: u32,
-    n_tuples: u32,
-    n_params: u32,
-    n_ids: u32,
-    n_universe: u32,
-    blob_len: u64,
-    blob_pages: u32,
-    weight_pages: u32,
-    answer_pages: u32,
-    next_txn: u64,
+pub(crate) struct Meta {
+    pub(crate) tuple_arity: u32,
+    pub(crate) param_arity: u32,
+    pub(crate) n_tuples: u32,
+    pub(crate) n_params: u32,
+    pub(crate) n_ids: u32,
+    pub(crate) n_universe: u32,
+    pub(crate) blob_len: u64,
+    pub(crate) blob_pages: u32,
+    pub(crate) weight_pages: u32,
+    pub(crate) answer_pages: u32,
+    pub(crate) next_txn: u64,
 }
 
 impl Meta {
-    fn encode(&self, payload: &mut [u8]) {
+    pub(crate) fn encode(&self, payload: &mut [u8]) {
         payload.fill(0);
         payload[0..8].copy_from_slice(&MAGIC.to_le_bytes());
         payload[8..12].copy_from_slice(&VERSION.to_le_bytes());
@@ -102,7 +148,7 @@ impl Meta {
         payload[56..64].copy_from_slice(&self.next_txn.to_le_bytes());
     }
 
-    fn decode(payload: &[u8]) -> Result<Meta> {
+    pub(crate) fn decode(payload: &[u8]) -> Result<Meta> {
         let magic = u64::from_le_bytes(payload[0..8].try_into().expect("8"));
         if magic != MAGIC {
             return Err(StoreError::Corrupt(format!("bad magic {magic:#018x}")));
@@ -129,19 +175,19 @@ impl Meta {
         })
     }
 
-    fn weight_first(&self) -> u32 {
+    pub(crate) fn weight_first(&self) -> u32 {
         1 + self.blob_pages
     }
 
-    fn answer_first(&self) -> u32 {
+    pub(crate) fn answer_first(&self) -> u32 {
         1 + self.blob_pages + self.weight_pages
     }
 
-    fn total_pages(&self) -> u32 {
+    pub(crate) fn total_pages(&self) -> u32 {
         1 + self.blob_pages + self.weight_pages + self.answer_pages
     }
 
-    fn kind_of(&self, page_no: u32) -> u8 {
+    pub(crate) fn kind_of(&self, page_no: u32) -> u8 {
         if page_no == 0 {
             kind::META
         } else if page_no < self.weight_first() {
@@ -154,7 +200,7 @@ impl Meta {
     }
 
     /// Byte length of the answer stream (offsets ++ ids ++ universe).
-    fn answer_len(&self) -> usize {
+    pub(crate) fn answer_len(&self) -> usize {
         4 * (self.n_params as usize + 1 + self.n_ids as usize + self.n_universe as usize)
     }
 }
@@ -394,22 +440,22 @@ impl StoreContent {
     }
 }
 
-fn push_str(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn push_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&(s.len() as u32).to_le_bytes());
     out.extend_from_slice(s.as_bytes());
 }
 
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     bytes: &'a [u8],
     off: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
         Reader { bytes, off: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         if self.off + n > self.bytes.len() {
             return Err(StoreError::Corrupt(format!(
                 "blob truncated: need {n} at {} of {}",
@@ -422,16 +468,16 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn u32(&mut self) -> Result<u32> {
+    pub(crate) fn u32(&mut self) -> Result<u32> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
     }
 
-    fn u32s(&mut self, n: usize) -> Result<Vec<u32>> {
+    pub(crate) fn u32s(&mut self, n: usize) -> Result<Vec<u32>> {
         let raw = self.take(4 * n)?;
         Ok(raw.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().expect("4"))).collect())
     }
 
-    fn string(&mut self) -> Result<String> {
+    pub(crate) fn string(&mut self) -> Result<String> {
         let len = self.u32()? as usize;
         if len > 1 << 24 {
             return Err(StoreError::Corrupt(format!("implausible string length {len}")));
@@ -457,6 +503,11 @@ pub struct RecoveryStats {
     pub replayed_txns: usize,
     /// Page images written during replay.
     pub replayed_pages: usize,
+    /// Committed page images *skipped* because the on-disk page already
+    /// carried them (LSN at or above the record's txn) — replay is
+    /// idempotent, a reopen or a crash mid-recovery never rewrites
+    /// already-checkpointed pages.
+    pub skipped_pages: usize,
     /// Transactions present in the WAL but not replayed (uncommitted, or
     /// stale records below the meta watermark after a lost truncate).
     pub discarded_txns: usize,
@@ -488,6 +539,12 @@ pub struct Store {
     pool: BufferPool,
     meta: Meta,
     recovery: RecoveryStats,
+    /// Page lock table + checkpoint epoch, shared with [`crate::ReadView`]s
+    /// opened against this store.
+    locks: Arc<LockTable>,
+    /// Commits appended to the WAL but not yet fsynced — awaiting
+    /// [`Store::group_commit`].
+    buffered: u64,
 }
 
 impl Store {
@@ -497,6 +554,16 @@ impl Store {
     /// recoverable store or an invalid file — never a half-written one
     /// that opens.
     pub fn create(vfs: &dyn Vfs, name: &str, content: &StoreContent) -> Result<Store> {
+        Store::create_with(vfs, name, content, &StoreOptions::default())
+    }
+
+    /// [`Store::create`] with explicit options.
+    pub fn create_with(
+        vfs: &dyn Vfs,
+        name: &str,
+        content: &StoreContent,
+        opts: &StoreOptions,
+    ) -> Result<Store> {
         content.validate()?;
         let blob = content.encode_blob();
         let answers = content.encode_answers();
@@ -514,6 +581,7 @@ impl Store {
             answer_pages: pages_for(answers.len())?,
             next_txn: 1,
         };
+        let frames = resolve_pool_frames(opts.pool_frames, meta.total_pages() as u64)?;
         let mut file = vfs.open(name, true)?;
         file.truncate(0)?;
         let mut wal_file = vfs.open(&wal_name(name), true)?;
@@ -521,9 +589,11 @@ impl Store {
         let mut store = Store {
             file,
             wal: Wal::new(wal_file)?,
-            pool: BufferPool::new(DEFAULT_POOL_FRAMES),
+            pool: BufferPool::new(frames),
             meta,
             recovery: RecoveryStats::default(),
+            locks: Arc::new(LockTable::new()),
+            buffered: 0,
         };
         store.write_stream(1, &blob)?;
         for (i, (&b, &d)) in content.base.iter().zip(&content.delta).enumerate() {
@@ -541,6 +611,11 @@ impl Store {
     /// After `open` returns, the detector's view (family, base, marked
     /// weights) is exactly the last committed state.
     pub fn open(vfs: &dyn Vfs, name: &str) -> Result<Store> {
+        Store::open_with(vfs, name, &StoreOptions::default())
+    }
+
+    /// [`Store::open`] with explicit options.
+    pub fn open_with(vfs: &dyn Vfs, name: &str, opts: &StoreOptions) -> Result<Store> {
         let mut file = vfs.open(name, false)?;
         let wal_file = vfs.open(&wal_name(name), true)?;
         let scan = wal::scan(wal_file.as_ref())?;
@@ -578,6 +653,14 @@ impl Store {
                 meta_images.push(record);
                 continue;
             }
+            // Idempotent replay: a page whose durable copy already carries
+            // this transaction's effects (LSN at or above the record's
+            // txn) was checkpointed before the crash — or by a previous
+            // recovery — and must not be written twice.
+            if disk_page_current(file.as_ref(), *page_no, *txn) {
+                stats.skipped_pages += 1;
+                continue;
+            }
             file.write_at(bytes, *page_no as u64 * PAGE_SIZE as u64)?;
             stats.replayed_pages += 1;
         }
@@ -585,7 +668,11 @@ impl Store {
             file.sync()?;
         }
         for record in meta_images {
-            let WalRecord::PageImage { bytes, .. } = record else { unreachable!() };
+            let WalRecord::PageImage { txn, bytes, .. } = record else { unreachable!() };
+            if disk_page_current(file.as_ref(), 0, *txn) {
+                stats.skipped_pages += 1;
+                continue;
+            }
             file.write_at(bytes, 0)?;
             stats.replayed_pages += 1;
             file.sync()?;
@@ -605,13 +692,71 @@ impl Store {
                 file.size()?
             )));
         }
+        let frames = resolve_pool_frames(opts.pool_frames, meta.total_pages() as u64)?;
         Ok(Store {
             file,
             wal,
-            pool: BufferPool::new(DEFAULT_POOL_FRAMES),
+            pool: BufferPool::new(frames),
             meta,
             recovery: stats,
+            locks: Arc::new(LockTable::new()),
+            buffered: 0,
         })
+    }
+
+    /// The page lock table + checkpoint epoch shared with
+    /// [`crate::ReadView`]s opened via [`crate::ReadView::attach`].
+    pub fn lock_table(&self) -> Arc<LockTable> {
+        Arc::clone(&self.locks)
+    }
+
+    /// Commits buffered (WAL-appended) but not yet made durable by a
+    /// [`Store::group_commit`].
+    pub fn buffered_txns(&self) -> u64 {
+        self.buffered
+    }
+
+    /// One fsync makes every buffered commit durable — the group-commit
+    /// point — then a checkpoint folds the batch into the page file.
+    /// Returns the number of transactions committed by the batch.
+    pub fn group_commit(&mut self) -> Result<usize> {
+        let n = self.group_commit_no_checkpoint()?;
+        if n > 0 {
+            self.checkpoint()?;
+        }
+        Ok(n)
+    }
+
+    /// [`Store::group_commit`] without the checkpoint: the batch is
+    /// durable in the WAL, the page file is left stale (recovery replays
+    /// it). This is the path whose fsync count the group-commit benchmark
+    /// compares against per-transaction commits.
+    pub fn group_commit_no_checkpoint(&mut self) -> Result<usize> {
+        if self.buffered == 0 {
+            return Ok(0);
+        }
+        self.wal.sync()?; // ---- group commit point ----
+        self.wal.note_group_commit();
+        let n = self.buffered as usize;
+        self.buffered = 0;
+        Ok(n)
+    }
+
+    /// Operational snapshot: layout counts, pool counters, WAL counters.
+    pub fn stat(&self) -> StoreStat {
+        StoreStat {
+            n_tuples: self.meta.n_tuples as usize,
+            n_params: self.meta.n_params as usize,
+            next_txn: self.meta.next_txn,
+            total_pages: self.meta.total_pages() as u64,
+            pool_capacity: self.pool.capacity(),
+            pool_resident: self.pool.resident(),
+            pool_pinned: self.pool.pinned(),
+            pool: self.pool.stats(),
+            wal: self.wal.stats(),
+            wal_len: self.wal.len(),
+            buffered_txns: self.buffered,
+        }
     }
 
     /// What recovery did when this store was opened.
@@ -696,12 +841,17 @@ impl Store {
     }
 
     /// Starts a transaction. Dropping the returned handle without
-    /// committing aborts it: dirty frames are discarded and the store
-    /// rereads committed state on next access.
+    /// committing aborts it: dirty frames are discarded (or, with a
+    /// group-commit batch pending, restored to their pre-transaction
+    /// images) and the store rereads committed state on next access.
     pub fn begin(&mut self) -> Txn<'_> {
         let saved_meta = self.meta;
         let id = self.meta.next_txn;
-        Txn { store: self, id, saved_meta, done: false }
+        // With buffered commits in flight, dirty frames hold *committed*
+        // content that a plain discard would lose — capture pre-images of
+        // every page this transaction touches instead.
+        let capture = self.buffered > 0;
+        Txn { store: self, id, saved_meta, done: false, capture, pre: Vec::new() }
     }
 
     // -- internals ---------------------------------------------------------
@@ -772,54 +922,138 @@ impl Store {
     /// untouched — the state a crash-after-commit leaves behind, used by
     /// the recovery benchmarks and tests.
     fn commit_txn(&mut self, id: u64, checkpoint: bool) -> Result<CommitStats> {
+        let stats = self.log_commit(id)?;
+        self.wal.sync()?; // ---- commit point ----
+        if checkpoint {
+            self.checkpoint()?;
+        }
+        Ok(stats)
+    }
+
+    /// Seals this transaction's (not-yet-logged) dirty pages, appends
+    /// their after-images plus a commit record to the WAL — without any
+    /// fsync. Durability comes from the caller: a `wal.sync()` right
+    /// after (plain commit) or a later group commit covering the batch.
+    fn log_commit(&mut self, id: u64) -> Result<CommitStats> {
         self.meta.next_txn = id + 1;
         self.write_meta_page()?;
-        let dirty = self.pool.dirty_pages();
+        let to_log = self.pool.unlogged_dirty_pages();
         let wal_before = self.wal.len();
-        for &page_no in &dirty {
+        for &page_no in &to_log {
             let kind = self.meta.kind_of(page_no);
             self.pool.seal_resident(page_no, id, kind)?;
             let bytes = self.pool.resident_page(page_no)?;
             // borrow: copy out to appease the wal's &mut self
             let image = bytes.to_vec();
             self.wal.append_page_image(id, page_no, &image)?;
+            self.pool.set_logged(page_no);
         }
         self.wal.append_commit(id)?;
-        self.wal.sync()?; // ---- commit point ----
-        let stats =
-            CommitStats { txn: id, pages: dirty.len(), wal_bytes: self.wal.len() - wal_before };
-        if !checkpoint {
-            return Ok(stats);
-        }
-        // Checkpoint: data pages first, then meta, then WAL reset — each
-        // step synced before the next (see module docs for why).
+        Ok(CommitStats { txn: id, pages: to_log.len(), wal_bytes: self.wal.len() - wal_before })
+    }
+
+    /// Checkpoint: data pages first, then meta, then WAL reset — each
+    /// step synced before the next (see module docs for why). Page writes
+    /// take exclusive locks and the whole window is bracketed by the
+    /// checkpoint epoch, so concurrent [`crate::ReadView`]s never observe
+    /// a half-applied checkpoint.
+    fn checkpoint(&mut self) -> Result<()> {
+        let locks = Arc::clone(&self.locks);
+        let dirty = self.pool.dirty_pages();
+        locks.begin_checkpoint();
+        let result = self.checkpoint_writeback(&locks, &dirty);
+        locks.end_checkpoint();
+        result?;
+        self.pool.mark_all_clean();
+        Ok(())
+    }
+
+    fn checkpoint_writeback(&mut self, locks: &LockTable, dirty: &[u32]) -> Result<()> {
         for &page_no in dirty.iter().filter(|&&p| p != 0) {
             let image = self.pool.resident_page(page_no)?.to_vec();
+            let _x = locks.lock_exclusive(page_no);
             self.file.write_at(&image, page_no as u64 * PAGE_SIZE as u64)?;
         }
         self.file.sync()?;
-        let meta_image = self.pool.resident_page(0)?.to_vec();
-        self.file.write_at(&meta_image, 0)?;
+        if dirty.contains(&0) {
+            let meta_image = self.pool.resident_page(0)?.to_vec();
+            let _x = locks.lock_exclusive(0);
+            self.file.write_at(&meta_image, 0)?;
+        }
         self.file.sync()?;
         self.wal.reset()?;
-        self.pool.mark_all_clean();
-        Ok(stats)
+        Ok(())
     }
 }
 
-fn pages_for(bytes: usize) -> Result<u32> {
+impl Drop for Store {
+    fn drop(&mut self) {
+        // Buffered commits are only waiting on their group fsync; flush
+        // them best-effort so a clean shutdown never loses an
+        // acknowledged-to-the-batch transaction. (A crash instead leaves
+        // recovery to replay whatever the WAL kept.)
+        if self.buffered > 0 {
+            let _ = self.wal.sync();
+        }
+    }
+}
+
+/// Operational snapshot of an open store — `qpwm store stat` and the
+/// serve tier's `/metrics` render exactly these numbers.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreStat {
+    /// Persisted tuples.
+    pub n_tuples: usize,
+    /// Persisted parameters.
+    pub n_params: usize,
+    /// Next transaction id (durability watermark).
+    pub next_txn: u64,
+    /// Pages in the store layout (meta + blob + weights + answers).
+    pub total_pages: u64,
+    /// Configured pool frame count.
+    pub pool_capacity: usize,
+    /// Frames currently resident.
+    pub pool_resident: usize,
+    /// Dirty (pinned, unevictable) frames.
+    pub pool_pinned: usize,
+    /// Pool hit/miss/eviction counters.
+    pub pool: PoolStats,
+    /// WAL record/fsync/group-commit counters.
+    pub wal: WalStats,
+    /// Bytes currently in the WAL.
+    pub wal_len: u64,
+    /// Commits awaiting a group fsync.
+    pub buffered_txns: u64,
+}
+
+/// True when the durable copy of `page_no` verifies and already carries
+/// txn `txn`'s effects (its LSN is at or above `txn`).
+fn disk_page_current(file: &dyn VfsFile, page_no: u32, txn: u64) -> bool {
+    let off = page_no as u64 * PAGE_SIZE as u64;
+    let Ok(size) = file.size() else { return false };
+    if off + PAGE_SIZE as u64 > size {
+        return false;
+    }
+    let mut buf = vec![0u8; PAGE_SIZE];
+    if file.read_at(&mut buf, off).is_err() {
+        return false;
+    }
+    page::verify(&buf, page_no, None).is_ok() && page::lsn(&buf) >= txn
+}
+
+pub(crate) fn pages_for(bytes: usize) -> Result<u32> {
     let pages = bytes.div_ceil(PAGE_PAYLOAD).max(1);
     u32::try_from(pages).map_err(|_| StoreError::Invalid("content too large".into()))
 }
 
-fn pages_for_weights(n_tuples: usize) -> Result<u32> {
+pub(crate) fn pages_for_weights(n_tuples: usize) -> Result<u32> {
     let pages = n_tuples.div_ceil(WEIGHTS_PER_PAGE).max(1);
     u32::try_from(pages).map_err(|_| StoreError::Invalid("too many tuples".into()))
 }
 
 /// Reads and validates the meta page straight from the file (bypassing
 /// the pool — used before the layout is known).
-fn read_meta_direct(file: &dyn VfsFile) -> Result<Meta> {
+pub(crate) fn read_meta_direct(file: &dyn VfsFile) -> Result<Meta> {
     if file.size()? < PAGE_SIZE as u64 {
         return Err(StoreError::Corrupt("file smaller than one page".into()));
     }
@@ -840,6 +1074,12 @@ pub struct Txn<'a> {
     id: u64,
     saved_meta: Meta,
     done: bool,
+    /// Pre-image capture is active (a group-commit batch was pending when
+    /// this transaction began).
+    capture: bool,
+    /// First-touch pre-images: `None` means the page was not resident
+    /// (abort drops the frame; the disk copy is the committed one).
+    pre: Vec<(u32, crate::pool::FrameState)>,
 }
 
 impl Txn<'_> {
@@ -848,11 +1088,21 @@ impl Txn<'_> {
         self.id
     }
 
+    /// Records a page's pre-image before this transaction first touches
+    /// it (no-op unless a buffered batch made capture necessary).
+    fn capture_page(&mut self, page_no: u32) {
+        if !self.capture || self.pre.iter().any(|(p, _)| *p == page_no) {
+            return;
+        }
+        self.pre.push((page_no, self.store.pool.frame_state(page_no)));
+    }
+
     /// Sets the base (true) weight of a tuple — the Theorem 7 weight-only
     /// update path. The mark delta is untouched, so the published weight
     /// moves with the base and the detector's differential read survives.
     pub fn set_base(&mut self, tuple_id: u32, value: i64) -> Result<()> {
         let (_, delta) = self.check_tuple(tuple_id)?;
+        self.capture_page(self.store.weight_slot(tuple_id).0);
         self.store.write_weight_entry(tuple_id, value, delta, false)
     }
 
@@ -860,6 +1110,7 @@ impl Txn<'_> {
     /// sparse plans of `qpwm_core::incremental::remark_touched`.
     pub fn set_delta(&mut self, tuple_id: u32, value: i64) -> Result<()> {
         let (base, _) = self.check_tuple(tuple_id)?;
+        self.capture_page(self.store.weight_slot(tuple_id).0);
         self.store.write_weight_entry(tuple_id, base, value, false)
     }
 
@@ -907,6 +1158,9 @@ impl Txn<'_> {
             bytes.extend_from_slice(&x.to_le_bytes());
         }
         let needed = pages_for(bytes.len())?;
+        for p in meta.answer_first()..meta.answer_first() + meta.answer_pages.max(needed) {
+            self.capture_page(p);
+        }
         // The answer section is last, so growing it only appends pages.
         self.store.meta.n_ids = new_ids_all.len() as u32;
         self.store.meta.n_universe = new_universe.len() as u32;
@@ -938,6 +1192,19 @@ impl Txn<'_> {
         self.store.commit_txn(self.id, false)
     }
 
+    /// Appends this transaction's images and commit record to the WAL
+    /// **without fsync**: it becomes durable — atomically with every
+    /// other buffered commit — at the next [`Store::group_commit`]. A
+    /// crash before that loses the whole suffix of the batch after the
+    /// last record the OS happened to flush; recovery restores a clean
+    /// prefix of the batch, never a mix.
+    pub fn commit_buffered(mut self) -> Result<CommitStats> {
+        self.done = true;
+        let stats = self.store.log_commit(self.id)?;
+        self.store.buffered += 1;
+        Ok(stats)
+    }
+
     fn check_tuple(&mut self, tuple_id: u32) -> Result<(i64, i64)> {
         if tuple_id >= self.store.meta.n_tuples {
             return Err(StoreError::Invalid(format!(
@@ -952,7 +1219,21 @@ impl Txn<'_> {
 impl Drop for Txn<'_> {
     fn drop(&mut self) {
         if !self.done {
-            self.store.pool.discard_dirty();
+            if self.capture {
+                // Committed-but-uncheckpointed frames from the pending
+                // batch must survive: restore exactly the pages this
+                // transaction touched to their pre-images.
+                for (page_no, pre) in std::mem::take(&mut self.pre) {
+                    match pre {
+                        Some((data, dirty, logged)) => {
+                            self.store.pool.restore_frame(page_no, data, dirty, logged);
+                        }
+                        None => self.store.pool.drop_frame(page_no),
+                    }
+                }
+            } else {
+                self.store.pool.discard_dirty();
+            }
             self.store.meta = self.saved_meta;
         }
     }

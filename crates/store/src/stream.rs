@@ -1,0 +1,634 @@
+//! Out-of-core store creation.
+//!
+//! [`Store::create`](crate::Store::create) materializes the whole
+//! [`StoreContent`](crate::StoreContent) — flat tuple buffer, CSR arrays,
+//! weight vectors — before writing a single page, so marking a 10^8-tuple
+//! family needs O(family) RAM. [`StoreStreamer`] removes that wall: the
+//! producer pushes tuples and parameters **in canonical order** as it
+//! generates them, each push appends to a per-section spill file through
+//! a small write buffer, and [`StoreStreamer::finish`] splices the spills
+//! into a sealed page image. Peak memory is O(write buffers + an
+//! active-id bitmap of `n/8` bytes), independent of family size.
+//!
+//! The emitted file is **byte-identical** to what `Store::create` writes
+//! for the same content (a property test pins this): same section
+//! layout, same page seals (LSN 1, the create transaction), same meta
+//! (`next_txn = 2`). The meta page is written last, after a data sync —
+//! a crash mid-finish leaves a file whose meta never validates, so it
+//! can never open as a half-built store. The WAL is created empty, and
+//! the spill files are removed on success.
+//!
+//! Canonical-order contract (checked, not trusted): tuples arrive in
+//! strictly increasing lexicographic order (so tuple ids are canonical
+//! by construction), each parameter's active ids arrive strictly
+//! ascending, and every id must refer to a pushed tuple by finish time.
+//! Element display names are not supported in streaming mode — the
+//! name table would itself be O(universe).
+
+use crate::page::{self, kind, PAGE_PAYLOAD, PAGE_SIZE};
+use crate::store::{
+    pages_for, pages_for_weights, push_str, wal_name, Meta, WEIGHTS_PER_PAGE,
+};
+use crate::vfs::{Result, StoreError, Vfs, VfsFile};
+
+/// Spill write-buffer size. Big enough to amortize VFS calls, small
+/// enough that six of them stay invisible next to the id bitmap.
+const BUF: usize = 256 * 1024;
+
+/// What [`StoreStreamer::finish`] wrote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Tuples interned (canonical ids `0..n_tuples`).
+    pub n_tuples: usize,
+    /// Parameters in the family.
+    pub n_params: usize,
+    /// Total active-set entries (CSR ids length).
+    pub n_ids: u64,
+    /// Distinct active tuples (universe size).
+    pub n_universe: usize,
+    /// Pages in the finished store file.
+    pub pages: u32,
+}
+
+/// An append-only spill file with a write buffer and sequential
+/// read-back for the splice pass.
+struct Spill {
+    file: Box<dyn VfsFile>,
+    name: String,
+    buf: Vec<u8>,
+    len: u64,
+}
+
+impl Spill {
+    fn create(vfs: &dyn Vfs, name: String) -> Result<Spill> {
+        let mut file = vfs.open(&name, true)?;
+        file.truncate(0)?;
+        Ok(Spill { file, name, buf: Vec::with_capacity(BUF), len: 0 })
+    }
+
+    fn write(&mut self, bytes: &[u8]) -> Result<()> {
+        self.buf.extend_from_slice(bytes);
+        if self.buf.len() >= BUF {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    fn write_u32(&mut self, x: u32) -> Result<()> {
+        self.write(&x.to_le_bytes())
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        if !self.buf.is_empty() {
+            self.file.write_at(&self.buf, self.len)?;
+            self.len += self.buf.len() as u64;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    /// Streams the spilled bytes (after a flush) into `sink` in
+    /// [`BUF`]-sized chunks.
+    fn drain_into(&mut self, sink: &mut dyn FnMut(&[u8]) -> Result<()>) -> Result<()> {
+        self.flush()?;
+        let mut off = 0u64;
+        let mut chunk = vec![0u8; BUF];
+        while off < self.len {
+            let take = ((self.len - off) as usize).min(BUF);
+            self.file.read_at(&mut chunk[..take], off)?;
+            sink(&chunk[..take])?;
+            off += take as u64;
+        }
+        Ok(())
+    }
+}
+
+/// Streams a marked family into a store file without holding it in RAM.
+///
+/// ```text
+/// let mut s = StoreStreamer::new(&vfs, "db", 1, 1, "q")?;
+/// for id in 0..n {                       // canonical (sorted) order
+///     s.push_tuple(&[id], base(id), delta(id))?;
+/// }
+/// for p in 0..n_params {
+///     s.push_param(&[p], &label(p), &active_ids(p))?;
+/// }
+/// let stats = s.finish()?;               // splice, seal, sync
+/// ```
+pub struct StoreStreamer {
+    name: String,
+    tuple_arity: usize,
+    param_arity: usize,
+    query_name: String,
+    flat: Spill,
+    weights: Spill,
+    params: Spill,
+    labels: Spill,
+    ids: Spill,
+    offsets: Spill,
+    n_tuples: u64,
+    n_params: u64,
+    n_ids: u64,
+    /// Last pushed tuple, for the canonical-order check.
+    last_tuple: Vec<u32>,
+    /// Bit per tuple id: appears in some active set.
+    active: Vec<u64>,
+    /// Highest id referenced by any active set, for the bounds check.
+    max_id: Option<u32>,
+}
+
+impl StoreStreamer {
+    /// Opens spill files next to the (future) store file `name`.
+    pub fn new(
+        vfs: &dyn Vfs,
+        name: &str,
+        tuple_arity: usize,
+        param_arity: usize,
+        query_name: &str,
+    ) -> Result<StoreStreamer> {
+        if tuple_arity == 0 {
+            return Err(StoreError::Invalid("output arity must be >= 1".into()));
+        }
+        if param_arity == 0 {
+            return Err(StoreError::Invalid("parameter arity must be >= 1".into()));
+        }
+        let spill = |section: &str| Spill::create(vfs, format!("{name}.spill.{section}"));
+        let mut offsets = spill("offsets")?;
+        offsets.write_u32(0)?; // CSR offsets always start at 0
+        Ok(StoreStreamer {
+            name: name.to_string(),
+            tuple_arity,
+            param_arity,
+            query_name: query_name.to_string(),
+            flat: spill("flat")?,
+            weights: spill("weights")?,
+            params: spill("params")?,
+            labels: spill("labels")?,
+            ids: spill("ids")?,
+            offsets,
+            n_tuples: 0,
+            n_params: 0,
+            n_ids: 0,
+            last_tuple: Vec::new(),
+            active: Vec::new(),
+            max_id: None,
+        })
+    }
+
+    /// Appends the next tuple in canonical order; its id is the push
+    /// index. `base` is the owner's true weight, `delta` the mark
+    /// distortion (published weight = `base + delta`).
+    pub fn push_tuple(&mut self, tuple: &[u32], base: i64, delta: i64) -> Result<u32> {
+        if tuple.len() != self.tuple_arity {
+            return Err(StoreError::Invalid(format!(
+                "tuple arity {} != {}",
+                tuple.len(),
+                self.tuple_arity
+            )));
+        }
+        if self.n_tuples > 0 && tuple <= self.last_tuple.as_slice() {
+            return Err(StoreError::Invalid(format!(
+                "tuples must arrive in strictly increasing canonical order \
+                 (tuple {} breaks it)",
+                self.n_tuples
+            )));
+        }
+        if self.n_tuples >= u32::MAX as u64 {
+            return Err(StoreError::Invalid("too many tuples".into()));
+        }
+        for &e in tuple {
+            self.flat.write_u32(e)?;
+        }
+        self.weights.write(&base.to_le_bytes())?;
+        self.weights.write(&delta.to_le_bytes())?;
+        self.last_tuple.clear();
+        self.last_tuple.extend_from_slice(tuple);
+        let id = self.n_tuples as u32;
+        self.n_tuples += 1;
+        Ok(id)
+    }
+
+    /// Appends the next parameter: its tuple, display label, and sorted
+    /// active-id set.
+    pub fn push_param(&mut self, param: &[u32], label: &str, active: &[u32]) -> Result<()> {
+        if param.len() != self.param_arity {
+            return Err(StoreError::Invalid(format!(
+                "parameter arity {} != {}",
+                param.len(),
+                self.param_arity
+            )));
+        }
+        if !active.windows(2).all(|w| w[0] < w[1]) {
+            return Err(StoreError::Invalid(format!(
+                "active ids of parameter {} must be strictly ascending",
+                self.n_params
+            )));
+        }
+        for &e in param {
+            self.params.write_u32(e)?;
+        }
+        let mut rec = Vec::with_capacity(4 + label.len());
+        push_str(&mut rec, label);
+        self.labels.write(&rec)?;
+        for &id in active {
+            self.ids.write_u32(id)?;
+            let (word, bit) = (id as usize / 64, id as usize % 64);
+            if word >= self.active.len() {
+                self.active.resize(word + 1, 0);
+            }
+            self.active[word] |= 1 << bit;
+            self.max_id = Some(self.max_id.map_or(id, |m| m.max(id)));
+        }
+        self.n_ids += active.len() as u64;
+        self.n_params += 1;
+        if self.n_ids > u32::MAX as u64 || self.n_params > u32::MAX as u64 {
+            return Err(StoreError::Invalid("family too large for the V1 layout".into()));
+        }
+        self.offsets.write_u32(self.n_ids as u32)?;
+        Ok(())
+    }
+
+    /// Splices the spills into a sealed store image, creates the (empty)
+    /// WAL, removes the spills, and returns the final shape. The result
+    /// opens with [`Store::open`](crate::Store::open) or
+    /// [`ReadView::open`](crate::ReadView::open) and is byte-identical to
+    /// the `Store::create` image of the same content.
+    pub fn finish(mut self, vfs: &dyn Vfs) -> Result<StreamStats> {
+        if self.n_tuples == 0 {
+            return Err(StoreError::Invalid("at least one tuple required".into()));
+        }
+        if self.n_params == 0 {
+            return Err(StoreError::Invalid("at least one parameter required".into()));
+        }
+        if let Some(max) = self.max_id {
+            if max as u64 >= self.n_tuples {
+                return Err(StoreError::Invalid(format!(
+                    "active id {max} out of range ({} tuples)",
+                    self.n_tuples
+                )));
+            }
+        }
+        let n_universe: u64 = self.active.iter().map(|w| w.count_ones() as u64).sum();
+        let blob_len = self.flat.len
+            + self.flat.buf.len() as u64
+            + self.params.len
+            + self.params.buf.len() as u64
+            + self.labels.len
+            + self.labels.buf.len() as u64
+            + 4 // element-name count (always 0 in streaming mode)
+            + 4
+            + self.query_name.len() as u64;
+        let answer_len =
+            4 * (self.n_params + 1 + self.n_ids + n_universe);
+        let meta = Meta {
+            tuple_arity: self.tuple_arity as u32,
+            param_arity: self.param_arity as u32,
+            n_tuples: self.n_tuples as u32,
+            n_params: self.n_params as u32,
+            n_ids: self.n_ids as u32,
+            n_universe: n_universe as u32,
+            blob_len,
+            blob_pages: pages_for(blob_len as usize)?,
+            weight_pages: pages_for_weights(self.n_tuples as usize)?,
+            answer_pages: pages_for(answer_len as usize)?,
+            // finish() plays the role of the create transaction (txn 1):
+            // every page is sealed with LSN 1 and the durable watermark
+            // advances past it, exactly like Store::create's commit.
+            next_txn: 2,
+        };
+
+        let mut file = vfs.open(&self.name, true)?;
+        file.truncate(0)?;
+
+        // Blob section: flat ++ parameters ++ labels ++ name-count ++ query.
+        let mut pager = Pager::new(file.as_mut(), 1, kind::BLOB);
+        self.flat.drain_into(&mut |b| pager.write(b))?;
+        self.params.drain_into(&mut |b| pager.write(b))?;
+        self.labels.drain_into(&mut |b| pager.write(b))?;
+        let mut tail = Vec::with_capacity(8 + self.query_name.len());
+        tail.extend_from_slice(&0u32.to_le_bytes());
+        push_str(&mut tail, &self.query_name);
+        pager.write(&tail)?;
+        pager.finish_region(1 + meta.blob_pages)?;
+
+        // Weight section: 255 (base, delta) entries per page.
+        pager.set_kind(kind::WEIGHT);
+        self.weights.drain_into(&mut |b| pager.write_weights(b))?;
+        pager.finish_weight_region(meta.weight_first() + meta.weight_pages)?;
+
+        // Answer section: offsets ++ ids ++ universe.
+        pager.set_kind(kind::ANSWER);
+        self.offsets.drain_into(&mut |b| pager.write(b))?;
+        self.ids.drain_into(&mut |b| pager.write(b))?;
+        for (w, &word) in self.active.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros();
+                pager.write(&((w as u32 * 64 + b).to_le_bytes()))?;
+                bits &= bits - 1;
+            }
+        }
+        pager.finish_region(meta.total_pages())?;
+        drop(pager);
+
+        // Data durable before the meta that makes the file valid.
+        file.sync()?;
+        let mut meta_page = vec![0u8; PAGE_SIZE];
+        meta.encode(&mut meta_page[page::PAGE_HDR..]);
+        page::seal(&mut meta_page, 1, kind::META);
+        file.write_at(&meta_page, 0)?;
+        file.sync()?;
+
+        // A fresh (empty) WAL completes the store pair.
+        let mut wal = vfs.open(&wal_name(&self.name), true)?;
+        wal.truncate(0)?;
+        wal.sync()?;
+
+        for spill in [&self.flat, &self.weights, &self.params, &self.labels, &self.ids, &self.offsets]
+        {
+            vfs.remove(&spill.name)?;
+        }
+        Ok(StreamStats {
+            n_tuples: self.n_tuples as usize,
+            n_params: self.n_params as usize,
+            n_ids: self.n_ids,
+            n_universe: n_universe as usize,
+            pages: meta.total_pages(),
+        })
+    }
+}
+
+/// Adapts a [`StoreStreamer`] to the engine's
+/// [`FamilySink`](qpwm_structures::FamilySink), so
+/// [`stream_family`](qpwm_structures::stream_family) can materialize an
+/// [`AnswerSource`](qpwm_structures::AnswerSource) straight into a store
+/// file. Weights and labels are supplied by closures — the family shape
+/// flows from the source, the marking flows from the caller (typically
+/// the pair-marking delta map evaluated per tuple).
+pub struct FamilyStreamSink<'a, W, L> {
+    streamer: &'a mut StoreStreamer,
+    weight_of: W,
+    label_of: L,
+    n_params: usize,
+}
+
+impl<'a, W, L> FamilyStreamSink<'a, W, L>
+where
+    W: FnMut(&[u32]) -> (i64, i64),
+    L: FnMut(&[u32], usize) -> String,
+{
+    /// Wraps `streamer`; `weight_of(tuple)` yields `(base, delta)`,
+    /// `label_of(param, index)` the display label.
+    pub fn new(streamer: &'a mut StoreStreamer, weight_of: W, label_of: L) -> Self {
+        FamilyStreamSink { streamer, weight_of, label_of, n_params: 0 }
+    }
+}
+
+impl<W, L> qpwm_structures::FamilySink for FamilyStreamSink<'_, W, L>
+where
+    W: FnMut(&[u32]) -> (i64, i64),
+    L: FnMut(&[u32], usize) -> String,
+{
+    fn push_tuple(&mut self, tuple: &[u32]) -> std::result::Result<(), String> {
+        let (base, delta) = (self.weight_of)(tuple);
+        self.streamer.push_tuple(tuple, base, delta).map(|_| ()).map_err(|e| e.to_string())
+    }
+
+    fn push_param(&mut self, param: &[u32], active: &[u32]) -> std::result::Result<(), String> {
+        let label = (self.label_of)(param, self.n_params);
+        self.n_params += 1;
+        self.streamer.push_param(param, &label, active).map_err(|e| e.to_string())
+    }
+}
+
+/// Paginates a byte stream into consecutive sealed pages of one kind.
+struct Pager<'a> {
+    file: &'a mut dyn VfsFile,
+    next_page: u32,
+    kind: u8,
+    payload: Vec<u8>,
+}
+
+impl<'a> Pager<'a> {
+    fn new(file: &'a mut dyn VfsFile, first_page: u32, kind: u8) -> Self {
+        Pager { file, next_page: first_page, kind, payload: Vec::with_capacity(PAGE_PAYLOAD) }
+    }
+
+    fn set_kind(&mut self, kind: u8) {
+        debug_assert!(self.payload.is_empty(), "kind change mid-region");
+        self.kind = kind;
+    }
+
+    fn write(&mut self, mut bytes: &[u8]) -> Result<()> {
+        while !bytes.is_empty() {
+            let room = PAGE_PAYLOAD - self.payload.len();
+            let take = room.min(bytes.len());
+            self.payload.extend_from_slice(&bytes[..take]);
+            bytes = &bytes[take..];
+            if self.payload.len() == PAGE_PAYLOAD {
+                self.flush_page()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Weight entries are 16 bytes and [`WEIGHTS_PER_PAGE`] of them fill
+    /// a page's payload exactly, so the plain byte path already aligns;
+    /// this alias documents the intent.
+    fn write_weights(&mut self, bytes: &[u8]) -> Result<()> {
+        debug_assert_eq!(PAGE_PAYLOAD, WEIGHTS_PER_PAGE * 16);
+        self.write(bytes)
+    }
+
+    fn flush_page(&mut self) -> Result<()> {
+        let mut page = vec![0u8; PAGE_SIZE];
+        page[page::PAGE_HDR..page::PAGE_HDR + self.payload.len()].copy_from_slice(&self.payload);
+        page::seal(&mut page, 1, self.kind);
+        self.file.write_at(&page, self.next_page as u64 * PAGE_SIZE as u64)?;
+        self.next_page += 1;
+        self.payload.clear();
+        Ok(())
+    }
+
+    /// Flushes the partial tail page (zero-padded) and checks the region
+    /// ended exactly at `end_page` — a mismatch means the section byte
+    /// count and the meta disagree, which would corrupt every later
+    /// region's addressing.
+    fn finish_region(&mut self, end_page: u32) -> Result<()> {
+        if !self.payload.is_empty() || self.next_page < end_page {
+            self.flush_page()?;
+        }
+        // pages_for() floors every region at one page; emit the empty one.
+        while self.next_page < end_page {
+            self.flush_page()?;
+        }
+        if self.next_page != end_page {
+            return Err(StoreError::Invalid(format!(
+                "region overran its page budget: at {} expected {}",
+                self.next_page, end_page
+            )));
+        }
+        Ok(())
+    }
+
+    fn finish_weight_region(&mut self, end_page: u32) -> Result<()> {
+        self.finish_region(end_page)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{Store, StoreContent};
+    use crate::vfs::{SimVfs, Vfs};
+
+    /// A small family in canonical order, mirrored as a StoreContent.
+    fn content(n_pairs: usize) -> StoreContent {
+        let n = 2 * n_pairs;
+        let flat: Vec<u32> = (0..n as u32).collect();
+        let parameters: Vec<u32> = (0..n_pairs as u32).collect();
+        let offsets: Vec<u32> = (0..=n_pairs as u32).map(|i| 2 * i).collect();
+        let ids: Vec<u32> = (0..n as u32).collect();
+        StoreContent {
+            tuple_arity: 1,
+            param_arity: 1,
+            flat,
+            parameters,
+            offsets,
+            ids: ids.clone(),
+            universe: ids,
+            base: (0..n).map(|e| 100 + e as i64).collect(),
+            delta: (0..n).map(|e| if e % 2 == 0 { 1 } else { -1 }).collect(),
+            param_labels: (0..n_pairs).map(|i| format!("p{i}")).collect(),
+            element_names: Vec::new(),
+            query_name: "q".into(),
+        }
+    }
+
+    fn stream_same(vfs: &SimVfs, name: &str, c: &StoreContent) -> StreamStats {
+        let mut s = StoreStreamer::new(vfs, name, 1, 1, &c.query_name).expect("new");
+        for (i, &e) in c.flat.iter().enumerate() {
+            s.push_tuple(&[e], c.base[i], c.delta[i]).expect("tuple");
+        }
+        for p in 0..c.parameters.len() {
+            let lo = c.offsets[p] as usize;
+            let hi = c.offsets[p + 1] as usize;
+            s.push_param(&[c.parameters[p]], &c.param_labels[p], &c.ids[lo..hi])
+                .expect("param");
+        }
+        s.finish(vfs).expect("finish")
+    }
+
+    #[test]
+    fn streamed_image_is_byte_identical_to_create() {
+        let vfs = SimVfs::new();
+        let c = content(700); // several pages in every section
+        drop(Store::create(&vfs, "bulk", &c).expect("create"));
+        let stats = stream_same(&vfs, "streamed", &c);
+        assert_eq!(stats.n_tuples, 1400);
+        assert_eq!(stats.n_universe, 1400);
+        let read = |name: &str| {
+            let f = vfs.open(name, false).expect("open");
+            let mut all = vec![0u8; f.size().expect("size") as usize];
+            f.read_at(&mut all, 0).expect("read");
+            all
+        };
+        assert_eq!(read("bulk"), read("streamed"), "page images must match exactly");
+        // spills are gone
+        assert!(!vfs.exists("streamed.spill.flat"));
+        assert!(!vfs.exists("streamed.spill.offsets"));
+    }
+
+    #[test]
+    fn streamed_store_opens_and_round_trips() {
+        let vfs = SimVfs::new();
+        let c = content(40);
+        stream_same(&vfs, "db", &c);
+        let mut store = Store::open(&vfs, "db").expect("open");
+        let got = store.content().expect("content");
+        assert_eq!(got, c);
+    }
+
+    #[test]
+    fn stream_family_through_the_sink_matches_the_in_ram_path() {
+        use qpwm_structures::{stream_family, AnswerFamily, AnswerSource, Weights};
+
+        /// parameter [i] activates {2i, 2i+1} — canonical generation order.
+        struct PairSource;
+        impl AnswerSource for PairSource {
+            fn output_arity(&self) -> usize {
+                1
+            }
+            fn for_each_answer(&self, param: &[u32], visit: &mut dyn FnMut(&[u32])) {
+                visit(&[2 * param[0] + 1]); // out of order on purpose
+                visit(&[2 * param[0]]);
+            }
+        }
+
+        let n_pairs = 500u32;
+        let domain: Vec<Vec<u32>> = (0..n_pairs).map(|i| vec![i]).collect();
+        let weight_of = |t: &[u32]| {
+            let e = t[0] as i64;
+            (100 + e, if e % 2 == 0 { 1 } else { -1 })
+        };
+
+        // in-RAM: family + StoreContent + Store::create
+        let family = AnswerFamily::from_source(&PairSource, domain.clone());
+        let mut base = Weights::new(1);
+        let mut marked = Weights::new(1);
+        for &id in family.active_universe() {
+            let t = family.tuple(id).to_vec();
+            let (b, d) = weight_of(&t);
+            base.set(&t, b);
+            marked.set(&t, b + d);
+        }
+        let labels = (0..n_pairs).map(|i| format!("p{i}")).collect();
+        let content = StoreContent::from_family(
+            &family, &base, &marked, labels, Vec::new(), "q".into(),
+        )
+        .expect("content");
+        let vfs = SimVfs::new();
+        drop(Store::create(&vfs, "ram", &content).expect("create"));
+
+        // out-of-core: the same source streamed through the sink
+        let mut streamer = StoreStreamer::new(&vfs, "oo", 1, 1, "q").expect("streamer");
+        let mut sink = FamilyStreamSink::new(
+            &mut streamer,
+            weight_of,
+            |p: &[u32], _| format!("p{}", p[0]),
+        );
+        let summary =
+            stream_family(&PairSource, domain, 8, &mut sink).expect("stream");
+        assert_eq!(summary.n_tuples, 2 * n_pairs as usize);
+        streamer.finish(&vfs).expect("finish");
+
+        let read = |name: &str| {
+            let f = vfs.open(name, false).expect("open");
+            let mut all = vec![0u8; f.size().expect("size") as usize];
+            f.read_at(&mut all, 0).expect("read");
+            all
+        };
+        assert_eq!(read("ram"), read("oo"), "both paths must write the same image");
+    }
+
+    #[test]
+    fn out_of_order_tuples_are_rejected() {
+        let vfs = SimVfs::new();
+        let mut s = StoreStreamer::new(&vfs, "db", 1, 1, "q").expect("new");
+        s.push_tuple(&[5], 1, 0).expect("first");
+        assert!(s.push_tuple(&[5], 1, 0).is_err(), "duplicate");
+        assert!(s.push_tuple(&[4], 1, 0).is_err(), "regression");
+    }
+
+    #[test]
+    fn unsorted_or_out_of_range_ids_are_rejected() {
+        let vfs = SimVfs::new();
+        let mut s = StoreStreamer::new(&vfs, "db", 1, 1, "q").expect("new");
+        s.push_tuple(&[0], 1, 0).expect("t");
+        assert!(s.push_param(&[0], "p", &[1, 0]).is_err(), "unsorted ids");
+        let mut s = StoreStreamer::new(&vfs, "db2", 1, 1, "q").expect("new");
+        s.push_tuple(&[0], 1, 0).expect("t");
+        s.push_param(&[0], "p", &[7]).expect("push ok, checked at finish");
+        assert!(s.finish(&vfs).is_err(), "id 7 exceeds 1 tuple");
+    }
+}

@@ -72,6 +72,9 @@ pub trait Vfs {
     fn open(&self, name: &str, create: bool) -> Result<Box<dyn VfsFile>>;
     /// Does the file exist?
     fn exists(&self, name: &str) -> bool;
+    /// Deletes a file; removing a missing file is not an error. Used for
+    /// spill-file cleanup, so it is not a crash-injection point.
+    fn remove(&self, name: &str) -> Result<()>;
 }
 
 // ---------------------------------------------------------------------------
@@ -137,6 +140,14 @@ impl Vfs for DiskVfs {
 
     fn exists(&self, name: &str) -> bool {
         self.path(name).exists()
+    }
+
+    fn remove(&self, name: &str) -> Result<()> {
+        match std::fs::remove_file(self.path(name)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(StoreError::Io(format!("remove {name}: {e}"))),
+        }
     }
 }
 
@@ -358,6 +369,16 @@ impl Vfs for SimVfs {
     fn exists(&self, name: &str) -> bool {
         let st = self.state.lock().expect("sim lock");
         st.durable.contains_key(name) || st.pending.contains_key(name)
+    }
+
+    fn remove(&self, name: &str) -> Result<()> {
+        let mut st = self.state.lock().expect("sim lock");
+        if st.crashed {
+            return Err(StoreError::Io("simulated process is dead".into()));
+        }
+        st.durable.remove(name);
+        st.pending.remove(name);
+        Ok(())
     }
 }
 

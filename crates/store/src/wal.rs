@@ -67,27 +67,73 @@ pub struct WalScan {
     pub torn_tail: bool,
 }
 
+/// Cumulative WAL activity counters — the
+/// `qpwm_store_wal_{records,fsyncs,group_commits}` observability series.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended (page images + commits) this session.
+    pub records: u64,
+    /// `sync` calls issued this session.
+    pub fsyncs: u64,
+    /// Group commits: single fsyncs that made a whole batch of buffered
+    /// transactions durable (counted by the store's group-commit path).
+    pub group_commits: u64,
+}
+
 /// An open write-ahead log.
+///
+/// Appends accumulate in a process-local buffer and reach the file in
+/// one sequential write at the next [`Wal::sync`] — so a group commit
+/// of N buffered transactions costs one write and one fsync, and even
+/// a plain commit folds its page images and commit record into a
+/// single write. Durability semantics are unchanged: nothing is
+/// promised until `sync` returns, and a crash before it loses the
+/// buffered suffix (recovery then restores the committed prefix).
 pub struct Wal {
     file: Box<dyn VfsFile>,
-    /// Append offset (end of the last full record written this session).
+    /// Append offset (end of the last full record *written to the file*
+    /// this session; buffered bytes sit past it).
     end: u64,
+    /// Records appended but not yet written to the file.
+    pending: Vec<u8>,
+    stats: WalStats,
 }
 
 impl Wal {
     /// Wraps an open log file, appending after any existing bytes.
     pub fn new(file: Box<dyn VfsFile>) -> Result<Self> {
         let end = file.size()?;
-        Ok(Wal { file, end })
+        Ok(Wal { file, end, pending: Vec::new(), stats: WalStats::default() })
+    }
+
+    /// Activity counters since this handle was opened.
+    pub fn stats(&self) -> WalStats {
+        self.stats
+    }
+
+    /// Records that one fsync committed a whole buffered batch.
+    pub fn note_group_commit(&mut self) {
+        self.stats.group_commits += 1;
     }
 
     fn append(&mut self, body: &[u8]) -> Result<()> {
-        let mut rec = Vec::with_capacity(8 + body.len());
-        rec.extend_from_slice(&(body.len() as u32).to_le_bytes());
-        rec.extend_from_slice(&crc32(body).to_le_bytes());
-        rec.extend_from_slice(body);
-        self.file.write_at(&rec, self.end)?;
-        self.end += rec.len() as u64;
+        self.pending.reserve(8 + body.len());
+        self.pending.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        self.pending.extend_from_slice(&crc32(body).to_le_bytes());
+        self.pending.extend_from_slice(body);
+        self.stats.records += 1;
+        Ok(())
+    }
+
+    /// Writes every buffered record to the file in one append. Called by
+    /// [`Wal::sync`]; exposed separately so callers can push bytes to the
+    /// OS without paying for durability yet.
+    pub fn flush(&mut self) -> Result<()> {
+        if !self.pending.is_empty() {
+            self.file.write_at(&self.pending, self.end)?;
+            self.end += self.pending.len() as u64;
+            self.pending.clear();
+        }
         Ok(())
     }
 
@@ -113,30 +159,37 @@ impl Wal {
     /// Forces every appended record to durable storage. A transaction is
     /// committed exactly when its commit record is durable here.
     pub fn sync(&mut self) -> Result<()> {
+        self.flush()?;
+        self.stats.fsyncs += 1;
         self.file.sync()
     }
 
     /// Empties the log (after a checkpoint made its effects durable in
-    /// the page file) and syncs the truncation.
+    /// the page file) and syncs the truncation. Buffered records are
+    /// dropped too — the checkpoint already folded their effects into
+    /// the page file.
     pub fn reset(&mut self) -> Result<()> {
+        self.pending.clear();
         self.file.truncate(0)?;
         self.file.sync()?;
         self.end = 0;
         Ok(())
     }
 
-    /// Bytes currently in the log.
+    /// Bytes currently in the log (buffered records included).
     pub fn len(&self) -> u64 {
-        self.end
+        self.end + self.pending.len() as u64
     }
 
     /// True when the log holds no records.
     pub fn is_empty(&self) -> bool {
-        self.end == 0
+        self.len() == 0
     }
 
-    /// Scans the log from byte 0 (see [`scan`]).
-    pub fn scan(&self) -> Result<WalScan> {
+    /// Scans the log from byte 0 (see [`scan`]). Flushes buffered
+    /// records first so the scan sees every append.
+    pub fn scan(&mut self) -> Result<WalScan> {
+        self.flush()?;
         scan(self.file.as_ref())
     }
 }

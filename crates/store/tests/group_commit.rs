@@ -1,0 +1,250 @@
+//! Group-commit semantics: batched durability, prefix-consistent crash
+//! recovery across batch boundaries, abort isolation inside a pending
+//! batch, and idempotent (LSN-gated) replay across reopens.
+
+use qpwm_store::vfs::{CrashPolicy, SimVfs};
+use qpwm_store::{Store, StoreContent, StoreOptions};
+
+const N: u32 = 64; // tuples
+
+/// One parameter per tuple pair, unary tuples `[e]`, base `10 + e`.
+fn content() -> StoreContent {
+    let ids: Vec<u32> = (0..N).collect();
+    StoreContent {
+        tuple_arity: 1,
+        param_arity: 1,
+        flat: ids.clone(),
+        parameters: (0..N / 2).collect(),
+        offsets: (0..=N / 2).map(|i| 2 * i).collect(),
+        ids: ids.clone(),
+        universe: ids,
+        base: (0..N).map(|e| 10 + e as i64).collect(),
+        delta: vec![0; N as usize],
+        param_labels: (0..N / 2).map(|i| format!("p{i}")).collect(),
+        element_names: Vec::new(),
+        query_name: "q".into(),
+    }
+}
+
+/// Batch txn `k` (1-based) sets `delta[k-1] = 100 + k`.
+fn apply_batch_txn(store: &mut Store, k: u32) -> qpwm_store::Result<()> {
+    let mut txn = store.begin();
+    txn.set_delta(k - 1, 100 + k as i64)?;
+    txn.commit_buffered().map(|_| ())
+}
+
+/// The delta vector after the first `k` batch txns.
+fn deltas_after(store: &mut Store) -> Vec<i64> {
+    store.content().expect("content").delta
+}
+
+fn expected_deltas(k: usize) -> Vec<i64> {
+    let mut d = vec![0i64; N as usize];
+    for (i, slot) in d.iter_mut().take(k).enumerate() {
+        *slot = 100 + (i as i64 + 1);
+    }
+    d
+}
+
+#[test]
+fn group_commit_makes_the_whole_batch_durable_with_one_wal_fsync() {
+    let vfs = SimVfs::new();
+    let mut store = Store::create(&vfs, "db", &content()).expect("create");
+    let fsyncs_before = store.stat().wal.fsyncs;
+    const BATCH: u32 = 16;
+    for k in 1..=BATCH {
+        apply_batch_txn(&mut store, k).expect("buffered");
+    }
+    assert_eq!(store.buffered_txns(), BATCH as u64);
+    let n = store.group_commit_no_checkpoint().expect("group commit");
+    assert_eq!(n, BATCH as usize);
+    assert_eq!(store.buffered_txns(), 0);
+    let stats = store.stat();
+    assert_eq!(
+        stats.wal.fsyncs - fsyncs_before,
+        1,
+        "a 16-txn batch must cost exactly one WAL fsync"
+    );
+    assert_eq!(stats.wal.group_commits, 1);
+    drop(store);
+
+    // the batch survives a crash (pending bytes are lost, synced stay)
+    vfs.restart();
+    let mut store = Store::open(&vfs, "db").expect("recover");
+    assert!(store.recovery().replayed_txns >= 1, "batch replays from the WAL");
+    assert_eq!(deltas_after(&mut store), expected_deltas(BATCH as usize));
+}
+
+#[test]
+fn crash_inside_a_batch_recovers_a_txn_prefix() {
+    const BATCH: u32 = 6;
+    let vfs = SimVfs::new();
+    drop(Store::create(&vfs, "db", &content()).expect("create"));
+    let base_snapshot = vfs.snapshot();
+
+    // dry run to count the mutating ops of batch + group commit
+    vfs.reset_ops();
+    {
+        let mut store = Store::open(&vfs, "db").expect("open");
+        for k in 1..=BATCH {
+            apply_batch_txn(&mut store, k).expect("buffered");
+        }
+        store.group_commit().expect("group commit");
+    }
+    let total_ops = vfs.ops();
+    assert!(total_ops > 0);
+
+    let allowed: Vec<Vec<i64>> = (0..=BATCH as usize).map(expected_deltas).collect();
+    let mut seen_rollback = false;
+    let mut seen_full_batch = false;
+    for torn in [false, true] {
+        for op in 0..total_ops {
+            vfs.restore(&base_snapshot);
+            vfs.set_policy(Some(CrashPolicy { crash_op: op, torn }));
+            let died = (|| -> qpwm_store::Result<()> {
+                let mut store = Store::open(&vfs, "db")?;
+                for k in 1..=BATCH {
+                    apply_batch_txn(&mut store, k)?;
+                }
+                store.group_commit().map(|_| ())
+            })();
+            assert!(died.is_err(), "op {op} torn={torn}: must crash");
+            vfs.restart();
+            let mut store = Store::open(&vfs, "db")
+                .unwrap_or_else(|e| panic!("op {op} torn={torn}: recovery failed: {e}"));
+            let got = deltas_after(&mut store);
+            let Some(k) = allowed.iter().position(|want| *want == got) else {
+                panic!("op {op} torn={torn}: recovered deltas are not a batch prefix: {got:?}");
+            };
+            // group commit is the only durability point in this run, so
+            // a clean crash recovers all txns or none; a torn sync may
+            // surface any prefix of the WAL — all are committed states
+            // of the batch, never an interleaving.
+            if !torn {
+                assert!(
+                    k == 0 || k == BATCH as usize,
+                    "op {op}: clean crash must be all-or-nothing, got prefix {k}"
+                );
+            }
+            seen_rollback |= k == 0;
+            seen_full_batch |= k == BATCH as usize;
+        }
+    }
+    assert!(seen_rollback, "some crash point must roll the whole batch back");
+    assert!(seen_full_batch, "some crash point must land after the group commit");
+}
+
+#[test]
+fn abort_inside_a_pending_batch_keeps_buffered_commits() {
+    let vfs = SimVfs::new();
+    let mut store = Store::create(&vfs, "db", &content()).expect("create");
+    apply_batch_txn(&mut store, 1).expect("buffered");
+    apply_batch_txn(&mut store, 2).expect("buffered");
+    {
+        // this txn touches the same weight page as the buffered commits,
+        // then aborts — the pre-image capture must restore the buffered
+        // content, not the on-disk (stale) page
+        let mut txn = store.begin();
+        txn.set_delta(0, -777).expect("delta");
+        txn.set_delta(40, -888).expect("delta");
+        // dropped without commit => abort
+    }
+    store.group_commit().expect("group commit");
+    drop(store);
+    let mut store = Store::open(&vfs, "db").expect("reopen");
+    assert_eq!(
+        deltas_after(&mut store),
+        expected_deltas(2),
+        "abort must erase only its own effects"
+    );
+}
+
+#[test]
+fn replay_is_idempotent_across_interrupted_recoveries() {
+    let vfs = SimVfs::new();
+    drop(Store::create(&vfs, "db", &content()).expect("create"));
+
+    // leave a committed-but-uncheckpointed txn in the WAL
+    {
+        let mut store = Store::open(&vfs, "db").expect("open");
+        let mut txn = store.begin();
+        for e in 0..N {
+            txn.set_delta(e, 7).expect("delta");
+        }
+        txn.commit_no_checkpoint().expect("commit");
+    }
+    vfs.restart();
+    let wal_state = vfs.snapshot();
+
+    // dry run: count recovery's ops and capture the recovered state
+    vfs.reset_ops();
+    let want = {
+        let mut store = Store::open(&vfs, "db").expect("recover");
+        assert!(store.recovery().replayed_pages > 0, "dry run must replay");
+        assert_eq!(store.recovery().skipped_pages, 0, "first recovery skips nothing");
+        deltas_after(&mut store)
+    };
+    let recover_ops = vfs.ops();
+
+    // crash recovery at every op; the re-recovery must reach the same
+    // state, and at least one crash point (after the data-page sync)
+    // must exercise the LSN gate instead of rewriting pages
+    let mut saw_skip = false;
+    for op in 0..recover_ops {
+        vfs.restore(&wal_state);
+        vfs.set_policy(Some(CrashPolicy { crash_op: op, torn: false }));
+        assert!(Store::open(&vfs, "db").is_err(), "op {op}: recovery should crash");
+        vfs.restart();
+        let mut store = Store::open(&vfs, "db")
+            .unwrap_or_else(|e| panic!("op {op}: re-recovery failed: {e}"));
+        assert_eq!(deltas_after(&mut store), want, "op {op}: state drifted");
+        saw_skip |= store.recovery().skipped_pages > 0;
+    }
+    assert!(saw_skip, "no re-recovery exercised the idempotent-replay (LSN skip) path");
+}
+
+#[test]
+fn open_serves_without_a_prior_checkpoint_and_without_double_replay() {
+    let vfs = SimVfs::new();
+    drop(Store::create(&vfs, "db", &content()).expect("create"));
+    {
+        let mut store = Store::open(&vfs, "db").expect("open");
+        let mut txn = store.begin();
+        txn.set_delta(3, 42).expect("delta");
+        txn.commit_no_checkpoint().expect("commit");
+    }
+    vfs.restart();
+
+    // first open recovers and resets the WAL...
+    {
+        let mut store = Store::open(&vfs, "db").expect("recover");
+        assert_eq!(store.recovery().replayed_txns, 1);
+        assert_eq!(deltas_after(&mut store)[3], 42);
+        // ...and serves immediately: no checkpoint call needed before use
+        let mut txn = store.begin();
+        txn.set_delta(4, 43).expect("delta");
+        txn.commit().expect("commit");
+    }
+    // second open finds nothing left to replay
+    let mut store = Store::open(&vfs, "db").expect("reopen");
+    assert_eq!(store.recovery().replayed_txns, 0, "no double replay after recovery");
+    assert_eq!(store.recovery().replayed_pages, 0);
+    let d = deltas_after(&mut store);
+    assert_eq!((d[3], d[4]), (42, 43));
+}
+
+#[test]
+fn pool_frames_option_bounds_the_working_set() {
+    let vfs = SimVfs::new();
+    let opts = StoreOptions { pool_frames: Some(4) };
+    let mut store = Store::create_with(&vfs, "db", &content(), &opts).expect("create");
+    let stat = store.stat();
+    assert_eq!(stat.pool_capacity, 4);
+    // a full content read with 4 frames must evict
+    drop(store.content().expect("content"));
+    assert!(store.stat().pool.misses > 0);
+    drop(store);
+    // below the floor is a configuration error
+    let bad = StoreOptions { pool_frames: Some(1) };
+    assert!(Store::open_with(&vfs, "db", &bad).is_err(), "pool-frames 1 must be rejected");
+}

@@ -565,6 +565,154 @@ impl FamilyBuilder {
     }
 }
 
+/// A consumer of a family produced in canonical order — the out-of-core
+/// seam. [`stream_family`] pushes every *new* tuple exactly once, in
+/// canonical (lexicographic) order, then each parameter with its sorted
+/// active-id set; a sink typically spills both straight to storage
+/// (`qpwm-store`'s streamer) so the family never exists in RAM.
+pub trait FamilySink {
+    /// The next canonical tuple; its id is the number of tuples pushed
+    /// before it.
+    fn push_tuple(&mut self, tuple: &[Element]) -> Result<(), String>;
+    /// The next parameter with its strictly ascending active ids.
+    fn push_param(&mut self, param: &[Element], active: &[TupleId]) -> Result<(), String>;
+}
+
+/// Interns tuples to canonical ids *online*, without keeping the flat
+/// buffer: new tuples must arrive in strictly increasing lexicographic
+/// order (so push order == canonical order), and repeats must fall
+/// inside a bounded **frontier** of recently interned tuples. Memory is
+/// O(frontier), independent of how many tuples pass through.
+///
+/// The frontier contract is what makes out-of-core materialization
+/// honest: a source whose active sets revisit tuples arbitrarily far
+/// back needs the in-RAM [`FamilyBuilder`]; a source with locality (a
+/// sliding window, a sorted generator, chunked re-marking) streams.
+#[derive(Debug)]
+pub struct StreamingInterner {
+    arity: usize,
+    next_id: TupleId,
+    /// Greatest (most recent) interned tuple.
+    last: Vec<Element>,
+    /// Recently interned tuples, oldest first; mirrored in `index`.
+    recent: std::collections::VecDeque<Vec<Element>>,
+    index: HashMap<Vec<Element>, TupleId>,
+    frontier: usize,
+}
+
+/// Callback [`StreamingInterner::intern`] fires exactly once per fresh
+/// tuple, in canonical order; an `Err` aborts the intern.
+pub type OnNewTuple<'a> = dyn FnMut(&[Element], TupleId) -> Result<(), String> + 'a;
+
+impl StreamingInterner {
+    /// An interner keeping the last `frontier` tuples resolvable.
+    pub fn new(arity: usize, frontier: usize) -> Self {
+        StreamingInterner {
+            arity,
+            next_id: 0,
+            last: Vec::new(),
+            recent: std::collections::VecDeque::new(),
+            index: HashMap::new(),
+            frontier: frontier.max(1),
+        }
+    }
+
+    /// Number of distinct tuples interned.
+    pub fn len(&self) -> usize {
+        self.next_id as usize
+    }
+
+    /// True before the first intern.
+    pub fn is_empty(&self) -> bool {
+        self.next_id == 0
+    }
+
+    /// Resolves `tuple` to its canonical id, calling `on_new` (exactly
+    /// once, in canonical order) when it is fresh. Errors when a fresh
+    /// tuple breaks canonical order or a repeat falls behind the
+    /// frontier.
+    pub fn intern(
+        &mut self,
+        tuple: &[Element],
+        on_new: &mut OnNewTuple<'_>,
+    ) -> Result<TupleId, String> {
+        if tuple.len() != self.arity {
+            return Err(format!("tuple arity {} != {}", tuple.len(), self.arity));
+        }
+        if let Some(&id) = self.index.get(tuple) {
+            return Ok(id);
+        }
+        if self.next_id > 0 && tuple <= self.last.as_slice() {
+            return Err(format!(
+                "tuple {tuple:?} at id {} is behind the streaming frontier: either the \
+                 source is not canonically ordered or the frontier ({}) is too small",
+                self.next_id, self.frontier
+            ));
+        }
+        let id = self.next_id;
+        on_new(tuple, id)?;
+        self.next_id = self
+            .next_id
+            .checked_add(1)
+            .ok_or_else(|| "tuple id space exhausted".to_string())?;
+        self.last.clear();
+        self.last.extend_from_slice(tuple);
+        self.recent.push_back(tuple.to_vec());
+        self.index.insert(tuple.to_vec(), id);
+        if self.recent.len() > self.frontier {
+            let old = self.recent.pop_front().expect("nonempty");
+            self.index.remove(&old);
+        }
+        Ok(id)
+    }
+}
+
+/// Shape of a streamed family (what [`stream_family`] produced).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Distinct tuples interned.
+    pub n_tuples: usize,
+    /// Parameters pushed.
+    pub n_params: usize,
+    /// Total active-set entries.
+    pub n_ids: u64,
+}
+
+/// Materializes `source` over `domain` straight into `sink`, holding
+/// only one answer set plus the interner's frontier in memory — the
+/// out-of-core counterpart of [`AnswerFamily::from_source`]. The
+/// resulting family (tuple order, CSR runs, universe) is identical to
+/// the in-RAM path whenever the source satisfies the frontier contract
+/// (see [`StreamingInterner`]).
+pub fn stream_family<S: AnswerSource + ?Sized>(
+    source: &S,
+    domain: impl IntoIterator<Item = Vec<Element>>,
+    frontier: usize,
+    sink: &mut dyn FamilySink,
+) -> Result<StreamSummary, String> {
+    let mut interner = StreamingInterner::new(source.output_arity(), frontier);
+    let mut scratch: Vec<Vec<Element>> = Vec::new();
+    let mut ids: Vec<TupleId> = Vec::new();
+    let mut n_params = 0usize;
+    let mut n_ids = 0u64;
+    for param in domain {
+        scratch.clear();
+        source.for_each_answer(&param, &mut |b| scratch.push(b.to_vec()));
+        scratch.sort_unstable();
+        scratch.dedup();
+        ids.clear();
+        for t in &scratch {
+            ids.push(interner.intern(t, &mut |t, _| sink.push_tuple(t))?);
+        }
+        // content-sorted + canonical interning ⇒ ids strictly ascending
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        sink.push_param(&param, &ids)?;
+        n_params += 1;
+        n_ids += ids.len() as u64;
+    }
+    Ok(StreamSummary { n_tuples: interner.len(), n_params, n_ids })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -697,6 +845,120 @@ mod tests {
         let mut after = w.clone();
         after.set(&[4], 8);
         assert_eq!(fam.max_global_distortion(&w, &after), 1);
+    }
+
+    /// Collects the streamed family back into vectors, so tests can
+    /// compare the streaming path against the in-RAM builder.
+    #[derive(Default)]
+    struct CollectSink {
+        flat: Vec<Element>,
+        parameters: Vec<Vec<Element>>,
+        offsets: Vec<u32>,
+        ids: Vec<TupleId>,
+    }
+
+    impl FamilySink for CollectSink {
+        fn push_tuple(&mut self, tuple: &[Element]) -> Result<(), String> {
+            self.flat.extend_from_slice(tuple);
+            Ok(())
+        }
+        fn push_param(&mut self, param: &[Element], active: &[TupleId]) -> Result<(), String> {
+            if self.offsets.is_empty() {
+                self.offsets.push(0);
+            }
+            self.parameters.push(param.to_vec());
+            self.ids.extend_from_slice(active);
+            self.offsets.push(self.ids.len() as u32);
+            Ok(())
+        }
+    }
+
+    /// Windowed ranges: parameter [a] activates tuples a..a+3 — canonical
+    /// first-occurrence order with a small revisit frontier.
+    struct Windows;
+    impl AnswerSource for Windows {
+        fn output_arity(&self) -> usize {
+            1
+        }
+        fn for_each_answer(&self, param: &[Element], visit: &mut dyn FnMut(&[Element])) {
+            // out of order + duplicate, like a real evaluator
+            for k in (param[0]..param[0] + 3).rev() {
+                visit(&[k]);
+                visit(&[k]);
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_family_matches_in_ram_builder() {
+        let domain: Vec<Vec<Element>> = (0..50).map(|i| vec![i]).collect();
+        let in_ram = AnswerFamily::from_source(&Windows, domain.clone());
+        let mut sink = CollectSink::default();
+        let summary =
+            stream_family(&Windows, domain.clone(), 8, &mut sink).expect("stream");
+        assert_eq!(summary.n_params, 50);
+        assert_eq!(summary.n_tuples, 52);
+        let universe = {
+            let mut u = sink.ids.clone();
+            u.sort_unstable();
+            u.dedup();
+            u
+        };
+        let streamed = AnswerFamily::from_raw_parts(
+            1,
+            sink.flat,
+            sink.parameters,
+            sink.offsets,
+            sink.ids,
+            universe,
+        )
+        .expect("streamed family is canonical");
+        assert_eq!(streamed.parameters(), in_ram.parameters());
+        assert_eq!(streamed.active_universe(), in_ram.active_universe());
+        for i in 0..in_ram.len() {
+            assert_eq!(streamed.active_ids(i), in_ram.active_ids(i), "set {i}");
+        }
+    }
+
+    #[test]
+    fn frontier_violations_error_instead_of_corrupting() {
+        // revisiting tuple 0 at parameter 20 with a frontier of 4 —
+        // tuple 0 has long been evicted
+        struct Revisit;
+        impl AnswerSource for Revisit {
+            fn output_arity(&self) -> usize {
+                1
+            }
+            fn for_each_answer(&self, param: &[Element], visit: &mut dyn FnMut(&[Element])) {
+                visit(&[param[0]]);
+                if param[0] == 20 {
+                    visit(&[0]);
+                }
+            }
+        }
+        let domain: Vec<Vec<Element>> = (0..30).map(|i| vec![i]).collect();
+        let mut sink = CollectSink::default();
+        let err = stream_family(&Revisit, domain, 4, &mut sink).expect_err("must fail");
+        assert!(err.contains("frontier"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn streaming_interner_resolves_inside_frontier() {
+        let mut i = StreamingInterner::new(1, 4);
+        let mut news = Vec::new();
+        for k in 0..6u32 {
+            let id = i.intern(&[k], &mut |t, id| {
+                news.push((t.to_vec(), id));
+                Ok(())
+            });
+            assert_eq!(id, Ok(k));
+        }
+        // repeats inside the window resolve without on_new
+        assert_eq!(i.intern(&[5], &mut |_, _| panic!("not new")), Ok(5));
+        assert_eq!(i.intern(&[2], &mut |_, _| panic!("not new")), Ok(2));
+        // a repeat evicted from the window errors
+        assert!(i.intern(&[0], &mut |_, _| Ok(())).is_err());
+        assert_eq!(news.len(), 6);
     }
 
     #[test]

@@ -25,7 +25,10 @@ pub mod types;
 pub mod weighted;
 
 pub use distortion::{global_distortion, local_distortion, DistortionReport};
-pub use engine::{AnswerFamily, AnswerSource, FamilyBuilder, TupleArena, TupleId};
+pub use engine::{
+    stream_family, AnswerFamily, AnswerSource, FamilyBuilder, FamilySink, StreamSummary,
+    StreamingInterner, TupleArena, TupleId,
+};
 pub use gaifman::GaifmanGraph;
 pub use iso::are_isomorphic;
 pub use neighborhood::Neighborhood;

@@ -230,4 +230,60 @@ echo "$VERIFY" | grep -q 'MARK PRESENT' \
   || { echo "mark lost after committed update:" >&2; echo "$VERIFY" >&2; exit 1; }
 echo "store crash-recovery smoke test OK (crashed at op 5 with a torn write, recovered, re-marked)"
 
+# Out-of-core smoke test: mark and verify a store through the minimum
+# 4-frame buffer pool, require the paged detection evidence to match
+# the resident pass bit for bit, check `store stat`, and serve the
+# store through the paged plane (pool counters must appear in
+# /metrics and answers must match the store's weights).
+echo "== tier-1: out-of-core store smoke test =="
+./target/release/qpwm store init \
+  --store "$SMOKE/oo.qps" --schema 'R(a,b)' --table "R=$SMOKE/ring.csv" \
+  --weights "$SMOKE/weights.csv" --rule 'q($u; v) :- R($u, v)' \
+  --pool-frames 4 > /dev/null
+./target/release/qpwm store mark \
+  --store "$SMOKE/oo.qps" --schema 'R(a,b)' --table "R=$SMOKE/ring.csv" \
+  --weights "$SMOKE/weights.csv" --rule 'q($u; v) :- R($u, v)' \
+  --message "$MESSAGE" --key-out "$SMOKE/oo.key" --pool-frames 4 > /dev/null
+
+RESIDENT_VERIFY="$(./target/release/qpwm store verify \
+  --store "$SMOKE/oo.qps" --key "$SMOKE/oo.key" --claim "$MESSAGE")"
+PAGED_VERIFY="$(./target/release/qpwm store verify \
+  --store "$SMOKE/oo.qps" --key "$SMOKE/oo.key" --claim "$MESSAGE" \
+  --paged --pool-frames 4)"
+echo "$PAGED_VERIFY" | grep -q 'MARK PRESENT' \
+  || { echo "paged verify lost the mark:" >&2; echo "$PAGED_VERIFY" >&2; exit 1; }
+echo "$PAGED_VERIFY" | grep -q 'paged detection:' \
+  || { echo "paged verify did not go through the pool:" >&2; echo "$PAGED_VERIFY" >&2; exit 1; }
+RESIDENT_BITS="$(echo "$RESIDENT_VERIFY" | grep '^extracted bits:')"
+PAGED_BITS="$(echo "$PAGED_VERIFY" | grep '^extracted bits:')"
+[[ "$RESIDENT_BITS" == "$PAGED_BITS" && -n "$RESIDENT_BITS" ]] \
+  || { echo "paged evidence diverged from resident:" >&2; \
+       echo "resident: $RESIDENT_BITS" >&2; echo "paged: $PAGED_BITS" >&2; exit 1; }
+
+./target/release/qpwm store stat --store "$SMOKE/oo.qps" | grep -q 'pool traffic' \
+  || { echo "store stat lost its pool counters" >&2; exit 1; }
+
+./target/release/qpwm serve --store "$SMOKE/oo.qps" --pool-frames 4 \
+  --port 0 > "$SMOKE/oo-serve.log" &
+OO_PID=$!
+OO_ADDR=""
+for _ in $(seq 1 50); do
+  OO_ADDR="$(sed -n 's|^listening on http://||p' "$SMOKE/oo-serve.log" | head -n 1)"
+  [[ -n "$OO_ADDR" ]] && break
+  sleep 0.1
+done
+[[ -n "$OO_ADDR" ]] || { echo "paged serve did not start:" >&2; cat "$SMOKE/oo-serve.log" >&2; kill "$OO_PID" 2>/dev/null; exit 1; }
+grep -q 'serving out-of-core' "$SMOKE/oo-serve.log" \
+  || { echo "serve --store did not pick the paged plane:" >&2; cat "$SMOKE/oo-serve.log" >&2; kill "$OO_PID" 2>/dev/null; exit 1; }
+
+OO_ANSWER="$(curl -sf "http://$OO_ADDR/answer?i=0")"
+[[ "$OO_ANSWER" == *'"count":1'* ]] \
+  || { echo "unexpected paged /answer response: $OO_ANSWER" >&2; kill "$OO_PID" 2>/dev/null; exit 1; }
+OO_METRICS="$(curl -sf "http://$OO_ADDR/metrics")"
+echo "$OO_METRICS" | grep -q '^qpwm_store_pool_misses [1-9]' \
+  || { echo "paged serve never read a page through the pool:" >&2; echo "$OO_METRICS" | grep qpwm_store >&2; kill "$OO_PID" 2>/dev/null; exit 1; }
+curl -sf -X POST "http://$OO_ADDR/shutdown" >/dev/null
+wait "$OO_PID"
+echo "out-of-core smoke test OK ($OO_ADDR, 4-frame pool, paged evidence == resident)"
+
 echo "== tier-1: OK =="

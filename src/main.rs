@@ -99,7 +99,10 @@ const USAGE: &str = "usage:
                       [--table ...] --rule <rule> --message <bits>
                       --key-out <keyfile> [--d <n>] [--rho <n>]
     qpwm store update --store <file.qps> --updates <changes.csv> [--key <keyfile>]
-    qpwm store verify --store <file.qps> --key <keyfile> [--claim <bits>]
+    qpwm store verify --store <file.qps> --key <keyfile> [--claim <bits>] [--paged]
+    qpwm store stat   --store <file.qps>
+    every store verb takes [--pool-frames <n>] (or QPWM_POOL_FRAMES) to
+    bound the buffer pool; verify --paged detects out-of-core through it
   data server (answer sets + aggregates over HTTP):
     qpwm serve     --schema <spec> --table Rel=file.csv [--table ...]
                    --weights <marked.csv> --rule <rule>
@@ -110,7 +113,11 @@ const USAGE: &str = "usage:
     qpwm serve     --xml <marked.xml> --pattern <pattern>
                    [--port <n>] [--shards <n>] [--cache <entries>]
                    [--backlog <n>] [--chaos <spec>]
-    qpwm serve     --store <file.qps> [--port <n>] [--shards <n>] [...]
+    qpwm serve     --store <file.qps> [--port <n>] [--shards <n>]
+                   [--pool-frames <n>] [--resident] [...]
+                   (stores serve out-of-core through per-shard buffer
+                    pools; --resident or fingerprint flags decode the
+                    family into RAM instead)
   multi-tenant fingerprinting (issuance ledger, traitor tracing):
     qpwm issue     --master <secret> --ledger <file> --recipient <name> [--at <ts>]
     qpwm revoke    --master <secret> --ledger <file> --recipient <name> [--at <ts>]
@@ -158,6 +165,9 @@ fn run(args: &[String]) -> Result<(), String> {
 
 type Options = HashMap<String, Vec<String>>;
 
+/// Flags that take no value (presence is the signal).
+const BOOLEAN_FLAGS: &[&str] = &["paged", "resident"];
+
 fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut out: Options = HashMap::new();
     let mut it = args.iter();
@@ -165,6 +175,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         let Some(name) = flag.strip_prefix("--") else {
             return Err(format!("expected a --flag, got {flag}"));
         };
+        if BOOLEAN_FLAGS.contains(&name) {
+            out.entry(name.to_owned()).or_default().push(String::new());
+            continue;
+        }
         let Some(value) = it.next() else {
             return Err(format!("--{name} needs a value"));
         };
@@ -855,8 +869,25 @@ fn accuse_remote(addr: &str, opts: &Options) -> Result<(), String> {
 /// `qpwm serve`: pre-materializes the answer family once and serves it
 /// over HTTP until `POST /shutdown` (loopback-only) stops it.
 fn serve(opts: &Options) -> Result<(), String> {
+    // fingerprint stamping splices precomputed templates, so those flags
+    // force the resident plane even for a store
+    let wants_fingerprint =
+        optional(opts, "master").is_some() || optional(opts, "ledger").is_some();
+    let mut paged_plane = None;
     let data = if optional(opts, "store").is_some() {
-        serve_data_store(opts)?
+        if optional(opts, "resident").is_some() || wants_fingerprint {
+            if wants_fingerprint && optional(opts, "resident").is_none() {
+                println!(
+                    "fingerprinting requested: decoding the store into RAM \
+                     (the paged plane does not stamp)"
+                );
+            }
+            serve_data_store(opts)?
+        } else {
+            let (plane, placeholder) = serve_store_paged(opts)?;
+            paged_plane = Some(plane);
+            placeholder
+        }
     } else if optional(opts, "xml").is_some() {
         serve_data_xml(opts)?
     } else {
@@ -920,6 +951,7 @@ fn serve(opts: &Options) -> Result<(), String> {
         );
         config.fingerprint = Some(ctx);
     }
+    config.paged = paged_plane;
     let server = qpwm::serve::Server::start(data, config).map_err(|e| e.to_string())?;
     println!("listening on http://{}", server.addr());
     println!(
@@ -989,9 +1021,40 @@ fn serve_data_xml(opts: &Options) -> Result<qpwm::serve::ServeData, String> {
     ))
 }
 
-/// Store serve mode: the family, labels and *marked* weights come
-/// straight off the WAL-recovered pages — after any crash the server
-/// exposes exactly one committed marking, never a torn one.
+/// Default store serve mode: recover the WAL, then hand the server a
+/// [`qpwm::serve::PagedPlane`] so every shard answers through its own
+/// buffer pool — startup and steady-state RSS are O(pool frames), not
+/// O(family). The returned [`qpwm::serve::ServeData`] is an empty
+/// placeholder the paged routes never touch.
+fn serve_store_paged(
+    opts: &Options,
+) -> Result<(qpwm::serve::PagedPlane, qpwm::serve::ServeData), String> {
+    let (store, path) = open_store(opts)?;
+    let stat = store.stat();
+    drop(store); // release the write handle; the shards open read views
+    let pool_frames = pool_frames_opt(opts)?;
+    let resolved = qpwm::store::resolve_pool_frames(pool_frames, stat.total_pages)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "store {path}: {} tuple(s), {} parameter(s), serving out-of-core \
+         ({resolved} pool frame(s) per shard)",
+        stat.n_tuples, stat.n_params
+    );
+    let plane = qpwm::serve::PagedPlane { path, pool_frames, wal: stat.wal };
+    let placeholder = qpwm::serve::ServeData::new(
+        qpwm::structures::AnswerFamily::from_nested(Vec::new(), &[]),
+        Weights::new(1),
+        Vec::new(),
+        None,
+        String::new(),
+    );
+    Ok((plane, placeholder))
+}
+
+/// Resident store serve mode (`--resident`, or any fingerprint flag):
+/// the family, labels and *marked* weights come straight off the
+/// WAL-recovered pages — after any crash the server exposes exactly one
+/// committed marking, never a torn one.
 fn serve_data_store(opts: &Options) -> Result<qpwm::serve::ServeData, String> {
     let (mut store, path) = open_store(opts)?;
     let content = store.content().map_err(|e| format!("reading store {path}: {e}"))?;
@@ -1034,7 +1097,21 @@ fn store_cmd(args: &[String]) -> Result<(), String> {
         "mark" => store_mark(&opts),
         "update" => store_update(&opts),
         "verify" => store_verify(&opts),
-        other => Err(format!("unknown store verb {other} (init | mark | update | verify)")),
+        "stat" => store_stat(&opts),
+        other => Err(format!("unknown store verb {other} (init | mark | update | verify | stat)")),
+    }
+}
+
+/// `--pool-frames`: explicit buffer-pool size for this invocation;
+/// absent falls through to `QPWM_POOL_FRAMES` and the size-scaled
+/// default inside the store.
+fn pool_frames_opt(opts: &Options) -> Result<Option<usize>, String> {
+    match optional(opts, "pool-frames") {
+        Some(raw) => raw
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("--pool-frames needs a frame count, got '{raw}'")),
+        None => Ok(None),
     }
 }
 
@@ -1043,14 +1120,17 @@ fn store_cmd(args: &[String]) -> Result<(), String> {
 fn open_store(opts: &Options) -> Result<(qpwm::store::Store, String), String> {
     let path = required(opts, "store")?.to_owned();
     let vfs = qpwm::store::DiskVfs::from_env("");
-    let store = qpwm::store::Store::open(&vfs, &path)
+    let options = qpwm::store::StoreOptions { pool_frames: pool_frames_opt(opts)? };
+    let store = qpwm::store::Store::open_with(&vfs, &path, &options)
         .map_err(|e| format!("opening store {path}: {e}"))?;
     let rec = store.recovery();
     if rec.replayed_txns > 0 || rec.discarded_txns > 0 || rec.torn_tail {
         println!(
-            "recovery: replayed {} committed txn(s) ({} page(s)), discarded {} uncommitted{}",
+            "recovery: replayed {} committed txn(s) ({} page(s), {} already current), \
+             discarded {} uncommitted{}",
             rec.replayed_txns,
             rec.replayed_pages,
+            rec.skipped_pages,
             rec.discarded_txns,
             if rec.torn_tail { "; torn WAL tail truncated" } else { "" }
         );
@@ -1102,7 +1182,8 @@ fn store_init(opts: &Options) -> Result<(), String> {
     )
     .map_err(|e| e.to_string())?;
     let vfs = qpwm::store::DiskVfs::from_env("");
-    let store = qpwm::store::Store::create(&vfs, path, &content)
+    let options = qpwm::store::StoreOptions { pool_frames: pool_frames_opt(opts)? };
+    let store = qpwm::store::Store::create_with(&vfs, path, &content, &options)
         .map_err(|e| format!("creating store {path}: {e}"))?;
     println!(
         "initialized {path}: {} tuple(s), {} parameter(s), query {} (unmarked)",
@@ -1249,22 +1330,47 @@ fn store_update(opts: &Options) -> Result<(), String> {
 
 /// `qpwm store verify`: the detector's read over the recovered pages —
 /// serve the marked weights, extract against the base weights, and score
-/// an optional `--claim` exactly like `detect-db` does.
+/// an optional `--claim` exactly like `detect-db` does. With `--paged`
+/// the answer server reads through the buffer pool instead of decoding
+/// the image, so verification RSS is O(pool + observed), not O(family).
 fn store_verify(opts: &Options) -> Result<(), String> {
     let (mut store, path) = open_store(opts)?;
-    let content = store.content().map_err(|e| format!("reading store {path}: {e}"))?;
     let key = load_key(opts)?;
-    let family = content.family().map_err(|e| format!("store {path}: {e}"))?;
-    let server = qpwm::core::detect::HonestServer::new(family, content.marked_weights());
-    let observed = ObservedWeights::collect(&server);
-    let report = key.marking.extract(&content.base_weights(), &observed);
+    let next_txn = store.next_txn();
+    let (report, n_tuples, n_params, pool_line) = if optional(opts, "paged").is_some() {
+        // recovery already ran (and reset the WAL); reopen the pages as
+        // a read view with its own small pool
+        drop(store);
+        let vfs = qpwm::store::DiskVfs::from_env("");
+        let mut view = qpwm::store::ReadView::open(&vfs, &path, pool_frames_opt(opts)?)
+            .map_err(|e| format!("paged view of {path}: {e}"))?;
+        let (n_tuples, n_params) = (view.n_tuples(), view.n_params());
+        let original = view.base_weights().map_err(|e| format!("store {path}: {e}"))?;
+        let server = qpwm::store::PagedServer::new(view);
+        let observed = ObservedWeights::collect(&server);
+        let report = key.marking.extract(&original, &observed);
+        let view = server.into_inner();
+        let stats = view.pool_stats();
+        let (resident, capacity) = view.pool_usage();
+        let pool_line = format!(
+            "paged detection: {} pool hit(s), {} miss(es), {} eviction(s) \
+             ({resident}/{capacity} frame(s) resident)",
+            stats.hits, stats.misses, stats.evictions
+        );
+        (report, n_tuples, n_params, Some(pool_line))
+    } else {
+        let content = store.content().map_err(|e| format!("reading store {path}: {e}"))?;
+        let family = content.family().map_err(|e| format!("store {path}: {e}"))?;
+        let server = qpwm::core::detect::HonestServer::new(family, content.marked_weights());
+        let observed = ObservedWeights::collect(&server);
+        let report = key.marking.extract(&content.base_weights(), &observed);
+        (report, content.n_tuples(), content.n_params(), None)
+    };
     let bits: String = report.bits.iter().map(|&b| if b { '1' } else { '0' }).collect();
-    println!(
-        "store {path}: {} tuple(s), {} parameter(s), next txn {}",
-        content.n_tuples(),
-        content.n_params(),
-        store.next_txn()
-    );
+    println!("store {path}: {n_tuples} tuple(s), {n_params} parameter(s), next txn {next_txn}");
+    if let Some(line) = pool_line {
+        println!("{line}");
+    }
     println!("extracted bits: {bits}");
     if let Some(claim) = optional(opts, "claim") {
         let claimed: Vec<bool> = claim.chars().map(|c| c == '1').collect();
@@ -1278,5 +1384,31 @@ fn store_verify(opts: &Options) -> Result<(), String> {
             return Err(format!("claimed mark not established in {path}"));
         }
     }
+    Ok(())
+}
+
+/// `qpwm store stat`: layout, pool, and WAL observability for one store
+/// — the CLI face of the `qpwm_store_*` metrics the server exports.
+fn store_stat(opts: &Options) -> Result<(), String> {
+    let (store, path) = open_store(opts)?;
+    let stat = store.stat();
+    println!("store {path}:");
+    println!("  tuples        {}", stat.n_tuples);
+    println!("  parameters    {}", stat.n_params);
+    println!("  next txn      {}", stat.next_txn);
+    println!("  pages         {}", stat.total_pages);
+    println!(
+        "  pool          {} / {} frame(s) resident, {} pinned",
+        stat.pool_resident, stat.pool_capacity, stat.pool_pinned
+    );
+    println!(
+        "  pool traffic  {} hit(s), {} miss(es), {} eviction(s)",
+        stat.pool.hits, stat.pool.misses, stat.pool.evictions
+    );
+    println!(
+        "  wal           {} byte(s), {} record(s), {} fsync(s), {} group commit(s)",
+        stat.wal_len, stat.wal.records, stat.wal.fsyncs, stat.wal.group_commits
+    );
+    println!("  buffered      {} txn(s) awaiting group commit", stat.buffered_txns);
     Ok(())
 }
